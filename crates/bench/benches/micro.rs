@@ -1,0 +1,89 @@
+//! Criterion micro-benchmarks for the computational substrates: environment
+//! stepping, network inference/updates, KNN density queries, and IBP.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use imap_density::{KdTree, KnnEstimator};
+use imap_env::locomotion::{Ant, HalfCheetah, Hopper, Walker2d};
+use imap_env::{Env, EnvRng};
+use imap_nn::ibp::output_deviation_bound;
+use imap_nn::{Activation, Matrix, Mlp};
+
+fn bench_env_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("env_step");
+    let mut rng = EnvRng::seed_from_u64(0);
+    macro_rules! bench_env {
+        ($name:expr, $env:expr) => {
+            let mut env = $env;
+            let action = vec![0.3; env.action_dim()];
+            env.reset(&mut rng);
+            let mut steps = 0usize;
+            group.bench_function($name, |b| {
+                b.iter(|| {
+                    let s = env.step(&action, &mut rng);
+                    steps += 1;
+                    if s.done {
+                        env.reset(&mut rng);
+                    }
+                    s.reward
+                })
+            });
+        };
+    }
+    bench_env!("hopper", Hopper::new());
+    bench_env!("walker2d", Walker2d::new());
+    bench_env!("half_cheetah", HalfCheetah::new());
+    bench_env!("ant", Ant::new());
+    group.finish();
+}
+
+fn bench_mlp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mlp");
+    let mut rng = StdRng::seed_from_u64(1);
+    let mlp = Mlp::new(&[12, 32, 32, 4], Activation::Tanh, 0.01, &mut rng).unwrap();
+    let x = vec![0.3; 12];
+    group.bench_function("infer_12_32_32_4", |b| b.iter(|| mlp.infer(&x).unwrap()));
+
+    let rows: Vec<Vec<f64>> = (0..128).map(|i| vec![(i as f64) * 0.01; 12]).collect();
+    let row_refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+    let batch = Matrix::from_rows(&row_refs).unwrap();
+    group.bench_function("forward_backward_batch128", |b| {
+        b.iter(|| {
+            let cache = mlp.forward(&batch).unwrap();
+            let dout = cache.output().map(|v| 2.0 * v);
+            mlp.backward(&cache, &dout).unwrap()
+        })
+    });
+    group.bench_function("ibp_deviation_bound", |b| {
+        b.iter(|| output_deviation_bound(&mlp, &x, 0.1).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_knn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("knn");
+    let mut rng = StdRng::seed_from_u64(2);
+    for &n in &[1_000usize, 10_000, 50_000] {
+        let points: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..4).map(|_| rng.gen_range(-5.0..5.0)).collect())
+            .collect();
+        group.bench_function(format!("build_{n}"), |b| {
+            b.iter_batched(
+                || points.clone(),
+                |p| KdTree::build(p),
+                BatchSize::LargeInput,
+            )
+        });
+        let est = KnnEstimator::new(points, 5);
+        let q = vec![0.1, -0.2, 0.3, 0.4];
+        group.bench_function(format!("query_k5_{n}"), |b| {
+            b.iter(|| est.knn_distance(&q))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_env_step, bench_mlp, bench_knn);
+criterion_main!(benches);

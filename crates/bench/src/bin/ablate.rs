@@ -1,0 +1,69 @@
+//! Ablations of this reproduction's own design choices (beyond the paper's
+//! η and ξ ablations in fig6/fig7):
+//!
+//! - the KNN neighbourhood size `K` of the density estimators (§5.2);
+//! - the union-buffer capacity (decimation) behind the PC regularizer;
+//! - the intrinsic-advantage scale (the τ-calibration knob, DESIGN.md §1).
+//!
+//! Usage: `IMAP_BUDGET=quick|full cargo run --release -p imap-bench --bin ablate`
+
+use imap_bench::{base_seed, Budget, VictimCache};
+use imap_core::eval::{eval_under_attack, Attacker};
+use imap_core::regularizer::{RegularizerConfig, RegularizerKind};
+use imap_core::threat::PerturbationEnv;
+use imap_core::{ImapConfig, ImapTrainer};
+use imap_defense::DefenseMethod;
+use imap_env::{build_task, EnvRng, TaskId};
+use rand::SeedableRng;
+
+fn main() {
+    let budget = Budget::from_env();
+    let seed = base_seed();
+    let cache = VictimCache::open();
+    let task = TaskId::SparseHopper;
+    let eps = task.spec().eps;
+    let victim = cache.victim(task, DefenseMethod::Ppo, &budget, seed);
+
+    let run = |label: String, cfg: ImapConfig| {
+        let mut env = PerturbationEnv::new(build_task(task), victim.clone(), eps);
+        let out = ImapTrainer::new(cfg).train(&mut env, None).expect("attack");
+        let mut rng = EnvRng::seed_from_u64(seed ^ 0xab1a);
+        let eval = eval_under_attack(
+            build_task(task),
+            &victim,
+            Attacker::Policy(&out.policy),
+            eps,
+            budget.eval_episodes,
+            &mut rng,
+        )
+        .expect("eval");
+        println!(
+            "{label:<28} victim score {:>6.2} ± {:<5.2}",
+            eval.sparse, eval.sparse_std
+        );
+    };
+
+    println!("# Design-choice ablations on {} / IMAP-PC (budget: {})", task.spec().name, budget.name);
+    println!("\n## KNN neighbourhood size K (paper uses a fixed small K)");
+    for k in [1usize, 3, 5, 10, 20] {
+        let mut rc = RegularizerConfig::new(RegularizerKind::PolicyCoverage);
+        rc.k = k;
+        run(format!("K = {k}"), ImapConfig::imap(budget.attack_train(seed), rc));
+    }
+
+    println!("\n## Union-buffer capacity (decimation pressure on B)");
+    for cap in [500usize, 5_000, 50_000] {
+        let mut rc = RegularizerConfig::new(RegularizerKind::PolicyCoverage);
+        rc.union_cap = cap;
+        run(format!("cap = {cap}"), ImapConfig::imap(budget.attack_train(seed), rc));
+    }
+
+    println!("\n## Intrinsic-advantage scale (τ-calibration)");
+    for scale in [0.1f64, 0.5, 1.0, 2.0] {
+        let rc = RegularizerConfig::new(RegularizerKind::PolicyCoverage);
+        run(
+            format!("scale = {scale}"),
+            ImapConfig::imap(budget.attack_train(seed), rc).with_intrinsic_scale(scale),
+        );
+    }
+}

@@ -1,0 +1,89 @@
+//! Figure 4: test-time attack learning curves of SA-RL vs the four IMAP
+//! variants on the six sparse locomotion tasks — victim episode score vs
+//! attack training samples.
+//!
+//! Prints one data table per task (rows: training steps; columns: attacks)
+//! plus an ASCII overlay chart. Curves are the per-iteration victim scores
+//! recorded during attack training (cached, shared with table2/table3).
+//!
+//! Usage: `IMAP_BUDGET=quick|full cargo run --release -p imap-bench --bin fig4`
+
+use imap_bench::{base_seed, run_attack_cell_cached, AttackKind, Budget, VictimCache};
+use imap_core::regularizer::RegularizerKind;
+use imap_core::CurvePoint;
+use imap_defense::DefenseMethod;
+use imap_env::render::Canvas;
+use imap_env::TaskId;
+
+const SPARSE_LOCOMOTION: [TaskId; 6] = [
+    TaskId::SparseHopper,
+    TaskId::SparseWalker2d,
+    TaskId::SparseHalfCheetah,
+    TaskId::SparseAnt,
+    TaskId::SparseHumanoidStandup,
+    TaskId::SparseHumanoid,
+];
+
+fn main() {
+    let budget = Budget::from_env();
+    let seed = base_seed();
+    let cache = VictimCache::open();
+    let attacks: Vec<(AttackKind, char)> = vec![
+        (AttackKind::SaRl, 's'),
+        (AttackKind::Imap(RegularizerKind::StateCoverage), 'S'),
+        (AttackKind::Imap(RegularizerKind::PolicyCoverage), 'P'),
+        (AttackKind::Imap(RegularizerKind::Risk), 'R'),
+        (AttackKind::Imap(RegularizerKind::Divergence), 'D'),
+    ];
+
+    println!("# Figure 4 — sparse locomotion attack curves (budget: {})", budget.name);
+    for task in SPARSE_LOCOMOTION {
+        let victim = cache.victim(task, DefenseMethod::Ppo, &budget, seed);
+        println!("\n## {}", task.spec().name);
+        let mut curves: Vec<(String, char, Vec<CurvePoint>)> = Vec::new();
+        for (kind, glyph) in &attacks {
+            let r = run_attack_cell_cached(task, DefenseMethod::Ppo, &victim, *kind, &budget, seed);
+            curves.push((kind.label(), *glyph, r.curve));
+        }
+
+        // Data table, downsampled to ~10 rows.
+        let max_len = curves.iter().map(|(_, _, c)| c.len()).max().unwrap_or(0);
+        let stride = (max_len / 10).max(1);
+        print!("{:>10}", "steps");
+        for (label, glyph, _) in &curves {
+            print!("  {label:>10}({glyph})");
+        }
+        println!();
+        for i in (0..max_len).step_by(stride) {
+            let steps = curves
+                .iter()
+                .filter_map(|(_, _, c)| c.get(i).map(|p| p.steps))
+                .max()
+                .unwrap_or(0);
+            print!("{steps:>10}");
+            for (_, _, c) in &curves {
+                match c.get(i) {
+                    Some(p) => print!("  {:>13.2}", p.victim_sparse),
+                    None => print!("  {:>13}", "-"),
+                }
+            }
+            println!();
+        }
+
+        // ASCII overlay: victim score (y) vs iteration (x).
+        let mut canvas = Canvas::new(70, 12, (0.0, max_len.max(2) as f64 - 1.0), (-0.15, 1.05));
+        for (_, glyph, c) in &curves {
+            let pts: Vec<(f64, f64)> = c
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (i as f64, p.victim_sparse))
+                .collect();
+            canvas.trace(&pts, *glyph);
+        }
+        println!("\nvictim score 1.05 .. -0.15 (top..bottom), x = attack iterations:");
+        print!("{}", canvas.render());
+    }
+    println!(
+        "\nLegend: s = SA-RL, S = IMAP-SC, P = IMAP-PC, R = IMAP-R, D = IMAP-D. Lower is a stronger attack."
+    );
+}

@@ -1,0 +1,80 @@
+//! Figure 5: multi-agent attack learning curves — ASR vs training samples
+//! for AP-MARL vs IMAP-PC and IMAP-PC+BR in YouShallNotPass and
+//! KickAndDefend, plus the final evaluated ASRs.
+//!
+//! Usage: `IMAP_BUDGET=quick|full cargo run --release -p imap-bench --bin fig5`
+
+use imap_bench::{
+    base_seed, default_xi, marl_victim, run_multi_attack_cell_cached, AttackKind, Budget,
+};
+use imap_core::regularizer::RegularizerKind;
+use imap_env::render::Canvas;
+use imap_env::MultiTaskId;
+
+fn main() {
+    let budget = Budget::from_env();
+    let seed = base_seed();
+    let attacks: Vec<(&str, AttackKind, char)> = vec![
+        ("AP-MARL", AttackKind::SaRl, 'a'),
+        (
+            "IMAP-PC",
+            AttackKind::Imap(RegularizerKind::PolicyCoverage),
+            'P',
+        ),
+        (
+            "IMAP-PC+BR",
+            AttackKind::ImapBr(RegularizerKind::PolicyCoverage),
+            'B',
+        ),
+    ];
+
+    println!("# Figure 5 — multi-agent ASR curves (budget: {})", budget.name);
+    for game in MultiTaskId::ALL {
+        let victim = marl_victim(game, &budget, seed);
+        println!("\n## {}", game.name());
+        let mut curves = Vec::new();
+        for (label, kind, glyph) in &attacks {
+            let r =
+                run_multi_attack_cell_cached(game, &victim, *kind, &budget, seed, default_xi());
+            println!(
+                "{label:<12} final evaluated ASR = {:.2}% over {} episodes",
+                100.0 * r.eval.asr,
+                r.eval.episodes
+            );
+            curves.push((*label, *glyph, r.curve));
+        }
+
+        let max_len = curves.iter().map(|(_, _, c)| c.len()).max().unwrap_or(0);
+        let stride = (max_len / 10).max(1);
+        print!("\n{:>10}", "steps");
+        for (label, glyph, _) in &curves {
+            print!("  {label:>10}({glyph})");
+        }
+        println!();
+        for i in (0..max_len).step_by(stride) {
+            let steps = curves
+                .iter()
+                .filter_map(|(_, _, c)| c.get(i).map(|p| p.steps))
+                .max()
+                .unwrap_or(0);
+            print!("{steps:>10}");
+            for (_, _, c) in &curves {
+                match c.get(i) {
+                    Some(p) => print!("  {:>13.2}", p.asr),
+                    None => print!("  {:>13}", "-"),
+                }
+            }
+            println!();
+        }
+
+        let mut canvas = Canvas::new(70, 12, (0.0, max_len.max(2) as f64 - 1.0), (0.0, 1.0));
+        for (_, glyph, c) in &curves {
+            let pts: Vec<(f64, f64)> =
+                c.iter().enumerate().map(|(i, p)| (i as f64, p.asr)).collect();
+            canvas.trace(&pts, *glyph);
+        }
+        println!("\ntraining ASR 1.0 .. 0.0 (top..bottom), x = attack iterations:");
+        print!("{}", canvas.render());
+    }
+    println!("\nLegend: a = AP-MARL, P = IMAP-PC, B = IMAP-PC+BR. Higher ASR = stronger attack.");
+}

@@ -1,0 +1,90 @@
+//! Figure 6: ablation on the Bias-Reduction dual step size η.
+//!
+//! Sweeps η over IMAP-PC+BR on one sparse single-agent task and one
+//! multi-agent game, reporting the final attack strength per η. The paper's
+//! finding: IMAP is insensitive to η, with larger step sizes slightly
+//! better.
+//!
+//! Usage: `IMAP_BUDGET=quick|full cargo run --release -p imap-bench --bin fig6`
+
+use imap_bench::{base_seed, default_xi, marl_victim, Budget, VictimCache};
+use imap_core::eval::{eval_multi_attack, eval_under_attack, Attacker};
+use imap_core::regularizer::{RegularizerConfig, RegularizerKind};
+use imap_core::threat::{OpponentEnv, PerturbationEnv};
+use imap_core::{ImapConfig, ImapTrainer};
+use imap_defense::DefenseMethod;
+use imap_env::{build_multi_task, build_task, EnvRng, MultiTaskId, TaskId};
+use rand::SeedableRng;
+
+const ETAS: [f64; 4] = [0.5, 2.0, 5.0, 10.0];
+
+fn main() {
+    let budget = Budget::from_env();
+    let seed = base_seed();
+    let cache = VictimCache::open();
+
+    println!("# Figure 6 — BR step-size η ablation (budget: {})", budget.name);
+
+    // Single-agent: IMAP-PC+BR on SparseHalfCheetah.
+    let task = TaskId::SparseHalfCheetah;
+    let victim = cache.victim(task, DefenseMethod::Ppo, &budget, seed);
+    println!("\n## {} (IMAP-PC+BR; victim score, lower = stronger)", task.spec().name);
+    for eta in ETAS {
+        let cfg = ImapConfig::imap(
+            budget.attack_train(seed),
+            RegularizerConfig::new(RegularizerKind::PolicyCoverage),
+        )
+        .with_br(eta);
+        let mut env =
+            PerturbationEnv::new(build_task(task), victim.clone(), task.spec().eps);
+        let out = ImapTrainer::new(cfg).train(&mut env, None).expect("attack");
+        let mut rng = EnvRng::seed_from_u64(seed ^ 0xf16);
+        let eval = eval_under_attack(
+            build_task(task),
+            &victim,
+            Attacker::Policy(&out.policy),
+            task.spec().eps,
+            budget.eval_episodes,
+            &mut rng,
+        )
+        .expect("eval");
+        let final_tau = out.curve.last().map(|p| p.tau).unwrap_or(1.0);
+        println!(
+            "eta = {eta:>5.1}: victim score {:>6.2} ± {:<5.2}  (final τ = {final_tau:.2})",
+            eval.sparse, eval.sparse_std
+        );
+    }
+
+    // Multi-agent: IMAP-PC+BR on YouShallNotPass.
+    let game = MultiTaskId::YouShallNotPass;
+    let victim = marl_victim(game, &budget, seed);
+    println!("\n## {} (IMAP-PC+BR; ASR, higher = stronger)", game.name());
+    for eta in ETAS {
+        let mut rc = RegularizerConfig::new(RegularizerKind::PolicyCoverage);
+        let mut env = OpponentEnv::new(build_multi_task(game), victim.clone());
+        rc.marginal_split = Some(env.summary_split());
+        rc.xi = default_xi();
+        let train = imap_rl::TrainConfig {
+            iterations: budget.marl_attack_iters,
+            ..budget.attack_train(seed)
+        };
+        let cfg = ImapConfig::imap(train, rc)
+            .with_intrinsic_scale(imap_bench::marl_intrinsic_scale())
+            .with_br(eta);
+        let out = ImapTrainer::new(cfg).train(&mut env, None).expect("attack");
+        let mut rng = EnvRng::seed_from_u64(seed ^ 0xf17);
+        let eval = eval_multi_attack(
+            build_multi_task(game),
+            &victim,
+            Attacker::Policy(&out.policy),
+            budget.eval_episodes,
+            &mut rng,
+        )
+        .expect("eval");
+        let final_tau = out.curve.last().map(|p| p.tau).unwrap_or(1.0);
+        println!(
+            "eta = {eta:>5.1}: ASR {:>5.1}%  (final τ = {final_tau:.2})",
+            100.0 * eval.asr
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! Figure 7: ablation on the marginal trade-off ξ (eq. 7/9) — the weight on
+//! victim-state-space coverage versus adversary-state-space coverage in the
+//! multi-agent regularizers.
+//!
+//! The paper's insight: the adversary-space term (ξ = 0 component) is
+//! critical; the victim-space term can improve it further.
+//!
+//! Usage: `IMAP_BUDGET=quick|full cargo run --release -p imap-bench --bin fig7`
+
+use imap_bench::{base_seed, marl_victim, run_multi_attack_cell_cached, AttackKind, Budget};
+use imap_core::regularizer::RegularizerKind;
+use imap_env::MultiTaskId;
+
+const XIS: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 1.0];
+
+fn main() {
+    let budget = Budget::from_env();
+    let seed = base_seed();
+    let game = MultiTaskId::YouShallNotPass;
+    let victim = marl_victim(game, &budget, seed);
+
+    println!("# Figure 7 — marginal trade-off ξ ablation (budget: {})", budget.name);
+    println!("\n## {} (IMAP-PC+BR; ASR, higher = stronger)", game.name());
+    println!("ξ = 0: pure adversary-state coverage; ξ = 1: pure victim-state coverage.");
+    for xi in XIS {
+        let r = run_multi_attack_cell_cached(
+            game,
+            &victim,
+            AttackKind::ImapBr(RegularizerKind::PolicyCoverage),
+            &budget,
+            seed,
+            xi,
+        );
+        println!("xi = {xi:>4.2}: ASR {:>5.1}%", 100.0 * r.eval.asr);
+    }
+}

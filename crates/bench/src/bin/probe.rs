@@ -1,0 +1,51 @@
+//! Calibration probe: verifies the headline attack effects hold before the
+//! full tables run. Prints clean / random / SA-RL / IMAP-PC results on one
+//! dense task and one sparse task.
+
+use imap_bench::{base_seed, run_attack_cell, AttackKind, Budget, VictimCache};
+use imap_core::regularizer::RegularizerKind;
+use imap_defense::DefenseMethod;
+use imap_env::TaskId;
+
+fn main() {
+    let budget = Budget::from_env();
+    let seed = base_seed();
+    let cache = VictimCache::open();
+    let task: TaskId = std::env::var("PROBE_TASK")
+        .ok()
+        .and_then(|name| {
+            TaskId::ALL
+                .into_iter()
+                .find(|t| t.spec().name.eq_ignore_ascii_case(&name))
+        })
+        .unwrap_or(TaskId::Hopper);
+    let method = match std::env::var("PROBE_METHOD").as_deref() {
+        Ok("Sa") => DefenseMethod::Sa,
+        Ok("Wocar") => DefenseMethod::Wocar,
+        _ => DefenseMethod::Ppo,
+    };
+    eprintln!("probe: task={task:?} method={method:?} budget={}", budget.name);
+    let t0 = std::time::Instant::now();
+    let victim = cache.victim(task, method, &budget, seed);
+    eprintln!("victim trained/loaded in {:.1}s", t0.elapsed().as_secs_f64());
+
+    for kind in [
+        AttackKind::NoAttack,
+        AttackKind::Random,
+        AttackKind::SaRl,
+        AttackKind::Imap(RegularizerKind::PolicyCoverage),
+        AttackKind::Imap(RegularizerKind::Risk),
+    ] {
+        let t = std::time::Instant::now();
+        let (eval, _) = run_attack_cell(task, &victim, kind, &budget, seed);
+        println!(
+            "{:<12} dense={:>8.1} ± {:<7.1} sparse={:>5.2} success={:.2} ({:.1}s)",
+            kind.label(),
+            eval.victim_return,
+            eval.victim_return_std,
+            eval.sparse,
+            eval.success_rate,
+            t.elapsed().as_secs_f64()
+        );
+    }
+}

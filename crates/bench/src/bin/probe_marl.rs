@@ -1,0 +1,43 @@
+//! Calibration probe for the multi-agent games: victim quality, then
+//! AP-MARL vs IMAP-PC+BR attack success rates.
+
+use imap_bench::{
+    base_seed, default_xi, marl_victim, run_multi_attack_cell, AttackKind, Budget,
+};
+use imap_core::regularizer::RegularizerKind;
+use imap_env::MultiTaskId;
+
+fn main() {
+    let budget = Budget::from_env();
+    let seed = base_seed();
+    let game = match std::env::var("PROBE_GAME").as_deref() {
+        Ok("KickAndDefend") => MultiTaskId::KickAndDefend,
+        _ => MultiTaskId::YouShallNotPass,
+    };
+    eprintln!("probe_marl: game={game:?} budget={}", budget.name);
+    let t0 = std::time::Instant::now();
+    let victim = marl_victim(game, &budget, seed);
+    eprintln!("victim ready in {:.1}s", t0.elapsed().as_secs_f64());
+
+    for kind in [
+        AttackKind::Random,
+        AttackKind::SaRl, // = AP-MARL on the opponent MDP
+        AttackKind::Imap(RegularizerKind::PolicyCoverage),
+        AttackKind::ImapBr(RegularizerKind::PolicyCoverage),
+    ] {
+        let t = std::time::Instant::now();
+        let (eval, _) = run_multi_attack_cell(game, &victim, kind, &budget, seed, default_xi());
+        let label = if kind == AttackKind::SaRl {
+            "AP-MARL".to_string()
+        } else {
+            kind.label()
+        };
+        println!(
+            "{:<12} ASR={:.2} victim_win={:.2} ({:.0}s)",
+            label,
+            eval.asr,
+            eval.success_rate,
+            t.elapsed().as_secs_f64()
+        );
+    }
+}

@@ -1,0 +1,129 @@
+//! Figures 1–3 analog: qualitative behaviour renders.
+//!
+//! The paper's Figures 1–2 are MuJoCo screenshots showing (1) a robust
+//! Walker lured to lean forward and fall under IMAP while SA-RL fails, and
+//! (2) an IMAP blocker intercepting the runner while AP-MARL's blocker
+//! fails. This binary reproduces both as ASCII traces.
+//!
+//! Usage: `IMAP_BUDGET=quick|full cargo run --release -p imap-bench --bin render`
+
+use imap_bench::{
+    base_seed, default_xi, marl_victim, run_attack_cell_cached, run_multi_attack_cell_cached,
+    AttackKind, Budget, VictimCache,
+};
+use imap_core::regularizer::RegularizerKind;
+use imap_core::threat::PerturbationEnv;
+use imap_core::{ImapConfig, ImapTrainer};
+use imap_defense::DefenseMethod;
+use imap_env::render::{sparkline, Canvas};
+use imap_env::{build_task, Env, EnvRng, MultiTaskId, TaskId};
+use rand::SeedableRng;
+
+/// Re-trains the learned attack for a cell (cheap at quick budget) and
+/// rolls one attacked episode, returning the victim's pitch trace.
+fn walker_pitch_trace(kind: AttackKind, budget: &Budget, seed: u64) -> (Vec<f64>, bool) {
+    let cache = VictimCache::open();
+    let task = TaskId::Walker2d;
+    let victim = cache.victim(task, DefenseMethod::Wocar, budget, seed);
+    let eps = task.spec().eps;
+    // Reuse the cached evaluation to pick the attack, then retrain the
+    // policy itself (curves are cached; policies are small enough to retrain
+    // deterministically at the same seed).
+    let _ = run_attack_cell_cached(task, DefenseMethod::Wocar, &victim, kind, budget, seed);
+    let cfg = match kind {
+        AttackKind::SaRl => ImapConfig::baseline(budget.attack_train(seed)),
+        AttackKind::Imap(k) => ImapConfig::imap(
+            budget.attack_train(seed),
+            imap_core::regularizer::RegularizerConfig::new(k),
+        ),
+        _ => unreachable!(),
+    };
+    let mut env = PerturbationEnv::new(build_task(task), victim.clone(), eps);
+    let out = ImapTrainer::new(cfg).train(&mut env, None).expect("attack");
+
+    let mut penv = PerturbationEnv::new(build_task(task), victim, eps);
+    let mut rng = EnvRng::seed_from_u64(1234);
+    let mut obs = penv.reset(&mut rng);
+    let mut pitch = Vec::new();
+    let mut fell = false;
+    for _ in 0..200 {
+        let a = out.policy.act_deterministic(&obs).expect("dims");
+        let s = penv.step(&a, &mut rng);
+        pitch.push(s.obs[0]);
+        if s.done {
+            fell = s.unhealthy;
+            break;
+        }
+        obs = s.obs;
+    }
+    (pitch, fell)
+}
+
+fn main() {
+    let budget = Budget::from_env();
+    let seed = base_seed();
+
+    println!("# Figure 1 analog — WocaR Walker2d pitch under attack");
+    println!("(pitch trace over one attacked episode; |pitch| > 0.25 is a fall)\n");
+    for kind in [
+        AttackKind::SaRl,
+        AttackKind::Imap(RegularizerKind::PolicyCoverage),
+    ] {
+        let (pitch, fell) = walker_pitch_trace(kind, &budget, seed);
+        println!(
+            "## {} — episode length {}, victim fell: {fell}",
+            kind.label(),
+            pitch.len()
+        );
+        print!("{}", sparkline(&pitch, 8));
+        println!();
+    }
+
+    println!("\n# Figure 2 analog — YouShallNotPass trajectories");
+    println!("(r = runner trace, b = blocker trace, | = finish line x=3)\n");
+    let game = MultiTaskId::YouShallNotPass;
+    let victim = marl_victim(game, &budget, seed);
+    for (label, kind) in [
+        ("AP-MARL", AttackKind::SaRl),
+        (
+            "IMAP-PC+BR",
+            AttackKind::ImapBr(RegularizerKind::PolicyCoverage),
+        ),
+    ] {
+        // The cached cell gives the evaluation; retrain the opponent policy
+        // at the same seed for the qualitative rollout.
+        let r = run_multi_attack_cell_cached(game, &victim, kind, &budget, seed, default_xi());
+        println!("## {label} (evaluated ASR {:.0}%)", 100.0 * r.eval.asr);
+        let (_, outcome) =
+            imap_bench::run_multi_attack_cell(game, &victim, kind, &budget, seed, default_xi());
+        let adv = outcome.expect("learned attack").policy;
+
+        let mut env = imap_env::multiagent::YouShallNotPass::new();
+        let mut rng = EnvRng::seed_from_u64(777);
+        use imap_env::MultiAgentEnv;
+        let (mut vobs, mut aobs) = env.reset(&mut rng);
+        let mut canvas = Canvas::new(72, 14, (-3.5, 3.5), (-3.0, 3.0));
+        for y in -30..=30 {
+            canvas.plot(3.0, y as f64 / 10.0, '|');
+        }
+        let mut won = None;
+        for _ in 0..env.max_steps() {
+            let va = victim.act(&vobs, &mut rng).expect("dims").0;
+            let aa = adv.act_deterministic(&aobs).expect("dims");
+            let (rx, ry) = env.runner_position();
+            let (bx, by) = env.blocker_position();
+            canvas.plot(rx, ry, 'r');
+            canvas.plot(bx, by, 'b');
+            let ms = env.step(&va, &aa, &mut rng);
+            vobs = ms.victim_obs;
+            aobs = ms.adversary_obs;
+            if ms.done {
+                won = ms.victim_won;
+                break;
+            }
+        }
+        println!("one rollout, victim won: {won:?}");
+        print!("{}", canvas.render());
+        println!();
+    }
+}

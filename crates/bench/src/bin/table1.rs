@@ -1,0 +1,105 @@
+//! Table 1: average episode rewards of six victims (PPO, ATLA, SA, ATLA-SA,
+//! RADIAL, WocaR) across four dense-reward locomotion tasks under
+//! No-Attack / Random / SA-RL / IMAP-SC / IMAP-PC / IMAP-R / IMAP-D.
+//!
+//! As in the paper, Ant carries only the PPO/ATLA/SA/ATLA-SA victims. The
+//! footer reproduces the §6.3.1 average-reduction claims and the §7 claim
+//! that IMAP degrades even WocaR victims substantially.
+//!
+//! Usage: `IMAP_BUDGET=quick|full cargo run --release -p imap-bench --bin table1`
+
+use imap_bench::{
+    base_seed, cell, print_row, run_attack_cell_cached, AttackKind, Budget, VictimCache,
+};
+use imap_defense::DefenseMethod;
+use imap_env::TaskId;
+
+fn main() {
+    let budget = Budget::from_env();
+    let seed = base_seed();
+    let cache = VictimCache::open();
+    let columns = AttackKind::table1_columns();
+
+    println!("# Table 1 — dense-reward tasks (budget: {})", budget.name);
+    println!();
+    let mut header = vec!["Env".to_string(), "Victim".to_string()];
+    header.extend(columns.iter().map(|k| k.label()));
+    print_row(&header);
+
+    // Per-attack averages across all victims (for the footer claims).
+    let mut col_sums = vec![0.0; columns.len()];
+    let mut col_counts = vec![0usize; columns.len()];
+    let mut wocar_rows: Vec<(TaskId, Vec<f64>)> = Vec::new();
+    let mut best_imap_wins = 0usize;
+    let mut rows = 0usize;
+
+    for task in TaskId::DENSE {
+        let methods: &[DefenseMethod] = if task == TaskId::Ant {
+            &[
+                DefenseMethod::Ppo,
+                DefenseMethod::Atla,
+                DefenseMethod::Sa,
+                DefenseMethod::AtlaSa,
+            ]
+        } else {
+            &DefenseMethod::ALL
+        };
+        let mut task_col_sums = vec![0.0; columns.len()];
+        for &method in methods {
+            let victim = cache.victim(task, method, &budget, seed);
+            let mut row = vec![
+                format!("{} (ε={})", task.spec().name, task.spec().eps),
+                method.name().to_string(),
+            ];
+            let mut values = Vec::with_capacity(columns.len());
+            for (ci, &kind) in columns.iter().enumerate() {
+                let r = run_attack_cell_cached(task, method, &victim, kind, &budget, seed);
+                row.push(cell(r.eval.victim_return, r.eval.victim_return_std, true));
+                values.push(r.eval.victim_return);
+                col_sums[ci] += r.eval.victim_return;
+                col_counts[ci] += 1;
+                task_col_sums[ci] += r.eval.victim_return;
+            }
+            print_row(&row);
+            // Bold-equivalent bookkeeping: does the best IMAP beat SA-RL?
+            let sa_rl = values[2];
+            let best_imap = values[3..].iter().cloned().fold(f64::INFINITY, f64::min);
+            rows += 1;
+            if best_imap <= sa_rl {
+                best_imap_wins += 1;
+            }
+            if method == DefenseMethod::Wocar {
+                wocar_rows.push((task, values.clone()));
+            }
+        }
+        let n = methods.len() as f64;
+        let mut avg_row = vec![format!("{} avg", task.spec().name), String::new()];
+        avg_row.extend(task_col_sums.iter().map(|s| format!("{:>6.0}", s / n)));
+        print_row(&avg_row);
+    }
+
+    println!();
+    println!("## Footer (paper §6.3.1 / §7 claims)");
+    let clean_avg = col_sums[0] / col_counts[0] as f64;
+    for (ci, kind) in columns.iter().enumerate().skip(2) {
+        let avg = col_sums[ci] / col_counts[ci] as f64;
+        println!(
+            "{:<10} average across all victims: {:>7.0} ({:+.1}% vs clean)",
+            kind.label(),
+            avg,
+            100.0 * (avg - clean_avg) / clean_avg
+        );
+    }
+    println!(
+        "Best-IMAP ≤ SA-RL on {best_imap_wins}/{rows} victim rows (paper: 15/22)."
+    );
+    for (task, values) in &wocar_rows {
+        let clean = values[0];
+        let best_imap = values[3..].iter().cloned().fold(f64::INFINITY, f64::min);
+        println!(
+            "WocaR {} reduced by {:.0}% under the best IMAP (paper: 34–54%).",
+            task.spec().name,
+            100.0 * (clean - best_imap) / clean.max(1e-9)
+        );
+    }
+}

@@ -1,0 +1,85 @@
+//! Table 2: sparse-task average episode scores (+1 / −0.1 / 0) of the
+//! victim under No-Attack / Random / SA-RL / four IMAP variants / best
+//! IMAP+BR, across nine sparse tasks (six locomotion, two navigation, one
+//! manipulation).
+//!
+//! Usage: `IMAP_BUDGET=quick|full cargo run --release -p imap-bench --bin table2`
+
+use imap_bench::{
+    base_seed, cell, print_row, run_attack_cell_cached, AttackKind, Budget, VictimCache,
+};
+use imap_core::regularizer::RegularizerKind;
+use imap_defense::DefenseMethod;
+use imap_env::TaskId;
+
+fn main() {
+    let budget = Budget::from_env();
+    let seed = base_seed();
+    let cache = VictimCache::open();
+
+    println!("# Table 2 — sparse-reward tasks (budget: {})", budget.name);
+    println!();
+    let mut columns = vec![AttackKind::NoAttack, AttackKind::Random, AttackKind::SaRl];
+    columns.extend(RegularizerKind::ALL.into_iter().map(AttackKind::Imap));
+    let mut header = vec!["Env".to_string()];
+    header.extend(columns.iter().map(|k| k.label()));
+    header.push("IMAP+BR (best)".to_string());
+    print_row(&header);
+
+    let mut col_sums = vec![0.0; columns.len() + 1];
+    let mut imap_beats_sarl = 0usize;
+
+    for task in TaskId::SPARSE {
+        let victim = cache.victim(task, DefenseMethod::Ppo, &budget, seed);
+        let mut row = vec![task.spec().name.to_string()];
+        let mut values = Vec::new();
+        for (ci, &kind) in columns.iter().enumerate() {
+            let r = run_attack_cell_cached(task, DefenseMethod::Ppo, &victim, kind, &budget, seed);
+            row.push(cell(r.eval.sparse, r.eval.sparse_std, false));
+            values.push(r.eval.sparse);
+            col_sums[ci] += r.eval.sparse;
+        }
+        // Best IMAP+BR across the four regularizers (paper's last column).
+        let mut best_br = f64::INFINITY;
+        let mut best_kind = RegularizerKind::PolicyCoverage;
+        let mut best_std = 0.0;
+        for k in RegularizerKind::ALL {
+            let r = run_attack_cell_cached(
+                task,
+                DefenseMethod::Ppo,
+                &victim,
+                AttackKind::ImapBr(k),
+                &budget,
+                seed,
+            );
+            if r.eval.sparse < best_br {
+                best_br = r.eval.sparse;
+                best_std = r.eval.sparse_std;
+                best_kind = k;
+            }
+        }
+        row.push(format!(
+            "{} ({})",
+            cell(best_br, best_std, false),
+            best_kind.short_name()
+        ));
+        col_sums[columns.len()] += best_br;
+        print_row(&row);
+
+        let sa_rl = values[2];
+        let best_imap = values[3..].iter().cloned().fold(f64::INFINITY, f64::min);
+        if best_imap <= sa_rl {
+            imap_beats_sarl += 1;
+        }
+    }
+
+    println!();
+    let n = TaskId::SPARSE.len() as f64;
+    let mut avg_row = vec!["Average".to_string()];
+    avg_row.extend(col_sums.iter().map(|s| format!("{:>5.2}", s / n)));
+    print_row(&avg_row);
+    println!();
+    println!(
+        "Best IMAP ≤ SA-RL on {imap_beats_sarl}/9 sparse tasks (paper: 9/9, \"IMAP dominates SA-RL across all nine tasks\")."
+    );
+}

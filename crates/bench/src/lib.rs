@@ -1,0 +1,514 @@
+//! Experiment-harness support: budgets, victim caching, attack runners, and
+//! table formatting shared by the per-table/figure binaries.
+//!
+//! Every binary honours the `IMAP_BUDGET` environment variable:
+//! `quick` (default; minutes, reproduces table *shapes*) or `full`
+//! (larger budgets, closer-to-paper sample counts). `IMAP_SEED` overrides
+//! the base seed.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+use parking_lot::Mutex;
+
+use imap_core::eval::{eval_multi_attack, eval_under_attack, AttackEval, Attacker};
+use imap_core::regularizer::{RegularizerConfig, RegularizerKind};
+use imap_core::threat::{OpponentEnv, PerturbationEnv};
+use imap_core::{AttackOutcome, ImapConfig, ImapTrainer};
+use imap_defense::{train_game_victim_selfplay, train_victim, DefenseMethod, ScriptedOpponent, VictimBudget};
+use imap_env::{build_multi_task, build_task, EnvRng, MultiTaskId, TaskId};
+use imap_rl::{GaussianPolicy, PpoConfig, TrainConfig};
+use rand::SeedableRng;
+
+/// Compute budget for an experiment run.
+#[derive(Debug, Clone)]
+pub struct Budget {
+    /// Human-readable name ("quick" / "full").
+    pub name: &'static str,
+    /// Victim-training budget.
+    pub victim: VictimBudget,
+    /// Attack-training PPO iterations.
+    pub attack_iters: usize,
+    /// Environment steps per attack iteration.
+    pub attack_steps: usize,
+    /// Evaluation episodes per table cell.
+    pub eval_episodes: usize,
+    /// MARL victim PPO iterations.
+    pub marl_victim_iters: usize,
+    /// MARL attack PPO iterations.
+    pub marl_attack_iters: usize,
+}
+
+impl Budget {
+    /// The quick (default) budget.
+    pub fn quick() -> Self {
+        Budget {
+            name: "quick",
+            victim: VictimBudget::quick(),
+            attack_iters: 40,
+            attack_steps: 2048,
+            eval_episodes: 50,
+            marl_victim_iters: 120,
+            marl_attack_iters: 50,
+        }
+    }
+
+    /// The full budget.
+    pub fn full() -> Self {
+        Budget {
+            name: "full",
+            victim: VictimBudget::full(),
+            attack_iters: 80,
+            attack_steps: 4096,
+            eval_episodes: 100,
+            marl_victim_iters: 200,
+            marl_attack_iters: 100,
+        }
+    }
+
+    /// Reads `IMAP_BUDGET` (`quick`/`full`; default quick).
+    pub fn from_env() -> Self {
+        match std::env::var("IMAP_BUDGET").as_deref() {
+            Ok("full") => Budget::full(),
+            _ => Budget::quick(),
+        }
+    }
+
+    /// The attack trainer configuration for this budget.
+    pub fn attack_train(&self, seed: u64) -> TrainConfig {
+        TrainConfig {
+            iterations: self.attack_iters,
+            steps_per_iter: self.attack_steps,
+            hidden: vec![32, 32],
+            seed,
+            ppo: PpoConfig {
+                entropy_coef: 0.001,
+                ..PpoConfig::default()
+            },
+            ..TrainConfig::default()
+        }
+    }
+}
+
+/// Base seed (`IMAP_SEED`, default 17).
+pub fn base_seed() -> u64 {
+    std::env::var("IMAP_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(17)
+}
+
+/// The attack columns of Tables 1–3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttackKind {
+    /// Clean evaluation.
+    NoAttack,
+    /// Uniform random perturbations within budget.
+    Random,
+    /// The SA-RL baseline.
+    SaRl,
+    /// An IMAP variant.
+    Imap(RegularizerKind),
+    /// An IMAP variant with Bias-Reduction.
+    ImapBr(RegularizerKind),
+}
+
+impl AttackKind {
+    /// Column label as printed in the tables.
+    pub fn label(self) -> String {
+        match self {
+            AttackKind::NoAttack => "No Attack".into(),
+            AttackKind::Random => "Random".into(),
+            AttackKind::SaRl => "SA-RL".into(),
+            AttackKind::Imap(k) => format!("IMAP-{}", k.short_name()),
+            AttackKind::ImapBr(k) => format!("IMAP-{}+BR", k.short_name()),
+        }
+    }
+
+    /// The seven columns of Table 1.
+    pub fn table1_columns() -> Vec<AttackKind> {
+        let mut v = vec![AttackKind::NoAttack, AttackKind::Random, AttackKind::SaRl];
+        v.extend(RegularizerKind::ALL.into_iter().map(AttackKind::Imap));
+        v
+    }
+}
+
+/// On-disk victim cache: training victims is the expensive shared step, so
+/// each `(task, method, budget, seed)` is trained once and reused by every
+/// table binary.
+pub struct VictimCache {
+    dir: PathBuf,
+    mem: Mutex<HashMap<String, GaussianPolicy>>,
+}
+
+impl VictimCache {
+    /// Opens (and creates) the cache under `.victim-cache/` at the
+    /// workspace root.
+    pub fn open() -> Self {
+        let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../../.victim-cache");
+        let _ = std::fs::create_dir_all(&dir);
+        VictimCache {
+            dir,
+            mem: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn key(task: TaskId, method: DefenseMethod, budget: &Budget, seed: u64) -> String {
+        format!("{task:?}_{method:?}_{}_{seed}", budget.name)
+    }
+
+    /// Returns the victim for `(task, method)`, training it on a cache miss.
+    pub fn victim(
+        &self,
+        task: TaskId,
+        method: DefenseMethod,
+        budget: &Budget,
+        seed: u64,
+    ) -> GaussianPolicy {
+        let key = Self::key(task, method, budget, seed);
+        if let Some(p) = self.mem.lock().get(&key) {
+            return p.clone();
+        }
+        let path = self.dir.join(format!("{key}.json"));
+        if let Ok(bytes) = std::fs::read(&path) {
+            if let Ok(p) = serde_json::from_slice::<GaussianPolicy>(&bytes) {
+                self.mem.lock().insert(key, p.clone());
+                return p;
+            }
+        }
+        let p = train_victim(task, method, &budget.victim, seed)
+            .expect("victim training should not fail");
+        if let Ok(bytes) = serde_json::to_vec(&p) {
+            let _ = std::fs::write(&path, bytes);
+        }
+        self.mem.lock().insert(key, p.clone());
+        p
+    }
+}
+
+/// Runs one attack cell: trains the attacker (if learned) and evaluates the
+/// victim under it. Returns the evaluation and, for learned attacks, the
+/// training outcome (curves).
+pub fn run_attack_cell(
+    task: TaskId,
+    victim: &GaussianPolicy,
+    kind: AttackKind,
+    budget: &Budget,
+    seed: u64,
+) -> (AttackEval, Option<AttackOutcome>) {
+    // `IMAP_EPS` overrides the per-task budget (calibration only).
+    let eps = std::env::var("IMAP_EPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| task.spec().eps);
+    let mut rng = EnvRng::seed_from_u64(seed ^ 0xe7a1);
+    match kind {
+        AttackKind::NoAttack => {
+            let eval = eval_under_attack(
+                build_task(task),
+                victim,
+                Attacker::None,
+                eps,
+                budget.eval_episodes,
+                &mut rng,
+            )
+            .expect("eval");
+            (eval, None)
+        }
+        AttackKind::Random => {
+            let eval = eval_under_attack(
+                build_task(task),
+                victim,
+                Attacker::Random,
+                eps,
+                budget.eval_episodes,
+                &mut rng,
+            )
+            .expect("eval");
+            (eval, None)
+        }
+        AttackKind::SaRl | AttackKind::Imap(_) | AttackKind::ImapBr(_) => {
+            let cfg = attack_config(kind, budget, seed);
+            let mut env = PerturbationEnv::new(build_task(task), victim.clone(), eps);
+            let outcome = ImapTrainer::new(cfg).train(&mut env, None).expect("attack");
+            let eval = eval_under_attack(
+                build_task(task),
+                victim,
+                Attacker::Policy(&outcome.policy),
+                eps,
+                budget.eval_episodes,
+                &mut rng,
+            )
+            .expect("eval");
+            (eval, Some(outcome))
+        }
+    }
+}
+
+/// Builds the [`ImapConfig`] for a learned attack column.
+pub fn attack_config(kind: AttackKind, budget: &Budget, seed: u64) -> ImapConfig {
+    let train = budget.attack_train(seed);
+    match kind {
+        AttackKind::SaRl => ImapConfig::baseline(train),
+        AttackKind::Imap(k) => ImapConfig::imap(train, RegularizerConfig::new(k)),
+        AttackKind::ImapBr(k) => {
+            ImapConfig::imap(train, RegularizerConfig::new(k)).with_br(default_br_eta())
+        }
+        _ => panic!("not a learned attack: {kind:?}"),
+    }
+}
+
+/// The default BR dual step size η used by the tables (Figure 6 sweeps it).
+pub fn default_br_eta() -> f64 {
+    5.0
+}
+
+/// The default marginal trade-off ξ for multi-agent regularizers (Figure 7
+/// sweeps it).
+pub fn default_xi() -> f64 {
+    0.5
+}
+
+/// Intrinsic reward scale for the multi-agent games (see
+/// `ImapConfig::intrinsic_scale`).
+pub fn marl_intrinsic_scale() -> f64 {
+    0.15
+}
+
+/// Returns (training, caching if needed) the game victim for `game`.
+pub fn marl_victim(game: MultiTaskId, budget: &Budget, seed: u64) -> GaussianPolicy {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../.victim-cache");
+    let _ = std::fs::create_dir_all(&dir);
+    let key = format!("marl_{game:?}_{}_{seed}", budget.name);
+    let path = dir.join(format!("{key}.json"));
+    if let Ok(bytes) = std::fs::read(&path) {
+        if let Ok(p) = serde_json::from_slice::<GaussianPolicy>(&bytes) {
+            return p;
+        }
+    }
+    let scripted: fn() -> ScriptedOpponent = match game {
+        MultiTaskId::YouShallNotPass => ScriptedOpponent::blocker_population,
+        MultiTaskId::KickAndDefend => ScriptedOpponent::goalie_population,
+    };
+    let cfg = TrainConfig {
+        iterations: 0,
+        steps_per_iter: budget.attack_steps,
+        hidden: vec![32, 32],
+        seed,
+        ppo: PpoConfig::default(),
+        ..TrainConfig::default()
+    };
+    // Self-play provenance (§6.1): warmup vs scripted population, then
+    // alternate learned "old versions" into the pool.
+    let warmup = budget.marl_victim_iters / 2;
+    let per_round = budget.marl_victim_iters / 4;
+    let mut make = move || build_multi_task(game);
+    let mut p = train_game_victim_selfplay(
+        &mut make,
+        scripted,
+        &cfg,
+        warmup,
+        2,
+        budget.marl_victim_iters / 5,
+        per_round,
+    )
+    .expect("MARL victim training");
+    p.norm.freeze();
+    if let Ok(bytes) = serde_json::to_vec(&p) {
+        let _ = std::fs::write(&path, bytes);
+    }
+    p
+}
+
+/// Runs one multi-agent attack cell: trains the adversarial opponent (for
+/// learned attacks) and reports the ASR.
+pub fn run_multi_attack_cell(
+    game: MultiTaskId,
+    victim: &GaussianPolicy,
+    kind: AttackKind,
+    budget: &Budget,
+    seed: u64,
+    xi: f64,
+) -> (AttackEval, Option<AttackOutcome>) {
+    let mut rng = EnvRng::seed_from_u64(seed ^ 0x3a21);
+    match kind {
+        AttackKind::NoAttack | AttackKind::Random => {
+            let attacker = if matches!(kind, AttackKind::Random) {
+                Attacker::Random
+            } else {
+                Attacker::None
+            };
+            let eval = eval_multi_attack(
+                build_multi_task(game),
+                victim,
+                attacker,
+                budget.eval_episodes,
+                &mut rng,
+            )
+            .expect("eval");
+            (eval, None)
+        }
+        _ => {
+            let mut env = OpponentEnv::new(build_multi_task(game), victim.clone());
+            let split = env.summary_split();
+            let train = TrainConfig {
+                iterations: budget.marl_attack_iters,
+                ..budget.attack_train(seed)
+            };
+            let cfg = match kind {
+                AttackKind::SaRl => ImapConfig::baseline(train),
+                AttackKind::Imap(k) => {
+                    let mut rc = RegularizerConfig::new(k);
+                    rc.marginal_split = Some(split);
+                    rc.xi = xi;
+                    ImapConfig::imap(train, rc).with_intrinsic_scale(marl_intrinsic_scale())
+                }
+                AttackKind::ImapBr(k) => {
+                    let mut rc = RegularizerConfig::new(k);
+                    rc.marginal_split = Some(split);
+                    rc.xi = xi;
+                    ImapConfig::imap(train, rc)
+                        .with_intrinsic_scale(marl_intrinsic_scale())
+                        .with_br(default_br_eta())
+                }
+                _ => unreachable!(),
+            };
+            let outcome = ImapTrainer::new(cfg).train(&mut env, None).expect("attack");
+            let eval = eval_multi_attack(
+                build_multi_task(game),
+                victim,
+                Attacker::Policy(&outcome.policy),
+                budget.eval_episodes,
+                &mut rng,
+            )
+            .expect("eval");
+            (eval, Some(outcome))
+        }
+    }
+}
+
+/// A persisted experiment cell: the evaluation plus the attack's training
+/// curve (for figure binaries).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct CellResult {
+    /// Final evaluation under the trained attack.
+    pub eval: AttackEval,
+    /// Training curve (empty for non-learned attacks).
+    pub curve: Vec<imap_core::CurvePoint>,
+}
+
+fn cell_cache_path(key: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../.victim-cache/cells");
+    let _ = std::fs::create_dir_all(&dir);
+    dir.join(format!("{key}.json"))
+}
+
+fn cached_cell(key: &str, compute: impl FnOnce() -> CellResult) -> CellResult {
+    let path = cell_cache_path(key);
+    if let Ok(bytes) = std::fs::read(&path) {
+        if let Ok(r) = serde_json::from_slice::<CellResult>(&bytes) {
+            return r;
+        }
+    }
+    let r = compute();
+    if let Ok(bytes) = serde_json::to_vec(&r) {
+        let _ = std::fs::write(&path, bytes);
+    }
+    r
+}
+
+/// [`run_attack_cell`] with a persistent on-disk cache keyed by every input,
+/// so table/figure binaries share work across invocations.
+pub fn run_attack_cell_cached(
+    task: TaskId,
+    method: DefenseMethod,
+    victim: &GaussianPolicy,
+    kind: AttackKind,
+    budget: &Budget,
+    seed: u64,
+) -> CellResult {
+    let key = format!("sa_{task:?}_{method:?}_{}_{}_{seed}", kind.label(), budget.name);
+    let key = key.replace(['"', ' ', '+'], "_");
+    cached_cell(&key, || {
+        let (eval, outcome) = run_attack_cell(task, victim, kind, budget, seed);
+        CellResult {
+            eval,
+            curve: outcome.map(|o| o.curve).unwrap_or_default(),
+        }
+    })
+}
+
+/// [`run_multi_attack_cell`] with the same persistent cache.
+pub fn run_multi_attack_cell_cached(
+    game: MultiTaskId,
+    victim: &GaussianPolicy,
+    kind: AttackKind,
+    budget: &Budget,
+    seed: u64,
+    xi: f64,
+) -> CellResult {
+    let key = format!(
+        "ma_{game:?}_{}_{}_{seed}_xi{:.2}",
+        kind.label(),
+        budget.name,
+        xi
+    );
+    let key = key.replace(['"', ' ', '+'], "_");
+    cached_cell(&key, || {
+        let (eval, outcome) = run_multi_attack_cell(game, victim, kind, budget, seed, xi);
+        CellResult {
+            eval,
+            curve: outcome.map(|o| o.curve).unwrap_or_default(),
+        }
+    })
+}
+
+/// Formats `mean ± std` to table precision.
+pub fn cell(mean: f64, std: f64, dense: bool) -> String {
+    if dense {
+        format!("{mean:>6.0} ± {std:<5.0}")
+    } else {
+        format!("{mean:>5.2} ± {std:<4.2}")
+    }
+}
+
+/// Prints a Markdown-ish table row.
+pub fn print_row(cells: &[String]) {
+    println!("| {} |", cells.join(" | "));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budgets_parse_from_env_default() {
+        let b = Budget::from_env();
+        assert!(b.name == "quick" || b.name == "full");
+    }
+
+    #[test]
+    fn table1_columns_order() {
+        let cols = AttackKind::table1_columns();
+        assert_eq!(cols.len(), 7);
+        assert_eq!(cols[0].label(), "No Attack");
+        assert_eq!(cols[2].label(), "SA-RL");
+        assert_eq!(cols[3].label(), "IMAP-SC");
+        assert_eq!(cols[6].label(), "IMAP-D");
+    }
+
+    #[test]
+    fn cell_formatting() {
+        assert!(cell(3167.4, 542.0, true).contains("3167"));
+        assert!(cell(0.954, 0.02, false).contains("0.95"));
+    }
+
+    #[test]
+    fn br_label() {
+        assert_eq!(
+            AttackKind::ImapBr(RegularizerKind::PolicyCoverage).label(),
+            "IMAP-PC+BR"
+        );
+    }
+}

@@ -1,0 +1,171 @@
+//! A small, dependency-free argument parser: `--key value` flags and
+//! positional subcommands, with typed accessors and helpful errors.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parsed command line: one subcommand plus `--key value` flags.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    command: Option<String>,
+    flags: HashMap<String, String>,
+    /// Bare `--switch` flags with no value.
+    switches: Vec<String>,
+}
+
+/// Errors from parsing or typed access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// A required flag was not supplied.
+    Missing(String),
+    /// A flag value failed to parse.
+    Invalid {
+        /// Flag name.
+        flag: String,
+        /// The offending value.
+        value: String,
+        /// What was expected.
+        expected: &'static str,
+    },
+    /// A flag appeared with no value and no following flag.
+    Dangling(String),
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::Missing(flag) => write!(f, "missing required flag --{flag}"),
+            ArgError::Invalid {
+                flag,
+                value,
+                expected,
+            } => write!(f, "--{flag} {value}: expected {expected}"),
+            ArgError::Dangling(flag) => write!(f, "--{flag} expects a value"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses an iterator of arguments (exclusive of the program name).
+    ///
+    /// Grammar: `[command] (--key value | --switch)*`. A token starting with
+    /// `--` whose successor also starts with `--` (or is absent) is treated
+    /// as a boolean switch.
+    pub fn parse<I: IntoIterator<Item = String>>(items: I) -> Args {
+        let tokens: Vec<String> = items.into_iter().collect();
+        let mut args = Args::default();
+        let mut i = 0;
+        while i < tokens.len() {
+            let t = &tokens[i];
+            if let Some(key) = t.strip_prefix("--") {
+                let next_is_value = tokens
+                    .get(i + 1)
+                    .map(|n| !n.starts_with("--"))
+                    .unwrap_or(false);
+                if next_is_value {
+                    args.flags.insert(key.to_string(), tokens[i + 1].clone());
+                    i += 2;
+                } else {
+                    args.switches.push(key.to_string());
+                    i += 1;
+                }
+            } else {
+                if args.command.is_none() {
+                    args.command = Some(t.clone());
+                }
+                i += 1;
+            }
+        }
+        args
+    }
+
+    /// The subcommand, if any.
+    pub fn command(&self) -> Option<&str> {
+        self.command.as_deref()
+    }
+
+    /// A required string flag.
+    pub fn required(&self, key: &str) -> Result<&str, ArgError> {
+        self.flags
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| ArgError::Missing(key.to_string()))
+    }
+
+    /// An optional string flag.
+    pub fn optional(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    /// An optional typed flag with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::Invalid {
+                flag: key.to_string(),
+                value: v.clone(),
+                expected: std::any::type_name::<T>(),
+            }),
+        }
+    }
+
+    /// True if a bare `--switch` was present.
+    pub fn has_switch(&self, key: &str) -> bool {
+        self.switches.iter().any(|s| s == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let a = parse("attack --task Hopper --iters 40");
+        assert_eq!(a.command(), Some("attack"));
+        assert_eq!(a.required("task").unwrap(), "Hopper");
+        assert_eq!(a.get_or("iters", 0usize).unwrap(), 40);
+    }
+
+    #[test]
+    fn switches_have_no_value() {
+        let a = parse("eval --random --episodes 10");
+        assert!(a.has_switch("random"));
+        assert_eq!(a.get_or("episodes", 0usize).unwrap(), 10);
+    }
+
+    #[test]
+    fn missing_required_errors() {
+        let a = parse("train-victim");
+        assert_eq!(a.required("task"), Err(ArgError::Missing("task".into())));
+    }
+
+    #[test]
+    fn invalid_typed_value_errors() {
+        let a = parse("x --iters notanumber");
+        assert!(matches!(
+            a.get_or("iters", 0usize),
+            Err(ArgError::Invalid { .. })
+        ));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse("x");
+        assert_eq!(a.get_or("seed", 17u64).unwrap(), 17);
+        assert_eq!(a.optional("out"), None);
+    }
+
+    #[test]
+    fn trailing_switch_is_switch() {
+        let a = parse("eval --victim v.json --deterministic");
+        assert_eq!(a.required("victim").unwrap(), "v.json");
+        assert!(a.has_switch("deterministic"));
+    }
+}

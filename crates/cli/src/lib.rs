@@ -1,0 +1,22 @@
+//! # imap-cli
+//!
+//! The command-line surface of the IMAP reproduction. The `imap` binary
+//! drives the full pipeline from a shell:
+//!
+//! ```sh
+//! imap list-tasks
+//! imap train-victim --task Hopper --method wocar --out victim.json
+//! imap attack --task Hopper --victim victim.json --regularizer pc --br --out adversary.json
+//! imap eval --task Hopper --victim victim.json --adversary adversary.json
+//! imap eval --task Hopper --victim victim.json --mad          # white-box baseline
+//! ```
+//!
+//! Everything serializes as JSON through `imap-rl`'s policy types, so
+//! victims and adversaries interoperate with the experiment harness and the
+//! library API.
+
+pub mod args;
+pub mod commands;
+
+pub use args::{ArgError, Args};
+pub use commands::{dispatch, CliError};

@@ -1,0 +1,11 @@
+//! The `imap` binary entry point.
+
+use imap_cli::{dispatch, Args};
+
+fn main() {
+    let args = Args::parse(std::env::args().skip(1));
+    if let Err(e) = dispatch(&args) {
+        eprintln!("{e}");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,272 @@
+//! White-box gradient-based evasion baselines (paper Appendix A).
+//!
+//! The paper's related work contrasts black-box adversarial policies with
+//! FGSM-lineage attacks that perturb the victim's observations using input
+//! gradients (Lin et al. \[34\], Zhang et al.'s Maximal Action Difference
+//! \[69\]). These require white-box access to the victim network — exactly
+//! what IMAP's threat model forbids — so they serve here as an *upper-
+//! context* baseline: how much damage gradient access buys per step.
+//!
+//! Implemented attacks:
+//! - [`GradientAttack::mad`] — Maximal Action Difference: projected gradient
+//!   ascent on `‖μ(s + δ) − μ(s)‖²` within the l∞ ε-ball (Zhang et al.'s
+//!   value-free heuristic).
+//! - [`GradientAttack::fgsm`] — single-step signed-gradient (FGSM) on the
+//!   same objective.
+//!
+//! Both operate per step on the raw state, matching
+//! [`crate::threat::PerturbationEnv`]'s attack surface, so their results are
+//! directly comparable with the learned attacks' columns.
+
+use imap_env::sparse::sparse_episode_metric;
+use imap_env::{Env, EnvRng};
+use imap_nn::{Matrix, NnError};
+use imap_rl::GaussianPolicy;
+
+use crate::eval::AttackEval;
+
+/// Configuration of the white-box gradient attacker.
+#[derive(Debug, Clone)]
+pub struct GradientAttack {
+    /// l∞ budget ε (raw state units).
+    pub eps: f64,
+    /// PGD iterations (1 = FGSM).
+    pub steps: usize,
+    /// PGD step size as a fraction of ε.
+    pub step_frac: f64,
+}
+
+impl GradientAttack {
+    /// Maximal-Action-Difference PGD with the standard 10-step schedule.
+    pub fn mad(eps: f64) -> Self {
+        GradientAttack {
+            eps,
+            steps: 10,
+            step_frac: 0.25,
+        }
+    }
+
+    /// Single-step FGSM.
+    pub fn fgsm(eps: f64) -> Self {
+        GradientAttack {
+            eps,
+            steps: 1,
+            step_frac: 1.0,
+        }
+    }
+
+    /// Gradient of `0.5·‖μ(z') − μ_ref‖²` w.r.t. the *input* `z'`.
+    fn input_gradient(
+        victim: &GaussianPolicy,
+        z_adv: &[f64],
+        mu_ref: &[f64],
+    ) -> Result<Vec<f64>, NnError> {
+        let x = Matrix::from_row(z_adv);
+        let cache = victim.mlp.forward(&x)?;
+        let mu = cache.output();
+        let mut dout = Matrix::zeros(1, mu.cols());
+        for c in 0..mu.cols() {
+            dout.set(0, c, mu.get(0, c) - mu_ref[c]);
+        }
+        let (_, dx) = victim.mlp.backward(&cache, &dout)?;
+        Ok(dx.row(0).to_vec())
+    }
+
+    /// Computes the adversarial raw state for one step: PGD ascent on the
+    /// action deviation inside the ε-ball around `raw_obs`.
+    pub fn perturb(
+        &self,
+        victim: &GaussianPolicy,
+        raw_obs: &[f64],
+    ) -> Result<Vec<f64>, NnError> {
+        // The victim normalizes internally; gradients are taken in its
+        // normalized coordinates, and the ball is mapped through the frozen
+        // statistics (chain rule through an affine map = per-dim scale).
+        let std = victim.norm.std();
+        let z0 = victim.normalize(raw_obs);
+        let mu_ref = victim.mean_of(&z0)?;
+        // Per-dim radius of the raw ε-ball in normalized units.
+        let radii: Vec<f64> = std.iter().map(|s| self.eps / s.max(1e-9)).collect();
+
+        let mut z = z0.clone();
+        let step = self.step_frac;
+        for _ in 0..self.steps {
+            let g = Self::input_gradient(victim, &z, &mu_ref)?;
+            for i in 0..z.len() {
+                // Signed-gradient ascent, projected into the box.
+                z[i] = (z[i] + step * radii[i] * g[i].signum())
+                    .clamp(z0[i] - radii[i], z0[i] + radii[i]);
+            }
+        }
+        // Map back to raw space.
+        let mut raw_adv = raw_obs.to_vec();
+        for i in 0..raw_adv.len() {
+            let delta_z = z[i] - z0[i];
+            raw_adv[i] += (delta_z * std[i]).clamp(-self.eps, self.eps);
+        }
+        Ok(raw_adv)
+    }
+
+    /// Evaluates a victim under this white-box attack, with the same
+    /// reporting shape as [`crate::eval::eval_under_attack`].
+    pub fn evaluate(
+        &self,
+        mut env: Box<dyn Env>,
+        victim: &GaussianPolicy,
+        episodes: usize,
+        rng: &mut EnvRng,
+    ) -> Result<AttackEval, NnError> {
+        let mut returns = Vec::with_capacity(episodes);
+        let mut sparses = Vec::with_capacity(episodes);
+        let mut successes = 0usize;
+        for _ in 0..episodes {
+            let mut obs = env.reset(rng);
+            let mut ep_return = 0.0;
+            loop {
+                let adv_obs = self.perturb(victim, &obs)?;
+                let action = victim.act_deterministic(&adv_obs)?;
+                let step = env.step(&action, rng);
+                ep_return += step.reward;
+                if step.done {
+                    returns.push(ep_return);
+                    sparses.push(sparse_episode_metric(step.success, step.unhealthy));
+                    if step.success {
+                        successes += 1;
+                    }
+                    break;
+                }
+                obs = step.obs;
+            }
+        }
+        let n = returns.len().max(1) as f64;
+        let mean_r = returns.iter().sum::<f64>() / n;
+        let std_r = (returns.iter().map(|r| (r - mean_r).powi(2)).sum::<f64>() / n).sqrt();
+        let mean_s = sparses.iter().sum::<f64>() / n;
+        let std_s = (sparses.iter().map(|r| (r - mean_s).powi(2)).sum::<f64>() / n).sqrt();
+        let success_rate = successes as f64 / n;
+        Ok(AttackEval {
+            victim_return: mean_r,
+            victim_return_std: std_r,
+            sparse: mean_s,
+            sparse_std: std_s,
+            success_rate,
+            asr: 1.0 - success_rate,
+            episodes: returns.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imap_env::locomotion::Hopper;
+    use imap_nn::gradcheck::numeric_gradient;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn victim(seed: u64) -> GaussianPolicy {
+        let mut p =
+            GaussianPolicy::new(5, 3, &[16], -0.5, &mut StdRng::seed_from_u64(seed)).unwrap();
+        p.norm.freeze();
+        p
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let v = victim(1);
+        let z = vec![0.2, -0.4, 0.7, 0.1, -0.3];
+        let mu_ref = v.mean_of(&vec![0.0; 5]).unwrap();
+        let analytic = GradientAttack::input_gradient(&v, &z, &mu_ref).unwrap();
+        let fd = numeric_gradient(
+            |x| {
+                let mu = v.mean_of(x).unwrap();
+                0.5 * mu
+                    .iter()
+                    .zip(mu_ref.iter())
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f64>()
+            },
+            &z,
+            1e-6,
+        );
+        for (a, b) in analytic.iter().zip(fd.iter()) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn perturbation_respects_budget() {
+        let v = victim(2);
+        let atk = GradientAttack::mad(0.1);
+        let raw = vec![0.05, 0.1, -0.02, 0.3, 0.5];
+        let adv = atk.perturb(&v, &raw).unwrap();
+        for (a, b) in adv.iter().zip(raw.iter()) {
+            assert!((a - b).abs() <= 0.1 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn mad_moves_the_action_more_than_random() {
+        let v = victim(3);
+        let atk = GradientAttack::mad(0.1);
+        let raw = vec![0.05, 0.1, -0.02, 0.3, 0.5];
+        let base = v.act_deterministic(&raw).unwrap();
+        let adv = atk.perturb(&v, &raw).unwrap();
+        let mad_dev: f64 = v
+            .act_deterministic(&adv)
+            .unwrap()
+            .iter()
+            .zip(base.iter())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum();
+        // Average random deviation at the same budget.
+        let mut rng = StdRng::seed_from_u64(9);
+        use rand::Rng;
+        let mut rand_dev = 0.0;
+        for _ in 0..20 {
+            let r: Vec<f64> = raw.iter().map(|&x| x + rng.gen_range(-0.1..=0.1)).collect();
+            rand_dev += v
+                .act_deterministic(&r)
+                .unwrap()
+                .iter()
+                .zip(base.iter())
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
+                / 20.0;
+        }
+        assert!(
+            mad_dev > rand_dev,
+            "PGD should beat random perturbation: {mad_dev} vs {rand_dev}"
+        );
+    }
+
+    #[test]
+    fn fgsm_is_single_step() {
+        let atk = GradientAttack::fgsm(0.05);
+        assert_eq!(atk.steps, 1);
+        assert_eq!(atk.step_frac, 1.0);
+    }
+
+    #[test]
+    fn evaluate_runs_end_to_end() {
+        let v = victim(4);
+        let atk = GradientAttack::mad(0.075);
+        let mut rng = StdRng::seed_from_u64(5);
+        let r = atk
+            .evaluate(Box::new(Hopper::new()), &v, 4, &mut rng)
+            .unwrap();
+        assert_eq!(r.episodes, 4);
+        assert!((r.asr + r.success_rate - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_eps_is_noop() {
+        let v = victim(6);
+        let atk = GradientAttack::mad(0.0);
+        let raw = vec![0.1, 0.2, 0.3, 0.4, 0.5];
+        let adv = atk.perturb(&v, &raw).unwrap();
+        for (a, b) in adv.iter().zip(raw.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Baseline attacks and convenience constructors.
+//!
+//! The paper's controlled comparison keeps everything identical between
+//! IMAP and the baselines except the intrinsic term:
+//!
+//! - **SA-RL** (Zhang et al. \[68\]) is, under the unrelaxed black-box threat
+//!   model, PPO on the perturbation MDP with the surrogate reward
+//!   (§6.2: "we implement both SA-RL and IMAP with the same simple
+//!   surrogate reward").
+//! - **AP-MARL** (Gleave et al. \[16\]) is PPO on the opponent MDP with the
+//!   sparse win/loss reward.
+//! - **Random** draws i.i.d. uniform actions within the budget.
+
+pub mod gradient;
+
+use imap_env::{Env, EnvRng, MultiAgentEnv};
+use imap_nn::NnError;
+use imap_rl::{GaussianPolicy, TrainConfig};
+
+use crate::eval::{eval_multi_attack, eval_under_attack, AttackEval, Attacker};
+use crate::imap::{AttackOutcome, ImapConfig, ImapTrainer};
+use crate::threat::{OpponentEnv, PerturbationEnv};
+
+/// Trains the SA-RL baseline against a frozen single-agent victim.
+pub fn sa_rl(
+    env: Box<dyn Env>,
+    victim: GaussianPolicy,
+    eps: f64,
+    train: TrainConfig,
+) -> Result<AttackOutcome, NnError> {
+    let mut penv = PerturbationEnv::new(env, victim, eps);
+    ImapTrainer::new(ImapConfig::baseline(train)).train(&mut penv, None)
+}
+
+/// Trains the AP-MARL baseline against a frozen multi-agent victim.
+pub fn ap_marl(
+    game: Box<dyn MultiAgentEnv>,
+    victim: GaussianPolicy,
+    train: TrainConfig,
+) -> Result<AttackOutcome, NnError> {
+    let mut oenv = OpponentEnv::new(game, victim);
+    ImapTrainer::new(ImapConfig::baseline(train)).train(&mut oenv, None)
+}
+
+/// Evaluates the random attack on a single-agent task.
+pub fn random_attack_eval(
+    env: Box<dyn Env>,
+    victim: &GaussianPolicy,
+    eps: f64,
+    episodes: usize,
+    rng: &mut EnvRng,
+) -> Result<AttackEval, NnError> {
+    eval_under_attack(env, victim, Attacker::Random, eps, episodes, rng)
+}
+
+/// Evaluates a random opponent on a multi-agent game.
+pub fn random_opponent_eval(
+    game: Box<dyn MultiAgentEnv>,
+    victim: &GaussianPolicy,
+    episodes: usize,
+    rng: &mut EnvRng,
+) -> Result<AttackEval, NnError> {
+    eval_multi_attack(game, victim, Attacker::Random, episodes, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imap_env::locomotion::Hopper;
+    use imap_env::multiagent::KickAndDefend;
+    use imap_rl::PpoConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny() -> TrainConfig {
+        TrainConfig {
+            iterations: 2,
+            steps_per_iter: 200,
+            hidden: vec![8],
+            seed: 0,
+            ppo: PpoConfig {
+                epochs: 2,
+                ..PpoConfig::default()
+            },
+            ..TrainConfig::default()
+        }
+    }
+
+    #[test]
+    fn sa_rl_trains() {
+        let victim =
+            GaussianPolicy::new(5, 3, &[8], -0.5, &mut StdRng::seed_from_u64(1)).unwrap();
+        let out = sa_rl(Box::new(Hopper::new()), victim, 0.1, tiny()).unwrap();
+        assert_eq!(out.curve.len(), 2);
+    }
+
+    #[test]
+    fn ap_marl_trains() {
+        let victim =
+            GaussianPolicy::new(12, 4, &[8], -0.5, &mut StdRng::seed_from_u64(2)).unwrap();
+        let out = ap_marl(
+            Box::new(KickAndDefend::with_max_steps(60)),
+            victim,
+            tiny(),
+        )
+        .unwrap();
+        assert_eq!(out.policy.action_dim(), 2);
+    }
+
+    #[test]
+    fn random_attack_eval_runs() {
+        let victim =
+            GaussianPolicy::new(5, 3, &[8], -0.5, &mut StdRng::seed_from_u64(3)).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let r = random_attack_eval(Box::new(Hopper::new()), &victim, 0.1, 4, &mut rng).unwrap();
+        assert_eq!(r.episodes, 4);
+    }
+}

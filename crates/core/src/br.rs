@@ -1,0 +1,122 @@
+//! Bias-Reduction (BR): adaptive temperature via a Lagrangian dual
+//! (paper §5.4, eqs. 15–17).
+//!
+//! The approximate adversarial optimality constraint
+//! `J^AP(π^α) ≥ J^AP(π^α_k)` is enforced softly: the dual variable λ is
+//! updated by `λ_{k+1} = max(0, λ_k − η (J^AP_{k+1} − J^AP_k))` and the
+//! regularizer temperature follows `τ_k = 1 / (1 + λ_k)`. Early in training
+//! (`λ_0 = 0, τ_0 = 1`) the adversary explores; as the attack objective
+//! stalls or regresses, λ grows and the intrinsic term is annealed away.
+
+use serde::{Deserialize, Serialize};
+
+/// The BR dual-variable state.
+///
+/// ```
+/// use imap_core::BiasReduction;
+/// let mut br = BiasReduction::new(0.5);
+/// assert_eq!(br.tau(), 1.0);        // τ₀ = 1: full exploration
+/// br.update(-0.5);                  // first estimate only seeds
+/// let tau = br.update(-0.9);        // objective regressed → cool down
+/// assert!(tau < 1.0);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BiasReduction {
+    lambda: f64,
+    /// Dual step size η (Figure 6's ablated hyperparameter).
+    pub eta: f64,
+    prev_jap: Option<f64>,
+}
+
+impl BiasReduction {
+    /// Creates BR with dual step size `eta` and `λ_0 = 0` (so `τ_0 = 1`).
+    pub fn new(eta: f64) -> Self {
+        BiasReduction {
+            lambda: 0.0,
+            eta,
+            prev_jap: None,
+        }
+    }
+
+    /// Current temperature `τ_k = 1 / (1 + λ_k)`.
+    pub fn tau(&self) -> f64 {
+        1.0 / (1.0 + self.lambda)
+    }
+
+    /// Current dual variable λ.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Absorbs the latest attack objective estimate `J^AP(π^α_{k+1})` and
+    /// returns the updated temperature.
+    ///
+    /// The first call only seeds the reference value.
+    pub fn update(&mut self, jap: f64) -> f64 {
+        if let Some(prev) = self.prev_jap {
+            self.lambda = (self.lambda - self.eta * (jap - prev)).max(0.0);
+        }
+        self.prev_jap = Some(jap);
+        self.tau()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_fully_exploratory() {
+        let br = BiasReduction::new(0.5);
+        assert_eq!(br.tau(), 1.0);
+        assert_eq!(br.lambda(), 0.0);
+    }
+
+    #[test]
+    fn first_update_only_seeds() {
+        let mut br = BiasReduction::new(0.5);
+        assert_eq!(br.update(-0.9), 1.0);
+    }
+
+    #[test]
+    fn stalling_objective_raises_lambda_and_cools_tau() {
+        let mut br = BiasReduction::new(0.5);
+        br.update(-0.5);
+        // Objective regresses: J^AP drops.
+        let tau = br.update(-0.8);
+        assert!(br.lambda() > 0.0);
+        assert!(tau < 1.0);
+    }
+
+    #[test]
+    fn improving_objective_relaxes_lambda() {
+        let mut br = BiasReduction::new(0.5);
+        br.update(-0.9);
+        br.update(-1.2); // regression -> lambda up
+        let l1 = br.lambda();
+        br.update(-0.3); // strong improvement -> lambda back down
+        assert!(br.lambda() < l1);
+    }
+
+    #[test]
+    fn lambda_never_negative() {
+        let mut br = BiasReduction::new(10.0);
+        br.update(0.0);
+        for _ in 0..20 {
+            br.update(1.0); // monotone improvement pushes lambda down
+        }
+        assert!(br.lambda() >= 0.0);
+        assert!(br.tau() <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn tau_in_unit_interval() {
+        let mut br = BiasReduction::new(2.0);
+        br.update(0.0);
+        for i in 0..50 {
+            let jap = -((i % 7) as f64) * 0.1;
+            let tau = br.update(jap);
+            assert!(tau > 0.0 && tau <= 1.0);
+        }
+    }
+}

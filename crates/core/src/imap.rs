@@ -1,0 +1,404 @@
+//! The IMAP trainer — Algorithm 1 of the paper.
+//!
+//! One loop serves every attack in the evaluation:
+//!
+//! - **IMAP-SC/PC/R/D**: a [`RegularizerConfig`] installs the corresponding
+//!   adversarial intrinsic regularizer; the update maximizes
+//!   `Â_E + τ_k Â_I` through a dual-critic PPO step (eq. 14).
+//! - **IMAP+BR**: `br_eta = Some(η)` activates the Lagrangian temperature
+//!   adaptation (eqs. 16–17).
+//! - **SA-RL / AP-MARL**: `regularizer = None` recovers the baselines — the
+//!   identical PPO on the identical surrogate reward, minus the intrinsic
+//!   term (the paper's controlled comparison).
+//!
+//! The environment is any threat-model MDP from [`crate::threat`].
+
+use imap_env::sparse::sparse_episode_metric;
+use imap_env::{Env, EnvRng};
+use imap_nn::{Adam, NnError};
+use imap_rl::gae::normalize_advantages;
+use imap_rl::train::{advantages_for, samples_from};
+use imap_rl::{collect_rollout, update_policy, update_value, GaussianPolicy, TrainConfig, ValueFn};
+use rand::SeedableRng;
+
+use crate::br::BiasReduction;
+use crate::regularizer::{IntrinsicEngine, RegularizerConfig};
+
+/// Full configuration of an attack run.
+#[derive(Debug, Clone)]
+pub struct ImapConfig {
+    /// The shared PPO training-loop hyperparameters.
+    pub train: TrainConfig,
+    /// The adversarial intrinsic regularizer; `None` runs the SA-RL /
+    /// AP-MARL baseline (pure surrogate-reward PPO).
+    pub regularizer: Option<RegularizerConfig>,
+    /// `Some(η)` enables Bias-Reduction with dual step size η.
+    pub br_eta: Option<f64>,
+    /// Initial temperature τ₀ (paper: 1).
+    pub tau0: f64,
+    /// Discount for the intrinsic reward stream.
+    pub intrinsic_gamma: f64,
+    /// Scale applied to the (RMS-normalized) intrinsic rewards before GAE.
+    ///
+    /// The relative magnitude of `Â_I` against `Â_E` depends on episode
+    /// length and reward sparsity; 1.0 suits the single-agent tasks (where
+    /// the surrogate itself is per-step or absent), while the short-episode
+    /// multi-agent games use a smaller scale so the win/loss gradient is not
+    /// drowned (the calibration the paper performs through its τ sequence).
+    pub intrinsic_scale: f64,
+}
+
+impl ImapConfig {
+    /// An IMAP attack with the given regularizer and default knobs.
+    pub fn imap(train: TrainConfig, regularizer: RegularizerConfig) -> Self {
+        ImapConfig {
+            train,
+            regularizer: Some(regularizer),
+            br_eta: None,
+            tau0: 1.0,
+            intrinsic_gamma: 0.99,
+            intrinsic_scale: 1.0,
+        }
+    }
+
+    /// The SA-RL / AP-MARL baseline configuration (no intrinsic term).
+    pub fn baseline(train: TrainConfig) -> Self {
+        ImapConfig {
+            train,
+            regularizer: None,
+            br_eta: None,
+            tau0: 1.0,
+            intrinsic_gamma: 0.99,
+            intrinsic_scale: 1.0,
+        }
+    }
+
+    /// Enables Bias-Reduction.
+    pub fn with_br(mut self, eta: f64) -> Self {
+        self.br_eta = Some(eta);
+        self
+    }
+
+    /// Sets the intrinsic reward scale.
+    pub fn with_intrinsic_scale(mut self, scale: f64) -> Self {
+        self.intrinsic_scale = scale;
+        self
+    }
+}
+
+/// One point of a training curve (Figures 4–5).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct CurvePoint {
+    /// Total environment steps consumed.
+    pub steps: usize,
+    /// Mean sparse episode score of the victim over this iteration's
+    /// training episodes (+1 success / −0.1 unhealthy / 0 otherwise).
+    pub victim_sparse: f64,
+    /// Fraction of episodes the victim succeeded/won.
+    pub victim_success_rate: f64,
+    /// Attack success rate `1 − victim_success_rate` (the multi-agent ASR).
+    pub asr: f64,
+    /// Mean adversary episode return (the `J^AP` estimate BR consumes).
+    pub adv_return: f64,
+    /// Temperature τ_k in effect this iteration.
+    pub tau: f64,
+}
+
+/// The result of an attack run.
+pub struct AttackOutcome {
+    /// The trained adversarial policy (normalizer frozen).
+    pub policy: GaussianPolicy,
+    /// The extrinsic critic.
+    pub value_e: ValueFn,
+    /// Per-iteration training curve.
+    pub curve: Vec<CurvePoint>,
+}
+
+/// Running root-mean-square scale used to normalize intrinsic bonuses
+/// before they enter GAE (keeps τ₀ = 1 meaningful across regularizers whose
+/// raw bonus scales differ by orders of magnitude).
+#[derive(Debug, Clone, Default)]
+struct RunningRms {
+    count: f64,
+    mean_sq: f64,
+}
+
+impl RunningRms {
+    fn update(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.count += 1.0;
+            self.mean_sq += (x * x - self.mean_sq) / self.count;
+        }
+    }
+
+    fn rms(&self) -> f64 {
+        if self.count < 2.0 {
+            1.0
+        } else {
+            self.mean_sq.sqrt().max(1e-6)
+        }
+    }
+}
+
+/// The IMAP trainer (Algorithm 1).
+pub struct ImapTrainer {
+    cfg: ImapConfig,
+}
+
+impl ImapTrainer {
+    /// Creates a trainer for `cfg`.
+    pub fn new(cfg: ImapConfig) -> Self {
+        ImapTrainer { cfg }
+    }
+
+    /// Runs the attack against the threat-model environment `env`.
+    ///
+    /// `on_iteration` (optional) observes each curve point as it is
+    /// produced.
+    pub fn train(
+        &self,
+        env: &mut dyn Env,
+        mut on_iteration: Option<&mut (dyn FnMut(&CurvePoint) + '_)>,
+    ) -> Result<AttackOutcome, NnError> {
+        let cfg = &self.cfg.train;
+        let mut rng = EnvRng::seed_from_u64(cfg.seed);
+        let mut policy = GaussianPolicy::new(
+            env.obs_dim(),
+            env.action_dim(),
+            &cfg.hidden,
+            cfg.log_std_init,
+            &mut rng,
+        )?;
+        let mut value_e = ValueFn::new(env.obs_dim(), &cfg.hidden, &mut rng)?;
+        let mut value_i = ValueFn::new(env.obs_dim(), &cfg.hidden, &mut rng)?;
+        let mut popt = Adam::new(policy.param_count(), cfg.ppo.lr_policy);
+        let mut vopt_e = Adam::new(value_e.mlp.param_count(), cfg.ppo.lr_value);
+        let mut vopt_i = Adam::new(value_i.mlp.param_count(), cfg.ppo.lr_value);
+
+        let mut engine = self.cfg.regularizer.clone().map(IntrinsicEngine::new);
+        let mut br = self.cfg.br_eta.map(BiasReduction::new);
+        let mut rms = RunningRms::default();
+        let mut tau = self.cfg.tau0;
+        let mut curve = Vec::with_capacity(cfg.iterations);
+        let mut total_steps = 0usize;
+
+        for _iteration in 0..cfg.iterations {
+            // --- Sampling stage ---
+            let buffer = collect_rollout(env, &mut policy, cfg.steps_per_iter, true, &mut rng)?;
+            total_steps += buffer.len();
+
+            // --- Optimizing stage ---
+            let rewards_e: Vec<f64> = buffer.steps.iter().map(|s| s.reward).collect();
+            let (adv_e, ret_e) =
+                advantages_for(&buffer, &rewards_e, &value_e, cfg.gamma, cfg.lambda)?;
+
+            let mut combined = adv_e.clone();
+            let mut intrinsic_targets: Option<Vec<f64>> = None;
+            if let Some(engine) = engine.as_mut() {
+                let raw = engine.compute_bonuses(&buffer, &policy)?;
+                rms.update(&raw);
+                let scale = rms.rms();
+                let r_i: Vec<f64> =
+                    raw.iter().map(|b| self.cfg.intrinsic_scale * b / scale).collect();
+                let (adv_i, ret_i) = advantages_for(
+                    &buffer,
+                    &r_i,
+                    &value_i,
+                    self.cfg.intrinsic_gamma,
+                    cfg.lambda,
+                )?;
+                for (c, ai) in combined.iter_mut().zip(adv_i.iter()) {
+                    *c += tau * ai;
+                }
+                intrinsic_targets = Some(ret_i);
+            }
+            normalize_advantages(&mut combined);
+            let samples = samples_from(&buffer, &combined);
+
+            update_policy(&mut policy, &samples, &cfg.ppo, &mut popt, None, &mut rng)?;
+            update_value(
+                &mut value_e,
+                &buffer.observations(),
+                &ret_e,
+                &cfg.ppo,
+                &mut vopt_e,
+                &mut rng,
+            )?;
+            if let Some(ret_i) = intrinsic_targets {
+                update_value(
+                    &mut value_i,
+                    &buffer.observations(),
+                    &ret_i,
+                    &cfg.ppo,
+                    &mut vopt_i,
+                    &mut rng,
+                )?;
+            }
+
+            // --- Bias reduction (eqs. 16–17) ---
+            let jap = buffer.mean_episode_return();
+            if let Some(br) = br.as_mut() {
+                tau = self.cfg.tau0 * br.update(jap);
+            }
+
+            // --- Curve bookkeeping ---
+            let point = curve_point(&buffer, total_steps, jap, tau);
+            if let Some(cb) = on_iteration.as_deref_mut() {
+                cb(&point);
+            }
+            curve.push(point);
+        }
+
+        policy.norm.freeze();
+        Ok(AttackOutcome {
+            policy,
+            value_e,
+            curve,
+        })
+    }
+}
+
+/// Summarizes one training iteration into a curve point using the episode
+/// outcome flags recorded in the buffer.
+fn curve_point(
+    buffer: &imap_rl::RolloutBuffer,
+    steps: usize,
+    adv_return: f64,
+    tau: f64,
+) -> CurvePoint {
+    let mut successes = 0usize;
+    let mut sparse_sum = 0.0;
+    let mut episodes = 0usize;
+    for (start, end) in buffer.episode_ranges() {
+        let last = &buffer.steps[end - 1];
+        if !last.done {
+            continue; // unfinished tail (collect_rollout avoids these)
+        }
+        episodes += 1;
+        if last.success {
+            successes += 1;
+        }
+        let _ = start;
+        sparse_sum += sparse_episode_metric(last.success, last.unhealthy);
+    }
+    let n = episodes.max(1) as f64;
+    let success_rate = successes as f64 / n;
+    CurvePoint {
+        steps,
+        victim_sparse: sparse_sum / n,
+        victim_success_rate: success_rate,
+        asr: 1.0 - success_rate,
+        adv_return,
+        tau,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regularizer::{RegularizerConfig, RegularizerKind};
+    use crate::threat::PerturbationEnv;
+    use imap_env::locomotion::Hopper;
+    use imap_rl::{train_ppo, PpoConfig};
+
+    fn tiny_train(seed: u64, iterations: usize) -> TrainConfig {
+        TrainConfig {
+            iterations,
+            steps_per_iter: 256,
+            hidden: vec![8],
+            seed,
+            ppo: PpoConfig {
+                epochs: 3,
+                minibatch: 64,
+                ..PpoConfig::default()
+            },
+            ..TrainConfig::default()
+        }
+    }
+
+    fn quick_victim() -> GaussianPolicy {
+        let mut env = Hopper::new();
+        let cfg = TrainConfig {
+            iterations: 8,
+            steps_per_iter: 512,
+            hidden: vec![16],
+            seed: 3,
+            ..TrainConfig::default()
+        };
+        let (policy, _) = train_ppo(&mut env, &cfg, None, None).unwrap();
+        policy
+    }
+
+    #[test]
+    fn baseline_and_all_imap_variants_run() {
+        let victim = quick_victim();
+        for (name, reg) in [
+            ("SA-RL", None),
+            (
+                "IMAP-SC",
+                Some(RegularizerConfig::new(RegularizerKind::StateCoverage)),
+            ),
+            (
+                "IMAP-PC",
+                Some(RegularizerConfig::new(RegularizerKind::PolicyCoverage)),
+            ),
+            ("IMAP-R", Some(RegularizerConfig::new(RegularizerKind::Risk))),
+            (
+                "IMAP-D",
+                Some(RegularizerConfig::new(RegularizerKind::Divergence)),
+            ),
+        ] {
+            let mut env =
+                PerturbationEnv::new(Box::new(Hopper::new()), victim.clone(), 0.1);
+            let cfg = ImapConfig {
+                train: tiny_train(1, 2),
+                regularizer: reg,
+                br_eta: None,
+                tau0: 1.0,
+                intrinsic_gamma: 0.99,
+                intrinsic_scale: 1.0,
+            };
+            let out = ImapTrainer::new(cfg).train(&mut env, None).unwrap();
+            assert_eq!(out.curve.len(), 2, "{name}: one curve point per iteration");
+            assert!(out.policy.norm.is_frozen(), "{name}: policy ships frozen");
+        }
+    }
+
+    #[test]
+    fn br_adapts_tau() {
+        let victim = quick_victim();
+        let mut env = PerturbationEnv::new(Box::new(Hopper::new()), victim, 0.1);
+        let cfg = ImapConfig::imap(
+            tiny_train(2, 4),
+            RegularizerConfig::new(RegularizerKind::StateCoverage),
+        )
+        .with_br(5.0);
+        let out = ImapTrainer::new(cfg).train(&mut env, None).unwrap();
+        assert!((out.curve[0].tau - 1.0).abs() < 1e-12, "τ₀ = 1");
+        assert!(out.curve.iter().all(|p| p.tau > 0.0 && p.tau <= 1.0));
+    }
+
+    #[test]
+    fn callback_sees_every_iteration() {
+        let victim = quick_victim();
+        let mut env = PerturbationEnv::new(Box::new(Hopper::new()), victim, 0.1);
+        let cfg = ImapConfig::baseline(tiny_train(4, 3));
+        let mut seen = 0usize;
+        let mut cb = |_p: &CurvePoint| seen += 1;
+        ImapTrainer::new(cfg)
+            .train(&mut env, Some(&mut cb))
+            .unwrap();
+        assert_eq!(seen, 3);
+    }
+
+    #[test]
+    fn asr_complements_success_rate() {
+        let victim = quick_victim();
+        let mut env = PerturbationEnv::new(Box::new(Hopper::new()), victim, 0.1);
+        let cfg = ImapConfig::baseline(tiny_train(5, 2));
+        let out = ImapTrainer::new(cfg).train(&mut env, None).unwrap();
+        for p in &out.curve {
+            assert!((p.asr + p.victim_success_rate - 1.0).abs() < 1e-12);
+        }
+    }
+}

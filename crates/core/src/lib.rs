@@ -1,0 +1,41 @@
+//! # imap-core
+//!
+//! The paper's contribution: **Intrinsically Motivated Adversarial Policy**
+//! (IMAP) learning under a strict black-box threat model, in both
+//! single-agent (state-perturbation) and multi-agent (adversarial-opponent)
+//! settings.
+//!
+//! Module map (paper section → module):
+//!
+//! - §4 threat model → [`threat`]: [`threat::PerturbationEnv`] reduces the
+//!   attacked single-agent task to an MDP over perturbations;
+//!   [`threat::OpponentEnv`] reduces a two-player game with a frozen victim
+//!   to the single-player MDP `M^α`.
+//! - §4.1 surrogate reward `r̂` → both threat envs expose `-r̂` as the
+//!   adversary's reward; the victim's shaped training reward is never read.
+//! - §5.2 adversarial intrinsic regularizers → [`regularizer`]: SC (eq. 6–7),
+//!   PC (eq. 8–9), R (eq. 10), D (eq. 11), with the multi-agent marginal
+//!   ξ-trade-off and the KNN density estimates from `imap-density`.
+//! - §5.2.4 mimic policy → [`mimic`].
+//! - §5.3 Frank–Wolfe intrinsic bonuses + dual-critic PPO (eqs. 13–14) →
+//!   [`imap::ImapTrainer`].
+//! - §5.4 Bias-Reduction (eqs. 15–17) → [`br`].
+//! - Baselines → [`attacks`]: SA-RL \[68\], AP-MARL \[16\], and the random
+//!   attack, all under the identical surrogate-reward threat model.
+//! - Evaluation metrics (victim reward under attack, ASR) → [`eval`].
+
+pub mod attacks;
+pub mod br;
+pub mod eval;
+pub mod imap;
+pub mod mimic;
+pub mod regularizer;
+pub mod threat;
+
+pub use attacks::gradient::GradientAttack;
+pub use attacks::{ap_marl, random_attack_eval, sa_rl};
+pub use br::BiasReduction;
+pub use eval::{eval_multi_attack, eval_under_attack, AttackEval};
+pub use imap::{AttackOutcome, CurvePoint, ImapConfig, ImapTrainer};
+pub use regularizer::{IntrinsicEngine, RegularizerConfig, RegularizerKind};
+pub use threat::{OpponentEnv, PerturbationEnv};

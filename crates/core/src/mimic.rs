@@ -1,0 +1,162 @@
+//! The adversarial mimic policy `π^{α,m}` for the divergence-driven
+//! regularizer (paper §5.2.4).
+//!
+//! Instead of keeping every past policy `{π_i^α}`, the paper maintains one
+//! mimic network that imitates their behaviour by minimizing
+//! `D_KL(π^{α,m}, {π_i^α})`. We realize this by online distillation: after
+//! every policy iteration the mimic regresses toward the *just-used* policy's
+//! means on the freshly sampled states, with a small learning rate, so the
+//! mimic converges to a running consensus of past policies.
+
+use imap_nn::{Adam, Matrix, NnError, Optimizer};
+use imap_rl::GaussianPolicy;
+
+/// The mimic policy with its own optimizer.
+pub struct MimicPolicy {
+    policy: GaussianPolicy,
+    opt: Adam,
+    /// Distillation epochs per update.
+    epochs: usize,
+}
+
+impl MimicPolicy {
+    /// Creates a mimic matching the adversary's architecture. The mimic is
+    /// initialized to a *copy* of the initial adversary so KL starts at 0.
+    pub fn new(adversary: &GaussianPolicy, lr: f64, epochs: usize) -> Self {
+        MimicPolicy {
+            policy: adversary.clone(),
+            opt: Adam::new(adversary.mlp.param_count(), lr),
+            epochs,
+        }
+    }
+
+    /// Per-state divergence bonuses `D_KL(π^α(·|z), π^{α,m}(·|z))` (eq. 11's
+    /// integrand, evaluated at the sampled states).
+    pub fn divergence_bonuses(
+        &self,
+        adversary: &GaussianPolicy,
+        zs: &[Vec<f64>],
+    ) -> Result<Vec<f64>, NnError> {
+        let mut out = Vec::with_capacity(zs.len());
+        for z in zs {
+            let mean_p = adversary.mean_of(z)?;
+            let mean_q = self.policy.mean_of(z)?;
+            out.push(adversary.head.kl(&mean_p, &self.policy.head, &mean_q));
+        }
+        Ok(out)
+    }
+
+    /// Distills the current adversary into the mimic on the sampled states
+    /// (regression of means; `log_std` tracked by exponential moving
+    /// average). Returns the mean-squared mean gap before the update.
+    pub fn distill(
+        &mut self,
+        adversary: &GaussianPolicy,
+        zs: &[Vec<f64>],
+    ) -> Result<f64, NnError> {
+        if zs.is_empty() {
+            return Ok(0.0);
+        }
+        let rows: Vec<&[f64]> = zs.iter().map(|z| z.as_slice()).collect();
+        let x = Matrix::from_rows(&rows)?;
+        let target = adversary.mlp.forward(&x)?;
+        let n = zs.len() as f64;
+        let mut first_gap = None;
+        // Deterministic full-batch regression (batches are small).
+        for _ in 0..self.epochs {
+            let cache = self.policy.mlp.forward(&x)?;
+            let preds = cache.output();
+            let mut gap = 0.0;
+            let mut dout = Matrix::zeros(preds.rows(), preds.cols());
+            for r in 0..preds.rows() {
+                for c in 0..preds.cols() {
+                    let err = preds.get(r, c) - target.output().get(r, c);
+                    gap += err * err / n;
+                    dout.set(r, c, 2.0 * err / n);
+                }
+            }
+            if first_gap.is_none() {
+                first_gap = Some(gap);
+            }
+            let (grads, _) = self.policy.mlp.backward(&cache, &dout)?;
+            let delta = self.opt.step(&grads.flatten())?;
+            self.policy.mlp.apply_delta(&delta)?;
+        }
+        // EMA on log_std.
+        for (m, a) in self
+            .policy
+            .head
+            .log_std
+            .iter_mut()
+            .zip(adversary.head.log_std.iter())
+        {
+            *m = 0.9 * *m + 0.1 * a;
+        }
+        Ok(first_gap.unwrap_or(0.0))
+    }
+
+    /// The mimic's underlying policy (read-only).
+    pub fn policy(&self) -> &GaussianPolicy {
+        &self.policy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn adversary(seed: u64) -> GaussianPolicy {
+        GaussianPolicy::new(3, 2, &[8], -0.5, &mut StdRng::seed_from_u64(seed)).unwrap()
+    }
+
+    fn states() -> Vec<Vec<f64>> {
+        (0..16)
+            .map(|i| vec![i as f64 * 0.1 - 0.8, (i as f64 * 0.3).sin(), 0.2])
+            .collect()
+    }
+
+    #[test]
+    fn initial_divergence_is_zero() {
+        let adv = adversary(0);
+        let mimic = MimicPolicy::new(&adv, 1e-3, 2);
+        let b = mimic.divergence_bonuses(&adv, &states()).unwrap();
+        assert!(b.iter().all(|v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn divergence_grows_when_adversary_moves() {
+        let adv = adversary(1);
+        let mimic = MimicPolicy::new(&adv, 1e-3, 2);
+        let mut moved = adv.clone();
+        let mut p = moved.params();
+        for v in p.iter_mut() {
+            *v += 0.3;
+        }
+        moved.set_params(&p).unwrap();
+        let b = mimic.divergence_bonuses(&moved, &states()).unwrap();
+        assert!(b.iter().sum::<f64>() > 0.01);
+    }
+
+    #[test]
+    fn distillation_reduces_gap() {
+        let adv = adversary(2);
+        let mut mimic = MimicPolicy::new(&adversary(3), 5e-2, 20);
+        let zs = states();
+        let gap0 = mimic.distill(&adv, &zs).unwrap();
+        // Run several more distill rounds; the gap should fall.
+        let mut last = gap0;
+        for _ in 0..5 {
+            last = mimic.distill(&adv, &zs).unwrap();
+        }
+        assert!(last < gap0, "distillation should close the gap: {gap0} -> {last}");
+    }
+
+    #[test]
+    fn empty_distill_is_noop() {
+        let adv = adversary(4);
+        let mut mimic = MimicPolicy::new(&adv, 1e-3, 2);
+        assert_eq!(mimic.distill(&adv, &[]).unwrap(), 0.0);
+    }
+}

@@ -1,0 +1,446 @@
+//! Adversarial intrinsic regularizers (paper §5.2) and their Frank–Wolfe
+//! intrinsic bonuses (§5.3, eq. 13).
+//!
+//! | Kind | Objective | Bonus `r_I(s) = ∇ J_I(d)` realized as |
+//! |---|---|---|
+//! | SC (eq. 6) | `−Σ d ln d` | `ln(1 + ‖s − s*_{D_k}‖)` |
+//! | PC (eq. 8) | `Σ √(d/ρ)` | `√(‖s − s*_{D_k}‖ · ‖s − s*_B‖)` |
+//! | R (eq. 10) | `−Σ d ‖Π(s) − s^{v(α)}‖` | `−‖Π(s) − s₀^v‖` |
+//! | D (eq. 11) | `Σ d D_KL(π^α, π^{α,m})` | `D_KL(π^α(·|s), π^{α,m}(·|s))` |
+//!
+//! `d ≈ 1/‖s − s*_{D_k}‖` and `ρ ≈ 1/‖s − s*_B‖` are KNN estimates over the
+//! latest-iteration buffer `D_k` and the union buffer `B` (via
+//! `imap-density`); PC's gradient `1/(2√(dρ))` is therefore proportional to
+//! the geometric mean of the two distances. SC and R are *data-based*
+//! (latest distribution only), PC and D are *knowledge-based* (whole
+//! history), matching the paper's taxonomy.
+//!
+//! Multi-agent tasks use the marginal variants (eqs. 7 and 9): the state
+//! summary splits into adversary and victim projections, and the bonus is
+//! `(1−ξ)·bonus(S^α part) + ξ·bonus(S^v part)`.
+
+use imap_density::{KnnEstimator, UnionBuffer};
+use imap_nn::NnError;
+use imap_rl::{GaussianPolicy, RolloutBuffer};
+use serde::{Deserialize, Serialize};
+
+use crate::mimic::MimicPolicy;
+
+/// The four adversarial intrinsic regularizer types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RegularizerKind {
+    /// State-coverage-driven (IMAP-SC).
+    StateCoverage,
+    /// Policy-coverage-driven (IMAP-PC).
+    PolicyCoverage,
+    /// Risk-driven (IMAP-R).
+    Risk,
+    /// Divergence-driven (IMAP-D).
+    Divergence,
+}
+
+impl RegularizerKind {
+    /// All four kinds, in paper order.
+    pub const ALL: [RegularizerKind; 4] = [
+        RegularizerKind::StateCoverage,
+        RegularizerKind::PolicyCoverage,
+        RegularizerKind::Risk,
+        RegularizerKind::Divergence,
+    ];
+
+    /// Short display name used in tables ("SC", "PC", "R", "D").
+    pub fn short_name(self) -> &'static str {
+        match self {
+            RegularizerKind::StateCoverage => "SC",
+            RegularizerKind::PolicyCoverage => "PC",
+            RegularizerKind::Risk => "R",
+            RegularizerKind::Divergence => "D",
+        }
+    }
+
+    /// True for regularizers that use the whole training history
+    /// (the paper's *knowledge-based* category).
+    pub fn is_knowledge_based(self) -> bool {
+        matches!(
+            self,
+            RegularizerKind::PolicyCoverage | RegularizerKind::Divergence
+        )
+    }
+}
+
+/// Configuration for the intrinsic engine.
+#[derive(Debug, Clone)]
+pub struct RegularizerConfig {
+    /// Which regularizer to run.
+    pub kind: RegularizerKind,
+    /// KNN neighbourhood size.
+    pub k: usize,
+    /// Marginal trade-off ξ between adversary- and victim-space coverage
+    /// (only used when `marginal_split` is set; eqs. 7/9, Figure 7).
+    pub xi: f64,
+    /// `Some(split)` for multi-agent tasks: state summaries are
+    /// `[adversary_state ++ victim_state]` split at this index.
+    pub marginal_split: Option<usize>,
+    /// Capacity of the union buffer `B`.
+    pub union_cap: usize,
+    /// Mimic-policy distillation learning rate (D only).
+    pub mimic_lr: f64,
+    /// Mimic-policy distillation epochs per iteration (D only).
+    pub mimic_epochs: usize,
+}
+
+impl RegularizerConfig {
+    /// Sensible defaults for `kind`.
+    pub fn new(kind: RegularizerKind) -> Self {
+        RegularizerConfig {
+            kind,
+            k: 5,
+            xi: 0.5,
+            marginal_split: None,
+            union_cap: 50_000,
+            mimic_lr: 1e-3,
+            mimic_epochs: 3,
+        }
+    }
+}
+
+/// Stateful intrinsic-bonus computer: owns the union buffer `B`, the mimic
+/// policy, and the risk target across iterations.
+pub struct IntrinsicEngine {
+    cfg: RegularizerConfig,
+    /// Union buffer over full summaries (single-agent PC).
+    union_full: UnionBuffer,
+    /// Union buffers over the two marginal projections (multi-agent PC).
+    union_adv: UnionBuffer,
+    union_vic: UnionBuffer,
+    mimic: Option<MimicPolicy>,
+    /// Running mean of episode-start victim projections (`s₀^v`, the
+    /// paper's natural risk target choice).
+    risk_target: Vec<f64>,
+    risk_count: f64,
+}
+
+impl IntrinsicEngine {
+    /// Creates an engine for `cfg`.
+    pub fn new(cfg: RegularizerConfig) -> Self {
+        let cap = cfg.union_cap;
+        IntrinsicEngine {
+            cfg,
+            union_full: UnionBuffer::new(cap),
+            union_adv: UnionBuffer::new(cap),
+            union_vic: UnionBuffer::new(cap),
+            mimic: None,
+            risk_target: Vec::new(),
+            risk_count: 0.0,
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &RegularizerConfig {
+        &self.cfg
+    }
+
+    fn project<'a>(&self, summary: &'a [f64]) -> (&'a [f64], &'a [f64]) {
+        match self.cfg.marginal_split {
+            Some(split) => (&summary[..split.min(summary.len())], &summary[split.min(summary.len())..]),
+            None => (summary, summary),
+        }
+    }
+
+    /// Computes the per-step intrinsic bonuses `r_I^α` for a freshly
+    /// collected rollout (the "Optimizing Stage" of Algorithm 1) and
+    /// updates the engine's history (union buffer / mimic / risk target).
+    pub fn compute_bonuses(
+        &mut self,
+        buffer: &RolloutBuffer,
+        adversary: &GaussianPolicy,
+    ) -> Result<Vec<f64>, NnError> {
+        let summaries = buffer.summaries();
+        match self.cfg.kind {
+            RegularizerKind::StateCoverage => Ok(self.state_coverage(&summaries)),
+            RegularizerKind::PolicyCoverage => Ok(self.policy_coverage(&summaries)),
+            RegularizerKind::Risk => Ok(self.risk(buffer, &summaries)),
+            RegularizerKind::Divergence => self.divergence(buffer, adversary),
+        }
+    }
+
+    /// SC: entropy-gradient bonus against the current batch `D_k`.
+    fn state_coverage(&self, summaries: &[Vec<f64>]) -> Vec<f64> {
+        let xi = self.cfg.xi;
+        match self.cfg.marginal_split {
+            None => {
+                let est = KnnEstimator::new(summaries.to_vec(), self.cfg.k);
+                summaries.iter().map(|s| est.coverage_bonus(s)).collect()
+            }
+            Some(_) => {
+                let adv_pts: Vec<Vec<f64>> =
+                    summaries.iter().map(|s| self.project(s).0.to_vec()).collect();
+                let vic_pts: Vec<Vec<f64>> =
+                    summaries.iter().map(|s| self.project(s).1.to_vec()).collect();
+                let est_a = KnnEstimator::new(adv_pts.clone(), self.cfg.k);
+                let est_v = KnnEstimator::new(vic_pts.clone(), self.cfg.k);
+                adv_pts
+                    .iter()
+                    .zip(vic_pts.iter())
+                    .map(|(a, v)| {
+                        (1.0 - xi) * est_a.coverage_bonus(a) + xi * est_v.coverage_bonus(v)
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// PC: geometric-mean bonus of novelty w.r.t. `D_k` and `B`, then the
+    /// batch joins `B`.
+    fn policy_coverage(&mut self, summaries: &[Vec<f64>]) -> Vec<f64> {
+        let xi = self.cfg.xi;
+        let k = self.cfg.k;
+        let bonus_for = |pts: &[Vec<f64>], union: &UnionBuffer| -> Vec<f64> {
+            let est_d = KnnEstimator::new(pts.to_vec(), k);
+            if union.is_empty() {
+                // First iteration: no history yet. Treat the historical
+                // novelty as equal to the batch novelty so the bonus scale
+                // matches later iterations (`√(d·d) = d`).
+                return pts
+                    .iter()
+                    .map(|s| est_d.knn_distance(s).unwrap_or(0.0))
+                    .collect();
+            }
+            let est_b = KnnEstimator::new(union.snapshot(), k);
+            pts.iter()
+                .map(|s| {
+                    let dd = est_d.knn_distance(s).unwrap_or(0.0);
+                    let db = est_b.knn_distance(s).unwrap_or(0.0);
+                    (dd * db).sqrt()
+                })
+                .collect()
+        };
+        let out = match self.cfg.marginal_split {
+            None => {
+                let b = bonus_for(summaries, &self.union_full);
+                self.union_full.extend(summaries.iter().cloned());
+                b
+            }
+            Some(_) => {
+                let adv_pts: Vec<Vec<f64>> =
+                    summaries.iter().map(|s| self.project(s).0.to_vec()).collect();
+                let vic_pts: Vec<Vec<f64>> =
+                    summaries.iter().map(|s| self.project(s).1.to_vec()).collect();
+                let ba = bonus_for(&adv_pts, &self.union_adv);
+                let bv = bonus_for(&vic_pts, &self.union_vic);
+                self.union_adv.extend(adv_pts);
+                self.union_vic.extend(vic_pts);
+                ba.iter()
+                    .zip(bv.iter())
+                    .map(|(a, v)| (1.0 - xi) * a + xi * v)
+                    .collect()
+            }
+        };
+        out
+    }
+
+    /// R: negative distance of the victim projection to the adversarial
+    /// target state `s^{v(α)} = s₀^v` (running mean of episode starts).
+    fn risk(&mut self, buffer: &RolloutBuffer, summaries: &[Vec<f64>]) -> Vec<f64> {
+        // Update the running target from episode-start summaries.
+        for (start, _end) in buffer.episode_ranges() {
+            let (_, vic) = self.project(&summaries[start]);
+            if self.risk_target.len() != vic.len() {
+                self.risk_target = vec![0.0; vic.len()];
+                self.risk_count = 0.0;
+            }
+            self.risk_count += 1.0;
+            for (t, &v) in self.risk_target.iter_mut().zip(vic.iter()) {
+                *t += (v - *t) / self.risk_count;
+            }
+        }
+        summaries
+            .iter()
+            .map(|s| {
+                let (_, vic) = self.project(s);
+                let d2: f64 = vic
+                    .iter()
+                    .zip(self.risk_target.iter())
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum();
+                -d2.sqrt()
+            })
+            .collect()
+    }
+
+    /// D: per-state KL to the mimic, then the mimic absorbs the current
+    /// policy.
+    fn divergence(
+        &mut self,
+        buffer: &RolloutBuffer,
+        adversary: &GaussianPolicy,
+    ) -> Result<Vec<f64>, NnError> {
+        if self.mimic.is_none() {
+            self.mimic = Some(MimicPolicy::new(
+                adversary,
+                self.cfg.mimic_lr,
+                self.cfg.mimic_epochs,
+            ));
+        }
+        let zs = buffer.observations();
+        let mimic = self.mimic.as_mut().expect("just initialized");
+        let bonuses = mimic.divergence_bonuses(adversary, &zs)?;
+        mimic.distill(adversary, &zs)?;
+        Ok(bonuses)
+    }
+
+    /// Size of the union buffer `B` (diagnostic; 0 for data-based kinds).
+    pub fn union_len(&self) -> usize {
+        self.union_full.len() + self.union_adv.len() + self.union_vic.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imap_rl::StepRecord;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn adversary() -> GaussianPolicy {
+        GaussianPolicy::new(2, 1, &[8], -0.5, &mut StdRng::seed_from_u64(0)).unwrap()
+    }
+
+    /// A buffer whose summaries trace a line; one episode.
+    fn line_buffer(n: usize, offset: f64) -> RolloutBuffer {
+        let mut b = RolloutBuffer::new();
+        for i in 0..n {
+            let x = offset + i as f64 * 0.1;
+            b.steps.push(StepRecord {
+                z: vec![x, 0.0],
+                z_next: vec![x + 0.1, 0.0],
+                summary: vec![x, x * 0.5],
+                action: vec![0.0],
+                logp: 0.0,
+                reward: 0.0,
+                done: i == n - 1,
+                terminal: i == n - 1,
+                success: false,
+                unhealthy: false,
+            });
+        }
+        b.episode_returns.push(0.0);
+        b.episode_lengths.push(n);
+        b
+    }
+
+    #[test]
+    fn sc_bonus_rewards_sparse_regions() {
+        let mut engine =
+            IntrinsicEngine::new(RegularizerConfig::new(RegularizerKind::StateCoverage));
+        // Cluster + one outlier.
+        let mut b = line_buffer(20, 0.0);
+        b.steps[19].summary = vec![100.0, 50.0];
+        let bonuses = engine.compute_bonuses(&b, &adversary()).unwrap();
+        let mean_cluster: f64 = bonuses[..19].iter().sum::<f64>() / 19.0;
+        assert!(
+            bonuses[19] > mean_cluster,
+            "outlier should earn more SC bonus"
+        );
+    }
+
+    #[test]
+    fn pc_bonus_lower_in_covered_region_than_frontier() {
+        // KNN density is distance-based, so exact revisits keep the *same*
+        // bonus; the PC effect is that regions already in B earn less than
+        // adjacent unexplored regions. Cover x ∈ [0, 3], then present a
+        // batch straddling the frontier.
+        let mut engine =
+            IntrinsicEngine::new(RegularizerConfig::new(RegularizerKind::PolicyCoverage));
+        let adv = adversary();
+        engine.compute_bonuses(&line_buffer(30, 0.0), &adv).unwrap();
+        assert!(engine.union_len() > 0);
+        let mut b = line_buffer(30, 0.0);
+        for i in 15..30 {
+            // Frontier points just beyond the covered interval, with the
+            // same within-batch spacing as the covered half.
+            let x = 4.0 + (i - 15) as f64 * 0.1;
+            b.steps[i].summary = vec![x, x * 0.5];
+        }
+        let bonuses = engine.compute_bonuses(&b, &adv).unwrap();
+        let covered: f64 = bonuses[..15].iter().sum::<f64>() / 15.0;
+        let frontier: f64 = bonuses[15..].iter().sum::<f64>() / 15.0;
+        assert!(
+            frontier > covered,
+            "frontier must out-earn covered history: {covered} vs {frontier}"
+        );
+    }
+
+    #[test]
+    fn pc_novel_region_beats_old_region() {
+        let mut engine =
+            IntrinsicEngine::new(RegularizerConfig::new(RegularizerKind::PolicyCoverage));
+        let adv = adversary();
+        engine.compute_bonuses(&line_buffer(30, 0.0), &adv).unwrap();
+        // Second batch: half old region, half far away.
+        let mut b = line_buffer(30, 0.0);
+        for i in 15..30 {
+            b.steps[i].summary = vec![50.0 + i as f64 * 0.1, 25.0];
+        }
+        let bonuses = engine.compute_bonuses(&b, &adv).unwrap();
+        let old: f64 = bonuses[..15].iter().sum::<f64>() / 15.0;
+        let new: f64 = bonuses[15..].iter().sum::<f64>() / 15.0;
+        assert!(new > old, "novel region should out-earn explored: {old} vs {new}");
+    }
+
+    #[test]
+    fn risk_bonus_prefers_states_near_start() {
+        let mut engine = IntrinsicEngine::new(RegularizerConfig::new(RegularizerKind::Risk));
+        let b = line_buffer(20, 0.0);
+        let bonuses = engine.compute_bonuses(&b, &adversary()).unwrap();
+        // Episode starts at x = 0; later states drift away -> lower bonus.
+        assert!(bonuses[0] > bonuses[19]);
+        assert!(bonuses.iter().all(|&v| v <= 1e-12), "risk bonus is non-positive");
+    }
+
+    #[test]
+    fn divergence_bonus_zero_then_positive() {
+        let mut engine =
+            IntrinsicEngine::new(RegularizerConfig::new(RegularizerKind::Divergence));
+        let adv = adversary();
+        let b = line_buffer(10, 0.0);
+        let first = engine.compute_bonuses(&b, &adv).unwrap();
+        assert!(first.iter().all(|v| v.abs() < 1e-9), "mimic starts as a copy");
+        // Move the adversary; KL to the (lagging) mimic becomes positive.
+        let mut moved = adv.clone();
+        let mut p = moved.params();
+        for v in p.iter_mut() {
+            *v += 0.2;
+        }
+        moved.set_params(&p).unwrap();
+        let second = engine.compute_bonuses(&b, &moved).unwrap();
+        assert!(second.iter().sum::<f64>() > 0.0);
+    }
+
+    #[test]
+    fn marginal_split_weights_projections() {
+        // With ξ = 1 only the victim projection matters.
+        let mut cfg = RegularizerConfig::new(RegularizerKind::StateCoverage);
+        cfg.marginal_split = Some(1);
+        cfg.xi = 1.0;
+        let mut engine = IntrinsicEngine::new(cfg);
+        let mut b = line_buffer(20, 0.0);
+        // Make adversary projection (dim 0) wild but victim projection
+        // (dim 1) constant: bonus must be (near-)uniform.
+        for (i, s) in b.steps.iter_mut().enumerate() {
+            s.summary = vec![(i as f64 * 17.0) % 13.0, 1.0];
+        }
+        let bonuses = engine.compute_bonuses(&b, &adversary()).unwrap();
+        let min = bonuses.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = bonuses.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!((max - min).abs() < 1e-9, "ξ=1 ignores the adversary axis");
+    }
+
+    #[test]
+    fn taxonomy_matches_paper() {
+        assert!(!RegularizerKind::StateCoverage.is_knowledge_based());
+        assert!(RegularizerKind::PolicyCoverage.is_knowledge_based());
+        assert!(!RegularizerKind::Risk.is_knowledge_based());
+        assert!(RegularizerKind::Divergence.is_knowledge_based());
+    }
+}

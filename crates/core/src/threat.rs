@@ -1,0 +1,351 @@
+//! Threat-model MDP reductions (paper §4.3).
+//!
+//! Both wrappers implement [`imap_env::Env`] *for the adversary*, so every
+//! trainer in `imap-rl` — and therefore SA-RL, AP-MARL, and all IMAP
+//! variants — runs unmodified on top of them.
+//!
+//! The adversary's per-step reward is the negated surrogate `-r̂` of §4.1:
+//! an indicator that the victim is succeeding (making adequate forward
+//! progress in dense tasks; completing the task in sparse tasks; winning the
+//! game in multi-agent tasks). The victim's shaped training reward is
+//! tracked only for *evaluation* bookkeeping and never enters the
+//! adversary's learning signal.
+
+use imap_env::{Env, EnvRng, MultiAgentEnv, Step};
+use imap_rl::GaussianPolicy;
+
+/// The single-agent state-perturbation MDP.
+///
+/// The adversary observes the victim's raw state `s^v` and emits a
+/// perturbation `a^α ∈ [-1, 1]^{obs_dim}`, scaled by the budget ε and added
+/// to the raw state exactly as in §4.3: the victim acts on
+/// `π^v(s^v + ε·a^α)` with `‖ε·a^α‖_∞ ≤ ε`. The frozen victim acts
+/// deterministically, as deployed, and normalizes the perturbed state with
+/// its own (frozen) statistics.
+pub struct PerturbationEnv {
+    inner: Box<dyn Env>,
+    victim: GaussianPolicy,
+    eps: f64,
+    raw_obs: Vec<f64>,
+    victim_return: f64,
+    finished_victim_return: f64,
+    perturb_norm_sum: f64,
+    perturb_steps: usize,
+}
+
+impl PerturbationEnv {
+    /// Wraps `inner` with frozen `victim` and budget `eps`.
+    ///
+    /// The victim's normalizer is frozen defensively (deployed victims do
+    /// not adapt).
+    pub fn new(inner: Box<dyn Env>, mut victim: GaussianPolicy, eps: f64) -> Self {
+        victim.norm.freeze();
+        PerturbationEnv {
+            inner,
+            victim,
+            eps,
+            raw_obs: Vec::new(),
+            victim_return: 0.0,
+            finished_victim_return: 0.0,
+            perturb_norm_sum: 0.0,
+            perturb_steps: 0,
+        }
+    }
+
+    /// The attack budget ε.
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// The victim's shaped return over the most recently *finished* episode
+    /// (evaluation bookkeeping; not visible to the adversary's learning).
+    pub fn last_victim_return(&self) -> f64 {
+        self.finished_victim_return
+    }
+
+    /// Mean l∞ norm of applied perturbations (diagnostic).
+    pub fn mean_perturbation(&self) -> f64 {
+        if self.perturb_steps == 0 {
+            0.0
+        } else {
+            self.perturb_norm_sum / self.perturb_steps as f64
+        }
+    }
+
+    /// The frozen victim policy.
+    pub fn victim(&self) -> &GaussianPolicy {
+        &self.victim
+    }
+}
+
+impl Env for PerturbationEnv {
+    fn obs_dim(&self) -> usize {
+        self.inner.obs_dim()
+    }
+
+    fn action_dim(&self) -> usize {
+        self.inner.obs_dim()
+    }
+
+    fn max_steps(&self) -> usize {
+        self.inner.max_steps()
+    }
+
+    fn reset(&mut self, rng: &mut EnvRng) -> Vec<f64> {
+        self.raw_obs = self.inner.reset(rng);
+        self.victim_return = 0.0;
+        self.raw_obs.clone()
+    }
+
+    fn step(&mut self, action: &[f64], rng: &mut EnvRng) -> Step {
+        // Project the adversary action into the l∞ ball of radius ε and
+        // apply it to the raw state: the victim sees `s^v + ε·a^α`.
+        let mut perturbed = self.raw_obs.clone();
+        let mut linf: f64 = 0.0;
+        for (i, si) in perturbed.iter_mut().enumerate() {
+            let delta = self.eps * action.get(i).copied().unwrap_or(0.0).clamp(-1.0, 1.0);
+            linf = linf.max(delta.abs());
+            *si += delta;
+        }
+        self.perturb_norm_sum += linf;
+        self.perturb_steps += 1;
+
+        let victim_action = self
+            .victim
+            .act_deterministic(&perturbed)
+            .expect("victim network dims match env");
+        let step = self.inner.step(&victim_action, rng);
+        self.victim_return += step.reward;
+        self.raw_obs = step.obs.clone();
+        if step.done {
+            self.finished_victim_return = self.victim_return;
+        }
+
+        // Adversary reward: negated surrogate success indicator.
+        let surrogate = step.progress || step.success;
+        Step {
+            obs: step.obs,
+            reward: -(surrogate as u8 as f64),
+            done: step.done,
+            unhealthy: step.unhealthy,
+            progress: step.progress,
+            success: step.success,
+        }
+    }
+
+    fn state_summary(&self) -> Vec<f64> {
+        self.inner.state_summary()
+    }
+}
+
+/// The multi-agent reduction `M^α`: a frozen victim folded into the
+/// transition function, leaving a single-player MDP for the adversary.
+///
+/// The frozen victim acts *stochastically* (sampled from its Gaussian), as
+/// in Gleave et al.'s AP-MARL setup — Bansal-style game victims are
+/// deployed as stochastic policies, and sampling is what denies the
+/// adversary perfect route anticipation.
+///
+/// `Step::success` reports "the victim won" so the surrogate convention
+/// matches [`PerturbationEnv`]; the adversary's reward is `-1` at a
+/// victim-win terminal and `0` otherwise.
+pub struct OpponentEnv {
+    inner: Box<dyn MultiAgentEnv>,
+    victim: GaussianPolicy,
+    victim_obs: Vec<f64>,
+    adversary_obs: Vec<f64>,
+    summary_split: usize,
+}
+
+impl OpponentEnv {
+    /// Wraps the game with the frozen victim.
+    pub fn new(inner: Box<dyn MultiAgentEnv>, mut victim: GaussianPolicy) -> Self {
+        victim.norm.freeze();
+        let summary_split = inner.adversary_state().len();
+        OpponentEnv {
+            inner,
+            victim,
+            victim_obs: Vec::new(),
+            adversary_obs: Vec::new(),
+            summary_split,
+        }
+    }
+
+    /// Index splitting [`Env::state_summary`] into
+    /// `[adversary_state..split]` and `[split..] = victim_state` — consumed
+    /// by the marginal (ξ-weighted) regularizers.
+    pub fn summary_split(&self) -> usize {
+        self.summary_split
+    }
+
+    /// The frozen victim policy.
+    pub fn victim(&self) -> &GaussianPolicy {
+        &self.victim
+    }
+}
+
+impl Env for OpponentEnv {
+    fn obs_dim(&self) -> usize {
+        self.inner.adversary_obs_dim()
+    }
+
+    fn action_dim(&self) -> usize {
+        self.inner.adversary_action_dim()
+    }
+
+    fn max_steps(&self) -> usize {
+        self.inner.max_steps()
+    }
+
+    fn reset(&mut self, rng: &mut EnvRng) -> Vec<f64> {
+        let (vobs, aobs) = self.inner.reset(rng);
+        self.victim_obs = vobs;
+        self.adversary_obs = aobs.clone();
+        aobs
+    }
+
+    fn step(&mut self, action: &[f64], rng: &mut EnvRng) -> Step {
+        let (victim_action, _, _) = self
+            .victim
+            .act(&self.victim_obs, rng)
+            .expect("victim network dims match game");
+        let ms = self.inner.step(&victim_action, action, rng);
+        self.victim_obs = ms.victim_obs;
+        self.adversary_obs = ms.adversary_obs.clone();
+        let victim_won = ms.victim_won.unwrap_or(false);
+        Step {
+            obs: ms.adversary_obs,
+            reward: if ms.done && victim_won { -1.0 } else { 0.0 },
+            done: ms.done,
+            unhealthy: false,
+            progress: false,
+            success: ms.done && victim_won,
+        }
+    }
+
+    fn state_summary(&self) -> Vec<f64> {
+        let mut s = self.inner.adversary_state();
+        s.extend(self.inner.victim_state());
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imap_env::locomotion::Hopper;
+    use imap_env::multiagent::YouShallNotPass;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn victim_for_hopper(seed: u64) -> GaussianPolicy {
+        GaussianPolicy::new(5, 3, &[8], -0.5, &mut StdRng::seed_from_u64(seed)).unwrap()
+    }
+
+    #[test]
+    fn perturbation_env_dims() {
+        let env = PerturbationEnv::new(Box::new(Hopper::new()), victim_for_hopper(0), 0.1);
+        assert_eq!(env.obs_dim(), 5);
+        assert_eq!(env.action_dim(), 5, "adversary perturbs every obs dim");
+    }
+
+    #[test]
+    fn zero_eps_attack_matches_clean_victim() {
+        let victim = victim_for_hopper(1);
+        // Clean rollout.
+        let mut clean_env = Hopper::new();
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut obs = clean_env.reset(&mut rng);
+        let mut clean_return = 0.0;
+        loop {
+            let a = victim.act_deterministic(&obs).unwrap();
+            let s = clean_env.step(&a, &mut rng);
+            clean_return += s.reward;
+            if s.done {
+                break;
+            }
+            obs = s.obs;
+        }
+        // ε = 0 attack: identical trajectory.
+        let mut atk = PerturbationEnv::new(Box::new(Hopper::new()), victim, 0.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut aobs = atk.reset(&mut rng);
+        loop {
+            let noise: Vec<f64> = vec![1.0; aobs.len()]; // maximal action, zero ε
+            let s = atk.step(&noise, &mut rng);
+            if s.done {
+                break;
+            }
+            aobs = s.obs;
+        }
+        assert!(
+            (atk.last_victim_return() - clean_return).abs() < 1e-9,
+            "zero-budget attack must not change the victim: {} vs {clean_return}",
+            atk.last_victim_return()
+        );
+    }
+
+    #[test]
+    fn perturbation_respects_budget() {
+        let mut env = PerturbationEnv::new(Box::new(Hopper::new()), victim_for_hopper(2), 0.05);
+        let mut rng = StdRng::seed_from_u64(3);
+        env.reset(&mut rng);
+        for _ in 0..20 {
+            let s = env.step(&vec![10.0; 5], &mut rng); // over-range action
+            if s.done {
+                break;
+            }
+        }
+        assert!(env.mean_perturbation() <= 0.05 + 1e-12);
+    }
+
+    #[test]
+    fn adversary_reward_is_negated_surrogate() {
+        let mut env = PerturbationEnv::new(Box::new(Hopper::new()), victim_for_hopper(4), 0.05);
+        let mut rng = StdRng::seed_from_u64(5);
+        env.reset(&mut rng);
+        let s = env.step(&vec![0.0; 5], &mut rng);
+        // Fresh hopper isn't progressing -> surrogate 0 -> adversary reward 0.
+        assert_eq!(s.reward, 0.0);
+    }
+
+    #[test]
+    fn opponent_env_reduces_game() {
+        let victim =
+            GaussianPolicy::new(12, 3, &[8], -0.5, &mut StdRng::seed_from_u64(6)).unwrap();
+        let mut env = OpponentEnv::new(Box::new(YouShallNotPass::new()), victim);
+        assert_eq!(env.obs_dim(), 12);
+        assert_eq!(env.action_dim(), 3);
+        let mut rng = StdRng::seed_from_u64(7);
+        let obs = env.reset(&mut rng);
+        assert_eq!(obs.len(), 12);
+        let s = env.step(&[0.0, 0.0, 1.0], &mut rng);
+        assert_eq!(s.obs.len(), 12);
+        assert_eq!(env.summary_split(), 3);
+        assert_eq!(env.state_summary().len(), 3 + 4);
+    }
+
+    #[test]
+    fn opponent_reward_only_at_victim_win() {
+        // An untrained random victim against a still blocker: episode ends by
+        // timeout, victim loses, adversary reward stays 0 (not -1).
+        let victim =
+            GaussianPolicy::new(12, 3, &[8], -2.0, &mut StdRng::seed_from_u64(8)).unwrap();
+        let mut env = OpponentEnv::new(
+            Box::new(imap_env::multiagent::YouShallNotPass::with_max_steps(20)),
+            victim,
+        );
+        let mut rng = StdRng::seed_from_u64(9);
+        env.reset(&mut rng);
+        let mut total = 0.0;
+        loop {
+            let s = env.step(&[0.0, 0.0, 1.0], &mut rng);
+            total += s.reward;
+            if s.done {
+                assert!(!s.success, "untrained victim cannot win in 20 steps");
+                break;
+            }
+        }
+        assert_eq!(total, 0.0);
+    }
+}

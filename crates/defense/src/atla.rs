@@ -1,0 +1,247 @@
+//! ATLA: Alternating Training with a Learned Adversary (Zhang et al. \[68\]).
+//!
+//! Rounds alternate between (a) training an RL state-perturbation adversary
+//! against the frozen current victim and (b) training the victim under that
+//! frozen adversary's perturbations. ATLA-SA additionally applies the SA
+//! smoothness regularizer during the victim phases (the original uses an
+//! LSTM victim; we substitute the MLP used everywhere else, per
+//! `DESIGN.md`).
+
+use imap_core::attacks::sa_rl;
+use imap_env::{Env, EnvRng, Step};
+use imap_nn::NnError;
+use imap_rl::{GaussianPolicy, PpoRunner, TrainConfig};
+
+use crate::penalty::SaPenalty;
+
+/// A victim-side training environment in which a frozen adversary perturbs
+/// every observation the victim receives (raw-state l∞ ball, matching
+/// [`imap_core::threat::PerturbationEnv`]'s attack mechanics).
+pub struct VictimUnderAttackEnv<'a> {
+    inner: &'a mut dyn Env,
+    adversary: Option<&'a GaussianPolicy>,
+    eps: f64,
+}
+
+impl<'a> VictimUnderAttackEnv<'a> {
+    /// Wraps `inner`; `adversary = None` yields the clean environment.
+    pub fn new(inner: &'a mut dyn Env, adversary: Option<&'a GaussianPolicy>, eps: f64) -> Self {
+        VictimUnderAttackEnv {
+            inner,
+            adversary,
+            eps,
+        }
+    }
+
+    fn perturb(&self, obs: Vec<f64>) -> Vec<f64> {
+        match self.adversary {
+            None => obs,
+            Some(adv) => {
+                let a = adv
+                    .act_deterministic(&obs)
+                    .expect("adversary dims match env");
+                obs.iter()
+                    .enumerate()
+                    .map(|(i, &v)| v + self.eps * a[i].clamp(-1.0, 1.0))
+                    .collect()
+            }
+        }
+    }
+}
+
+impl Env for VictimUnderAttackEnv<'_> {
+    fn obs_dim(&self) -> usize {
+        self.inner.obs_dim()
+    }
+
+    fn action_dim(&self) -> usize {
+        self.inner.action_dim()
+    }
+
+    fn max_steps(&self) -> usize {
+        self.inner.max_steps()
+    }
+
+    fn reset(&mut self, rng: &mut EnvRng) -> Vec<f64> {
+        let obs = self.inner.reset(rng);
+        self.perturb(obs)
+    }
+
+    fn step(&mut self, action: &[f64], rng: &mut EnvRng) -> Step {
+        let mut step = self.inner.step(action, rng);
+        step.obs = self.perturb(step.obs);
+        step
+    }
+
+    fn state_summary(&self) -> Vec<f64> {
+        self.inner.state_summary()
+    }
+}
+
+/// ATLA hyperparameters.
+#[derive(Debug, Clone)]
+pub struct AtlaConfig {
+    /// The victim's PPO configuration (total victim iterations are
+    /// `rounds * victim_iters_per_round`).
+    pub train: TrainConfig,
+    /// l∞ budget the adversary trains with.
+    pub eps: f64,
+    /// Number of alternation rounds.
+    pub rounds: usize,
+    /// Victim PPO iterations per round.
+    pub victim_iters_per_round: usize,
+    /// Adversary PPO iterations per round.
+    pub adversary_iters: usize,
+    /// `Some(coef)` adds the SA smoothness penalty (ATLA-SA).
+    pub sa_coef: Option<f64>,
+}
+
+/// The alternating trainer.
+pub struct AtlaTrainer {
+    cfg: AtlaConfig,
+}
+
+impl AtlaTrainer {
+    /// Creates a trainer.
+    pub fn new(cfg: AtlaConfig) -> Self {
+        AtlaTrainer { cfg }
+    }
+
+    /// Runs alternating training; `make_env` builds fresh copies of the task
+    /// (one is consumed per adversary round for the attack MDP).
+    pub fn train(
+        &self,
+        make_env: &mut dyn FnMut() -> Box<dyn Env>,
+    ) -> Result<GaussianPolicy, NnError> {
+        let mut env = make_env();
+        let mut runner = PpoRunner::new(env.as_ref(), self.cfg.train.clone())?;
+        let mut sa = self
+            .cfg
+            .sa_coef
+            .map(|c| SaPenalty::new(self.cfg.eps, c, self.cfg.train.seed ^ 0xa71a));
+
+        // Round 0: warm up the victim clean so the adversary has something
+        // to attack.
+        for _ in 0..self.cfg.victim_iters_per_round {
+            let mut wrapped = VictimUnderAttackEnv::new(env.as_mut(), None, 0.0);
+            runner.iterate(
+                &mut wrapped,
+                sa.as_mut().map(|p| p as &mut dyn imap_rl::PenaltyFn),
+                None,
+            )?;
+        }
+
+        for round in 0..self.cfg.rounds {
+            // (a) Train an adversary against the frozen victim.
+            let adv_train = TrainConfig {
+                iterations: self.cfg.adversary_iters,
+                seed: self.cfg.train.seed ^ (0x1000 + round as u64),
+                ..self.cfg.train.clone()
+            };
+            let outcome = sa_rl(
+                make_env(),
+                runner.policy.clone(),
+                self.cfg.eps,
+                adv_train,
+            )?;
+            // (b) Train the victim under the frozen adversary.
+            for _ in 0..self.cfg.victim_iters_per_round {
+                let mut wrapped =
+                    VictimUnderAttackEnv::new(env.as_mut(), Some(&outcome.policy), self.cfg.eps);
+                runner.iterate(
+                    &mut wrapped,
+                    sa.as_mut().map(|p| p as &mut dyn imap_rl::PenaltyFn),
+                    None,
+                )?;
+            }
+        }
+        Ok(runner.policy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imap_env::locomotion::Hopper;
+    use imap_rl::PpoConfig;
+    use rand::SeedableRng;
+
+    fn quick(seed: u64) -> TrainConfig {
+        TrainConfig {
+            iterations: 0,
+            steps_per_iter: 1024,
+            hidden: vec![16],
+            seed,
+            ppo: PpoConfig {
+                epochs: 6,
+                ..PpoConfig::default()
+            },
+            ..TrainConfig::default()
+        }
+    }
+
+    #[test]
+    fn atla_produces_a_competent_victim() {
+        let cfg = AtlaConfig {
+            train: quick(5),
+            eps: 0.075,
+            rounds: 2,
+            victim_iters_per_round: 8,
+            adversary_iters: 3,
+            sa_coef: None,
+        };
+        let mut make = || Box::new(Hopper::new()) as Box<dyn Env>;
+        let policy = AtlaTrainer::new(cfg).train(&mut make).unwrap();
+        let mut rng = imap_env::EnvRng::seed_from_u64(3);
+        let r = imap_rl::evaluate(
+            &mut Hopper::new(),
+            &policy,
+            &imap_rl::EvalConfig {
+                episodes: 10,
+                deterministic: true,
+            },
+            &mut rng,
+        )
+        .unwrap();
+        assert!(r.mean_return > 50.0, "ATLA victim competence: {}", r.mean_return);
+    }
+
+    #[test]
+    fn atla_sa_variant_runs() {
+        let cfg = AtlaConfig {
+            train: quick(6),
+            eps: 0.075,
+            rounds: 1,
+            victim_iters_per_round: 2,
+            adversary_iters: 1,
+            sa_coef: Some(0.3),
+        };
+        let mut make = || Box::new(Hopper::new()) as Box<dyn Env>;
+        AtlaTrainer::new(cfg).train(&mut make).unwrap();
+    }
+
+    #[test]
+    fn victim_under_attack_env_perturbs() {
+        let mut inner = Hopper::new();
+        let adv = GaussianPolicy::new(
+            5,
+            5,
+            &[8],
+            -0.5,
+            &mut rand::rngs::StdRng::seed_from_u64(1),
+        )
+        .unwrap();
+        let mut rng1 = EnvRng::seed_from_u64(7);
+        let mut clean = Hopper::new();
+        let clean_obs = clean.reset(&mut rng1);
+        let mut rng2 = EnvRng::seed_from_u64(7);
+        let mut wrapped =
+            VictimUnderAttackEnv::new(&mut inner, Some(&adv), 0.5);
+        let pert_obs = wrapped.reset(&mut rng2);
+        assert_ne!(clean_obs, pert_obs, "large-eps adversary must move the obs");
+        // And the deviation respects the budget (std = 1).
+        for (a, b) in clean_obs.iter().zip(pert_obs.iter()) {
+            assert!((a - b).abs() <= 0.5 + 1e-12);
+        }
+    }
+}

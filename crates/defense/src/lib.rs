@@ -1,0 +1,29 @@
+//! # imap-defense
+//!
+//! The defense side of the paper's evaluation (§7): victim policies trained
+//! with the robustness methods IMAP is shown to evade.
+//!
+//! Two families (paper taxonomy):
+//!
+//! - **Robust regularizer** — [`penalty::SaPenalty`] (SA, Zhang et al.
+//!   \[69\]), [`penalty::RadialPenalty`] (RADIAL, Oikarinen et al. \[43\]), and
+//!   [`wocar::WocarTrainer`] (WocaR, Liang et al. \[33\], which additionally
+//!   estimates worst-case values via interval bound propagation).
+//! - **Adversarial training** — [`atla::AtlaTrainer`] (ATLA / ATLA-SA,
+//!   Zhang et al. \[68\]): alternating victim and RL-adversary training.
+//!
+//! [`zoo`] assembles the victim matrix of Table 1 (one victim per
+//! task × method) and [`marl`] trains the multi-agent victims
+//! (runner / kicker) used by Figure 5.
+
+pub mod atla;
+pub mod marl;
+pub mod penalty;
+pub mod wocar;
+pub mod zoo;
+
+pub use atla::{AtlaConfig, AtlaTrainer};
+pub use marl::{train_game_victim, train_game_victim_selfplay, OpponentPool, ScriptedOpponent, VictimGameEnv};
+pub use penalty::{RadialPenalty, SaPenalty};
+pub use wocar::{WocarConfig, WocarTrainer};
+pub use zoo::{train_victim, DefenseMethod, VictimBudget};

@@ -1,0 +1,418 @@
+//! Multi-agent victim training.
+//!
+//! The paper's game victims were "trained via self-playing against random
+//! old versions of their opponents" (§6.1). We substitute a *population of
+//! scripted opponents* with randomized behaviour modes drawn per episode —
+//! the same training-distribution property that matters for the attack
+//! (the victim is competent against in-distribution opponents but has
+//! never seen the off-distribution states an adversarial policy steers it
+//! into).
+
+use imap_env::{Env, EnvRng, MultiAgentEnv, Step};
+use imap_nn::NnError;
+use imap_rl::{train_ppo, GaussianPolicy, TrainConfig};
+use rand::Rng;
+
+/// A scripted opponent: picks a behaviour mode per episode and maps its
+/// observation to an action.
+pub struct ScriptedOpponent {
+    /// Number of behaviour modes.
+    pub modes: usize,
+    act: fn(mode: usize, obs: &[f64], rng: &mut EnvRng) -> Vec<f64>,
+    current_mode: usize,
+}
+
+impl ScriptedOpponent {
+    /// A blocker population for YouShallNotPass: still wall / y-tracker /
+    /// drifting tracker / full-speed charger. The charger teaches the victim
+    /// to brace and dodge through contact, which is what the paper's
+    /// self-play victims know how to do.
+    pub fn blocker_population() -> Self {
+        fn act(mode: usize, obs: &[f64], rng: &mut EnvRng) -> Vec<f64> {
+            // Adversary obs layout: own (x y vx vy bal fallen) + other
+            // (relx rely vx vy bal fallen).
+            let rel_x = obs[6];
+            let rel_y = obs[7];
+            match mode {
+                0 => vec![0.0, 0.0, 1.0], // braced wall
+                1 => vec![0.0, (2.5 * rel_y).clamp(-1.0, 1.0), 0.8], // tracker
+                2 => vec![
+                    (0.3 + 0.2 * rng.gen::<f64>()) * -1.0, // drift toward runner
+                    (1.5 * rel_y).clamp(-1.0, 1.0),
+                    0.4,
+                ],
+                _ => vec![
+                    // Charger: run straight at the runner, braced.
+                    (2.0 * rel_x).clamp(-1.0, 1.0),
+                    (2.0 * rel_y).clamp(-1.0, 1.0),
+                    0.9,
+                ],
+            }
+        }
+        ScriptedOpponent {
+            modes: 4,
+            act,
+            current_mode: 0,
+        }
+    }
+
+    /// A goalie population for KickAndDefend: center-holder / ball-tracker /
+    /// wanderer / corner campers. The campers teach the kicker to aim away
+    /// from wherever the goalie stands — without that skill a pre-committing
+    /// learned goalie beats it trivially.
+    pub fn goalie_population() -> Self {
+        fn act(mode: usize, obs: &[f64], rng: &mut EnvRng) -> Vec<f64> {
+            let own_y = obs[1];
+            let ball_rel_y = obs[5];
+            match mode {
+                0 => vec![0.0, (-2.0 * own_y).clamp(-1.0, 1.0)], // hold center
+                1 => vec![0.0, (3.0 * ball_rel_y).clamp(-1.0, 1.0)], // track ball
+                2 => vec![0.0, rng.gen_range(-1.0..1.0)],        // wander
+                3 => vec![0.0, (3.0 * (0.9 - own_y)).clamp(-1.0, 1.0)], // camp +y corner
+                _ => vec![0.0, (3.0 * (-0.9 - own_y)).clamp(-1.0, 1.0)], // camp −y corner
+            }
+        }
+        ScriptedOpponent {
+            modes: 5,
+            act,
+            current_mode: 0,
+        }
+    }
+
+    fn resample_mode(&mut self, rng: &mut EnvRng) {
+        self.current_mode = rng.gen_range(0..self.modes);
+    }
+
+    fn action(&self, obs: &[f64], rng: &mut EnvRng) -> Vec<f64> {
+        (self.act)(self.current_mode, obs, rng)
+    }
+}
+
+/// An opponent population: scripted behaviour modes plus frozen snapshots
+/// of previously *learned* opponents ("random old versions", §6.1). One
+/// member is drawn per episode.
+pub struct OpponentPool {
+    scripted: ScriptedOpponent,
+    learned: Vec<GaussianPolicy>,
+    /// `Some(i)`: this episode uses learned snapshot `i`; `None`: scripted.
+    active_learned: Option<usize>,
+}
+
+impl OpponentPool {
+    /// A pool with scripted members only.
+    pub fn scripted_only(scripted: ScriptedOpponent) -> Self {
+        OpponentPool {
+            scripted,
+            learned: Vec::new(),
+            active_learned: None,
+        }
+    }
+
+    /// Adds a frozen learned opponent snapshot.
+    pub fn push_learned(&mut self, policy: GaussianPolicy) {
+        self.learned.push(policy);
+    }
+
+    /// Number of learned snapshots in the pool.
+    pub fn learned_count(&self) -> usize {
+        self.learned.len()
+    }
+
+    fn resample(&mut self, rng: &mut EnvRng) {
+        // Half the episodes face a learned snapshot once any exist.
+        if !self.learned.is_empty() && rng.gen_bool(0.5) {
+            self.active_learned = Some(rng.gen_range(0..self.learned.len()));
+        } else {
+            self.active_learned = None;
+            self.scripted.resample_mode(rng);
+        }
+    }
+
+    fn action(&self, obs: &[f64], rng: &mut EnvRng) -> Vec<f64> {
+        match self.active_learned {
+            Some(i) => self.learned[i]
+                .act_deterministic(obs)
+                .expect("opponent dims match game"),
+            None => self.scripted.action(obs, rng),
+        }
+    }
+}
+
+/// A single-agent view of a game for the *victim*, with an opponent
+/// population on the other side.
+pub struct VictimGameEnv {
+    game: Box<dyn MultiAgentEnv>,
+    opponent: OpponentPool,
+    adversary_obs: Vec<f64>,
+}
+
+impl VictimGameEnv {
+    /// Wraps `game` with a scripted opponent population.
+    pub fn new(game: Box<dyn MultiAgentEnv>, opponent: ScriptedOpponent) -> Self {
+        Self::with_pool(game, OpponentPool::scripted_only(opponent))
+    }
+
+    /// Wraps `game` with a full opponent pool.
+    pub fn with_pool(game: Box<dyn MultiAgentEnv>, opponent: OpponentPool) -> Self {
+        VictimGameEnv {
+            game,
+            opponent,
+            adversary_obs: Vec::new(),
+        }
+    }
+}
+
+impl Env for VictimGameEnv {
+    fn obs_dim(&self) -> usize {
+        self.game.victim_obs_dim()
+    }
+
+    fn action_dim(&self) -> usize {
+        self.game.victim_action_dim()
+    }
+
+    fn max_steps(&self) -> usize {
+        self.game.max_steps()
+    }
+
+    fn reset(&mut self, rng: &mut EnvRng) -> Vec<f64> {
+        let (vobs, aobs) = self.game.reset(rng);
+        self.adversary_obs = aobs;
+        self.opponent.resample(rng);
+        vobs
+    }
+
+    fn step(&mut self, action: &[f64], rng: &mut EnvRng) -> Step {
+        let opp_action = self.opponent.action(&self.adversary_obs, rng);
+        let ms = self.game.step(action, &opp_action, rng);
+        self.adversary_obs = ms.adversary_obs;
+        let won = ms.victim_won.unwrap_or(false);
+        Step {
+            obs: ms.victim_obs,
+            reward: ms.victim_reward,
+            done: ms.done,
+            unhealthy: false,
+            progress: false,
+            success: won,
+        }
+    }
+
+    fn state_summary(&self) -> Vec<f64> {
+        let mut s = self.game.victim_state();
+        s.extend(self.game.adversary_state());
+        s
+    }
+}
+
+/// Trains a game victim against the scripted opponent population only.
+pub fn train_game_victim(
+    game: Box<dyn MultiAgentEnv>,
+    opponent: ScriptedOpponent,
+    cfg: &TrainConfig,
+) -> Result<GaussianPolicy, NnError> {
+    let mut env = VictimGameEnv::new(game, opponent);
+    let (policy, _) = train_ppo(&mut env, cfg, None, None)?;
+    Ok(policy)
+}
+
+/// Self-play victim training, matching the paper's provenance: the victim
+/// first learns against the scripted population, then alternately (a) a
+/// fresh opponent is trained against the frozen victim with PPO on the
+/// reduced MDP and frozen into the pool as an "old version", and (b) the
+/// victim resumes training against the enlarged pool.
+///
+/// `make_game` builds fresh copies of the game. `rounds` alternations of
+/// `opponent_iters` opponent PPO iterations and `victim_iters_per_round`
+/// victim iterations follow `initial_victim_iters` of scripted-only warmup
+/// (all at `cfg.steps_per_iter` steps each).
+#[allow(clippy::too_many_arguments)]
+pub fn train_game_victim_selfplay(
+    make_game: &mut dyn FnMut() -> Box<dyn MultiAgentEnv>,
+    scripted: fn() -> ScriptedOpponent,
+    cfg: &TrainConfig,
+    initial_victim_iters: usize,
+    rounds: usize,
+    opponent_iters: usize,
+    victim_iters_per_round: usize,
+) -> Result<GaussianPolicy, NnError> {
+    let mut pool = OpponentPool::scripted_only(scripted());
+    let probe_env = VictimGameEnv::new(make_game(), scripted());
+    let mut runner = imap_rl::PpoRunner::new(&probe_env, cfg.clone())?;
+
+    let mut env = VictimGameEnv::with_pool(make_game(), pool);
+    for _ in 0..initial_victim_iters {
+        runner.iterate(&mut env, None, None)?;
+    }
+    pool = env.opponent;
+
+    for round in 0..rounds {
+        // (a) Train an opponent "old version" against the frozen victim.
+        let opp_cfg = TrainConfig {
+            iterations: opponent_iters,
+            seed: cfg.seed ^ (0xbb00 + round as u64),
+            ..cfg.clone()
+        };
+        let outcome =
+            imap_core::attacks::ap_marl(make_game(), runner.policy.clone(), opp_cfg)?;
+        pool.push_learned(outcome.policy);
+        // (b) Resume victim training against the enlarged pool.
+        let mut env = VictimGameEnv::with_pool(make_game(), pool);
+        for _ in 0..victim_iters_per_round {
+            runner.iterate(&mut env, None, None)?;
+        }
+        pool = env.opponent;
+    }
+    Ok(runner.policy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imap_env::multiagent::{KickAndDefend, YouShallNotPass};
+    use imap_rl::PpoConfig;
+    use rand::SeedableRng;
+
+    fn quick(seed: u64, iterations: usize) -> TrainConfig {
+        TrainConfig {
+            iterations,
+            steps_per_iter: 1024,
+            hidden: vec![16, 16],
+            seed,
+            ppo: PpoConfig {
+                epochs: 5,
+                ..PpoConfig::default()
+            },
+            ..TrainConfig::default()
+        }
+    }
+
+    #[test]
+    fn victim_game_env_dims() {
+        let env = VictimGameEnv::new(
+            Box::new(YouShallNotPass::new()),
+            ScriptedOpponent::blocker_population(),
+        );
+        assert_eq!(env.obs_dim(), 12);
+        assert_eq!(env.action_dim(), 3);
+    }
+
+    #[test]
+    fn runner_learns_to_cross() {
+        let policy = train_game_victim(
+            Box::new(YouShallNotPass::new()),
+            ScriptedOpponent::blocker_population(),
+            &quick(11, 25),
+        )
+        .unwrap();
+        // Evaluate against the same population.
+        let mut env = VictimGameEnv::new(
+            Box::new(YouShallNotPass::new()),
+            ScriptedOpponent::blocker_population(),
+        );
+        let mut rng = EnvRng::seed_from_u64(5);
+        let r = imap_rl::evaluate(
+            &mut env,
+            &policy,
+            &imap_rl::EvalConfig {
+                episodes: 20,
+                deterministic: true,
+            },
+            &mut rng,
+        )
+        .unwrap();
+        assert!(
+            r.success_rate > 0.4,
+            "trained runner should beat scripted blockers often: {}",
+            r.success_rate
+        );
+    }
+
+    #[test]
+    fn opponent_pool_mixes_learned_and_scripted() {
+        let mut pool = OpponentPool::scripted_only(ScriptedOpponent::blocker_population());
+        assert_eq!(pool.learned_count(), 0);
+        let learned = GaussianPolicy::new(
+            12,
+            3,
+            &[8],
+            -0.5,
+            &mut rand::rngs::StdRng::seed_from_u64(44),
+        )
+        .unwrap();
+        pool.push_learned(learned);
+        assert_eq!(pool.learned_count(), 1);
+        // Over many resamples, both scripted and learned members are drawn.
+        let mut rng = EnvRng::seed_from_u64(7);
+        let mut used_learned = 0;
+        let mut used_scripted = 0;
+        for _ in 0..100 {
+            pool.resample(&mut rng);
+            if pool.active_learned.is_some() {
+                used_learned += 1;
+            } else {
+                used_scripted += 1;
+            }
+        }
+        assert!(used_learned > 20, "learned snapshots drawn: {used_learned}");
+        assert!(used_scripted > 20, "scripted modes drawn: {used_scripted}");
+    }
+
+    #[test]
+    fn selfplay_trains_end_to_end() {
+        let mut make = || Box::new(YouShallNotPass::with_max_steps(60)) as Box<dyn MultiAgentEnv>;
+        let p = train_game_victim_selfplay(
+            &mut make,
+            ScriptedOpponent::blocker_population,
+            &quick(50, 0),
+            2,
+            1,
+            1,
+            2,
+        )
+        .unwrap();
+        assert_eq!(p.obs_dim(), 12);
+        assert_eq!(p.action_dim(), 3);
+    }
+
+    #[test]
+    fn mode_resampled_per_episode() {
+        let mut opp = ScriptedOpponent::blocker_population();
+        let mut rng = EnvRng::seed_from_u64(1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..50 {
+            opp.resample_mode(&mut rng);
+            seen.insert(opp.current_mode);
+        }
+        assert_eq!(seen.len(), opp.modes, "all modes should appear");
+    }
+
+    #[test]
+    fn goalie_population_defends_sometimes() {
+        // An untrained kicker against the goalie population never scores
+        // (it can't even reach the ball reliably) -> success_rate ~ 0.
+        let policy = GaussianPolicy::new(
+            12,
+            4,
+            &[8],
+            -0.5,
+            &mut rand::rngs::StdRng::seed_from_u64(3),
+        )
+        .unwrap();
+        let mut env = VictimGameEnv::new(
+            Box::new(KickAndDefend::with_max_steps(80)),
+            ScriptedOpponent::goalie_population(),
+        );
+        let mut rng = EnvRng::seed_from_u64(6);
+        let r = imap_rl::evaluate(
+            &mut env,
+            &policy,
+            &imap_rl::EvalConfig {
+                episodes: 10,
+                deterministic: true,
+            },
+            &mut rng,
+        )
+        .unwrap();
+        assert!(r.success_rate < 0.5);
+    }
+}

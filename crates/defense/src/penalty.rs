@@ -1,0 +1,311 @@
+//! Robust-regularizer penalties (plugged into PPO via
+//! [`imap_rl::PenaltyFn`]).
+//!
+//! Both penalize how much the policy mean moves under l∞ observation
+//! perturbations of radius ε:
+//!
+//! - [`SaPenalty`] (SA, \[69\]): the *expected* smoothness
+//!   `E_δ ‖μ(z) − μ(z + δ)‖²` with δ uniform in the ball. The paper's SA
+//!   solves a convex relaxation; the sampled form is the standard cheap
+//!   substitute and is documented in `DESIGN.md`.
+//! - [`RadialPenalty`] (RADIAL, \[43\]): an *adversarial* loss — the worst of
+//!   `k` sampled perturbations per state, a lower bound on the true
+//!   worst-case deviation whose tightness is monitored against the sound
+//!   IBP bound (`imap_nn::ibp`).
+
+use imap_nn::{Matrix, NnError};
+use imap_rl::{GaussianPolicy, PenaltyFn};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Computes the penalty gradient for a (clean, perturbed) pair of batches:
+/// `L = (coef / n) Σ ‖μ(z) − μ(z')‖²`. Returns `(loss, flat policy grads)`.
+fn smoothness_grads(
+    policy: &GaussianPolicy,
+    clean: &[&[f64]],
+    perturbed: &[Vec<f64>],
+    coef: f64,
+) -> Result<(f64, Vec<f64>), NnError> {
+    let n = clean.len() as f64;
+    let x_clean = Matrix::from_rows(clean)?;
+    let rows_pert: Vec<&[f64]> = perturbed.iter().map(|z| z.as_slice()).collect();
+    let x_pert = Matrix::from_rows(&rows_pert)?;
+    let cache_clean = policy.mlp.forward(&x_clean)?;
+    let cache_pert = policy.mlp.forward(&x_pert)?;
+    let mu_c = cache_clean.output();
+    let mu_p = cache_pert.output();
+
+    let mut loss = 0.0;
+    let mut dout_c = Matrix::zeros(mu_c.rows(), mu_c.cols());
+    let mut dout_p = Matrix::zeros(mu_p.rows(), mu_p.cols());
+    for r in 0..mu_c.rows() {
+        for c in 0..mu_c.cols() {
+            let diff = mu_c.get(r, c) - mu_p.get(r, c);
+            loss += coef * diff * diff / n;
+            dout_c.set(r, c, 2.0 * coef * diff / n);
+            dout_p.set(r, c, -2.0 * coef * diff / n);
+        }
+    }
+    let (g_c, _) = policy.mlp.backward(&cache_clean, &dout_c)?;
+    let (g_p, _) = policy.mlp.backward(&cache_pert, &dout_p)?;
+    let mut flat = g_c.flatten();
+    for (a, b) in flat.iter_mut().zip(g_p.flatten().iter()) {
+        *a += b;
+    }
+    // log_std receives no smoothness gradient.
+    flat.extend(std::iter::repeat(0.0).take(policy.head.log_std.len()));
+    Ok((loss, flat))
+}
+
+/// The SA smooth-policy regularizer (expected smoothness under sampled
+/// perturbations).
+pub struct SaPenalty {
+    /// Perturbation radius ε (in normalized observation units).
+    pub eps: f64,
+    /// Penalty coefficient.
+    pub coef: f64,
+    rng: StdRng,
+}
+
+impl SaPenalty {
+    /// Creates the penalty with its own RNG stream.
+    pub fn new(eps: f64, coef: f64, seed: u64) -> Self {
+        SaPenalty {
+            eps,
+            coef,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+/// Per-dimension perturbation radii in *normalized* units equivalent to a
+/// raw-space l∞ ball of radius `eps` (the attack operates on raw states;
+/// penalties operate on the normalized observations PPO hands them).
+///
+/// Radii are capped at 1σ: a tightly-regulated state dimension has a tiny
+/// std, and an uncapped `eps/std` would force the policy to be constant
+/// across the whole operating range of exactly the dimension it must react
+/// to — over-regularization that destroys the victim instead of smoothing
+/// it.
+pub(crate) fn normalized_radii(policy: &GaussianPolicy, eps: f64) -> Vec<f64> {
+    policy
+        .norm
+        .std()
+        .iter()
+        .map(|s| (eps / s.max(1e-6)).min(1.0))
+        .collect()
+}
+
+impl PenaltyFn for SaPenalty {
+    fn penalty(
+        &mut self,
+        policy: &GaussianPolicy,
+        zs: &[&[f64]],
+    ) -> Result<(f64, Vec<f64>), NnError> {
+        if zs.is_empty() {
+            return Ok((0.0, vec![0.0; policy.param_count()]));
+        }
+        let radii = normalized_radii(policy, self.eps);
+        let perturbed: Vec<Vec<f64>> = zs
+            .iter()
+            .map(|z| {
+                z.iter()
+                    .zip(radii.iter())
+                    .map(|(&v, &r)| v + self.rng.gen_range(-r..=r))
+                    .collect()
+            })
+            .collect();
+        smoothness_grads(policy, zs, &perturbed, self.coef)
+    }
+}
+
+/// The RADIAL adversarial loss (worst-of-`k` sampled perturbations).
+pub struct RadialPenalty {
+    /// Perturbation radius ε.
+    pub eps: f64,
+    /// Penalty coefficient.
+    pub coef: f64,
+    /// Candidate perturbations per state.
+    pub candidates: usize,
+    rng: StdRng,
+}
+
+impl RadialPenalty {
+    /// Creates the penalty with its own RNG stream.
+    pub fn new(eps: f64, coef: f64, candidates: usize, seed: u64) -> Self {
+        RadialPenalty {
+            eps,
+            coef,
+            candidates: candidates.max(1),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Picks, for each state, the candidate perturbation maximizing the
+    /// output deviation (the inner adversarial maximization).
+    fn worst_perturbations(
+        &mut self,
+        policy: &GaussianPolicy,
+        zs: &[&[f64]],
+    ) -> Result<Vec<Vec<f64>>, NnError> {
+        let radii = normalized_radii(policy, self.eps);
+        let mut out = Vec::with_capacity(zs.len());
+        for z in zs {
+            let mu = policy.mean_of(z)?;
+            let mut best: Option<(f64, Vec<f64>)> = None;
+            for c in 0..self.candidates {
+                // Corner perturbations explore the ball boundary, where the
+                // worst case of a smooth network lives; the first candidate
+                // is a random interior point for coverage.
+                let zp: Vec<f64> = z
+                    .iter()
+                    .zip(radii.iter())
+                    .map(|(&v, &r)| {
+                        if c == 0 {
+                            v + self.rng.gen_range(-r..=r)
+                        } else {
+                            v + if self.rng.gen_bool(0.5) { r } else { -r }
+                        }
+                    })
+                    .collect();
+                let mu_p = policy.mean_of(&zp)?;
+                let dev: f64 = mu
+                    .iter()
+                    .zip(mu_p.iter())
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum();
+                if best.as_ref().map_or(true, |(d, _)| dev > *d) {
+                    best = Some((dev, zp));
+                }
+            }
+            out.push(best.expect("candidates >= 1").1);
+        }
+        Ok(out)
+    }
+}
+
+impl PenaltyFn for RadialPenalty {
+    fn penalty(
+        &mut self,
+        policy: &GaussianPolicy,
+        zs: &[&[f64]],
+    ) -> Result<(f64, Vec<f64>), NnError> {
+        if zs.is_empty() {
+            return Ok((0.0, vec![0.0; policy.param_count()]));
+        }
+        let worst = self.worst_perturbations(policy, zs)?;
+        smoothness_grads(policy, zs, &worst, self.coef)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imap_nn::gradcheck::numeric_gradient;
+    use rand::rngs::StdRng;
+
+    fn policy(seed: u64) -> GaussianPolicy {
+        GaussianPolicy::new(3, 2, &[8], -0.5, &mut StdRng::seed_from_u64(seed)).unwrap()
+    }
+
+    fn states() -> Vec<Vec<f64>> {
+        (0..8)
+            .map(|i| vec![i as f64 * 0.2 - 0.8, (i as f64).sin(), 0.1])
+            .collect()
+    }
+
+    #[test]
+    fn smoothness_grads_match_finite_difference() {
+        let p = policy(0);
+        let zs = states();
+        let rows: Vec<&[f64]> = zs.iter().map(|z| z.as_slice()).collect();
+        let perturbed: Vec<Vec<f64>> = zs.iter().map(|z| z.iter().map(|v| v + 0.07).collect()).collect();
+        let (_, grads) = smoothness_grads(&p, &rows, &perturbed, 1.0).unwrap();
+        // FD over MLP params only (log_std grads are zero by construction).
+        let mlp_params = p.mlp.params();
+        let fd = numeric_gradient(
+            |params| {
+                let mut q = p.clone();
+                q.mlp.set_params(params).unwrap();
+                let n = zs.len() as f64;
+                let mut loss = 0.0;
+                for (z, zp) in zs.iter().zip(perturbed.iter()) {
+                    let a = q.mean_of(z).unwrap();
+                    let b = q.mean_of(zp).unwrap();
+                    loss += a
+                        .iter()
+                        .zip(b.iter())
+                        .map(|(x, y)| (x - y) * (x - y))
+                        .sum::<f64>()
+                        / n;
+                }
+                loss
+            },
+            &mlp_params,
+            1e-6,
+        );
+        for (i, (a, b)) in grads.iter().zip(fd.iter()).enumerate() {
+            assert!((a - b).abs() / (1.0 + b.abs()) < 1e-4, "param {i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn sa_penalty_is_nonnegative_and_right_size() {
+        let p = policy(1);
+        let mut pen = SaPenalty::new(0.1, 1.0, 7);
+        let zs = states();
+        let rows: Vec<&[f64]> = zs.iter().map(|z| z.as_slice()).collect();
+        let (loss, grads) = pen.penalty(&p, &rows).unwrap();
+        assert!(loss >= 0.0);
+        assert_eq!(grads.len(), p.param_count());
+    }
+
+    #[test]
+    fn radial_worst_case_beats_expected_case() {
+        // The worst-of-k deviation must be at least the single random one
+        // in expectation; check on a fixed policy with many states.
+        let p = policy(2);
+        let zs: Vec<Vec<f64>> = (0..64)
+            .map(|i| vec![(i as f64 * 0.37).sin(), (i as f64 * 0.11).cos(), 0.0])
+            .collect();
+        let rows: Vec<&[f64]> = zs.iter().map(|z| z.as_slice()).collect();
+        let mut sa = SaPenalty::new(0.2, 1.0, 3);
+        let mut radial = RadialPenalty::new(0.2, 1.0, 6, 3);
+        let (l_sa, _) = sa.penalty(&p, &rows).unwrap();
+        let (l_rad, _) = radial.penalty(&p, &rows).unwrap();
+        assert!(
+            l_rad > l_sa,
+            "adversarial loss should exceed expected loss: {l_rad} vs {l_sa}"
+        );
+    }
+
+    #[test]
+    fn radial_never_exceeds_ibp_bound() {
+        // The sampled worst case is a lower bound on the sound IBP bound.
+        let p = policy(3);
+        let mut radial = RadialPenalty::new(0.15, 1.0, 8, 4);
+        let zs = states();
+        let rows: Vec<&[f64]> = zs.iter().map(|z| z.as_slice()).collect();
+        let worst = radial.worst_perturbations(&p, &rows).unwrap();
+        for (z, zp) in zs.iter().zip(worst.iter()) {
+            let mu = p.mean_of(z).unwrap();
+            let mu_p = p.mean_of(zp).unwrap();
+            let dev = mu
+                .iter()
+                .zip(mu_p.iter())
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max);
+            let bound = imap_nn::ibp::output_deviation_bound(&p.mlp, z, 0.15).unwrap();
+            assert!(dev <= bound + 1e-9, "sampled {dev} exceeds IBP bound {bound}");
+        }
+    }
+
+    #[test]
+    fn empty_batch_returns_zero() {
+        let p = policy(4);
+        let mut pen = SaPenalty::new(0.1, 1.0, 5);
+        let (loss, grads) = pen.penalty(&p, &[]).unwrap();
+        assert_eq!(loss, 0.0);
+        assert!(grads.iter().all(|g| *g == 0.0));
+    }
+}

@@ -1,0 +1,247 @@
+//! An exact k-d tree for k-nearest-neighbour queries.
+//!
+//! State summaries in this workspace are 2–6 dimensional, where k-d trees
+//! are near-optimal. The implementation is index-based (no pointer chasing,
+//! no unsafe) and validated against brute force by property tests.
+
+/// Squared Euclidean distance.
+#[inline]
+fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b.iter()).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    /// Index into `points`.
+    point: usize,
+    /// Split dimension.
+    dim: usize,
+    left: Option<usize>,
+    right: Option<usize>,
+}
+
+/// An immutable k-d tree over a point set.
+#[derive(Debug, Clone)]
+pub struct KdTree {
+    points: Vec<Vec<f64>>,
+    nodes: Vec<Node>,
+    root: Option<usize>,
+}
+
+impl KdTree {
+    /// Builds a tree from `points` (consumed). Points may repeat; an empty
+    /// input yields a tree whose queries return no neighbours.
+    pub fn build(points: Vec<Vec<f64>>) -> Self {
+        let mut idx: Vec<usize> = (0..points.len()).collect();
+        let mut tree = KdTree {
+            points,
+            nodes: Vec::new(),
+            root: None,
+        };
+        if !idx.is_empty() {
+            let n = idx.len();
+            tree.root = Some(tree.build_rec(&mut idx, 0, n));
+        }
+        tree
+    }
+
+    /// Number of stored points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if the tree holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    fn build_rec(&mut self, idx: &mut [usize], lo: usize, hi: usize) -> usize {
+        let slice = &mut idx[lo..hi];
+        // Split on the dimension with the largest spread in this cell.
+        let dim = {
+            let d = self.points[slice[0]].len();
+            let mut best = 0;
+            let mut best_spread = -1.0;
+            for k in 0..d {
+                let mut mn = f64::INFINITY;
+                let mut mx = f64::NEG_INFINITY;
+                for &i in slice.iter() {
+                    let v = self.points[i][k];
+                    mn = mn.min(v);
+                    mx = mx.max(v);
+                }
+                if mx - mn > best_spread {
+                    best_spread = mx - mn;
+                    best = k;
+                }
+            }
+            best
+        };
+        let mid = slice.len() / 2;
+        slice.select_nth_unstable_by(mid, |&a, &b| {
+            self.points[a][dim]
+                .partial_cmp(&self.points[b][dim])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let point = slice[mid];
+        let node_id = self.nodes.len();
+        self.nodes.push(Node {
+            point,
+            dim,
+            left: None,
+            right: None,
+        });
+        if mid > 0 {
+            let left = self.build_rec(idx, lo, lo + mid);
+            self.nodes[node_id].left = Some(left);
+        }
+        if lo + mid + 1 < hi {
+            let right = self.build_rec(idx, lo + mid + 1, hi);
+            self.nodes[node_id].right = Some(right);
+        }
+        node_id
+    }
+
+    /// Returns the distances (not squared) to the `k` nearest stored points,
+    /// ascending. Fewer than `k` results when the tree is smaller than `k`.
+    pub fn k_nearest(&self, query: &[f64], k: usize) -> Vec<f64> {
+        if k == 0 || self.root.is_none() {
+            return Vec::new();
+        }
+        // `heap` holds squared distances, max-first, capped at k.
+        let mut heap: Vec<f64> = Vec::with_capacity(k);
+        self.search(self.root.unwrap(), query, k, &mut heap);
+        heap.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        heap.into_iter().map(f64::sqrt).collect()
+    }
+
+    fn search(&self, node_id: usize, query: &[f64], k: usize, heap: &mut Vec<f64>) {
+        let node = &self.nodes[node_id];
+        let d2 = dist2(query, &self.points[node.point]);
+        if heap.len() < k {
+            heap.push(d2);
+            heap.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+        } else if d2 < heap[0] {
+            heap[0] = d2;
+            heap.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+        }
+        let dim = node.dim;
+        let delta = query[dim] - self.points[node.point][dim];
+        let (near, far) = if delta <= 0.0 {
+            (node.left, node.right)
+        } else {
+            (node.right, node.left)
+        };
+        if let Some(n) = near {
+            self.search(n, query, k, heap);
+        }
+        // Visit the far side only if the splitting plane is closer than the
+        // current k-th best.
+        if let Some(f) = far {
+            if heap.len() < k || delta * delta < heap[0] {
+                self.search(f, query, k, heap);
+            }
+        }
+    }
+
+    /// Mean distance to the `k` nearest neighbours (the quantity the paper's
+    /// density estimate inverts). Returns `None` on an empty tree.
+    pub fn mean_knn_distance(&self, query: &[f64], k: usize) -> Option<f64> {
+        let d = self.k_nearest(query, k);
+        if d.is_empty() {
+            None
+        } else {
+            Some(d.iter().sum::<f64>() / d.len() as f64)
+        }
+    }
+}
+
+/// Brute-force k-nearest distances; the reference implementation used by
+/// tests and acceptable for small buffers.
+pub fn brute_force_k_nearest(points: &[Vec<f64>], query: &[f64], k: usize) -> Vec<f64> {
+    let mut d: Vec<f64> = points.iter().map(|p| dist2(p, query).sqrt()).collect();
+    d.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    d.truncate(k);
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_points(n: usize, d: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| (0..d).map(|_| rng.gen_range(-5.0..5.0)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn empty_tree_returns_nothing() {
+        let t = KdTree::build(Vec::new());
+        assert!(t.k_nearest(&[0.0, 0.0], 3).is_empty());
+        assert!(t.mean_knn_distance(&[0.0, 0.0], 3).is_none());
+    }
+
+    #[test]
+    fn single_point() {
+        let t = KdTree::build(vec![vec![1.0, 2.0]]);
+        let d = t.k_nearest(&[1.0, 2.0], 5);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_brute_force_random() {
+        let pts = random_points(500, 3, 42);
+        let tree = KdTree::build(pts.clone());
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let q: Vec<f64> = (0..3).map(|_| rng.gen_range(-6.0..6.0)).collect();
+            let a = tree.k_nearest(&q, 5);
+            let b = brute_force_k_nearest(&pts, &q, 5);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert!((x - y).abs() < 1e-9, "tree {x} vs brute {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_points_handled() {
+        let pts = vec![vec![0.0, 0.0]; 10];
+        let tree = KdTree::build(pts);
+        let d = tree.k_nearest(&[0.0, 0.0], 3);
+        assert_eq!(d, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn k_larger_than_n() {
+        let pts = random_points(3, 2, 1);
+        let tree = KdTree::build(pts.clone());
+        let d = tree.k_nearest(&[0.0, 0.0], 10);
+        assert_eq!(d.len(), 3);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_tree_equals_brute_force(
+            seed in 0u64..1000,
+            n in 1usize..200,
+            k in 1usize..8,
+        ) {
+            let pts = random_points(n, 2, seed);
+            let tree = KdTree::build(pts.clone());
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_add(999));
+            let q: Vec<f64> = (0..2).map(|_| rng.gen_range(-6.0..6.0)).collect();
+            let a = tree.k_nearest(&q, k);
+            let b = brute_force_k_nearest(&pts, &q, k);
+            proptest::prop_assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b.iter()) {
+                proptest::prop_assert!((x - y).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! # imap-density
+//!
+//! Nonparametric state-density approximation for IMAP's adversarial
+//! intrinsic regularizers (paper §5.2, "State Density Approximation").
+//!
+//! The paper estimates the adversarial state distribution via K-nearest-
+//! neighbour distances — `d^{π^α}(s) ≈ 1 / ‖s − s*_{D_k}‖` over the latest
+//! iteration's replay buffer `D_k`, and the policy coverage
+//! `ρ^α(s) ≈ 1 / ‖s − s*_B‖` over the union buffer `B = ∪ D_i` — explicitly
+//! preferring KNN over prediction-error methods (ICM/RND) for stability.
+//!
+//! - [`KdTree`]: exact k-nearest-neighbour queries in low dimension.
+//! - [`KnnEstimator`]: the density / distance API the regularizers consume.
+//! - [`UnionBuffer`]: the capped, decimating implementation of `B`.
+
+pub mod kdtree;
+pub mod knn;
+pub mod replay;
+
+pub use kdtree::KdTree;
+pub use knn::KnnEstimator;
+pub use replay::UnionBuffer;

@@ -1,0 +1,147 @@
+//! The union replay buffer `B = ∪_{i=1..k} D_i` (paper §5.2).
+//!
+//! The paper notes one need not keep the functional forms of old policies —
+//! storing their sampled trajectories suffices. `B` grows linearly with
+//! training, so this implementation caps memory by *decimation*: when the
+//! cap is exceeded, every second stored point is dropped and the sampling
+//! stride doubles, preserving an (approximately) uniform subsample of the
+//! whole history. Documented as a substitution in `DESIGN.md`.
+
+/// A capped, decimating union buffer of state summaries.
+#[derive(Debug, Clone)]
+pub struct UnionBuffer {
+    points: Vec<Vec<f64>>,
+    cap: usize,
+    /// Only every `stride`-th pushed point is kept.
+    stride: usize,
+    /// Number of pushes since the last kept point.
+    phase: usize,
+    /// Total points ever pushed (before decimation).
+    total_pushed: usize,
+}
+
+impl UnionBuffer {
+    /// Creates a buffer that keeps at most `cap` points (minimum 2).
+    pub fn new(cap: usize) -> Self {
+        UnionBuffer {
+            points: Vec::new(),
+            cap: cap.max(2),
+            stride: 1,
+            phase: 0,
+            total_pushed: 0,
+        }
+    }
+
+    /// Number of currently stored points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Total points pushed over the buffer's lifetime.
+    pub fn total_pushed(&self) -> usize {
+        self.total_pushed
+    }
+
+    /// Current decimation stride (1 = everything kept).
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Pushes one state summary.
+    pub fn push(&mut self, point: Vec<f64>) {
+        self.total_pushed += 1;
+        self.phase += 1;
+        if self.phase >= self.stride {
+            self.phase = 0;
+            self.points.push(point);
+            if self.points.len() > self.cap {
+                self.decimate();
+            }
+        }
+    }
+
+    /// Extends from an iterator of summaries.
+    pub fn extend<I: IntoIterator<Item = Vec<f64>>>(&mut self, iter: I) {
+        for p in iter {
+            self.push(p);
+        }
+    }
+
+    fn decimate(&mut self) {
+        let mut keep = Vec::with_capacity(self.points.len() / 2 + 1);
+        for (i, p) in self.points.drain(..).enumerate() {
+            if i % 2 == 0 {
+                keep.push(p);
+            }
+        }
+        self.points = keep;
+        self.stride *= 2;
+    }
+
+    /// A clone of the stored points (for building a
+    /// [`crate::KnnEstimator`]).
+    pub fn snapshot(&self) -> Vec<Vec<f64>> {
+        self.points.clone()
+    }
+
+    /// Borrow of the stored points.
+    pub fn points(&self) -> &[Vec<f64>] {
+        &self.points
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stores_everything_under_cap() {
+        let mut b = UnionBuffer::new(100);
+        b.extend((0..50).map(|i| vec![i as f64]));
+        assert_eq!(b.len(), 50);
+        assert_eq!(b.stride(), 1);
+    }
+
+    #[test]
+    fn caps_and_doubles_stride() {
+        let mut b = UnionBuffer::new(64);
+        b.extend((0..1000).map(|i| vec![i as f64]));
+        assert!(b.len() <= 64);
+        assert!(b.stride() > 1);
+        assert_eq!(b.total_pushed(), 1000);
+    }
+
+    #[test]
+    fn decimated_sample_spans_history() {
+        let mut b = UnionBuffer::new(32);
+        b.extend((0..1024).map(|i| vec![i as f64]));
+        let pts = b.points();
+        let min = pts.iter().map(|p| p[0]).fold(f64::INFINITY, f64::min);
+        let max = pts.iter().map(|p| p[0]).fold(f64::NEG_INFINITY, f64::max);
+        // Early history survives decimation; late history keeps arriving.
+        assert!(min < 100.0, "oldest retained point too new: {min}");
+        assert!(max > 900.0, "newest retained point too old: {max}");
+    }
+
+    #[test]
+    fn min_cap_is_two() {
+        let mut b = UnionBuffer::new(0);
+        b.extend((0..10).map(|i| vec![i as f64]));
+        assert!(b.len() >= 1);
+    }
+
+    #[test]
+    fn snapshot_is_independent() {
+        let mut b = UnionBuffer::new(10);
+        b.push(vec![1.0]);
+        let snap = b.snapshot();
+        b.push(vec![2.0]);
+        assert_eq!(snap.len(), 1);
+        assert_eq!(b.len(), 2);
+    }
+}

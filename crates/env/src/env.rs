@@ -1,0 +1,136 @@
+//! Core environment traits shared by all tasks.
+
+use rand::rngs::StdRng;
+
+/// The RNG type threaded through every environment. Using one concrete seeded
+/// generator keeps every experiment table bit-reproducible.
+pub type EnvRng = StdRng;
+
+/// The result of one environment step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Step {
+    /// Next observation.
+    pub obs: Vec<f64>,
+    /// The victim's *training-time* reward `r_E^v` — shaped, and per the
+    /// paper's threat model **invisible to the adversary** (§4.2).
+    pub reward: f64,
+    /// Episode termination flag.
+    pub done: bool,
+    /// The agent entered an unhealthy state (fell over / flipped).
+    pub unhealthy: bool,
+    /// Per-step surrogate-success indicator for dense tasks: the victim is
+    /// currently making adequate task progress ("runs far enough", §4.1).
+    pub progress: bool,
+    /// Terminal task-completion indicator for sparse tasks (crossed the
+    /// finish line, reached the goal region, reached the target).
+    pub success: bool,
+}
+
+impl Step {
+    /// A non-terminal step with the given observation and reward and all
+    /// indicator flags cleared.
+    pub fn continue_with(obs: Vec<f64>, reward: f64) -> Self {
+        Step {
+            obs,
+            reward,
+            done: false,
+            unhealthy: false,
+            progress: false,
+            success: false,
+        }
+    }
+}
+
+/// A single-agent continuous-control environment (an MDP, §3 of the paper).
+///
+/// Actions are expected in `[-1, 1]^action_dim`; environments clamp
+/// internally, so out-of-range actions are safe but saturate.
+pub trait Env {
+    /// Observation dimensionality.
+    fn obs_dim(&self) -> usize;
+    /// Action dimensionality.
+    fn action_dim(&self) -> usize;
+    /// Episode step limit (an episode `done` is forced at this length).
+    fn max_steps(&self) -> usize;
+    /// Resets to an initial state drawn from the initial-state distribution
+    /// `mu`, returning the first observation.
+    fn reset(&mut self, rng: &mut EnvRng) -> Vec<f64>;
+    /// Advances one step under `action`.
+    fn step(&mut self, action: &[f64], rng: &mut EnvRng) -> Step;
+    /// A low-dimensional task-relevant summary of the current full state,
+    /// used by the risk-driven regularizer's projection `Pi_{S^v}` and by
+    /// the KNN density estimators. Defaults to the observation.
+    fn state_summary(&self) -> Vec<f64>;
+}
+
+/// The result of one two-player step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiStep {
+    /// The victim's next observation.
+    pub victim_obs: Vec<f64>,
+    /// The adversary's next observation.
+    pub adversary_obs: Vec<f64>,
+    /// The victim's training-time reward (zero-sum: adversary's is its
+    /// negation), invisible to the adversary per the threat model.
+    pub victim_reward: f64,
+    /// Episode termination flag.
+    pub done: bool,
+    /// Set at episode end: `Some(true)` if the victim won.
+    pub victim_won: Option<bool>,
+}
+
+/// A two-player zero-sum competitive game (a Markov Game, §3).
+///
+/// When the victim policy is frozen this reduces to the single-player MDP
+/// `M^alpha` of §4.3; that reduction lives in `imap-core::threat`.
+pub trait MultiAgentEnv {
+    /// Victim observation dimensionality.
+    fn victim_obs_dim(&self) -> usize;
+    /// Adversary observation dimensionality.
+    fn adversary_obs_dim(&self) -> usize;
+    /// Victim action dimensionality.
+    fn victim_action_dim(&self) -> usize;
+    /// Adversary action dimensionality.
+    fn adversary_action_dim(&self) -> usize;
+    /// Episode step limit.
+    fn max_steps(&self) -> usize;
+    /// Resets the game, returning `(victim_obs, adversary_obs)`.
+    fn reset(&mut self, rng: &mut EnvRng) -> (Vec<f64>, Vec<f64>);
+    /// Advances one simultaneous-move step.
+    fn step(&mut self, victim_action: &[f64], adversary_action: &[f64], rng: &mut EnvRng)
+        -> MultiStep;
+    /// Projection of the full state onto the victim's task-relevant
+    /// coordinates (`Pi_{S^v}`, used by the marginal SC-M/PC-M regularizers
+    /// with trade-off ξ, eqs. 7 and 9).
+    fn victim_state(&self) -> Vec<f64>;
+    /// Projection onto the adversary's task-relevant coordinates.
+    fn adversary_state(&self) -> Vec<f64>;
+}
+
+/// Clamps every action component into `[-1, 1]`.
+pub(crate) fn clamp_action(action: &[f64], dim: usize) -> Vec<f64> {
+    let mut a = vec![0.0; dim];
+    for (i, slot) in a.iter_mut().enumerate() {
+        let v = action.get(i).copied().unwrap_or(0.0);
+        *slot = v.clamp(-1.0, 1.0);
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamp_action_pads_and_saturates() {
+        let a = clamp_action(&[2.0, -3.0], 3);
+        assert_eq!(a, vec![1.0, -1.0, 0.0]);
+    }
+
+    #[test]
+    fn continue_with_clears_flags() {
+        let s = Step::continue_with(vec![1.0], 0.5);
+        assert!(!s.done && !s.unhealthy && !s.progress && !s.success);
+        assert_eq!(s.reward, 0.5);
+    }
+}

@@ -1,0 +1,253 @@
+//! FetchReach: a 3-link planar arm reaching a target (manipulation task).
+//!
+//! Substitutes the paper's Fetch robotics FetchReach: a kinematic chain whose
+//! end effector must reach a randomly placed target. The victim trains with
+//! distance-shaped reward; the task metric and the adversary's surrogate are
+//! the sparse reached/not-reached indicator (+1 / -0.1 per
+//! [`crate::sparse::sparse_episode_metric`]'s convention for tasks without a
+//! timeout-neutral outcome — a FetchReach episode that times out has failed).
+
+use rand::Rng;
+
+use crate::env::{clamp_action, Env, EnvRng, Step};
+
+const DT: f64 = 0.05;
+/// Link lengths of the arm.
+const LINKS: [f64; 3] = [0.5, 0.4, 0.3];
+/// Success tolerance on end-effector distance to target.
+const REACH_TOL: f64 = 0.08;
+/// Joint angular velocity limit.
+const JOINT_SPEED: f64 = 1.5;
+
+/// The 3-link planar reaching arm.
+#[derive(Debug, Clone)]
+pub struct FetchReach {
+    joints: [f64; 3],
+    joint_vels: [f64; 3],
+    target: (f64, f64),
+    prev_dist: f64,
+    steps: usize,
+    max_steps: usize,
+}
+
+impl FetchReach {
+    /// Creates a reach task with the default 100-step episode limit.
+    pub fn new() -> Self {
+        Self::with_max_steps(100)
+    }
+
+    /// Creates a reach task with a custom episode limit.
+    pub fn with_max_steps(max_steps: usize) -> Self {
+        FetchReach {
+            joints: [0.0; 3],
+            joint_vels: [0.0; 3],
+            target: (1.0, 0.0),
+            prev_dist: 0.0,
+            steps: 0,
+            max_steps,
+        }
+    }
+
+    /// Forward kinematics: end-effector position for joint angles `q`.
+    pub fn forward_kinematics(q: &[f64; 3]) -> (f64, f64) {
+        let mut x = 0.0;
+        let mut y = 0.0;
+        let mut angle = 0.0;
+        for (qi, li) in q.iter().zip(LINKS.iter()) {
+            angle += qi;
+            x += li * angle.cos();
+            y += li * angle.sin();
+        }
+        (x, y)
+    }
+
+    fn ee(&self) -> (f64, f64) {
+        Self::forward_kinematics(&self.joints)
+    }
+
+    fn dist(&self) -> f64 {
+        let (ex, ey) = self.ee();
+        ((ex - self.target.0).powi(2) + (ey - self.target.1).powi(2)).sqrt()
+    }
+
+    fn observation(&self) -> Vec<f64> {
+        let (ex, ey) = self.ee();
+        vec![
+            self.joints[0],
+            self.joints[1],
+            self.joints[2],
+            self.joint_vels[0],
+            self.joint_vels[1],
+            self.joint_vels[2],
+            ex,
+            ey,
+            self.target.0 - ex,
+            self.target.1 - ey,
+        ]
+    }
+
+    /// The current target position.
+    pub fn target(&self) -> (f64, f64) {
+        self.target
+    }
+}
+
+impl Default for FetchReach {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Env for FetchReach {
+    fn obs_dim(&self) -> usize {
+        10
+    }
+
+    fn action_dim(&self) -> usize {
+        3
+    }
+
+    fn max_steps(&self) -> usize {
+        self.max_steps
+    }
+
+    fn reset(&mut self, rng: &mut EnvRng) -> Vec<f64> {
+        self.joints = [
+            rng.gen_range(-0.2..0.2),
+            rng.gen_range(0.2..0.6),
+            rng.gen_range(-0.3..0.3),
+        ];
+        self.joint_vels = [0.0; 3];
+        // Targets drawn inside the reachable annulus.
+        let radius = rng.gen_range(0.5..1.05);
+        let angle = rng.gen_range(-1.2..1.2);
+        self.target = (radius * f64::cos(angle), radius * f64::sin(angle));
+        self.prev_dist = self.dist();
+        self.steps = 0;
+        self.observation()
+    }
+
+    fn step(&mut self, action: &[f64], _rng: &mut EnvRng) -> Step {
+        let a = clamp_action(action, 3);
+        self.steps += 1;
+        for i in 0..3 {
+            // First-order velocity tracking per joint.
+            self.joint_vels[i] += DT * 8.0 * (JOINT_SPEED * a[i] - self.joint_vels[i]);
+            self.joints[i] = (self.joints[i] + DT * self.joint_vels[i]).clamp(-2.5, 2.5);
+        }
+        let dist = self.dist();
+        let success = dist < REACH_TOL;
+        let reward = 4.0 * (self.prev_dist - dist) - 0.01 + if success { 5.0 } else { 0.0 };
+        self.prev_dist = dist;
+        Step {
+            obs: self.observation(),
+            reward,
+            done: success || self.steps >= self.max_steps,
+            unhealthy: false,
+            progress: false,
+            success,
+        }
+    }
+
+    fn state_summary(&self) -> Vec<f64> {
+        let (ex, ey) = self.ee();
+        vec![ex, ey]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn kinematics_straight_arm() {
+        let (x, y) = FetchReach::forward_kinematics(&[0.0, 0.0, 0.0]);
+        assert!((x - 1.2).abs() < 1e-12);
+        assert!(y.abs() < 1e-12);
+    }
+
+    #[test]
+    fn kinematics_right_angle() {
+        let (x, y) = FetchReach::forward_kinematics(&[std::f64::consts::FRAC_PI_2, 0.0, 0.0]);
+        assert!(x.abs() < 1e-12);
+        assert!((y - 1.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jacobian_like_controller_reaches() {
+        let mut env = FetchReach::new();
+        let mut rng = EnvRng::seed_from_u64(17);
+        let mut reaches = 0;
+        for _trial in 0..5 {
+            let mut obs = env.reset(&mut rng);
+            let mut reached = false;
+            for _ in 0..100 {
+                // Greedy controller: push each joint in the direction that
+                // reduces the distance (numeric one-step lookahead).
+                let q = [obs[0], obs[1], obs[2]];
+                let target = env.target();
+                let dist_at = |q: &[f64; 3]| {
+                    let (x, y) = FetchReach::forward_kinematics(q);
+                    ((x - target.0).powi(2) + (y - target.1).powi(2)).sqrt()
+                };
+                let base = dist_at(&q);
+                let vels = [obs[3], obs[4], obs[5]];
+                let mut a = [0.0; 3];
+                for i in 0..3 {
+                    let mut qp = q;
+                    qp[i] += 0.05;
+                    // Proportional descent on distance with velocity damping.
+                    a[i] = (30.0 * (base - dist_at(&qp)) - 0.5 * vels[i]).clamp(-1.0, 1.0);
+                }
+                let s = env.step(&a, &mut rng);
+                obs = s.obs;
+                if s.done {
+                    reached = s.success;
+                    break;
+                }
+            }
+            if reached {
+                reaches += 1;
+            }
+        }
+        // Greedy descent is myopic (the distance landscape is nonconvex in
+        // joint space), so require a majority, not perfection.
+        assert!(reaches >= 3, "greedy reacher should usually reach: {reaches}/5");
+    }
+
+    #[test]
+    fn idle_arm_times_out_without_success() {
+        let mut env = FetchReach::new();
+        let mut rng = EnvRng::seed_from_u64(23);
+        env.reset(&mut rng);
+        let mut last = None;
+        for _ in 0..100 {
+            let s = env.step(&[0.0; 3], &mut rng);
+            let done = s.done;
+            last = Some(s);
+            if done {
+                break;
+            }
+        }
+        let last = last.unwrap();
+        assert!(last.done);
+        assert!(!last.success);
+    }
+
+    #[test]
+    fn joints_stay_in_limits() {
+        let mut env = FetchReach::new();
+        let mut rng = EnvRng::seed_from_u64(29);
+        env.reset(&mut rng);
+        for _ in 0..100 {
+            let s = env.step(&[1.0, 1.0, 1.0], &mut rng);
+            for j in &s.obs[0..3] {
+                assert!(j.abs() <= 2.5 + 1e-9);
+            }
+            if s.done {
+                break;
+            }
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! # imap-env
+//!
+//! Deterministic, laptop-scale environments substituting for the OpenAI
+//! Gym + MuJoCo task suite used in the IMAP paper (see `DESIGN.md` §1 for the
+//! substitution rationale). Every task family from the paper's evaluation is
+//! present:
+//!
+//! - **Dense-reward locomotion** (Table 1): [`locomotion::Hopper`],
+//!   [`locomotion::Walker2d`], [`locomotion::HalfCheetah`],
+//!   [`locomotion::Ant`] — each a distinct reduced-order rigid-body model
+//!   with the attack-relevant structure of its MuJoCo counterpart
+//!   (forward-progress reward, instability, unhealthy termination).
+//! - **Sparse-reward locomotion** (Table 2 / Figure 4): the same bodies under
+//!   the [`sparse::SparseLocomotion`] wrapper (+ the
+//!   [`locomotion::Humanoid`] and [`locomotion::HumanoidStandup`] bodies
+//!   which only appear in sparse form, as in the paper).
+//! - **Navigation** (Table 2): [`navigation::AntUMaze`] and
+//!   [`navigation::Ant4Rooms`] on the shared [`maze`] engine.
+//! - **Manipulation** (Table 2): [`fetch::FetchReach`], a 3-link planar arm.
+//! - **Two-player zero-sum games** (Figure 5):
+//!   [`multiagent::YouShallNotPass`] and [`multiagent::KickAndDefend`].
+//!
+//! The [`registry`] module names every task and carries the per-task attack
+//! budget ε used by the experiment harness.
+
+pub mod env;
+pub mod fetch;
+pub mod locomotion;
+pub mod maze;
+pub mod multiagent;
+pub mod navigation;
+pub mod registry;
+pub mod render;
+pub mod sparse;
+
+pub use env::{Env, EnvRng, MultiAgentEnv, MultiStep, Step};
+pub use registry::{build_multi_task, build_task, MultiTaskId, TaskId, TaskSpec};

@@ -1,0 +1,214 @@
+//! A reduced-order planar quadruped.
+//!
+//! The ant moves on the plane with a heading; the dense reward pays only for
+//! *x-axis* velocity, so a policy must hold its heading while driving. The
+//! torso roll axis becomes unstable when turning at speed — over-correcting a
+//! perturbed heading observation flips the ant (unhealthy termination), which
+//! is the dominant failure mode of attacked MuJoCo Ant policies.
+
+use rand::Rng;
+
+use crate::env::{clamp_action, Env, EnvRng, Step};
+use crate::locomotion::{ctrl_cost, Locomotor};
+
+const DT: f64 = 0.05;
+const ROLL_LIMIT: f64 = 0.6;
+const PROGRESS_SPEED: f64 = 0.5;
+
+/// The planar quadruped (MuJoCo Ant substitute).
+#[derive(Debug, Clone)]
+pub struct Ant {
+    x: f64,
+    y: f64,
+    heading: f64,
+    speed: f64,
+    roll: f64,
+    roll_vel: f64,
+    gait_phase: f64,
+    steps: usize,
+    max_steps: usize,
+}
+
+impl Ant {
+    /// Creates an ant with the default 200-step episode limit.
+    pub fn new() -> Self {
+        Self::with_max_steps(200)
+    }
+
+    /// Creates an ant with a custom episode limit.
+    pub fn with_max_steps(max_steps: usize) -> Self {
+        Ant {
+            x: 0.0,
+            y: 0.0,
+            heading: 0.0,
+            speed: 0.0,
+            roll: 0.0,
+            roll_vel: 0.0,
+            gait_phase: 0.0,
+            steps: 0,
+            max_steps,
+        }
+    }
+
+    fn observation(&self) -> Vec<f64> {
+        vec![
+            self.heading.sin(),
+            self.heading.cos(),
+            self.speed,
+            self.roll,
+            self.roll_vel,
+            self.y,
+            self.gait_phase.sin(),
+            self.gait_phase.cos(),
+        ]
+    }
+
+    /// Current y (lateral) position; exposed for the navigation variants.
+    pub fn y(&self) -> f64 {
+        self.y
+    }
+}
+
+impl Default for Ant {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Env for Ant {
+    fn obs_dim(&self) -> usize {
+        8
+    }
+
+    fn action_dim(&self) -> usize {
+        4
+    }
+
+    fn max_steps(&self) -> usize {
+        self.max_steps
+    }
+
+    fn reset(&mut self, rng: &mut EnvRng) -> Vec<f64> {
+        self.x = 0.0;
+        self.y = 0.0;
+        self.heading = rng.gen_range(-0.1..0.1);
+        self.speed = 0.0;
+        self.roll = rng.gen_range(-0.05..0.05);
+        self.roll_vel = 0.0;
+        self.gait_phase = rng.gen_range(0.0..std::f64::consts::TAU);
+        self.steps = 0;
+        self.observation()
+    }
+
+    fn step(&mut self, action: &[f64], _rng: &mut EnvRng) -> Step {
+        let a = clamp_action(action, 4);
+        let (drive, turn, roll_ctl, gait) = (a[0], a[1], a[2], a[3]);
+        self.steps += 1;
+
+        self.gait_phase += DT * (4.0 + 2.0 * gait);
+        let turn_rate = 1.5 * turn;
+        self.heading += DT * turn_rate;
+
+        self.speed += DT * (4.0 * drive.max(0.0) - 1.0 * self.speed);
+
+        // Roll becomes unstable when turning at speed; `roll_ctl` rights it.
+        self.roll_vel += DT * (1.5 * self.roll
+            + 1.0 * turn_rate * self.speed
+            + 1.5 * roll_ctl);
+        self.roll += DT * self.roll_vel;
+
+        let vx = self.speed * self.heading.cos();
+        let vy = self.speed * self.heading.sin();
+        self.x += DT * vx;
+        self.y += DT * vy;
+
+        let unhealthy = self.roll.abs() > ROLL_LIMIT;
+        let reward = 1.0 * vx + 0.5 - 0.05 * ctrl_cost(&a);
+        Step {
+            obs: self.observation(),
+            reward,
+            done: unhealthy || self.steps >= self.max_steps,
+            unhealthy,
+            progress: vx > PROGRESS_SPEED,
+            success: false,
+        }
+    }
+
+    fn state_summary(&self) -> Vec<f64> {
+        vec![self.x, self.y, self.heading, self.roll]
+    }
+}
+
+impl Locomotor for Ant {
+    fn x(&self) -> f64 {
+        self.x
+    }
+
+    fn forward_velocity(&self) -> f64 {
+        self.speed * self.heading.cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::locomotion::test_util::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_deterministic(|| Box::new(Ant::new()), &[0.7, 0.1, -0.1, 0.0]);
+    }
+
+    #[test]
+    fn observations_finite() {
+        assert_finite_obs(&mut Ant::new(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn hard_turn_at_speed_flips() {
+        let mut env = Ant::new();
+        let mut rng = EnvRng::seed_from_u64(3);
+        env.reset(&mut rng);
+        // Build speed, then yank the turn with no roll control.
+        let mut flipped = false;
+        for t in 0..200 {
+            let turn = if t > 30 { 1.0 } else { 0.0 };
+            let s = env.step(&[1.0, turn, 0.0, 0.0], &mut rng);
+            if s.unhealthy {
+                flipped = true;
+                break;
+            }
+        }
+        assert!(flipped, "uncontrolled hard turn at speed should flip the ant");
+    }
+
+    #[test]
+    fn straight_drive_with_roll_control_advances() {
+        let mut env = Ant::new();
+        let mut rng = EnvRng::seed_from_u64(10);
+        let mut obs = env.reset(&mut rng);
+        for _ in 0..200 {
+            let (sin_h, _cos_h, _v, roll, roll_vel) = (obs[0], obs[1], obs[2], obs[3], obs[4]);
+            let turn = (-2.0 * sin_h).clamp(-1.0, 1.0);
+            let roll_ctl = (-4.0 * roll - 2.0 * roll_vel).clamp(-1.0, 1.0);
+            let s = env.step(&[1.0, turn, roll_ctl, 0.0], &mut rng);
+            obs = s.obs;
+            if s.done {
+                assert!(!s.unhealthy, "controlled ant should not flip");
+                break;
+            }
+        }
+        assert!(env.x() > 3.0, "ant should cover ground, x = {}", env.x());
+    }
+
+    #[test]
+    fn reward_pays_x_velocity_only() {
+        // Driving along +y yields ~zero x-velocity reward beyond alive bonus.
+        let mut env = Ant::new();
+        env.heading = std::f64::consts::FRAC_PI_2;
+        let mut rng = EnvRng::seed_from_u64(4);
+        let s = env.step(&[1.0, 0.0, 0.0, 0.0], &mut rng);
+        assert!(s.reward < 0.6, "sideways driving should earn ~alive bonus only");
+    }
+}

@@ -1,0 +1,210 @@
+//! A reduced-order galloping quadruped with no fall state.
+//!
+//! Like MuJoCo HalfCheetah, this body cannot enter an unhealthy state — the
+//! episode always runs to the step limit. Its vulnerability is *traction*:
+//! hard drive while the body rocks builds wheel-spin (`slip`), which cuts
+//! drive efficiency to zero. An adversary that corrupts the rock/slip
+//! observations makes the policy mismanage traction, stalling the cheetah —
+//! which is how attacked MuJoCo HalfCheetah policies end up with near-zero
+//! episode reward in Table 1 of the paper.
+
+use rand::Rng;
+
+use crate::env::{clamp_action, Env, EnvRng, Step};
+use crate::locomotion::{ctrl_cost, Locomotor};
+
+const DT: f64 = 0.05;
+const PROGRESS_SPEED: f64 = 1.5;
+
+/// The galloping body (MuJoCo HalfCheetah substitute).
+#[derive(Debug, Clone)]
+pub struct HalfCheetah {
+    x: f64,
+    vx: f64,
+    rock: f64,
+    rock_vel: f64,
+    slip: f64,
+    gait_phase: f64,
+    steps: usize,
+    max_steps: usize,
+}
+
+impl HalfCheetah {
+    /// Creates a cheetah with the default 200-step episode limit.
+    pub fn new() -> Self {
+        Self::with_max_steps(200)
+    }
+
+    /// Creates a cheetah with a custom episode limit.
+    pub fn with_max_steps(max_steps: usize) -> Self {
+        HalfCheetah {
+            x: 0.0,
+            vx: 0.0,
+            rock: 0.0,
+            rock_vel: 0.0,
+            slip: 0.0,
+            gait_phase: 0.0,
+            steps: 0,
+            max_steps,
+        }
+    }
+
+    fn observation(&self) -> Vec<f64> {
+        vec![
+            self.vx,
+            self.rock,
+            self.rock_vel,
+            self.slip,
+            self.gait_phase.sin(),
+            self.gait_phase.cos(),
+        ]
+    }
+}
+
+impl Default for HalfCheetah {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Env for HalfCheetah {
+    fn obs_dim(&self) -> usize {
+        6
+    }
+
+    fn action_dim(&self) -> usize {
+        3
+    }
+
+    fn max_steps(&self) -> usize {
+        self.max_steps
+    }
+
+    fn reset(&mut self, rng: &mut EnvRng) -> Vec<f64> {
+        self.x = 0.0;
+        self.vx = 0.0;
+        self.rock = rng.gen_range(-0.05..0.05);
+        self.rock_vel = 0.0;
+        self.slip = 0.0;
+        self.gait_phase = rng.gen_range(0.0..std::f64::consts::TAU);
+        self.steps = 0;
+        self.observation()
+    }
+
+    fn step(&mut self, action: &[f64], _rng: &mut EnvRng) -> Step {
+        let a = clamp_action(action, 3);
+        let (drive, rock_ctl, gait) = (a[0], a[1], a[2]);
+        self.steps += 1;
+
+        self.gait_phase += DT * (5.0 + 2.0 * gait);
+
+        // Body rock is *stable* but excited by hard drive; the policy damps
+        // it with `rock_ctl` to keep traction.
+        self.rock_vel += DT * (-1.0 * self.rock - 0.5 * self.rock_vel
+            + 1.8 * drive
+            + 1.2 * rock_ctl);
+        self.rock += DT * self.rock_vel;
+
+        // Slip builds when drive torque exceeds the grip available at the
+        // current rocking amplitude, and bleeds away otherwise.
+        let grip_excess = drive.abs() * self.rock.abs() - 0.05;
+        self.slip = (0.95 * self.slip + 0.6 * grip_excess.max(0.0)).clamp(0.0, 1.0);
+
+        let traction = 1.0 - self.slip;
+        self.vx += DT * (5.0 * drive * traction - 0.8 * self.vx);
+        self.x += DT * self.vx;
+
+        let reward = 1.0 * self.vx - 0.05 * ctrl_cost(&a);
+        Step {
+            obs: self.observation(),
+            reward,
+            done: self.steps >= self.max_steps,
+            unhealthy: false,
+            progress: self.vx > PROGRESS_SPEED,
+            success: false,
+        }
+    }
+
+    fn state_summary(&self) -> Vec<f64> {
+        vec![self.x, self.rock, self.slip, self.vx]
+    }
+}
+
+impl Locomotor for HalfCheetah {
+    fn x(&self) -> f64 {
+        self.x
+    }
+
+    fn forward_velocity(&self) -> f64 {
+        self.vx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::locomotion::test_util::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_deterministic(|| Box::new(HalfCheetah::new()), &[0.8, -0.3, 0.0]);
+    }
+
+    #[test]
+    fn observations_finite() {
+        assert_finite_obs(&mut HalfCheetah::new(), &[1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn never_unhealthy() {
+        for s in rollout_fixed(&mut HalfCheetah::new(), &[1.0, 1.0, -1.0], 200, 6) {
+            assert!(!s.unhealthy);
+        }
+    }
+
+    #[test]
+    fn managed_traction_outruns_greedy_drive() {
+        let run = |rock_damp: bool| -> f64 {
+            let mut env = HalfCheetah::new();
+            let mut rng = EnvRng::seed_from_u64(2);
+            let mut obs = env.reset(&mut rng);
+            for _ in 0..200 {
+                let (rock, rock_vel) = (obs[1], obs[2]);
+                let ctl = if rock_damp {
+                    (-2.0 * rock - 1.0 * rock_vel - 1.2).clamp(-1.0, 1.0)
+                } else {
+                    0.0
+                };
+                let s = env.step(&[1.0, ctl, 0.0], &mut rng);
+                obs = s.obs;
+                if s.done {
+                    break;
+                }
+            }
+            env.x()
+        };
+        let managed = run(true);
+        let greedy = run(false);
+        assert!(
+            managed > greedy,
+            "damping rock should preserve traction: managed {managed} vs greedy {greedy}"
+        );
+        assert!(managed > 3.0, "managed cheetah should cover ground: {managed}");
+    }
+
+    #[test]
+    fn slip_saturates_in_unit_interval() {
+        let mut env = HalfCheetah::new();
+        let mut rng = EnvRng::seed_from_u64(1);
+        env.reset(&mut rng);
+        for _ in 0..200 {
+            let s = env.step(&[1.0, 1.0, 0.0], &mut rng);
+            let slip = s.obs[3];
+            assert!((0.0..=1.0).contains(&slip));
+            if s.done {
+                break;
+            }
+        }
+    }
+}

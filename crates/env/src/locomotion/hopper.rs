@@ -1,0 +1,222 @@
+//! A reduced-order hopping monoped.
+//!
+//! The body alternates ballistic flight phases with instantaneous ground
+//! contacts. Forward speed is gained *only at contact* and only when the body
+//! leans slightly forward; the pitch axis is open-loop unstable, so the policy
+//! must continuously balance. This reproduces the MuJoCo Hopper's attack
+//! surface: small observation perturbations of the pitch state cause the
+//! wrong corrective torque and a fall (unhealthy termination), exactly the
+//! failure Figure 1 of the paper shows.
+
+use rand::Rng;
+
+use crate::env::{clamp_action, Env, EnvRng, Step};
+use crate::locomotion::{ctrl_cost, Locomotor};
+
+const DT: f64 = 0.05;
+/// Gravity-like downward acceleration in flight.
+const GRAVITY: f64 = 3.0;
+/// Pitch instability gain (`omega_dot = K_PITCH * theta + torque`).
+const K_PITCH: f64 = 4.0;
+/// Pitch beyond which the hopper has fallen.
+const PITCH_LIMIT: f64 = 0.35;
+/// Rest height at which contact occurs.
+const GROUND_Z: f64 = 1.0;
+/// Forward speed considered adequate task progress (dense surrogate).
+const PROGRESS_SPEED: f64 = 0.5;
+
+/// The hopping monoped (MuJoCo Hopper substitute).
+#[derive(Debug, Clone)]
+pub struct Hopper {
+    x: f64,
+    z: f64,
+    vz: f64,
+    pitch: f64,
+    pitch_vel: f64,
+    vx: f64,
+    steps: usize,
+    max_steps: usize,
+}
+
+impl Hopper {
+    /// Creates a hopper with the default 200-step episode limit.
+    pub fn new() -> Self {
+        Self::with_max_steps(200)
+    }
+
+    /// Creates a hopper with a custom episode limit (used by the sparse
+    /// wrapper, which extends the horizon).
+    pub fn with_max_steps(max_steps: usize) -> Self {
+        Hopper {
+            x: 0.0,
+            z: GROUND_Z,
+            vz: 0.0,
+            pitch: 0.0,
+            pitch_vel: 0.0,
+            vx: 0.0,
+            steps: 0,
+            max_steps,
+        }
+    }
+
+    fn observation(&self) -> Vec<f64> {
+        vec![self.z - GROUND_Z, self.vz, self.pitch, self.pitch_vel, self.vx]
+    }
+}
+
+impl Default for Hopper {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Env for Hopper {
+    fn obs_dim(&self) -> usize {
+        5
+    }
+
+    fn action_dim(&self) -> usize {
+        3
+    }
+
+    fn max_steps(&self) -> usize {
+        self.max_steps
+    }
+
+    fn reset(&mut self, rng: &mut EnvRng) -> Vec<f64> {
+        self.x = 0.0;
+        self.z = GROUND_Z + rng.gen_range(0.0..0.05);
+        self.vz = 0.0;
+        self.pitch = rng.gen_range(-0.05..0.05);
+        self.pitch_vel = rng.gen_range(-0.05..0.05);
+        self.vx = 0.0;
+        self.steps = 0;
+        self.observation()
+    }
+
+    fn step(&mut self, action: &[f64], _rng: &mut EnvRng) -> Step {
+        let a = clamp_action(action, 3);
+        let (thrust, torque, lean) = (a[0], a[1], a[2]);
+        self.steps += 1;
+
+        // Unstable pitch axis; `lean` nudges the equilibrium lean set-point.
+        self.pitch_vel += DT * (K_PITCH * self.pitch + 2.0 * torque + 0.4 * lean);
+        self.pitch += DT * self.pitch_vel;
+
+        // Vertical hop cycle: ballistic flight, instantaneous contact.
+        self.z += DT * self.vz;
+        self.vz -= DT * GRAVITY * 3.0;
+        if self.z <= GROUND_Z {
+            self.z = GROUND_Z;
+            // Take off again; thrust controls hop height, forward lean is
+            // converted into forward speed at contact.
+            self.vz = 0.8 + 0.5 * thrust.max(-0.9);
+            self.vx += 2.0 * self.pitch.clamp(-PITCH_LIMIT, PITCH_LIMIT);
+        }
+        // Air drag on forward motion.
+        self.vx *= 0.97;
+        self.x += DT * self.vx;
+
+        let unhealthy = self.pitch.abs() > PITCH_LIMIT;
+        let reward = 1.5 * self.vx + 1.0 - 0.1 * ctrl_cost(&a);
+        Step {
+            obs: self.observation(),
+            reward,
+            done: unhealthy || self.steps >= self.max_steps,
+            unhealthy,
+            progress: self.vx > PROGRESS_SPEED,
+            success: false,
+        }
+    }
+
+    fn state_summary(&self) -> Vec<f64> {
+        vec![self.x, self.z - GROUND_Z, self.pitch, self.vx]
+    }
+}
+
+impl Locomotor for Hopper {
+    fn x(&self) -> f64 {
+        self.x
+    }
+
+    fn forward_velocity(&self) -> f64 {
+        self.vx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::locomotion::test_util::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_deterministic(|| Box::new(Hopper::new()), &[0.5, -0.1, 0.2]);
+    }
+
+    #[test]
+    fn observations_finite() {
+        assert_finite_obs(&mut Hopper::new(), &[1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn falls_without_balance_control() {
+        // Constant max torque destabilizes the pitch axis quickly.
+        let steps = rollout_fixed(&mut Hopper::new(), &[0.0, 1.0, 0.0], 200, 1);
+        let last = steps.last().unwrap();
+        assert!(last.unhealthy, "hopper should fall under constant torque");
+        assert!(steps.len() < 60, "fall should be fast, took {}", steps.len());
+    }
+
+    #[test]
+    fn forward_lean_produces_forward_motion() {
+        // A crude proportional balance law holding slight forward lean.
+        let mut env = Hopper::new();
+        let mut rng = EnvRng::seed_from_u64(5);
+        let mut obs = env.reset(&mut rng);
+        let mut survived = 0;
+        for _ in 0..150 {
+            let pitch = obs[2];
+            let pitch_vel = obs[3];
+            let target = 0.08;
+            let torque = (-6.0 * (pitch - target) - 2.0 * pitch_vel).clamp(-1.0, 1.0);
+            let s = env.step(&[0.5, torque, 0.0], &mut rng);
+            obs = s.obs;
+            survived += 1;
+            if s.done {
+                break;
+            }
+        }
+        assert!(survived >= 100, "balanced hopper should survive: {survived}");
+        assert!(env.x() > 1.0, "leaning hopper should advance, x = {}", env.x());
+    }
+
+    #[test]
+    fn progress_flag_tracks_speed() {
+        let mut env = Hopper::new();
+        let mut rng = EnvRng::seed_from_u64(9);
+        env.reset(&mut rng);
+        let s = env.step(&[0.0, 0.0, 0.0], &mut rng);
+        assert!(!s.progress, "stationary hopper is not progressing");
+    }
+
+    #[test]
+    fn episode_limit_enforced() {
+        let mut env = Hopper::with_max_steps(10);
+        let mut rng = EnvRng::seed_from_u64(2);
+        let mut obs = env.reset(&mut rng);
+        let mut n = 0;
+        loop {
+            let pitch = obs[2];
+            let torque = (-6.0 * pitch).clamp(-1.0, 1.0);
+            let s = env.step(&[0.0, torque, 0.0], &mut rng);
+            obs = s.obs;
+            n += 1;
+            if s.done {
+                break;
+            }
+        }
+        assert_eq!(n, 10);
+    }
+}

@@ -1,0 +1,348 @@
+//! Reduced-order humanoid bodies (sparse tasks only, as in the paper).
+//!
+//! [`Humanoid`] is the hardest locomotion body: *two* unstable axes with a
+//! higher instability gain and a speed budget coupled to how upright it is.
+//! [`HumanoidStandup`] starts lying down and must raise its posture through a
+//! progressively less stable intermediate crouch — a sparse task whose
+//! exploration bottleneck defeats trivially-explored attacks (Table 2 /
+//! Figure 4 of the paper show SA-RL barely dents it while IMAP-PC does).
+
+use rand::Rng;
+
+use crate::env::{clamp_action, Env, EnvRng, Step};
+use crate::locomotion::{ctrl_cost, Locomotor};
+
+const DT: f64 = 0.05;
+const LEAN_LIMIT: f64 = 0.3;
+const K_LEAN: f64 = 5.0;
+const PROGRESS_SPEED: f64 = 0.4;
+
+/// The walking humanoid (MuJoCo Humanoid substitute; used sparse-only).
+#[derive(Debug, Clone)]
+pub struct Humanoid {
+    x: f64,
+    pitch: f64,
+    pitch_vel: f64,
+    roll: f64,
+    roll_vel: f64,
+    vx: f64,
+    gait_phase: f64,
+    arm_swing: f64,
+    steps: usize,
+    max_steps: usize,
+}
+
+impl Humanoid {
+    /// Creates a humanoid with the default 300-step episode limit.
+    pub fn new() -> Self {
+        Self::with_max_steps(300)
+    }
+
+    /// Creates a humanoid with a custom episode limit.
+    pub fn with_max_steps(max_steps: usize) -> Self {
+        Humanoid {
+            x: 0.0,
+            pitch: 0.0,
+            pitch_vel: 0.0,
+            roll: 0.0,
+            roll_vel: 0.0,
+            vx: 0.0,
+            gait_phase: 0.0,
+            arm_swing: 0.0,
+            steps: 0,
+            max_steps,
+        }
+    }
+
+    fn observation(&self) -> Vec<f64> {
+        vec![
+            self.pitch,
+            self.pitch_vel,
+            self.roll,
+            self.roll_vel,
+            self.vx,
+            self.gait_phase.sin(),
+            self.gait_phase.cos(),
+            self.arm_swing,
+        ]
+    }
+}
+
+impl Default for Humanoid {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Env for Humanoid {
+    fn obs_dim(&self) -> usize {
+        8
+    }
+
+    fn action_dim(&self) -> usize {
+        5
+    }
+
+    fn max_steps(&self) -> usize {
+        self.max_steps
+    }
+
+    fn reset(&mut self, rng: &mut EnvRng) -> Vec<f64> {
+        self.x = 0.0;
+        self.pitch = rng.gen_range(-0.03..0.03);
+        self.pitch_vel = 0.0;
+        self.roll = rng.gen_range(-0.03..0.03);
+        self.roll_vel = 0.0;
+        self.vx = 0.0;
+        self.gait_phase = rng.gen_range(0.0..std::f64::consts::TAU);
+        self.arm_swing = 0.0;
+        self.steps = 0;
+        self.observation()
+    }
+
+    fn step(&mut self, action: &[f64], _rng: &mut EnvRng) -> Step {
+        let a = clamp_action(action, 5);
+        let (pitch_t, roll_t, drive, gait, arm) = (a[0], a[1], a[2], a[3], a[4]);
+        self.steps += 1;
+
+        self.gait_phase += DT * (4.0 + 2.0 * gait);
+        // Arm swing is a slow state the roll controller must account for.
+        self.arm_swing = 0.9 * self.arm_swing + 0.2 * arm;
+
+        self.pitch_vel += DT * (K_LEAN * self.pitch + 2.0 * pitch_t + 0.5 * drive);
+        self.pitch += DT * self.pitch_vel;
+        self.roll_vel += DT * (K_LEAN * self.roll + 2.0 * roll_t + 0.6 * self.arm_swing);
+        self.roll += DT * self.roll_vel;
+
+        // Speed budget collapses as the body leans off either axis.
+        let uprightness = (1.0 - (self.pitch / LEAN_LIMIT).powi(2)).max(0.0)
+            * (1.0 - (self.roll / LEAN_LIMIT).powi(2)).max(0.0);
+        self.vx += DT * 3.0 * (1.2 * drive.max(0.0) * uprightness - self.vx);
+        self.x += DT * self.vx;
+
+        let unhealthy = self.pitch.abs() > LEAN_LIMIT || self.roll.abs() > LEAN_LIMIT;
+        let reward = 1.0 * self.vx + 1.0 - 0.05 * ctrl_cost(&a);
+        Step {
+            obs: self.observation(),
+            reward,
+            done: unhealthy || self.steps >= self.max_steps,
+            unhealthy,
+            progress: self.vx > PROGRESS_SPEED,
+            success: false,
+        }
+    }
+
+    fn state_summary(&self) -> Vec<f64> {
+        vec![self.x, self.pitch, self.roll, self.vx]
+    }
+}
+
+impl Locomotor for Humanoid {
+    fn x(&self) -> f64 {
+        self.x
+    }
+
+    fn forward_velocity(&self) -> f64 {
+        self.vx
+    }
+}
+
+/// The stand-up task (MuJoCo HumanoidStandup substitute).
+///
+/// Posture `p` runs from 0 (lying) to 1 (standing). Raising `p` requires
+/// sustained lift effort, but the lean axis's instability gain *grows with
+/// `p`*: the half-risen crouch is the dangerous regime. Success is reaching
+/// a stable stand (`p > 0.9`, small lean); falling back over the lean limit
+/// while risen is unhealthy.
+#[derive(Debug, Clone)]
+pub struct HumanoidStandup {
+    posture: f64,
+    lean: f64,
+    lean_vel: f64,
+    lift_effort: f64,
+    steps: usize,
+    max_steps: usize,
+}
+
+impl HumanoidStandup {
+    /// Creates a stand-up task with the default 200-step episode limit.
+    pub fn new() -> Self {
+        Self::with_max_steps(200)
+    }
+
+    /// Creates a stand-up task with a custom episode limit.
+    pub fn with_max_steps(max_steps: usize) -> Self {
+        HumanoidStandup {
+            posture: 0.0,
+            lean: 0.0,
+            lean_vel: 0.0,
+            lift_effort: 0.0,
+            steps: 0,
+            max_steps,
+        }
+    }
+
+    fn observation(&self) -> Vec<f64> {
+        vec![self.posture, self.lean, self.lean_vel, self.lift_effort]
+    }
+
+    /// Current posture in `[0, 1]`.
+    pub fn posture(&self) -> f64 {
+        self.posture
+    }
+}
+
+impl Default for HumanoidStandup {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Env for HumanoidStandup {
+    fn obs_dim(&self) -> usize {
+        4
+    }
+
+    fn action_dim(&self) -> usize {
+        3
+    }
+
+    fn max_steps(&self) -> usize {
+        self.max_steps
+    }
+
+    fn reset(&mut self, rng: &mut EnvRng) -> Vec<f64> {
+        self.posture = rng.gen_range(0.0..0.05);
+        self.lean = rng.gen_range(-0.05..0.05);
+        self.lean_vel = 0.0;
+        self.lift_effort = 0.0;
+        self.steps = 0;
+        self.observation()
+    }
+
+    fn step(&mut self, action: &[f64], _rng: &mut EnvRng) -> Step {
+        let a = clamp_action(action, 3);
+        let (lift, balance, brace) = (a[0], a[1], a[2]);
+        self.steps += 1;
+
+        self.lift_effort = 0.8 * self.lift_effort + 0.3 * lift.max(0.0);
+        // Rising is only possible while the lean is under control.
+        let rise_rate = 0.02 * self.lift_effort * (1.0 - (self.lean.abs() / 0.5)).max(0.0);
+        self.posture = (self.posture + rise_rate - 0.003).clamp(0.0, 1.0);
+
+        // Lying flat is stable; instability grows with posture. Bracing
+        // trades lift authority for stability.
+        let k = (-0.5 + 4.5 * self.posture) * (1.0 - 0.4 * brace.max(0.0));
+        self.lean_vel += DT * (k * self.lean + 2.0 * balance + 0.5 * lift);
+        self.lean_vel = self.lean_vel.clamp(-3.0, 3.0);
+        self.lean = (self.lean + DT * self.lean_vel).clamp(-2.0, 2.0);
+
+        let standing = self.posture > 0.9 && self.lean.abs() < 0.2;
+        let unhealthy = self.posture > 0.3 && self.lean.abs() > 0.5;
+        // The stand-up bonus must dominate the value of hovering just below
+        // the success posture for the rest of the episode, or the shaped
+        // reward teaches the victim to *avoid* the terminal.
+        let reward = 2.0 * self.posture - 0.5 * self.lean.abs() - 0.05 * ctrl_cost(&a)
+            + if standing { 250.0 } else { 0.0 };
+        Step {
+            obs: self.observation(),
+            reward,
+            done: standing || unhealthy || self.steps >= self.max_steps,
+            unhealthy,
+            progress: self.posture > 0.5,
+            success: standing,
+        }
+    }
+
+    fn state_summary(&self) -> Vec<f64> {
+        vec![self.posture, self.lean]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::locomotion::test_util::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn humanoid_deterministic() {
+        assert_deterministic(|| Box::new(Humanoid::new()), &[0.0, 0.0, 0.5, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn humanoid_is_less_stable_than_walker() {
+        // With zero control the humanoid's double instability falls fast.
+        let steps = rollout_fixed(&mut Humanoid::new(), &[0.0, 0.0, 1.0, 0.0, 0.5], 300, 2);
+        assert!(steps.last().unwrap().unhealthy);
+        assert!(steps.len() < 80, "humanoid should fall quickly: {}", steps.len());
+    }
+
+    #[test]
+    fn humanoid_balanced_controller_walks() {
+        let mut env = Humanoid::new();
+        let mut rng = EnvRng::seed_from_u64(13);
+        let mut obs = env.reset(&mut rng);
+        for _ in 0..300 {
+            let (p, pv, r, rv, arm) = (obs[0], obs[1], obs[2], obs[3], obs[7]);
+            let pt = (-6.0 * p - 2.5 * pv - 0.3).clamp(-1.0, 1.0);
+            let rt = (-6.0 * r - 2.5 * rv - 0.3 * arm).clamp(-1.0, 1.0);
+            let s = env.step(&[pt, rt, 0.8, 0.0, 0.0], &mut rng);
+            obs = s.obs;
+            if s.done {
+                assert!(!s.unhealthy, "controlled humanoid fell");
+                break;
+            }
+        }
+        assert!(env.x() > 1.0, "humanoid should advance, x = {}", env.x());
+    }
+
+    #[test]
+    fn standup_succeeds_with_lift_and_balance() {
+        let mut env = HumanoidStandup::new();
+        let mut rng = EnvRng::seed_from_u64(21);
+        let mut obs = env.reset(&mut rng);
+        let mut success = false;
+        for _ in 0..200 {
+            let (lean, lean_vel) = (obs[1], obs[2]);
+            let balance = (-5.0 * lean - 2.0 * lean_vel).clamp(-1.0, 1.0);
+            let s = env.step(&[1.0, balance, 1.0], &mut rng);
+            obs = s.obs;
+            if s.done {
+                success = s.success;
+                break;
+            }
+        }
+        assert!(success, "lift+balance controller should stand up");
+    }
+
+    #[test]
+    fn standup_fails_without_balance() {
+        let mut env = HumanoidStandup::new();
+        let mut rng = EnvRng::seed_from_u64(22);
+        env.reset(&mut rng);
+        let mut succeeded = false;
+        for _ in 0..200 {
+            let s = env.step(&[1.0, 0.0, 0.0], &mut rng);
+            if s.done {
+                succeeded = s.success;
+                break;
+            }
+        }
+        assert!(!succeeded, "no-balance lift should not reach a stable stand");
+    }
+
+    #[test]
+    fn standup_posture_bounded() {
+        let mut env = HumanoidStandup::new();
+        let mut rng = EnvRng::seed_from_u64(23);
+        env.reset(&mut rng);
+        for _ in 0..200 {
+            let s = env.step(&[1.0, -0.5, 1.0], &mut rng);
+            assert!((0.0..=1.0).contains(&s.obs[0]));
+            if s.done {
+                break;
+            }
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Reduced-order locomotion bodies.
+//!
+//! Each body is a distinct dynamical system that preserves the attack surface
+//! of its MuJoCo namesake (see `DESIGN.md` §1):
+//!
+//! | Body | Core instability | Unhealthy termination |
+//! |---|---|---|
+//! | [`Hopper`] | ballistic hop + unstable pitch | pitch over-lean |
+//! | [`Walker2d`] | unstable pitch + gait asymmetry | pitch over-lean |
+//! | [`HalfCheetah`] | traction loss (slip) under body rock | none (like MuJoCo) |
+//! | [`Ant`] | roll-over while turning at speed | torso flip |
+//! | [`Humanoid`] | two unstable axes, strong gain | pitch/roll over-lean |
+//! | [`HumanoidStandup`] | posture-dependent instability while rising | falls back when risen |
+//!
+//! All bodies expose their forward position through [`Locomotor::x`], which
+//! the sparse wrapper uses for finish-line tasks and the dense rewards use
+//! for forward progress.
+
+mod ant;
+mod half_cheetah;
+mod hopper;
+mod humanoid;
+mod walker2d;
+
+pub use ant::Ant;
+pub use half_cheetah::HalfCheetah;
+pub use hopper::Hopper;
+pub use humanoid::{Humanoid, HumanoidStandup};
+pub use walker2d::Walker2d;
+
+use crate::env::Env;
+
+/// A locomotion body that moves along (at least) a forward axis.
+pub trait Locomotor: Env {
+    /// Current forward (x-axis) position of the torso.
+    fn x(&self) -> f64;
+    /// Current forward velocity of the torso.
+    fn forward_velocity(&self) -> f64;
+}
+
+/// Squared l2 norm of an action, used by control-cost terms.
+pub(crate) fn ctrl_cost(action: &[f64]) -> f64 {
+    action.iter().map(|a| a * a).sum()
+}
+
+#[cfg(test)]
+pub(crate) mod test_util {
+    use crate::env::{Env, EnvRng, Step};
+    use rand::SeedableRng;
+
+    /// Rolls an env for `n` steps with a fixed action, returning steps taken.
+    pub fn rollout_fixed(env: &mut dyn Env, action: &[f64], n: usize, seed: u64) -> Vec<Step> {
+        let mut rng = EnvRng::seed_from_u64(seed);
+        env.reset(&mut rng);
+        let mut out = Vec::new();
+        for _ in 0..n {
+            let s = env.step(action, &mut rng);
+            let done = s.done;
+            out.push(s);
+            if done {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Asserts that two identically seeded rollouts coincide exactly.
+    pub fn assert_deterministic(mut mk: impl FnMut() -> Box<dyn Env>, action: &[f64]) {
+        let mut e1 = mk();
+        let mut e2 = mk();
+        let s1 = rollout_fixed(e1.as_mut(), action, 50, 77);
+        let s2 = rollout_fixed(e2.as_mut(), action, 50, 77);
+        assert_eq!(s1, s2);
+    }
+
+    /// Asserts all observations in a rollout are finite.
+    pub fn assert_finite_obs(env: &mut dyn Env, action: &[f64]) {
+        for s in rollout_fixed(env, action, 100, 3) {
+            assert!(s.obs.iter().all(|v| v.is_finite()), "non-finite obs");
+            assert!(s.reward.is_finite(), "non-finite reward");
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! A reduced-order bipedal walker.
+//!
+//! Unlike the hopper, forward motion comes from a continuous *gait cycle*
+//! driven by two leg-drive actions. The gait must stay symmetric: asymmetric
+//! drive accumulates into a `leg_asym` state that both disturbs the unstable
+//! pitch axis and degrades stride efficiency. A victim policy therefore has
+//! two coupled things to protect — balance and gait symmetry — giving
+//! observation-perturbation attacks two distinct vulnerability surfaces,
+//! mirroring how MuJoCo Walker2d policies fail (Figure 1 of the paper shows
+//! a robust Walker lured to lean forward and fall).
+
+use rand::Rng;
+
+use crate::env::{clamp_action, Env, EnvRng, Step};
+use crate::locomotion::{ctrl_cost, Locomotor};
+
+const DT: f64 = 0.05;
+const K_PITCH: f64 = 4.0;
+const PITCH_LIMIT: f64 = 0.25;
+const ASYM_LIMIT: f64 = 1.0;
+const PROGRESS_SPEED: f64 = 0.5;
+
+/// The bipedal walker (MuJoCo Walker2d substitute).
+#[derive(Debug, Clone)]
+pub struct Walker2d {
+    x: f64,
+    pitch: f64,
+    pitch_vel: f64,
+    vx: f64,
+    gait_phase: f64,
+    leg_asym: f64,
+    steps: usize,
+    max_steps: usize,
+}
+
+impl Walker2d {
+    /// Creates a walker with the default 200-step episode limit.
+    pub fn new() -> Self {
+        Self::with_max_steps(200)
+    }
+
+    /// Creates a walker with a custom episode limit.
+    pub fn with_max_steps(max_steps: usize) -> Self {
+        Walker2d {
+            x: 0.0,
+            pitch: 0.0,
+            pitch_vel: 0.0,
+            vx: 0.0,
+            gait_phase: 0.0,
+            leg_asym: 0.0,
+            steps: 0,
+            max_steps,
+        }
+    }
+
+    fn observation(&self) -> Vec<f64> {
+        vec![
+            self.pitch,
+            self.pitch_vel,
+            self.vx,
+            self.gait_phase.sin(),
+            self.gait_phase.cos(),
+            self.leg_asym,
+        ]
+    }
+}
+
+impl Default for Walker2d {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Env for Walker2d {
+    fn obs_dim(&self) -> usize {
+        6
+    }
+
+    fn action_dim(&self) -> usize {
+        4
+    }
+
+    fn max_steps(&self) -> usize {
+        self.max_steps
+    }
+
+    fn reset(&mut self, rng: &mut EnvRng) -> Vec<f64> {
+        self.x = 0.0;
+        self.pitch = rng.gen_range(-0.05..0.05);
+        self.pitch_vel = rng.gen_range(-0.05..0.05);
+        self.vx = 0.0;
+        self.gait_phase = rng.gen_range(0.0..std::f64::consts::TAU);
+        self.leg_asym = 0.0;
+        self.steps = 0;
+        self.observation()
+    }
+
+    fn step(&mut self, action: &[f64], _rng: &mut EnvRng) -> Step {
+        let a = clamp_action(action, 4);
+        let (torque, drive_l, drive_r, hip) = (a[0], a[1], a[2], a[3]);
+        self.steps += 1;
+
+        // Gait: mean drive advances the cycle, asymmetric drive accumulates.
+        let mean_drive = 0.5 * (drive_l + drive_r);
+        self.leg_asym = 0.9 * self.leg_asym + 0.1 * (drive_l - drive_r);
+        self.gait_phase += DT * 4.0 * mean_drive.max(0.0);
+
+        // Stride efficiency degrades as the gait grows asymmetric and the
+        // body pitches away from upright.
+        let stride_quality = (1.0 - self.leg_asym.powi(2)).max(0.0)
+            * (1.0 - 0.5 * (self.pitch / PITCH_LIMIT).powi(2)).max(0.0);
+        let target_speed = 1.6 * mean_drive.max(0.0) * stride_quality;
+        self.vx += DT * 4.0 * (target_speed - self.vx);
+        self.x += DT * self.vx;
+
+        // Unstable pitch, disturbed by gait asymmetry; `hip` gives a slower
+        // secondary balance channel.
+        self.pitch_vel +=
+            DT * (K_PITCH * self.pitch + 2.0 * torque + 0.5 * self.leg_asym + 0.5 * hip);
+        self.pitch += DT * self.pitch_vel;
+
+        let unhealthy = self.pitch.abs() > PITCH_LIMIT || self.leg_asym.abs() > ASYM_LIMIT;
+        let reward = 1.5 * self.vx + 0.5 - 0.05 * ctrl_cost(&a);
+        Step {
+            obs: self.observation(),
+            reward,
+            done: unhealthy || self.steps >= self.max_steps,
+            unhealthy,
+            progress: self.vx > PROGRESS_SPEED,
+            success: false,
+        }
+    }
+
+    fn state_summary(&self) -> Vec<f64> {
+        vec![self.x, self.pitch, self.leg_asym, self.vx]
+    }
+}
+
+impl Locomotor for Walker2d {
+    fn x(&self) -> f64 {
+        self.x
+    }
+
+    fn forward_velocity(&self) -> f64 {
+        self.vx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::locomotion::test_util::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_deterministic(|| Box::new(Walker2d::new()), &[0.1, 0.6, 0.6, 0.0]);
+    }
+
+    #[test]
+    fn observations_finite() {
+        assert_finite_obs(&mut Walker2d::new(), &[1.0, 1.0, -1.0, 1.0]);
+    }
+
+    #[test]
+    fn asymmetric_drive_destabilizes() {
+        let steps = rollout_fixed(&mut Walker2d::new(), &[0.0, 1.0, -1.0, 0.0], 200, 4);
+        assert!(
+            steps.last().unwrap().unhealthy,
+            "hard asymmetric drive should topple the walker"
+        );
+    }
+
+    #[test]
+    fn balanced_symmetric_gait_walks_forward() {
+        let mut env = Walker2d::new();
+        let mut rng = EnvRng::seed_from_u64(8);
+        let mut obs = env.reset(&mut rng);
+        for _ in 0..150 {
+            let (pitch, pitch_vel, asym) = (obs[0], obs[1], obs[5]);
+            let torque = (-5.0 * pitch - 2.0 * pitch_vel - 0.4 * asym).clamp(-1.0, 1.0);
+            let s = env.step(&[torque, 0.7, 0.7, 0.0], &mut rng);
+            obs = s.obs;
+            if s.done {
+                assert!(!s.unhealthy, "controlled walker fell early");
+                break;
+            }
+        }
+        assert!(env.x() > 2.0, "walker should advance, x = {}", env.x());
+    }
+
+    #[test]
+    fn pitch_limit_is_the_boundary() {
+        let mut env = Walker2d::new();
+        env.pitch = PITCH_LIMIT + 0.01;
+        let mut rng = EnvRng::seed_from_u64(0);
+        let s = env.step(&[0.0; 4], &mut rng);
+        assert!(s.unhealthy);
+    }
+}

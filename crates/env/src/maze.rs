@@ -1,0 +1,262 @@
+//! A small 2D maze engine: axis-aligned walls with sliding collision.
+//!
+//! Shared by the two navigation tasks ([`crate::navigation::AntUMaze`],
+//! [`crate::navigation::Ant4Rooms`]). Movement resolves per-axis so agents
+//! slide along walls instead of sticking to them, which keeps the tasks
+//! learnable while preserving the topology (the only thing the attack cares
+//! about).
+
+/// An axis-aligned rectangular wall `[x0, x1] x [y0, y1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Wall {
+    /// Minimum x.
+    pub x0: f64,
+    /// Minimum y.
+    pub y0: f64,
+    /// Maximum x.
+    pub x1: f64,
+    /// Maximum y.
+    pub y1: f64,
+}
+
+impl Wall {
+    /// Creates a wall, normalizing corner order.
+    pub fn new(x0: f64, y0: f64, x1: f64, y1: f64) -> Self {
+        Wall {
+            x0: x0.min(x1),
+            y0: y0.min(y1),
+            x1: x0.max(x1),
+            y1: y0.max(y1),
+        }
+    }
+
+    /// True if the point lies inside (inclusive of edges).
+    pub fn contains(&self, x: f64, y: f64) -> bool {
+        x >= self.x0 && x <= self.x1 && y >= self.y0 && y <= self.y1
+    }
+}
+
+/// A rectangular arena with interior walls.
+#[derive(Debug, Clone)]
+pub struct Maze {
+    /// Arena width (x runs `0..width`).
+    pub width: f64,
+    /// Arena height (y runs `0..height`).
+    pub height: f64,
+    walls: Vec<Wall>,
+}
+
+impl Maze {
+    /// Creates an empty arena of the given size.
+    pub fn new(width: f64, height: f64) -> Self {
+        Maze {
+            width,
+            height,
+            walls: Vec::new(),
+        }
+    }
+
+    /// Adds an interior wall.
+    pub fn add_wall(&mut self, wall: Wall) {
+        self.walls.push(wall);
+    }
+
+    /// The interior walls.
+    pub fn walls(&self) -> &[Wall] {
+        &self.walls
+    }
+
+    /// True if `(x, y)` is a legal (non-wall, in-bounds) position.
+    pub fn is_free(&self, x: f64, y: f64) -> bool {
+        if x < 0.0 || y < 0.0 || x > self.width || y > self.height {
+            return false;
+        }
+        !self.walls.iter().any(|w| w.contains(x, y))
+    }
+
+    /// Moves a point by `(dx, dy)` with per-axis sliding collision, returning
+    /// the resolved position.
+    pub fn slide(&self, x: f64, y: f64, dx: f64, dy: f64) -> (f64, f64) {
+        let mut nx = x;
+        let mut ny = y;
+        if self.is_free(x + dx, y) {
+            nx = x + dx;
+        }
+        if self.is_free(nx, y + dy) {
+            ny = y + dy;
+        }
+        (nx, ny)
+    }
+
+    /// Computes the geodesic (around-walls) distance field to `goal` on a
+    /// grid of the given `resolution`. Used for shaped navigation rewards:
+    /// Euclidean shaping traps agents against walls, geodesic shaping does
+    /// not.
+    pub fn distance_field(&self, goal: (f64, f64), resolution: f64) -> DistanceField {
+        let cols = (self.width / resolution).ceil() as usize + 1;
+        let rows = (self.height / resolution).ceil() as usize + 1;
+        let mut dist = vec![f64::INFINITY; cols * rows];
+        let cell = |x: f64, y: f64| -> Option<usize> {
+            let c = (x / resolution).round() as isize;
+            let r = (y / resolution).round() as isize;
+            if c < 0 || r < 0 || c as usize >= cols || r as usize >= rows {
+                None
+            } else {
+                Some(r as usize * cols + c as usize)
+            }
+        };
+        // Dijkstra over the 8-connected grid (diagonals cost √2·res).
+        let mut heap = std::collections::BinaryHeap::new();
+        if let Some(start) = cell(goal.0, goal.1) {
+            dist[start] = 0.0;
+            heap.push(std::cmp::Reverse((ordered(0.0), start)));
+        }
+        let diag = resolution * std::f64::consts::SQRT_2;
+        while let Some(std::cmp::Reverse((d, idx))) = heap.pop() {
+            let d = d.0;
+            if d > dist[idx] {
+                continue;
+            }
+            let r = idx / cols;
+            let c = idx % cols;
+            for (dr, dc, cost) in [
+                (-1i32, 0i32, resolution),
+                (1, 0, resolution),
+                (0, -1, resolution),
+                (0, 1, resolution),
+                (-1, -1, diag),
+                (-1, 1, diag),
+                (1, -1, diag),
+                (1, 1, diag),
+            ] {
+                let nr = r as i32 + dr;
+                let nc = c as i32 + dc;
+                if nr < 0 || nc < 0 || nr as usize >= rows || nc as usize >= cols {
+                    continue;
+                }
+                let x = nc as f64 * resolution;
+                let y = nr as f64 * resolution;
+                if !self.is_free(x, y) {
+                    continue;
+                }
+                let nidx = nr as usize * cols + nc as usize;
+                let nd = d + cost;
+                if nd < dist[nidx] {
+                    dist[nidx] = nd;
+                    heap.push(std::cmp::Reverse((ordered(nd), nidx)));
+                }
+            }
+        }
+        DistanceField {
+            dist,
+            cols,
+            rows,
+            resolution,
+        }
+    }
+}
+
+/// A totally ordered f64 wrapper for the Dijkstra heap (distances are
+/// always finite and non-NaN by construction).
+#[derive(PartialEq, PartialOrd)]
+struct Ordered(f64);
+impl Eq for Ordered {}
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for Ordered {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.partial_cmp(other).unwrap_or(std::cmp::Ordering::Equal)
+    }
+}
+fn ordered(v: f64) -> Ordered {
+    Ordered(v)
+}
+
+/// A precomputed geodesic distance-to-goal field over a maze.
+#[derive(Debug, Clone)]
+pub struct DistanceField {
+    dist: Vec<f64>,
+    cols: usize,
+    rows: usize,
+    resolution: f64,
+}
+
+impl DistanceField {
+    /// Geodesic distance from `(x, y)` to the goal (nearest-cell lookup;
+    /// unreachable or out-of-bounds points return a large finite value).
+    pub fn distance(&self, x: f64, y: f64) -> f64 {
+        let c = ((x / self.resolution).round() as isize)
+            .clamp(0, self.cols as isize - 1) as usize;
+        let r = ((y / self.resolution).round() as isize)
+            .clamp(0, self.rows as isize - 1) as usize;
+        let d = self.dist[r * self.cols + c];
+        if d.is_finite() {
+            d
+        } else {
+            (self.cols + self.rows) as f64 * self.resolution
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn maze_with_bar() -> Maze {
+        let mut m = Maze::new(6.0, 6.0);
+        m.add_wall(Wall::new(0.0, 2.5, 4.0, 3.5));
+        m
+    }
+
+    #[test]
+    fn wall_normalizes_corners() {
+        let w = Wall::new(3.0, 4.0, 1.0, 2.0);
+        assert_eq!(w, Wall::new(1.0, 2.0, 3.0, 4.0));
+    }
+
+    #[test]
+    fn bounds_are_walls() {
+        let m = maze_with_bar();
+        assert!(!m.is_free(-0.1, 1.0));
+        assert!(!m.is_free(1.0, 6.1));
+        assert!(m.is_free(1.0, 1.0));
+    }
+
+    #[test]
+    fn interior_wall_blocks() {
+        let m = maze_with_bar();
+        assert!(!m.is_free(2.0, 3.0));
+        assert!(m.is_free(5.0, 3.0), "gap on the right side is open");
+    }
+
+    #[test]
+    fn slide_blocks_one_axis_only() {
+        let m = maze_with_bar();
+        // Moving diagonally into the bar from below: y blocked, x slides.
+        let (nx, ny) = m.slide(1.0, 2.4, 0.3, 0.3);
+        assert!((nx - 1.3).abs() < 1e-12);
+        assert!((ny - 2.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slide_free_space_moves_fully() {
+        let m = maze_with_bar();
+        let (nx, ny) = m.slide(1.0, 1.0, 0.2, -0.3);
+        assert!((nx - 1.2).abs() < 1e-12);
+        assert!((ny - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slide_never_enters_wall() {
+        let m = maze_with_bar();
+        let mut x = 0.5;
+        let mut y = 2.0;
+        for i in 0..100 {
+            let dx = 0.17 * ((i as f64) * 0.7).sin();
+            let dy = 0.23 * ((i as f64) * 1.3).cos();
+            let (nx, ny) = m.slide(x, y, dx, dy);
+            assert!(m.is_free(nx, ny), "entered wall at ({nx}, {ny})");
+            x = nx;
+            y = ny;
+        }
+    }
+}

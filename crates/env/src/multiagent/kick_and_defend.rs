@@ -1,0 +1,335 @@
+//! KickAndDefend: a penalty shootout between a kicker and a goalie.
+//!
+//! The victim controls the kicker (blue), the adversary the goalie (red).
+//! As in the paper, the goalie is confined to a square region in front of
+//! the gate (§6.3.3 notes this constraint limits achievable ASR). The victim
+//! wins iff the ball crosses the gate line inside the posts.
+
+use rand::Rng;
+
+use crate::env::{clamp_action, EnvRng, MultiAgentEnv, MultiStep};
+use crate::multiagent::Body;
+
+const DT: f64 = 0.05;
+/// Gate line.
+const GATE_X: f64 = 3.0;
+/// Gate half-width.
+const GATE_HALF: f64 = 1.3;
+/// Goalie confinement box.
+const BOX_X: (f64, f64) = (2.0, 2.8);
+const BOX_Y: f64 = 1.4;
+/// Distance at which the kicker can strike the ball.
+const KICK_RANGE: f64 = 0.45;
+/// Goalie blocking radius.
+const BLOCK_RADIUS: f64 = 0.25;
+
+/// The kicker-vs-goalie game.
+#[derive(Debug, Clone)]
+pub struct KickAndDefend {
+    kicker: Body,
+    goalie: Body,
+    ball: (f64, f64),
+    ball_vel: (f64, f64),
+    kicked: bool,
+    steps: usize,
+    max_steps: usize,
+    finished: bool,
+}
+
+impl KickAndDefend {
+    /// Creates the game with the default 250-step limit.
+    pub fn new() -> Self {
+        Self::with_max_steps(250)
+    }
+
+    /// Creates the game with a custom step limit.
+    pub fn with_max_steps(max_steps: usize) -> Self {
+        KickAndDefend {
+            kicker: Body::at(-2.5, 0.0),
+            goalie: Body::at(2.4, 0.0),
+            ball: (-1.8, 0.0),
+            ball_vel: (0.0, 0.0),
+            kicked: false,
+            steps: 0,
+            max_steps,
+            finished: false,
+        }
+    }
+
+    fn victim_obs(&self) -> Vec<f64> {
+        vec![
+            self.kicker.x,
+            self.kicker.y,
+            self.kicker.vx,
+            self.kicker.vy,
+            self.ball.0 - self.kicker.x,
+            self.ball.1 - self.kicker.y,
+            self.ball_vel.0,
+            self.ball_vel.1,
+            self.goalie.x - self.kicker.x,
+            self.goalie.y - self.kicker.y,
+            self.goalie.vx,
+            self.goalie.vy,
+        ]
+    }
+
+    fn adversary_obs(&self) -> Vec<f64> {
+        vec![
+            self.goalie.x,
+            self.goalie.y,
+            self.goalie.vx,
+            self.goalie.vy,
+            self.ball.0 - self.goalie.x,
+            self.ball.1 - self.goalie.y,
+            self.ball_vel.0,
+            self.ball_vel.1,
+            self.kicker.x - self.goalie.x,
+            self.kicker.y - self.goalie.y,
+            self.kicker.vx,
+            self.kicker.vy,
+        ]
+    }
+
+    /// Ball position (exposed for rendering).
+    pub fn ball_position(&self) -> (f64, f64) {
+        self.ball
+    }
+
+    /// True once the ball has been struck.
+    pub fn ball_kicked(&self) -> bool {
+        self.kicked
+    }
+}
+
+impl Default for KickAndDefend {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MultiAgentEnv for KickAndDefend {
+    fn victim_obs_dim(&self) -> usize {
+        12
+    }
+
+    fn adversary_obs_dim(&self) -> usize {
+        12
+    }
+
+    fn victim_action_dim(&self) -> usize {
+        4
+    }
+
+    fn adversary_action_dim(&self) -> usize {
+        2
+    }
+
+    fn max_steps(&self) -> usize {
+        self.max_steps
+    }
+
+    fn reset(&mut self, rng: &mut EnvRng) -> (Vec<f64>, Vec<f64>) {
+        self.kicker = Body::at(-2.5 + rng.gen_range(-0.2..0.2), rng.gen_range(-0.8..0.8));
+        self.goalie = Body::at(2.4, rng.gen_range(-0.5..0.5));
+        self.ball = (-1.8, rng.gen_range(-0.6..0.6));
+        self.ball_vel = (0.0, 0.0);
+        self.kicked = false;
+        self.steps = 0;
+        self.finished = false;
+        (self.victim_obs(), self.adversary_obs())
+    }
+
+    fn step(
+        &mut self,
+        victim_action: &[f64],
+        adversary_action: &[f64],
+        _rng: &mut EnvRng,
+    ) -> MultiStep {
+        debug_assert!(!self.finished, "step called on finished episode");
+        let va = clamp_action(victim_action, 4);
+        let aa = clamp_action(adversary_action, 2);
+        self.steps += 1;
+
+        self.kicker.integrate(va[0], va[1], DT);
+        self.kicker.y = self.kicker.y.clamp(-2.0, 2.0);
+        self.kicker.x = self.kicker.x.clamp(-3.5, GATE_X);
+
+        // The goalie is deliberately less athletic than the ball is fast:
+        // saving a corner shot requires anticipating the kicker's aim, not
+        // just reacting to the ball (as with humanoid goalies in the
+        // original game).
+        self.goalie.integrate_with(aa[0], aa[1], DT, 2.0);
+        self.goalie.x = self.goalie.x.clamp(BOX_X.0, BOX_X.1);
+        self.goalie.y = self.goalie.y.clamp(-BOX_Y, BOX_Y);
+
+        // Kick: within range and committing power.
+        let kdx = self.ball.0 - self.kicker.x;
+        let kdy = self.ball.1 - self.kicker.y;
+        let kdist = (kdx * kdx + kdy * kdy).sqrt();
+        let mut just_kicked = false;
+        if kdist < KICK_RANGE && va[2] > 0.0 {
+            let aim_y = 0.9 * GATE_HALF * va[3];
+            let dir_x = GATE_X - self.ball.0;
+            let dir_y = aim_y - self.ball.1;
+            let norm = (dir_x * dir_x + dir_y * dir_y).sqrt().max(1e-9);
+            let speed = 3.0 + 2.0 * va[2];
+            self.ball_vel = (speed * dir_x / norm, speed * dir_y / norm);
+            self.kicked = true;
+            just_kicked = true;
+        }
+
+        // Ball flight with drag.
+        self.ball.0 += DT * self.ball_vel.0;
+        self.ball.1 += DT * self.ball_vel.1;
+        self.ball_vel.0 *= 0.995;
+        self.ball_vel.1 *= 0.995;
+
+        // Goalie block.
+        let gdx = self.ball.0 - self.goalie.x;
+        let gdy = self.ball.1 - self.goalie.y;
+        let blocked =
+            self.kicked && (gdx * gdx + gdy * gdy).sqrt() < BLOCK_RADIUS && self.ball_vel.0 > 0.0;
+        if blocked {
+            self.ball_vel = (-0.5 * self.ball_vel.0.abs(), self.ball_vel.1 * 0.5);
+        }
+
+        let goal = self.ball.0 >= GATE_X && self.ball.1.abs() <= GATE_HALF;
+        let out = self.ball.0 >= GATE_X && self.ball.1.abs() > GATE_HALF;
+        let dead_ball = self.kicked && self.ball_vel.0.abs() < 0.05 && !goal;
+        let timeout = self.steps >= self.max_steps;
+        let done = goal || out || blocked || dead_ball || timeout;
+        self.finished = done;
+
+        // Shaped kicker training reward: approach the ball before the kick,
+        // ball progress toward the gate after, win bonus.
+        let mut reward = if self.kicked {
+            1.0 * self.ball_vel.0 * DT * 4.0
+        } else {
+            -0.4 * (kdist - KICK_RANGE).max(0.0) * DT * 4.0
+        };
+        if just_kicked {
+            reward += 1.0;
+        }
+        if goal {
+            reward += 10.0;
+        }
+        if done && !goal {
+            reward -= 2.0;
+        }
+
+        MultiStep {
+            victim_obs: self.victim_obs(),
+            adversary_obs: self.adversary_obs(),
+            victim_reward: reward,
+            done,
+            victim_won: if done { Some(goal) } else { None },
+        }
+    }
+
+    fn victim_state(&self) -> Vec<f64> {
+        vec![self.kicker.x, self.kicker.y, self.ball.0, self.ball.1]
+    }
+
+    fn adversary_state(&self) -> Vec<f64> {
+        vec![self.goalie.x, self.goalie.y]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    /// Scripted kicker: walk to the ball, then shoot at `aim`.
+    fn kicker_policy(obs: &[f64], aim: f64) -> [f64; 4] {
+        let (bdx, bdy) = (obs[4], obs[5]);
+        let dist = (bdx * bdx + bdy * bdy).sqrt();
+        if dist < KICK_RANGE {
+            [0.0, 0.0, 1.0, aim]
+        } else {
+            [
+                (3.0 * bdx).clamp(-1.0, 1.0),
+                (3.0 * bdy).clamp(-1.0, 1.0),
+                -1.0,
+                0.0,
+            ]
+        }
+    }
+
+    #[test]
+    fn corner_shot_beats_centered_goalie() {
+        let mut env = KickAndDefend::new();
+        let mut rng = EnvRng::seed_from_u64(11);
+        let (mut vobs, _) = env.reset(&mut rng);
+        for _ in 0..250 {
+            let va = kicker_policy(&vobs, 1.0);
+            // Goalie parks in the bottom corner, away from the +y shot.
+            let s = env.step(&va, &[0.0, -1.0], &mut rng);
+            vobs = s.victim_obs;
+            if s.done {
+                assert_eq!(s.victim_won, Some(true), "corner shot should score");
+                return;
+            }
+        }
+        panic!("episode did not end");
+    }
+
+    #[test]
+    fn prepositioned_goalie_blocks_center_shot() {
+        // The shot is faster than the goalie's reaction (by design, so that
+        // saving requires anticipation); a goalie already holding the centre
+        // must stop a centre-aimed shot.
+        let mut env = KickAndDefend::new();
+        let mut rng = EnvRng::seed_from_u64(12);
+        let (mut vobs, mut aobs) = env.reset(&mut rng);
+        for _ in 0..250 {
+            let va = kicker_policy(&vobs, 0.0);
+            let own_y = aobs[1];
+            let aa = [0.0, (-4.0 * own_y).clamp(-1.0, 1.0)];
+            let s = env.step(&va, &aa, &mut rng);
+            vobs = s.victim_obs;
+            aobs = s.adversary_obs;
+            if s.done {
+                assert_eq!(
+                    s.victim_won,
+                    Some(false),
+                    "pre-positioned goalie should save a centre shot"
+                );
+                return;
+            }
+        }
+        panic!("episode did not end");
+    }
+
+    #[test]
+    fn goalie_is_confined_to_box() {
+        let mut env = KickAndDefend::new();
+        let mut rng = EnvRng::seed_from_u64(13);
+        env.reset(&mut rng);
+        for _ in 0..100 {
+            let s = env.step(&[0.0; 4], &[-1.0, 1.0], &mut rng);
+            let gx = env.goalie.x;
+            let gy = env.goalie.y;
+            assert!((BOX_X.0..=BOX_X.1).contains(&gx), "goalie x escaped: {gx}");
+            assert!(gy.abs() <= BOX_Y + 1e-9, "goalie y escaped: {gy}");
+            if s.done {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn timeout_without_kick_is_a_loss() {
+        let mut env = KickAndDefend::with_max_steps(10);
+        let mut rng = EnvRng::seed_from_u64(14);
+        env.reset(&mut rng);
+        for _ in 0..10 {
+            let s = env.step(&[0.0; 4], &[0.0; 2], &mut rng);
+            if s.done {
+                assert_eq!(s.victim_won, Some(false));
+                return;
+            }
+        }
+        panic!("expected timeout");
+    }
+}

@@ -1,0 +1,191 @@
+//! Two-player zero-sum competitive games (Bansal et al. substitutes).
+//!
+//! Both games preserve the multi-agent threat model of the paper's §4.3: the
+//! adversary can only influence the victim *through the shared environment
+//! state*, rewards are win/loss-sparse, and the victim policy is frozen at
+//! attack time (the reduction to the single-player MDP `M^alpha` lives in
+//! `imap-core::threat`).
+
+mod kick_and_defend;
+mod you_shall_not_pass;
+
+pub use kick_and_defend::KickAndDefend;
+pub use you_shall_not_pass::YouShallNotPass;
+
+/// A 2D body with position, velocity, and a balance scalar, shared by both
+/// games' humanoid stand-ins.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct Body {
+    pub x: f64,
+    pub y: f64,
+    pub vx: f64,
+    pub vy: f64,
+    /// Balance in `[0, 1]`; falls when it drops below the fall threshold.
+    pub balance: f64,
+    pub fallen: bool,
+}
+
+impl Body {
+    pub fn at(x: f64, y: f64) -> Self {
+        Body {
+            x,
+            y,
+            vx: 0.0,
+            vy: 0.0,
+            balance: 1.0,
+            fallen: false,
+        }
+    }
+
+    /// Integrates acceleration with drag; a fallen body cannot accelerate
+    /// and slowly regains balance, standing back up at the recovery
+    /// threshold.
+    pub fn integrate(&mut self, ax: f64, ay: f64, dt: f64) {
+        self.integrate_with(ax, ay, dt, 4.0);
+    }
+
+    /// [`Body::integrate`] with an explicit acceleration gain — the games
+    /// give the runner more athleticism than the blocker, as in the original
+    /// YouShallNotPass (a runner that pure pursuit can always catch makes
+    /// the game degenerate).
+    pub fn integrate_with(&mut self, ax: f64, ay: f64, dt: f64, accel: f64) {
+        if self.fallen {
+            self.vx *= 0.8;
+            self.vy *= 0.8;
+            self.balance = (self.balance + 0.015).min(1.0);
+            if self.balance > 0.6 {
+                self.fallen = false;
+            }
+        } else {
+            self.vx += dt * (accel * ax - 1.5 * self.vx);
+            self.vy += dt * (accel * ay - 1.5 * self.vy);
+            self.balance = (self.balance + 0.002).min(1.0);
+        }
+        self.x += dt * self.vx;
+        self.y += dt * self.vy;
+    }
+
+    /// Applies a balance hit; the body falls if balance crosses the fall
+    /// threshold.
+    pub fn hit(&mut self, amount: f64) {
+        self.balance = (self.balance - amount).max(0.0);
+        if self.balance < 0.3 {
+            self.fallen = true;
+        }
+    }
+
+    #[cfg(test)]
+    pub fn speed(&self) -> f64 {
+        (self.vx * self.vx + self.vy * self.vy).sqrt()
+    }
+}
+
+/// Resolves a circular contact between two bodies: separates them and
+/// applies balance damage, reduced by each side's brace effort.
+///
+/// Damage is **aggressor-weighted**: each body's damage grows with its *own*
+/// closing speed along the contact normal. Lunging into an opponent is
+/// therefore risky for the lunger — the property that makes naive pursuit a
+/// losing blocker strategy in the real YouShallNotPass (3D humanoids fall
+/// over when tackling) and forces learned blockers to *position* instead of
+/// chase. Returns the impact magnitude (0 when no contact).
+pub(crate) fn resolve_contact(
+    a: &mut Body,
+    b: &mut Body,
+    radius: f64,
+    brace_a: f64,
+    brace_b: f64,
+) -> f64 {
+    let dx = b.x - a.x;
+    let dy = b.y - a.y;
+    let dist = (dx * dx + dy * dy).sqrt();
+    if dist >= radius || dist < 1e-9 {
+        return 0.0;
+    }
+    let nx = dx / dist;
+    let ny = dy / dist;
+    // Each body's own closing speed along the contact normal (`n` points
+    // from a to b, so a closes with +v·n and b with −v·n).
+    let a_closing = (a.vx * nx + a.vy * ny).max(0.0);
+    let b_closing = -(b.vx * nx + b.vy * ny).min(0.0);
+    let impact = a_closing + b_closing;
+    // Positional separation.
+    let overlap = radius - dist;
+    a.x -= 0.5 * overlap * nx;
+    a.y -= 0.5 * overlap * ny;
+    b.x += 0.5 * overlap * nx;
+    b.y += 0.5 * overlap * ny;
+    // Momentum exchange.
+    let push = 0.5 * impact + 0.3;
+    a.vx -= push * nx;
+    a.vy -= push * ny;
+    b.vx += push * nx;
+    b.vy += push * ny;
+    // Aggressor-weighted balance damage, mitigated by bracing.
+    let dmg_a = 0.06 + 0.30 * a_closing + 0.06 * b_closing;
+    let dmg_b = 0.06 + 0.30 * b_closing + 0.06 * a_closing;
+    a.hit(dmg_a * (1.0 - 0.6 * brace_a.clamp(0.0, 1.0)));
+    b.hit(dmg_b * (1.0 - 0.6 * brace_b.clamp(0.0, 1.0)));
+    impact
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fallen_body_cannot_accelerate() {
+        let mut b = Body::at(0.0, 0.0);
+        b.fallen = true;
+        b.balance = 0.1;
+        let x0 = b.x;
+        for _ in 0..5 {
+            b.integrate(1.0, 0.0, 0.05);
+        }
+        assert!((b.x - x0).abs() < 0.01, "fallen body should barely move");
+        assert!(b.speed() < 0.1, "fallen body should stay slow");
+    }
+
+    #[test]
+    fn fallen_body_recovers() {
+        let mut b = Body::at(0.0, 0.0);
+        b.hit(0.9);
+        assert!(b.fallen);
+        for _ in 0..60 {
+            b.integrate(0.0, 0.0, 0.05);
+        }
+        assert!(!b.fallen, "body should stand back up after regenerating");
+    }
+
+    #[test]
+    fn contact_separates_and_damages() {
+        let mut a = Body::at(0.0, 0.0);
+        let mut b = Body::at(0.3, 0.0);
+        a.vx = 2.0;
+        let impact = resolve_contact(&mut a, &mut b, 0.6, 0.0, 0.0);
+        assert!(impact > 0.0);
+        assert!(b.x - a.x >= 0.6 - 1e-9, "bodies should separate");
+        assert!(a.balance < 1.0 && b.balance < 1.0);
+    }
+
+    #[test]
+    fn bracing_reduces_damage() {
+        let mut a1 = Body::at(0.0, 0.0);
+        let mut b1 = Body::at(0.3, 0.0);
+        a1.vx = 2.0;
+        resolve_contact(&mut a1, &mut b1, 0.6, 1.0, 0.0);
+        let mut a2 = Body::at(0.0, 0.0);
+        let mut b2 = Body::at(0.3, 0.0);
+        a2.vx = 2.0;
+        resolve_contact(&mut a2, &mut b2, 0.6, 0.0, 0.0);
+        assert!(a1.balance > a2.balance, "braced body should keep more balance");
+    }
+
+    #[test]
+    fn no_contact_at_distance() {
+        let mut a = Body::at(0.0, 0.0);
+        let mut b = Body::at(5.0, 0.0);
+        assert_eq!(resolve_contact(&mut a, &mut b, 0.6, 0.0, 0.0), 0.0);
+        assert_eq!(a, Body::at(0.0, 0.0));
+    }
+}

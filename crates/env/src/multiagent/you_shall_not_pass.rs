@@ -1,0 +1,260 @@
+//! YouShallNotPass: a runner must cross a finish line past a blocker.
+//!
+//! The victim controls the runner (blue in the paper's Figure 2), the
+//! adversary the blocker (red). The victim wins iff it crosses the line
+//! within the step limit; everything else — felled, stalled, or timed out —
+//! is an adversary win, matching the paper's rules.
+
+use rand::Rng;
+
+use crate::env::{clamp_action, EnvRng, MultiAgentEnv, MultiStep};
+use crate::multiagent::{resolve_contact, Body};
+
+const DT: f64 = 0.05;
+/// Finish line the runner must cross.
+const FINISH_X: f64 = 3.0;
+/// Contact radius between the two bodies.
+const CONTACT_RADIUS: f64 = 0.6;
+
+/// The runner-vs-blocker game.
+#[derive(Debug, Clone)]
+pub struct YouShallNotPass {
+    runner: Body,
+    blocker: Body,
+    steps: usize,
+    max_steps: usize,
+    finished: bool,
+}
+
+impl YouShallNotPass {
+    /// Creates the game with the default 150-step limit (an unopposed
+    /// runner crosses in ~45 steps, so roughly two knockdowns spend the
+    /// clock — the blocker's win condition is reachable but not free).
+    pub fn new() -> Self {
+        Self::with_max_steps(150)
+    }
+
+    /// Creates the game with a custom step limit.
+    pub fn with_max_steps(max_steps: usize) -> Self {
+        YouShallNotPass {
+            runner: Body::at(-3.0, 0.0),
+            blocker: Body::at(0.0, 0.0),
+            steps: 0,
+            max_steps,
+            finished: false,
+        }
+    }
+
+    fn obs_for(&self, own: &Body, other: &Body) -> Vec<f64> {
+        vec![
+            own.x,
+            own.y,
+            own.vx,
+            own.vy,
+            own.balance,
+            if own.fallen { 1.0 } else { 0.0 },
+            other.x - own.x,
+            other.y - own.y,
+            other.vx,
+            other.vy,
+            other.balance,
+            if other.fallen { 1.0 } else { 0.0 },
+        ]
+    }
+
+    /// Runner position (exposed for rendering).
+    pub fn runner_position(&self) -> (f64, f64) {
+        (self.runner.x, self.runner.y)
+    }
+
+    /// Blocker position (exposed for rendering).
+    pub fn blocker_position(&self) -> (f64, f64) {
+        (self.blocker.x, self.blocker.y)
+    }
+}
+
+impl Default for YouShallNotPass {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MultiAgentEnv for YouShallNotPass {
+    fn victim_obs_dim(&self) -> usize {
+        12
+    }
+
+    fn adversary_obs_dim(&self) -> usize {
+        12
+    }
+
+    fn victim_action_dim(&self) -> usize {
+        3
+    }
+
+    fn adversary_action_dim(&self) -> usize {
+        3
+    }
+
+    fn max_steps(&self) -> usize {
+        self.max_steps
+    }
+
+    fn reset(&mut self, rng: &mut EnvRng) -> (Vec<f64>, Vec<f64>) {
+        self.runner = Body::at(-3.0 + rng.gen_range(-0.2..0.2), rng.gen_range(-0.5..0.5));
+        self.blocker = Body::at(rng.gen_range(-0.2..0.2), rng.gen_range(-0.5..0.5));
+        self.steps = 0;
+        self.finished = false;
+        (
+            self.obs_for(&self.runner, &self.blocker),
+            self.obs_for(&self.blocker, &self.runner),
+        )
+    }
+
+    fn step(
+        &mut self,
+        victim_action: &[f64],
+        adversary_action: &[f64],
+        _rng: &mut EnvRng,
+    ) -> MultiStep {
+        debug_assert!(!self.finished, "step called on finished episode");
+        let va = clamp_action(victim_action, 3);
+        let aa = clamp_action(adversary_action, 3);
+        self.steps += 1;
+
+        let x_before = self.runner.x;
+        // The runner is the athlete: it out-accelerates the blocker, so the
+        // blocker must position rather than chase.
+        self.runner.integrate_with(va[0], va[1], DT, 4.5);
+        self.blocker.integrate_with(aa[0], aa[1], DT, 4.0);
+        // The field is laterally open (as in the original game): there is no
+        // wall to pin the runner against, so blocking requires anticipation.
+        self.blocker.x = self.blocker.x.clamp(-3.5, FINISH_X);
+
+        resolve_contact(
+            &mut self.runner,
+            &mut self.blocker,
+            CONTACT_RADIUS,
+            va[2].max(0.0),
+            aa[2].max(0.0),
+        );
+
+        let victim_won = self.runner.x >= FINISH_X;
+        let timeout = self.steps >= self.max_steps;
+        let done = victim_won || timeout;
+        self.finished = done;
+
+        // Shaped victim training reward: forward progress, win bonus, fall
+        // penalty. Never visible to the adversary.
+        let mut reward = 4.0 * (self.runner.x - x_before);
+        if victim_won {
+            reward += 10.0;
+        }
+        if self.runner.fallen {
+            reward -= 0.05;
+        }
+
+        MultiStep {
+            victim_obs: self.obs_for(&self.runner, &self.blocker),
+            adversary_obs: self.obs_for(&self.blocker, &self.runner),
+            victim_reward: reward,
+            done,
+            victim_won: if done { Some(victim_won) } else { None },
+        }
+    }
+
+    fn victim_state(&self) -> Vec<f64> {
+        vec![
+            self.runner.x,
+            self.runner.y,
+            self.runner.balance,
+            if self.runner.fallen { 1.0 } else { 0.0 },
+        ]
+    }
+
+    fn adversary_state(&self) -> Vec<f64> {
+        vec![self.blocker.x, self.blocker.y, self.blocker.balance]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    /// Straight-line runner policy used in tests.
+    fn run_forward(obs: &[f64]) -> [f64; 3] {
+        let y = obs[1];
+        [1.0, (-1.5 * y).clamp(-1.0, 1.0), 0.3]
+    }
+
+    #[test]
+    fn runner_wins_unopposed() {
+        let mut env = YouShallNotPass::new();
+        let mut rng = EnvRng::seed_from_u64(1);
+        let (mut vobs, _) = env.reset(&mut rng);
+        // Blocker runs away laterally.
+        for _ in 0..300 {
+            let va = run_forward(&vobs);
+            let s = env.step(&va, &[0.0, 1.0, 0.0], &mut rng);
+            vobs = s.victim_obs;
+            if s.done {
+                assert_eq!(s.victim_won, Some(true), "unopposed runner should win");
+                return;
+            }
+        }
+        panic!("episode did not end");
+    }
+
+    #[test]
+    fn stationary_braced_blocker_can_stop_a_naive_runner() {
+        let mut env = YouShallNotPass::new();
+        let mut rng = EnvRng::seed_from_u64(2);
+        let (mut vobs, mut aobs) = env.reset(&mut rng);
+        for _ in 0..300 {
+            // Naive runner charges straight at the line; blocker tracks the
+            // runner's y and braces.
+            let va = [1.0f64, (-1.5 * vobs[1]).clamp(-1.0, 1.0), 0.0];
+            let runner_rel_y = aobs[7];
+            let aa = [0.0, (2.0 * runner_rel_y).clamp(-1.0, 1.0), 1.0];
+            let s = env.step(&va, &aa, &mut rng);
+            vobs = s.victim_obs;
+            aobs = s.adversary_obs;
+            if s.done {
+                assert_eq!(
+                    s.victim_won,
+                    Some(false),
+                    "tracking braced blocker should stop the charge"
+                );
+                return;
+            }
+        }
+        panic!("episode did not end");
+    }
+
+    #[test]
+    fn timeout_is_an_adversary_win() {
+        let mut env = YouShallNotPass::with_max_steps(5);
+        let mut rng = EnvRng::seed_from_u64(3);
+        env.reset(&mut rng);
+        for _ in 0..5 {
+            let s = env.step(&[0.0; 3], &[0.0; 3], &mut rng);
+            if s.done {
+                assert_eq!(s.victim_won, Some(false));
+                return;
+            }
+        }
+        panic!("expected timeout");
+    }
+
+    #[test]
+    fn observations_are_symmetric_views() {
+        let mut env = YouShallNotPass::new();
+        let mut rng = EnvRng::seed_from_u64(4);
+        let (vobs, aobs) = env.reset(&mut rng);
+        // Victim's own position equals adversary's view of the other.
+        assert!((vobs[0] - (aobs[0] + aobs[6])).abs() < 1e-9);
+        assert_eq!(vobs.len(), 12);
+        assert_eq!(aobs.len(), 12);
+    }
+}

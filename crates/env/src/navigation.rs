@@ -1,0 +1,298 @@
+//! Sparse-reward navigation tasks (D4RL AntUMaze / Ant4Rooms substitutes).
+//!
+//! A point robot with heading and speed must reach a goal region in a maze.
+//! The victim is trained with distance-shaped reward; the task metric (and
+//! the adversary's surrogate) is the sparse goal-reached indicator. These
+//! tasks are "known to be more challenging than locomotion" (§6.1) because
+//! the optimal route is not a straight line — which also gives an adversary
+//! rich structure to exploit (luring the victim into the wrong room).
+
+use rand::Rng;
+
+use crate::env::{clamp_action, Env, EnvRng, Step};
+use crate::maze::{DistanceField, Maze, Wall};
+
+const DT: f64 = 0.1;
+const GOAL_RADIUS: f64 = 0.5;
+
+/// A point robot navigating a maze to a goal region.
+///
+/// The victim's shaped training reward uses the *geodesic* (around-walls)
+/// distance to the goal, precomputed as a Dijkstra field — Euclidean
+/// shaping would trap policies against the U-maze's bar.
+#[derive(Debug, Clone)]
+pub struct MazeNav {
+    maze: Maze,
+    start: (f64, f64),
+    goal: (f64, f64),
+    field: DistanceField,
+    x: f64,
+    y: f64,
+    heading: f64,
+    speed: f64,
+    prev_dist: f64,
+    steps: usize,
+    max_steps: usize,
+}
+
+impl MazeNav {
+    /// Creates a navigation task over `maze` from `start` to `goal`.
+    pub fn new(maze: Maze, start: (f64, f64), goal: (f64, f64), max_steps: usize) -> Self {
+        let field = maze.distance_field(goal, 0.1);
+        let prev_dist = field.distance(start.0, start.1);
+        MazeNav {
+            maze,
+            start,
+            goal,
+            field,
+            x: start.0,
+            y: start.1,
+            heading: 0.0,
+            speed: 0.0,
+            prev_dist,
+            steps: 0,
+            max_steps,
+        }
+    }
+
+    fn dist_to_goal(&self) -> f64 {
+        self.field.distance(self.x, self.y)
+    }
+
+    fn euclid_to_goal(&self) -> f64 {
+        ((self.x - self.goal.0).powi(2) + (self.y - self.goal.1).powi(2)).sqrt()
+    }
+
+    fn observation(&self) -> Vec<f64> {
+        vec![
+            self.x,
+            self.y,
+            self.heading.cos(),
+            self.heading.sin(),
+            self.speed,
+            self.goal.0 - self.x,
+            self.goal.1 - self.y,
+        ]
+    }
+
+    /// The maze layout (exposed for rendering).
+    pub fn maze(&self) -> &Maze {
+        &self.maze
+    }
+
+    /// Current position.
+    pub fn position(&self) -> (f64, f64) {
+        (self.x, self.y)
+    }
+
+    /// The goal position.
+    pub fn goal(&self) -> (f64, f64) {
+        self.goal
+    }
+}
+
+impl Env for MazeNav {
+    fn obs_dim(&self) -> usize {
+        7
+    }
+
+    fn action_dim(&self) -> usize {
+        2
+    }
+
+    fn max_steps(&self) -> usize {
+        self.max_steps
+    }
+
+    fn reset(&mut self, rng: &mut EnvRng) -> Vec<f64> {
+        self.x = self.start.0 + rng.gen_range(-0.2..0.2);
+        self.y = self.start.1 + rng.gen_range(-0.2..0.2);
+        self.heading = rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI);
+        self.speed = 0.0;
+        self.prev_dist = self.dist_to_goal();
+        self.steps = 0;
+        self.observation()
+    }
+
+    fn step(&mut self, action: &[f64], _rng: &mut EnvRng) -> Step {
+        let a = clamp_action(action, 2);
+        let (accel, turn) = (a[0], a[1]);
+        self.steps += 1;
+
+        self.heading += DT * 2.0 * turn;
+        self.speed = (self.speed + DT * 3.0 * accel).clamp(0.0, 2.0);
+        let dx = DT * self.speed * self.heading.cos();
+        let dy = DT * self.speed * self.heading.sin();
+        let (nx, ny) = self.maze.slide(self.x, self.y, dx, dy);
+        self.x = nx;
+        self.y = ny;
+
+        let dist = self.dist_to_goal();
+        let success = self.euclid_to_goal() < GOAL_RADIUS;
+        // Shaped training reward: geodesic progress toward the goal plus a
+        // success bonus; invisible to the adversary.
+        let reward = 2.0 * (self.prev_dist - dist) - 0.01 + if success { 10.0 } else { 0.0 };
+        self.prev_dist = dist;
+
+        Step {
+            obs: self.observation(),
+            reward,
+            done: success || self.steps >= self.max_steps,
+            unhealthy: false,
+            progress: false,
+            success,
+        }
+    }
+
+    fn state_summary(&self) -> Vec<f64> {
+        vec![self.x, self.y]
+    }
+}
+
+/// The U-maze: a bar wall forces a detour around its open right end.
+pub struct AntUMaze;
+
+impl AntUMaze {
+    /// Builds the U-maze navigation task.
+    pub fn build() -> MazeNav {
+        let mut maze = Maze::new(6.0, 6.0);
+        maze.add_wall(Wall::new(0.0, 2.5, 4.0, 3.5));
+        MazeNav::new(maze, (1.0, 1.0), (1.0, 5.0), 200)
+    }
+}
+
+/// The four-rooms maze: a cross of walls with four doorways; the goal is in
+/// the diagonally opposite room.
+pub struct Ant4Rooms;
+
+impl Ant4Rooms {
+    /// Builds the four-rooms navigation task.
+    pub fn build() -> MazeNav {
+        let mut maze = Maze::new(8.0, 8.0);
+        // Vertical wall with two doorways.
+        maze.add_wall(Wall::new(3.9, 0.0, 4.1, 1.5));
+        maze.add_wall(Wall::new(3.9, 2.5, 4.1, 5.5));
+        maze.add_wall(Wall::new(3.9, 6.5, 4.1, 8.0));
+        // Horizontal wall with two doorways.
+        maze.add_wall(Wall::new(0.0, 3.9, 1.5, 4.1));
+        maze.add_wall(Wall::new(2.5, 3.9, 5.5, 4.1));
+        maze.add_wall(Wall::new(6.5, 3.9, 8.0, 4.1));
+        MazeNav::new(maze, (1.0, 1.0), (7.0, 7.0), 250)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    /// A greedy controller that steers toward a waypoint.
+    fn steer_to(obs: &[f64], wx: f64, wy: f64) -> [f64; 2] {
+        let (x, y, cos_h, sin_h) = (obs[0], obs[1], obs[2], obs[3]);
+        let desired = (wy - y).atan2(wx - x);
+        let current = sin_h.atan2(cos_h);
+        let mut err = desired - current;
+        while err > std::f64::consts::PI {
+            err -= std::f64::consts::TAU;
+        }
+        while err < -std::f64::consts::PI {
+            err += std::f64::consts::TAU;
+        }
+        [1.0, (2.0 * err).clamp(-1.0, 1.0)]
+    }
+
+    #[test]
+    fn umaze_direct_route_is_blocked() {
+        let mut env = AntUMaze::build();
+        let mut rng = EnvRng::seed_from_u64(1);
+        let mut obs = env.reset(&mut rng);
+        // Steering straight at the goal runs into the bar and fails.
+        for _ in 0..200 {
+            let a = steer_to(&obs, 1.0, 5.0);
+            let s = env.step(&a, &mut rng);
+            obs = s.obs;
+            if s.done {
+                assert!(!s.success, "direct route should be blocked by the bar");
+                return;
+            }
+        }
+    }
+
+    #[test]
+    fn umaze_detour_route_succeeds() {
+        let mut env = AntUMaze::build();
+        let mut rng = EnvRng::seed_from_u64(2);
+        let mut obs = env.reset(&mut rng);
+        // Waypoints: right of the bar, above it, then the goal.
+        let waypoints = [(5.0, 1.0), (5.0, 5.0), (1.0, 5.0)];
+        let mut wp = 0;
+        for _ in 0..200 {
+            let (wx, wy) = waypoints[wp];
+            let d = ((obs[0] - wx).powi(2) + (obs[1] - wy).powi(2)).sqrt();
+            if d < 0.6 && wp + 1 < waypoints.len() {
+                wp += 1;
+            }
+            let a = steer_to(&obs, waypoints[wp].0, waypoints[wp].1);
+            let s = env.step(&a, &mut rng);
+            obs = s.obs;
+            if s.done {
+                assert!(s.success, "the detour route should reach the goal");
+                return;
+            }
+        }
+        panic!("episode did not terminate");
+    }
+
+    #[test]
+    fn four_rooms_doorway_route_succeeds() {
+        let mut env = Ant4Rooms::build();
+        let mut rng = EnvRng::seed_from_u64(3);
+        let mut obs = env.reset(&mut rng);
+        let waypoints = [(2.0, 2.0), (4.0, 2.0), (6.0, 2.0), (6.0, 6.0), (7.0, 7.0)];
+        let mut wp = 0;
+        for _ in 0..250 {
+            let d = ((obs[0] - waypoints[wp].0).powi(2) + (obs[1] - waypoints[wp].1).powi(2)).sqrt();
+            if d < 0.6 && wp + 1 < waypoints.len() {
+                wp += 1;
+            }
+            let a = steer_to(&obs, waypoints[wp].0, waypoints[wp].1);
+            let s = env.step(&a, &mut rng);
+            obs = s.obs;
+            if s.done {
+                assert!(s.success, "the doorway route should reach the goal");
+                return;
+            }
+        }
+        panic!("episode did not terminate");
+    }
+
+    #[test]
+    fn shaped_reward_is_geodesic() {
+        // Moving right from the start is *toward* the goal geodesically
+        // (the direct route is walled off), so it must earn positive shaped
+        // reward; retreating into the start corner must earn negative.
+        let run = |wx: f64, wy: f64| -> f64 {
+            let mut env = AntUMaze::build();
+            let mut rng = EnvRng::seed_from_u64(4);
+            let mut obs = env.reset(&mut rng);
+            let mut total = 0.0;
+            for _ in 0..30 {
+                let a = steer_to(&obs, wx, wy);
+                let s = env.step(&a, &mut rng);
+                obs = s.obs;
+                total += s.reward;
+            }
+            total
+        };
+        assert!(run(5.0, 1.0) > 0.0, "detour direction should be progress");
+        assert!(run(0.2, 0.2) < 0.0, "retreating should be negative");
+    }
+
+    #[test]
+    fn observation_dim_matches() {
+        let mut env = AntUMaze::build();
+        let mut rng = EnvRng::seed_from_u64(5);
+        let obs = env.reset(&mut rng);
+        assert_eq!(obs.len(), env.obs_dim());
+    }
+}

@@ -1,0 +1,149 @@
+//! ASCII rendering of trajectories.
+//!
+//! The paper's Figures 1–3 are MuJoCo screenshots of qualitative behaviour
+//! (a lured Walker falling, a blocker intercepting a runner). We reproduce
+//! them as ASCII plots: a [`Canvas`] plots 2D traces, and the `render`
+//! harness binary in `imap-bench` dumps victim trajectories under different
+//! attacks.
+
+/// A character canvas mapping a rectangular world region onto a text grid.
+#[derive(Debug, Clone)]
+pub struct Canvas {
+    cols: usize,
+    rows: usize,
+    x_range: (f64, f64),
+    y_range: (f64, f64),
+    cells: Vec<char>,
+}
+
+impl Canvas {
+    /// Creates a canvas covering `x_range` x `y_range` with the given grid.
+    pub fn new(cols: usize, rows: usize, x_range: (f64, f64), y_range: (f64, f64)) -> Self {
+        Canvas {
+            cols,
+            rows,
+            x_range,
+            y_range,
+            cells: vec![' '; cols * rows],
+        }
+    }
+
+    fn cell_of(&self, x: f64, y: f64) -> Option<(usize, usize)> {
+        let (x0, x1) = self.x_range;
+        let (y0, y1) = self.y_range;
+        if x < x0 || x > x1 || y < y0 || y > y1 || x1 <= x0 || y1 <= y0 {
+            return None;
+        }
+        let c = ((x - x0) / (x1 - x0) * (self.cols - 1) as f64).round() as usize;
+        // Rows render top-down, so invert y.
+        let r = ((y1 - y) / (y1 - y0) * (self.rows - 1) as f64).round() as usize;
+        Some((c.min(self.cols - 1), r.min(self.rows - 1)))
+    }
+
+    /// Plots a single point with glyph `ch` (out-of-range points are dropped).
+    pub fn plot(&mut self, x: f64, y: f64, ch: char) {
+        if let Some((c, r)) = self.cell_of(x, y) {
+            self.cells[r * self.cols + c] = ch;
+        }
+    }
+
+    /// Plots a polyline trace with glyph `ch`.
+    pub fn trace(&mut self, points: &[(f64, f64)], ch: char) {
+        for &(x, y) in points {
+            self.plot(x, y, ch);
+        }
+    }
+
+    /// Fills a rectangle (used for maze walls).
+    pub fn fill_rect(&mut self, x0: f64, y0: f64, x1: f64, y1: f64, ch: char) {
+        let steps_x = (2 * self.cols).max(2);
+        let steps_y = (2 * self.rows).max(2);
+        for i in 0..=steps_x {
+            for j in 0..=steps_y {
+                let x = x0 + (x1 - x0) * i as f64 / steps_x as f64;
+                let y = y0 + (y1 - y0) * j as f64 / steps_y as f64;
+                self.plot(x, y, ch);
+            }
+        }
+    }
+
+    /// Renders to a string, one line per row.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity((self.cols + 1) * self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.push(self.cells[r * self.cols + c]);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Plots a 1D time series as `(t, value)` on a canvas and renders it —
+/// handy for quick posture/height traces like the paper's fall sequences.
+pub fn sparkline(values: &[f64], rows: usize) -> String {
+    if values.is_empty() {
+        return String::new();
+    }
+    let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = if (max - min).abs() < 1e-12 { 1.0 } else { max - min };
+    let mut canvas = Canvas::new(
+        values.len().min(120),
+        rows,
+        (0.0, (values.len() - 1).max(1) as f64),
+        (min, min + span),
+    );
+    let pts: Vec<(f64, f64)> = values
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (i as f64, v))
+        .collect();
+    canvas.trace(&pts, '*');
+    canvas.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corners_map_to_grid_corners() {
+        let mut c = Canvas::new(10, 5, (0.0, 1.0), (0.0, 1.0));
+        c.plot(0.0, 0.0, 'a'); // bottom-left -> last row, first col
+        c.plot(1.0, 1.0, 'b'); // top-right -> first row, last col
+        let s = c.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[4].chars().next().unwrap(), 'a');
+        assert_eq!(lines[0].chars().last().unwrap(), 'b');
+    }
+
+    #[test]
+    fn out_of_range_points_dropped() {
+        let mut c = Canvas::new(4, 4, (0.0, 1.0), (0.0, 1.0));
+        c.plot(5.0, 5.0, 'x');
+        assert!(!c.render().contains('x'));
+    }
+
+    #[test]
+    fn fill_rect_draws_walls() {
+        let mut c = Canvas::new(10, 10, (0.0, 1.0), (0.0, 1.0));
+        c.fill_rect(0.2, 0.2, 0.8, 0.4, '#');
+        assert!(c.render().matches('#').count() > 5);
+    }
+
+    #[test]
+    fn sparkline_shape() {
+        let vals: Vec<f64> = (0..50).map(|i| (i as f64 * 0.2).sin()).collect();
+        let s = sparkline(&vals, 6);
+        assert_eq!(s.lines().count(), 6);
+        assert!(s.contains('*'));
+    }
+
+    #[test]
+    fn sparkline_constant_input() {
+        let s = sparkline(&[1.0; 10], 3);
+        assert!(s.contains('*'));
+    }
+}

@@ -1,0 +1,146 @@
+//! Sparse-reward task wrappers.
+//!
+//! The paper's sparse locomotion tasks require the victim to "move forward
+//! across a distant line to complete the task", terminating on success or an
+//! unhealthy state (§6.1). [`SparseLocomotion`] wraps any
+//! [`crate::locomotion::Locomotor`] body with a finish line, and
+//! [`sparse_episode_metric`] defines the episode-level score reported in
+//! Tables 2 and 3: `+1` success, `-0.1` unhealthy failure, `0` timeout.
+//!
+//! The wrapped `Step::reward` still carries the body's shaped training reward
+//! (victims are pre-trained with it); the *adversary* never sees it — its
+//! surrogate reward comes from the `success` flag only, which is exactly the
+//! exploration bottleneck the paper's intrinsic regularizers exist to solve.
+
+use crate::env::{Env, EnvRng, Step};
+use crate::locomotion::Locomotor;
+
+/// Episode score used by the sparse-task tables: `+1` for success, `-0.1`
+/// for an unhealthy failure, `0` for a timeout without success.
+pub fn sparse_episode_metric(success: bool, unhealthy: bool) -> f64 {
+    if success {
+        1.0
+    } else if unhealthy {
+        -0.1
+    } else {
+        0.0
+    }
+}
+
+/// A finish-line wrapper turning a locomotion body into a sparse task.
+#[derive(Debug, Clone)]
+pub struct SparseLocomotion<E: Locomotor> {
+    inner: E,
+    finish_line: f64,
+}
+
+impl<E: Locomotor> SparseLocomotion<E> {
+    /// Wraps `inner` with a finish line at `finish_line` on the x-axis.
+    pub fn new(inner: E, finish_line: f64) -> Self {
+        SparseLocomotion { inner, finish_line }
+    }
+
+    /// The wrapped body.
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+
+    /// The finish-line x coordinate.
+    pub fn finish_line(&self) -> f64 {
+        self.finish_line
+    }
+}
+
+impl<E: Locomotor> Env for SparseLocomotion<E> {
+    fn obs_dim(&self) -> usize {
+        self.inner.obs_dim()
+    }
+
+    fn action_dim(&self) -> usize {
+        self.inner.action_dim()
+    }
+
+    fn max_steps(&self) -> usize {
+        self.inner.max_steps()
+    }
+
+    fn reset(&mut self, rng: &mut EnvRng) -> Vec<f64> {
+        self.inner.reset(rng)
+    }
+
+    fn step(&mut self, action: &[f64], rng: &mut EnvRng) -> Step {
+        let mut step = self.inner.step(action, rng);
+        let crossed = self.inner.x() >= self.finish_line;
+        step.success = crossed;
+        step.done = step.done || crossed;
+        // The per-step dense surrogate is meaningless here; the sparse
+        // surrogate is the terminal success flag.
+        step.progress = false;
+        step
+    }
+
+    fn state_summary(&self) -> Vec<f64> {
+        self.inner.state_summary()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::locomotion::Hopper;
+    use rand::SeedableRng;
+
+    #[test]
+    fn metric_values() {
+        assert_eq!(sparse_episode_metric(true, false), 1.0);
+        assert_eq!(sparse_episode_metric(false, true), -0.1);
+        assert_eq!(sparse_episode_metric(false, false), 0.0);
+        // Success dominates (cannot be both in practice, but be total).
+        assert_eq!(sparse_episode_metric(true, true), 1.0);
+    }
+
+    #[test]
+    fn crossing_the_line_terminates_with_success() {
+        let mut env = SparseLocomotion::new(Hopper::with_max_steps(400), 1.0);
+        let mut rng = EnvRng::seed_from_u64(5);
+        let mut obs = env.reset(&mut rng);
+        let mut success = false;
+        for _ in 0..400 {
+            let pitch = obs[2];
+            let pitch_vel = obs[3];
+            let torque = (-6.0 * (pitch - 0.08) - 2.0 * pitch_vel).clamp(-1.0, 1.0);
+            let s = env.step(&[0.5, torque, 0.0], &mut rng);
+            obs = s.obs;
+            if s.done {
+                success = s.success;
+                break;
+            }
+        }
+        assert!(success, "hopping controller should cross a 1.0 finish line");
+    }
+
+    #[test]
+    fn falling_is_not_success() {
+        let mut env = SparseLocomotion::new(Hopper::new(), 50.0);
+        let mut rng = EnvRng::seed_from_u64(6);
+        env.reset(&mut rng);
+        for _ in 0..200 {
+            let s = env.step(&[0.0, 1.0, 0.0], &mut rng);
+            if s.done {
+                assert!(s.unhealthy);
+                assert!(!s.success);
+                return;
+            }
+        }
+        panic!("hopper under constant torque should have fallen");
+    }
+
+    #[test]
+    fn progress_flag_suppressed() {
+        let mut env = SparseLocomotion::new(Hopper::new(), 50.0);
+        let mut rng = EnvRng::seed_from_u64(7);
+        env.reset(&mut rng);
+        let s = env.step(&[0.5, 0.0, 0.0], &mut rng);
+        assert!(!s.progress);
+    }
+}

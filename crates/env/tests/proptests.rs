@@ -1,0 +1,137 @@
+//! Property-based tests over the full task registry: determinism, finite
+//! observations, action-clamping invariance, and episode-accounting
+//! invariants for arbitrary action sequences.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+use imap_env::{build_multi_task, build_task, EnvRng, MultiTaskId, TaskId};
+
+fn task_strategy() -> impl Strategy<Value = TaskId> {
+    proptest::sample::select(TaskId::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Identically seeded rollouts with identical actions coincide exactly,
+    /// for every task and arbitrary action sequences.
+    #[test]
+    fn rollouts_are_deterministic(
+        task in task_strategy(),
+        seed in 0u64..1000,
+        actions in proptest::collection::vec(
+            proptest::collection::vec(-1.5f64..1.5, 5), 1..40),
+    ) {
+        let run = || {
+            let mut env = build_task(task);
+            let mut rng = EnvRng::seed_from_u64(seed);
+            let mut trace = vec![env.reset(&mut rng)];
+            for a in &actions {
+                let s = env.step(a, &mut rng);
+                trace.push(s.obs.clone());
+                if s.done {
+                    break;
+                }
+            }
+            trace
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Observations and rewards stay finite under arbitrary (over-range)
+    /// actions.
+    #[test]
+    fn observations_stay_finite(
+        task in task_strategy(),
+        seed in 0u64..1000,
+        actions in proptest::collection::vec(
+            proptest::collection::vec(-10.0f64..10.0, 5), 1..60),
+    ) {
+        let mut env = build_task(task);
+        let mut rng = EnvRng::seed_from_u64(seed);
+        env.reset(&mut rng);
+        for a in &actions {
+            let s = env.step(a, &mut rng);
+            prop_assert!(s.obs.iter().all(|v| v.is_finite()), "{task:?} obs");
+            prop_assert!(s.reward.is_finite(), "{task:?} reward");
+            prop_assert!(
+                env.state_summary().iter().all(|v| v.is_finite()),
+                "{task:?} summary"
+            );
+            if s.done {
+                break;
+            }
+        }
+    }
+
+    /// Actions clamp: stepping with 1e6-scaled actions equals stepping with
+    /// the same actions pre-clamped to [-1, 1].
+    #[test]
+    fn action_clamping_invariance(
+        task in task_strategy(),
+        seed in 0u64..1000,
+        raw in proptest::collection::vec(-3.0f64..3.0, 5),
+    ) {
+        let scaled: Vec<f64> = raw.iter().map(|v| v * 1e6).collect();
+        let clamped: Vec<f64> = raw
+            .iter()
+            .map(|v| (v * 1e6).clamp(-1.0, 1.0))
+            .collect();
+        let step_with = |a: &[f64]| {
+            let mut env = build_task(task);
+            let mut rng = EnvRng::seed_from_u64(seed);
+            env.reset(&mut rng);
+            env.step(a, &mut rng)
+        };
+        prop_assert_eq!(step_with(&scaled), step_with(&clamped));
+    }
+
+    /// Surrogate-flag discipline: sparse tasks never emit the per-step
+    /// `progress` surrogate, dense tasks never emit the terminal `success`
+    /// surrogate (each attack consumes exactly one signal).
+    #[test]
+    fn surrogate_flags_respect_task_kind(
+        task in task_strategy(),
+        seed in 0u64..1000,
+        actions in proptest::collection::vec(
+            proptest::collection::vec(-1.0f64..1.0, 5), 1..80),
+    ) {
+        let sparse = task.is_sparse();
+        let mut env = build_task(task);
+        let mut rng = EnvRng::seed_from_u64(seed);
+        env.reset(&mut rng);
+        for a in &actions {
+            let s = env.step(a, &mut rng);
+            if sparse {
+                prop_assert!(!s.progress, "{task:?} sparse task emitted progress");
+            } else {
+                prop_assert!(!s.success, "{task:?} dense task emitted success");
+            }
+            if s.done {
+                break;
+            }
+        }
+    }
+
+    /// Multi-agent games always resolve the winner exactly at `done`.
+    #[test]
+    fn games_report_winner_only_at_done(
+        game in proptest::sample::select(MultiTaskId::ALL.to_vec()),
+        seed in 0u64..1000,
+        actions in proptest::collection::vec(
+            (proptest::collection::vec(-1.0f64..1.0, 4),
+             proptest::collection::vec(-1.0f64..1.0, 4)), 1..60),
+    ) {
+        let mut env = build_multi_task(game);
+        let mut rng = EnvRng::seed_from_u64(seed);
+        env.reset(&mut rng);
+        for (va, aa) in &actions {
+            let s = env.step(va, aa, &mut rng);
+            prop_assert_eq!(s.victim_won.is_some(), s.done, "{:?}", game);
+            if s.done {
+                break;
+            }
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Elementwise activation functions and their derivatives.
+
+use serde::{Deserialize, Serialize};
+
+/// An elementwise activation function.
+///
+/// All variants are monotone non-decreasing, which the interval-bound
+/// propagation in [`crate::ibp`] relies on: a monotone activation maps an
+/// input interval `[l, u]` exactly to `[f(l), f(u)]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    /// Identity; used for output layers.
+    Linear,
+    /// Hyperbolic tangent; the default hidden activation for control policies.
+    Tanh,
+    /// Rectified linear unit.
+    Relu,
+    /// Softplus `ln(1 + e^x)`, a smooth positive function used for value-style
+    /// heads that must stay differentiable everywhere.
+    Softplus,
+}
+
+impl Activation {
+    /// Applies the activation to a scalar.
+    #[inline]
+    pub fn apply(self, x: f64) -> f64 {
+        match self {
+            Activation::Linear => x,
+            Activation::Tanh => x.tanh(),
+            Activation::Relu => x.max(0.0),
+            Activation::Softplus => softplus(x),
+        }
+    }
+
+    /// Derivative of the activation expressed in terms of the *pre*-activation
+    /// input `x`.
+    #[inline]
+    pub fn derivative(self, x: f64) -> f64 {
+        match self {
+            Activation::Linear => 1.0,
+            Activation::Tanh => {
+                let t = x.tanh();
+                1.0 - t * t
+            }
+            Activation::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Softplus => sigmoid(x),
+        }
+    }
+
+    /// True if the function is monotone non-decreasing (all variants are; the
+    /// method exists so IBP can assert its own precondition).
+    #[inline]
+    pub fn is_monotone(self) -> bool {
+        true
+    }
+}
+
+/// Numerically stable softplus.
+#[inline]
+pub fn softplus(x: f64) -> f64 {
+    if x > 30.0 {
+        x
+    } else if x < -30.0 {
+        x.exp()
+    } else {
+        x.exp().ln_1p()
+    }
+}
+
+/// Numerically stable logistic sigmoid.
+#[inline]
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ACTS: [Activation; 4] = [
+        Activation::Linear,
+        Activation::Tanh,
+        Activation::Relu,
+        Activation::Softplus,
+    ];
+
+    #[test]
+    fn derivatives_match_finite_difference() {
+        let h = 1e-6;
+        for act in ACTS {
+            for &x in &[-2.0, -0.5, 0.3, 1.7, 4.0] {
+                let fd = (act.apply(x + h) - act.apply(x - h)) / (2.0 * h);
+                let an = act.derivative(x);
+                assert!(
+                    (fd - an).abs() < 1e-5,
+                    "{act:?} at {x}: fd={fd} analytic={an}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn softplus_extremes_are_stable() {
+        assert!((softplus(100.0) - 100.0).abs() < 1e-9);
+        assert!(softplus(-100.0) > 0.0);
+        assert!(softplus(-100.0) < 1e-30);
+    }
+
+    #[test]
+    fn sigmoid_symmetry() {
+        for &x in &[-5.0, -1.0, 0.0, 2.0, 8.0] {
+            assert!((sigmoid(x) + sigmoid(-x) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn all_monotone() {
+        for act in ACTS {
+            assert!(act.is_monotone());
+            for w in [-3.0, -1.0, 0.0, 1.0, 3.0].windows(2) {
+                assert!(act.apply(w[0]) <= act.apply(w[1]) + 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Error type for the `imap-nn` crate.
+
+use std::fmt;
+
+/// Errors produced by neural-network construction and use.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NnError {
+    /// A matrix operation was attempted on incompatible shapes.
+    ShapeMismatch {
+        /// Human-readable description of the operation.
+        op: &'static str,
+        /// Shape of the left/first operand as `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Shape of the right/second operand as `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// A network was constructed with an empty layer specification.
+    EmptyNetwork,
+    /// A parameter vector of the wrong length was supplied.
+    ParamLength {
+        /// The length the network expected.
+        expected: usize,
+        /// The length that was provided.
+        got: usize,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in {op}: lhs {}x{}, rhs {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            NnError::EmptyNetwork => write!(f, "network must have at least one layer"),
+            NnError::ParamLength { expected, got } => {
+                write!(f, "parameter vector length {got}, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NnError {}

@@ -1,0 +1,226 @@
+//! Diagonal-Gaussian policy head.
+//!
+//! Continuous-control policies in this workspace are `N(mu(s), diag(sigma^2))`
+//! with a state-independent, learned `log_std` vector — the standard
+//! parameterization used by PPO on MuJoCo-style tasks and by the paper's
+//! adversarial policies. The head provides closed-form log-probability,
+//! entropy, and KL divergence together with the analytic gradients the PPO
+//! update needs.
+
+use rand::Rng;
+use rand_distr_normal::StandardNormal;
+use serde::{Deserialize, Serialize};
+
+/// `rand`'s Box–Muller standard normal via `Rng::sample` needs `rand_distr`;
+/// to stay within the sanctioned dependency set we implement the
+/// Marsaglia polar method locally.
+mod rand_distr_normal {
+    use rand::Rng;
+
+    /// Distribution marker for a standard normal sample.
+    pub struct StandardNormal;
+
+    impl StandardNormal {
+        /// Draws one `N(0, 1)` sample using the Marsaglia polar method.
+        pub fn sample<R: Rng>(rng: &mut R) -> f64 {
+            loop {
+                let u: f64 = rng.gen_range(-1.0..1.0);
+                let v: f64 = rng.gen_range(-1.0..1.0);
+                let s = u * u + v * v;
+                if s > 0.0 && s < 1.0 {
+                    return u * (-2.0 * s.ln() / s).sqrt();
+                }
+            }
+        }
+    }
+}
+
+const LN_2PI: f64 = 1.837_877_066_409_345_3;
+
+/// A diagonal Gaussian distribution head with learned log standard deviation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DiagGaussian {
+    /// Learned per-dimension log standard deviation.
+    pub log_std: Vec<f64>,
+}
+
+impl DiagGaussian {
+    /// Creates a head for `dim`-dimensional actions with initial
+    /// `log_std = init` in every dimension.
+    pub fn new(dim: usize, init: f64) -> Self {
+        DiagGaussian {
+            log_std: vec![init; dim],
+        }
+    }
+
+    /// Action dimensionality.
+    pub fn dim(&self) -> usize {
+        self.log_std.len()
+    }
+
+    /// Per-dimension standard deviations.
+    pub fn std(&self) -> Vec<f64> {
+        self.log_std.iter().map(|l| l.exp()).collect()
+    }
+
+    /// Samples an action `a ~ N(mean, sigma^2)`.
+    pub fn sample<R: Rng>(&self, mean: &[f64], rng: &mut R) -> Vec<f64> {
+        mean.iter()
+            .zip(self.log_std.iter())
+            .map(|(&m, &l)| m + l.exp() * StandardNormal::sample(rng))
+            .collect()
+    }
+
+    /// Log-density `ln p(action | mean, sigma)`.
+    pub fn log_prob(&self, mean: &[f64], action: &[f64]) -> f64 {
+        debug_assert_eq!(mean.len(), self.log_std.len());
+        debug_assert_eq!(action.len(), self.log_std.len());
+        let mut lp = 0.0;
+        for i in 0..self.log_std.len() {
+            let std = self.log_std[i].exp();
+            let z = (action[i] - mean[i]) / std;
+            lp += -0.5 * z * z - self.log_std[i] - 0.5 * LN_2PI;
+        }
+        lp
+    }
+
+    /// Gradient of [`DiagGaussian::log_prob`] w.r.t. the mean and `log_std`.
+    ///
+    /// Returns `(d logp / d mean, d logp / d log_std)`.
+    pub fn log_prob_grad(&self, mean: &[f64], action: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        let n = self.log_std.len();
+        let mut dmean = vec![0.0; n];
+        let mut dlogstd = vec![0.0; n];
+        for i in 0..n {
+            let std = self.log_std[i].exp();
+            let z = (action[i] - mean[i]) / std;
+            dmean[i] = z / std;
+            dlogstd[i] = z * z - 1.0;
+        }
+        (dmean, dlogstd)
+    }
+
+    /// Differential entropy `H = sum_i (log_std_i + 0.5 ln(2 pi e))`.
+    pub fn entropy(&self) -> f64 {
+        let per_dim = 0.5 * (LN_2PI + 1.0);
+        self.log_std.iter().map(|l| l + per_dim).sum()
+    }
+
+    /// Gradient of the entropy w.r.t. `log_std` (identically one).
+    pub fn entropy_grad(&self) -> Vec<f64> {
+        vec![1.0; self.log_std.len()]
+    }
+
+    /// Closed-form `KL( N(mean_p, self) || N(mean_q, other) )`.
+    pub fn kl(&self, mean_p: &[f64], other: &DiagGaussian, mean_q: &[f64]) -> f64 {
+        debug_assert_eq!(self.log_std.len(), other.log_std.len());
+        let mut kl = 0.0;
+        for i in 0..self.log_std.len() {
+            let sp = self.log_std[i].exp();
+            let sq = other.log_std[i].exp();
+            let dm = mean_p[i] - mean_q[i];
+            kl += other.log_std[i] - self.log_std[i] + (sp * sp + dm * dm) / (2.0 * sq * sq) - 0.5;
+        }
+        kl
+    }
+
+    /// Gradient of [`DiagGaussian::kl`] w.r.t. `mean_p` (the first argument's
+    /// mean). Used by the divergence-driven regularizer to push the live
+    /// policy away from the mimic policy.
+    pub fn kl_grad_mean_p(&self, mean_p: &[f64], other: &DiagGaussian, mean_q: &[f64]) -> Vec<f64> {
+        (0..self.log_std.len())
+            .map(|i| {
+                let sq = other.log_std[i].exp();
+                (mean_p[i] - mean_q[i]) / (sq * sq)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::numeric_gradient;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn log_prob_standard_normal_at_mean() {
+        let g = DiagGaussian::new(2, 0.0);
+        let lp = g.log_prob(&[0.0, 0.0], &[0.0, 0.0]);
+        assert!((lp - (-LN_2PI)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_prob_grads_match_fd() {
+        let g = DiagGaussian::new(3, -0.3);
+        let mean = [0.2, -0.5, 1.0];
+        let action = [0.7, -0.1, 0.4];
+        let (dmean, dlogstd) = g.log_prob_grad(&mean, &action);
+        let fd_mean = numeric_gradient(|m| g.log_prob(m, &action), &mean, 1e-6);
+        for (a, b) in dmean.iter().zip(fd_mean.iter()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+        let fd_ls = numeric_gradient(
+            |ls| {
+                let g2 = DiagGaussian {
+                    log_std: ls.to_vec(),
+                };
+                g2.log_prob(&mean, &action)
+            },
+            &g.log_std,
+            1e-6,
+        );
+        for (a, b) in dlogstd.iter().zip(fd_ls.iter()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn entropy_increases_with_log_std() {
+        let lo = DiagGaussian::new(4, -1.0);
+        let hi = DiagGaussian::new(4, 0.0);
+        assert!(hi.entropy() > lo.entropy());
+    }
+
+    #[test]
+    fn kl_zero_iff_identical() {
+        let g = DiagGaussian::new(3, -0.5);
+        let m = [0.1, 0.2, 0.3];
+        assert!(g.kl(&m, &g, &m).abs() < 1e-12);
+        let other = DiagGaussian::new(3, 0.5);
+        assert!(g.kl(&m, &other, &[0.0, 0.0, 0.0]) > 0.0);
+    }
+
+    #[test]
+    fn kl_grad_matches_fd() {
+        let p = DiagGaussian::new(2, -0.2);
+        let q = DiagGaussian::new(2, 0.1);
+        let mp = [0.4, -0.7];
+        let mq = [0.0, 0.3];
+        let an = p.kl_grad_mean_p(&mp, &q, &mq);
+        let fd = numeric_gradient(|m| p.kl(m, &q, &mq), &mp, 1e-6);
+        for (a, b) in an.iter().zip(fd.iter()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn sample_statistics() {
+        let g = DiagGaussian::new(1, 0.0);
+        let mut rng = StdRng::seed_from_u64(123);
+        let n = 20_000;
+        let mean = [2.0];
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for _ in 0..n {
+            let a = g.sample(&mean, &mut rng)[0];
+            sum += a;
+            sumsq += a * a;
+        }
+        let m = sum / n as f64;
+        let var = sumsq / n as f64 - m * m;
+        assert!((m - 2.0).abs() < 0.05, "mean {m}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+}

@@ -1,0 +1,137 @@
+//! Finite-difference gradient checking.
+//!
+//! Every analytic gradient in this workspace (layers, networks, the Gaussian
+//! policy head, the PPO losses built on top) is validated against central
+//! finite differences in tests. These helpers centralize that logic.
+
+use crate::layer::{Dense, DenseGrads};
+use crate::mlp::{Mlp, MlpGrads};
+
+/// A failed gradient check: which parameter disagreed and by how much.
+#[derive(Debug, Clone)]
+pub struct GradCheckFailure {
+    /// Flat parameter index that disagreed.
+    pub index: usize,
+    /// Analytic gradient value.
+    pub analytic: f64,
+    /// Finite-difference estimate.
+    pub numeric: f64,
+}
+
+impl std::fmt::Display for GradCheckFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "gradient mismatch at param {}: analytic {} vs numeric {}",
+            self.index, self.analytic, self.numeric
+        )
+    }
+}
+
+impl std::error::Error for GradCheckFailure {}
+
+/// Central-difference derivative of `loss` w.r.t. flat parameter `i` of `mlp`.
+fn fd_param_mlp(mlp: &Mlp, loss: &impl Fn(&Mlp) -> f64, i: usize, h: f64) -> f64 {
+    let base = mlp.params();
+    let mut m = mlp.clone();
+    let mut p = base.clone();
+    p[i] += h;
+    m.set_params(&p).expect("same length");
+    let up = loss(&m);
+    p[i] = base[i] - h;
+    m.set_params(&p).expect("same length");
+    let down = loss(&m);
+    (up - down) / (2.0 * h)
+}
+
+/// Checks analytic MLP gradients against central finite differences.
+///
+/// Compares every flat parameter; returns the first disagreement beyond
+/// `tol` (absolute, after normalizing by `1 + |numeric|`).
+pub fn check_mlp_grads(
+    mlp: &Mlp,
+    loss: impl Fn(&Mlp) -> f64,
+    grads: &MlpGrads,
+    h: f64,
+    tol: f64,
+) -> Result<(), GradCheckFailure> {
+    let flat = grads.flatten();
+    for (i, &analytic) in flat.iter().enumerate() {
+        let numeric = fd_param_mlp(mlp, &loss, i, h);
+        if (analytic - numeric).abs() / (1.0 + numeric.abs()) > tol {
+            return Err(GradCheckFailure {
+                index: i,
+                analytic,
+                numeric,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Checks analytic gradients of a single [`Dense`] layer.
+pub fn check_dense_grads(
+    layer: &Dense,
+    loss: impl Fn(&Dense) -> f64,
+    grads: &DenseGrads,
+    h: f64,
+    tol: f64,
+) -> Result<(), GradCheckFailure> {
+    let wlen = layer.w.rows() * layer.w.cols();
+    let total = wlen + layer.b.len();
+    for i in 0..total {
+        let mut up = layer.clone();
+        let mut down = layer.clone();
+        if i < wlen {
+            up.w.data_mut()[i] += h;
+            down.w.data_mut()[i] -= h;
+        } else {
+            up.b[i - wlen] += h;
+            down.b[i - wlen] -= h;
+        }
+        let numeric = (loss(&up) - loss(&down)) / (2.0 * h);
+        let analytic = if i < wlen {
+            grads.dw.data()[i]
+        } else {
+            grads.db[i - wlen]
+        };
+        if (analytic - numeric).abs() / (1.0 + numeric.abs()) > tol {
+            return Err(GradCheckFailure {
+                index: i,
+                analytic,
+                numeric,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Central-difference gradient of a scalar function of a vector. Used by
+/// tests outside this crate (e.g. Gaussian head and PPO loss gradchecks).
+pub fn numeric_gradient(f: impl Fn(&[f64]) -> f64, x: &[f64], h: f64) -> Vec<f64> {
+    let mut g = vec![0.0; x.len()];
+    let mut buf = x.to_vec();
+    for i in 0..x.len() {
+        buf[i] = x[i] + h;
+        let up = f(&buf);
+        buf[i] = x[i] - h;
+        let down = f(&buf);
+        buf[i] = x[i];
+        g[i] = (up - down) / (2.0 * h);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_gradient_of_quadratic() {
+        let f = |x: &[f64]| x.iter().map(|v| v * v).sum::<f64>();
+        let g = numeric_gradient(f, &[1.0, -2.0, 0.5], 1e-6);
+        for (gi, xi) in g.iter().zip([1.0, -2.0, 0.5]) {
+            assert!((gi - 2.0 * xi).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Interval Bound Propagation (IBP) for l∞-robustness of MLPs.
+//!
+//! The SA-regularizer, RADIAL, and WocaR defenses all need *sound* bounds on
+//! how much a policy network's output can move when the input is perturbed
+//! inside an l∞ ball of radius `eps`. The paper's implementations use convex
+//! relaxations (auto_LiRPA); we substitute IBP, the cheapest sound relaxation,
+//! which propagates axis-aligned boxes layer by layer:
+//!
+//! - affine layer: center `c -> W c + b`, radius `r -> |W| r`;
+//! - monotone activation: `[l, u] -> [f(l), f(u)]`.
+//!
+//! IBP bounds are looser than LiRPA's but sound, which is all the defense
+//! losses require (they penalize the *width* of the bound).
+
+use crate::error::NnError;
+use crate::mlp::Mlp;
+
+/// An axis-aligned box `[lower, upper]` over a vector quantity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Interval {
+    /// Per-dimension lower bounds.
+    pub lower: Vec<f64>,
+    /// Per-dimension upper bounds.
+    pub upper: Vec<f64>,
+}
+
+impl Interval {
+    /// The l∞ ball of radius `eps` around `center`.
+    pub fn linf_ball(center: &[f64], eps: f64) -> Self {
+        Interval {
+            lower: center.iter().map(|&c| c - eps).collect(),
+            upper: center.iter().map(|&c| c + eps).collect(),
+        }
+    }
+
+    /// An axis-aligned box with per-dimension radii (used when a raw-space
+    /// l∞ ball is expressed in normalized coordinates).
+    pub fn box_around(center: &[f64], radii: &[f64]) -> Self {
+        Interval {
+            lower: center
+                .iter()
+                .zip(radii.iter())
+                .map(|(&c, &r)| c - r.abs())
+                .collect(),
+            upper: center
+                .iter()
+                .zip(radii.iter())
+                .map(|(&c, &r)| c + r.abs())
+                .collect(),
+        }
+    }
+
+    /// Per-dimension widths `upper - lower`.
+    pub fn widths(&self) -> Vec<f64> {
+        self.upper
+            .iter()
+            .zip(self.lower.iter())
+            .map(|(u, l)| u - l)
+            .collect()
+    }
+
+    /// Maximum width across dimensions.
+    pub fn max_width(&self) -> f64 {
+        self.widths().into_iter().fold(0.0, f64::max)
+    }
+
+    /// True if `x` lies inside the box (inclusive).
+    pub fn contains(&self, x: &[f64]) -> bool {
+        x.iter()
+            .zip(self.lower.iter().zip(self.upper.iter()))
+            .all(|(&v, (&l, &u))| v >= l - 1e-12 && v <= u + 1e-12)
+    }
+}
+
+/// Propagates an input interval through `mlp`, returning a sound interval on
+/// the network output.
+pub fn propagate(mlp: &Mlp, input: &Interval) -> Result<Interval, NnError> {
+    if input.lower.len() != mlp.input_dim() {
+        return Err(NnError::ParamLength {
+            expected: mlp.input_dim(),
+            got: input.lower.len(),
+        });
+    }
+    let mut center: Vec<f64> = input
+        .lower
+        .iter()
+        .zip(input.upper.iter())
+        .map(|(l, u)| 0.5 * (l + u))
+        .collect();
+    let mut radius: Vec<f64> = input
+        .lower
+        .iter()
+        .zip(input.upper.iter())
+        .map(|(l, u)| 0.5 * (u - l))
+        .collect();
+    for layer in mlp.layers() {
+        let out_dim = layer.output_dim();
+        let mut new_center = vec![0.0; out_dim];
+        let mut new_radius = vec![0.0; out_dim];
+        for o in 0..out_dim {
+            let wrow = layer.w.row(o);
+            let mut c = layer.b[o];
+            let mut r = 0.0;
+            for (i, &w) in wrow.iter().enumerate() {
+                c += w * center[i];
+                r += w.abs() * radius[i];
+            }
+            new_center[o] = c;
+            new_radius[o] = r;
+        }
+        debug_assert!(layer.act.is_monotone());
+        // Monotone activation maps [c-r, c+r] exactly to [f(c-r), f(c+r)];
+        // re-center the box afterwards.
+        for o in 0..out_dim {
+            let lo = layer.act.apply(new_center[o] - new_radius[o]);
+            let hi = layer.act.apply(new_center[o] + new_radius[o]);
+            new_center[o] = 0.5 * (lo + hi);
+            new_radius[o] = 0.5 * (hi - lo);
+        }
+        center = new_center;
+        radius = new_radius;
+    }
+    Ok(Interval {
+        lower: center
+            .iter()
+            .zip(radius.iter())
+            .map(|(c, r)| c - r)
+            .collect(),
+        upper: center
+            .iter()
+            .zip(radius.iter())
+            .map(|(c, r)| c + r)
+            .collect(),
+    })
+}
+
+/// Sound upper bound on `max_{|d|_inf <= eps} |mlp(x + d) - mlp(x)|_inf`,
+/// the worst-case output deviation used by the SA and RADIAL losses.
+pub fn output_deviation_bound(mlp: &Mlp, x: &[f64], eps: f64) -> Result<f64, NnError> {
+    deviation_of(mlp, x, &Interval::linf_ball(x, eps))
+}
+
+/// [`output_deviation_bound`] with per-dimension radii.
+pub fn output_deviation_bound_radii(
+    mlp: &Mlp,
+    x: &[f64],
+    radii: &[f64],
+) -> Result<f64, NnError> {
+    deviation_of(mlp, x, &Interval::box_around(x, radii))
+}
+
+fn deviation_of(mlp: &Mlp, x: &[f64], input: &Interval) -> Result<f64, NnError> {
+    let bounds = propagate(mlp, input)?;
+    let nominal = mlp.infer(x)?;
+    let mut worst = 0.0f64;
+    for i in 0..nominal.len() {
+        worst = worst
+            .max((bounds.upper[i] - nominal[i]).abs())
+            .max((nominal[i] - bounds.lower[i]).abs());
+    }
+    Ok(worst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn net(seed: u64) -> Mlp {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Mlp::new(&[3, 6, 6, 2], Activation::Tanh, 1.0, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn zero_radius_is_exact() {
+        let mlp = net(1);
+        let x = [0.4, -0.3, 0.8];
+        let b = propagate(&mlp, &Interval::linf_ball(&x, 0.0)).unwrap();
+        let y = mlp.infer(&x).unwrap();
+        for i in 0..y.len() {
+            assert!((b.lower[i] - y[i]).abs() < 1e-9);
+            assert!((b.upper[i] - y[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn bounds_are_sound_for_sampled_perturbations() {
+        let mlp = net(2);
+        let mut rng = StdRng::seed_from_u64(99);
+        let x = [0.1, 0.5, -0.9];
+        let eps = 0.2;
+        let b = propagate(&mlp, &Interval::linf_ball(&x, eps)).unwrap();
+        for _ in 0..500 {
+            let xp: Vec<f64> = x.iter().map(|&v| v + rng.gen_range(-eps..=eps)).collect();
+            let y = mlp.infer(&xp).unwrap();
+            assert!(b.contains(&y), "output {y:?} escaped bounds {b:?}");
+        }
+    }
+
+    #[test]
+    fn bounds_widen_with_eps() {
+        let mlp = net(3);
+        let x = [0.0, 0.0, 0.0];
+        let small = propagate(&mlp, &Interval::linf_ball(&x, 0.01)).unwrap();
+        let large = propagate(&mlp, &Interval::linf_ball(&x, 0.3)).unwrap();
+        assert!(large.max_width() >= small.max_width());
+    }
+
+    #[test]
+    fn deviation_bound_dominates_samples() {
+        let mlp = net(4);
+        let mut rng = StdRng::seed_from_u64(5);
+        let x = [0.2, -0.2, 0.6];
+        let eps = 0.1;
+        let bound = output_deviation_bound(&mlp, &x, eps).unwrap();
+        let y0 = mlp.infer(&x).unwrap();
+        for _ in 0..300 {
+            let xp: Vec<f64> = x.iter().map(|&v| v + rng.gen_range(-eps..=eps)).collect();
+            let y = mlp.infer(&xp).unwrap();
+            let dev = y
+                .iter()
+                .zip(y0.iter())
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max);
+            assert!(dev <= bound + 1e-9);
+        }
+    }
+
+    #[test]
+    fn wrong_input_dim_errors() {
+        let mlp = net(6);
+        assert!(propagate(&mlp, &Interval::linf_ball(&[0.0], 0.1)).is_err());
+    }
+}

@@ -1,0 +1,54 @@
+//! Weight initialization schemes.
+
+use rand::Rng;
+
+use crate::matrix::Matrix;
+
+/// Xavier/Glorot-uniform initialization: entries drawn from
+/// `U(-limit, limit)` with `limit = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform<R: Rng>(rows: usize, cols: usize, rng: &mut R) -> Matrix {
+    let limit = (6.0 / (rows + cols) as f64).sqrt();
+    let mut m = Matrix::zeros(rows, cols);
+    for v in m.data_mut() {
+        *v = rng.gen_range(-limit..=limit);
+    }
+    m
+}
+
+/// Scaled initialization used for policy output layers: Xavier-uniform
+/// multiplied by `scale` (small scales keep initial policies near-zero-mean,
+/// which stabilizes early PPO updates).
+pub fn scaled_output<R: Rng>(rows: usize, cols: usize, scale: f64, rng: &mut R) -> Matrix {
+    let mut m = xavier_uniform(rows, cols, rng);
+    m.scale(scale);
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_within_limit() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = xavier_uniform(8, 4, &mut rng);
+        let limit = (6.0 / 12.0f64).sqrt();
+        assert!(m.data().iter().all(|v| v.abs() <= limit));
+    }
+
+    #[test]
+    fn seeded_init_is_deterministic() {
+        let a = xavier_uniform(5, 5, &mut StdRng::seed_from_u64(3));
+        let b = xavier_uniform(5, 5, &mut StdRng::seed_from_u64(3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scaled_output_shrinks() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let m = scaled_output(6, 6, 0.01, &mut rng);
+        assert!(m.frobenius_norm() < 0.1);
+    }
+}

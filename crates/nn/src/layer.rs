@@ -1,0 +1,187 @@
+//! A single dense (fully connected) layer with manual backpropagation.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::activation::Activation;
+use crate::error::NnError;
+use crate::init;
+use crate::matrix::Matrix;
+
+/// A dense layer computing `act(x W^T + b)`.
+///
+/// Weights are stored `out x in` so that a batch forward pass is
+/// `X (n x in) * W^T -> (n x out)`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dense {
+    /// Weight matrix, shape `out x in`.
+    pub w: Matrix,
+    /// Bias vector, length `out`.
+    pub b: Vec<f64>,
+    /// Elementwise activation applied after the affine map.
+    pub act: Activation,
+}
+
+/// Cached tensors from a forward pass, needed by [`Dense::backward`].
+#[derive(Debug, Clone)]
+pub struct DenseCache {
+    /// The layer input, shape `n x in`.
+    pub input: Matrix,
+    /// Pre-activation values, shape `n x out`.
+    pub pre: Matrix,
+}
+
+/// Gradients of a dense layer's parameters.
+#[derive(Debug, Clone)]
+pub struct DenseGrads {
+    /// Gradient w.r.t. the weight matrix, shape `out x in`.
+    pub dw: Matrix,
+    /// Gradient w.r.t. the bias, length `out`.
+    pub db: Vec<f64>,
+}
+
+impl Dense {
+    /// Creates a layer with Xavier-initialized weights and zero biases.
+    pub fn new<R: Rng>(input: usize, output: usize, act: Activation, rng: &mut R) -> Self {
+        Dense {
+            w: init::xavier_uniform(output, input, rng),
+            b: vec![0.0; output],
+            act,
+        }
+    }
+
+    /// Creates a layer with weights scaled by `scale` (for near-zero policy
+    /// output heads).
+    pub fn new_scaled<R: Rng>(
+        input: usize,
+        output: usize,
+        act: Activation,
+        scale: f64,
+        rng: &mut R,
+    ) -> Self {
+        Dense {
+            w: init::scaled_output(output, input, scale, rng),
+            b: vec![0.0; output],
+            act,
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// Output dimensionality.
+    pub fn output_dim(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Number of scalar parameters (`|W| + |b|`).
+    pub fn param_count(&self) -> usize {
+        self.w.rows() * self.w.cols() + self.b.len()
+    }
+
+    /// Batch forward pass. Returns the activated output and a cache for
+    /// [`Dense::backward`].
+    pub fn forward(&self, x: &Matrix) -> Result<(Matrix, DenseCache), NnError> {
+        let mut pre = x.matmul_transpose_rhs(&self.w)?;
+        pre.add_row_broadcast(&self.b)?;
+        let out = pre.map(|v| self.act.apply(v));
+        Ok((
+            out,
+            DenseCache {
+                input: x.clone(),
+                pre,
+            },
+        ))
+    }
+
+    /// Backward pass.
+    ///
+    /// `dout` is the loss gradient w.r.t. this layer's activated output
+    /// (`n x out`). Returns the parameter gradients and the loss gradient
+    /// w.r.t. the layer input (`n x in`).
+    pub fn backward(
+        &self,
+        cache: &DenseCache,
+        dout: &Matrix,
+    ) -> Result<(DenseGrads, Matrix), NnError> {
+        if dout.rows() != cache.pre.rows() || dout.cols() != cache.pre.cols() {
+            return Err(NnError::ShapeMismatch {
+                op: "dense backward",
+                lhs: (cache.pre.rows(), cache.pre.cols()),
+                rhs: (dout.rows(), dout.cols()),
+            });
+        }
+        // dpre = dout ⊙ act'(pre)
+        let mut dpre = dout.clone();
+        for (d, &p) in dpre.data_mut().iter_mut().zip(cache.pre.data().iter()) {
+            *d *= self.act.derivative(p);
+        }
+        let dw = dpre.matmul_transpose_lhs(&cache.input)?;
+        let db = dpre.sum_rows();
+        let dx = dpre.matmul(&self.w)?;
+        Ok((DenseGrads { dw, db }, dx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let layer = Dense::new(3, 5, Activation::Tanh, &mut rng);
+        let x = Matrix::from_rows(&[&[0.1, 0.2, 0.3], &[1.0, -1.0, 0.5]]).unwrap();
+        let (y, cache) = layer.forward(&x).unwrap();
+        assert_eq!(y.rows(), 2);
+        assert_eq!(y.cols(), 5);
+        assert_eq!(cache.pre.rows(), 2);
+    }
+
+    #[test]
+    fn backward_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for act in [Activation::Tanh, Activation::Linear, Activation::Softplus] {
+            let layer = Dense::new(4, 3, act, &mut rng);
+            let x = Matrix::from_rows(&[&[0.3, -0.1, 0.7, 0.2], &[-0.5, 0.9, 0.0, 1.1]]).unwrap();
+            // Loss: sum of squares of outputs.
+            let loss = |l: &Dense| -> f64 {
+                let (y, _) = l.forward(&x).unwrap();
+                y.data().iter().map(|v| v * v).sum::<f64>()
+            };
+            let (y, cache) = layer.forward(&x).unwrap();
+            let dout = y.map(|v| 2.0 * v);
+            let (grads, _) = layer.backward(&cache, &dout).unwrap();
+            gradcheck::check_dense_grads(&layer, loss, &grads, 1e-6, 1e-4).unwrap();
+        }
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let layer = Dense::new(3, 2, Activation::Tanh, &mut rng);
+        let x0 = vec![0.4, -0.6, 0.2];
+        let loss_of_x = |x: &[f64]| -> f64 {
+            let xm = Matrix::from_row(x);
+            let (y, _) = layer.forward(&xm).unwrap();
+            y.data().iter().map(|v| v * v).sum::<f64>()
+        };
+        let xm = Matrix::from_row(&x0);
+        let (y, cache) = layer.forward(&xm).unwrap();
+        let dout = y.map(|v| 2.0 * v);
+        let (_, dx) = layer.backward(&cache, &dout).unwrap();
+        for i in 0..x0.len() {
+            let mut xp = x0.clone();
+            let mut xm2 = x0.clone();
+            xp[i] += 1e-6;
+            xm2[i] -= 1e-6;
+            let fd = (loss_of_x(&xp) - loss_of_x(&xm2)) / 2e-6;
+            assert!((fd - dx.get(0, i)).abs() < 1e-4, "dx[{i}]");
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! # imap-nn
+//!
+//! A small, self-contained neural-network library used by the IMAP
+//! reproduction. It provides exactly what black-box adversarial policy
+//! learning needs and nothing more:
+//!
+//! - [`Matrix`]: a dense row-major `f64` matrix with the linear-algebra
+//!   operations required for forward/backward passes.
+//! - [`Mlp`]: a multi-layer perceptron with manual reverse-mode gradients
+//!   (no autograd tape; each layer knows how to backpropagate).
+//! - [`DiagGaussian`]: a diagonal-Gaussian policy head with closed-form
+//!   log-probability, entropy, and KL divergence plus their gradients.
+//! - [`Adam`] / [`Sgd`]: optimizers over flattened parameter vectors.
+//! - [`ibp`]: interval bound propagation, the sound l∞ relaxation used by
+//!   the SA / RADIAL / WocaR defenses in `imap-defense`.
+//! - [`gradcheck`]: finite-difference utilities used by the test suite to
+//!   verify every analytic gradient in this crate.
+//!
+//! All computations are `f64` and deterministic given a seeded RNG, which is
+//! a hard requirement for reproducible experiment tables.
+
+pub mod activation;
+pub mod error;
+pub mod gaussian;
+pub mod gradcheck;
+pub mod ibp;
+pub mod init;
+pub mod layer;
+pub mod lstm;
+pub mod matrix;
+pub mod mlp;
+pub mod optim;
+
+pub use activation::Activation;
+pub use error::NnError;
+pub use gaussian::DiagGaussian;
+pub use ibp::Interval;
+pub use layer::Dense;
+pub use lstm::{Lstm, LstmCell, LstmState};
+pub use matrix::Matrix;
+pub use mlp::{Mlp, MlpGrads};
+pub use optim::{Adam, Optimizer, Sgd};

@@ -1,0 +1,351 @@
+//! Dense row-major `f64` matrices.
+//!
+//! This is intentionally a small, boring matrix type: the networks in this
+//! workspace are tiny (tens of units per layer), so clarity and correctness
+//! beat BLAS-grade performance. Hot paths (`matmul`, `matmul_transpose_*`)
+//! are written cache-friendly and avoid allocation where practical.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::NnError;
+
+/// A dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self, NnError> {
+        if data.len() != rows * cols {
+            return Err(NnError::ShapeMismatch {
+                op: "from_vec",
+                lhs: (rows, cols),
+                rhs: (data.len(), 1),
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Creates a `1 x n` row matrix from a slice.
+    pub fn from_row(row: &[f64]) -> Self {
+        Matrix {
+            rows: 1,
+            cols: row.len(),
+            data: row.to_vec(),
+        }
+    }
+
+    /// Creates a matrix whose rows are the given slices.
+    ///
+    /// All rows must have equal length; an empty input yields a `0 x 0`
+    /// matrix.
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self, NnError> {
+        if rows.is_empty() {
+            return Ok(Matrix::zeros(0, 0));
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            if r.len() != cols {
+                return Err(NnError::ShapeMismatch {
+                    op: "from_rows",
+                    lhs: (rows.len(), cols),
+                    rhs: (1, r.len()),
+                });
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow of the underlying row-major data.
+    #[inline]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable borrow of the underlying row-major data.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow of row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix product `self * rhs`.
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix, NnError> {
+        if self.cols != rhs.rows {
+            return Err(NnError::ShapeMismatch {
+                op: "matmul",
+                lhs: (self.rows, self.cols),
+                rhs: (rhs.rows, rhs.cols),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let rrow = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &r) in orow.iter_mut().zip(rrow.iter()) {
+                    *o += a * r;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Product `self * rhs^T` without materializing the transpose.
+    pub fn matmul_transpose_rhs(&self, rhs: &Matrix) -> Result<Matrix, NnError> {
+        if self.cols != rhs.cols {
+            return Err(NnError::ShapeMismatch {
+                op: "matmul_transpose_rhs",
+                lhs: (self.rows, self.cols),
+                rhs: (rhs.rows, rhs.cols),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        for i in 0..self.rows {
+            let arow = self.row(i);
+            for j in 0..rhs.rows {
+                let brow = rhs.row(j);
+                let mut s = 0.0;
+                for (&a, &b) in arow.iter().zip(brow.iter()) {
+                    s += a * b;
+                }
+                out.data[i * rhs.rows + j] = s;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Product `self^T * rhs` without materializing the transpose.
+    pub fn matmul_transpose_lhs(&self, rhs: &Matrix) -> Result<Matrix, NnError> {
+        if self.rows != rhs.rows {
+            return Err(NnError::ShapeMismatch {
+                op: "matmul_transpose_lhs",
+                lhs: (self.rows, self.cols),
+                rhs: (rhs.rows, rhs.cols),
+            });
+        }
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        for k in 0..self.rows {
+            let arow = self.row(k);
+            let brow = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+            for (i, &a) in arow.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &b) in orow.iter_mut().zip(brow.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.data[j * self.rows + i] = self.data[i * self.cols + j];
+            }
+        }
+        out
+    }
+
+    /// Elementwise in-place addition. Errors on shape mismatch.
+    pub fn add_assign(&mut self, rhs: &Matrix) -> Result<(), NnError> {
+        if self.rows != rhs.rows || self.cols != rhs.cols {
+            return Err(NnError::ShapeMismatch {
+                op: "add_assign",
+                lhs: (self.rows, self.cols),
+                rhs: (rhs.rows, rhs.cols),
+            });
+        }
+        for (a, b) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// In-place scaling by a scalar.
+    pub fn scale(&mut self, s: f64) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// Applies `f` to each element, returning a new matrix.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Adds a row vector to every row (broadcast).
+    pub fn add_row_broadcast(&mut self, row: &[f64]) -> Result<(), NnError> {
+        if row.len() != self.cols {
+            return Err(NnError::ShapeMismatch {
+                op: "add_row_broadcast",
+                lhs: (self.rows, self.cols),
+                rhs: (1, row.len()),
+            });
+        }
+        for r in 0..self.rows {
+            let dst = &mut self.data[r * self.cols..(r + 1) * self.cols];
+            for (d, &b) in dst.iter_mut().zip(row.iter()) {
+                *d += b;
+            }
+        }
+        Ok(())
+    }
+
+    /// Sums over rows, returning a length-`cols` vector.
+    pub fn sum_rows(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            for (o, &v) in out.iter_mut().zip(self.row(r).iter()) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// True if every element is finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: usize, cols: usize, data: &[f64]) -> Matrix {
+        Matrix::from_vec(rows, cols, data.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_shape_error() {
+        let a = m(2, 3, &[0.0; 6]);
+        let b = m(2, 3, &[0.0; 6]);
+        assert!(matches!(
+            a.matmul(&b),
+            Err(NnError::ShapeMismatch { op: "matmul", .. })
+        ));
+    }
+
+    #[test]
+    fn transpose_matmul_consistency() {
+        let a = m(2, 3, &[1.0, -2.0, 3.0, 0.5, 5.0, -6.0]);
+        let b = m(4, 3, &[1.0, 0.0, 2.0, -1.0, 3.0, 1.0, 0.0, 0.0, 1.0, 2.0, 2.0, 2.0]);
+        let fast = a.matmul_transpose_rhs(&b).unwrap();
+        let slow = a.matmul(&b.transpose()).unwrap();
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn transpose_lhs_consistency() {
+        let a = m(3, 2, &[1.0, -2.0, 3.0, 0.5, 5.0, -6.0]);
+        let b = m(3, 4, &[1.0, 0.0, 2.0, -1.0, 3.0, 1.0, 0.0, 0.0, 1.0, 2.0, 2.0, 2.0]);
+        let fast = a.matmul_transpose_lhs(&b).unwrap();
+        let slow = a.transpose().matmul(&b).unwrap();
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn broadcast_and_sum() {
+        let mut a = Matrix::zeros(3, 2);
+        a.add_row_broadcast(&[1.0, 2.0]).unwrap();
+        assert_eq!(a.sum_rows(), vec![3.0, 6.0]);
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        let r1 = [1.0, 2.0];
+        let r2 = [1.0];
+        assert!(Matrix::from_rows(&[&r1, &r2]).is_err());
+    }
+
+    #[test]
+    fn frobenius() {
+        let a = m(1, 2, &[3.0, 4.0]);
+        assert!((a.frobenius_norm() - 5.0).abs() < 1e-12);
+    }
+}

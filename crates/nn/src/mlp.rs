@@ -1,0 +1,329 @@
+//! Multi-layer perceptrons with manual reverse-mode gradients.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::activation::Activation;
+use crate::error::NnError;
+use crate::layer::{Dense, DenseCache, DenseGrads};
+use crate::matrix::Matrix;
+
+/// A feed-forward network: a stack of [`Dense`] layers.
+///
+/// ```
+/// use imap_nn::{Activation, Mlp};
+/// use rand::{rngs::StdRng, SeedableRng};
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let mlp = Mlp::new(&[3, 16, 2], Activation::Tanh, 0.01, &mut rng).unwrap();
+/// let y = mlp.infer(&[0.1, -0.2, 0.3]).unwrap();
+/// assert_eq!(y.len(), 2);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+}
+
+/// Forward-pass caches for a whole network, consumed by [`Mlp::backward`].
+#[derive(Debug, Clone)]
+pub struct MlpCache {
+    caches: Vec<DenseCache>,
+    output: Matrix,
+}
+
+impl MlpCache {
+    /// The network output for the cached batch.
+    pub fn output(&self) -> &Matrix {
+        &self.output
+    }
+}
+
+/// Parameter gradients for a whole network, one entry per layer.
+#[derive(Debug, Clone)]
+pub struct MlpGrads {
+    /// Per-layer parameter gradients, input-to-output order.
+    pub layers: Vec<DenseGrads>,
+}
+
+impl MlpGrads {
+    /// A zero gradient matching `mlp`'s architecture.
+    pub fn zeros_like(mlp: &Mlp) -> Self {
+        MlpGrads {
+            layers: mlp
+                .layers
+                .iter()
+                .map(|l| DenseGrads {
+                    dw: Matrix::zeros(l.w.rows(), l.w.cols()),
+                    db: vec![0.0; l.b.len()],
+                })
+                .collect(),
+        }
+    }
+
+    /// Accumulates another gradient into this one.
+    pub fn add_assign(&mut self, rhs: &MlpGrads) -> Result<(), NnError> {
+        for (a, b) in self.layers.iter_mut().zip(rhs.layers.iter()) {
+            a.dw.add_assign(&b.dw)?;
+            for (x, y) in a.db.iter_mut().zip(b.db.iter()) {
+                *x += y;
+            }
+        }
+        Ok(())
+    }
+
+    /// Scales every gradient entry by `s`.
+    pub fn scale(&mut self, s: f64) {
+        for g in &mut self.layers {
+            g.dw.scale(s);
+            for v in &mut g.db {
+                *v *= s;
+            }
+        }
+    }
+
+    /// Flattens into one parameter-ordered vector (matches [`Mlp::params`]).
+    pub fn flatten(&self) -> Vec<f64> {
+        let mut out = Vec::new();
+        for g in &self.layers {
+            out.extend_from_slice(g.dw.data());
+            out.extend_from_slice(&g.db);
+        }
+        out
+    }
+
+    /// Global l2 norm of the gradient.
+    pub fn norm(&self) -> f64 {
+        self.flatten().iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+}
+
+impl Mlp {
+    /// Builds an MLP with `hidden` tanh-ish layers and a linear output head.
+    ///
+    /// `sizes` is `[input, h1, h2, ..., output]`; hidden layers use
+    /// `hidden_act`, the final layer is linear. The output layer's weights are
+    /// scaled by `out_scale` (use a small value like `0.01` for policy means).
+    pub fn new<R: Rng>(
+        sizes: &[usize],
+        hidden_act: Activation,
+        out_scale: f64,
+        rng: &mut R,
+    ) -> Result<Self, NnError> {
+        if sizes.len() < 2 {
+            return Err(NnError::EmptyNetwork);
+        }
+        let mut layers = Vec::with_capacity(sizes.len() - 1);
+        for i in 0..sizes.len() - 1 {
+            let last = i == sizes.len() - 2;
+            let act = if last { Activation::Linear } else { hidden_act };
+            let layer = if last {
+                Dense::new_scaled(sizes[i], sizes[i + 1], act, out_scale, rng)
+            } else {
+                Dense::new(sizes[i], sizes[i + 1], act, rng)
+            };
+            layers.push(layer);
+        }
+        Ok(Mlp { layers })
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.layers[0].input_dim()
+    }
+
+    /// Output dimensionality.
+    pub fn output_dim(&self) -> usize {
+        self.layers[self.layers.len() - 1].output_dim()
+    }
+
+    /// Borrow of the layer stack.
+    pub fn layers(&self) -> &[Dense] {
+        &self.layers
+    }
+
+    /// Total number of scalar parameters.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(Dense::param_count).sum()
+    }
+
+    /// Flattens all parameters into one vector (layer order: `W` row-major,
+    /// then `b`, for each layer input-to-output).
+    pub fn params(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.param_count());
+        for l in &self.layers {
+            out.extend_from_slice(l.w.data());
+            out.extend_from_slice(&l.b);
+        }
+        out
+    }
+
+    /// Overwrites all parameters from a flat vector produced in
+    /// [`Mlp::params`] order.
+    pub fn set_params(&mut self, params: &[f64]) -> Result<(), NnError> {
+        if params.len() != self.param_count() {
+            return Err(NnError::ParamLength {
+                expected: self.param_count(),
+                got: params.len(),
+            });
+        }
+        let mut off = 0;
+        for l in &mut self.layers {
+            let wlen = l.w.rows() * l.w.cols();
+            l.w.data_mut().copy_from_slice(&params[off..off + wlen]);
+            off += wlen;
+            let blen = l.b.len();
+            l.b.copy_from_slice(&params[off..off + blen]);
+            off += blen;
+        }
+        Ok(())
+    }
+
+    /// Batch forward pass with caches for a later backward pass.
+    pub fn forward(&self, x: &Matrix) -> Result<MlpCache, NnError> {
+        let mut caches = Vec::with_capacity(self.layers.len());
+        let mut cur = x.clone();
+        for l in &self.layers {
+            let (out, cache) = l.forward(&cur)?;
+            caches.push(cache);
+            cur = out;
+        }
+        Ok(MlpCache {
+            caches,
+            output: cur,
+        })
+    }
+
+    /// Convenience single-sample inference without gradient caches.
+    pub fn infer(&self, x: &[f64]) -> Result<Vec<f64>, NnError> {
+        let cache = self.forward(&Matrix::from_row(x))?;
+        Ok(cache.output.row(0).to_vec())
+    }
+
+    /// Backward pass: given `dL/d output`, returns parameter gradients and
+    /// `dL/d input`.
+    pub fn backward(&self, cache: &MlpCache, dout: &Matrix) -> Result<(MlpGrads, Matrix), NnError> {
+        let mut grads = vec![None; self.layers.len()];
+        let mut d = dout.clone();
+        for (i, l) in self.layers.iter().enumerate().rev() {
+            let (g, dx) = l.backward(&cache.caches[i], &d)?;
+            grads[i] = Some(g);
+            d = dx;
+        }
+        Ok((
+            MlpGrads {
+                layers: grads.into_iter().map(|g| g.expect("filled")).collect(),
+            },
+            d,
+        ))
+    }
+
+    /// Applies a flat parameter update `p <- p + delta` (used by optimizers).
+    pub fn apply_delta(&mut self, delta: &[f64]) -> Result<(), NnError> {
+        if delta.len() != self.param_count() {
+            return Err(NnError::ParamLength {
+                expected: self.param_count(),
+                got: delta.len(),
+            });
+        }
+        let mut p = self.params();
+        for (a, b) in p.iter_mut().zip(delta.iter()) {
+            *a += b;
+        }
+        self.set_params(&p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn net(seed: u64) -> Mlp {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Mlp::new(&[3, 8, 8, 2], Activation::Tanh, 1.0, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn rejects_trivial_spec() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(matches!(
+            Mlp::new(&[4], Activation::Tanh, 1.0, &mut rng),
+            Err(NnError::EmptyNetwork)
+        ));
+    }
+
+    #[test]
+    fn param_roundtrip() {
+        let mut a = net(1);
+        let p = a.params();
+        assert_eq!(p.len(), a.param_count());
+        let mut p2 = p.clone();
+        for v in &mut p2 {
+            *v += 0.5;
+        }
+        a.set_params(&p2).unwrap();
+        assert_eq!(a.params(), p2);
+    }
+
+    #[test]
+    fn set_params_length_check() {
+        let mut a = net(2);
+        assert!(matches!(
+            a.set_params(&[0.0]),
+            Err(NnError::ParamLength { .. })
+        ));
+    }
+
+    #[test]
+    fn full_network_gradcheck() {
+        let mlp = net(3);
+        let x = Matrix::from_rows(&[&[0.2, -0.4, 0.9], &[1.0, 0.0, -1.0]]).unwrap();
+        let loss = |m: &Mlp| -> f64 {
+            let c = m.forward(&x).unwrap();
+            c.output().data().iter().map(|v| v * v).sum::<f64>()
+        };
+        let cache = mlp.forward(&x).unwrap();
+        let dout = cache.output().map(|v| 2.0 * v);
+        let (grads, _) = mlp.backward(&cache, &dout).unwrap();
+        gradcheck::check_mlp_grads(&mlp, loss, &grads, 1e-6, 1e-4).unwrap();
+    }
+
+    #[test]
+    fn infer_matches_forward() {
+        let mlp = net(4);
+        let x = [0.3, 0.1, -0.2];
+        let y1 = mlp.infer(&x).unwrap();
+        let y2 = mlp.forward(&Matrix::from_row(&x)).unwrap();
+        assert_eq!(y1.as_slice(), y2.output().row(0));
+    }
+
+    #[test]
+    fn grads_accumulate_and_scale() {
+        let mlp = net(5);
+        let x = Matrix::from_row(&[0.5, 0.5, 0.5]);
+        let cache = mlp.forward(&x).unwrap();
+        let dout = cache.output().map(|_| 1.0);
+        let (g, _) = mlp.backward(&cache, &dout).unwrap();
+        let mut acc = MlpGrads::zeros_like(&mlp);
+        acc.add_assign(&g).unwrap();
+        acc.add_assign(&g).unwrap();
+        acc.scale(0.5);
+        let a = acc.flatten();
+        let b = g.flatten();
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mlp = net(6);
+        let s = serde_json::to_string(&mlp).unwrap();
+        let back: Mlp = serde_json::from_str(&s).unwrap();
+        // JSON decimal round-trips can differ by one ULP.
+        for (a, b) in back.params().iter().zip(mlp.params().iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+}

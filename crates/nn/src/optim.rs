@@ -1,0 +1,198 @@
+//! First-order optimizers over flat parameter vectors.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::NnError;
+
+/// A first-order optimizer: turns a gradient into a parameter *delta*
+/// (already negated, i.e. ready to be added to the parameters for descent).
+pub trait Optimizer {
+    /// Computes the descent step for `grad`. The returned vector has the same
+    /// length and should be **added** to the parameters.
+    fn step(&mut self, grad: &[f64]) -> Result<Vec<f64>, NnError>;
+
+    /// Resets internal state (moment estimates, step counters).
+    fn reset(&mut self);
+}
+
+/// Plain stochastic gradient descent with optional momentum.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f64,
+    /// Momentum coefficient in `[0, 1)`.
+    pub momentum: f64,
+    velocity: Vec<f64>,
+}
+
+impl Sgd {
+    /// Creates SGD for a parameter vector of length `dim`.
+    pub fn new(dim: usize, lr: f64, momentum: f64) -> Self {
+        Sgd {
+            lr,
+            momentum,
+            velocity: vec![0.0; dim],
+        }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, grad: &[f64]) -> Result<Vec<f64>, NnError> {
+        if grad.len() != self.velocity.len() {
+            return Err(NnError::ParamLength {
+                expected: self.velocity.len(),
+                got: grad.len(),
+            });
+        }
+        let mut delta = vec![0.0; grad.len()];
+        for i in 0..grad.len() {
+            self.velocity[i] = self.momentum * self.velocity[i] - self.lr * grad[i];
+            delta[i] = self.velocity[i];
+        }
+        Ok(delta)
+    }
+
+    fn reset(&mut self) {
+        self.velocity.iter_mut().for_each(|v| *v = 0.0);
+    }
+}
+
+/// Adam (Kingma & Ba) with bias-corrected moment estimates.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f64,
+    /// First-moment decay.
+    pub beta1: f64,
+    /// Second-moment decay.
+    pub beta2: f64,
+    /// Numerical-stability constant.
+    pub eps: f64,
+    m: Vec<f64>,
+    v: Vec<f64>,
+    t: u64,
+}
+
+impl Adam {
+    /// Creates Adam with the standard hyperparameters
+    /// `beta1 = 0.9, beta2 = 0.999, eps = 1e-8`.
+    pub fn new(dim: usize, lr: f64) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            m: vec![0.0; dim],
+            v: vec![0.0; dim],
+            t: 0,
+        }
+    }
+
+    /// Current step count.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, grad: &[f64]) -> Result<Vec<f64>, NnError> {
+        if grad.len() != self.m.len() {
+            return Err(NnError::ParamLength {
+                expected: self.m.len(),
+                got: grad.len(),
+            });
+        }
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        let mut delta = vec![0.0; grad.len()];
+        for i in 0..grad.len() {
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * grad[i];
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * grad[i] * grad[i];
+            let mhat = self.m[i] / b1t;
+            let vhat = self.v[i] / b2t;
+            delta[i] = -self.lr * mhat / (vhat.sqrt() + self.eps);
+        }
+        Ok(delta)
+    }
+
+    fn reset(&mut self) {
+        self.m.iter_mut().for_each(|v| *v = 0.0);
+        self.v.iter_mut().for_each(|v| *v = 0.0);
+        self.t = 0;
+    }
+}
+
+/// Clips a gradient to a maximum global l2 norm, in place. Returns the norm
+/// before clipping.
+pub fn clip_grad_norm(grad: &mut [f64], max_norm: f64) -> f64 {
+    let norm = grad.iter().map(|v| v * v).sum::<f64>().sqrt();
+    if norm > max_norm && norm > 0.0 {
+        let s = max_norm / norm;
+        for g in grad.iter_mut() {
+            *g *= s;
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimize f(x) = (x - 3)^2 and check convergence.
+    fn run_quadratic(opt: &mut dyn Optimizer, steps: usize) -> f64 {
+        let mut x = 10.0f64;
+        for _ in 0..steps {
+            let grad = [2.0 * (x - 3.0)];
+            let d = opt.step(&grad).unwrap();
+            x += d[0];
+        }
+        x
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(1, 0.1, 0.0);
+        let x = run_quadratic(&mut opt, 200);
+        assert!((x - 3.0).abs() < 1e-6, "x = {x}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(1, 0.3);
+        let x = run_quadratic(&mut opt, 500);
+        assert!((x - 3.0).abs() < 1e-3, "x = {x}");
+    }
+
+    #[test]
+    fn adam_rejects_wrong_length() {
+        let mut opt = Adam::new(3, 0.01);
+        assert!(opt.step(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut opt = Adam::new(2, 0.01);
+        opt.step(&[1.0, -1.0]).unwrap();
+        assert_eq!(opt.steps(), 1);
+        opt.reset();
+        assert_eq!(opt.steps(), 0);
+    }
+
+    #[test]
+    fn clip_grad_norm_caps_large_gradients() {
+        let mut g = vec![3.0, 4.0];
+        let before = clip_grad_norm(&mut g, 1.0);
+        assert!((before - 5.0).abs() < 1e-12);
+        let after = g.iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!((after - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clip_grad_norm_leaves_small_gradients() {
+        let mut g = vec![0.1, 0.1];
+        clip_grad_norm(&mut g, 1.0);
+        assert_eq!(g, vec![0.1, 0.1]);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the algebraic core: matrix laws, Gaussian-head
+//! identities, optimizer sanity, and IBP soundness under random networks.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use imap_nn::{Activation, DiagGaussian, Matrix, Mlp};
+
+fn matrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-5.0f64..5.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data).expect("sized"))
+}
+
+proptest! {
+    /// (A·B)·C = A·(B·C) up to floating-point tolerance.
+    #[test]
+    fn matmul_associative(
+        a in matrix_strategy(3, 4),
+        b in matrix_strategy(4, 2),
+        c in matrix_strategy(2, 5),
+    ) {
+        let left = a.matmul(&b).unwrap().matmul(&c).unwrap();
+        let right = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+        for (x, y) in left.data().iter().zip(right.data().iter()) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    /// Transposition is an involution and reverses multiplication order.
+    #[test]
+    fn transpose_laws(a in matrix_strategy(3, 4), b in matrix_strategy(4, 2)) {
+        prop_assert_eq!(a.transpose().transpose(), a.clone());
+        let ab_t = a.matmul(&b).unwrap().transpose();
+        let bt_at = b.transpose().matmul(&a.transpose()).unwrap();
+        for (x, y) in ab_t.data().iter().zip(bt_at.data().iter()) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    /// `matmul_transpose_rhs` equals multiplying by the materialized
+    /// transpose for arbitrary shapes.
+    #[test]
+    fn fused_transpose_matches(a in matrix_strategy(2, 3), b in matrix_strategy(5, 3)) {
+        let fast = a.matmul_transpose_rhs(&b).unwrap();
+        let slow = a.matmul(&b.transpose()).unwrap();
+        prop_assert_eq!(fast, slow);
+    }
+
+    /// Gaussian log-density integrates consistently: densities are maximal
+    /// at the mean and decrease monotonically with |z|.
+    #[test]
+    fn gaussian_density_peaks_at_mean(
+        log_std in -1.5f64..1.0,
+        mean in -3.0f64..3.0,
+        offset in 0.01f64..4.0,
+    ) {
+        let g = DiagGaussian::new(1, log_std);
+        let at_mean = g.log_prob(&[mean], &[mean]);
+        let off_a = g.log_prob(&[mean], &[mean + offset]);
+        let off_b = g.log_prob(&[mean], &[mean + 2.0 * offset]);
+        prop_assert!(at_mean > off_a);
+        prop_assert!(off_a > off_b);
+    }
+
+    /// KL between diagonal Gaussians is non-negative and zero only at
+    /// identity.
+    #[test]
+    fn gaussian_kl_nonnegative(
+        ls_p in -1.0f64..1.0,
+        ls_q in -1.0f64..1.0,
+        mp in -2.0f64..2.0,
+        mq in -2.0f64..2.0,
+    ) {
+        let p = DiagGaussian::new(2, ls_p);
+        let q = DiagGaussian::new(2, ls_q);
+        let kl = p.kl(&[mp, mp], &q, &[mq, mq]);
+        prop_assert!(kl >= -1e-12);
+        if (ls_p - ls_q).abs() < 1e-12 && (mp - mq).abs() < 1e-12 {
+            prop_assert!(kl.abs() < 1e-12);
+        }
+    }
+
+    /// IBP bounds are sound for random networks, inputs, and radii.
+    #[test]
+    fn ibp_sound_for_random_networks(seed in 0u64..500, eps in 0.0f64..0.5) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mlp = Mlp::new(&[3, 6, 2], Activation::Tanh, 1.0, &mut rng).unwrap();
+        let x: Vec<f64> = (0..3).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let bounds = imap_nn::ibp::propagate(
+            &mlp,
+            &imap_nn::ibp::Interval::linf_ball(&x, eps),
+        )
+        .unwrap();
+        for _ in 0..20 {
+            let xp: Vec<f64> = x.iter().map(|&v| v + rng.gen_range(-eps..=eps)).collect();
+            let y = mlp.infer(&xp).unwrap();
+            prop_assert!(bounds.contains(&y));
+        }
+    }
+
+    /// Parameter flatten/unflatten is the identity for random networks.
+    #[test]
+    fn mlp_param_roundtrip(seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut mlp = Mlp::new(&[4, 5, 3], Activation::Relu, 0.5, &mut rng).unwrap();
+        let p = mlp.params();
+        mlp.set_params(&p).unwrap();
+        prop_assert_eq!(mlp.params(), p);
+    }
+}

@@ -1,0 +1,133 @@
+//! Rollout storage for on-policy updates.
+
+/// One environment transition as recorded by the sampler.
+#[derive(Debug, Clone)]
+pub struct StepRecord {
+    /// Normalized observation the action was computed from.
+    pub z: Vec<f64>,
+    /// Normalized next observation (used to bootstrap truncated episodes).
+    pub z_next: Vec<f64>,
+    /// Task-relevant state summary (`Env::state_summary`), consumed by the
+    /// KNN density estimators and the risk-driven regularizer.
+    pub summary: Vec<f64>,
+    /// The sampled action.
+    pub action: Vec<f64>,
+    /// Log-probability of the action under the sampling policy.
+    pub logp: f64,
+    /// Extrinsic reward (for an adversary: the negated surrogate, `-r̂`).
+    pub reward: f64,
+    /// Episode ended at this step (for any reason).
+    pub done: bool,
+    /// Episode ended by a *true* terminal (fall/success), not a time limit.
+    pub terminal: bool,
+    /// The victim succeeded at/by this step (surrogate signal bookkeeping).
+    pub success: bool,
+    /// The agent (or victim, under attack) entered an unhealthy state.
+    pub unhealthy: bool,
+}
+
+/// A batch of transitions collected by one sampling stage (the paper's
+/// replay buffer `D_k`, Algorithm 1).
+#[derive(Debug, Clone, Default)]
+pub struct RolloutBuffer {
+    /// The recorded transitions, in collection order.
+    pub steps: Vec<StepRecord>,
+    /// Sum of per-episode extrinsic returns for completed episodes.
+    pub episode_returns: Vec<f64>,
+    /// Episode lengths for completed episodes.
+    pub episode_lengths: Vec<usize>,
+}
+
+impl RolloutBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stored transitions.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True if no transitions are stored.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Mean return of completed episodes (0 if none completed).
+    pub fn mean_episode_return(&self) -> f64 {
+        if self.episode_returns.is_empty() {
+            0.0
+        } else {
+            self.episode_returns.iter().sum::<f64>() / self.episode_returns.len() as f64
+        }
+    }
+
+    /// All normalized observations, in order.
+    pub fn observations(&self) -> Vec<Vec<f64>> {
+        self.steps.iter().map(|s| s.z.clone()).collect()
+    }
+
+    /// All state summaries, in order.
+    pub fn summaries(&self) -> Vec<Vec<f64>> {
+        self.steps.iter().map(|s| s.summary.clone()).collect()
+    }
+
+    /// Iterator over `(start, end)` index ranges of episodes (the final
+    /// range may be an unfinished episode).
+    pub fn episode_ranges(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        let mut start = 0;
+        for (i, s) in self.steps.iter().enumerate() {
+            if s.done {
+                out.push((start, i + 1));
+                start = i + 1;
+            }
+        }
+        if start < self.steps.len() {
+            out.push((start, self.steps.len()));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(done: bool, reward: f64) -> StepRecord {
+        StepRecord {
+            z: vec![0.0],
+            z_next: vec![0.0],
+            summary: vec![0.0],
+            action: vec![0.0],
+            logp: 0.0,
+            reward,
+            done,
+            terminal: done,
+            success: false,
+            unhealthy: false,
+        }
+    }
+
+    #[test]
+    fn episode_ranges_split_on_done() {
+        let mut b = RolloutBuffer::new();
+        for &(done, r) in &[(false, 1.0), (true, 2.0), (false, 3.0), (false, 4.0)] {
+            b.steps.push(record(done, r));
+        }
+        assert_eq!(b.episode_ranges(), vec![(0, 2), (2, 4)]);
+    }
+
+    #[test]
+    fn mean_return_empty_is_zero() {
+        assert_eq!(RolloutBuffer::new().mean_episode_return(), 0.0);
+    }
+
+    #[test]
+    fn mean_return_averages() {
+        let mut b = RolloutBuffer::new();
+        b.episode_returns = vec![1.0, 3.0];
+        assert_eq!(b.mean_episode_return(), 2.0);
+    }
+}

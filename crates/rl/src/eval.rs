@@ -1,0 +1,142 @@
+//! Policy evaluation: the metrics reported in the paper's tables.
+
+use imap_env::sparse::sparse_episode_metric;
+use imap_env::{Env, EnvRng};
+use imap_nn::NnError;
+
+use crate::policy::GaussianPolicy;
+
+/// Evaluation options.
+#[derive(Debug, Clone)]
+pub struct EvalConfig {
+    /// Number of episodes to average over.
+    pub episodes: usize,
+    /// Use the deterministic (mean) action instead of sampling.
+    pub deterministic: bool,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig {
+            episodes: 50,
+            deterministic: true,
+        }
+    }
+}
+
+/// Aggregated evaluation metrics.
+#[derive(Debug, Clone, Default)]
+pub struct EvalResult {
+    /// Mean dense episode return (`J_E^v` of Table 1).
+    pub mean_return: f64,
+    /// Standard deviation of dense episode returns.
+    pub std_return: f64,
+    /// Mean sparse episode score (+1 / −0.1 / 0; `J_E^v` of Tables 2–3).
+    pub mean_sparse: f64,
+    /// Standard deviation of sparse episode scores.
+    pub std_sparse: f64,
+    /// Fraction of episodes that ended in success.
+    pub success_rate: f64,
+    /// Fraction of episodes that ended unhealthy.
+    pub unhealthy_rate: f64,
+    /// Mean episode length.
+    pub mean_length: f64,
+}
+
+/// Evaluates `policy` on `env` over `cfg.episodes` episodes.
+pub fn evaluate(
+    env: &mut dyn Env,
+    policy: &GaussianPolicy,
+    cfg: &EvalConfig,
+    rng: &mut EnvRng,
+) -> Result<EvalResult, NnError> {
+    let mut returns = Vec::with_capacity(cfg.episodes);
+    let mut sparses = Vec::with_capacity(cfg.episodes);
+    let mut successes = 0usize;
+    let mut unhealthies = 0usize;
+    let mut total_len = 0usize;
+
+    for _ in 0..cfg.episodes {
+        let mut obs = env.reset(rng);
+        let mut ep_return = 0.0;
+        let ep_success;
+        let ep_unhealthy;
+        loop {
+            let action = if cfg.deterministic {
+                policy.act_deterministic(&obs)?
+            } else {
+                policy.act(&obs, rng)?.0
+            };
+            let step = env.step(&action, rng);
+            ep_return += step.reward;
+            total_len += 1;
+            if step.done {
+                ep_success = step.success;
+                ep_unhealthy = step.unhealthy;
+                break;
+            }
+            obs = step.obs;
+        }
+        returns.push(ep_return);
+        sparses.push(sparse_episode_metric(ep_success, ep_unhealthy));
+        if ep_success {
+            successes += 1;
+        }
+        if ep_unhealthy {
+            unhealthies += 1;
+        }
+    }
+
+    let n = cfg.episodes as f64;
+    let mean_return = returns.iter().sum::<f64>() / n;
+    let std_return =
+        (returns.iter().map(|r| (r - mean_return).powi(2)).sum::<f64>() / n).sqrt();
+    let mean_sparse = sparses.iter().sum::<f64>() / n;
+    let std_sparse =
+        (sparses.iter().map(|r| (r - mean_sparse).powi(2)).sum::<f64>() / n).sqrt();
+    Ok(EvalResult {
+        mean_return,
+        std_return,
+        mean_sparse,
+        std_sparse,
+        success_rate: successes as f64 / n,
+        unhealthy_rate: unhealthies as f64 / n,
+        mean_length: total_len as f64 / n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imap_env::locomotion::Hopper;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn evaluation_runs_and_reports() {
+        let mut env = Hopper::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let policy = GaussianPolicy::new(5, 3, &[8], -0.5, &mut StdRng::seed_from_u64(1)).unwrap();
+        let cfg = EvalConfig {
+            episodes: 5,
+            deterministic: true,
+        };
+        let r = evaluate(&mut env, &policy, &cfg, &mut rng).unwrap();
+        assert!(r.mean_length > 0.0);
+        assert!(r.std_return >= 0.0);
+        assert!((0.0..=1.0).contains(&r.success_rate));
+        assert!((0.0..=1.0).contains(&r.unhealthy_rate));
+    }
+
+    #[test]
+    fn deterministic_eval_is_reproducible() {
+        let policy = GaussianPolicy::new(5, 3, &[8], -0.5, &mut StdRng::seed_from_u64(2)).unwrap();
+        let cfg = EvalConfig {
+            episodes: 3,
+            deterministic: true,
+        };
+        let r1 = evaluate(&mut Hopper::new(), &policy, &cfg, &mut StdRng::seed_from_u64(9)).unwrap();
+        let r2 = evaluate(&mut Hopper::new(), &policy, &cfg, &mut StdRng::seed_from_u64(9)).unwrap();
+        assert_eq!(r1.mean_return, r2.mean_return);
+    }
+}

@@ -1,0 +1,148 @@
+//! Generalized Advantage Estimation (Schulman et al., used by eq. 1/14).
+
+/// Computes GAE(γ, λ) advantages and value targets.
+///
+/// Inputs are aligned per-step arrays over a (possibly multi-episode)
+/// rollout:
+/// - `rewards[t]`: reward at step `t`;
+/// - `values[t]`: `V(s_t)` under the pre-update critic;
+/// - `next_values[t]`: `V(s_{t+1})` — used to bootstrap at truncation and at
+///   ordinary steps (for ordinary steps callers may pass `values[t+1]`, but
+///   passing a freshly predicted `V(z_next)` is equally valid and simpler);
+/// - `dones[t]` / `terminals[t]`: episode end markers; a done that is *not*
+///   terminal is a time-limit truncation and bootstraps `next_values[t]`.
+///
+/// Returns `(advantages, returns)` where `returns[t] = advantages[t] +
+/// values[t]` are the value-regression targets.
+pub fn gae(
+    rewards: &[f64],
+    values: &[f64],
+    next_values: &[f64],
+    dones: &[bool],
+    terminals: &[bool],
+    gamma: f64,
+    lambda: f64,
+) -> (Vec<f64>, Vec<f64>) {
+    let n = rewards.len();
+    assert_eq!(values.len(), n);
+    assert_eq!(next_values.len(), n);
+    assert_eq!(dones.len(), n);
+    assert_eq!(terminals.len(), n);
+    let mut advantages = vec![0.0; n];
+    let mut last_gae = 0.0;
+    for t in (0..n).rev() {
+        let next_v = if terminals[t] { 0.0 } else { next_values[t] };
+        let delta = rewards[t] + gamma * next_v - values[t];
+        // The accumulated trace resets at *any* episode boundary.
+        last_gae = delta
+            + if dones[t] {
+                0.0
+            } else {
+                gamma * lambda * last_gae
+            };
+        advantages[t] = last_gae;
+    }
+    let returns = advantages
+        .iter()
+        .zip(values.iter())
+        .map(|(a, v)| a + v)
+        .collect();
+    (advantages, returns)
+}
+
+/// Normalizes advantages to zero mean and unit standard deviation in place
+/// (standard PPO practice; a no-op for fewer than two samples).
+pub fn normalize_advantages(adv: &mut [f64]) {
+    if adv.len() < 2 {
+        return;
+    }
+    let n = adv.len() as f64;
+    let mean = adv.iter().sum::<f64>() / n;
+    let var = adv.iter().map(|a| (a - mean).powi(2)).sum::<f64>() / n;
+    let std = var.sqrt().max(1e-8);
+    for a in adv.iter_mut() {
+        *a = (*a - mean) / std;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_terminal_step() {
+        // delta = r - V(s); advantage equals it exactly.
+        let (adv, ret) = gae(&[2.0], &[0.5], &[9.9], &[true], &[true], 0.99, 0.95);
+        assert!((adv[0] - 1.5).abs() < 1e-12);
+        assert!((ret[0] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn truncation_bootstraps_next_value() {
+        let (adv, _) = gae(&[1.0], &[0.0], &[3.0], &[true], &[false], 0.5, 0.9);
+        // delta = 1 + 0.5*3 - 0 = 2.5
+        assert!((adv[0] - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lambda_zero_is_one_step_td() {
+        let rewards = [1.0, 1.0, 1.0];
+        let values = [0.2, 0.4, 0.6];
+        let next_values = [0.4, 0.6, 0.0];
+        let dones = [false, false, true];
+        let terminals = [false, false, true];
+        let (adv, _) = gae(&rewards, &values, &next_values, &dones, &terminals, 0.9, 0.0);
+        for t in 0..3 {
+            let next_v = if terminals[t] { 0.0 } else { next_values[t] };
+            let expect = rewards[t] + 0.9 * next_v - values[t];
+            assert!((adv[t] - expect).abs() < 1e-12, "t = {t}");
+        }
+    }
+
+    #[test]
+    fn lambda_one_is_monte_carlo() {
+        let rewards = [1.0, 2.0, 3.0];
+        let values = [0.5, 0.5, 0.5];
+        let next_values = [0.5, 0.5, 0.0];
+        let dones = [false, false, true];
+        let terminals = [false, false, true];
+        let gamma = 0.9;
+        let (adv, _) = gae(&rewards, &values, &next_values, &dones, &terminals, gamma, 1.0);
+        // Full-episode discounted return minus baseline at t=0.
+        let g0 = 1.0 + gamma * 2.0 + gamma * gamma * 3.0;
+        assert!((adv[0] - (g0 - 0.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trace_resets_across_episodes() {
+        // Two one-step terminal episodes; each advantage is independent.
+        let (adv, _) = gae(
+            &[1.0, -1.0],
+            &[0.0, 0.0],
+            &[0.0, 0.0],
+            &[true, true],
+            &[true, true],
+            0.99,
+            0.95,
+        );
+        assert!((adv[0] - 1.0).abs() < 1e-12);
+        assert!((adv[1] + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_advantages_standardizes() {
+        let mut adv = vec![1.0, 2.0, 3.0, 4.0];
+        normalize_advantages(&mut adv);
+        let mean: f64 = adv.iter().sum::<f64>() / 4.0;
+        let var: f64 = adv.iter().map(|a| (a - mean).powi(2)).sum::<f64>() / 4.0;
+        assert!(mean.abs() < 1e-12);
+        assert!((var - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalize_single_is_noop() {
+        let mut adv = vec![5.0];
+        normalize_advantages(&mut adv);
+        assert_eq!(adv, vec![5.0]);
+    }
+}

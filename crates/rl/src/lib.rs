@@ -1,0 +1,32 @@
+//! # imap-rl
+//!
+//! Policy optimization for the IMAP reproduction: PPO (§3 / Appendix B of
+//! the paper) with Generalized Advantage Estimation, running observation
+//! normalization, rollout collection against any [`imap_env::Env`], and
+//! policy evaluation.
+//!
+//! The crate is deliberately attack-agnostic: the adversarial threat-model
+//! MDPs in `imap-core` implement [`imap_env::Env`], so the same PPO trains
+//! victims, baselines, and every IMAP variant. The dual-critic support
+//! (extrinsic + intrinsic value heads, eq. 14 of the paper) lives here as a
+//! plain second value function plus caller-combined advantages.
+
+pub mod buffer;
+pub mod eval;
+pub mod gae;
+pub mod normalize;
+pub mod policy;
+pub mod ppo;
+pub mod sampler;
+pub mod train;
+pub mod value;
+
+pub use buffer::{RolloutBuffer, StepRecord};
+pub use eval::{evaluate, EvalConfig, EvalResult};
+pub use gae::gae;
+pub use normalize::RunningNorm;
+pub use policy::GaussianPolicy;
+pub use ppo::{update_policy, update_value, PenaltyFn, PpoConfig, PpoStats, PpoSample};
+pub use sampler::collect_rollout;
+pub use train::{train_ppo, IterationStats, PpoRunner, TrainConfig};
+pub use value::ValueFn;

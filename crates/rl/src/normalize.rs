@@ -1,0 +1,166 @@
+//! Running observation normalization (Welford's online algorithm).
+
+use serde::{Deserialize, Serialize};
+
+/// Per-dimension running mean/variance normalizer.
+///
+/// Victim policies are trained with online updates and then **frozen** for
+/// deployment; the adversary perturbs observations in this normalized space
+/// (the convention of SA-RL's reference implementation, which makes the
+/// l∞ budget ε comparable across tasks).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunningNorm {
+    mean: Vec<f64>,
+    /// Sum of squared deviations (Welford's `M2`).
+    m2: Vec<f64>,
+    count: f64,
+    frozen: bool,
+    /// Normalized values are clipped to `[-clip, clip]`.
+    pub clip: f64,
+}
+
+impl RunningNorm {
+    /// Creates an identity-initialized normalizer for `dim` dimensions.
+    pub fn new(dim: usize) -> Self {
+        RunningNorm {
+            mean: vec![0.0; dim],
+            m2: vec![0.0; dim],
+            count: 0.0,
+            frozen: false,
+            clip: 10.0,
+        }
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Number of samples absorbed.
+    pub fn count(&self) -> f64 {
+        self.count
+    }
+
+    /// Stops further statistics updates ([`RunningNorm::update`] becomes a
+    /// no-op). Deployed victim policies are frozen.
+    pub fn freeze(&mut self) {
+        self.frozen = true;
+    }
+
+    /// True once frozen.
+    pub fn is_frozen(&self) -> bool {
+        self.frozen
+    }
+
+    /// Absorbs one observation into the running statistics.
+    pub fn update(&mut self, x: &[f64]) {
+        if self.frozen {
+            return;
+        }
+        debug_assert_eq!(x.len(), self.mean.len());
+        self.count += 1.0;
+        for i in 0..self.mean.len() {
+            let delta = x[i] - self.mean[i];
+            self.mean[i] += delta / self.count;
+            let delta2 = x[i] - self.mean[i];
+            self.m2[i] += delta * delta2;
+        }
+    }
+
+    /// Per-dimension standard deviation (1.0 before any data).
+    pub fn std(&self) -> Vec<f64> {
+        self.mean
+            .iter()
+            .enumerate()
+            .map(|(i, _)| {
+                if self.count < 2.0 {
+                    1.0
+                } else {
+                    (self.m2[i] / self.count).sqrt().max(1e-6)
+                }
+            })
+            .collect()
+    }
+
+    /// Normalizes an observation with the current statistics.
+    pub fn normalize(&self, x: &[f64]) -> Vec<f64> {
+        let std = self.std();
+        x.iter()
+            .enumerate()
+            .map(|(i, &v)| ((v - self.mean[i]) / std[i]).clamp(-self.clip, self.clip))
+            .collect()
+    }
+
+    /// Inverse transform (up to clipping).
+    pub fn denormalize(&self, z: &[f64]) -> Vec<f64> {
+        let std = self.std();
+        z.iter()
+            .enumerate()
+            .map(|(i, &v)| v * std[i] + self.mean[i])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_two_pass_statistics() {
+        let data: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![i as f64 * 0.3 - 5.0, (i as f64 * 0.7).sin() * 2.0])
+            .collect();
+        let mut norm = RunningNorm::new(2);
+        for x in &data {
+            norm.update(x);
+        }
+        let n = data.len() as f64;
+        for d in 0..2 {
+            let mean: f64 = data.iter().map(|x| x[d]).sum::<f64>() / n;
+            let var: f64 = data.iter().map(|x| (x[d] - mean).powi(2)).sum::<f64>() / n;
+            let z = norm.normalize(&[mean + var.sqrt(), mean + var.sqrt()]);
+            assert!((z[d] - 1.0).abs() < 1e-9, "dim {d}: z = {}", z[d]);
+        }
+    }
+
+    #[test]
+    fn identity_before_data() {
+        let norm = RunningNorm::new(3);
+        assert_eq!(norm.normalize(&[1.0, -2.0, 0.5]), vec![1.0, -2.0, 0.5]);
+    }
+
+    #[test]
+    fn freeze_stops_updates() {
+        let mut norm = RunningNorm::new(1);
+        norm.update(&[1.0]);
+        norm.update(&[3.0]);
+        norm.freeze();
+        let before = norm.normalize(&[2.0]);
+        norm.update(&[1000.0]);
+        assert_eq!(norm.normalize(&[2.0]), before);
+    }
+
+    #[test]
+    fn clipping_applies() {
+        let mut norm = RunningNorm::new(1);
+        for i in 0..50 {
+            norm.update(&[i as f64 * 0.01]);
+        }
+        let z = norm.normalize(&[1e9]);
+        assert_eq!(z[0], norm.clip);
+    }
+
+    #[test]
+    fn denormalize_roundtrip() {
+        let mut norm = RunningNorm::new(2);
+        for i in 0..30 {
+            norm.update(&[i as f64, -2.0 * i as f64]);
+        }
+        let x = [7.3, -11.0];
+        let z = norm.normalize(&x);
+        let back = norm.denormalize(&z);
+        for (a, b) in back.iter().zip(x.iter()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Stochastic Gaussian control policies.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use imap_nn::{Activation, DiagGaussian, Mlp, NnError};
+
+use crate::normalize::RunningNorm;
+
+/// A diagonal-Gaussian MLP policy with an attached observation normalizer.
+///
+/// The flat parameter vector used by the optimizer is
+/// `[mlp params..., log_std...]`; the normalizer is statistics, not
+/// parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GaussianPolicy {
+    /// Observation normalizer (updated online during training, frozen at
+    /// deployment).
+    pub norm: RunningNorm,
+    /// Mean network.
+    pub mlp: Mlp,
+    /// Gaussian head with learned log standard deviation.
+    pub head: DiagGaussian,
+}
+
+impl GaussianPolicy {
+    /// Creates a policy with tanh hidden layers.
+    ///
+    /// `hidden` are the hidden-layer widths; the output head is scaled small
+    /// so initial actions are near zero.
+    pub fn new<R: Rng>(
+        obs_dim: usize,
+        action_dim: usize,
+        hidden: &[usize],
+        log_std_init: f64,
+        rng: &mut R,
+    ) -> Result<Self, NnError> {
+        let mut sizes = vec![obs_dim];
+        sizes.extend_from_slice(hidden);
+        sizes.push(action_dim);
+        Ok(GaussianPolicy {
+            norm: RunningNorm::new(obs_dim),
+            mlp: Mlp::new(&sizes, Activation::Tanh, 0.01, rng)?,
+            head: DiagGaussian::new(action_dim, log_std_init),
+        })
+    }
+
+    /// Observation dimensionality.
+    pub fn obs_dim(&self) -> usize {
+        self.mlp.input_dim()
+    }
+
+    /// Action dimensionality.
+    pub fn action_dim(&self) -> usize {
+        self.mlp.output_dim()
+    }
+
+    /// Normalizes a raw observation.
+    pub fn normalize(&self, obs: &[f64]) -> Vec<f64> {
+        self.norm.normalize(obs)
+    }
+
+    /// Policy mean for an already-normalized observation.
+    pub fn mean_of(&self, z: &[f64]) -> Result<Vec<f64>, NnError> {
+        self.mlp.infer(z)
+    }
+
+    /// Samples an action for a normalized observation; returns
+    /// `(action, log_prob, mean)`.
+    pub fn act_normalized<R: Rng>(
+        &self,
+        z: &[f64],
+        rng: &mut R,
+    ) -> Result<(Vec<f64>, f64, Vec<f64>), NnError> {
+        let mean = self.mlp.infer(z)?;
+        let action = self.head.sample(&mean, rng);
+        let logp = self.head.log_prob(&mean, &action);
+        Ok((action, logp, mean))
+    }
+
+    /// Samples an action for a raw observation.
+    pub fn act<R: Rng>(
+        &self,
+        obs: &[f64],
+        rng: &mut R,
+    ) -> Result<(Vec<f64>, f64, Vec<f64>), NnError> {
+        self.act_normalized(&self.normalize(obs), rng)
+    }
+
+    /// Deterministic (mean) action for a raw observation.
+    pub fn act_deterministic(&self, obs: &[f64]) -> Result<Vec<f64>, NnError> {
+        self.mean_of(&self.normalize(obs))
+    }
+
+    /// Log-probability of `action` at normalized observation `z`.
+    pub fn log_prob(&self, z: &[f64], action: &[f64]) -> Result<f64, NnError> {
+        let mean = self.mlp.infer(z)?;
+        Ok(self.head.log_prob(&mean, action))
+    }
+
+    /// Total optimizer-visible parameter count (`mlp + log_std`).
+    pub fn param_count(&self) -> usize {
+        self.mlp.param_count() + self.head.log_std.len()
+    }
+
+    /// Flat parameters `[mlp..., log_std...]`.
+    pub fn params(&self) -> Vec<f64> {
+        let mut p = self.mlp.params();
+        p.extend_from_slice(&self.head.log_std);
+        p
+    }
+
+    /// Overwrites parameters from a flat vector.
+    pub fn set_params(&mut self, params: &[f64]) -> Result<(), NnError> {
+        if params.len() != self.param_count() {
+            return Err(NnError::ParamLength {
+                expected: self.param_count(),
+                got: params.len(),
+            });
+        }
+        let split = self.mlp.param_count();
+        self.mlp.set_params(&params[..split])?;
+        self.head.log_std.copy_from_slice(&params[split..]);
+        Ok(())
+    }
+
+    /// Applies a flat delta to the parameters.
+    pub fn apply_delta(&mut self, delta: &[f64]) -> Result<(), NnError> {
+        let mut p = self.params();
+        if delta.len() != p.len() {
+            return Err(NnError::ParamLength {
+                expected: p.len(),
+                got: delta.len(),
+            });
+        }
+        for (a, b) in p.iter_mut().zip(delta.iter()) {
+            *a += b;
+        }
+        self.set_params(&p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn policy(seed: u64) -> GaussianPolicy {
+        let mut rng = StdRng::seed_from_u64(seed);
+        GaussianPolicy::new(4, 2, &[16, 16], -0.5, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn dims() {
+        let p = policy(0);
+        assert_eq!(p.obs_dim(), 4);
+        assert_eq!(p.action_dim(), 2);
+    }
+
+    #[test]
+    fn param_roundtrip_includes_log_std() {
+        let mut p = policy(1);
+        let mut params = p.params();
+        assert_eq!(params.len(), p.param_count());
+        let n = params.len();
+        params[n - 1] = -1.25; // last log_std entry
+        p.set_params(&params).unwrap();
+        assert_eq!(p.head.log_std[1], -1.25);
+    }
+
+    #[test]
+    fn log_prob_consistent_with_act() {
+        let p = policy(2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let z = p.normalize(&[0.2, -0.4, 0.6, 0.0]);
+        let (action, logp, _) = p.act_normalized(&z, &mut rng).unwrap();
+        let lp2 = p.log_prob(&z, &action).unwrap();
+        assert!((logp - lp2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_action_is_mean() {
+        let p = policy(4);
+        let obs = [0.1, 0.2, 0.3, 0.4];
+        let a = p.act_deterministic(&obs).unwrap();
+        let mean = p.mean_of(&p.normalize(&obs)).unwrap();
+        assert_eq!(a, mean);
+    }
+
+    #[test]
+    fn initial_actions_near_zero() {
+        let p = policy(5);
+        let a = p.act_deterministic(&[1.0, 1.0, 1.0, 1.0]).unwrap();
+        assert!(a.iter().all(|v| v.abs() < 0.1), "small output init: {a:?}");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let p = policy(6);
+        let s = serde_json::to_string(&p).unwrap();
+        let q: GaussianPolicy = serde_json::from_str(&s).unwrap();
+        for (a, b) in q.params().iter().zip(p.params().iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,458 @@
+//! Proximal Policy Optimization (eq. 1 of the paper; eq. 14 when the caller
+//! combines extrinsic and intrinsic advantages).
+//!
+//! The update is written against *precomputed advantages*, so the same code
+//! path trains victims (plain GAE advantages), defended victims (e.g.
+//! WocaR's worst-case-aware combined advantages), and adversarial policies
+//! (IMAP's `Â_E + τ_k Â_I`). Defense regularizers (SA / RADIAL) plug in via
+//! [`PenaltyFn`], which contributes extra gradients per minibatch.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use imap_nn::optim::clip_grad_norm;
+use imap_nn::{Adam, Matrix, NnError, Optimizer};
+
+use crate::policy::GaussianPolicy;
+use crate::value::ValueFn;
+
+/// PPO hyperparameters.
+#[derive(Debug, Clone)]
+pub struct PpoConfig {
+    /// Clipping radius ε of eq. 1.
+    pub clip: f64,
+    /// SGD epochs over the batch per update.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub minibatch: usize,
+    /// Adam learning rate for the policy.
+    pub lr_policy: f64,
+    /// Adam learning rate for value functions.
+    pub lr_value: f64,
+    /// Entropy bonus coefficient.
+    pub entropy_coef: f64,
+    /// Global gradient-norm clip.
+    pub max_grad_norm: f64,
+    /// Early-stop epochs when the approximate KL to the old policy exceeds
+    /// this (keeps `D_KL(P^{π_k} ‖ P^π) ≤ δ`, Appendix B).
+    pub target_kl: Option<f64>,
+}
+
+impl Default for PpoConfig {
+    fn default() -> Self {
+        PpoConfig {
+            clip: 0.2,
+            epochs: 8,
+            minibatch: 128,
+            lr_policy: 3e-4,
+            lr_value: 1e-3,
+            entropy_coef: 0.0,
+            max_grad_norm: 0.5,
+            target_kl: Some(0.05),
+        }
+    }
+}
+
+/// One training sample for the policy update.
+#[derive(Debug, Clone)]
+pub struct PpoSample {
+    /// Normalized observation.
+    pub z: Vec<f64>,
+    /// Action taken.
+    pub action: Vec<f64>,
+    /// Log-probability under the sampling (old) policy.
+    pub logp_old: f64,
+    /// Advantage estimate (already combined/normalized by the caller).
+    pub advantage: f64,
+}
+
+/// A pluggable extra policy loss (used by the SA / RADIAL defense
+/// regularizers). Returns the penalty value and its gradient w.r.t. the flat
+/// policy parameters (`[mlp..., log_std...]`); the gradient is *added* to
+/// the PPO gradient (i.e. the penalty is minimized).
+pub trait PenaltyFn {
+    /// Computes the penalty and gradient for a minibatch of normalized
+    /// observations.
+    fn penalty(
+        &mut self,
+        policy: &GaussianPolicy,
+        zs: &[&[f64]],
+    ) -> Result<(f64, Vec<f64>), NnError>;
+}
+
+/// Diagnostics from one policy update.
+#[derive(Debug, Clone, Default)]
+pub struct PpoStats {
+    /// Mean clipped-surrogate loss over processed minibatches.
+    pub policy_loss: f64,
+    /// Policy entropy after the update.
+    pub entropy: f64,
+    /// Mean approximate KL(old ‖ new) over processed minibatches.
+    pub approx_kl: f64,
+    /// Fraction of samples whose ratio was clipped.
+    pub clip_fraction: f64,
+    /// Mean penalty value (0 when no [`PenaltyFn`] installed).
+    pub penalty: f64,
+    /// Epochs actually run before KL early stop.
+    pub epochs_run: usize,
+}
+
+/// Runs the clipped-surrogate PPO update on `policy`.
+///
+/// `opt` must have been created with `policy.param_count()` dimensions.
+pub fn update_policy<'p, R: Rng>(
+    policy: &mut GaussianPolicy,
+    samples: &[PpoSample],
+    cfg: &PpoConfig,
+    opt: &mut Adam,
+    mut penalty_fn: Option<&mut (dyn PenaltyFn + 'p)>,
+    rng: &mut R,
+) -> Result<PpoStats, NnError> {
+    let n = samples.len();
+    let mut stats = PpoStats::default();
+    if n == 0 {
+        return Ok(stats);
+    }
+    let mut indices: Vec<usize> = (0..n).collect();
+    let mut batches = 0usize;
+    let mut clipped = 0usize;
+    let mut seen = 0usize;
+
+    'epochs: for _epoch in 0..cfg.epochs {
+        indices.shuffle(rng);
+        for chunk in indices.chunks(cfg.minibatch.max(1)) {
+            let rows: Vec<&[f64]> = chunk.iter().map(|&i| samples[i].z.as_slice()).collect();
+            let x = Matrix::from_rows(&rows)?;
+            let cache = policy.mlp.forward(&x)?;
+            let means = cache.output();
+            let act_dim = policy.action_dim();
+            let m = chunk.len() as f64;
+
+            let mut dout = Matrix::zeros(chunk.len(), act_dim);
+            let mut dlogstd = vec![0.0; act_dim];
+            let mut loss = 0.0;
+            let mut kl_sum = 0.0;
+
+            for (row, &i) in chunk.iter().enumerate() {
+                let s = &samples[i];
+                let mean = means.row(row);
+                let logp_new = policy.head.log_prob(mean, &s.action);
+                let ratio = (logp_new - s.logp_old).exp();
+                kl_sum += s.logp_old - logp_new;
+                let adv = s.advantage;
+
+                let unclipped = ratio * adv;
+                let clipped_ratio = ratio.clamp(1.0 - cfg.clip, 1.0 + cfg.clip);
+                let clipped_obj = clipped_ratio * adv;
+                loss -= unclipped.min(clipped_obj) / m;
+
+                // Gradient flows only while the unclipped branch is active.
+                let active = (adv >= 0.0 && ratio < 1.0 + cfg.clip)
+                    || (adv < 0.0 && ratio > 1.0 - cfg.clip);
+                seen += 1;
+                if !active {
+                    clipped += 1;
+                    continue;
+                }
+                // dL/dlogp = -adv * ratio / m  (minimizing L).
+                let dlogp = -adv * ratio / m;
+                let (dmean, dls) = policy.head.log_prob_grad(mean, &s.action);
+                for k in 0..act_dim {
+                    dout.set(row, k, dlogp * dmean[k]);
+                    dlogstd[k] += dlogp * dls[k];
+                }
+            }
+            // Entropy bonus: dH/dlog_std = 1 per dimension (maximize ⇒
+            // subtract from the minimized loss gradient).
+            for v in dlogstd.iter_mut() {
+                *v -= cfg.entropy_coef;
+            }
+
+            let (mlp_grads, _) = policy.mlp.backward(&cache, &dout)?;
+            let mut flat = mlp_grads.flatten();
+            flat.extend_from_slice(&dlogstd);
+
+            if let Some(pf) = penalty_fn.as_deref_mut() {
+                let (pval, pgrad) = pf.penalty(policy, &rows)?;
+                if pgrad.len() != flat.len() {
+                    return Err(NnError::ParamLength {
+                        expected: flat.len(),
+                        got: pgrad.len(),
+                    });
+                }
+                for (g, p) in flat.iter_mut().zip(pgrad.iter()) {
+                    *g += p;
+                }
+                stats.penalty += pval;
+            }
+
+            clip_grad_norm(&mut flat, cfg.max_grad_norm);
+            let delta = opt.step(&flat)?;
+            policy.apply_delta(&delta)?;
+
+            stats.policy_loss += loss;
+            stats.approx_kl += kl_sum / m;
+            batches += 1;
+        }
+        stats.epochs_run += 1;
+        if let Some(target) = cfg.target_kl {
+            if batches > 0 && stats.approx_kl / batches as f64 > target {
+                break 'epochs;
+            }
+        }
+    }
+
+    if batches > 0 {
+        stats.policy_loss /= batches as f64;
+        stats.approx_kl /= batches as f64;
+        stats.penalty /= batches as f64;
+    }
+    stats.clip_fraction = if seen > 0 {
+        clipped as f64 / seen as f64
+    } else {
+        0.0
+    };
+    stats.entropy = policy.head.entropy();
+    Ok(stats)
+}
+
+/// Regression update for a value function toward `targets`.
+///
+/// Returns the mean squared error before the update.
+pub fn update_value<R: Rng>(
+    value: &mut ValueFn,
+    zs: &[Vec<f64>],
+    targets: &[f64],
+    cfg: &PpoConfig,
+    opt: &mut Adam,
+    rng: &mut R,
+) -> Result<f64, NnError> {
+    let n = zs.len();
+    if n == 0 {
+        return Ok(0.0);
+    }
+    assert_eq!(targets.len(), n);
+    let mut indices: Vec<usize> = (0..n).collect();
+    let mut first_mse = None;
+    for _epoch in 0..cfg.epochs {
+        indices.shuffle(rng);
+        for chunk in indices.chunks(cfg.minibatch.max(1)) {
+            let rows: Vec<&[f64]> = chunk.iter().map(|&i| zs[i].as_slice()).collect();
+            let x = Matrix::from_rows(&rows)?;
+            let cache = value.mlp.forward(&x)?;
+            let preds = cache.output();
+            let m = chunk.len() as f64;
+            let mut mse = 0.0;
+            let mut dout = Matrix::zeros(chunk.len(), 1);
+            for (row, &i) in chunk.iter().enumerate() {
+                let err = preds.get(row, 0) - targets[i];
+                mse += err * err / m;
+                dout.set(row, 0, 2.0 * err / m);
+            }
+            if first_mse.is_none() {
+                first_mse = Some(mse);
+            }
+            let (grads, _) = value.mlp.backward(&cache, &dout)?;
+            let mut flat = grads.flatten();
+            clip_grad_norm(&mut flat, cfg.max_grad_norm);
+            let delta = opt.step(&flat)?;
+            value.mlp.apply_delta(&delta)?;
+        }
+    }
+    Ok(first_mse.unwrap_or(0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn quick_cfg() -> PpoConfig {
+        PpoConfig {
+            epochs: 4,
+            minibatch: 32,
+            lr_policy: 3e-3,
+            lr_value: 3e-3,
+            target_kl: None,
+            ..PpoConfig::default()
+        }
+    }
+
+    /// The policy should shift its mean toward positively-advantaged actions.
+    #[test]
+    fn policy_moves_toward_advantaged_actions() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut policy = GaussianPolicy::new(2, 1, &[16], -0.5, &mut rng).unwrap();
+        let z = vec![0.5, -0.5];
+        let before = policy.mean_of(&z).unwrap()[0];
+        // Actions above the mean get positive advantage.
+        let mut samples = Vec::new();
+        for _ in 0..256 {
+            let (a, logp, mean) = policy.act_normalized(&z, &mut rng).unwrap();
+            let adv = if a[0] > mean[0] { 1.0 } else { -1.0 };
+            samples.push(PpoSample {
+                z: z.clone(),
+                action: a,
+                logp_old: logp,
+                advantage: adv,
+            });
+        }
+        let mut opt = Adam::new(policy.param_count(), 3e-3);
+        update_policy(&mut policy, &samples, &quick_cfg(), &mut opt, None, &mut rng).unwrap();
+        let after = policy.mean_of(&z).unwrap()[0];
+        assert!(after > before, "mean should increase: {before} -> {after}");
+    }
+
+    #[test]
+    fn empty_batch_is_noop() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut policy = GaussianPolicy::new(2, 1, &[8], -0.5, &mut rng).unwrap();
+        let before = policy.params();
+        let mut opt = Adam::new(policy.param_count(), 1e-3);
+        let stats =
+            update_policy(&mut policy, &[], &quick_cfg(), &mut opt, None, &mut rng).unwrap();
+        assert_eq!(policy.params(), before);
+        assert_eq!(stats.epochs_run, 0);
+    }
+
+    #[test]
+    fn value_regression_converges() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut value = ValueFn::new(1, &[16], &mut rng).unwrap();
+        // Target function: v(z) = 2z.
+        let zs: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64 / 32.0 - 1.0]).collect();
+        let targets: Vec<f64> = zs.iter().map(|z| 2.0 * z[0]).collect();
+        let mut opt = Adam::new(value.mlp.param_count(), 1e-2);
+        let cfg = PpoConfig {
+            epochs: 50,
+            minibatch: 64,
+            target_kl: None,
+            max_grad_norm: 100.0,
+            ..PpoConfig::default()
+        };
+        update_value(&mut value, &zs, &targets, &cfg, &mut opt, &mut rng).unwrap();
+        let mut mse = 0.0;
+        for (z, t) in zs.iter().zip(targets.iter()) {
+            mse += (value.predict(z).unwrap() - t).powi(2) / zs.len() as f64;
+        }
+        assert!(mse < 0.05, "value net should fit a line, mse = {mse}");
+    }
+
+    #[test]
+    fn entropy_bonus_raises_log_std() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut policy = GaussianPolicy::new(1, 1, &[8], -1.0, &mut rng).unwrap();
+        let ls_before = policy.head.log_std[0];
+        // Zero advantage everywhere: only the entropy term acts.
+        let samples: Vec<PpoSample> = (0..64)
+            .map(|i| {
+                let z = vec![i as f64 / 64.0];
+                let (a, logp, _) = policy.act_normalized(&z, &mut rng).unwrap();
+                PpoSample {
+                    z,
+                    action: a,
+                    logp_old: logp,
+                    advantage: 0.0,
+                }
+            })
+            .collect();
+        let cfg = PpoConfig {
+            entropy_coef: 0.05,
+            epochs: 10,
+            target_kl: None,
+            lr_policy: 1e-2,
+            ..PpoConfig::default()
+        };
+        let mut opt = Adam::new(policy.param_count(), 1e-2);
+        update_policy(&mut policy, &samples, &cfg, &mut opt, None, &mut rng).unwrap();
+        assert!(
+            policy.head.log_std[0] > ls_before,
+            "entropy bonus should widen the policy"
+        );
+    }
+
+    /// A penalty that pulls log_std down should lower it despite zero
+    /// advantages.
+    struct ShrinkStd;
+    impl PenaltyFn for ShrinkStd {
+        fn penalty(
+            &mut self,
+            policy: &GaussianPolicy,
+            _zs: &[&[f64]],
+        ) -> Result<(f64, Vec<f64>), NnError> {
+            let mut g = vec![0.0; policy.param_count()];
+            let off = policy.mlp.param_count();
+            for v in g.iter_mut().skip(off) {
+                *v = 1.0; // d(penalty)/d(log_std) = 1 ⇒ minimized by shrinking
+            }
+            Ok((policy.head.log_std.iter().sum(), g))
+        }
+    }
+
+    #[test]
+    fn penalty_hook_contributes_gradient() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut policy = GaussianPolicy::new(1, 1, &[8], 0.0, &mut rng).unwrap();
+        let ls_before = policy.head.log_std[0];
+        let samples: Vec<PpoSample> = (0..32)
+            .map(|i| {
+                let z = vec![i as f64 / 32.0];
+                let (a, logp, _) = policy.act_normalized(&z, &mut rng).unwrap();
+                PpoSample {
+                    z,
+                    action: a,
+                    logp_old: logp,
+                    advantage: 0.0,
+                }
+            })
+            .collect();
+        let cfg = PpoConfig {
+            epochs: 10,
+            lr_policy: 1e-2,
+            target_kl: None,
+            ..PpoConfig::default()
+        };
+        let mut opt = Adam::new(policy.param_count(), 1e-2);
+        let mut pf = ShrinkStd;
+        let stats = update_policy(
+            &mut policy,
+            &samples,
+            &cfg,
+            &mut opt,
+            Some(&mut pf),
+            &mut rng,
+        )
+        .unwrap();
+        assert!(policy.head.log_std[0] < ls_before);
+        assert!(stats.penalty != 0.0);
+    }
+
+    #[test]
+    fn kl_early_stop_limits_epochs() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut policy = GaussianPolicy::new(1, 1, &[8], -0.5, &mut rng).unwrap();
+        let samples: Vec<PpoSample> = (0..64)
+            .map(|i| {
+                let z = vec![i as f64 / 64.0];
+                let (a, logp, _) = policy.act_normalized(&z, &mut rng).unwrap();
+                PpoSample {
+                    z,
+                    action: a,
+                    logp_old: logp,
+                    advantage: 5.0, // aggressive updates
+                }
+            })
+            .collect();
+        let cfg = PpoConfig {
+            epochs: 50,
+            lr_policy: 5e-2,
+            target_kl: Some(0.01),
+            ..PpoConfig::default()
+        };
+        let mut opt = Adam::new(policy.param_count(), 5e-2);
+        let stats =
+            update_policy(&mut policy, &samples, &cfg, &mut opt, None, &mut rng).unwrap();
+        assert!(stats.epochs_run < 50, "early stop expected: {}", stats.epochs_run);
+    }
+}

@@ -1,0 +1,136 @@
+//! On-policy rollout collection (the "Sampling Stage" of Algorithm 1).
+
+use imap_env::{Env, EnvRng};
+use imap_nn::NnError;
+
+use crate::buffer::{RolloutBuffer, StepRecord};
+use crate::policy::GaussianPolicy;
+
+/// Collects at least `n_steps` transitions from `env` under `policy`,
+/// finishing the in-progress episode so the buffer always ends on an
+/// episode boundary (this keeps GAE simple and the paper's per-iteration
+/// replay buffer `D_k` well-formed).
+///
+/// When `update_norm` is true the policy's observation normalizer absorbs
+/// every raw observation seen (victim training); attack-time policies keep
+/// it frozen.
+pub fn collect_rollout(
+    env: &mut dyn Env,
+    policy: &mut GaussianPolicy,
+    n_steps: usize,
+    update_norm: bool,
+    rng: &mut EnvRng,
+) -> Result<RolloutBuffer, NnError> {
+    let mut buffer = RolloutBuffer::new();
+    let mut obs = env.reset(rng);
+    let mut ep_return = 0.0;
+    let mut ep_len = 0usize;
+    let max_ep = env.max_steps();
+
+    loop {
+        if update_norm {
+            policy.norm.update(&obs);
+        }
+        let z = policy.normalize(&obs);
+        let (action, logp, _mean) = policy.act_normalized(&z, rng)?;
+        let summary = env.state_summary();
+        let step = env.step(&action, rng);
+        ep_return += step.reward;
+        ep_len += 1;
+
+        let z_next = policy.normalize(&step.obs);
+        // A done at the step limit without an unhealthy/success event is a
+        // truncation and must bootstrap; envs that terminate for a real
+        // reason mark it via `unhealthy`/`success`.
+        let truncated_only = step.done && !step.unhealthy && !step.success && ep_len >= max_ep;
+        buffer.steps.push(StepRecord {
+            z,
+            z_next,
+            summary,
+            action,
+            logp,
+            reward: step.reward,
+            done: step.done,
+            terminal: step.done && !truncated_only,
+            success: step.success,
+            unhealthy: step.unhealthy,
+        });
+
+        if step.done {
+            buffer.episode_returns.push(ep_return);
+            buffer.episode_lengths.push(ep_len);
+            ep_return = 0.0;
+            ep_len = 0;
+            if buffer.steps.len() >= n_steps {
+                break;
+            }
+            obs = env.reset(rng);
+        } else {
+            obs = step.obs;
+        }
+    }
+    Ok(buffer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imap_env::locomotion::Hopper;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Hopper, GaussianPolicy, EnvRng) {
+        let mut rng = StdRng::seed_from_u64(0);
+        let policy = GaussianPolicy::new(5, 3, &[8], -0.5, &mut rng).unwrap();
+        (Hopper::new(), policy, StdRng::seed_from_u64(1))
+    }
+
+    #[test]
+    fn collects_at_least_n_and_ends_on_boundary() {
+        let (mut env, mut policy, mut rng) = setup();
+        let buf = collect_rollout(&mut env, &mut policy, 100, true, &mut rng).unwrap();
+        assert!(buf.len() >= 100);
+        assert!(buf.steps.last().unwrap().done, "must end on episode boundary");
+        assert_eq!(
+            buf.episode_returns.len(),
+            buf.episode_ranges().len(),
+            "every range is a completed episode"
+        );
+    }
+
+    #[test]
+    fn norm_updates_only_when_requested() {
+        let (mut env, mut policy, mut rng) = setup();
+        collect_rollout(&mut env, &mut policy, 50, false, &mut rng).unwrap();
+        assert_eq!(policy.norm.count(), 0.0);
+        collect_rollout(&mut env, &mut policy, 50, true, &mut rng).unwrap();
+        assert!(policy.norm.count() > 0.0);
+    }
+
+    #[test]
+    fn episode_lengths_sum_to_buffer_len() {
+        let (mut env, mut policy, mut rng) = setup();
+        let buf = collect_rollout(&mut env, &mut policy, 120, true, &mut rng).unwrap();
+        let total: usize = buf.episode_lengths.iter().sum();
+        assert_eq!(total, buf.len());
+    }
+
+    #[test]
+    fn truncation_flagged_as_non_terminal() {
+        // A stabilized hopper survives to the step limit -> truncated.
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut policy = GaussianPolicy::new(5, 3, &[8], -3.0, &mut rng).unwrap();
+        // Force near-zero actions so pitch stays near initial small values
+        // long enough to hit the limit sometimes... instead just check the
+        // invariant: any done without unhealthy/success at max steps is
+        // non-terminal.
+        let mut env = Hopper::with_max_steps(30);
+        let mut env_rng = StdRng::seed_from_u64(6);
+        let buf = collect_rollout(&mut env, &mut policy, 60, true, &mut env_rng).unwrap();
+        for s in &buf.steps {
+            if s.done && !s.unhealthy && !s.success {
+                assert!(!s.terminal || buf.episode_lengths.iter().all(|&l| l < 30));
+            }
+        }
+    }
+}

@@ -1,0 +1,381 @@
+//! A generic single-agent PPO training loop.
+//!
+//! Used directly for vanilla victims; the defense trainers in `imap-defense`
+//! and the attack trainers in `imap-core` reuse the same pieces
+//! ([`crate::collect_rollout`], [`gae()`](crate::gae::gae), [`crate::update_policy`])
+//! with their own reward/advantage plumbing.
+
+use imap_env::{Env, EnvRng};
+use imap_nn::{Adam, NnError};
+use rand::SeedableRng;
+
+use crate::buffer::RolloutBuffer;
+use crate::gae::{gae, normalize_advantages};
+use crate::policy::GaussianPolicy;
+use crate::ppo::{update_policy, update_value, PenaltyFn, PpoConfig, PpoSample};
+use crate::sampler::collect_rollout;
+use crate::value::ValueFn;
+
+/// Training-loop hyperparameters.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Number of sample/update iterations.
+    pub iterations: usize,
+    /// Environment steps per iteration.
+    pub steps_per_iter: usize,
+    /// Discount factor γ.
+    pub gamma: f64,
+    /// GAE λ.
+    pub lambda: f64,
+    /// PPO update hyperparameters.
+    pub ppo: PpoConfig,
+    /// Hidden-layer widths for policy and value networks.
+    pub hidden: Vec<usize>,
+    /// Initial policy log standard deviation.
+    pub log_std_init: f64,
+    /// RNG seed (environments, sampling, and updates all derive from it).
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            iterations: 80,
+            steps_per_iter: 2048,
+            gamma: 0.99,
+            lambda: 0.95,
+            ppo: PpoConfig::default(),
+            hidden: vec![32, 32],
+            log_std_init: -0.5,
+            seed: 0,
+        }
+    }
+}
+
+/// Per-iteration diagnostics handed to the caller's callback.
+#[derive(Debug, Clone)]
+pub struct IterationStats {
+    /// Iteration index (0-based).
+    pub iteration: usize,
+    /// Total environment steps consumed so far.
+    pub total_steps: usize,
+    /// Mean return of episodes completed this iteration.
+    pub mean_return: f64,
+    /// Mean length of episodes completed this iteration.
+    pub mean_length: f64,
+    /// Approximate KL of the policy update.
+    pub approx_kl: f64,
+    /// Policy entropy after the update.
+    pub entropy: f64,
+}
+
+/// Computes GAE advantages/returns for a buffer under `value`.
+///
+/// Exposed so attack trainers can run it separately for extrinsic and
+/// intrinsic critics (eq. 14) with per-stream reward vectors.
+pub fn advantages_for(
+    buffer: &RolloutBuffer,
+    rewards: &[f64],
+    value: &ValueFn,
+    gamma: f64,
+    lambda: f64,
+) -> Result<(Vec<f64>, Vec<f64>), NnError> {
+    let zs = buffer.observations();
+    let values = value.predict_batch(&zs)?;
+    let z_next: Vec<Vec<f64>> = buffer.steps.iter().map(|s| s.z_next.clone()).collect();
+    let next_values = value.predict_batch(&z_next)?;
+    let dones: Vec<bool> = buffer.steps.iter().map(|s| s.done).collect();
+    let terminals: Vec<bool> = buffer.steps.iter().map(|s| s.terminal).collect();
+    Ok(gae(
+        rewards,
+        &values,
+        &next_values,
+        &dones,
+        &terminals,
+        gamma,
+        lambda,
+    ))
+}
+
+/// Assembles PPO samples from a buffer and an advantage vector.
+pub fn samples_from(buffer: &RolloutBuffer, advantages: &[f64]) -> Vec<PpoSample> {
+    buffer
+        .steps
+        .iter()
+        .zip(advantages.iter())
+        .map(|(s, &adv)| PpoSample {
+            z: s.z.clone(),
+            action: s.action.clone(),
+            logp_old: s.logp,
+            advantage: adv,
+        })
+        .collect()
+}
+
+/// Trains a fresh policy/value pair on `env` with vanilla PPO.
+///
+/// `penalty` (for defense regularizers) and `on_iteration` (for learning
+/// curves / ATLA alternation) are optional hooks. Returns the trained
+/// policy (normalizer *not* frozen — callers freeze before deployment) and
+/// value function.
+pub fn train_ppo<'p, 'c>(
+    env: &mut dyn Env,
+    cfg: &TrainConfig,
+    mut penalty: Option<&mut (dyn PenaltyFn + 'p)>,
+    mut on_iteration: Option<&mut (dyn FnMut(&IterationStats, &GaussianPolicy) + 'c)>,
+) -> Result<(GaussianPolicy, ValueFn), NnError> {
+    let mut rng = EnvRng::seed_from_u64(cfg.seed);
+    let mut policy = GaussianPolicy::new(
+        env.obs_dim(),
+        env.action_dim(),
+        &cfg.hidden,
+        cfg.log_std_init,
+        &mut rng,
+    )?;
+    let mut value = ValueFn::new(env.obs_dim(), &cfg.hidden, &mut rng)?;
+    let mut popt = Adam::new(policy.param_count(), cfg.ppo.lr_policy);
+    let mut vopt = Adam::new(value.mlp.param_count(), cfg.ppo.lr_value);
+
+    let mut total_steps = 0usize;
+    for iteration in 0..cfg.iterations {
+        let buffer = collect_rollout(env, &mut policy, cfg.steps_per_iter, true, &mut rng)?;
+        total_steps += buffer.len();
+
+        let rewards: Vec<f64> = buffer.steps.iter().map(|s| s.reward).collect();
+        let (mut adv, returns) =
+            advantages_for(&buffer, &rewards, &value, cfg.gamma, cfg.lambda)?;
+        normalize_advantages(&mut adv);
+        let samples = samples_from(&buffer, &adv);
+
+        let stats = update_policy(
+            &mut policy,
+            &samples,
+            &cfg.ppo,
+            &mut popt,
+            penalty.as_deref_mut(),
+            &mut rng,
+        )?;
+        update_value(
+            &mut value,
+            &buffer.observations(),
+            &returns,
+            &cfg.ppo,
+            &mut vopt,
+            &mut rng,
+        )?;
+
+        if let Some(cb) = on_iteration.as_deref_mut() {
+            let mean_length = if buffer.episode_lengths.is_empty() {
+                0.0
+            } else {
+                buffer.episode_lengths.iter().sum::<usize>() as f64
+                    / buffer.episode_lengths.len() as f64
+            };
+            cb(
+                &IterationStats {
+                    iteration,
+                    total_steps,
+                    mean_return: buffer.mean_episode_return(),
+                    mean_length,
+                    approx_kl: stats.approx_kl,
+                    entropy: stats.entropy,
+                },
+                &policy,
+            );
+        }
+    }
+    Ok((policy, value))
+}
+
+/// A resumable PPO loop: owns the policy, critics, and optimizer state so
+/// training can alternate with other phases (ATLA's adversary rounds) and
+/// continue warm.
+pub struct PpoRunner {
+    /// The policy being trained.
+    pub policy: GaussianPolicy,
+    /// The value function.
+    pub value: ValueFn,
+    popt: Adam,
+    vopt: Adam,
+    cfg: TrainConfig,
+    rng: EnvRng,
+    total_steps: usize,
+}
+
+impl PpoRunner {
+    /// Creates a runner with fresh networks sized for `env`.
+    pub fn new(env: &dyn Env, cfg: TrainConfig) -> Result<Self, NnError> {
+        let mut rng = EnvRng::seed_from_u64(cfg.seed);
+        let policy = GaussianPolicy::new(
+            env.obs_dim(),
+            env.action_dim(),
+            &cfg.hidden,
+            cfg.log_std_init,
+            &mut rng,
+        )?;
+        let value = ValueFn::new(env.obs_dim(), &cfg.hidden, &mut rng)?;
+        let popt = Adam::new(policy.param_count(), cfg.ppo.lr_policy);
+        let vopt = Adam::new(value.mlp.param_count(), cfg.ppo.lr_value);
+        Ok(PpoRunner {
+            policy,
+            value,
+            popt,
+            vopt,
+            cfg,
+            rng,
+            total_steps: 0,
+        })
+    }
+
+    /// Total environment steps consumed so far.
+    pub fn total_steps(&self) -> usize {
+        self.total_steps
+    }
+
+    /// The runner's training configuration.
+    pub fn config(&self) -> &TrainConfig {
+        &self.cfg
+    }
+
+    /// Runs one sample/update iteration on `env`. `advantage_override`, when
+    /// provided, replaces the GAE advantages (WocaR's worst-case-aware
+    /// combination); it receives the buffer and the plain GAE advantages.
+    pub fn iterate<'p>(
+        &mut self,
+        env: &mut dyn Env,
+        penalty: Option<&mut (dyn PenaltyFn + 'p)>,
+        advantage_override: Option<&mut dyn FnMut(&RolloutBuffer, &mut Vec<f64>)>,
+    ) -> Result<IterationStats, NnError> {
+        let buffer =
+            collect_rollout(env, &mut self.policy, self.cfg.steps_per_iter, true, &mut self.rng)?;
+        self.total_steps += buffer.len();
+        let rewards: Vec<f64> = buffer.steps.iter().map(|s| s.reward).collect();
+        let (mut adv, returns) =
+            advantages_for(&buffer, &rewards, &self.value, self.cfg.gamma, self.cfg.lambda)?;
+        if let Some(f) = advantage_override {
+            f(&buffer, &mut adv);
+        }
+        normalize_advantages(&mut adv);
+        let samples = samples_from(&buffer, &adv);
+        let stats = update_policy(
+            &mut self.policy,
+            &samples,
+            &self.cfg.ppo,
+            &mut self.popt,
+            penalty,
+            &mut self.rng,
+        )?;
+        update_value(
+            &mut self.value,
+            &buffer.observations(),
+            &returns,
+            &self.cfg.ppo,
+            &mut self.vopt,
+            &mut self.rng,
+        )?;
+        let mean_length = if buffer.episode_lengths.is_empty() {
+            0.0
+        } else {
+            buffer.episode_lengths.iter().sum::<usize>() as f64
+                / buffer.episode_lengths.len() as f64
+        };
+        Ok(IterationStats {
+            iteration: 0,
+            total_steps: self.total_steps,
+            mean_return: buffer.mean_episode_return(),
+            mean_length,
+            approx_kl: stats.approx_kl,
+            entropy: stats.entropy,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imap_env::locomotion::Hopper;
+
+    /// PPO should substantially improve the hopper's survival/return within
+    /// a small budget. This is the crate's core end-to-end check.
+    #[test]
+    fn ppo_learns_hopper_balance() {
+        let mut env = Hopper::new();
+        let cfg = TrainConfig {
+            iterations: 15,
+            steps_per_iter: 1024,
+            hidden: vec![16, 16],
+            seed: 7,
+            ..TrainConfig::default()
+        };
+        let mut first = None;
+        let mut last = 0.0;
+        let mut cb = |s: &IterationStats, _p: &GaussianPolicy| {
+            if first.is_none() {
+                first = Some(s.mean_return);
+            }
+            last = s.mean_return;
+        };
+        train_ppo(&mut env, &cfg, None, Some(&mut cb)).unwrap();
+        let first = first.unwrap();
+        assert!(
+            last > first + 10.0,
+            "PPO should improve the hopper: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn ppo_runner_resumes_warm() {
+        let mut env = Hopper::new();
+        let cfg = TrainConfig {
+            iterations: 0,
+            steps_per_iter: 256,
+            hidden: vec![8],
+            seed: 2,
+            ..TrainConfig::default()
+        };
+        let mut runner = PpoRunner::new(&env, cfg).unwrap();
+        let s1 = runner.iterate(&mut env, None, None).unwrap();
+        let s2 = runner.iterate(&mut env, None, None).unwrap();
+        assert!(s2.total_steps > s1.total_steps);
+        assert_eq!(runner.total_steps(), s2.total_steps);
+    }
+
+    #[test]
+    fn ppo_runner_advantage_override_applies() {
+        let mut env = Hopper::new();
+        let cfg = TrainConfig {
+            iterations: 0,
+            steps_per_iter: 128,
+            hidden: vec![8],
+            seed: 3,
+            ..TrainConfig::default()
+        };
+        let mut runner = PpoRunner::new(&env, cfg).unwrap();
+        let mut called = false;
+        let mut f = |_b: &RolloutBuffer, adv: &mut Vec<f64>| {
+            called = true;
+            for a in adv.iter_mut() {
+                *a *= 0.5;
+            }
+        };
+        runner.iterate(&mut env, None, Some(&mut f)).unwrap();
+        assert!(called);
+    }
+
+    #[test]
+    fn callback_sees_monotone_step_counter() {
+        let mut env = Hopper::new();
+        let cfg = TrainConfig {
+            iterations: 3,
+            steps_per_iter: 256,
+            hidden: vec![8],
+            seed: 1,
+            ..TrainConfig::default()
+        };
+        let mut steps = Vec::new();
+        let mut cb = |s: &IterationStats, _p: &GaussianPolicy| steps.push(s.total_steps);
+        train_ppo(&mut env, &cfg, None, Some(&mut cb)).unwrap();
+        assert_eq!(steps.len(), 3);
+        assert!(steps.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,69 @@
+//! State-value function approximators.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use imap_nn::{Activation, Matrix, Mlp, NnError};
+
+/// An MLP state-value function `V(z)` over normalized observations.
+///
+/// IMAP's dual-critic update (eq. 14) uses two of these: `V_E` for the
+/// extrinsic surrogate reward and `V_I` for the intrinsic bonus.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ValueFn {
+    /// The value network (scalar output).
+    pub mlp: Mlp,
+}
+
+impl ValueFn {
+    /// Creates a value function with tanh hidden layers.
+    pub fn new<R: Rng>(obs_dim: usize, hidden: &[usize], rng: &mut R) -> Result<Self, NnError> {
+        let mut sizes = vec![obs_dim];
+        sizes.extend_from_slice(hidden);
+        sizes.push(1);
+        Ok(ValueFn {
+            mlp: Mlp::new(&sizes, Activation::Tanh, 1.0, rng)?,
+        })
+    }
+
+    /// Predicts the value of one normalized observation.
+    pub fn predict(&self, z: &[f64]) -> Result<f64, NnError> {
+        Ok(self.mlp.infer(z)?[0])
+    }
+
+    /// Predicts values for a batch of normalized observations.
+    pub fn predict_batch(&self, zs: &[Vec<f64>]) -> Result<Vec<f64>, NnError> {
+        if zs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let rows: Vec<&[f64]> = zs.iter().map(|z| z.as_slice()).collect();
+        let x = Matrix::from_rows(&rows)?;
+        let cache = self.mlp.forward(&x)?;
+        Ok(cache.output().data().to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn batch_matches_single() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let v = ValueFn::new(3, &[8], &mut rng).unwrap();
+        let zs = vec![vec![0.1, 0.2, 0.3], vec![-1.0, 0.5, 2.0]];
+        let batch = v.predict_batch(&zs).unwrap();
+        for (z, b) in zs.iter().zip(batch.iter()) {
+            assert!((v.predict(z).unwrap() - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_batch_ok() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let v = ValueFn::new(3, &[8], &mut rng).unwrap();
+        assert!(v.predict_batch(&[]).unwrap().is_empty());
+    }
+}

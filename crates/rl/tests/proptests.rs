@@ -1,0 +1,104 @@
+//! Property-based tests for the policy-optimization layer: GAE identities,
+//! normalization invariants, and policy log-prob consistency under random
+//! parameters.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use imap_rl::gae::{gae, normalize_advantages};
+use imap_rl::{GaussianPolicy, RunningNorm};
+
+proptest! {
+    /// `returns - advantages = values` exactly, by construction.
+    #[test]
+    fn gae_returns_equal_adv_plus_values(
+        rewards in proptest::collection::vec(-2.0f64..2.0, 1..40),
+        gamma in 0.0f64..0.999,
+        lambda in 0.0f64..1.0,
+    ) {
+        let n = rewards.len();
+        let values: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        let next_values: Vec<f64> = (0..n).map(|i| (i as f64 * 0.21).cos()).collect();
+        let mut dones = vec![false; n];
+        dones[n - 1] = true;
+        let terminals = dones.clone();
+        let (adv, ret) = gae(&rewards, &values, &next_values, &dones, &terminals, gamma, lambda);
+        for i in 0..n {
+            prop_assert!((ret[i] - adv[i] - values[i]).abs() < 1e-12);
+        }
+    }
+
+    /// With γ = 0, the advantage is exactly `r - V(s)` regardless of λ.
+    #[test]
+    fn gae_gamma_zero_is_reward_minus_value(
+        rewards in proptest::collection::vec(-2.0f64..2.0, 1..30),
+        lambda in 0.0f64..1.0,
+    ) {
+        let n = rewards.len();
+        let values: Vec<f64> = (0..n).map(|i| (i as f64 * 0.5).sin()).collect();
+        let next_values = vec![0.7; n];
+        let mut dones = vec![false; n];
+        dones[n - 1] = true;
+        let terminals = dones.clone();
+        let (adv, _) = gae(&rewards, &values, &next_values, &dones, &terminals, 0.0, lambda);
+        for i in 0..n {
+            prop_assert!((adv[i] - (rewards[i] - values[i])).abs() < 1e-12);
+        }
+    }
+
+    /// Advantage normalization is idempotent (a second pass is a near
+    /// no-op) and produces zero mean.
+    #[test]
+    fn advantage_normalization_idempotent(
+        mut adv in proptest::collection::vec(-10.0f64..10.0, 2..50),
+    ) {
+        // Skip near-constant vectors (normalization of ~zero variance is
+        // numerically meaningless).
+        let mean: f64 = adv.iter().sum::<f64>() / adv.len() as f64;
+        let var: f64 = adv.iter().map(|a| (a - mean).powi(2)).sum::<f64>() / adv.len() as f64;
+        prop_assume!(var > 1e-6);
+        normalize_advantages(&mut adv);
+        let once = adv.clone();
+        normalize_advantages(&mut adv);
+        for (a, b) in adv.iter().zip(once.iter()) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+        let m: f64 = adv.iter().sum::<f64>() / adv.len() as f64;
+        prop_assert!(m.abs() < 1e-9);
+    }
+
+    /// Normalizing a datapoint the normalizer has absorbed keeps it within
+    /// the clip range, and the mean of absorbed data maps near zero.
+    #[test]
+    fn running_norm_centers_its_data(
+        data in proptest::collection::vec(-100.0f64..100.0, 3..60),
+    ) {
+        let mut norm = RunningNorm::new(1);
+        for &x in &data {
+            norm.update(&[x]);
+        }
+        let mean: f64 = data.iter().sum::<f64>() / data.len() as f64;
+        let z = norm.normalize(&[mean]);
+        prop_assert!(z[0].abs() < 1e-6, "mean should map to ~0: {}", z[0]);
+        for &x in &data {
+            let z = norm.normalize(&[x]);
+            prop_assert!(z[0].abs() <= norm.clip + 1e-12);
+        }
+    }
+
+    /// log-prob consistency: the probability of the sampled action under
+    /// the sampling distribution matches a direct recomputation, for random
+    /// network parameters.
+    #[test]
+    fn policy_logprob_consistent(seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let policy = GaussianPolicy::new(3, 2, &[8], -0.3, &mut rng).unwrap();
+        let z = vec![0.3, -0.2, 0.9];
+        let (a, logp, mean) = policy.act_normalized(&z, &mut rng).unwrap();
+        let direct = policy.head.log_prob(&mean, &a);
+        prop_assert!((logp - direct).abs() < 1e-12);
+        let via_policy = policy.log_prob(&z, &a).unwrap();
+        prop_assert!((logp - via_policy).abs() < 1e-12);
+    }
+}

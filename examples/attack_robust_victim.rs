@@ -1,0 +1,105 @@
+//! The Figure 1 scenario: attack a *defended* victim.
+//!
+//! Trains a WocaR (worst-case-aware robust RL) Walker2d victim, then shows
+//! that (a) it resists the SA-RL baseline far better than a vanilla victim
+//! does, and (b) IMAP still finds its vulnerable states and makes it fall.
+//!
+//! ```sh
+//! cargo run --release -p imap-bench --example attack_robust_victim
+//! ```
+
+use imap_core::eval::{eval_under_attack, Attacker};
+use imap_core::regularizer::{RegularizerConfig, RegularizerKind};
+use imap_core::threat::PerturbationEnv;
+use imap_core::{ImapConfig, ImapTrainer};
+use imap_defense::{train_victim, DefenseMethod, VictimBudget};
+use imap_env::{build_task, EnvRng, TaskId};
+use imap_rl::{PpoConfig, TrainConfig};
+use rand::SeedableRng;
+
+fn main() {
+    let task = TaskId::Walker2d;
+    let eps = task.spec().eps;
+    let budget = VictimBudget::quick();
+
+    println!("training victims ({} and WocaR) on {}...", DefenseMethod::Ppo.name(), task.spec().name);
+    let vanilla = train_victim(task, DefenseMethod::Ppo, &budget, 3).expect("vanilla victim");
+    let wocar = train_victim(task, DefenseMethod::Wocar, &budget, 3).expect("WocaR victim");
+
+    let attack_cfg = TrainConfig {
+        iterations: 40,
+        steps_per_iter: 2048,
+        hidden: vec![32, 32],
+        seed: 5,
+        ppo: PpoConfig {
+            entropy_coef: 0.001,
+            ..PpoConfig::default()
+        },
+        ..TrainConfig::default()
+    };
+
+    let mut rng = EnvRng::seed_from_u64(42);
+    for (vname, victim) in [("vanilla PPO", &vanilla), ("WocaR", &wocar)] {
+        let clean = eval_under_attack(
+            build_task(task),
+            victim,
+            Attacker::None,
+            eps,
+            30,
+            &mut rng,
+        )
+        .expect("eval");
+        println!("\n=== victim: {vname} (clean reward {:.0}) ===", clean.victim_return);
+        for (label, cfg) in [
+            ("SA-RL  ", ImapConfig::baseline(attack_cfg.clone())),
+            (
+                "IMAP-PC",
+                ImapConfig::imap(
+                    attack_cfg.clone(),
+                    RegularizerConfig::new(RegularizerKind::PolicyCoverage),
+                ),
+            ),
+            (
+                "IMAP-R ",
+                ImapConfig::imap(
+                    attack_cfg.clone(),
+                    RegularizerConfig::new(RegularizerKind::Risk),
+                ),
+            ),
+        ] {
+            let mut env = PerturbationEnv::new(build_task(task), victim.clone(), eps);
+            let out = ImapTrainer::new(cfg).train(&mut env, None).expect("attack");
+            let attacked = eval_under_attack(
+                build_task(task),
+                victim,
+                Attacker::Policy(&out.policy),
+                eps,
+                30,
+                &mut rng,
+            )
+            .expect("eval");
+            println!(
+                "{label}: reward {:7.0} ± {:<6.0} fall rate {:.0}%",
+                attacked.victim_return,
+                attacked.victim_return_std,
+                100.0 * attacked.unhealthy_rate_proxy()
+            );
+        }
+    }
+    println!("\nThe defense resists the baseline; the intrinsically motivated attacks keep probing until the walker falls.");
+}
+
+/// Extension trait hack: AttackEval does not expose the fall rate directly,
+/// but the sparse score of a dense locomotion episode is −0.1 exactly when
+/// the victim fell, so it can be recovered.
+trait FallRate {
+    fn unhealthy_rate_proxy(&self) -> f64;
+}
+
+impl FallRate for imap_core::eval::AttackEval {
+    fn unhealthy_rate_proxy(&self) -> f64 {
+        // sparse = (1·success) + (−0.1·unhealthy) averaged; dense locomotion
+        // has no success, so fall rate = −sparse / 0.1, clamped for safety.
+        (-self.sparse / 0.1).clamp(0.0, 1.0)
+    }
+}

@@ -1,0 +1,117 @@
+//! The Figure 2 scenario: learn an adversarial opponent in YouShallNotPass.
+//!
+//! Trains a self-play runner victim, then pits AP-MARL against IMAP-PC+BR
+//! as blocker trainers and reports the attack success rates, plus an ASCII
+//! trajectory of the stronger blocker at work.
+//!
+//! ```sh
+//! cargo run --release -p imap-bench --example multiagent_blocking
+//! ```
+
+use imap_bench::{marl_intrinsic_scale, Budget};
+use imap_core::eval::{eval_multi_attack, Attacker};
+use imap_core::regularizer::{RegularizerConfig, RegularizerKind};
+use imap_core::threat::OpponentEnv;
+use imap_core::{ImapConfig, ImapTrainer};
+use imap_defense::{train_game_victim_selfplay, ScriptedOpponent};
+use imap_env::multiagent::YouShallNotPass;
+use imap_env::render::Canvas;
+use imap_env::{EnvRng, MultiAgentEnv};
+use imap_rl::{PpoConfig, TrainConfig};
+use rand::SeedableRng;
+
+fn main() {
+    let budget = Budget::quick();
+    // 1. Train the runner victim with the paper's self-play provenance.
+    println!("training the runner victim (self-play vs old opponents)...");
+    let cfg = TrainConfig {
+        iterations: 0,
+        steps_per_iter: 2048,
+        hidden: vec![32, 32],
+        seed: 21,
+        ppo: PpoConfig::default(),
+        ..TrainConfig::default()
+    };
+    let mut make = || Box::new(YouShallNotPass::new()) as Box<dyn MultiAgentEnv>;
+    let mut victim = train_game_victim_selfplay(
+        &mut make,
+        ScriptedOpponent::blocker_population,
+        &cfg,
+        60,
+        2,
+        20,
+        30,
+    )
+    .expect("victim");
+    victim.norm.freeze();
+
+    let mut rng = EnvRng::seed_from_u64(5);
+    let unopposed = eval_multi_attack(
+        Box::new(YouShallNotPass::new()),
+        &victim,
+        Attacker::Random,
+        40,
+        &mut rng,
+    )
+    .expect("eval");
+    println!("random blocker ASR: {:.0}%", 100.0 * unopposed.asr);
+
+    // 2. Train blockers with AP-MARL and IMAP-PC+BR.
+    let attack_train = TrainConfig {
+        iterations: budget.marl_attack_iters,
+        ..budget.attack_train(23)
+    };
+    let mut best: Option<(f64, imap_rl::GaussianPolicy)> = None;
+    for (label, imap) in [("AP-MARL", false), ("IMAP-PC+BR", true)] {
+        let mut env = OpponentEnv::new(Box::new(YouShallNotPass::new()), victim.clone());
+        let cfg = if imap {
+            let mut rc = RegularizerConfig::new(RegularizerKind::PolicyCoverage);
+            rc.marginal_split = Some(env.summary_split());
+            ImapConfig::imap(attack_train.clone(), rc)
+                .with_intrinsic_scale(marl_intrinsic_scale())
+                .with_br(5.0)
+        } else {
+            ImapConfig::baseline(attack_train.clone())
+        };
+        println!("training {label} blocker...");
+        let out = ImapTrainer::new(cfg).train(&mut env, None).expect("attack");
+        let eval = eval_multi_attack(
+            Box::new(YouShallNotPass::new()),
+            &victim,
+            Attacker::Policy(&out.policy),
+            40,
+            &mut rng,
+        )
+        .expect("eval");
+        println!("{label} ASR: {:.0}%", 100.0 * eval.asr);
+        if best.as_ref().map_or(true, |(a, _)| eval.asr > *a) {
+            best = Some((eval.asr, out.policy));
+        }
+    }
+
+    // 3. Render one episode of the best blocker.
+    let (asr, blocker) = best.expect("at least one attack trained");
+    println!("\nbest blocker (ASR {:.0}%), one episode (r = runner, b = blocker, | = line):", 100.0 * asr);
+    let mut game = YouShallNotPass::new();
+    let (mut vobs, mut aobs) = game.reset(&mut rng);
+    let mut canvas = Canvas::new(72, 14, (-3.5, 3.5), (-3.0, 3.0));
+    for y in -30..=30 {
+        canvas.plot(3.0, y as f64 / 10.0, '|');
+    }
+    loop {
+        let va = victim.act(&vobs, &mut rng).expect("dims").0;
+        let aa = blocker.act_deterministic(&aobs).expect("dims");
+        let (rx, ry) = game.runner_position();
+        let (bx, by) = game.blocker_position();
+        canvas.plot(rx, ry, 'r');
+        canvas.plot(bx, by, 'b');
+        let ms = game.step(&va, &aa, &mut rng);
+        vobs = ms.victim_obs;
+        aobs = ms.adversary_obs;
+        if ms.done {
+            println!("victim won: {:?}", ms.victim_won);
+            break;
+        }
+    }
+    print!("{}", canvas.render());
+}

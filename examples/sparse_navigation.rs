@@ -1,0 +1,123 @@
+//! Sparse navigation attack with Bias-Reduction: the Table 2 AntUMaze cell.
+//!
+//! Trains a maze-navigation victim, then compares SA-RL, IMAP-PC, and
+//! IMAP-PC+BR, showing BR rescuing the regularizer from distraction. Also
+//! renders where the attacked victim ends up in the maze.
+//!
+//! ```sh
+//! cargo run --release -p imap-bench --example sparse_navigation
+//! ```
+
+use imap_core::eval::{eval_under_attack, Attacker};
+use imap_core::regularizer::{RegularizerConfig, RegularizerKind};
+use imap_core::threat::PerturbationEnv;
+use imap_core::{ImapConfig, ImapTrainer};
+use imap_defense::{train_victim, DefenseMethod, VictimBudget};
+use imap_env::navigation::AntUMaze;
+use imap_env::render::Canvas;
+use imap_env::{build_task, Env, EnvRng, TaskId};
+use imap_rl::{PpoConfig, TrainConfig};
+use rand::SeedableRng;
+
+fn main() {
+    let task = TaskId::AntUMaze;
+    let eps = task.spec().eps;
+    println!("training the navigation victim on {}...", task.spec().name);
+    let victim =
+        train_victim(task, DefenseMethod::Ppo, &VictimBudget::quick(), 9).expect("victim");
+
+    let mut rng = EnvRng::seed_from_u64(31);
+    let clean = eval_under_attack(build_task(task), &victim, Attacker::None, eps, 40, &mut rng)
+        .expect("eval");
+    println!(
+        "clean: goal-reach score {:.2} (success rate {:.0}%)",
+        clean.sparse,
+        100.0 * clean.success_rate
+    );
+
+    let attack_train = TrainConfig {
+        iterations: 40,
+        steps_per_iter: 2048,
+        hidden: vec![32, 32],
+        seed: 12,
+        ppo: PpoConfig {
+            entropy_coef: 0.001,
+            ..PpoConfig::default()
+        },
+        ..TrainConfig::default()
+    };
+    let mut best: Option<(f64, imap_rl::GaussianPolicy)> = None;
+    for (label, cfg) in [
+        ("SA-RL     ", ImapConfig::baseline(attack_train.clone())),
+        (
+            "IMAP-PC   ",
+            ImapConfig::imap(
+                attack_train.clone(),
+                RegularizerConfig::new(RegularizerKind::PolicyCoverage),
+            ),
+        ),
+        (
+            "IMAP-PC+BR",
+            ImapConfig::imap(
+                attack_train.clone(),
+                RegularizerConfig::new(RegularizerKind::PolicyCoverage),
+            )
+            .with_br(5.0),
+        ),
+    ] {
+        let mut env = PerturbationEnv::new(build_task(task), victim.clone(), eps);
+        let out = ImapTrainer::new(cfg).train(&mut env, None).expect("attack");
+        let attacked = eval_under_attack(
+            build_task(task),
+            &victim,
+            Attacker::Policy(&out.policy),
+            eps,
+            40,
+            &mut rng,
+        )
+        .expect("eval");
+        println!(
+            "{label}: score {:5.2} ± {:<4.2} (success {:.0}%)",
+            attacked.sparse,
+            attacked.sparse_std,
+            100.0 * attacked.success_rate
+        );
+        if best.as_ref().map_or(true, |(s, _)| attacked.sparse < *s) {
+            best = Some((attacked.sparse, out.policy));
+        }
+    }
+
+    // Render one attacked trajectory through the maze.
+    let (_, adversary) = best.expect("attacks trained");
+    let nav = AntUMaze::build();
+    let mut canvas = Canvas::new(60, 20, (0.0, 6.0), (0.0, 6.0));
+    for w in nav.maze().walls().to_vec() {
+        canvas.fill_rect(w.x0, w.y0, w.x1, w.y1, '#');
+    }
+    let (gx, gy) = nav.goal();
+    canvas.plot(gx, gy, 'G');
+    let mut penv = PerturbationEnv::new(Box::new(AntUMaze::build()), victim, eps);
+    let mut obs = penv.reset(&mut rng);
+    let mut trace = Vec::new();
+    loop {
+        let summary = penv.state_summary(); // (x, y)
+        trace.push((summary[0], summary[1]));
+        let a = adversary.act_deterministic(&obs).expect("dims");
+        let s = penv.step(&a, &mut rng);
+        if s.done {
+            println!(
+                "\nattacked trajectory ({} steps, reached goal: {}):",
+                trace.len(),
+                s.success
+            );
+            break;
+        }
+        obs = s.obs;
+    }
+    canvas.trace(&trace, '.');
+    if let Some(&(x, y)) = trace.last() {
+        canvas.plot(x, y, 'X');
+    }
+    print!("{}", canvas.render());
+    println!("# = wall, G = goal, . = attacked victim path, X = where it ended up");
+}

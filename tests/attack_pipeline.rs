@@ -1,0 +1,148 @@
+//! End-to-end single-agent attack pipeline: victim training → threat-model
+//! reduction → black-box adversarial policy learning → evaluation. Spans
+//! `imap-env`, `imap-rl`, `imap-defense`, and `imap-core`.
+
+use imap_core::eval::{eval_under_attack, Attacker};
+use imap_core::regularizer::{RegularizerConfig, RegularizerKind};
+use imap_core::threat::PerturbationEnv;
+use imap_core::{ImapConfig, ImapTrainer};
+use imap_defense::{train_victim, DefenseMethod, VictimBudget};
+use imap_env::{build_task, EnvRng, TaskId};
+use imap_rl::{PpoConfig, TrainConfig};
+use rand::SeedableRng;
+
+fn small_budget() -> VictimBudget {
+    // Competent-victim budget: the attack effect needs a victim that runs
+    // near its performance margin (an undertrained, overly cautious victim
+    // has little to exploit).
+    VictimBudget {
+        iterations: 40,
+        steps_per_iter: 2048,
+        atla_rounds: 1,
+        atla_adversary_iters: 3,
+        hidden: vec![32, 32],
+    }
+}
+
+fn attack_train(seed: u64, iterations: usize) -> TrainConfig {
+    TrainConfig {
+        iterations,
+        steps_per_iter: 1024,
+        hidden: vec![16, 16],
+        seed,
+        ppo: PpoConfig {
+            entropy_coef: 0.001,
+            ..PpoConfig::default()
+        },
+        ..TrainConfig::default()
+    }
+}
+
+/// The headline single-agent effect: a learned ε-bounded perturbation
+/// policy substantially reduces a competent victim's reward while random
+/// perturbations of the same budget barely matter.
+#[test]
+fn learned_attack_beats_random_attack_on_hopper() {
+    let task = TaskId::Hopper;
+    let eps = task.spec().eps;
+    let victim = train_victim(task, DefenseMethod::Ppo, &small_budget(), 1).unwrap();
+
+    let mut rng = EnvRng::seed_from_u64(2);
+    let clean =
+        eval_under_attack(build_task(task), &victim, Attacker::None, eps, 20, &mut rng).unwrap();
+    assert!(
+        clean.victim_return > 300.0,
+        "victim must be competent before attacking: {}",
+        clean.victim_return
+    );
+    let random =
+        eval_under_attack(build_task(task), &victim, Attacker::Random, eps, 20, &mut rng).unwrap();
+    // A competent (hard-leaning) vanilla victim does degrade under random
+    // ε-noise — the paper's Table 1 Random column shows the same pattern,
+    // strongest for vanilla PPO — but it must retain a clearly nontrivial
+    // return for the learned-vs-random comparison below to mean anything.
+    assert!(
+        random.victim_return > 100.0,
+        "random noise should not zero the victim outright: {}",
+        random.victim_return
+    );
+
+    // IMAP-R is the most reliable attacker on the balance-critical hopper
+    // at small budgets (Table 1); give it a modest training run.
+    let mut atk_cfg = attack_train(3, 40);
+    atk_cfg.steps_per_iter = 2048;
+    atk_cfg.hidden = vec![32, 32];
+    let cfg = ImapConfig::imap(atk_cfg, RegularizerConfig::new(RegularizerKind::Risk));
+    let mut env = PerturbationEnv::new(build_task(task), victim.clone(), eps);
+    let out = ImapTrainer::new(cfg).train(&mut env, None).unwrap();
+    let attacked = eval_under_attack(
+        build_task(task),
+        &victim,
+        Attacker::Policy(&out.policy),
+        eps,
+        20,
+        &mut rng,
+    )
+    .unwrap();
+    assert!(
+        attacked.victim_return < 0.5 * random.victim_return
+            && attacked.victim_return < 0.25 * clean.victim_return,
+        "the learned attack must clearly beat random noise: learned {} vs random {} vs clean {}",
+        attacked.victim_return,
+        random.victim_return,
+        clean.victim_return
+    );
+}
+
+/// Every IMAP variant trains end-to-end on a sparse task and the trained
+/// policy obeys the threat model (perturbations within budget).
+#[test]
+fn all_imap_variants_run_on_sparse_task() {
+    let task = TaskId::SparseHopper;
+    let eps = task.spec().eps;
+    let victim = train_victim(task, DefenseMethod::Ppo, &small_budget(), 4).unwrap();
+    for kind in RegularizerKind::ALL {
+        let cfg = ImapConfig::imap(attack_train(5, 4), RegularizerConfig::new(kind));
+        let mut env = PerturbationEnv::new(build_task(task), victim.clone(), eps);
+        let out = ImapTrainer::new(cfg).train(&mut env, None).unwrap();
+        assert_eq!(out.curve.len(), 4, "{kind:?}");
+        assert!(env.mean_perturbation() <= eps + 1e-12, "{kind:?} budget");
+    }
+}
+
+/// BR keeps τ in (0, 1] and the attack still trains.
+#[test]
+fn bias_reduction_pipeline() {
+    let task = TaskId::SparseHopper;
+    let victim = train_victim(task, DefenseMethod::Ppo, &small_budget(), 6).unwrap();
+    let cfg = ImapConfig::imap(
+        attack_train(7, 6),
+        RegularizerConfig::new(RegularizerKind::Risk),
+    )
+    .with_br(5.0);
+    let mut env = PerturbationEnv::new(build_task(task), victim, task.spec().eps);
+    let out = ImapTrainer::new(cfg).train(&mut env, None).unwrap();
+    for p in &out.curve {
+        assert!(p.tau > 0.0 && p.tau <= 1.0, "τ out of range: {}", p.tau);
+    }
+}
+
+/// The same seed gives the identical attack outcome (bit-reproducibility of
+/// the experiment tables).
+#[test]
+fn attack_training_is_deterministic() {
+    let task = TaskId::Hopper;
+    let victim = train_victim(task, DefenseMethod::Ppo, &small_budget(), 8).unwrap();
+    let run = || {
+        let cfg = ImapConfig::imap(
+            attack_train(9, 3),
+            RegularizerConfig::new(RegularizerKind::StateCoverage),
+        );
+        let mut env = PerturbationEnv::new(build_task(task), victim.clone(), task.spec().eps);
+        ImapTrainer::new(cfg).train(&mut env, None).unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.policy.params(), b.policy.params());
+    assert_eq!(a.curve.len(), b.curve.len());
+}

@@ -1,0 +1,145 @@
+//! End-to-end multi-agent pipeline: self-play victim training, the reduced
+//! MDP `M^α`, AP-MARL and marginal-regularizer IMAP training, and ASR
+//! evaluation.
+
+use imap_core::attacks::ap_marl;
+use imap_core::eval::{eval_multi_attack, Attacker};
+use imap_core::regularizer::{RegularizerConfig, RegularizerKind};
+use imap_core::threat::OpponentEnv;
+use imap_core::{ImapConfig, ImapTrainer};
+use imap_defense::{train_game_victim_selfplay, ScriptedOpponent};
+use imap_env::multiagent::{KickAndDefend, YouShallNotPass};
+use imap_env::{EnvRng, MultiAgentEnv};
+use imap_rl::{GaussianPolicy, PpoConfig, TrainConfig};
+use rand::SeedableRng;
+
+fn quick(seed: u64) -> TrainConfig {
+    TrainConfig {
+        iterations: 0,
+        steps_per_iter: 1024,
+        hidden: vec![16, 16],
+        seed,
+        ppo: PpoConfig::default(),
+        ..TrainConfig::default()
+    }
+}
+
+fn runner_victim(seed: u64) -> GaussianPolicy {
+    let mut make = || Box::new(YouShallNotPass::new()) as Box<dyn MultiAgentEnv>;
+    let mut v = train_game_victim_selfplay(
+        &mut make,
+        ScriptedOpponent::blocker_population,
+        &quick(seed),
+        20,
+        1,
+        5,
+        10,
+    )
+    .unwrap();
+    v.norm.freeze();
+    v
+}
+
+/// The self-play victim beats a random blocker most of the time.
+#[test]
+fn selfplay_runner_beats_random_blocker() {
+    let victim = runner_victim(31);
+    let mut rng = EnvRng::seed_from_u64(1);
+    let r = eval_multi_attack(
+        Box::new(YouShallNotPass::new()),
+        &victim,
+        Attacker::Random,
+        30,
+        &mut rng,
+    )
+    .unwrap();
+    assert!(
+        r.success_rate > 0.6,
+        "victim should usually beat a random blocker: {}",
+        r.success_rate
+    );
+}
+
+/// AP-MARL trains end-to-end on both games and produces a well-formed ASR.
+#[test]
+fn ap_marl_trains_on_both_games() {
+    let victim = runner_victim(33);
+    let out = ap_marl(
+        Box::new(YouShallNotPass::new()),
+        victim.clone(),
+        TrainConfig {
+            iterations: 3,
+            ..quick(34)
+        },
+    )
+    .unwrap();
+    assert_eq!(out.curve.len(), 3);
+    for p in &out.curve {
+        assert!((0.0..=1.0).contains(&p.asr));
+        assert!((p.asr + p.victim_success_rate - 1.0).abs() < 1e-12);
+    }
+
+    // KickAndDefend with an (untrained, but dimensionally correct) kicker.
+    let kicker = GaussianPolicy::new(
+        12,
+        4,
+        &[8],
+        -0.5,
+        &mut rand::rngs::StdRng::seed_from_u64(35),
+    )
+    .unwrap();
+    let out = ap_marl(
+        Box::new(KickAndDefend::with_max_steps(80)),
+        kicker,
+        TrainConfig {
+            iterations: 2,
+            ..quick(36)
+        },
+    )
+    .unwrap();
+    assert_eq!(out.policy.action_dim(), 2);
+}
+
+/// The marginal (ξ-weighted) IMAP regularizer trains on the reduced MDP
+/// with both projections live.
+#[test]
+fn marginal_imap_trains_on_opponent_mdp() {
+    let victim = runner_victim(37);
+    let mut env = OpponentEnv::new(Box::new(YouShallNotPass::new()), victim);
+    let split = env.summary_split();
+    assert!(split > 0);
+    for xi in [0.0, 0.5, 1.0] {
+        let mut rc = RegularizerConfig::new(RegularizerKind::PolicyCoverage);
+        rc.marginal_split = Some(split);
+        rc.xi = xi;
+        let cfg = ImapConfig::imap(
+            TrainConfig {
+                iterations: 2,
+                ..quick(38)
+            },
+            rc,
+        )
+        .with_intrinsic_scale(0.15)
+        .with_br(5.0);
+        let out = ImapTrainer::new(cfg).train(&mut env, None).unwrap();
+        assert_eq!(out.curve.len(), 2, "xi = {xi}");
+    }
+}
+
+/// ASR accounting: evaluated ASR equals 1 − victim win rate, and the victim
+/// loses every episode against an overwhelming step limit.
+#[test]
+fn asr_accounting_consistent() {
+    let victim = runner_victim(39);
+    let mut rng = EnvRng::seed_from_u64(40);
+    let r = eval_multi_attack(
+        Box::new(YouShallNotPass::with_max_steps(3)),
+        &victim,
+        Attacker::Random,
+        10,
+        &mut rng,
+    )
+    .unwrap();
+    assert_eq!(r.asr, 1.0, "nobody crosses a 6-unit field in 3 steps");
+    assert_eq!(r.success_rate, 0.0);
+}

@@ -1,0 +1,70 @@
+//! Serialization round-trips across crates: trained policies (with
+//! normalizers and Gaussian heads) survive JSON persistence bit-for-bit at
+//! evaluation time — the property the victim zoo's disk cache relies on.
+
+use imap_core::eval::{eval_under_attack, Attacker};
+use imap_defense::{train_victim, DefenseMethod, VictimBudget};
+use imap_env::{build_task, EnvRng, TaskId};
+use imap_rl::GaussianPolicy;
+use rand::SeedableRng;
+
+fn budget() -> VictimBudget {
+    VictimBudget {
+        iterations: 10,
+        steps_per_iter: 512,
+        atla_rounds: 1,
+        atla_adversary_iters: 2,
+        hidden: vec![16],
+    }
+}
+
+/// A trained victim round-trips through JSON and evaluates identically.
+#[test]
+fn victim_roundtrip_preserves_evaluation() {
+    let task = TaskId::Hopper;
+    let victim = train_victim(task, DefenseMethod::Ppo, &budget(), 51).unwrap();
+    let json = serde_json::to_string(&victim).unwrap();
+    let restored: GaussianPolicy = serde_json::from_str(&json).unwrap();
+
+    let eval = |p: &GaussianPolicy| {
+        eval_under_attack(
+            build_task(task),
+            p,
+            Attacker::None,
+            task.spec().eps,
+            8,
+            &mut EnvRng::seed_from_u64(5),
+        )
+        .unwrap()
+        .victim_return
+    };
+    let a = eval(&victim);
+    let b = eval(&restored);
+    assert!(
+        (a - b).abs() < 1e-6,
+        "restored victim must evaluate identically: {a} vs {b}"
+    );
+}
+
+/// The frozen flag of the normalizer survives the round-trip (a thawed
+/// normalizer would silently adapt to attack-time observations).
+#[test]
+fn frozen_normalizer_survives_roundtrip() {
+    let victim = train_victim(TaskId::Hopper, DefenseMethod::Ppo, &budget(), 52).unwrap();
+    assert!(victim.norm.is_frozen());
+    let json = serde_json::to_string(&victim).unwrap();
+    let restored: GaussianPolicy = serde_json::from_str(&json).unwrap();
+    assert!(restored.norm.is_frozen());
+}
+
+/// Defense-method identity is not encoded in the policy — SA and vanilla
+/// victims have identical shapes (the zoo cache keys must carry the method).
+#[test]
+fn policies_are_structurally_interchangeable() {
+    let a = train_victim(TaskId::Hopper, DefenseMethod::Ppo, &budget(), 53).unwrap();
+    let b = train_victim(TaskId::Hopper, DefenseMethod::Sa, &budget(), 53).unwrap();
+    assert_eq!(a.obs_dim(), b.obs_dim());
+    assert_eq!(a.action_dim(), b.action_dim());
+    assert_eq!(a.param_count(), b.param_count());
+    assert_ne!(a.params(), b.params(), "but their parameters differ");
+}
