@@ -70,17 +70,11 @@ fn bench_knn(c: &mut Criterion) {
             .map(|_| (0..4).map(|_| rng.gen_range(-5.0..5.0)).collect())
             .collect();
         group.bench_function(format!("build_{n}"), |b| {
-            b.iter_batched(
-                || points.clone(),
-                |p| KdTree::build(p),
-                BatchSize::LargeInput,
-            )
+            b.iter_batched(|| points.clone(), KdTree::build, BatchSize::LargeInput)
         });
         let est = KnnEstimator::new(points, 5);
         let q = vec![0.1, -0.2, 0.3, 0.4];
-        group.bench_function(format!("query_k5_{n}"), |b| {
-            b.iter(|| est.knn_distance(&q))
-        });
+        group.bench_function(format!("query_k5_{n}"), |b| b.iter(|| est.knn_distance(&q)));
     }
     group.finish();
 }

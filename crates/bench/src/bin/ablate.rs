@@ -7,8 +7,8 @@
 //!
 //! Usage: `IMAP_BUDGET=quick|full cargo run --release -p imap-bench --bin ablate`
 
-use imap_bench::{base_seed, Budget, VictimCache};
-use imap_core::eval::{eval_under_attack, Attacker};
+use imap_bench::{base_seed, bench_telemetry, finish_telemetry, Budget, VictimCache};
+use imap_core::eval::{eval_under_attack, record_attack_eval, Attacker};
 use imap_core::regularizer::{RegularizerConfig, RegularizerKind};
 use imap_core::threat::PerturbationEnv;
 use imap_core::{ImapConfig, ImapTrainer};
@@ -19,14 +19,21 @@ use rand::SeedableRng;
 fn main() {
     let budget = Budget::from_env();
     let seed = base_seed();
+    let tel = bench_telemetry("ablate", &budget, seed);
     let cache = VictimCache::open();
     let task = TaskId::SparseHopper;
     let eps = task.spec().eps;
-    let victim = cache.victim(task, DefenseMethod::Ppo, &budget, seed);
+    let victim = {
+        let _t = tel.span("victim_train");
+        cache.victim_with(&tel, task, DefenseMethod::Ppo, &budget, seed)
+    };
 
     let run = |label: String, cfg: ImapConfig| {
         let mut env = PerturbationEnv::new(build_task(task), victim.clone(), eps);
-        let out = ImapTrainer::new(cfg).train(&mut env, None).expect("attack");
+        let out = {
+            let _t = tel.span("attack_cell");
+            ImapTrainer::new(cfg).train(&mut env, None).expect("attack")
+        };
         let mut rng = EnvRng::seed_from_u64(seed ^ 0xab1a);
         let eval = eval_under_attack(
             build_task(task),
@@ -37,25 +44,45 @@ fn main() {
             &mut rng,
         )
         .expect("eval");
+        record_attack_eval(
+            &tel,
+            "cell",
+            &[
+                ("task", task.spec().name),
+                ("attack", "IMAP-PC"),
+                ("variant", label.as_str()),
+            ],
+            &eval,
+        );
         println!(
             "{label:<28} victim score {:>6.2} ± {:<5.2}",
             eval.sparse, eval.sparse_std
         );
     };
 
-    println!("# Design-choice ablations on {} / IMAP-PC (budget: {})", task.spec().name, budget.name);
+    println!(
+        "# Design-choice ablations on {} / IMAP-PC (budget: {})",
+        task.spec().name,
+        budget.name
+    );
     println!("\n## KNN neighbourhood size K (paper uses a fixed small K)");
     for k in [1usize, 3, 5, 10, 20] {
         let mut rc = RegularizerConfig::new(RegularizerKind::PolicyCoverage);
         rc.k = k;
-        run(format!("K = {k}"), ImapConfig::imap(budget.attack_train(seed), rc));
+        run(
+            format!("K = {k}"),
+            ImapConfig::imap(budget.attack_train(seed), rc),
+        );
     }
 
     println!("\n## Union-buffer capacity (decimation pressure on B)");
     for cap in [500usize, 5_000, 50_000] {
         let mut rc = RegularizerConfig::new(RegularizerKind::PolicyCoverage);
         rc.union_cap = cap;
-        run(format!("cap = {cap}"), ImapConfig::imap(budget.attack_train(seed), rc));
+        run(
+            format!("cap = {cap}"),
+            ImapConfig::imap(budget.attack_train(seed), rc),
+        );
     }
 
     println!("\n## Intrinsic-advantage scale (τ-calibration)");
@@ -66,4 +93,5 @@ fn main() {
             ImapConfig::imap(budget.attack_train(seed), rc).with_intrinsic_scale(scale),
         );
     }
+    finish_telemetry(&tel);
 }

@@ -8,7 +8,10 @@
 //!
 //! Usage: `IMAP_BUDGET=quick|full cargo run --release -p imap-bench --bin fig4`
 
-use imap_bench::{base_seed, run_attack_cell_cached, AttackKind, Budget, VictimCache};
+use imap_bench::{
+    base_seed, bench_telemetry, finish_telemetry, record_cell, record_curve,
+    run_attack_cell_cached, AttackKind, Budget, VictimCache,
+};
 use imap_core::regularizer::RegularizerKind;
 use imap_core::CurvePoint;
 use imap_defense::DefenseMethod;
@@ -27,6 +30,7 @@ const SPARSE_LOCOMOTION: [TaskId; 6] = [
 fn main() {
     let budget = Budget::from_env();
     let seed = base_seed();
+    let tel = bench_telemetry("fig4", &budget, seed);
     let cache = VictimCache::open();
     let attacks: Vec<(AttackKind, char)> = vec![
         (AttackKind::SaRl, 's'),
@@ -36,13 +40,25 @@ fn main() {
         (AttackKind::Imap(RegularizerKind::Divergence), 'D'),
     ];
 
-    println!("# Figure 4 — sparse locomotion attack curves (budget: {})", budget.name);
+    println!(
+        "# Figure 4 — sparse locomotion attack curves (budget: {})",
+        budget.name
+    );
     for task in SPARSE_LOCOMOTION {
-        let victim = cache.victim(task, DefenseMethod::Ppo, &budget, seed);
+        let victim = {
+            let _t = tel.span("victim_train");
+            cache.victim_with(&tel, task, DefenseMethod::Ppo, &budget, seed)
+        };
         println!("\n## {}", task.spec().name);
         let mut curves: Vec<(String, char, Vec<CurvePoint>)> = Vec::new();
         for (kind, glyph) in &attacks {
-            let r = run_attack_cell_cached(task, DefenseMethod::Ppo, &victim, *kind, &budget, seed);
+            let r = {
+                let _t = tel.span("attack_cell");
+                run_attack_cell_cached(task, DefenseMethod::Ppo, &victim, *kind, &budget, seed)
+            };
+            let tags = [("task", task.spec().name), ("attack", &kind.label())];
+            record_cell(&tel, &tags, &r);
+            record_curve(&tel, &tags, &r.curve);
             curves.push((kind.label(), *glyph, r.curve));
         }
 
@@ -86,4 +102,5 @@ fn main() {
     println!(
         "\nLegend: s = SA-RL, S = IMAP-SC, P = IMAP-PC, R = IMAP-R, D = IMAP-D. Lower is a stronger attack."
     );
+    finish_telemetry(&tel);
 }

@@ -5,7 +5,8 @@
 //! Usage: `IMAP_BUDGET=quick|full cargo run --release -p imap-bench --bin fig5`
 
 use imap_bench::{
-    base_seed, default_xi, marl_victim, run_multi_attack_cell_cached, AttackKind, Budget,
+    base_seed, bench_telemetry, default_xi, finish_telemetry, marl_victim_with, record_cell,
+    record_curve, run_multi_attack_cell_cached, AttackKind, Budget,
 };
 use imap_core::regularizer::RegularizerKind;
 use imap_env::render::Canvas;
@@ -14,6 +15,7 @@ use imap_env::MultiTaskId;
 fn main() {
     let budget = Budget::from_env();
     let seed = base_seed();
+    let tel = bench_telemetry("fig5", &budget, seed);
     let attacks: Vec<(&str, AttackKind, char)> = vec![
         ("AP-MARL", AttackKind::SaRl, 'a'),
         (
@@ -28,14 +30,25 @@ fn main() {
         ),
     ];
 
-    println!("# Figure 5 — multi-agent ASR curves (budget: {})", budget.name);
+    println!(
+        "# Figure 5 — multi-agent ASR curves (budget: {})",
+        budget.name
+    );
     for game in MultiTaskId::ALL {
-        let victim = marl_victim(game, &budget, seed);
+        let victim = {
+            let _t = tel.span("victim_train");
+            marl_victim_with(&tel, game, &budget, seed)
+        };
         println!("\n## {}", game.name());
         let mut curves = Vec::new();
         for (label, kind, glyph) in &attacks {
-            let r =
-                run_multi_attack_cell_cached(game, &victim, *kind, &budget, seed, default_xi());
+            let r = {
+                let _t = tel.span("attack_cell");
+                run_multi_attack_cell_cached(game, &victim, *kind, &budget, seed, default_xi())
+            };
+            let tags = [("game", game.name()), ("attack", *label)];
+            record_cell(&tel, &tags, &r);
+            record_curve(&tel, &tags, &r.curve);
             println!(
                 "{label:<12} final evaluated ASR = {:.2}% over {} episodes",
                 100.0 * r.eval.asr,
@@ -69,12 +82,16 @@ fn main() {
 
         let mut canvas = Canvas::new(70, 12, (0.0, max_len.max(2) as f64 - 1.0), (0.0, 1.0));
         for (_, glyph, c) in &curves {
-            let pts: Vec<(f64, f64)> =
-                c.iter().enumerate().map(|(i, p)| (i as f64, p.asr)).collect();
+            let pts: Vec<(f64, f64)> = c
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (i as f64, p.asr))
+                .collect();
             canvas.trace(&pts, *glyph);
         }
         println!("\ntraining ASR 1.0 .. 0.0 (top..bottom), x = attack iterations:");
         print!("{}", canvas.render());
     }
     println!("\nLegend: a = AP-MARL, P = IMAP-PC, B = IMAP-PC+BR. Higher ASR = stronger attack.");
+    finish_telemetry(&tel);
 }

@@ -7,8 +7,11 @@
 //!
 //! Usage: `IMAP_BUDGET=quick|full cargo run --release -p imap-bench --bin fig6`
 
-use imap_bench::{base_seed, default_xi, marl_victim, Budget, VictimCache};
-use imap_core::eval::{eval_multi_attack, eval_under_attack, Attacker};
+use imap_bench::{
+    base_seed, bench_telemetry, default_xi, finish_telemetry, marl_victim_with, record_curve,
+    Budget, VictimCache,
+};
+use imap_core::eval::{eval_multi_attack, eval_under_attack, record_attack_eval, Attacker};
 use imap_core::regularizer::{RegularizerConfig, RegularizerKind};
 use imap_core::threat::{OpponentEnv, PerturbationEnv};
 use imap_core::{ImapConfig, ImapTrainer};
@@ -21,23 +24,35 @@ const ETAS: [f64; 4] = [0.5, 2.0, 5.0, 10.0];
 fn main() {
     let budget = Budget::from_env();
     let seed = base_seed();
+    let tel = bench_telemetry("fig6", &budget, seed);
     let cache = VictimCache::open();
 
-    println!("# Figure 6 — BR step-size η ablation (budget: {})", budget.name);
+    println!(
+        "# Figure 6 — BR step-size η ablation (budget: {})",
+        budget.name
+    );
 
     // Single-agent: IMAP-PC+BR on SparseHalfCheetah.
     let task = TaskId::SparseHalfCheetah;
-    let victim = cache.victim(task, DefenseMethod::Ppo, &budget, seed);
-    println!("\n## {} (IMAP-PC+BR; victim score, lower = stronger)", task.spec().name);
+    let victim = {
+        let _t = tel.span("victim_train");
+        cache.victim_with(&tel, task, DefenseMethod::Ppo, &budget, seed)
+    };
+    println!(
+        "\n## {} (IMAP-PC+BR; victim score, lower = stronger)",
+        task.spec().name
+    );
     for eta in ETAS {
         let cfg = ImapConfig::imap(
             budget.attack_train(seed),
             RegularizerConfig::new(RegularizerKind::PolicyCoverage),
         )
         .with_br(eta);
-        let mut env =
-            PerturbationEnv::new(build_task(task), victim.clone(), task.spec().eps);
-        let out = ImapTrainer::new(cfg).train(&mut env, None).expect("attack");
+        let mut env = PerturbationEnv::new(build_task(task), victim.clone(), task.spec().eps);
+        let out = {
+            let _t = tel.span("attack_cell");
+            ImapTrainer::new(cfg).train(&mut env, None).expect("attack")
+        };
         let mut rng = EnvRng::seed_from_u64(seed ^ 0xf16);
         let eval = eval_under_attack(
             build_task(task),
@@ -48,6 +63,14 @@ fn main() {
             &mut rng,
         )
         .expect("eval");
+        let eta_s = format!("{eta}");
+        let tags = [
+            ("task", task.spec().name),
+            ("attack", "IMAP-PC+BR"),
+            ("eta", eta_s.as_str()),
+        ];
+        record_attack_eval(&tel, "cell", &tags, &eval);
+        record_curve(&tel, &tags, &out.curve);
         let final_tau = out.curve.last().map(|p| p.tau).unwrap_or(1.0);
         println!(
             "eta = {eta:>5.1}: victim score {:>6.2} ± {:<5.2}  (final τ = {final_tau:.2})",
@@ -57,7 +80,10 @@ fn main() {
 
     // Multi-agent: IMAP-PC+BR on YouShallNotPass.
     let game = MultiTaskId::YouShallNotPass;
-    let victim = marl_victim(game, &budget, seed);
+    let victim = {
+        let _t = tel.span("victim_train");
+        marl_victim_with(&tel, game, &budget, seed)
+    };
     println!("\n## {} (IMAP-PC+BR; ASR, higher = stronger)", game.name());
     for eta in ETAS {
         let mut rc = RegularizerConfig::new(RegularizerKind::PolicyCoverage);
@@ -71,7 +97,10 @@ fn main() {
         let cfg = ImapConfig::imap(train, rc)
             .with_intrinsic_scale(imap_bench::marl_intrinsic_scale())
             .with_br(eta);
-        let out = ImapTrainer::new(cfg).train(&mut env, None).expect("attack");
+        let out = {
+            let _t = tel.span("attack_cell");
+            ImapTrainer::new(cfg).train(&mut env, None).expect("attack")
+        };
         let mut rng = EnvRng::seed_from_u64(seed ^ 0xf17);
         let eval = eval_multi_attack(
             build_multi_task(game),
@@ -81,10 +110,19 @@ fn main() {
             &mut rng,
         )
         .expect("eval");
+        let eta_s = format!("{eta}");
+        let tags = [
+            ("game", game.name()),
+            ("attack", "IMAP-PC+BR"),
+            ("eta", eta_s.as_str()),
+        ];
+        record_attack_eval(&tel, "cell", &tags, &eval);
+        record_curve(&tel, &tags, &out.curve);
         let final_tau = out.curve.last().map(|p| p.tau).unwrap_or(1.0);
         println!(
             "eta = {eta:>5.1}: ASR {:>5.1}%  (final τ = {final_tau:.2})",
             100.0 * eval.asr
         );
     }
+    finish_telemetry(&tel);
 }

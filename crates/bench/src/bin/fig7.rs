@@ -7,7 +7,10 @@
 //!
 //! Usage: `IMAP_BUDGET=quick|full cargo run --release -p imap-bench --bin fig7`
 
-use imap_bench::{base_seed, marl_victim, run_multi_attack_cell_cached, AttackKind, Budget};
+use imap_bench::{
+    base_seed, bench_telemetry, finish_telemetry, marl_victim_with, record_cell,
+    run_multi_attack_cell_cached, AttackKind, Budget,
+};
 use imap_core::regularizer::RegularizerKind;
 use imap_env::MultiTaskId;
 
@@ -16,21 +19,42 @@ const XIS: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 1.0];
 fn main() {
     let budget = Budget::from_env();
     let seed = base_seed();
+    let tel = bench_telemetry("fig7", &budget, seed);
     let game = MultiTaskId::YouShallNotPass;
-    let victim = marl_victim(game, &budget, seed);
+    let victim = {
+        let _t = tel.span("victim_train");
+        marl_victim_with(&tel, game, &budget, seed)
+    };
 
-    println!("# Figure 7 — marginal trade-off ξ ablation (budget: {})", budget.name);
+    println!(
+        "# Figure 7 — marginal trade-off ξ ablation (budget: {})",
+        budget.name
+    );
     println!("\n## {} (IMAP-PC+BR; ASR, higher = stronger)", game.name());
     println!("ξ = 0: pure adversary-state coverage; ξ = 1: pure victim-state coverage.");
     for xi in XIS {
-        let r = run_multi_attack_cell_cached(
-            game,
-            &victim,
-            AttackKind::ImapBr(RegularizerKind::PolicyCoverage),
-            &budget,
-            seed,
-            xi,
+        let r = {
+            let _t = tel.span("attack_cell");
+            run_multi_attack_cell_cached(
+                game,
+                &victim,
+                AttackKind::ImapBr(RegularizerKind::PolicyCoverage),
+                &budget,
+                seed,
+                xi,
+            )
+        };
+        let xi_s = format!("{xi}");
+        record_cell(
+            &tel,
+            &[
+                ("game", game.name()),
+                ("attack", "IMAP-PC+BR"),
+                ("xi", xi_s.as_str()),
+            ],
+            &r,
         );
         println!("xi = {xi:>4.2}: ASR {:>5.1}%", 100.0 * r.eval.asr);
     }
+    finish_telemetry(&tel);
 }

@@ -24,10 +24,16 @@ fn main() {
         Ok("Wocar") => DefenseMethod::Wocar,
         _ => DefenseMethod::Ppo,
     };
-    eprintln!("probe: task={task:?} method={method:?} budget={}", budget.name);
+    eprintln!(
+        "probe: task={task:?} method={method:?} budget={}",
+        budget.name
+    );
     let t0 = std::time::Instant::now();
     let victim = cache.victim(task, method, &budget, seed);
-    eprintln!("victim trained/loaded in {:.1}s", t0.elapsed().as_secs_f64());
+    eprintln!(
+        "victim trained/loaded in {:.1}s",
+        t0.elapsed().as_secs_f64()
+    );
 
     for kind in [
         AttackKind::NoAttack,

@@ -1,9 +1,7 @@
 //! Calibration probe for the multi-agent games: victim quality, then
 //! AP-MARL vs IMAP-PC+BR attack success rates.
 
-use imap_bench::{
-    base_seed, default_xi, marl_victim, run_multi_attack_cell, AttackKind, Budget,
-};
+use imap_bench::{base_seed, default_xi, marl_victim, run_multi_attack_cell, AttackKind, Budget};
 use imap_core::regularizer::RegularizerKind;
 use imap_env::MultiTaskId;
 

@@ -9,7 +9,8 @@
 //! Usage: `IMAP_BUDGET=quick|full cargo run --release -p imap-bench --bin table1`
 
 use imap_bench::{
-    base_seed, cell, print_row, run_attack_cell_cached, AttackKind, Budget, VictimCache,
+    base_seed, bench_telemetry, cell, finish_telemetry, print_row, record_cell,
+    run_attack_cell_cached, AttackKind, Budget, VictimCache,
 };
 use imap_defense::DefenseMethod;
 use imap_env::TaskId;
@@ -17,6 +18,7 @@ use imap_env::TaskId;
 fn main() {
     let budget = Budget::from_env();
     let seed = base_seed();
+    let tel = bench_telemetry("table1", &budget, seed);
     let cache = VictimCache::open();
     let columns = AttackKind::table1_columns();
 
@@ -46,14 +48,29 @@ fn main() {
         };
         let mut task_col_sums = vec![0.0; columns.len()];
         for &method in methods {
-            let victim = cache.victim(task, method, &budget, seed);
+            let victim = {
+                let _t = tel.span("victim_train");
+                cache.victim_with(&tel, task, method, &budget, seed)
+            };
             let mut row = vec![
                 format!("{} (ε={})", task.spec().name, task.spec().eps),
                 method.name().to_string(),
             ];
             let mut values = Vec::with_capacity(columns.len());
             for (ci, &kind) in columns.iter().enumerate() {
-                let r = run_attack_cell_cached(task, method, &victim, kind, &budget, seed);
+                let r = {
+                    let _t = tel.span("attack_cell");
+                    run_attack_cell_cached(task, method, &victim, kind, &budget, seed)
+                };
+                record_cell(
+                    &tel,
+                    &[
+                        ("task", task.spec().name),
+                        ("victim", method.name()),
+                        ("attack", &kind.label()),
+                    ],
+                    &r,
+                );
                 row.push(cell(r.eval.victim_return, r.eval.victim_return_std, true));
                 values.push(r.eval.victim_return);
                 col_sums[ci] += r.eval.victim_return;
@@ -90,9 +107,7 @@ fn main() {
             100.0 * (avg - clean_avg) / clean_avg
         );
     }
-    println!(
-        "Best-IMAP ≤ SA-RL on {best_imap_wins}/{rows} victim rows (paper: 15/22)."
-    );
+    println!("Best-IMAP ≤ SA-RL on {best_imap_wins}/{rows} victim rows (paper: 15/22).");
     for (task, values) in &wocar_rows {
         let clean = values[0];
         let best_imap = values[3..].iter().cloned().fold(f64::INFINITY, f64::min);
@@ -102,4 +117,5 @@ fn main() {
             100.0 * (clean - best_imap) / clean.max(1e-9)
         );
     }
+    finish_telemetry(&tel);
 }

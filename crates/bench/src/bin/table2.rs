@@ -6,7 +6,8 @@
 //! Usage: `IMAP_BUDGET=quick|full cargo run --release -p imap-bench --bin table2`
 
 use imap_bench::{
-    base_seed, cell, print_row, run_attack_cell_cached, AttackKind, Budget, VictimCache,
+    base_seed, bench_telemetry, cell, finish_telemetry, print_row, record_cell,
+    run_attack_cell_cached, AttackKind, Budget, VictimCache,
 };
 use imap_core::regularizer::RegularizerKind;
 use imap_defense::DefenseMethod;
@@ -15,6 +16,7 @@ use imap_env::TaskId;
 fn main() {
     let budget = Budget::from_env();
     let seed = base_seed();
+    let tel = bench_telemetry("table2", &budget, seed);
     let cache = VictimCache::open();
 
     println!("# Table 2 — sparse-reward tasks (budget: {})", budget.name);
@@ -30,11 +32,22 @@ fn main() {
     let mut imap_beats_sarl = 0usize;
 
     for task in TaskId::SPARSE {
-        let victim = cache.victim(task, DefenseMethod::Ppo, &budget, seed);
+        let victim = {
+            let _t = tel.span("victim_train");
+            cache.victim_with(&tel, task, DefenseMethod::Ppo, &budget, seed)
+        };
         let mut row = vec![task.spec().name.to_string()];
         let mut values = Vec::new();
         for (ci, &kind) in columns.iter().enumerate() {
-            let r = run_attack_cell_cached(task, DefenseMethod::Ppo, &victim, kind, &budget, seed);
+            let r = {
+                let _t = tel.span("attack_cell");
+                run_attack_cell_cached(task, DefenseMethod::Ppo, &victim, kind, &budget, seed)
+            };
+            record_cell(
+                &tel,
+                &[("task", task.spec().name), ("attack", &kind.label())],
+                &r,
+            );
             row.push(cell(r.eval.sparse, r.eval.sparse_std, false));
             values.push(r.eval.sparse);
             col_sums[ci] += r.eval.sparse;
@@ -44,13 +57,15 @@ fn main() {
         let mut best_kind = RegularizerKind::PolicyCoverage;
         let mut best_std = 0.0;
         for k in RegularizerKind::ALL {
-            let r = run_attack_cell_cached(
-                task,
-                DefenseMethod::Ppo,
-                &victim,
-                AttackKind::ImapBr(k),
-                &budget,
-                seed,
+            let kind = AttackKind::ImapBr(k);
+            let r = {
+                let _t = tel.span("attack_cell");
+                run_attack_cell_cached(task, DefenseMethod::Ppo, &victim, kind, &budget, seed)
+            };
+            record_cell(
+                &tel,
+                &[("task", task.spec().name), ("attack", &kind.label())],
+                &r,
             );
             if r.eval.sparse < best_br {
                 best_br = r.eval.sparse;
@@ -82,4 +97,5 @@ fn main() {
     println!(
         "Best IMAP ≤ SA-RL on {imap_beats_sarl}/9 sparse tasks (paper: 9/9, \"IMAP dominates SA-RL across all nine tasks\")."
     );
+    finish_telemetry(&tel);
 }

@@ -5,7 +5,8 @@
 //! Usage: `IMAP_BUDGET=quick|full cargo run --release -p imap-bench --bin table3`
 
 use imap_bench::{
-    base_seed, cell, print_row, run_attack_cell_cached, AttackKind, Budget, VictimCache,
+    base_seed, bench_telemetry, cell, finish_telemetry, print_row, record_cell,
+    run_attack_cell_cached, AttackKind, Budget, VictimCache,
 };
 use imap_core::regularizer::RegularizerKind;
 use imap_defense::DefenseMethod;
@@ -14,6 +15,7 @@ use imap_env::TaskId;
 fn main() {
     let budget = Budget::from_env();
     let seed = base_seed();
+    let tel = bench_telemetry("table3", &budget, seed);
     let cache = VictimCache::open();
 
     println!("# Table 3 — full IMAP+BR grid (budget: {})", budget.name);
@@ -32,41 +34,35 @@ fn main() {
     let mut tasks_where_br_helps = 0usize;
 
     for task in TaskId::SPARSE {
-        let victim = cache.victim(task, DefenseMethod::Ppo, &budget, seed);
+        let victim = {
+            let _t = tel.span("victim_train");
+            cache.victim_with(&tel, task, DefenseMethod::Ppo, &budget, seed)
+        };
         let mut row = vec![task.spec().name.to_string()];
-        let sa = run_attack_cell_cached(
-            task,
-            DefenseMethod::Ppo,
-            &victim,
-            AttackKind::SaRl,
-            &budget,
-            seed,
-        );
+        let run_cell = |kind: AttackKind| {
+            let r = {
+                let _t = tel.span("attack_cell");
+                run_attack_cell_cached(task, DefenseMethod::Ppo, &victim, kind, &budget, seed)
+            };
+            record_cell(
+                &tel,
+                &[("task", task.spec().name), ("attack", &kind.label())],
+                &r,
+            );
+            r
+        };
+        let sa = run_cell(AttackKind::SaRl);
         row.push(cell(sa.eval.sparse, sa.eval.sparse_std, false));
 
         let mut imap_vals = Vec::new();
         for k in RegularizerKind::ALL {
-            let r = run_attack_cell_cached(
-                task,
-                DefenseMethod::Ppo,
-                &victim,
-                AttackKind::Imap(k),
-                &budget,
-                seed,
-            );
+            let r = run_cell(AttackKind::Imap(k));
             row.push(cell(r.eval.sparse, r.eval.sparse_std, false));
             imap_vals.push(r.eval.sparse);
         }
         let mut any_improved = false;
         for (i, k) in RegularizerKind::ALL.into_iter().enumerate() {
-            let r = run_attack_cell_cached(
-                task,
-                DefenseMethod::Ppo,
-                &victim,
-                AttackKind::ImapBr(k),
-                &budget,
-                seed,
-            );
+            let r = run_cell(AttackKind::ImapBr(k));
             br_cells += 1;
             // Lower victim score = stronger attack; mark BR improvements
             // with `*` (the paper's underline).
@@ -92,4 +88,5 @@ fn main() {
     println!(
         "BR improved {br_improvements}/{br_cells} (task, regularizer) cells; helped on {tasks_where_br_helps}/9 tasks (paper: \"BR boosts IMAP in half of the tasks\")."
     );
+    finish_telemetry(&tel);
 }

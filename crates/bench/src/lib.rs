@@ -15,9 +15,12 @@ use imap_core::eval::{eval_multi_attack, eval_under_attack, AttackEval, Attacker
 use imap_core::regularizer::{RegularizerConfig, RegularizerKind};
 use imap_core::threat::{OpponentEnv, PerturbationEnv};
 use imap_core::{AttackOutcome, ImapConfig, ImapTrainer};
-use imap_defense::{train_game_victim_selfplay, train_victim, DefenseMethod, ScriptedOpponent, VictimBudget};
+use imap_defense::{
+    train_game_victim_selfplay, train_victim_with, DefenseMethod, ScriptedOpponent, VictimBudget,
+};
 use imap_env::{build_multi_task, build_task, EnvRng, MultiTaskId, TaskId};
 use imap_rl::{GaussianPolicy, PpoConfig, TrainConfig};
+use imap_telemetry::{RunManifest, Telemetry};
 use rand::SeedableRng;
 
 /// Compute budget for an experiment run.
@@ -145,8 +148,7 @@ impl VictimCache {
     /// Opens (and creates) the cache under `.victim-cache/` at the
     /// workspace root.
     pub fn open() -> Self {
-        let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-            .join("../../.victim-cache");
+        let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../.victim-cache");
         let _ = std::fs::create_dir_all(&dir);
         VictimCache {
             dir,
@@ -166,6 +168,19 @@ impl VictimCache {
         budget: &Budget,
         seed: u64,
     ) -> GaussianPolicy {
+        self.victim_with(&Telemetry::null(), task, method, budget, seed)
+    }
+
+    /// [`VictimCache::victim`] with telemetry: cache misses train through
+    /// `tel` (memory/disk hits record nothing — nothing ran).
+    pub fn victim_with(
+        &self,
+        tel: &Telemetry,
+        task: TaskId,
+        method: DefenseMethod,
+        budget: &Budget,
+        seed: u64,
+    ) -> GaussianPolicy {
         let key = Self::key(task, method, budget, seed);
         if let Some(p) = self.mem.lock().get(&key) {
             return p.clone();
@@ -177,7 +192,7 @@ impl VictimCache {
                 return p;
             }
         }
-        let p = train_victim(task, method, &budget.victim, seed)
+        let p = train_victim_with(tel, task, method, &budget.victim, seed)
             .expect("victim training should not fail");
         if let Ok(bytes) = serde_json::to_vec(&p) {
             let _ = std::fs::write(&path, bytes);
@@ -278,6 +293,17 @@ pub fn marl_intrinsic_scale() -> f64 {
 
 /// Returns (training, caching if needed) the game victim for `game`.
 pub fn marl_victim(game: MultiTaskId, budget: &Budget, seed: u64) -> GaussianPolicy {
+    marl_victim_with(&Telemetry::null(), game, budget, seed)
+}
+
+/// [`marl_victim`] with telemetry: cache misses run the self-play loop
+/// through `tel` (`selfplay`-phase rows, opponent/victim round spans).
+pub fn marl_victim_with(
+    tel: &Telemetry,
+    game: MultiTaskId,
+    budget: &Budget,
+    seed: u64,
+) -> GaussianPolicy {
     let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../.victim-cache");
     let _ = std::fs::create_dir_all(&dir);
     let key = format!("marl_{game:?}_{}_{seed}", budget.name);
@@ -297,6 +323,7 @@ pub fn marl_victim(game: MultiTaskId, budget: &Budget, seed: u64) -> GaussianPol
         hidden: vec![32, 32],
         seed,
         ppo: PpoConfig::default(),
+        telemetry: tel.clone(),
         ..TrainConfig::default()
     };
     // Self-play provenance (§6.1): warmup vs scripted population, then
@@ -428,7 +455,11 @@ pub fn run_attack_cell_cached(
     budget: &Budget,
     seed: u64,
 ) -> CellResult {
-    let key = format!("sa_{task:?}_{method:?}_{}_{}_{seed}", kind.label(), budget.name);
+    let key = format!(
+        "sa_{task:?}_{method:?}_{}_{}_{seed}",
+        kind.label(),
+        budget.name
+    );
     let key = key.replace(['"', ' ', '+'], "_");
     cached_cell(&key, || {
         let (eval, outcome) = run_attack_cell(task, victim, kind, budget, seed);
@@ -462,6 +493,68 @@ pub fn run_multi_attack_cell_cached(
             curve: outcome.map(|o| o.curve).unwrap_or_default(),
         }
     })
+}
+
+/// Opens the telemetry sink for a bench binary, so every table/figure run
+/// leaves machine-readable rows beside its text output.
+///
+/// The output directory is `$IMAP_TELEMETRY/<bin>` when the variable is
+/// set, `results/<bin>/` at the workspace root otherwise. Falls back to the
+/// disabled handle (with a note on stderr) if the sink cannot be created.
+pub fn bench_telemetry(bin: &str, budget: &Budget, seed: u64) -> Telemetry {
+    let dir = match std::env::var("IMAP_TELEMETRY") {
+        Ok(base) => PathBuf::from(base).join(bin),
+        Err(_) => PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../../results")
+            .join(bin),
+    };
+    let run_id = format!("{bin}-{}-seed{seed}", budget.name);
+    let manifest = RunManifest::new(&run_id, "suite", bin, seed).with_config(serde_json::json!({
+        "budget": budget.name,
+        "attack_iters": budget.attack_iters,
+        "attack_steps": budget.attack_steps,
+        "eval_episodes": budget.eval_episodes,
+    }));
+    match Telemetry::jsonl(&dir, &manifest) {
+        Ok(tel) => tel,
+        Err(e) => {
+            eprintln!("telemetry disabled ({}: {e})", dir.display());
+            Telemetry::null()
+        }
+    }
+}
+
+/// Records one finished table/figure cell as a tagged `cell`-phase row.
+pub fn record_cell(tel: &Telemetry, tags: &[(&str, &str)], result: &CellResult) {
+    imap_core::record_attack_eval(tel, "cell", tags, &result.eval);
+}
+
+/// Records an attack training curve: one `curve`-phase row per iteration,
+/// carrying the same tags as the owning cell.
+pub fn record_curve(tel: &Telemetry, tags: &[(&str, &str)], curve: &[imap_core::CurvePoint]) {
+    for (i, p) in curve.iter().enumerate() {
+        tel.record_full(
+            "curve",
+            i as u64,
+            &[
+                ("victim_sparse", p.victim_sparse),
+                ("victim_success_rate", p.victim_success_rate),
+                ("asr", p.asr),
+                ("adv_return", p.adv_return),
+                ("tau", p.tau),
+            ],
+            &[("steps", p.steps as u64)],
+            tags,
+        );
+    }
+}
+
+/// Flushes the sink, writes `timing.txt`, and prints the per-phase
+/// wall-time breakdown to stderr. Call at the end of every bench binary.
+pub fn finish_telemetry(tel: &Telemetry) {
+    if let Some(report) = tel.finish() {
+        eprint!("{report}");
+    }
 }
 
 /// Formats `mean ± std` to table precision.
@@ -502,6 +595,36 @@ mod tests {
     fn cell_formatting() {
         assert!(cell(3167.4, 542.0, true).contains("3167"));
         assert!(cell(0.954, 0.02, false).contains("0.95"));
+    }
+
+    #[test]
+    fn record_cell_and_curve_emit_tagged_rows() {
+        let (tel, mem) = Telemetry::memory("bench-test");
+        let result = CellResult {
+            eval: AttackEval {
+                asr: 0.75,
+                episodes: 4,
+                ..AttackEval::default()
+            },
+            curve: vec![imap_core::CurvePoint {
+                steps: 2048,
+                victim_sparse: 0.5,
+                victim_success_rate: 0.5,
+                asr: 0.5,
+                adv_return: -1.0,
+                tau: 1.0,
+            }],
+        };
+        let tags = [("task", "Hopper"), ("attack", "IMAP-PC")];
+        record_cell(&tel, &tags, &result);
+        record_curve(&tel, &tags, &result.curve);
+        let rows = mem.rows();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].phase, "cell");
+        assert_eq!(rows[0].tags["attack"], "IMAP-PC");
+        assert_eq!(rows[0].scalars["asr"], 0.75);
+        assert_eq!(rows[1].phase, "curve");
+        assert_eq!(rows[1].counters["steps"], 2048);
     }
 
     #[test]

@@ -3,13 +3,14 @@
 use std::fmt;
 
 use imap_core::attacks::gradient::GradientAttack;
-use imap_core::eval::{eval_under_attack, AttackEval, Attacker};
+use imap_core::eval::{eval_under_attack_with, record_attack_eval, AttackEval, Attacker};
 use imap_core::regularizer::{RegularizerConfig, RegularizerKind};
 use imap_core::threat::PerturbationEnv;
 use imap_core::{ImapConfig, ImapTrainer};
-use imap_defense::{train_victim, DefenseMethod, VictimBudget};
+use imap_defense::{train_victim_with, DefenseMethod, VictimBudget};
 use imap_env::{build_task, EnvRng, TaskId};
 use imap_rl::{GaussianPolicy, PpoConfig, TrainConfig};
+use imap_telemetry::{RunManifest, Telemetry};
 use rand::SeedableRng;
 
 use crate::args::{ArgError, Args};
@@ -132,15 +133,46 @@ const USAGE: &str = "imap — black-box adversarial policy learning (IMAP reprod
 USAGE:
   imap list-tasks
   imap train-victim --task <task> [--method ppo|atla|sa|atla-sa|radial|wocar]
-                    [--budget quick|full] [--seed N] --out <victim.json>
+                    [--budget quick|full] [--seed N] [--telemetry <dir>]
+                    --out <victim.json>
   imap attack       --task <task> --victim <victim.json>
                     [--regularizer sc|pc|r|d] [--br] [--baseline]
                     [--iters N] [--steps N] [--seed N] [--eps E]
-                    --out <adversary.json>
+                    [--telemetry <dir>] --out <adversary.json>
   imap eval         --task <task> --victim <victim.json>
                     [--adversary <adversary.json> | --random | --mad | --fgsm]
-                    [--episodes N] [--eps E] [--seed N]
+                    [--episodes N] [--eps E] [--seed N] [--telemetry <dir>]
+
+`--telemetry <dir>` writes manifest.json, metrics.jsonl (one JSON metric row
+per line), and timing.txt into <dir>, and prints the per-phase wall-time
+breakdown on exit.
 ";
+
+/// Builds the run's telemetry handle: a JSONL sink rooted at the
+/// `--telemetry` directory, or the free disabled handle without the flag.
+fn telemetry_from_args(
+    args: &Args,
+    variant: &str,
+    task: &str,
+    seed: u64,
+    config: serde_json::Value,
+) -> Result<Telemetry, CliError> {
+    match args.optional("telemetry") {
+        Some(dir) => {
+            let run_id = format!("{variant}-{task}-seed{seed}");
+            let manifest = RunManifest::new(&run_id, task, variant, seed).with_config(config);
+            Ok(Telemetry::jsonl(dir, &manifest)?)
+        }
+        None => Ok(Telemetry::null()),
+    }
+}
+
+/// Flushes the sink and prints the timing breakdown (enabled handles only).
+fn finish_telemetry(tel: &Telemetry) {
+    if let Some(report) = tel.finish() {
+        eprint!("{report}");
+    }
+}
 
 /// Dispatches a parsed command line; returns the process exit code.
 pub fn dispatch(args: &Args) -> Result<(), CliError> {
@@ -155,18 +187,37 @@ pub fn dispatch(args: &Args) -> Result<(), CliError> {
         }
         Some("train-victim") => {
             let task = parse_task(args.required("task")?)?;
-            let method = parse_method(args.optional("method").unwrap_or("ppo"))?;
+            let method_arg = args.optional("method").unwrap_or("ppo");
+            let method = parse_method(method_arg)?;
             let seed: u64 = args.get_or("seed", 17)?;
-            let budget = match args.optional("budget").unwrap_or("quick") {
+            let budget_arg = args.optional("budget").unwrap_or("quick");
+            let budget = match budget_arg {
                 "full" => VictimBudget::full(),
                 _ => VictimBudget::quick(),
             };
             let out = args.required("out")?;
-            eprintln!("training {} victim on {}...", method.name(), task.spec().name);
-            let victim = train_victim(task, method, &budget, seed)?;
+            let tel = telemetry_from_args(
+                args,
+                method_arg,
+                task.spec().name,
+                seed,
+                serde_json::json!({
+                    "command": "train-victim",
+                    "budget": budget_arg,
+                    "iterations": budget.iterations,
+                    "steps_per_iter": budget.steps_per_iter,
+                }),
+            )?;
+            eprintln!(
+                "training {} victim on {}...",
+                method.name(),
+                task.spec().name
+            );
+            let victim = train_victim_with(&tel, task, method, &budget, seed)?;
             save_policy(out, &victim)?;
             let mut rng = EnvRng::seed_from_u64(seed ^ 0xc11);
-            let eval = eval_under_attack(
+            let eval = eval_under_attack_with(
+                &tel,
                 build_task(task),
                 &victim,
                 Attacker::None,
@@ -176,6 +227,7 @@ pub fn dispatch(args: &Args) -> Result<(), CliError> {
             )?;
             print_eval("clean", task, &eval);
             println!("saved victim to {out}");
+            finish_telemetry(&tel);
             Ok(())
         }
         Some("attack") => {
@@ -187,6 +239,35 @@ pub fn dispatch(args: &Args) -> Result<(), CliError> {
             let steps: usize = args.get_or("steps", 2048)?;
             let out = args.required("out")?;
 
+            let baseline = args.has_switch("baseline");
+            let br = args.has_switch("br");
+            let kind = if baseline {
+                None
+            } else {
+                Some(parse_regularizer(
+                    args.optional("regularizer").unwrap_or("pc"),
+                )?)
+            };
+            let variant = match kind {
+                None => "sa-rl".to_string(),
+                Some(k) => format!(
+                    "imap-{}{}",
+                    k.short_name().to_ascii_lowercase(),
+                    if br { "+br" } else { "" }
+                ),
+            };
+            let tel = telemetry_from_args(
+                args,
+                &variant,
+                task.spec().name,
+                seed,
+                serde_json::json!({
+                    "command": "attack",
+                    "iterations": iters,
+                    "steps_per_iter": steps,
+                    "eps": eps,
+                }),
+            )?;
             let train = TrainConfig {
                 iterations: iters,
                 steps_per_iter: steps,
@@ -196,25 +277,33 @@ pub fn dispatch(args: &Args) -> Result<(), CliError> {
                     entropy_coef: 0.001,
                     ..PpoConfig::default()
                 },
+                telemetry: tel.clone(),
                 ..TrainConfig::default()
             };
-            let cfg = if args.has_switch("baseline") {
-                eprintln!("training SA-RL baseline...");
-                ImapConfig::baseline(train)
-            } else {
-                let kind = parse_regularizer(args.optional("regularizer").unwrap_or("pc"))?;
-                let mut cfg = ImapConfig::imap(train, RegularizerConfig::new(kind));
-                if args.has_switch("br") {
-                    cfg = cfg.with_br(5.0);
+            let cfg = match kind {
+                None => {
+                    eprintln!("training SA-RL baseline...");
+                    ImapConfig::baseline(train)
                 }
-                eprintln!("training IMAP-{}{}...", kind.short_name(), if args.has_switch("br") { "+BR" } else { "" });
-                cfg
+                Some(kind) => {
+                    let mut cfg = ImapConfig::imap(train, RegularizerConfig::new(kind));
+                    if br {
+                        cfg = cfg.with_br(5.0);
+                    }
+                    eprintln!(
+                        "training IMAP-{}{}...",
+                        kind.short_name(),
+                        if br { "+BR" } else { "" }
+                    );
+                    cfg
+                }
             };
             let mut env = PerturbationEnv::new(build_task(task), victim.clone(), eps);
             let outcome = ImapTrainer::new(cfg).train(&mut env, None)?;
             save_policy(out, &outcome.policy)?;
             let mut rng = EnvRng::seed_from_u64(seed ^ 0xa77);
-            let eval = eval_under_attack(
+            let eval = eval_under_attack_with(
+                &tel,
                 build_task(task),
                 &victim,
                 Attacker::Policy(&outcome.policy),
@@ -224,6 +313,7 @@ pub fn dispatch(args: &Args) -> Result<(), CliError> {
             )?;
             print_eval("attacked", task, &eval);
             println!("saved adversary to {out}");
+            finish_telemetry(&tel);
             Ok(())
         }
         Some("eval") => {
@@ -234,9 +324,32 @@ pub fn dispatch(args: &Args) -> Result<(), CliError> {
             let episodes: usize = args.get_or("episodes", 50)?;
             let mut rng = EnvRng::seed_from_u64(seed ^ 0xe7);
 
+            let variant = if args.optional("adversary").is_some() {
+                "policy"
+            } else if args.has_switch("random") {
+                "random"
+            } else if args.has_switch("mad") {
+                "mad"
+            } else if args.has_switch("fgsm") {
+                "fgsm"
+            } else {
+                "none"
+            };
+            let tel = telemetry_from_args(
+                args,
+                variant,
+                task.spec().name,
+                seed,
+                serde_json::json!({
+                    "command": "eval",
+                    "episodes": episodes,
+                    "eps": eps,
+                }),
+            )?;
             let eval = if let Some(path) = args.optional("adversary") {
                 let adversary = load_policy(path)?;
-                eval_under_attack(
+                eval_under_attack_with(
+                    &tel,
                     build_task(task),
                     &victim,
                     Attacker::Policy(&adversary),
@@ -245,7 +358,8 @@ pub fn dispatch(args: &Args) -> Result<(), CliError> {
                     &mut rng,
                 )?
             } else if args.has_switch("random") {
-                eval_under_attack(
+                eval_under_attack_with(
+                    &tel,
                     build_task(task),
                     &victim,
                     Attacker::Random,
@@ -253,12 +367,26 @@ pub fn dispatch(args: &Args) -> Result<(), CliError> {
                     episodes,
                     &mut rng,
                 )?
-            } else if args.has_switch("mad") {
-                GradientAttack::mad(eps).evaluate(build_task(task), &victim, episodes, &mut rng)?
-            } else if args.has_switch("fgsm") {
-                GradientAttack::fgsm(eps).evaluate(build_task(task), &victim, episodes, &mut rng)?
+            } else if args.has_switch("mad") || args.has_switch("fgsm") {
+                let attack = if args.has_switch("mad") {
+                    GradientAttack::mad(eps)
+                } else {
+                    GradientAttack::fgsm(eps)
+                };
+                let eval = {
+                    let _t = tel.span("eval_episodes");
+                    attack.evaluate(build_task(task), &victim, episodes, &mut rng)?
+                };
+                record_attack_eval(
+                    &tel,
+                    "eval",
+                    &[("attacker", variant), ("mode", "gradient")],
+                    &eval,
+                );
+                eval
             } else {
-                eval_under_attack(
+                eval_under_attack_with(
+                    &tel,
                     build_task(task),
                     &victim,
                     Attacker::None,
@@ -268,6 +396,7 @@ pub fn dispatch(args: &Args) -> Result<(), CliError> {
                 )?
             };
             print_eval("result", task, &eval);
+            finish_telemetry(&tel);
             Ok(())
         }
         Some(other) => Err(CliError::Unknown(format!(
@@ -280,6 +409,7 @@ pub fn dispatch(args: &Args) -> Result<(), CliError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use imap_defense::train_victim;
 
     fn parse(s: &str) -> Args {
         Args::parse(s.split_whitespace().map(String::from))
@@ -321,6 +451,45 @@ mod tests {
     fn missing_flag_surfaces_arg_error() {
         let e = dispatch(&parse("train-victim")).unwrap_err();
         assert!(matches!(e, CliError::Args(_)));
+    }
+
+    /// The acceptance path for `--telemetry`: a full attack run must leave a
+    /// valid manifest, parseable JSONL metrics, and a timing report behind.
+    #[test]
+    fn telemetry_flag_writes_artifacts() {
+        let dir = std::env::temp_dir().join("imap-cli-telemetry-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let victim_path = dir.join("victim.json");
+        // An untrained victim is enough to drive the attack loop.
+        let victim = GaussianPolicy::new(5, 3, &[8], -0.5, &mut EnvRng::seed_from_u64(1)).unwrap();
+        save_policy(victim_path.to_str().unwrap(), &victim).unwrap();
+        let tel_dir = dir.join("telemetry");
+        let adv_path = dir.join("adv.json");
+
+        dispatch(&parse(&format!(
+            "attack --task Hopper --victim {} --baseline --iters 2 --steps 256 \
+             --telemetry {} --out {}",
+            victim_path.display(),
+            tel_dir.display(),
+            adv_path.display()
+        )))
+        .unwrap();
+
+        let manifest: RunManifest =
+            serde_json::from_slice(&std::fs::read(tel_dir.join("manifest.json")).unwrap()).unwrap();
+        assert_eq!(manifest.env, "Hopper");
+        assert_eq!(manifest.variant, "sa-rl");
+        assert_eq!(manifest.config["iterations"], 2);
+
+        let text = std::fs::read_to_string(tel_dir.join("metrics.jsonl")).unwrap();
+        let rows: Vec<imap_telemetry::MetricRow> = text
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        assert_eq!(rows.iter().filter(|r| r.phase == "attack").count(), 2);
+        assert!(rows.iter().any(|r| r.phase == "eval"));
+        assert!(tel_dir.join("timing.txt").exists());
     }
 
     /// Full round-trip through temporary files: train a tiny victim, attack

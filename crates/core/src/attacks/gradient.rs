@@ -65,8 +65,8 @@ impl GradientAttack {
         let cache = victim.mlp.forward(&x)?;
         let mu = cache.output();
         let mut dout = Matrix::zeros(1, mu.cols());
-        for c in 0..mu.cols() {
-            dout.set(0, c, mu.get(0, c) - mu_ref[c]);
+        for (c, &mr) in mu_ref.iter().enumerate() {
+            dout.set(0, c, mu.get(0, c) - mr);
         }
         let (_, dx) = victim.mlp.backward(&cache, &dout)?;
         Ok(dx.row(0).to_vec())
@@ -74,11 +74,7 @@ impl GradientAttack {
 
     /// Computes the adversarial raw state for one step: PGD ascent on the
     /// action deviation inside the ε-ball around `raw_obs`.
-    pub fn perturb(
-        &self,
-        victim: &GaussianPolicy,
-        raw_obs: &[f64],
-    ) -> Result<Vec<f64>, NnError> {
+    pub fn perturb(&self, victim: &GaussianPolicy, raw_obs: &[f64]) -> Result<Vec<f64>, NnError> {
         // The victim normalizes internally; gradients are taken in its
         // normalized coordinates, and the ball is mapped through the frozen
         // statistics (chain rule through an affine map = per-dim scale).
@@ -175,7 +171,7 @@ mod tests {
     fn input_gradient_matches_finite_difference() {
         let v = victim(1);
         let z = vec![0.2, -0.4, 0.7, 0.1, -0.3];
-        let mu_ref = v.mean_of(&vec![0.0; 5]).unwrap();
+        let mu_ref = v.mean_of(&[0.0; 5]).unwrap();
         let analytic = GradientAttack::input_gradient(&v, &z, &mu_ref).unwrap();
         let fd = numeric_gradient(
             |x| {

@@ -10,6 +10,7 @@ use imap_env::sparse::sparse_episode_metric;
 use imap_env::{Env, EnvRng, MultiAgentEnv};
 use imap_nn::NnError;
 use imap_rl::GaussianPolicy;
+use imap_telemetry::Telemetry;
 use rand::Rng;
 
 use crate::threat::{OpponentEnv, PerturbationEnv};
@@ -22,6 +23,17 @@ pub enum Attacker<'a> {
     Random,
     /// A trained adversarial policy (deterministic at test time).
     Policy(&'a GaussianPolicy),
+}
+
+impl Attacker<'_> {
+    /// Short label for telemetry tags and report rows.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Attacker::None => "none",
+            Attacker::Random => "random",
+            Attacker::Policy(_) => "policy",
+        }
+    }
 }
 
 use serde::{Deserialize, Serialize};
@@ -45,7 +57,12 @@ pub struct AttackEval {
     pub episodes: usize,
 }
 
-fn attacker_action<R: Rng>(attacker: &Attacker<'_>, obs: &[f64], dim: usize, rng: &mut R) -> Vec<f64> {
+fn attacker_action<R: Rng>(
+    attacker: &Attacker<'_>,
+    obs: &[f64],
+    dim: usize,
+    rng: &mut R,
+) -> Vec<f64> {
     match attacker {
         Attacker::None => vec![0.0; dim],
         Attacker::Random => (0..dim).map(|_| rng.gen_range(-1.0..=1.0)).collect(),
@@ -71,6 +88,25 @@ fn summarize(returns: &[f64], sparses: &[f64], successes: usize) -> AttackEval {
         asr: 1.0 - success_rate,
         episodes: returns.len(),
     }
+}
+
+/// Emits one telemetry row for a finished evaluation under `phase`, tagged
+/// so table/figure cells can be regenerated from `metrics.jsonl` alone.
+pub fn record_attack_eval(tel: &Telemetry, phase: &str, tags: &[(&str, &str)], eval: &AttackEval) {
+    tel.record_full(
+        phase,
+        0,
+        &[
+            ("victim_return", eval.victim_return),
+            ("victim_return_std", eval.victim_return_std),
+            ("sparse", eval.sparse),
+            ("sparse_std", eval.sparse_std),
+            ("success_rate", eval.success_rate),
+            ("asr", eval.asr),
+        ],
+        &[("episodes", eval.episodes as u64)],
+        tags,
+    );
 }
 
 /// Evaluates a single-agent victim under a state-perturbation attack.
@@ -109,6 +145,32 @@ pub fn eval_under_attack(
     Ok(summarize(&returns, &sparses, successes))
 }
 
+/// [`eval_under_attack`] with telemetry: the episode loop runs under an
+/// `eval_episodes` span and the result is recorded as an `eval`-phase row
+/// tagged with the attacker kind.
+pub fn eval_under_attack_with(
+    tel: &Telemetry,
+    env: Box<dyn Env>,
+    victim: &GaussianPolicy,
+    attacker: Attacker<'_>,
+    eps: f64,
+    episodes: usize,
+    rng: &mut EnvRng,
+) -> Result<AttackEval, NnError> {
+    let label = attacker.label();
+    let result = {
+        let _t = tel.span("eval_episodes");
+        eval_under_attack(env, victim, attacker, eps, episodes, rng)?
+    };
+    record_attack_eval(
+        tel,
+        "eval",
+        &[("attacker", label), ("mode", "perturbation")],
+        &result,
+    );
+    Ok(result)
+}
+
 /// Evaluates a multi-agent victim against an adversarial opponent.
 ///
 /// `AttackEval::asr` is the paper's attack success rate; `victim_return`
@@ -145,6 +207,29 @@ pub fn eval_multi_attack(
         }
     }
     Ok(summarize(&returns, &sparses, successes))
+}
+
+/// [`eval_multi_attack`] with telemetry; see [`eval_under_attack_with`].
+pub fn eval_multi_attack_with(
+    tel: &Telemetry,
+    game: Box<dyn MultiAgentEnv>,
+    victim: &GaussianPolicy,
+    attacker: Attacker<'_>,
+    episodes: usize,
+    rng: &mut EnvRng,
+) -> Result<AttackEval, NnError> {
+    let label = attacker.label();
+    let result = {
+        let _t = tel.span("eval_episodes");
+        eval_multi_attack(game, victim, attacker, episodes, rng)?
+    };
+    record_attack_eval(
+        tel,
+        "eval",
+        &[("attacker", label), ("mode", "opponent")],
+        &result,
+    );
+    Ok(result)
 }
 
 #[cfg(test)]
@@ -205,6 +290,31 @@ mod tests {
         )
         .unwrap();
         assert_eq!(a.victim_return, b.victim_return);
+    }
+
+    #[test]
+    fn telemetry_eval_wrapper_tags_rows() {
+        let victim = untrained_victim(5, 3, 6);
+        let (tel, mem) = Telemetry::memory("eval-test");
+        let mut rng = StdRng::seed_from_u64(7);
+        let r = eval_under_attack_with(
+            &tel,
+            Box::new(Hopper::new()),
+            &victim,
+            Attacker::Random,
+            0.1,
+            3,
+            &mut rng,
+        )
+        .unwrap();
+        let rows = mem.rows();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].phase, "eval");
+        assert_eq!(rows[0].tags["attacker"], "random");
+        assert_eq!(rows[0].tags["mode"], "perturbation");
+        assert_eq!(rows[0].counters["episodes"], r.episodes as u64);
+        assert_eq!(rows[0].scalars["asr"], r.asr);
+        assert_eq!(tel.timing_report().spans[0].name, "eval_episodes");
     }
 
     #[test]

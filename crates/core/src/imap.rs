@@ -182,24 +182,33 @@ impl ImapTrainer {
         let mut curve = Vec::with_capacity(cfg.iterations);
         let mut total_steps = 0usize;
 
-        for _iteration in 0..cfg.iterations {
+        let tel = cfg.telemetry.clone();
+        for iteration in 0..cfg.iterations {
             // --- Sampling stage ---
-            let buffer = collect_rollout(env, &mut policy, cfg.steps_per_iter, true, &mut rng)?;
+            let buffer = {
+                let _t = tel.span("collect_rollout");
+                collect_rollout(env, &mut policy, cfg.steps_per_iter, true, &mut rng)?
+            };
             total_steps += buffer.len();
 
             // --- Optimizing stage ---
             let rewards_e: Vec<f64> = buffer.steps.iter().map(|s| s.reward).collect();
-            let (adv_e, ret_e) =
-                advantages_for(&buffer, &rewards_e, &value_e, cfg.gamma, cfg.lambda)?;
+            let (adv_e, ret_e) = {
+                let _t = tel.span("advantages");
+                advantages_for(&buffer, &rewards_e, &value_e, cfg.gamma, cfg.lambda)?
+            };
 
             let mut combined = adv_e.clone();
             let mut intrinsic_targets: Option<Vec<f64>> = None;
             if let Some(engine) = engine.as_mut() {
+                let _t = tel.span("intrinsic_bonus");
                 let raw = engine.compute_bonuses(&buffer, &policy)?;
                 rms.update(&raw);
                 let scale = rms.rms();
-                let r_i: Vec<f64> =
-                    raw.iter().map(|b| self.cfg.intrinsic_scale * b / scale).collect();
+                let r_i: Vec<f64> = raw
+                    .iter()
+                    .map(|b| self.cfg.intrinsic_scale * b / scale)
+                    .collect();
                 let (adv_i, ret_i) = advantages_for(
                     &buffer,
                     &r_i,
@@ -215,24 +224,30 @@ impl ImapTrainer {
             normalize_advantages(&mut combined);
             let samples = samples_from(&buffer, &combined);
 
-            update_policy(&mut policy, &samples, &cfg.ppo, &mut popt, None, &mut rng)?;
-            update_value(
-                &mut value_e,
-                &buffer.observations(),
-                &ret_e,
-                &cfg.ppo,
-                &mut vopt_e,
-                &mut rng,
-            )?;
-            if let Some(ret_i) = intrinsic_targets {
+            {
+                let _t = tel.span("update_policy");
+                update_policy(&mut policy, &samples, &cfg.ppo, &mut popt, None, &mut rng)?;
+            }
+            {
+                let _t = tel.span("update_value");
                 update_value(
-                    &mut value_i,
+                    &mut value_e,
                     &buffer.observations(),
-                    &ret_i,
+                    &ret_e,
                     &cfg.ppo,
-                    &mut vopt_i,
+                    &mut vopt_e,
                     &mut rng,
                 )?;
+                if let Some(ret_i) = intrinsic_targets {
+                    update_value(
+                        &mut value_i,
+                        &buffer.observations(),
+                        &ret_i,
+                        &cfg.ppo,
+                        &mut vopt_i,
+                        &mut rng,
+                    )?;
+                }
             }
 
             // --- Bias reduction (eqs. 16–17) ---
@@ -243,6 +258,19 @@ impl ImapTrainer {
 
             // --- Curve bookkeeping ---
             let point = curve_point(&buffer, total_steps, jap, tau);
+            tel.record_full(
+                "attack",
+                iteration as u64,
+                &[
+                    ("victim_sparse", point.victim_sparse),
+                    ("victim_success_rate", point.victim_success_rate),
+                    ("asr", point.asr),
+                    ("adv_return", point.adv_return),
+                    ("tau", point.tau),
+                ],
+                &[("total_steps", total_steps as u64)],
+                &[],
+            );
             if let Some(cb) = on_iteration.as_deref_mut() {
                 cb(&point);
             }
@@ -342,14 +370,16 @@ mod tests {
                 "IMAP-PC",
                 Some(RegularizerConfig::new(RegularizerKind::PolicyCoverage)),
             ),
-            ("IMAP-R", Some(RegularizerConfig::new(RegularizerKind::Risk))),
+            (
+                "IMAP-R",
+                Some(RegularizerConfig::new(RegularizerKind::Risk)),
+            ),
             (
                 "IMAP-D",
                 Some(RegularizerConfig::new(RegularizerKind::Divergence)),
             ),
         ] {
-            let mut env =
-                PerturbationEnv::new(Box::new(Hopper::new()), victim.clone(), 0.1);
+            let mut env = PerturbationEnv::new(Box::new(Hopper::new()), victim.clone(), 0.1);
             let cfg = ImapConfig {
                 train: tiny_train(1, 2),
                 regularizer: reg,
@@ -389,6 +419,36 @@ mod tests {
             .train(&mut env, Some(&mut cb))
             .unwrap();
         assert_eq!(seen, 3);
+    }
+
+    #[test]
+    fn attack_telemetry_rows_cover_every_iteration() {
+        let victim = quick_victim();
+        let mut env = PerturbationEnv::new(Box::new(Hopper::new()), victim, 0.1);
+        let (tel, mem) = imap_telemetry::Telemetry::memory("attack-test");
+        let mut train = tiny_train(6, 2);
+        train.telemetry = tel.clone();
+        let cfg = ImapConfig::imap(
+            train,
+            RegularizerConfig::new(RegularizerKind::StateCoverage),
+        );
+        ImapTrainer::new(cfg).train(&mut env, None).unwrap();
+
+        let rows = mem.rows();
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(|r| r.phase == "attack"));
+        assert!(rows[0].scalars.contains_key("asr"));
+        assert!(rows[0].scalars.contains_key("tau"));
+        let spans: Vec<String> = tel
+            .timing_report()
+            .spans
+            .into_iter()
+            .map(|s| s.name)
+            .collect();
+        assert!(
+            spans.iter().any(|s| s == "intrinsic_bonus"),
+            "intrinsic stage must be timed: {spans:?}"
+        );
     }
 
     #[test]

@@ -35,7 +35,10 @@ pub mod threat;
 pub use attacks::gradient::GradientAttack;
 pub use attacks::{ap_marl, random_attack_eval, sa_rl};
 pub use br::BiasReduction;
-pub use eval::{eval_multi_attack, eval_under_attack, AttackEval};
+pub use eval::{
+    eval_multi_attack, eval_multi_attack_with, eval_under_attack, eval_under_attack_with,
+    record_attack_eval, AttackEval,
+};
 pub use imap::{AttackOutcome, CurvePoint, ImapConfig, ImapTrainer};
 pub use regularizer::{IntrinsicEngine, RegularizerConfig, RegularizerKind};
 pub use threat::{OpponentEnv, PerturbationEnv};

@@ -49,11 +49,7 @@ impl MimicPolicy {
     /// Distills the current adversary into the mimic on the sampled states
     /// (regression of means; `log_std` tracked by exponential moving
     /// average). Returns the mean-squared mean gap before the update.
-    pub fn distill(
-        &mut self,
-        adversary: &GaussianPolicy,
-        zs: &[Vec<f64>],
-    ) -> Result<f64, NnError> {
+    pub fn distill(&mut self, adversary: &GaussianPolicy, zs: &[Vec<f64>]) -> Result<f64, NnError> {
         if zs.is_empty() {
             return Ok(0.0);
         }
@@ -150,7 +146,10 @@ mod tests {
         for _ in 0..5 {
             last = mimic.distill(&adv, &zs).unwrap();
         }
-        assert!(last < gap0, "distillation should close the gap: {gap0} -> {last}");
+        assert!(
+            last < gap0,
+            "distillation should close the gap: {gap0} -> {last}"
+        );
     }
 
     #[test]

@@ -142,7 +142,10 @@ impl IntrinsicEngine {
 
     fn project<'a>(&self, summary: &'a [f64]) -> (&'a [f64], &'a [f64]) {
         match self.cfg.marginal_split {
-            Some(split) => (&summary[..split.min(summary.len())], &summary[split.min(summary.len())..]),
+            Some(split) => (
+                &summary[..split.min(summary.len())],
+                &summary[split.min(summary.len())..],
+            ),
             None => (summary, summary),
         }
     }
@@ -173,10 +176,14 @@ impl IntrinsicEngine {
                 summaries.iter().map(|s| est.coverage_bonus(s)).collect()
             }
             Some(_) => {
-                let adv_pts: Vec<Vec<f64>> =
-                    summaries.iter().map(|s| self.project(s).0.to_vec()).collect();
-                let vic_pts: Vec<Vec<f64>> =
-                    summaries.iter().map(|s| self.project(s).1.to_vec()).collect();
+                let adv_pts: Vec<Vec<f64>> = summaries
+                    .iter()
+                    .map(|s| self.project(s).0.to_vec())
+                    .collect();
+                let vic_pts: Vec<Vec<f64>> = summaries
+                    .iter()
+                    .map(|s| self.project(s).1.to_vec())
+                    .collect();
                 let est_a = KnnEstimator::new(adv_pts.clone(), self.cfg.k);
                 let est_v = KnnEstimator::new(vic_pts.clone(), self.cfg.k);
                 adv_pts
@@ -222,10 +229,14 @@ impl IntrinsicEngine {
                 b
             }
             Some(_) => {
-                let adv_pts: Vec<Vec<f64>> =
-                    summaries.iter().map(|s| self.project(s).0.to_vec()).collect();
-                let vic_pts: Vec<Vec<f64>> =
-                    summaries.iter().map(|s| self.project(s).1.to_vec()).collect();
+                let adv_pts: Vec<Vec<f64>> = summaries
+                    .iter()
+                    .map(|s| self.project(s).0.to_vec())
+                    .collect();
+                let vic_pts: Vec<Vec<f64>> = summaries
+                    .iter()
+                    .map(|s| self.project(s).1.to_vec())
+                    .collect();
                 let ba = bonus_for(&adv_pts, &self.union_adv);
                 let bv = bonus_for(&vic_pts, &self.union_vic);
                 self.union_adv.extend(adv_pts);
@@ -385,7 +396,10 @@ mod tests {
         let bonuses = engine.compute_bonuses(&b, &adv).unwrap();
         let old: f64 = bonuses[..15].iter().sum::<f64>() / 15.0;
         let new: f64 = bonuses[15..].iter().sum::<f64>() / 15.0;
-        assert!(new > old, "novel region should out-earn explored: {old} vs {new}");
+        assert!(
+            new > old,
+            "novel region should out-earn explored: {old} vs {new}"
+        );
     }
 
     #[test]
@@ -395,17 +409,22 @@ mod tests {
         let bonuses = engine.compute_bonuses(&b, &adversary()).unwrap();
         // Episode starts at x = 0; later states drift away -> lower bonus.
         assert!(bonuses[0] > bonuses[19]);
-        assert!(bonuses.iter().all(|&v| v <= 1e-12), "risk bonus is non-positive");
+        assert!(
+            bonuses.iter().all(|&v| v <= 1e-12),
+            "risk bonus is non-positive"
+        );
     }
 
     #[test]
     fn divergence_bonus_zero_then_positive() {
-        let mut engine =
-            IntrinsicEngine::new(RegularizerConfig::new(RegularizerKind::Divergence));
+        let mut engine = IntrinsicEngine::new(RegularizerConfig::new(RegularizerKind::Divergence));
         let adv = adversary();
         let b = line_buffer(10, 0.0);
         let first = engine.compute_bonuses(&b, &adv).unwrap();
-        assert!(first.iter().all(|v| v.abs() < 1e-9), "mimic starts as a copy");
+        assert!(
+            first.iter().all(|v| v.abs() < 1e-9),
+            "mimic starts as a copy"
+        );
         // Move the adversary; KL to the (lagging) mimic becomes positive.
         let mut moved = adv.clone();
         let mut p = moved.params();

@@ -291,7 +291,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         env.reset(&mut rng);
         for _ in 0..20 {
-            let s = env.step(&vec![10.0; 5], &mut rng); // over-range action
+            let s = env.step(&[10.0; 5], &mut rng); // over-range action
             if s.done {
                 break;
             }
@@ -304,15 +304,14 @@ mod tests {
         let mut env = PerturbationEnv::new(Box::new(Hopper::new()), victim_for_hopper(4), 0.05);
         let mut rng = StdRng::seed_from_u64(5);
         env.reset(&mut rng);
-        let s = env.step(&vec![0.0; 5], &mut rng);
+        let s = env.step(&[0.0; 5], &mut rng);
         // Fresh hopper isn't progressing -> surrogate 0 -> adversary reward 0.
         assert_eq!(s.reward, 0.0);
     }
 
     #[test]
     fn opponent_env_reduces_game() {
-        let victim =
-            GaussianPolicy::new(12, 3, &[8], -0.5, &mut StdRng::seed_from_u64(6)).unwrap();
+        let victim = GaussianPolicy::new(12, 3, &[8], -0.5, &mut StdRng::seed_from_u64(6)).unwrap();
         let mut env = OpponentEnv::new(Box::new(YouShallNotPass::new()), victim);
         assert_eq!(env.obs_dim(), 12);
         assert_eq!(env.action_dim(), 3);
@@ -329,8 +328,7 @@ mod tests {
     fn opponent_reward_only_at_victim_win() {
         // An untrained random victim against a still blocker: episode ends by
         // timeout, victim loses, adversary reward stays 0 (not -1).
-        let victim =
-            GaussianPolicy::new(12, 3, &[8], -2.0, &mut StdRng::seed_from_u64(8)).unwrap();
+        let victim = GaussianPolicy::new(12, 3, &[8], -2.0, &mut StdRng::seed_from_u64(8)).unwrap();
         let mut env = OpponentEnv::new(
             Box::new(imap_env::multiagent::YouShallNotPass::with_max_steps(20)),
             victim,

@@ -120,40 +120,67 @@ impl AtlaTrainer {
             .sa_coef
             .map(|c| SaPenalty::new(self.cfg.eps, c, self.cfg.train.seed ^ 0xa71a));
 
+        let tel = self.cfg.train.telemetry.clone();
         // Round 0: warm up the victim clean so the adversary has something
         // to attack.
-        for _ in 0..self.cfg.victim_iters_per_round {
-            let mut wrapped = VictimUnderAttackEnv::new(env.as_mut(), None, 0.0);
-            runner.iterate(
-                &mut wrapped,
-                sa.as_mut().map(|p| p as &mut dyn imap_rl::PenaltyFn),
-                None,
-            )?;
-        }
-
-        for round in 0..self.cfg.rounds {
-            // (a) Train an adversary against the frozen victim.
-            let adv_train = TrainConfig {
-                iterations: self.cfg.adversary_iters,
-                seed: self.cfg.train.seed ^ (0x1000 + round as u64),
-                ..self.cfg.train.clone()
-            };
-            let outcome = sa_rl(
-                make_env(),
-                runner.policy.clone(),
-                self.cfg.eps,
-                adv_train,
-            )?;
-            // (b) Train the victim under the frozen adversary.
+        {
+            let _t = tel.span("victim_round");
+            let mut warm_return = 0.0;
             for _ in 0..self.cfg.victim_iters_per_round {
-                let mut wrapped =
-                    VictimUnderAttackEnv::new(env.as_mut(), Some(&outcome.policy), self.cfg.eps);
-                runner.iterate(
+                let mut wrapped = VictimUnderAttackEnv::new(env.as_mut(), None, 0.0);
+                let stats = runner.iterate(
                     &mut wrapped,
                     sa.as_mut().map(|p| p as &mut dyn imap_rl::PenaltyFn),
                     None,
                 )?;
+                warm_return = stats.mean_return;
             }
+            tel.record_full(
+                "atla",
+                0,
+                &[("victim_mean_return", warm_return)],
+                &[("total_steps", runner.total_steps() as u64)],
+                &[("stage", "warmup")],
+            );
+        }
+
+        for round in 0..self.cfg.rounds {
+            // (a) Train an adversary against the frozen victim.
+            let adversary_asr;
+            let outcome = {
+                let _t = tel.span("adversary_round");
+                let adv_train = TrainConfig {
+                    iterations: self.cfg.adversary_iters,
+                    seed: self.cfg.train.seed ^ (0x1000 + round as u64),
+                    ..self.cfg.train.clone()
+                };
+                let outcome = sa_rl(make_env(), runner.policy.clone(), self.cfg.eps, adv_train)?;
+                adversary_asr = outcome.curve.last().map(|p| p.asr).unwrap_or(0.0);
+                outcome
+            };
+            // (b) Train the victim under the frozen adversary.
+            let _t = tel.span("victim_round");
+            let mut victim_return = 0.0;
+            for _ in 0..self.cfg.victim_iters_per_round {
+                let mut wrapped =
+                    VictimUnderAttackEnv::new(env.as_mut(), Some(&outcome.policy), self.cfg.eps);
+                let stats = runner.iterate(
+                    &mut wrapped,
+                    sa.as_mut().map(|p| p as &mut dyn imap_rl::PenaltyFn),
+                    None,
+                )?;
+                victim_return = stats.mean_return;
+            }
+            tel.record_full(
+                "atla",
+                (round + 1) as u64,
+                &[
+                    ("victim_mean_return", victim_return),
+                    ("adversary_asr", adversary_asr),
+                ],
+                &[("total_steps", runner.total_steps() as u64)],
+                &[("stage", "round")],
+            );
         }
         Ok(runner.policy)
     }
@@ -203,7 +230,11 @@ mod tests {
             &mut rng,
         )
         .unwrap();
-        assert!(r.mean_return > 50.0, "ATLA victim competence: {}", r.mean_return);
+        assert!(
+            r.mean_return > 50.0,
+            "ATLA victim competence: {}",
+            r.mean_return
+        );
     }
 
     #[test]
@@ -223,20 +254,13 @@ mod tests {
     #[test]
     fn victim_under_attack_env_perturbs() {
         let mut inner = Hopper::new();
-        let adv = GaussianPolicy::new(
-            5,
-            5,
-            &[8],
-            -0.5,
-            &mut rand::rngs::StdRng::seed_from_u64(1),
-        )
-        .unwrap();
+        let adv = GaussianPolicy::new(5, 5, &[8], -0.5, &mut rand::rngs::StdRng::seed_from_u64(1))
+            .unwrap();
         let mut rng1 = EnvRng::seed_from_u64(7);
         let mut clean = Hopper::new();
         let clean_obs = clean.reset(&mut rng1);
         let mut rng2 = EnvRng::seed_from_u64(7);
-        let mut wrapped =
-            VictimUnderAttackEnv::new(&mut inner, Some(&adv), 0.5);
+        let mut wrapped = VictimUnderAttackEnv::new(&mut inner, Some(&adv), 0.5);
         let pert_obs = wrapped.reset(&mut rng2);
         assert_ne!(clean_obs, pert_obs, "large-eps adversary must move the obs");
         // And the deviation respects the budget (std = 1).

@@ -23,7 +23,9 @@ pub mod wocar;
 pub mod zoo;
 
 pub use atla::{AtlaConfig, AtlaTrainer};
-pub use marl::{train_game_victim, train_game_victim_selfplay, OpponentPool, ScriptedOpponent, VictimGameEnv};
+pub use marl::{
+    train_game_victim, train_game_victim_selfplay, OpponentPool, ScriptedOpponent, VictimGameEnv,
+};
 pub use penalty::{RadialPenalty, SaPenalty};
 pub use wocar::{WocarConfig, WocarTrainer};
-pub use zoo::{train_victim, DefenseMethod, VictimBudget};
+pub use zoo::{train_victim, train_victim_with, DefenseMethod, VictimBudget};

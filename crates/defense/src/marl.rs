@@ -34,10 +34,10 @@ impl ScriptedOpponent {
             let rel_x = obs[6];
             let rel_y = obs[7];
             match mode {
-                0 => vec![0.0, 0.0, 1.0], // braced wall
+                0 => vec![0.0, 0.0, 1.0],                            // braced wall
                 1 => vec![0.0, (2.5 * rel_y).clamp(-1.0, 1.0), 0.8], // tracker
                 2 => vec![
-                    (0.3 + 0.2 * rng.gen::<f64>()) * -1.0, // drift toward runner
+                    -(0.3 + 0.2 * rng.gen::<f64>()), // drift toward runner
                     (1.5 * rel_y).clamp(-1.0, 1.0),
                     0.4,
                 ],
@@ -235,32 +235,65 @@ pub fn train_game_victim_selfplay(
     opponent_iters: usize,
     victim_iters_per_round: usize,
 ) -> Result<GaussianPolicy, NnError> {
+    let tel = cfg.telemetry.clone();
     let mut pool = OpponentPool::scripted_only(scripted());
     let probe_env = VictimGameEnv::new(make_game(), scripted());
     let mut runner = imap_rl::PpoRunner::new(&probe_env, cfg.clone())?;
 
-    let mut env = VictimGameEnv::with_pool(make_game(), pool);
-    for _ in 0..initial_victim_iters {
-        runner.iterate(&mut env, None, None)?;
+    let mut warmup_return = 0.0;
+    {
+        let _t = tel.span("victim_round");
+        let mut env = VictimGameEnv::with_pool(make_game(), pool);
+        for _ in 0..initial_victim_iters {
+            let stats = runner.iterate(&mut env, None, None)?;
+            warmup_return = stats.mean_return;
+        }
+        pool = env.opponent;
     }
-    pool = env.opponent;
+    tel.record_full(
+        "selfplay",
+        0,
+        &[("victim_mean_return", warmup_return)],
+        &[
+            ("total_steps", runner.total_steps() as u64),
+            ("pool_learned", pool.learned_count() as u64),
+        ],
+        &[("stage", "warmup")],
+    );
 
     for round in 0..rounds {
         // (a) Train an opponent "old version" against the frozen victim.
-        let opp_cfg = TrainConfig {
-            iterations: opponent_iters,
-            seed: cfg.seed ^ (0xbb00 + round as u64),
-            ..cfg.clone()
-        };
-        let outcome =
-            imap_core::attacks::ap_marl(make_game(), runner.policy.clone(), opp_cfg)?;
-        pool.push_learned(outcome.policy);
-        // (b) Resume victim training against the enlarged pool.
-        let mut env = VictimGameEnv::with_pool(make_game(), pool);
-        for _ in 0..victim_iters_per_round {
-            runner.iterate(&mut env, None, None)?;
+        {
+            let _t = tel.span("opponent_round");
+            let opp_cfg = TrainConfig {
+                iterations: opponent_iters,
+                seed: cfg.seed ^ (0xbb00 + round as u64),
+                ..cfg.clone()
+            };
+            let outcome = imap_core::attacks::ap_marl(make_game(), runner.policy.clone(), opp_cfg)?;
+            pool.push_learned(outcome.policy);
         }
-        pool = env.opponent;
+        // (b) Resume victim training against the enlarged pool.
+        let mut round_return = 0.0;
+        {
+            let _t = tel.span("victim_round");
+            let mut env = VictimGameEnv::with_pool(make_game(), pool);
+            for _ in 0..victim_iters_per_round {
+                let stats = runner.iterate(&mut env, None, None)?;
+                round_return = stats.mean_return;
+            }
+            pool = env.opponent;
+        }
+        tel.record_full(
+            "selfplay",
+            (round + 1) as u64,
+            &[("victim_mean_return", round_return)],
+            &[
+                ("total_steps", runner.total_steps() as u64),
+                ("pool_learned", pool.learned_count() as u64),
+            ],
+            &[("stage", "round")],
+        );
     }
     Ok(runner.policy)
 }
@@ -390,14 +423,9 @@ mod tests {
     fn goalie_population_defends_sometimes() {
         // An untrained kicker against the goalie population never scores
         // (it can't even reach the ball reliably) -> success_rate ~ 0.
-        let policy = GaussianPolicy::new(
-            12,
-            4,
-            &[8],
-            -0.5,
-            &mut rand::rngs::StdRng::seed_from_u64(3),
-        )
-        .unwrap();
+        let policy =
+            GaussianPolicy::new(12, 4, &[8], -0.5, &mut rand::rngs::StdRng::seed_from_u64(3))
+                .unwrap();
         let mut env = VictimGameEnv::new(
             Box::new(KickAndDefend::with_max_steps(80)),
             ScriptedOpponent::goalie_population(),

@@ -53,7 +53,7 @@ fn smoothness_grads(
         *a += b;
     }
     // log_std receives no smoothness gradient.
-    flat.extend(std::iter::repeat(0.0).take(policy.head.log_std.len()));
+    flat.extend(std::iter::repeat_n(0.0, policy.head.log_std.len()));
     Ok((loss, flat))
 }
 
@@ -174,7 +174,7 @@ impl RadialPenalty {
                     .zip(mu_p.iter())
                     .map(|(a, b)| (a - b) * (a - b))
                     .sum();
-                if best.as_ref().map_or(true, |(d, _)| dev > *d) {
+                if best.as_ref().is_none_or(|(d, _)| dev > *d) {
                     best = Some((dev, zp));
                 }
             }
@@ -219,7 +219,10 @@ mod tests {
         let p = policy(0);
         let zs = states();
         let rows: Vec<&[f64]> = zs.iter().map(|z| z.as_slice()).collect();
-        let perturbed: Vec<Vec<f64>> = zs.iter().map(|z| z.iter().map(|v| v + 0.07).collect()).collect();
+        let perturbed: Vec<Vec<f64>> = zs
+            .iter()
+            .map(|z| z.iter().map(|v| v + 0.07).collect())
+            .collect();
         let (_, grads) = smoothness_grads(&p, &rows, &perturbed, 1.0).unwrap();
         // FD over MLP params only (log_std grads are zero by construction).
         let mlp_params = p.mlp.params();
@@ -245,7 +248,10 @@ mod tests {
             1e-6,
         );
         for (i, (a, b)) in grads.iter().zip(fd.iter()).enumerate() {
-            assert!((a - b).abs() / (1.0 + b.abs()) < 1e-4, "param {i}: {a} vs {b}");
+            assert!(
+                (a - b).abs() / (1.0 + b.abs()) < 1e-4,
+                "param {i}: {a} vs {b}"
+            );
         }
     }
 
@@ -296,7 +302,10 @@ mod tests {
                 .map(|(a, b)| (a - b).abs())
                 .fold(0.0, f64::max);
             let bound = imap_nn::ibp::output_deviation_bound(&p.mlp, z, 0.15).unwrap();
-            assert!(dev <= bound + 1e-9, "sampled {dev} exceeds IBP bound {bound}");
+            assert!(
+                dev <= bound + 1e-9,
+                "sampled {dev} exceeds IBP bound {bound}"
+            );
         }
     }
 

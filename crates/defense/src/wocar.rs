@@ -76,27 +76,40 @@ impl WocarTrainer {
         let mut wopt = Adam::new(value_w.mlp.param_count(), cfg.ppo.lr_value);
         let mut smooth = SaPenalty::new(self.cfg.eps, self.cfg.smooth_coef, cfg.seed ^ 0x5151);
 
-        for _ in 0..cfg.iterations {
-            let buffer = collect_rollout(env, &mut policy, cfg.steps_per_iter, true, &mut rng)?;
+        let tel = cfg.telemetry.clone();
+        let mut total_steps = 0usize;
+        for iteration in 0..cfg.iterations {
+            let buffer = {
+                let _t = tel.span("collect_rollout");
+                collect_rollout(env, &mut policy, cfg.steps_per_iter, true, &mut rng)?
+            };
+            total_steps += buffer.len();
             let rewards: Vec<f64> = buffer.steps.iter().map(|s| s.reward).collect();
             // Sound per-state worst-case output deviation via IBP; the raw
             // ε ball is expressed per-dimension in normalized coordinates.
-            let radii: Vec<f64> = crate::penalty::normalized_radii(&policy, self.cfg.eps);
-            let devs: Vec<f64> = buffer
-                .steps
-                .iter()
-                .map(|s| imap_nn::ibp::output_deviation_bound_radii(&policy.mlp, &s.z, &radii))
-                .collect::<Result<_, _>>()?;
+            let devs: Vec<f64> = {
+                let _t = tel.span("ibp_worst_case");
+                let radii: Vec<f64> = crate::penalty::normalized_radii(&policy, self.cfg.eps);
+                buffer
+                    .steps
+                    .iter()
+                    .map(|s| imap_nn::ibp::output_deviation_bound_radii(&policy.mlp, &s.z, &radii))
+                    .collect::<Result<_, _>>()?
+            };
             let worst_rewards: Vec<f64> = rewards
                 .iter()
                 .zip(devs.iter())
                 .map(|(r, d)| r - self.cfg.kappa * d)
                 .collect();
 
-            let (adv, returns) =
-                advantages_for(&buffer, &rewards, &value, cfg.gamma, cfg.lambda)?;
-            let (adv_w, returns_w) =
-                advantages_for(&buffer, &worst_rewards, &value_w, cfg.gamma, cfg.lambda)?;
+            let (adv, returns, adv_w, returns_w) = {
+                let _t = tel.span("advantages");
+                let (adv, returns) =
+                    advantages_for(&buffer, &rewards, &value, cfg.gamma, cfg.lambda)?;
+                let (adv_w, returns_w) =
+                    advantages_for(&buffer, &worst_rewards, &value_w, cfg.gamma, cfg.lambda)?;
+                (adv, returns, adv_w, returns_w)
+            };
             let mut combined: Vec<f64> = adv
                 .iter()
                 .zip(adv_w.iter())
@@ -105,30 +118,48 @@ impl WocarTrainer {
             normalize_advantages(&mut combined);
             let samples = samples_from(&buffer, &combined);
 
-            update_policy(
-                &mut policy,
-                &samples,
-                &cfg.ppo,
-                &mut popt,
-                Some(&mut smooth),
-                &mut rng,
-            )?;
-            update_value(
-                &mut value,
-                &buffer.observations(),
-                &returns,
-                &cfg.ppo,
-                &mut vopt,
-                &mut rng,
-            )?;
-            update_value(
-                &mut value_w,
-                &buffer.observations(),
-                &returns_w,
-                &cfg.ppo,
-                &mut wopt,
-                &mut rng,
-            )?;
+            {
+                let _t = tel.span("update_policy");
+                update_policy(
+                    &mut policy,
+                    &samples,
+                    &cfg.ppo,
+                    &mut popt,
+                    Some(&mut smooth),
+                    &mut rng,
+                )?;
+            }
+            {
+                let _t = tel.span("update_value");
+                update_value(
+                    &mut value,
+                    &buffer.observations(),
+                    &returns,
+                    &cfg.ppo,
+                    &mut vopt,
+                    &mut rng,
+                )?;
+                update_value(
+                    &mut value_w,
+                    &buffer.observations(),
+                    &returns_w,
+                    &cfg.ppo,
+                    &mut wopt,
+                    &mut rng,
+                )?;
+            }
+
+            let mean_dev = devs.iter().sum::<f64>() / devs.len().max(1) as f64;
+            tel.record_full(
+                "wocar",
+                iteration as u64,
+                &[
+                    ("mean_return", buffer.mean_episode_return()),
+                    ("mean_worst_case_dev", mean_dev),
+                ],
+                &[("total_steps", total_steps as u64)],
+                &[],
+            );
         }
         Ok(policy)
     }
@@ -197,7 +228,15 @@ mod tests {
         let wocar = WocarTrainer::new(cfg).train(&mut Hopper::new()).unwrap();
         let vanilla = train_vanilla(&mut Hopper::new(), quick(2, 10)).unwrap();
         let probe: Vec<Vec<f64>> = (0..32)
-            .map(|i| vec![(i as f64 * 0.3).sin(), 0.0, (i as f64 * 0.17).cos() * 0.2, 0.0, 0.5])
+            .map(|i| {
+                vec![
+                    (i as f64 * 0.3).sin(),
+                    0.0,
+                    (i as f64 * 0.17).cos() * 0.2,
+                    0.0,
+                    0.5,
+                ]
+            })
             .collect();
         let mean_dev = |p: &GaussianPolicy| -> f64 {
             probe

@@ -4,6 +4,7 @@
 use imap_env::{build_task, Env, TaskId};
 use imap_nn::NnError;
 use imap_rl::{train_ppo, GaussianPolicy, PpoConfig, TrainConfig};
+use imap_telemetry::Telemetry;
 use serde::{Deserialize, Serialize};
 
 use crate::atla::{AtlaConfig, AtlaTrainer};
@@ -111,19 +112,43 @@ pub fn train_victim(
     budget: &VictimBudget,
     seed: u64,
 ) -> Result<GaussianPolicy, NnError> {
+    train_victim_with(&Telemetry::null(), task, method, budget, seed)
+}
+
+/// [`train_victim`] with telemetry: the victim's own training loop records
+/// through `tel` (phase depends on the method), the whole call runs under a
+/// `train_victim` span, and one `victim`-phase summary row is emitted with
+/// task/method tags and the retry count.
+pub fn train_victim_with(
+    tel: &Telemetry,
+    task: TaskId,
+    method: DefenseMethod,
+    budget: &VictimBudget,
+    seed: u64,
+) -> Result<GaussianPolicy, NnError> {
+    let _t = tel.span("train_victim");
     // PPO on the harder sparse tasks is seed-sensitive (exploration can
     // stall in a local optimum); deployed victims must actually solve their
     // task, so retry with derived seeds until competent — the analogue of
     // the paper selecting working pre-trained checkpoints.
-    let mut policy = train_victim_once(task, method, budget, seed)?;
+    let mut attempts = 1u64;
+    let mut policy = train_victim_once(tel, task, method, budget, seed)?;
     if task.is_sparse() {
         for attempt in 1..4u64 {
             if victim_is_competent(task, &policy)? {
                 break;
             }
-            policy = train_victim_once(task, method, budget, seed ^ (attempt * 7919))?;
+            attempts += 1;
+            policy = train_victim_once(tel, task, method, budget, seed ^ (attempt * 7919))?;
         }
     }
+    tel.record_full(
+        "victim",
+        0,
+        &[],
+        &[("attempts", attempts)],
+        &[("task", task.spec().name), ("method", method.name())],
+    );
     Ok(policy)
 }
 
@@ -146,13 +171,15 @@ fn victim_is_competent(task: TaskId, policy: &GaussianPolicy) -> Result<bool, Nn
 }
 
 fn train_victim_once(
+    tel: &Telemetry,
     task: TaskId,
     method: DefenseMethod,
     budget: &VictimBudget,
     seed: u64,
 ) -> Result<GaussianPolicy, NnError> {
     let eps = task.spec().eps;
-    let cfg = budget.train_config(seed);
+    let mut cfg = budget.train_config(seed);
+    cfg.telemetry = tel.clone();
     let mut policy = match method {
         DefenseMethod::Ppo => {
             let mut env = build_task(task);
@@ -227,6 +254,26 @@ mod tests {
     }
 
     #[test]
+    fn train_victim_with_records_summary_and_train_rows() {
+        let (tel, mem) = Telemetry::memory("zoo-test");
+        train_victim_with(&tel, TaskId::Hopper, DefenseMethod::Ppo, &tiny_budget(), 1).unwrap();
+        let rows = mem.rows();
+        let summary = rows.iter().find(|r| r.phase == "victim").unwrap();
+        assert_eq!(summary.tags["task"], "Hopper");
+        assert_eq!(summary.tags["method"], "PPO (va.)");
+        assert_eq!(summary.counters["attempts"], 1);
+        assert!(
+            rows.iter().any(|r| r.phase == "train"),
+            "inner PPO loop must record through the same handle"
+        );
+        assert!(tel
+            .timing_report()
+            .spans
+            .iter()
+            .any(|s| s.name == "train_victim"));
+    }
+
+    #[test]
     fn victims_are_deterministic_per_seed() {
         let a = train_victim(TaskId::Hopper, DefenseMethod::Ppo, &tiny_budget(), 9).unwrap();
         let b = train_victim(TaskId::Hopper, DefenseMethod::Ppo, &tiny_budget(), 9).unwrap();
@@ -235,8 +282,13 @@ mod tests {
 
     #[test]
     fn quick_ppo_victim_is_competent_on_hopper() {
-        let p = train_victim(TaskId::Hopper, DefenseMethod::Ppo, &VictimBudget::quick(), 3)
-            .unwrap();
+        let p = train_victim(
+            TaskId::Hopper,
+            DefenseMethod::Ppo,
+            &VictimBudget::quick(),
+            3,
+        )
+        .unwrap();
         let mut env = build_task(TaskId::Hopper);
         let mut rng = imap_env::EnvRng::seed_from_u64(4);
         let r = imap_rl::evaluate(

@@ -132,7 +132,7 @@ mod tests {
     fn min_cap_is_two() {
         let mut b = UnionBuffer::new(0);
         b.extend((0..10).map(|i| vec![i as f64]));
-        assert!(b.len() >= 1);
+        assert!(!b.is_empty());
     }
 
     #[test]

@@ -97,8 +97,12 @@ pub trait MultiAgentEnv {
     /// Resets the game, returning `(victim_obs, adversary_obs)`.
     fn reset(&mut self, rng: &mut EnvRng) -> (Vec<f64>, Vec<f64>);
     /// Advances one simultaneous-move step.
-    fn step(&mut self, victim_action: &[f64], adversary_action: &[f64], rng: &mut EnvRng)
-        -> MultiStep;
+    fn step(
+        &mut self,
+        victim_action: &[f64],
+        adversary_action: &[f64],
+        rng: &mut EnvRng,
+    ) -> MultiStep;
     /// Projection of the full state onto the victim's task-relevant
     /// coordinates (`Pi_{S^v}`, used by the marginal SC-M/PC-M regularizers
     /// with trade-off ξ, eqs. 7 and 9).

@@ -130,9 +130,9 @@ impl Env for FetchReach {
     fn step(&mut self, action: &[f64], _rng: &mut EnvRng) -> Step {
         let a = clamp_action(action, 3);
         self.steps += 1;
-        for i in 0..3 {
+        for (i, &ai) in a.iter().enumerate().take(3) {
             // First-order velocity tracking per joint.
-            self.joint_vels[i] += DT * 8.0 * (JOINT_SPEED * a[i] - self.joint_vels[i]);
+            self.joint_vels[i] += DT * 8.0 * (JOINT_SPEED * ai - self.joint_vels[i]);
             self.joints[i] = (self.joints[i] + DT * self.joint_vels[i]).clamp(-2.5, 2.5);
         }
         let dist = self.dist();
@@ -213,7 +213,10 @@ mod tests {
         }
         // Greedy descent is myopic (the distance landscape is nonconvex in
         // joint space), so require a majority, not perfection.
-        assert!(reaches >= 3, "greedy reacher should usually reach: {reaches}/5");
+        assert!(
+            reaches >= 3,
+            "greedy reacher should usually reach: {reaches}/5"
+        );
     }
 
     #[test]

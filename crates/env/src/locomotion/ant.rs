@@ -112,9 +112,7 @@ impl Env for Ant {
         self.speed += DT * (4.0 * drive.max(0.0) - 1.0 * self.speed);
 
         // Roll becomes unstable when turning at speed; `roll_ctl` rights it.
-        self.roll_vel += DT * (1.5 * self.roll
-            + 1.0 * turn_rate * self.speed
-            + 1.5 * roll_ctl);
+        self.roll_vel += DT * (1.5 * self.roll + 1.0 * turn_rate * self.speed + 1.5 * roll_ctl);
         self.roll += DT * self.roll_vel;
 
         let vx = self.speed * self.heading.cos();
@@ -180,7 +178,10 @@ mod tests {
                 break;
             }
         }
-        assert!(flipped, "uncontrolled hard turn at speed should flip the ant");
+        assert!(
+            flipped,
+            "uncontrolled hard turn at speed should flip the ant"
+        );
     }
 
     #[test]
@@ -209,6 +210,9 @@ mod tests {
         env.heading = std::f64::consts::FRAC_PI_2;
         let mut rng = EnvRng::seed_from_u64(4);
         let s = env.step(&[1.0, 0.0, 0.0, 0.0], &mut rng);
-        assert!(s.reward < 0.6, "sideways driving should earn ~alive bonus only");
+        assert!(
+            s.reward < 0.6,
+            "sideways driving should earn ~alive bonus only"
+        );
     }
 }

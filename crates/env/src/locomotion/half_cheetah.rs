@@ -100,9 +100,7 @@ impl Env for HalfCheetah {
 
         // Body rock is *stable* but excited by hard drive; the policy damps
         // it with `rock_ctl` to keep traction.
-        self.rock_vel += DT * (-1.0 * self.rock - 0.5 * self.rock_vel
-            + 1.8 * drive
-            + 1.2 * rock_ctl);
+        self.rock_vel += DT * (-self.rock - 0.5 * self.rock_vel + 1.8 * drive + 1.2 * rock_ctl);
         self.rock += DT * self.rock_vel;
 
         // Slip builds when drive torque exceeds the grip available at the
@@ -190,7 +188,10 @@ mod tests {
             managed > greedy,
             "damping rock should preserve traction: managed {managed} vs greedy {greedy}"
         );
-        assert!(managed > 3.0, "managed cheetah should cover ground: {managed}");
+        assert!(
+            managed > 3.0,
+            "managed cheetah should cover ground: {managed}"
+        );
     }
 
     #[test]

@@ -60,7 +60,13 @@ impl Hopper {
     }
 
     fn observation(&self) -> Vec<f64> {
-        vec![self.z - GROUND_Z, self.vz, self.pitch, self.pitch_vel, self.vx]
+        vec![
+            self.z - GROUND_Z,
+            self.vz,
+            self.pitch,
+            self.pitch_vel,
+            self.vx,
+        ]
     }
 }
 
@@ -166,7 +172,11 @@ mod tests {
         let steps = rollout_fixed(&mut Hopper::new(), &[0.0, 1.0, 0.0], 200, 1);
         let last = steps.last().unwrap();
         assert!(last.unhealthy, "hopper should fall under constant torque");
-        assert!(steps.len() < 60, "fall should be fast, took {}", steps.len());
+        assert!(
+            steps.len() < 60,
+            "fall should be fast, took {}",
+            steps.len()
+        );
     }
 
     #[test]
@@ -188,8 +198,15 @@ mod tests {
                 break;
             }
         }
-        assert!(survived >= 100, "balanced hopper should survive: {survived}");
-        assert!(env.x() > 1.0, "leaning hopper should advance, x = {}", env.x());
+        assert!(
+            survived >= 100,
+            "balanced hopper should survive: {survived}"
+        );
+        assert!(
+            env.x() > 1.0,
+            "leaning hopper should advance, x = {}",
+            env.x()
+        );
     }
 
     #[test]

@@ -275,7 +275,11 @@ mod tests {
         // With zero control the humanoid's double instability falls fast.
         let steps = rollout_fixed(&mut Humanoid::new(), &[0.0, 0.0, 1.0, 0.0, 0.5], 300, 2);
         assert!(steps.last().unwrap().unhealthy);
-        assert!(steps.len() < 80, "humanoid should fall quickly: {}", steps.len());
+        assert!(
+            steps.len() < 80,
+            "humanoid should fall quickly: {}",
+            steps.len()
+        );
     }
 
     #[test]
@@ -329,7 +333,10 @@ mod tests {
                 break;
             }
         }
-        assert!(!succeeded, "no-balance lift should not reach a stable stand");
+        assert!(
+            !succeeded,
+            "no-balance lift should not reach a stable stand"
+        );
     }
 
     #[test]

@@ -184,10 +184,8 @@ impl DistanceField {
     /// Geodesic distance from `(x, y)` to the goal (nearest-cell lookup;
     /// unreachable or out-of-bounds points return a large finite value).
     pub fn distance(&self, x: f64, y: f64) -> f64 {
-        let c = ((x / self.resolution).round() as isize)
-            .clamp(0, self.cols as isize - 1) as usize;
-        let r = ((y / self.resolution).round() as isize)
-            .clamp(0, self.rows as isize - 1) as usize;
+        let c = ((x / self.resolution).round() as isize).clamp(0, self.cols as isize - 1) as usize;
+        let r = ((y / self.resolution).round() as isize).clamp(0, self.rows as isize - 1) as usize;
         let d = self.dist[r * self.cols + c];
         if d.is_finite() {
             d

@@ -178,7 +178,10 @@ mod tests {
         let mut b2 = Body::at(0.3, 0.0);
         a2.vx = 2.0;
         resolve_contact(&mut a2, &mut b2, 0.6, 0.0, 0.0);
-        assert!(a1.balance > a2.balance, "braced body should keep more balance");
+        assert!(
+            a1.balance > a2.balance,
+            "braced body should keep more balance"
+        );
     }
 
     #[test]

@@ -251,7 +251,8 @@ mod tests {
         let waypoints = [(2.0, 2.0), (4.0, 2.0), (6.0, 2.0), (6.0, 6.0), (7.0, 7.0)];
         let mut wp = 0;
         for _ in 0..250 {
-            let d = ((obs[0] - waypoints[wp].0).powi(2) + (obs[1] - waypoints[wp].1).powi(2)).sqrt();
+            let d =
+                ((obs[0] - waypoints[wp].0).powi(2) + (obs[1] - waypoints[wp].1).powi(2)).sqrt();
             if d < 0.6 && wp + 1 < waypoints.len() {
                 wp += 1;
             }

@@ -114,9 +114,7 @@ impl TaskId {
             TaskId::SparseWalker2d => ("SparseWalker2d", SparseLocomotion, 0.2),
             TaskId::SparseHalfCheetah => ("SparseHalfCheetah", SparseLocomotion, 0.4),
             TaskId::SparseAnt => ("SparseAnt", SparseLocomotion, 0.15),
-            TaskId::SparseHumanoidStandup => {
-                ("SparseHumanoidStandup", SparseLocomotion, 0.25)
-            }
+            TaskId::SparseHumanoidStandup => ("SparseHumanoidStandup", SparseLocomotion, 0.25),
             TaskId::SparseHumanoid => ("SparseHumanoid", SparseLocomotion, 0.1),
             TaskId::AntUMaze => ("AntUMaze", Navigation, 0.3),
             TaskId::Ant4Rooms => ("Ant4Rooms", Navigation, 0.3),
@@ -156,9 +154,7 @@ pub fn build_task(id: TaskId) -> Box<dyn Env> {
         TaskId::Walker2d => Box::new(Walker2d::new()),
         TaskId::HalfCheetah => Box::new(HalfCheetah::new()),
         TaskId::Ant => Box::new(Ant::new()),
-        TaskId::SparseHopper => {
-            Box::new(SparseLocomotion::new(Hopper::with_max_steps(300), 4.0))
-        }
+        TaskId::SparseHopper => Box::new(SparseLocomotion::new(Hopper::with_max_steps(300), 4.0)),
         TaskId::SparseWalker2d => {
             Box::new(SparseLocomotion::new(Walker2d::with_max_steps(300), 4.0))
         }

@@ -88,7 +88,11 @@ pub fn sparkline(values: &[f64], rows: usize) -> String {
     }
     let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    let span = if (max - min).abs() < 1e-12 { 1.0 } else { max - min };
+    let span = if (max - min).abs() < 1e-12 {
+        1.0
+    } else {
+        max - min
+    };
     let mut canvas = Canvas::new(
         values.len().min(120),
         rows,

@@ -141,11 +141,7 @@ pub fn output_deviation_bound(mlp: &Mlp, x: &[f64], eps: f64) -> Result<f64, NnE
 }
 
 /// [`output_deviation_bound`] with per-dimension radii.
-pub fn output_deviation_bound_radii(
-    mlp: &Mlp,
-    x: &[f64],
-    radii: &[f64],
-) -> Result<f64, NnError> {
+pub fn output_deviation_bound_radii(mlp: &Mlp, x: &[f64], radii: &[f64]) -> Result<f64, NnError> {
     deviation_of(mlp, x, &Interval::box_around(x, radii))
 }
 
@@ -153,10 +149,10 @@ fn deviation_of(mlp: &Mlp, x: &[f64], input: &Interval) -> Result<f64, NnError> 
     let bounds = propagate(mlp, input)?;
     let nominal = mlp.infer(x)?;
     let mut worst = 0.0f64;
-    for i in 0..nominal.len() {
+    for (i, &nom) in nominal.iter().enumerate() {
         worst = worst
-            .max((bounds.upper[i] - nominal[i]).abs())
-            .max((nominal[i] - bounds.lower[i]).abs());
+            .max((bounds.upper[i] - nom).abs())
+            .max((nom - bounds.lower[i]).abs());
     }
     Ok(worst)
 }
@@ -179,9 +175,9 @@ mod tests {
         let x = [0.4, -0.3, 0.8];
         let b = propagate(&mlp, &Interval::linf_ball(&x, 0.0)).unwrap();
         let y = mlp.infer(&x).unwrap();
-        for i in 0..y.len() {
-            assert!((b.lower[i] - y[i]).abs() < 1e-9);
-            assert!((b.upper[i] - y[i]).abs() < 1e-9);
+        for (i, &yv) in y.iter().enumerate() {
+            assert!((b.lower[i] - yv).abs() < 1e-9);
+            assert!((b.upper[i] - yv).abs() < 1e-9);
         }
     }
 

@@ -102,7 +102,7 @@ impl LstmCell {
     fn step(&self, x: &[f64], state: &LstmState) -> (LstmState, StepCache) {
         let h = self.hidden;
         let mut gates = self.b.clone();
-        for r in 0..4 * h {
+        for (r, gate) in gates.iter_mut().enumerate() {
             let row = self.w.row(r);
             let mut acc = 0.0;
             for (j, &xv) in x.iter().enumerate() {
@@ -111,7 +111,7 @@ impl LstmCell {
             for (j, &hv) in state.h.iter().enumerate() {
                 acc += row[self.input + j] * hv;
             }
-            gates[r] += acc;
+            *gate += acc;
         }
         let mut i = vec![0.0; h];
         let mut f = vec![0.0; h];
@@ -228,13 +228,18 @@ impl Lstm {
         }
         let mut off = 0;
         let wlen = self.cell.w.rows() * self.cell.w.cols();
-        self.cell.w.data_mut().copy_from_slice(&params[off..off + wlen]);
+        self.cell
+            .w
+            .data_mut()
+            .copy_from_slice(&params[off..off + wlen]);
         off += wlen;
         let blen = self.cell.b.len();
         self.cell.b.copy_from_slice(&params[off..off + blen]);
         off += blen;
         let olen = self.w_out.rows() * self.w_out.cols();
-        self.w_out.data_mut().copy_from_slice(&params[off..off + olen]);
+        self.w_out
+            .data_mut()
+            .copy_from_slice(&params[off..off + olen]);
         off += olen;
         self.b_out.copy_from_slice(&params[off..]);
         Ok(())
@@ -308,12 +313,11 @@ impl Lstm {
             let sc = &cache.steps[t];
             // Head: y = W_out h + b_out. h here is the post-step hidden,
             // reconstructible as o ⊙ tanh(c).
-            let h_t: Vec<f64> = sc
-                .o
-                .iter()
-                .zip(sc.tanh_c.iter())
-                .map(|(o, tc)| o * tc)
-                .collect();
+            let h_t: Vec<f64> =
+                sc.o.iter()
+                    .zip(sc.tanh_c.iter())
+                    .map(|(o, tc)| o * tc)
+                    .collect();
             let dy = &douts[t];
             let mut dh = dh_next.clone();
             for (r, &dyr) in dy.iter().enumerate() {
@@ -465,9 +469,9 @@ mod tests {
         // from a never-spiked sequence (memory persists in `c`).
         let lstm = net(4);
         let spiked: Vec<Vec<f64>> = std::iter::once(vec![3.0, -3.0])
-            .chain(std::iter::repeat(vec![0.0, 0.0]).take(4))
+            .chain(std::iter::repeat_n(vec![0.0, 0.0], 4))
             .collect();
-        let flat: Vec<Vec<f64>> = std::iter::repeat(vec![0.0, 0.0]).take(5).collect();
+        let flat: Vec<Vec<f64>> = std::iter::repeat_n(vec![0.0, 0.0], 5).collect();
         let (c1, _) = lstm.forward(&spiked).unwrap();
         let (c2, _) = lstm.forward(&flat).unwrap();
         let last_diff = (c1.outputs()[4][0] - c2.outputs()[4][0]).abs();

@@ -314,7 +314,11 @@ mod tests {
     #[test]
     fn transpose_matmul_consistency() {
         let a = m(2, 3, &[1.0, -2.0, 3.0, 0.5, 5.0, -6.0]);
-        let b = m(4, 3, &[1.0, 0.0, 2.0, -1.0, 3.0, 1.0, 0.0, 0.0, 1.0, 2.0, 2.0, 2.0]);
+        let b = m(
+            4,
+            3,
+            &[1.0, 0.0, 2.0, -1.0, 3.0, 1.0, 0.0, 0.0, 1.0, 2.0, 2.0, 2.0],
+        );
         let fast = a.matmul_transpose_rhs(&b).unwrap();
         let slow = a.matmul(&b.transpose()).unwrap();
         assert_eq!(fast, slow);
@@ -323,7 +327,11 @@ mod tests {
     #[test]
     fn transpose_lhs_consistency() {
         let a = m(3, 2, &[1.0, -2.0, 3.0, 0.5, 5.0, -6.0]);
-        let b = m(3, 4, &[1.0, 0.0, 2.0, -1.0, 3.0, 1.0, 0.0, 0.0, 1.0, 2.0, 2.0, 2.0]);
+        let b = m(
+            3,
+            4,
+            &[1.0, 0.0, 2.0, -1.0, 3.0, 1.0, 0.0, 0.0, 1.0, 2.0, 2.0, 2.0],
+        );
         let fast = a.matmul_transpose_lhs(&b).unwrap();
         let slow = a.transpose().matmul(&b).unwrap();
         assert_eq!(fast, slow);

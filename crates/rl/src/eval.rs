@@ -89,11 +89,19 @@ pub fn evaluate(
 
     let n = cfg.episodes as f64;
     let mean_return = returns.iter().sum::<f64>() / n;
-    let std_return =
-        (returns.iter().map(|r| (r - mean_return).powi(2)).sum::<f64>() / n).sqrt();
+    let std_return = (returns
+        .iter()
+        .map(|r| (r - mean_return).powi(2))
+        .sum::<f64>()
+        / n)
+        .sqrt();
     let mean_sparse = sparses.iter().sum::<f64>() / n;
-    let std_sparse =
-        (sparses.iter().map(|r| (r - mean_sparse).powi(2)).sum::<f64>() / n).sqrt();
+    let std_sparse = (sparses
+        .iter()
+        .map(|r| (r - mean_sparse).powi(2))
+        .sum::<f64>()
+        / n)
+        .sqrt();
     Ok(EvalResult {
         mean_return,
         std_return,
@@ -135,8 +143,20 @@ mod tests {
             episodes: 3,
             deterministic: true,
         };
-        let r1 = evaluate(&mut Hopper::new(), &policy, &cfg, &mut StdRng::seed_from_u64(9)).unwrap();
-        let r2 = evaluate(&mut Hopper::new(), &policy, &cfg, &mut StdRng::seed_from_u64(9)).unwrap();
+        let r1 = evaluate(
+            &mut Hopper::new(),
+            &policy,
+            &cfg,
+            &mut StdRng::seed_from_u64(9),
+        )
+        .unwrap();
+        let r2 = evaluate(
+            &mut Hopper::new(),
+            &policy,
+            &cfg,
+            &mut StdRng::seed_from_u64(9),
+        )
+        .unwrap();
         assert_eq!(r1.mean_return, r2.mean_return);
     }
 }

@@ -91,7 +91,15 @@ mod tests {
         let next_values = [0.4, 0.6, 0.0];
         let dones = [false, false, true];
         let terminals = [false, false, true];
-        let (adv, _) = gae(&rewards, &values, &next_values, &dones, &terminals, 0.9, 0.0);
+        let (adv, _) = gae(
+            &rewards,
+            &values,
+            &next_values,
+            &dones,
+            &terminals,
+            0.9,
+            0.0,
+        );
         for t in 0..3 {
             let next_v = if terminals[t] { 0.0 } else { next_values[t] };
             let expect = rewards[t] + 0.9 * next_v - values[t];
@@ -107,7 +115,15 @@ mod tests {
         let dones = [false, false, true];
         let terminals = [false, false, true];
         let gamma = 0.9;
-        let (adv, _) = gae(&rewards, &values, &next_values, &dones, &terminals, gamma, 1.0);
+        let (adv, _) = gae(
+            &rewards,
+            &values,
+            &next_values,
+            &dones,
+            &terminals,
+            gamma,
+            1.0,
+        );
         // Full-episode discounted return minus baseline at t=0.
         let g0 = 1.0 + gamma * 2.0 + gamma * gamma * 3.0;
         assert!((adv[0] - (g0 - 0.5)).abs() < 1e-9);

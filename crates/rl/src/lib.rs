@@ -26,7 +26,7 @@ pub use eval::{evaluate, EvalConfig, EvalResult};
 pub use gae::gae;
 pub use normalize::RunningNorm;
 pub use policy::GaussianPolicy;
-pub use ppo::{update_policy, update_value, PenaltyFn, PpoConfig, PpoStats, PpoSample};
+pub use ppo::{update_policy, update_value, PenaltyFn, PpoConfig, PpoSample, PpoStats};
 pub use sampler::collect_rollout;
 pub use train::{train_ppo, IterationStats, PpoRunner, TrainConfig};
 pub use value::ValueFn;

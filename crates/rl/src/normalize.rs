@@ -59,10 +59,10 @@ impl RunningNorm {
         }
         debug_assert_eq!(x.len(), self.mean.len());
         self.count += 1.0;
-        for i in 0..self.mean.len() {
-            let delta = x[i] - self.mean[i];
+        for (i, &xi) in x.iter().enumerate() {
+            let delta = xi - self.mean[i];
             self.mean[i] += delta / self.count;
-            let delta2 = x[i] - self.mean[i];
+            let delta2 = xi - self.mean[i];
             self.m2[i] += delta * delta2;
         }
     }

@@ -147,8 +147,8 @@ pub fn update_policy<'p, R: Rng>(
                 loss -= unclipped.min(clipped_obj) / m;
 
                 // Gradient flows only while the unclipped branch is active.
-                let active = (adv >= 0.0 && ratio < 1.0 + cfg.clip)
-                    || (adv < 0.0 && ratio > 1.0 - cfg.clip);
+                let active =
+                    (adv >= 0.0 && ratio < 1.0 + cfg.clip) || (adv < 0.0 && ratio > 1.0 - cfg.clip);
                 seen += 1;
                 if !active {
                     clipped += 1;
@@ -299,7 +299,15 @@ mod tests {
             });
         }
         let mut opt = Adam::new(policy.param_count(), 3e-3);
-        update_policy(&mut policy, &samples, &quick_cfg(), &mut opt, None, &mut rng).unwrap();
+        update_policy(
+            &mut policy,
+            &samples,
+            &quick_cfg(),
+            &mut opt,
+            None,
+            &mut rng,
+        )
+        .unwrap();
         let after = policy.mean_of(&z).unwrap()[0];
         assert!(after > before, "mean should increase: {before} -> {after}");
     }
@@ -451,8 +459,11 @@ mod tests {
             ..PpoConfig::default()
         };
         let mut opt = Adam::new(policy.param_count(), 5e-2);
-        let stats =
-            update_policy(&mut policy, &samples, &cfg, &mut opt, None, &mut rng).unwrap();
-        assert!(stats.epochs_run < 50, "early stop expected: {}", stats.epochs_run);
+        let stats = update_policy(&mut policy, &samples, &cfg, &mut opt, None, &mut rng).unwrap();
+        assert!(
+            stats.epochs_run < 50,
+            "early stop expected: {}",
+            stats.epochs_run
+        );
     }
 }

@@ -90,7 +90,10 @@ mod tests {
         let (mut env, mut policy, mut rng) = setup();
         let buf = collect_rollout(&mut env, &mut policy, 100, true, &mut rng).unwrap();
         assert!(buf.len() >= 100);
-        assert!(buf.steps.last().unwrap().done, "must end on episode boundary");
+        assert!(
+            buf.steps.last().unwrap().done,
+            "must end on episode boundary"
+        );
         assert_eq!(
             buf.episode_returns.len(),
             buf.episode_ranges().len(),

@@ -7,6 +7,7 @@
 
 use imap_env::{Env, EnvRng};
 use imap_nn::{Adam, NnError};
+use imap_telemetry::Telemetry;
 use rand::SeedableRng;
 
 use crate::buffer::RolloutBuffer;
@@ -35,6 +36,9 @@ pub struct TrainConfig {
     pub log_std_init: f64,
     /// RNG seed (environments, sampling, and updates all derive from it).
     pub seed: u64,
+    /// Telemetry handle; iteration rows and span timings flow through it.
+    /// Defaults to the disabled handle, which costs nothing on the hot path.
+    pub telemetry: Telemetry,
 }
 
 impl Default for TrainConfig {
@@ -48,6 +52,7 @@ impl Default for TrainConfig {
             hidden: vec![32, 32],
             log_std_init: -0.5,
             seed: 0,
+            telemetry: Telemetry::null(),
         }
     }
 }
@@ -97,6 +102,34 @@ pub fn advantages_for(
     ))
 }
 
+/// Mean length of the episodes completed in `buffer` (0 when none finished).
+pub fn mean_episode_length(buffer: &RolloutBuffer) -> f64 {
+    if buffer.episode_lengths.is_empty() {
+        0.0
+    } else {
+        buffer.episode_lengths.iter().sum::<usize>() as f64 / buffer.episode_lengths.len() as f64
+    }
+}
+
+/// Emits one telemetry row for an iteration's diagnostics under `phase`.
+///
+/// Shared by `train_ppo`, [`PpoRunner::iterate`], and the defense trainers
+/// so every PPO-shaped loop in the workspace logs the same schema.
+pub fn record_iteration(tel: &Telemetry, phase: &str, stats: &IterationStats) {
+    tel.record_full(
+        phase,
+        stats.iteration as u64,
+        &[
+            ("mean_return", stats.mean_return),
+            ("mean_length", stats.mean_length),
+            ("approx_kl", stats.approx_kl),
+            ("entropy", stats.entropy),
+        ],
+        &[("total_steps", stats.total_steps as u64)],
+        &[],
+    );
+}
+
 /// Assembles PPO samples from a buffer and an advantage vector.
 pub fn samples_from(buffer: &RolloutBuffer, advantages: &[f64]) -> Vec<PpoSample> {
     buffer
@@ -112,6 +145,14 @@ pub fn samples_from(buffer: &RolloutBuffer, advantages: &[f64]) -> Vec<PpoSample
         .collect()
 }
 
+/// Per-iteration observer hook: receives the iteration stats and the
+/// current policy (learning curves, ATLA alternation).
+pub type IterationHook<'c> = dyn FnMut(&IterationStats, &GaussianPolicy) + 'c;
+
+/// Advantage rewrite hook: receives the rollout buffer and the plain GAE
+/// advantages to mutate in place (WocaR's worst-case-aware combination).
+pub type AdvantageOverride<'a> = dyn FnMut(&RolloutBuffer, &mut Vec<f64>) + 'a;
+
 /// Trains a fresh policy/value pair on `env` with vanilla PPO.
 ///
 /// `penalty` (for defense regularizers) and `on_iteration` (for learning
@@ -122,7 +163,7 @@ pub fn train_ppo<'p, 'c>(
     env: &mut dyn Env,
     cfg: &TrainConfig,
     mut penalty: Option<&mut (dyn PenaltyFn + 'p)>,
-    mut on_iteration: Option<&mut (dyn FnMut(&IterationStats, &GaussianPolicy) + 'c)>,
+    mut on_iteration: Option<&mut IterationHook<'c>>,
 ) -> Result<(GaussianPolicy, ValueFn), NnError> {
     let mut rng = EnvRng::seed_from_u64(cfg.seed);
     let mut policy = GaussianPolicy::new(
@@ -136,52 +177,57 @@ pub fn train_ppo<'p, 'c>(
     let mut popt = Adam::new(policy.param_count(), cfg.ppo.lr_policy);
     let mut vopt = Adam::new(value.mlp.param_count(), cfg.ppo.lr_value);
 
+    let tel = cfg.telemetry.clone();
     let mut total_steps = 0usize;
     for iteration in 0..cfg.iterations {
-        let buffer = collect_rollout(env, &mut policy, cfg.steps_per_iter, true, &mut rng)?;
+        let buffer = {
+            let _t = tel.span("collect_rollout");
+            collect_rollout(env, &mut policy, cfg.steps_per_iter, true, &mut rng)?
+        };
         total_steps += buffer.len();
 
         let rewards: Vec<f64> = buffer.steps.iter().map(|s| s.reward).collect();
-        let (mut adv, returns) =
-            advantages_for(&buffer, &rewards, &value, cfg.gamma, cfg.lambda)?;
+        let (mut adv, returns) = {
+            let _t = tel.span("advantages");
+            advantages_for(&buffer, &rewards, &value, cfg.gamma, cfg.lambda)?
+        };
         normalize_advantages(&mut adv);
         let samples = samples_from(&buffer, &adv);
 
-        let stats = update_policy(
-            &mut policy,
-            &samples,
-            &cfg.ppo,
-            &mut popt,
-            penalty.as_deref_mut(),
-            &mut rng,
-        )?;
-        update_value(
-            &mut value,
-            &buffer.observations(),
-            &returns,
-            &cfg.ppo,
-            &mut vopt,
-            &mut rng,
-        )?;
+        let stats = {
+            let _t = tel.span("update_policy");
+            update_policy(
+                &mut policy,
+                &samples,
+                &cfg.ppo,
+                &mut popt,
+                penalty.as_deref_mut(),
+                &mut rng,
+            )?
+        };
+        {
+            let _t = tel.span("update_value");
+            update_value(
+                &mut value,
+                &buffer.observations(),
+                &returns,
+                &cfg.ppo,
+                &mut vopt,
+                &mut rng,
+            )?;
+        }
 
+        let iter_stats = IterationStats {
+            iteration,
+            total_steps,
+            mean_return: buffer.mean_episode_return(),
+            mean_length: mean_episode_length(&buffer),
+            approx_kl: stats.approx_kl,
+            entropy: stats.entropy,
+        };
+        record_iteration(&tel, "train", &iter_stats);
         if let Some(cb) = on_iteration.as_deref_mut() {
-            let mean_length = if buffer.episode_lengths.is_empty() {
-                0.0
-            } else {
-                buffer.episode_lengths.iter().sum::<usize>() as f64
-                    / buffer.episode_lengths.len() as f64
-            };
-            cb(
-                &IterationStats {
-                    iteration,
-                    total_steps,
-                    mean_return: buffer.mean_episode_return(),
-                    mean_length,
-                    approx_kl: stats.approx_kl,
-                    entropy: stats.entropy,
-                },
-                &policy,
-            );
+            cb(&iter_stats, &policy);
         }
     }
     Ok((policy, value))
@@ -200,6 +246,7 @@ pub struct PpoRunner {
     cfg: TrainConfig,
     rng: EnvRng,
     total_steps: usize,
+    iteration: usize,
 }
 
 impl PpoRunner {
@@ -224,12 +271,18 @@ impl PpoRunner {
             cfg,
             rng,
             total_steps: 0,
+            iteration: 0,
         })
     }
 
     /// Total environment steps consumed so far.
     pub fn total_steps(&self) -> usize {
         self.total_steps
+    }
+
+    /// Number of completed [`PpoRunner::iterate`] calls.
+    pub fn iterations_done(&self) -> usize {
+        self.iteration
     }
 
     /// The runner's training configuration.
@@ -244,49 +297,68 @@ impl PpoRunner {
         &mut self,
         env: &mut dyn Env,
         penalty: Option<&mut (dyn PenaltyFn + 'p)>,
-        advantage_override: Option<&mut dyn FnMut(&RolloutBuffer, &mut Vec<f64>)>,
+        advantage_override: Option<&mut AdvantageOverride<'_>>,
     ) -> Result<IterationStats, NnError> {
-        let buffer =
-            collect_rollout(env, &mut self.policy, self.cfg.steps_per_iter, true, &mut self.rng)?;
+        let tel = self.cfg.telemetry.clone();
+        let buffer = {
+            let _t = tel.span("collect_rollout");
+            collect_rollout(
+                env,
+                &mut self.policy,
+                self.cfg.steps_per_iter,
+                true,
+                &mut self.rng,
+            )?
+        };
         self.total_steps += buffer.len();
         let rewards: Vec<f64> = buffer.steps.iter().map(|s| s.reward).collect();
-        let (mut adv, returns) =
-            advantages_for(&buffer, &rewards, &self.value, self.cfg.gamma, self.cfg.lambda)?;
+        let (mut adv, returns) = {
+            let _t = tel.span("advantages");
+            advantages_for(
+                &buffer,
+                &rewards,
+                &self.value,
+                self.cfg.gamma,
+                self.cfg.lambda,
+            )?
+        };
         if let Some(f) = advantage_override {
             f(&buffer, &mut adv);
         }
         normalize_advantages(&mut adv);
         let samples = samples_from(&buffer, &adv);
-        let stats = update_policy(
-            &mut self.policy,
-            &samples,
-            &self.cfg.ppo,
-            &mut self.popt,
-            penalty,
-            &mut self.rng,
-        )?;
-        update_value(
-            &mut self.value,
-            &buffer.observations(),
-            &returns,
-            &self.cfg.ppo,
-            &mut self.vopt,
-            &mut self.rng,
-        )?;
-        let mean_length = if buffer.episode_lengths.is_empty() {
-            0.0
-        } else {
-            buffer.episode_lengths.iter().sum::<usize>() as f64
-                / buffer.episode_lengths.len() as f64
+        let stats = {
+            let _t = tel.span("update_policy");
+            update_policy(
+                &mut self.policy,
+                &samples,
+                &self.cfg.ppo,
+                &mut self.popt,
+                penalty,
+                &mut self.rng,
+            )?
         };
-        Ok(IterationStats {
-            iteration: 0,
+        {
+            let _t = tel.span("update_value");
+            update_value(
+                &mut self.value,
+                &buffer.observations(),
+                &returns,
+                &self.cfg.ppo,
+                &mut self.vopt,
+                &mut self.rng,
+            )?;
+        }
+        let iter_stats = IterationStats {
+            iteration: self.iteration,
             total_steps: self.total_steps,
             mean_return: buffer.mean_episode_return(),
-            mean_length,
+            mean_length: mean_episode_length(&buffer),
             approx_kl: stats.approx_kl,
             entropy: stats.entropy,
-        })
+        };
+        self.iteration += 1;
+        Ok(iter_stats)
     }
 }
 
@@ -338,6 +410,68 @@ mod tests {
         let s2 = runner.iterate(&mut env, None, None).unwrap();
         assert!(s2.total_steps > s1.total_steps);
         assert_eq!(runner.total_steps(), s2.total_steps);
+    }
+
+    /// Regression: `iterate` used to hard-code `iteration: 0` in its stats,
+    /// so resumable loops (ATLA, self-play) could never tell rounds apart.
+    #[test]
+    fn ppo_runner_iteration_counter_advances() {
+        let mut env = Hopper::new();
+        let cfg = TrainConfig {
+            iterations: 0,
+            steps_per_iter: 128,
+            hidden: vec![8],
+            seed: 5,
+            ..TrainConfig::default()
+        };
+        let mut runner = PpoRunner::new(&env, cfg).unwrap();
+        for expected in 0..3 {
+            let stats = runner.iterate(&mut env, None, None).unwrap();
+            assert_eq!(stats.iteration, expected);
+        }
+        assert_eq!(runner.iterations_done(), 3);
+    }
+
+    #[test]
+    fn train_ppo_emits_telemetry_rows_and_spans() {
+        use imap_telemetry::Telemetry;
+
+        let (tel, mem) = Telemetry::memory("train-test");
+        let mut env = Hopper::new();
+        let cfg = TrainConfig {
+            iterations: 2,
+            steps_per_iter: 128,
+            hidden: vec![8],
+            seed: 11,
+            telemetry: tel.clone(),
+            ..TrainConfig::default()
+        };
+        train_ppo(&mut env, &cfg, None, None).unwrap();
+
+        let rows = mem.rows();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].phase, "train");
+        assert_eq!(rows[1].iteration, 1);
+        assert!(rows[0].scalars.contains_key("mean_return"));
+        assert!(rows[0].counters["total_steps"] < rows[1].counters["total_steps"]);
+
+        let spans: Vec<String> = tel
+            .timing_report()
+            .spans
+            .into_iter()
+            .map(|s| s.name)
+            .collect();
+        for expected in [
+            "collect_rollout",
+            "advantages",
+            "update_policy",
+            "update_value",
+        ] {
+            assert!(
+                spans.iter().any(|s| s == expected),
+                "missing span {expected}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,312 @@
+//! The [`Telemetry`] handle threaded through every trainer.
+
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::manifest::RunManifest;
+use crate::recorder::{JsonlRecorder, MemoryRecorder, NullRecorder, Recorder};
+use crate::row::MetricRow;
+use crate::span::{TimingReport, Timings};
+
+struct Inner {
+    run_id: String,
+    enabled: bool,
+    recorder: Arc<dyn Recorder>,
+    timings: Timings,
+    out_dir: Option<PathBuf>,
+}
+
+/// A cheaply cloneable (`Arc`-backed) telemetry handle bundling a metric
+/// sink, the span-timer accumulator, and the run identity.
+///
+/// The default handle is disabled: `record` returns immediately and `span`
+/// guards never read the clock, so instrumented hot loops pay nothing when
+/// nobody is listening.
+#[derive(Clone)]
+pub struct Telemetry {
+    inner: Arc<Inner>,
+}
+
+impl fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("run_id", &self.inner.run_id)
+            .field("enabled", &self.inner.enabled)
+            .finish()
+    }
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::null()
+    }
+}
+
+impl Telemetry {
+    fn from_parts(
+        run_id: String,
+        enabled: bool,
+        recorder: Arc<dyn Recorder>,
+        out_dir: Option<PathBuf>,
+    ) -> Self {
+        Telemetry {
+            inner: Arc::new(Inner {
+                run_id,
+                enabled,
+                recorder,
+                timings: Timings::default(),
+                out_dir,
+            }),
+        }
+    }
+
+    /// The disabled handle: a true no-op on the hot path.
+    pub fn null() -> Self {
+        Telemetry::from_parts(String::new(), false, Arc::new(NullRecorder), None)
+    }
+
+    /// An in-memory handle; the returned recorder reads the rows back.
+    pub fn memory(run_id: &str) -> (Self, Arc<MemoryRecorder>) {
+        let recorder = Arc::new(MemoryRecorder::new());
+        let tel = Telemetry::from_parts(
+            run_id.to_string(),
+            true,
+            recorder.clone() as Arc<dyn Recorder>,
+            None,
+        );
+        (tel, recorder)
+    }
+
+    /// A JSONL handle rooted at `dir`: writes `manifest.json` immediately
+    /// and streams rows to `metrics.jsonl`; [`Telemetry::finish`] adds
+    /// `timing.txt`.
+    pub fn jsonl(dir: impl AsRef<Path>, manifest: &RunManifest) -> io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let manifest_json = serde_json::to_vec_pretty(manifest)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        std::fs::write(dir.join("manifest.json"), manifest_json)?;
+        let recorder = JsonlRecorder::create(&dir.join("metrics.jsonl"))?;
+        Ok(Telemetry::from_parts(
+            manifest.run_id.clone(),
+            true,
+            Arc::new(recorder),
+            Some(dir),
+        ))
+    }
+
+    /// The run identifier stamped on every row (empty when disabled).
+    pub fn run_id(&self) -> &str {
+        &self.inner.run_id
+    }
+
+    /// False for the null handle.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled
+    }
+
+    /// Records a row of float metrics under `phase` / `iteration`.
+    pub fn record(&self, phase: &str, iteration: u64, scalars: &[(&str, f64)]) {
+        self.record_full(phase, iteration, scalars, &[], &[]);
+    }
+
+    /// Records a row with scalars, counters, and tags. The disabled handle
+    /// returns before building anything.
+    pub fn record_full(
+        &self,
+        phase: &str,
+        iteration: u64,
+        scalars: &[(&str, f64)],
+        counters: &[(&str, u64)],
+        tags: &[(&str, &str)],
+    ) {
+        if !self.inner.enabled {
+            return;
+        }
+        let mut row = MetricRow::new(&self.inner.run_id, phase, iteration);
+        for &(k, v) in scalars {
+            row.scalars.insert(k.to_string(), v);
+        }
+        for &(k, v) in counters {
+            row.counters.insert(k.to_string(), v);
+        }
+        for &(k, v) in tags {
+            row.tags.insert(k.to_string(), v.to_string());
+        }
+        self.inner.recorder.record(&row);
+    }
+
+    /// Records a pre-built row (the run id is overwritten with this run's).
+    pub fn record_row(&self, mut row: MetricRow) {
+        if !self.inner.enabled {
+            return;
+        }
+        row.run_id = self.inner.run_id.clone();
+        self.inner.recorder.record(&row);
+    }
+
+    /// Starts an RAII wall-time span: the elapsed time between this call
+    /// and the guard's drop is added to `name`'s accumulator. On the
+    /// disabled handle the guard is inert and the clock is never read.
+    pub fn span(&self, name: &'static str) -> Span {
+        if !self.inner.enabled {
+            return Span { active: None };
+        }
+        Span {
+            active: Some((self.clone(), name, Instant::now())),
+        }
+    }
+
+    pub(crate) fn add_span_time(&self, name: &'static str, elapsed: std::time::Duration) {
+        self.inner.timings.add(name, elapsed);
+    }
+
+    /// A snapshot of the per-span timing breakdown so far.
+    pub fn timing_report(&self) -> TimingReport {
+        TimingReport {
+            run_id: self.inner.run_id.clone(),
+            spans: self.inner.timings.snapshot(),
+        }
+    }
+
+    /// Flushes the sink, writes `timing.txt` beside the metrics file (JSONL
+    /// handles only), and returns the rendered per-phase breakdown. Returns
+    /// `None` on the disabled handle.
+    pub fn finish(&self) -> Option<String> {
+        if !self.inner.enabled {
+            return None;
+        }
+        self.inner.recorder.flush();
+        let rendered = self.timing_report().render();
+        if let Some(dir) = &self.inner.out_dir {
+            let _ = std::fs::write(dir.join("timing.txt"), &rendered);
+        }
+        Some(rendered)
+    }
+}
+
+/// The RAII guard returned by [`Telemetry::span`].
+pub struct Span {
+    active: Option<(Telemetry, &'static str, Instant)>,
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((tel, name, start)) = self.active.take() {
+            tel.add_span_time(name, start.elapsed());
+        }
+    }
+}
+
+/// Opens a scope-bound span on a [`Telemetry`] handle:
+/// `span!(telemetry, "collect_rollout");` times the rest of the enclosing
+/// scope.
+#[macro_export]
+macro_rules! span {
+    ($telemetry:expr, $name:expr) => {
+        let _span_guard = $telemetry.span($name);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_handle_is_inert() {
+        let tel = Telemetry::null();
+        assert!(!tel.is_enabled());
+        tel.record("train", 0, &[("x", 1.0)]);
+        {
+            let _s = tel.span("collect_rollout");
+        }
+        assert!(
+            tel.timing_report().spans.is_empty(),
+            "no clock on null path"
+        );
+        assert!(tel.finish().is_none());
+    }
+
+    #[test]
+    fn memory_handle_records_and_reads_back() {
+        let (tel, mem) = Telemetry::memory("mem-run");
+        tel.record_full(
+            "train",
+            2,
+            &[("mean_return", 5.0)],
+            &[("total_steps", 512)],
+            &[("task", "Hopper")],
+        );
+        let rows = mem.rows();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].run_id, "mem-run");
+        assert_eq!(rows[0].iteration, 2);
+        assert_eq!(rows[0].counters["total_steps"], 512);
+        assert_eq!(rows[0].tags["task"], "Hopper");
+    }
+
+    #[test]
+    fn spans_accumulate_across_guards() {
+        let (tel, _mem) = Telemetry::memory("span-run");
+        for _ in 0..3 {
+            let _s = tel.span("phase_a");
+        }
+        let report = tel.timing_report();
+        assert_eq!(report.spans.len(), 1);
+        assert_eq!(report.spans[0].calls, 3);
+        let first_total = report.spans[0].total;
+        {
+            let _s = tel.span("phase_a");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let later = tel.timing_report();
+        assert_eq!(later.spans[0].calls, 4);
+        assert!(
+            later.spans[0].total > first_total,
+            "accumulation is monotone"
+        );
+    }
+
+    #[test]
+    fn span_macro_times_enclosing_scope() {
+        let (tel, _mem) = Telemetry::memory("macro-run");
+        {
+            span!(tel, "macro_phase");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let report = tel.timing_report();
+        assert_eq!(report.spans[0].name, "macro_phase");
+        assert_eq!(report.spans[0].calls, 1);
+    }
+
+    #[test]
+    fn jsonl_handle_writes_manifest_metrics_and_timing() {
+        let dir = std::env::temp_dir().join("imap-telemetry-test-handle");
+        let _ = std::fs::remove_dir_all(&dir);
+        let manifest = RunManifest::new("jsonl-run", "Hopper", "IMAP-SC", 9)
+            .with_config(serde_json::json!({"iterations": 2}));
+        let tel = Telemetry::jsonl(&dir, &manifest).unwrap();
+        tel.record("train", 0, &[("mean_return", 1.0)]);
+        tel.record("train", 1, &[("mean_return", 2.0)]);
+        {
+            let _s = tel.span("collect_rollout");
+        }
+        let rendered = tel.finish().unwrap();
+        assert!(rendered.contains("collect_rollout"));
+
+        let manifest_back: RunManifest =
+            serde_json::from_slice(&std::fs::read(dir.join("manifest.json")).unwrap()).unwrap();
+        assert_eq!(manifest_back, manifest);
+        let text = std::fs::read_to_string(dir.join("metrics.jsonl")).unwrap();
+        let rows: Vec<MetricRow> = text
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1].scalars["mean_return"], 2.0);
+        assert!(dir.join("timing.txt").exists());
+    }
+}

@@ -1,0 +1,46 @@
+//! # imap-telemetry
+//!
+//! Structured run telemetry for the IMAP reproduction: every trainer in the
+//! workspace records typed per-iteration metric rows and accumulates
+//! per-phase wall time through the same small surface, so any training run
+//! can be re-plotted, diffed, and profiled from its artifacts alone.
+//!
+//! Three pieces:
+//!
+//! - [`Recorder`] sinks ([`NullRecorder`], [`MemoryRecorder`],
+//!   [`JsonlRecorder`]) consuming [`MetricRow`]s — scalars + counters +
+//!   tags, stamped with run id / phase / iteration;
+//! - RAII span timers ([`Telemetry::span`], the [`span!`] macro) that
+//!   accumulate wall time per named phase and render an end-of-run
+//!   [`TimingReport`] — the profile of the rollout/update/intrinsic-bonus
+//!   hot paths;
+//! - a [`RunManifest`] (config, seed, env, variant, start time) written
+//!   beside the metrics so every `metrics.jsonl` is self-describing.
+//!
+//! The [`Telemetry`] handle bundles all three and defaults to disabled
+//! (null sink, no clock reads), so instrumentation costs nothing unless a
+//! run opts in — e.g. via the CLI's `--telemetry <dir>` flag.
+//!
+//! ```
+//! use imap_telemetry::Telemetry;
+//!
+//! let (tel, mem) = Telemetry::memory("demo");
+//! {
+//!     let _timer = tel.span("collect_rollout");
+//!     tel.record("train", 0, &[("mean_return", 17.5)]);
+//! }
+//! assert_eq!(mem.rows().len(), 1);
+//! assert_eq!(tel.timing_report().spans[0].name, "collect_rollout");
+//! ```
+
+pub mod handle;
+pub mod manifest;
+pub mod recorder;
+pub mod row;
+pub mod span;
+
+pub use handle::{Span, Telemetry};
+pub use manifest::RunManifest;
+pub use recorder::{JsonlRecorder, MemoryRecorder, NullRecorder, Recorder};
+pub use row::MetricRow;
+pub use span::{SpanStat, TimingReport};

@@ -1,0 +1,71 @@
+//! The self-describing run manifest written next to `metrics.jsonl`.
+
+use std::time::{SystemTime, UNIX_EPOCH};
+
+use serde::{Deserialize, Serialize};
+
+/// Metadata that makes a metrics file interpretable on its own: which run
+/// produced it, on which environment, with which attack/defense variant and
+/// seed, when, and under what configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunManifest {
+    /// Unique-enough identifier; every `MetricRow` of the run carries it.
+    pub run_id: String,
+    /// Environment / task name (e.g. `"Hopper"`, `"YouShallNotPass"`).
+    pub env: String,
+    /// Attack or defense variant (e.g. `"IMAP-PC+BR"`, `"wocar"`, `"table1"`).
+    pub variant: String,
+    /// Base RNG seed of the run.
+    pub seed: u64,
+    /// Wall-clock start time, milliseconds since the Unix epoch.
+    pub start_unix_ms: u64,
+    /// Free-form configuration snapshot (hyperparameters, budget, flags).
+    #[serde(default, skip_serializing_if = "serde_json::Value::is_null")]
+    pub config: serde_json::Value,
+}
+
+impl RunManifest {
+    /// A manifest stamped with the current wall-clock time.
+    pub fn new(run_id: &str, env: &str, variant: &str, seed: u64) -> Self {
+        let start_unix_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        RunManifest {
+            run_id: run_id.to_string(),
+            env: env.to_string(),
+            variant: variant.to_string(),
+            seed,
+            start_unix_ms,
+            config: serde_json::Value::Null,
+        }
+    }
+
+    /// Attaches a configuration snapshot.
+    pub fn with_config(mut self, config: serde_json::Value) -> Self {
+        self.config = config;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_roundtrips_through_json() {
+        let m = RunManifest::new("attack-hopper-seed17", "Hopper", "IMAP-PC", 17)
+            .with_config(serde_json::json!({"iterations": 40, "steps_per_iter": 2048}));
+        let json = serde_json::to_string_pretty(&m).unwrap();
+        let back: RunManifest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.config["iterations"], 40);
+    }
+
+    #[test]
+    fn null_config_is_omitted() {
+        let m = RunManifest::new("r", "Hopper", "ppo", 0);
+        let json = serde_json::to_string(&m).unwrap();
+        assert!(!json.contains("\"config\""));
+    }
+}

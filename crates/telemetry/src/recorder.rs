@@ -1,0 +1,143 @@
+//! The [`Recorder`] trait and the three built-in sinks.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+use parking_lot::Mutex;
+
+use crate::row::MetricRow;
+
+/// A metric sink. Implementations must be cheap to call from training hot
+/// loops and safe to share across threads.
+pub trait Recorder: Send + Sync {
+    /// Records one row. Sinks must not panic on I/O failure (a dead disk
+    /// should not kill a training run); they drop the row instead.
+    fn record(&self, row: &MetricRow);
+
+    /// Flushes any buffered rows to the backing store.
+    fn flush(&self) {}
+}
+
+/// Discards everything. The default sink: training code records
+/// unconditionally and this keeps the disabled path free.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullRecorder;
+
+impl Recorder for NullRecorder {
+    fn record(&self, _row: &MetricRow) {}
+}
+
+/// Buffers rows in memory — for tests and for callers that post-process
+/// metrics programmatically.
+#[derive(Debug, Default)]
+pub struct MemoryRecorder {
+    rows: Mutex<Vec<MetricRow>>,
+}
+
+impl MemoryRecorder {
+    /// An empty in-memory sink.
+    pub fn new() -> Self {
+        MemoryRecorder::default()
+    }
+
+    /// A snapshot of every row recorded so far.
+    pub fn rows(&self) -> Vec<MetricRow> {
+        self.rows.lock().clone()
+    }
+
+    /// Number of rows recorded.
+    pub fn len(&self) -> usize {
+        self.rows.lock().len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rows.lock().is_empty()
+    }
+}
+
+impl Recorder for MemoryRecorder {
+    fn record(&self, row: &MetricRow) {
+        self.rows.lock().push(row.clone());
+    }
+}
+
+/// Appends one JSON object per line to a file (the `metrics.jsonl` format
+/// documented in `README.md`). Rows are buffered; call
+/// [`Recorder::flush`] (or let the owning `Telemetry` finish) to sync.
+pub struct JsonlRecorder {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonlRecorder {
+    /// Creates (truncating) the JSONL file at `path`.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(JsonlRecorder {
+            writer: Mutex::new(BufWriter::new(file)),
+        })
+    }
+}
+
+impl Recorder for JsonlRecorder {
+    fn record(&self, row: &MetricRow) {
+        if let Ok(json) = serde_json::to_string(row) {
+            let mut w = self.writer.lock();
+            let _ = writeln!(w, "{json}");
+        }
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_recorder_accumulates_rows() {
+        let rec = MemoryRecorder::new();
+        assert!(rec.is_empty());
+        rec.record(&MetricRow::new("r", "train", 0).scalar("x", 1.0));
+        rec.record(&MetricRow::new("r", "train", 1).scalar("x", 2.0));
+        assert_eq!(rec.len(), 2);
+        assert_eq!(rec.rows()[1].iteration, 1);
+    }
+
+    #[test]
+    fn null_recorder_accepts_rows_silently() {
+        let rec = NullRecorder;
+        rec.record(&MetricRow::new("r", "train", 0));
+        rec.flush();
+    }
+
+    #[test]
+    fn jsonl_recorder_writes_parseable_lines() {
+        let dir = std::env::temp_dir().join("imap-telemetry-test-jsonl");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("metrics.jsonl");
+        let rec = JsonlRecorder::create(&path).unwrap();
+        let rows = vec![
+            MetricRow::new("run-1", "train", 0)
+                .scalar("mean_return", -3.25)
+                .counter("total_steps", 1024),
+            MetricRow::new("run-1", "eval", 0)
+                .scalar("asr", 0.66)
+                .tag("attack", "SA-RL"),
+        ];
+        for row in &rows {
+            rec.record(row);
+        }
+        rec.flush();
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let parsed: Vec<MetricRow> = text
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        assert_eq!(parsed, rows, "JSONL round-trip must preserve every field");
+    }
+}

@@ -1,0 +1,105 @@
+//! The typed per-iteration metric row — the unit every sink records.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// One structured telemetry record.
+///
+/// A row is self-describing: it carries the run it belongs to, the phase of
+/// the pipeline that produced it (`"train"`, `"attack"`, `"eval"`, a table
+/// name, ...), and the iteration index within that phase. Payloads are split
+/// into float `scalars` (losses, returns, rates), integer `counters`
+/// (environment steps, episode counts), and string `tags` (task / victim /
+/// attack labels for table cells).
+///
+/// `BTreeMap` keeps key order deterministic, so serialized rows diff cleanly
+/// across runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricRow {
+    /// Identifier of the run this row belongs to (see `RunManifest`).
+    pub run_id: String,
+    /// Pipeline phase that produced the row.
+    pub phase: String,
+    /// Iteration index within the phase (0-based).
+    pub iteration: u64,
+    /// Float-valued metrics.
+    #[serde(default, skip_serializing_if = "BTreeMap::is_empty")]
+    pub scalars: BTreeMap<String, f64>,
+    /// Integer-valued metrics (monotone counters, counts).
+    #[serde(default, skip_serializing_if = "BTreeMap::is_empty")]
+    pub counters: BTreeMap<String, u64>,
+    /// String labels identifying what the row measures.
+    #[serde(default, skip_serializing_if = "BTreeMap::is_empty")]
+    pub tags: BTreeMap<String, String>,
+}
+
+impl MetricRow {
+    /// A row with empty payloads.
+    pub fn new(run_id: &str, phase: &str, iteration: u64) -> Self {
+        MetricRow {
+            run_id: run_id.to_string(),
+            phase: phase.to_string(),
+            iteration,
+            scalars: BTreeMap::new(),
+            counters: BTreeMap::new(),
+            tags: BTreeMap::new(),
+        }
+    }
+
+    /// Adds a float metric.
+    pub fn scalar(mut self, key: &str, value: f64) -> Self {
+        self.scalars.insert(key.to_string(), value);
+        self
+    }
+
+    /// Adds an integer metric.
+    pub fn counter(mut self, key: &str, value: u64) -> Self {
+        self.counters.insert(key.to_string(), value);
+        self
+    }
+
+    /// Adds a string label.
+    pub fn tag(mut self, key: &str, value: &str) -> Self {
+        self.tags.insert(key.to_string(), value.to_string());
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_populates_all_payloads() {
+        let row = MetricRow::new("r1", "train", 3)
+            .scalar("mean_return", 12.5)
+            .counter("total_steps", 4096)
+            .tag("task", "Hopper");
+        assert_eq!(row.run_id, "r1");
+        assert_eq!(row.scalars["mean_return"], 12.5);
+        assert_eq!(row.counters["total_steps"], 4096);
+        assert_eq!(row.tags["task"], "Hopper");
+    }
+
+    #[test]
+    fn empty_payloads_are_omitted_from_json() {
+        let row = MetricRow::new("r1", "train", 0).scalar("x", 1.0);
+        let json = serde_json::to_string(&row).unwrap();
+        assert!(json.contains("\"scalars\""));
+        assert!(!json.contains("\"counters\""));
+        assert!(!json.contains("\"tags\""));
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_fields() {
+        let row = MetricRow::new("run-7", "attack", 41)
+            .scalar("asr", 0.875)
+            .scalar("tau", 0.31)
+            .counter("steps", 81920)
+            .tag("attack", "IMAP-PC+BR");
+        let json = serde_json::to_string(&row).unwrap();
+        let back: MetricRow = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, row);
+    }
+}

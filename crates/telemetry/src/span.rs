@@ -1,0 +1,185 @@
+//! Wall-clock span accumulation and the end-of-run timing breakdown.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+/// Accumulated wall time for one named phase.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct SpanAcc {
+    pub(crate) total: Duration,
+    pub(crate) calls: u64,
+}
+
+/// Thread-safe per-name span accumulator.
+#[derive(Debug, Default)]
+pub(crate) struct Timings {
+    spans: Mutex<BTreeMap<&'static str, SpanAcc>>,
+}
+
+impl Timings {
+    pub(crate) fn add(&self, name: &'static str, elapsed: Duration) {
+        let mut spans = self.spans.lock();
+        let acc = spans.entry(name).or_default();
+        acc.total += elapsed;
+        acc.calls += 1;
+    }
+
+    pub(crate) fn snapshot(&self) -> Vec<SpanStat> {
+        let spans = self.spans.lock();
+        let mut stats: Vec<SpanStat> = spans
+            .iter()
+            .map(|(name, acc)| SpanStat {
+                name: (*name).to_string(),
+                calls: acc.calls,
+                total: acc.total,
+            })
+            .collect();
+        stats.sort_by_key(|s| std::cmp::Reverse(s.total));
+        stats
+    }
+}
+
+/// Aggregated timing of one named span.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SpanStat {
+    /// Span name as passed to `Telemetry::span`.
+    pub name: String,
+    /// Number of completed span guards.
+    pub calls: u64,
+    /// Total wall time across all calls.
+    pub total: Duration,
+}
+
+impl SpanStat {
+    /// Mean wall time per call.
+    pub fn mean(&self) -> Duration {
+        if self.calls == 0 {
+            Duration::ZERO
+        } else {
+            self.total / self.calls as u32
+        }
+    }
+}
+
+/// The end-of-run per-phase wall-time breakdown.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TimingReport {
+    /// The run the report describes.
+    pub run_id: String,
+    /// Spans sorted by total time, descending.
+    pub spans: Vec<SpanStat>,
+}
+
+impl TimingReport {
+    /// Sum of all span totals. Spans may nest, so this can exceed the real
+    /// wall clock; shares in [`TimingReport::render`] are of this sum.
+    pub fn total(&self) -> Duration {
+        self.spans.iter().map(|s| s.total).sum()
+    }
+
+    /// Renders the human-readable breakdown table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== timing breakdown (run {}) ==\n", self.run_id));
+        if self.spans.is_empty() {
+            out.push_str("(no spans recorded)\n");
+            return out;
+        }
+        let total = self.total().as_secs_f64().max(1e-12);
+        out.push_str(&format!(
+            "{:<24} {:>8} {:>12} {:>12} {:>7}\n",
+            "span", "calls", "total", "mean", "share"
+        ));
+        for s in &self.spans {
+            out.push_str(&format!(
+                "{:<24} {:>8} {:>11.3}s {:>10.3}ms {:>6.1}%\n",
+                s.name,
+                s.calls,
+                s.total.as_secs_f64(),
+                s.mean().as_secs_f64() * 1e3,
+                100.0 * s.total.as_secs_f64() / total
+            ));
+        }
+        out.push_str(&format!(
+            "span-time sum: {:.3}s\n",
+            self.total().as_secs_f64()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timings_accumulate_monotonically() {
+        let t = Timings::default();
+        t.add("collect_rollout", Duration::from_millis(5));
+        let after_one = t.snapshot();
+        assert_eq!(after_one.len(), 1);
+        assert_eq!(after_one[0].calls, 1);
+        let total_one = after_one[0].total;
+
+        t.add("collect_rollout", Duration::from_millis(3));
+        t.add("update_policy", Duration::from_millis(1));
+        let after_three = t.snapshot();
+        assert_eq!(after_three.len(), 2);
+        let rollout = after_three
+            .iter()
+            .find(|s| s.name == "collect_rollout")
+            .unwrap();
+        assert_eq!(rollout.calls, 2);
+        assert!(
+            rollout.total > total_one,
+            "span totals must only ever grow: {:?} -> {:?}",
+            total_one,
+            rollout.total
+        );
+    }
+
+    #[test]
+    fn snapshot_sorts_by_total_descending() {
+        let t = Timings::default();
+        t.add("small", Duration::from_millis(1));
+        t.add("big", Duration::from_millis(100));
+        let stats = t.snapshot();
+        assert_eq!(stats[0].name, "big");
+        assert_eq!(stats[1].name, "small");
+    }
+
+    #[test]
+    fn report_renders_every_span() {
+        let report = TimingReport {
+            run_id: "r".into(),
+            spans: vec![
+                SpanStat {
+                    name: "collect_rollout".into(),
+                    calls: 4,
+                    total: Duration::from_millis(40),
+                },
+                SpanStat {
+                    name: "update_policy".into(),
+                    calls: 4,
+                    total: Duration::from_millis(10),
+                },
+            ],
+        };
+        let text = report.render();
+        assert!(text.contains("collect_rollout"));
+        assert!(text.contains("update_policy"));
+        assert_eq!(report.total(), Duration::from_millis(50));
+    }
+
+    #[test]
+    fn mean_handles_zero_calls() {
+        let s = SpanStat {
+            name: "x".into(),
+            calls: 0,
+            total: Duration::ZERO,
+        };
+        assert_eq!(s.mean(), Duration::ZERO);
+    }
+}

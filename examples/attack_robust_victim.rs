@@ -22,7 +22,11 @@ fn main() {
     let eps = task.spec().eps;
     let budget = VictimBudget::quick();
 
-    println!("training victims ({} and WocaR) on {}...", DefenseMethod::Ppo.name(), task.spec().name);
+    println!(
+        "training victims ({} and WocaR) on {}...",
+        DefenseMethod::Ppo.name(),
+        task.spec().name
+    );
     let vanilla = train_victim(task, DefenseMethod::Ppo, &budget, 3).expect("vanilla victim");
     let wocar = train_victim(task, DefenseMethod::Wocar, &budget, 3).expect("WocaR victim");
 
@@ -40,16 +44,12 @@ fn main() {
 
     let mut rng = EnvRng::seed_from_u64(42);
     for (vname, victim) in [("vanilla PPO", &vanilla), ("WocaR", &wocar)] {
-        let clean = eval_under_attack(
-            build_task(task),
-            victim,
-            Attacker::None,
-            eps,
-            30,
-            &mut rng,
-        )
-        .expect("eval");
-        println!("\n=== victim: {vname} (clean reward {:.0}) ===", clean.victim_return);
+        let clean = eval_under_attack(build_task(task), victim, Attacker::None, eps, 30, &mut rng)
+            .expect("eval");
+        println!(
+            "\n=== victim: {vname} (clean reward {:.0}) ===",
+            clean.victim_return
+        );
         for (label, cfg) in [
             ("SA-RL  ", ImapConfig::baseline(attack_cfg.clone())),
             (

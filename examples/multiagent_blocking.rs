@@ -84,14 +84,17 @@ fn main() {
         )
         .expect("eval");
         println!("{label} ASR: {:.0}%", 100.0 * eval.asr);
-        if best.as_ref().map_or(true, |(a, _)| eval.asr > *a) {
+        if best.as_ref().is_none_or(|(a, _)| eval.asr > *a) {
             best = Some((eval.asr, out.policy));
         }
     }
 
     // 3. Render one episode of the best blocker.
     let (asr, blocker) = best.expect("at least one attack trained");
-    println!("\nbest blocker (ASR {:.0}%), one episode (r = runner, b = blocker, | = line):", 100.0 * asr);
+    println!(
+        "\nbest blocker (ASR {:.0}%), one episode (r = runner, b = blocker, | = line):",
+        100.0 * asr
+    );
     let mut game = YouShallNotPass::new();
     let (mut vobs, mut aobs) = game.reset(&mut rng);
     let mut canvas = Canvas::new(72, 14, (-3.5, 3.5), (-3.0, 3.0));

@@ -25,8 +25,8 @@ fn main() {
         ppo: PpoConfig::default(),
         ..TrainConfig::default()
     };
-    let (mut victim, _) = train_ppo(&mut Hopper::new(), &victim_cfg, None, None)
-        .expect("victim training");
+    let (mut victim, _) =
+        train_ppo(&mut Hopper::new(), &victim_cfg, None, None).expect("victim training");
     victim.norm.freeze(); // deployed victims are frozen
 
     // 2. Measure clean performance and the random-perturbation baseline.
@@ -51,8 +51,14 @@ fn main() {
         &mut rng,
     )
     .expect("eval");
-    println!("clean reward : {:8.1} ± {:.1}", clean.victim_return, clean.victim_return_std);
-    println!("random attack: {:8.1} ± {:.1}", random.victim_return, random.victim_return_std);
+    println!(
+        "clean reward : {:8.1} ± {:.1}",
+        clean.victim_return, clean.victim_return_std
+    );
+    println!(
+        "random attack: {:8.1} ± {:.1}",
+        random.victim_return, random.victim_return_std
+    );
 
     // 3. Train two black-box adversarial policies on the perturbation MDP:
     //    the SA-RL baseline and IMAP with the policy-coverage regularizer.
@@ -79,7 +85,9 @@ fn main() {
     ] {
         let mut threat_env = PerturbationEnv::new(Box::new(Hopper::new()), victim.clone(), eps);
         println!("training {label} against the frozen victim...");
-        let outcome = ImapTrainer::new(cfg).train(&mut threat_env, None).expect("attack");
+        let outcome = ImapTrainer::new(cfg)
+            .train(&mut threat_env, None)
+            .expect("attack");
         let attacked = eval_under_attack(
             Box::new(Hopper::new()),
             &victim,

@@ -23,8 +23,7 @@ fn main() {
     let task = TaskId::AntUMaze;
     let eps = task.spec().eps;
     println!("training the navigation victim on {}...", task.spec().name);
-    let victim =
-        train_victim(task, DefenseMethod::Ppo, &VictimBudget::quick(), 9).expect("victim");
+    let victim = train_victim(task, DefenseMethod::Ppo, &VictimBudget::quick(), 9).expect("victim");
 
     let mut rng = EnvRng::seed_from_u64(31);
     let clean = eval_under_attack(build_task(task), &victim, Attacker::None, eps, 40, &mut rng)
@@ -82,7 +81,7 @@ fn main() {
             attacked.sparse_std,
             100.0 * attacked.success_rate
         );
-        if best.as_ref().map_or(true, |(s, _)| attacked.sparse < *s) {
+        if best.as_ref().is_none_or(|(s, _)| attacked.sparse < *s) {
             best = Some((attacked.sparse, out.policy));
         }
     }

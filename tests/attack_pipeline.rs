@@ -55,8 +55,15 @@ fn learned_attack_beats_random_attack_on_hopper() {
         "victim must be competent before attacking: {}",
         clean.victim_return
     );
-    let random =
-        eval_under_attack(build_task(task), &victim, Attacker::Random, eps, 20, &mut rng).unwrap();
+    let random = eval_under_attack(
+        build_task(task),
+        &victim,
+        Attacker::Random,
+        eps,
+        20,
+        &mut rng,
+    )
+    .unwrap();
     // A competent (hard-leaning) vanilla victim does degrade under random
     // ε-noise — the paper's Table 1 Random column shows the same pattern,
     // strongest for vanilla PPO — but it must retain a clearly nontrivial

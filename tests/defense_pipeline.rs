@@ -54,7 +54,13 @@ fn regularized_victims_are_provably_smoother() {
     let probe: Vec<Vec<f64>> = (0..24)
         .map(|i| {
             let t = i as f64 * 0.26;
-            vec![0.1 * t.sin(), 0.2 * t.cos(), 0.1 * (2.0 * t).sin(), 0.3 * t.cos(), 0.5]
+            vec![
+                0.1 * t.sin(),
+                0.2 * t.cos(),
+                0.1 * (2.0 * t).sin(),
+                0.3 * t.cos(),
+                0.5,
+            ]
         })
         .collect();
     let mean_dev = |p: &imap_rl::GaussianPolicy| -> f64 {
@@ -69,7 +75,11 @@ fn regularized_victims_are_provably_smoother() {
             / probe.len() as f64
     };
     let base = mean_dev(&vanilla);
-    for method in [DefenseMethod::Sa, DefenseMethod::Radial, DefenseMethod::Wocar] {
+    for method in [
+        DefenseMethod::Sa,
+        DefenseMethod::Radial,
+        DefenseMethod::Wocar,
+    ] {
         let defended = train_victim(task, method, &budget(), 13).unwrap();
         let dev = mean_dev(&defended);
         assert!(
