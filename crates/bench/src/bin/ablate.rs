@@ -7,8 +7,11 @@
 //!
 //! Usage: `IMAP_BUDGET=quick|full cargo run --release -p imap-bench --bin ablate`
 
-use imap_bench::{base_seed, bench_telemetry, finish_telemetry, Budget, VictimCache};
-use imap_core::eval::{eval_under_attack, record_attack_eval, Attacker};
+use imap_bench::{
+    base_seed, bench_telemetry, finish_telemetry, run_cell_isolated, run_isolated, Budget,
+    CellResult, VictimCache,
+};
+use imap_core::eval::{eval_under_attack, Attacker};
 use imap_core::regularizer::{RegularizerConfig, RegularizerKind};
 use imap_core::threat::PerturbationEnv;
 use imap_core::{ImapConfig, ImapTrainer};
@@ -23,41 +26,47 @@ fn main() {
     let cache = VictimCache::open();
     let task = TaskId::SparseHopper;
     let eps = task.spec().eps;
-    let victim = {
+    let victim_tags = [("task", task.spec().name), ("stage", "victim_train")];
+    let Some(victim) = run_isolated(&tel, &victim_tags, || {
         let _t = tel.span("victim_train");
         cache.victim_with(&tel, task, DefenseMethod::Ppo, &budget, seed)
+    }) else {
+        finish_telemetry(&tel);
+        return;
     };
 
     let run = |label: String, cfg: ImapConfig| {
-        let mut env = PerturbationEnv::new(build_task(task), victim.clone(), eps);
-        let out = {
-            let _t = tel.span("attack_cell");
-            ImapTrainer::new(cfg).train(&mut env, None).expect("attack")
-        };
-        let mut rng = EnvRng::seed_from_u64(seed ^ 0xab1a);
-        let eval = eval_under_attack(
-            build_task(task),
-            &victim,
-            Attacker::Policy(&out.policy),
-            eps,
-            budget.eval_episodes,
-            &mut rng,
-        )
-        .expect("eval");
-        record_attack_eval(
-            &tel,
-            "cell",
-            &[
-                ("task", task.spec().name),
-                ("attack", "IMAP-PC"),
-                ("variant", label.as_str()),
-            ],
-            &eval,
-        );
-        println!(
-            "{label:<28} victim score {:>6.2} ± {:<5.2}",
-            eval.sparse, eval.sparse_std
-        );
+        let tags = [
+            ("task", task.spec().name),
+            ("attack", "IMAP-PC"),
+            ("variant", label.as_str()),
+        ];
+        match run_cell_isolated(&tel, &tags, || {
+            let mut env = PerturbationEnv::new(build_task(task), victim.clone(), eps);
+            let out = {
+                let _t = tel.span("attack_cell");
+                ImapTrainer::new(cfg).train(&mut env, None)?
+            };
+            let mut rng = EnvRng::seed_from_u64(seed ^ 0xab1a);
+            let eval = eval_under_attack(
+                build_task(task),
+                &victim,
+                Attacker::Policy(&out.policy),
+                eps,
+                budget.eval_episodes,
+                &mut rng,
+            )?;
+            Ok(CellResult {
+                eval,
+                curve: out.curve,
+            })
+        }) {
+            Some(r) => println!(
+                "{label:<28} victim score {:>6.2} ± {:<5.2}",
+                r.eval.sparse, r.eval.sparse_std
+            ),
+            None => println!("{label:<28} failed"),
+        }
     };
 
     println!(

@@ -9,8 +9,8 @@
 //! Usage: `IMAP_BUDGET=quick|full cargo run --release -p imap-bench --bin fig4`
 
 use imap_bench::{
-    base_seed, bench_telemetry, finish_telemetry, record_cell, record_curve,
-    run_attack_cell_cached, AttackKind, Budget, VictimCache,
+    base_seed, bench_telemetry, finish_telemetry, record_curve, run_attack_cell_cached,
+    run_cell_isolated, run_isolated, AttackKind, Budget, VictimCache,
 };
 use imap_core::regularizer::RegularizerKind;
 use imap_core::CurvePoint;
@@ -45,21 +45,26 @@ fn main() {
         budget.name
     );
     for task in SPARSE_LOCOMOTION {
-        let victim = {
+        let victim_tags = [("task", task.spec().name), ("stage", "victim_train")];
+        let Some(victim) = run_isolated(&tel, &victim_tags, || {
             let _t = tel.span("victim_train");
             cache.victim_with(&tel, task, DefenseMethod::Ppo, &budget, seed)
+        }) else {
+            continue;
         };
         println!("\n## {}", task.spec().name);
         let mut curves: Vec<(String, char, Vec<CurvePoint>)> = Vec::new();
         for (kind, glyph) in &attacks {
-            let r = {
+            let label = kind.label();
+            let tags = [("task", task.spec().name), ("attack", label.as_str())];
+            let Some(r) = run_cell_isolated(&tel, &tags, || {
                 let _t = tel.span("attack_cell");
                 run_attack_cell_cached(task, DefenseMethod::Ppo, &victim, *kind, &budget, seed)
+            }) else {
+                continue;
             };
-            let tags = [("task", task.spec().name), ("attack", &kind.label())];
-            record_cell(&tel, &tags, &r);
             record_curve(&tel, &tags, &r.curve);
-            curves.push((kind.label(), *glyph, r.curve));
+            curves.push((label, *glyph, r.curve));
         }
 
         // Data table, downsampled to ~10 rows.

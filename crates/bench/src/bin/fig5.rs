@@ -5,8 +5,8 @@
 //! Usage: `IMAP_BUDGET=quick|full cargo run --release -p imap-bench --bin fig5`
 
 use imap_bench::{
-    base_seed, bench_telemetry, default_xi, finish_telemetry, marl_victim_with, record_cell,
-    record_curve, run_multi_attack_cell_cached, AttackKind, Budget,
+    base_seed, bench_telemetry, default_xi, finish_telemetry, marl_victim_with, record_curve,
+    run_cell_isolated, run_isolated, run_multi_attack_cell_cached, AttackKind, Budget,
 };
 use imap_core::regularizer::RegularizerKind;
 use imap_env::render::Canvas;
@@ -35,19 +35,24 @@ fn main() {
         budget.name
     );
     for game in MultiTaskId::ALL {
-        let victim = {
+        let victim_tags = [("game", game.name()), ("stage", "victim_train")];
+        let Some(victim) = run_isolated(&tel, &victim_tags, || {
             let _t = tel.span("victim_train");
             marl_victim_with(&tel, game, &budget, seed)
+        }) else {
+            continue;
         };
         println!("\n## {}", game.name());
         let mut curves = Vec::new();
         for (label, kind, glyph) in &attacks {
-            let r = {
+            let tags = [("game", game.name()), ("attack", *label)];
+            let Some(r) = run_cell_isolated(&tel, &tags, || {
                 let _t = tel.span("attack_cell");
                 run_multi_attack_cell_cached(game, &victim, *kind, &budget, seed, default_xi())
+            }) else {
+                println!("{label:<12} failed");
+                continue;
             };
-            let tags = [("game", game.name()), ("attack", *label)];
-            record_cell(&tel, &tags, &r);
             record_curve(&tel, &tags, &r.curve);
             println!(
                 "{label:<12} final evaluated ASR = {:.2}% over {} episodes",

@@ -9,9 +9,9 @@
 
 use imap_bench::{
     base_seed, bench_telemetry, default_xi, finish_telemetry, marl_victim_with, record_curve,
-    Budget, VictimCache,
+    run_cell_isolated, run_isolated, Budget, CellResult, VictimCache,
 };
-use imap_core::eval::{eval_multi_attack, eval_under_attack, record_attack_eval, Attacker};
+use imap_core::eval::{eval_multi_attack, eval_under_attack, Attacker};
 use imap_core::regularizer::{RegularizerConfig, RegularizerKind};
 use imap_core::threat::{OpponentEnv, PerturbationEnv};
 use imap_core::{ImapConfig, ImapTrainer};
@@ -34,95 +34,116 @@ fn main() {
 
     // Single-agent: IMAP-PC+BR on SparseHalfCheetah.
     let task = TaskId::SparseHalfCheetah;
-    let victim = {
+    let victim_tags = [("task", task.spec().name), ("stage", "victim_train")];
+    let victim = run_isolated(&tel, &victim_tags, || {
         let _t = tel.span("victim_train");
         cache.victim_with(&tel, task, DefenseMethod::Ppo, &budget, seed)
-    };
-    println!(
-        "\n## {} (IMAP-PC+BR; victim score, lower = stronger)",
-        task.spec().name
-    );
-    for eta in ETAS {
-        let cfg = ImapConfig::imap(
-            budget.attack_train(seed),
-            RegularizerConfig::new(RegularizerKind::PolicyCoverage),
-        )
-        .with_br(eta);
-        let mut env = PerturbationEnv::new(build_task(task), victim.clone(), task.spec().eps);
-        let out = {
-            let _t = tel.span("attack_cell");
-            ImapTrainer::new(cfg).train(&mut env, None).expect("attack")
-        };
-        let mut rng = EnvRng::seed_from_u64(seed ^ 0xf16);
-        let eval = eval_under_attack(
-            build_task(task),
-            &victim,
-            Attacker::Policy(&out.policy),
-            task.spec().eps,
-            budget.eval_episodes,
-            &mut rng,
-        )
-        .expect("eval");
-        let eta_s = format!("{eta}");
-        let tags = [
-            ("task", task.spec().name),
-            ("attack", "IMAP-PC+BR"),
-            ("eta", eta_s.as_str()),
-        ];
-        record_attack_eval(&tel, "cell", &tags, &eval);
-        record_curve(&tel, &tags, &out.curve);
-        let final_tau = out.curve.last().map(|p| p.tau).unwrap_or(1.0);
+    });
+    if let Some(victim) = victim {
         println!(
-            "eta = {eta:>5.1}: victim score {:>6.2} ± {:<5.2}  (final τ = {final_tau:.2})",
-            eval.sparse, eval.sparse_std
+            "\n## {} (IMAP-PC+BR; victim score, lower = stronger)",
+            task.spec().name
         );
+        for eta in ETAS {
+            let eta_s = format!("{eta}");
+            let tags = [
+                ("task", task.spec().name),
+                ("attack", "IMAP-PC+BR"),
+                ("eta", eta_s.as_str()),
+            ];
+            let Some(r) = run_cell_isolated(&tel, &tags, || {
+                let cfg = ImapConfig::imap(
+                    budget.attack_train(seed),
+                    RegularizerConfig::new(RegularizerKind::PolicyCoverage),
+                )
+                .with_br(eta);
+                let mut env =
+                    PerturbationEnv::new(build_task(task), victim.clone(), task.spec().eps);
+                let out = {
+                    let _t = tel.span("attack_cell");
+                    ImapTrainer::new(cfg).train(&mut env, None)?
+                };
+                let mut rng = EnvRng::seed_from_u64(seed ^ 0xf16);
+                let eval = eval_under_attack(
+                    build_task(task),
+                    &victim,
+                    Attacker::Policy(&out.policy),
+                    task.spec().eps,
+                    budget.eval_episodes,
+                    &mut rng,
+                )?;
+                Ok(CellResult {
+                    eval,
+                    curve: out.curve,
+                })
+            }) else {
+                println!("eta = {eta:>5.1}: failed");
+                continue;
+            };
+            record_curve(&tel, &tags, &r.curve);
+            let final_tau = r.curve.last().map(|p| p.tau).unwrap_or(1.0);
+            println!(
+                "eta = {eta:>5.1}: victim score {:>6.2} ± {:<5.2}  (final τ = {final_tau:.2})",
+                r.eval.sparse, r.eval.sparse_std
+            );
+        }
     }
 
     // Multi-agent: IMAP-PC+BR on YouShallNotPass.
     let game = MultiTaskId::YouShallNotPass;
-    let victim = {
+    let victim_tags = [("game", game.name()), ("stage", "victim_train")];
+    let victim = run_isolated(&tel, &victim_tags, || {
         let _t = tel.span("victim_train");
         marl_victim_with(&tel, game, &budget, seed)
-    };
-    println!("\n## {} (IMAP-PC+BR; ASR, higher = stronger)", game.name());
-    for eta in ETAS {
-        let mut rc = RegularizerConfig::new(RegularizerKind::PolicyCoverage);
-        let mut env = OpponentEnv::new(build_multi_task(game), victim.clone());
-        rc.marginal_split = Some(env.summary_split());
-        rc.xi = default_xi();
-        let train = imap_rl::TrainConfig {
-            iterations: budget.marl_attack_iters,
-            ..budget.attack_train(seed)
-        };
-        let cfg = ImapConfig::imap(train, rc)
-            .with_intrinsic_scale(imap_bench::marl_intrinsic_scale())
-            .with_br(eta);
-        let out = {
-            let _t = tel.span("attack_cell");
-            ImapTrainer::new(cfg).train(&mut env, None).expect("attack")
-        };
-        let mut rng = EnvRng::seed_from_u64(seed ^ 0xf17);
-        let eval = eval_multi_attack(
-            build_multi_task(game),
-            &victim,
-            Attacker::Policy(&out.policy),
-            budget.eval_episodes,
-            &mut rng,
-        )
-        .expect("eval");
-        let eta_s = format!("{eta}");
-        let tags = [
-            ("game", game.name()),
-            ("attack", "IMAP-PC+BR"),
-            ("eta", eta_s.as_str()),
-        ];
-        record_attack_eval(&tel, "cell", &tags, &eval);
-        record_curve(&tel, &tags, &out.curve);
-        let final_tau = out.curve.last().map(|p| p.tau).unwrap_or(1.0);
-        println!(
-            "eta = {eta:>5.1}: ASR {:>5.1}%  (final τ = {final_tau:.2})",
-            100.0 * eval.asr
-        );
+    });
+    if let Some(victim) = victim {
+        println!("\n## {} (IMAP-PC+BR; ASR, higher = stronger)", game.name());
+        for eta in ETAS {
+            let eta_s = format!("{eta}");
+            let tags = [
+                ("game", game.name()),
+                ("attack", "IMAP-PC+BR"),
+                ("eta", eta_s.as_str()),
+            ];
+            let Some(r) = run_cell_isolated(&tel, &tags, || {
+                let mut rc = RegularizerConfig::new(RegularizerKind::PolicyCoverage);
+                let mut env = OpponentEnv::new(build_multi_task(game), victim.clone());
+                rc.marginal_split = Some(env.summary_split());
+                rc.xi = default_xi();
+                let train = imap_rl::TrainConfig {
+                    iterations: budget.marl_attack_iters,
+                    ..budget.attack_train(seed)
+                };
+                let cfg = ImapConfig::imap(train, rc)
+                    .with_intrinsic_scale(imap_bench::marl_intrinsic_scale())
+                    .with_br(eta);
+                let out = {
+                    let _t = tel.span("attack_cell");
+                    ImapTrainer::new(cfg).train(&mut env, None)?
+                };
+                let mut rng = EnvRng::seed_from_u64(seed ^ 0xf17);
+                let eval = eval_multi_attack(
+                    build_multi_task(game),
+                    &victim,
+                    Attacker::Policy(&out.policy),
+                    budget.eval_episodes,
+                    &mut rng,
+                )?;
+                Ok(CellResult {
+                    eval,
+                    curve: out.curve,
+                })
+            }) else {
+                println!("eta = {eta:>5.1}: failed");
+                continue;
+            };
+            record_curve(&tel, &tags, &r.curve);
+            let final_tau = r.curve.last().map(|p| p.tau).unwrap_or(1.0);
+            println!(
+                "eta = {eta:>5.1}: ASR {:>5.1}%  (final τ = {final_tau:.2})",
+                100.0 * r.eval.asr
+            );
+        }
     }
     finish_telemetry(&tel);
 }

@@ -8,8 +8,8 @@
 //! Usage: `IMAP_BUDGET=quick|full cargo run --release -p imap-bench --bin fig7`
 
 use imap_bench::{
-    base_seed, bench_telemetry, finish_telemetry, marl_victim_with, record_cell,
-    run_multi_attack_cell_cached, AttackKind, Budget,
+    base_seed, bench_telemetry, finish_telemetry, marl_victim_with, run_cell_isolated,
+    run_isolated, run_multi_attack_cell_cached, AttackKind, Budget,
 };
 use imap_core::regularizer::RegularizerKind;
 use imap_env::MultiTaskId;
@@ -21,9 +21,13 @@ fn main() {
     let seed = base_seed();
     let tel = bench_telemetry("fig7", &budget, seed);
     let game = MultiTaskId::YouShallNotPass;
-    let victim = {
+    let victim_tags = [("game", game.name()), ("stage", "victim_train")];
+    let Some(victim) = run_isolated(&tel, &victim_tags, || {
         let _t = tel.span("victim_train");
         marl_victim_with(&tel, game, &budget, seed)
+    }) else {
+        finish_telemetry(&tel);
+        return;
     };
 
     println!(
@@ -33,7 +37,13 @@ fn main() {
     println!("\n## {} (IMAP-PC+BR; ASR, higher = stronger)", game.name());
     println!("ξ = 0: pure adversary-state coverage; ξ = 1: pure victim-state coverage.");
     for xi in XIS {
-        let r = {
+        let xi_s = format!("{xi}");
+        let tags = [
+            ("game", game.name()),
+            ("attack", "IMAP-PC+BR"),
+            ("xi", xi_s.as_str()),
+        ];
+        match run_cell_isolated(&tel, &tags, || {
             let _t = tel.span("attack_cell");
             run_multi_attack_cell_cached(
                 game,
@@ -43,18 +53,10 @@ fn main() {
                 seed,
                 xi,
             )
-        };
-        let xi_s = format!("{xi}");
-        record_cell(
-            &tel,
-            &[
-                ("game", game.name()),
-                ("attack", "IMAP-PC+BR"),
-                ("xi", xi_s.as_str()),
-            ],
-            &r,
-        );
-        println!("xi = {xi:>4.2}: ASR {:>5.1}%", 100.0 * r.eval.asr);
+        }) {
+            Some(r) => println!("xi = {xi:>4.2}: ASR {:>5.1}%", 100.0 * r.eval.asr),
+            None => println!("xi = {xi:>4.2}: failed"),
+        }
     }
     finish_telemetry(&tel);
 }

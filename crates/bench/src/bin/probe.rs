@@ -29,7 +29,9 @@ fn main() {
         budget.name
     );
     let t0 = std::time::Instant::now();
-    let victim = cache.victim(task, method, &budget, seed);
+    let victim = cache
+        .victim(task, method, &budget, seed)
+        .expect("probe victim training");
     eprintln!(
         "victim trained/loaded in {:.1}s",
         t0.elapsed().as_secs_f64()
@@ -43,7 +45,8 @@ fn main() {
         AttackKind::Imap(RegularizerKind::Risk),
     ] {
         let t = std::time::Instant::now();
-        let (eval, _) = run_attack_cell(task, &victim, kind, &budget, seed);
+        let (eval, _) =
+            run_attack_cell(task, &victim, kind, &budget, seed).expect("probe attack cell");
         println!(
             "{:<12} dense={:>8.1} ± {:<7.1} sparse={:>5.2} success={:.2} ({:.1}s)",
             kind.label(),

@@ -14,7 +14,7 @@ fn main() {
     };
     eprintln!("probe_marl: game={game:?} budget={}", budget.name);
     let t0 = std::time::Instant::now();
-    let victim = marl_victim(game, &budget, seed);
+    let victim = marl_victim(game, &budget, seed).expect("probe MARL victim training");
     eprintln!("victim ready in {:.1}s", t0.elapsed().as_secs_f64());
 
     for kind in [
@@ -24,7 +24,8 @@ fn main() {
         AttackKind::ImapBr(RegularizerKind::PolicyCoverage),
     ] {
         let t = std::time::Instant::now();
-        let (eval, _) = run_multi_attack_cell(game, &victim, kind, &budget, seed, default_xi());
+        let (eval, _) = run_multi_attack_cell(game, &victim, kind, &budget, seed, default_xi())
+            .expect("probe attack cell");
         let label = if kind == AttackKind::SaRl {
             "AP-MARL".to_string()
         } else {

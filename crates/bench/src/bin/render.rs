@@ -24,7 +24,9 @@ use rand::SeedableRng;
 fn walker_pitch_trace(kind: AttackKind, budget: &Budget, seed: u64) -> (Vec<f64>, bool) {
     let cache = VictimCache::open();
     let task = TaskId::Walker2d;
-    let victim = cache.victim(task, DefenseMethod::Wocar, budget, seed);
+    let victim = cache
+        .victim(task, DefenseMethod::Wocar, budget, seed)
+        .expect("render victim training");
     let eps = task.spec().eps;
     // Reuse the cached evaluation to pick the attack, then retrain the
     // policy itself (curves are cached; policies are small enough to retrain
@@ -82,7 +84,7 @@ fn main() {
     println!("\n# Figure 2 analog — YouShallNotPass trajectories");
     println!("(r = runner trace, b = blocker trace, | = finish line x=3)\n");
     let game = MultiTaskId::YouShallNotPass;
-    let victim = marl_victim(game, &budget, seed);
+    let victim = marl_victim(game, &budget, seed).expect("render MARL victim training");
     for (label, kind) in [
         ("AP-MARL", AttackKind::SaRl),
         (
@@ -92,10 +94,12 @@ fn main() {
     ] {
         // The cached cell gives the evaluation; retrain the opponent policy
         // at the same seed for the qualitative rollout.
-        let r = run_multi_attack_cell_cached(game, &victim, kind, &budget, seed, default_xi());
+        let r = run_multi_attack_cell_cached(game, &victim, kind, &budget, seed, default_xi())
+            .expect("render attack cell");
         println!("## {label} (evaluated ASR {:.0}%)", 100.0 * r.eval.asr);
         let (_, outcome) =
-            imap_bench::run_multi_attack_cell(game, &victim, kind, &budget, seed, default_xi());
+            imap_bench::run_multi_attack_cell(game, &victim, kind, &budget, seed, default_xi())
+                .expect("render attack cell");
         let adv = outcome.expect("learned attack").policy;
 
         let mut env = imap_env::multiagent::YouShallNotPass::new();

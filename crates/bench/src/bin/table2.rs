@@ -6,8 +6,8 @@
 //! Usage: `IMAP_BUDGET=quick|full cargo run --release -p imap-bench --bin table2`
 
 use imap_bench::{
-    base_seed, bench_telemetry, cell, finish_telemetry, print_row, record_cell,
-    run_attack_cell_cached, AttackKind, Budget, VictimCache,
+    base_seed, bench_telemetry, cell, finish_telemetry, print_row, run_attack_cell_cached,
+    run_cell_isolated, run_isolated, AttackKind, Budget, VictimCache,
 };
 use imap_core::regularizer::RegularizerKind;
 use imap_defense::DefenseMethod;
@@ -29,28 +29,37 @@ fn main() {
     print_row(&header);
 
     let mut col_sums = vec![0.0; columns.len() + 1];
+    let mut col_counts = vec![0usize; columns.len() + 1];
     let mut imap_beats_sarl = 0usize;
 
     for task in TaskId::SPARSE {
-        let victim = {
+        let victim_tags = [("task", task.spec().name), ("stage", "victim_train")];
+        let Some(victim) = run_isolated(&tel, &victim_tags, || {
             let _t = tel.span("victim_train");
             cache.victim_with(&tel, task, DefenseMethod::Ppo, &budget, seed)
+        }) else {
+            continue;
         };
         let mut row = vec![task.spec().name.to_string()];
         let mut values = Vec::new();
         for (ci, &kind) in columns.iter().enumerate() {
-            let r = {
+            let label = kind.label();
+            let tags = [("task", task.spec().name), ("attack", label.as_str())];
+            match run_cell_isolated(&tel, &tags, || {
                 let _t = tel.span("attack_cell");
                 run_attack_cell_cached(task, DefenseMethod::Ppo, &victim, kind, &budget, seed)
-            };
-            record_cell(
-                &tel,
-                &[("task", task.spec().name), ("attack", &kind.label())],
-                &r,
-            );
-            row.push(cell(r.eval.sparse, r.eval.sparse_std, false));
-            values.push(r.eval.sparse);
-            col_sums[ci] += r.eval.sparse;
+            }) {
+                Some(r) => {
+                    row.push(cell(r.eval.sparse, r.eval.sparse_std, false));
+                    values.push(r.eval.sparse);
+                    col_sums[ci] += r.eval.sparse;
+                    col_counts[ci] += 1;
+                }
+                None => {
+                    row.push("failed".to_string());
+                    values.push(f64::NAN);
+                }
+            }
         }
         // Best IMAP+BR across the four regularizers (paper's last column).
         let mut best_br = f64::INFINITY;
@@ -58,40 +67,46 @@ fn main() {
         let mut best_std = 0.0;
         for k in RegularizerKind::ALL {
             let kind = AttackKind::ImapBr(k);
-            let r = {
+            let label = kind.label();
+            let tags = [("task", task.spec().name), ("attack", label.as_str())];
+            let Some(r) = run_cell_isolated(&tel, &tags, || {
                 let _t = tel.span("attack_cell");
                 run_attack_cell_cached(task, DefenseMethod::Ppo, &victim, kind, &budget, seed)
+            }) else {
+                continue;
             };
-            record_cell(
-                &tel,
-                &[("task", task.spec().name), ("attack", &kind.label())],
-                &r,
-            );
             if r.eval.sparse < best_br {
                 best_br = r.eval.sparse;
                 best_std = r.eval.sparse_std;
                 best_kind = k;
             }
         }
-        row.push(format!(
-            "{} ({})",
-            cell(best_br, best_std, false),
-            best_kind.short_name()
-        ));
-        col_sums[columns.len()] += best_br;
+        if best_br.is_finite() {
+            row.push(format!(
+                "{} ({})",
+                cell(best_br, best_std, false),
+                best_kind.short_name()
+            ));
+            col_sums[columns.len()] += best_br;
+            col_counts[columns.len()] += 1;
+        } else {
+            row.push("failed".to_string());
+        }
         print_row(&row);
 
         let sa_rl = values[2];
         let best_imap = values[3..].iter().cloned().fold(f64::INFINITY, f64::min);
-        if best_imap <= sa_rl {
+        if sa_rl.is_finite() && best_imap.is_finite() && best_imap <= sa_rl {
             imap_beats_sarl += 1;
         }
     }
 
     println!();
-    let n = TaskId::SPARSE.len() as f64;
     let mut avg_row = vec!["Average".to_string()];
-    avg_row.extend(col_sums.iter().map(|s| format!("{:>5.2}", s / n)));
+    avg_row.extend(col_sums.iter().zip(&col_counts).map(|(s, &n)| match n {
+        0 => "failed".to_string(),
+        _ => format!("{:>5.2}", s / n as f64),
+    }));
     print_row(&avg_row);
     println!();
     println!(

@@ -5,8 +5,8 @@
 //! Usage: `IMAP_BUDGET=quick|full cargo run --release -p imap-bench --bin table3`
 
 use imap_bench::{
-    base_seed, bench_telemetry, cell, finish_telemetry, print_row, record_cell,
-    run_attack_cell_cached, AttackKind, Budget, VictimCache,
+    base_seed, bench_telemetry, cell, finish_telemetry, print_row, run_attack_cell_cached,
+    run_cell_isolated, run_isolated, AttackKind, Budget, VictimCache,
 };
 use imap_core::regularizer::RegularizerKind;
 use imap_defense::DefenseMethod;
@@ -34,38 +34,50 @@ fn main() {
     let mut tasks_where_br_helps = 0usize;
 
     for task in TaskId::SPARSE {
-        let victim = {
+        let victim_tags = [("task", task.spec().name), ("stage", "victim_train")];
+        let Some(victim) = run_isolated(&tel, &victim_tags, || {
             let _t = tel.span("victim_train");
             cache.victim_with(&tel, task, DefenseMethod::Ppo, &budget, seed)
+        }) else {
+            continue;
         };
         let mut row = vec![task.spec().name.to_string()];
         let run_cell = |kind: AttackKind| {
-            let r = {
+            let label = kind.label();
+            let tags = [("task", task.spec().name), ("attack", label.as_str())];
+            run_cell_isolated(&tel, &tags, || {
                 let _t = tel.span("attack_cell");
                 run_attack_cell_cached(task, DefenseMethod::Ppo, &victim, kind, &budget, seed)
-            };
-            record_cell(
-                &tel,
-                &[("task", task.spec().name), ("attack", &kind.label())],
-                &r,
-            );
-            r
+            })
         };
-        let sa = run_cell(AttackKind::SaRl);
-        row.push(cell(sa.eval.sparse, sa.eval.sparse_std, false));
+        match run_cell(AttackKind::SaRl) {
+            Some(sa) => row.push(cell(sa.eval.sparse, sa.eval.sparse_std, false)),
+            None => row.push("failed".to_string()),
+        }
 
         let mut imap_vals = Vec::new();
         for k in RegularizerKind::ALL {
-            let r = run_cell(AttackKind::Imap(k));
-            row.push(cell(r.eval.sparse, r.eval.sparse_std, false));
-            imap_vals.push(r.eval.sparse);
+            match run_cell(AttackKind::Imap(k)) {
+                Some(r) => {
+                    row.push(cell(r.eval.sparse, r.eval.sparse_std, false));
+                    imap_vals.push(r.eval.sparse);
+                }
+                None => {
+                    row.push("failed".to_string());
+                    imap_vals.push(f64::NAN);
+                }
+            }
         }
         let mut any_improved = false;
         for (i, k) in RegularizerKind::ALL.into_iter().enumerate() {
-            let r = run_cell(AttackKind::ImapBr(k));
+            let Some(r) = run_cell(AttackKind::ImapBr(k)) else {
+                row.push("failed".to_string());
+                continue;
+            };
             br_cells += 1;
             // Lower victim score = stronger attack; mark BR improvements
-            // with `*` (the paper's underline).
+            // with `*` (the paper's underline). A NaN baseline (failed
+            // IMAP cell) compares false, so it never counts as improved.
             let improved = r.eval.sparse < imap_vals[i] - 1e-9;
             if improved {
                 br_improvements += 1;

@@ -7,6 +7,7 @@
 //! the base seed.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 
 use parking_lot::Mutex;
@@ -19,6 +20,7 @@ use imap_defense::{
     train_game_victim_selfplay, train_victim_with, DefenseMethod, ScriptedOpponent, VictimBudget,
 };
 use imap_env::{build_multi_task, build_task, EnvRng, MultiTaskId, TaskId};
+use imap_nn::NnError;
 use imap_rl::{GaussianPolicy, PpoConfig, TrainConfig};
 use imap_telemetry::{RunManifest, Telemetry};
 use rand::SeedableRng;
@@ -167,7 +169,7 @@ impl VictimCache {
         method: DefenseMethod,
         budget: &Budget,
         seed: u64,
-    ) -> GaussianPolicy {
+    ) -> Result<GaussianPolicy, NnError> {
         self.victim_with(&Telemetry::null(), task, method, budget, seed)
     }
 
@@ -180,25 +182,24 @@ impl VictimCache {
         method: DefenseMethod,
         budget: &Budget,
         seed: u64,
-    ) -> GaussianPolicy {
+    ) -> Result<GaussianPolicy, NnError> {
         let key = Self::key(task, method, budget, seed);
         if let Some(p) = self.mem.lock().get(&key) {
-            return p.clone();
+            return Ok(p.clone());
         }
         let path = self.dir.join(format!("{key}.json"));
         if let Ok(bytes) = std::fs::read(&path) {
             if let Ok(p) = serde_json::from_slice::<GaussianPolicy>(&bytes) {
                 self.mem.lock().insert(key, p.clone());
-                return p;
+                return Ok(p);
             }
         }
-        let p = train_victim_with(tel, task, method, &budget.victim, seed)
-            .expect("victim training should not fail");
+        let p = train_victim_with(tel, task, method, &budget.victim, seed)?;
         if let Ok(bytes) = serde_json::to_vec(&p) {
             let _ = std::fs::write(&path, bytes);
         }
         self.mem.lock().insert(key, p.clone());
-        p
+        Ok(p)
     }
 }
 
@@ -211,7 +212,7 @@ pub fn run_attack_cell(
     kind: AttackKind,
     budget: &Budget,
     seed: u64,
-) -> (AttackEval, Option<AttackOutcome>) {
+) -> Result<(AttackEval, Option<AttackOutcome>), NnError> {
     // `IMAP_EPS` overrides the per-task budget (calibration only).
     let eps = std::env::var("IMAP_EPS")
         .ok()
@@ -227,9 +228,8 @@ pub fn run_attack_cell(
                 eps,
                 budget.eval_episodes,
                 &mut rng,
-            )
-            .expect("eval");
-            (eval, None)
+            )?;
+            Ok((eval, None))
         }
         AttackKind::Random => {
             let eval = eval_under_attack(
@@ -239,14 +239,13 @@ pub fn run_attack_cell(
                 eps,
                 budget.eval_episodes,
                 &mut rng,
-            )
-            .expect("eval");
-            (eval, None)
+            )?;
+            Ok((eval, None))
         }
         AttackKind::SaRl | AttackKind::Imap(_) | AttackKind::ImapBr(_) => {
             let cfg = attack_config(kind, budget, seed);
             let mut env = PerturbationEnv::new(build_task(task), victim.clone(), eps);
-            let outcome = ImapTrainer::new(cfg).train(&mut env, None).expect("attack");
+            let outcome = ImapTrainer::new(cfg).train(&mut env, None)?;
             let eval = eval_under_attack(
                 build_task(task),
                 victim,
@@ -254,9 +253,8 @@ pub fn run_attack_cell(
                 eps,
                 budget.eval_episodes,
                 &mut rng,
-            )
-            .expect("eval");
-            (eval, Some(outcome))
+            )?;
+            Ok((eval, Some(outcome)))
         }
     }
 }
@@ -292,7 +290,11 @@ pub fn marl_intrinsic_scale() -> f64 {
 }
 
 /// Returns (training, caching if needed) the game victim for `game`.
-pub fn marl_victim(game: MultiTaskId, budget: &Budget, seed: u64) -> GaussianPolicy {
+pub fn marl_victim(
+    game: MultiTaskId,
+    budget: &Budget,
+    seed: u64,
+) -> Result<GaussianPolicy, NnError> {
     marl_victim_with(&Telemetry::null(), game, budget, seed)
 }
 
@@ -303,14 +305,14 @@ pub fn marl_victim_with(
     game: MultiTaskId,
     budget: &Budget,
     seed: u64,
-) -> GaussianPolicy {
+) -> Result<GaussianPolicy, NnError> {
     let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../.victim-cache");
     let _ = std::fs::create_dir_all(&dir);
     let key = format!("marl_{game:?}_{}_{seed}", budget.name);
     let path = dir.join(format!("{key}.json"));
     if let Ok(bytes) = std::fs::read(&path) {
         if let Ok(p) = serde_json::from_slice::<GaussianPolicy>(&bytes) {
-            return p;
+            return Ok(p);
         }
     }
     let scripted: fn() -> ScriptedOpponent = match game {
@@ -339,13 +341,12 @@ pub fn marl_victim_with(
         2,
         budget.marl_victim_iters / 5,
         per_round,
-    )
-    .expect("MARL victim training");
+    )?;
     p.norm.freeze();
     if let Ok(bytes) = serde_json::to_vec(&p) {
         let _ = std::fs::write(&path, bytes);
     }
-    p
+    Ok(p)
 }
 
 /// Runs one multi-agent attack cell: trains the adversarial opponent (for
@@ -357,7 +358,7 @@ pub fn run_multi_attack_cell(
     budget: &Budget,
     seed: u64,
     xi: f64,
-) -> (AttackEval, Option<AttackOutcome>) {
+) -> Result<(AttackEval, Option<AttackOutcome>), NnError> {
     let mut rng = EnvRng::seed_from_u64(seed ^ 0x3a21);
     match kind {
         AttackKind::NoAttack | AttackKind::Random => {
@@ -372,9 +373,8 @@ pub fn run_multi_attack_cell(
                 attacker,
                 budget.eval_episodes,
                 &mut rng,
-            )
-            .expect("eval");
-            (eval, None)
+            )?;
+            Ok((eval, None))
         }
         _ => {
             let mut env = OpponentEnv::new(build_multi_task(game), victim.clone());
@@ -401,16 +401,15 @@ pub fn run_multi_attack_cell(
                 }
                 _ => unreachable!(),
             };
-            let outcome = ImapTrainer::new(cfg).train(&mut env, None).expect("attack");
+            let outcome = ImapTrainer::new(cfg).train(&mut env, None)?;
             let eval = eval_multi_attack(
                 build_multi_task(game),
                 victim,
                 Attacker::Policy(&outcome.policy),
                 budget.eval_episodes,
                 &mut rng,
-            )
-            .expect("eval");
-            (eval, Some(outcome))
+            )?;
+            Ok((eval, Some(outcome)))
         }
     }
 }
@@ -431,18 +430,21 @@ fn cell_cache_path(key: &str) -> PathBuf {
     dir.join(format!("{key}.json"))
 }
 
-fn cached_cell(key: &str, compute: impl FnOnce() -> CellResult) -> CellResult {
+fn cached_cell(
+    key: &str,
+    compute: impl FnOnce() -> Result<CellResult, NnError>,
+) -> Result<CellResult, NnError> {
     let path = cell_cache_path(key);
     if let Ok(bytes) = std::fs::read(&path) {
         if let Ok(r) = serde_json::from_slice::<CellResult>(&bytes) {
-            return r;
+            return Ok(r);
         }
     }
-    let r = compute();
+    let r = compute()?;
     if let Ok(bytes) = serde_json::to_vec(&r) {
         let _ = std::fs::write(&path, bytes);
     }
-    r
+    Ok(r)
 }
 
 /// [`run_attack_cell`] with a persistent on-disk cache keyed by every input,
@@ -454,7 +456,7 @@ pub fn run_attack_cell_cached(
     kind: AttackKind,
     budget: &Budget,
     seed: u64,
-) -> CellResult {
+) -> Result<CellResult, NnError> {
     let key = format!(
         "sa_{task:?}_{method:?}_{}_{}_{seed}",
         kind.label(),
@@ -462,11 +464,11 @@ pub fn run_attack_cell_cached(
     );
     let key = key.replace(['"', ' ', '+'], "_");
     cached_cell(&key, || {
-        let (eval, outcome) = run_attack_cell(task, victim, kind, budget, seed);
-        CellResult {
+        let (eval, outcome) = run_attack_cell(task, victim, kind, budget, seed)?;
+        Ok(CellResult {
             eval,
             curve: outcome.map(|o| o.curve).unwrap_or_default(),
-        }
+        })
     })
 }
 
@@ -478,7 +480,7 @@ pub fn run_multi_attack_cell_cached(
     budget: &Budget,
     seed: u64,
     xi: f64,
-) -> CellResult {
+) -> Result<CellResult, NnError> {
     let key = format!(
         "ma_{game:?}_{}_{}_{seed}_xi{:.2}",
         kind.label(),
@@ -487,12 +489,63 @@ pub fn run_multi_attack_cell_cached(
     );
     let key = key.replace(['"', ' ', '+'], "_");
     cached_cell(&key, || {
-        let (eval, outcome) = run_multi_attack_cell(game, victim, kind, budget, seed, xi);
-        CellResult {
+        let (eval, outcome) = run_multi_attack_cell(game, victim, kind, budget, seed, xi)?;
+        Ok(CellResult {
             eval,
             curve: outcome.map(|o| o.curve).unwrap_or_default(),
-        }
+        })
     })
+}
+
+/// Runs one fault-isolated stage of a sweep: panics and [`NnError`]s inside
+/// `compute` are caught, recorded as an error row (phase `cell`, tags
+/// `status=error` / `error=<message>`), and reported on stderr — the
+/// surrounding sweep keeps going instead of aborting.
+///
+/// Stages run single-threaded, so `AssertUnwindSafe` only waives the
+/// compiler's conservatism about captured `&mut` state: a failed stage's
+/// partial state is dropped with the closure and never observed again.
+pub fn run_isolated<T>(
+    tel: &Telemetry,
+    tags: &[(&str, &str)],
+    compute: impl FnOnce() -> Result<T, NnError>,
+) -> Option<T> {
+    let error = match catch_unwind(AssertUnwindSafe(compute)) {
+        Ok(Ok(value)) => return Some(value),
+        Ok(Err(e)) => format!("{e}"),
+        Err(payload) => payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "panic (non-string payload)".to_string()),
+    };
+    let mut full: Vec<(&str, &str)> = tags.to_vec();
+    full.push(("status", "error"));
+    full.push(("error", &error));
+    tel.record_full("cell", 0, &[], &[], &full);
+    eprintln!("cell failed ({}): {error}", format_tags(tags));
+    None
+}
+
+/// [`run_isolated`] for a full table/figure cell: a successful cell is
+/// additionally recorded through [`record_cell`] with `status=ok`.
+pub fn run_cell_isolated(
+    tel: &Telemetry,
+    tags: &[(&str, &str)],
+    compute: impl FnOnce() -> Result<CellResult, NnError>,
+) -> Option<CellResult> {
+    let result = run_isolated(tel, tags, compute)?;
+    let mut full: Vec<(&str, &str)> = tags.to_vec();
+    full.push(("status", "ok"));
+    record_cell(tel, &full, &result);
+    Some(result)
+}
+
+fn format_tags(tags: &[(&str, &str)]) -> String {
+    tags.iter()
+        .map(|(k, v)| format!("{k}={v}"))
+        .collect::<Vec<_>>()
+        .join(" ")
 }
 
 /// Opens the telemetry sink for a bench binary, so every table/figure run
@@ -572,6 +625,7 @@ pub fn print_row(cells: &[String]) {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -625,6 +679,67 @@ mod tests {
         assert_eq!(rows[0].scalars["asr"], 0.75);
         assert_eq!(rows[1].phase, "curve");
         assert_eq!(rows[1].counters["steps"], 2048);
+    }
+
+    #[test]
+    fn isolated_sweep_survives_panicking_and_erroring_cells() {
+        use imap_env::locomotion::Hopper;
+        use imap_env::{FaultKind, FaultPlan, FaultyEnv};
+        use imap_rl::train_ppo;
+
+        let (tel, mem) = Telemetry::memory("bench-fault");
+        let ok_cell = || {
+            Ok(CellResult {
+                eval: AttackEval {
+                    episodes: 1,
+                    ..AttackEval::default()
+                },
+                curve: vec![],
+            })
+        };
+        let mut kept = Vec::new();
+        for (idx, name) in ["a", "b", "c", "d"].into_iter().enumerate() {
+            let tags = [("cell", name)];
+            let r = run_cell_isolated(&tel, &tags, || match idx {
+                // A real trainer over an env that crashes mid-rollout.
+                1 => {
+                    let mut env =
+                        FaultyEnv::new(Hopper::new(), FaultPlan::once(FaultKind::Panic, 40));
+                    let cfg = TrainConfig {
+                        iterations: 1,
+                        steps_per_iter: 128,
+                        hidden: vec![8],
+                        seed: 7,
+                        ..TrainConfig::default()
+                    };
+                    train_ppo(&mut env, &cfg, None, None)?;
+                    ok_cell()
+                }
+                2 => Err(NnError::Numeric {
+                    context: "injected blowup".into(),
+                }),
+                _ => ok_cell(),
+            });
+            kept.push(r.is_some());
+        }
+        assert_eq!(kept, vec![true, false, false, true]);
+        let rows = mem.rows();
+        let errors: Vec<_> = rows
+            .iter()
+            .filter(|r| {
+                r.phase == "cell" && r.tags.get("status").map(String::as_str) == Some("error")
+            })
+            .collect();
+        assert_eq!(errors.len(), 2, "both failed cells leave an error row");
+        assert_eq!(errors[0].tags["cell"], "b");
+        assert!(errors[0].tags["error"].contains("injected fault"));
+        assert_eq!(errors[1].tags["cell"], "c");
+        assert!(errors[1].tags["error"].contains("non-finite"));
+        let oks = rows
+            .iter()
+            .filter(|r| r.phase == "cell" && r.tags.get("status").map(String::as_str) == Some("ok"))
+            .count();
+        assert_eq!(oks, 2, "surviving cells still record normally");
     }
 
     #[test]

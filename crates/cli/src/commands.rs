@@ -1,15 +1,17 @@
 //! Subcommand implementations for the `imap` binary.
 
 use std::fmt;
+use std::path::{Path, PathBuf};
 
 use imap_core::attacks::gradient::GradientAttack;
 use imap_core::eval::{eval_under_attack_with, record_attack_eval, AttackEval, Attacker};
 use imap_core::regularizer::{RegularizerConfig, RegularizerKind};
 use imap_core::threat::PerturbationEnv;
 use imap_core::{ImapConfig, ImapTrainer};
-use imap_defense::{train_victim_with, DefenseMethod, VictimBudget};
+use imap_defense::{train_victim_resilient, DefenseMethod, VictimBudget};
 use imap_env::{build_task, EnvRng, TaskId};
-use imap_rl::{GaussianPolicy, PpoConfig, TrainConfig};
+use imap_rl::checkpoint::{self, read_checkpoint, write_checkpoint, CheckpointError, StateDict};
+use imap_rl::{GaussianPolicy, PpoConfig, ResilienceConfig, TrainConfig};
 use imap_telemetry::{RunManifest, Telemetry};
 use rand::SeedableRng;
 
@@ -26,6 +28,8 @@ pub enum CliError {
     Io(std::io::Error),
     /// JSON (de)serialization failed.
     Json(serde_json::Error),
+    /// A policy/checkpoint file failed to read, verify, or restore.
+    Checkpoint(CheckpointError),
     /// A training/evaluation step failed.
     Nn(imap_nn::NnError),
 }
@@ -37,6 +41,7 @@ impl fmt::Display for CliError {
             CliError::Unknown(s) => write!(f, "{s}"),
             CliError::Io(e) => write!(f, "io: {e}"),
             CliError::Json(e) => write!(f, "json: {e}"),
+            CliError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
             CliError::Nn(e) => write!(f, "training: {e}"),
         }
     }
@@ -57,6 +62,11 @@ impl From<std::io::Error> for CliError {
 impl From<serde_json::Error> for CliError {
     fn from(e: serde_json::Error) -> Self {
         CliError::Json(e)
+    }
+}
+impl From<CheckpointError> for CliError {
+    fn from(e: CheckpointError) -> Self {
+        CliError::Checkpoint(e)
     }
 }
 impl From<imap_nn::NnError> for CliError {
@@ -101,14 +111,57 @@ pub fn parse_regularizer(name: &str) -> Result<RegularizerKind, CliError> {
     }
 }
 
-fn load_policy(path: &str) -> Result<GaussianPolicy, CliError> {
-    let bytes = std::fs::read(path)?;
-    Ok(serde_json::from_slice(&bytes)?)
+/// Loads a policy from the versioned `IMAP-CKPT` envelope (kind `policy`).
+///
+/// Truncated, corrupted, or wrong-kind files surface as
+/// [`CliError::Checkpoint`] with the failing check named.
+pub fn load_policy(path: &str) -> Result<GaussianPolicy, CliError> {
+    let d = read_checkpoint(Path::new(path), "policy")?;
+    let obs_dim = d.get_u64("arch.obs_dim")? as usize;
+    let action_dim = d.get_u64("arch.action_dim")? as usize;
+    let hidden: Vec<usize> = d
+        .get_vec("arch.hidden")?
+        .iter()
+        .map(|&v| v as usize)
+        .collect();
+    // Architecture only; every parameter is overwritten from the file.
+    let mut policy = GaussianPolicy::new(
+        obs_dim,
+        action_dim,
+        &hidden,
+        -0.5,
+        &mut EnvRng::seed_from_u64(0),
+    )?;
+    checkpoint::load_policy_into(&mut policy, &d, "policy")?;
+    Ok(policy)
 }
 
-fn save_policy(path: &str, policy: &GaussianPolicy) -> Result<(), CliError> {
-    std::fs::write(path, serde_json::to_vec(policy)?)?;
+/// Saves a policy as a versioned, checksummed `IMAP-CKPT` envelope
+/// (atomic tmp+rename write).
+pub fn save_policy(path: &str, policy: &GaussianPolicy) -> Result<(), CliError> {
+    let mut d = StateDict::new();
+    d.put_u64("arch.obs_dim", policy.obs_dim() as u64);
+    d.put_u64("arch.action_dim", policy.action_dim() as u64);
+    let layers = policy.mlp.layers();
+    let hidden: Vec<f64> = layers[..layers.len() - 1]
+        .iter()
+        .map(|l| l.output_dim() as f64)
+        .collect();
+    d.put_vec("arch.hidden", hidden);
+    checkpoint::put_policy(&mut d, "policy", policy);
+    write_checkpoint(Path::new(path), "policy", &d)?;
     Ok(())
+}
+
+/// Assembles the [`ResilienceConfig`] from the shared
+/// `--checkpoint-dir`/`--checkpoint-every`/`--resume` flags.
+fn resilience_from_args(args: &Args) -> Result<ResilienceConfig, CliError> {
+    Ok(ResilienceConfig {
+        checkpoint_dir: args.optional("checkpoint-dir").map(PathBuf::from),
+        checkpoint_every: args.get_or("checkpoint-every", 1usize)?,
+        resume: args.has_switch("resume"),
+        ..ResilienceConfig::default()
+    })
 }
 
 fn print_eval(label: &str, task: TaskId, eval: &AttackEval) {
@@ -134,18 +187,26 @@ USAGE:
   imap list-tasks
   imap train-victim --task <task> [--method ppo|atla|sa|atla-sa|radial|wocar]
                     [--budget quick|full] [--seed N] [--telemetry <dir>]
-                    --out <victim.json>
-  imap attack       --task <task> --victim <victim.json>
+                    [--checkpoint-dir <dir>] [--checkpoint-every N] [--resume]
+                    --out <victim.policy>
+  imap attack       --task <task> --victim <victim.policy>
                     [--regularizer sc|pc|r|d] [--br] [--baseline]
                     [--iters N] [--steps N] [--seed N] [--eps E]
-                    [--telemetry <dir>] --out <adversary.json>
-  imap eval         --task <task> --victim <victim.json>
-                    [--adversary <adversary.json> | --random | --mad | --fgsm]
+                    [--telemetry <dir>]
+                    [--checkpoint-dir <dir>] [--checkpoint-every N] [--resume]
+                    --out <adversary.policy>
+  imap eval         --task <task> --victim <victim.policy>
+                    [--adversary <adversary.policy> | --random | --mad | --fgsm]
                     [--episodes N] [--eps E] [--seed N] [--telemetry <dir>]
 
 `--telemetry <dir>` writes manifest.json, metrics.jsonl (one JSON metric row
 per line), and timing.txt into <dir>, and prints the per-phase wall-time
 breakdown on exit.
+
+`--checkpoint-dir <dir>` periodically snapshots the full trainer state
+(every `--checkpoint-every` iterations, default 1) as versioned,
+checksummed `.ckpt` files; `--resume` restores the latest one and
+continues, reproducing the uninterrupted run bitwise.
 ";
 
 /// Builds the run's telemetry handle: a JSONL sink rooted at the
@@ -213,7 +274,8 @@ pub fn dispatch(args: &Args) -> Result<(), CliError> {
                 method.name(),
                 task.spec().name
             );
-            let victim = train_victim_with(&tel, task, method, &budget, seed)?;
+            let resilience = resilience_from_args(args)?;
+            let victim = train_victim_resilient(&tel, task, method, &budget, seed, &resilience)?;
             save_policy(out, &victim)?;
             let mut rng = EnvRng::seed_from_u64(seed ^ 0xc11);
             let eval = eval_under_attack_with(
@@ -278,6 +340,7 @@ pub fn dispatch(args: &Args) -> Result<(), CliError> {
                     ..PpoConfig::default()
                 },
                 telemetry: tel.clone(),
+                resilience: resilience_from_args(args)?,
                 ..TrainConfig::default()
             };
             let cfg = match kind {
@@ -407,12 +470,60 @@ pub fn dispatch(args: &Args) -> Result<(), CliError> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use imap_defense::train_victim;
 
     fn parse(s: &str) -> Args {
         Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn policy_file_roundtrips_bitwise() {
+        let dir = std::env::temp_dir().join("imap-cli-policy-roundtrip");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("p.policy");
+        let mut policy =
+            GaussianPolicy::new(5, 3, &[8, 4], -0.5, &mut EnvRng::seed_from_u64(2)).unwrap();
+        policy.norm.update(&[0.3, -0.1, 0.0, 1.0, 2.0]);
+        policy.norm.freeze();
+        save_policy(path.to_str().unwrap(), &policy).unwrap();
+        let loaded = load_policy(path.to_str().unwrap()).unwrap();
+        assert_eq!(policy.params(), loaded.params());
+        assert!(loaded.norm.is_frozen());
+        assert_eq!(policy.norm.mean_raw(), loaded.norm.mean_raw());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_policy_file_is_a_checkpoint_error() {
+        let dir = std::env::temp_dir().join("imap-cli-policy-corrupt");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Garbage content.
+        let garbage = dir.join("garbage.policy");
+        std::fs::write(&garbage, "not a checkpoint at all\n").unwrap();
+        let err = load_policy(garbage.to_str().unwrap()).unwrap_err();
+        assert!(
+            matches!(err, CliError::Checkpoint(_)),
+            "garbage file must surface as a checkpoint error, got: {err}"
+        );
+
+        // Truncation breaks the length/checksum validation.
+        let path = dir.join("p.policy");
+        let policy = GaussianPolicy::new(5, 3, &[8], -0.5, &mut EnvRng::seed_from_u64(3)).unwrap();
+        save_policy(path.to_str().unwrap(), &policy).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        let err = load_policy(path.to_str().unwrap()).unwrap_err();
+        assert!(
+            matches!(err, CliError::Checkpoint(_)),
+            "truncated file must surface as a checkpoint error, got: {err}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -156,13 +156,13 @@ impl GradientAttack {
 mod tests {
     use super::*;
     use imap_env::locomotion::Hopper;
+    use imap_env::EnvRng;
     use imap_nn::gradcheck::numeric_gradient;
-    use rand::rngs::StdRng;
     use rand::SeedableRng;
 
     fn victim(seed: u64) -> GaussianPolicy {
         let mut p =
-            GaussianPolicy::new(5, 3, &[16], -0.5, &mut StdRng::seed_from_u64(seed)).unwrap();
+            GaussianPolicy::new(5, 3, &[16], -0.5, &mut EnvRng::seed_from_u64(seed)).unwrap();
         p.norm.freeze();
         p
     }
@@ -216,7 +216,7 @@ mod tests {
             .map(|(a, b)| (a - b) * (a - b))
             .sum();
         // Average random deviation at the same budget.
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = EnvRng::seed_from_u64(9);
         use rand::Rng;
         let mut rand_dev = 0.0;
         for _ in 0..20 {
@@ -247,7 +247,7 @@ mod tests {
     fn evaluate_runs_end_to_end() {
         let v = victim(4);
         let atk = GradientAttack::mad(0.075);
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = EnvRng::seed_from_u64(5);
         let r = atk
             .evaluate(Box::new(Hopper::new()), &v, 4, &mut rng)
             .unwrap();

@@ -68,8 +68,8 @@ mod tests {
     use super::*;
     use imap_env::locomotion::Hopper;
     use imap_env::multiagent::KickAndDefend;
+    use imap_env::EnvRng;
     use imap_rl::PpoConfig;
-    use rand::rngs::StdRng;
     use rand::SeedableRng;
 
     fn tiny() -> TrainConfig {
@@ -88,22 +88,22 @@ mod tests {
 
     #[test]
     fn sa_rl_trains() {
-        let victim = GaussianPolicy::new(5, 3, &[8], -0.5, &mut StdRng::seed_from_u64(1)).unwrap();
+        let victim = GaussianPolicy::new(5, 3, &[8], -0.5, &mut EnvRng::seed_from_u64(1)).unwrap();
         let out = sa_rl(Box::new(Hopper::new()), victim, 0.1, tiny()).unwrap();
         assert_eq!(out.curve.len(), 2);
     }
 
     #[test]
     fn ap_marl_trains() {
-        let victim = GaussianPolicy::new(12, 4, &[8], -0.5, &mut StdRng::seed_from_u64(2)).unwrap();
+        let victim = GaussianPolicy::new(12, 4, &[8], -0.5, &mut EnvRng::seed_from_u64(2)).unwrap();
         let out = ap_marl(Box::new(KickAndDefend::with_max_steps(60)), victim, tiny()).unwrap();
         assert_eq!(out.policy.action_dim(), 2);
     }
 
     #[test]
     fn random_attack_eval_runs() {
-        let victim = GaussianPolicy::new(5, 3, &[8], -0.5, &mut StdRng::seed_from_u64(3)).unwrap();
-        let mut rng = StdRng::seed_from_u64(4);
+        let victim = GaussianPolicy::new(5, 3, &[8], -0.5, &mut EnvRng::seed_from_u64(3)).unwrap();
+        let mut rng = EnvRng::seed_from_u64(4);
         let r = random_attack_eval(Box::new(Hopper::new()), &victim, 0.1, 4, &mut rng).unwrap();
         assert_eq!(r.episodes, 4);
     }

@@ -48,6 +48,21 @@ impl BiasReduction {
         self.lambda
     }
 
+    /// The previous attack-objective estimate, once seeded (for
+    /// checkpointing).
+    pub fn prev_jap(&self) -> Option<f64> {
+        self.prev_jap
+    }
+
+    /// Rebuilds BR from checkpointed raw state.
+    pub fn restore(eta: f64, lambda: f64, prev_jap: Option<f64>) -> Self {
+        BiasReduction {
+            lambda,
+            eta,
+            prev_jap,
+        }
+    }
+
     /// Absorbs the latest attack objective estimate `J^AP(π^α_{k+1})` and
     /// returns the updated temperature.
     ///

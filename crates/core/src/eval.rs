@@ -237,17 +237,17 @@ mod tests {
     use super::*;
     use imap_env::locomotion::Hopper;
     use imap_env::multiagent::YouShallNotPass;
-    use rand::rngs::StdRng;
+    use imap_env::EnvRng;
     use rand::SeedableRng;
 
     fn untrained_victim(obs: usize, act: usize, seed: u64) -> GaussianPolicy {
-        GaussianPolicy::new(obs, act, &[8], -0.5, &mut StdRng::seed_from_u64(seed)).unwrap()
+        GaussianPolicy::new(obs, act, &[8], -0.5, &mut EnvRng::seed_from_u64(seed)).unwrap()
     }
 
     #[test]
     fn clean_eval_reports_episode_count() {
         let victim = untrained_victim(5, 3, 0);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = EnvRng::seed_from_u64(1);
         let r = eval_under_attack(
             Box::new(Hopper::new()),
             &victim,
@@ -272,7 +272,7 @@ mod tests {
             Attacker::None,
             0.0,
             5,
-            &mut StdRng::seed_from_u64(10),
+            &mut EnvRng::seed_from_u64(10),
         )
         .unwrap();
         // NB: Random consumes RNG for its action draws, so drive it with the
@@ -286,7 +286,7 @@ mod tests {
             Attacker::None,
             0.0,
             5,
-            &mut StdRng::seed_from_u64(10),
+            &mut EnvRng::seed_from_u64(10),
         )
         .unwrap();
         assert_eq!(a.victim_return, b.victim_return);
@@ -296,7 +296,7 @@ mod tests {
     fn telemetry_eval_wrapper_tags_rows() {
         let victim = untrained_victim(5, 3, 6);
         let (tel, mem) = Telemetry::memory("eval-test");
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = EnvRng::seed_from_u64(7);
         let r = eval_under_attack_with(
             &tel,
             Box::new(Hopper::new()),
@@ -320,7 +320,7 @@ mod tests {
     #[test]
     fn multi_eval_runs() {
         let victim = untrained_victim(12, 3, 3);
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = EnvRng::seed_from_u64(4);
         let r = eval_multi_attack(
             Box::new(YouShallNotPass::with_max_steps(50)),
             &victim,

@@ -13,12 +13,20 @@
 //!
 //! The environment is any threat-model MDP from [`crate::threat`].
 
+use std::path::{Path, PathBuf};
+
 use imap_env::sparse::sparse_episode_metric;
 use imap_env::{Env, EnvRng};
 use imap_nn::{Adam, NnError};
+use imap_rl::checkpoint::{
+    self, checkpoint_path, latest_checkpoint, CheckpointError, Checkpointable, StateDict,
+};
 use imap_rl::gae::normalize_advantages;
-use imap_rl::train::{advantages_for, samples_from};
-use imap_rl::{collect_rollout, update_policy, update_value, GaussianPolicy, TrainConfig, ValueFn};
+use imap_rl::train::{advantages_for, mean_episode_length, samples_from, IterationStats};
+use imap_rl::{
+    collect_rollout, update_policy, update_value, DivergenceGuard, GaussianPolicy, TrainConfig,
+    ValueFn,
+};
 use rand::SeedableRng;
 
 use crate::br::BiasReduction;
@@ -154,113 +162,44 @@ impl ImapTrainer {
     /// Runs the attack against the threat-model environment `env`.
     ///
     /// `on_iteration` (optional) observes each curve point as it is
-    /// produced.
+    /// produced. The loop honors `cfg.train.resilience` exactly like
+    /// [`imap_rl::train_ppo`]: it resumes from the latest checkpoint when
+    /// configured, writes periodic checkpoints, and rolls diverged
+    /// iterations back through the [`DivergenceGuard`].
     pub fn train(
         &self,
         env: &mut dyn Env,
         mut on_iteration: Option<&mut (dyn FnMut(&CurvePoint) + '_)>,
     ) -> Result<AttackOutcome, NnError> {
         let cfg = &self.cfg.train;
-        let mut rng = EnvRng::seed_from_u64(cfg.seed);
-        let mut policy = GaussianPolicy::new(
-            env.obs_dim(),
-            env.action_dim(),
-            &cfg.hidden,
-            cfg.log_std_init,
-            &mut rng,
-        )?;
-        let mut value_e = ValueFn::new(env.obs_dim(), &cfg.hidden, &mut rng)?;
-        let mut value_i = ValueFn::new(env.obs_dim(), &cfg.hidden, &mut rng)?;
-        let mut popt = Adam::new(policy.param_count(), cfg.ppo.lr_policy);
-        let mut vopt_e = Adam::new(value_e.mlp.param_count(), cfg.ppo.lr_value);
-        let mut vopt_i = Adam::new(value_i.mlp.param_count(), cfg.ppo.lr_value);
-
-        let mut engine = self.cfg.regularizer.clone().map(IntrinsicEngine::new);
-        let mut br = self.cfg.br_eta.map(BiasReduction::new);
-        let mut rms = RunningRms::default();
-        let mut tau = self.cfg.tau0;
-        let mut curve = Vec::with_capacity(cfg.iterations);
-        let mut total_steps = 0usize;
-
+        let mut runner = ImapRunner::new(env, self.cfg.clone())?;
+        if cfg.resilience.resume {
+            if let Some(dir) = &cfg.resilience.checkpoint_dir {
+                runner.resume_latest(dir).map_err(NnError::from)?;
+            }
+        }
         let tel = cfg.telemetry.clone();
-        for iteration in 0..cfg.iterations {
-            // --- Sampling stage ---
-            let buffer = {
-                let _t = tel.span("collect_rollout");
-                collect_rollout(env, &mut policy, cfg.steps_per_iter, true, &mut rng)?
-            };
-            total_steps += buffer.len();
-
-            // --- Optimizing stage ---
-            let rewards_e: Vec<f64> = buffer.steps.iter().map(|s| s.reward).collect();
-            let (adv_e, ret_e) = {
-                let _t = tel.span("advantages");
-                advantages_for(&buffer, &rewards_e, &value_e, cfg.gamma, cfg.lambda)?
-            };
-
-            let mut combined = adv_e.clone();
-            let mut intrinsic_targets: Option<Vec<f64>> = None;
-            if let Some(engine) = engine.as_mut() {
-                let _t = tel.span("intrinsic_bonus");
-                let raw = engine.compute_bonuses(&buffer, &policy)?;
-                rms.update(&raw);
-                let scale = rms.rms();
-                let r_i: Vec<f64> = raw
-                    .iter()
-                    .map(|b| self.cfg.intrinsic_scale * b / scale)
-                    .collect();
-                let (adv_i, ret_i) = advantages_for(
-                    &buffer,
-                    &r_i,
-                    &value_i,
-                    self.cfg.intrinsic_gamma,
-                    cfg.lambda,
-                )?;
-                for (c, ai) in combined.iter_mut().zip(adv_i.iter()) {
-                    *c += tau * ai;
-                }
-                intrinsic_targets = Some(ret_i);
+        let mut guard = DivergenceGuard::new(cfg.resilience.guard.clone());
+        while runner.iterations_done() < cfg.iterations {
+            guard.arm(&runner);
+            let (point, stats) = runner.iterate(env)?;
+            let policy_params = runner.policy.params();
+            let ve_params = runner.value_e.mlp.params();
+            let vi_params = runner.value_i.mlp.params();
+            if let Some(reason) = guard.inspect(&stats, &[&policy_params, &ve_params, &vi_params]) {
+                guard.rollback(&mut runner, reason, stats.iteration, &tel)?;
+                continue;
             }
-            normalize_advantages(&mut combined);
-            let samples = samples_from(&buffer, &combined);
-
-            {
-                let _t = tel.span("update_policy");
-                update_policy(&mut policy, &samples, &cfg.ppo, &mut popt, None, &mut rng)?;
-            }
-            {
-                let _t = tel.span("update_value");
-                update_value(
-                    &mut value_e,
-                    &buffer.observations(),
-                    &ret_e,
-                    &cfg.ppo,
-                    &mut vopt_e,
-                    &mut rng,
-                )?;
-                if let Some(ret_i) = intrinsic_targets {
-                    update_value(
-                        &mut value_i,
-                        &buffer.observations(),
-                        &ret_i,
-                        &cfg.ppo,
-                        &mut vopt_i,
-                        &mut rng,
-                    )?;
+            runner.curve.push(point.clone());
+            if let Some(dir) = &cfg.resilience.checkpoint_dir {
+                let every = cfg.resilience.checkpoint_every;
+                if every > 0 && runner.iterations_done() % every == 0 {
+                    runner.save_checkpoint(dir).map_err(NnError::from)?;
                 }
             }
-
-            // --- Bias reduction (eqs. 16–17) ---
-            let jap = buffer.mean_episode_return();
-            if let Some(br) = br.as_mut() {
-                tau = self.cfg.tau0 * br.update(jap);
-            }
-
-            // --- Curve bookkeeping ---
-            let point = curve_point(&buffer, total_steps, jap, tau);
             tel.record_full(
                 "attack",
-                iteration as u64,
+                stats.iteration as u64,
                 &[
                     ("victim_sparse", point.victim_sparse),
                     ("victim_success_rate", point.victim_success_rate),
@@ -268,21 +207,354 @@ impl ImapTrainer {
                     ("adv_return", point.adv_return),
                     ("tau", point.tau),
                 ],
-                &[("total_steps", total_steps as u64)],
+                &[("total_steps", stats.total_steps as u64)],
                 &[],
             );
             if let Some(cb) = on_iteration.as_deref_mut() {
                 cb(&point);
             }
-            curve.push(point);
         }
 
+        let ImapRunner {
+            mut policy,
+            value_e,
+            curve,
+            ..
+        } = runner;
         policy.norm.freeze();
         Ok(AttackOutcome {
             policy,
             value_e,
             curve,
         })
+    }
+}
+
+/// The resumable state of one IMAP attack run: networks, optimizers, the
+/// intrinsic engine's history (union buffers, mimic, risk target), BR dual
+/// state, and counters. Everything [`Checkpointable`] needs for a
+/// bitwise-identical resume.
+pub struct ImapRunner {
+    cfg: ImapConfig,
+    /// The adversarial policy being trained.
+    pub policy: GaussianPolicy,
+    /// The extrinsic critic.
+    pub value_e: ValueFn,
+    /// The intrinsic critic (eq. 14's second head; updated only when a
+    /// regularizer is active).
+    pub value_i: ValueFn,
+    popt: Adam,
+    vopt_e: Adam,
+    vopt_i: Adam,
+    engine: Option<IntrinsicEngine>,
+    br: Option<BiasReduction>,
+    rms: RunningRms,
+    tau: f64,
+    curve: Vec<CurvePoint>,
+    total_steps: usize,
+    iteration: usize,
+    rng: EnvRng,
+}
+
+impl ImapRunner {
+    /// Creates a runner with fresh networks sized for `env`.
+    pub fn new(env: &dyn Env, cfg: ImapConfig) -> Result<Self, NnError> {
+        let train = &cfg.train;
+        let mut rng = EnvRng::seed_from_u64(train.seed);
+        let policy = GaussianPolicy::new(
+            env.obs_dim(),
+            env.action_dim(),
+            &train.hidden,
+            train.log_std_init,
+            &mut rng,
+        )?;
+        let value_e = ValueFn::new(env.obs_dim(), &train.hidden, &mut rng)?;
+        let value_i = ValueFn::new(env.obs_dim(), &train.hidden, &mut rng)?;
+        let popt = Adam::new(policy.param_count(), train.ppo.lr_policy);
+        let vopt_e = Adam::new(value_e.mlp.param_count(), train.ppo.lr_value);
+        let vopt_i = Adam::new(value_i.mlp.param_count(), train.ppo.lr_value);
+        let engine = cfg.regularizer.clone().map(IntrinsicEngine::new);
+        let br = cfg.br_eta.map(BiasReduction::new);
+        let tau = cfg.tau0;
+        let iterations = train.iterations;
+        Ok(ImapRunner {
+            cfg,
+            policy,
+            value_e,
+            value_i,
+            popt,
+            vopt_e,
+            vopt_i,
+            engine,
+            br,
+            rms: RunningRms::default(),
+            tau,
+            curve: Vec::with_capacity(iterations),
+            total_steps: 0,
+            iteration: 0,
+            rng,
+        })
+    }
+
+    /// Number of completed iterations.
+    pub fn iterations_done(&self) -> usize {
+        self.iteration
+    }
+
+    /// The curve points committed so far.
+    pub fn curve(&self) -> &[CurvePoint] {
+        &self.curve
+    }
+
+    /// Runs one sample/optimize iteration of Algorithm 1. Returns the curve
+    /// point (not yet committed to [`ImapRunner::curve`] — the caller
+    /// decides after divergence inspection) and the guard-facing stats.
+    pub fn iterate(&mut self, env: &mut dyn Env) -> Result<(CurvePoint, IterationStats), NnError> {
+        let cfg = &self.cfg.train;
+        let tel = cfg.telemetry.clone();
+
+        // --- Sampling stage ---
+        let buffer = {
+            let _t = tel.span("collect_rollout");
+            collect_rollout(
+                env,
+                &mut self.policy,
+                cfg.steps_per_iter,
+                true,
+                &mut self.rng,
+            )?
+        };
+        self.total_steps += buffer.len();
+
+        // --- Optimizing stage ---
+        let rewards_e: Vec<f64> = buffer.steps.iter().map(|s| s.reward).collect();
+        let (adv_e, ret_e) = {
+            let _t = tel.span("advantages");
+            advantages_for(&buffer, &rewards_e, &self.value_e, cfg.gamma, cfg.lambda)?
+        };
+
+        let mut combined = adv_e.clone();
+        let mut intrinsic_targets: Option<Vec<f64>> = None;
+        if let Some(engine) = self.engine.as_mut() {
+            let _t = tel.span("intrinsic_bonus");
+            let raw = engine.compute_bonuses(&buffer, &self.policy)?;
+            self.rms.update(&raw);
+            let scale = self.rms.rms();
+            let r_i: Vec<f64> = raw
+                .iter()
+                .map(|b| self.cfg.intrinsic_scale * b / scale)
+                .collect();
+            let (adv_i, ret_i) = advantages_for(
+                &buffer,
+                &r_i,
+                &self.value_i,
+                self.cfg.intrinsic_gamma,
+                cfg.lambda,
+            )?;
+            for (c, ai) in combined.iter_mut().zip(adv_i.iter()) {
+                *c += self.tau * ai;
+            }
+            intrinsic_targets = Some(ret_i);
+        }
+        normalize_advantages(&mut combined);
+        let samples = samples_from(&buffer, &combined);
+
+        let pstats = {
+            let _t = tel.span("update_policy");
+            update_policy(
+                &mut self.policy,
+                &samples,
+                &cfg.ppo,
+                &mut self.popt,
+                None,
+                &mut self.rng,
+            )?
+        };
+        {
+            let _t = tel.span("update_value");
+            update_value(
+                &mut self.value_e,
+                &buffer.observations(),
+                &ret_e,
+                &cfg.ppo,
+                &mut self.vopt_e,
+                &mut self.rng,
+            )?;
+            if let Some(ret_i) = intrinsic_targets {
+                update_value(
+                    &mut self.value_i,
+                    &buffer.observations(),
+                    &ret_i,
+                    &cfg.ppo,
+                    &mut self.vopt_i,
+                    &mut self.rng,
+                )?;
+            }
+        }
+
+        // --- Bias reduction (eqs. 16–17) ---
+        let jap = buffer.mean_episode_return();
+        if let Some(br) = self.br.as_mut() {
+            self.tau = self.cfg.tau0 * br.update(jap);
+        }
+
+        let point = curve_point(&buffer, self.total_steps, jap, self.tau);
+        let stats = IterationStats {
+            iteration: self.iteration,
+            total_steps: self.total_steps,
+            mean_return: jap,
+            mean_length: mean_episode_length(&buffer),
+            approx_kl: pstats.approx_kl,
+            entropy: pstats.entropy,
+        };
+        self.iteration += 1;
+        Ok((point, stats))
+    }
+
+    /// Writes a checkpoint named after the current iteration count into
+    /// `dir` (created if missing), returning its path.
+    pub fn save_checkpoint(&self, dir: &Path) -> Result<PathBuf, CheckpointError> {
+        let path = checkpoint_path(dir, self.iteration);
+        self.save_checkpoint_at(&path)?;
+        Ok(path)
+    }
+
+    /// Restores the highest-iteration checkpoint in `dir`, if any, and
+    /// returns its path. Leaves the runner untouched when the directory is
+    /// absent or empty.
+    pub fn resume_latest(&mut self, dir: &Path) -> Result<Option<PathBuf>, CheckpointError> {
+        match latest_checkpoint(dir)? {
+            Some(path) => {
+                self.resume_from(&path)?;
+                Ok(Some(path))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+impl Checkpointable for ImapRunner {
+    fn checkpoint_kind(&self) -> &'static str {
+        "imap-trainer"
+    }
+
+    fn state_dict(&self) -> StateDict {
+        let mut d = StateDict::new();
+        d.put_u64("arch.obs_dim", self.policy.obs_dim() as u64);
+        d.put_u64("arch.action_dim", self.policy.action_dim() as u64);
+        checkpoint::put_policy(&mut d, "policy", &self.policy);
+        d.put_vec("value_e.params", self.value_e.mlp.params());
+        d.put_vec("value_i.params", self.value_i.mlp.params());
+        checkpoint::put_adam(&mut d, "popt", &self.popt);
+        checkpoint::put_adam(&mut d, "vopt_e", &self.vopt_e);
+        checkpoint::put_adam(&mut d, "vopt_i", &self.vopt_i);
+        d.put_bool("engine.present", self.engine.is_some());
+        if let Some(engine) = &self.engine {
+            engine.save_state(&mut d);
+        }
+        d.put_bool("br.present", self.br.is_some());
+        if let Some(br) = &self.br {
+            d.put_f64("br.lambda", br.lambda());
+            d.put_bool("br.seeded", br.prev_jap().is_some());
+            d.put_f64("br.prev_jap", br.prev_jap().unwrap_or(0.0));
+        }
+        d.put_f64("attack.tau", self.tau);
+        d.put_f64("rms.count", self.rms.count);
+        d.put_f64("rms.mean_sq", self.rms.mean_sq);
+        d.put_mat(
+            "curve.points",
+            self.curve
+                .iter()
+                .map(|p| {
+                    vec![
+                        p.steps as f64,
+                        p.victim_sparse,
+                        p.victim_success_rate,
+                        p.asr,
+                        p.adv_return,
+                        p.tau,
+                    ]
+                })
+                .collect(),
+        );
+        d.put_u64("rng.state", self.rng.state());
+        d.put_u64("counter.total_steps", self.total_steps as u64);
+        d.put_u64("counter.iteration", self.iteration as u64);
+        d
+    }
+
+    fn load_state_dict(&mut self, d: &StateDict) -> Result<(), CheckpointError> {
+        let obs_dim = d.get_u64("arch.obs_dim")? as usize;
+        let action_dim = d.get_u64("arch.action_dim")? as usize;
+        if obs_dim != self.policy.obs_dim() || action_dim != self.policy.action_dim() {
+            return Err(CheckpointError::Restore(format!(
+                "checkpoint is for a {obs_dim}-obs/{action_dim}-action policy, runner has {}/{}",
+                self.policy.obs_dim(),
+                self.policy.action_dim()
+            )));
+        }
+        if d.get_bool("engine.present")? != self.engine.is_some() {
+            return Err(CheckpointError::Restore(
+                "checkpoint and config disagree about the intrinsic regularizer".to_string(),
+            ));
+        }
+        if d.get_bool("br.present")? != self.br.is_some() {
+            return Err(CheckpointError::Restore(
+                "checkpoint and config disagree about Bias-Reduction".to_string(),
+            ));
+        }
+        checkpoint::load_policy_into(&mut self.policy, d, "policy")?;
+        self.value_e.mlp.set_params(d.get_vec("value_e.params")?)?;
+        self.value_i.mlp.set_params(d.get_vec("value_i.params")?)?;
+        checkpoint::load_adam_into(&mut self.popt, d, "popt")?;
+        checkpoint::load_adam_into(&mut self.vopt_e, d, "vopt_e")?;
+        checkpoint::load_adam_into(&mut self.vopt_i, d, "vopt_i")?;
+        if let Some(engine) = self.engine.as_mut() {
+            engine.load_state(d, &self.policy)?;
+        }
+        if let Some(br) = self.br.as_mut() {
+            let prev = if d.get_bool("br.seeded")? {
+                Some(d.get_f64("br.prev_jap")?)
+            } else {
+                None
+            };
+            *br = BiasReduction::restore(br.eta, d.get_f64("br.lambda")?, prev);
+        }
+        self.tau = d.get_f64("attack.tau")?;
+        self.rms = RunningRms {
+            count: d.get_f64("rms.count")?,
+            mean_sq: d.get_f64("rms.mean_sq")?,
+        };
+        self.curve = d
+            .get_mat("curve.points")?
+            .iter()
+            .map(|row| {
+                if row.len() != 6 {
+                    return Err(CheckpointError::Restore(format!(
+                        "curve row has {} fields, expected 6",
+                        row.len()
+                    )));
+                }
+                Ok(CurvePoint {
+                    steps: row[0] as usize,
+                    victim_sparse: row[1],
+                    victim_success_rate: row[2],
+                    asr: row[3],
+                    adv_return: row[4],
+                    tau: row[5],
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        self.rng = EnvRng::from_state(d.get_u64("rng.state")?);
+        self.total_steps = d.get_u64("counter.total_steps")? as usize;
+        self.iteration = d.get_u64("counter.iteration")? as usize;
+        Ok(())
+    }
+
+    fn scale_lr(&mut self, factor: f64) {
+        self.popt.lr *= factor;
+        self.vopt_e.lr *= factor;
+        self.vopt_i.lr *= factor;
     }
 }
 
@@ -449,6 +721,99 @@ mod tests {
             spans.iter().any(|s| s == "intrinsic_bonus"),
             "intrinsic stage must be timed: {spans:?}"
         );
+    }
+
+    fn bits(xs: &[f64]) -> Vec<u64> {
+        xs.iter().map(|v| v.to_bits()).collect()
+    }
+
+    /// Checkpoint/resume reproduces an uninterrupted attack bit-for-bit,
+    /// across every piece of cross-iteration state: union buffers (PC),
+    /// the mimic policy (D), BR dual state, the intrinsic RMS normalizer,
+    /// and the curve.
+    #[test]
+    fn imap_checkpoint_resume_is_bitwise_identical() {
+        let victim = quick_victim();
+        for (tag, kind, br_eta) in [
+            ("pc-br", RegularizerKind::PolicyCoverage, Some(2.0)),
+            ("d", RegularizerKind::Divergence, None),
+        ] {
+            let make_cfg = || {
+                let mut cfg = ImapConfig::imap(
+                    tiny_train(9, 4),
+                    RegularizerConfig::new(RegularizerKind::StateCoverage),
+                );
+                cfg.regularizer = Some(RegularizerConfig::new(kind));
+                cfg.br_eta = br_eta;
+                cfg
+            };
+            let make_env = || PerturbationEnv::new(Box::new(Hopper::new()), victim.clone(), 0.1);
+
+            let full = ImapTrainer::new(make_cfg())
+                .train(&mut make_env(), None)
+                .unwrap();
+
+            let dir = std::env::temp_dir().join(format!("imap-attack-resume-{tag}"));
+            let _ = std::fs::remove_dir_all(&dir);
+            let mut interrupted = make_cfg();
+            interrupted.train.iterations = 2;
+            interrupted.train.resilience.checkpoint_dir = Some(dir.clone());
+            interrupted.train.resilience.checkpoint_every = 1;
+            ImapTrainer::new(interrupted)
+                .train(&mut make_env(), None)
+                .unwrap();
+
+            let mut resumed_cfg = make_cfg();
+            resumed_cfg.train.resilience.checkpoint_dir = Some(dir.clone());
+            resumed_cfg.train.resilience.checkpoint_every = 1;
+            resumed_cfg.train.resilience.resume = true;
+            let resumed = ImapTrainer::new(resumed_cfg)
+                .train(&mut make_env(), None)
+                .unwrap();
+
+            assert_eq!(
+                bits(&full.policy.params()),
+                bits(&resumed.policy.params()),
+                "{tag}: resumed policy must match bitwise"
+            );
+            assert_eq!(full.curve.len(), resumed.curve.len(), "{tag}");
+            for (a, b) in full.curve.iter().zip(resumed.curve.iter()) {
+                assert_eq!(a.steps, b.steps, "{tag}");
+                assert_eq!(a.tau.to_bits(), b.tau.to_bits(), "{tag}");
+                assert_eq!(a.asr.to_bits(), b.asr.to_bits(), "{tag}");
+            }
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    /// An injected NaN reward mid-attack trips the divergence guard; the
+    /// run rolls back, retries, and still delivers the full curve.
+    #[test]
+    fn imap_guard_recovers_from_injected_fault() {
+        use imap_env::{FaultKind, FaultPlan, FaultyEnv};
+
+        let victim = quick_victim();
+        let (tel, mem) = imap_telemetry::Telemetry::memory("imap-guard-test");
+        let mut train = tiny_train(8, 3);
+        train.telemetry = tel;
+        let cfg = ImapConfig::baseline(train);
+        let inner = PerturbationEnv::new(Box::new(Hopper::new()), victim, 0.1);
+        let mut env = FaultyEnv::new(inner, FaultPlan::once(FaultKind::NanReward, 300));
+        let out = ImapTrainer::new(cfg).train(&mut env, None).unwrap();
+
+        assert_eq!(out.curve.len(), 3, "all iterations completed");
+        assert_eq!(env.fires(), 1, "fault fired exactly once");
+        assert!(out
+            .curve
+            .iter()
+            .all(|p| p.adv_return.is_finite() && p.tau.is_finite()));
+        let rows = mem.rows();
+        assert_eq!(
+            rows.iter().filter(|r| r.phase == "guard").count(),
+            1,
+            "rollback recorded as telemetry event"
+        );
+        assert_eq!(rows.iter().filter(|r| r.phase == "attack").count(), 3);
     }
 
     #[test]

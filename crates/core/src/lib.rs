@@ -39,6 +39,7 @@ pub use eval::{
     eval_multi_attack, eval_multi_attack_with, eval_under_attack, eval_under_attack_with,
     record_attack_eval, AttackEval,
 };
-pub use imap::{AttackOutcome, CurvePoint, ImapConfig, ImapTrainer};
+pub use imap::{AttackOutcome, CurvePoint, ImapConfig, ImapRunner, ImapTrainer};
+pub use mimic::MimicPolicy;
 pub use regularizer::{IntrinsicEngine, RegularizerConfig, RegularizerKind};
 pub use threat::{OpponentEnv, PerturbationEnv};

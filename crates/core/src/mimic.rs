@@ -9,6 +9,9 @@
 //! mimic converges to a running consensus of past policies.
 
 use imap_nn::{Adam, Matrix, NnError, Optimizer};
+use imap_rl::checkpoint::{
+    load_adam_into, load_policy_into, put_adam, put_policy, CheckpointError, StateDict,
+};
 use imap_rl::GaussianPolicy;
 
 /// The mimic policy with its own optimizer.
@@ -95,16 +98,38 @@ impl MimicPolicy {
     pub fn policy(&self) -> &GaussianPolicy {
         &self.policy
     }
+
+    /// Saves the mimic's full state (policy + optimizer) under `prefix.*`.
+    pub fn save_state(&self, d: &mut StateDict, prefix: &str) {
+        put_policy(d, &format!("{prefix}.policy"), &self.policy);
+        put_adam(d, &format!("{prefix}.opt"), &self.opt);
+    }
+
+    /// Rebuilds a mimic from state written by [`MimicPolicy::save_state`].
+    /// `template` supplies the architecture (the adversary), `lr`/`epochs`
+    /// the distillation config.
+    pub fn restore_state(
+        template: &GaussianPolicy,
+        lr: f64,
+        epochs: usize,
+        d: &StateDict,
+        prefix: &str,
+    ) -> Result<Self, CheckpointError> {
+        let mut mimic = MimicPolicy::new(template, lr, epochs);
+        load_policy_into(&mut mimic.policy, d, &format!("{prefix}.policy"))?;
+        load_adam_into(&mut mimic.opt, d, &format!("{prefix}.opt"))?;
+        Ok(mimic)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
+    use imap_env::EnvRng;
     use rand::SeedableRng;
 
     fn adversary(seed: u64) -> GaussianPolicy {
-        GaussianPolicy::new(3, 2, &[8], -0.5, &mut StdRng::seed_from_u64(seed)).unwrap()
+        GaussianPolicy::new(3, 2, &[8], -0.5, &mut EnvRng::seed_from_u64(seed)).unwrap()
     }
 
     fn states() -> Vec<Vec<f64>> {

@@ -21,6 +21,7 @@
 
 use imap_density::{KnnEstimator, UnionBuffer};
 use imap_nn::NnError;
+use imap_rl::checkpoint::{CheckpointError, StateDict};
 use imap_rl::{GaussianPolicy, RolloutBuffer};
 use serde::{Deserialize, Serialize};
 
@@ -304,17 +305,79 @@ impl IntrinsicEngine {
     pub fn union_len(&self) -> usize {
         self.union_full.len() + self.union_adv.len() + self.union_vic.len()
     }
+
+    /// Saves the engine's cross-iteration state (union buffers, mimic,
+    /// risk target) under `engine.*` keys.
+    pub fn save_state(&self, d: &mut StateDict) {
+        for (name, buf) in [
+            ("full", &self.union_full),
+            ("adv", &self.union_adv),
+            ("vic", &self.union_vic),
+        ] {
+            d.put_mat(
+                &format!("engine.union_{name}.points"),
+                buf.points().to_vec(),
+            );
+            d.put_u64(&format!("engine.union_{name}.stride"), buf.stride() as u64);
+            d.put_u64(&format!("engine.union_{name}.phase"), buf.phase() as u64);
+            d.put_u64(
+                &format!("engine.union_{name}.total"),
+                buf.total_pushed() as u64,
+            );
+        }
+        d.put_bool("engine.mimic.present", self.mimic.is_some());
+        if let Some(mimic) = &self.mimic {
+            mimic.save_state(d, "engine.mimic");
+        }
+        d.put_vec("engine.risk_target", self.risk_target.clone());
+        d.put_f64("engine.risk_count", self.risk_count);
+    }
+
+    /// Restores state written by [`IntrinsicEngine::save_state`].
+    /// `adversary` supplies the mimic's architecture template.
+    pub fn load_state(
+        &mut self,
+        d: &StateDict,
+        adversary: &GaussianPolicy,
+    ) -> Result<(), CheckpointError> {
+        let restore_buf = |name: &str| -> Result<UnionBuffer, CheckpointError> {
+            Ok(UnionBuffer::restore(
+                d.get_mat(&format!("engine.union_{name}.points"))?.to_vec(),
+                self.cfg.union_cap,
+                d.get_u64(&format!("engine.union_{name}.stride"))? as usize,
+                d.get_u64(&format!("engine.union_{name}.phase"))? as usize,
+                d.get_u64(&format!("engine.union_{name}.total"))? as usize,
+            ))
+        };
+        self.union_full = restore_buf("full")?;
+        self.union_adv = restore_buf("adv")?;
+        self.union_vic = restore_buf("vic")?;
+        self.mimic = if d.get_bool("engine.mimic.present")? {
+            Some(MimicPolicy::restore_state(
+                adversary,
+                self.cfg.mimic_lr,
+                self.cfg.mimic_epochs,
+                d,
+                "engine.mimic",
+            )?)
+        } else {
+            None
+        };
+        self.risk_target = d.get_vec("engine.risk_target")?.to_vec();
+        self.risk_count = d.get_f64("engine.risk_count")?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use imap_env::EnvRng;
     use imap_rl::StepRecord;
-    use rand::rngs::StdRng;
     use rand::SeedableRng;
 
     fn adversary() -> GaussianPolicy {
-        GaussianPolicy::new(2, 1, &[8], -0.5, &mut StdRng::seed_from_u64(0)).unwrap()
+        GaussianPolicy::new(2, 1, &[8], -0.5, &mut EnvRng::seed_from_u64(0)).unwrap()
     }
 
     /// A buffer whose summaries trace a line; one episode.

@@ -235,11 +235,11 @@ mod tests {
     use super::*;
     use imap_env::locomotion::Hopper;
     use imap_env::multiagent::YouShallNotPass;
-    use rand::rngs::StdRng;
+    use imap_env::EnvRng;
     use rand::SeedableRng;
 
     fn victim_for_hopper(seed: u64) -> GaussianPolicy {
-        GaussianPolicy::new(5, 3, &[8], -0.5, &mut StdRng::seed_from_u64(seed)).unwrap()
+        GaussianPolicy::new(5, 3, &[8], -0.5, &mut EnvRng::seed_from_u64(seed)).unwrap()
     }
 
     #[test]
@@ -254,7 +254,7 @@ mod tests {
         let victim = victim_for_hopper(1);
         // Clean rollout.
         let mut clean_env = Hopper::new();
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = EnvRng::seed_from_u64(42);
         let mut obs = clean_env.reset(&mut rng);
         let mut clean_return = 0.0;
         loop {
@@ -268,7 +268,7 @@ mod tests {
         }
         // ε = 0 attack: identical trajectory.
         let mut atk = PerturbationEnv::new(Box::new(Hopper::new()), victim, 0.0);
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = EnvRng::seed_from_u64(42);
         let mut aobs = atk.reset(&mut rng);
         loop {
             let noise: Vec<f64> = vec![1.0; aobs.len()]; // maximal action, zero ε
@@ -288,7 +288,7 @@ mod tests {
     #[test]
     fn perturbation_respects_budget() {
         let mut env = PerturbationEnv::new(Box::new(Hopper::new()), victim_for_hopper(2), 0.05);
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = EnvRng::seed_from_u64(3);
         env.reset(&mut rng);
         for _ in 0..20 {
             let s = env.step(&[10.0; 5], &mut rng); // over-range action
@@ -302,7 +302,7 @@ mod tests {
     #[test]
     fn adversary_reward_is_negated_surrogate() {
         let mut env = PerturbationEnv::new(Box::new(Hopper::new()), victim_for_hopper(4), 0.05);
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = EnvRng::seed_from_u64(5);
         env.reset(&mut rng);
         let s = env.step(&[0.0; 5], &mut rng);
         // Fresh hopper isn't progressing -> surrogate 0 -> adversary reward 0.
@@ -311,11 +311,11 @@ mod tests {
 
     #[test]
     fn opponent_env_reduces_game() {
-        let victim = GaussianPolicy::new(12, 3, &[8], -0.5, &mut StdRng::seed_from_u64(6)).unwrap();
+        let victim = GaussianPolicy::new(12, 3, &[8], -0.5, &mut EnvRng::seed_from_u64(6)).unwrap();
         let mut env = OpponentEnv::new(Box::new(YouShallNotPass::new()), victim);
         assert_eq!(env.obs_dim(), 12);
         assert_eq!(env.action_dim(), 3);
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = EnvRng::seed_from_u64(7);
         let obs = env.reset(&mut rng);
         assert_eq!(obs.len(), 12);
         let s = env.step(&[0.0, 0.0, 1.0], &mut rng);
@@ -328,12 +328,12 @@ mod tests {
     fn opponent_reward_only_at_victim_win() {
         // An untrained random victim against a still blocker: episode ends by
         // timeout, victim loses, adversary reward stays 0 (not -1).
-        let victim = GaussianPolicy::new(12, 3, &[8], -2.0, &mut StdRng::seed_from_u64(8)).unwrap();
+        let victim = GaussianPolicy::new(12, 3, &[8], -2.0, &mut EnvRng::seed_from_u64(8)).unwrap();
         let mut env = OpponentEnv::new(
             Box::new(imap_env::multiagent::YouShallNotPass::with_max_steps(20)),
             victim,
         );
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = EnvRng::seed_from_u64(9);
         env.reset(&mut rng);
         let mut total = 0.0;
         loop {

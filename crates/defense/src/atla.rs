@@ -10,7 +10,10 @@
 use imap_core::attacks::sa_rl;
 use imap_env::{Env, EnvRng, Step};
 use imap_nn::NnError;
-use imap_rl::{GaussianPolicy, PpoRunner, TrainConfig};
+use imap_rl::checkpoint::{
+    checkpoint_path, latest_checkpoint, read_checkpoint, write_checkpoint, Checkpointable,
+};
+use imap_rl::{DivergenceGuard, GaussianPolicy, PpoRunner, ResilienceConfig, TrainConfig};
 
 use crate::penalty::SaPenalty;
 
@@ -109,6 +112,12 @@ impl AtlaTrainer {
 
     /// Runs alternating training; `make_env` builds fresh copies of the task
     /// (one is consumed per adversary round for the attack MDP).
+    ///
+    /// Checkpointing is at *stage* granularity (warmup = stage 1, round `r`
+    /// = stage `r + 2`): on resume, fully-completed stages are skipped and
+    /// the interrupted stage re-runs from its start, which reproduces the
+    /// uninterrupted run bitwise because every stage is deterministic in
+    /// the restored runner/penalty state.
     pub fn train(
         &self,
         make_env: &mut dyn FnMut() -> Box<dyn Env>,
@@ -120,20 +129,63 @@ impl AtlaTrainer {
             .sa_coef
             .map(|c| SaPenalty::new(self.cfg.eps, c, self.cfg.train.seed ^ 0xa71a));
 
+        let res = self.cfg.train.resilience.clone();
+        // Stages completed so far: 0 = fresh, 1 = warmup done, r + 2 =
+        // alternation round r done.
+        let mut stages_done = 0usize;
+        if res.resume {
+            if let Some(dir) = &res.checkpoint_dir {
+                if let Some(path) = latest_checkpoint(dir).map_err(NnError::from)? {
+                    let d = read_checkpoint(&path, "atla-trainer").map_err(NnError::from)?;
+                    runner.load_state_dict(&d).map_err(NnError::from)?;
+                    if let Some(p) = sa.as_mut() {
+                        p.set_rng_state(d.get_u64("atla.sa.rng.state").map_err(NnError::from)?);
+                    }
+                    stages_done = d.get_u64("atla.stages_done").map_err(NnError::from)? as usize;
+                }
+            }
+        }
+        let save_stage = |runner: &PpoRunner,
+                          sa: &Option<SaPenalty>,
+                          stages_done: usize|
+         -> Result<(), NnError> {
+            if let Some(dir) = &res.checkpoint_dir {
+                if res.checkpoint_every > 0 && stages_done.is_multiple_of(res.checkpoint_every) {
+                    let mut d = runner.state_dict();
+                    d.put_u64("atla.stages_done", stages_done as u64);
+                    if let Some(p) = sa {
+                        d.put_u64("atla.sa.rng.state", p.rng_state());
+                    }
+                    write_checkpoint(&checkpoint_path(dir, stages_done), "atla-trainer", &d)
+                        .map_err(NnError::from)?;
+                }
+            }
+            Ok(())
+        };
+
         let tel = self.cfg.train.telemetry.clone();
+        let mut guard = DivergenceGuard::new(res.guard.clone());
         // Round 0: warm up the victim clean so the adversary has something
         // to attack.
-        {
+        if stages_done < 1 {
             let _t = tel.span("victim_round");
             let mut warm_return = 0.0;
-            for _ in 0..self.cfg.victim_iters_per_round {
+            let mut done = 0usize;
+            while done < self.cfg.victim_iters_per_round {
+                guard.arm(&runner);
                 let mut wrapped = VictimUnderAttackEnv::new(env.as_mut(), None, 0.0);
                 let stats = runner.iterate(
                     &mut wrapped,
                     sa.as_mut().map(|p| p as &mut dyn imap_rl::PenaltyFn),
                     None,
                 )?;
+                let params = runner.policy.params();
+                if let Some(reason) = guard.inspect(&stats, &[&params]) {
+                    guard.rollback(&mut runner, reason, stats.iteration, &tel)?;
+                    continue;
+                }
                 warm_return = stats.mean_return;
+                done += 1;
             }
             tel.record_full(
                 "atla",
@@ -142,16 +194,29 @@ impl AtlaTrainer {
                 &[("total_steps", runner.total_steps() as u64)],
                 &[("stage", "warmup")],
             );
+            stages_done = 1;
+            save_stage(&runner, &sa, stages_done)?;
         }
 
         for round in 0..self.cfg.rounds {
-            // (a) Train an adversary against the frozen victim.
+            if stages_done >= round + 2 {
+                continue;
+            }
+            // (a) Train an adversary against the frozen victim. The
+            // adversary's sub-training never checkpoints (its lifetime is
+            // one stage); only its divergence guard is inherited.
             let adversary_asr;
             let outcome = {
                 let _t = tel.span("adversary_round");
                 let adv_train = TrainConfig {
                     iterations: self.cfg.adversary_iters,
                     seed: self.cfg.train.seed ^ (0x1000 + round as u64),
+                    resilience: ResilienceConfig {
+                        checkpoint_dir: None,
+                        checkpoint_every: 0,
+                        resume: false,
+                        guard: res.guard.clone(),
+                    },
                     ..self.cfg.train.clone()
                 };
                 let outcome = sa_rl(make_env(), runner.policy.clone(), self.cfg.eps, adv_train)?;
@@ -161,7 +226,9 @@ impl AtlaTrainer {
             // (b) Train the victim under the frozen adversary.
             let _t = tel.span("victim_round");
             let mut victim_return = 0.0;
-            for _ in 0..self.cfg.victim_iters_per_round {
+            let mut done = 0usize;
+            while done < self.cfg.victim_iters_per_round {
+                guard.arm(&runner);
                 let mut wrapped =
                     VictimUnderAttackEnv::new(env.as_mut(), Some(&outcome.policy), self.cfg.eps);
                 let stats = runner.iterate(
@@ -169,7 +236,13 @@ impl AtlaTrainer {
                     sa.as_mut().map(|p| p as &mut dyn imap_rl::PenaltyFn),
                     None,
                 )?;
+                let params = runner.policy.params();
+                if let Some(reason) = guard.inspect(&stats, &[&params]) {
+                    guard.rollback(&mut runner, reason, stats.iteration, &tel)?;
+                    continue;
+                }
                 victim_return = stats.mean_return;
+                done += 1;
             }
             tel.record_full(
                 "atla",
@@ -181,6 +254,8 @@ impl AtlaTrainer {
                 &[("total_steps", runner.total_steps() as u64)],
                 &[("stage", "round")],
             );
+            stages_done = round + 2;
+            save_stage(&runner, &sa, stages_done)?;
         }
         Ok(runner.policy)
     }
@@ -205,6 +280,61 @@ mod tests {
             },
             ..TrainConfig::default()
         }
+    }
+
+    #[test]
+    fn atla_stage_checkpoint_resume_is_bitwise_identical() {
+        use imap_rl::ResilienceConfig;
+        let train = TrainConfig {
+            steps_per_iter: 256,
+            hidden: vec![8],
+            ..quick(21)
+        };
+        let cfg = |rounds: usize, resilience: ResilienceConfig| AtlaConfig {
+            train: TrainConfig {
+                resilience,
+                ..train.clone()
+            },
+            eps: 0.075,
+            rounds,
+            victim_iters_per_round: 2,
+            adversary_iters: 1,
+            sa_coef: Some(0.3),
+        };
+        let mut make = || Box::new(Hopper::new()) as Box<dyn Env>;
+        let full = AtlaTrainer::new(cfg(2, ResilienceConfig::default()))
+            .train(&mut make)
+            .unwrap();
+
+        let dir = std::env::temp_dir().join("imap-atla-resume");
+        let _ = std::fs::remove_dir_all(&dir);
+        let ckpt = ResilienceConfig {
+            checkpoint_dir: Some(dir.clone()),
+            checkpoint_every: 1,
+            ..ResilienceConfig::default()
+        };
+        // "Interrupted" after the warmup stage and the first alternation
+        // round.
+        AtlaTrainer::new(cfg(1, ckpt.clone()))
+            .train(&mut make)
+            .unwrap();
+        let resumed = AtlaTrainer::new(cfg(
+            2,
+            ResilienceConfig {
+                resume: true,
+                ..ckpt
+            },
+        ))
+        .train(&mut make)
+        .unwrap();
+        let bits =
+            |p: &GaussianPolicy| -> Vec<u64> { p.params().iter().map(|v| v.to_bits()).collect() };
+        assert_eq!(
+            bits(&full),
+            bits(&resumed),
+            "resumed ATLA run must match the uninterrupted one bitwise"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -254,8 +384,8 @@ mod tests {
     #[test]
     fn victim_under_attack_env_perturbs() {
         let mut inner = Hopper::new();
-        let adv = GaussianPolicy::new(5, 5, &[8], -0.5, &mut rand::rngs::StdRng::seed_from_u64(1))
-            .unwrap();
+        let adv =
+            GaussianPolicy::new(5, 5, &[8], -0.5, &mut imap_env::EnvRng::seed_from_u64(1)).unwrap();
         let mut rng1 = EnvRng::seed_from_u64(7);
         let mut clean = Hopper::new();
         let clean_obs = clean.reset(&mut rng1);

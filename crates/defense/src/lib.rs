@@ -27,5 +27,7 @@ pub use marl::{
     train_game_victim, train_game_victim_selfplay, OpponentPool, ScriptedOpponent, VictimGameEnv,
 };
 pub use penalty::{RadialPenalty, SaPenalty};
-pub use wocar::{WocarConfig, WocarTrainer};
-pub use zoo::{train_victim, train_victim_with, DefenseMethod, VictimBudget};
+pub use wocar::{WocarConfig, WocarRunner, WocarTrainer};
+pub use zoo::{
+    train_victim, train_victim_resilient, train_victim_with, DefenseMethod, VictimBudget,
+};

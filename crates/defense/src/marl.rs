@@ -364,14 +364,9 @@ mod tests {
     fn opponent_pool_mixes_learned_and_scripted() {
         let mut pool = OpponentPool::scripted_only(ScriptedOpponent::blocker_population());
         assert_eq!(pool.learned_count(), 0);
-        let learned = GaussianPolicy::new(
-            12,
-            3,
-            &[8],
-            -0.5,
-            &mut rand::rngs::StdRng::seed_from_u64(44),
-        )
-        .unwrap();
+        let learned =
+            GaussianPolicy::new(12, 3, &[8], -0.5, &mut imap_env::EnvRng::seed_from_u64(44))
+                .unwrap();
         pool.push_learned(learned);
         assert_eq!(pool.learned_count(), 1);
         // Over many resamples, both scripted and learned members are drawn.
@@ -424,7 +419,7 @@ mod tests {
         // An untrained kicker against the goalie population never scores
         // (it can't even reach the ball reliably) -> success_rate ~ 0.
         let policy =
-            GaussianPolicy::new(12, 4, &[8], -0.5, &mut rand::rngs::StdRng::seed_from_u64(3))
+            GaussianPolicy::new(12, 4, &[8], -0.5, &mut imap_env::EnvRng::seed_from_u64(3))
                 .unwrap();
         let mut env = VictimGameEnv::new(
             Box::new(KickAndDefend::with_max_steps(80)),

@@ -13,9 +13,9 @@
 //!   worst-case deviation whose tightness is monitored against the sound
 //!   IBP bound (`imap_nn::ibp`).
 
+use imap_env::EnvRng;
 use imap_nn::{Matrix, NnError};
 use imap_rl::{GaussianPolicy, PenaltyFn};
-use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Computes the penalty gradient for a (clean, perturbed) pair of batches:
@@ -64,7 +64,7 @@ pub struct SaPenalty {
     pub eps: f64,
     /// Penalty coefficient.
     pub coef: f64,
-    rng: StdRng,
+    rng: EnvRng,
 }
 
 impl SaPenalty {
@@ -73,8 +73,18 @@ impl SaPenalty {
         SaPenalty {
             eps,
             coef,
-            rng: StdRng::seed_from_u64(seed),
+            rng: EnvRng::seed_from_u64(seed),
         }
+    }
+
+    /// Raw RNG state, for checkpointing.
+    pub fn rng_state(&self) -> u64 {
+        self.rng.state()
+    }
+
+    /// Restores the RNG stream from a checkpointed state.
+    pub fn set_rng_state(&mut self, state: u64) {
+        self.rng = EnvRng::from_state(state);
     }
 }
 
@@ -127,7 +137,7 @@ pub struct RadialPenalty {
     pub coef: f64,
     /// Candidate perturbations per state.
     pub candidates: usize,
-    rng: StdRng,
+    rng: EnvRng,
 }
 
 impl RadialPenalty {
@@ -137,8 +147,18 @@ impl RadialPenalty {
             eps,
             coef,
             candidates: candidates.max(1),
-            rng: StdRng::seed_from_u64(seed),
+            rng: EnvRng::seed_from_u64(seed),
         }
+    }
+
+    /// Raw RNG state, for checkpointing.
+    pub fn rng_state(&self) -> u64 {
+        self.rng.state()
+    }
+
+    /// Restores the RNG stream from a checkpointed state.
+    pub fn set_rng_state(&mut self, state: u64) {
+        self.rng = EnvRng::from_state(state);
     }
 
     /// Picks, for each state, the candidate perturbation maximizing the
@@ -201,11 +221,11 @@ impl PenaltyFn for RadialPenalty {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use imap_env::EnvRng;
     use imap_nn::gradcheck::numeric_gradient;
-    use rand::rngs::StdRng;
 
     fn policy(seed: u64) -> GaussianPolicy {
-        GaussianPolicy::new(3, 2, &[8], -0.5, &mut StdRng::seed_from_u64(seed)).unwrap()
+        GaussianPolicy::new(3, 2, &[8], -0.5, &mut EnvRng::seed_from_u64(seed)).unwrap()
     }
 
     fn states() -> Vec<Vec<f64>> {

@@ -8,12 +8,18 @@
 //! ordinary and the worst-case advantages, plus a smoothness regularizer —
 //! "efficient adversarial training without attacking".
 
-use imap_env::Env;
+use std::path::{Path, PathBuf};
+
+use imap_env::{Env, EnvRng};
 use imap_nn::{Adam, NnError};
+use imap_rl::checkpoint::{
+    self, checkpoint_path, latest_checkpoint, CheckpointError, Checkpointable, StateDict,
+};
 use imap_rl::gae::normalize_advantages;
-use imap_rl::train::{advantages_for, samples_from};
+use imap_rl::train::{advantages_for, mean_episode_length, samples_from, IterationStats};
 use imap_rl::{
-    collect_rollout, update_policy, update_value, GaussianPolicy, PpoRunner, TrainConfig, ValueFn,
+    collect_rollout, update_policy, update_value, DivergenceGuard, GaussianPolicy, PpoRunner,
+    TrainConfig, ValueFn,
 };
 use rand::SeedableRng;
 
@@ -59,109 +65,287 @@ impl WocarTrainer {
     }
 
     /// Trains a WocaR victim on `env`, returning the policy.
+    ///
+    /// The loop runs on a [`WocarRunner`] and honors
+    /// [`TrainConfig::resilience`] exactly like `train_ppo`: resume from
+    /// the latest checkpoint, periodic checkpoint writes, and
+    /// divergence-guard rollback.
     pub fn train(&self, env: &mut dyn Env) -> Result<GaussianPolicy, NnError> {
         let cfg = &self.cfg.train;
-        let mut rng = imap_env::EnvRng::seed_from_u64(cfg.seed);
-        let mut policy = GaussianPolicy::new(
+        let mut runner = WocarRunner::new(env, self.cfg.clone())?;
+        if cfg.resilience.resume {
+            if let Some(dir) = &cfg.resilience.checkpoint_dir {
+                runner.resume_latest(dir).map_err(NnError::from)?;
+            }
+        }
+        let tel = cfg.telemetry.clone();
+        let mut guard = DivergenceGuard::new(cfg.resilience.guard.clone());
+        while runner.iterations_done() < cfg.iterations {
+            guard.arm(&runner);
+            let stats = runner.iterate(env)?;
+            let policy_params = runner.policy.params();
+            let value_params = runner.value.mlp.params();
+            let value_w_params = runner.value_w.mlp.params();
+            if let Some(reason) =
+                guard.inspect(&stats, &[&policy_params, &value_params, &value_w_params])
+            {
+                guard.rollback(&mut runner, reason, stats.iteration, &tel)?;
+                continue;
+            }
+            if let Some(dir) = &cfg.resilience.checkpoint_dir {
+                let every = cfg.resilience.checkpoint_every;
+                if every > 0 && runner.iterations_done() % every == 0 {
+                    runner.save_checkpoint(dir).map_err(NnError::from)?;
+                }
+            }
+        }
+        Ok(runner.policy)
+    }
+}
+
+/// A resumable WocaR loop: the policy, both critics (ordinary and
+/// worst-case), their optimizers, and the smoothness penalty's RNG stream
+/// are all owned here so the full trainer state round-trips through a
+/// checkpoint.
+pub struct WocarRunner {
+    cfg: WocarConfig,
+    /// The policy being hardened.
+    pub policy: GaussianPolicy,
+    /// The ordinary critic.
+    pub value: ValueFn,
+    /// The worst-case critic `V_w`.
+    pub value_w: ValueFn,
+    popt: Adam,
+    vopt: Adam,
+    wopt: Adam,
+    smooth: SaPenalty,
+    rng: EnvRng,
+    total_steps: usize,
+    iteration: usize,
+}
+
+impl WocarRunner {
+    /// Creates a runner with fresh networks sized for `env`.
+    pub fn new(env: &dyn Env, cfg: WocarConfig) -> Result<Self, NnError> {
+        let train = &cfg.train;
+        let mut rng = EnvRng::seed_from_u64(train.seed);
+        let policy = GaussianPolicy::new(
             env.obs_dim(),
             env.action_dim(),
-            &cfg.hidden,
-            cfg.log_std_init,
+            &train.hidden,
+            train.log_std_init,
             &mut rng,
         )?;
-        let mut value = ValueFn::new(env.obs_dim(), &cfg.hidden, &mut rng)?;
-        let mut value_w = ValueFn::new(env.obs_dim(), &cfg.hidden, &mut rng)?;
-        let mut popt = Adam::new(policy.param_count(), cfg.ppo.lr_policy);
-        let mut vopt = Adam::new(value.mlp.param_count(), cfg.ppo.lr_value);
-        let mut wopt = Adam::new(value_w.mlp.param_count(), cfg.ppo.lr_value);
-        let mut smooth = SaPenalty::new(self.cfg.eps, self.cfg.smooth_coef, cfg.seed ^ 0x5151);
+        let value = ValueFn::new(env.obs_dim(), &train.hidden, &mut rng)?;
+        let value_w = ValueFn::new(env.obs_dim(), &train.hidden, &mut rng)?;
+        let popt = Adam::new(policy.param_count(), train.ppo.lr_policy);
+        let vopt = Adam::new(value.mlp.param_count(), train.ppo.lr_value);
+        let wopt = Adam::new(value_w.mlp.param_count(), train.ppo.lr_value);
+        let smooth = SaPenalty::new(cfg.eps, cfg.smooth_coef, train.seed ^ 0x5151);
+        Ok(WocarRunner {
+            cfg,
+            policy,
+            value,
+            value_w,
+            popt,
+            vopt,
+            wopt,
+            smooth,
+            rng,
+            total_steps: 0,
+            iteration: 0,
+        })
+    }
 
+    /// Number of completed [`WocarRunner::iterate`] calls.
+    pub fn iterations_done(&self) -> usize {
+        self.iteration
+    }
+
+    /// Runs one WocaR sample/update iteration on `env`.
+    pub fn iterate(&mut self, env: &mut dyn Env) -> Result<IterationStats, NnError> {
+        let cfg = &self.cfg.train;
         let tel = cfg.telemetry.clone();
-        let mut total_steps = 0usize;
-        for iteration in 0..cfg.iterations {
-            let buffer = {
-                let _t = tel.span("collect_rollout");
-                collect_rollout(env, &mut policy, cfg.steps_per_iter, true, &mut rng)?
-            };
-            total_steps += buffer.len();
-            let rewards: Vec<f64> = buffer.steps.iter().map(|s| s.reward).collect();
-            // Sound per-state worst-case output deviation via IBP; the raw
-            // ε ball is expressed per-dimension in normalized coordinates.
-            let devs: Vec<f64> = {
-                let _t = tel.span("ibp_worst_case");
-                let radii: Vec<f64> = crate::penalty::normalized_radii(&policy, self.cfg.eps);
-                buffer
-                    .steps
-                    .iter()
-                    .map(|s| imap_nn::ibp::output_deviation_bound_radii(&policy.mlp, &s.z, &radii))
-                    .collect::<Result<_, _>>()?
-            };
-            let worst_rewards: Vec<f64> = rewards
+        let buffer = {
+            let _t = tel.span("collect_rollout");
+            collect_rollout(
+                env,
+                &mut self.policy,
+                cfg.steps_per_iter,
+                true,
+                &mut self.rng,
+            )?
+        };
+        self.total_steps += buffer.len();
+        let rewards: Vec<f64> = buffer.steps.iter().map(|s| s.reward).collect();
+        // Sound per-state worst-case output deviation via IBP; the raw
+        // ε ball is expressed per-dimension in normalized coordinates.
+        let devs: Vec<f64> = {
+            let _t = tel.span("ibp_worst_case");
+            let radii: Vec<f64> = crate::penalty::normalized_radii(&self.policy, self.cfg.eps);
+            buffer
+                .steps
                 .iter()
-                .zip(devs.iter())
-                .map(|(r, d)| r - self.cfg.kappa * d)
-                .collect();
+                .map(|s| imap_nn::ibp::output_deviation_bound_radii(&self.policy.mlp, &s.z, &radii))
+                .collect::<Result<_, _>>()?
+        };
+        let worst_rewards: Vec<f64> = rewards
+            .iter()
+            .zip(devs.iter())
+            .map(|(r, d)| r - self.cfg.kappa * d)
+            .collect();
 
-            let (adv, returns, adv_w, returns_w) = {
-                let _t = tel.span("advantages");
-                let (adv, returns) =
-                    advantages_for(&buffer, &rewards, &value, cfg.gamma, cfg.lambda)?;
-                let (adv_w, returns_w) =
-                    advantages_for(&buffer, &worst_rewards, &value_w, cfg.gamma, cfg.lambda)?;
-                (adv, returns, adv_w, returns_w)
-            };
-            let mut combined: Vec<f64> = adv
-                .iter()
-                .zip(adv_w.iter())
-                .map(|(a, w)| (1.0 - self.cfg.weight) * a + self.cfg.weight * w)
-                .collect();
-            normalize_advantages(&mut combined);
-            let samples = samples_from(&buffer, &combined);
+        let (adv, returns, adv_w, returns_w) = {
+            let _t = tel.span("advantages");
+            let (adv, returns) =
+                advantages_for(&buffer, &rewards, &self.value, cfg.gamma, cfg.lambda)?;
+            let (adv_w, returns_w) = advantages_for(
+                &buffer,
+                &worst_rewards,
+                &self.value_w,
+                cfg.gamma,
+                cfg.lambda,
+            )?;
+            (adv, returns, adv_w, returns_w)
+        };
+        let mut combined: Vec<f64> = adv
+            .iter()
+            .zip(adv_w.iter())
+            .map(|(a, w)| (1.0 - self.cfg.weight) * a + self.cfg.weight * w)
+            .collect();
+        normalize_advantages(&mut combined);
+        let samples = samples_from(&buffer, &combined);
 
-            {
-                let _t = tel.span("update_policy");
-                update_policy(
-                    &mut policy,
-                    &samples,
-                    &cfg.ppo,
-                    &mut popt,
-                    Some(&mut smooth),
-                    &mut rng,
-                )?;
-            }
-            {
-                let _t = tel.span("update_value");
-                update_value(
-                    &mut value,
-                    &buffer.observations(),
-                    &returns,
-                    &cfg.ppo,
-                    &mut vopt,
-                    &mut rng,
-                )?;
-                update_value(
-                    &mut value_w,
-                    &buffer.observations(),
-                    &returns_w,
-                    &cfg.ppo,
-                    &mut wopt,
-                    &mut rng,
-                )?;
-            }
-
-            let mean_dev = devs.iter().sum::<f64>() / devs.len().max(1) as f64;
-            tel.record_full(
-                "wocar",
-                iteration as u64,
-                &[
-                    ("mean_return", buffer.mean_episode_return()),
-                    ("mean_worst_case_dev", mean_dev),
-                ],
-                &[("total_steps", total_steps as u64)],
-                &[],
-            );
+        let pstats = {
+            let _t = tel.span("update_policy");
+            update_policy(
+                &mut self.policy,
+                &samples,
+                &cfg.ppo,
+                &mut self.popt,
+                Some(&mut self.smooth),
+                &mut self.rng,
+            )?
+        };
+        {
+            let _t = tel.span("update_value");
+            update_value(
+                &mut self.value,
+                &buffer.observations(),
+                &returns,
+                &cfg.ppo,
+                &mut self.vopt,
+                &mut self.rng,
+            )?;
+            update_value(
+                &mut self.value_w,
+                &buffer.observations(),
+                &returns_w,
+                &cfg.ppo,
+                &mut self.wopt,
+                &mut self.rng,
+            )?;
         }
-        Ok(policy)
+
+        let mean_dev = devs.iter().sum::<f64>() / devs.len().max(1) as f64;
+        tel.record_full(
+            "wocar",
+            self.iteration as u64,
+            &[
+                ("mean_return", buffer.mean_episode_return()),
+                ("mean_worst_case_dev", mean_dev),
+            ],
+            &[("total_steps", self.total_steps as u64)],
+            &[],
+        );
+        let stats = IterationStats {
+            iteration: self.iteration,
+            total_steps: self.total_steps,
+            mean_return: buffer.mean_episode_return(),
+            mean_length: mean_episode_length(&buffer),
+            approx_kl: pstats.approx_kl,
+            entropy: pstats.entropy,
+        };
+        self.iteration += 1;
+        Ok(stats)
+    }
+
+    /// Writes a checkpoint named after the current iteration count into
+    /// `dir` (created if missing), returning its path.
+    pub fn save_checkpoint(&self, dir: &Path) -> Result<PathBuf, CheckpointError> {
+        let path = checkpoint_path(dir, self.iteration);
+        self.save_checkpoint_at(&path)?;
+        Ok(path)
+    }
+
+    /// Restores the highest-iteration checkpoint in `dir`, if any. Leaves
+    /// the runner untouched when the directory is absent or empty.
+    pub fn resume_latest(&mut self, dir: &Path) -> Result<Option<PathBuf>, CheckpointError> {
+        match latest_checkpoint(dir)? {
+            Some(path) => {
+                self.resume_from(&path)?;
+                Ok(Some(path))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+impl Checkpointable for WocarRunner {
+    fn checkpoint_kind(&self) -> &'static str {
+        "wocar-trainer"
+    }
+
+    fn state_dict(&self) -> StateDict {
+        let mut d = StateDict::new();
+        d.put_u64("arch.obs_dim", self.policy.obs_dim() as u64);
+        d.put_u64("arch.action_dim", self.policy.action_dim() as u64);
+        checkpoint::put_policy(&mut d, "policy", &self.policy);
+        d.put_vec("value.params", self.value.mlp.params());
+        d.put_vec("value_w.params", self.value_w.mlp.params());
+        checkpoint::put_adam(&mut d, "popt", &self.popt);
+        checkpoint::put_adam(&mut d, "vopt", &self.vopt);
+        checkpoint::put_adam(&mut d, "wopt", &self.wopt);
+        d.put_u64("smooth.rng.state", self.smooth.rng_state());
+        d.put_u64("rng.state", self.rng.state());
+        d.put_u64("counter.total_steps", self.total_steps as u64);
+        d.put_u64("counter.iteration", self.iteration as u64);
+        d
+    }
+
+    fn load_state_dict(&mut self, d: &StateDict) -> Result<(), CheckpointError> {
+        let obs_dim = d.get_u64("arch.obs_dim")? as usize;
+        let action_dim = d.get_u64("arch.action_dim")? as usize;
+        if obs_dim != self.policy.obs_dim() || action_dim != self.policy.action_dim() {
+            return Err(CheckpointError::Restore(format!(
+                "checkpoint is for a {obs_dim}-obs/{action_dim}-action policy, runner has {}/{}",
+                self.policy.obs_dim(),
+                self.policy.action_dim()
+            )));
+        }
+        checkpoint::load_policy_into(&mut self.policy, d, "policy")?;
+        self.value
+            .mlp
+            .set_params(d.get_vec("value.params")?)
+            .map_err(CheckpointError::from)?;
+        self.value_w
+            .mlp
+            .set_params(d.get_vec("value_w.params")?)
+            .map_err(CheckpointError::from)?;
+        checkpoint::load_adam_into(&mut self.popt, d, "popt")?;
+        checkpoint::load_adam_into(&mut self.vopt, d, "vopt")?;
+        checkpoint::load_adam_into(&mut self.wopt, d, "wopt")?;
+        self.smooth.set_rng_state(d.get_u64("smooth.rng.state")?);
+        self.rng = EnvRng::from_state(d.get_u64("rng.state")?);
+        self.total_steps = d.get_u64("counter.total_steps")? as usize;
+        self.iteration = d.get_u64("counter.iteration")? as usize;
+        Ok(())
+    }
+
+    fn scale_lr(&mut self, factor: f64) {
+        self.popt.lr *= factor;
+        self.vopt.lr *= factor;
+        self.wopt.lr *= factor;
     }
 }
 
@@ -194,6 +378,63 @@ mod tests {
             },
             ..TrainConfig::default()
         }
+    }
+
+    fn temp_ckpt_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("imap-wocar-{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn bits(params: &[f64]) -> Vec<u64> {
+        params.iter().map(|v| v.to_bits()).collect()
+    }
+
+    #[test]
+    fn wocar_checkpoint_resume_is_bitwise_identical() {
+        use imap_rl::ResilienceConfig;
+        let base = TrainConfig {
+            iterations: 4,
+            steps_per_iter: 256,
+            hidden: vec![8],
+            seed: 11,
+            ..TrainConfig::default()
+        };
+        let full = WocarTrainer::new(WocarConfig::new(base.clone(), 0.075))
+            .train(&mut Hopper::new())
+            .unwrap();
+
+        let dir = temp_ckpt_dir("resume");
+        let interrupted = TrainConfig {
+            iterations: 2,
+            resilience: ResilienceConfig {
+                checkpoint_dir: Some(dir.clone()),
+                checkpoint_every: 1,
+                ..ResilienceConfig::default()
+            },
+            ..base.clone()
+        };
+        WocarTrainer::new(WocarConfig::new(interrupted, 0.075))
+            .train(&mut Hopper::new())
+            .unwrap();
+        let resumed_cfg = TrainConfig {
+            resilience: ResilienceConfig {
+                checkpoint_dir: Some(dir.clone()),
+                checkpoint_every: 1,
+                resume: true,
+                ..ResilienceConfig::default()
+            },
+            ..base
+        };
+        let resumed = WocarTrainer::new(WocarConfig::new(resumed_cfg, 0.075))
+            .train(&mut Hopper::new())
+            .unwrap();
+        assert_eq!(
+            bits(&full.params()),
+            bits(&resumed.params()),
+            "resumed WocaR run must match the uninterrupted one bitwise"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 
 use imap_env::{build_task, Env, TaskId};
 use imap_nn::NnError;
-use imap_rl::{train_ppo, GaussianPolicy, PpoConfig, TrainConfig};
+use imap_rl::{train_ppo, GaussianPolicy, PpoConfig, ResilienceConfig, TrainConfig};
 use imap_telemetry::Telemetry;
 use serde::{Deserialize, Serialize};
 
@@ -126,20 +126,58 @@ pub fn train_victim_with(
     budget: &VictimBudget,
     seed: u64,
 ) -> Result<GaussianPolicy, NnError> {
+    train_victim_resilient(
+        tel,
+        task,
+        method,
+        budget,
+        seed,
+        &ResilienceConfig::default(),
+    )
+}
+
+/// [`train_victim_with`] plus checkpoint/resume and divergence-guard
+/// configuration, threaded into whichever trainer `method` selects. Each
+/// competence-retry attempt checkpoints into its own `attempt-N`
+/// subdirectory so a resumed run never mixes state across attempts.
+pub fn train_victim_resilient(
+    tel: &Telemetry,
+    task: TaskId,
+    method: DefenseMethod,
+    budget: &VictimBudget,
+    seed: u64,
+    resilience: &ResilienceConfig,
+) -> Result<GaussianPolicy, NnError> {
     let _t = tel.span("train_victim");
+    let scoped = |attempt: u64| -> ResilienceConfig {
+        ResilienceConfig {
+            checkpoint_dir: resilience
+                .checkpoint_dir
+                .as_ref()
+                .map(|d| d.join(format!("attempt-{attempt}"))),
+            ..resilience.clone()
+        }
+    };
     // PPO on the harder sparse tasks is seed-sensitive (exploration can
     // stall in a local optimum); deployed victims must actually solve their
     // task, so retry with derived seeds until competent — the analogue of
     // the paper selecting working pre-trained checkpoints.
     let mut attempts = 1u64;
-    let mut policy = train_victim_once(tel, task, method, budget, seed)?;
+    let mut policy = train_victim_once(tel, task, method, budget, seed, scoped(0))?;
     if task.is_sparse() {
         for attempt in 1..4u64 {
             if victim_is_competent(task, &policy)? {
                 break;
             }
             attempts += 1;
-            policy = train_victim_once(tel, task, method, budget, seed ^ (attempt * 7919))?;
+            policy = train_victim_once(
+                tel,
+                task,
+                method,
+                budget,
+                seed ^ (attempt * 7919),
+                scoped(attempt),
+            )?;
         }
     }
     tel.record_full(
@@ -176,10 +214,12 @@ fn train_victim_once(
     method: DefenseMethod,
     budget: &VictimBudget,
     seed: u64,
+    resilience: ResilienceConfig,
 ) -> Result<GaussianPolicy, NnError> {
     let eps = task.spec().eps;
     let mut cfg = budget.train_config(seed);
     cfg.telemetry = tel.clone();
+    cfg.resilience = resilience;
     let mut policy = match method {
         DefenseMethod::Ppo => {
             let mut env = build_task(task);

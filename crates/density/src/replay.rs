@@ -52,6 +52,36 @@ impl UnionBuffer {
         self.stride
     }
 
+    /// Capacity cap.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Pushes since the last kept point (for checkpointing).
+    pub fn phase(&self) -> usize {
+        self.phase
+    }
+
+    /// Rebuilds a buffer from checkpointed raw state, exactly as captured by
+    /// [`UnionBuffer::points`]/[`UnionBuffer::cap`]/[`UnionBuffer::stride`]/
+    /// [`UnionBuffer::phase`]/[`UnionBuffer::total_pushed`]. `cap` and
+    /// `stride` are clamped to their invariants (≥2 and ≥1 respectively).
+    pub fn restore(
+        points: Vec<Vec<f64>>,
+        cap: usize,
+        stride: usize,
+        phase: usize,
+        total_pushed: usize,
+    ) -> Self {
+        UnionBuffer {
+            points,
+            cap: cap.max(2),
+            stride: stride.max(1),
+            phase,
+            total_pushed,
+        }
+    }
+
     /// Pushes one state summary.
     pub fn push(&mut self, point: Vec<f64>) {
         self.total_pushed += 1;
@@ -133,6 +163,26 @@ mod tests {
         let mut b = UnionBuffer::new(0);
         b.extend((0..10).map(|i| vec![i as f64]));
         assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn restore_resumes_mid_decimation() {
+        let mut b = UnionBuffer::new(16);
+        b.extend((0..100).map(|i| vec![i as f64]));
+        let restored = UnionBuffer::restore(
+            b.points().to_vec(),
+            b.cap(),
+            b.stride(),
+            b.phase(),
+            b.total_pushed(),
+        );
+        let mut original = b.clone();
+        let mut resumed = restored;
+        original.extend((100..200).map(|i| vec![i as f64]));
+        resumed.extend((100..200).map(|i| vec![i as f64]));
+        assert_eq!(original.points(), resumed.points());
+        assert_eq!(original.stride(), resumed.stride());
+        assert_eq!(original.total_pushed(), resumed.total_pushed());
     }
 
     #[test]

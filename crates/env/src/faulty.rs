@@ -1,0 +1,200 @@
+//! Fault injection for resilience testing.
+//!
+//! [`FaultyEnv`] wraps any [`Env`] and injects a scheduled fault — a panic,
+//! a NaN observation, or a NaN reward — at a chosen global step count. The
+//! resilience layer (checkpoint/resume, divergence guards, fault-isolated
+//! bench cells) is proved against these injected faults under test rather
+//! than waiting for a real blowup hours into a sweep.
+
+use crate::env::{Env, EnvRng, Step};
+
+/// What the injected fault does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// `panic!` inside [`Env::step`] (models a simulator crash).
+    Panic,
+    /// Every component of the returned observation is NaN.
+    NanObservation,
+    /// The returned reward is NaN (models a numeric blowup).
+    NanReward,
+}
+
+/// When and how often the fault fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The fault payload.
+    pub kind: FaultKind,
+    /// Global step count (across episodes) at which the fault starts firing.
+    pub at_step: usize,
+    /// Number of steps the fault fires for once triggered; `0` means it
+    /// fires on every step from `at_step` onward.
+    pub max_fires: usize,
+}
+
+impl FaultPlan {
+    /// A plan that fires `kind` exactly once at global step `at_step`.
+    pub fn once(kind: FaultKind, at_step: usize) -> Self {
+        FaultPlan {
+            kind,
+            at_step,
+            max_fires: 1,
+        }
+    }
+}
+
+/// An [`Env`] wrapper that injects the faults described by a [`FaultPlan`].
+///
+/// Steps before the scheduled trigger are forwarded untouched, so seeded
+/// trajectories match the wrapped environment bit-for-bit up to the fault.
+#[derive(Debug, Clone)]
+pub struct FaultyEnv<E> {
+    inner: E,
+    plan: FaultPlan,
+    steps: usize,
+    fires: usize,
+}
+
+impl<E: Env> FaultyEnv<E> {
+    /// Wraps `inner` with the given fault plan.
+    pub fn new(inner: E, plan: FaultPlan) -> Self {
+        FaultyEnv {
+            inner,
+            plan,
+            steps: 0,
+            fires: 0,
+        }
+    }
+
+    /// Total steps taken across all episodes.
+    pub fn steps_taken(&self) -> usize {
+        self.steps
+    }
+
+    /// Number of times the fault has fired so far.
+    pub fn fires(&self) -> usize {
+        self.fires
+    }
+
+    fn should_fire(&self) -> bool {
+        self.steps >= self.plan.at_step
+            && (self.plan.max_fires == 0 || self.fires < self.plan.max_fires)
+    }
+}
+
+impl<E: Env> Env for FaultyEnv<E> {
+    fn obs_dim(&self) -> usize {
+        self.inner.obs_dim()
+    }
+
+    fn action_dim(&self) -> usize {
+        self.inner.action_dim()
+    }
+
+    fn max_steps(&self) -> usize {
+        self.inner.max_steps()
+    }
+
+    fn reset(&mut self, rng: &mut EnvRng) -> Vec<f64> {
+        self.inner.reset(rng)
+    }
+
+    fn step(&mut self, action: &[f64], rng: &mut EnvRng) -> Step {
+        self.steps += 1;
+        let mut step = if self.should_fire() && self.plan.kind == FaultKind::Panic {
+            self.fires += 1;
+            panic!(
+                "injected fault: simulated environment crash at step {}",
+                self.steps
+            );
+        } else {
+            self.inner.step(action, rng)
+        };
+        if self.should_fire() {
+            self.fires += 1;
+            match self.plan.kind {
+                FaultKind::Panic => unreachable!("handled above"),
+                FaultKind::NanObservation => {
+                    for v in &mut step.obs {
+                        *v = f64::NAN;
+                    }
+                }
+                FaultKind::NanReward => step.reward = f64::NAN,
+            }
+        }
+        step
+    }
+
+    fn state_summary(&self) -> Vec<f64> {
+        self.inner.state_summary()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::locomotion::Hopper;
+    use rand::SeedableRng;
+
+    fn roll<E: Env>(env: &mut E, rng: &mut EnvRng, n: usize) -> Vec<Step> {
+        env.reset(rng);
+        (0..n).map(|_| env.step(&[0.1, -0.2, 0.3], rng)).collect()
+    }
+
+    #[test]
+    fn transparent_before_trigger() {
+        let mut plain = Hopper::new();
+        let mut faulty = FaultyEnv::new(Hopper::new(), FaultPlan::once(FaultKind::NanReward, 100));
+        let mut rng1 = EnvRng::seed_from_u64(3);
+        let mut rng2 = EnvRng::seed_from_u64(3);
+        let a = roll(&mut plain, &mut rng1, 10);
+        let b = roll(&mut faulty, &mut rng2, 10);
+        assert_eq!(a, b);
+        assert_eq!(faulty.fires(), 0);
+    }
+
+    #[test]
+    fn nan_reward_fires_once_at_schedule() {
+        let mut faulty = FaultyEnv::new(Hopper::new(), FaultPlan::once(FaultKind::NanReward, 5));
+        let mut rng = EnvRng::seed_from_u64(3);
+        let steps = roll(&mut faulty, &mut rng, 8);
+        assert!(steps[4].reward.is_nan(), "fault should fire at step 5");
+        assert!(steps[5].reward.is_finite(), "fault should fire only once");
+        assert_eq!(faulty.fires(), 1);
+    }
+
+    #[test]
+    fn nan_observation_poisons_every_component() {
+        let mut faulty =
+            FaultyEnv::new(Hopper::new(), FaultPlan::once(FaultKind::NanObservation, 2));
+        let mut rng = EnvRng::seed_from_u64(4);
+        let steps = roll(&mut faulty, &mut rng, 3);
+        assert!(steps[1].obs.iter().all(|v| v.is_nan()));
+        assert!(steps[2].obs.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn panic_fault_panics_at_schedule() {
+        let result = std::panic::catch_unwind(|| {
+            let mut faulty = FaultyEnv::new(Hopper::new(), FaultPlan::once(FaultKind::Panic, 3));
+            let mut rng = EnvRng::seed_from_u64(5);
+            roll(&mut faulty, &mut rng, 10);
+        });
+        assert!(result.is_err(), "scheduled panic should propagate");
+    }
+
+    #[test]
+    fn unlimited_fires_keep_firing() {
+        let mut faulty = FaultyEnv::new(
+            Hopper::new(),
+            FaultPlan {
+                kind: FaultKind::NanReward,
+                at_step: 4,
+                max_fires: 0,
+            },
+        );
+        let mut rng = EnvRng::seed_from_u64(6);
+        let steps = roll(&mut faulty, &mut rng, 8);
+        assert!(steps[3..].iter().all(|s| s.reward.is_nan()));
+        assert!(steps[..3].iter().all(|s| s.reward.is_finite()));
+    }
+}

@@ -24,6 +24,7 @@
 //! budget ε used by the experiment harness.
 
 pub mod env;
+pub mod faulty;
 pub mod fetch;
 pub mod locomotion;
 pub mod maze;
@@ -34,4 +35,5 @@ pub mod render;
 pub mod sparse;
 
 pub use env::{Env, EnvRng, MultiAgentEnv, MultiStep, Step};
+pub use faulty::{FaultKind, FaultPlan, FaultyEnv};
 pub use registry::{build_multi_task, build_task, MultiTaskId, TaskId, TaskSpec};

@@ -23,6 +23,17 @@ pub enum NnError {
         /// The length that was provided.
         got: usize,
     },
+    /// A numeric-health check failed (NaN/Inf in losses, gradients, or
+    /// parameters) and bounded recovery was exhausted.
+    Numeric {
+        /// Where the non-finite value was detected.
+        context: String,
+    },
+    /// Persisting or restoring serialized trainer state failed.
+    Persist {
+        /// Human-readable failure description.
+        reason: String,
+    },
 }
 
 impl fmt::Display for NnError {
@@ -37,6 +48,10 @@ impl fmt::Display for NnError {
             NnError::ParamLength { expected, got } => {
                 write!(f, "parameter vector length {got}, expected {expected}")
             }
+            NnError::Numeric { context } => {
+                write!(f, "non-finite values detected in {context}")
+            }
+            NnError::Persist { reason } => write!(f, "state persistence failed: {reason}"),
         }
     }
 }

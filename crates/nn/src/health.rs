@@ -1,0 +1,62 @@
+//! Numeric-health checks used by the training resilience layer.
+//!
+//! PPO-style training can silently corrupt a run long before anything
+//! visibly fails: one NaN reward poisons the advantages, the advantages
+//! poison the gradient, and the gradient poisons every parameter. The
+//! divergence guard in `imap-rl` calls these helpers after each update to
+//! catch that cascade at the iteration boundary, while the last good
+//! iterate is still restorable.
+
+/// True when every element is finite (no NaN, no ±Inf).
+pub fn all_finite(xs: &[f64]) -> bool {
+    xs.iter().all(|v| v.is_finite())
+}
+
+/// Index and value of the first non-finite element, if any.
+pub fn first_non_finite(xs: &[f64]) -> Option<(usize, f64)> {
+    xs.iter()
+        .enumerate()
+        .find(|(_, v)| !v.is_finite())
+        .map(|(i, &v)| (i, v))
+}
+
+/// Fraction of non-finite elements (0.0 for an empty slice).
+pub fn non_finite_fraction(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let bad = xs.iter().filter(|v| !v.is_finite()).count();
+    bad as f64 / xs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_finite_accepts_normal_values() {
+        assert!(all_finite(&[0.0, -1.5, 1e300, f64::MIN_POSITIVE]));
+        assert!(all_finite(&[]));
+    }
+
+    #[test]
+    fn all_finite_rejects_nan_and_inf() {
+        assert!(!all_finite(&[0.0, f64::NAN]));
+        assert!(!all_finite(&[f64::INFINITY]));
+        assert!(!all_finite(&[f64::NEG_INFINITY, 1.0]));
+    }
+
+    #[test]
+    fn first_non_finite_reports_position() {
+        let (i, v) = first_non_finite(&[1.0, 2.0, f64::NAN, f64::INFINITY]).unwrap();
+        assert_eq!(i, 2);
+        assert!(v.is_nan());
+        assert!(first_non_finite(&[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn non_finite_fraction_counts() {
+        assert_eq!(non_finite_fraction(&[]), 0.0);
+        assert_eq!(non_finite_fraction(&[1.0, f64::NAN, f64::NAN, 2.0]), 0.5);
+    }
+}

@@ -15,6 +15,8 @@
 //!   the SA / RADIAL / WocaR defenses in `imap-defense`.
 //! - [`gradcheck`]: finite-difference utilities used by the test suite to
 //!   verify every analytic gradient in this crate.
+//! - [`health`]: NaN/Inf detection helpers backing the divergence guards in
+//!   `imap-rl`.
 //!
 //! All computations are `f64` and deterministic given a seeded RNG, which is
 //! a hard requirement for reproducible experiment tables.
@@ -23,6 +25,7 @@ pub mod activation;
 pub mod error;
 pub mod gaussian;
 pub mod gradcheck;
+pub mod health;
 pub mod ibp;
 pub mod init;
 pub mod layer;
@@ -34,6 +37,7 @@ pub mod optim;
 pub use activation::Activation;
 pub use error::NnError;
 pub use gaussian::DiagGaussian;
+pub use health::{all_finite, first_non_finite, non_finite_fraction};
 pub use ibp::Interval;
 pub use layer::Dense;
 pub use lstm::{Lstm, LstmCell, LstmState};

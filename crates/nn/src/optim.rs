@@ -92,6 +92,31 @@ impl Adam {
     pub fn steps(&self) -> u64 {
         self.t
     }
+
+    /// Borrow of the internal moment estimates `(m, v)` for checkpointing.
+    pub fn moments(&self) -> (&[f64], &[f64]) {
+        (&self.m, &self.v)
+    }
+
+    /// Restores internal state from a checkpoint: first and second moment
+    /// vectors plus the step counter. Both vectors must match the
+    /// optimizer's parameter dimension.
+    pub fn restore_state(&mut self, m: Vec<f64>, v: Vec<f64>, t: u64) -> Result<(), NnError> {
+        if m.len() != self.m.len() || v.len() != self.v.len() {
+            return Err(NnError::ParamLength {
+                expected: self.m.len(),
+                got: if m.len() != self.m.len() {
+                    m.len()
+                } else {
+                    v.len()
+                },
+            });
+        }
+        self.m = m;
+        self.v = v;
+        self.t = t;
+        Ok(())
+    }
 }
 
 impl Optimizer for Adam {

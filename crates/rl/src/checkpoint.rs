@@ -1,0 +1,818 @@
+//! Versioned on-disk trainer checkpoints.
+//!
+//! A checkpoint is a [`StateDict`] — a flat, ordered map from dotted keys
+//! (`"policy.params"`, `"popt.m"`, …) to scalars and `f64` arrays — wrapped
+//! in a small envelope:
+//!
+//! ```text
+//! IMAP-CKPT 1 <kind> <payload-bytes> <fnv1a64-hex>
+//! u iteration 12
+//! f norm.count 4049000000000000
+//! v policy.params 1934 3fb999999999999a ...
+//! ```
+//!
+//! Design decisions, in service of *bitwise-identical* resume:
+//!
+//! - **`f64` values are stored as their raw bit pattern** (16 hex digits),
+//!   never as decimal text, so save → load reproduces every parameter,
+//!   optimizer moment, and normalizer statistic exactly.
+//! - **The header carries the payload length and an FNV-1a 64 checksum**, so
+//!   a truncated or corrupted file is rejected with a typed error instead of
+//!   silently resuming from garbage.
+//! - **Writes are atomic**: the payload goes to `<path>.tmp` and is renamed
+//!   into place, so a crash mid-write never destroys the previous
+//!   checkpoint.
+//! - **The format is versioned** (`1` above) and carries a `kind` tag
+//!   (`"ppo-runner"`, `"imap-trainer"`, `"policy"`, …); readers reject
+//!   future versions and mismatched kinds.
+//!
+//! The codec is hand-written rather than serde-based: checkpoints must
+//! round-trip bit-for-bit and parse identically everywhere, and the tiny
+//! line format above is trivially auditable.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use imap_nn::NnError;
+
+/// Current checkpoint format version.
+pub const CHECKPOINT_VERSION: u64 = 1;
+
+/// Magic token opening every checkpoint header.
+pub const CHECKPOINT_MAGIC: &str = "IMAP-CKPT";
+
+/// File extension used by checkpoint files.
+pub const CHECKPOINT_EXT: &str = "ckpt";
+
+/// Errors from writing, reading, or interpreting checkpoints.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// The file is not a checkpoint, is truncated, or fails its checksum.
+    Corrupt(String),
+    /// The checkpoint was written by a newer format version.
+    Version(u64),
+    /// The checkpoint holds a different kind of state than expected.
+    KindMismatch {
+        /// The kind the caller asked for.
+        expected: String,
+        /// The kind recorded in the file.
+        found: String,
+    },
+    /// A required key is absent from the state dict.
+    MissingKey(String),
+    /// A key holds a different value type than requested.
+    WrongType(String),
+    /// Restoring decoded state into a live object failed (e.g. a parameter
+    /// vector of the wrong length for the configured architecture).
+    Restore(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::Corrupt(why) => write!(f, "corrupt checkpoint: {why}"),
+            CheckpointError::Version(v) => write!(
+                f,
+                "checkpoint version {v} is newer than supported version {CHECKPOINT_VERSION}"
+            ),
+            CheckpointError::KindMismatch { expected, found } => {
+                write!(f, "checkpoint holds {found:?} state, expected {expected:?}")
+            }
+            CheckpointError::MissingKey(k) => write!(f, "checkpoint is missing key {k:?}"),
+            CheckpointError::WrongType(k) => {
+                write!(f, "checkpoint key {k:?} holds an unexpected value type")
+            }
+            CheckpointError::Restore(why) => write!(f, "checkpoint restore failed: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl From<CheckpointError> for NnError {
+    fn from(e: CheckpointError) -> Self {
+        NnError::Persist {
+            reason: e.to_string(),
+        }
+    }
+}
+
+impl From<NnError> for CheckpointError {
+    fn from(e: NnError) -> Self {
+        CheckpointError::Restore(e.to_string())
+    }
+}
+
+/// One value in a [`StateDict`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum StateValue {
+    /// Unsigned integer (counters, RNG state).
+    U64(u64),
+    /// A single float, stored as raw bits.
+    F64(f64),
+    /// A boolean flag.
+    Bool(bool),
+    /// A short identifier (no whitespace).
+    Str(String),
+    /// A flat float vector, stored as raw bits.
+    VecF64(Vec<f64>),
+    /// A list of float rows (possibly ragged), stored as raw bits.
+    MatF64(Vec<Vec<f64>>),
+}
+
+/// A flat, ordered map of checkpointable state.
+///
+/// Keys are dotted paths like `"popt.m"`. Encoding order is the key order,
+/// so encoding is deterministic: the same state always produces the same
+/// bytes (and therefore the same checksum).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StateDict {
+    entries: BTreeMap<String, StateValue>,
+}
+
+impl StateDict {
+    /// An empty dict.
+    pub fn new() -> Self {
+        StateDict::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are present.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts `value` at `key`, replacing any previous value.
+    ///
+    /// Keys must be non-empty and whitespace-free; violations surface as
+    /// [`CheckpointError::Corrupt`] at encode time.
+    pub fn insert(&mut self, key: &str, value: StateValue) {
+        self.entries.insert(key.to_string(), value);
+    }
+
+    /// Convenience: inserts a `u64`.
+    pub fn put_u64(&mut self, key: &str, v: u64) {
+        self.insert(key, StateValue::U64(v));
+    }
+
+    /// Convenience: inserts an `f64`.
+    pub fn put_f64(&mut self, key: &str, v: f64) {
+        self.insert(key, StateValue::F64(v));
+    }
+
+    /// Convenience: inserts a bool.
+    pub fn put_bool(&mut self, key: &str, v: bool) {
+        self.insert(key, StateValue::Bool(v));
+    }
+
+    /// Convenience: inserts a string.
+    pub fn put_str(&mut self, key: &str, v: &str) {
+        self.insert(key, StateValue::Str(v.to_string()));
+    }
+
+    /// Convenience: inserts a float vector.
+    pub fn put_vec(&mut self, key: &str, v: Vec<f64>) {
+        self.insert(key, StateValue::VecF64(v));
+    }
+
+    /// Convenience: inserts float rows.
+    pub fn put_mat(&mut self, key: &str, v: Vec<Vec<f64>>) {
+        self.insert(key, StateValue::MatF64(v));
+    }
+
+    fn get(&self, key: &str) -> Result<&StateValue, CheckpointError> {
+        self.entries
+            .get(key)
+            .ok_or_else(|| CheckpointError::MissingKey(key.to_string()))
+    }
+
+    /// Reads a `u64`.
+    pub fn get_u64(&self, key: &str) -> Result<u64, CheckpointError> {
+        match self.get(key)? {
+            StateValue::U64(v) => Ok(*v),
+            _ => Err(CheckpointError::WrongType(key.to_string())),
+        }
+    }
+
+    /// Reads an `f64`.
+    pub fn get_f64(&self, key: &str) -> Result<f64, CheckpointError> {
+        match self.get(key)? {
+            StateValue::F64(v) => Ok(*v),
+            _ => Err(CheckpointError::WrongType(key.to_string())),
+        }
+    }
+
+    /// Reads a bool.
+    pub fn get_bool(&self, key: &str) -> Result<bool, CheckpointError> {
+        match self.get(key)? {
+            StateValue::Bool(v) => Ok(*v),
+            _ => Err(CheckpointError::WrongType(key.to_string())),
+        }
+    }
+
+    /// Reads a string.
+    pub fn get_str(&self, key: &str) -> Result<&str, CheckpointError> {
+        match self.get(key)? {
+            StateValue::Str(v) => Ok(v),
+            _ => Err(CheckpointError::WrongType(key.to_string())),
+        }
+    }
+
+    /// Reads a float vector.
+    pub fn get_vec(&self, key: &str) -> Result<&[f64], CheckpointError> {
+        match self.get(key)? {
+            StateValue::VecF64(v) => Ok(v),
+            _ => Err(CheckpointError::WrongType(key.to_string())),
+        }
+    }
+
+    /// Reads float rows.
+    pub fn get_mat(&self, key: &str) -> Result<&[Vec<f64>], CheckpointError> {
+        match self.get(key)? {
+            StateValue::MatF64(v) => Ok(v),
+            _ => Err(CheckpointError::WrongType(key.to_string())),
+        }
+    }
+
+    /// Encodes the dict into the line-based payload format.
+    pub fn encode(&self) -> Result<String, CheckpointError> {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (key, value) in &self.entries {
+            if key.is_empty() || key.chars().any(char::is_whitespace) {
+                return Err(CheckpointError::Corrupt(format!(
+                    "invalid state key {key:?}"
+                )));
+            }
+            match value {
+                StateValue::U64(v) => {
+                    let _ = writeln!(out, "u {key} {v}");
+                }
+                StateValue::F64(v) => {
+                    let _ = writeln!(out, "f {key} {:016x}", v.to_bits());
+                }
+                StateValue::Bool(v) => {
+                    let _ = writeln!(out, "b {key} {}", u8::from(*v));
+                }
+                StateValue::Str(v) => {
+                    if v.chars().any(char::is_whitespace) {
+                        return Err(CheckpointError::Corrupt(format!(
+                            "string value for {key:?} contains whitespace"
+                        )));
+                    }
+                    let _ = writeln!(out, "s {key} {v}");
+                }
+                StateValue::VecF64(v) => {
+                    let _ = write!(out, "v {key} {}", v.len());
+                    for x in v {
+                        let _ = write!(out, " {:016x}", x.to_bits());
+                    }
+                    out.push('\n');
+                }
+                StateValue::MatF64(rows) => {
+                    let _ = write!(out, "m {key} {}", rows.len());
+                    for row in rows {
+                        let _ = write!(out, " {}", row.len());
+                        for x in row {
+                            let _ = write!(out, " {:016x}", x.to_bits());
+                        }
+                    }
+                    out.push('\n');
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Decodes a payload produced by [`StateDict::encode`].
+    pub fn decode(payload: &str) -> Result<Self, CheckpointError> {
+        fn bad(line_no: usize, why: &str) -> CheckpointError {
+            CheckpointError::Corrupt(format!("payload line {}: {why}", line_no + 1))
+        }
+        fn next<'a, I: Iterator<Item = &'a str>>(
+            tokens: &mut I,
+            line_no: usize,
+            what: &str,
+        ) -> Result<&'a str, CheckpointError> {
+            tokens
+                .next()
+                .ok_or_else(|| bad(line_no, &format!("missing {what}")))
+        }
+        fn parse_usize(tok: &str, line_no: usize) -> Result<usize, CheckpointError> {
+            tok.parse::<usize>()
+                .map_err(|_| bad(line_no, &format!("bad length {tok:?}")))
+        }
+        fn parse_f64_bits(tok: &str, line_no: usize) -> Result<f64, CheckpointError> {
+            if tok.len() != 16 {
+                return Err(bad(line_no, &format!("bad f64 bit pattern {tok:?}")));
+            }
+            u64::from_str_radix(tok, 16)
+                .map(f64::from_bits)
+                .map_err(|_| bad(line_no, &format!("bad f64 bit pattern {tok:?}")))
+        }
+
+        let mut dict = StateDict::new();
+        for (line_no, line) in payload.lines().enumerate() {
+            if line.is_empty() {
+                continue;
+            }
+            let mut tokens = line.split_ascii_whitespace();
+            let tag = next(&mut tokens, line_no, "type tag")?;
+            let key = next(&mut tokens, line_no, "key")?.to_string();
+            let value = match tag {
+                "u" => {
+                    let tok = next(&mut tokens, line_no, "u64 value")?;
+                    StateValue::U64(
+                        tok.parse::<u64>()
+                            .map_err(|_| bad(line_no, &format!("bad u64 {tok:?}")))?,
+                    )
+                }
+                "f" => {
+                    let tok = next(&mut tokens, line_no, "f64 value")?;
+                    StateValue::F64(parse_f64_bits(tok, line_no)?)
+                }
+                "b" => match next(&mut tokens, line_no, "bool value")? {
+                    "0" => StateValue::Bool(false),
+                    "1" => StateValue::Bool(true),
+                    other => return Err(bad(line_no, &format!("bad bool {other:?}"))),
+                },
+                "s" => StateValue::Str(next(&mut tokens, line_no, "string value")?.to_string()),
+                "v" => {
+                    let n = parse_usize(next(&mut tokens, line_no, "vector length")?, line_no)?;
+                    let mut v = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        v.push(parse_f64_bits(
+                            next(&mut tokens, line_no, "vector element")?,
+                            line_no,
+                        )?);
+                    }
+                    StateValue::VecF64(v)
+                }
+                "m" => {
+                    let rows = parse_usize(next(&mut tokens, line_no, "row count")?, line_no)?;
+                    let mut mat = Vec::with_capacity(rows);
+                    for _ in 0..rows {
+                        let n = parse_usize(next(&mut tokens, line_no, "row length")?, line_no)?;
+                        let mut row = Vec::with_capacity(n);
+                        for _ in 0..n {
+                            row.push(parse_f64_bits(
+                                next(&mut tokens, line_no, "row element")?,
+                                line_no,
+                            )?);
+                        }
+                        mat.push(row);
+                    }
+                    StateValue::MatF64(mat)
+                }
+                other => return Err(bad(line_no, &format!("unknown type tag {other:?}"))),
+            };
+            if tokens.next().is_some() {
+                return Err(bad(line_no, "trailing tokens"));
+            }
+            dict.entries.insert(key, value);
+        }
+        Ok(dict)
+    }
+}
+
+/// A trainer whose full state round-trips through a [`StateDict`].
+///
+/// Implementors promise that `load_state_dict(state_dict())` restores the
+/// trainer *bitwise*: parameters, optimizer moments, normalizer statistics,
+/// RNG state, and counters. That contract is what makes an interrupted run
+/// resumable with no drift relative to an uninterrupted one.
+pub trait Checkpointable {
+    /// The kind tag recorded in (and required of) the checkpoint envelope.
+    fn checkpoint_kind(&self) -> &'static str;
+
+    /// Captures the complete trainer state.
+    fn state_dict(&self) -> StateDict;
+
+    /// Restores state captured by [`Checkpointable::state_dict`]. The
+    /// trainer must already be built with a compatible configuration
+    /// (architecture mismatches surface as [`CheckpointError::Restore`]).
+    fn load_state_dict(&mut self, dict: &StateDict) -> Result<(), CheckpointError>;
+
+    /// Multiplies every optimizer learning rate by `factor` (divergence-
+    /// guard backoff). Default: no-op for trainers without optimizers.
+    fn scale_lr(&mut self, _factor: f64) {}
+
+    /// Serializes current state to `path` under the versioned envelope.
+    fn save_checkpoint_at(&self, path: &Path) -> Result<(), CheckpointError> {
+        write_checkpoint(path, self.checkpoint_kind(), &self.state_dict())
+    }
+
+    /// Restores state from a checkpoint file written by
+    /// [`Checkpointable::save_checkpoint_at`].
+    fn resume_from(&mut self, path: &Path) -> Result<(), CheckpointError> {
+        let dict = read_checkpoint(path, self.checkpoint_kind())?;
+        self.load_state_dict(&dict)
+    }
+}
+
+/// Saves a [`GaussianPolicy`](crate::GaussianPolicy)'s full state (network
+/// parameters plus raw normalizer statistics) under `prefix.*` keys.
+pub fn put_policy(d: &mut StateDict, prefix: &str, policy: &crate::GaussianPolicy) {
+    d.put_vec(&format!("{prefix}.params"), policy.params());
+    d.put_vec(
+        &format!("{prefix}.norm.mean"),
+        policy.norm.mean_raw().to_vec(),
+    );
+    d.put_vec(&format!("{prefix}.norm.m2"), policy.norm.m2_raw().to_vec());
+    d.put_f64(&format!("{prefix}.norm.count"), policy.norm.count());
+    d.put_bool(&format!("{prefix}.norm.frozen"), policy.norm.is_frozen());
+    d.put_f64(&format!("{prefix}.norm.clip"), policy.norm.clip);
+}
+
+/// Restores state written by [`put_policy`] into `policy` (which must
+/// already have the matching architecture).
+pub fn load_policy_into(
+    policy: &mut crate::GaussianPolicy,
+    d: &StateDict,
+    prefix: &str,
+) -> Result<(), CheckpointError> {
+    policy.set_params(d.get_vec(&format!("{prefix}.params"))?)?;
+    policy.norm = crate::RunningNorm::restore(
+        d.get_vec(&format!("{prefix}.norm.mean"))?.to_vec(),
+        d.get_vec(&format!("{prefix}.norm.m2"))?.to_vec(),
+        d.get_f64(&format!("{prefix}.norm.count"))?,
+        d.get_bool(&format!("{prefix}.norm.frozen"))?,
+        d.get_f64(&format!("{prefix}.norm.clip"))?,
+    )?;
+    Ok(())
+}
+
+/// Saves an [`Adam`] optimizer's moments, step counter, and learning rate
+/// under `prefix.*` keys.
+pub fn put_adam(d: &mut StateDict, prefix: &str, opt: &imap_nn::Adam) {
+    let (m, v) = opt.moments();
+    d.put_vec(&format!("{prefix}.m"), m.to_vec());
+    d.put_vec(&format!("{prefix}.v"), v.to_vec());
+    d.put_u64(&format!("{prefix}.t"), opt.steps());
+    d.put_f64(&format!("{prefix}.lr"), opt.lr);
+}
+
+/// Restores state written by [`put_adam`] into `opt` (which must already be
+/// sized for the matching parameter count).
+pub fn load_adam_into(
+    opt: &mut imap_nn::Adam,
+    d: &StateDict,
+    prefix: &str,
+) -> Result<(), CheckpointError> {
+    opt.restore_state(
+        d.get_vec(&format!("{prefix}.m"))?.to_vec(),
+        d.get_vec(&format!("{prefix}.v"))?.to_vec(),
+        d.get_u64(&format!("{prefix}.t"))?,
+    )?;
+    opt.lr = d.get_f64(&format!("{prefix}.lr"))?;
+    Ok(())
+}
+
+/// FNV-1a 64-bit hash, used as the checkpoint payload checksum.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Serializes `dict` under the versioned envelope and writes it atomically:
+/// the bytes go to `<path>.tmp` first and are renamed into place, so a crash
+/// mid-write cannot clobber an existing checkpoint with a partial file.
+pub fn write_checkpoint(path: &Path, kind: &str, dict: &StateDict) -> Result<(), CheckpointError> {
+    if kind.is_empty() || kind.chars().any(char::is_whitespace) {
+        return Err(CheckpointError::Corrupt(format!(
+            "invalid checkpoint kind {kind:?}"
+        )));
+    }
+    let payload = dict.encode()?;
+    let header = format!(
+        "{CHECKPOINT_MAGIC} {CHECKPOINT_VERSION} {kind} {} {:016x}\n",
+        payload.len(),
+        fnv1a64(payload.as_bytes())
+    );
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    let tmp = path.with_extension("tmp");
+    fs::write(&tmp, format!("{header}{payload}"))?;
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Reads, validates, and decodes a checkpoint of the expected `kind`.
+///
+/// Validation covers: magic token, format version, kind tag, payload length
+/// (catches truncation), and FNV-1a checksum (catches corruption).
+pub fn read_checkpoint(path: &Path, expected_kind: &str) -> Result<StateDict, CheckpointError> {
+    let text = fs::read_to_string(path)?;
+    let (header, payload) = text
+        .split_once('\n')
+        .ok_or_else(|| CheckpointError::Corrupt("missing header line".to_string()))?;
+    let fields: Vec<&str> = header.split_ascii_whitespace().collect();
+    if fields.len() != 5 || fields[0] != CHECKPOINT_MAGIC {
+        return Err(CheckpointError::Corrupt(
+            "not an IMAP-CKPT header".to_string(),
+        ));
+    }
+    let version = fields[1]
+        .parse::<u64>()
+        .map_err(|_| CheckpointError::Corrupt("bad version field".to_string()))?;
+    if version > CHECKPOINT_VERSION {
+        return Err(CheckpointError::Version(version));
+    }
+    let kind = fields[2];
+    if kind != expected_kind {
+        return Err(CheckpointError::KindMismatch {
+            expected: expected_kind.to_string(),
+            found: kind.to_string(),
+        });
+    }
+    let declared_len = fields[3]
+        .parse::<usize>()
+        .map_err(|_| CheckpointError::Corrupt("bad length field".to_string()))?;
+    if payload.len() != declared_len {
+        return Err(CheckpointError::Corrupt(format!(
+            "payload is {} bytes, header declares {declared_len} (truncated?)",
+            payload.len()
+        )));
+    }
+    let declared_sum = u64::from_str_radix(fields[4], 16)
+        .map_err(|_| CheckpointError::Corrupt("bad checksum field".to_string()))?;
+    let actual_sum = fnv1a64(payload.as_bytes());
+    if actual_sum != declared_sum {
+        return Err(CheckpointError::Corrupt(format!(
+            "checksum mismatch: file says {declared_sum:016x}, payload hashes to {actual_sum:016x}"
+        )));
+    }
+    StateDict::decode(payload)
+}
+
+/// The canonical file name for the checkpoint taken after `iteration`
+/// completed iterations: `ckpt-00000042.ckpt`.
+pub fn checkpoint_path(dir: &Path, iteration: usize) -> PathBuf {
+    dir.join(format!("ckpt-{iteration:08}.{CHECKPOINT_EXT}"))
+}
+
+/// Finds the checkpoint with the highest iteration number in `dir`.
+///
+/// Returns `Ok(None)` when the directory does not exist or holds no
+/// checkpoint files; non-checkpoint files are ignored.
+pub fn latest_checkpoint(dir: &Path) -> Result<Option<PathBuf>, CheckpointError> {
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    let mut best: Option<(usize, PathBuf)> = None;
+    for entry in entries {
+        let path = entry?.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        let Some(stem) = name
+            .strip_prefix("ckpt-")
+            .and_then(|r| r.strip_suffix(&format!(".{CHECKPOINT_EXT}")))
+        else {
+            continue;
+        };
+        let Ok(iteration) = stem.parse::<usize>() else {
+            continue;
+        };
+        if best.as_ref().is_none_or(|(b, _)| iteration > *b) {
+            best = Some((iteration, path));
+        }
+    }
+    Ok(best.map(|(_, p)| p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn sample_dict() -> StateDict {
+        let mut d = StateDict::new();
+        d.put_u64("iteration", 17);
+        d.put_u64("rng.state", u64::MAX);
+        d.put_f64("norm.count", 1024.5);
+        d.put_f64("weird.nan", f64::NAN);
+        d.put_f64("weird.neg_inf", f64::NEG_INFINITY);
+        d.put_bool("norm.frozen", true);
+        d.put_str("task", "hopper");
+        d.put_vec("policy.params", vec![1.0, -2.5e-300, 3.9e280, -0.0]);
+        d.put_mat(
+            "buffer.points",
+            vec![vec![1.0, 2.0], vec![], vec![-3.25, f64::MAX, f64::MIN]],
+        );
+        d
+    }
+
+    fn assert_dicts_bitwise_equal(a: &StateDict, b: &StateDict) {
+        assert_eq!(a.len(), b.len());
+        for (key, value) in &a.entries {
+            let other = b.entries.get(key).expect("key present");
+            match (value, other) {
+                (StateValue::F64(x), StateValue::F64(y)) => {
+                    assert_eq!(x.to_bits(), y.to_bits(), "key {key}");
+                }
+                (StateValue::VecF64(x), StateValue::VecF64(y)) => {
+                    let xb: Vec<u64> = x.iter().map(|v| v.to_bits()).collect();
+                    let yb: Vec<u64> = y.iter().map(|v| v.to_bits()).collect();
+                    assert_eq!(xb, yb, "key {key}");
+                }
+                (StateValue::MatF64(x), StateValue::MatF64(y)) => {
+                    let xb: Vec<Vec<u64>> = x
+                        .iter()
+                        .map(|r| r.iter().map(|v| v.to_bits()).collect())
+                        .collect();
+                    let yb: Vec<Vec<u64>> = y
+                        .iter()
+                        .map(|r| r.iter().map(|v| v.to_bits()).collect())
+                        .collect();
+                    assert_eq!(xb, yb, "key {key}");
+                }
+                (x, y) => assert_eq!(x, y, "key {key}"),
+            }
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_is_bitwise_exact() {
+        let d = sample_dict();
+        let decoded = StateDict::decode(&d.encode().unwrap()).unwrap();
+        assert_dicts_bitwise_equal(&d, &decoded);
+    }
+
+    #[test]
+    fn encode_is_deterministic() {
+        let a = sample_dict().encode().unwrap();
+        let b = sample_dict().encode().unwrap();
+        assert_eq!(a, b);
+    }
+
+    /// Property-style check: random dicts of random vectors round-trip
+    /// bit-for-bit, including subnormals, signed zeros, NaN payloads, and
+    /// infinities produced by reinterpreting raw bits.
+    #[test]
+    fn random_bit_patterns_roundtrip() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xC4EC);
+        for case in 0..50 {
+            let mut d = StateDict::new();
+            let n_keys = 1 + (case % 7);
+            for k in 0..n_keys {
+                let len = rng.gen_range(0..20usize);
+                let v: Vec<f64> = (0..len)
+                    .map(|_| f64::from_bits(rng.gen_range(0..u64::MAX)))
+                    .collect();
+                d.put_vec(&format!("key{k}"), v);
+                d.put_u64(&format!("count{k}"), rng.gen_range(0..u64::MAX));
+            }
+            let decoded = StateDict::decode(&d.encode().unwrap()).unwrap();
+            assert_dicts_bitwise_equal(&d, &decoded);
+        }
+    }
+
+    #[test]
+    fn file_roundtrip_through_envelope() {
+        let dir = std::env::temp_dir().join("imap-ckpt-test-roundtrip");
+        let _ = fs::remove_dir_all(&dir);
+        let path = checkpoint_path(&dir, 3);
+        let d = sample_dict();
+        write_checkpoint(&path, "unit-test", &d).unwrap();
+        let loaded = read_checkpoint(&path, "unit-test").unwrap();
+        assert_dicts_bitwise_equal(&d, &loaded);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_file_is_rejected() {
+        let dir = std::env::temp_dir().join("imap-ckpt-test-truncated");
+        let _ = fs::remove_dir_all(&dir);
+        let path = checkpoint_path(&dir, 0);
+        write_checkpoint(&path, "unit-test", &sample_dict()).unwrap();
+        let full = fs::read_to_string(&path).unwrap();
+        fs::write(&path, &full[..full.len() - 10]).unwrap();
+        let err = read_checkpoint(&path, "unit-test").unwrap_err();
+        assert!(matches!(err, CheckpointError::Corrupt(_)), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_payload_fails_checksum() {
+        let dir = std::env::temp_dir().join("imap-ckpt-test-corrupt");
+        let _ = fs::remove_dir_all(&dir);
+        let path = checkpoint_path(&dir, 0);
+        write_checkpoint(&path, "unit-test", &sample_dict()).unwrap();
+        let full = fs::read_to_string(&path).unwrap();
+        // Flip one hex digit inside the payload without changing the length.
+        let idx = full.rfind(" 3").map(|i| i + 1).unwrap();
+        let mut bytes = full.into_bytes();
+        bytes[idx] = b'4';
+        fs::write(&path, bytes).unwrap();
+        let err = read_checkpoint(&path, "unit-test").unwrap_err();
+        assert!(
+            matches!(&err, CheckpointError::Corrupt(why) if why.contains("checksum")),
+            "{err}"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn kind_and_version_are_enforced() {
+        let dir = std::env::temp_dir().join("imap-ckpt-test-kind");
+        let _ = fs::remove_dir_all(&dir);
+        let path = checkpoint_path(&dir, 0);
+        write_checkpoint(&path, "ppo-runner", &sample_dict()).unwrap();
+        let err = read_checkpoint(&path, "imap-trainer").unwrap_err();
+        assert!(matches!(err, CheckpointError::KindMismatch { .. }), "{err}");
+
+        let body = fs::read_to_string(&path).unwrap();
+        let future = body.replacen("IMAP-CKPT 1 ", "IMAP-CKPT 999 ", 1);
+        fs::write(&path, future).unwrap();
+        let err = read_checkpoint(&path, "ppo-runner").unwrap_err();
+        assert!(matches!(err, CheckpointError::Version(999)), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn non_checkpoint_file_is_rejected() {
+        let dir = std::env::temp_dir().join("imap-ckpt-test-garbage");
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.ckpt");
+        fs::write(&path, "{\"json\": true}\n").unwrap();
+        let err = read_checkpoint(&path, "ppo-runner").unwrap_err();
+        assert!(matches!(err, CheckpointError::Corrupt(_)), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn latest_checkpoint_picks_highest_iteration() {
+        let dir = std::env::temp_dir().join("imap-ckpt-test-latest");
+        let _ = fs::remove_dir_all(&dir);
+        assert!(latest_checkpoint(&dir).unwrap().is_none());
+        for it in [2usize, 11, 7] {
+            write_checkpoint(&checkpoint_path(&dir, it), "unit-test", &sample_dict()).unwrap();
+        }
+        fs::write(dir.join("notes.txt"), "ignored").unwrap();
+        let latest = latest_checkpoint(&dir).unwrap().unwrap();
+        assert_eq!(latest, checkpoint_path(&dir, 11));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_and_mistyped_keys_are_typed_errors() {
+        let d = sample_dict();
+        assert!(matches!(
+            d.get_u64("nope").unwrap_err(),
+            CheckpointError::MissingKey(_)
+        ));
+        assert!(matches!(
+            d.get_u64("norm.count").unwrap_err(),
+            CheckpointError::WrongType(_)
+        ));
+        assert_eq!(d.get_str("task").unwrap(), "hopper");
+        assert_eq!(d.get_mat("buffer.points").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Reference values from the FNV specification.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn tmp_file_is_not_left_behind() {
+        let dir = std::env::temp_dir().join("imap-ckpt-test-tmp");
+        let _ = fs::remove_dir_all(&dir);
+        let path = checkpoint_path(&dir, 1);
+        write_checkpoint(&path, "unit-test", &sample_dict()).unwrap();
+        assert!(!path.with_extension("tmp").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -117,14 +117,14 @@ pub fn evaluate(
 mod tests {
     use super::*;
     use imap_env::locomotion::Hopper;
-    use rand::rngs::StdRng;
+    use imap_env::EnvRng;
     use rand::SeedableRng;
 
     #[test]
     fn evaluation_runs_and_reports() {
         let mut env = Hopper::new();
-        let mut rng = StdRng::seed_from_u64(0);
-        let policy = GaussianPolicy::new(5, 3, &[8], -0.5, &mut StdRng::seed_from_u64(1)).unwrap();
+        let mut rng = EnvRng::seed_from_u64(0);
+        let policy = GaussianPolicy::new(5, 3, &[8], -0.5, &mut EnvRng::seed_from_u64(1)).unwrap();
         let cfg = EvalConfig {
             episodes: 5,
             deterministic: true,
@@ -138,7 +138,7 @@ mod tests {
 
     #[test]
     fn deterministic_eval_is_reproducible() {
-        let policy = GaussianPolicy::new(5, 3, &[8], -0.5, &mut StdRng::seed_from_u64(2)).unwrap();
+        let policy = GaussianPolicy::new(5, 3, &[8], -0.5, &mut EnvRng::seed_from_u64(2)).unwrap();
         let cfg = EvalConfig {
             episodes: 3,
             deterministic: true,
@@ -147,14 +147,14 @@ mod tests {
             &mut Hopper::new(),
             &policy,
             &cfg,
-            &mut StdRng::seed_from_u64(9),
+            &mut EnvRng::seed_from_u64(9),
         )
         .unwrap();
         let r2 = evaluate(
             &mut Hopper::new(),
             &policy,
             &cfg,
-            &mut StdRng::seed_from_u64(9),
+            &mut EnvRng::seed_from_u64(9),
         )
         .unwrap();
         assert_eq!(r1.mean_return, r2.mean_return);

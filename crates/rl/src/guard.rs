@@ -1,0 +1,231 @@
+//! Divergence guards: numeric-health monitoring with bounded rollback.
+//!
+//! PPO updates can blow up — a NaN reward from the environment, an exploding
+//! gradient, a KL spike after an unlucky minibatch — and without a guard the
+//! poisoned parameters silently corrupt every subsequent iteration. The
+//! [`DivergenceGuard`] wraps the iteration loop of any [`Checkpointable`]
+//! trainer:
+//!
+//! 1. [`arm`](DivergenceGuard::arm) snapshots the full trainer state before
+//!    each iteration (an in-memory [`StateDict`] — the same representation
+//!    written to disk checkpoints).
+//! 2. [`inspect`](DivergenceGuard::inspect) checks the iteration's stats and
+//!    parameter vectors for NaN/Inf and KL blowups.
+//! 3. On a trip, [`rollback`](DivergenceGuard::rollback) restores the
+//!    snapshot, multiplies the learning rates by
+//!    [`GuardConfig::lr_backoff`], records a telemetry event, and lets the
+//!    loop retry — at most [`GuardConfig::max_retries`] times before
+//!    surfacing a typed error instead of looping forever.
+
+use imap_nn::{all_finite, NnError};
+use imap_telemetry::Telemetry;
+
+use crate::checkpoint::{Checkpointable, StateDict};
+use crate::train::IterationStats;
+
+/// Divergence-guard thresholds and rollback policy.
+#[derive(Debug, Clone)]
+pub struct GuardConfig {
+    /// Master switch. Disabled guards never snapshot and never trip.
+    pub enabled: bool,
+    /// Trip when `|approx_kl|` exceeds this (healthy PPO updates sit well
+    /// below 0.1; the default only catches genuine blowups).
+    pub max_kl: f64,
+    /// Rollbacks allowed per run before the guard gives up and errors out.
+    pub max_retries: u32,
+    /// Learning-rate multiplier applied at each rollback.
+    pub lr_backoff: f64,
+}
+
+impl Default for GuardConfig {
+    fn default() -> Self {
+        GuardConfig {
+            enabled: true,
+            max_kl: 50.0,
+            max_retries: 3,
+            lr_backoff: 0.5,
+        }
+    }
+}
+
+/// Why the guard tripped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TripReason {
+    /// A NaN/Inf appeared in the iteration diagnostics (loss path).
+    NonFiniteStats,
+    /// A NaN/Inf appeared in the policy or value parameters.
+    NonFiniteParams,
+    /// The approximate KL of the update exceeded [`GuardConfig::max_kl`].
+    KlBlowup,
+}
+
+impl TripReason {
+    /// Stable identifier used in telemetry tags.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            TripReason::NonFiniteStats => "non_finite_stats",
+            TripReason::NonFiniteParams => "non_finite_params",
+            TripReason::KlBlowup => "kl_blowup",
+        }
+    }
+}
+
+impl std::fmt::Display for TripReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The numeric-health monitor. See the module docs for the protocol.
+#[derive(Debug, Clone)]
+pub struct DivergenceGuard {
+    cfg: GuardConfig,
+    snapshot: Option<StateDict>,
+    trips: u32,
+}
+
+impl DivergenceGuard {
+    /// Creates a guard with the given policy.
+    pub fn new(cfg: GuardConfig) -> Self {
+        DivergenceGuard {
+            cfg,
+            snapshot: None,
+            trips: 0,
+        }
+    }
+
+    /// True when the guard is active.
+    pub fn enabled(&self) -> bool {
+        self.cfg.enabled
+    }
+
+    /// Number of rollbacks performed so far.
+    pub fn trips(&self) -> u32 {
+        self.trips
+    }
+
+    /// Snapshots `trainer` as the last known-good state. Call immediately
+    /// before each iteration.
+    pub fn arm<T: Checkpointable>(&mut self, trainer: &T) {
+        if self.cfg.enabled {
+            self.snapshot = Some(trainer.state_dict());
+        }
+    }
+
+    /// Checks an iteration's diagnostics and the given parameter vectors.
+    /// Returns the trip reason if the iteration must be rolled back.
+    pub fn inspect(&self, stats: &IterationStats, params: &[&[f64]]) -> Option<TripReason> {
+        if !self.cfg.enabled {
+            return None;
+        }
+        let diagnostics = [
+            stats.mean_return,
+            stats.mean_length,
+            stats.approx_kl,
+            stats.entropy,
+        ];
+        if !all_finite(&diagnostics) {
+            return Some(TripReason::NonFiniteStats);
+        }
+        if params.iter().any(|p| !all_finite(p)) {
+            return Some(TripReason::NonFiniteParams);
+        }
+        if stats.approx_kl.abs() > self.cfg.max_kl {
+            return Some(TripReason::KlBlowup);
+        }
+        None
+    }
+
+    /// Restores the armed snapshot into `trainer`, backs off the learning
+    /// rates, and records the trip as a telemetry event under the `guard`
+    /// phase. Errors once [`GuardConfig::max_retries`] is exhausted (or if
+    /// the guard was never armed).
+    pub fn rollback<T: Checkpointable>(
+        &mut self,
+        trainer: &mut T,
+        reason: TripReason,
+        iteration: usize,
+        telemetry: &Telemetry,
+    ) -> Result<(), NnError> {
+        self.trips += 1;
+        if self.trips > self.cfg.max_retries {
+            return Err(NnError::Numeric {
+                context: format!(
+                    "divergence guard exhausted {} retries (last trip: {reason} at iteration {iteration})",
+                    self.cfg.max_retries
+                ),
+            });
+        }
+        let snapshot = self.snapshot.as_ref().ok_or_else(|| NnError::Numeric {
+            context: format!("divergence guard tripped ({reason}) before it was armed"),
+        })?;
+        trainer.load_state_dict(snapshot).map_err(NnError::from)?;
+        trainer.scale_lr(self.cfg.lr_backoff);
+        telemetry.record_full(
+            "guard",
+            iteration as u64,
+            &[("lr_backoff", self.cfg.lr_backoff)],
+            &[("trips", u64::from(self.trips))],
+            &[("event", "rollback"), ("reason", reason.as_str())],
+        );
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(mean_return: f64, approx_kl: f64) -> IterationStats {
+        IterationStats {
+            iteration: 0,
+            total_steps: 128,
+            mean_return,
+            mean_length: 32.0,
+            approx_kl,
+            entropy: 1.0,
+        }
+    }
+
+    #[test]
+    fn healthy_stats_pass() {
+        let guard = DivergenceGuard::new(GuardConfig::default());
+        assert_eq!(guard.inspect(&stats(5.0, 0.01), &[&[1.0, 2.0]]), None);
+    }
+
+    #[test]
+    fn nan_return_trips() {
+        let guard = DivergenceGuard::new(GuardConfig::default());
+        assert_eq!(
+            guard.inspect(&stats(f64::NAN, 0.01), &[]),
+            Some(TripReason::NonFiniteStats)
+        );
+    }
+
+    #[test]
+    fn nan_params_trip() {
+        let guard = DivergenceGuard::new(GuardConfig::default());
+        assert_eq!(
+            guard.inspect(&stats(1.0, 0.01), &[&[1.0], &[f64::NAN]]),
+            Some(TripReason::NonFiniteParams)
+        );
+    }
+
+    #[test]
+    fn kl_blowup_trips() {
+        let guard = DivergenceGuard::new(GuardConfig::default());
+        assert_eq!(
+            guard.inspect(&stats(1.0, 1e4), &[]),
+            Some(TripReason::KlBlowup)
+        );
+    }
+
+    #[test]
+    fn disabled_guard_never_trips() {
+        let guard = DivergenceGuard::new(GuardConfig {
+            enabled: false,
+            ..GuardConfig::default()
+        });
+        assert_eq!(guard.inspect(&stats(f64::NAN, 1e9), &[]), None);
+    }
+}

@@ -10,10 +10,17 @@
 //! victims, baselines, and every IMAP variant. The dual-critic support
 //! (extrinsic + intrinsic value heads, eq. 14 of the paper) lives here as a
 //! plain second value function plus caller-combined advantages.
+//!
+//! Training resilience also lives here: [`checkpoint`] defines the
+//! versioned, checksummed on-disk trainer-state format (and the
+//! [`Checkpointable`] contract), and [`guard`] the divergence guard that
+//! rolls a trainer back to its last good iterate on NaN/Inf or KL blowups.
 
 pub mod buffer;
+pub mod checkpoint;
 pub mod eval;
 pub mod gae;
+pub mod guard;
 pub mod normalize;
 pub mod policy;
 pub mod ppo;
@@ -22,11 +29,16 @@ pub mod train;
 pub mod value;
 
 pub use buffer::{RolloutBuffer, StepRecord};
+pub use checkpoint::{
+    checkpoint_path, latest_checkpoint, load_adam_into, load_policy_into, put_adam, put_policy,
+    read_checkpoint, write_checkpoint, CheckpointError, Checkpointable, StateDict, StateValue,
+};
 pub use eval::{evaluate, EvalConfig, EvalResult};
 pub use gae::gae;
+pub use guard::{DivergenceGuard, GuardConfig, TripReason};
 pub use normalize::RunningNorm;
 pub use policy::GaussianPolicy;
 pub use ppo::{update_policy, update_value, PenaltyFn, PpoConfig, PpoSample, PpoStats};
 pub use sampler::collect_rollout;
-pub use train::{train_ppo, IterationStats, PpoRunner, TrainConfig};
+pub use train::{train_ppo, IterationStats, PpoRunner, ResilienceConfig, TrainConfig};
 pub use value::ValueFn;

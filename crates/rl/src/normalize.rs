@@ -52,6 +52,40 @@ impl RunningNorm {
         self.frozen
     }
 
+    /// Raw running means (for checkpointing).
+    pub fn mean_raw(&self) -> &[f64] {
+        &self.mean
+    }
+
+    /// Raw sums of squared deviations (Welford's `M2`, for checkpointing).
+    pub fn m2_raw(&self) -> &[f64] {
+        &self.m2
+    }
+
+    /// Rebuilds a normalizer from checkpointed raw state. `mean` and `m2`
+    /// must have the same dimensionality.
+    pub fn restore(
+        mean: Vec<f64>,
+        m2: Vec<f64>,
+        count: f64,
+        frozen: bool,
+        clip: f64,
+    ) -> Result<Self, imap_nn::NnError> {
+        if mean.len() != m2.len() {
+            return Err(imap_nn::NnError::ParamLength {
+                expected: mean.len(),
+                got: m2.len(),
+            });
+        }
+        Ok(RunningNorm {
+            mean,
+            m2,
+            count,
+            frozen,
+            clip,
+        })
+    }
+
     /// Absorbs one observation into the running statistics.
     pub fn update(&mut self, x: &[f64]) {
         if self.frozen {
@@ -148,6 +182,26 @@ mod tests {
         }
         let z = norm.normalize(&[1e9]);
         assert_eq!(z[0], norm.clip);
+    }
+
+    #[test]
+    fn restore_roundtrip_is_exact() {
+        let mut norm = RunningNorm::new(2);
+        for i in 0..20 {
+            norm.update(&[i as f64 * 0.7, -(i as f64)]);
+        }
+        norm.freeze();
+        let restored = RunningNorm::restore(
+            norm.mean_raw().to_vec(),
+            norm.m2_raw().to_vec(),
+            norm.count(),
+            norm.is_frozen(),
+            norm.clip,
+        )
+        .unwrap();
+        assert_eq!(restored.normalize(&[3.0, 4.0]), norm.normalize(&[3.0, 4.0]));
+        assert!(restored.is_frozen());
+        assert!(RunningNorm::restore(vec![0.0], vec![], 0.0, false, 10.0).is_err());
     }
 
     #[test]

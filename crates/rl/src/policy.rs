@@ -143,11 +143,11 @@ impl GaussianPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
+    use imap_env::EnvRng;
     use rand::SeedableRng;
 
     fn policy(seed: u64) -> GaussianPolicy {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = EnvRng::seed_from_u64(seed);
         GaussianPolicy::new(4, 2, &[16, 16], -0.5, &mut rng).unwrap()
     }
 
@@ -172,7 +172,7 @@ mod tests {
     #[test]
     fn log_prob_consistent_with_act() {
         let p = policy(2);
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = EnvRng::seed_from_u64(3);
         let z = p.normalize(&[0.2, -0.4, 0.6, 0.0]);
         let (action, logp, _) = p.act_normalized(&z, &mut rng).unwrap();
         let lp2 = p.log_prob(&z, &action).unwrap();

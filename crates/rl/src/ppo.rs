@@ -265,7 +265,7 @@ pub fn update_value<R: Rng>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
+    use imap_env::EnvRng;
     use rand::SeedableRng;
 
     fn quick_cfg() -> PpoConfig {
@@ -282,7 +282,7 @@ mod tests {
     /// The policy should shift its mean toward positively-advantaged actions.
     #[test]
     fn policy_moves_toward_advantaged_actions() {
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = EnvRng::seed_from_u64(0);
         let mut policy = GaussianPolicy::new(2, 1, &[16], -0.5, &mut rng).unwrap();
         let z = vec![0.5, -0.5];
         let before = policy.mean_of(&z).unwrap()[0];
@@ -314,7 +314,7 @@ mod tests {
 
     #[test]
     fn empty_batch_is_noop() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = EnvRng::seed_from_u64(1);
         let mut policy = GaussianPolicy::new(2, 1, &[8], -0.5, &mut rng).unwrap();
         let before = policy.params();
         let mut opt = Adam::new(policy.param_count(), 1e-3);
@@ -326,7 +326,7 @@ mod tests {
 
     #[test]
     fn value_regression_converges() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = EnvRng::seed_from_u64(2);
         let mut value = ValueFn::new(1, &[16], &mut rng).unwrap();
         // Target function: v(z) = 2z.
         let zs: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64 / 32.0 - 1.0]).collect();
@@ -349,7 +349,7 @@ mod tests {
 
     #[test]
     fn entropy_bonus_raises_log_std() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = EnvRng::seed_from_u64(3);
         let mut policy = GaussianPolicy::new(1, 1, &[8], -1.0, &mut rng).unwrap();
         let ls_before = policy.head.log_std[0];
         // Zero advantage everywhere: only the entropy term acts.
@@ -400,7 +400,7 @@ mod tests {
 
     #[test]
     fn penalty_hook_contributes_gradient() {
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = EnvRng::seed_from_u64(4);
         let mut policy = GaussianPolicy::new(1, 1, &[8], 0.0, &mut rng).unwrap();
         let ls_before = policy.head.log_std[0];
         let samples: Vec<PpoSample> = (0..32)
@@ -438,7 +438,7 @@ mod tests {
 
     #[test]
     fn kl_early_stop_limits_epochs() {
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = EnvRng::seed_from_u64(5);
         let mut policy = GaussianPolicy::new(1, 1, &[8], -0.5, &mut rng).unwrap();
         let samples: Vec<PpoSample> = (0..64)
             .map(|i| {

@@ -76,13 +76,13 @@ pub fn collect_rollout(
 mod tests {
     use super::*;
     use imap_env::locomotion::Hopper;
-    use rand::rngs::StdRng;
+    use imap_env::EnvRng;
     use rand::SeedableRng;
 
     fn setup() -> (Hopper, GaussianPolicy, EnvRng) {
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = EnvRng::seed_from_u64(0);
         let policy = GaussianPolicy::new(5, 3, &[8], -0.5, &mut rng).unwrap();
-        (Hopper::new(), policy, StdRng::seed_from_u64(1))
+        (Hopper::new(), policy, EnvRng::seed_from_u64(1))
     }
 
     #[test]
@@ -121,14 +121,14 @@ mod tests {
     #[test]
     fn truncation_flagged_as_non_terminal() {
         // A stabilized hopper survives to the step limit -> truncated.
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = EnvRng::seed_from_u64(5);
         let mut policy = GaussianPolicy::new(5, 3, &[8], -3.0, &mut rng).unwrap();
         // Force near-zero actions so pitch stays near initial small values
         // long enough to hit the limit sometimes... instead just check the
         // invariant: any done without unhealthy/success at max steps is
         // non-terminal.
         let mut env = Hopper::with_max_steps(30);
-        let mut env_rng = StdRng::seed_from_u64(6);
+        let mut env_rng = EnvRng::seed_from_u64(6);
         let buf = collect_rollout(&mut env, &mut policy, 60, true, &mut env_rng).unwrap();
         for s in &buf.steps {
             if s.done && !s.unhealthy && !s.success {

@@ -5,17 +5,42 @@
 //! ([`crate::collect_rollout`], [`gae()`](crate::gae::gae), [`crate::update_policy`])
 //! with their own reward/advantage plumbing.
 
+use std::path::{Path, PathBuf};
+
 use imap_env::{Env, EnvRng};
 use imap_nn::{Adam, NnError};
 use imap_telemetry::Telemetry;
 use rand::SeedableRng;
 
 use crate::buffer::RolloutBuffer;
+use crate::checkpoint::{
+    self, checkpoint_path, latest_checkpoint, CheckpointError, Checkpointable, StateDict,
+};
 use crate::gae::{gae, normalize_advantages};
+use crate::guard::{DivergenceGuard, GuardConfig};
 use crate::policy::GaussianPolicy;
 use crate::ppo::{update_policy, update_value, PenaltyFn, PpoConfig, PpoSample};
 use crate::sampler::collect_rollout;
 use crate::value::ValueFn;
+
+/// Checkpoint/resume and divergence-guard policy for a training run.
+///
+/// Threaded through [`TrainConfig`] (like telemetry) so every PPO-shaped
+/// loop in the workspace — vanilla victims, IMAP attacks, defense
+/// retrainings — inherits the same resilience behavior.
+#[derive(Debug, Clone, Default)]
+pub struct ResilienceConfig {
+    /// Where checkpoints are written/read. `None` disables checkpointing.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Checkpoint every N completed iterations (`0` disables periodic
+    /// checkpoints even when a directory is set).
+    pub checkpoint_every: usize,
+    /// Resume from the latest checkpoint in `checkpoint_dir`, when one
+    /// exists, instead of starting fresh.
+    pub resume: bool,
+    /// Divergence-guard thresholds and rollback policy.
+    pub guard: GuardConfig,
+}
 
 /// Training-loop hyperparameters.
 #[derive(Debug, Clone)]
@@ -39,6 +64,8 @@ pub struct TrainConfig {
     /// Telemetry handle; iteration rows and span timings flow through it.
     /// Defaults to the disabled handle, which costs nothing on the hot path.
     pub telemetry: Telemetry,
+    /// Checkpoint/resume and divergence-guard policy.
+    pub resilience: ResilienceConfig,
 }
 
 impl Default for TrainConfig {
@@ -53,6 +80,7 @@ impl Default for TrainConfig {
             log_std_init: -0.5,
             seed: 0,
             telemetry: Telemetry::null(),
+            resilience: ResilienceConfig::default(),
         }
     }
 }
@@ -159,78 +187,49 @@ pub type AdvantageOverride<'a> = dyn FnMut(&RolloutBuffer, &mut Vec<f64>) + 'a;
 /// curves / ATLA alternation) are optional hooks. Returns the trained
 /// policy (normalizer *not* frozen — callers freeze before deployment) and
 /// value function.
+///
+/// The loop runs on a [`PpoRunner`] and honors
+/// [`TrainConfig::resilience`]: it resumes from the latest on-disk
+/// checkpoint when configured (the `on_iteration` hook only observes the
+/// iterations actually re-run), writes periodic checkpoints, and rolls
+/// back diverged iterations through the [`DivergenceGuard`]. A run
+/// interrupted and resumed this way produces a bitwise-identical final
+/// policy to an uninterrupted one.
 pub fn train_ppo<'p, 'c>(
     env: &mut dyn Env,
     cfg: &TrainConfig,
     mut penalty: Option<&mut (dyn PenaltyFn + 'p)>,
     mut on_iteration: Option<&mut IterationHook<'c>>,
 ) -> Result<(GaussianPolicy, ValueFn), NnError> {
-    let mut rng = EnvRng::seed_from_u64(cfg.seed);
-    let mut policy = GaussianPolicy::new(
-        env.obs_dim(),
-        env.action_dim(),
-        &cfg.hidden,
-        cfg.log_std_init,
-        &mut rng,
-    )?;
-    let mut value = ValueFn::new(env.obs_dim(), &cfg.hidden, &mut rng)?;
-    let mut popt = Adam::new(policy.param_count(), cfg.ppo.lr_policy);
-    let mut vopt = Adam::new(value.mlp.param_count(), cfg.ppo.lr_value);
-
-    let tel = cfg.telemetry.clone();
-    let mut total_steps = 0usize;
-    for iteration in 0..cfg.iterations {
-        let buffer = {
-            let _t = tel.span("collect_rollout");
-            collect_rollout(env, &mut policy, cfg.steps_per_iter, true, &mut rng)?
-        };
-        total_steps += buffer.len();
-
-        let rewards: Vec<f64> = buffer.steps.iter().map(|s| s.reward).collect();
-        let (mut adv, returns) = {
-            let _t = tel.span("advantages");
-            advantages_for(&buffer, &rewards, &value, cfg.gamma, cfg.lambda)?
-        };
-        normalize_advantages(&mut adv);
-        let samples = samples_from(&buffer, &adv);
-
-        let stats = {
-            let _t = tel.span("update_policy");
-            update_policy(
-                &mut policy,
-                &samples,
-                &cfg.ppo,
-                &mut popt,
-                penalty.as_deref_mut(),
-                &mut rng,
-            )?
-        };
-        {
-            let _t = tel.span("update_value");
-            update_value(
-                &mut value,
-                &buffer.observations(),
-                &returns,
-                &cfg.ppo,
-                &mut vopt,
-                &mut rng,
-            )?;
-        }
-
-        let iter_stats = IterationStats {
-            iteration,
-            total_steps,
-            mean_return: buffer.mean_episode_return(),
-            mean_length: mean_episode_length(&buffer),
-            approx_kl: stats.approx_kl,
-            entropy: stats.entropy,
-        };
-        record_iteration(&tel, "train", &iter_stats);
-        if let Some(cb) = on_iteration.as_deref_mut() {
-            cb(&iter_stats, &policy);
+    let mut runner = PpoRunner::new(env, cfg.clone())?;
+    if cfg.resilience.resume {
+        if let Some(dir) = &cfg.resilience.checkpoint_dir {
+            runner.resume_latest(dir).map_err(NnError::from)?;
         }
     }
-    Ok((policy, value))
+    let tel = cfg.telemetry.clone();
+    let mut guard = DivergenceGuard::new(cfg.resilience.guard.clone());
+    while runner.iterations_done() < cfg.iterations {
+        guard.arm(&runner);
+        let stats = runner.iterate(env, penalty.as_deref_mut(), None)?;
+        let policy_params = runner.policy.params();
+        let value_params = runner.value.mlp.params();
+        if let Some(reason) = guard.inspect(&stats, &[&policy_params, &value_params]) {
+            guard.rollback(&mut runner, reason, stats.iteration, &tel)?;
+            continue;
+        }
+        if let Some(dir) = &cfg.resilience.checkpoint_dir {
+            let every = cfg.resilience.checkpoint_every;
+            if every > 0 && runner.iterations_done() % every == 0 {
+                runner.save_checkpoint(dir).map_err(NnError::from)?;
+            }
+        }
+        record_iteration(&tel, "train", &stats);
+        if let Some(cb) = on_iteration.as_deref_mut() {
+            cb(&stats, &runner.policy);
+        }
+    }
+    Ok((runner.policy, runner.value))
 }
 
 /// A resumable PPO loop: owns the policy, critics, and optimizer state so
@@ -359,6 +358,72 @@ impl PpoRunner {
         };
         self.iteration += 1;
         Ok(iter_stats)
+    }
+
+    /// Writes a checkpoint named after the current iteration count into
+    /// `dir` (created if missing), returning its path.
+    pub fn save_checkpoint(&self, dir: &Path) -> Result<PathBuf, CheckpointError> {
+        let path = checkpoint_path(dir, self.iteration);
+        self.save_checkpoint_at(&path)?;
+        Ok(path)
+    }
+
+    /// Restores the highest-iteration checkpoint in `dir`, if any, and
+    /// returns its path. Leaves the runner untouched when the directory is
+    /// absent or empty.
+    pub fn resume_latest(&mut self, dir: &Path) -> Result<Option<PathBuf>, CheckpointError> {
+        match latest_checkpoint(dir)? {
+            Some(path) => {
+                self.resume_from(&path)?;
+                Ok(Some(path))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+impl Checkpointable for PpoRunner {
+    fn checkpoint_kind(&self) -> &'static str {
+        "ppo-runner"
+    }
+
+    fn state_dict(&self) -> StateDict {
+        let mut d = StateDict::new();
+        d.put_u64("arch.obs_dim", self.policy.obs_dim() as u64);
+        d.put_u64("arch.action_dim", self.policy.action_dim() as u64);
+        checkpoint::put_policy(&mut d, "policy", &self.policy);
+        d.put_vec("value.params", self.value.mlp.params());
+        checkpoint::put_adam(&mut d, "popt", &self.popt);
+        checkpoint::put_adam(&mut d, "vopt", &self.vopt);
+        d.put_u64("rng.state", self.rng.state());
+        d.put_u64("counter.total_steps", self.total_steps as u64);
+        d.put_u64("counter.iteration", self.iteration as u64);
+        d
+    }
+
+    fn load_state_dict(&mut self, d: &StateDict) -> Result<(), CheckpointError> {
+        let obs_dim = d.get_u64("arch.obs_dim")? as usize;
+        let action_dim = d.get_u64("arch.action_dim")? as usize;
+        if obs_dim != self.policy.obs_dim() || action_dim != self.policy.action_dim() {
+            return Err(CheckpointError::Restore(format!(
+                "checkpoint is for a {obs_dim}-obs/{action_dim}-action policy, runner has {}/{}",
+                self.policy.obs_dim(),
+                self.policy.action_dim()
+            )));
+        }
+        checkpoint::load_policy_into(&mut self.policy, d, "policy")?;
+        self.value.mlp.set_params(d.get_vec("value.params")?)?;
+        checkpoint::load_adam_into(&mut self.popt, d, "popt")?;
+        checkpoint::load_adam_into(&mut self.vopt, d, "vopt")?;
+        self.rng = EnvRng::from_state(d.get_u64("rng.state")?);
+        self.total_steps = d.get_u64("counter.total_steps")? as usize;
+        self.iteration = d.get_u64("counter.iteration")? as usize;
+        Ok(())
+    }
+
+    fn scale_lr(&mut self, factor: f64) {
+        self.popt.lr *= factor;
+        self.vopt.lr *= factor;
     }
 }
 
@@ -494,6 +559,207 @@ mod tests {
         };
         runner.iterate(&mut env, None, Some(&mut f)).unwrap();
         assert!(called);
+    }
+
+    fn bits(xs: &[f64]) -> Vec<u64> {
+        xs.iter().map(|v| v.to_bits()).collect()
+    }
+
+    fn temp_ckpt_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("imap-train-test-{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// The tentpole guarantee: a run interrupted at iteration k and resumed
+    /// from its checkpoint produces a bitwise-identical final policy to the
+    /// uninterrupted run.
+    #[test]
+    fn checkpoint_resume_is_bitwise_identical() {
+        let base = TrainConfig {
+            iterations: 5,
+            steps_per_iter: 128,
+            hidden: vec![8],
+            seed: 13,
+            ..TrainConfig::default()
+        };
+        let (p_full, v_full) = train_ppo(&mut Hopper::new(), &base, None, None).unwrap();
+
+        let dir = temp_ckpt_dir("bitwise-resume");
+        // "Interrupted" run: stops after 2 of the 5 iterations, writing a
+        // checkpoint each iteration.
+        let interrupted = TrainConfig {
+            iterations: 2,
+            resilience: ResilienceConfig {
+                checkpoint_dir: Some(dir.clone()),
+                checkpoint_every: 1,
+                ..ResilienceConfig::default()
+            },
+            ..base.clone()
+        };
+        train_ppo(&mut Hopper::new(), &interrupted, None, None).unwrap();
+
+        // Resumed run: fresh process state (fresh env, fresh runner), picks
+        // up from the on-disk checkpoint and finishes the remaining 3.
+        let resumed_cfg = TrainConfig {
+            resilience: ResilienceConfig {
+                checkpoint_dir: Some(dir.clone()),
+                checkpoint_every: 1,
+                resume: true,
+                ..ResilienceConfig::default()
+            },
+            ..base.clone()
+        };
+        let (p_res, v_res) = train_ppo(&mut Hopper::new(), &resumed_cfg, None, None).unwrap();
+
+        assert_eq!(bits(&p_full.params()), bits(&p_res.params()));
+        assert_eq!(bits(&v_full.mlp.params()), bits(&v_res.mlp.params()));
+        assert_eq!(bits(p_full.norm.mean_raw()), bits(p_res.norm.mean_raw()));
+        assert_eq!(bits(p_full.norm.m2_raw()), bits(p_res.norm.m2_raw()));
+        assert_eq!(p_full.norm.count().to_bits(), p_res.norm.count().to_bits());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn runner_state_dict_roundtrip_is_exact() {
+        let mut env = Hopper::new();
+        let cfg = TrainConfig {
+            iterations: 0,
+            steps_per_iter: 128,
+            hidden: vec![8],
+            seed: 21,
+            ..TrainConfig::default()
+        };
+        let mut runner = PpoRunner::new(&env, cfg.clone()).unwrap();
+        runner.iterate(&mut env, None, None).unwrap();
+        runner.iterate(&mut env, None, None).unwrap();
+        let saved = runner.state_dict();
+
+        let mut fresh = PpoRunner::new(&env, cfg).unwrap();
+        fresh.load_state_dict(&saved).unwrap();
+        // Deterministic encoding makes bitwise equality a string compare.
+        assert_eq!(
+            saved.encode().unwrap(),
+            fresh.state_dict().encode().unwrap()
+        );
+        assert_eq!(fresh.iterations_done(), 2);
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_architecture() {
+        let mut env = Hopper::new();
+        let cfg = TrainConfig {
+            iterations: 0,
+            steps_per_iter: 64,
+            hidden: vec![8],
+            seed: 4,
+            ..TrainConfig::default()
+        };
+        let mut runner = PpoRunner::new(&env, cfg.clone()).unwrap();
+        runner.iterate(&mut env, None, None).unwrap();
+        let mut dict = runner.state_dict();
+        dict.put_u64("arch.obs_dim", 999);
+        let err = runner.load_state_dict(&dict).unwrap_err();
+        assert!(matches!(err, CheckpointError::Restore(_)), "{err}");
+    }
+
+    /// The divergence guard trips on an injected NaN reward, restores the
+    /// prior iterate, halves the learning rates, and the run completes.
+    #[test]
+    fn guard_recovers_from_injected_nan_reward() {
+        use imap_env::{FaultKind, FaultPlan, FaultyEnv};
+        use imap_telemetry::Telemetry;
+
+        let (tel, mem) = Telemetry::memory("guard-test");
+        let cfg = TrainConfig {
+            iterations: 3,
+            steps_per_iter: 64,
+            hidden: vec![8],
+            seed: 17,
+            telemetry: tel,
+            ..TrainConfig::default()
+        };
+        // One NaN reward midway through the run; the retry after rollback
+        // sees a healthy environment again.
+        let mut env = FaultyEnv::new(Hopper::new(), FaultPlan::once(FaultKind::NanReward, 150));
+        let (policy, value) = train_ppo(&mut env, &cfg, None, None).unwrap();
+        assert!(imap_nn::all_finite(&policy.params()));
+        assert!(imap_nn::all_finite(&value.mlp.params()));
+        assert_eq!(env.fires(), 1);
+
+        let rows = mem.rows();
+        let guard_rows: Vec<_> = rows.iter().filter(|r| r.phase == "guard").collect();
+        assert_eq!(guard_rows.len(), 1, "exactly one rollback event");
+        assert_eq!(guard_rows[0].tags["reason"], "non_finite_stats");
+        assert_eq!(guard_rows[0].tags["event"], "rollback");
+        // All three training iterations still completed (none recorded
+        // from the poisoned attempt).
+        let train_rows = rows.iter().filter(|r| r.phase == "train").count();
+        assert_eq!(train_rows, 3);
+    }
+
+    #[test]
+    fn guard_gives_up_after_bounded_retries() {
+        use imap_env::{FaultKind, FaultPlan, FaultyEnv};
+
+        let cfg = TrainConfig {
+            iterations: 3,
+            steps_per_iter: 64,
+            hidden: vec![8],
+            seed: 19,
+            ..TrainConfig::default()
+        };
+        // Permanent fault: every retry diverges again.
+        let mut env = FaultyEnv::new(
+            Hopper::new(),
+            FaultPlan {
+                kind: FaultKind::NanReward,
+                at_step: 1,
+                max_fires: 0,
+            },
+        );
+        let err = train_ppo(&mut env, &cfg, None, None).unwrap_err();
+        assert!(
+            matches!(err, NnError::Numeric { .. }),
+            "expected retry exhaustion, got {err}"
+        );
+    }
+
+    #[test]
+    fn guard_rollback_restores_state_and_backs_off_lr() {
+        let mut env = Hopper::new();
+        let cfg = TrainConfig {
+            iterations: 0,
+            steps_per_iter: 64,
+            hidden: vec![8],
+            seed: 23,
+            ..TrainConfig::default()
+        };
+        let mut runner = PpoRunner::new(&env, cfg).unwrap();
+        runner.iterate(&mut env, None, None).unwrap();
+        let lr_before = runner.popt.lr;
+        let good = runner.state_dict();
+
+        let mut guard = crate::guard::DivergenceGuard::new(crate::guard::GuardConfig::default());
+        guard.arm(&runner);
+        runner.iterate(&mut env, None, None).unwrap();
+        guard
+            .rollback(
+                &mut runner,
+                crate::guard::TripReason::NonFiniteStats,
+                1,
+                &Telemetry::null(),
+            )
+            .unwrap();
+        assert_eq!(guard.trips(), 1);
+        assert_eq!(runner.popt.lr, lr_before * 0.5);
+        assert_eq!(runner.vopt.lr, runner.cfg.ppo.lr_value * 0.5);
+        // Everything except the backed-off learning rates matches the
+        // armed snapshot.
+        let mut restored = runner.state_dict();
+        restored.put_f64("popt.lr", lr_before);
+        restored.put_f64("vopt.lr", runner.cfg.ppo.lr_value);
+        assert_eq!(good.encode().unwrap(), restored.encode().unwrap());
     }
 
     #[test]

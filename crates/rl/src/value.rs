@@ -46,12 +46,12 @@ impl ValueFn {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
+    use imap_env::EnvRng;
     use rand::SeedableRng;
 
     #[test]
     fn batch_matches_single() {
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = EnvRng::seed_from_u64(0);
         let v = ValueFn::new(3, &[8], &mut rng).unwrap();
         let zs = vec![vec![0.1, 0.2, 0.3], vec![-1.0, 0.5, 2.0]];
         let batch = v.predict_batch(&zs).unwrap();
@@ -62,7 +62,7 @@ mod tests {
 
     #[test]
     fn empty_batch_ok() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = EnvRng::seed_from_u64(1);
         let v = ValueFn::new(3, &[8], &mut rng).unwrap();
         assert!(v.predict_batch(&[]).unwrap().is_empty());
     }

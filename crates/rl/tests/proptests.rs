@@ -6,8 +6,10 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use imap_env::locomotion::Hopper;
+use imap_rl::checkpoint::StateDict;
 use imap_rl::gae::{gae, normalize_advantages};
-use imap_rl::{GaussianPolicy, RunningNorm};
+use imap_rl::{train_ppo, GaussianPolicy, ResilienceConfig, RunningNorm, TrainConfig};
 
 proptest! {
     /// `returns - advantages = values` exactly, by construction.
@@ -100,5 +102,83 @@ proptest! {
         prop_assert!((logp - direct).abs() < 1e-12);
         let via_policy = policy.log_prob(&z, &a).unwrap();
         prop_assert!((logp - via_policy).abs() < 1e-12);
+    }
+
+    /// The checkpoint codec roundtrips arbitrary f64 bit patterns exactly:
+    /// values travel as raw bits, so NaN, ±Inf, and subnormals all survive,
+    /// and re-encoding a decoded dict is byte-identical (the property that
+    /// makes bitwise resume testable as a string compare).
+    #[test]
+    fn state_dict_roundtrips_arbitrary_bits(
+        us in proptest::collection::vec(any::<u64>(), 1..6),
+        fs in proptest::collection::vec(any::<f64>(), 1..12),
+        vs in proptest::collection::vec(any::<f64>(), 1..12),
+    ) {
+        let mut d = StateDict::new();
+        for (i, u) in us.iter().enumerate() {
+            d.put_u64(&format!("u{i}"), *u);
+        }
+        for (i, f) in fs.iter().enumerate() {
+            d.put_f64(&format!("f{i}"), *f);
+        }
+        d.put_vec("v", &vs);
+        let encoded = d.encode().unwrap();
+        let decoded = StateDict::decode(&encoded).unwrap();
+        prop_assert_eq!(&encoded, &decoded.encode().unwrap());
+        let back = decoded.get_vec("v").unwrap();
+        prop_assert_eq!(
+            vs.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            back.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The resilience guarantee as a property: for any seed and any
+    /// interruption point, a run stopped at iteration `stop` and resumed
+    /// from its on-disk checkpoint reproduces the uninterrupted run's final
+    /// policy bitwise.
+    #[test]
+    fn checkpoint_resume_matches_uninterrupted(seed in 0u64..1_000, stop in 1usize..3) {
+        let base = TrainConfig {
+            iterations: 3,
+            steps_per_iter: 128,
+            hidden: vec![8],
+            seed,
+            ..TrainConfig::default()
+        };
+        let (p_full, _) = train_ppo(&mut Hopper::new(), &base, None, None).unwrap();
+
+        let dir = std::env::temp_dir().join(format!("imap-proptest-resume-{seed}-{stop}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let interrupted = TrainConfig {
+            iterations: stop,
+            resilience: ResilienceConfig {
+                checkpoint_dir: Some(dir.clone()),
+                checkpoint_every: 1,
+                ..ResilienceConfig::default()
+            },
+            ..base.clone()
+        };
+        train_ppo(&mut Hopper::new(), &interrupted, None, None).unwrap();
+
+        let resumed = TrainConfig {
+            resilience: ResilienceConfig {
+                checkpoint_dir: Some(dir.clone()),
+                checkpoint_every: 1,
+                resume: true,
+                ..ResilienceConfig::default()
+            },
+            ..base.clone()
+        };
+        let (p_res, _) = train_ppo(&mut Hopper::new(), &resumed, None, None).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+
+        prop_assert_eq!(
+            p_full.params().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            p_res.params().iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
     }
 }

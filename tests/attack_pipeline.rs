@@ -2,6 +2,8 @@
 //! reduction → black-box adversarial policy learning → evaluation. Spans
 //! `imap-env`, `imap-rl`, `imap-defense`, and `imap-core`.
 
+#![allow(clippy::unwrap_used)]
+
 use imap_core::eval::{eval_under_attack, Attacker};
 use imap_core::regularizer::{RegularizerConfig, RegularizerKind};
 use imap_core::threat::PerturbationEnv;

@@ -2,6 +2,8 @@
 //! produces a deployable victim, and the robust regularizers measurably
 //! smooth the policy relative to vanilla PPO.
 
+#![allow(clippy::unwrap_used)]
+
 use imap_core::eval::{eval_under_attack, Attacker};
 use imap_defense::{train_victim, DefenseMethod, VictimBudget};
 use imap_env::{build_task, EnvRng, TaskId};

@@ -2,6 +2,8 @@
 //! MDP `M^α`, AP-MARL and marginal-regularizer IMAP training, and ASR
 //! evaluation.
 
+#![allow(clippy::unwrap_used)]
+
 use imap_core::attacks::ap_marl;
 use imap_core::eval::{eval_multi_attack, Attacker};
 use imap_core::regularizer::{RegularizerConfig, RegularizerKind};

@@ -2,6 +2,8 @@
 //! normalizers and Gaussian heads) survive JSON persistence bit-for-bit at
 //! evaluation time — the property the victim zoo's disk cache relies on.
 
+#![allow(clippy::unwrap_used)]
+
 use imap_core::eval::{eval_under_attack, Attacker};
 use imap_defense::{train_victim, DefenseMethod, VictimBudget};
 use imap_env::{build_task, EnvRng, TaskId};
