@@ -5,11 +5,17 @@
 //! - the union-buffer capacity (decimation) behind the PC regularizer;
 //! - the intrinsic-advantage scale (the τ-calibration knob, DESIGN.md §1).
 //!
-//! Usage: `IMAP_BUDGET=quick|full cargo run --release -p imap-bench --bin ablate`
+//! Cells run on the supervised sweep pool (`--jobs N` /
+//! `IMAP_MAX_PARALLEL`); the binary exits nonzero if any cell errored or
+//! timed out.
+//!
+//! Usage: `IMAP_BUDGET=quick|full cargo run --release -p imap-bench --bin ablate [-- --jobs N]`
 
+use std::sync::Arc;
+
+use imap_bench::exec::{dep_skip_reason, run_sweep, SweepCell, SweepConfig, SweepReport};
 use imap_bench::{
-    base_seed, bench_telemetry, finish_telemetry, run_cell_isolated, run_isolated, Budget,
-    CellResult, VictimCache,
+    base_seed, bench_telemetry, finish_telemetry, record_cell, Budget, CellResult, VictimCache,
 };
 use imap_core::eval::{eval_under_attack, Attacker};
 use imap_core::regularizer::{RegularizerConfig, RegularizerKind};
@@ -17,90 +23,162 @@ use imap_core::threat::PerturbationEnv;
 use imap_core::{ImapConfig, ImapTrainer};
 use imap_defense::DefenseMethod;
 use imap_env::{build_task, EnvRng, TaskId};
+use imap_rl::GaussianPolicy;
 use rand::SeedableRng;
+
+/// One knob turned per variant; everything else stays at the defaults.
+#[derive(Clone, Copy)]
+enum Variant {
+    Knn(usize),
+    UnionCap(usize),
+    IntrinsicScale(f64),
+}
 
 fn main() {
     let budget = Budget::from_env();
     let seed = base_seed();
+    let sweep = SweepConfig::from_env();
     let tel = bench_telemetry("ablate", &budget, seed);
-    let cache = VictimCache::open();
+    let victims_cache = Arc::new(VictimCache::open());
+    let mut report = SweepReport::default();
     let task = TaskId::SparseHopper;
     let eps = task.spec().eps;
-    let victim_tags = [("task", task.spec().name), ("stage", "victim_train")];
-    let Some(victim) = run_isolated(&tel, &victim_tags, || {
-        let _t = tel.span("victim_train");
-        cache.victim_with(&tel, task, DefenseMethod::Ppo, &budget, seed)
-    }) else {
-        finish_telemetry(&tel);
-        return;
-    };
 
-    let run = |label: String, cfg: ImapConfig| {
-        let tags = [
-            ("task", task.spec().name),
-            ("attack", "IMAP-PC"),
-            ("variant", label.as_str()),
-        ];
-        match run_cell_isolated(&tel, &tags, || {
-            let mut env = PerturbationEnv::new(build_task(task), victim.clone(), eps);
-            let out = {
-                let _t = tel.span("attack_cell");
-                ImapTrainer::new(cfg).train(&mut env, None)?
-            };
-            let mut rng = EnvRng::seed_from_u64(seed ^ 0xab1a);
-            let eval = eval_under_attack(
-                build_task(task),
-                &victim,
-                Attacker::Policy(&out.policy),
-                eps,
-                budget.eval_episodes,
-                &mut rng,
-            )?;
-            Ok(CellResult {
-                eval,
-                curve: out.curve,
-            })
-        }) {
-            Some(r) => println!(
-                "{label:<28} victim score {:>6.2} ± {:<5.2}",
-                r.eval.sparse, r.eval.sparse_std
-            ),
-            None => println!("{label:<28} failed"),
-        }
-    };
+    let mut variants: Vec<(String, Variant)> = Vec::new();
+    for k in [1usize, 3, 5, 10, 20] {
+        variants.push((format!("K = {k}"), Variant::Knn(k)));
+    }
+    for cap in [500usize, 5_000, 50_000] {
+        variants.push((format!("cap = {cap}"), Variant::UnionCap(cap)));
+    }
+    for scale in [0.1f64, 0.5, 1.0, 2.0] {
+        variants.push((format!("scale = {scale}"), Variant::IntrinsicScale(scale)));
+    }
 
+    // Stage 1: the shared victim.
+    let victim_cells = vec![{
+        let tags = [("task", task.spec().name), ("stage", "victim_train")];
+        let tel = tel.clone();
+        let victims = Arc::clone(&victims_cache);
+        let budget = budget.clone();
+        SweepCell::new(
+            format!("victim {}", task.spec().name),
+            &tags,
+            seed,
+            move |ctx| {
+                let _t = tel.span("victim_train");
+                victims.victim_supervised(
+                    &tel,
+                    task,
+                    DefenseMethod::Ppo,
+                    &budget,
+                    ctx.seed,
+                    &ctx.progress,
+                )
+            },
+        )
+    }];
+    let victim_out = run_sweep(&tel, &sweep, victim_cells, &mut report, |_, _| {});
+    let victim: Option<Arc<GaussianPolicy>> = victim_out[0].ok().map(|p| Arc::new(p.clone()));
+
+    // Stage 2: one IMAP-PC cell per variant.
+    let attack_cells: Vec<SweepCell<CellResult>> = variants
+        .iter()
+        .map(|(label, variant)| {
+            let tags = [
+                ("task", task.spec().name),
+                ("attack", "IMAP-PC"),
+                ("variant", label.as_str()),
+            ];
+            let cell_label = format!("{} IMAP-PC {label}", task.spec().name);
+            match (&victim, dep_skip_reason(&victim_out[0])) {
+                (Some(victim), None) => {
+                    let tel = tel.clone();
+                    let victim = Arc::clone(victim);
+                    let budget = budget.clone();
+                    let variant = *variant;
+                    SweepCell::new(cell_label, &tags, seed, move |ctx| {
+                        let mut rc = RegularizerConfig::new(RegularizerKind::PolicyCoverage);
+                        let mut scale = None;
+                        match variant {
+                            Variant::Knn(k) => rc.k = k,
+                            Variant::UnionCap(cap) => rc.union_cap = cap,
+                            Variant::IntrinsicScale(s) => scale = Some(s),
+                        }
+                        let mut train = budget.attack_train(ctx.seed);
+                        train.resilience.progress = ctx.progress.clone();
+                        let mut cfg = ImapConfig::imap(train, rc);
+                        if let Some(s) = scale {
+                            cfg = cfg.with_intrinsic_scale(s);
+                        }
+                        let mut env =
+                            PerturbationEnv::new(build_task(task), victim.as_ref().clone(), eps);
+                        let out = {
+                            let _t = tel.span("attack_cell");
+                            ImapTrainer::new(cfg).train(&mut env, None)?
+                        };
+                        imap_rl::heartbeat(&ctx.progress)?;
+                        let mut rng = EnvRng::seed_from_u64(ctx.seed ^ 0xab1a);
+                        let eval = eval_under_attack(
+                            build_task(task),
+                            &victim,
+                            Attacker::Policy(&out.policy),
+                            eps,
+                            budget.eval_episodes,
+                            &mut rng,
+                        )?;
+                        Ok(CellResult {
+                            eval,
+                            curve: out.curve,
+                        })
+                    })
+                }
+                (_, reason) => SweepCell::skipped(
+                    cell_label,
+                    &tags,
+                    reason.unwrap_or_else(|| "victim_missing".into()),
+                ),
+            }
+        })
+        .collect();
+    let tel_ok = tel.clone();
+    let outcomes = run_sweep(&tel, &sweep, attack_cells, &mut report, |tags, result| {
+        record_cell(&tel_ok, tags, result);
+    });
+
+    // Rendering.
     println!(
         "# Design-choice ablations on {} / IMAP-PC (budget: {})",
         task.spec().name,
         budget.name
     );
+    let mut lines = variants
+        .iter()
+        .zip(outcomes.iter())
+        .map(|((label, _), s)| match s.ok() {
+            Some(r) => format!(
+                "{label:<28} victim score {:>6.2} ± {:<5.2}",
+                r.eval.sparse, r.eval.sparse_std
+            ),
+            None => format!("{label:<28} failed"),
+        });
     println!("\n## KNN neighbourhood size K (paper uses a fixed small K)");
-    for k in [1usize, 3, 5, 10, 20] {
-        let mut rc = RegularizerConfig::new(RegularizerKind::PolicyCoverage);
-        rc.k = k;
-        run(
-            format!("K = {k}"),
-            ImapConfig::imap(budget.attack_train(seed), rc),
-        );
+    for _ in 0..5 {
+        if let Some(line) = lines.next() {
+            println!("{line}");
+        }
     }
-
     println!("\n## Union-buffer capacity (decimation pressure on B)");
-    for cap in [500usize, 5_000, 50_000] {
-        let mut rc = RegularizerConfig::new(RegularizerKind::PolicyCoverage);
-        rc.union_cap = cap;
-        run(
-            format!("cap = {cap}"),
-            ImapConfig::imap(budget.attack_train(seed), rc),
-        );
+    for _ in 0..3 {
+        if let Some(line) = lines.next() {
+            println!("{line}");
+        }
     }
-
     println!("\n## Intrinsic-advantage scale (τ-calibration)");
-    for scale in [0.1f64, 0.5, 1.0, 2.0] {
-        let rc = RegularizerConfig::new(RegularizerKind::PolicyCoverage);
-        run(
-            format!("scale = {scale}"),
-            ImapConfig::imap(budget.attack_train(seed), rc).with_intrinsic_scale(scale),
-        );
+    for line in lines {
+        println!("{line}");
     }
     finish_telemetry(&tel);
+    println!("{}", report.summary_line());
+    std::process::exit(report.exit_code());
 }

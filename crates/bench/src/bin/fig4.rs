@@ -6,17 +6,25 @@
 //! plus an ASCII overlay chart. Curves are the per-iteration victim scores
 //! recorded during attack training (cached, shared with table2/table3).
 //!
-//! Usage: `IMAP_BUDGET=quick|full cargo run --release -p imap-bench --bin fig4`
+//! Cells run on the supervised sweep pool (`--jobs N` /
+//! `IMAP_MAX_PARALLEL`); the binary exits nonzero if any cell errored or
+//! timed out.
+//!
+//! Usage: `IMAP_BUDGET=quick|full cargo run --release -p imap-bench --bin fig4 [-- --jobs N]`
 
+use std::sync::Arc;
+
+use imap_bench::exec::{dep_skip_reason, run_sweep, SweepCell, SweepConfig, SweepReport};
 use imap_bench::{
-    base_seed, bench_telemetry, finish_telemetry, record_curve, run_attack_cell_cached,
-    run_cell_isolated, run_isolated, AttackKind, Budget, VictimCache,
+    base_seed, bench_telemetry, finish_telemetry, record_cell, record_curve,
+    run_attack_cell_cached, AttackKind, Budget, CellCache, CellResult, VictimCache,
 };
 use imap_core::regularizer::RegularizerKind;
 use imap_core::CurvePoint;
 use imap_defense::DefenseMethod;
 use imap_env::render::Canvas;
 use imap_env::TaskId;
+use imap_rl::GaussianPolicy;
 
 const SPARSE_LOCOMOTION: [TaskId; 6] = [
     TaskId::SparseHopper,
@@ -30,8 +38,11 @@ const SPARSE_LOCOMOTION: [TaskId; 6] = [
 fn main() {
     let budget = Budget::from_env();
     let seed = base_seed();
+    let sweep = SweepConfig::from_env();
     let tel = bench_telemetry("fig4", &budget, seed);
-    let cache = VictimCache::open();
+    let victims_cache = Arc::new(VictimCache::open());
+    let cells_cache = Arc::new(CellCache::open());
+    let mut report = SweepReport::default();
     let attacks: Vec<(AttackKind, char)> = vec![
         (AttackKind::SaRl, 's'),
         (AttackKind::Imap(RegularizerKind::StateCoverage), 'S'),
@@ -40,31 +51,110 @@ fn main() {
         (AttackKind::Imap(RegularizerKind::Divergence), 'D'),
     ];
 
+    // Stage 1: one PPO victim per task.
+    let victim_cells: Vec<SweepCell<GaussianPolicy>> = SPARSE_LOCOMOTION
+        .into_iter()
+        .map(|task| {
+            let tags = [("task", task.spec().name), ("stage", "victim_train")];
+            let tel = tel.clone();
+            let victims = Arc::clone(&victims_cache);
+            let budget = budget.clone();
+            SweepCell::new(
+                format!("victim {}", task.spec().name),
+                &tags,
+                seed,
+                move |ctx| {
+                    let _t = tel.span("victim_train");
+                    victims.victim_supervised(
+                        &tel,
+                        task,
+                        DefenseMethod::Ppo,
+                        &budget,
+                        ctx.seed,
+                        &ctx.progress,
+                    )
+                },
+            )
+        })
+        .collect();
+    let victim_out = run_sweep(&tel, &sweep, victim_cells, &mut report, |_, _| {});
+    let victims: Vec<Option<Arc<GaussianPolicy>>> = victim_out
+        .iter()
+        .map(|s| s.ok().map(|p| Arc::new(p.clone())))
+        .collect();
+
+    // Stage 2: attack cells, row-major per (task, attack).
+    let attack_cells: Vec<SweepCell<CellResult>> = SPARSE_LOCOMOTION
+        .into_iter()
+        .enumerate()
+        .flat_map(|(ti, task)| {
+            let victim = victims[ti].clone();
+            let dep = dep_skip_reason(&victim_out[ti]);
+            let tel = tel.clone();
+            let cells_cache = Arc::clone(&cells_cache);
+            let budget = budget.clone();
+            attacks
+                .iter()
+                .map(|(k, _)| *k)
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(move |kind| {
+                    let label = kind.label();
+                    let cell_label = format!("{} {}", task.spec().name, label);
+                    let tags = [("task", task.spec().name), ("attack", label.as_str())];
+                    match (&victim, &dep) {
+                        (Some(victim), None) => {
+                            let tel = tel.clone();
+                            let victim = Arc::clone(victim);
+                            let cells = Arc::clone(&cells_cache);
+                            let budget = budget.clone();
+                            SweepCell::new(cell_label, &tags, seed, move |ctx| {
+                                let _t = tel.span("attack_cell");
+                                run_attack_cell_cached(
+                                    &cells,
+                                    task,
+                                    DefenseMethod::Ppo,
+                                    &victim,
+                                    kind,
+                                    &budget,
+                                    ctx.seed,
+                                    &ctx.progress,
+                                )
+                            })
+                        }
+                        (_, reason) => SweepCell::skipped(
+                            cell_label,
+                            &tags,
+                            reason.clone().unwrap_or_else(|| "victim_missing".into()),
+                        ),
+                    }
+                })
+        })
+        .collect();
+    let tel_ok = tel.clone();
+    let outcomes = run_sweep(&tel, &sweep, attack_cells, &mut report, |tags, result| {
+        record_cell(&tel_ok, tags, result);
+    });
+
+    // Rendering.
     println!(
         "# Figure 4 — sparse locomotion attack curves (budget: {})",
         budget.name
     );
-    for task in SPARSE_LOCOMOTION {
-        let victim_tags = [("task", task.spec().name), ("stage", "victim_train")];
-        let Some(victim) = run_isolated(&tel, &victim_tags, || {
-            let _t = tel.span("victim_train");
-            cache.victim_with(&tel, task, DefenseMethod::Ppo, &budget, seed)
-        }) else {
+    for (ti, task) in SPARSE_LOCOMOTION.into_iter().enumerate() {
+        if victims[ti].is_none() {
             continue;
-        };
+        }
         println!("\n## {}", task.spec().name);
         let mut curves: Vec<(String, char, Vec<CurvePoint>)> = Vec::new();
-        for (kind, glyph) in &attacks {
+        for (ai, (kind, glyph)) in attacks.iter().enumerate() {
             let label = kind.label();
-            let tags = [("task", task.spec().name), ("attack", label.as_str())];
-            let Some(r) = run_cell_isolated(&tel, &tags, || {
-                let _t = tel.span("attack_cell");
-                run_attack_cell_cached(task, DefenseMethod::Ppo, &victim, *kind, &budget, seed)
-            }) else {
+            let Some(r) = outcomes[ti * attacks.len() + ai].ok() else {
                 continue;
             };
+            let tags = [("task", task.spec().name), ("attack", label.as_str())];
             record_curve(&tel, &tags, &r.curve);
-            curves.push((label, *glyph, r.curve));
+            curves.push((label, *glyph, r.curve.clone()));
         }
 
         // Data table, downsampled to ~10 rows.
@@ -108,4 +198,6 @@ fn main() {
         "\nLegend: s = SA-RL, S = IMAP-SC, P = IMAP-PC, R = IMAP-R, D = IMAP-D. Lower is a stronger attack."
     );
     finish_telemetry(&tel);
+    println!("{}", report.summary_line());
+    std::process::exit(report.exit_code());
 }

@@ -2,20 +2,31 @@
 //! for AP-MARL vs IMAP-PC and IMAP-PC+BR in YouShallNotPass and
 //! KickAndDefend, plus the final evaluated ASRs.
 //!
-//! Usage: `IMAP_BUDGET=quick|full cargo run --release -p imap-bench --bin fig5`
+//! Cells run on the supervised sweep pool (`--jobs N` /
+//! `IMAP_MAX_PARALLEL`); the binary exits nonzero if any cell errored or
+//! timed out.
+//!
+//! Usage: `IMAP_BUDGET=quick|full cargo run --release -p imap-bench --bin fig5 [-- --jobs N]`
 
+use std::sync::Arc;
+
+use imap_bench::exec::{dep_skip_reason, run_sweep, SweepCell, SweepConfig, SweepReport};
 use imap_bench::{
-    base_seed, bench_telemetry, default_xi, finish_telemetry, marl_victim_with, record_curve,
-    run_cell_isolated, run_isolated, run_multi_attack_cell_cached, AttackKind, Budget,
+    base_seed, bench_telemetry, default_xi, finish_telemetry, marl_victim_supervised, record_cell,
+    record_curve, run_multi_attack_cell_cached, AttackKind, Budget, CellCache, CellResult,
 };
 use imap_core::regularizer::RegularizerKind;
 use imap_env::render::Canvas;
 use imap_env::MultiTaskId;
+use imap_rl::GaussianPolicy;
 
 fn main() {
     let budget = Budget::from_env();
     let seed = base_seed();
+    let sweep = SweepConfig::from_env();
     let tel = bench_telemetry("fig5", &budget, seed);
+    let cells_cache = Arc::new(CellCache::open());
+    let mut report = SweepReport::default();
     let attacks: Vec<(&str, AttackKind, char)> = vec![
         ("AP-MARL", AttackKind::SaRl, 'a'),
         (
@@ -30,36 +41,98 @@ fn main() {
         ),
     ];
 
+    // Stage 1: one self-play victim per game.
+    let victim_cells: Vec<SweepCell<GaussianPolicy>> = MultiTaskId::ALL
+        .into_iter()
+        .map(|game| {
+            let tags = [("game", game.name()), ("stage", "victim_train")];
+            let tel = tel.clone();
+            let budget = budget.clone();
+            SweepCell::new(format!("victim {}", game.name()), &tags, seed, move |ctx| {
+                let _t = tel.span("victim_train");
+                marl_victim_supervised(&tel, game, &budget, ctx.seed, &ctx.progress)
+            })
+        })
+        .collect();
+    let victim_out = run_sweep(&tel, &sweep, victim_cells, &mut report, |_, _| {});
+    let victims: Vec<Option<Arc<GaussianPolicy>>> = victim_out
+        .iter()
+        .map(|s| s.ok().map(|p| Arc::new(p.clone())))
+        .collect();
+
+    // Stage 2: attack cells, row-major per (game, attack).
+    let attack_cells: Vec<SweepCell<CellResult>> = MultiTaskId::ALL
+        .into_iter()
+        .enumerate()
+        .flat_map(|(gi, game)| {
+            let victim = victims[gi].clone();
+            let dep = dep_skip_reason(&victim_out[gi]);
+            let cells_cache = Arc::clone(&cells_cache);
+            let budget = budget.clone();
+            attacks
+                .iter()
+                .map(|(l, k, _)| (*l, *k))
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(move |(label, kind)| {
+                    let cell_label = format!("{} {label}", game.name());
+                    let tags = [("game", game.name()), ("attack", label)];
+                    match (&victim, &dep) {
+                        (Some(victim), None) => {
+                            let victim = Arc::clone(victim);
+                            let cells = Arc::clone(&cells_cache);
+                            let budget = budget.clone();
+                            SweepCell::new(cell_label, &tags, seed, move |ctx| {
+                                run_multi_attack_cell_cached(
+                                    &cells,
+                                    game,
+                                    &victim,
+                                    kind,
+                                    &budget,
+                                    ctx.seed,
+                                    default_xi(),
+                                    &ctx.progress,
+                                )
+                            })
+                        }
+                        (_, reason) => SweepCell::skipped(
+                            cell_label,
+                            &tags,
+                            reason.clone().unwrap_or_else(|| "victim_missing".into()),
+                        ),
+                    }
+                })
+        })
+        .collect();
+    let tel_ok = tel.clone();
+    let outcomes = run_sweep(&tel, &sweep, attack_cells, &mut report, |tags, result| {
+        record_cell(&tel_ok, tags, result);
+    });
+
+    // Rendering.
     println!(
         "# Figure 5 — multi-agent ASR curves (budget: {})",
         budget.name
     );
-    for game in MultiTaskId::ALL {
-        let victim_tags = [("game", game.name()), ("stage", "victim_train")];
-        let Some(victim) = run_isolated(&tel, &victim_tags, || {
-            let _t = tel.span("victim_train");
-            marl_victim_with(&tel, game, &budget, seed)
-        }) else {
+    for (gi, game) in MultiTaskId::ALL.into_iter().enumerate() {
+        if victims[gi].is_none() {
             continue;
-        };
+        }
         println!("\n## {}", game.name());
         let mut curves = Vec::new();
-        for (label, kind, glyph) in &attacks {
-            let tags = [("game", game.name()), ("attack", *label)];
-            let Some(r) = run_cell_isolated(&tel, &tags, || {
-                let _t = tel.span("attack_cell");
-                run_multi_attack_cell_cached(game, &victim, *kind, &budget, seed, default_xi())
-            }) else {
+        for (ai, (label, _, glyph)) in attacks.iter().enumerate() {
+            let Some(r) = outcomes[gi * attacks.len() + ai].ok() else {
                 println!("{label:<12} failed");
                 continue;
             };
+            let tags = [("game", game.name()), ("attack", *label)];
             record_curve(&tel, &tags, &r.curve);
             println!(
                 "{label:<12} final evaluated ASR = {:.2}% over {} episodes",
                 100.0 * r.eval.asr,
                 r.eval.episodes
             );
-            curves.push((*label, *glyph, r.curve));
+            curves.push((*label, *glyph, r.curve.clone()));
         }
 
         let max_len = curves.iter().map(|(_, _, c)| c.len()).max().unwrap_or(0);
@@ -99,4 +172,6 @@ fn main() {
     }
     println!("\nLegend: a = AP-MARL, P = IMAP-PC, B = IMAP-PC+BR. Higher ASR = stronger attack.");
     finish_telemetry(&tel);
+    println!("{}", report.summary_line());
+    std::process::exit(report.exit_code());
 }

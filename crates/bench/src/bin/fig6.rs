@@ -5,11 +5,18 @@
 //! finding: IMAP is insensitive to η, with larger step sizes slightly
 //! better.
 //!
-//! Usage: `IMAP_BUDGET=quick|full cargo run --release -p imap-bench --bin fig6`
+//! Cells run on the supervised sweep pool (`--jobs N` /
+//! `IMAP_MAX_PARALLEL`); the binary exits nonzero if any cell errored or
+//! timed out.
+//!
+//! Usage: `IMAP_BUDGET=quick|full cargo run --release -p imap-bench --bin fig6 [-- --jobs N]`
 
+use std::sync::Arc;
+
+use imap_bench::exec::{dep_skip_reason, run_sweep, SweepCell, SweepConfig, SweepReport};
 use imap_bench::{
-    base_seed, bench_telemetry, default_xi, finish_telemetry, marl_victim_with, record_curve,
-    run_cell_isolated, run_isolated, Budget, CellResult, VictimCache,
+    base_seed, bench_telemetry, default_xi, finish_telemetry, marl_victim_supervised, record_cell,
+    record_curve, Budget, CellResult, VictimCache,
 };
 use imap_core::eval::{eval_multi_attack, eval_under_attack, Attacker};
 use imap_core::regularizer::{RegularizerConfig, RegularizerKind};
@@ -17,6 +24,7 @@ use imap_core::threat::{OpponentEnv, PerturbationEnv};
 use imap_core::{ImapConfig, ImapTrainer};
 use imap_defense::DefenseMethod;
 use imap_env::{build_multi_task, build_task, EnvRng, MultiTaskId, TaskId};
+use imap_rl::GaussianPolicy;
 use rand::SeedableRng;
 
 const ETAS: [f64; 4] = [0.5, 2.0, 5.0, 10.0];
@@ -24,62 +32,188 @@ const ETAS: [f64; 4] = [0.5, 2.0, 5.0, 10.0];
 fn main() {
     let budget = Budget::from_env();
     let seed = base_seed();
+    let sweep = SweepConfig::from_env();
     let tel = bench_telemetry("fig6", &budget, seed);
-    let cache = VictimCache::open();
+    let victims_cache = Arc::new(VictimCache::open());
+    let mut report = SweepReport::default();
+    let task = TaskId::SparseHalfCheetah;
+    let game = MultiTaskId::YouShallNotPass;
 
+    // Stage 1: the single-agent victim (cell 0) and the self-play victim
+    // (cell 1).
+    let victim_cells: Vec<SweepCell<GaussianPolicy>> = vec![
+        {
+            let tags = [("task", task.spec().name), ("stage", "victim_train")];
+            let tel = tel.clone();
+            let victims = Arc::clone(&victims_cache);
+            let budget = budget.clone();
+            SweepCell::new(
+                format!("victim {}", task.spec().name),
+                &tags,
+                seed,
+                move |ctx| {
+                    let _t = tel.span("victim_train");
+                    victims.victim_supervised(
+                        &tel,
+                        task,
+                        DefenseMethod::Ppo,
+                        &budget,
+                        ctx.seed,
+                        &ctx.progress,
+                    )
+                },
+            )
+        },
+        {
+            let tags = [("game", game.name()), ("stage", "victim_train")];
+            let tel = tel.clone();
+            let budget = budget.clone();
+            SweepCell::new(format!("victim {}", game.name()), &tags, seed, move |ctx| {
+                let _t = tel.span("victim_train");
+                marl_victim_supervised(&tel, game, &budget, ctx.seed, &ctx.progress)
+            })
+        },
+    ];
+    let victim_out = run_sweep(&tel, &sweep, victim_cells, &mut report, |_, _| {});
+    let victims: Vec<Option<Arc<GaussianPolicy>>> = victim_out
+        .iter()
+        .map(|s| s.ok().map(|p| Arc::new(p.clone())))
+        .collect();
+
+    // Stage 2: four η cells per victim — single-agent first, then
+    // multi-agent, matching the printed order.
+    let mut attack_cells: Vec<SweepCell<CellResult>> = Vec::new();
+    for eta in ETAS {
+        let eta_s = format!("{eta}");
+        let tags = [
+            ("task", task.spec().name),
+            ("attack", "IMAP-PC+BR"),
+            ("eta", eta_s.as_str()),
+        ];
+        let cell_label = format!("{} IMAP-PC+BR eta={eta}", task.spec().name);
+        match (&victims[0], dep_skip_reason(&victim_out[0])) {
+            (Some(victim), None) => {
+                let tel = tel.clone();
+                let victim = Arc::clone(victim);
+                let budget = budget.clone();
+                attack_cells.push(SweepCell::new(cell_label, &tags, seed, move |ctx| {
+                    let mut train = budget.attack_train(ctx.seed);
+                    train.resilience.progress = ctx.progress.clone();
+                    let cfg = ImapConfig::imap(
+                        train,
+                        RegularizerConfig::new(RegularizerKind::PolicyCoverage),
+                    )
+                    .with_br(eta);
+                    let mut env = PerturbationEnv::new(
+                        build_task(task),
+                        victim.as_ref().clone(),
+                        task.spec().eps,
+                    );
+                    let out = {
+                        let _t = tel.span("attack_cell");
+                        ImapTrainer::new(cfg).train(&mut env, None)?
+                    };
+                    imap_rl::heartbeat(&ctx.progress)?;
+                    let mut rng = EnvRng::seed_from_u64(ctx.seed ^ 0xf16);
+                    let eval = eval_under_attack(
+                        build_task(task),
+                        &victim,
+                        Attacker::Policy(&out.policy),
+                        task.spec().eps,
+                        budget.eval_episodes,
+                        &mut rng,
+                    )?;
+                    Ok(CellResult {
+                        eval,
+                        curve: out.curve,
+                    })
+                }));
+            }
+            (_, reason) => attack_cells.push(SweepCell::skipped(
+                cell_label,
+                &tags,
+                reason.unwrap_or_else(|| "victim_missing".into()),
+            )),
+        }
+    }
+    for eta in ETAS {
+        let eta_s = format!("{eta}");
+        let tags = [
+            ("game", game.name()),
+            ("attack", "IMAP-PC+BR"),
+            ("eta", eta_s.as_str()),
+        ];
+        let cell_label = format!("{} IMAP-PC+BR eta={eta}", game.name());
+        match (&victims[1], dep_skip_reason(&victim_out[1])) {
+            (Some(victim), None) => {
+                let tel = tel.clone();
+                let victim = Arc::clone(victim);
+                let budget = budget.clone();
+                attack_cells.push(SweepCell::new(cell_label, &tags, seed, move |ctx| {
+                    let mut rc = RegularizerConfig::new(RegularizerKind::PolicyCoverage);
+                    let mut env = OpponentEnv::new(build_multi_task(game), victim.as_ref().clone());
+                    rc.marginal_split = Some(env.summary_split());
+                    rc.xi = default_xi();
+                    let mut train = imap_rl::TrainConfig {
+                        iterations: budget.marl_attack_iters,
+                        ..budget.attack_train(ctx.seed)
+                    };
+                    train.resilience.progress = ctx.progress.clone();
+                    let cfg = ImapConfig::imap(train, rc)
+                        .with_intrinsic_scale(imap_bench::marl_intrinsic_scale())
+                        .with_br(eta);
+                    let out = {
+                        let _t = tel.span("attack_cell");
+                        ImapTrainer::new(cfg).train(&mut env, None)?
+                    };
+                    imap_rl::heartbeat(&ctx.progress)?;
+                    let mut rng = EnvRng::seed_from_u64(ctx.seed ^ 0xf17);
+                    let eval = eval_multi_attack(
+                        build_multi_task(game),
+                        &victim,
+                        Attacker::Policy(&out.policy),
+                        budget.eval_episodes,
+                        &mut rng,
+                    )?;
+                    Ok(CellResult {
+                        eval,
+                        curve: out.curve,
+                    })
+                }));
+            }
+            (_, reason) => attack_cells.push(SweepCell::skipped(
+                cell_label,
+                &tags,
+                reason.unwrap_or_else(|| "victim_missing".into()),
+            )),
+        }
+    }
+    let tel_ok = tel.clone();
+    let outcomes = run_sweep(&tel, &sweep, attack_cells, &mut report, |tags, result| {
+        record_cell(&tel_ok, tags, result);
+    });
+
+    // Rendering.
     println!(
         "# Figure 6 — BR step-size η ablation (budget: {})",
         budget.name
     );
-
-    // Single-agent: IMAP-PC+BR on SparseHalfCheetah.
-    let task = TaskId::SparseHalfCheetah;
-    let victim_tags = [("task", task.spec().name), ("stage", "victim_train")];
-    let victim = run_isolated(&tel, &victim_tags, || {
-        let _t = tel.span("victim_train");
-        cache.victim_with(&tel, task, DefenseMethod::Ppo, &budget, seed)
-    });
-    if let Some(victim) = victim {
+    if victims[0].is_some() {
         println!(
             "\n## {} (IMAP-PC+BR; victim score, lower = stronger)",
             task.spec().name
         );
-        for eta in ETAS {
+        for (ei, eta) in ETAS.into_iter().enumerate() {
+            let Some(r) = outcomes[ei].ok() else {
+                println!("eta = {eta:>5.1}: failed");
+                continue;
+            };
             let eta_s = format!("{eta}");
             let tags = [
                 ("task", task.spec().name),
                 ("attack", "IMAP-PC+BR"),
                 ("eta", eta_s.as_str()),
             ];
-            let Some(r) = run_cell_isolated(&tel, &tags, || {
-                let cfg = ImapConfig::imap(
-                    budget.attack_train(seed),
-                    RegularizerConfig::new(RegularizerKind::PolicyCoverage),
-                )
-                .with_br(eta);
-                let mut env =
-                    PerturbationEnv::new(build_task(task), victim.clone(), task.spec().eps);
-                let out = {
-                    let _t = tel.span("attack_cell");
-                    ImapTrainer::new(cfg).train(&mut env, None)?
-                };
-                let mut rng = EnvRng::seed_from_u64(seed ^ 0xf16);
-                let eval = eval_under_attack(
-                    build_task(task),
-                    &victim,
-                    Attacker::Policy(&out.policy),
-                    task.spec().eps,
-                    budget.eval_episodes,
-                    &mut rng,
-                )?;
-                Ok(CellResult {
-                    eval,
-                    curve: out.curve,
-                })
-            }) else {
-                println!("eta = {eta:>5.1}: failed");
-                continue;
-            };
             record_curve(&tel, &tags, &r.curve);
             let final_tau = r.curve.last().map(|p| p.tau).unwrap_or(1.0);
             println!(
@@ -88,55 +222,19 @@ fn main() {
             );
         }
     }
-
-    // Multi-agent: IMAP-PC+BR on YouShallNotPass.
-    let game = MultiTaskId::YouShallNotPass;
-    let victim_tags = [("game", game.name()), ("stage", "victim_train")];
-    let victim = run_isolated(&tel, &victim_tags, || {
-        let _t = tel.span("victim_train");
-        marl_victim_with(&tel, game, &budget, seed)
-    });
-    if let Some(victim) = victim {
+    if victims[1].is_some() {
         println!("\n## {} (IMAP-PC+BR; ASR, higher = stronger)", game.name());
-        for eta in ETAS {
+        for (ei, eta) in ETAS.into_iter().enumerate() {
+            let Some(r) = outcomes[ETAS.len() + ei].ok() else {
+                println!("eta = {eta:>5.1}: failed");
+                continue;
+            };
             let eta_s = format!("{eta}");
             let tags = [
                 ("game", game.name()),
                 ("attack", "IMAP-PC+BR"),
                 ("eta", eta_s.as_str()),
             ];
-            let Some(r) = run_cell_isolated(&tel, &tags, || {
-                let mut rc = RegularizerConfig::new(RegularizerKind::PolicyCoverage);
-                let mut env = OpponentEnv::new(build_multi_task(game), victim.clone());
-                rc.marginal_split = Some(env.summary_split());
-                rc.xi = default_xi();
-                let train = imap_rl::TrainConfig {
-                    iterations: budget.marl_attack_iters,
-                    ..budget.attack_train(seed)
-                };
-                let cfg = ImapConfig::imap(train, rc)
-                    .with_intrinsic_scale(imap_bench::marl_intrinsic_scale())
-                    .with_br(eta);
-                let out = {
-                    let _t = tel.span("attack_cell");
-                    ImapTrainer::new(cfg).train(&mut env, None)?
-                };
-                let mut rng = EnvRng::seed_from_u64(seed ^ 0xf17);
-                let eval = eval_multi_attack(
-                    build_multi_task(game),
-                    &victim,
-                    Attacker::Policy(&out.policy),
-                    budget.eval_episodes,
-                    &mut rng,
-                )?;
-                Ok(CellResult {
-                    eval,
-                    curve: out.curve,
-                })
-            }) else {
-                println!("eta = {eta:>5.1}: failed");
-                continue;
-            };
             record_curve(&tel, &tags, &r.curve);
             let final_tau = r.curve.last().map(|p| p.tau).unwrap_or(1.0);
             println!(
@@ -146,4 +244,6 @@ fn main() {
         }
     }
     finish_telemetry(&tel);
+    println!("{}", report.summary_line());
+    std::process::exit(report.exit_code());
 }

@@ -5,58 +5,107 @@
 //! The paper's insight: the adversary-space term (ξ = 0 component) is
 //! critical; the victim-space term can improve it further.
 //!
-//! Usage: `IMAP_BUDGET=quick|full cargo run --release -p imap-bench --bin fig7`
+//! Cells run on the supervised sweep pool (`--jobs N` /
+//! `IMAP_MAX_PARALLEL`); the binary exits nonzero if any cell errored or
+//! timed out.
+//!
+//! Usage: `IMAP_BUDGET=quick|full cargo run --release -p imap-bench --bin fig7 [-- --jobs N]`
 
+use std::sync::Arc;
+
+use imap_bench::exec::{dep_skip_reason, run_sweep, SweepCell, SweepConfig, SweepReport};
 use imap_bench::{
-    base_seed, bench_telemetry, finish_telemetry, marl_victim_with, run_cell_isolated,
-    run_isolated, run_multi_attack_cell_cached, AttackKind, Budget,
+    base_seed, bench_telemetry, finish_telemetry, marl_victim_supervised, record_cell,
+    run_multi_attack_cell_cached, AttackKind, Budget, CellCache, CellResult,
 };
 use imap_core::regularizer::RegularizerKind;
 use imap_env::MultiTaskId;
+use imap_rl::GaussianPolicy;
 
 const XIS: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 1.0];
 
 fn main() {
     let budget = Budget::from_env();
     let seed = base_seed();
+    let sweep = SweepConfig::from_env();
     let tel = bench_telemetry("fig7", &budget, seed);
+    let cells_cache = Arc::new(CellCache::open());
+    let mut report = SweepReport::default();
     let game = MultiTaskId::YouShallNotPass;
-    let victim_tags = [("game", game.name()), ("stage", "victim_train")];
-    let Some(victim) = run_isolated(&tel, &victim_tags, || {
-        let _t = tel.span("victim_train");
-        marl_victim_with(&tel, game, &budget, seed)
-    }) else {
-        finish_telemetry(&tel);
-        return;
-    };
 
+    // Stage 1: the self-play victim.
+    let victim_cells = vec![{
+        let tags = [("game", game.name()), ("stage", "victim_train")];
+        let tel = tel.clone();
+        let budget = budget.clone();
+        SweepCell::new(format!("victim {}", game.name()), &tags, seed, move |ctx| {
+            let _t = tel.span("victim_train");
+            marl_victim_supervised(&tel, game, &budget, ctx.seed, &ctx.progress)
+        })
+    }];
+    let victim_out = run_sweep(&tel, &sweep, victim_cells, &mut report, |_, _| {});
+    let victim: Option<Arc<GaussianPolicy>> = victim_out[0].ok().map(|p| Arc::new(p.clone()));
+
+    // Stage 2: one cell per ξ.
+    let attack_cells: Vec<SweepCell<CellResult>> = XIS
+        .into_iter()
+        .map(|xi| {
+            let xi_s = format!("{xi}");
+            let tags = [
+                ("game", game.name()),
+                ("attack", "IMAP-PC+BR"),
+                ("xi", xi_s.as_str()),
+            ];
+            let cell_label = format!("{} IMAP-PC+BR xi={xi}", game.name());
+            match (&victim, dep_skip_reason(&victim_out[0])) {
+                (Some(victim), None) => {
+                    let tel = tel.clone();
+                    let victim = Arc::clone(victim);
+                    let cells = Arc::clone(&cells_cache);
+                    let budget = budget.clone();
+                    SweepCell::new(cell_label, &tags, seed, move |ctx| {
+                        let _t = tel.span("attack_cell");
+                        run_multi_attack_cell_cached(
+                            &cells,
+                            game,
+                            &victim,
+                            AttackKind::ImapBr(RegularizerKind::PolicyCoverage),
+                            &budget,
+                            ctx.seed,
+                            xi,
+                            &ctx.progress,
+                        )
+                    })
+                }
+                (_, reason) => SweepCell::skipped(
+                    cell_label,
+                    &tags,
+                    reason.unwrap_or_else(|| "victim_missing".into()),
+                ),
+            }
+        })
+        .collect();
+    let tel_ok = tel.clone();
+    let outcomes = run_sweep(&tel, &sweep, attack_cells, &mut report, |tags, result| {
+        record_cell(&tel_ok, tags, result);
+    });
+
+    // Rendering.
     println!(
         "# Figure 7 — marginal trade-off ξ ablation (budget: {})",
         budget.name
     );
-    println!("\n## {} (IMAP-PC+BR; ASR, higher = stronger)", game.name());
-    println!("ξ = 0: pure adversary-state coverage; ξ = 1: pure victim-state coverage.");
-    for xi in XIS {
-        let xi_s = format!("{xi}");
-        let tags = [
-            ("game", game.name()),
-            ("attack", "IMAP-PC+BR"),
-            ("xi", xi_s.as_str()),
-        ];
-        match run_cell_isolated(&tel, &tags, || {
-            let _t = tel.span("attack_cell");
-            run_multi_attack_cell_cached(
-                game,
-                &victim,
-                AttackKind::ImapBr(RegularizerKind::PolicyCoverage),
-                &budget,
-                seed,
-                xi,
-            )
-        }) {
-            Some(r) => println!("xi = {xi:>4.2}: ASR {:>5.1}%", 100.0 * r.eval.asr),
-            None => println!("xi = {xi:>4.2}: failed"),
+    if victim.is_some() {
+        println!("\n## {} (IMAP-PC+BR; ASR, higher = stronger)", game.name());
+        println!("ξ = 0: pure adversary-state coverage; ξ = 1: pure victim-state coverage.");
+        for (xi_i, xi) in XIS.into_iter().enumerate() {
+            match outcomes[xi_i].ok() {
+                Some(r) => println!("xi = {xi:>4.2}: ASR {:>5.1}%", 100.0 * r.eval.asr),
+                None => println!("xi = {xi:>4.2}: failed"),
+            }
         }
     }
     finish_telemetry(&tel);
+    println!("{}", report.summary_line());
+    std::process::exit(report.exit_code());
 }

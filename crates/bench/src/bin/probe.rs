@@ -6,6 +6,7 @@ use imap_bench::{base_seed, run_attack_cell, AttackKind, Budget, VictimCache};
 use imap_core::regularizer::RegularizerKind;
 use imap_defense::DefenseMethod;
 use imap_env::TaskId;
+use imap_rl::Progress;
 
 fn main() {
     let budget = Budget::from_env();
@@ -45,8 +46,8 @@ fn main() {
         AttackKind::Imap(RegularizerKind::Risk),
     ] {
         let t = std::time::Instant::now();
-        let (eval, _) =
-            run_attack_cell(task, &victim, kind, &budget, seed).expect("probe attack cell");
+        let (eval, _) = run_attack_cell(task, &victim, kind, &budget, seed, &Progress::null())
+            .expect("probe attack cell");
         println!(
             "{:<12} dense={:>8.1} ± {:<7.1} sparse={:>5.2} success={:.2} ({:.1}s)",
             kind.label(),

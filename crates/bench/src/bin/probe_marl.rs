@@ -4,6 +4,7 @@
 use imap_bench::{base_seed, default_xi, marl_victim, run_multi_attack_cell, AttackKind, Budget};
 use imap_core::regularizer::RegularizerKind;
 use imap_env::MultiTaskId;
+use imap_rl::Progress;
 
 fn main() {
     let budget = Budget::from_env();
@@ -24,8 +25,16 @@ fn main() {
         AttackKind::ImapBr(RegularizerKind::PolicyCoverage),
     ] {
         let t = std::time::Instant::now();
-        let (eval, _) = run_multi_attack_cell(game, &victim, kind, &budget, seed, default_xi())
-            .expect("probe attack cell");
+        let (eval, _) = run_multi_attack_cell(
+            game,
+            &victim,
+            kind,
+            &budget,
+            seed,
+            default_xi(),
+            &Progress::null(),
+        )
+        .expect("probe attack cell");
         let label = if kind == AttackKind::SaRl {
             "AP-MARL".to_string()
         } else {

@@ -9,7 +9,7 @@
 
 use imap_bench::{
     base_seed, default_xi, marl_victim, run_attack_cell_cached, run_multi_attack_cell_cached,
-    AttackKind, Budget, VictimCache,
+    AttackKind, Budget, CellCache, VictimCache,
 };
 use imap_core::regularizer::RegularizerKind;
 use imap_core::threat::PerturbationEnv;
@@ -31,7 +31,16 @@ fn walker_pitch_trace(kind: AttackKind, budget: &Budget, seed: u64) -> (Vec<f64>
     // Reuse the cached evaluation to pick the attack, then retrain the
     // policy itself (curves are cached; policies are small enough to retrain
     // deterministically at the same seed).
-    let _ = run_attack_cell_cached(task, DefenseMethod::Wocar, &victim, kind, budget, seed);
+    let _ = run_attack_cell_cached(
+        &CellCache::open(),
+        task,
+        DefenseMethod::Wocar,
+        &victim,
+        kind,
+        budget,
+        seed,
+        &imap_rl::Progress::null(),
+    );
     let cfg = match kind {
         AttackKind::SaRl => ImapConfig::baseline(budget.attack_train(seed)),
         AttackKind::Imap(k) => ImapConfig::imap(
@@ -94,12 +103,28 @@ fn main() {
     ] {
         // The cached cell gives the evaluation; retrain the opponent policy
         // at the same seed for the qualitative rollout.
-        let r = run_multi_attack_cell_cached(game, &victim, kind, &budget, seed, default_xi())
-            .expect("render attack cell");
+        let r = run_multi_attack_cell_cached(
+            &CellCache::open(),
+            game,
+            &victim,
+            kind,
+            &budget,
+            seed,
+            default_xi(),
+            &imap_rl::Progress::null(),
+        )
+        .expect("render attack cell");
         println!("## {label} (evaluated ASR {:.0}%)", 100.0 * r.eval.asr);
-        let (_, outcome) =
-            imap_bench::run_multi_attack_cell(game, &victim, kind, &budget, seed, default_xi())
-                .expect("render attack cell");
+        let (_, outcome) = imap_bench::run_multi_attack_cell(
+            game,
+            &victim,
+            kind,
+            &budget,
+            seed,
+            default_xi(),
+            &imap_rl::Progress::null(),
+        )
+        .expect("render attack cell");
         let adv = outcome.expect("learned attack").policy;
 
         let mut env = imap_env::multiagent::YouShallNotPass::new();

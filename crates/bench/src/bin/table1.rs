@@ -6,147 +6,26 @@
 //! footer reproduces the §6.3.1 average-reduction claims and the §7 claim
 //! that IMAP degrades even WocaR victims substantially.
 //!
-//! Usage: `IMAP_BUDGET=quick|full cargo run --release -p imap-bench --bin table1`
+//! Cells run on the supervised sweep pool (`--jobs N` /
+//! `IMAP_MAX_PARALLEL`); the binary exits nonzero if any cell errored or
+//! timed out.
+//!
+//! Usage: `IMAP_BUDGET=quick|full cargo run --release -p imap-bench --bin table1 [-- --jobs N]`
 
-use imap_bench::{
-    base_seed, bench_telemetry, cell, finish_telemetry, print_row, run_attack_cell_cached,
-    run_cell_isolated, run_isolated, AttackKind, Budget, VictimCache,
-};
-use imap_defense::DefenseMethod;
-use imap_env::TaskId;
+use imap_bench::exec::{SweepConfig, SweepReport};
+use imap_bench::table1::{run, Table1Options};
+use imap_bench::{base_seed, bench_telemetry, finish_telemetry, Budget};
 
 fn main() {
     let budget = Budget::from_env();
     let seed = base_seed();
+    let sweep = SweepConfig::from_env();
     let tel = bench_telemetry("table1", &budget, seed);
-    let cache = VictimCache::open();
-    let columns = AttackKind::table1_columns();
-
-    println!("# Table 1 — dense-reward tasks (budget: {})", budget.name);
-    println!();
-    let mut header = vec!["Env".to_string(), "Victim".to_string()];
-    header.extend(columns.iter().map(|k| k.label()));
-    print_row(&header);
-
-    // Per-attack averages across all victims (for the footer claims).
-    let mut col_sums = vec![0.0; columns.len()];
-    let mut col_counts = vec![0usize; columns.len()];
-    let mut wocar_rows: Vec<(TaskId, Vec<f64>)> = Vec::new();
-    let mut best_imap_wins = 0usize;
-    let mut rows = 0usize;
-
-    for task in TaskId::DENSE {
-        let methods: &[DefenseMethod] = if task == TaskId::Ant {
-            &[
-                DefenseMethod::Ppo,
-                DefenseMethod::Atla,
-                DefenseMethod::Sa,
-                DefenseMethod::AtlaSa,
-            ]
-        } else {
-            &DefenseMethod::ALL
-        };
-        let mut task_col_sums = vec![0.0; columns.len()];
-        let mut task_col_counts = vec![0usize; columns.len()];
-        for &method in methods {
-            let victim_tags = [
-                ("task", task.spec().name),
-                ("victim", method.name()),
-                ("stage", "victim_train"),
-            ];
-            let Some(victim) = run_isolated(&tel, &victim_tags, || {
-                let _t = tel.span("victim_train");
-                cache.victim_with(&tel, task, method, &budget, seed)
-            }) else {
-                continue;
-            };
-            let mut row = vec![
-                format!("{} (ε={})", task.spec().name, task.spec().eps),
-                method.name().to_string(),
-            ];
-            let mut values = Vec::with_capacity(columns.len());
-            for (ci, &kind) in columns.iter().enumerate() {
-                let label = kind.label();
-                let tags = [
-                    ("task", task.spec().name),
-                    ("victim", method.name()),
-                    ("attack", label.as_str()),
-                ];
-                match run_cell_isolated(&tel, &tags, || {
-                    let _t = tel.span("attack_cell");
-                    run_attack_cell_cached(task, method, &victim, kind, &budget, seed)
-                }) {
-                    Some(r) => {
-                        row.push(cell(r.eval.victim_return, r.eval.victim_return_std, true));
-                        values.push(r.eval.victim_return);
-                        col_sums[ci] += r.eval.victim_return;
-                        col_counts[ci] += 1;
-                        task_col_sums[ci] += r.eval.victim_return;
-                        task_col_counts[ci] += 1;
-                    }
-                    None => {
-                        row.push("failed".to_string());
-                        values.push(f64::NAN);
-                    }
-                }
-            }
-            print_row(&row);
-            // Bold-equivalent bookkeeping: does the best IMAP beat SA-RL?
-            // (Failed cells are NaN; `f64::min` skips them, and a row with a
-            // failed SA-RL cell is left out of the claim entirely.)
-            let sa_rl = values[2];
-            let best_imap = values[3..].iter().cloned().fold(f64::INFINITY, f64::min);
-            if sa_rl.is_finite() && best_imap.is_finite() {
-                rows += 1;
-                if best_imap <= sa_rl {
-                    best_imap_wins += 1;
-                }
-            }
-            if method == DefenseMethod::Wocar {
-                wocar_rows.push((task, values.clone()));
-            }
-        }
-        let mut avg_row = vec![format!("{} avg", task.spec().name), String::new()];
-        avg_row.extend(
-            task_col_sums
-                .iter()
-                .zip(&task_col_counts)
-                .map(|(s, &n)| match n {
-                    0 => "failed".to_string(),
-                    _ => format!("{:>6.0}", s / n as f64),
-                }),
-        );
-        print_row(&avg_row);
-    }
-
-    println!();
-    println!("## Footer (paper §6.3.1 / §7 claims)");
-    let clean_avg = col_sums[0] / col_counts[0].max(1) as f64;
-    for (ci, kind) in columns.iter().enumerate().skip(2) {
-        if col_counts[ci] == 0 {
-            println!("{:<10} all cells failed", kind.label());
-            continue;
-        }
-        let avg = col_sums[ci] / col_counts[ci] as f64;
-        println!(
-            "{:<10} average across all victims: {:>7.0} ({:+.1}% vs clean)",
-            kind.label(),
-            avg,
-            100.0 * (avg - clean_avg) / clean_avg
-        );
-    }
-    println!("Best-IMAP ≤ SA-RL on {best_imap_wins}/{rows} victim rows (paper: 15/22).");
-    for (task, values) in &wocar_rows {
-        let clean = values[0];
-        let best_imap = values[3..].iter().cloned().fold(f64::INFINITY, f64::min);
-        if !clean.is_finite() || !best_imap.is_finite() {
-            continue;
-        }
-        println!(
-            "WocaR {} reduced by {:.0}% under the best IMAP (paper: 34–54%).",
-            task.spec().name,
-            100.0 * (clean - best_imap) / clean.max(1e-9)
-        );
-    }
+    let opts = Table1Options::new(budget, seed, sweep);
+    let mut report = SweepReport::default();
+    let table = run(&tel, &opts, &mut report);
+    print!("{table}");
     finish_telemetry(&tel);
+    println!("{}", report.summary_line());
+    std::process::exit(report.exit_code());
 }

@@ -3,26 +3,128 @@
 //! IMAP+BR, across nine sparse tasks (six locomotion, two navigation, one
 //! manipulation).
 //!
-//! Usage: `IMAP_BUDGET=quick|full cargo run --release -p imap-bench --bin table2`
+//! Cells run on the supervised sweep pool (`--jobs N` /
+//! `IMAP_MAX_PARALLEL`); the binary exits nonzero if any cell errored or
+//! timed out.
+//!
+//! Usage: `IMAP_BUDGET=quick|full cargo run --release -p imap-bench --bin table2 [-- --jobs N]`
 
+use std::sync::Arc;
+
+use imap_bench::exec::{dep_skip_reason, run_sweep, SweepCell, SweepConfig, SweepReport};
 use imap_bench::{
-    base_seed, bench_telemetry, cell, finish_telemetry, print_row, run_attack_cell_cached,
-    run_cell_isolated, run_isolated, AttackKind, Budget, VictimCache,
+    base_seed, bench_telemetry, cell, finish_telemetry, print_row, record_cell,
+    run_attack_cell_cached, AttackKind, Budget, CellCache, CellResult, VictimCache,
 };
 use imap_core::regularizer::RegularizerKind;
 use imap_defense::DefenseMethod;
 use imap_env::TaskId;
+use imap_harness::JobStatus;
+use imap_rl::GaussianPolicy;
 
 fn main() {
     let budget = Budget::from_env();
     let seed = base_seed();
+    let sweep = SweepConfig::from_env();
     let tel = bench_telemetry("table2", &budget, seed);
-    let cache = VictimCache::open();
+    let victims_cache = Arc::new(VictimCache::open());
+    let cells_cache = Arc::new(CellCache::open());
+    let mut report = SweepReport::default();
 
-    println!("# Table 2 — sparse-reward tasks (budget: {})", budget.name);
-    println!();
     let mut columns = vec![AttackKind::NoAttack, AttackKind::Random, AttackKind::SaRl];
     columns.extend(RegularizerKind::ALL.into_iter().map(AttackKind::Imap));
+    // Per task: the printed columns, then the four IMAP+BR candidates
+    // feeding the "best BR" column.
+    let br_kinds: Vec<AttackKind> = RegularizerKind::ALL
+        .into_iter()
+        .map(AttackKind::ImapBr)
+        .collect();
+    let per_task = columns.len() + br_kinds.len();
+
+    // Stage 1: one PPO victim per sparse task.
+    let victim_cells: Vec<SweepCell<GaussianPolicy>> = TaskId::SPARSE
+        .into_iter()
+        .map(|task| {
+            let tags = [("task", task.spec().name), ("stage", "victim_train")];
+            let tel = tel.clone();
+            let victims = Arc::clone(&victims_cache);
+            let budget = budget.clone();
+            SweepCell::new(
+                format!("victim {}", task.spec().name),
+                &tags,
+                seed,
+                move |ctx| {
+                    let _t = tel.span("victim_train");
+                    victims.victim_supervised(
+                        &tel,
+                        task,
+                        DefenseMethod::Ppo,
+                        &budget,
+                        ctx.seed,
+                        &ctx.progress,
+                    )
+                },
+            )
+        })
+        .collect();
+    let victim_out = run_sweep(&tel, &sweep, victim_cells, &mut report, |_, _| {});
+    let victims: Vec<Option<Arc<GaussianPolicy>>> = victim_out
+        .iter()
+        .map(|s| s.ok().map(|p| Arc::new(p.clone())))
+        .collect();
+
+    // Stage 2: the attack grid, row-major.
+    let all_kinds: Vec<AttackKind> = columns.iter().chain(br_kinds.iter()).cloned().collect();
+    let attack_cells: Vec<SweepCell<CellResult>> = TaskId::SPARSE
+        .into_iter()
+        .enumerate()
+        .flat_map(|(ti, task)| {
+            let victim = victims[ti].clone();
+            let dep = dep_skip_reason(&victim_out[ti]);
+            let tel = tel.clone();
+            let cells_cache = Arc::clone(&cells_cache);
+            let budget = budget.clone();
+            all_kinds.clone().into_iter().map(move |kind| {
+                let label = kind.label();
+                let cell_label = format!("{} {}", task.spec().name, label);
+                let tags = [("task", task.spec().name), ("attack", label.as_str())];
+                match (&victim, &dep) {
+                    (Some(victim), None) => {
+                        let tel = tel.clone();
+                        let victim = Arc::clone(victim);
+                        let cells = Arc::clone(&cells_cache);
+                        let budget = budget.clone();
+                        SweepCell::new(cell_label, &tags, seed, move |ctx| {
+                            let _t = tel.span("attack_cell");
+                            run_attack_cell_cached(
+                                &cells,
+                                task,
+                                DefenseMethod::Ppo,
+                                &victim,
+                                kind,
+                                &budget,
+                                ctx.seed,
+                                &ctx.progress,
+                            )
+                        })
+                    }
+                    (_, reason) => SweepCell::skipped(
+                        cell_label,
+                        &tags,
+                        reason.clone().unwrap_or_else(|| "victim_missing".into()),
+                    ),
+                }
+            })
+        })
+        .collect();
+    let tel_ok = tel.clone();
+    let outcomes = run_sweep(&tel, &sweep, attack_cells, &mut report, |tags, result| {
+        record_cell(&tel_ok, tags, result);
+    });
+
+    // Rendering: consume the committed outcomes in grid order.
+    println!("# Table 2 — sparse-reward tasks (budget: {})", budget.name);
+    println!();
     let mut header = vec!["Env".to_string()];
     header.extend(columns.iter().map(|k| k.label()));
     header.push("IMAP+BR (best)".to_string());
@@ -32,23 +134,14 @@ fn main() {
     let mut col_counts = vec![0usize; columns.len() + 1];
     let mut imap_beats_sarl = 0usize;
 
-    for task in TaskId::SPARSE {
-        let victim_tags = [("task", task.spec().name), ("stage", "victim_train")];
-        let Some(victim) = run_isolated(&tel, &victim_tags, || {
-            let _t = tel.span("victim_train");
-            cache.victim_with(&tel, task, DefenseMethod::Ppo, &budget, seed)
-        }) else {
+    for (ti, task) in TaskId::SPARSE.into_iter().enumerate() {
+        if victims[ti].is_none() {
             continue;
-        };
+        }
         let mut row = vec![task.spec().name.to_string()];
         let mut values = Vec::new();
-        for (ci, &kind) in columns.iter().enumerate() {
-            let label = kind.label();
-            let tags = [("task", task.spec().name), ("attack", label.as_str())];
-            match run_cell_isolated(&tel, &tags, || {
-                let _t = tel.span("attack_cell");
-                run_attack_cell_cached(task, DefenseMethod::Ppo, &victim, kind, &budget, seed)
-            }) {
+        for ci in 0..columns.len() {
+            match outcomes[ti * per_task + ci].ok() {
                 Some(r) => {
                     row.push(cell(r.eval.sparse, r.eval.sparse_std, false));
                     values.push(r.eval.sparse);
@@ -56,7 +149,7 @@ fn main() {
                     col_counts[ci] += 1;
                 }
                 None => {
-                    row.push("failed".to_string());
+                    row.push(status_text(&outcomes[ti * per_task + ci]));
                     values.push(f64::NAN);
                 }
             }
@@ -65,14 +158,8 @@ fn main() {
         let mut best_br = f64::INFINITY;
         let mut best_kind = RegularizerKind::PolicyCoverage;
         let mut best_std = 0.0;
-        for k in RegularizerKind::ALL {
-            let kind = AttackKind::ImapBr(k);
-            let label = kind.label();
-            let tags = [("task", task.spec().name), ("attack", label.as_str())];
-            let Some(r) = run_cell_isolated(&tel, &tags, || {
-                let _t = tel.span("attack_cell");
-                run_attack_cell_cached(task, DefenseMethod::Ppo, &victim, kind, &budget, seed)
-            }) else {
+        for (bi, k) in RegularizerKind::ALL.into_iter().enumerate() {
+            let Some(r) = outcomes[ti * per_task + columns.len() + bi].ok() else {
                 continue;
             };
             if r.eval.sparse < best_br {
@@ -113,4 +200,14 @@ fn main() {
         "Best IMAP ≤ SA-RL on {imap_beats_sarl}/9 sparse tasks (paper: 9/9, \"IMAP dominates SA-RL across all nine tasks\")."
     );
     finish_telemetry(&tel);
+    println!("{}", report.summary_line());
+    std::process::exit(report.exit_code());
+}
+
+fn status_text(status: &JobStatus<CellResult>) -> String {
+    match status {
+        JobStatus::Timeout { .. } => "timeout".to_string(),
+        JobStatus::Skipped { .. } => "skipped".to_string(),
+        _ => "failed".to_string(),
+    }
 }

@@ -2,22 +2,120 @@
 //! SA-RL, the four IMAP variants, and all four IMAP+BR variants, with
 //! underline-equivalent markers where BR improves the corresponding IMAP.
 //!
-//! Usage: `IMAP_BUDGET=quick|full cargo run --release -p imap-bench --bin table3`
+//! Cells run on the supervised sweep pool (`--jobs N` /
+//! `IMAP_MAX_PARALLEL`); the binary exits nonzero if any cell errored or
+//! timed out.
+//!
+//! Usage: `IMAP_BUDGET=quick|full cargo run --release -p imap-bench --bin table3 [-- --jobs N]`
 
+use std::sync::Arc;
+
+use imap_bench::exec::{dep_skip_reason, run_sweep, SweepCell, SweepConfig, SweepReport};
 use imap_bench::{
-    base_seed, bench_telemetry, cell, finish_telemetry, print_row, run_attack_cell_cached,
-    run_cell_isolated, run_isolated, AttackKind, Budget, VictimCache,
+    base_seed, bench_telemetry, cell, finish_telemetry, print_row, record_cell,
+    run_attack_cell_cached, AttackKind, Budget, CellCache, CellResult, VictimCache,
 };
 use imap_core::regularizer::RegularizerKind;
 use imap_defense::DefenseMethod;
 use imap_env::TaskId;
+use imap_rl::GaussianPolicy;
 
 fn main() {
     let budget = Budget::from_env();
     let seed = base_seed();
+    let sweep = SweepConfig::from_env();
     let tel = bench_telemetry("table3", &budget, seed);
-    let cache = VictimCache::open();
+    let victims_cache = Arc::new(VictimCache::open());
+    let cells_cache = Arc::new(CellCache::open());
+    let mut report = SweepReport::default();
 
+    // Grid columns per task: SA-RL, the four IMAPs, the four IMAP+BRs.
+    let mut kinds = vec![AttackKind::SaRl];
+    kinds.extend(RegularizerKind::ALL.into_iter().map(AttackKind::Imap));
+    kinds.extend(RegularizerKind::ALL.into_iter().map(AttackKind::ImapBr));
+    let per_task = kinds.len();
+
+    // Stage 1: one PPO victim per sparse task.
+    let victim_cells: Vec<SweepCell<GaussianPolicy>> = TaskId::SPARSE
+        .into_iter()
+        .map(|task| {
+            let tags = [("task", task.spec().name), ("stage", "victim_train")];
+            let tel = tel.clone();
+            let victims = Arc::clone(&victims_cache);
+            let budget = budget.clone();
+            SweepCell::new(
+                format!("victim {}", task.spec().name),
+                &tags,
+                seed,
+                move |ctx| {
+                    let _t = tel.span("victim_train");
+                    victims.victim_supervised(
+                        &tel,
+                        task,
+                        DefenseMethod::Ppo,
+                        &budget,
+                        ctx.seed,
+                        &ctx.progress,
+                    )
+                },
+            )
+        })
+        .collect();
+    let victim_out = run_sweep(&tel, &sweep, victim_cells, &mut report, |_, _| {});
+    let victims: Vec<Option<Arc<GaussianPolicy>>> = victim_out
+        .iter()
+        .map(|s| s.ok().map(|p| Arc::new(p.clone())))
+        .collect();
+
+    // Stage 2: the attack grid, row-major.
+    let attack_cells: Vec<SweepCell<CellResult>> = TaskId::SPARSE
+        .into_iter()
+        .enumerate()
+        .flat_map(|(ti, task)| {
+            let victim = victims[ti].clone();
+            let dep = dep_skip_reason(&victim_out[ti]);
+            let tel = tel.clone();
+            let cells_cache = Arc::clone(&cells_cache);
+            let budget = budget.clone();
+            kinds.clone().into_iter().map(move |kind| {
+                let label = kind.label();
+                let cell_label = format!("{} {}", task.spec().name, label);
+                let tags = [("task", task.spec().name), ("attack", label.as_str())];
+                match (&victim, &dep) {
+                    (Some(victim), None) => {
+                        let tel = tel.clone();
+                        let victim = Arc::clone(victim);
+                        let cells = Arc::clone(&cells_cache);
+                        let budget = budget.clone();
+                        SweepCell::new(cell_label, &tags, seed, move |ctx| {
+                            let _t = tel.span("attack_cell");
+                            run_attack_cell_cached(
+                                &cells,
+                                task,
+                                DefenseMethod::Ppo,
+                                &victim,
+                                kind,
+                                &budget,
+                                ctx.seed,
+                                &ctx.progress,
+                            )
+                        })
+                    }
+                    (_, reason) => SweepCell::skipped(
+                        cell_label,
+                        &tags,
+                        reason.clone().unwrap_or_else(|| "victim_missing".into()),
+                    ),
+                }
+            })
+        })
+        .collect();
+    let tel_ok = tel.clone();
+    let outcomes = run_sweep(&tel, &sweep, attack_cells, &mut report, |tags, result| {
+        record_cell(&tel_ok, tags, result);
+    });
+
+    // Rendering.
     println!("# Table 3 — full IMAP+BR grid (budget: {})", budget.name);
     println!();
     let mut header = vec!["Env".to_string(), "SA-RL".to_string()];
@@ -33,31 +131,19 @@ fn main() {
     let mut br_cells = 0usize;
     let mut tasks_where_br_helps = 0usize;
 
-    for task in TaskId::SPARSE {
-        let victim_tags = [("task", task.spec().name), ("stage", "victim_train")];
-        let Some(victim) = run_isolated(&tel, &victim_tags, || {
-            let _t = tel.span("victim_train");
-            cache.victim_with(&tel, task, DefenseMethod::Ppo, &budget, seed)
-        }) else {
+    for (ti, task) in TaskId::SPARSE.into_iter().enumerate() {
+        if victims[ti].is_none() {
             continue;
-        };
+        }
         let mut row = vec![task.spec().name.to_string()];
-        let run_cell = |kind: AttackKind| {
-            let label = kind.label();
-            let tags = [("task", task.spec().name), ("attack", label.as_str())];
-            run_cell_isolated(&tel, &tags, || {
-                let _t = tel.span("attack_cell");
-                run_attack_cell_cached(task, DefenseMethod::Ppo, &victim, kind, &budget, seed)
-            })
-        };
-        match run_cell(AttackKind::SaRl) {
+        match outcomes[ti * per_task].ok() {
             Some(sa) => row.push(cell(sa.eval.sparse, sa.eval.sparse_std, false)),
             None => row.push("failed".to_string()),
         }
 
         let mut imap_vals = Vec::new();
-        for k in RegularizerKind::ALL {
-            match run_cell(AttackKind::Imap(k)) {
+        for i in 0..RegularizerKind::ALL.len() {
+            match outcomes[ti * per_task + 1 + i].ok() {
                 Some(r) => {
                     row.push(cell(r.eval.sparse, r.eval.sparse_std, false));
                     imap_vals.push(r.eval.sparse);
@@ -69,8 +155,8 @@ fn main() {
             }
         }
         let mut any_improved = false;
-        for (i, k) in RegularizerKind::ALL.into_iter().enumerate() {
-            let Some(r) = run_cell(AttackKind::ImapBr(k)) else {
+        for i in 0..RegularizerKind::ALL.len() {
+            let Some(r) = outcomes[ti * per_task + 5 + i].ok() else {
                 row.push("failed".to_string());
                 continue;
             };
@@ -101,4 +187,6 @@ fn main() {
         "BR improved {br_improvements}/{br_cells} (task, regularizer) cells; helped on {tasks_where_br_helps}/9 tasks (paper: \"BR boosts IMAP in half of the tasks\")."
     );
     finish_telemetry(&tel);
+    println!("{}", report.summary_line());
+    std::process::exit(report.exit_code());
 }

@@ -1,0 +1,435 @@
+//! The sweep executor: the bridge between the bench cell helpers and the
+//! supervised worker pool in `imap-harness`.
+//!
+//! Every table/figure binary builds its grid as a list of [`SweepCell`]s
+//! and hands them to [`run_sweep`], which executes them on up to
+//! [`SweepConfig::jobs`] worker threads under heartbeat supervision and
+//! commits outcomes strictly in cell order. Because telemetry `cell` rows
+//! and rendered values are produced only at commit time (on the supervisor
+//! thread), a sweep's observable output is bitwise identical at any
+//! parallelism level; only the `pool`-phase timing rows differ.
+//!
+//! Exit-code policy (`--keep-going` semantics): a sweep never aborts on a
+//! failing cell — errors and timeouts become rows, the remaining cells
+//! keep running, and the binary exits nonzero at the end if any such row
+//! was recorded ([`SweepReport::exit_code`]). `--fail-fast` opts into
+//! cutting the sweep at the first permanent error instead.
+
+use std::time::Duration;
+
+use imap_harness::{default_jobs, run_supervised, Job, JobCtx, JobStatus, PoolConfig};
+use imap_nn::NnError;
+use imap_telemetry::Telemetry;
+
+/// Sweep-wide execution policy: worker count, supervision timeouts, retry
+/// policy, and the global deadline.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Worker threads (`--jobs N` / `IMAP_MAX_PARALLEL`; default: the
+    /// machine's available parallelism).
+    pub jobs: usize,
+    /// Heartbeat silence after which a cell is declared stalled and
+    /// cancelled (`IMAP_CELL_TIMEOUT`, seconds; default 600).
+    pub stall_timeout: Duration,
+    /// Grace period after cancellation before an unresponsive cell's
+    /// thread is abandoned and the cell recorded `status=timeout`.
+    pub hard_grace: Duration,
+    /// Attempts per cell including the first (`IMAP_MAX_ATTEMPTS`,
+    /// default 3); transient failures are retried with exponential
+    /// backoff and derived seeds.
+    pub max_attempts: u32,
+    /// Base delay of the retry backoff.
+    pub backoff_base: Duration,
+    /// Global sweep deadline (`IMAP_SWEEP_DEADLINE`, seconds). On expiry,
+    /// queued cells become `status=skipped` rows and running ones are
+    /// cancelled, so whatever finished still renders.
+    pub deadline: Option<Duration>,
+    /// Cut the sweep at the first permanent error (`--fail-fast`).
+    pub fail_fast: bool,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            jobs: default_jobs(),
+            stall_timeout: Duration::from_secs(600),
+            hard_grace: Duration::from_secs(5),
+            max_attempts: 3,
+            backoff_base: Duration::from_millis(250),
+            deadline: None,
+            fail_fast: false,
+        }
+    }
+}
+
+impl SweepConfig {
+    /// Reads the process arguments and environment:
+    /// `--jobs N`/`-j N`/`--jobs=N`, `--fail-fast`, `--keep-going` (the
+    /// default, accepted for symmetry), plus `IMAP_MAX_PARALLEL`,
+    /// `IMAP_CELL_TIMEOUT`, `IMAP_MAX_ATTEMPTS`, and
+    /// `IMAP_SWEEP_DEADLINE`. Unparseable values warn loudly on stderr
+    /// and keep the default rather than being silently ignored.
+    pub fn from_env() -> Self {
+        SweepConfig::from_sources(std::env::args().skip(1), |key| std::env::var(key).ok())
+    }
+
+    /// [`SweepConfig::from_env`] over explicit sources, so tests can
+    /// exercise the parsing without racing on process-global state.
+    pub fn from_sources(
+        args: impl IntoIterator<Item = String>,
+        env: impl Fn(&str) -> Option<String>,
+    ) -> Self {
+        let mut cfg = SweepConfig::default();
+        if let Some(n) = env_parse::<usize>(&env, "IMAP_MAX_PARALLEL") {
+            cfg.jobs = n.max(1);
+        }
+        if let Some(secs) = env_parse::<f64>(&env, "IMAP_CELL_TIMEOUT") {
+            if secs > 0.0 {
+                cfg.stall_timeout = Duration::from_secs_f64(secs);
+            }
+        }
+        if let Some(n) = env_parse::<u32>(&env, "IMAP_MAX_ATTEMPTS") {
+            cfg.max_attempts = n.max(1);
+        }
+        if let Some(secs) = env_parse::<f64>(&env, "IMAP_SWEEP_DEADLINE") {
+            if secs > 0.0 {
+                cfg.deadline = Some(Duration::from_secs_f64(secs));
+            }
+        }
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--jobs" | "-j" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                    Some(n) if n >= 1 => cfg.jobs = n,
+                    _ => eprintln!(
+                        "warning: --jobs needs a positive integer; keeping {}",
+                        cfg.jobs
+                    ),
+                },
+                "--fail-fast" => cfg.fail_fast = true,
+                "--keep-going" => cfg.fail_fast = false,
+                other => {
+                    if let Some(v) = other.strip_prefix("--jobs=") {
+                        match v.parse::<usize>() {
+                            Ok(n) if n >= 1 => cfg.jobs = n,
+                            _ => eprintln!(
+                                "warning: --jobs needs a positive integer; keeping {}",
+                                cfg.jobs
+                            ),
+                        }
+                    } else {
+                        eprintln!(
+                            "warning: unrecognized argument {other:?} \
+                             (supported: --jobs N, --fail-fast, --keep-going)"
+                        );
+                    }
+                }
+            }
+        }
+        cfg
+    }
+
+    fn pool(&self, tel: &Telemetry) -> PoolConfig {
+        PoolConfig {
+            jobs: self.jobs,
+            stall_timeout: self.stall_timeout,
+            hard_grace: self.hard_grace,
+            max_attempts: self.max_attempts,
+            backoff_base: self.backoff_base,
+            deadline: self.deadline,
+            fail_fast: self.fail_fast,
+            telemetry: tel.clone(),
+            ..PoolConfig::default()
+        }
+    }
+}
+
+fn env_parse<T: std::str::FromStr>(env: &impl Fn(&str) -> Option<String>, key: &str) -> Option<T> {
+    let raw = env(key)?;
+    match raw.trim().parse() {
+        Ok(v) => Some(v),
+        Err(_) => {
+            eprintln!("warning: unparseable {key}={raw:?}; keeping the default");
+            None
+        }
+    }
+}
+
+/// One cell of a sweep grid: a label, the telemetry tags identifying it,
+/// its base seed, and the work itself.
+pub struct SweepCell<T> {
+    label: String,
+    tags: Vec<(String, String)>,
+    seed: u64,
+    kind: CellKind<T>,
+}
+
+#[allow(clippy::type_complexity)]
+enum CellKind<T> {
+    Run(Box<dyn Fn(&JobCtx) -> Result<T, NnError> + Send + Sync>),
+    Skip(String),
+}
+
+impl<T> SweepCell<T> {
+    /// A runnable cell. The closure receives the supervisor's [`JobCtx`]
+    /// — it must thread `ctx.progress` into its training loops and use
+    /// `ctx.seed` (the base seed on attempt 0, a derived seed on retries).
+    pub fn new(
+        label: impl Into<String>,
+        tags: &[(&str, &str)],
+        seed: u64,
+        run: impl Fn(&JobCtx) -> Result<T, NnError> + Send + Sync + 'static,
+    ) -> Self {
+        SweepCell {
+            label: label.into(),
+            tags: own_tags(tags),
+            seed,
+            kind: CellKind::Run(Box::new(run)),
+        }
+    }
+
+    /// A cell committed as `status=skipped` without running — used when a
+    /// dependency (e.g. the victim the cell would attack) failed.
+    pub fn skipped(
+        label: impl Into<String>,
+        tags: &[(&str, &str)],
+        reason: impl Into<String>,
+    ) -> Self {
+        SweepCell {
+            label: label.into(),
+            tags: own_tags(tags),
+            seed: 0,
+            kind: CellKind::Skip(reason.into()),
+        }
+    }
+}
+
+fn own_tags(tags: &[(&str, &str)]) -> Vec<(String, String)> {
+    tags.iter()
+        .map(|&(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+/// Per-status cell counts for one binary's sweeps (a binary running
+/// several stages accumulates them all into one report).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SweepReport {
+    /// Cells that completed.
+    pub ok: usize,
+    /// Cells whose every attempt failed.
+    pub error: usize,
+    /// Cells abandoned by the stall watchdog.
+    pub timeout: usize,
+    /// Cells that never ran (failed dependency, sweep deadline, fail-fast).
+    pub skipped: usize,
+}
+
+impl SweepReport {
+    fn tally<T>(&mut self, status: &JobStatus<T>) {
+        match status {
+            JobStatus::Ok(_) => self.ok += 1,
+            JobStatus::Error { .. } => self.error += 1,
+            JobStatus::Timeout { .. } => self.timeout += 1,
+            JobStatus::Skipped { .. } => self.skipped += 1,
+        }
+    }
+
+    /// True when any cell ended in `error` or `timeout`.
+    pub fn failed(&self) -> bool {
+        self.error > 0 || self.timeout > 0
+    }
+
+    /// The per-status summary line every bench binary prints last.
+    pub fn summary_line(&self) -> String {
+        format!(
+            "sweep summary: ok={} error={} timeout={} skipped={}",
+            self.ok, self.error, self.timeout, self.skipped
+        )
+    }
+
+    /// Process exit code: nonzero iff an error or timeout row was
+    /// recorded, so CI catches partially-failed sweeps even though the
+    /// sweep itself keeps going (`--keep-going` semantics).
+    pub fn exit_code(&self) -> i32 {
+        i32::from(self.failed())
+    }
+}
+
+/// Runs one stage of a sweep on the supervised pool and returns one
+/// [`JobStatus`] per cell, in cell order.
+///
+/// Outcomes are committed strictly in cell order on the calling thread:
+/// `on_ok(tags, value)` fires for completed cells (with `status=ok`
+/// appended to the cell's tags) and is where callers record their
+/// `cell`-phase telemetry; error/timeout/skipped cells are recorded here
+/// with the matching `status` tag and reported on stderr. `report`
+/// accumulates the per-status counts.
+pub fn run_sweep<T: Send + 'static>(
+    tel: &Telemetry,
+    cfg: &SweepConfig,
+    cells: Vec<SweepCell<T>>,
+    report: &mut SweepReport,
+    mut on_ok: impl FnMut(&[(&str, &str)], &T),
+) -> Vec<JobStatus<T>> {
+    let metas: Vec<(String, Vec<(String, String)>)> = cells
+        .iter()
+        .map(|c| (c.label.clone(), c.tags.clone()))
+        .collect();
+    let jobs: Vec<Job<T>> = cells
+        .into_iter()
+        .map(|c| match c.kind {
+            CellKind::Skip(reason) => Job::skipped(c.label, reason),
+            CellKind::Run(run) => Job::new(c.label, c.seed, move |ctx: &JobCtx| {
+                run(ctx).map_err(|e| e.to_string())
+            }),
+        })
+        .collect();
+    run_supervised(&cfg.pool(tel), jobs, |idx, status| {
+        let (label, tags) = &metas[idx];
+        let mut full: Vec<(&str, &str)> =
+            tags.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+        match status {
+            JobStatus::Ok(value) => {
+                full.push(("status", "ok"));
+                on_ok(&full, value);
+            }
+            JobStatus::Error { message, attempts } => {
+                full.push(("status", "error"));
+                full.push(("error", message));
+                tel.record_full("cell", 0, &[], &[("attempts", u64::from(*attempts))], &full);
+                eprintln!("cell failed ({label}): {message}");
+            }
+            JobStatus::Timeout { attempts } => {
+                full.push(("status", "timeout"));
+                tel.record_full("cell", 0, &[], &[("attempts", u64::from(*attempts))], &full);
+                eprintln!("cell timed out ({label}) after {attempts} attempt(s)");
+            }
+            JobStatus::Skipped { reason } => {
+                full.push(("status", "skipped"));
+                full.push(("reason", reason));
+                tel.record_full("cell", 0, &[], &[], &full);
+                eprintln!("cell skipped ({label}): {reason}");
+            }
+        }
+        report.tally(status);
+    })
+}
+
+/// The skip reason a dependent cell carries when its dependency stage
+/// ended in `status`: `None` when the dependency succeeded.
+pub fn dep_skip_reason<T>(status: &JobStatus<T>) -> Option<String> {
+    match status {
+        JobStatus::Ok(_) => None,
+        other => Some(format!("victim_{}", other.name())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_env(_: &str) -> Option<String> {
+        None
+    }
+
+    fn quick(cfg: &mut SweepConfig) {
+        cfg.stall_timeout = Duration::from_millis(200);
+        cfg.hard_grace = Duration::from_millis(100);
+        cfg.backoff_base = Duration::from_millis(5);
+    }
+
+    #[test]
+    fn from_sources_parses_jobs_flag_and_env() {
+        let cfg = SweepConfig::from_sources(["--jobs".into(), "4".into()], no_env);
+        assert_eq!(cfg.jobs, 4);
+        let cfg = SweepConfig::from_sources(["--jobs=2".into(), "--fail-fast".into()], no_env);
+        assert_eq!(cfg.jobs, 2);
+        assert!(cfg.fail_fast);
+        let cfg = SweepConfig::from_sources(std::iter::empty(), |key| match key {
+            "IMAP_MAX_PARALLEL" => Some("3".into()),
+            "IMAP_CELL_TIMEOUT" => Some("1.5".into()),
+            "IMAP_SWEEP_DEADLINE" => Some("60".into()),
+            _ => None,
+        });
+        assert_eq!(cfg.jobs, 3);
+        assert_eq!(cfg.stall_timeout, Duration::from_secs_f64(1.5));
+        assert_eq!(cfg.deadline, Some(Duration::from_secs(60)));
+    }
+
+    #[test]
+    fn unparseable_sources_keep_defaults() {
+        let defaults = SweepConfig::default();
+        let cfg = SweepConfig::from_sources(
+            ["--jobs".into(), "many".into(), "--frobnicate".into()],
+            |key| match key {
+                "IMAP_CELL_TIMEOUT" => Some("soon".into()),
+                "IMAP_MAX_ATTEMPTS" => Some("0".into()),
+                _ => None,
+            },
+        );
+        assert_eq!(cfg.jobs, defaults.jobs);
+        assert_eq!(cfg.stall_timeout, defaults.stall_timeout);
+        assert_eq!(cfg.max_attempts, 1, "zero attempts clamps to one");
+    }
+
+    #[test]
+    fn run_sweep_commits_rows_and_tallies_statuses() {
+        let (tel, mem) = Telemetry::memory("exec-test");
+        let mut cfg = SweepConfig {
+            jobs: 2,
+            max_attempts: 1,
+            ..SweepConfig::default()
+        };
+        quick(&mut cfg);
+        let cells = vec![
+            SweepCell::new("good", &[("cell", "good")], 1, |_: &JobCtx| Ok(7u32)),
+            SweepCell::new("bad", &[("cell", "bad")], 2, |_: &JobCtx| {
+                Err(NnError::Numeric {
+                    context: "injected".into(),
+                })
+            }),
+            SweepCell::skipped("dep", &[("cell", "dep")], "victim_error"),
+        ];
+        let mut report = SweepReport::default();
+        let mut oks = Vec::new();
+        let out = run_sweep(&tel, &cfg, cells, &mut report, |tags, v| {
+            oks.push((own_tags(tags), *v));
+        });
+        assert_eq!(out.len(), 3);
+        assert_eq!(
+            report,
+            SweepReport {
+                ok: 1,
+                error: 1,
+                timeout: 0,
+                skipped: 1
+            }
+        );
+        assert!(report.failed());
+        assert_eq!(report.exit_code(), 1);
+        assert_eq!(oks.len(), 1);
+        assert_eq!(oks[0].1, 7);
+        let rows = mem.rows();
+        let cell_rows: Vec<_> = rows.iter().filter(|r| r.phase == "cell").collect();
+        // Only failure rows come from run_sweep itself; ok rows are the
+        // caller's to record.
+        assert_eq!(cell_rows.len(), 2);
+        assert_eq!(cell_rows[0].tags["status"], "error");
+        assert!(cell_rows[0].tags["error"].contains("injected"));
+        assert_eq!(cell_rows[1].tags["status"], "skipped");
+        assert_eq!(cell_rows[1].tags["reason"], "victim_error");
+        assert_eq!(
+            report.summary_line(),
+            "sweep summary: ok=1 error=1 timeout=0 skipped=1"
+        );
+    }
+
+    #[test]
+    fn dep_skip_reason_names_the_failure_mode() {
+        assert_eq!(dep_skip_reason(&JobStatus::Ok(1u8)), None);
+        assert_eq!(
+            dep_skip_reason::<u8>(&JobStatus::Timeout { attempts: 1 }),
+            Some("victim_timeout".into())
+        );
+    }
+}

@@ -17,13 +17,17 @@ use imap_core::regularizer::{RegularizerConfig, RegularizerKind};
 use imap_core::threat::{OpponentEnv, PerturbationEnv};
 use imap_core::{AttackOutcome, ImapConfig, ImapTrainer};
 use imap_defense::{
-    train_game_victim_selfplay, train_victim_with, DefenseMethod, ScriptedOpponent, VictimBudget,
+    train_game_victim_selfplay, train_victim_resilient, DefenseMethod, ScriptedOpponent,
+    VictimBudget,
 };
 use imap_env::{build_multi_task, build_task, EnvRng, MultiTaskId, TaskId};
 use imap_nn::NnError;
-use imap_rl::{GaussianPolicy, PpoConfig, TrainConfig};
+use imap_rl::{GaussianPolicy, PpoConfig, Progress, ResilienceConfig, TrainConfig};
 use imap_telemetry::{RunManifest, Telemetry};
 use rand::SeedableRng;
+
+pub mod exec;
+pub mod table1;
 
 /// Compute budget for an experiment run.
 #[derive(Debug, Clone)]
@@ -71,12 +75,27 @@ impl Budget {
         }
     }
 
-    /// Reads `IMAP_BUDGET` (`quick`/`full`; default quick).
-    pub fn from_env() -> Self {
-        match std::env::var("IMAP_BUDGET").as_deref() {
-            Ok("full") => Budget::full(),
-            _ => Budget::quick(),
+    /// Parses a budget name: `quick`, `full`, or unset (quick). Anything
+    /// else — `"ful"`, `"Quick"`, `"1"` — is an error, not a silent
+    /// default, so a typo cannot quietly downgrade a week-long sweep.
+    pub fn parse(value: Option<&str>) -> Result<Self, String> {
+        match value {
+            None | Some("quick") => Ok(Budget::quick()),
+            Some("full") => Ok(Budget::full()),
+            Some(other) => Err(format!(
+                "unrecognized IMAP_BUDGET {other:?} (expected \"quick\" or \"full\")"
+            )),
         }
+    }
+
+    /// Reads `IMAP_BUDGET` (`quick`/`full`; default quick). An
+    /// unrecognized value falls back to quick with a loud stderr warning.
+    pub fn from_env() -> Self {
+        let raw = std::env::var("IMAP_BUDGET").ok();
+        Budget::parse(raw.as_deref()).unwrap_or_else(|msg| {
+            eprintln!("warning: {msg}; falling back to the quick budget");
+            Budget::quick()
+        })
     }
 
     /// The attack trainer configuration for this budget.
@@ -95,12 +114,26 @@ impl Budget {
     }
 }
 
-/// Base seed (`IMAP_SEED`, default 17).
+/// Parses a base-seed override; unset means the default 17. An
+/// unparseable value is an error, never a silent default seed.
+pub fn parse_seed(value: Option<&str>) -> Result<u64, String> {
+    match value {
+        None => Ok(17),
+        Some(raw) => raw
+            .trim()
+            .parse()
+            .map_err(|_| format!("unparseable IMAP_SEED {raw:?} (expected a u64)")),
+    }
+}
+
+/// Base seed (`IMAP_SEED`, default 17). An unparseable value falls back
+/// to the default with a loud stderr warning.
 pub fn base_seed() -> u64 {
-    std::env::var("IMAP_SEED")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(17)
+    let raw = std::env::var("IMAP_SEED").ok();
+    parse_seed(raw.as_deref()).unwrap_or_else(|msg| {
+        eprintln!("warning: {msg}; using the default seed 17");
+        17
+    })
 }
 
 /// The attack columns of Tables 1–3.
@@ -138,6 +171,15 @@ impl AttackKind {
     }
 }
 
+/// Root of the on-disk experiment caches: `IMAP_CACHE_DIR` when set,
+/// `.victim-cache/` at the workspace root otherwise.
+pub fn cache_root() -> PathBuf {
+    match std::env::var("IMAP_CACHE_DIR") {
+        Ok(dir) if !dir.is_empty() => PathBuf::from(dir),
+        _ => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../.victim-cache"),
+    }
+}
+
 /// On-disk victim cache: training victims is the expensive shared step, so
 /// each `(task, method, budget, seed)` is trained once and reused by every
 /// table binary.
@@ -147,10 +189,15 @@ pub struct VictimCache {
 }
 
 impl VictimCache {
-    /// Opens (and creates) the cache under `.victim-cache/` at the
-    /// workspace root.
+    /// Opens (and creates) the cache at [`cache_root`].
     pub fn open() -> Self {
-        let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../.victim-cache");
+        VictimCache::open_at(cache_root())
+    }
+
+    /// Opens (and creates) the cache rooted at an explicit directory —
+    /// tests use this to isolate runs without racing on env vars.
+    pub fn open_at(dir: impl Into<PathBuf>) -> Self {
+        let dir = dir.into();
         let _ = std::fs::create_dir_all(&dir);
         VictimCache {
             dir,
@@ -183,6 +230,21 @@ impl VictimCache {
         budget: &Budget,
         seed: u64,
     ) -> Result<GaussianPolicy, NnError> {
+        self.victim_supervised(tel, task, method, budget, seed, &Progress::null())
+    }
+
+    /// [`VictimCache::victim_with`] under sweep supervision: cache misses
+    /// train with `progress` threaded into the PPO loop, so the supervisor
+    /// sees heartbeats and cooperative cancellation reaches the rollout.
+    pub fn victim_supervised(
+        &self,
+        tel: &Telemetry,
+        task: TaskId,
+        method: DefenseMethod,
+        budget: &Budget,
+        seed: u64,
+        progress: &Progress,
+    ) -> Result<GaussianPolicy, NnError> {
         let key = Self::key(task, method, budget, seed);
         if let Some(p) = self.mem.lock().get(&key) {
             return Ok(p.clone());
@@ -194,7 +256,11 @@ impl VictimCache {
                 return Ok(p);
             }
         }
-        let p = train_victim_with(tel, task, method, &budget.victim, seed)?;
+        let resilience = ResilienceConfig {
+            progress: progress.clone(),
+            ..ResilienceConfig::default()
+        };
+        let p = train_victim_resilient(tel, task, method, &budget.victim, seed, &resilience)?;
         if let Ok(bytes) = serde_json::to_vec(&p) {
             let _ = std::fs::write(&path, bytes);
         }
@@ -206,12 +272,17 @@ impl VictimCache {
 /// Runs one attack cell: trains the attacker (if learned) and evaluates the
 /// victim under it. Returns the evaluation and, for learned attacks, the
 /// training outcome (curves).
+///
+/// `progress` is the supervisor's heartbeat/cancellation handle for the
+/// cell ([`Progress::null`] outside a sweep): attack training beats from
+/// its own iteration loop, and the eval stages beat at their boundaries.
 pub fn run_attack_cell(
     task: TaskId,
     victim: &GaussianPolicy,
     kind: AttackKind,
     budget: &Budget,
     seed: u64,
+    progress: &Progress,
 ) -> Result<(AttackEval, Option<AttackOutcome>), NnError> {
     // `IMAP_EPS` overrides the per-task budget (calibration only).
     let eps = std::env::var("IMAP_EPS")
@@ -219,6 +290,7 @@ pub fn run_attack_cell(
         .and_then(|s| s.parse().ok())
         .unwrap_or_else(|| task.spec().eps);
     let mut rng = EnvRng::seed_from_u64(seed ^ 0xe7a1);
+    imap_rl::heartbeat(progress)?;
     match kind {
         AttackKind::NoAttack => {
             let eval = eval_under_attack(
@@ -229,6 +301,7 @@ pub fn run_attack_cell(
                 budget.eval_episodes,
                 &mut rng,
             )?;
+            imap_rl::heartbeat(progress)?;
             Ok((eval, None))
         }
         AttackKind::Random => {
@@ -240,12 +313,14 @@ pub fn run_attack_cell(
                 budget.eval_episodes,
                 &mut rng,
             )?;
+            imap_rl::heartbeat(progress)?;
             Ok((eval, None))
         }
         AttackKind::SaRl | AttackKind::Imap(_) | AttackKind::ImapBr(_) => {
-            let cfg = attack_config(kind, budget, seed);
+            let cfg = attack_config_supervised(kind, budget, seed, progress);
             let mut env = PerturbationEnv::new(build_task(task), victim.clone(), eps);
             let outcome = ImapTrainer::new(cfg).train(&mut env, None)?;
+            imap_rl::heartbeat(progress)?;
             let eval = eval_under_attack(
                 build_task(task),
                 victim,
@@ -254,6 +329,7 @@ pub fn run_attack_cell(
                 budget.eval_episodes,
                 &mut rng,
             )?;
+            imap_rl::heartbeat(progress)?;
             Ok((eval, Some(outcome)))
         }
     }
@@ -261,7 +337,19 @@ pub fn run_attack_cell(
 
 /// Builds the [`ImapConfig`] for a learned attack column.
 pub fn attack_config(kind: AttackKind, budget: &Budget, seed: u64) -> ImapConfig {
-    let train = budget.attack_train(seed);
+    attack_config_supervised(kind, budget, seed, &Progress::null())
+}
+
+/// [`attack_config`] with the supervisor's heartbeat handle threaded into
+/// the trainer's resilience config.
+pub fn attack_config_supervised(
+    kind: AttackKind,
+    budget: &Budget,
+    seed: u64,
+    progress: &Progress,
+) -> ImapConfig {
+    let mut train = budget.attack_train(seed);
+    train.resilience.progress = progress.clone();
     match kind {
         AttackKind::SaRl => ImapConfig::baseline(train),
         AttackKind::Imap(k) => ImapConfig::imap(train, RegularizerConfig::new(k)),
@@ -306,7 +394,19 @@ pub fn marl_victim_with(
     budget: &Budget,
     seed: u64,
 ) -> Result<GaussianPolicy, NnError> {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../.victim-cache");
+    marl_victim_supervised(tel, game, budget, seed, &Progress::null())
+}
+
+/// [`marl_victim_with`] under sweep supervision: the self-play rounds beat
+/// through `progress` and honour cooperative cancellation.
+pub fn marl_victim_supervised(
+    tel: &Telemetry,
+    game: MultiTaskId,
+    budget: &Budget,
+    seed: u64,
+    progress: &Progress,
+) -> Result<GaussianPolicy, NnError> {
+    let dir = cache_root();
     let _ = std::fs::create_dir_all(&dir);
     let key = format!("marl_{game:?}_{}_{seed}", budget.name);
     let path = dir.join(format!("{key}.json"));
@@ -326,6 +426,10 @@ pub fn marl_victim_with(
         seed,
         ppo: PpoConfig::default(),
         telemetry: tel.clone(),
+        resilience: ResilienceConfig {
+            progress: progress.clone(),
+            ..ResilienceConfig::default()
+        },
         ..TrainConfig::default()
     };
     // Self-play provenance (§6.1): warmup vs scripted population, then
@@ -358,8 +462,10 @@ pub fn run_multi_attack_cell(
     budget: &Budget,
     seed: u64,
     xi: f64,
+    progress: &Progress,
 ) -> Result<(AttackEval, Option<AttackOutcome>), NnError> {
     let mut rng = EnvRng::seed_from_u64(seed ^ 0x3a21);
+    imap_rl::heartbeat(progress)?;
     match kind {
         AttackKind::NoAttack | AttackKind::Random => {
             let attacker = if matches!(kind, AttackKind::Random) {
@@ -374,15 +480,17 @@ pub fn run_multi_attack_cell(
                 budget.eval_episodes,
                 &mut rng,
             )?;
+            imap_rl::heartbeat(progress)?;
             Ok((eval, None))
         }
         _ => {
             let mut env = OpponentEnv::new(build_multi_task(game), victim.clone());
             let split = env.summary_split();
-            let train = TrainConfig {
+            let mut train = TrainConfig {
                 iterations: budget.marl_attack_iters,
                 ..budget.attack_train(seed)
             };
+            train.resilience.progress = progress.clone();
             let cfg = match kind {
                 AttackKind::SaRl => ImapConfig::baseline(train),
                 AttackKind::Imap(k) => {
@@ -402,6 +510,7 @@ pub fn run_multi_attack_cell(
                 _ => unreachable!(),
             };
             let outcome = ImapTrainer::new(cfg).train(&mut env, None)?;
+            imap_rl::heartbeat(progress)?;
             let eval = eval_multi_attack(
                 build_multi_task(game),
                 victim,
@@ -409,6 +518,7 @@ pub fn run_multi_attack_cell(
                 budget.eval_episodes,
                 &mut rng,
             )?;
+            imap_rl::heartbeat(progress)?;
             Ok((eval, Some(outcome)))
         }
     }
@@ -424,38 +534,61 @@ pub struct CellResult {
     pub curve: Vec<imap_core::CurvePoint>,
 }
 
-fn cell_cache_path(key: &str) -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../.victim-cache/cells");
-    let _ = std::fs::create_dir_all(&dir);
-    dir.join(format!("{key}.json"))
+/// On-disk cache of finished attack cells, keyed by every input, so
+/// table/figure binaries share work across invocations.
+#[derive(Debug, Clone)]
+pub struct CellCache {
+    dir: PathBuf,
 }
 
-fn cached_cell(
-    key: &str,
-    compute: impl FnOnce() -> Result<CellResult, NnError>,
-) -> Result<CellResult, NnError> {
-    let path = cell_cache_path(key);
-    if let Ok(bytes) = std::fs::read(&path) {
-        if let Ok(r) = serde_json::from_slice::<CellResult>(&bytes) {
-            return Ok(r);
+impl CellCache {
+    /// Opens (and creates) the cell cache under [`cache_root`]`/cells`.
+    pub fn open() -> Self {
+        CellCache::open_at(cache_root().join("cells"))
+    }
+
+    /// Opens (and creates) the cell cache at an explicit directory.
+    pub fn open_at(dir: impl Into<PathBuf>) -> Self {
+        let dir = dir.into();
+        let _ = std::fs::create_dir_all(&dir);
+        CellCache { dir }
+    }
+
+    fn path(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{key}.json"))
+    }
+
+    fn cached(
+        &self,
+        key: &str,
+        compute: impl FnOnce() -> Result<CellResult, NnError>,
+    ) -> Result<CellResult, NnError> {
+        let path = self.path(key);
+        if let Ok(bytes) = std::fs::read(&path) {
+            if let Ok(r) = serde_json::from_slice::<CellResult>(&bytes) {
+                return Ok(r);
+            }
         }
+        let r = compute()?;
+        if let Ok(bytes) = serde_json::to_vec(&r) {
+            let _ = std::fs::write(&path, bytes);
+        }
+        Ok(r)
     }
-    let r = compute()?;
-    if let Ok(bytes) = serde_json::to_vec(&r) {
-        let _ = std::fs::write(&path, bytes);
-    }
-    Ok(r)
 }
 
-/// [`run_attack_cell`] with a persistent on-disk cache keyed by every input,
-/// so table/figure binaries share work across invocations.
+/// [`run_attack_cell`] through a [`CellCache`]. Cache hits beat once and
+/// return without running anything.
+#[allow(clippy::too_many_arguments)]
 pub fn run_attack_cell_cached(
+    cache: &CellCache,
     task: TaskId,
     method: DefenseMethod,
     victim: &GaussianPolicy,
     kind: AttackKind,
     budget: &Budget,
     seed: u64,
+    progress: &Progress,
 ) -> Result<CellResult, NnError> {
     let key = format!(
         "sa_{task:?}_{method:?}_{}_{}_{seed}",
@@ -463,8 +596,8 @@ pub fn run_attack_cell_cached(
         budget.name
     );
     let key = key.replace(['"', ' ', '+'], "_");
-    cached_cell(&key, || {
-        let (eval, outcome) = run_attack_cell(task, victim, kind, budget, seed)?;
+    cache.cached(&key, || {
+        let (eval, outcome) = run_attack_cell(task, victim, kind, budget, seed, progress)?;
         Ok(CellResult {
             eval,
             curve: outcome.map(|o| o.curve).unwrap_or_default(),
@@ -472,14 +605,17 @@ pub fn run_attack_cell_cached(
     })
 }
 
-/// [`run_multi_attack_cell`] with the same persistent cache.
+/// [`run_multi_attack_cell`] through the same persistent cache.
+#[allow(clippy::too_many_arguments)]
 pub fn run_multi_attack_cell_cached(
+    cache: &CellCache,
     game: MultiTaskId,
     victim: &GaussianPolicy,
     kind: AttackKind,
     budget: &Budget,
     seed: u64,
     xi: f64,
+    progress: &Progress,
 ) -> Result<CellResult, NnError> {
     let key = format!(
         "ma_{game:?}_{}_{}_{seed}_xi{:.2}",
@@ -488,8 +624,9 @@ pub fn run_multi_attack_cell_cached(
         xi
     );
     let key = key.replace(['"', ' ', '+'], "_");
-    cached_cell(&key, || {
-        let (eval, outcome) = run_multi_attack_cell(game, victim, kind, budget, seed, xi)?;
+    cache.cached(&key, || {
+        let (eval, outcome) =
+            run_multi_attack_cell(game, victim, kind, budget, seed, xi, progress)?;
         Ok(CellResult {
             eval,
             curve: outcome.map(|o| o.curve).unwrap_or_default(),
@@ -619,9 +756,14 @@ pub fn cell(mean: f64, std: f64, dense: bool) -> String {
     }
 }
 
+/// Formats a Markdown-ish table row.
+pub fn format_row(cells: &[String]) -> String {
+    format!("| {} |", cells.join(" | "))
+}
+
 /// Prints a Markdown-ish table row.
 pub fn print_row(cells: &[String]) {
-    println!("| {} |", cells.join(" | "));
+    println!("{}", format_row(cells));
 }
 
 #[cfg(test)]
@@ -633,6 +775,27 @@ mod tests {
     fn budgets_parse_from_env_default() {
         let b = Budget::from_env();
         assert!(b.name == "quick" || b.name == "full");
+    }
+
+    #[test]
+    fn budget_parse_rejects_typos_instead_of_defaulting() {
+        assert_eq!(Budget::parse(None).unwrap().name, "quick");
+        assert_eq!(Budget::parse(Some("quick")).unwrap().name, "quick");
+        assert_eq!(Budget::parse(Some("full")).unwrap().name, "full");
+        // The bug this guards against: `IMAP_BUDGET=ful` silently running
+        // the quick budget.
+        assert!(Budget::parse(Some("ful")).is_err());
+        assert!(Budget::parse(Some("Full")).is_err());
+        assert!(Budget::parse(Some("")).is_err());
+    }
+
+    #[test]
+    fn seed_parse_rejects_garbage_instead_of_defaulting() {
+        assert_eq!(parse_seed(None).unwrap(), 17);
+        assert_eq!(parse_seed(Some("42")).unwrap(), 42);
+        assert_eq!(parse_seed(Some(" 7 ")).unwrap(), 7);
+        assert!(parse_seed(Some("seventeen")).is_err());
+        assert!(parse_seed(Some("-3")).is_err());
     }
 
     #[test]

@@ -1,0 +1,299 @@
+//! Table 1 as a library: the dense-task victim × attack grid, executed on
+//! the supervised sweep pool and rendered to a string.
+//!
+//! The binary (`--bin table1`) is a thin wrapper; tests drive this module
+//! directly with a tiny budget and isolated cache directories to prove
+//! that parallel and serial sweeps produce identical output.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use imap_defense::DefenseMethod;
+use imap_env::TaskId;
+use imap_harness::JobStatus;
+use imap_rl::GaussianPolicy;
+use imap_telemetry::Telemetry;
+
+use crate::exec::{dep_skip_reason, run_sweep, SweepCell, SweepConfig, SweepReport};
+use crate::{
+    cell, format_row, record_cell, run_attack_cell_cached, AttackKind, Budget, CellCache,
+    CellResult, VictimCache,
+};
+
+/// Everything a Table 1 run needs beyond the telemetry handle.
+pub struct Table1Options {
+    /// Compute budget for victims, attacks, and evaluation.
+    pub budget: Budget,
+    /// Base seed; every cell starts from it on attempt 0.
+    pub seed: u64,
+    /// Pool sizing and supervision policy.
+    pub sweep: SweepConfig,
+    /// Task rows (default: the four dense locomotion tasks).
+    pub tasks: Vec<TaskId>,
+    /// Victim methods per task; `None` uses the paper's rows (all six,
+    /// but Ant carries only PPO/ATLA/SA/ATLA-SA).
+    pub methods: Option<Vec<DefenseMethod>>,
+    /// Attack columns (default: the seven Table 1 columns).
+    pub columns: Vec<AttackKind>,
+    /// Victim cache (shared across binaries in normal runs; tests point
+    /// it at a temp dir).
+    pub victims: Arc<VictimCache>,
+    /// Finished-cell cache.
+    pub cells: Arc<CellCache>,
+}
+
+impl Table1Options {
+    /// The defaults used by the `table1` binary.
+    pub fn new(budget: Budget, seed: u64, sweep: SweepConfig) -> Self {
+        Table1Options {
+            budget,
+            seed,
+            sweep,
+            tasks: TaskId::DENSE.to_vec(),
+            methods: None,
+            columns: AttackKind::table1_columns(),
+            victims: Arc::new(VictimCache::open()),
+            cells: Arc::new(CellCache::open()),
+        }
+    }
+
+    fn methods_for(&self, task: TaskId) -> Vec<DefenseMethod> {
+        if let Some(methods) = &self.methods {
+            return methods.clone();
+        }
+        if task == TaskId::Ant {
+            vec![
+                DefenseMethod::Ppo,
+                DefenseMethod::Atla,
+                DefenseMethod::Sa,
+                DefenseMethod::AtlaSa,
+            ]
+        } else {
+            DefenseMethod::ALL.to_vec()
+        }
+    }
+}
+
+/// What a non-`ok` cell renders as in the table body.
+fn failure_text<T>(status: &JobStatus<T>) -> &'static str {
+    match status {
+        JobStatus::Ok(_) => unreachable!("only failures render placeholder text"),
+        JobStatus::Error { .. } => "failed",
+        JobStatus::Timeout { .. } => "timeout",
+        JobStatus::Skipped { .. } => "skipped",
+    }
+}
+
+/// Runs the Table 1 grid under sweep supervision and returns the rendered
+/// table. Victims train first (one sweep stage), then every attack cell
+/// runs as its own supervised job; cells whose victim failed become
+/// `status=skipped` rows. `report` accumulates both stages' outcomes.
+pub fn run(tel: &Telemetry, opts: &Table1Options, report: &mut SweepReport) -> String {
+    let budget = &opts.budget;
+    let columns = &opts.columns;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# Table 1 — dense-reward tasks (budget: {})",
+        budget.name
+    );
+    let _ = writeln!(out);
+    let mut header = vec!["Env".to_string(), "Victim".to_string()];
+    header.extend(columns.iter().map(|k| k.label()));
+    let _ = writeln!(out, "{}", format_row(&header));
+
+    // Stage 1: the victim zoo. One supervised job per (task, method).
+    let pairs: Vec<(TaskId, DefenseMethod)> = opts
+        .tasks
+        .iter()
+        .flat_map(|&task| opts.methods_for(task).into_iter().map(move |m| (task, m)))
+        .collect();
+    let victim_cells: Vec<SweepCell<GaussianPolicy>> = pairs
+        .iter()
+        .map(|&(task, method)| {
+            let tags = [
+                ("task", task.spec().name),
+                ("victim", method.name()),
+                ("stage", "victim_train"),
+            ];
+            let tel = tel.clone();
+            let victims = Arc::clone(&opts.victims);
+            let budget = budget.clone();
+            SweepCell::new(
+                format!("victim {} {}", task.spec().name, method.name()),
+                &tags,
+                opts.seed,
+                move |ctx| {
+                    let _t = tel.span("victim_train");
+                    victims.victim_supervised(&tel, task, method, &budget, ctx.seed, &ctx.progress)
+                },
+            )
+        })
+        .collect();
+    let victim_out = run_sweep(tel, &opts.sweep, victim_cells, report, |_, _| {});
+    let victims: Vec<Option<Arc<GaussianPolicy>>> = victim_out
+        .iter()
+        .map(|s| s.ok().map(|p| Arc::new(p.clone())))
+        .collect();
+
+    // Stage 2: the attack grid, row-major so committed order matches the
+    // rendered table.
+    let attack_cells: Vec<SweepCell<CellResult>> = pairs
+        .iter()
+        .enumerate()
+        .flat_map(|(pi, &(task, method))| {
+            let victim = victims[pi].clone();
+            let dep = dep_skip_reason(&victim_out[pi]);
+            columns.iter().map(move |&kind| {
+                let label = kind.label();
+                let cell_label = format!("{} {} {}", task.spec().name, method.name(), label);
+                let tags = [
+                    ("task", task.spec().name),
+                    ("victim", method.name()),
+                    ("attack", label.as_str()),
+                ];
+                match (&victim, &dep) {
+                    (Some(victim), None) => {
+                        let tel = tel.clone();
+                        let victim = Arc::clone(victim);
+                        let cells = Arc::clone(&opts.cells);
+                        let budget = budget.clone();
+                        SweepCell::new(cell_label, &tags, opts.seed, move |ctx| {
+                            let _t = tel.span("attack_cell");
+                            run_attack_cell_cached(
+                                &cells,
+                                task,
+                                method,
+                                &victim,
+                                kind,
+                                &budget,
+                                ctx.seed,
+                                &ctx.progress,
+                            )
+                        })
+                    }
+                    (_, reason) => SweepCell::skipped(
+                        cell_label,
+                        &tags,
+                        reason.clone().unwrap_or_else(|| "victim_missing".into()),
+                    ),
+                }
+            })
+        })
+        .collect();
+    let tel_ok = tel.clone();
+    let outcomes = run_sweep(tel, &opts.sweep, attack_cells, report, |tags, result| {
+        record_cell(&tel_ok, tags, result);
+    });
+
+    // Rendering: consume the committed outcomes in table order.
+    let mut col_sums = vec![0.0; columns.len()];
+    let mut col_counts = vec![0usize; columns.len()];
+    let mut wocar_rows: Vec<(TaskId, Vec<f64>)> = Vec::new();
+    let mut best_imap_wins = 0usize;
+    let mut rows = 0usize;
+    let mut pi = 0usize;
+    for &task in &opts.tasks {
+        let methods = opts.methods_for(task);
+        let mut task_col_sums = vec![0.0; columns.len()];
+        let mut task_col_counts = vec![0usize; columns.len()];
+        for &method in &methods {
+            if victims[pi].is_none() {
+                // The victim never materialized; its attack cells are
+                // skipped rows and the table omits the row entirely.
+                pi += 1;
+                continue;
+            }
+            let mut row = vec![
+                format!("{} (ε={})", task.spec().name, task.spec().eps),
+                method.name().to_string(),
+            ];
+            let mut values = Vec::with_capacity(columns.len());
+            for (ci, _) in columns.iter().enumerate() {
+                let status = &outcomes[pi * columns.len() + ci];
+                match status.ok() {
+                    Some(r) => {
+                        row.push(cell(r.eval.victim_return, r.eval.victim_return_std, true));
+                        values.push(r.eval.victim_return);
+                        col_sums[ci] += r.eval.victim_return;
+                        col_counts[ci] += 1;
+                        task_col_sums[ci] += r.eval.victim_return;
+                        task_col_counts[ci] += 1;
+                    }
+                    None => {
+                        row.push(failure_text(status).to_string());
+                        values.push(f64::NAN);
+                    }
+                }
+            }
+            let _ = writeln!(out, "{}", format_row(&row));
+            // Bold-equivalent bookkeeping: does the best IMAP beat SA-RL?
+            // (Failed cells are NaN; `f64::min` skips them, and a row with
+            // a failed SA-RL cell is left out of the claim entirely.)
+            let sa_rl = values.get(2).copied().unwrap_or(f64::NAN);
+            let best_imap = values
+                .get(3..)
+                .unwrap_or(&[])
+                .iter()
+                .cloned()
+                .fold(f64::INFINITY, f64::min);
+            if sa_rl.is_finite() && best_imap.is_finite() {
+                rows += 1;
+                if best_imap <= sa_rl {
+                    best_imap_wins += 1;
+                }
+            }
+            if method == DefenseMethod::Wocar {
+                wocar_rows.push((task, values.clone()));
+            }
+            pi += 1;
+        }
+        let mut avg_row = vec![format!("{} avg", task.spec().name), String::new()];
+        avg_row.extend(
+            task_col_sums
+                .iter()
+                .zip(&task_col_counts)
+                .map(|(s, &n)| match n {
+                    0 => "failed".to_string(),
+                    _ => format!("{:>6.0}", s / n as f64),
+                }),
+        );
+        let _ = writeln!(out, "{}", format_row(&avg_row));
+    }
+
+    let _ = writeln!(out);
+    let _ = writeln!(out, "## Footer (paper §6.3.1 / §7 claims)");
+    let clean_avg = col_sums[0] / col_counts[0].max(1) as f64;
+    for (ci, kind) in columns.iter().enumerate().skip(2) {
+        if col_counts[ci] == 0 {
+            let _ = writeln!(out, "{:<10} all cells failed", kind.label());
+            continue;
+        }
+        let avg = col_sums[ci] / col_counts[ci] as f64;
+        let _ = writeln!(
+            out,
+            "{:<10} average across all victims: {:>7.0} ({:+.1}% vs clean)",
+            kind.label(),
+            avg,
+            100.0 * (avg - clean_avg) / clean_avg
+        );
+    }
+    let _ = writeln!(
+        out,
+        "Best-IMAP ≤ SA-RL on {best_imap_wins}/{rows} victim rows (paper: 15/22)."
+    );
+    for (task, values) in &wocar_rows {
+        let clean = values[0];
+        let best_imap = values[3..].iter().cloned().fold(f64::INFINITY, f64::min);
+        if !clean.is_finite() || !best_imap.is_finite() {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "WocaR {} reduced by {:.0}% under the best IMAP (paper: 34–54%).",
+            task.spec().name,
+            100.0 * (clean - best_imap) / clean.max(1e-9)
+        );
+    }
+    out
+}

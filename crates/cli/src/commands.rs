@@ -11,7 +11,9 @@ use imap_core::{ImapConfig, ImapTrainer};
 use imap_defense::{train_victim_resilient, DefenseMethod, VictimBudget};
 use imap_env::{build_task, EnvRng, TaskId};
 use imap_rl::checkpoint::{self, read_checkpoint, write_checkpoint, CheckpointError, StateDict};
-use imap_rl::{GaussianPolicy, PpoConfig, ResilienceConfig, TrainConfig};
+use imap_rl::{
+    cancel_after, CancelToken, GaussianPolicy, PpoConfig, Progress, ResilienceConfig, TrainConfig,
+};
 use imap_telemetry::{RunManifest, Telemetry};
 use rand::SeedableRng;
 
@@ -154,12 +156,33 @@ pub fn save_policy(path: &str, policy: &GaussianPolicy) -> Result<(), CliError> 
 }
 
 /// Assembles the [`ResilienceConfig`] from the shared
-/// `--checkpoint-dir`/`--checkpoint-every`/`--resume` flags.
+/// `--checkpoint-dir`/`--checkpoint-every`/`--resume`/`--time-limit` flags.
+///
+/// `--time-limit <secs>` arms a background timer that trips the same
+/// cooperative [`CancelToken`] the sweep supervisor uses: the trainer
+/// unwinds cleanly at the next heartbeat check (checkpoints, if enabled,
+/// stay valid for `--resume`).
 fn resilience_from_args(args: &Args) -> Result<ResilienceConfig, CliError> {
+    let progress = match args.optional("time-limit") {
+        Some(_) => {
+            let secs: f64 = args.get_or("time-limit", 0.0)?;
+            if secs <= 0.0 || secs.is_nan() {
+                return Err(CliError::Unknown(format!(
+                    "--time-limit must be a positive number of seconds, got {:?}",
+                    args.optional("time-limit").unwrap_or_default()
+                )));
+            }
+            let token = CancelToken::new();
+            cancel_after(token.clone(), std::time::Duration::from_secs_f64(secs));
+            Progress::supervised(token)
+        }
+        None => Progress::null(),
+    };
     Ok(ResilienceConfig {
         checkpoint_dir: args.optional("checkpoint-dir").map(PathBuf::from),
         checkpoint_every: args.get_or("checkpoint-every", 1usize)?,
         resume: args.has_switch("resume"),
+        progress,
         ..ResilienceConfig::default()
     })
 }
@@ -188,12 +211,14 @@ USAGE:
   imap train-victim --task <task> [--method ppo|atla|sa|atla-sa|radial|wocar]
                     [--budget quick|full] [--seed N] [--telemetry <dir>]
                     [--checkpoint-dir <dir>] [--checkpoint-every N] [--resume]
+                    [--time-limit <secs>]
                     --out <victim.policy>
   imap attack       --task <task> --victim <victim.policy>
                     [--regularizer sc|pc|r|d] [--br] [--baseline]
                     [--iters N] [--steps N] [--seed N] [--eps E]
                     [--telemetry <dir>]
                     [--checkpoint-dir <dir>] [--checkpoint-every N] [--resume]
+                    [--time-limit <secs>]
                     --out <adversary.policy>
   imap eval         --task <task> --victim <victim.policy>
                     [--adversary <adversary.policy> | --random | --mad | --fgsm]
@@ -207,6 +232,10 @@ breakdown on exit.
 (every `--checkpoint-every` iterations, default 1) as versioned,
 checksummed `.ckpt` files; `--resume` restores the latest one and
 continues, reproducing the uninterrupted run bitwise.
+
+`--time-limit <secs>` cancels training cooperatively after the given
+wall-clock budget (the run exits with a 'training cancelled by
+supervisor' error; checkpoints written so far remain resumable).
 ";
 
 /// Builds the run's telemetry handle: a JSONL sink rooted at the

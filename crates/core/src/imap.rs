@@ -24,8 +24,8 @@ use imap_rl::checkpoint::{
 use imap_rl::gae::normalize_advantages;
 use imap_rl::train::{advantages_for, mean_episode_length, samples_from, IterationStats};
 use imap_rl::{
-    collect_rollout, update_policy, update_value, DivergenceGuard, GaussianPolicy, TrainConfig,
-    ValueFn,
+    collect_rollout_supervised, heartbeat, update_policy, update_value, DivergenceGuard,
+    GaussianPolicy, TrainConfig, ValueFn,
 };
 use rand::SeedableRng;
 
@@ -312,19 +312,23 @@ impl ImapRunner {
     pub fn iterate(&mut self, env: &mut dyn Env) -> Result<(CurvePoint, IterationStats), NnError> {
         let cfg = &self.cfg.train;
         let tel = cfg.telemetry.clone();
+        let progress = cfg.resilience.progress.clone();
+        heartbeat(&progress)?;
 
         // --- Sampling stage ---
         let buffer = {
             let _t = tel.span("collect_rollout");
-            collect_rollout(
+            collect_rollout_supervised(
                 env,
                 &mut self.policy,
                 cfg.steps_per_iter,
                 true,
                 &mut self.rng,
+                &progress,
             )?
         };
         self.total_steps += buffer.len();
+        heartbeat(&progress)?;
 
         // --- Optimizing stage ---
         let rewards_e: Vec<f64> = buffer.steps.iter().map(|s| s.reward).collect();
@@ -370,6 +374,7 @@ impl ImapRunner {
                 &mut self.rng,
             )?
         };
+        heartbeat(&progress)?;
         {
             let _t = tel.span("update_value");
             update_value(

@@ -216,6 +216,7 @@ impl AtlaTrainer {
                         checkpoint_every: 0,
                         resume: false,
                         guard: res.guard.clone(),
+                        progress: res.progress.clone(),
                     },
                     ..self.cfg.train.clone()
                 };

@@ -18,8 +18,8 @@ use imap_rl::checkpoint::{
 use imap_rl::gae::normalize_advantages;
 use imap_rl::train::{advantages_for, mean_episode_length, samples_from, IterationStats};
 use imap_rl::{
-    collect_rollout, update_policy, update_value, DivergenceGuard, GaussianPolicy, PpoRunner,
-    TrainConfig, ValueFn,
+    collect_rollout_supervised, heartbeat, update_policy, update_value, DivergenceGuard,
+    GaussianPolicy, PpoRunner, TrainConfig, ValueFn,
 };
 use rand::SeedableRng;
 
@@ -166,17 +166,21 @@ impl WocarRunner {
     pub fn iterate(&mut self, env: &mut dyn Env) -> Result<IterationStats, NnError> {
         let cfg = &self.cfg.train;
         let tel = cfg.telemetry.clone();
+        let progress = cfg.resilience.progress.clone();
+        heartbeat(&progress)?;
         let buffer = {
             let _t = tel.span("collect_rollout");
-            collect_rollout(
+            collect_rollout_supervised(
                 env,
                 &mut self.policy,
                 cfg.steps_per_iter,
                 true,
                 &mut self.rng,
+                &progress,
             )?
         };
         self.total_steps += buffer.len();
+        heartbeat(&progress)?;
         let rewards: Vec<f64> = buffer.steps.iter().map(|s| s.reward).collect();
         // Sound per-state worst-case output deviation via IBP; the raw
         // ε ball is expressed per-dimension in normalized coordinates.
@@ -227,6 +231,7 @@ impl WocarRunner {
                 &mut self.rng,
             )?
         };
+        heartbeat(&progress)?;
         {
             let _t = tel.span("update_value");
             update_value(

@@ -1,10 +1,15 @@
 //! Fault injection for resilience testing.
 //!
 //! [`FaultyEnv`] wraps any [`Env`] and injects a scheduled fault — a panic,
-//! a NaN observation, or a NaN reward — at a chosen global step count. The
-//! resilience layer (checkpoint/resume, divergence guards, fault-isolated
-//! bench cells) is proved against these injected faults under test rather
-//! than waiting for a real blowup hours into a sweep.
+//! a NaN observation, a NaN reward, a hang, or an artificial slowdown — at
+//! a chosen global step count. The resilience layer (checkpoint/resume,
+//! divergence guards, fault-isolated bench cells, the sweep supervisor's
+//! stall watchdog) is proved against these injected faults under test
+//! rather than waiting for a real blowup hours into a sweep.
+
+use std::time::Duration;
+
+use imap_harness::CancelToken;
 
 use crate::env::{Env, EnvRng, Step};
 
@@ -17,6 +22,16 @@ pub enum FaultKind {
     NanObservation,
     /// The returned reward is NaN (models a numeric blowup).
     NanReward,
+    /// [`Env::step`] blocks (models a deadlocked simulator). With a token
+    /// installed via [`FaultyEnv::with_cancel`], the block polls it and
+    /// panics out once cancelled — the deterministic stand-in for killing
+    /// a wedged simulator process; without one it blocks until the worker
+    /// thread is abandoned. Exists so watchdog/timeout paths are testable
+    /// without flaky sleeps in test code.
+    Hang,
+    /// [`Env::step`] sleeps for the given duration before stepping
+    /// normally (models a degraded simulator; dynamics are unchanged).
+    SlowStep(Duration),
 }
 
 /// When and how often the fault fires.
@@ -52,6 +67,7 @@ pub struct FaultyEnv<E> {
     plan: FaultPlan,
     steps: usize,
     fires: usize,
+    cancel: Option<CancelToken>,
 }
 
 impl<E: Env> FaultyEnv<E> {
@@ -62,7 +78,16 @@ impl<E: Env> FaultyEnv<E> {
             plan,
             steps: 0,
             fires: 0,
+            cancel: None,
         }
+    }
+
+    /// Installs the supervisor's cancel token so a [`FaultKind::Hang`]
+    /// fault unblocks (by panicking) once the cell is cancelled, instead
+    /// of blocking its worker thread forever.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
     }
 
     /// Total steps taken across all episodes.
@@ -100,28 +125,41 @@ impl<E: Env> Env for FaultyEnv<E> {
 
     fn step(&mut self, action: &[f64], rng: &mut EnvRng) -> Step {
         self.steps += 1;
-        let mut step = if self.should_fire() && self.plan.kind == FaultKind::Panic {
-            self.fires += 1;
-            panic!(
+        if !self.should_fire() {
+            return self.inner.step(action, rng);
+        }
+        self.fires += 1;
+        match self.plan.kind {
+            FaultKind::Panic => panic!(
                 "injected fault: simulated environment crash at step {}",
                 self.steps
-            );
-        } else {
-            self.inner.step(action, rng)
-        };
-        if self.should_fire() {
-            self.fires += 1;
-            match self.plan.kind {
-                FaultKind::Panic => unreachable!("handled above"),
-                FaultKind::NanObservation => {
-                    for v in &mut step.obs {
-                        *v = f64::NAN;
-                    }
+            ),
+            FaultKind::Hang => loop {
+                if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+                    panic!(
+                        "injected fault: hung environment cancelled at step {}",
+                        self.steps
+                    );
                 }
-                FaultKind::NanReward => step.reward = f64::NAN,
+                std::thread::sleep(Duration::from_millis(1));
+            },
+            FaultKind::SlowStep(delay) => {
+                std::thread::sleep(delay);
+                self.inner.step(action, rng)
+            }
+            FaultKind::NanObservation => {
+                let mut step = self.inner.step(action, rng);
+                for v in &mut step.obs {
+                    *v = f64::NAN;
+                }
+                step
+            }
+            FaultKind::NanReward => {
+                let mut step = self.inner.step(action, rng);
+                step.reward = f64::NAN;
+                step
             }
         }
-        step
     }
 
     fn state_summary(&self) -> Vec<f64> {
@@ -180,6 +218,47 @@ mod tests {
             roll(&mut faulty, &mut rng, 10);
         });
         assert!(result.is_err(), "scheduled panic should propagate");
+    }
+
+    #[test]
+    fn slow_step_preserves_dynamics_bit_for_bit() {
+        let mut plain = Hopper::new();
+        let mut slow = FaultyEnv::new(
+            Hopper::new(),
+            FaultPlan {
+                kind: FaultKind::SlowStep(Duration::from_millis(5)),
+                at_step: 3,
+                max_fires: 2,
+            },
+        );
+        let mut rng1 = EnvRng::seed_from_u64(8);
+        let mut rng2 = EnvRng::seed_from_u64(8);
+        let a = roll(&mut plain, &mut rng1, 6);
+        let start = std::time::Instant::now();
+        let b = roll(&mut slow, &mut rng2, 6);
+        assert_eq!(a, b, "SlowStep must not perturb the trajectory");
+        assert_eq!(slow.fires(), 2);
+        assert!(start.elapsed() >= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn hang_unblocks_by_panicking_once_cancelled() {
+        use imap_harness::CancelToken;
+
+        let token = CancelToken::new();
+        let t = token.clone();
+        let worker = std::thread::spawn(move || {
+            std::panic::catch_unwind(move || {
+                let mut env = FaultyEnv::new(Hopper::new(), FaultPlan::once(FaultKind::Hang, 2))
+                    .with_cancel(t);
+                let mut rng = EnvRng::seed_from_u64(9);
+                roll(&mut env, &mut rng, 5);
+            })
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        token.cancel();
+        let result = worker.join().expect("worker thread must not be wedged");
+        assert!(result.is_err(), "cancelled hang must panic out of step()");
     }
 
     #[test]

@@ -1,0 +1,83 @@
+//! Cooperative cancellation.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A shared cancellation flag.
+///
+/// The supervisor trips the token; training loops poll it (via
+/// [`crate::Progress::is_cancelled`]) and unwind cooperatively. Cloning is
+/// cheap and all clones observe the same flag.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, untripped token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Trips the token. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether the token has been tripped.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// Trips `token` after `delay` from a detached watchdog thread.
+///
+/// Used for wall-clock limits on otherwise unsupervised runs (e.g. the
+/// CLI's `--time-limit`). The thread is deliberately leaked: it holds only
+/// the token and exits right after tripping it.
+pub fn cancel_after(token: CancelToken, delay: Duration) {
+    let armed = token.clone();
+    let spawned = std::thread::Builder::new()
+        .name("cancel-after".into())
+        .spawn(move || {
+            std::thread::sleep(delay);
+            armed.cancel();
+        });
+    if let Err(e) = spawned {
+        // Out of threads: degrade to an immediate cancel rather than
+        // silently dropping the time limit.
+        eprintln!("warning: could not spawn time-limit watchdog ({e}); cancelling now");
+        token.cancel();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!a.is_cancelled());
+        b.cancel();
+        assert!(a.is_cancelled());
+        a.cancel(); // idempotent
+        assert!(b.is_cancelled());
+    }
+
+    #[test]
+    fn cancel_after_trips_eventually() {
+        let t = CancelToken::new();
+        cancel_after(t.clone(), Duration::from_millis(10));
+        let start = std::time::Instant::now();
+        while !t.is_cancelled() {
+            assert!(
+                start.elapsed() < Duration::from_secs(5),
+                "watchdog never fired"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+}

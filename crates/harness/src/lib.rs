@@ -1,0 +1,31 @@
+//! Supervised parallel execution for experiment sweeps.
+//!
+//! The paper's evaluation is a grid of independent cells (train an
+//! adversary, evaluate a victim, …). This crate runs such cells on a pool
+//! of OS threads under a supervision contract:
+//!
+//! 1. every cell carries a [`Progress`] handle and publishes heartbeats
+//!    from its inner training loops;
+//! 2. a supervisor watches the heartbeats and trips a cooperative
+//!    [`CancelToken`] when a cell stalls for longer than the configured
+//!    timeout;
+//! 3. a cell that ignores cancellation past a hard grace period is
+//!    abandoned (its thread is leaked) and recorded as `timeout`;
+//! 4. transient failures are retried with exponential backoff and derived
+//!    seeds before becoming a permanent `error`;
+//! 5. a global sweep deadline cancels in-flight cells and marks unstarted
+//!    ones `skipped`.
+//!
+//! Results are committed in submission order regardless of completion
+//! order, so a parallel sweep renders byte-identical tables to a serial
+//! one.
+
+mod cancel;
+mod pool;
+mod progress;
+mod retry;
+
+pub use cancel::{cancel_after, CancelToken};
+pub use pool::{default_jobs, run_supervised, Job, JobCtx, JobStatus, PoolConfig};
+pub use progress::Progress;
+pub use retry::{backoff_delay, derive_seed, fnv1a};

@@ -1,0 +1,826 @@
+//! The supervised worker pool.
+//!
+//! [`run_supervised`] executes a batch of jobs on up to `PoolConfig::jobs`
+//! OS threads. The calling thread acts as supervisor: it launches workers,
+//! watches heartbeats, trips cancellation on stalls, retries transient
+//! failures with backoff, enforces the global sweep deadline, and commits
+//! results strictly in submission order.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use imap_telemetry::Telemetry;
+
+use crate::cancel::CancelToken;
+use crate::progress::Progress;
+use crate::retry::{backoff_delay, derive_seed};
+
+/// Per-attempt context handed to a job closure.
+#[derive(Debug, Clone)]
+pub struct JobCtx {
+    /// Index of the job in the submitted batch (also the commit position).
+    pub index: usize,
+    /// Zero-based attempt number.
+    pub attempt: u32,
+    /// Seed for this attempt: the base seed on attempt 0, a derived seed
+    /// on retries. See [`crate::derive_seed`].
+    pub seed: u64,
+    /// The supervisor's cancellation flag for this attempt.
+    pub cancel: CancelToken,
+    /// The heartbeat handle the job must thread into its training loops.
+    pub progress: Progress,
+}
+
+/// One unit of sweep work.
+pub struct Job<T> {
+    /// Stable human-readable label (telemetry, stall reports, seed salt).
+    pub label: String,
+    /// Base seed; attempt 0 uses it verbatim.
+    pub seed: u64,
+    /// Salt mixed into retry seeds (normally `fnv1a(label)`).
+    pub salt: u64,
+    /// When set, the job never runs and commits as `Skipped` with this
+    /// reason (used for cells whose dependency — e.g. a victim — failed).
+    pub skip: Option<String>,
+    /// The work itself. Must honour `ctx.cancel`/`ctx.progress` to be
+    /// cancellable; a job that ignores them is abandoned on timeout.
+    #[allow(clippy::type_complexity)]
+    pub run: Box<dyn Fn(&JobCtx) -> Result<T, String> + Send + Sync>,
+}
+
+impl<T> Job<T> {
+    /// A runnable job; the retry-seed salt is derived from the label.
+    pub fn new(
+        label: impl Into<String>,
+        seed: u64,
+        run: impl Fn(&JobCtx) -> Result<T, String> + Send + Sync + 'static,
+    ) -> Self {
+        let label = label.into();
+        let salt = crate::retry::fnv1a(&label);
+        Job {
+            label,
+            seed,
+            salt,
+            skip: None,
+            run: Box::new(run),
+        }
+    }
+
+    /// A job that is committed as `Skipped` without running.
+    pub fn skipped(label: impl Into<String>, reason: impl Into<String>) -> Self {
+        Job {
+            label: label.into(),
+            seed: 0,
+            salt: 0,
+            skip: Some(reason.into()),
+            run: Box::new(|_| Err("skipped job must not run".into())),
+        }
+    }
+}
+
+/// Final outcome of one job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobStatus<T> {
+    /// The job completed.
+    Ok(T),
+    /// Every attempt failed; `message` is from the last attempt.
+    Error {
+        /// Failure description from the final attempt.
+        message: String,
+        /// Total attempts made.
+        attempts: u32,
+    },
+    /// The job stalled (no heartbeats for the stall timeout) and was
+    /// cancelled or abandoned. Timeouts are final: a stalled cell is not
+    /// retried, because a hang is not a transient failure.
+    Timeout {
+        /// Attempts made including the one that stalled.
+        attempts: u32,
+    },
+    /// The job never produced a result: either pre-skipped or overtaken by
+    /// the sweep deadline.
+    Skipped {
+        /// Why the job was skipped (e.g. `sweep_deadline`).
+        reason: String,
+    },
+}
+
+impl<T> JobStatus<T> {
+    /// Canonical status name (`ok`/`error`/`timeout`/`skipped`), matching
+    /// the `status` tag recorded in telemetry rows.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobStatus::Ok(_) => "ok",
+            JobStatus::Error { .. } => "error",
+            JobStatus::Timeout { .. } => "timeout",
+            JobStatus::Skipped { .. } => "skipped",
+        }
+    }
+
+    /// The payload, for `Ok` outcomes.
+    pub fn ok(&self) -> Option<&T> {
+        match self {
+            JobStatus::Ok(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Attempts consumed (0 for skipped jobs).
+    pub fn attempts(&self) -> u32 {
+        match self {
+            JobStatus::Ok(_) => 1,
+            JobStatus::Error { attempts, .. } | JobStatus::Timeout { attempts } => *attempts,
+            JobStatus::Skipped { .. } => 0,
+        }
+    }
+}
+
+/// Pool sizing, supervision timeouts, and retry policy.
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Worker threads (`--jobs` / `IMAP_MAX_PARALLEL`).
+    pub jobs: usize,
+    /// Heartbeat silence after which a cell is declared stalled and its
+    /// token tripped (`IMAP_CELL_TIMEOUT`).
+    pub stall_timeout: Duration,
+    /// Grace period after cancellation before an unresponsive cell's
+    /// thread is abandoned.
+    pub hard_grace: Duration,
+    /// Maximum attempts per job (1 = no retries).
+    pub max_attempts: u32,
+    /// Base delay of the exponential retry backoff.
+    pub backoff_base: Duration,
+    /// Global sweep deadline, measured from the start of the run. On
+    /// expiry, queued jobs are skipped and running ones cancelled.
+    pub deadline: Option<Duration>,
+    /// Abort the sweep on the first permanent error (`--fail-fast`):
+    /// remaining queued jobs are skipped, in-flight ones cancelled.
+    pub fail_fast: bool,
+    /// Supervisor poll interval.
+    pub tick: Duration,
+    /// Sink for `pool`-phase telemetry rows.
+    pub telemetry: Telemetry,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            jobs: default_jobs(),
+            stall_timeout: Duration::from_secs(600),
+            hard_grace: Duration::from_secs(5),
+            max_attempts: 3,
+            backoff_base: Duration::from_millis(250),
+            deadline: None,
+            fail_fast: false,
+            tick: Duration::from_millis(20),
+            telemetry: Telemetry::null(),
+        }
+    }
+}
+
+/// Default worker count: the machine's available parallelism.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Why a running attempt was cancelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CancelCause {
+    Stall,
+    Deadline,
+    FailFast,
+}
+
+enum Slot {
+    /// Waiting to run (possibly in retry backoff).
+    Queued { ready_at: Instant, attempt: u32 },
+    Running {
+        attempt: u32,
+        started: Instant,
+        progress: Progress,
+        cancel: CancelToken,
+        /// Set once the supervisor has tripped `cancel`.
+        cancelled: Option<(CancelCause, Instant)>,
+    },
+    /// Finished (result parked in `statuses`), not yet committed.
+    Done,
+    /// Committed through `on_commit`.
+    Committed,
+    /// Thread abandoned; late results for this slot are ignored.
+    Abandoned,
+}
+
+/// Runs `jobs` under supervision and returns one [`JobStatus`] per job, in
+/// submission order. `on_commit(index, status)` fires exactly once per job,
+/// strictly in index order, regardless of completion order — this is where
+/// callers render table cells and record deterministic telemetry rows.
+///
+/// Abandoned threads are leaked by design: there is no safe way to kill an
+/// OS thread, so a cell that ignores cooperative cancellation keeps its
+/// thread until process exit, and the sweep moves on without it.
+pub fn run_supervised<T: Send + 'static>(
+    cfg: &PoolConfig,
+    jobs: Vec<Job<T>>,
+    mut on_commit: impl FnMut(usize, &JobStatus<T>),
+) -> Vec<JobStatus<T>> {
+    let start = Instant::now();
+    let tel = &cfg.telemetry;
+    let n = jobs.len();
+    let jobs: Vec<Arc<Job<T>>> = jobs.into_iter().map(Arc::new).collect();
+    let workers = cfg.jobs.max(1);
+    let deadline = cfg.deadline.map(|d| start + d);
+    let (tx, rx) = mpsc::channel::<(usize, u32, Result<T, String>)>();
+
+    let mut slots: Vec<Slot> = Vec::with_capacity(n);
+    let mut statuses: Vec<Option<JobStatus<T>>> = Vec::with_capacity(n);
+    for job in &jobs {
+        match &job.skip {
+            Some(reason) => {
+                slots.push(Slot::Done);
+                statuses.push(Some(JobStatus::Skipped {
+                    reason: reason.clone(),
+                }));
+            }
+            None => {
+                slots.push(Slot::Queued {
+                    ready_at: start,
+                    attempt: 0,
+                });
+                statuses.push(None);
+            }
+        }
+    }
+
+    let mut in_flight = 0usize;
+    let mut committed = 0usize;
+    let mut next_commit = 0usize;
+    let mut sweep_cut: Option<CancelCause> = None; // deadline or fail-fast tripped
+    let mut attempts_total = 0u64;
+    let mut retries = 0u64;
+    let mut timeouts = 0u64;
+    let mut abandoned = 0u64;
+    let mut busy = Duration::ZERO;
+
+    let pool_event = |tel: &Telemetry,
+                      event: &str,
+                      label: &str,
+                      attempt: u32,
+                      queue_depth: usize,
+                      in_flight: usize| {
+        tel.record_full(
+            "pool",
+            u64::from(attempt),
+            &[
+                ("queue_depth", queue_depth as f64),
+                ("in_flight", in_flight as f64),
+            ],
+            &[],
+            &[("event", event), ("cell", label)],
+        );
+    };
+
+    while committed < n {
+        let now = Instant::now();
+
+        // Global cut: sweep deadline or fail-fast. Queued jobs are skipped,
+        // running jobs cancelled and given the hard grace to unwind.
+        let cut_due = match sweep_cut {
+            Some(_) => None,
+            None if cfg.fail_fast
+                && statuses
+                    .iter()
+                    .flatten()
+                    .any(|s| matches!(s, JobStatus::Error { .. })) =>
+            {
+                Some(CancelCause::FailFast)
+            }
+            None if deadline.is_some_and(|d| now >= d) => Some(CancelCause::Deadline),
+            None => None,
+        };
+        if let Some(cause) = cut_due {
+            sweep_cut = Some(cause);
+            let reason = match cause {
+                CancelCause::Deadline => "sweep_deadline",
+                CancelCause::FailFast => "fail_fast",
+                CancelCause::Stall => unreachable!("stall is never a sweep-level cut"),
+            };
+            for (idx, slot) in slots.iter_mut().enumerate() {
+                match slot {
+                    Slot::Queued { .. } => {
+                        *slot = Slot::Done;
+                        statuses[idx] = Some(JobStatus::Skipped {
+                            reason: reason.into(),
+                        });
+                    }
+                    Slot::Running {
+                        cancel, cancelled, ..
+                    } if cancelled.is_none() => {
+                        cancel.cancel();
+                        *cancelled = Some((cause, now + cfg.hard_grace));
+                    }
+                    _ => {}
+                }
+            }
+            pool_event(tel, reason, "*", 0, 0, in_flight);
+        }
+
+        // Launch eligible queued jobs into free worker slots.
+        if in_flight < workers && sweep_cut.is_none() {
+            for idx in 0..n {
+                if in_flight >= workers {
+                    break;
+                }
+                let Slot::Queued { ready_at, attempt } = &slots[idx] else {
+                    continue;
+                };
+                let (ready_at, attempt) = (*ready_at, *attempt);
+                if ready_at > now {
+                    continue;
+                }
+                let cancel = CancelToken::new();
+                let progress = Progress::supervised(cancel.clone());
+                let ctx = JobCtx {
+                    index: idx,
+                    attempt,
+                    seed: derive_seed(jobs[idx].seed, jobs[idx].salt, attempt),
+                    cancel: cancel.clone(),
+                    progress: progress.clone(),
+                };
+                let job = Arc::clone(&jobs[idx]);
+                let tx = tx.clone();
+                let spawn = std::thread::Builder::new()
+                    .name(format!("cell-{idx}-a{attempt}"))
+                    .spawn(move || {
+                        let result = catch_unwind(AssertUnwindSafe(|| (job.run)(&ctx)))
+                            .unwrap_or_else(|p| Err(format!("panic: {}", panic_message(&*p))));
+                        let _ = tx.send((idx, attempt, result));
+                    });
+                match spawn {
+                    Ok(_) => {
+                        attempts_total += 1;
+                        if attempt > 0 {
+                            retries += 1;
+                            pool_event(
+                                tel,
+                                "retry",
+                                &jobs[idx].label,
+                                attempt,
+                                queue_depth(&slots),
+                                in_flight + 1,
+                            );
+                        }
+                        in_flight += 1;
+                        slots[idx] = Slot::Running {
+                            attempt,
+                            started: now,
+                            progress,
+                            cancel,
+                            cancelled: None,
+                        };
+                    }
+                    Err(e) => {
+                        // Spawn failure is a permanent error for this job;
+                        // retrying would hit the same resource limit.
+                        slots[idx] = Slot::Done;
+                        statuses[idx] = Some(JobStatus::Error {
+                            message: format!("spawn failed: {e}"),
+                            attempts: attempt + 1,
+                        });
+                    }
+                }
+            }
+        }
+
+        // Watchdog: stall detection and abandonment.
+        for (idx, slot) in slots.iter_mut().enumerate() {
+            let Slot::Running {
+                attempt,
+                started,
+                progress,
+                cancel,
+                cancelled,
+            } = slot
+            else {
+                continue;
+            };
+            match cancelled {
+                None if progress.idle_for() > cfg.stall_timeout => {
+                    cancel.cancel();
+                    *cancelled = Some((CancelCause::Stall, now + cfg.hard_grace));
+                    eprintln!(
+                        "warning: cell stalled (no heartbeat for {:.1}s), cancelling: {}",
+                        cfg.stall_timeout.as_secs_f64(),
+                        jobs[idx].label
+                    );
+                    pool_event(tel, "stall", &jobs[idx].label, *attempt, 0, in_flight);
+                }
+                Some((cause, abandon_at)) if now >= *abandon_at => {
+                    // The cell ignored cooperative cancellation: leak its
+                    // thread and record the outcome.
+                    let cause = *cause;
+                    let attempts = *attempt + 1;
+                    busy += now.duration_since(*started);
+                    abandoned += 1;
+                    in_flight -= 1;
+                    pool_event(tel, "abandon", &jobs[idx].label, *attempt, 0, in_flight);
+                    statuses[idx] = Some(match cause {
+                        CancelCause::Stall => JobStatus::Timeout { attempts },
+                        CancelCause::Deadline => JobStatus::Skipped {
+                            reason: "sweep_deadline".into(),
+                        },
+                        CancelCause::FailFast => JobStatus::Skipped {
+                            reason: "fail_fast".into(),
+                        },
+                    });
+                    *slot = Slot::Abandoned;
+                }
+                _ => {}
+            }
+        }
+
+        // Drain one worker result (or tick).
+        if let Ok((idx, attempt, result)) = rx.recv_timeout(cfg.tick) {
+            let stale = !matches!(
+                &slots[idx],
+                Slot::Running { attempt: a, .. } if *a == attempt
+            );
+            if stale {
+                // A result from an abandoned attempt; the slot already has
+                // a final status. Drop the payload.
+                pool_event(tel, "late_result", &jobs[idx].label, attempt, 0, in_flight);
+            } else {
+                let Slot::Running {
+                    started, cancelled, ..
+                } = &slots[idx]
+                else {
+                    unreachable!("stale check guarantees a running slot");
+                };
+                busy += Instant::now().duration_since(*started);
+                let cancelled = cancelled.map(|(cause, _)| cause);
+                in_flight -= 1;
+                let status = match (result, cancelled) {
+                    // A cancelled attempt's outcome is decided by the
+                    // cancellation cause, even if the cell managed to
+                    // finish with Ok while the cut was in flight.
+                    (_, Some(CancelCause::Stall)) => {
+                        timeouts += 1;
+                        JobStatus::Timeout {
+                            attempts: attempt + 1,
+                        }
+                    }
+                    (_, Some(CancelCause::Deadline)) => JobStatus::Skipped {
+                        reason: "sweep_deadline".into(),
+                    },
+                    (_, Some(CancelCause::FailFast)) => JobStatus::Skipped {
+                        reason: "fail_fast".into(),
+                    },
+                    (Ok(v), None) => JobStatus::Ok(v),
+                    (Err(message), None) => {
+                        if attempt + 1 < cfg.max_attempts {
+                            eprintln!(
+                                "warning: cell attempt {} failed ({message}), retrying: {}",
+                                attempt + 1,
+                                jobs[idx].label
+                            );
+                            slots[idx] = Slot::Queued {
+                                ready_at: Instant::now()
+                                    + backoff_delay(cfg.backoff_base, attempt + 1),
+                                attempt: attempt + 1,
+                            };
+                            continue;
+                        }
+                        JobStatus::Error {
+                            message,
+                            attempts: attempt + 1,
+                        }
+                    }
+                };
+                statuses[idx] = Some(status);
+                slots[idx] = Slot::Done;
+            }
+        }
+
+        // Ordered commit: flush the longest finished prefix.
+        while next_commit < n {
+            match &slots[next_commit] {
+                Slot::Done | Slot::Abandoned => {
+                    let status = statuses[next_commit]
+                        .as_ref()
+                        .unwrap_or_else(|| unreachable!("finished slot always has a status"));
+                    on_commit(next_commit, status);
+                    if matches!(slots[next_commit], Slot::Done) {
+                        slots[next_commit] = Slot::Committed;
+                    } else {
+                        // Keep Abandoned distinct so late results stay ignored.
+                        committed += 1;
+                        next_commit += 1;
+                        continue;
+                    }
+                    committed += 1;
+                    next_commit += 1;
+                }
+                _ => break,
+            }
+        }
+    }
+
+    let counts = |name: &str| {
+        statuses
+            .iter()
+            .flatten()
+            .filter(|s| s.name() == name)
+            .count() as u64
+    };
+    tel.record_full(
+        "pool",
+        0,
+        &[
+            ("wall_ms", start.elapsed().as_secs_f64() * 1e3),
+            ("busy_ms", busy.as_secs_f64() * 1e3),
+        ],
+        &[
+            ("jobs", n as u64),
+            ("workers", workers as u64),
+            ("ok", counts("ok")),
+            ("error", counts("error")),
+            ("timeout", timeouts),
+            ("skipped", counts("skipped")),
+            ("attempts", attempts_total),
+            ("retries", retries),
+            ("abandoned", abandoned),
+        ],
+        &[("event", "summary")],
+    );
+
+    statuses
+        .into_iter()
+        .map(|s| s.unwrap_or_else(|| unreachable!("loop exits only when every job committed")))
+        .collect()
+}
+
+fn queue_depth(slots: &[Slot]) -> usize {
+    slots
+        .iter()
+        .filter(|s| matches!(s, Slot::Queued { .. }))
+        .count()
+}
+
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn quick_cfg(jobs: usize) -> PoolConfig {
+        PoolConfig {
+            jobs,
+            stall_timeout: Duration::from_millis(150),
+            hard_grace: Duration::from_millis(100),
+            max_attempts: 3,
+            backoff_base: Duration::from_millis(5),
+            tick: Duration::from_millis(5),
+            ..PoolConfig::default()
+        }
+    }
+
+    #[test]
+    fn commits_in_submission_order_despite_completion_order() {
+        // Earlier jobs sleep longer, so completion order is reversed.
+        let jobs: Vec<Job<usize>> = (0..6)
+            .map(|i| {
+                Job::new(format!("job-{i}"), i as u64, move |ctx: &JobCtx| {
+                    std::thread::sleep(Duration::from_millis(5 * (6 - i as u64)));
+                    ctx.progress.beat();
+                    Ok(i)
+                })
+            })
+            .collect();
+        let mut commit_order = Vec::new();
+        let out = run_supervised(&quick_cfg(6), jobs, |idx, _| commit_order.push(idx));
+        assert_eq!(commit_order, vec![0, 1, 2, 3, 4, 5]);
+        let vals: Vec<usize> = out.iter().filter_map(|s| s.ok().copied()).collect();
+        assert_eq!(vals, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn attempt_zero_uses_the_base_seed_regardless_of_schedule() {
+        for jobs_n in [1, 4] {
+            let jobs: Vec<Job<u64>> = (0..8)
+                .map(|i| Job::new(format!("seed-{i}"), 100 + i, |ctx: &JobCtx| Ok(ctx.seed)))
+                .collect();
+            let out = run_supervised(&quick_cfg(jobs_n), jobs, |_, _| {});
+            for (i, s) in out.iter().enumerate() {
+                assert_eq!(s.ok().copied(), Some(100 + i as u64));
+            }
+        }
+    }
+
+    #[test]
+    fn transient_failures_retry_with_derived_seeds_then_succeed() {
+        let calls = Arc::new(AtomicU32::new(0));
+        let c = Arc::clone(&calls);
+        let job = Job::new("flaky", 7, move |ctx: &JobCtx| {
+            c.fetch_add(1, Ordering::SeqCst);
+            if ctx.attempt < 2 {
+                Err(format!("transient on seed {}", ctx.seed))
+            } else {
+                assert_ne!(ctx.seed, 7, "retries must use a derived seed");
+                Ok(ctx.seed)
+            }
+        });
+        let out = run_supervised(&quick_cfg(2), vec![job], |_, _| {});
+        assert!(matches!(out[0], JobStatus::Ok(_)));
+        assert_eq!(calls.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn exhausted_retries_become_a_permanent_error_row() {
+        let job: Job<()> = Job::new("doomed", 1, |_: &JobCtx| Err("always".into()));
+        let out = run_supervised(&quick_cfg(1), vec![job], |_, _| {});
+        assert_eq!(
+            out[0],
+            JobStatus::Error {
+                message: "always".into(),
+                attempts: 3
+            }
+        );
+    }
+
+    #[test]
+    fn panics_are_contained_and_retried() {
+        let job: Job<u32> = Job::new("panicky", 1, |ctx: &JobCtx| {
+            if ctx.attempt == 0 {
+                panic!("injected crash");
+            }
+            Ok(9)
+        });
+        let out = run_supervised(&quick_cfg(1), vec![job], |_, _| {});
+        assert!(matches!(out[0], JobStatus::Ok(9)));
+    }
+
+    #[test]
+    fn panic_payload_text_survives_into_the_error_row() {
+        let cfg = PoolConfig {
+            max_attempts: 1,
+            ..quick_cfg(1)
+        };
+        let job: Job<()> = Job::new("crasher", 1, |_: &JobCtx| panic!("payload {}", 41 + 1));
+        let out = run_supervised(&cfg, vec![job], |_, _| {});
+        // Formatted panics carry a String payload; the pool must extract
+        // it rather than reporting the boxed payload as opaque.
+        assert_eq!(
+            out[0],
+            JobStatus::Error {
+                message: "panic: payload 42".into(),
+                attempts: 1
+            }
+        );
+    }
+
+    #[test]
+    fn cooperative_stall_is_cancelled_and_recorded_as_timeout() {
+        let job: Job<()> = Job::new("stall-coop", 1, |ctx: &JobCtx| {
+            // Never beats; polls cancellation like a well-behaved rollout.
+            loop {
+                if ctx.cancel.is_cancelled() {
+                    return Err("cancelled".into());
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        });
+        let start = Instant::now();
+        let out = run_supervised(&quick_cfg(1), vec![job], |_, _| {});
+        assert_eq!(out[0], JobStatus::Timeout { attempts: 1 });
+        assert!(start.elapsed() < Duration::from_secs(10));
+    }
+
+    #[test]
+    fn uncooperative_hang_is_abandoned_as_timeout() {
+        let job: Job<()> = Job::new("stall-hard", 1, |_: &JobCtx| {
+            // Ignores cancellation entirely; the pool must abandon it.
+            // 30s bounds the leaked thread's lifetime within the test run.
+            std::thread::sleep(Duration::from_secs(30));
+            Ok(())
+        });
+        let mut statuses = Vec::new();
+        let out = run_supervised(&quick_cfg(2), vec![job], |_, s| {
+            statuses.push(s.name());
+        });
+        assert_eq!(out[0], JobStatus::Timeout { attempts: 1 });
+        assert_eq!(statuses, vec!["timeout"]);
+    }
+
+    #[test]
+    fn heartbeats_keep_a_slow_cell_alive() {
+        let job = Job::new("slow-but-alive", 1, |ctx: &JobCtx| {
+            for _ in 0..10 {
+                std::thread::sleep(Duration::from_millis(40));
+                ctx.progress.beat();
+            }
+            Ok(42u32)
+        });
+        // stall_timeout (150ms) < total runtime (~400ms), but each beat
+        // resets the idle clock, so the cell must survive.
+        let out = run_supervised(&quick_cfg(1), vec![job], |_, _| {});
+        assert_eq!(out[0], JobStatus::Ok(42));
+    }
+
+    #[test]
+    fn sweep_deadline_skips_queued_and_cancels_running() {
+        let cfg = PoolConfig {
+            deadline: Some(Duration::from_millis(60)),
+            ..quick_cfg(1)
+        };
+        let mk = |i: usize| {
+            Job::new(format!("slow-{i}"), i as u64, move |ctx: &JobCtx| loop {
+                if ctx.cancel.is_cancelled() {
+                    return Err("cancelled".into());
+                }
+                ctx.progress.beat();
+                std::thread::sleep(Duration::from_millis(5));
+            })
+        };
+        let out: Vec<JobStatus<()>> = run_supervised(&cfg, vec![mk(0), mk(1), mk(2)], |_, _| {});
+        // Job 0 runs and is cancelled by the deadline; 1 and 2 never start.
+        for s in &out {
+            assert!(
+                matches!(s, JobStatus::Skipped { reason } if reason == "sweep_deadline"),
+                "expected sweep_deadline skip, got {s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn preskipped_jobs_commit_without_running() {
+        let ran = Arc::new(AtomicU32::new(0));
+        let r = Arc::clone(&ran);
+        let jobs = vec![
+            Job::skipped("dep-failed", "victim unavailable"),
+            Job::new("real", 3, move |_: &JobCtx| {
+                r.fetch_add(1, Ordering::SeqCst);
+                Ok(1u32)
+            }),
+        ];
+        let out = run_supervised(&quick_cfg(2), jobs, |_, _| {});
+        assert!(matches!(&out[0], JobStatus::Skipped { reason } if reason == "victim unavailable"));
+        assert!(matches!(out[1], JobStatus::Ok(1)));
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn fail_fast_cuts_the_sweep_after_a_permanent_error() {
+        let cfg = PoolConfig {
+            fail_fast: true,
+            max_attempts: 1,
+            ..quick_cfg(1)
+        };
+        let jobs: Vec<Job<()>> = vec![
+            Job::new("bad", 0, |_: &JobCtx| Err("boom".into())),
+            Job::new("never-runs", 1, |_: &JobCtx| Ok(())),
+        ];
+        let out = run_supervised(&cfg, jobs, |_, _| {});
+        assert!(matches!(out[0], JobStatus::Error { .. }));
+        assert!(matches!(&out[1], JobStatus::Skipped { reason } if reason == "fail_fast"));
+    }
+
+    #[test]
+    fn pool_summary_row_reports_counts_and_timing() {
+        let (tel, mem) = Telemetry::memory("pool-test");
+        let cfg = PoolConfig {
+            telemetry: tel,
+            max_attempts: 1,
+            ..quick_cfg(2)
+        };
+        let jobs: Vec<Job<u32>> = vec![
+            Job::new("a", 0, |_: &JobCtx| Ok(1)),
+            Job::new("b", 1, |_: &JobCtx| Err("x".into())),
+            Job::skipped("c", "dep"),
+        ];
+        run_supervised(&cfg, jobs, |_, _| {});
+        let rows = mem.rows();
+        let summary = rows
+            .iter()
+            .find(|r| {
+                r.phase == "pool" && r.tags.get("event").map(String::as_str) == Some("summary")
+            })
+            .expect("summary row");
+        assert_eq!(summary.counters["jobs"], 3);
+        assert_eq!(summary.counters["ok"], 1);
+        assert_eq!(summary.counters["error"], 1);
+        assert_eq!(summary.counters["skipped"], 1);
+        assert!(summary.scalars["wall_ms"] >= 0.0);
+    }
+}

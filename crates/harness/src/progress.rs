@@ -1,0 +1,123 @@
+//! Heartbeat publication from training loops.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::cancel::CancelToken;
+
+#[derive(Debug)]
+struct Inner {
+    epoch: Instant,
+    /// Milliseconds since `epoch` of the most recent beat (0 = creation).
+    last_beat_ms: AtomicU64,
+    beats: AtomicU64,
+    cancel: CancelToken,
+}
+
+/// A lightweight heartbeat handle threaded through training configs.
+///
+/// The null handle (the default) makes every operation free, so
+/// unsupervised runs pay nothing. Under the pool, trainers call
+/// [`Progress::beat`] once per unit of forward progress (an environment
+/// step, an update stage) and poll [`Progress::is_cancelled`] at the same
+/// points; the supervisor reads [`Progress::idle_for`] to detect stalls.
+#[derive(Debug, Clone, Default)]
+pub struct Progress {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Progress {
+    /// The null handle: beats are dropped, cancellation never fires.
+    pub fn null() -> Self {
+        Progress::default()
+    }
+
+    /// A live handle wired to `cancel`. The creation instant counts as the
+    /// first heartbeat so a cell that never reaches its loop still times
+    /// out from launch, not from program start.
+    pub fn supervised(cancel: CancelToken) -> Self {
+        Progress {
+            inner: Some(Arc::new(Inner {
+                epoch: Instant::now(),
+                last_beat_ms: AtomicU64::new(0),
+                beats: AtomicU64::new(0),
+                cancel,
+            })),
+        }
+    }
+
+    /// Whether this is a live (supervised) handle.
+    pub fn is_live(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Publishes a heartbeat.
+    pub fn beat(&self) {
+        if let Some(inner) = &self.inner {
+            let ms = inner.epoch.elapsed().as_millis() as u64;
+            inner.last_beat_ms.store(ms, Ordering::Release);
+            inner.beats.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether the supervisor has requested cancellation.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner
+            .as_ref()
+            .is_some_and(|inner| inner.cancel.is_cancelled())
+    }
+
+    /// Time since the last heartbeat (zero for the null handle).
+    pub fn idle_for(&self) -> Duration {
+        match &self.inner {
+            None => Duration::ZERO,
+            Some(inner) => {
+                let last = Duration::from_millis(inner.last_beat_ms.load(Ordering::Acquire));
+                inner.epoch.elapsed().saturating_sub(last)
+            }
+        }
+    }
+
+    /// Total heartbeats published so far.
+    pub fn beats(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |inner| inner.beats.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_handle_is_inert() {
+        let p = Progress::null();
+        p.beat();
+        assert!(!p.is_live());
+        assert!(!p.is_cancelled());
+        assert_eq!(p.idle_for(), Duration::ZERO);
+        assert_eq!(p.beats(), 0);
+    }
+
+    #[test]
+    fn beats_reset_idle_time() {
+        let p = Progress::supervised(CancelToken::new());
+        std::thread::sleep(Duration::from_millis(15));
+        assert!(p.idle_for() >= Duration::from_millis(10));
+        p.beat();
+        assert!(p.idle_for() < Duration::from_millis(10));
+        assert_eq!(p.beats(), 1);
+    }
+
+    #[test]
+    fn cancellation_is_visible_through_clones() {
+        let token = CancelToken::new();
+        let p = Progress::supervised(token.clone());
+        let q = p.clone();
+        assert!(!q.is_cancelled());
+        token.cancel();
+        assert!(p.is_cancelled() && q.is_cancelled());
+    }
+}

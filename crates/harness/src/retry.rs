@@ -1,0 +1,83 @@
+//! Retry seeds and backoff schedules.
+
+use std::time::Duration;
+
+/// FNV-1a over a label string; stable across runs and platforms. Used to
+/// salt retry seeds per cell so two cells retrying in the same sweep do
+/// not collapse onto the same derived seed.
+pub fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The seed for `attempt` of a cell whose base seed is `base`.
+///
+/// Attempt 0 returns `base` unchanged — the first attempt must be
+/// schedule-independent and match what a serial, unsupervised run would
+/// use (this also keeps disk-cache keys stable across bins that share
+/// cells). Retries mix in `salt` and the attempt number through a
+/// splitmix64 finalizer so they explore genuinely different randomness.
+pub fn derive_seed(base: u64, salt: u64, attempt: u32) -> u64 {
+    if attempt == 0 {
+        return base;
+    }
+    let mut z = base
+        .wrapping_add(salt.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .wrapping_add(u64::from(attempt).wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Exponential backoff before `attempt` (1-based for retries): `base *
+/// 2^(attempt-1)`, capped at 30s. Attempt 0 (the first try) has no delay.
+pub fn backoff_delay(base: Duration, attempt: u32) -> Duration {
+    if attempt == 0 {
+        return Duration::ZERO;
+    }
+    let factor = 1u32 << (attempt - 1).min(16);
+    base.saturating_mul(factor).min(Duration::from_secs(30))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attempt_zero_is_the_base_seed() {
+        assert_eq!(derive_seed(17, 0xabc, 0), 17);
+        assert_eq!(derive_seed(0, 0, 0), 0);
+    }
+
+    #[test]
+    fn retries_differ_from_base_and_each_other() {
+        let base = 17;
+        let salt = fnv1a("table1/Hopper/SA");
+        let s1 = derive_seed(base, salt, 1);
+        let s2 = derive_seed(base, salt, 2);
+        assert_ne!(s1, base);
+        assert_ne!(s2, base);
+        assert_ne!(s1, s2);
+    }
+
+    #[test]
+    fn different_cells_get_different_retry_seeds() {
+        let a = derive_seed(17, fnv1a("cell-a"), 1);
+        let b = derive_seed(17, fnv1a("cell-b"), 1);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let base = Duration::from_millis(100);
+        assert_eq!(backoff_delay(base, 0), Duration::ZERO);
+        assert_eq!(backoff_delay(base, 1), Duration::from_millis(100));
+        assert_eq!(backoff_delay(base, 2), Duration::from_millis(200));
+        assert_eq!(backoff_delay(base, 3), Duration::from_millis(400));
+        assert_eq!(backoff_delay(base, 40), Duration::from_secs(30));
+    }
+}

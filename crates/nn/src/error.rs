@@ -34,6 +34,9 @@ pub enum NnError {
         /// Human-readable failure description.
         reason: String,
     },
+    /// Training was cancelled cooperatively by a supervisor (stall
+    /// watchdog, sweep deadline, or an explicit time limit).
+    Cancelled,
 }
 
 impl fmt::Display for NnError {
@@ -52,6 +55,7 @@ impl fmt::Display for NnError {
                 write!(f, "non-finite values detected in {context}")
             }
             NnError::Persist { reason } => write!(f, "state persistence failed: {reason}"),
+            NnError::Cancelled => write!(f, "training cancelled by supervisor"),
         }
     }
 }

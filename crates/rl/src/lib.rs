@@ -39,6 +39,10 @@ pub use guard::{DivergenceGuard, GuardConfig, TripReason};
 pub use normalize::RunningNorm;
 pub use policy::GaussianPolicy;
 pub use ppo::{update_policy, update_value, PenaltyFn, PpoConfig, PpoSample, PpoStats};
-pub use sampler::collect_rollout;
-pub use train::{train_ppo, IterationStats, PpoRunner, ResilienceConfig, TrainConfig};
+pub use sampler::{collect_rollout, collect_rollout_supervised};
+pub use train::{heartbeat, train_ppo, IterationStats, PpoRunner, ResilienceConfig, TrainConfig};
+
+// Re-exported so defense/attack trainers can thread supervision handles
+// without depending on `imap-harness` directly.
+pub use imap_harness::{cancel_after, CancelToken, Progress};
 pub use value::ValueFn;

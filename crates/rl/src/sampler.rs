@@ -1,6 +1,7 @@
 //! On-policy rollout collection (the "Sampling Stage" of Algorithm 1).
 
 use imap_env::{Env, EnvRng};
+use imap_harness::Progress;
 use imap_nn::NnError;
 
 use crate::buffer::{RolloutBuffer, StepRecord};
@@ -21,6 +22,22 @@ pub fn collect_rollout(
     update_norm: bool,
     rng: &mut EnvRng,
 ) -> Result<RolloutBuffer, NnError> {
+    collect_rollout_supervised(env, policy, n_steps, update_norm, rng, &Progress::null())
+}
+
+/// [`collect_rollout`] under supervision: publishes one heartbeat per
+/// environment step and unwinds with [`NnError::Cancelled`] as soon as the
+/// supervisor trips the cancel token. The sampling loop is where a sweep
+/// cell spends most of its wall clock (and where a hung simulator blocks),
+/// so this is the primary cancellation point of the supervision contract.
+pub fn collect_rollout_supervised(
+    env: &mut dyn Env,
+    policy: &mut GaussianPolicy,
+    n_steps: usize,
+    update_norm: bool,
+    rng: &mut EnvRng,
+    progress: &Progress,
+) -> Result<RolloutBuffer, NnError> {
     let mut buffer = RolloutBuffer::new();
     let mut obs = env.reset(rng);
     let mut ep_return = 0.0;
@@ -28,6 +45,10 @@ pub fn collect_rollout(
     let max_ep = env.max_steps();
 
     loop {
+        progress.beat();
+        if progress.is_cancelled() {
+            return Err(NnError::Cancelled);
+        }
         if update_norm {
             policy.norm.update(&obs);
         }

@@ -8,6 +8,7 @@
 use std::path::{Path, PathBuf};
 
 use imap_env::{Env, EnvRng};
+use imap_harness::Progress;
 use imap_nn::{Adam, NnError};
 use imap_telemetry::Telemetry;
 use rand::SeedableRng;
@@ -20,7 +21,7 @@ use crate::gae::{gae, normalize_advantages};
 use crate::guard::{DivergenceGuard, GuardConfig};
 use crate::policy::GaussianPolicy;
 use crate::ppo::{update_policy, update_value, PenaltyFn, PpoConfig, PpoSample};
-use crate::sampler::collect_rollout;
+use crate::sampler::collect_rollout_supervised;
 use crate::value::ValueFn;
 
 /// Checkpoint/resume and divergence-guard policy for a training run.
@@ -40,6 +41,24 @@ pub struct ResilienceConfig {
     pub resume: bool,
     /// Divergence-guard thresholds and rollback policy.
     pub guard: GuardConfig,
+    /// Heartbeat/cancellation handle from the sweep supervisor. Defaults
+    /// to the null handle, which costs nothing on the hot path; the worker
+    /// pool installs a live one so stalled cells can be detected and
+    /// cancelled cooperatively.
+    pub progress: Progress,
+}
+
+/// Publishes a heartbeat on `progress` and maps a tripped cancel token to
+/// [`NnError::Cancelled`]. Every PPO-shaped loop calls this between its
+/// stages (rollout, policy update, value update) so cancellation latency
+/// is bounded by the longest single stage, not a whole iteration.
+pub fn heartbeat(progress: &Progress) -> Result<(), NnError> {
+    progress.beat();
+    if progress.is_cancelled() {
+        Err(NnError::Cancelled)
+    } else {
+        Ok(())
+    }
 }
 
 /// Training-loop hyperparameters.
@@ -299,16 +318,20 @@ impl PpoRunner {
         advantage_override: Option<&mut AdvantageOverride<'_>>,
     ) -> Result<IterationStats, NnError> {
         let tel = self.cfg.telemetry.clone();
+        let progress = self.cfg.resilience.progress.clone();
+        heartbeat(&progress)?;
         let buffer = {
             let _t = tel.span("collect_rollout");
-            collect_rollout(
+            collect_rollout_supervised(
                 env,
                 &mut self.policy,
                 self.cfg.steps_per_iter,
                 true,
                 &mut self.rng,
+                &progress,
             )?
         };
+        heartbeat(&progress)?;
         self.total_steps += buffer.len();
         let rewards: Vec<f64> = buffer.steps.iter().map(|s| s.reward).collect();
         let (mut adv, returns) = {
@@ -337,6 +360,7 @@ impl PpoRunner {
                 &mut self.rng,
             )?
         };
+        heartbeat(&progress)?;
         {
             let _t = tel.span("update_value");
             update_value(

@@ -1,0 +1,233 @@
+//! Supervision-contract integration tests for the sweep executor:
+//!
+//! - a parallel (`--jobs 4`) Table 1 quick-sweep renders byte-identical
+//!   output to a serial one, including the `cell`-phase telemetry rows;
+//! - a cell wedged on a hanging environment is detected by the heartbeat
+//!   watchdog within the stall timeout and recorded `status=timeout` while
+//!   the rest of the sweep completes;
+//! - injected hang + panic cells (CI's supervision smoke) produce exactly
+//!   the expected row statuses and a nonzero exit code.
+
+#![allow(clippy::unwrap_used)]
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use imap_bench::exec::{run_sweep, SweepCell, SweepConfig, SweepReport};
+use imap_bench::table1::{run, Table1Options};
+use imap_bench::{AttackKind, Budget, CellCache, VictimCache};
+use imap_defense::{DefenseMethod, VictimBudget};
+use imap_env::{Env, EnvRng, FaultKind, FaultPlan, FaultyEnv, TaskId};
+use imap_harness::{JobCtx, JobStatus};
+use imap_telemetry::{MetricRow, Telemetry};
+use rand::SeedableRng;
+
+/// A budget small enough that a full victim + attack grid runs in seconds.
+fn tiny_budget() -> Budget {
+    Budget {
+        name: "tiny",
+        victim: VictimBudget {
+            iterations: 2,
+            steps_per_iter: 128,
+            atla_rounds: 1,
+            atla_adversary_iters: 1,
+            hidden: vec![8],
+        },
+        attack_iters: 2,
+        attack_steps: 128,
+        eval_episodes: 2,
+        marl_victim_iters: 2,
+        marl_attack_iters: 2,
+    }
+}
+
+/// Fresh scratch directory per (test, run) so cell/victim caches cannot
+/// leak state between the runs under comparison.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("imap-sweep-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run_tiny_table1(jobs: usize, dir: &std::path::Path) -> (String, Vec<MetricRow>, SweepReport) {
+    let (tel, mem) = Telemetry::memory("sweep-determinism");
+    let opts = Table1Options {
+        budget: tiny_budget(),
+        seed: 11,
+        sweep: SweepConfig {
+            jobs,
+            ..SweepConfig::default()
+        },
+        tasks: vec![TaskId::Hopper],
+        methods: Some(vec![DefenseMethod::Ppo]),
+        columns: vec![AttackKind::NoAttack, AttackKind::Random, AttackKind::SaRl],
+        victims: Arc::new(VictimCache::open_at(dir.join("victims"))),
+        cells: Arc::new(CellCache::open_at(dir.join("cells"))),
+    };
+    let mut report = SweepReport::default();
+    let table = run(&tel, &opts, &mut report);
+    // `cell` rows are the sweep's observable telemetry; `pool` rows carry
+    // timing and are expected to differ between parallelism levels.
+    let rows = mem
+        .rows()
+        .into_iter()
+        .filter(|r| r.phase == "cell")
+        .collect();
+    (table, rows, report)
+}
+
+#[test]
+fn parallel_table1_sweep_is_byte_identical_to_serial() {
+    let d1 = scratch("serial");
+    let d4 = scratch("parallel");
+    let (table_serial, rows_serial, report_serial) = run_tiny_table1(1, &d1);
+    let (table_parallel, rows_parallel, report_parallel) = run_tiny_table1(4, &d4);
+
+    assert_eq!(
+        table_serial, table_parallel,
+        "--jobs 4 must render the identical table to --jobs 1"
+    );
+    assert_eq!(
+        rows_serial, rows_parallel,
+        "cell-phase telemetry rows must not depend on the worker count"
+    );
+    assert_eq!(report_serial, report_parallel);
+    assert_eq!(report_serial.ok, 1 + 3, "1 victim + 3 attack cells");
+    assert!(!report_serial.failed());
+
+    let _ = std::fs::remove_dir_all(&d1);
+    let _ = std::fs::remove_dir_all(&d4);
+}
+
+/// A cell that wedges inside `Env::step` (deadlocked-simulator model). It
+/// never heartbeats, so the watchdog must cancel it; the installed token
+/// makes the hang panic out, and the stall cause maps that to `timeout`.
+fn hang_cell(label: &str) -> SweepCell<u32> {
+    SweepCell::new(label, &[("cell", label)], 1, |ctx: &JobCtx| {
+        let mut env = FaultyEnv::new(
+            imap_env::locomotion::Hopper::new(),
+            FaultPlan::once(FaultKind::Hang, 2),
+        )
+        .with_cancel(ctx.cancel.clone());
+        let mut rng = EnvRng::seed_from_u64(1);
+        env.reset(&mut rng);
+        let action = vec![0.0; env.action_dim()];
+        for _ in 0..8 {
+            env.step(&action, &mut rng);
+        }
+        Ok(0)
+    })
+}
+
+fn supervised_quickly(jobs: usize, max_attempts: u32) -> SweepConfig {
+    SweepConfig {
+        jobs,
+        max_attempts,
+        stall_timeout: Duration::from_millis(250),
+        hard_grace: Duration::from_millis(250),
+        backoff_base: Duration::from_millis(5),
+        ..SweepConfig::default()
+    }
+}
+
+#[test]
+fn hanging_cell_times_out_without_blocking_the_sweep() {
+    let (tel, mem) = Telemetry::memory("sweep-hang");
+    let cells = vec![
+        hang_cell("hang"),
+        SweepCell::new("healthy", &[("cell", "healthy")], 2, |ctx: &JobCtx| {
+            ctx.progress.beat();
+            Ok(7u32)
+        }),
+    ];
+    let mut report = SweepReport::default();
+    let start = Instant::now();
+    let out = run_sweep(
+        &tel,
+        &supervised_quickly(2, 2),
+        cells,
+        &mut report,
+        |_, _| {},
+    );
+    assert!(
+        start.elapsed() < Duration::from_secs(30),
+        "the watchdog must fire within the stall timeout, not wall-clock hours"
+    );
+    assert!(
+        matches!(out[0], JobStatus::Timeout { .. }),
+        "hung cell must be recorded as timeout, got {:?}",
+        out[0].name()
+    );
+    assert_eq!(out[1].ok().copied(), Some(7), "the sweep must complete");
+    assert_eq!((report.ok, report.timeout), (1, 1));
+    assert!(report.failed(), "a timeout row must fail the binary");
+    let rows = mem.rows();
+    assert!(rows.iter().any(|r| r.phase == "cell"
+        && r.tags.get("status").map(String::as_str) == Some("timeout")
+        && r.tags.get("cell").map(String::as_str) == Some("hang")));
+}
+
+#[test]
+fn injected_hang_and_panic_cells_produce_the_expected_rows() {
+    let (tel, mem) = Telemetry::memory("sweep-faults");
+    let max_attempts = 2;
+    let cells = vec![
+        hang_cell("hang"),
+        // Panics on every attempt: retried with a derived seed, then a
+        // permanent error row carrying the attempt count.
+        SweepCell::new("panic", &[("cell", "panic")], 3, |_: &JobCtx| {
+            let mut env = FaultyEnv::new(
+                imap_env::locomotion::Hopper::new(),
+                FaultPlan::once(FaultKind::Panic, 1),
+            );
+            let mut rng = EnvRng::seed_from_u64(2);
+            env.reset(&mut rng);
+            env.step(&[0.0; 3], &mut rng);
+            Ok(0u32)
+        }),
+        SweepCell::new("healthy", &[("cell", "healthy")], 4, |ctx: &JobCtx| {
+            ctx.progress.beat();
+            Ok(1u32)
+        }),
+    ];
+    let mut report = SweepReport::default();
+    let out = run_sweep(
+        &tel,
+        &supervised_quickly(3, max_attempts),
+        cells,
+        &mut report,
+        |_, _| {},
+    );
+    assert!(matches!(out[0], JobStatus::Timeout { .. }));
+    assert!(
+        matches!(&out[1], JobStatus::Error { message, attempts }
+            if message.contains("injected fault") && *attempts == max_attempts),
+        "panicking cell must exhaust retries into an error row, got {:?}",
+        out[1].name()
+    );
+    assert!(matches!(out[2], JobStatus::Ok(1)));
+    assert_eq!(
+        (report.ok, report.error, report.timeout, report.skipped),
+        (1, 1, 1, 0)
+    );
+    assert_eq!(report.exit_code(), 1);
+    assert_eq!(
+        report.summary_line(),
+        "sweep summary: ok=1 error=1 timeout=1 skipped=0"
+    );
+    let rows = mem.rows();
+    let status_of = |cell: &str| {
+        rows.iter()
+            .find(|r| r.phase == "cell" && r.tags.get("cell").map(String::as_str) == Some(cell))
+            .and_then(|r| r.tags.get("status").cloned())
+    };
+    assert_eq!(status_of("hang").as_deref(), Some("timeout"));
+    assert_eq!(status_of("panic").as_deref(), Some("error"));
+    let panic_row = rows
+        .iter()
+        .find(|r| r.phase == "cell" && r.tags.get("cell").map(String::as_str) == Some("panic"))
+        .unwrap();
+    assert_eq!(panic_row.counters["attempts"], u64::from(max_attempts));
+}
