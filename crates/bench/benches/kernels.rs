@@ -1,0 +1,74 @@
+//! Criterion benchmarks for the register-blocked matmul kernels against the
+//! retained naive reference (`imap_nn::matrix::reference`), and for the
+//! scratch-buffer batched forward path against the allocating one.
+//!
+//! The differential tests in `crates/nn/tests` prove the fast and slow
+//! paths are bitwise-identical; these benchmarks price the difference.
+//! `scripts/bench_export.rs` re-measures the same pairs with plain timers
+//! and writes `BENCH_kernels.json` for CI artifacts.
+
+// Benchmarks are measurement scaffolding, not sweep cells: a setup failure
+// should abort loudly rather than degrade, so unwrap is the right tool here.
+#![allow(clippy::unwrap_used)]
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{Rng, SeedableRng};
+
+use imap_env::EnvRng;
+use imap_nn::matrix::reference;
+use imap_nn::{Activation, Matrix, Mlp, MlpScratch};
+
+fn filled(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = EnvRng::seed_from_u64(seed);
+    let data = (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    Matrix::from_vec(rows, cols, data).unwrap()
+}
+
+fn bench_matmul_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels");
+    for &n in &[16usize, 64] {
+        let a = filled(n, n, 1);
+        let b = filled(n, n, 2);
+        group.bench_function(format!("matmul_blocked_{n}"), |be| {
+            be.iter(|| a.matmul(&b).unwrap())
+        });
+        group.bench_function(format!("matmul_reference_{n}"), |be| {
+            be.iter(|| reference::matmul(&a, &b).unwrap())
+        });
+    }
+    let a = filled(64, 64, 3);
+    let b = filled(64, 64, 4);
+    group.bench_function("matmul_transpose_rhs_blocked_64", |be| {
+        be.iter(|| a.matmul_transpose_rhs(&b).unwrap())
+    });
+    group.bench_function("matmul_transpose_rhs_reference_64", |be| {
+        be.iter(|| reference::matmul_transpose_rhs(&a, &b).unwrap())
+    });
+    group.bench_function("matmul_transpose_lhs_blocked_64", |be| {
+        be.iter(|| a.matmul_transpose_lhs(&b).unwrap())
+    });
+    group.bench_function("matmul_transpose_lhs_reference_64", |be| {
+        be.iter(|| reference::matmul_transpose_lhs(&a, &b).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_forward_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("forward");
+    let mut rng = EnvRng::seed_from_u64(5);
+    let mlp = Mlp::new(&[12, 32, 32, 4], Activation::Tanh, 0.01, &mut rng).unwrap();
+    let batch = filled(64, 12, 6);
+    group.bench_function("alloc_batch64", |be| {
+        be.iter(|| mlp.forward(&batch).unwrap())
+    });
+    let mut scratch = MlpScratch::new();
+    group.bench_function("scratch_batch64", |be| {
+        be.iter(|| {
+            mlp.forward_scratch(&batch, &mut scratch).unwrap();
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(kernels, bench_matmul_kernels, bench_forward_paths);
+criterion_main!(kernels);

@@ -1,0 +1,42 @@
+//! Criterion benchmarks for eval-episode throughput: the episode-at-a-time
+//! rowwise driver against the lockstep batched one (one `K x obs` forward
+//! per step). Both report bitwise-identical metrics (DESIGN.md §10);
+//! `scripts/bench_export.rs` re-measures the same pair with plain timers
+//! and writes `BENCH_rollout.json` for CI artifacts.
+
+// Benchmarks are measurement scaffolding, not sweep cells: a setup failure
+// should abort loudly rather than degrade, so unwrap is the right tool here.
+#![allow(clippy::unwrap_used)]
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+
+use imap_env::locomotion::Hopper;
+use imap_env::{Env, EnvRng};
+use imap_rl::{evaluate_batched, evaluate_rowwise, EvalConfig, GaussianPolicy};
+
+fn bench_eval_drivers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eval");
+    let policy = GaussianPolicy::new(5, 3, &[32, 32], -0.5, &mut EnvRng::seed_from_u64(1)).unwrap();
+    let cfg = EvalConfig {
+        episodes: 16,
+        deterministic: true,
+        lanes: 16,
+    };
+    group.bench_function("rowwise_16ep", |b| {
+        b.iter(|| {
+            let mut make = || Box::new(Hopper::new()) as Box<dyn Env>;
+            evaluate_rowwise(&mut make, &policy, &cfg, 7).unwrap()
+        })
+    });
+    group.bench_function("batched_16ep_16lanes", |b| {
+        b.iter(|| {
+            let mut make = || Box::new(Hopper::new()) as Box<dyn Env>;
+            evaluate_batched(&mut make, &policy, &cfg, 7).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(rollout, bench_eval_drivers);
+criterion_main!(rollout);

@@ -1,0 +1,126 @@
+//! The golden Hopper trace: a tiny seed-pinned PPO run whose per-iteration
+//! statistics (and final parameter checksum) are committed as
+//! `tests/fixtures/golden_hopper.jsonl` and replayed byte-for-byte in CI.
+//!
+//! Every float is recorded as its raw `f64` bit pattern (16 hex digits), so
+//! the comparison is *bitwise*: any change to kernel accumulation order,
+//! GAE arithmetic, normalizer updates, or the RNG stream shows up as a
+//! failing replay — there is no tolerance to hide behind.
+//!
+//! One subtlety: the run draws floats through the `rand` *trait* surface
+//! (`Rng::gen_range`), whose u64→f64 mapping is an implementation detail of
+//! the rand crate, not of this workspace. The fixture therefore opens with
+//! an `rng_fingerprint` line hashing a few draws through the exact API
+//! surface training uses. A replay under the same backend must match the
+//! fixture byte-for-byte; under a different backend (e.g. a rand upgrade)
+//! the fingerprint line differs and the replay test degrades to a
+//! double-run determinism check until the fixture is regenerated.
+
+use imap_env::{build_task, TaskId};
+use imap_nn::{DiagGaussian, NnError};
+use imap_rl::checkpoint::fnv1a64;
+use imap_rl::train::IterationHook;
+use imap_rl::{train_ppo, IterationStats, PpoConfig, TrainConfig};
+use rand::{Rng, SeedableRng};
+
+/// Seed of the committed golden run.
+pub const GOLDEN_SEED: u64 = 0x601d;
+
+/// Iterations of the committed golden run (small enough for tier 1).
+pub const GOLDEN_ITERATIONS: usize = 3;
+
+/// Hashes a handful of draws through the same `rand` trait surface the
+/// training loop uses (`gen_range` over `f64` ranges, the Gaussian head's
+/// polar rejection sampler), identifying the RNG *backend* the trace was
+/// generated under. The underlying generator ([`imap_env::EnvRng`]) is
+/// workspace-owned, so this only changes when the rand crate's u64→f64
+/// mapping does.
+pub fn rng_fingerprint() -> u64 {
+    let mut rng = imap_env::EnvRng::seed_from_u64(GOLDEN_SEED);
+    let mut bytes = Vec::new();
+    for _ in 0..4 {
+        let v: f64 = rng.gen_range(-1.0..1.0);
+        bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    for v in DiagGaussian::new(2, -0.5).sample(&[0.0, 0.0], &mut rng) {
+        bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    fnv1a64(&bytes)
+}
+
+fn hex(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+/// Runs the golden 3-iteration Hopper PPO configuration and renders the
+/// trace: one fingerprint line, one line per [`IterationStats`], and a
+/// final FNV-1a checksum over every policy and value parameter's bit
+/// pattern.
+pub fn golden_hopper_trace() -> Result<String, NnError> {
+    let cfg = TrainConfig {
+        iterations: GOLDEN_ITERATIONS,
+        steps_per_iter: 256,
+        hidden: vec![16],
+        seed: GOLDEN_SEED,
+        ppo: PpoConfig::default(),
+        ..TrainConfig::default()
+    };
+    let mut lines = vec![format!(
+        "{{\"rng_fingerprint\":\"{:016x}\"}}",
+        rng_fingerprint()
+    )];
+    let mut on_iter = |s: &IterationStats, _: &imap_rl::GaussianPolicy| {
+        lines.push(format!(
+            "{{\"iteration\":{},\"total_steps\":{},\"mean_return\":\"{}\",\"mean_length\":\"{}\",\"approx_kl\":\"{}\",\"entropy\":\"{}\"}}",
+            s.iteration,
+            s.total_steps,
+            hex(s.mean_return),
+            hex(s.mean_length),
+            hex(s.approx_kl),
+            hex(s.entropy),
+        ));
+    };
+    let mut env = build_task(TaskId::Hopper);
+    let (policy, value) = train_ppo(
+        env.as_mut(),
+        &cfg,
+        None,
+        Some(&mut on_iter as &mut IterationHook),
+    )?;
+    let mut bytes = Vec::new();
+    for p in policy.params().iter().chain(value.mlp.params().iter()) {
+        bytes.extend_from_slice(&p.to_bits().to_le_bytes());
+    }
+    lines.push(format!(
+        "{{\"params_fnv1a64\":\"{:016x}\"}}",
+        fnv1a64(&bytes)
+    ));
+    lines.push(String::new());
+    Ok(lines.join("\n"))
+}
+
+/// The fingerprint line a trace opens with, for matching against a fixture.
+pub fn fingerprint_line(trace: &str) -> &str {
+    trace.lines().next().unwrap_or("")
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_is_stable_within_a_process() {
+        assert_eq!(rng_fingerprint(), rng_fingerprint());
+    }
+
+    #[test]
+    fn trace_shape_is_fingerprint_iterations_checksum() {
+        let trace = golden_hopper_trace().unwrap();
+        let lines: Vec<&str> = trace.lines().collect();
+        assert_eq!(lines.len(), GOLDEN_ITERATIONS + 2);
+        assert!(lines[0].starts_with("{\"rng_fingerprint\":"));
+        assert!(lines[1].contains("\"iteration\":0"));
+        assert!(lines.last().unwrap().starts_with("{\"params_fnv1a64\":"));
+    }
+}

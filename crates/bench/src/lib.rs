@@ -12,7 +12,7 @@ use std::path::PathBuf;
 
 use parking_lot::Mutex;
 
-use imap_core::eval::{eval_multi_attack, eval_under_attack, AttackEval, Attacker};
+use imap_core::eval::{eval_multi_attack, eval_under_attack_batched, AttackEval, Attacker};
 use imap_core::regularizer::{RegularizerConfig, RegularizerKind};
 use imap_core::threat::{OpponentEnv, PerturbationEnv};
 use imap_core::{AttackOutcome, ImapConfig, ImapTrainer};
@@ -27,6 +27,7 @@ use imap_telemetry::{RunManifest, Telemetry};
 use rand::SeedableRng;
 
 pub mod exec;
+pub mod golden;
 pub mod table1;
 
 /// Compute budget for an experiment run.
@@ -269,6 +270,11 @@ impl VictimCache {
     }
 }
 
+/// Lockstep episodes per batched eval (rows of each `K x obs` forward).
+/// Any value reports identical numbers (DESIGN.md §10); 16 rows give the
+/// 4x8-tiled kernels four full row tiles per forward.
+pub const EVAL_LANES: usize = 16;
+
 /// Runs one attack cell: trains the attacker (if learned) and evaluates the
 /// victim under it. Returns the evaluation and, for learned attacks, the
 /// training outcome (curves).
@@ -289,29 +295,34 @@ pub fn run_attack_cell(
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or_else(|| task.spec().eps);
-    let mut rng = EnvRng::seed_from_u64(seed ^ 0xe7a1);
+    // Episodes are seeded per index (not from one shared stream), so the
+    // lockstep batched driver reports lane-count-invariant numbers.
+    let eval_seed = seed ^ 0xe7a1;
+    let mut make = || build_task(task);
     imap_rl::heartbeat(progress)?;
     match kind {
         AttackKind::NoAttack => {
-            let eval = eval_under_attack(
-                build_task(task),
+            let eval = eval_under_attack_batched(
+                &mut make,
                 victim,
-                Attacker::None,
+                &Attacker::None,
                 eps,
                 budget.eval_episodes,
-                &mut rng,
+                EVAL_LANES,
+                eval_seed,
             )?;
             imap_rl::heartbeat(progress)?;
             Ok((eval, None))
         }
         AttackKind::Random => {
-            let eval = eval_under_attack(
-                build_task(task),
+            let eval = eval_under_attack_batched(
+                &mut make,
                 victim,
-                Attacker::Random,
+                &Attacker::Random,
                 eps,
                 budget.eval_episodes,
-                &mut rng,
+                EVAL_LANES,
+                eval_seed,
             )?;
             imap_rl::heartbeat(progress)?;
             Ok((eval, None))
@@ -321,13 +332,14 @@ pub fn run_attack_cell(
             let mut env = PerturbationEnv::new(build_task(task), victim.clone(), eps);
             let outcome = ImapTrainer::new(cfg).train(&mut env, None)?;
             imap_rl::heartbeat(progress)?;
-            let eval = eval_under_attack(
-                build_task(task),
+            let eval = eval_under_attack_batched(
+                &mut make,
                 victim,
-                Attacker::Policy(&outcome.policy),
+                &Attacker::Policy(&outcome.policy),
                 eps,
                 budget.eval_episodes,
-                &mut rng,
+                EVAL_LANES,
+                eval_seed,
             )?;
             imap_rl::heartbeat(progress)?;
             Ok((eval, Some(outcome)))

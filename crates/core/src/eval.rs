@@ -9,9 +9,9 @@
 use imap_env::sparse::sparse_episode_metric;
 use imap_env::{Env, EnvRng, MultiAgentEnv};
 use imap_nn::NnError;
-use imap_rl::GaussianPolicy;
+use imap_rl::{GaussianPolicy, PolicyScratch};
 use imap_telemetry::Telemetry;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 
 use crate::threat::{OpponentEnv, PerturbationEnv};
 
@@ -143,6 +143,166 @@ pub fn eval_under_attack(
         }
     }
     Ok(summarize(&returns, &sparses, successes))
+}
+
+/// The RNG for episode `ep` of a batched attack eval, derived from the run
+/// seed with the same splitting constant as `imap_rl::eval`, so episode
+/// trajectories are independent of lane assignment and lane count.
+fn episode_rng(base_seed: u64, ep: usize) -> EnvRng {
+    EnvRng::seed_from_u64(base_seed ^ (ep as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Per-episode outcome of an attack eval, folded in episode-index order so
+/// the aggregation arithmetic is driver-independent.
+#[derive(Debug, Clone, Copy, Default)]
+struct AttackOutcomeRow {
+    ret: f64,
+    success: bool,
+    unhealthy: bool,
+}
+
+fn fold_rows(rows: &[AttackOutcomeRow]) -> AttackEval {
+    let returns: Vec<f64> = rows.iter().map(|r| r.ret).collect();
+    let sparses: Vec<f64> = rows
+        .iter()
+        .map(|r| sparse_episode_metric(r.success, r.unhealthy))
+        .collect();
+    let successes = rows.iter().filter(|r| r.success).count();
+    summarize(&returns, &sparses, successes)
+}
+
+/// Reference episode-at-a-time attack eval over factory-built envs with
+/// derived per-episode RNGs. [`eval_under_attack_batched`] must match this
+/// bitwise — the differential test in this module pins it.
+pub fn eval_under_attack_rowwise(
+    make_env: &mut dyn FnMut() -> Box<dyn Env>,
+    victim: &GaussianPolicy,
+    attacker: &Attacker<'_>,
+    eps: f64,
+    episodes: usize,
+    base_seed: u64,
+) -> Result<AttackEval, NnError> {
+    let mut rows = Vec::with_capacity(episodes);
+    for ep in 0..episodes {
+        let mut penv = PerturbationEnv::new(make_env(), victim.clone(), eps);
+        let dim = penv.action_dim();
+        let mut rng = episode_rng(base_seed, ep);
+        let mut obs = penv.reset(&mut rng);
+        loop {
+            let a = attacker_action(attacker, &obs, dim, &mut rng);
+            let step = penv.step(&a, &mut rng);
+            if step.done {
+                rows.push(AttackOutcomeRow {
+                    ret: penv.last_victim_return(),
+                    success: step.success,
+                    unhealthy: step.unhealthy,
+                });
+                break;
+            }
+            obs = step.obs;
+        }
+    }
+    Ok(fold_rows(&rows))
+}
+
+/// One in-flight episode of the lockstep attack-eval driver.
+struct AttackLane {
+    ep: usize,
+    penv: PerturbationEnv,
+    rng: EnvRng,
+    obs: Vec<f64>,
+    action: Vec<f64>,
+}
+
+impl AttackLane {
+    fn start(
+        ep: usize,
+        make_env: &mut dyn FnMut() -> Box<dyn Env>,
+        victim: &GaussianPolicy,
+        eps: f64,
+        base_seed: u64,
+    ) -> AttackLane {
+        let mut penv = PerturbationEnv::new(make_env(), victim.clone(), eps);
+        let mut rng = episode_rng(base_seed, ep);
+        let obs = penv.reset(&mut rng);
+        AttackLane {
+            ep,
+            penv,
+            rng,
+            obs,
+            action: Vec::new(),
+        }
+    }
+}
+
+/// Evaluates a victim under attack, stepping up to `lanes` episodes in
+/// lockstep; a learned [`Attacker::Policy`] is run as one `K x obs` batched
+/// forward per step instead of `K` single-row passes.
+///
+/// Bitwise-identical to [`eval_under_attack_rowwise`] for any lane count:
+/// each episode owns a fresh threat env and a derived RNG, the batched mean
+/// rows equal the corresponding single-row forwards (DESIGN.md §10), and
+/// outcomes are folded in episode-index order.
+pub fn eval_under_attack_batched(
+    make_env: &mut dyn FnMut() -> Box<dyn Env>,
+    victim: &GaussianPolicy,
+    attacker: &Attacker<'_>,
+    eps: f64,
+    episodes: usize,
+    lanes: usize,
+    base_seed: u64,
+) -> Result<AttackEval, NnError> {
+    let lanes = lanes.max(1).min(episodes.max(1));
+    let mut rows = vec![AttackOutcomeRow::default(); episodes];
+    let mut next_ep = 0usize;
+    let mut active: Vec<AttackLane> = Vec::with_capacity(lanes);
+    while active.len() < lanes && next_ep < episodes {
+        active.push(AttackLane::start(next_ep, make_env, victim, eps, base_seed));
+        next_ep += 1;
+    }
+
+    let mut scratch = PolicyScratch::new();
+    while !active.is_empty() {
+        match attacker {
+            Attacker::Policy(p) => {
+                let refs: Vec<&[f64]> = active.iter().map(|l| l.obs.as_slice()).collect();
+                let means = p.mean_batch(&refs, &mut scratch)?;
+                for (i, lane) in active.iter_mut().enumerate() {
+                    lane.action.clear();
+                    lane.action.extend_from_slice(means.row(i));
+                }
+            }
+            Attacker::None | Attacker::Random => {
+                for lane in active.iter_mut() {
+                    let dim = lane.penv.action_dim();
+                    lane.action = attacker_action(attacker, &lane.obs, dim, &mut lane.rng);
+                }
+            }
+        }
+        let mut i = 0;
+        while i < active.len() {
+            let lane = &mut active[i];
+            let step = lane.penv.step(&lane.action, &mut lane.rng);
+            if step.done {
+                rows[lane.ep] = AttackOutcomeRow {
+                    ret: lane.penv.last_victim_return(),
+                    success: step.success,
+                    unhealthy: step.unhealthy,
+                };
+                if next_ep < episodes {
+                    active[i] = AttackLane::start(next_ep, make_env, victim, eps, base_seed);
+                    next_ep += 1;
+                    i += 1;
+                } else {
+                    active.swap_remove(i);
+                }
+            } else {
+                lane.obs = step.obs;
+                i += 1;
+            }
+        }
+    }
+    Ok(fold_rows(&rows))
 }
 
 /// [`eval_under_attack`] with telemetry: the episode loop runs under an
@@ -315,6 +475,46 @@ mod tests {
         assert_eq!(rows[0].counters["episodes"], r.episodes as u64);
         assert_eq!(rows[0].scalars["asr"], r.asr);
         assert_eq!(tel.timing_report().spans[0].name, "eval_episodes");
+    }
+
+    fn attack_bits(r: &AttackEval) -> [u64; 6] {
+        [
+            r.victim_return.to_bits(),
+            r.victim_return_std.to_bits(),
+            r.sparse.to_bits(),
+            r.sparse_std.to_bits(),
+            r.success_rate.to_bits(),
+            r.asr.to_bits(),
+        ]
+    }
+
+    /// The lockstep attack-eval driver must match the episode-at-a-time
+    /// reference bitwise for every attacker kind and lane count.
+    #[test]
+    fn batched_attack_eval_is_bitwise_identical_to_rowwise() {
+        let victim = untrained_victim(5, 3, 11);
+        let adversary = untrained_victim(5, 5, 12); // PerturbationEnv: obs→obs
+        for attacker in [
+            Attacker::None,
+            Attacker::Random,
+            Attacker::Policy(&adversary),
+        ] {
+            let mut make = || Box::new(Hopper::new()) as Box<dyn Env>;
+            let reference =
+                eval_under_attack_rowwise(&mut make, &victim, &attacker, 0.1, 5, 77).unwrap();
+            assert_eq!(reference.episodes, 5);
+            for lanes in [1usize, 2, 4, 16] {
+                let batched =
+                    eval_under_attack_batched(&mut make, &victim, &attacker, 0.1, 5, lanes, 77)
+                        .unwrap();
+                assert_eq!(
+                    attack_bits(&reference),
+                    attack_bits(&batched),
+                    "attacker={} lanes={lanes}",
+                    attacker.label()
+                );
+            }
+        }
     }
 
     #[test]

@@ -357,6 +357,7 @@ mod tests {
             &imap_rl::EvalConfig {
                 episodes: 10,
                 deterministic: true,
+                ..Default::default()
             },
             &mut rng,
         )

@@ -349,6 +349,7 @@ mod tests {
             &imap_rl::EvalConfig {
                 episodes: 20,
                 deterministic: true,
+                ..Default::default()
             },
             &mut rng,
         )
@@ -432,6 +433,7 @@ mod tests {
             &imap_rl::EvalConfig {
                 episodes: 10,
                 deterministic: true,
+                ..Default::default()
             },
             &mut rng,
         )

@@ -455,6 +455,7 @@ mod tests {
             &imap_rl::EvalConfig {
                 episodes: 10,
                 deterministic: true,
+                ..Default::default()
             },
             &mut rng,
         )

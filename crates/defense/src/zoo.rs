@@ -191,19 +191,19 @@ pub fn train_victim_resilient(
 }
 
 /// Quick competence check for sparse victims: majority success over 10
-/// deterministic episodes.
+/// deterministic episodes, stepped in lockstep lanes through one batched
+/// forward pass per step.
 fn victim_is_competent(task: TaskId, policy: &GaussianPolicy) -> Result<bool, NnError> {
-    use rand::SeedableRng;
-    let mut env = build_task(task);
-    let mut rng = imap_env::EnvRng::seed_from_u64(0xC0);
-    let r = imap_rl::evaluate(
-        env.as_mut(),
+    let mut make = || build_task(task) as Box<dyn Env>;
+    let r = imap_rl::evaluate_batched(
+        &mut make,
         policy,
         &imap_rl::EvalConfig {
             episodes: 10,
             deterministic: true,
+            ..Default::default()
         },
-        &mut rng,
+        0xC0,
     )?;
     Ok(r.success_rate > 0.5)
 }
@@ -271,7 +271,6 @@ fn train_victim_once(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     fn tiny_budget() -> VictimBudget {
         VictimBudget {
@@ -329,16 +328,16 @@ mod tests {
             3,
         )
         .unwrap();
-        let mut env = build_task(TaskId::Hopper);
-        let mut rng = imap_env::EnvRng::seed_from_u64(4);
-        let r = imap_rl::evaluate(
-            env.as_mut(),
+        let mut make = || build_task(TaskId::Hopper) as Box<dyn Env>;
+        let r = imap_rl::evaluate_batched(
+            &mut make,
             &p,
             &imap_rl::EvalConfig {
                 episodes: 10,
                 deterministic: true,
+                ..Default::default()
             },
-            &mut rng,
+            4,
         )
         .unwrap();
         assert!(

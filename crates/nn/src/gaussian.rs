@@ -71,6 +71,20 @@ impl DiagGaussian {
             .collect()
     }
 
+    /// Samples into a caller-provided buffer (cleared first).
+    ///
+    /// Consumes the same RNG stream and performs the same arithmetic as
+    /// [`DiagGaussian::sample`], so the two are bitwise-interchangeable; this
+    /// variant just avoids the per-call allocation in batched rollout loops.
+    pub fn sample_into<R: Rng>(&self, mean: &[f64], rng: &mut R, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(
+            mean.iter()
+                .zip(self.log_std.iter())
+                .map(|(&m, &l)| m + l.exp() * StandardNormal::sample(rng)),
+        );
+    }
+
     /// Log-density `ln p(action | mean, sigma)`.
     pub fn log_prob(&self, mean: &[f64], action: &[f64]) -> f64 {
         debug_assert_eq!(mean.len(), self.log_std.len());
@@ -202,6 +216,23 @@ mod tests {
         let fd = numeric_gradient(|m| p.kl(m, &q, &mq), &mp, 1e-6);
         for (a, b) in an.iter().zip(fd.iter()) {
             assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn sample_into_matches_sample_bitwise() {
+        let g = DiagGaussian::new(3, -0.4);
+        let mean = [0.5, -1.0, 2.0];
+        let mut r1 = StdRng::seed_from_u64(7);
+        let mut r2 = StdRng::seed_from_u64(7);
+        let mut buf = Vec::new();
+        for _ in 0..10 {
+            let a = g.sample(&mean, &mut r1);
+            g.sample_into(&mean, &mut r2, &mut buf);
+            assert_eq!(a.len(), buf.len());
+            for (x, y) in a.iter().zip(buf.iter()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
         }
     }
 

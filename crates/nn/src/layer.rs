@@ -96,6 +96,19 @@ impl Dense {
         ))
     }
 
+    /// Inference-only batch forward pass into a caller-provided buffer.
+    ///
+    /// Produces output bitwise-identical to [`Dense::forward`] but keeps no
+    /// backward cache and performs no allocation once `out` has capacity.
+    pub fn forward_into(&self, x: &Matrix, out: &mut Matrix) -> Result<(), NnError> {
+        x.matmul_transpose_rhs_into(&self.w, out)?;
+        out.add_row_broadcast(&self.b)?;
+        for v in out.data_mut() {
+            *v = self.act.apply(*v);
+        }
+        Ok(())
+    }
+
     /// Backward pass.
     ///
     /// `dout` is the loss gradient w.r.t. this layer's activated output
@@ -141,6 +154,37 @@ mod tests {
         assert_eq!(y.rows(), 2);
         assert_eq!(y.cols(), 5);
         assert_eq!(cache.pre.rows(), 2);
+    }
+
+    #[test]
+    fn forward_into_matches_forward_bitwise() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let layer = Dense::new(3, 5, Activation::Tanh, &mut rng);
+        let x = Matrix::from_rows(&[&[0.1, 0.2, 0.3], &[1.0, -1.0, 0.5]]).unwrap();
+        let (y, _) = layer.forward(&x).unwrap();
+        let mut out = Matrix::zeros(0, 0);
+        layer.forward_into(&x, &mut out).unwrap();
+        assert_eq!((out.rows(), out.cols()), (y.rows(), y.cols()));
+        for (a, b) in y.data().iter().zip(out.data().iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// Zero inputs times NaN/∞ weights are NaN; the removed sparsity skip
+    /// used to turn exactly this case into a silent 0.
+    #[test]
+    fn nan_and_inf_weights_propagate_through_layer_forward() {
+        let mut rng = StdRng::seed_from_u64(23);
+        for poison in [f64::NAN, f64::INFINITY] {
+            let mut layer = Dense::new(2, 3, Activation::Tanh, &mut rng);
+            layer.w.set(0, 0, poison);
+            let x = Matrix::from_row(&[0.0, 0.0]);
+            let (y, _) = layer.forward(&x).unwrap();
+            assert!(
+                y.get(0, 0).is_nan(),
+                "0 * {poison} weight must reach the layer output as NaN"
+            );
+        }
     }
 
     #[test]

@@ -42,5 +42,5 @@ pub use ibp::Interval;
 pub use layer::Dense;
 pub use lstm::{Lstm, LstmCell, LstmState};
 pub use matrix::Matrix;
-pub use mlp::{Mlp, MlpGrads};
+pub use mlp::{Mlp, MlpGrads, MlpScratch};
 pub use optim::{Adam, Optimizer, Sgd};

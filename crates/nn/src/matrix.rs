@@ -1,9 +1,12 @@
 //! Dense row-major `f64` matrices.
 //!
-//! This is intentionally a small, boring matrix type: the networks in this
-//! workspace are tiny (tens of units per layer), so clarity and correctness
-//! beat BLAS-grade performance. Hot paths (`matmul`, `matmul_transpose_*`)
-//! are written cache-friendly and avoid allocation where practical.
+//! The networks in this workspace are tiny (tens of units per layer), but
+//! every experiment bottoms out in the three product kernels below, so they
+//! are register/row-blocked. The blocking obeys the workspace's determinism
+//! contract (DESIGN.md §10): each output element accumulates its `k`-products
+//! in exactly the reference order — one rounding step per product, no partial
+//! sums, no FMA, no data-dependent skips — so the blocked kernels are
+//! bitwise-identical to the naive triple loop retained in [`reference`].
 
 use serde::{Deserialize, Serialize};
 
@@ -127,8 +130,32 @@ impl Matrix {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
+    /// Reshapes in place to `rows x cols`, zero-filling every element.
+    ///
+    /// Retains the existing allocation when capacity permits; this is the
+    /// primitive the `*_into` kernels and the scratch-buffer forward passes
+    /// use to avoid per-call allocation.
+    pub fn reshape(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// Matrix product `self * rhs`.
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix, NnError> {
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.matmul_into(rhs, &mut out)?;
+        Ok(out)
+    }
+
+    /// Matrix product `self * rhs`, written into `out` (reshaped as needed).
+    ///
+    /// 4x8 register-tiled: each output element accumulates in its own
+    /// register chain across the whole `k` sweep and is stored once. The
+    /// `k` products are still individual in-order `+=` adds, so the result
+    /// is bitwise-identical to [`reference::matmul`].
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<(), NnError> {
         if self.cols != rhs.rows {
             return Err(NnError::ShapeMismatch {
                 op: "matmul",
@@ -136,25 +163,32 @@ impl Matrix {
                 rhs: (rhs.rows, rhs.cols),
             });
         }
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
-                let rrow = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (o, &r) in orow.iter_mut().zip(rrow.iter()) {
-                    *o += a * r;
-                }
-            }
-        }
-        Ok(out)
+        out.reshape(self.rows, rhs.cols);
+        matmul_tiled(
+            &self.data,
+            self.rows,
+            self.cols,
+            &rhs.data,
+            rhs.cols,
+            &mut out.data,
+        );
+        Ok(())
     }
 
     /// Product `self * rhs^T` without materializing the transpose.
     pub fn matmul_transpose_rhs(&self, rhs: &Matrix) -> Result<Matrix, NnError> {
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        self.matmul_transpose_rhs_into(rhs, &mut out)?;
+        Ok(out)
+    }
+
+    /// Product `self * rhs^T`, written into `out` (reshaped as needed).
+    ///
+    /// 2x8 dot tile: two `self` rows sweep eight `rhs` rows at once, so each
+    /// `b[k]` load feeds two accumulator chains. Every accumulator still
+    /// sums its own products in index order, so each output element is
+    /// bitwise-equal to the single-dot [`reference::matmul_transpose_rhs`].
+    pub fn matmul_transpose_rhs_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<(), NnError> {
         if self.cols != rhs.cols {
             return Err(NnError::ShapeMismatch {
                 op: "matmul_transpose_rhs",
@@ -162,23 +196,124 @@ impl Matrix {
                 rhs: (rhs.rows, rhs.cols),
             });
         }
-        let mut out = Matrix::zeros(self.rows, rhs.rows);
-        for i in 0..self.rows {
-            let arow = self.row(i);
-            for j in 0..rhs.rows {
-                let brow = rhs.row(j);
-                let mut s = 0.0;
-                for (&a, &b) in arow.iter().zip(brow.iter()) {
-                    s += a * b;
+        out.reshape(self.rows, rhs.rows);
+        let kdim = self.cols;
+        let p = rhs.rows;
+        // On AVX2 hosts with enough rows to tile, materialize `rhs^T` once
+        // into a reused per-thread buffer (pure data movement — it reorders
+        // no arithmetic) and run the 4x8-tiled matmul core over it. Each
+        // out[i][j] then accumulates the same products `a[i][k] * rhs[j][k]`
+        // in the same k order as the dot kernels below, so the result is
+        // bitwise-unchanged; the dot-product layout itself cannot use the
+        // vector tile because the eight `b[k]` lanes live in different rows.
+        #[cfg(target_arch = "x86_64")]
+        if self.rows >= 4 && p >= 8 && std::is_x86_feature_detected!("avx2") {
+            return TRANSPOSE_SCRATCH.with(|cell| {
+                let mut buf = cell.borrow_mut();
+                buf.clear();
+                buf.resize(kdim * p, 0.0);
+                for j in 0..p {
+                    let brow = &rhs.data[j * kdim..(j + 1) * kdim];
+                    for (k, &v) in brow.iter().enumerate() {
+                        buf[k * p + j] = v;
+                    }
                 }
-                out.data[i * rhs.rows + j] = s;
-            }
+                matmul_tiled(&self.data, self.rows, kdim, &buf, p, &mut out.data);
+                Ok(())
+            });
         }
-        Ok(out)
+        let mut i = 0;
+        // Two output rows advance together through 8-wide dot blocks: each
+        // `b[k]` load feeds two accumulator chains, and the sixteen chains
+        // are enough in-flight adds to cover fp-add latency. Every chain
+        // still sums its own products in index order.
+        while i + 2 <= self.rows {
+            let a0 = &self.data[i * kdim..(i + 1) * kdim];
+            let a1 = &self.data[(i + 1) * kdim..(i + 2) * kdim];
+            let (block, _) = out.data[i * p..].split_at_mut(2 * p);
+            let (o0, o1) = block.split_at_mut(p);
+            let mut j = 0;
+            while j + 8 <= p {
+                let b0 = &rhs.data[j * kdim..(j + 1) * kdim];
+                let b1 = &rhs.data[(j + 1) * kdim..(j + 2) * kdim];
+                let b2 = &rhs.data[(j + 2) * kdim..(j + 3) * kdim];
+                let b3 = &rhs.data[(j + 3) * kdim..(j + 4) * kdim];
+                let b4 = &rhs.data[(j + 4) * kdim..(j + 5) * kdim];
+                let b5 = &rhs.data[(j + 5) * kdim..(j + 6) * kdim];
+                let b6 = &rhs.data[(j + 6) * kdim..(j + 7) * kdim];
+                let b7 = &rhs.data[(j + 7) * kdim..(j + 8) * kdim];
+                let mut s = [[0.0f64; 8]; 2];
+                for k in 0..kdim {
+                    let (va, vb) = (a0[k], a1[k]);
+                    let bv = [b0[k], b1[k], b2[k], b3[k], b4[k], b5[k], b6[k], b7[k]];
+                    for c in 0..8 {
+                        s[0][c] += va * bv[c];
+                        s[1][c] += vb * bv[c];
+                    }
+                }
+                o0[j..j + 8].copy_from_slice(&s[0]);
+                o1[j..j + 8].copy_from_slice(&s[1]);
+                j += 8;
+            }
+            dot_row_tail(a0, &rhs.data, kdim, o0, j);
+            dot_row_tail(a1, &rhs.data, kdim, o1, j);
+            i += 2;
+        }
+        while i < self.rows {
+            let arow = &self.data[i * kdim..(i + 1) * kdim];
+            let orow = &mut out.data[i * p..(i + 1) * p];
+            let mut j = 0;
+            while j + 8 <= p {
+                let b0 = &rhs.data[j * kdim..(j + 1) * kdim];
+                let b1 = &rhs.data[(j + 1) * kdim..(j + 2) * kdim];
+                let b2 = &rhs.data[(j + 2) * kdim..(j + 3) * kdim];
+                let b3 = &rhs.data[(j + 3) * kdim..(j + 4) * kdim];
+                let b4 = &rhs.data[(j + 4) * kdim..(j + 5) * kdim];
+                let b5 = &rhs.data[(j + 5) * kdim..(j + 6) * kdim];
+                let b6 = &rhs.data[(j + 6) * kdim..(j + 7) * kdim];
+                let b7 = &rhs.data[(j + 7) * kdim..(j + 8) * kdim];
+                let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+                let (mut s4, mut s5, mut s6, mut s7) = (0.0, 0.0, 0.0, 0.0);
+                for (k, &a) in arow.iter().enumerate() {
+                    s0 += a * b0[k];
+                    s1 += a * b1[k];
+                    s2 += a * b2[k];
+                    s3 += a * b3[k];
+                    s4 += a * b4[k];
+                    s5 += a * b5[k];
+                    s6 += a * b6[k];
+                    s7 += a * b7[k];
+                }
+                orow[j] = s0;
+                orow[j + 1] = s1;
+                orow[j + 2] = s2;
+                orow[j + 3] = s3;
+                orow[j + 4] = s4;
+                orow[j + 5] = s5;
+                orow[j + 6] = s6;
+                orow[j + 7] = s7;
+                j += 8;
+            }
+            dot_row_tail(arow, &rhs.data, kdim, orow, j);
+            i += 1;
+        }
+        Ok(())
     }
 
     /// Product `self^T * rhs` without materializing the transpose.
     pub fn matmul_transpose_lhs(&self, rhs: &Matrix) -> Result<Matrix, NnError> {
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        self.matmul_transpose_lhs_into(rhs, &mut out)?;
+        Ok(out)
+    }
+
+    /// Product `self^T * rhs`, written into `out` (reshaped as needed).
+    ///
+    /// 4x8 register-tiled like [`Matrix::matmul_into`], reading `self` down
+    /// columns without materializing the transpose; every output element
+    /// accumulates its k-products in index order, so the result is
+    /// bitwise-identical to [`reference::matmul_transpose_lhs`].
+    pub fn matmul_transpose_lhs_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<(), NnError> {
         if self.rows != rhs.rows {
             return Err(NnError::ShapeMismatch {
                 op: "matmul_transpose_lhs",
@@ -186,21 +321,116 @@ impl Matrix {
                 rhs: (rhs.rows, rhs.cols),
             });
         }
-        let mut out = Matrix::zeros(self.cols, rhs.cols);
-        for k in 0..self.rows {
-            let arow = self.row(k);
-            let brow = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-            for (i, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
+        out.reshape(self.cols, rhs.cols);
+        let n = rhs.cols;
+        let m = self.cols;
+        let kdim = self.rows;
+        let mut i = 0;
+        // Same 4x8 register tile as `matmul_into`; the four `a` scalars for
+        // each k are one contiguous quad from a row of `self` (columns
+        // `i..i+4`), so the tile needs no strided gathers.
+        while i + 4 <= m {
+            let (block, _) = out.data[i * n..].split_at_mut(4 * n);
+            let (o0, rest) = block.split_at_mut(n);
+            let (o1, rest) = rest.split_at_mut(n);
+            let (o2, o3) = rest.split_at_mut(n);
+            let mut j = 0;
+            #[cfg(target_arch = "x86_64")]
+            if std::is_x86_feature_detected!("avx2") {
+                while j + 8 <= n {
+                    // SAFETY: `j + 8 <= n` bounds every b-row read and o-row
+                    // write; the lhs scalar at (k, r) lives at `i + k * m +
+                    // r` because `self` is read down columns `i..i + 4`.
+                    unsafe {
+                        simd::tile4x8(
+                            self.data.as_ptr().add(i),
+                            1,
+                            m,
+                            kdim,
+                            rhs.data.as_ptr().add(j),
+                            n,
+                            [
+                                o0.as_mut_ptr().add(j),
+                                o1.as_mut_ptr().add(j),
+                                o2.as_mut_ptr().add(j),
+                                o3.as_mut_ptr().add(j),
+                            ],
+                        );
+                    }
+                    j += 8;
                 }
-                let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+            }
+            while j + 8 <= n {
+                let mut acc = [[0.0f64; 8]; 4];
+                for k in 0..kdim {
+                    let a = &self.data[k * m + i..k * m + i + 4];
+                    let b = &rhs.data[k * n + j..k * n + j + 8];
+                    for c in 0..8 {
+                        acc[0][c] += a[0] * b[c];
+                        acc[1][c] += a[1] * b[c];
+                        acc[2][c] += a[2] * b[c];
+                        acc[3][c] += a[3] * b[c];
+                    }
+                }
+                o0[j..j + 8].copy_from_slice(&acc[0]);
+                o1[j..j + 8].copy_from_slice(&acc[1]);
+                o2[j..j + 8].copy_from_slice(&acc[2]);
+                o3[j..j + 8].copy_from_slice(&acc[3]);
+                j += 8;
+            }
+            while j < n {
+                let mut acc = [0.0f64; 4];
+                for k in 0..kdim {
+                    let a = &self.data[k * m + i..k * m + i + 4];
+                    let b = rhs.data[k * n + j];
+                    acc[0] += a[0] * b;
+                    acc[1] += a[1] * b;
+                    acc[2] += a[2] * b;
+                    acc[3] += a[3] * b;
+                }
+                o0[j] = acc[0];
+                o1[j] = acc[1];
+                o2[j] = acc[2];
+                o3[j] = acc[3];
+                j += 1;
+            }
+            i += 4;
+        }
+        while i < m {
+            let orow = &mut out.data[i * n..(i + 1) * n];
+            let mut k = 0;
+            while k + 4 <= kdim {
+                let b0 = &rhs.data[k * n..(k + 1) * n];
+                let b1 = &rhs.data[(k + 1) * n..(k + 2) * n];
+                let b2 = &rhs.data[(k + 2) * n..(k + 3) * n];
+                let b3 = &rhs.data[(k + 3) * n..(k + 4) * n];
+                let (a0, a1, a2, a3) = (
+                    self.data[k * m + i],
+                    self.data[(k + 1) * m + i],
+                    self.data[(k + 2) * m + i],
+                    self.data[(k + 3) * m + i],
+                );
+                for j in 0..n {
+                    let mut o = orow[j];
+                    o += a0 * b0[j];
+                    o += a1 * b1[j];
+                    o += a2 * b2[j];
+                    o += a3 * b3[j];
+                    orow[j] = o;
+                }
+                k += 4;
+            }
+            while k < kdim {
+                let a = self.data[k * m + i];
+                let brow = &rhs.data[k * n..(k + 1) * n];
                 for (o, &b) in orow.iter_mut().zip(brow.iter()) {
                     *o += a * b;
                 }
+                k += 1;
             }
+            i += 1;
         }
-        Ok(out)
+        Ok(())
     }
 
     /// Returns the transpose.
@@ -285,6 +515,307 @@ impl Matrix {
     }
 }
 
+/// Tiled core of `matmul_into` (and the transposed-rhs fast path):
+/// `out = a * b` for row-major `a` (`rows x kdim`) and `b` (`kdim x n`),
+/// with `out` pre-zeroed by `reshape`.
+///
+/// 4x8 register tile held across the whole k sweep: each of the 32 output
+/// elements accumulates one in-order `+=` per k into its own register chain
+/// and is stored exactly once, so there is no output-row traffic inside the
+/// hot loop and enough independent chains to cover fp-add latency. On AVX2
+/// hosts the full tiles run in the `simd::tile4x8` micro-kernel, which
+/// executes the identical one-mul-one-add-per-k schedule per lane.
+fn matmul_tiled(a: &[f64], rows: usize, kdim: usize, b: &[f64], n: usize, out: &mut [f64]) {
+    let mut i = 0;
+    while i + 4 <= rows {
+        let a0 = &a[i * kdim..(i + 1) * kdim];
+        let a1 = &a[(i + 1) * kdim..(i + 2) * kdim];
+        let a2 = &a[(i + 2) * kdim..(i + 3) * kdim];
+        let a3 = &a[(i + 3) * kdim..(i + 4) * kdim];
+        let (block, _) = out[i * n..].split_at_mut(4 * n);
+        let (o0, rest) = block.split_at_mut(n);
+        let (o1, rest) = rest.split_at_mut(n);
+        let (o2, o3) = rest.split_at_mut(n);
+        let mut j = 0;
+        #[cfg(target_arch = "x86_64")]
+        if std::is_x86_feature_detected!("avx2") {
+            while j + 8 <= n {
+                // SAFETY: `j + 8 <= n` bounds every b-row read and o-row
+                // write; `a0..a3` are the four kdim-long lhs rows.
+                unsafe {
+                    simd::tile4x8(
+                        a.as_ptr().add(i * kdim),
+                        kdim,
+                        1,
+                        kdim,
+                        b.as_ptr().add(j),
+                        n,
+                        [
+                            o0.as_mut_ptr().add(j),
+                            o1.as_mut_ptr().add(j),
+                            o2.as_mut_ptr().add(j),
+                            o3.as_mut_ptr().add(j),
+                        ],
+                    );
+                }
+                j += 8;
+            }
+        }
+        while j + 8 <= n {
+            let mut acc = [[0.0f64; 8]; 4];
+            for k in 0..kdim {
+                let bv = &b[k * n + j..k * n + j + 8];
+                let (v0, v1, v2, v3) = (a0[k], a1[k], a2[k], a3[k]);
+                for c in 0..8 {
+                    acc[0][c] += v0 * bv[c];
+                    acc[1][c] += v1 * bv[c];
+                    acc[2][c] += v2 * bv[c];
+                    acc[3][c] += v3 * bv[c];
+                }
+            }
+            o0[j..j + 8].copy_from_slice(&acc[0]);
+            o1[j..j + 8].copy_from_slice(&acc[1]);
+            o2[j..j + 8].copy_from_slice(&acc[2]);
+            o3[j..j + 8].copy_from_slice(&acc[3]);
+            j += 8;
+        }
+        while j < n {
+            let mut acc = [0.0f64; 4];
+            for k in 0..kdim {
+                let bv = b[k * n + j];
+                acc[0] += a0[k] * bv;
+                acc[1] += a1[k] * bv;
+                acc[2] += a2[k] * bv;
+                acc[3] += a3[k] * bv;
+            }
+            o0[j] = acc[0];
+            o1[j] = acc[1];
+            o2[j] = acc[2];
+            o3[j] = acc[3];
+            j += 1;
+        }
+        i += 4;
+    }
+    while i < rows {
+        let arow = &a[i * kdim..(i + 1) * kdim];
+        let orow = &mut out[i * n..(i + 1) * n];
+        row_times_matrix(arow, b, n, orow);
+        i += 1;
+    }
+}
+
+/// One row of `matmul`: `orow += arow * rhs` with k-blocked in-order
+/// accumulation, used for the `rows % 4` remainder of the 4x8 tile.
+fn row_times_matrix(arow: &[f64], rhs_data: &[f64], n: usize, orow: &mut [f64]) {
+    let kdim = arow.len();
+    let mut k = 0;
+    while k + 4 <= kdim {
+        let (a0, a1, a2, a3) = (arow[k], arow[k + 1], arow[k + 2], arow[k + 3]);
+        let b0 = &rhs_data[k * n..(k + 1) * n];
+        let b1 = &rhs_data[(k + 1) * n..(k + 2) * n];
+        let b2 = &rhs_data[(k + 2) * n..(k + 3) * n];
+        let b3 = &rhs_data[(k + 3) * n..(k + 4) * n];
+        for j in 0..n {
+            let mut o = orow[j];
+            o += a0 * b0[j];
+            o += a1 * b1[j];
+            o += a2 * b2[j];
+            o += a3 * b3[j];
+            orow[j] = o;
+        }
+        k += 4;
+    }
+    while k < kdim {
+        let a = arow[k];
+        let brow = &rhs_data[k * n..(k + 1) * n];
+        for (o, &b) in orow.iter_mut().zip(brow.iter()) {
+            *o += a * b;
+        }
+        k += 1;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+thread_local! {
+    /// Reused per-thread buffer holding the materialized `rhs^T` for the
+    /// AVX2 `matmul_transpose_rhs` fast path; avoids a per-call allocation.
+    static TRANSPOSE_SCRATCH: std::cell::RefCell<Vec<f64>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Runtime-dispatched AVX2 micro-kernel for the 4x8 output tile.
+///
+/// Uses only `vmulpd`/`vaddpd` — never FMA, which would fuse the
+/// multiply-add into a single rounding and break bitwise identity with the
+/// reference kernels. Each vector lane executes exactly the scalar
+/// schedule (one mul-round and one add-round per k, in k order), so the
+/// results are bitwise-identical to the portable tile and to
+/// [`reference`]; the differential tests in `crates/nn/tests` exercise
+/// this path on any AVX2 host.
+#[cfg(target_arch = "x86_64")]
+mod simd {
+    /// One 4x8 output tile accumulated across the whole `k` sweep.
+    ///
+    /// `a` addresses the four lhs scalars as `a + k * k_stride +
+    /// r * r_stride` (row-major lhs: `r_stride = kdim, k_stride = 1`;
+    /// transposed lhs: `r_stride = 1, k_stride = m`). `b` points at the
+    /// first rhs row offset to the tile's column, with row stride `bn`.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2 (checked by the caller via `is_x86_feature_detected`),
+    /// `a` readable at `k * k_stride + r * r_stride` for all `k < kdim`,
+    /// `r < 4`, `b` readable at `k * bn..k * bn + 8` for all `k < kdim`,
+    /// and each pointer in `o` writable for 8 elements.
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn tile4x8(
+        a: *const f64,
+        r_stride: usize,
+        k_stride: usize,
+        kdim: usize,
+        b: *const f64,
+        bn: usize,
+        o: [*mut f64; 4],
+    ) {
+        use std::arch::x86_64::{
+            _mm256_add_pd, _mm256_loadu_pd, _mm256_mul_pd, _mm256_set1_pd, _mm256_setzero_pd,
+            _mm256_storeu_pd,
+        };
+        let mut acc = [_mm256_setzero_pd(); 8];
+        for k in 0..kdim {
+            let bp = b.add(k * bn);
+            let blo = _mm256_loadu_pd(bp);
+            let bhi = _mm256_loadu_pd(bp.add(4));
+            let ak = a.add(k * k_stride);
+            for r in 0..4 {
+                let v = _mm256_set1_pd(*ak.add(r * r_stride));
+                acc[2 * r] = _mm256_add_pd(acc[2 * r], _mm256_mul_pd(v, blo));
+                acc[2 * r + 1] = _mm256_add_pd(acc[2 * r + 1], _mm256_mul_pd(v, bhi));
+            }
+        }
+        for r in 0..4 {
+            _mm256_storeu_pd(o[r], acc[2 * r]);
+            _mm256_storeu_pd(o[r].add(4), acc[2 * r + 1]);
+        }
+    }
+}
+
+/// Tail of a `matmul_transpose_rhs` row: `orow[j] = arow . rhs_row_j` for
+/// `j >= start`, in 4-wide then scalar dot blocks, each dot summing its
+/// products in index order.
+fn dot_row_tail(arow: &[f64], rhs_data: &[f64], kdim: usize, orow: &mut [f64], start: usize) {
+    let p = orow.len();
+    let mut j = start;
+    while j + 4 <= p {
+        let b0 = &rhs_data[j * kdim..(j + 1) * kdim];
+        let b1 = &rhs_data[(j + 1) * kdim..(j + 2) * kdim];
+        let b2 = &rhs_data[(j + 2) * kdim..(j + 3) * kdim];
+        let b3 = &rhs_data[(j + 3) * kdim..(j + 4) * kdim];
+        let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+        for (k, &a) in arow.iter().enumerate() {
+            s0 += a * b0[k];
+            s1 += a * b1[k];
+            s2 += a * b2[k];
+            s3 += a * b3[k];
+        }
+        orow[j] = s0;
+        orow[j + 1] = s1;
+        orow[j + 2] = s2;
+        orow[j + 3] = s3;
+        j += 4;
+    }
+    while j < p {
+        let brow = &rhs_data[j * kdim..(j + 1) * kdim];
+        let mut s = 0.0;
+        for (&a, &b) in arow.iter().zip(brow.iter()) {
+            s += a * b;
+        }
+        orow[j] = s;
+        j += 1;
+    }
+}
+
+/// Naive reference kernels: the plain triple loops the blocked kernels must
+/// match bitwise (DESIGN.md §10). Retained outside `#[cfg(test)]` so the
+/// differential proptests in `crates/nn/tests` and the bench exporter can
+/// use them; not part of the supported API surface.
+#[doc(hidden)]
+pub mod reference {
+    use super::Matrix;
+    use crate::error::NnError;
+
+    /// `a * b`, plain i-k-j loop, one in-order `+=` per product.
+    pub fn matmul(a: &Matrix, b: &Matrix) -> Result<Matrix, NnError> {
+        if a.cols != b.rows {
+            return Err(NnError::ShapeMismatch {
+                op: "matmul",
+                lhs: (a.rows, a.cols),
+                rhs: (b.rows, b.cols),
+            });
+        }
+        let mut out = Matrix::zeros(a.rows, b.cols);
+        for i in 0..a.rows {
+            for k in 0..a.cols {
+                let av = a.data[i * a.cols + k];
+                let brow = &b.data[k * b.cols..(k + 1) * b.cols];
+                let orow = &mut out.data[i * b.cols..(i + 1) * b.cols];
+                for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                    *o += av * bv;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// `a * b^T`, one sequential dot per output element.
+    pub fn matmul_transpose_rhs(a: &Matrix, b: &Matrix) -> Result<Matrix, NnError> {
+        if a.cols != b.cols {
+            return Err(NnError::ShapeMismatch {
+                op: "matmul_transpose_rhs",
+                lhs: (a.rows, a.cols),
+                rhs: (b.rows, b.cols),
+            });
+        }
+        let mut out = Matrix::zeros(a.rows, b.rows);
+        for i in 0..a.rows {
+            let arow = a.row(i);
+            for j in 0..b.rows {
+                let brow = b.row(j);
+                let mut s = 0.0;
+                for (&x, &y) in arow.iter().zip(brow.iter()) {
+                    s += x * y;
+                }
+                out.data[i * b.rows + j] = s;
+            }
+        }
+        Ok(out)
+    }
+
+    /// `a^T * b`, plain k-i-j loop, one in-order `+=` per product.
+    pub fn matmul_transpose_lhs(a: &Matrix, b: &Matrix) -> Result<Matrix, NnError> {
+        if a.rows != b.rows {
+            return Err(NnError::ShapeMismatch {
+                op: "matmul_transpose_lhs",
+                lhs: (a.rows, a.cols),
+                rhs: (b.rows, b.cols),
+            });
+        }
+        let mut out = Matrix::zeros(a.cols, b.cols);
+        for k in 0..a.rows {
+            let arow = a.row(k);
+            let brow = &b.data[k * b.cols..(k + 1) * b.cols];
+            for (i, &av) in arow.iter().enumerate() {
+                let orow = &mut out.data[i * b.cols..(i + 1) * b.cols];
+                for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                    *o += av * bv;
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -355,5 +886,127 @@ mod tests {
     fn frobenius() {
         let a = m(1, 2, &[3.0, 4.0]);
         assert!((a.frobenius_norm() - 5.0).abs() < 1e-12);
+    }
+
+    /// Tiny deterministic value generator for kernel identity tests; no
+    /// external RNG so the expected bit patterns never move.
+    fn fill_lcg(seed: &mut u64, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|_| {
+                *seed = seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((*seed >> 11) as f64 / (1u64 << 53) as f64) * 4.0 - 2.0
+            })
+            .collect()
+    }
+
+    /// The blocked kernels must be bitwise-identical to the naive reference
+    /// across every k-remainder (0..=3 leftover lanes) and degenerate shape.
+    #[test]
+    fn blocked_kernels_match_reference_bitwise() {
+        let shapes: &[(usize, usize, usize)] = &[
+            (0, 0, 0),
+            (0, 3, 2),
+            (1, 1, 1),
+            (1, 7, 1),
+            (3, 4, 5),
+            (5, 5, 5),
+            (2, 6, 9),
+            (7, 9, 3),
+            (8, 8, 8),
+            (13, 17, 11),
+        ];
+        let mut seed = 0x1234_5678_9abc_def0u64;
+        for &(mm, kk, nn) in shapes {
+            let a = m(mm, kk, &fill_lcg(&mut seed, mm * kk));
+            let b = m(kk, nn, &fill_lcg(&mut seed, kk * nn));
+            let fast = a.matmul(&b).unwrap();
+            let slow = reference::matmul(&a, &b).unwrap();
+            assert_bits_eq(&fast, &slow, "matmul", mm, kk, nn);
+
+            let bt = b.transpose();
+            let fast = a.matmul_transpose_rhs(&bt).unwrap();
+            let slow = reference::matmul_transpose_rhs(&a, &bt).unwrap();
+            assert_bits_eq(&fast, &slow, "matmul_transpose_rhs", mm, kk, nn);
+
+            let at = a.transpose();
+            let fast = at.matmul_transpose_lhs(&b).unwrap();
+            let slow = reference::matmul_transpose_lhs(&at, &b).unwrap();
+            assert_bits_eq(&fast, &slow, "matmul_transpose_lhs", mm, kk, nn);
+        }
+    }
+
+    fn assert_bits_eq(x: &Matrix, y: &Matrix, op: &str, mm: usize, kk: usize, nn: usize) {
+        assert_eq!(
+            (x.rows(), x.cols()),
+            (y.rows(), y.cols()),
+            "{op} {mm}x{kk}x{nn}"
+        );
+        for (i, (a, b)) in x.data().iter().zip(y.data().iter()).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{op} {mm}x{kk}x{nn}: element {i} differs ({a} vs {b})"
+            );
+        }
+    }
+
+    /// Regression for the removed `if a == 0.0 {{ continue; }}` shortcut:
+    /// `0 * NaN` and `0 * inf` are NaN and must reach the output, not be
+    /// silently skipped as zero contributions.
+    #[test]
+    fn nan_and_inf_propagate_through_matmul() {
+        let a = m(1, 3, &[0.0, 0.0, 0.0]);
+        let b = m(3, 2, &[f64::NAN, f64::INFINITY, 2.0, 3.0, 4.0, 5.0]);
+        let c = a.matmul(&b).unwrap();
+        assert!(c.get(0, 0).is_nan(), "0 * NaN must propagate NaN");
+        assert!(c.get(0, 1).is_nan(), "0 * inf contributes NaN");
+
+        // Same contract for the transpose-lhs kernel, which had its own skip.
+        let zrow = m(1, 1, &[0.0]);
+        let bt = m(1, 2, &[f64::NAN, f64::INFINITY]);
+        let c = zrow.matmul_transpose_lhs(&bt).unwrap();
+        assert!(c.get(0, 0).is_nan());
+        assert!(c.get(0, 1).is_nan());
+
+        // And for the dot-product kernel.
+        let z = m(1, 2, &[0.0, 0.0]);
+        let w = m(1, 2, &[f64::INFINITY, 1.0]);
+        let c = z.matmul_transpose_rhs(&w).unwrap();
+        assert!(c.get(0, 0).is_nan());
+    }
+
+    #[test]
+    fn negative_zero_columns_are_not_skipped() {
+        // -0.0 == 0.0 under IEEE comparison, so the old skip also dropped
+        // -0.0 rows; the blocked kernels must treat them like any value.
+        let a = m(1, 1, &[-0.0]);
+        let b = m(1, 1, &[f64::NAN]);
+        assert!(a.matmul(&b).unwrap().get(0, 0).is_nan());
+    }
+
+    #[test]
+    fn matmul_into_reuses_and_reshapes_scratch() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let mut out = Matrix::zeros(7, 7); // wrong shape and stale data
+        out.data_mut().fill(99.0);
+        a.matmul_into(&b, &mut out).unwrap();
+        assert_eq!((out.rows(), out.cols()), (2, 2));
+        assert_eq!(out.data(), &[58.0, 64.0, 139.0, 154.0]);
+        // Repeated use must not accumulate into stale contents.
+        a.matmul_into(&b, &mut out).unwrap();
+        assert_eq!(out.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn reshape_zero_fills_and_keeps_capacity() {
+        let mut x = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let cap = x.data.capacity();
+        x.reshape(1, 3);
+        assert_eq!((x.rows(), x.cols()), (1, 3));
+        assert_eq!(x.data(), &[0.0, 0.0, 0.0]);
+        assert!(x.data.capacity() >= cap.min(3));
     }
 }

@@ -37,6 +37,33 @@ impl MlpCache {
     }
 }
 
+/// Reusable ping-pong buffers for [`Mlp::forward_scratch`].
+///
+/// One scratch can be shared across networks of different widths; buffers are
+/// reshaped (retaining capacity) on every call, so steady-state inference
+/// performs zero heap allocation.
+#[derive(Debug, Clone)]
+pub struct MlpScratch {
+    a: Matrix,
+    b: Matrix,
+}
+
+impl MlpScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        MlpScratch {
+            a: Matrix::zeros(0, 0),
+            b: Matrix::zeros(0, 0),
+        }
+    }
+}
+
+impl Default for MlpScratch {
+    fn default() -> Self {
+        MlpScratch::new()
+    }
+}
+
 /// Parameter gradients for a whole network, one entry per layer.
 #[derive(Debug, Clone)]
 pub struct MlpGrads {
@@ -192,6 +219,27 @@ impl Mlp {
         })
     }
 
+    /// Allocation-free batch forward pass for inference.
+    ///
+    /// Ping-pongs between the two scratch buffers, one `forward_into` per
+    /// layer; the returned reference points into `scratch`. Output is
+    /// bitwise-identical to [`Mlp::forward`] — the per-layer kernels and the
+    /// activation application are the same code paths.
+    pub fn forward_scratch<'s>(
+        &self,
+        x: &Matrix,
+        scratch: &'s mut MlpScratch,
+    ) -> Result<&'s Matrix, NnError> {
+        let MlpScratch { a, b } = scratch;
+        let (mut cur, mut next) = (a, b);
+        self.layers[0].forward_into(x, cur)?;
+        for l in &self.layers[1..] {
+            l.forward_into(cur, next)?;
+            std::mem::swap(&mut cur, &mut next);
+        }
+        Ok(cur)
+    }
+
     /// Convenience single-sample inference without gradient caches.
     pub fn infer(&self, x: &[f64]) -> Result<Vec<f64>, NnError> {
         let cache = self.forward(&Matrix::from_row(x))?;
@@ -313,6 +361,42 @@ mod tests {
         let b = g.flatten();
         for (x, y) in a.iter().zip(b.iter()) {
             assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn forward_scratch_matches_forward_bitwise() {
+        let mlp = net(7);
+        let mut scratch = MlpScratch::new();
+        // Different batch sizes through the same scratch: reshape must not
+        // leak state between calls.
+        let batches = [
+            Matrix::from_rows(&[&[0.2, -0.4, 0.9], &[1.0, 0.0, -1.0], &[0.0, 0.0, 0.0]]).unwrap(),
+            Matrix::from_row(&[0.3, 0.1, -0.2]),
+            Matrix::from_rows(&[&[5.0, -5.0, 0.5], &[0.1, 0.2, 0.3]]).unwrap(),
+        ];
+        for x in &batches {
+            let full = mlp.forward(x).unwrap();
+            let fast = mlp.forward_scratch(x, &mut scratch).unwrap();
+            assert_eq!((fast.rows(), fast.cols()), (x.rows(), mlp.output_dim()));
+            for (a, b) in full.output().data().iter().zip(fast.data().iter()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    /// A diverged (NaN/∞) weight must surface at the network output even for
+    /// all-zero observations — the case the old `a == 0.0` kernel skip hid.
+    #[test]
+    fn nan_and_inf_weights_propagate_through_mlp_forward() {
+        for poison in [f64::NAN, f64::INFINITY] {
+            let mut mlp = net(8);
+            mlp.layers[0].w.set(0, 0, poison);
+            let y = mlp.infer(&[0.0, 0.0, 0.0]).unwrap();
+            assert!(
+                y.iter().any(|v| v.is_nan()),
+                "0 * {poison} weight must not be silently swallowed"
+            );
         }
     }
 

@@ -5,11 +5,124 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use imap_nn::{Activation, DiagGaussian, Matrix, Mlp};
+use imap_nn::matrix::reference;
+use imap_nn::{Activation, DiagGaussian, Matrix, Mlp, MlpScratch};
 
 fn matrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
     proptest::collection::vec(-5.0f64..5.0, rows * cols)
         .prop_map(move |data| Matrix::from_vec(rows, cols, data).expect("sized"))
+}
+
+/// Draws `len` values laced with the special values the determinism contract
+/// must preserve: NaN, ±∞, ±0.0 (the removed sparsity skip dropped exactly
+/// the zero-times-non-finite products).
+fn laced_values(rng: &mut StdRng, len: usize) -> Vec<f64> {
+    (0..len)
+        .map(|_| match rng.gen_range(0..16usize) {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            2 => f64::NEG_INFINITY,
+            3 | 4 => 0.0,
+            5 => -0.0,
+            _ => rng.gen_range(-5.0..5.0),
+        })
+        .collect()
+}
+
+fn assert_bitwise(fast: &Matrix, slow: &Matrix, what: &str) -> Result<(), String> {
+    if (fast.rows(), fast.cols()) != (slow.rows(), slow.cols()) {
+        return Err(format!("{what}: shape mismatch"));
+    }
+    for (i, (a, b)) in fast.data().iter().zip(slow.data().iter()).enumerate() {
+        // Bitwise identity for every representable value — including ±∞ and
+        // ±0.0 — except NaN *payloads*: IEEE-754 leaves the payload of an
+        // arithmetic NaN unspecified, and x86 two-operand NaN selection
+        // depends on operand order the compiler is free to commute, so the
+        // contract (DESIGN.md §10) only pins *which* elements are NaN.
+        if a.to_bits() != b.to_bits() && !(a.is_nan() && b.is_nan()) {
+            return Err(format!("{what}: element {i} differs: {a} vs {b}"));
+        }
+    }
+    Ok(())
+}
+
+/// Differential oracle: for a seed-derived random shape (including 0-sized,
+/// 1×N, and non-square) with NaN/∞-laced values, every blocked kernel must
+/// be bitwise-equal to the naive reference loop.
+fn check_kernels_for_seed(seed: u64) -> Result<(), String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let (m, k, n) = (
+        rng.gen_range(0..10usize),
+        rng.gen_range(0..12usize),
+        rng.gen_range(0..10usize),
+    );
+    let a_data = laced_values(&mut rng, m * k);
+    let b_data = laced_values(&mut rng, k * n);
+    let a = Matrix::from_vec(m, k, a_data).expect("sized");
+    let b = Matrix::from_vec(k, n, b_data).expect("sized");
+
+    let tag = format!("{m}x{k}x{n} seed {seed}");
+    assert_bitwise(
+        &a.matmul(&b).map_err(|e| e.to_string())?,
+        &reference::matmul(&a, &b).map_err(|e| e.to_string())?,
+        &format!("matmul {tag}"),
+    )?;
+    let bt = b.transpose();
+    assert_bitwise(
+        &a.matmul_transpose_rhs(&bt).map_err(|e| e.to_string())?,
+        &reference::matmul_transpose_rhs(&a, &bt).map_err(|e| e.to_string())?,
+        &format!("matmul_transpose_rhs {tag}"),
+    )?;
+    let at = a.transpose();
+    assert_bitwise(
+        &at.matmul_transpose_lhs(&b).map_err(|e| e.to_string())?,
+        &reference::matmul_transpose_lhs(&at, &b).map_err(|e| e.to_string())?,
+        &format!("matmul_transpose_lhs {tag}"),
+    )?;
+    Ok(())
+}
+
+/// Differential oracle: the scratch-buffer forward path equals the
+/// allocating one bitwise for a seed-derived network and batch (scratch
+/// buffers reused across calls with varying batch sizes).
+fn check_scratch_forward_for_seed(seed: u64) -> Result<(), String> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed);
+    let hidden = rng.gen_range(1..12usize);
+    let (din, dout) = (rng.gen_range(1..8usize), rng.gen_range(1..6usize));
+    let mlp = Mlp::new(&[din, hidden, dout], Activation::Tanh, 1.0, &mut rng).expect("net");
+    let mut scratch = MlpScratch::new();
+    for _ in 0..3 {
+        let rows = rng.gen_range(1..9usize);
+        let data = laced_values(&mut rng, rows * din);
+        let x = Matrix::from_vec(rows, din, data).expect("sized");
+        let slow = mlp.forward(&x).map_err(|e| e.to_string())?;
+        let fast = mlp
+            .forward_scratch(&x, &mut scratch)
+            .map_err(|e| e.to_string())?;
+        assert_bitwise(fast, slow.output(), &format!("forward seed {seed}"))?;
+    }
+    Ok(())
+}
+
+/// Seed-sweep drivers for the differential oracles. These run everywhere
+/// (they do not depend on the proptest runner) and are the tier-1 pin; the
+/// `proptest!` wrappers below explore a wider randomized seed space in CI.
+#[test]
+fn blocked_kernels_bitwise_equal_reference_seeded() {
+    for seed in 0..500u64 {
+        if let Err(e) = check_kernels_for_seed(seed) {
+            panic!("{e}");
+        }
+    }
+}
+
+#[test]
+fn scratch_forward_bitwise_equal_forward_seeded() {
+    for seed in 0..200u64 {
+        if let Err(e) = check_scratch_forward_for_seed(seed) {
+            panic!("{e}");
+        }
+    }
 }
 
 proptest! {
@@ -107,5 +220,23 @@ proptest! {
         let p = mlp.params();
         mlp.set_params(&p).unwrap();
         prop_assert_eq!(mlp.params(), p);
+    }
+
+    /// Randomized-shape differential oracle: blocked kernels are
+    /// bitwise-equal to the naive reference, NaN/∞-laced inputs included.
+    #[test]
+    fn blocked_kernels_bitwise_equal_reference(seed in 0u64..1_000_000) {
+        if let Err(e) = check_kernels_for_seed(seed) {
+            prop_assert!(false, "{}", e);
+        }
+    }
+
+    /// Randomized differential oracle: scratch-buffer forward equals the
+    /// allocating forward bitwise.
+    #[test]
+    fn scratch_forward_bitwise_equal_forward(seed in 0u64..1_000_000) {
+        if let Err(e) = check_scratch_forward_for_seed(seed) {
+            prop_assert!(false, "{}", e);
+        }
     }
 }

@@ -1,10 +1,29 @@
 //! Policy evaluation: the metrics reported in the paper's tables.
+//!
+//! Two drivers produce identical numbers:
+//!
+//! - [`evaluate_rowwise`]: the reference — one episode at a time, one policy
+//!   forward pass per step.
+//! - [`evaluate_batched`]: steps up to [`EvalConfig::lanes`] independent
+//!   episodes in lockstep and pushes all live observations through the MLP as
+//!   one `K x obs` matrix per step.
+//!
+//! Both derive a private RNG per episode index and give every episode a fresh
+//! env from the caller's factory, so episode trajectories do not depend on
+//! which lane (or driver) runs them; per-episode outcomes are aggregated in
+//! episode-index order. Together with the kernel determinism contract
+//! (DESIGN.md §10) this makes the two drivers bitwise-identical, which the
+//! differential tests in `crates/rl/tests` pin down.
+//!
+//! The original single-env [`evaluate`] entry point is kept for callers that
+//! thread one shared RNG through a sequential loop.
 
 use imap_env::sparse::sparse_episode_metric;
 use imap_env::{Env, EnvRng};
 use imap_nn::NnError;
+use rand::SeedableRng;
 
-use crate::policy::GaussianPolicy;
+use crate::policy::{GaussianPolicy, PolicyScratch};
 
 /// Evaluation options.
 #[derive(Debug, Clone)]
@@ -13,6 +32,9 @@ pub struct EvalConfig {
     pub episodes: usize,
     /// Use the deterministic (mean) action instead of sampling.
     pub deterministic: bool,
+    /// Episodes stepped in lockstep by [`evaluate_batched`] (each is one row
+    /// of the batched forward pass). `1` degenerates to the rowwise path.
+    pub lanes: usize,
 }
 
 impl Default for EvalConfig {
@@ -20,6 +42,7 @@ impl Default for EvalConfig {
         EvalConfig {
             episodes: 50,
             deterministic: true,
+            lanes: 8,
         }
     }
 }
@@ -43,55 +66,36 @@ pub struct EvalResult {
     pub mean_length: f64,
 }
 
-/// Evaluates `policy` on `env` over `cfg.episodes` episodes.
-pub fn evaluate(
-    env: &mut dyn Env,
-    policy: &GaussianPolicy,
-    cfg: &EvalConfig,
-    rng: &mut EnvRng,
-) -> Result<EvalResult, NnError> {
-    let mut returns = Vec::with_capacity(cfg.episodes);
-    let mut sparses = Vec::with_capacity(cfg.episodes);
+/// Per-episode outcome, accumulated by both eval drivers and folded in
+/// episode-index order so the aggregation arithmetic is driver-independent.
+#[derive(Debug, Clone, Copy, Default)]
+struct EpisodeOutcome {
+    ret: f64,
+    success: bool,
+    unhealthy: bool,
+    len: usize,
+}
+
+fn aggregate(outcomes: &[EpisodeOutcome]) -> EvalResult {
+    let n = outcomes.len() as f64;
     let mut successes = 0usize;
     let mut unhealthies = 0usize;
     let mut total_len = 0usize;
-
-    for _ in 0..cfg.episodes {
-        let mut obs = env.reset(rng);
-        let mut ep_return = 0.0;
-        let ep_success;
-        let ep_unhealthy;
-        loop {
-            let action = if cfg.deterministic {
-                policy.act_deterministic(&obs)?
-            } else {
-                policy.act(&obs, rng)?.0
-            };
-            let step = env.step(&action, rng);
-            ep_return += step.reward;
-            total_len += 1;
-            if step.done {
-                ep_success = step.success;
-                ep_unhealthy = step.unhealthy;
-                break;
-            }
-            obs = step.obs;
-        }
-        returns.push(ep_return);
-        sparses.push(sparse_episode_metric(ep_success, ep_unhealthy));
-        if ep_success {
+    let mut sparses = Vec::with_capacity(outcomes.len());
+    for o in outcomes {
+        sparses.push(sparse_episode_metric(o.success, o.unhealthy));
+        if o.success {
             successes += 1;
         }
-        if ep_unhealthy {
+        if o.unhealthy {
             unhealthies += 1;
         }
+        total_len += o.len;
     }
-
-    let n = cfg.episodes as f64;
-    let mean_return = returns.iter().sum::<f64>() / n;
-    let std_return = (returns
+    let mean_return = outcomes.iter().map(|o| o.ret).sum::<f64>() / n;
+    let std_return = (outcomes
         .iter()
-        .map(|r| (r - mean_return).powi(2))
+        .map(|o| (o.ret - mean_return).powi(2))
         .sum::<f64>()
         / n)
         .sqrt();
@@ -102,7 +106,7 @@ pub fn evaluate(
         .sum::<f64>()
         / n)
         .sqrt();
-    Ok(EvalResult {
+    EvalResult {
         mean_return,
         std_return,
         mean_sparse,
@@ -110,7 +114,181 @@ pub fn evaluate(
         success_rate: successes as f64 / n,
         unhealthy_rate: unhealthies as f64 / n,
         mean_length: total_len as f64 / n,
-    })
+    }
+}
+
+/// The RNG for episode `ep` of an eval run, derived from the run seed.
+///
+/// Deriving per episode (rather than threading one stream through a
+/// sequential loop) is what lets lanes run episodes in any interleaving
+/// without changing any episode's trajectory.
+fn episode_rng(base_seed: u64, ep: usize) -> EnvRng {
+    EnvRng::seed_from_u64(base_seed ^ (ep as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Evaluates `policy` on `env` over `cfg.episodes` episodes.
+///
+/// Sequential single-env driver with one caller-provided RNG stream; kept
+/// for callers that want the historical numerics. New code should prefer
+/// [`evaluate_batched`], which is faster and lane-count-invariant.
+pub fn evaluate(
+    env: &mut dyn Env,
+    policy: &GaussianPolicy,
+    cfg: &EvalConfig,
+    rng: &mut EnvRng,
+) -> Result<EvalResult, NnError> {
+    let mut outcomes = Vec::with_capacity(cfg.episodes);
+    for _ in 0..cfg.episodes {
+        let mut obs = env.reset(rng);
+        let mut out = EpisodeOutcome::default();
+        loop {
+            let action = if cfg.deterministic {
+                policy.act_deterministic(&obs)?
+            } else {
+                policy.act(&obs, rng)?.0
+            };
+            let step = env.step(&action, rng);
+            out.ret += step.reward;
+            out.len += 1;
+            if step.done {
+                out.success = step.success;
+                out.unhealthy = step.unhealthy;
+                break;
+            }
+            obs = step.obs;
+        }
+        outcomes.push(out);
+    }
+    Ok(aggregate(&outcomes))
+}
+
+/// Reference episode-at-a-time driver over factory-built envs with derived
+/// per-episode RNGs. [`evaluate_batched`] must match this bitwise.
+pub fn evaluate_rowwise(
+    make_env: &mut dyn FnMut() -> Box<dyn Env>,
+    policy: &GaussianPolicy,
+    cfg: &EvalConfig,
+    base_seed: u64,
+) -> Result<EvalResult, NnError> {
+    let mut outcomes = Vec::with_capacity(cfg.episodes);
+    for ep in 0..cfg.episodes {
+        let mut env = make_env();
+        let mut rng = episode_rng(base_seed, ep);
+        let mut obs = env.reset(&mut rng);
+        let mut out = EpisodeOutcome::default();
+        loop {
+            let action = if cfg.deterministic {
+                policy.act_deterministic(&obs)?
+            } else {
+                policy.act(&obs, &mut rng)?.0
+            };
+            let step = env.step(&action, &mut rng);
+            out.ret += step.reward;
+            out.len += 1;
+            if step.done {
+                out.success = step.success;
+                out.unhealthy = step.unhealthy;
+                break;
+            }
+            obs = step.obs;
+        }
+        outcomes.push(out);
+    }
+    Ok(aggregate(&outcomes))
+}
+
+/// One in-flight episode of the lockstep driver.
+struct Lane {
+    ep: usize,
+    env: Box<dyn Env>,
+    rng: EnvRng,
+    obs: Vec<f64>,
+    out: EpisodeOutcome,
+    action: Vec<f64>,
+}
+
+impl Lane {
+    fn start(ep: usize, make_env: &mut dyn FnMut() -> Box<dyn Env>, base_seed: u64) -> Lane {
+        let mut env = make_env();
+        let mut rng = episode_rng(base_seed, ep);
+        let obs = env.reset(&mut rng);
+        Lane {
+            ep,
+            env,
+            rng,
+            obs,
+            out: EpisodeOutcome::default(),
+            action: Vec::new(),
+        }
+    }
+}
+
+/// Evaluates `policy` over `cfg.episodes` episodes, stepping up to
+/// `cfg.lanes` episodes in lockstep with one `K x obs` forward pass per
+/// step.
+///
+/// Bitwise-identical to [`evaluate_rowwise`] with the same arguments: each
+/// episode owns a fresh env and a derived RNG, each batched mean row equals
+/// the corresponding single-row forward ([`GaussianPolicy::mean_batch`]),
+/// and outcomes are folded in episode-index order.
+pub fn evaluate_batched(
+    make_env: &mut dyn FnMut() -> Box<dyn Env>,
+    policy: &GaussianPolicy,
+    cfg: &EvalConfig,
+    base_seed: u64,
+) -> Result<EvalResult, NnError> {
+    let lanes = cfg.lanes.max(1).min(cfg.episodes.max(1));
+    let mut outcomes: Vec<EpisodeOutcome> = vec![EpisodeOutcome::default(); cfg.episodes];
+    let mut next_ep = 0usize;
+    let mut active: Vec<Lane> = Vec::with_capacity(lanes);
+    while active.len() < lanes && next_ep < cfg.episodes {
+        active.push(Lane::start(next_ep, make_env, base_seed));
+        next_ep += 1;
+    }
+
+    let mut scratch = PolicyScratch::new();
+    let mut obs_refs: Vec<&[f64]> = Vec::with_capacity(lanes);
+    while !active.is_empty() {
+        obs_refs.clear();
+        // SAFETY-free re-borrow dance: collect the observation rows, run one
+        // batched forward, then copy each mean into the lane's action buffer
+        // before the env mutations below invalidate the borrow.
+        let refs: Vec<&[f64]> = active.iter().map(|l| l.obs.as_slice()).collect();
+        let means = policy.mean_batch(&refs, &mut scratch)?;
+        for (i, lane) in active.iter_mut().enumerate() {
+            if cfg.deterministic {
+                lane.action.clear();
+                lane.action.extend_from_slice(means.row(i));
+            } else {
+                policy
+                    .head
+                    .sample_into(means.row(i), &mut lane.rng, &mut lane.action);
+            }
+        }
+        let mut i = 0;
+        while i < active.len() {
+            let lane = &mut active[i];
+            let step = lane.env.step(&lane.action, &mut lane.rng);
+            lane.out.ret += step.reward;
+            lane.out.len += 1;
+            if step.done {
+                lane.out.success = step.success;
+                lane.out.unhealthy = step.unhealthy;
+                outcomes[lane.ep] = lane.out;
+                if next_ep < cfg.episodes {
+                    active[i] = Lane::start(next_ep, make_env, base_seed);
+                    next_ep += 1;
+                    i += 1;
+                } else {
+                    active.swap_remove(i);
+                }
+            } else {
+                lane.obs = step.obs;
+                i += 1;
+            }
+        }
+    }
+    Ok(aggregate(&outcomes))
 }
 
 #[cfg(test)]
@@ -128,6 +306,7 @@ mod tests {
         let cfg = EvalConfig {
             episodes: 5,
             deterministic: true,
+            ..EvalConfig::default()
         };
         let r = evaluate(&mut env, &policy, &cfg, &mut rng).unwrap();
         assert!(r.mean_length > 0.0);
@@ -142,6 +321,7 @@ mod tests {
         let cfg = EvalConfig {
             episodes: 3,
             deterministic: true,
+            ..EvalConfig::default()
         };
         let r1 = evaluate(
             &mut Hopper::new(),
@@ -158,5 +338,60 @@ mod tests {
         )
         .unwrap();
         assert_eq!(r1.mean_return, r2.mean_return);
+    }
+
+    fn bits(r: &EvalResult) -> [u64; 7] {
+        [
+            r.mean_return.to_bits(),
+            r.std_return.to_bits(),
+            r.mean_sparse.to_bits(),
+            r.std_sparse.to_bits(),
+            r.success_rate.to_bits(),
+            r.unhealthy_rate.to_bits(),
+            r.mean_length.to_bits(),
+        ]
+    }
+
+    /// The tentpole contract: lockstep batching over any lane count must not
+    /// change a single bit of any reported metric.
+    #[test]
+    fn batched_eval_is_bitwise_identical_to_rowwise() {
+        let policy = GaussianPolicy::new(5, 3, &[8], -0.5, &mut EnvRng::seed_from_u64(3)).unwrap();
+        for deterministic in [true, false] {
+            let mut make = || Box::new(Hopper::new()) as Box<dyn Env>;
+            let base = EvalConfig {
+                episodes: 7,
+                deterministic,
+                lanes: 1,
+            };
+            let reference = evaluate_rowwise(&mut make, &policy, &base, 42).unwrap();
+            for lanes in [1usize, 2, 4, 16] {
+                let cfg = EvalConfig {
+                    lanes,
+                    ..base.clone()
+                };
+                let batched = evaluate_batched(&mut make, &policy, &cfg, 42).unwrap();
+                assert_eq!(
+                    bits(&reference),
+                    bits(&batched),
+                    "lanes={lanes} deterministic={deterministic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_eval_handles_degenerate_configs() {
+        let policy = GaussianPolicy::new(5, 3, &[8], -0.5, &mut EnvRng::seed_from_u64(4)).unwrap();
+        let mut make = || Box::new(Hopper::new()) as Box<dyn Env>;
+        // More lanes than episodes, and a single episode.
+        let cfg = EvalConfig {
+            episodes: 1,
+            deterministic: true,
+            lanes: 64,
+        };
+        let r = evaluate_batched(&mut make, &policy, &cfg, 7).unwrap();
+        let s = evaluate_rowwise(&mut make, &policy, &cfg, 7).unwrap();
+        assert_eq!(bits(&r), bits(&s));
     }
 }

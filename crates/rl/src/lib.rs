@@ -33,11 +33,11 @@ pub use checkpoint::{
     checkpoint_path, latest_checkpoint, load_adam_into, load_policy_into, put_adam, put_policy,
     read_checkpoint, write_checkpoint, CheckpointError, Checkpointable, StateDict, StateValue,
 };
-pub use eval::{evaluate, EvalConfig, EvalResult};
+pub use eval::{evaluate, evaluate_batched, evaluate_rowwise, EvalConfig, EvalResult};
 pub use gae::gae;
 pub use guard::{DivergenceGuard, GuardConfig, TripReason};
 pub use normalize::RunningNorm;
-pub use policy::GaussianPolicy;
+pub use policy::{GaussianPolicy, PolicyScratch};
 pub use ppo::{update_policy, update_value, PenaltyFn, PpoConfig, PpoSample, PpoStats};
 pub use sampler::{collect_rollout, collect_rollout_supervised};
 pub use train::{heartbeat, train_ppo, IterationStats, PpoRunner, ResilienceConfig, TrainConfig};

@@ -116,6 +116,32 @@ impl RunningNorm {
             .collect()
     }
 
+    /// Writes the per-dimension standard deviation into `out` (cleared
+    /// first). Same arithmetic as [`RunningNorm::std`]; lets batched callers
+    /// hoist the sqrt out of a per-row loop without allocating.
+    pub fn std_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend((0..self.mean.len()).map(|i| {
+            if self.count < 2.0 {
+                1.0
+            } else {
+                (self.m2[i] / self.count).sqrt().max(1e-6)
+            }
+        }));
+    }
+
+    /// Normalizes `x` into `out` using a precomputed `std` (from
+    /// [`RunningNorm::std_into`]). Bitwise-identical to
+    /// [`RunningNorm::normalize`] — same subtraction, division, and clamp per
+    /// element.
+    pub fn normalize_with_std(&self, x: &[f64], std: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.mean.len());
+        debug_assert_eq!(out.len(), x.len());
+        for (i, (&v, o)) in x.iter().zip(out.iter_mut()).enumerate() {
+            *o = ((v - self.mean[i]) / std[i]).clamp(-self.clip, self.clip);
+        }
+    }
+
     /// Normalizes an observation with the current statistics.
     pub fn normalize(&self, x: &[f64]) -> Vec<f64> {
         let std = self.std();
@@ -202,6 +228,26 @@ mod tests {
         assert_eq!(restored.normalize(&[3.0, 4.0]), norm.normalize(&[3.0, 4.0]));
         assert!(restored.is_frozen());
         assert!(RunningNorm::restore(vec![0.0], vec![], 0.0, false, 10.0).is_err());
+    }
+
+    #[test]
+    fn normalize_with_std_matches_normalize_bitwise() {
+        let mut norm = RunningNorm::new(3);
+        for i in 0..40 {
+            norm.update(&[i as f64 * 0.3, (i as f64).sin(), -1.0 + i as f64 * 0.01]);
+        }
+        let mut std = Vec::new();
+        norm.std_into(&mut std);
+        for (a, b) in std.iter().zip(norm.std().iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let x = [100.0, -0.4, 2.5]; // first element exercises the clip path
+        let slow = norm.normalize(&x);
+        let mut fast = [0.0; 3];
+        norm.normalize_with_std(&x, &std, &mut fast);
+        for (a, b) in slow.iter().zip(fast.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

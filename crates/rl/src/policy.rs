@@ -3,9 +3,37 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use imap_nn::{Activation, DiagGaussian, Mlp, NnError};
+use imap_nn::{Activation, DiagGaussian, Matrix, Mlp, MlpScratch, NnError};
 
 use crate::normalize::RunningNorm;
+
+/// Reusable buffers for [`GaussianPolicy::mean_batch`]: the normalized
+/// `K x obs` input batch, the hoisted per-dimension std, and the MLP's
+/// ping-pong activations. One scratch serves any batch size; steady-state
+/// batched inference allocates nothing.
+#[derive(Debug, Clone)]
+pub struct PolicyScratch {
+    z: Matrix,
+    std: Vec<f64>,
+    mlp: MlpScratch,
+}
+
+impl PolicyScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        PolicyScratch {
+            z: Matrix::zeros(0, 0),
+            std: Vec::new(),
+            mlp: MlpScratch::new(),
+        }
+    }
+}
+
+impl Default for PolicyScratch {
+    fn default() -> Self {
+        PolicyScratch::new()
+    }
+}
 
 /// A diagonal-Gaussian MLP policy with an attached observation normalizer.
 ///
@@ -90,6 +118,27 @@ impl GaussianPolicy {
     /// Deterministic (mean) action for a raw observation.
     pub fn act_deterministic(&self, obs: &[f64]) -> Result<Vec<f64>, NnError> {
         self.mean_of(&self.normalize(obs))
+    }
+
+    /// Policy means for `K` raw observations in one batched forward pass.
+    ///
+    /// Row `i` of the returned `K x action_dim` matrix is bitwise-identical
+    /// to `act_deterministic(obs[i])`: normalization uses the same per-element
+    /// arithmetic with the std hoisted out of the row loop, and the batched
+    /// MLP forward computes each row as the same independent in-order dot
+    /// products as a single-row pass (DESIGN.md §10).
+    pub fn mean_batch<'s>(
+        &self,
+        obs: &[&[f64]],
+        scratch: &'s mut PolicyScratch,
+    ) -> Result<&'s Matrix, NnError> {
+        scratch.z.reshape(obs.len(), self.obs_dim());
+        self.norm.std_into(&mut scratch.std);
+        for (i, o) in obs.iter().enumerate() {
+            self.norm
+                .normalize_with_std(o, &scratch.std, scratch.z.row_mut(i));
+        }
+        self.mlp.forward_scratch(&scratch.z, &mut scratch.mlp)
     }
 
     /// Log-probability of `action` at normalized observation `z`.
@@ -186,6 +235,32 @@ mod tests {
         let a = p.act_deterministic(&obs).unwrap();
         let mean = p.mean_of(&p.normalize(&obs)).unwrap();
         assert_eq!(a, mean);
+    }
+
+    #[test]
+    fn mean_batch_rows_match_act_deterministic_bitwise() {
+        let mut p = policy(7);
+        // Non-trivial normalizer statistics so the std path is exercised.
+        for i in 0..25 {
+            p.norm
+                .update(&[i as f64 * 0.2, -(i as f64), (i as f64).sin(), 3.0]);
+        }
+        let rows: Vec<Vec<f64>> = vec![
+            vec![0.2, -0.4, 0.6, 0.0],
+            vec![100.0, -100.0, 0.0, 1.0], // clip path
+            vec![0.0; 4],
+            vec![1.5, 2.5, -3.5, 4.5],
+        ];
+        let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+        let mut scratch = PolicyScratch::new();
+        let means = p.mean_batch(&refs, &mut scratch).unwrap();
+        assert_eq!((means.rows(), means.cols()), (rows.len(), p.action_dim()));
+        for (i, row) in rows.iter().enumerate() {
+            let single = p.act_deterministic(row).unwrap();
+            for (a, b) in means.row(i).iter().zip(single.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "row {i}");
+            }
+        }
     }
 
     #[test]

@@ -139,22 +139,105 @@ mod tests {
         assert_eq!(total, buf.len());
     }
 
-    #[test]
-    fn truncation_flagged_as_non_terminal() {
-        // A stabilized hopper survives to the step limit -> truncated.
-        let mut rng = EnvRng::seed_from_u64(5);
-        let mut policy = GaussianPolicy::new(5, 3, &[8], -3.0, &mut rng).unwrap();
-        // Force near-zero actions so pitch stays near initial small values
-        // long enough to hit the limit sometimes... instead just check the
-        // invariant: any done without unhealthy/success at max steps is
-        // non-terminal.
-        let mut env = Hopper::with_max_steps(30);
-        let mut env_rng = EnvRng::seed_from_u64(6);
-        let buf = collect_rollout(&mut env, &mut policy, 60, true, &mut env_rng).unwrap();
-        for s in &buf.steps {
-            if s.done && !s.unhealthy && !s.success {
-                assert!(!s.terminal || buf.episode_lengths.iter().all(|&l| l < 30));
+    /// A deterministic env whose episodes follow a fixed script of
+    /// `(done, unhealthy, success)` endings at prescribed lengths, so the
+    /// sampler's truncation logic can be pinned exactly.
+    struct ScriptedEnv {
+        /// Per-episode `(length, unhealthy, success)`; the episode `done`s at
+        /// exactly `length` steps, cycling through the script.
+        script: Vec<(usize, bool, bool)>,
+        episode: usize,
+        t: usize,
+        max_steps: usize,
+    }
+
+    impl ScriptedEnv {
+        fn new(max_steps: usize, script: Vec<(usize, bool, bool)>) -> Self {
+            ScriptedEnv {
+                script,
+                episode: 0,
+                t: 0,
+                max_steps,
             }
         }
+    }
+
+    impl Env for ScriptedEnv {
+        fn obs_dim(&self) -> usize {
+            2
+        }
+        fn action_dim(&self) -> usize {
+            1
+        }
+        fn max_steps(&self) -> usize {
+            self.max_steps
+        }
+        fn reset(&mut self, _rng: &mut EnvRng) -> Vec<f64> {
+            self.t = 0;
+            vec![self.episode as f64, 0.0]
+        }
+        fn step(&mut self, _action: &[f64], _rng: &mut EnvRng) -> imap_env::Step {
+            self.t += 1;
+            let (len, unhealthy, success) = self.script[self.episode % self.script.len()];
+            let done = self.t >= len;
+            if done {
+                self.episode += 1;
+            }
+            imap_env::Step {
+                obs: vec![self.episode as f64, self.t as f64],
+                reward: 1.0,
+                done,
+                unhealthy: done && unhealthy,
+                progress: false,
+                success: done && success,
+            }
+        }
+        fn state_summary(&self) -> Vec<f64> {
+            vec![self.t as f64]
+        }
+    }
+
+    /// Episode endings at the step limit with no unhealthy/success event are
+    /// truncations and must be non-terminal (they bootstrap); every other
+    /// `done` — early unhealthy, early success, unhealthy or success exactly
+    /// at the limit — is a real terminal.
+    #[test]
+    fn truncation_flagged_as_non_terminal() {
+        const LIMIT: usize = 5;
+        // All four done/unhealthy/success/truncated combinations, including
+        // the corner cases *at* the step limit:
+        let script = vec![
+            (LIMIT, false, false), // done at limit, no event  -> truncated
+            (3, true, false),      // early unhealthy          -> terminal
+            (2, false, true),      // early success            -> terminal
+            (LIMIT, true, false),  // unhealthy AT the limit   -> terminal
+            (LIMIT, false, true),  // success AT the limit     -> terminal
+        ];
+        let expected_terminal = [false, true, true, true, true];
+        let total: usize = script.iter().map(|(l, _, _)| l).sum();
+
+        let mut env = ScriptedEnv::new(LIMIT, script.clone());
+        let mut rng = EnvRng::seed_from_u64(5);
+        let mut policy =
+            GaussianPolicy::new(2, 1, &[4], -0.5, &mut EnvRng::seed_from_u64(6)).unwrap();
+        let buf = collect_rollout(&mut env, &mut policy, total, true, &mut rng).unwrap();
+
+        assert_eq!(
+            buf.episode_lengths,
+            script.iter().map(|(l, _, _)| *l).collect::<Vec<_>>()
+        );
+        let dones: Vec<&StepRecord> = buf.steps.iter().filter(|s| s.done).collect();
+        assert_eq!(dones.len(), script.len());
+        for (i, s) in dones.iter().enumerate() {
+            assert_eq!(
+                s.terminal, expected_terminal[i],
+                "episode {i} {:?}: terminal flag",
+                script[i]
+            );
+            assert_eq!(s.unhealthy, script[i].1, "episode {i}: unhealthy flag");
+            assert_eq!(s.success, script[i].2, "episode {i}: success flag");
+        }
+        // Non-done steps are never terminal.
+        assert!(buf.steps.iter().filter(|s| !s.done).all(|s| !s.terminal));
     }
 }

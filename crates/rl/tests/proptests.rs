@@ -4,12 +4,223 @@
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 use imap_env::locomotion::Hopper;
+use imap_env::{Env, EnvRng};
 use imap_rl::checkpoint::StateDict;
-use imap_rl::gae::{gae, normalize_advantages};
-use imap_rl::{train_ppo, GaussianPolicy, ResilienceConfig, RunningNorm, TrainConfig};
+use imap_rl::eval::{evaluate_batched, evaluate_rowwise, EvalConfig, EvalResult};
+use imap_rl::policy::PolicyScratch;
+use imap_rl::{gae, train_ppo, GaussianPolicy, ResilienceConfig, RunningNorm, TrainConfig};
+
+fn eval_bits(r: &EvalResult) -> [u64; 7] {
+    [
+        r.mean_return.to_bits(),
+        r.std_return.to_bits(),
+        r.mean_sparse.to_bits(),
+        r.std_sparse.to_bits(),
+        r.success_rate.to_bits(),
+        r.unhealthy_rate.to_bits(),
+        r.mean_length.to_bits(),
+    ]
+}
+
+/// Differential oracle: the lockstep batched eval driver reports metrics
+/// bitwise-equal to the episode-at-a-time reference for any lane count,
+/// under both deterministic and sampled actions.
+fn check_eval_drivers_for_seed(seed: u64) -> Result<(), String> {
+    let mut rng = EnvRng::seed_from_u64(seed);
+    let policy = GaussianPolicy::new(5, 3, &[8], -0.5, &mut rng).map_err(|e| e.to_string())?;
+    let mut cfg_rng = StdRng::seed_from_u64(seed ^ 0xe7a1);
+    let episodes = cfg_rng.gen_range(1..6usize);
+    let deterministic = cfg_rng.gen_range(0..2usize) == 0;
+    let mut make = || Box::new(Hopper::new()) as Box<dyn Env>;
+    let cfg = EvalConfig {
+        episodes,
+        deterministic,
+        lanes: 1,
+    };
+    let reference = evaluate_rowwise(&mut make, &policy, &cfg, seed).map_err(|e| e.to_string())?;
+    for lanes in [1usize, 2, 3, 8] {
+        let cfg = EvalConfig {
+            lanes,
+            ..cfg.clone()
+        };
+        let batched =
+            evaluate_batched(&mut make, &policy, &cfg, seed).map_err(|e| e.to_string())?;
+        if eval_bits(&reference) != eval_bits(&batched) {
+            return Err(format!(
+                "seed {seed}: lanes={lanes} episodes={episodes} deterministic={deterministic}: \
+                 {reference:?} != {batched:?}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Differential oracle: batched policy means are bitwise-equal to the
+/// row-at-a-time deterministic action path, with non-trivial normalizer
+/// statistics and clip-saturating observations in the batch.
+fn check_policy_batch_for_seed(seed: u64) -> Result<(), String> {
+    let mut rng = EnvRng::seed_from_u64(seed);
+    let mut policy = GaussianPolicy::new(4, 2, &[6], -0.5, &mut rng).map_err(|e| e.to_string())?;
+    let mut data_rng = StdRng::seed_from_u64(seed ^ 0xba7c);
+    for _ in 0..data_rng.gen_range(0..30usize) {
+        let obs: Vec<f64> = (0..4).map(|_| data_rng.gen_range(-3.0..3.0)).collect();
+        policy.norm.update(&obs);
+    }
+    let k = data_rng.gen_range(1..9usize);
+    let rows: Vec<Vec<f64>> = (0..k)
+        .map(|_| {
+            (0..4)
+                .map(|_| match data_rng.gen_range(0..8usize) {
+                    0 => 1e9,  // clip saturation
+                    1 => -1e9, // clip saturation
+                    2 => 0.0,
+                    _ => data_rng.gen_range(-5.0..5.0),
+                })
+                .collect()
+        })
+        .collect();
+    let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+    let mut scratch = PolicyScratch::new();
+    let means = policy
+        .mean_batch(&refs, &mut scratch)
+        .map_err(|e| e.to_string())?;
+    for (i, row) in rows.iter().enumerate() {
+        let single = policy.act_deterministic(row).map_err(|e| e.to_string())?;
+        for (j, (a, b)) in means.row(i).iter().zip(single.iter()).enumerate() {
+            if a.to_bits() != b.to_bits() {
+                return Err(format!("seed {seed}: mean[{i}][{j}]: {a} vs {b}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Differential oracle: on a constant-reward episode with a zero critic, the
+/// GAE recursion matches the closed-form geometric sum
+/// `adv[t] = c * sum_{i<T-t} (γλ)^i`.
+fn check_gae_closed_form_for_seed(seed: u64) -> Result<(), String> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9ae);
+    let n = rng.gen_range(1..40usize);
+    let c = rng.gen_range(-3.0..3.0f64);
+    let gamma = rng.gen_range(0.0..0.999f64);
+    let lambda = rng.gen_range(0.0..1.0f64);
+    let rewards = vec![c; n];
+    let values = vec![0.0; n];
+    let next_values = vec![0.0; n];
+    let mut dones = vec![false; n];
+    dones[n - 1] = true;
+    let terminals = dones.clone();
+    let (adv, ret) = gae(
+        &rewards,
+        &values,
+        &next_values,
+        &dones,
+        &terminals,
+        gamma,
+        lambda,
+    );
+    let gl = gamma * lambda;
+    for t in 0..n {
+        let mut expect = 0.0;
+        let mut w = 1.0;
+        for _ in 0..(n - t) {
+            expect += c * w;
+            w *= gl;
+        }
+        let tol = 1e-9 * (1.0 + expect.abs());
+        if (adv[t] - expect).abs() > tol {
+            return Err(format!(
+                "seed {seed}: t={t} n={n} gamma={gamma} lambda={lambda}: {} vs {expect}",
+                adv[t]
+            ));
+        }
+        if (ret[t] - adv[t]).abs() > 1e-12 {
+            return Err(format!(
+                "seed {seed}: returns must equal adv with zero values"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Differential oracle: the streaming Welford normalizer matches two-pass
+/// mean/variance on the same data.
+fn check_normalizer_two_pass_for_seed(seed: u64) -> Result<(), String> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x27a55);
+    let dim = rng.gen_range(1..5usize);
+    let n = rng.gen_range(2..80usize);
+    let data: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..dim).map(|_| rng.gen_range(-50.0..50.0)).collect())
+        .collect();
+    let mut norm = RunningNorm::new(dim);
+    for x in &data {
+        norm.update(x);
+    }
+    let nf = n as f64;
+    let streamed_std = norm.std();
+    for d in 0..dim {
+        let mean: f64 = data.iter().map(|x| x[d]).sum::<f64>() / nf;
+        let var: f64 = data.iter().map(|x| (x[d] - mean).powi(2)).sum::<f64>() / nf;
+        let std = var.sqrt().max(1e-6);
+        let tol = 1e-9 * (1.0 + mean.abs());
+        if (norm.mean_raw()[d] - mean).abs() > tol {
+            return Err(format!(
+                "seed {seed}: dim {d} mean {} vs {mean}",
+                norm.mean_raw()[d]
+            ));
+        }
+        let tol = 1e-9 * (1.0 + std.abs());
+        if (streamed_std[d] - std).abs() > tol {
+            return Err(format!(
+                "seed {seed}: dim {d} std {} vs {std}",
+                streamed_std[d]
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Seed-sweep drivers: these execute everywhere (no proptest runner needed)
+/// and pin the differential contracts at tier 1; the `proptest!` wrappers
+/// below randomize more widely in CI.
+#[test]
+fn batched_eval_bitwise_equal_rowwise_seeded() {
+    for seed in 0..12u64 {
+        if let Err(e) = check_eval_drivers_for_seed(seed) {
+            panic!("{e}");
+        }
+    }
+}
+
+#[test]
+fn policy_mean_batch_bitwise_equal_rowwise_seeded() {
+    for seed in 0..100u64 {
+        if let Err(e) = check_policy_batch_for_seed(seed) {
+            panic!("{e}");
+        }
+    }
+}
+
+#[test]
+fn gae_matches_closed_form_seeded() {
+    for seed in 0..300u64 {
+        if let Err(e) = check_gae_closed_form_for_seed(seed) {
+            panic!("{e}");
+        }
+    }
+}
+
+#[test]
+fn normalizer_matches_two_pass_seeded() {
+    for seed in 0..300u64 {
+        if let Err(e) = check_normalizer_two_pass_for_seed(seed) {
+            panic!("{e}");
+        }
+    }
+}
 
 proptest! {
     /// `returns - advantages = values` exactly, by construction.
@@ -130,6 +341,47 @@ proptest! {
             vs.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
             back.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
         );
+    }
+
+    /// Randomized differential oracle: batched policy means equal the
+    /// row-at-a-time path bitwise.
+    #[test]
+    fn policy_mean_batch_bitwise_equal_rowwise(seed in 0u64..1_000_000) {
+        if let Err(e) = check_policy_batch_for_seed(seed) {
+            prop_assert!(false, "{}", e);
+        }
+    }
+
+    /// Randomized differential oracle: GAE recursion equals the closed form
+    /// on constant-reward episodes.
+    #[test]
+    fn gae_matches_closed_form(seed in 0u64..1_000_000) {
+        if let Err(e) = check_gae_closed_form_for_seed(seed) {
+            prop_assert!(false, "{}", e);
+        }
+    }
+
+    /// Randomized differential oracle: streaming Welford equals two-pass
+    /// statistics.
+    #[test]
+    fn normalizer_matches_two_pass(seed in 0u64..1_000_000) {
+        if let Err(e) = check_normalizer_two_pass_for_seed(seed) {
+            prop_assert!(false, "{}", e);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Randomized differential oracle: the lockstep batched eval driver is
+    /// bitwise-equal to the rowwise reference (episodes run whole Hopper
+    /// rollouts, so cases are capped).
+    #[test]
+    fn batched_eval_bitwise_equal_rowwise(seed in 0u64..1_000_000) {
+        if let Err(e) = check_eval_drivers_for_seed(seed) {
+            prop_assert!(false, "{}", e);
+        }
     }
 }
 

@@ -1,0 +1,147 @@
+//! Machine-readable perf export: re-measures the kernel and rollout pairs
+//! from `benches/{kernels,rollout}.rs` with plain wall-clock timers and
+//! writes `BENCH_kernels.json` and `BENCH_rollout.json`.
+//!
+//! Criterion's statistical runner is great interactively but its output
+//! layout is not stable API; CI wants two small self-contained JSON files
+//! it can upload as artifacts and diff across commits. Usage:
+//!
+//! ```text
+//! cargo run --release -p imap-bench --bin bench_export [-- <out-dir>]
+//! ```
+
+// The exporter is measurement scaffolding: a setup failure should abort
+// loudly rather than emit half a report.
+#![allow(clippy::unwrap_used)]
+
+use std::path::Path;
+use std::time::Instant;
+
+use rand::{Rng, SeedableRng};
+
+use imap_env::locomotion::Hopper;
+use imap_env::{Env, EnvRng};
+use imap_nn::matrix::reference;
+use imap_nn::{Activation, Matrix, Mlp, MlpScratch};
+use imap_rl::{evaluate_batched, evaluate_rowwise, EvalConfig, GaussianPolicy};
+
+/// Median-of-5 timing of `f`, each sample averaging enough iterations to
+/// cover ~20ms, after a warmup. Nanoseconds per call.
+fn time_ns<F: FnMut()>(mut f: F) -> f64 {
+    // Warmup + calibration: how many calls fit in the sample budget?
+    let start = Instant::now();
+    let mut calls = 0u32;
+    while start.elapsed().as_millis() < 20 || calls < 3 {
+        f();
+        calls += 1;
+    }
+    let per_sample = calls.max(1);
+    let mut samples: Vec<f64> = (0..5)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..per_sample {
+                f();
+            }
+            t.elapsed().as_nanos() as f64 / f64::from(per_sample)
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn filled(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = EnvRng::seed_from_u64(seed);
+    let data = (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    Matrix::from_vec(rows, cols, data).unwrap()
+}
+
+/// One fast/slow pair rendered as a JSON object with the speedup factor.
+fn pair_json(name: &str, fast_ns: f64, slow_ns: f64) -> String {
+    format!(
+        "  \"{name}\": {{\"fast_ns\": {fast_ns:.1}, \"reference_ns\": {slow_ns:.1}, \
+         \"speedup\": {:.3}}}",
+        slow_ns / fast_ns
+    )
+}
+
+fn kernels_json() -> String {
+    let mut entries = Vec::new();
+    for &n in &[16usize, 64] {
+        let a = filled(n, n, 1);
+        let b = filled(n, n, 2);
+        let fast = time_ns(|| {
+            a.matmul(&b).unwrap();
+        });
+        let slow = time_ns(|| {
+            reference::matmul(&a, &b).unwrap();
+        });
+        entries.push(pair_json(&format!("matmul_{n}x{n}x{n}"), fast, slow));
+    }
+    let a = filled(64, 64, 3);
+    let b = filled(64, 64, 4);
+    let fast = time_ns(|| {
+        a.matmul_transpose_rhs(&b).unwrap();
+    });
+    let slow = time_ns(|| {
+        reference::matmul_transpose_rhs(&a, &b).unwrap();
+    });
+    entries.push(pair_json("matmul_transpose_rhs_64", fast, slow));
+    let fast = time_ns(|| {
+        a.matmul_transpose_lhs(&b).unwrap();
+    });
+    let slow = time_ns(|| {
+        reference::matmul_transpose_lhs(&a, &b).unwrap();
+    });
+    entries.push(pair_json("matmul_transpose_lhs_64", fast, slow));
+
+    let mut rng = EnvRng::seed_from_u64(5);
+    let mlp = Mlp::new(&[12, 32, 32, 4], Activation::Tanh, 0.01, &mut rng).unwrap();
+    let batch = filled(64, 12, 6);
+    let mut scratch = MlpScratch::new();
+    let fast = time_ns(|| {
+        mlp.forward_scratch(&batch, &mut scratch).unwrap();
+    });
+    let slow = time_ns(|| {
+        mlp.forward(&batch).unwrap();
+    });
+    entries.push(pair_json("mlp_forward_batch64", fast, slow));
+    format!("{{\n{}\n}}\n", entries.join(",\n"))
+}
+
+fn rollout_json() -> String {
+    let policy = GaussianPolicy::new(5, 3, &[32, 32], -0.5, &mut EnvRng::seed_from_u64(1)).unwrap();
+    let cfg = EvalConfig {
+        episodes: 16,
+        deterministic: true,
+        lanes: 16,
+    };
+    let rowwise_ns = time_ns(|| {
+        let mut make = || Box::new(Hopper::new()) as Box<dyn Env>;
+        evaluate_rowwise(&mut make, &policy, &cfg, 7).unwrap();
+    });
+    let batched_ns = time_ns(|| {
+        let mut make = || Box::new(Hopper::new()) as Box<dyn Env>;
+        evaluate_batched(&mut make, &policy, &cfg, 7).unwrap();
+    });
+    let per_ep = |ns: f64| 1e9 * cfg.episodes as f64 / ns;
+    format!(
+        "{{\n  \"episodes\": {}, \"lanes\": {},\n  \"rowwise_eps_per_s\": {:.2},\n  \
+         \"batched_eps_per_s\": {:.2},\n  \"speedup\": {:.3}\n}}\n",
+        cfg.episodes,
+        cfg.lanes,
+        per_ep(rowwise_ns),
+        per_ep(batched_ns),
+        rowwise_ns / batched_ns
+    )
+}
+
+fn main() {
+    let out = std::env::args().nth(1).unwrap_or_else(|| ".".into());
+    let out = Path::new(&out);
+    std::fs::create_dir_all(out).unwrap();
+    let kernels = kernels_json();
+    let rollout = rollout_json();
+    std::fs::write(out.join("BENCH_kernels.json"), &kernels).unwrap();
+    std::fs::write(out.join("BENCH_rollout.json"), &rollout).unwrap();
+    print!("{kernels}{rollout}");
+}

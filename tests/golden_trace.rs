@@ -1,0 +1,58 @@
+//! Golden-trace replay: the committed 3-iteration seed-pinned Hopper PPO
+//! run (`tests/fixtures/golden_hopper.jsonl`) must reproduce byte-for-byte.
+//!
+//! The fixture's first line fingerprints the rand backend it was generated
+//! under (see `imap_bench::golden`): when the fingerprints match, any
+//! difference is a numerics regression and the test fails on the exact
+//! line; when they differ (a rand upgrade changed the u64→f64 mapping) the
+//! test degrades to a double-run determinism check until the fixture is
+//! regenerated with `regenerate_golden_fixture`.
+
+#![allow(clippy::unwrap_used)]
+
+use std::path::PathBuf;
+
+use imap_bench::golden::{fingerprint_line, golden_hopper_trace};
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures/golden_hopper.jsonl")
+}
+
+#[test]
+fn golden_hopper_trace_replays_byte_for_byte() {
+    let expected = std::fs::read_to_string(fixture_path()).expect(
+        "fixture missing; regenerate with `cargo test -p imap-bench \
+         --test integration_golden_trace regenerate_golden_fixture -- --ignored`",
+    );
+    let actual = golden_hopper_trace().unwrap();
+    if fingerprint_line(&expected) == fingerprint_line(&actual) {
+        assert_eq!(
+            expected, actual,
+            "golden Hopper trace drifted under an unchanged RNG backend — \
+             a kernel/GAE/normalizer numerics regression"
+        );
+    } else {
+        // Different rand backend than the one that generated the fixture:
+        // the byte pin is meaningless, but the run must still be
+        // self-deterministic.
+        let again = golden_hopper_trace().unwrap();
+        assert_eq!(
+            actual, again,
+            "golden run must be deterministic under any RNG backend"
+        );
+        eprintln!(
+            "golden_trace: RNG backend differs from the fixture's; \
+             byte-compare skipped (regenerate the fixture to re-pin)"
+        );
+    }
+}
+
+/// Rewrites the committed fixture. Run only after an *intentional* numerics
+/// change, and say why in the commit message.
+#[test]
+#[ignore = "writes tests/fixtures/golden_hopper.jsonl"]
+fn regenerate_golden_fixture() {
+    let trace = golden_hopper_trace().unwrap();
+    std::fs::create_dir_all(fixture_path().parent().unwrap()).unwrap();
+    std::fs::write(fixture_path(), trace).unwrap();
+}

@@ -101,6 +101,48 @@ fn parallel_table1_sweep_is_byte_identical_to_serial() {
     let _ = std::fs::remove_dir_all(&d4);
 }
 
+/// The golden-trace variant of the scheduling-invariance contract: the
+/// seed-pinned PPO trace (see `imap_bench::golden`) must come out
+/// byte-identical whether its cells run serially (`--jobs 1`) or race on a
+/// 4-worker pool, proving worker scheduling cannot perturb training
+/// numerics.
+#[test]
+fn golden_trace_is_byte_identical_across_jobs_1_and_4() {
+    let run = |jobs: usize| -> Vec<String> {
+        let (tel, _mem) = Telemetry::memory("sweep-golden");
+        let cells: Vec<SweepCell<String>> = (0..3)
+            .map(|i| {
+                SweepCell::new(
+                    format!("golden-{i}"),
+                    &[("cell", "golden")],
+                    i,
+                    |_: &JobCtx| imap_bench::golden::golden_hopper_trace(),
+                )
+            })
+            .collect();
+        let mut report = SweepReport::default();
+        let out = run_sweep(
+            &tel,
+            &SweepConfig {
+                jobs,
+                ..SweepConfig::default()
+            },
+            cells,
+            &mut report,
+            |_, _| {},
+        );
+        assert!(!report.failed());
+        out.into_iter().map(|s| s.ok().cloned().unwrap()).collect()
+    };
+    let serial = run(1);
+    let parallel = run(4);
+    assert_eq!(serial, parallel, "--jobs must not change the golden trace");
+    assert!(
+        serial.windows(2).all(|w| w[0] == w[1]),
+        "every cell replays the same trace"
+    );
+}
+
 /// A cell that wedges inside `Env::step` (deadlocked-simulator model). It
 /// never heartbeats, so the watchdog must cancel it; the installed token
 /// makes the hang panic out, and the stall cause maps that to `timeout`.
