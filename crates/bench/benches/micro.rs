@@ -9,8 +9,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use rand::{Rng, SeedableRng};
 
 use imap_density::{KdTree, KnnEstimator};
-use imap_env::locomotion::{Ant, HalfCheetah, Hopper, Walker2d};
-use imap_env::{Env, EnvRng};
+use imap_env::{build_task, Env, EnvRng, TaskId};
 use imap_nn::ibp::output_deviation_bound;
 use imap_nn::{Activation, Matrix, Mlp};
 
@@ -35,10 +34,10 @@ fn bench_env_step(c: &mut Criterion) {
             });
         };
     }
-    bench_env!("hopper", Hopper::new());
-    bench_env!("walker2d", Walker2d::new());
-    bench_env!("half_cheetah", HalfCheetah::new());
-    bench_env!("ant", Ant::new());
+    bench_env!("hopper", build_task(TaskId::Hopper));
+    bench_env!("walker2d", build_task(TaskId::Walker2d));
+    bench_env!("half_cheetah", build_task(TaskId::HalfCheetah));
+    bench_env!("ant", build_task(TaskId::Ant));
     group.finish();
 }
 

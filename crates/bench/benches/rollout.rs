@@ -11,9 +11,10 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::SeedableRng;
 
-use imap_env::locomotion::Hopper;
-use imap_env::{Env, EnvRng};
-use imap_rl::{evaluate_batched, evaluate_rowwise, EvalConfig, GaussianPolicy};
+use imap_env::{build_task, EnvRng, TaskId};
+use imap_rl::{
+    evaluate_batched, evaluate_rowwise, EvalConfig, GaussianPolicy, SampleSpec, Sampler,
+};
 
 fn bench_eval_drivers(c: &mut Criterion) {
     let mut group = c.benchmark_group("eval");
@@ -25,18 +26,37 @@ fn bench_eval_drivers(c: &mut Criterion) {
     };
     group.bench_function("rowwise_16ep", |b| {
         b.iter(|| {
-            let mut make = || Box::new(Hopper::new()) as Box<dyn Env>;
+            let mut make = || build_task(TaskId::Hopper);
             evaluate_rowwise(&mut make, &policy, &cfg, 7).unwrap()
         })
     });
     group.bench_function("batched_16ep_16lanes", |b| {
         b.iter(|| {
-            let mut make = || Box::new(Hopper::new()) as Box<dyn Env>;
+            let mut make = || build_task(TaskId::Hopper);
             evaluate_batched(&mut make, &policy, &cfg, 7).unwrap()
         })
     });
     group.finish();
 }
 
-criterion_group!(rollout, bench_eval_drivers);
+fn bench_actor_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampling");
+    let policy = GaussianPolicy::new(5, 3, &[32, 32], -0.5, &mut EnvRng::seed_from_u64(1)).unwrap();
+    let factory = TaskId::Hopper.factory();
+    for actors in [1usize, 2, 4] {
+        let sampler = Sampler::new(SampleSpec::steps(2048).update_norm(false).actors(actors));
+        let mut policy = policy.clone();
+        group.bench_function(format!("actors_{actors}_2048steps"), |b| {
+            b.iter(|| {
+                let mut rng = EnvRng::seed_from_u64(9);
+                sampler
+                    .collect_parallel(&factory, &mut policy, &mut rng)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(rollout, bench_eval_drivers, bench_actor_sampling);
 criterion_main!(rollout);

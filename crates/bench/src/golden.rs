@@ -20,7 +20,7 @@ use imap_env::{build_task, TaskId};
 use imap_nn::{DiagGaussian, NnError};
 use imap_rl::checkpoint::fnv1a64;
 use imap_rl::train::IterationHook;
-use imap_rl::{train_ppo, IterationStats, PpoConfig, TrainConfig};
+use imap_rl::{train_ppo, IterationStats, PpoConfig, SampleOptions, TrainConfig};
 use rand::{Rng, SeedableRng};
 
 /// Seed of the committed golden run.
@@ -52,19 +52,41 @@ fn hex(v: f64) -> String {
     format!("{:016x}", v.to_bits())
 }
 
-/// Runs the golden 3-iteration Hopper PPO configuration and renders the
-/// trace: one fingerprint line, one line per [`IterationStats`], and a
-/// final FNV-1a checksum over every policy and value parameter's bit
-/// pattern.
-pub fn golden_hopper_trace() -> Result<String, NnError> {
-    let cfg = TrainConfig {
+fn golden_config() -> TrainConfig {
+    TrainConfig {
         iterations: GOLDEN_ITERATIONS,
         steps_per_iter: 256,
         hidden: vec![16],
         seed: GOLDEN_SEED,
         ppo: PpoConfig::default(),
         ..TrainConfig::default()
+    }
+}
+
+/// Runs the golden 3-iteration Hopper PPO configuration and renders the
+/// trace: one fingerprint line, one line per [`IterationStats`], and a
+/// final FNV-1a checksum over every policy and value parameter's bit
+/// pattern.
+pub fn golden_hopper_trace() -> Result<String, NnError> {
+    trace_with(golden_config())
+}
+
+/// The golden run sampled through `actors` parallel rollout actors (the
+/// snapshot/merge contract of DESIGN.md §11) instead of the serial legacy
+/// path. The rendered trace is identical for *any* `actors >= 1`; it
+/// legitimately differs from [`golden_hopper_trace`], whose serial sampler
+/// normalizes observations with the online (within-rollout) statistics.
+pub fn golden_hopper_trace_actors(actors: usize) -> Result<String, NnError> {
+    let mut cfg = golden_config();
+    cfg.sampling = SampleOptions {
+        actors,
+        env_factory: Some(TaskId::Hopper.factory()),
+        ..SampleOptions::default()
     };
+    trace_with(cfg)
+}
+
+fn trace_with(cfg: TrainConfig) -> Result<String, NnError> {
     let mut lines = vec![format!(
         "{{\"rng_fingerprint\":\"{:016x}\"}}",
         rng_fingerprint()

@@ -4,7 +4,9 @@
 //! Every binary honours the `IMAP_BUDGET` environment variable:
 //! `quick` (default; minutes, reproduces table *shapes*) or `full`
 //! (larger budgets, closer-to-paper sample counts). `IMAP_SEED` overrides
-//! the base seed.
+//! the base seed, and `IMAP_ACTORS` requests data-parallel rollout actors
+//! for victim training (the per-cell thread count is clamped against the
+//! `IMAP_MAX_PARALLEL` budget inside the zoo, accounting for `--jobs`).
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -91,12 +93,16 @@ impl Budget {
 
     /// Reads `IMAP_BUDGET` (`quick`/`full`; default quick). An
     /// unrecognized value falls back to quick with a loud stderr warning.
+    /// `IMAP_ACTORS` (default 1) additionally requests actor-parallel
+    /// rollout sampling for victim training.
     pub fn from_env() -> Self {
         let raw = std::env::var("IMAP_BUDGET").ok();
-        Budget::parse(raw.as_deref()).unwrap_or_else(|msg| {
+        let mut budget = Budget::parse(raw.as_deref()).unwrap_or_else(|msg| {
             eprintln!("warning: {msg}; falling back to the quick budget");
             Budget::quick()
-        })
+        });
+        budget.victim.actors = actors_from_env();
+        budget
     }
 
     /// The attack trainer configuration for this budget.
@@ -125,6 +131,18 @@ pub fn parse_seed(value: Option<&str>) -> Result<u64, String> {
             .parse()
             .map_err(|_| format!("unparseable IMAP_SEED {raw:?} (expected a u64)")),
     }
+}
+
+/// Requested rollout actors for victim training (`IMAP_ACTORS`, default 1;
+/// floored at 1). A request above 1 turns on actor-mode sampling; the
+/// per-cell thread count is clamped at training time by the zoo, so a sweep
+/// with `--jobs` never oversubscribes the shared parallelism budget.
+pub fn actors_from_env() -> usize {
+    std::env::var("IMAP_ACTORS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(1)
+        .max(1)
 }
 
 /// Base seed (`IMAP_SEED`, default 17). An unparseable value falls back
@@ -207,7 +225,16 @@ impl VictimCache {
     }
 
     fn key(task: TaskId, method: DefenseMethod, budget: &Budget, seed: u64) -> String {
-        format!("{task:?}_{method:?}_{}_{seed}", budget.name)
+        // Actor-mode sampling is bitwise-identical at any actor count but
+        // legitimately differs from the serial path, so the key carries the
+        // *mode* (not the count): victims stay shareable across actor
+        // counts without ever serving serial-trained bytes to an actors run.
+        let mode = if budget.victim.actors > 1 {
+            "_actors"
+        } else {
+            ""
+        };
+        format!("{task:?}_{method:?}_{}{mode}_{seed}", budget.name)
     }
 
     /// Returns the victim for `(task, method)`, training it on a cache miss.
@@ -808,6 +835,18 @@ mod tests {
         assert_eq!(parse_seed(Some(" 7 ")).unwrap(), 7);
         assert!(parse_seed(Some("seventeen")).is_err());
         assert!(parse_seed(Some("-3")).is_err());
+    }
+
+    #[test]
+    fn victim_cache_key_carries_actor_mode_not_count() {
+        let mut b = Budget::quick();
+        let serial = VictimCache::key(TaskId::Hopper, DefenseMethod::Ppo, &b, 17);
+        b.victim.actors = 2;
+        let two = VictimCache::key(TaskId::Hopper, DefenseMethod::Ppo, &b, 17);
+        b.victim.actors = 4;
+        let four = VictimCache::key(TaskId::Hopper, DefenseMethod::Ppo, &b, 17);
+        assert_ne!(serial, two, "serial and actor-mode victims differ bitwise");
+        assert_eq!(two, four, "actor counts share one cache entry");
     }
 
     #[test]

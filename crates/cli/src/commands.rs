@@ -9,10 +9,11 @@ use imap_core::regularizer::{RegularizerConfig, RegularizerKind};
 use imap_core::threat::PerturbationEnv;
 use imap_core::{ImapConfig, ImapTrainer};
 use imap_defense::{train_victim_resilient, DefenseMethod, VictimBudget};
-use imap_env::{build_task, EnvRng, TaskId};
+use imap_env::{build_task, Env, EnvFactory, EnvRng, TaskId};
 use imap_rl::checkpoint::{self, read_checkpoint, write_checkpoint, CheckpointError, StateDict};
 use imap_rl::{
-    cancel_after, CancelToken, GaussianPolicy, PpoConfig, Progress, ResilienceConfig, TrainConfig,
+    cancel_after, granted_actors, CancelToken, GaussianPolicy, PpoConfig, Progress,
+    ResilienceConfig, SampleOptions, TrainConfig,
 };
 use imap_telemetry::{RunManifest, Telemetry};
 use rand::SeedableRng;
@@ -77,11 +78,9 @@ impl From<imap_nn::NnError> for CliError {
     }
 }
 
-/// Parses a task name (as printed by `list-tasks`).
+/// Parses a task name (as printed by `list-tasks`) through the registry.
 pub fn parse_task(name: &str) -> Result<TaskId, CliError> {
-    TaskId::ALL
-        .into_iter()
-        .find(|t| t.spec().name.eq_ignore_ascii_case(name))
+    TaskId::by_name(name)
         .ok_or_else(|| CliError::Unknown(format!("unknown task '{name}' (see `imap list-tasks`)")))
 }
 
@@ -187,6 +186,25 @@ fn resilience_from_args(args: &Args) -> Result<ResilienceConfig, CliError> {
     })
 }
 
+/// Resolves the *requested* rollout-actor count: `--actors`, falling back
+/// to the `IMAP_ACTORS` environment variable, then `1`. A request above 1
+/// selects actor-mode sampling; the thread count is separately clamped
+/// against the shared `IMAP_MAX_PARALLEL` nested-parallelism budget
+/// ([`granted_actors`]) so `--jobs × --actors` never oversubscribes the
+/// host. Sampling is bitwise-identical at any granted count, so the clamp
+/// only changes speed — never output bytes.
+fn actors_from_args(args: &Args) -> Result<usize, CliError> {
+    match args.optional("actors") {
+        Some(_) => args.get_or("actors", 1usize),
+        None => Ok(std::env::var("IMAP_ACTORS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1)),
+    }
+    .map(|requested: usize| requested.max(1))
+    .map_err(CliError::from)
+}
+
 fn print_eval(label: &str, task: TaskId, eval: &AttackEval) {
     if task.is_sparse() {
         println!(
@@ -209,14 +227,15 @@ const USAGE: &str = "imap — black-box adversarial policy learning (IMAP reprod
 USAGE:
   imap list-tasks
   imap train-victim --task <task> [--method ppo|atla|sa|atla-sa|radial|wocar]
-                    [--budget quick|full] [--seed N] [--telemetry <dir>]
+                    [--budget quick|full] [--seed N] [--actors N]
+                    [--telemetry <dir>]
                     [--checkpoint-dir <dir>] [--checkpoint-every N] [--resume]
                     [--time-limit <secs>]
                     --out <victim.policy>
   imap attack       --task <task> --victim <victim.policy>
                     [--regularizer sc|pc|r|d] [--br] [--baseline]
                     [--iters N] [--steps N] [--seed N] [--eps E]
-                    [--telemetry <dir>]
+                    [--actors N] [--telemetry <dir>]
                     [--checkpoint-dir <dir>] [--checkpoint-every N] [--resume]
                     [--time-limit <secs>]
                     --out <adversary.policy>
@@ -236,6 +255,12 @@ continues, reproducing the uninterrupted run bitwise.
 `--time-limit <secs>` cancels training cooperatively after the given
 wall-clock budget (the run exits with a 'training cancelled by
 supervisor' error; checkpoints written so far remain resumable).
+
+`--actors N` (default 1, or the IMAP_ACTORS environment variable) samples
+each rollout with N parallel actor threads. The request is clamped against
+the IMAP_MAX_PARALLEL nested-parallelism budget; training output is
+bitwise-identical at any actor count, so the clamp only changes speed.
+ATLA-family victims always sample serially.
 ";
 
 /// Builds the run's telemetry handle: a JSONL sink rooted at the
@@ -281,10 +306,11 @@ pub fn dispatch(args: &Args) -> Result<(), CliError> {
             let method = parse_method(method_arg)?;
             let seed: u64 = args.get_or("seed", 17)?;
             let budget_arg = args.optional("budget").unwrap_or("quick");
-            let budget = match budget_arg {
+            let mut budget = match budget_arg {
                 "full" => VictimBudget::full(),
                 _ => VictimBudget::quick(),
             };
+            budget.actors = actors_from_args(args)?;
             let out = args.required("out")?;
             let tel = telemetry_from_args(
                 args,
@@ -296,6 +322,7 @@ pub fn dispatch(args: &Args) -> Result<(), CliError> {
                     "budget": budget_arg,
                     "iterations": budget.iterations,
                     "steps_per_iter": budget.steps_per_iter,
+                    "actors": budget.actors,
                 }),
             )?;
             eprintln!(
@@ -328,6 +355,7 @@ pub fn dispatch(args: &Args) -> Result<(), CliError> {
             let eps: f64 = args.get_or("eps", task.spec().eps)?;
             let iters: usize = args.get_or("iters", 40)?;
             let steps: usize = args.get_or("steps", 2048)?;
+            let actors = actors_from_args(args)?;
             let out = args.required("out")?;
 
             let baseline = args.has_switch("baseline");
@@ -357,8 +385,28 @@ pub fn dispatch(args: &Args) -> Result<(), CliError> {
                     "iterations": iters,
                     "steps_per_iter": steps,
                     "eps": eps,
+                    "actors": actors,
                 }),
             )?;
+            // With `--actors > 1` the adversary samples its threat-model MDP
+            // through the actor pool: each actor rebuilds the same
+            // PerturbationEnv (task + frozen victim snapshot) per episode.
+            let sampling = if actors > 1 {
+                let factory_victim = victim.clone();
+                SampleOptions {
+                    actors: granted_actors(actors),
+                    env_factory: Some(EnvFactory::new(move || {
+                        Box::new(PerturbationEnv::new(
+                            build_task(task),
+                            factory_victim.clone(),
+                            eps,
+                        )) as Box<dyn Env>
+                    })),
+                    ..SampleOptions::default()
+                }
+            } else {
+                SampleOptions::default()
+            };
             let train = TrainConfig {
                 iterations: iters,
                 steps_per_iter: steps,
@@ -370,6 +418,7 @@ pub fn dispatch(args: &Args) -> Result<(), CliError> {
                 },
                 telemetry: tel.clone(),
                 resilience: resilience_from_args(args)?,
+                sampling,
                 ..TrainConfig::default()
             };
             let cfg = match kind {
@@ -577,6 +626,22 @@ mod tests {
     }
 
     #[test]
+    fn actors_flag_resolves_requests_and_rejects_garbage() {
+        assert_eq!(actors_from_args(&parse("attack --actors 4")).unwrap(), 4);
+        assert_eq!(actors_from_args(&parse("attack --actors 0")).unwrap(), 1);
+        // Without the flag (and whatever IMAP_ACTORS says) at least the
+        // serial default must come back.
+        assert!(actors_from_args(&parse("attack")).unwrap() >= 1);
+        assert!(matches!(
+            actors_from_args(&parse("attack --actors nope")),
+            Err(CliError::Args(_))
+        ));
+        // The thread-count clamp never grants more than requested or less
+        // than one.
+        assert!((1..=4).contains(&granted_actors(4)));
+    }
+
+    #[test]
     fn list_tasks_runs() {
         dispatch(&parse("list-tasks")).unwrap();
     }
@@ -652,6 +717,7 @@ mod tests {
                 atla_rounds: 1,
                 atla_adversary_iters: 1,
                 hidden: vec![8],
+                actors: 1,
             },
             1,
         )

@@ -24,8 +24,8 @@ use imap_rl::checkpoint::{
 use imap_rl::gae::normalize_advantages;
 use imap_rl::train::{advantages_for, mean_episode_length, samples_from, IterationStats};
 use imap_rl::{
-    collect_rollout_supervised, heartbeat, update_policy, update_value, DivergenceGuard,
-    GaussianPolicy, TrainConfig, ValueFn,
+    collect_stage, heartbeat, run_trainer, update_policy, update_value, GaussianPolicy,
+    TrainConfig, Trainer, ValueFn,
 };
 use rand::SeedableRng;
 
@@ -162,71 +162,114 @@ impl ImapTrainer {
     /// Runs the attack against the threat-model environment `env`.
     ///
     /// `on_iteration` (optional) observes each curve point as it is
-    /// produced. The loop honors `cfg.train.resilience` exactly like
+    /// produced. The loop runs an [`ImapDriver`] on [`imap_rl::run_trainer`]
+    /// and so honors `cfg.train.resilience` exactly like
     /// [`imap_rl::train_ppo`]: it resumes from the latest checkpoint when
     /// configured, writes periodic checkpoints, and rolls diverged
-    /// iterations back through the [`DivergenceGuard`].
+    /// iterations back through the divergence guard.
     pub fn train(
         &self,
         env: &mut dyn Env,
-        mut on_iteration: Option<&mut (dyn FnMut(&CurvePoint) + '_)>,
+        on_iteration: Option<&mut (dyn FnMut(&CurvePoint) + '_)>,
     ) -> Result<AttackOutcome, NnError> {
         let cfg = &self.cfg.train;
-        let mut runner = ImapRunner::new(env, self.cfg.clone())?;
-        if cfg.resilience.resume {
-            if let Some(dir) = &cfg.resilience.checkpoint_dir {
-                runner.resume_latest(dir).map_err(NnError::from)?;
-            }
-        }
-        let tel = cfg.telemetry.clone();
-        let mut guard = DivergenceGuard::new(cfg.resilience.guard.clone());
-        while runner.iterations_done() < cfg.iterations {
-            guard.arm(&runner);
-            let (point, stats) = runner.iterate(env)?;
-            let policy_params = runner.policy.params();
-            let ve_params = runner.value_e.mlp.params();
-            let vi_params = runner.value_i.mlp.params();
-            if let Some(reason) = guard.inspect(&stats, &[&policy_params, &ve_params, &vi_params]) {
-                guard.rollback(&mut runner, reason, stats.iteration, &tel)?;
-                continue;
-            }
-            runner.curve.push(point.clone());
-            if let Some(dir) = &cfg.resilience.checkpoint_dir {
-                let every = cfg.resilience.checkpoint_every;
-                if every > 0 && runner.iterations_done() % every == 0 {
-                    runner.save_checkpoint(dir).map_err(NnError::from)?;
-                }
-            }
-            tel.record_full(
-                "attack",
-                stats.iteration as u64,
-                &[
-                    ("victim_sparse", point.victim_sparse),
-                    ("victim_success_rate", point.victim_success_rate),
-                    ("asr", point.asr),
-                    ("adv_return", point.adv_return),
-                    ("tau", point.tau),
-                ],
-                &[("total_steps", stats.total_steps as u64)],
-                &[],
-            );
-            if let Some(cb) = on_iteration.as_deref_mut() {
-                cb(&point);
-            }
-        }
+        let runner = ImapRunner::new(env, self.cfg.clone())?;
+        let mut driver = ImapDriver {
+            runner,
+            pending: None,
+            on_iteration,
+        };
+        run_trainer(
+            &mut driver,
+            env,
+            cfg.iterations,
+            &cfg.resilience,
+            &cfg.telemetry,
+        )?;
 
         let ImapRunner {
             mut policy,
             value_e,
             curve,
             ..
-        } = runner;
+        } = driver.runner;
         policy.norm.freeze();
         Ok(AttackOutcome {
             policy,
             value_e,
             curve,
         })
+    }
+}
+
+/// [`ImapRunner`] adapted to the shared [`Trainer`] surface: the curve
+/// point produced by each iteration is held `pending` until the divergence
+/// guard keeps the iteration, then committed (curve push, `"attack"`
+/// telemetry row, observer callback) before the periodic checkpoint — so a
+/// rolled-back iteration leaves no trace in curve, rows, or checkpoints.
+struct ImapDriver<'a, 'c> {
+    runner: ImapRunner,
+    pending: Option<CurvePoint>,
+    on_iteration: Option<&'a mut (dyn FnMut(&CurvePoint) + 'c)>,
+}
+
+impl Trainer for ImapDriver<'_, '_> {
+    fn iterate_once(&mut self, env: &mut dyn Env) -> Result<IterationStats, NnError> {
+        let (point, stats) = self.runner.iterate(env)?;
+        self.pending = Some(point);
+        Ok(stats)
+    }
+
+    fn guard_params(&self) -> Vec<Vec<f64>> {
+        vec![
+            self.runner.policy.params(),
+            self.runner.value_e.mlp.params(),
+            self.runner.value_i.mlp.params(),
+        ]
+    }
+
+    fn iterations_done(&self) -> usize {
+        self.runner.iterations_done()
+    }
+
+    fn commit(&mut self, stats: &IterationStats) {
+        let Some(point) = self.pending.take() else {
+            return;
+        };
+        self.runner.curve.push(point.clone());
+        self.runner.cfg.train.telemetry.record_full(
+            "attack",
+            stats.iteration as u64,
+            &[
+                ("victim_sparse", point.victim_sparse),
+                ("victim_success_rate", point.victim_success_rate),
+                ("asr", point.asr),
+                ("adv_return", point.adv_return),
+                ("tau", point.tau),
+            ],
+            &[("total_steps", stats.total_steps as u64)],
+            &[],
+        );
+        if let Some(cb) = self.on_iteration.as_deref_mut() {
+            cb(&point);
+        }
+    }
+}
+
+impl Checkpointable for ImapDriver<'_, '_> {
+    fn checkpoint_kind(&self) -> &'static str {
+        self.runner.checkpoint_kind()
+    }
+    fn state_dict(&self) -> StateDict {
+        self.runner.state_dict()
+    }
+    fn load_state_dict(&mut self, d: &StateDict) -> Result<(), CheckpointError> {
+        // A restore invalidates any uncommitted curve point.
+        self.pending = None;
+        self.runner.load_state_dict(d)
+    }
+    fn scale_lr(&mut self, factor: f64) {
+        self.runner.scale_lr(factor);
     }
 }
 
@@ -318,13 +361,15 @@ impl ImapRunner {
         // --- Sampling stage ---
         let buffer = {
             let _t = tel.span("collect_rollout");
-            collect_rollout_supervised(
+            collect_stage(
+                &cfg.sampling,
                 env,
                 &mut self.policy,
                 cfg.steps_per_iter,
                 true,
                 &mut self.rng,
                 &progress,
+                &tel,
             )?
         };
         self.total_steps += buffer.len();

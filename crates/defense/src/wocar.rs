@@ -18,8 +18,8 @@ use imap_rl::checkpoint::{
 use imap_rl::gae::normalize_advantages;
 use imap_rl::train::{advantages_for, mean_episode_length, samples_from, IterationStats};
 use imap_rl::{
-    collect_rollout_supervised, heartbeat, update_policy, update_value, DivergenceGuard,
-    GaussianPolicy, PpoRunner, TrainConfig, ValueFn,
+    collect_stage, heartbeat, run_trainer, update_policy, update_value, GaussianPolicy, PpoRunner,
+    TrainConfig, Trainer, ValueFn,
 };
 use rand::SeedableRng;
 
@@ -66,40 +66,43 @@ impl WocarTrainer {
 
     /// Trains a WocaR victim on `env`, returning the policy.
     ///
-    /// The loop runs on a [`WocarRunner`] and honors
-    /// [`TrainConfig::resilience`] exactly like `train_ppo`: resume from
-    /// the latest checkpoint, periodic checkpoint writes, and
+    /// The loop runs a [`WocarRunner`] on [`imap_rl::run_trainer`] and so
+    /// honors [`TrainConfig::resilience`] exactly like `train_ppo`: resume
+    /// from the latest checkpoint, periodic checkpoint writes, and
     /// divergence-guard rollback.
     pub fn train(&self, env: &mut dyn Env) -> Result<GaussianPolicy, NnError> {
         let cfg = &self.cfg.train;
         let mut runner = WocarRunner::new(env, self.cfg.clone())?;
-        if cfg.resilience.resume {
-            if let Some(dir) = &cfg.resilience.checkpoint_dir {
-                runner.resume_latest(dir).map_err(NnError::from)?;
-            }
-        }
-        let tel = cfg.telemetry.clone();
-        let mut guard = DivergenceGuard::new(cfg.resilience.guard.clone());
-        while runner.iterations_done() < cfg.iterations {
-            guard.arm(&runner);
-            let stats = runner.iterate(env)?;
-            let policy_params = runner.policy.params();
-            let value_params = runner.value.mlp.params();
-            let value_w_params = runner.value_w.mlp.params();
-            if let Some(reason) =
-                guard.inspect(&stats, &[&policy_params, &value_params, &value_w_params])
-            {
-                guard.rollback(&mut runner, reason, stats.iteration, &tel)?;
-                continue;
-            }
-            if let Some(dir) = &cfg.resilience.checkpoint_dir {
-                let every = cfg.resilience.checkpoint_every;
-                if every > 0 && runner.iterations_done() % every == 0 {
-                    runner.save_checkpoint(dir).map_err(NnError::from)?;
-                }
-            }
-        }
+        run_trainer(
+            &mut runner,
+            env,
+            cfg.iterations,
+            &cfg.resilience,
+            &cfg.telemetry,
+        )?;
         Ok(runner.policy)
+    }
+}
+
+/// [`WocarRunner`] implements [`Trainer`] directly: its `"wocar"` telemetry
+/// row is recorded inside [`WocarRunner::iterate`] (even for iterations the
+/// guard later rolls back, preserving the historical row stream), so the
+/// commit hook stays the default no-op.
+impl Trainer for WocarRunner {
+    fn iterate_once(&mut self, env: &mut dyn Env) -> Result<IterationStats, NnError> {
+        self.iterate(env)
+    }
+
+    fn guard_params(&self) -> Vec<Vec<f64>> {
+        vec![
+            self.policy.params(),
+            self.value.mlp.params(),
+            self.value_w.mlp.params(),
+        ]
+    }
+
+    fn iterations_done(&self) -> usize {
+        self.iteration
     }
 }
 
@@ -170,13 +173,15 @@ impl WocarRunner {
         heartbeat(&progress)?;
         let buffer = {
             let _t = tel.span("collect_rollout");
-            collect_rollout_supervised(
+            collect_stage(
+                &cfg.sampling,
                 env,
                 &mut self.policy,
                 cfg.steps_per_iter,
                 true,
                 &mut self.rng,
                 &progress,
+                &tel,
             )?
         };
         self.total_steps += buffer.len();

@@ -3,7 +3,7 @@
 
 use imap_env::{build_task, Env, TaskId};
 use imap_nn::NnError;
-use imap_rl::{train_ppo, GaussianPolicy, PpoConfig, ResilienceConfig, TrainConfig};
+use imap_rl::{train_ppo, GaussianPolicy, PpoConfig, ResilienceConfig, SampleOptions, TrainConfig};
 use imap_telemetry::Telemetry;
 use serde::{Deserialize, Serialize};
 
@@ -66,6 +66,17 @@ pub struct VictimBudget {
     pub atla_adversary_iters: usize,
     /// Hidden sizes.
     pub hidden: Vec<usize>,
+    /// *Requested* rollout actor threads per sampling stage. `1` keeps the
+    /// serial byte-exact legacy path; `>1` samples through the data-parallel
+    /// actor pool for Ppo/Sa/Radial/WocaR victims, with the thread count
+    /// clamped against the shared nested-parallelism budget at training time
+    /// (`imap_harness::granted_actors`, which accounts for concurrently
+    /// running sweep jobs). The clamp only sizes the pool — sampling is
+    /// bitwise-identical at any actor count, so output never depends on the
+    /// host. ATLA variants always sample serially: their inner loops
+    /// alternate between wrapper MDPs that a task-level factory cannot
+    /// rebuild.
+    pub actors: usize,
 }
 
 impl VictimBudget {
@@ -77,6 +88,7 @@ impl VictimBudget {
             atla_rounds: 2,
             atla_adversary_iters: 5,
             hidden: vec![32, 32],
+            actors: 1,
         }
     }
 
@@ -88,6 +100,7 @@ impl VictimBudget {
             atla_rounds: 3,
             atla_adversary_iters: 10,
             hidden: vec![32, 32],
+            actors: 1,
         }
     }
 
@@ -220,6 +233,16 @@ fn train_victim_once(
     let mut cfg = budget.train_config(seed);
     cfg.telemetry = tel.clone();
     cfg.resilience = resilience;
+    if budget.actors > 1 {
+        cfg.sampling = SampleOptions {
+            // Thread-count clamp only: the actor *mode* follows the request,
+            // so a request of 4 granted 1 still samples through one actor
+            // (same bytes as 4), never silently flipping to the serial path.
+            actors: imap_rl::granted_actors(budget.actors),
+            env_factory: Some(task.factory()),
+            ..SampleOptions::default()
+        };
+    }
     let mut policy = match method {
         DefenseMethod::Ppo => {
             let mut env = build_task(task);
@@ -248,6 +271,10 @@ fn train_victim_once(
             let acfg = AtlaConfig {
                 train: TrainConfig {
                     iterations: 0,
+                    // ATLA alternates between opponent/perturbation wrapper
+                    // MDPs; the task factory cannot rebuild those, so the
+                    // inner loops sample serially.
+                    sampling: SampleOptions::default(),
                     ..cfg
                 },
                 eps,
@@ -279,6 +306,7 @@ mod tests {
             atla_rounds: 1,
             atla_adversary_iters: 2,
             hidden: vec![16],
+            actors: 1,
         }
     }
 
@@ -310,6 +338,17 @@ mod tests {
             .spans
             .iter()
             .any(|s| s.name == "train_victim"));
+    }
+
+    #[test]
+    fn actor_parallel_victims_are_actor_count_invariant() {
+        let budget_at = |actors: usize| VictimBudget {
+            actors,
+            ..tiny_budget()
+        };
+        let a = train_victim(TaskId::Hopper, DefenseMethod::Ppo, &budget_at(2), 11).unwrap();
+        let b = train_victim(TaskId::Hopper, DefenseMethod::Ppo, &budget_at(3), 11).unwrap();
+        assert_eq!(a.params(), b.params());
     }
 
     #[test]

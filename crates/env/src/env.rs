@@ -84,7 +84,11 @@ impl Step {
 ///
 /// Actions are expected in `[-1, 1]^action_dim`; environments clamp
 /// internally, so out-of-range actions are safe but saturate.
-pub trait Env {
+///
+/// `Send` is a supertrait so `Box<dyn Env>` can be handed to rollout actor
+/// threads; every environment here is plain data (or holds `Arc`/atomic
+/// handles), so this costs implementors nothing.
+pub trait Env: Send {
     /// Observation dimensionality.
     fn obs_dim(&self) -> usize;
     /// Action dimensionality.
@@ -100,6 +104,41 @@ pub trait Env {
     /// used by the risk-driven regularizer's projection `Pi_{S^v}` and by
     /// the KNN density estimators. Defaults to the observation.
     fn state_summary(&self) -> Vec<f64>;
+}
+
+/// A thread-safe recipe for constructing fresh [`Env`] instances.
+///
+/// This is the construction half of the actor-mode sampling contract: each
+/// rollout actor builds one fresh environment per episode, so episode
+/// content is a pure function of the policy snapshot and the episode's
+/// derived RNG stream — independent of which actor runs it, or of whatever
+/// state a shared environment instance accumulated beforehand.
+#[derive(Clone)]
+pub struct EnvFactory {
+    make: std::sync::Arc<dyn Fn() -> Box<dyn Env> + Send + Sync>,
+}
+
+impl EnvFactory {
+    /// Wraps a construction closure.
+    pub fn new<F>(make: F) -> Self
+    where
+        F: Fn() -> Box<dyn Env> + Send + Sync + 'static,
+    {
+        EnvFactory {
+            make: std::sync::Arc::new(make),
+        }
+    }
+
+    /// Builds a fresh environment.
+    pub fn build(&self) -> Box<dyn Env> {
+        (self.make)()
+    }
+}
+
+impl std::fmt::Debug for EnvFactory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("EnvFactory(..)")
+    }
 }
 
 /// The result of one two-player step.
@@ -122,7 +161,10 @@ pub struct MultiStep {
 ///
 /// When the victim policy is frozen this reduces to the single-player MDP
 /// `M^alpha` of §4.3; that reduction lives in `imap-core::threat`.
-pub trait MultiAgentEnv {
+///
+/// `Send` mirrors [`Env`]: the frozen-victim reduction wraps one of these
+/// inside a `Box<dyn Env>`, which must itself be `Send`.
+pub trait MultiAgentEnv: Send {
     /// Victim observation dimensionality.
     fn victim_obs_dim(&self) -> usize;
     /// Adversary observation dimensionality.

@@ -34,6 +34,6 @@ pub mod registry;
 pub mod render;
 pub mod sparse;
 
-pub use env::{Env, EnvRng, MultiAgentEnv, MultiStep, Step};
+pub use env::{Env, EnvFactory, EnvRng, MultiAgentEnv, MultiStep, Step};
 pub use faulty::{FaultKind, FaultPlan, FaultyEnv};
 pub use registry::{build_multi_task, build_task, MultiTaskId, TaskId, TaskSpec};

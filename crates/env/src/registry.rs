@@ -12,7 +12,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::env::{Env, MultiAgentEnv};
+use crate::env::{Env, EnvFactory, MultiAgentEnv};
 use crate::fetch::FetchReach;
 use crate::locomotion::{Ant, HalfCheetah, Hopper, Humanoid, HumanoidStandup, Walker2d};
 use crate::multiagent::{KickAndDefend, YouShallNotPass};
@@ -132,6 +132,20 @@ impl TaskId {
     pub fn is_sparse(self) -> bool {
         !matches!(self.spec().kind, TaskKind::DenseLocomotion)
     }
+
+    /// Looks a task up by its paper-facing name (case-insensitive). This is
+    /// the single name→environment construction path for CLIs and bench
+    /// bins; prefer it over matching on constructors.
+    pub fn by_name(name: &str) -> Option<TaskId> {
+        TaskId::ALL
+            .into_iter()
+            .find(|id| id.spec().name.eq_ignore_ascii_case(name))
+    }
+
+    /// An [`EnvFactory`] building this task, for actor-mode sampling.
+    pub fn factory(self) -> EnvFactory {
+        EnvFactory::new(move || build_task(self))
+    }
 }
 
 /// Metadata for a single-agent task.
@@ -145,6 +159,15 @@ pub struct TaskSpec {
     pub kind: TaskKind,
     /// l∞ attack budget in raw state units.
     pub eps: f64,
+}
+
+impl TaskSpec {
+    /// Observation/action dimensionality metadata, read off a throwaway
+    /// instance so the registry stays the single source of truth.
+    pub fn dims(&self) -> (usize, usize) {
+        let env = build_task(self.id);
+        (env.obs_dim(), env.action_dim())
+    }
 }
 
 /// Builds the environment for a task.
@@ -240,6 +263,33 @@ mod tests {
         assert_eq!(TaskId::Walker2d.spec().eps, 0.2);
         assert_eq!(TaskId::HalfCheetah.spec().eps, 0.3);
         assert_eq!(TaskId::Ant.spec().eps, 0.15);
+    }
+
+    /// The registry round-trip: for every registered task, name →
+    /// [`TaskId::by_name`] → [`build_task`]/[`TaskId::factory`] agree with
+    /// the [`TaskSpec::dims`] metadata.
+    #[test]
+    fn registry_round_trips_every_task() {
+        for id in TaskId::ALL {
+            let spec = id.spec();
+            assert_eq!(TaskId::by_name(spec.name), Some(id), "{id:?} by name");
+            assert_eq!(
+                TaskId::by_name(&spec.name.to_uppercase()),
+                Some(id),
+                "{id:?} lookup is case-insensitive"
+            );
+            let (obs_dim, action_dim) = spec.dims();
+            assert!(obs_dim > 0 && action_dim > 0, "{id:?} dims");
+            let built = build_task(id);
+            assert_eq!((built.obs_dim(), built.action_dim()), (obs_dim, action_dim));
+            let from_factory = id.factory().build();
+            assert_eq!(
+                (from_factory.obs_dim(), from_factory.action_dim()),
+                (obs_dim, action_dim),
+                "{id:?} factory agrees with build_task"
+            );
+        }
+        assert_eq!(TaskId::by_name("no-such-task"), None);
     }
 
     #[test]

@@ -1,0 +1,102 @@
+//! The shared nested-parallelism budget.
+//!
+//! Two layers of parallelism coexist: the sweep pool runs `--jobs` cells
+//! concurrently, and (since the actor-mode sampler) each cell may run
+//! `--actors` rollout threads. Both draw from one budget — `IMAP_MAX_PARALLEL`
+//! when set, otherwise the machine's available parallelism — so
+//! `jobs × actors` never oversubscribes it: the pool registers its worker
+//! count here while a sweep is running, and [`granted_actors`] clamps an
+//! actor request to the per-cell share of what remains.
+//!
+//! Clamping actor counts is always numerics-safe: the actor-mode sampling
+//! contract produces bitwise-identical buffers at any actor count, so the
+//! budget only changes wall-clock, never results.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Sum of the worker counts of all currently running sweep pools
+/// (0 outside a sweep). Additive so concurrent pools — which happen under
+/// `cargo test` — account for their combined thread pressure instead of
+/// clobbering each other.
+static REGISTERED_WORKERS: AtomicUsize = AtomicUsize::new(0);
+
+/// RAII registration of a pool's worker count; deregisters on drop.
+pub(crate) struct PoolJobsGuard {
+    jobs: usize,
+}
+
+impl Drop for PoolJobsGuard {
+    fn drop(&mut self) {
+        REGISTERED_WORKERS.fetch_sub(self.jobs, Ordering::SeqCst);
+    }
+}
+
+/// Registers `jobs` pool workers for the guard's lifetime.
+pub(crate) fn enter_pool(jobs: usize) -> PoolJobsGuard {
+    let jobs = jobs.max(1);
+    REGISTERED_WORKERS.fetch_add(jobs, Ordering::SeqCst);
+    PoolJobsGuard { jobs }
+}
+
+/// The pool worker count currently registered against the budget (at
+/// least 1, so the rule below is well-defined outside a sweep).
+pub fn active_jobs() -> usize {
+    REGISTERED_WORKERS.load(Ordering::SeqCst).max(1)
+}
+
+/// The total thread budget: `IMAP_MAX_PARALLEL` when set to a positive
+/// integer, otherwise the machine's available parallelism.
+pub fn parallel_budget() -> usize {
+    match std::env::var("IMAP_MAX_PARALLEL")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => crate::default_jobs(),
+    }
+}
+
+/// Clamps a requested actor count to this cell's share of the budget:
+/// `min(requested, budget / active_jobs)`, but always at least 1.
+pub fn granted_actors(requested: usize) -> usize {
+    granted_actors_for(requested, parallel_budget(), active_jobs())
+}
+
+/// The clamping rule of [`granted_actors`] with the budget and job count
+/// made explicit (env-independent, for tests and diagnostics).
+pub fn granted_actors_for(requested: usize, budget: usize, jobs: usize) -> usize {
+    let share = budget / jobs.max(1);
+    share.clamp(1, requested.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grant_is_clamped_to_per_job_share() {
+        assert_eq!(granted_actors_for(4, 8, 2), 4);
+        assert_eq!(granted_actors_for(4, 8, 4), 2);
+        assert_eq!(granted_actors_for(4, 4, 4), 1);
+        assert_eq!(granted_actors_for(2, 16, 1), 2);
+        // Degenerate inputs never grant zero.
+        assert_eq!(granted_actors_for(0, 0, 0), 1);
+        assert_eq!(granted_actors_for(8, 1, 3), 1);
+    }
+
+    /// Concurrent tests also register pools, so only lower bounds are
+    /// asserted against the shared global; the exact clamping arithmetic
+    /// is covered env-independently above.
+    #[test]
+    fn pool_registration_is_additive_and_deregisters() {
+        let outer = enter_pool(4);
+        assert!(active_jobs() >= 4);
+        {
+            let _inner = enter_pool(2);
+            assert!(active_jobs() >= 6);
+        }
+        assert!(active_jobs() >= 4);
+        drop(outer);
+        assert!(active_jobs() >= 1);
+    }
+}

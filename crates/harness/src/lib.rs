@@ -20,11 +20,13 @@
 //! order, so a parallel sweep renders byte-identical tables to a serial
 //! one.
 
+mod budget;
 mod cancel;
 mod pool;
 mod progress;
 mod retry;
 
+pub use budget::{active_jobs, granted_actors, granted_actors_for, parallel_budget};
 pub use cancel::{cancel_after, CancelToken};
 pub use pool::{default_jobs, run_supervised, Job, JobCtx, JobStatus, PoolConfig};
 pub use progress::Progress;

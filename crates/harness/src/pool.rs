@@ -232,6 +232,10 @@ pub fn run_supervised<T: Send + 'static>(
     let n = jobs.len();
     let jobs: Vec<Arc<Job<T>>> = jobs.into_iter().map(Arc::new).collect();
     let workers = cfg.jobs.max(1);
+    // Register this pool's workers against the shared nested-parallelism
+    // budget so in-cell actor sub-pools (`granted_actors`) scale down and
+    // `jobs × actors` never oversubscribes `IMAP_MAX_PARALLEL`.
+    let _budget = crate::budget::enter_pool(workers);
     let deadline = cfg.deadline.map(|d| start + d);
     let (tx, rx) = mpsc::channel::<(usize, u32, Result<T, String>)>();
 

@@ -39,10 +39,16 @@ pub use guard::{DivergenceGuard, GuardConfig, TripReason};
 pub use normalize::RunningNorm;
 pub use policy::{GaussianPolicy, PolicyScratch};
 pub use ppo::{update_policy, update_value, PenaltyFn, PpoConfig, PpoSample, PpoStats};
+#[allow(deprecated)]
 pub use sampler::{collect_rollout, collect_rollout_supervised};
-pub use train::{heartbeat, train_ppo, IterationStats, PpoRunner, ResilienceConfig, TrainConfig};
+pub use sampler::{collect_stage, episode_seed, SampleOptions, SampleSpec, Sampler};
+pub use train::{
+    heartbeat, run_trainer, train_ppo, IterationStats, PenalizedPpo, PpoRunner, ResilienceConfig,
+    TrainConfig, Trainer,
+};
 
-// Re-exported so defense/attack trainers can thread supervision handles
-// without depending on `imap-harness` directly.
-pub use imap_harness::{cancel_after, CancelToken, Progress};
+// Re-exported so defense/attack trainers and the CLI can thread supervision
+// handles and clamp actor requests without depending on `imap-harness`
+// directly.
+pub use imap_harness::{cancel_after, granted_actors, CancelToken, Progress};
 pub use value::ValueFn;

@@ -1,70 +1,579 @@
 //! On-policy rollout collection (the "Sampling Stage" of Algorithm 1).
+//!
+//! Two collection contracts live here, selected by [`collect_stage`] (or
+//! explicitly via [`Sampler::collect`] / [`Sampler::collect_parallel`]):
+//!
+//! - **Serial**: one environment instance, one RNG stream, the observation
+//!   normalizer updated online before each action. This is the historical
+//!   byte-exact path; every pre-existing seeded expectation (golden traces,
+//!   experiment tables) is pinned to it.
+//! - **Actor mode** (DESIGN.md §11): K actor threads each collect whole
+//!   episodes under an immutable *snapshot* of the policy, with per-episode
+//!   RNG streams derived from a single stage seed via [`episode_seed`], a
+//!   fresh environment per episode built from an [`EnvFactory`], and
+//!   episodes committed to the buffer in canonical episode-index order.
+//!   Normalizer updates are applied at *commit* time in that order, so the
+//!   merged buffer, the normalizer state, and the RNG state afterwards are
+//!   bitwise-identical at any actor count.
+//!
+//! The two contracts produce *different* (both valid) streams: the serial
+//! path feeds each freshly-updated normalizer state back into the very next
+//! action, while actor mode normalizes the whole stage under the snapshot.
+//! Switching an existing run between them is therefore a numerics change;
+//! routing is explicit (`SampleOptions::env_factory`) and defaults to
+//! serial.
 
-use imap_env::{Env, EnvRng};
-use imap_harness::Progress;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use imap_env::{Env, EnvFactory, EnvRng};
+use imap_harness::{CancelToken, Progress};
 use imap_nn::NnError;
+use imap_telemetry::Telemetry;
+use rand::{RngCore, SeedableRng};
 
 use crate::buffer::{RolloutBuffer, StepRecord};
 use crate::policy::GaussianPolicy;
 
-/// Collects at least `n_steps` transitions from `env` under `policy`,
-/// finishing the in-progress episode so the buffer always ends on an
-/// episode boundary (this keeps GAE simple and the paper's per-iteration
-/// replay buffer `D_k` well-formed).
+/// Persistent sampling configuration carried by trainer configs.
 ///
-/// When `update_norm` is true the policy's observation normalizer absorbs
-/// every raw observation seen (victim training); attack-time policies keep
-/// it frozen.
-pub fn collect_rollout(
-    env: &mut dyn Env,
-    policy: &mut GaussianPolicy,
-    n_steps: usize,
-    update_norm: bool,
-    rng: &mut EnvRng,
-) -> Result<RolloutBuffer, NnError> {
-    collect_rollout_supervised(env, policy, n_steps, update_norm, rng, &Progress::null())
+/// The default (`actors: 1`, no factory) routes [`collect_stage`] to the
+/// serial path. Installing an `env_factory` opts the trainer into actor
+/// mode **even at `actors: 1`** — the snapshot/merge contract is what makes
+/// actor counts interchangeable, so it must apply uniformly.
+#[derive(Debug, Clone)]
+pub struct SampleOptions {
+    /// Number of rollout actor threads. Callers at process edges (CLI,
+    /// bench bins) should clamp a requested count through
+    /// `imap_harness::granted_actors` so `jobs × actors` never
+    /// oversubscribes `IMAP_MAX_PARALLEL`; the library honors the value
+    /// given here literally so tests can force real multi-threading.
+    pub actors: usize,
+    /// How long an actor may go without a heartbeat before the merger stops
+    /// forwarding liveness to the outer supervisor (which then applies its
+    /// own stall policy), and how long shutdown waits before leaking
+    /// unresponsive actor threads.
+    pub actor_liveness_ms: u64,
+    /// When set, sampling runs in actor mode with fresh environments built
+    /// here; when `None`, the serial contract runs on the trainer's own
+    /// environment.
+    pub env_factory: Option<EnvFactory>,
 }
 
-/// [`collect_rollout`] under supervision: publishes one heartbeat per
-/// environment step and unwinds with [`NnError::Cancelled`] as soon as the
-/// supervisor trips the cancel token. The sampling loop is where a sweep
-/// cell spends most of its wall clock (and where a hung simulator blocks),
-/// so this is the primary cancellation point of the supervision contract.
-pub fn collect_rollout_supervised(
+impl Default for SampleOptions {
+    fn default() -> Self {
+        SampleOptions {
+            actors: 1,
+            actor_liveness_ms: 2000,
+            env_factory: None,
+        }
+    }
+}
+
+/// Options for one collection call — the replacement for the old
+/// six-positional-argument `collect_rollout_supervised` signature.
+///
+/// Build with [`SampleSpec::steps`] and chain the setters:
+///
+/// ```ignore
+/// let buf = Sampler::new(
+///     SampleSpec::steps(2048).update_norm(true).progress(&progress),
+/// )
+/// .collect(env, &mut policy, &mut rng)?;
+/// ```
+#[derive(Debug, Clone)]
+pub struct SampleSpec {
+    /// Collect at least this many transitions (finishing the in-progress
+    /// episode, so the buffer always ends on an episode boundary).
+    pub n_steps: usize,
+    /// Whether the policy's observation normalizer absorbs the raw
+    /// observations seen (victim training); attack-time policies keep it
+    /// frozen.
+    pub update_norm: bool,
+    /// Actor-thread count for [`Sampler::collect_parallel`].
+    pub actors: usize,
+    /// Per-actor liveness window (see [`SampleOptions::actor_liveness_ms`]).
+    pub actor_liveness: Duration,
+    /// Supervision handle: one heartbeat per unit of forward progress,
+    /// cooperative unwind on cancellation.
+    pub progress: Progress,
+    /// Sink for per-actor `"sampler"` rows (wall time, steps, episodes).
+    pub telemetry: Telemetry,
+}
+
+impl SampleSpec {
+    /// A spec collecting `n_steps` transitions with the defaults: frozen
+    /// normalizer, one actor, null progress/telemetry.
+    pub fn steps(n_steps: usize) -> Self {
+        let defaults = SampleOptions::default();
+        SampleSpec {
+            n_steps,
+            update_norm: false,
+            actors: defaults.actors,
+            actor_liveness: Duration::from_millis(defaults.actor_liveness_ms),
+            progress: Progress::null(),
+            telemetry: Telemetry::null(),
+        }
+    }
+
+    /// Sets whether the observation normalizer is updated.
+    pub fn update_norm(mut self, on: bool) -> Self {
+        self.update_norm = on;
+        self
+    }
+
+    /// Sets the actor-thread count (clamped to at least one).
+    pub fn actors(mut self, actors: usize) -> Self {
+        self.actors = actors.max(1);
+        self
+    }
+
+    /// Sets the actor liveness window.
+    pub fn actor_liveness(mut self, liveness: Duration) -> Self {
+        self.actor_liveness = liveness.max(Duration::from_millis(1));
+        self
+    }
+
+    /// Attaches a supervision handle.
+    pub fn progress(mut self, progress: &Progress) -> Self {
+        self.progress = progress.clone();
+        self
+    }
+
+    /// Attaches a telemetry sink.
+    pub fn telemetry(mut self, telemetry: &Telemetry) -> Self {
+        self.telemetry = telemetry.clone();
+        self
+    }
+
+    /// Absorbs the actor count and liveness window from persistent
+    /// [`SampleOptions`] (the factory routing stays with the caller).
+    pub fn options(mut self, options: &SampleOptions) -> Self {
+        self.actors = options.actors.max(1);
+        self.actor_liveness = Duration::from_millis(options.actor_liveness_ms.max(1));
+        self
+    }
+}
+
+/// Rollout collector: one [`SampleSpec`] applied to a policy/environment
+/// pair via [`Sampler::collect`] (serial contract) or
+/// [`Sampler::collect_parallel`] (actor contract).
+#[derive(Debug, Clone)]
+pub struct Sampler {
+    spec: SampleSpec,
+}
+
+/// Derives the RNG seed of episode `index` within a sampling stage.
+///
+/// `EnvRng` is SplitMix64 with the seed used directly as the generator
+/// state, so *sequential* seeds produce overlapping streams shifted by one
+/// draw. Episode seeds must therefore be scrambled: this applies the
+/// SplitMix64 output finalizer to `stage_seed ⊕ (golden-ratio · (index+1))`,
+/// spreading consecutive indices across the state space. Part of the
+/// documented actor-mode contract (DESIGN.md §11): episode content is a
+/// pure function of `(policy snapshot, episode_seed(stage_seed, index))`.
+pub fn episode_seed(stage_seed: u64, index: u64) -> u64 {
+    let mut z = stage_seed ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(index.wrapping_add(1));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One whole episode collected by an actor under the policy snapshot.
+struct ActorEpisode {
+    steps: Vec<StepRecord>,
+    /// Raw pre-action observations, replayed into the normalizer at commit
+    /// time (in canonical episode order, not arrival order).
+    raw_obs: Vec<Vec<f64>>,
+    ep_return: f64,
+}
+
+/// Per-actor accounting reported on exit, recorded as a `"sampler"`
+/// telemetry row.
+struct ActorReport {
+    episodes: usize,
+    steps: usize,
+    wall: Duration,
+}
+
+enum ActorMsg {
+    /// Episode `index` completed.
+    Episode(usize, ActorEpisode),
+    /// Episode `index` failed with a policy/numeric error.
+    Failed(usize, NnError),
+    /// Episode `index` panicked (environment or policy bug).
+    Panicked(usize, Box<dyn std::any::Any + Send>),
+    /// Actor `id` exited.
+    Done(usize, ActorReport),
+}
+
+enum Failure {
+    Error(NnError),
+    Panic(Box<dyn std::any::Any + Send>),
+}
+
+impl Sampler {
+    /// Wraps a spec.
+    pub fn new(spec: SampleSpec) -> Self {
+        Sampler { spec }
+    }
+
+    /// The serial contract: collects at least `n_steps` transitions from
+    /// `env` under `policy`, updating the normalizer online, publishing one
+    /// heartbeat per environment step, and unwinding with
+    /// [`NnError::Cancelled`] as soon as the supervisor trips the cancel
+    /// token. The sampling loop is where a sweep cell spends most of its
+    /// wall clock (and where a hung simulator blocks), so this is the
+    /// primary cancellation point of the supervision contract.
+    pub fn collect(
+        &self,
+        env: &mut dyn Env,
+        policy: &mut GaussianPolicy,
+        rng: &mut EnvRng,
+    ) -> Result<RolloutBuffer, NnError> {
+        let spec = &self.spec;
+        let mut buffer = RolloutBuffer::new();
+        let mut obs = env.reset(rng);
+        let mut ep_return = 0.0;
+        let mut ep_len = 0usize;
+        let max_ep = env.max_steps();
+
+        loop {
+            spec.progress.beat();
+            if spec.progress.is_cancelled() {
+                return Err(NnError::Cancelled);
+            }
+            if spec.update_norm {
+                policy.norm.update(&obs);
+            }
+            let z = policy.normalize(&obs);
+            let (action, logp, _mean) = policy.act_normalized(&z, rng)?;
+            let summary = env.state_summary();
+            let step = env.step(&action, rng);
+            ep_return += step.reward;
+            ep_len += 1;
+
+            let z_next = policy.normalize(&step.obs);
+            // A done at the step limit without an unhealthy/success event is
+            // a truncation and must bootstrap; envs that terminate for a
+            // real reason mark it via `unhealthy`/`success`.
+            let truncated_only = step.done && !step.unhealthy && !step.success && ep_len >= max_ep;
+            buffer.steps.push(StepRecord {
+                z,
+                z_next,
+                summary,
+                action,
+                logp,
+                reward: step.reward,
+                done: step.done,
+                terminal: step.done && !truncated_only,
+                success: step.success,
+                unhealthy: step.unhealthy,
+            });
+
+            if step.done {
+                buffer.episode_returns.push(ep_return);
+                buffer.episode_lengths.push(ep_len);
+                ep_return = 0.0;
+                ep_len = 0;
+                if buffer.steps.len() >= spec.n_steps {
+                    break;
+                }
+                obs = env.reset(rng);
+            } else {
+                obs = step.obs;
+            }
+        }
+        Ok(buffer)
+    }
+
+    /// The actor contract (DESIGN.md §11): `spec.actors` threads collect
+    /// whole episodes under a snapshot of `policy`, each episode on a fresh
+    /// environment from `factory` with its own [`episode_seed`]-derived RNG
+    /// stream; the merger commits episodes in index order (updating the
+    /// normalizer per raw observation at commit) until the buffer holds at
+    /// least `n_steps`, then discards overshoot. Exactly one draw is taken
+    /// from `rng` (the stage seed), so the caller's stream advances
+    /// identically at any actor count.
+    ///
+    /// Failures are surfaced only when their episode index reaches the
+    /// commit frontier — every episode before a failing one commits, and a
+    /// failure past the fill boundary is ignored — so errors, like data,
+    /// are deterministic. A hung actor is never joined: after cancellation
+    /// plus the liveness grace period its thread is abandoned, mirroring
+    /// the worker-pool's stall→cancel→abandon ladder.
+    pub fn collect_parallel(
+        &self,
+        factory: &EnvFactory,
+        policy: &mut GaussianPolicy,
+        rng: &mut EnvRng,
+    ) -> Result<RolloutBuffer, NnError> {
+        let spec = &self.spec;
+        let actors = spec.actors.max(1);
+        let stage_seed = rng.next_u64();
+        let snapshot = Arc::new(policy.clone());
+        let counter = Arc::new(AtomicUsize::new(0));
+        let stop = CancelToken::new();
+        let outer = spec.progress.clone();
+        let (tx, rx) = mpsc::channel::<ActorMsg>();
+
+        let mut hearts = Vec::with_capacity(actors);
+        let mut handles = Vec::with_capacity(actors);
+        for actor_id in 0..actors {
+            let heart = Progress::supervised(stop.clone());
+            hearts.push(heart.clone());
+            let factory = factory.clone();
+            let snapshot = Arc::clone(&snapshot);
+            let counter = Arc::clone(&counter);
+            let outer = outer.clone();
+            let tx = tx.clone();
+            handles.push(std::thread::spawn(move || {
+                run_actor(
+                    actor_id, &factory, &snapshot, &counter, stage_seed, &heart, &outer, &tx,
+                )
+            }));
+        }
+        drop(tx);
+
+        let mut buffer = RolloutBuffer::new();
+        let mut pending: BTreeMap<usize, ActorEpisode> = BTreeMap::new();
+        let mut failures: BTreeMap<usize, Failure> = BTreeMap::new();
+        let mut reports: Vec<Option<ActorReport>> = (0..actors).map(|_| None).collect();
+        let mut live = vec![true; actors];
+        let mut done_actors = 0usize;
+        let mut next_index = 0usize;
+        let mut full = false;
+
+        loop {
+            // Commit everything contiguous from the frontier.
+            while !full {
+                match pending.remove(&next_index) {
+                    Some(ep) => {
+                        commit_episode(&mut buffer, policy, ep, spec.update_norm);
+                        next_index += 1;
+                        if buffer.steps.len() >= spec.n_steps {
+                            full = true;
+                            stop.cancel();
+                        }
+                    }
+                    None => break,
+                }
+            }
+            // A failure is surfaced only once it *is* the frontier: every
+            // episode before it has committed, nothing after it is observed.
+            if !full {
+                if let Some(failure) = failures.remove(&next_index) {
+                    stop.cancel();
+                    self.drain_actors(&rx, &mut reports, &mut done_actors);
+                    self.finish_actors(handles, &reports);
+                    match failure {
+                        Failure::Error(e) => return Err(e),
+                        Failure::Panic(p) => std::panic::resume_unwind(p),
+                    }
+                }
+            }
+            if full || done_actors == actors {
+                break;
+            }
+            if outer.is_cancelled() {
+                stop.cancel();
+                self.drain_actors(&rx, &mut reports, &mut done_actors);
+                self.finish_actors(handles, &reports);
+                return Err(NnError::Cancelled);
+            }
+            // Forward liveness to the outer supervisor only while *every*
+            // live actor is beating; a hung actor silences the cell so the
+            // supervisor's stall policy fires.
+            let lively = hearts
+                .iter()
+                .zip(&live)
+                .filter(|(_, l)| **l)
+                .all(|(h, _)| h.idle_for() < spec.actor_liveness);
+            if lively {
+                outer.beat();
+            }
+            match rx.recv_timeout(Duration::from_millis(15)) {
+                Ok(msg) => handle_msg(
+                    msg,
+                    &mut pending,
+                    &mut failures,
+                    &mut reports,
+                    &mut live,
+                    &mut done_actors,
+                ),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+
+        if !full {
+            // Every actor exited without filling the buffer and without a
+            // frontier failure: the outer token was tripped mid-stage and
+            // the actors unwound before the merger's own check.
+            self.finish_actors(handles, &reports);
+            return Err(NnError::Cancelled);
+        }
+
+        self.drain_actors(&rx, &mut reports, &mut done_actors);
+        self.finish_actors(handles, &reports);
+        for (actor_id, report) in reports.iter().enumerate() {
+            if let Some(r) = report {
+                spec.telemetry.record_full(
+                    "sampler",
+                    actor_id as u64,
+                    &[("wall_ms", r.wall.as_secs_f64() * 1e3)],
+                    &[
+                        ("steps", r.steps as u64),
+                        ("episodes", r.episodes as u64),
+                        ("actors", actors as u64),
+                    ],
+                    &[("stage", "rollout")],
+                );
+            }
+        }
+        outer.beat();
+        Ok(buffer)
+    }
+
+    /// Bounded post-cancellation drain: keeps receiving until every actor
+    /// reports `Done` or the liveness grace period elapses. Late episodes
+    /// and failures past the frontier are discarded.
+    fn drain_actors(
+        &self,
+        rx: &mpsc::Receiver<ActorMsg>,
+        reports: &mut [Option<ActorReport>],
+        done_actors: &mut usize,
+    ) {
+        let deadline = Instant::now() + self.spec.actor_liveness;
+        while *done_actors < reports.len() {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match rx.recv_timeout(deadline - now) {
+                Ok(ActorMsg::Done(actor_id, report)) => {
+                    if reports[actor_id].is_none() {
+                        reports[actor_id] = Some(report);
+                        *done_actors += 1;
+                    }
+                }
+                Ok(_) => {}
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+    }
+
+    /// Joins actors that reported `Done`; abandons (leaks) the rest — a
+    /// thread stuck in a hung `env.step` would block a join forever.
+    fn finish_actors(
+        &self,
+        handles: Vec<std::thread::JoinHandle<()>>,
+        reports: &[Option<ActorReport>],
+    ) {
+        for (actor_id, handle) in handles.into_iter().enumerate() {
+            if reports[actor_id].is_some() {
+                let _ = handle.join();
+            }
+            // Dropping the handle detaches an unfinished thread.
+        }
+    }
+}
+
+/// Actor main loop: steal the next episode index, run it on a fresh
+/// environment under the snapshot, ship the result, repeat until cancelled.
+#[allow(clippy::too_many_arguments)]
+fn run_actor(
+    actor_id: usize,
+    factory: &EnvFactory,
+    snapshot: &GaussianPolicy,
+    counter: &AtomicUsize,
+    stage_seed: u64,
+    heart: &Progress,
+    outer: &Progress,
+    tx: &mpsc::Sender<ActorMsg>,
+) {
+    let started = Instant::now();
+    let mut episodes = 0usize;
+    let mut steps = 0usize;
+    loop {
+        if heart.is_cancelled() || outer.is_cancelled() {
+            break;
+        }
+        let index = counter.fetch_add(1, Ordering::Relaxed);
+        let mut ep_rng = EnvRng::seed_from_u64(episode_seed(stage_seed, index as u64));
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut env = factory.build();
+            run_actor_episode(env.as_mut(), snapshot, &mut ep_rng, heart, outer)
+        }));
+        match outcome {
+            Ok(Ok(Some(ep))) => {
+                episodes += 1;
+                steps += ep.steps.len();
+                if tx.send(ActorMsg::Episode(index, ep)).is_err() {
+                    break;
+                }
+            }
+            // Cancelled mid-episode: the merger no longer needs `index`.
+            Ok(Ok(None)) => break,
+            Ok(Err(e)) => {
+                let _ = tx.send(ActorMsg::Failed(index, e));
+                break;
+            }
+            Err(panic) => {
+                let _ = tx.send(ActorMsg::Panicked(index, panic));
+                break;
+            }
+        }
+    }
+    let _ = tx.send(ActorMsg::Done(
+        actor_id,
+        ActorReport {
+            episodes,
+            steps,
+            wall: started.elapsed(),
+        },
+    ));
+}
+
+/// Runs one whole episode under the policy snapshot. Returns `Ok(None)` on
+/// cooperative cancellation. Observations are normalized under the
+/// *snapshot* (z, z_next, logp), with the raw pre-action observations
+/// carried alongside for commit-time normalizer updates.
+fn run_actor_episode(
     env: &mut dyn Env,
-    policy: &mut GaussianPolicy,
-    n_steps: usize,
-    update_norm: bool,
+    snapshot: &GaussianPolicy,
     rng: &mut EnvRng,
-    progress: &Progress,
-) -> Result<RolloutBuffer, NnError> {
-    let mut buffer = RolloutBuffer::new();
-    let mut obs = env.reset(rng);
+    heart: &Progress,
+    outer: &Progress,
+) -> Result<Option<ActorEpisode>, NnError> {
+    let mut steps = Vec::new();
+    let mut raw_obs = Vec::new();
     let mut ep_return = 0.0;
     let mut ep_len = 0usize;
+    let mut obs = env.reset(rng);
     let max_ep = env.max_steps();
 
     loop {
-        progress.beat();
-        if progress.is_cancelled() {
-            return Err(NnError::Cancelled);
+        heart.beat();
+        if heart.is_cancelled() || outer.is_cancelled() {
+            return Ok(None);
         }
-        if update_norm {
-            policy.norm.update(&obs);
-        }
-        let z = policy.normalize(&obs);
-        let (action, logp, _mean) = policy.act_normalized(&z, rng)?;
+        let z = snapshot.normalize(&obs);
+        let (action, logp, _mean) = snapshot.act_normalized(&z, rng)?;
         let summary = env.state_summary();
         let step = env.step(&action, rng);
         ep_return += step.reward;
         ep_len += 1;
 
-        let z_next = policy.normalize(&step.obs);
-        // A done at the step limit without an unhealthy/success event is a
-        // truncation and must bootstrap; envs that terminate for a real
-        // reason mark it via `unhealthy`/`success`.
+        let z_next = snapshot.normalize(&step.obs);
+        // Same truncation rule as the serial contract.
         let truncated_only = step.done && !step.unhealthy && !step.success && ep_len >= max_ep;
-        buffer.steps.push(StepRecord {
+        raw_obs.push(obs);
+        steps.push(StepRecord {
             z,
             z_next,
             summary,
@@ -78,19 +587,125 @@ pub fn collect_rollout_supervised(
         });
 
         if step.done {
-            buffer.episode_returns.push(ep_return);
-            buffer.episode_lengths.push(ep_len);
-            ep_return = 0.0;
-            ep_len = 0;
-            if buffer.steps.len() >= n_steps {
-                break;
-            }
-            obs = env.reset(rng);
-        } else {
-            obs = step.obs;
+            return Ok(Some(ActorEpisode {
+                steps,
+                raw_obs,
+                ep_return,
+            }));
+        }
+        obs = step.obs;
+    }
+}
+
+/// Commits one episode at the frontier: normalizer updates in episode
+/// order, then the step records.
+fn commit_episode(
+    buffer: &mut RolloutBuffer,
+    policy: &mut GaussianPolicy,
+    ep: ActorEpisode,
+    update_norm: bool,
+) {
+    if update_norm {
+        for obs in &ep.raw_obs {
+            policy.norm.update(obs);
         }
     }
-    Ok(buffer)
+    buffer.episode_returns.push(ep.ep_return);
+    buffer.episode_lengths.push(ep.steps.len());
+    buffer.steps.extend(ep.steps);
+}
+
+fn handle_msg(
+    msg: ActorMsg,
+    pending: &mut BTreeMap<usize, ActorEpisode>,
+    failures: &mut BTreeMap<usize, Failure>,
+    reports: &mut [Option<ActorReport>],
+    live: &mut [bool],
+    done_actors: &mut usize,
+) {
+    match msg {
+        ActorMsg::Episode(index, ep) => {
+            pending.insert(index, ep);
+        }
+        ActorMsg::Failed(index, e) => {
+            failures.insert(index, Failure::Error(e));
+        }
+        ActorMsg::Panicked(index, p) => {
+            failures.insert(index, Failure::Panic(p));
+        }
+        ActorMsg::Done(actor_id, report) => {
+            if reports[actor_id].is_none() {
+                reports[actor_id] = Some(report);
+                live[actor_id] = false;
+                *done_actors += 1;
+            }
+        }
+    }
+}
+
+/// Routes one sampling stage per the trainer's persistent [`SampleOptions`]:
+/// serial on the trainer's own environment when no factory is installed,
+/// the actor contract otherwise. This is the single collection entry point
+/// for every trainer (`PpoRunner`, `ImapRunner`, the defense trainers).
+#[allow(clippy::too_many_arguments)]
+pub fn collect_stage(
+    options: &SampleOptions,
+    env: &mut dyn Env,
+    policy: &mut GaussianPolicy,
+    n_steps: usize,
+    update_norm: bool,
+    rng: &mut EnvRng,
+    progress: &Progress,
+    telemetry: &Telemetry,
+) -> Result<RolloutBuffer, NnError> {
+    let sampler = Sampler::new(
+        SampleSpec::steps(n_steps)
+            .update_norm(update_norm)
+            .options(options)
+            .progress(progress)
+            .telemetry(telemetry),
+    );
+    match &options.env_factory {
+        None => sampler.collect(env, policy, rng),
+        Some(factory) => sampler.collect_parallel(factory, policy, rng),
+    }
+}
+
+/// Collects at least `n_steps` transitions from `env` under `policy` with
+/// the serial contract.
+#[deprecated(
+    since = "0.5.0",
+    note = "use `Sampler::new(SampleSpec::steps(n))` (or `collect_stage` from a trainer)"
+)]
+pub fn collect_rollout(
+    env: &mut dyn Env,
+    policy: &mut GaussianPolicy,
+    n_steps: usize,
+    update_norm: bool,
+    rng: &mut EnvRng,
+) -> Result<RolloutBuffer, NnError> {
+    Sampler::new(SampleSpec::steps(n_steps).update_norm(update_norm)).collect(env, policy, rng)
+}
+
+/// [`collect_rollout`] under supervision.
+#[deprecated(
+    since = "0.5.0",
+    note = "use `Sampler::new(SampleSpec::steps(n).progress(&p))` (or `collect_stage`)"
+)]
+pub fn collect_rollout_supervised(
+    env: &mut dyn Env,
+    policy: &mut GaussianPolicy,
+    n_steps: usize,
+    update_norm: bool,
+    rng: &mut EnvRng,
+    progress: &Progress,
+) -> Result<RolloutBuffer, NnError> {
+    Sampler::new(
+        SampleSpec::steps(n_steps)
+            .update_norm(update_norm)
+            .progress(progress),
+    )
+    .collect(env, policy, rng)
 }
 
 #[cfg(test)]
@@ -106,10 +721,20 @@ mod tests {
         (Hopper::new(), policy, EnvRng::seed_from_u64(1))
     }
 
+    fn collect(
+        env: &mut dyn Env,
+        policy: &mut GaussianPolicy,
+        n_steps: usize,
+        update_norm: bool,
+        rng: &mut EnvRng,
+    ) -> Result<RolloutBuffer, NnError> {
+        Sampler::new(SampleSpec::steps(n_steps).update_norm(update_norm)).collect(env, policy, rng)
+    }
+
     #[test]
     fn collects_at_least_n_and_ends_on_boundary() {
         let (mut env, mut policy, mut rng) = setup();
-        let buf = collect_rollout(&mut env, &mut policy, 100, true, &mut rng).unwrap();
+        let buf = collect(&mut env, &mut policy, 100, true, &mut rng).unwrap();
         assert!(buf.len() >= 100);
         assert!(
             buf.steps.last().unwrap().done,
@@ -125,18 +750,31 @@ mod tests {
     #[test]
     fn norm_updates_only_when_requested() {
         let (mut env, mut policy, mut rng) = setup();
-        collect_rollout(&mut env, &mut policy, 50, false, &mut rng).unwrap();
+        collect(&mut env, &mut policy, 50, false, &mut rng).unwrap();
         assert_eq!(policy.norm.count(), 0.0);
-        collect_rollout(&mut env, &mut policy, 50, true, &mut rng).unwrap();
+        collect(&mut env, &mut policy, 50, true, &mut rng).unwrap();
         assert!(policy.norm.count() > 0.0);
     }
 
     #[test]
     fn episode_lengths_sum_to_buffer_len() {
         let (mut env, mut policy, mut rng) = setup();
-        let buf = collect_rollout(&mut env, &mut policy, 120, true, &mut rng).unwrap();
+        let buf = collect(&mut env, &mut policy, 120, true, &mut rng).unwrap();
         let total: usize = buf.episode_lengths.iter().sum();
         assert_eq!(total, buf.len());
+    }
+
+    /// The deprecated positional-argument shims stay byte-identical to the
+    /// serial `Sampler` path.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_sampler() {
+        let (mut env, mut policy, mut rng) = setup();
+        let via_spec = collect(&mut env, &mut policy, 60, true, &mut rng).unwrap();
+        let (mut env2, mut policy2, mut rng2) = setup();
+        let via_shim = collect_rollout(&mut env2, &mut policy2, 60, true, &mut rng2).unwrap();
+        assert_eq!(buffer_bits(&via_spec), buffer_bits(&via_shim));
+        assert_eq!(rng.state(), rng2.state());
     }
 
     /// A deterministic env whose episodes follow a fixed script of
@@ -220,7 +858,7 @@ mod tests {
         let mut rng = EnvRng::seed_from_u64(5);
         let mut policy =
             GaussianPolicy::new(2, 1, &[4], -0.5, &mut EnvRng::seed_from_u64(6)).unwrap();
-        let buf = collect_rollout(&mut env, &mut policy, total, true, &mut rng).unwrap();
+        let buf = collect(&mut env, &mut policy, total, true, &mut rng).unwrap();
 
         assert_eq!(
             buf.episode_lengths,
@@ -239,5 +877,175 @@ mod tests {
         }
         // Non-done steps are never terminal.
         assert!(buf.steps.iter().filter(|s| !s.done).all(|s| !s.terminal));
+    }
+
+    // --- actor-mode tests ---------------------------------------------
+
+    /// Bit-level image of a buffer, so equality checks are exact (not
+    /// tolerance-based) across actor counts.
+    fn buffer_bits(buf: &RolloutBuffer) -> Vec<u64> {
+        let mut bits = Vec::new();
+        let f = |v: &[f64], out: &mut Vec<u64>| out.extend(v.iter().map(|x| x.to_bits()));
+        for s in &buf.steps {
+            f(&s.z, &mut bits);
+            f(&s.z_next, &mut bits);
+            f(&s.summary, &mut bits);
+            f(&s.action, &mut bits);
+            bits.push(s.logp.to_bits());
+            bits.push(s.reward.to_bits());
+            bits.push(u64::from(s.done));
+            bits.push(u64::from(s.terminal));
+            bits.push(u64::from(s.success));
+            bits.push(u64::from(s.unhealthy));
+        }
+        f(&buf.episode_returns, &mut bits);
+        bits.extend(buf.episode_lengths.iter().map(|&l| l as u64));
+        bits
+    }
+
+    fn hopper_factory() -> EnvFactory {
+        EnvFactory::new(|| Box::new(Hopper::new()))
+    }
+
+    fn parallel_collect(actors: usize) -> (RolloutBuffer, GaussianPolicy, EnvRng) {
+        let mut init = EnvRng::seed_from_u64(0);
+        let mut policy = GaussianPolicy::new(5, 3, &[8], -0.5, &mut init).unwrap();
+        let mut rng = EnvRng::seed_from_u64(1);
+        let buf = Sampler::new(SampleSpec::steps(150).update_norm(true).actors(actors))
+            .collect_parallel(&hopper_factory(), &mut policy, &mut rng)
+            .unwrap();
+        (buf, policy, rng)
+    }
+
+    /// The tentpole contract: the merged buffer, the normalizer state, and
+    /// the caller's RNG state are bitwise-identical at any actor count.
+    #[test]
+    fn actor_counts_are_interchangeable_bitwise() {
+        let (buf1, policy1, rng1) = parallel_collect(1);
+        for actors in [2usize, 4] {
+            let (buf_k, policy_k, rng_k) = parallel_collect(actors);
+            assert_eq!(
+                buffer_bits(&buf1),
+                buffer_bits(&buf_k),
+                "buffer differs at {actors} actors"
+            );
+            let probe = vec![0.3; 5];
+            assert_eq!(policy1.norm.count(), policy_k.norm.count());
+            assert_eq!(
+                policy1
+                    .normalize(&probe)
+                    .iter()
+                    .map(|x| x.to_bits())
+                    .collect::<Vec<_>>(),
+                policy_k
+                    .normalize(&probe)
+                    .iter()
+                    .map(|x| x.to_bits())
+                    .collect::<Vec<_>>(),
+                "normalizer state differs at {actors} actors"
+            );
+            assert_eq!(rng1.state(), rng_k.state(), "rng advance differs");
+        }
+        // The buffer obeys the same boundary invariants as the serial path.
+        assert!(buf1.len() >= 150);
+        assert!(buf1.steps.last().unwrap().done);
+        assert_eq!(buf1.episode_lengths.iter().sum::<usize>(), buf1.steps.len());
+    }
+
+    /// The stage consumes exactly one draw from the caller's RNG.
+    #[test]
+    fn parallel_takes_exactly_one_rng_draw() {
+        let (_, _, rng_after) = parallel_collect(2);
+        let mut expected = EnvRng::seed_from_u64(1);
+        expected.next_u64();
+        assert_eq!(rng_after.state(), expected.state());
+    }
+
+    /// A pre-cancelled supervisor unwinds actor-mode collection with
+    /// `NnError::Cancelled`, the same contract as the serial path.
+    #[test]
+    fn parallel_unwinds_on_cancellation() {
+        let token = CancelToken::new();
+        token.cancel();
+        let progress = Progress::supervised(token);
+        let mut init = EnvRng::seed_from_u64(0);
+        let mut policy = GaussianPolicy::new(5, 3, &[8], -0.5, &mut init).unwrap();
+        let mut rng = EnvRng::seed_from_u64(1);
+        let spec = SampleSpec::steps(200)
+            .actors(2)
+            .actor_liveness(Duration::from_millis(100))
+            .progress(&progress);
+        let out = Sampler::new(spec).collect_parallel(&hopper_factory(), &mut policy, &mut rng);
+        assert!(matches!(out, Err(NnError::Cancelled)));
+    }
+
+    /// Sequential episode indices must not map to overlapping SplitMix64
+    /// streams: the scrambler's outputs differ from both the raw sequential
+    /// seeds and each other.
+    #[test]
+    fn episode_seeds_are_scrambled() {
+        let stage = 0xdead_beef_u64;
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..64u64 {
+            let s = episode_seed(stage, i);
+            assert_ne!(s, stage.wrapping_add(i), "seed {i} is unscrambled");
+            assert!(seen.insert(s), "seed collision at index {i}");
+            // Streams from consecutive indices must diverge immediately.
+            if i > 0 {
+                let a = EnvRng::seed_from_u64(episode_seed(stage, i - 1)).next_u64();
+                let b = EnvRng::seed_from_u64(s).next_u64();
+                assert_ne!(a, b, "overlapping streams at index {i}");
+            }
+        }
+    }
+
+    /// An environment that panics on its first step, injected as the n-th
+    /// factory build. With one actor, build order == episode order, so the
+    /// failure's episode index is deterministic.
+    #[test]
+    fn frontier_failure_surfaces_after_earlier_episodes_commit() {
+        let builds = Arc::new(AtomicUsize::new(0));
+        let poison_build = 1usize; // second episode
+        let factory = {
+            let builds = Arc::clone(&builds);
+            EnvFactory::new(move || {
+                let n = builds.fetch_add(1, Ordering::SeqCst);
+                if n == poison_build {
+                    Box::new(PanicEnv) as Box<dyn Env>
+                } else {
+                    Box::new(Hopper::new())
+                }
+            })
+        };
+        let mut init = EnvRng::seed_from_u64(0);
+        let mut policy = GaussianPolicy::new(5, 3, &[8], -0.5, &mut init).unwrap();
+        let mut rng = EnvRng::seed_from_u64(1);
+        let spec = SampleSpec::steps(10_000).actors(1);
+        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Sampler::new(spec).collect_parallel(&factory, &mut policy, &mut rng)
+        }));
+        assert!(out.is_err(), "episode 1's panic must resurface");
+    }
+
+    struct PanicEnv;
+    impl Env for PanicEnv {
+        fn obs_dim(&self) -> usize {
+            5
+        }
+        fn action_dim(&self) -> usize {
+            3
+        }
+        fn max_steps(&self) -> usize {
+            100
+        }
+        fn reset(&mut self, _rng: &mut EnvRng) -> Vec<f64> {
+            vec![0.0; 5]
+        }
+        fn step(&mut self, _action: &[f64], _rng: &mut EnvRng) -> imap_env::Step {
+            panic!("injected env fault");
+        }
+        fn state_summary(&self) -> Vec<f64> {
+            vec![0.0; 5]
+        }
     }
 }

@@ -21,7 +21,7 @@ use crate::gae::{gae, normalize_advantages};
 use crate::guard::{DivergenceGuard, GuardConfig};
 use crate::policy::GaussianPolicy;
 use crate::ppo::{update_policy, update_value, PenaltyFn, PpoConfig, PpoSample};
-use crate::sampler::collect_rollout_supervised;
+use crate::sampler::{collect_stage, SampleOptions};
 use crate::value::ValueFn;
 
 /// Checkpoint/resume and divergence-guard policy for a training run.
@@ -85,6 +85,10 @@ pub struct TrainConfig {
     pub telemetry: Telemetry,
     /// Checkpoint/resume and divergence-guard policy.
     pub resilience: ResilienceConfig,
+    /// Rollout-collection routing: serial on the trainer's environment by
+    /// default, the actor contract (DESIGN.md §11) when an environment
+    /// factory is installed.
+    pub sampling: SampleOptions,
 }
 
 impl Default for TrainConfig {
@@ -100,6 +104,7 @@ impl Default for TrainConfig {
             seed: 0,
             telemetry: Telemetry::null(),
             resilience: ResilienceConfig::default(),
+            sampling: SampleOptions::default(),
         }
     }
 }
@@ -200,6 +205,136 @@ pub type IterationHook<'c> = dyn FnMut(&IterationStats, &GaussianPolicy) + 'c;
 /// advantages to mutate in place (WocaR's worst-case-aware combination).
 pub type AdvantageOverride<'a> = dyn FnMut(&RolloutBuffer, &mut Vec<f64>) + 'a;
 
+/// The common surface of every PPO-shaped training loop in the workspace
+/// (`PpoRunner`, the IMAP attack trainer, the defense trainers): one
+/// iterate step, guard inspection hooks, and — through the
+/// [`Checkpointable`] supertrait — checkpoint/resume and rollback.
+///
+/// [`run_trainer`] drives any implementor under the shared resilience
+/// contract; trainers only describe *what* one iteration does, not how
+/// resume, divergence rollback, or periodic checkpointing are sequenced.
+pub trait Trainer: Checkpointable {
+    /// Runs one sample/update iteration on `env`.
+    fn iterate_once(&mut self, env: &mut dyn Env) -> Result<IterationStats, NnError>;
+
+    /// Parameter vectors the divergence guard scans for NaN/Inf after each
+    /// iteration (policy, critics, auxiliary heads).
+    fn guard_params(&self) -> Vec<Vec<f64>>;
+
+    /// Number of *kept* (non-rolled-back) iterations completed.
+    fn iterations_done(&self) -> usize;
+
+    /// Commit hook for a kept iteration: learning-curve pushes,
+    /// per-iteration telemetry rows, observer callbacks. Runs before the
+    /// periodic checkpoint so committed state is what gets persisted.
+    fn commit(&mut self, stats: &IterationStats) {
+        let _ = stats;
+    }
+}
+
+/// Drives a [`Trainer`] for `iterations` kept iterations under the shared
+/// resilience contract: optional resume from the latest on-disk checkpoint,
+/// divergence-guard inspection with rollback-and-retry, the trainer's
+/// [`Trainer::commit`] hook, then periodic checkpoints. A run interrupted
+/// and resumed this way produces bitwise-identical trainer state to an
+/// uninterrupted one.
+pub fn run_trainer<T: Trainer>(
+    trainer: &mut T,
+    env: &mut dyn Env,
+    iterations: usize,
+    resilience: &ResilienceConfig,
+    telemetry: &Telemetry,
+) -> Result<(), NnError> {
+    if resilience.resume {
+        if let Some(dir) = &resilience.checkpoint_dir {
+            if let Some(path) = latest_checkpoint(dir).map_err(NnError::from)? {
+                trainer.resume_from(&path).map_err(NnError::from)?;
+            }
+        }
+    }
+    let mut guard = DivergenceGuard::new(resilience.guard.clone());
+    while trainer.iterations_done() < iterations {
+        guard.arm(trainer);
+        let stats = trainer.iterate_once(env)?;
+        let params = trainer.guard_params();
+        let views: Vec<&[f64]> = params.iter().map(|p| p.as_slice()).collect();
+        if let Some(reason) = guard.inspect(&stats, &views) {
+            guard.rollback(trainer, reason, stats.iteration, telemetry)?;
+            continue;
+        }
+        trainer.commit(&stats);
+        if let Some(dir) = &resilience.checkpoint_dir {
+            let every = resilience.checkpoint_every;
+            if every > 0 && trainer.iterations_done().is_multiple_of(every) {
+                let path = checkpoint_path(dir, trainer.iterations_done());
+                trainer.save_checkpoint_at(&path).map_err(NnError::from)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// [`PpoRunner`] plus the optional `train_ppo` hooks (defense penalty,
+/// per-iteration observer), packaged as a [`Trainer`] so the vanilla loop
+/// runs on [`run_trainer`] like every other trainer.
+pub struct PenalizedPpo<'a, 'p, 'b, 'c> {
+    /// The underlying PPO loop.
+    pub runner: PpoRunner,
+    penalty: Option<&'a mut (dyn PenaltyFn + 'p)>,
+    on_iteration: Option<&'b mut IterationHook<'c>>,
+}
+
+impl<'a, 'p, 'b, 'c> PenalizedPpo<'a, 'p, 'b, 'c> {
+    /// Wraps a runner with optional penalty and observer hooks.
+    pub fn new(
+        runner: PpoRunner,
+        penalty: Option<&'a mut (dyn PenaltyFn + 'p)>,
+        on_iteration: Option<&'b mut IterationHook<'c>>,
+    ) -> Self {
+        PenalizedPpo {
+            runner,
+            penalty,
+            on_iteration,
+        }
+    }
+}
+
+impl Trainer for PenalizedPpo<'_, '_, '_, '_> {
+    fn iterate_once(&mut self, env: &mut dyn Env) -> Result<IterationStats, NnError> {
+        self.runner.iterate(env, self.penalty.as_deref_mut(), None)
+    }
+
+    fn guard_params(&self) -> Vec<Vec<f64>> {
+        Trainer::guard_params(&self.runner)
+    }
+
+    fn iterations_done(&self) -> usize {
+        self.runner.iterations_done()
+    }
+
+    fn commit(&mut self, stats: &IterationStats) {
+        record_iteration(&self.runner.cfg.telemetry, "train", stats);
+        if let Some(cb) = self.on_iteration.as_deref_mut() {
+            cb(stats, &self.runner.policy);
+        }
+    }
+}
+
+impl Checkpointable for PenalizedPpo<'_, '_, '_, '_> {
+    fn checkpoint_kind(&self) -> &'static str {
+        self.runner.checkpoint_kind()
+    }
+    fn state_dict(&self) -> StateDict {
+        self.runner.state_dict()
+    }
+    fn load_state_dict(&mut self, d: &StateDict) -> Result<(), CheckpointError> {
+        self.runner.load_state_dict(d)
+    }
+    fn scale_lr(&mut self, factor: f64) {
+        self.runner.scale_lr(factor);
+    }
+}
+
 /// Trains a fresh policy/value pair on `env` with vanilla PPO.
 ///
 /// `penalty` (for defense regularizers) and `on_iteration` (for learning
@@ -207,7 +342,7 @@ pub type AdvantageOverride<'a> = dyn FnMut(&RolloutBuffer, &mut Vec<f64>) + 'a;
 /// policy (normalizer *not* frozen — callers freeze before deployment) and
 /// value function.
 ///
-/// The loop runs on a [`PpoRunner`] and honors
+/// The loop runs a [`PenalizedPpo`] on [`run_trainer`] and so honors
 /// [`TrainConfig::resilience`]: it resumes from the latest on-disk
 /// checkpoint when configured (the `on_iteration` hook only observes the
 /// iterations actually re-run), writes periodic checkpoints, and rolls
@@ -217,38 +352,19 @@ pub type AdvantageOverride<'a> = dyn FnMut(&RolloutBuffer, &mut Vec<f64>) + 'a;
 pub fn train_ppo<'p, 'c>(
     env: &mut dyn Env,
     cfg: &TrainConfig,
-    mut penalty: Option<&mut (dyn PenaltyFn + 'p)>,
-    mut on_iteration: Option<&mut IterationHook<'c>>,
+    penalty: Option<&mut (dyn PenaltyFn + 'p)>,
+    on_iteration: Option<&mut IterationHook<'c>>,
 ) -> Result<(GaussianPolicy, ValueFn), NnError> {
-    let mut runner = PpoRunner::new(env, cfg.clone())?;
-    if cfg.resilience.resume {
-        if let Some(dir) = &cfg.resilience.checkpoint_dir {
-            runner.resume_latest(dir).map_err(NnError::from)?;
-        }
-    }
-    let tel = cfg.telemetry.clone();
-    let mut guard = DivergenceGuard::new(cfg.resilience.guard.clone());
-    while runner.iterations_done() < cfg.iterations {
-        guard.arm(&runner);
-        let stats = runner.iterate(env, penalty.as_deref_mut(), None)?;
-        let policy_params = runner.policy.params();
-        let value_params = runner.value.mlp.params();
-        if let Some(reason) = guard.inspect(&stats, &[&policy_params, &value_params]) {
-            guard.rollback(&mut runner, reason, stats.iteration, &tel)?;
-            continue;
-        }
-        if let Some(dir) = &cfg.resilience.checkpoint_dir {
-            let every = cfg.resilience.checkpoint_every;
-            if every > 0 && runner.iterations_done() % every == 0 {
-                runner.save_checkpoint(dir).map_err(NnError::from)?;
-            }
-        }
-        record_iteration(&tel, "train", &stats);
-        if let Some(cb) = on_iteration.as_deref_mut() {
-            cb(&stats, &runner.policy);
-        }
-    }
-    Ok((runner.policy, runner.value))
+    let runner = PpoRunner::new(env, cfg.clone())?;
+    let mut driver = PenalizedPpo::new(runner, penalty, on_iteration);
+    run_trainer(
+        &mut driver,
+        env,
+        cfg.iterations,
+        &cfg.resilience,
+        &cfg.telemetry,
+    )?;
+    Ok((driver.runner.policy, driver.runner.value))
 }
 
 /// A resumable PPO loop: owns the policy, critics, and optimizer state so
@@ -322,13 +438,15 @@ impl PpoRunner {
         heartbeat(&progress)?;
         let buffer = {
             let _t = tel.span("collect_rollout");
-            collect_rollout_supervised(
+            collect_stage(
+                &self.cfg.sampling,
                 env,
                 &mut self.policy,
                 self.cfg.steps_per_iter,
                 true,
                 &mut self.rng,
                 &progress,
+                &tel,
             )?
         };
         heartbeat(&progress)?;
@@ -403,6 +521,24 @@ impl PpoRunner {
             }
             None => Ok(None),
         }
+    }
+}
+
+impl Trainer for PpoRunner {
+    fn iterate_once(&mut self, env: &mut dyn Env) -> Result<IterationStats, NnError> {
+        self.iterate(env, None, None)
+    }
+
+    fn guard_params(&self) -> Vec<Vec<f64>> {
+        vec![self.policy.params(), self.value.mlp.params()]
+    }
+
+    fn iterations_done(&self) -> usize {
+        self.iteration
+    }
+
+    fn commit(&mut self, stats: &IterationStats) {
+        record_iteration(&self.cfg.telemetry, "train", stats);
     }
 }
 
@@ -784,6 +920,73 @@ mod tests {
         restored.put_f64("popt.lr", lr_before);
         restored.put_f64("vopt.lr", runner.cfg.ppo.lr_value);
         assert_eq!(good.encode().unwrap(), restored.encode().unwrap());
+    }
+
+    /// The [`Trainer`] abstraction is a pure refactor: driving a bare
+    /// [`PpoRunner`] through [`run_trainer`] produces bitwise the same
+    /// policy/value as the `train_ppo` entry point.
+    #[test]
+    fn run_trainer_matches_train_ppo_bitwise() {
+        let cfg = TrainConfig {
+            iterations: 3,
+            steps_per_iter: 128,
+            hidden: vec![8],
+            seed: 29,
+            ..TrainConfig::default()
+        };
+        let (p_fn, v_fn) = train_ppo(&mut Hopper::new(), &cfg, None, None).unwrap();
+
+        let mut env = Hopper::new();
+        let mut runner = PpoRunner::new(&env, cfg.clone()).unwrap();
+        run_trainer(
+            &mut runner,
+            &mut env,
+            cfg.iterations,
+            &cfg.resilience,
+            &cfg.telemetry,
+        )
+        .unwrap();
+        assert_eq!(bits(&p_fn.params()), bits(&runner.policy.params()));
+        assert_eq!(bits(&v_fn.mlp.params()), bits(&runner.value.mlp.params()));
+        assert_eq!(runner.iterations_done(), 3);
+    }
+
+    /// Actor-mode sampling plugs into the full training loop: installing a
+    /// factory trains successfully, is bitwise-identical across actor
+    /// counts, and emits per-actor `"sampler"` telemetry rows.
+    #[test]
+    fn train_ppo_with_actor_sampling_is_actor_count_invariant() {
+        use crate::sampler::SampleOptions;
+        use imap_env::EnvFactory;
+
+        let run = |actors: usize| {
+            let (tel, mem) = Telemetry::memory("actor-train");
+            let cfg = TrainConfig {
+                iterations: 2,
+                steps_per_iter: 128,
+                hidden: vec![8],
+                seed: 31,
+                telemetry: tel,
+                sampling: SampleOptions {
+                    actors,
+                    env_factory: Some(EnvFactory::new(|| Box::new(Hopper::new()))),
+                    ..SampleOptions::default()
+                },
+                ..TrainConfig::default()
+            };
+            let (policy, value) = train_ppo(&mut Hopper::new(), &cfg, None, None).unwrap();
+            (policy, value, mem.rows())
+        };
+        let (p1, v1, rows1) = run(1);
+        let (p2, v2, rows2) = run(2);
+        assert_eq!(bits(&p1.params()), bits(&p2.params()));
+        assert_eq!(bits(&v1.mlp.params()), bits(&v2.mlp.params()));
+        assert_eq!(
+            rows1.iter().filter(|r| r.phase == "sampler").count(),
+            2, // one row per actor per iteration
+        );
+        assert_eq!(rows2.iter().filter(|r| r.phase == "sampler").count(), 4);
+        assert_eq!(rows1.iter().filter(|r| r.phase == "train").count(), 2);
     }
 
     #[test]

@@ -1,17 +1,21 @@
 //! Property-based tests for the policy-optimization layer: GAE identities,
-//! normalization invariants, and policy log-prob consistency under random
-//! parameters.
+//! normalization invariants, policy log-prob consistency under random
+//! parameters, and the actor-mode snapshot/merge contract against a
+//! straight-line reference.
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
 
 use imap_env::locomotion::Hopper;
-use imap_env::{Env, EnvRng};
+use imap_env::{Env, EnvFactory, EnvRng};
 use imap_rl::checkpoint::StateDict;
 use imap_rl::eval::{evaluate_batched, evaluate_rowwise, EvalConfig, EvalResult};
 use imap_rl::policy::PolicyScratch;
-use imap_rl::{gae, train_ppo, GaussianPolicy, ResilienceConfig, RunningNorm, TrainConfig};
+use imap_rl::{
+    episode_seed, gae, train_ppo, GaussianPolicy, ResilienceConfig, RolloutBuffer, RunningNorm,
+    SampleSpec, Sampler, StepRecord, TrainConfig,
+};
 
 fn eval_bits(r: &EvalResult) -> [u64; 7] {
     [
@@ -183,6 +187,213 @@ fn check_normalizer_two_pass_for_seed(seed: u64) -> Result<(), String> {
     Ok(())
 }
 
+/// An environment whose episode length and payload derive entirely from the
+/// RNG it is handed, so a fresh instance per episode (the actor contract)
+/// carries no hidden cross-episode state: episode content is a pure function
+/// of the per-episode RNG stream.
+struct RandomLenEnv {
+    max: usize,
+    len: usize,
+    t: usize,
+}
+
+impl RandomLenEnv {
+    fn new(max: usize) -> Self {
+        RandomLenEnv { max, len: 1, t: 0 }
+    }
+}
+
+impl Env for RandomLenEnv {
+    fn obs_dim(&self) -> usize {
+        3
+    }
+    fn action_dim(&self) -> usize {
+        2
+    }
+    fn max_steps(&self) -> usize {
+        self.max
+    }
+    fn reset(&mut self, rng: &mut EnvRng) -> Vec<f64> {
+        self.len = 1 + (rng.next_u64() % self.max as u64) as usize;
+        self.t = 0;
+        (0..3).map(|_| rng.gen_range(-1.0..1.0)).collect()
+    }
+    fn step(&mut self, action: &[f64], rng: &mut EnvRng) -> imap_env::Step {
+        self.t += 1;
+        let done = self.t >= self.len;
+        imap_env::Step {
+            obs: (0..3).map(|_| rng.gen_range(-1.0..1.0)).collect(),
+            reward: action.iter().sum::<f64>() + rng.gen_range(-0.5..0.5),
+            done,
+            // An early ending is a real terminal; an ending exactly at the
+            // step limit is a truncation — both sampler paths must agree.
+            unhealthy: done && self.len < self.max,
+            progress: false,
+            success: false,
+        }
+    }
+    fn state_summary(&self) -> Vec<f64> {
+        vec![self.t as f64, self.len as f64]
+    }
+}
+
+/// Bit-level image of a buffer so cross-implementation comparisons are
+/// exact, never tolerance-based.
+fn buffer_bits(buf: &RolloutBuffer) -> Vec<u64> {
+    let mut bits = Vec::new();
+    let f = |v: &[f64], out: &mut Vec<u64>| out.extend(v.iter().map(|x| x.to_bits()));
+    for s in &buf.steps {
+        f(&s.z, &mut bits);
+        f(&s.z_next, &mut bits);
+        f(&s.summary, &mut bits);
+        f(&s.action, &mut bits);
+        bits.push(s.logp.to_bits());
+        bits.push(s.reward.to_bits());
+        bits.push(u64::from(s.done));
+        bits.push(u64::from(s.terminal));
+        bits.push(u64::from(s.success));
+        bits.push(u64::from(s.unhealthy));
+    }
+    f(&buf.episode_returns, &mut bits);
+    bits.extend(buf.episode_lengths.iter().map(|&l| l as u64));
+    bits
+}
+
+/// Straight-line re-implementation of the actor contract (DESIGN.md §11):
+/// no threads, no channels, no work stealing — one stage-seed draw, then
+/// episodes 0, 1, 2, … run to completion under the policy snapshot on fresh
+/// environments with [`episode_seed`]-derived streams, committed in index
+/// order with normalizer updates at commit. This is the semantic oracle the
+/// concurrent merger must match bitwise.
+fn reference_actor_stage(
+    factory: &EnvFactory,
+    policy: &mut GaussianPolicy,
+    rng: &mut EnvRng,
+    n_steps: usize,
+    update_norm: bool,
+) -> Result<RolloutBuffer, String> {
+    let stage_seed = rng.next_u64();
+    let snapshot = policy.clone();
+    let mut buffer = RolloutBuffer::new();
+    let mut index = 0u64;
+    while buffer.steps.len() < n_steps {
+        let mut ep_rng = EnvRng::seed_from_u64(episode_seed(stage_seed, index));
+        let mut env = factory.build();
+        let max_ep = env.max_steps();
+        let mut obs = env.reset(&mut ep_rng);
+        let mut raw_obs = Vec::new();
+        let mut steps = Vec::new();
+        let mut ep_return = 0.0;
+        let mut ep_len = 0usize;
+        loop {
+            let z = snapshot.normalize(&obs);
+            let (action, logp, _mean) = snapshot
+                .act_normalized(&z, &mut ep_rng)
+                .map_err(|e| e.to_string())?;
+            let summary = env.state_summary();
+            let step = env.step(&action, &mut ep_rng);
+            ep_return += step.reward;
+            ep_len += 1;
+            let z_next = snapshot.normalize(&step.obs);
+            let truncated_only = step.done && !step.unhealthy && !step.success && ep_len >= max_ep;
+            raw_obs.push(obs);
+            steps.push(StepRecord {
+                z,
+                z_next,
+                summary,
+                action,
+                logp,
+                reward: step.reward,
+                done: step.done,
+                terminal: step.done && !truncated_only,
+                success: step.success,
+                unhealthy: step.unhealthy,
+            });
+            if step.done {
+                break;
+            }
+            obs = step.obs;
+        }
+        if update_norm {
+            for o in &raw_obs {
+                policy.norm.update(o);
+            }
+        }
+        buffer.episode_returns.push(ep_return);
+        buffer.episode_lengths.push(ep_len);
+        buffer.steps.extend(steps);
+        index += 1;
+    }
+    Ok(buffer)
+}
+
+/// Differential oracle: for random step budgets, episode-length
+/// distributions, and normalizer modes, the merged actor buffer, the
+/// post-stage normalizer, and the caller's RNG state are bitwise-equal to
+/// the straight-line reference at every actor count.
+fn check_actor_merge_for_seed(seed: u64) -> Result<(), String> {
+    let mut cfg_rng = StdRng::seed_from_u64(seed ^ 0xac70);
+    let n_steps = cfg_rng.gen_range(10..120usize);
+    let max_len = cfg_rng.gen_range(2..10usize);
+    let update_norm = cfg_rng.gen_range(0..2usize) == 0;
+    let factory = EnvFactory::new(move || Box::new(RandomLenEnv::new(max_len)) as Box<dyn Env>);
+    let mut init = EnvRng::seed_from_u64(seed ^ 0x5eed);
+    let policy = GaussianPolicy::new(3, 2, &[6], -0.5, &mut init).map_err(|e| e.to_string())?;
+
+    let mut ref_policy = policy.clone();
+    let mut ref_rng = EnvRng::seed_from_u64(seed);
+    let expect = reference_actor_stage(
+        &factory,
+        &mut ref_policy,
+        &mut ref_rng,
+        n_steps,
+        update_norm,
+    )?;
+    let expect_bits = buffer_bits(&expect);
+    let probe = vec![0.4, -0.7, 1.3];
+    let expect_norm: Vec<u64> = ref_policy
+        .normalize(&probe)
+        .iter()
+        .map(|x| x.to_bits())
+        .collect();
+
+    for actors in [1usize, 2, 3] {
+        let mut policy_k = policy.clone();
+        let mut rng_k = EnvRng::seed_from_u64(seed);
+        let buf = Sampler::new(
+            SampleSpec::steps(n_steps)
+                .update_norm(update_norm)
+                .actors(actors),
+        )
+        .collect_parallel(&factory, &mut policy_k, &mut rng_k)
+        .map_err(|e| e.to_string())?;
+        if buffer_bits(&buf) != expect_bits {
+            return Err(format!(
+                "seed {seed}: actors={actors} n_steps={n_steps} max_len={max_len} \
+                 update_norm={update_norm}: merged buffer diverges from reference"
+            ));
+        }
+        if policy_k.norm.count().to_bits() != ref_policy.norm.count().to_bits()
+            || policy_k
+                .normalize(&probe)
+                .iter()
+                .map(|x| x.to_bits())
+                .collect::<Vec<_>>()
+                != expect_norm
+        {
+            return Err(format!(
+                "seed {seed}: actors={actors}: normalizer state diverges from reference"
+            ));
+        }
+        if rng_k.state() != ref_rng.state() {
+            return Err(format!(
+                "seed {seed}: actors={actors}: caller RNG advance differs from one stage draw"
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Seed-sweep drivers: these execute everywhere (no proptest runner needed)
 /// and pin the differential contracts at tier 1; the `proptest!` wrappers
 /// below randomize more widely in CI.
@@ -217,6 +428,15 @@ fn gae_matches_closed_form_seeded() {
 fn normalizer_matches_two_pass_seeded() {
     for seed in 0..300u64 {
         if let Err(e) = check_normalizer_two_pass_for_seed(seed) {
+            panic!("{e}");
+        }
+    }
+}
+
+#[test]
+fn actor_merge_matches_straight_line_reference_seeded() {
+    for seed in 0..20u64 {
+        if let Err(e) = check_actor_merge_for_seed(seed) {
             panic!("{e}");
         }
     }
@@ -380,6 +600,20 @@ proptest! {
     #[test]
     fn batched_eval_bitwise_equal_rowwise(seed in 0u64..1_000_000) {
         if let Err(e) = check_eval_drivers_for_seed(seed) {
+            prop_assert!(false, "{}", e);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Randomized differential oracle: the concurrent actor merger is
+    /// bitwise-equal to the straight-line reference of the snapshot/merge
+    /// contract (cases spawn real threads, so they are capped).
+    #[test]
+    fn actor_merge_matches_straight_line_reference(seed in 0u64..1_000_000) {
+        if let Err(e) = check_actor_merge_for_seed(seed) {
             prop_assert!(false, "{}", e);
         }
     }

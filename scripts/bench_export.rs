@@ -19,11 +19,13 @@ use std::time::Instant;
 
 use rand::{Rng, SeedableRng};
 
-use imap_env::locomotion::Hopper;
-use imap_env::{Env, EnvRng};
+use imap_env::{build_task, EnvRng, TaskId};
 use imap_nn::matrix::reference;
 use imap_nn::{Activation, Matrix, Mlp, MlpScratch};
-use imap_rl::{evaluate_batched, evaluate_rowwise, EvalConfig, GaussianPolicy};
+use imap_rl::{
+    evaluate_batched, evaluate_rowwise, granted_actors, EvalConfig, GaussianPolicy, SampleSpec,
+    Sampler,
+};
 
 /// Median-of-5 timing of `f`, each sample averaging enough iterations to
 /// cover ~20ms, after a warmup. Nanoseconds per call.
@@ -108,6 +110,21 @@ fn kernels_json() -> String {
     format!("{{\n{}\n}}\n", entries.join(",\n"))
 }
 
+/// Measures the data-parallel sampler at one actor count: wall time to
+/// collect `n_steps` through the snapshot/merge contract (norm updates off,
+/// so the policy is bit-stable across repetitions).
+fn sampling_ns(policy: &GaussianPolicy, actors: usize, n_steps: usize) -> f64 {
+    let factory = TaskId::Hopper.factory();
+    let sampler = Sampler::new(SampleSpec::steps(n_steps).update_norm(false).actors(actors));
+    let mut policy = policy.clone();
+    time_ns(|| {
+        let mut rng = EnvRng::seed_from_u64(9);
+        sampler
+            .collect_parallel(&factory, &mut policy, &mut rng)
+            .unwrap();
+    })
+}
+
 fn rollout_json() -> String {
     let policy = GaussianPolicy::new(5, 3, &[32, 32], -0.5, &mut EnvRng::seed_from_u64(1)).unwrap();
     let cfg = EvalConfig {
@@ -116,22 +133,50 @@ fn rollout_json() -> String {
         lanes: 16,
     };
     let rowwise_ns = time_ns(|| {
-        let mut make = || Box::new(Hopper::new()) as Box<dyn Env>;
+        let mut make = || build_task(TaskId::Hopper);
         evaluate_rowwise(&mut make, &policy, &cfg, 7).unwrap();
     });
     let batched_ns = time_ns(|| {
-        let mut make = || Box::new(Hopper::new()) as Box<dyn Env>;
+        let mut make = || build_task(TaskId::Hopper);
         evaluate_batched(&mut make, &policy, &cfg, 7).unwrap();
     });
     let per_ep = |ns: f64| 1e9 * cfg.episodes as f64 / ns;
+
+    // Actor-pool sampling throughput. Each row runs at the *requested*
+    // count (the bench measures the mechanism); the granted count and host
+    // cores are recorded beside it so a clamped/overcommitted host's
+    // numbers read honestly.
+    let n_steps = 4096usize;
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let base_ns = sampling_ns(&policy, 1, n_steps);
+    let actor_rows: Vec<String> = [1usize, 2, 4]
+        .iter()
+        .map(|&requested| {
+            let ns = if requested == 1 {
+                base_ns
+            } else {
+                sampling_ns(&policy, requested, n_steps)
+            };
+            format!(
+                "    {{\"requested\": {requested}, \"granted\": {}, \"steps_per_s\": {:.1}, \
+                 \"speedup\": {:.3}}}",
+                granted_actors(requested),
+                1e9 * n_steps as f64 / ns,
+                base_ns / ns
+            )
+        })
+        .collect();
     format!(
         "{{\n  \"episodes\": {}, \"lanes\": {},\n  \"rowwise_eps_per_s\": {:.2},\n  \
-         \"batched_eps_per_s\": {:.2},\n  \"speedup\": {:.3}\n}}\n",
+         \"batched_eps_per_s\": {:.2},\n  \"speedup\": {:.3},\n  \
+         \"sampling\": {{\n    \"steps\": {n_steps}, \"host_cores\": {host_cores},\n  \
+         \"actors\": [\n{}\n  ]}}\n}}\n",
         cfg.episodes,
         cfg.lanes,
         per_ep(rowwise_ns),
         per_ep(batched_ns),
-        rowwise_ns / batched_ns
+        rowwise_ns / batched_ns,
+        actor_rows.join(",\n")
     )
 }
 

@@ -23,6 +23,7 @@ fn small_budget() -> VictimBudget {
         atla_rounds: 1,
         atla_adversary_iters: 3,
         hidden: vec![32, 32],
+        actors: 1,
     }
 }
 

@@ -17,6 +17,7 @@ fn budget() -> VictimBudget {
         atla_rounds: 1,
         atla_adversary_iters: 3,
         hidden: vec![16, 16],
+        actors: 1,
     }
 }
 

@@ -12,7 +12,7 @@
 
 use std::path::PathBuf;
 
-use imap_bench::golden::{fingerprint_line, golden_hopper_trace};
+use imap_bench::golden::{fingerprint_line, golden_hopper_trace, golden_hopper_trace_actors};
 
 fn fixture_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures/golden_hopper.jsonl")
@@ -45,6 +45,20 @@ fn golden_hopper_trace_replays_byte_for_byte() {
              byte-compare skipped (regenerate the fixture to re-pin)"
         );
     }
+}
+
+/// The determinism contract of DESIGN.md §11: the golden run sampled
+/// through the data-parallel actor pool renders the *same bytes* at one
+/// actor and at four — snapshot normalization, per-episode RNG streams, and
+/// commit-order merging make the trace independent of scheduling.
+#[test]
+fn golden_hopper_trace_is_byte_identical_across_actors_1_and_4() {
+    let one = golden_hopper_trace_actors(1).unwrap();
+    let four = golden_hopper_trace_actors(4).unwrap();
+    assert_eq!(
+        one, four,
+        "actor-parallel golden trace must not depend on the actor count"
+    );
 }
 
 /// Rewrites the committed fixture. Run only after an *intentional* numerics

@@ -33,6 +33,7 @@ fn tiny_budget() -> Budget {
             atla_rounds: 1,
             atla_adversary_iters: 1,
             hidden: vec![8],
+            actors: 1,
         },
         attack_iters: 2,
         attack_steps: 128,
@@ -209,6 +210,91 @@ fn hanging_cell_times_out_without_blocking_the_sweep() {
     assert!(rows.iter().any(|r| r.phase == "cell"
         && r.tags.get("status").map(String::as_str) == Some("timeout")
         && r.tags.get("cell").map(String::as_str) == Some("hang")));
+}
+
+/// The actor-pool variant of the hang contract: a cell whose rollout wedges
+/// inside *one actor thread* (deadlocked-simulator model, injected via
+/// `FaultyEnv` in the episode factory). The hung actor stops heartbeating,
+/// so the sampler stops forwarding the cell's outer beat (liveness gate);
+/// the sweep watchdog trips within the stall timeout and its cooperative
+/// cancellation unwinds the whole actor pool — a `timeout` row, not a
+/// wedged sweep.
+#[test]
+fn hung_actor_thread_is_cancelled_by_the_sweep_watchdog() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    use imap_env::EnvFactory;
+    use imap_rl::{collect_stage, GaussianPolicy, SampleOptions};
+
+    let (tel, mem) = Telemetry::memory("sweep-actor-hang");
+    let cells = vec![SweepCell::new(
+        "actor-hang",
+        &[("cell", "actor-hang")],
+        1,
+        |ctx: &JobCtx| {
+            let cancel = ctx.cancel.clone();
+            let built = Arc::new(AtomicUsize::new(0));
+            // Exactly one episode env hangs at its third step; every other
+            // episode is healthy, so the other actor keeps producing and
+            // only the merge frontier (and the outer heartbeat) stalls.
+            let factory = EnvFactory::new(move || {
+                if built.fetch_add(1, Ordering::Relaxed) == 0 {
+                    Box::new(
+                        FaultyEnv::new(
+                            imap_env::locomotion::Hopper::new(),
+                            FaultPlan::once(FaultKind::Hang, 3),
+                        )
+                        .with_cancel(cancel.clone()),
+                    ) as Box<dyn Env>
+                } else {
+                    imap_env::build_task(TaskId::Hopper)
+                }
+            });
+            let options = SampleOptions {
+                actors: 2,
+                actor_liveness_ms: 100,
+                env_factory: Some(factory),
+            };
+            let mut policy =
+                GaussianPolicy::new(5, 3, &[8], -0.5, &mut EnvRng::seed_from_u64(3)).unwrap();
+            let mut rng = EnvRng::seed_from_u64(4);
+            let mut env = imap_env::build_task(TaskId::Hopper);
+            collect_stage(
+                &options,
+                env.as_mut(),
+                &mut policy,
+                256,
+                true,
+                &mut rng,
+                &ctx.progress,
+                &Telemetry::null(),
+            )?;
+            Ok(0u32)
+        },
+    )];
+    let mut report = SweepReport::default();
+    let start = Instant::now();
+    let out = run_sweep(
+        &tel,
+        &supervised_quickly(1, 1),
+        cells,
+        &mut report,
+        |_, _| {},
+    );
+    assert!(
+        start.elapsed() < Duration::from_secs(30),
+        "the watchdog must fire within the stall timeout"
+    );
+    assert!(
+        matches!(out[0], JobStatus::Timeout { .. }),
+        "a hung actor thread must surface as a cell timeout, got {:?}",
+        out[0].name()
+    );
+    assert_eq!((report.ok, report.timeout), (0, 1));
+    let rows = mem.rows();
+    assert!(rows.iter().any(|r| r.phase == "cell"
+        && r.tags.get("status").map(String::as_str) == Some("timeout")
+        && r.tags.get("cell").map(String::as_str) == Some("actor-hang")));
 }
 
 #[test]
