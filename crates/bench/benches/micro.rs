@@ -9,7 +9,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use rand::{Rng, SeedableRng};
 
 use imap_density::{KdTree, KnnEstimator};
-use imap_env::{build_task, Env, EnvRng, TaskId};
+use imap_env::{build_task, EnvRng, TaskId};
 use imap_nn::ibp::output_deviation_bound;
 use imap_nn::{Activation, Matrix, Mlp};
 

@@ -39,6 +39,7 @@ fn main() {
     let seed = base_seed();
     let sweep = SweepConfig::from_env();
     let tel = bench_telemetry("ablate", &budget, seed);
+    let _sweep_span = tel.span("sweep");
     let victims_cache = Arc::new(VictimCache::open());
     let mut report = SweepReport::default();
     let task = TaskId::SparseHopper;
@@ -178,6 +179,7 @@ fn main() {
     for line in lines {
         println!("{line}");
     }
+    drop(_sweep_span);
     finish_telemetry(&tel);
     println!("{}", report.summary_line());
     std::process::exit(report.exit_code());

@@ -40,6 +40,7 @@ fn main() {
     let seed = base_seed();
     let sweep = SweepConfig::from_env();
     let tel = bench_telemetry("fig4", &budget, seed);
+    let _sweep_span = tel.span("sweep");
     let victims_cache = Arc::new(VictimCache::open());
     let cells_cache = Arc::new(CellCache::open());
     let mut report = SweepReport::default();
@@ -197,6 +198,7 @@ fn main() {
     println!(
         "\nLegend: s = SA-RL, S = IMAP-SC, P = IMAP-PC, R = IMAP-R, D = IMAP-D. Lower is a stronger attack."
     );
+    drop(_sweep_span);
     finish_telemetry(&tel);
     println!("{}", report.summary_line());
     std::process::exit(report.exit_code());

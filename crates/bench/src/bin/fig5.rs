@@ -25,6 +25,7 @@ fn main() {
     let seed = base_seed();
     let sweep = SweepConfig::from_env();
     let tel = bench_telemetry("fig5", &budget, seed);
+    let _sweep_span = tel.span("sweep");
     let cells_cache = Arc::new(CellCache::open());
     let mut report = SweepReport::default();
     let attacks: Vec<(&str, AttackKind, char)> = vec![
@@ -171,6 +172,7 @@ fn main() {
         print!("{}", canvas.render());
     }
     println!("\nLegend: a = AP-MARL, P = IMAP-PC, B = IMAP-PC+BR. Higher ASR = stronger attack.");
+    drop(_sweep_span);
     finish_telemetry(&tel);
     println!("{}", report.summary_line());
     std::process::exit(report.exit_code());

@@ -34,6 +34,7 @@ fn main() {
     let seed = base_seed();
     let sweep = SweepConfig::from_env();
     let tel = bench_telemetry("fig6", &budget, seed);
+    let _sweep_span = tel.span("sweep");
     let victims_cache = Arc::new(VictimCache::open());
     let mut report = SweepReport::default();
     let task = TaskId::SparseHalfCheetah;
@@ -243,6 +244,7 @@ fn main() {
             );
         }
     }
+    drop(_sweep_span);
     finish_telemetry(&tel);
     println!("{}", report.summary_line());
     std::process::exit(report.exit_code());

@@ -29,6 +29,7 @@ fn main() {
     let seed = base_seed();
     let sweep = SweepConfig::from_env();
     let tel = bench_telemetry("fig7", &budget, seed);
+    let _sweep_span = tel.span("sweep");
     let cells_cache = Arc::new(CellCache::open());
     let mut report = SweepReport::default();
     let game = MultiTaskId::YouShallNotPass;
@@ -105,6 +106,7 @@ fn main() {
             }
         }
     }
+    drop(_sweep_span);
     finish_telemetry(&tel);
     println!("{}", report.summary_line());
     std::process::exit(report.exit_code());

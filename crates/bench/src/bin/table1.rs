@@ -21,10 +21,12 @@ fn main() {
     let seed = base_seed();
     let sweep = SweepConfig::from_env();
     let tel = bench_telemetry("table1", &budget, seed);
+    let _sweep_span = tel.span("sweep");
     let opts = Table1Options::new(budget, seed, sweep);
     let mut report = SweepReport::default();
     let table = run(&tel, &opts, &mut report);
     print!("{table}");
+    drop(_sweep_span);
     finish_telemetry(&tel);
     println!("{}", report.summary_line());
     std::process::exit(report.exit_code());

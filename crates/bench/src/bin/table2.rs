@@ -27,6 +27,7 @@ fn main() {
     let seed = base_seed();
     let sweep = SweepConfig::from_env();
     let tel = bench_telemetry("table2", &budget, seed);
+    let _sweep_span = tel.span("sweep");
     let victims_cache = Arc::new(VictimCache::open());
     let cells_cache = Arc::new(CellCache::open());
     let mut report = SweepReport::default();
@@ -199,6 +200,7 @@ fn main() {
     println!(
         "Best IMAP ≤ SA-RL on {imap_beats_sarl}/9 sparse tasks (paper: 9/9, \"IMAP dominates SA-RL across all nine tasks\")."
     );
+    drop(_sweep_span);
     finish_telemetry(&tel);
     println!("{}", report.summary_line());
     std::process::exit(report.exit_code());

@@ -25,6 +25,7 @@ fn main() {
     let seed = base_seed();
     let sweep = SweepConfig::from_env();
     let tel = bench_telemetry("table3", &budget, seed);
+    let _sweep_span = tel.span("sweep");
     let victims_cache = Arc::new(VictimCache::open());
     let cells_cache = Arc::new(CellCache::open());
     let mut report = SweepReport::default();
@@ -186,6 +187,7 @@ fn main() {
     println!(
         "BR improved {br_improvements}/{br_cells} (task, regularizer) cells; helped on {tasks_where_br_helps}/9 tasks (paper: \"BR boosts IMAP in half of the tasks\")."
     );
+    drop(_sweep_span);
     finish_telemetry(&tel);
     println!("{}", report.summary_line());
     std::process::exit(report.exit_code());

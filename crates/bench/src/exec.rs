@@ -15,9 +15,12 @@
 //! was recorded ([`SweepReport::exit_code`]). `--fail-fast` opts into
 //! cutting the sweep at the first permanent error instead.
 
+use std::io::IsTerminal;
 use std::time::Duration;
 
-use imap_harness::{default_jobs, run_supervised, Job, JobCtx, JobStatus, PoolConfig};
+use imap_harness::{
+    default_jobs, run_supervised, Job, JobCtx, JobStatus, PoolConfig, StatusConfig,
+};
 use imap_nn::NnError;
 use imap_telemetry::Telemetry;
 
@@ -46,6 +49,10 @@ pub struct SweepConfig {
     pub deadline: Option<Duration>,
     /// Cut the sweep at the first permanent error (`--fail-fast`).
     pub fail_fast: bool,
+    /// Cadence of live `status.json` snapshots (`--status-interval SECS` /
+    /// `IMAP_STATUS_INTERVAL`; default 2s, 0 disables). Snapshots are only
+    /// written when telemetry has an output directory.
+    pub status_interval: Duration,
 }
 
 impl Default for SweepConfig {
@@ -58,6 +65,7 @@ impl Default for SweepConfig {
             backoff_base: Duration::from_millis(250),
             deadline: None,
             fail_fast: false,
+            status_interval: Duration::from_secs(2),
         }
     }
 }
@@ -96,6 +104,20 @@ impl SweepConfig {
                 cfg.deadline = Some(Duration::from_secs_f64(secs));
             }
         }
+        if let Some(secs) = env_parse::<f64>(&env, "IMAP_STATUS_INTERVAL") {
+            if secs >= 0.0 {
+                cfg.status_interval = Duration::from_secs_f64(secs);
+            }
+        }
+        let set_status_interval = |cfg: &mut SweepConfig, v: Option<String>| match v
+            .and_then(|v| v.parse::<f64>().ok())
+        {
+            Some(secs) if secs >= 0.0 => cfg.status_interval = Duration::from_secs_f64(secs),
+            _ => eprintln!(
+                "warning: --status-interval needs a non-negative number of seconds; keeping {:.1}",
+                cfg.status_interval.as_secs_f64()
+            ),
+        };
         let mut args = args.into_iter();
         while let Some(arg) = args.next() {
             match arg.as_str() {
@@ -108,6 +130,13 @@ impl SweepConfig {
                 },
                 "--fail-fast" => cfg.fail_fast = true,
                 "--keep-going" => cfg.fail_fast = false,
+                // Parsed by `bench_telemetry`; accepted here so mixing
+                // sweep and telemetry flags never warns.
+                "--trace" => {}
+                "--status-interval" => {
+                    let v = args.next();
+                    set_status_interval(&mut cfg, v);
+                }
                 other => {
                     if let Some(v) = other.strip_prefix("--jobs=") {
                         match v.parse::<usize>() {
@@ -117,10 +146,13 @@ impl SweepConfig {
                                 cfg.jobs
                             ),
                         }
+                    } else if let Some(v) = other.strip_prefix("--status-interval=") {
+                        set_status_interval(&mut cfg, Some(v.to_string()));
                     } else {
                         eprintln!(
                             "warning: unrecognized argument {other:?} \
-                             (supported: --jobs N, --fail-fast, --keep-going)"
+                             (supported: --jobs N, --fail-fast, --keep-going, --trace, \
+                             --status-interval SECS)"
                         );
                     }
                 }
@@ -130,6 +162,17 @@ impl SweepConfig {
     }
 
     fn pool(&self, tel: &Telemetry) -> PoolConfig {
+        // Live status rides along whenever telemetry writes to a run
+        // directory; a zero interval disables it.
+        let status = if self.status_interval > Duration::ZERO {
+            tel.out_dir().map(|dir| StatusConfig {
+                path: dir.join("status.json"),
+                interval: self.status_interval,
+                tty: std::io::stderr().is_terminal(),
+            })
+        } else {
+            None
+        };
         PoolConfig {
             jobs: self.jobs,
             stall_timeout: self.stall_timeout,
@@ -139,6 +182,7 @@ impl SweepConfig {
             deadline: self.deadline,
             fail_fast: self.fail_fast,
             telemetry: tel.clone(),
+            status,
             ..PoolConfig::default()
         }
     }
@@ -354,6 +398,25 @@ mod tests {
         assert_eq!(cfg.jobs, 3);
         assert_eq!(cfg.stall_timeout, Duration::from_secs_f64(1.5));
         assert_eq!(cfg.deadline, Some(Duration::from_secs(60)));
+    }
+
+    #[test]
+    fn from_sources_parses_status_interval_and_tolerates_trace() {
+        let cfg = SweepConfig::from_sources(
+            ["--status-interval".into(), "0.5".into(), "--trace".into()],
+            no_env,
+        );
+        assert_eq!(cfg.status_interval, Duration::from_secs_f64(0.5));
+        let cfg = SweepConfig::from_sources(["--status-interval=0".into()], no_env);
+        assert_eq!(cfg.status_interval, Duration::ZERO);
+        let cfg = SweepConfig::from_sources(std::iter::empty(), |key| match key {
+            "IMAP_STATUS_INTERVAL" => Some("7".into()),
+            _ => None,
+        });
+        assert_eq!(cfg.status_interval, Duration::from_secs(7));
+        // Bad values keep the default cadence.
+        let cfg = SweepConfig::from_sources(["--status-interval".into(), "soon".into()], no_env);
+        assert_eq!(cfg.status_interval, SweepConfig::default().status_interval);
     }
 
     #[test]

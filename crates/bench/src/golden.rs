@@ -86,6 +86,25 @@ pub fn golden_hopper_trace_actors(actors: usize) -> Result<String, NnError> {
     trace_with(cfg)
 }
 
+/// The golden run with full span tracing and metrics enabled (an in-memory
+/// traced telemetry sink). The observability contract (DESIGN.md §12) says
+/// tracing reads timestamps and counters but never touches an RNG stream or
+/// a parameter, so this must render *exactly* the bytes of
+/// [`golden_hopper_trace`]. Also true with `actors` parallel samplers.
+pub fn golden_hopper_trace_traced(actors: usize) -> Result<String, NnError> {
+    let (tel, _sink) = imap_telemetry::Telemetry::memory_opts("golden-traced", true);
+    let mut cfg = golden_config();
+    cfg.telemetry = tel;
+    if actors > 1 {
+        cfg.sampling = SampleOptions {
+            actors,
+            env_factory: Some(TaskId::Hopper.factory()),
+            ..SampleOptions::default()
+        };
+    }
+    trace_with(cfg)
+}
+
 fn trace_with(cfg: TrainConfig) -> Result<String, NnError> {
     let mut lines = vec![format!(
         "{{\"rng_fingerprint\":\"{:016x}\"}}",

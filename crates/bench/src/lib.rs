@@ -724,12 +724,26 @@ fn format_tags(tags: &[(&str, &str)]) -> String {
         .join(" ")
 }
 
+/// True when the run asked for span tracing: `--trace` anywhere on the
+/// command line, or `IMAP_TRACE` set to anything but `0`/`false`/empty.
+pub fn trace_requested() -> bool {
+    if std::env::args().any(|a| a == "--trace") {
+        return true;
+    }
+    match std::env::var("IMAP_TRACE") {
+        Ok(v) => !matches!(v.trim(), "" | "0" | "false"),
+        Err(_) => false,
+    }
+}
+
 /// Opens the telemetry sink for a bench binary, so every table/figure run
 /// leaves machine-readable rows beside its text output.
 ///
 /// The output directory is `$IMAP_TELEMETRY/<bin>` when the variable is
-/// set, `results/<bin>/` at the workspace root otherwise. Falls back to the
-/// disabled handle (with a note on stderr) if the sink cannot be created.
+/// set, `results/<bin>/` at the workspace root otherwise. Span tracing
+/// (`trace.json` + `spans.jsonl`) turns on when [`trace_requested`] — the
+/// `--trace` flag or `IMAP_TRACE=1`. Falls back to the disabled handle
+/// (with a note on stderr) if the sink cannot be created.
 pub fn bench_telemetry(bin: &str, budget: &Budget, seed: u64) -> Telemetry {
     let dir = match std::env::var("IMAP_TELEMETRY") {
         Ok(base) => PathBuf::from(base).join(bin),
@@ -744,7 +758,7 @@ pub fn bench_telemetry(bin: &str, budget: &Budget, seed: u64) -> Telemetry {
         "attack_steps": budget.attack_steps,
         "eval_episodes": budget.eval_episodes,
     }));
-    match Telemetry::jsonl(&dir, &manifest) {
+    match Telemetry::jsonl_opts(&dir, &manifest, trace_requested()) {
         Ok(tel) => tel,
         Err(e) => {
             eprintln!("telemetry disabled ({}: {e})", dir.display());
@@ -778,11 +792,13 @@ pub fn record_curve(tel: &Telemetry, tags: &[(&str, &str)], curve: &[imap_core::
     }
 }
 
-/// Flushes the sink, writes `timing.txt`, and prints the per-phase
-/// wall-time breakdown to stderr. Call at the end of every bench binary.
+/// Flushes the sink — structured timing rows into `metrics.jsonl`,
+/// `report.json` beside the manifest, and (when tracing) `trace.json` /
+/// `spans.jsonl` — then prints the one-line wall-time summary to stderr.
+/// Call at the end of every bench binary.
 pub fn finish_telemetry(tel: &Telemetry) {
-    if let Some(report) = tel.finish() {
-        eprint!("{report}");
+    if let Some(summary) = tel.finish() {
+        eprintln!("{summary}");
     }
 }
 

@@ -10,6 +10,7 @@ use imap_core::threat::PerturbationEnv;
 use imap_core::{ImapConfig, ImapTrainer};
 use imap_defense::{train_victim_resilient, DefenseMethod, VictimBudget};
 use imap_env::{build_task, Env, EnvFactory, EnvRng, TaskId};
+use imap_harness::{SingleStatus, StatusConfig};
 use imap_rl::checkpoint::{self, read_checkpoint, write_checkpoint, CheckpointError, StateDict};
 use imap_rl::{
     cancel_after, granted_actors, CancelToken, GaussianPolicy, PpoConfig, Progress,
@@ -175,6 +176,11 @@ fn resilience_from_args(args: &Args) -> Result<ResilienceConfig, CliError> {
             cancel_after(token.clone(), std::time::Duration::from_secs_f64(secs));
             Progress::supervised(token)
         }
+        // The status board reads heartbeats off this handle, so it must be
+        // live (never cancelled) even without a time limit.
+        None if args.optional("status-interval").is_some() => {
+            Progress::supervised(CancelToken::new())
+        }
         None => Progress::null(),
     };
     Ok(ResilienceConfig {
@@ -228,24 +234,34 @@ USAGE:
   imap list-tasks
   imap train-victim --task <task> [--method ppo|atla|sa|atla-sa|radial|wocar]
                     [--budget quick|full] [--seed N] [--actors N]
-                    [--telemetry <dir>]
+                    [--telemetry <dir>] [--trace] [--status-interval <secs>]
                     [--checkpoint-dir <dir>] [--checkpoint-every N] [--resume]
                     [--time-limit <secs>]
                     --out <victim.policy>
   imap attack       --task <task> --victim <victim.policy>
                     [--regularizer sc|pc|r|d] [--br] [--baseline]
                     [--iters N] [--steps N] [--seed N] [--eps E]
-                    [--actors N] [--telemetry <dir>]
+                    [--actors N] [--telemetry <dir>] [--trace]
+                    [--status-interval <secs>]
                     [--checkpoint-dir <dir>] [--checkpoint-every N] [--resume]
                     [--time-limit <secs>]
                     --out <adversary.policy>
   imap eval         --task <task> --victim <victim.policy>
                     [--adversary <adversary.policy> | --random | --mad | --fgsm]
                     [--episodes N] [--eps E] [--seed N] [--telemetry <dir>]
+                    [--trace]
 
 `--telemetry <dir>` writes manifest.json, metrics.jsonl (one JSON metric row
-per line), and timing.txt into <dir>, and prints the per-phase wall-time
-breakdown on exit.
+per line, timing rows included), and report.json (metric + timing rollup)
+into <dir>, and prints a one-line wall-time summary on exit.
+
+`--trace` additionally records every span (training iterations, sampler
+actors, kernel stages) into trace.json — openable in Perfetto or
+chrome://tracing — plus a spans.jsonl twin. Tracing never changes trained
+bytes (DESIGN.md §12).
+
+`--status-interval <secs>` (with `--telemetry`) snapshots live run state —
+heartbeat age, beat count, wall time — into status.json at that cadence.
 
 `--checkpoint-dir <dir>` periodically snapshots the full trainer state
 (every `--checkpoint-every` iterations, default 1) as versioned,
@@ -264,7 +280,8 @@ ATLA-family victims always sample serially.
 ";
 
 /// Builds the run's telemetry handle: a JSONL sink rooted at the
-/// `--telemetry` directory, or the free disabled handle without the flag.
+/// `--telemetry` directory (with span tracing when `--trace` is also
+/// given), or the free disabled handle without the flag.
 fn telemetry_from_args(
     args: &Args,
     variant: &str,
@@ -276,16 +293,55 @@ fn telemetry_from_args(
         Some(dir) => {
             let run_id = format!("{variant}-{task}-seed{seed}");
             let manifest = RunManifest::new(&run_id, task, variant, seed).with_config(config);
-            Ok(Telemetry::jsonl(dir, &manifest)?)
+            Ok(Telemetry::jsonl_opts(
+                dir,
+                &manifest,
+                args.has_switch("trace"),
+            )?)
         }
         None => Ok(Telemetry::null()),
     }
 }
 
-/// Flushes the sink and prints the timing breakdown (enabled handles only).
+/// Spawns the live `status.json` writer for `--status-interval <secs>`:
+/// a background thread snapshotting the run's heartbeat state into the
+/// telemetry directory until dropped. `None` without the flag, without a
+/// telemetry directory, or at interval 0.
+fn status_from_args(
+    args: &Args,
+    tel: &Telemetry,
+    label: &str,
+    progress: &Progress,
+) -> Result<Option<SingleStatus>, CliError> {
+    if args.optional("status-interval").is_none() {
+        return Ok(None);
+    }
+    let secs: f64 = args.get_or("status-interval", 2.0)?;
+    if secs <= 0.0 || secs.is_nan() {
+        return Ok(None);
+    }
+    let Some(dir) = tel.out_dir() else {
+        eprintln!("warning: --status-interval needs --telemetry <dir>; status disabled");
+        return Ok(None);
+    };
+    let cfg = StatusConfig {
+        path: dir.join("status.json"),
+        interval: std::time::Duration::from_secs_f64(secs),
+        tty: std::io::IsTerminal::is_terminal(&std::io::stderr()),
+    };
+    Ok(Some(SingleStatus::spawn(
+        cfg,
+        tel.run_id(),
+        label,
+        progress.clone(),
+    )))
+}
+
+/// Flushes the sink — timing rows, `report.json`, and (with `--trace`)
+/// `trace.json`/`spans.jsonl` — and prints the one-line wall-time summary.
 fn finish_telemetry(tel: &Telemetry) {
-    if let Some(report) = tel.finish() {
-        eprint!("{report}");
+    if let Some(summary) = tel.finish() {
+        eprintln!("{summary}");
     }
 }
 
@@ -331,6 +387,7 @@ pub fn dispatch(args: &Args) -> Result<(), CliError> {
                 task.spec().name
             );
             let resilience = resilience_from_args(args)?;
+            let _status = status_from_args(args, &tel, task.spec().name, &resilience.progress)?;
             let victim = train_victim_resilient(&tel, task, method, &budget, seed, &resilience)?;
             save_policy(out, &victim)?;
             let mut rng = EnvRng::seed_from_u64(seed ^ 0xc11);
@@ -407,6 +464,8 @@ pub fn dispatch(args: &Args) -> Result<(), CliError> {
             } else {
                 SampleOptions::default()
             };
+            let resilience = resilience_from_args(args)?;
+            let _status = status_from_args(args, &tel, task.spec().name, &resilience.progress)?;
             let train = TrainConfig {
                 iterations: iters,
                 steps_per_iter: steps,
@@ -417,7 +476,7 @@ pub fn dispatch(args: &Args) -> Result<(), CliError> {
                     ..PpoConfig::default()
                 },
                 telemetry: tel.clone(),
-                resilience: resilience_from_args(args)?,
+                resilience,
                 sampling,
                 ..TrainConfig::default()
             };
@@ -658,8 +717,10 @@ mod tests {
         assert!(matches!(e, CliError::Args(_)));
     }
 
-    /// The acceptance path for `--telemetry`: a full attack run must leave a
-    /// valid manifest, parseable JSONL metrics, and a timing report behind.
+    /// The acceptance path for `--telemetry --trace --status-interval`: a
+    /// full attack run must leave a valid manifest, parseable JSONL metrics
+    /// with timing rows, a report.json rollup, a Chrome trace, and a final
+    /// status snapshot behind.
     #[test]
     fn telemetry_flag_writes_artifacts() {
         let dir = std::env::temp_dir().join("imap-cli-telemetry-test");
@@ -674,7 +735,7 @@ mod tests {
 
         dispatch(&parse(&format!(
             "attack --task Hopper --victim {} --baseline --iters 2 --steps 256 \
-             --telemetry {} --out {}",
+             --telemetry {} --trace --status-interval 0.01 --out {}",
             victim_path.display(),
             tel_dir.display(),
             adv_path.display()
@@ -694,7 +755,27 @@ mod tests {
             .collect();
         assert_eq!(rows.iter().filter(|r| r.phase == "attack").count(), 2);
         assert!(rows.iter().any(|r| r.phase == "eval"));
-        assert!(tel_dir.join("timing.txt").exists());
+        // Structured timing rows replace the old timing.txt file.
+        assert!(rows.iter().any(|r| r.phase == "timing"));
+        assert!(!tel_dir.join("timing.txt").exists());
+
+        let report: serde_json::Value =
+            serde_json::from_slice(&std::fs::read(tel_dir.join("report.json")).unwrap()).unwrap();
+        assert_eq!(report["run_id"], "sa-rl-Hopper-seed17");
+        assert!(report["metrics"]["counters"]["train/iterations"] == 2);
+
+        // --trace leaves a Perfetto-openable trace with nested spans.
+        let trace: serde_json::Value =
+            serde_json::from_slice(&std::fs::read(tel_dir.join("trace.json")).unwrap()).unwrap();
+        let events = trace["traceEvents"].as_array().unwrap();
+        assert!(events.iter().any(|e| e["name"] == "train_iteration"));
+        assert!(tel_dir.join("spans.jsonl").exists());
+
+        // The status thread finalized a done snapshot on drop.
+        let status: serde_json::Value =
+            serde_json::from_slice(&std::fs::read(tel_dir.join("status.json")).unwrap()).unwrap();
+        assert_eq!(status["state"], "done");
+        assert_eq!(status["cells"][0]["label"], "Hopper");
     }
 
     /// Full round-trip through temporary files: train a tiny victim, attack

@@ -355,6 +355,8 @@ impl ImapRunner {
     pub fn iterate(&mut self, env: &mut dyn Env) -> Result<(CurvePoint, IterationStats), NnError> {
         let cfg = &self.cfg.train;
         let tel = cfg.telemetry.clone();
+        let _iter_span = tel.span("train_iteration");
+        let iter_started = std::time::Instant::now();
         let progress = cfg.resilience.progress.clone();
         heartbeat(&progress)?;
 
@@ -458,6 +460,15 @@ impl ImapRunner {
             entropy: pstats.entropy,
         };
         self.iteration += 1;
+        let metrics = tel.metrics();
+        metrics.counter("train/iterations").inc();
+        let iter_s = iter_started.elapsed().as_secs_f64();
+        metrics.histogram("train/iter_ms").record(iter_s * 1e3);
+        if iter_s > 0.0 {
+            metrics
+                .gauge("train/steps_per_s")
+                .set(buffer.len() as f64 / iter_s);
+        }
         Ok((point, stats))
     }
 

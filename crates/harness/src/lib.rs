@@ -25,9 +25,11 @@ mod cancel;
 mod pool;
 mod progress;
 mod retry;
+mod status;
 
 pub use budget::{active_jobs, granted_actors, granted_actors_for, parallel_budget};
 pub use cancel::{cancel_after, CancelToken};
 pub use pool::{default_jobs, run_supervised, Job, JobCtx, JobStatus, PoolConfig};
 pub use progress::Progress;
 pub use retry::{backoff_delay, derive_seed, fnv1a};
+pub use status::{CellStatus, SingleStatus, StatusBoard, StatusConfig, StatusSnapshot};

@@ -16,6 +16,7 @@ use imap_telemetry::Telemetry;
 use crate::cancel::CancelToken;
 use crate::progress::Progress;
 use crate::retry::{backoff_delay, derive_seed};
+use crate::status::{CellStatus, StatusBoard, StatusConfig};
 
 /// Per-attempt context handed to a job closure.
 #[derive(Debug, Clone)]
@@ -162,6 +163,10 @@ pub struct PoolConfig {
     pub tick: Duration,
     /// Sink for `pool`-phase telemetry rows.
     pub telemetry: Telemetry,
+    /// When set, the supervisor publishes periodic `status.json` snapshots
+    /// (and an optional TTY ticker) of per-cell state. Pure observability;
+    /// never affects scheduling or results.
+    pub status: Option<StatusConfig>,
 }
 
 impl Default for PoolConfig {
@@ -176,6 +181,7 @@ impl Default for PoolConfig {
             fail_fast: false,
             tick: Duration::from_millis(20),
             telemetry: Telemetry::null(),
+            status: None,
         }
     }
 }
@@ -268,6 +274,15 @@ pub fn run_supervised<T: Send + 'static>(
     let mut timeouts = 0u64;
     let mut abandoned = 0u64;
     let mut busy = Duration::ZERO;
+    // Per-job wall time accumulated across attempts (for commit rows).
+    let mut job_wall: Vec<Duration> = vec![Duration::ZERO; n];
+    let mut board = cfg
+        .status
+        .as_ref()
+        .map(|s| StatusBoard::new(s.clone(), tel.run_id()));
+    // Cell spans parent to the span enclosing the pool call (e.g. the
+    // sweep's root span); captured once since workers run on other threads.
+    let parent_span = tel.current_span_id();
 
     let pool_event = |tel: &Telemetry,
                       event: &str,
@@ -321,10 +336,14 @@ pub fn run_supervised<T: Send + 'static>(
                         });
                     }
                     Slot::Running {
-                        cancel, cancelled, ..
+                        attempt,
+                        cancel,
+                        cancelled,
+                        ..
                     } if cancelled.is_none() => {
                         cancel.cancel();
                         *cancelled = Some((cause, now + cfg.hard_grace));
+                        pool_event(tel, "cancel", &jobs[idx].label, *attempt, 0, in_flight);
                     }
                     _ => {}
                 }
@@ -356,9 +375,14 @@ pub fn run_supervised<T: Send + 'static>(
                 };
                 let job = Arc::clone(&jobs[idx]);
                 let tx = tx.clone();
+                let worker_tel = tel.clone();
                 let spawn = std::thread::Builder::new()
                     .name(format!("cell-{idx}-a{attempt}"))
                     .spawn(move || {
+                        // Parent this worker's spans under the caller's
+                        // enclosing span so the trace nests sweep → cell.
+                        worker_tel.set_thread_parent(parent_span);
+                        let _cell_span = worker_tel.span_labeled("cell", &job.label);
                         let result = catch_unwind(AssertUnwindSafe(|| (job.run)(&ctx)))
                             .unwrap_or_else(|p| Err(format!("panic: {}", panic_message(&*p))));
                         let _ = tx.send((idx, attempt, result));
@@ -368,6 +392,7 @@ pub fn run_supervised<T: Send + 'static>(
                         attempts_total += 1;
                         if attempt > 0 {
                             retries += 1;
+                            tel.metrics().counter("pool/retries").inc();
                             pool_event(
                                 tel,
                                 "retry",
@@ -415,6 +440,7 @@ pub fn run_supervised<T: Send + 'static>(
                 None if progress.idle_for() > cfg.stall_timeout => {
                     cancel.cancel();
                     *cancelled = Some((CancelCause::Stall, now + cfg.hard_grace));
+                    tel.metrics().counter("pool/stalls").inc();
                     eprintln!(
                         "warning: cell stalled (no heartbeat for {:.1}s), cancelling: {}",
                         cfg.stall_timeout.as_secs_f64(),
@@ -428,7 +454,9 @@ pub fn run_supervised<T: Send + 'static>(
                     let cause = *cause;
                     let attempts = *attempt + 1;
                     busy += now.duration_since(*started);
+                    job_wall[idx] += now.duration_since(*started);
                     abandoned += 1;
+                    tel.metrics().counter("pool/abandoned").inc();
                     in_flight -= 1;
                     pool_event(tel, "abandon", &jobs[idx].label, *attempt, 0, in_flight);
                     statuses[idx] = Some(match cause {
@@ -463,7 +491,12 @@ pub fn run_supervised<T: Send + 'static>(
                 else {
                     unreachable!("stale check guarantees a running slot");
                 };
-                busy += Instant::now().duration_since(*started);
+                let attempt_wall = Instant::now().duration_since(*started);
+                busy += attempt_wall;
+                job_wall[idx] += attempt_wall;
+                tel.metrics()
+                    .histogram("pool/attempt_ms")
+                    .record(attempt_wall.as_secs_f64() * 1e3);
                 let cancelled = cancelled.map(|(cause, _)| cause);
                 in_flight -= 1;
                 let status = match (result, cancelled) {
@@ -516,6 +549,17 @@ pub fn run_supervised<T: Send + 'static>(
                         .as_ref()
                         .unwrap_or_else(|| unreachable!("finished slot always has a status"));
                     on_commit(next_commit, status);
+                    tel.record_full(
+                        "pool",
+                        next_commit as u64,
+                        &[("wall_ms", job_wall[next_commit].as_secs_f64() * 1e3)],
+                        &[("attempts", u64::from(status.attempts()))],
+                        &[
+                            ("event", "commit"),
+                            ("cell", jobs[next_commit].label.as_str()),
+                            ("status", status.name()),
+                        ],
+                    );
                     if matches!(slots[next_commit], Slot::Done) {
                         slots[next_commit] = Slot::Committed;
                     } else {
@@ -530,6 +574,14 @@ pub fn run_supervised<T: Send + 'static>(
                 _ => break,
             }
         }
+
+        if let Some(board) = board.as_mut() {
+            board.tick(|| cell_statuses(&jobs, &slots, &statuses));
+        }
+    }
+
+    if let Some(board) = board.as_mut() {
+        board.finalize(cell_statuses(&jobs, &slots, &statuses));
     }
 
     let counts = |name: &str| {
@@ -563,6 +615,60 @@ pub fn run_supervised<T: Send + 'static>(
     statuses
         .into_iter()
         .map(|s| s.unwrap_or_else(|| unreachable!("loop exits only when every job committed")))
+        .collect()
+}
+
+/// Renders the live per-cell view for the status board.
+fn cell_statuses<T>(
+    jobs: &[Arc<Job<T>>],
+    slots: &[Slot],
+    statuses: &[Option<JobStatus<T>>],
+) -> Vec<CellStatus> {
+    jobs.iter()
+        .zip(slots)
+        .zip(statuses)
+        .map(|((job, slot), status)| {
+            let (state, attempt, beats, heartbeat_age_s, wall_s): (String, u32, u64, f64, f64) =
+                match slot {
+                    Slot::Queued { attempt, .. } if *attempt > 0 => {
+                        ("retrying".to_string(), *attempt, 0, 0.0, 0.0)
+                    }
+                    Slot::Queued { .. } => ("queued".to_string(), 0, 0, 0.0, 0.0),
+                    Slot::Running {
+                        attempt,
+                        started,
+                        progress,
+                        cancelled,
+                        ..
+                    } => {
+                        let state = match cancelled {
+                            Some((CancelCause::Stall, _)) => "stalled",
+                            Some(_) => "cancelling",
+                            None => "running",
+                        };
+                        (
+                            state.to_string(),
+                            *attempt,
+                            progress.beats(),
+                            progress.idle_for().as_secs_f64(),
+                            started.elapsed().as_secs_f64(),
+                        )
+                    }
+                    Slot::Done | Slot::Committed | Slot::Abandoned => {
+                        let name = status.as_ref().map_or("done", JobStatus::name);
+                        let attempts = status.as_ref().map_or(0, JobStatus::attempts);
+                        (name.to_string(), attempts.saturating_sub(1), 0, 0.0, 0.0)
+                    }
+                };
+            CellStatus {
+                label: job.label.clone(),
+                state,
+                attempt,
+                beats,
+                heartbeat_age_s,
+                wall_s,
+            }
+        })
         .collect()
 }
 
@@ -798,6 +904,53 @@ mod tests {
         let out = run_supervised(&cfg, jobs, |_, _| {});
         assert!(matches!(out[0], JobStatus::Error { .. }));
         assert!(matches!(&out[1], JobStatus::Skipped { reason } if reason == "fail_fast"));
+    }
+
+    #[test]
+    fn status_board_publishes_done_snapshot_and_commit_rows() {
+        let dir = std::env::temp_dir().join(format!("imap-pool-status-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("status.json");
+        let (tel, mem) = Telemetry::memory("pool-status");
+        let cfg = PoolConfig {
+            telemetry: tel,
+            status: Some(StatusConfig {
+                path: path.clone(),
+                interval: Duration::from_millis(1),
+                tty: false,
+            }),
+            ..quick_cfg(2)
+        };
+        let jobs: Vec<Job<u32>> = (0..3)
+            .map(|i| {
+                Job::new(format!("cell-{i}"), i as u64, |ctx: &JobCtx| {
+                    std::thread::sleep(Duration::from_millis(15));
+                    ctx.progress.beat();
+                    Ok(1)
+                })
+            })
+            .collect();
+        run_supervised(&cfg, jobs, |_, _| {});
+
+        let snap: crate::StatusSnapshot =
+            serde_json::from_str(&std::fs::read_to_string(&path).expect("status.json"))
+                .expect("parse status");
+        assert_eq!(snap.state, "done");
+        assert_eq!(snap.jobs, 3);
+        assert_eq!(snap.done, 3);
+        assert_eq!(snap.cells.len(), 3);
+        assert!(snap.cells.iter().all(|c| c.state == "ok"));
+
+        let rows = mem.rows();
+        let commits: Vec<_> = rows
+            .iter()
+            .filter(|r| r.tags.get("event").map(String::as_str) == Some("commit"))
+            .collect();
+        assert_eq!(commits.len(), 3, "one commit row per job");
+        assert!(commits
+            .iter()
+            .all(|r| r.tags["status"] == "ok" && r.counters["attempts"] == 1));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

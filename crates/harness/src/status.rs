@@ -1,0 +1,340 @@
+//! Live sweep status: periodic machine-readable snapshots.
+//!
+//! The pool supervisor (and, for single runs, [`SingleStatus`]) renders the
+//! current per-cell state — queued / running / retrying / stalled / done,
+//! heartbeat age, wall time — to a `status.json` beside the other run
+//! artifacts, plus an optional single-line TTY ticker. Snapshots are
+//! written atomically (temp file + rename) so a concurrent reader never
+//! observes a torn file. Status output is pure observability: it reads the
+//! same heartbeat ladder the watchdog uses and never influences
+//! scheduling, seeds, or results.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+use crate::progress::Progress;
+
+/// Where and how often to publish status snapshots.
+#[derive(Debug, Clone)]
+pub struct StatusConfig {
+    /// Snapshot file path (conventionally `<run dir>/status.json`).
+    pub path: PathBuf,
+    /// Minimum interval between snapshot writes.
+    pub interval: Duration,
+    /// Also render a one-line ticker to stderr (overwritten in place).
+    pub tty: bool,
+}
+
+impl StatusConfig {
+    /// Status at `path` with the default 2-second cadence, no TTY line.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        StatusConfig {
+            path: path.into(),
+            interval: Duration::from_secs(2),
+            tty: false,
+        }
+    }
+}
+
+/// One cell's state as of a snapshot.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CellStatus {
+    /// The job's stable label.
+    pub label: String,
+    /// `queued` / `running` / `retrying` / `stalled` / `cancelling`, or a
+    /// final [`crate::JobStatus::name`] (`ok` / `error` / `timeout` /
+    /// `skipped`).
+    pub state: String,
+    /// Zero-based attempt currently running (or last run).
+    pub attempt: u32,
+    /// Heartbeats published by the current attempt.
+    pub beats: u64,
+    /// Seconds since the current attempt's last heartbeat (0 when not
+    /// running).
+    pub heartbeat_age_s: f64,
+    /// Wall-clock seconds the current attempt has been running (0 when not
+    /// running).
+    pub wall_s: f64,
+}
+
+/// A full sweep snapshot (`status.json` contents).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StatusSnapshot {
+    /// Run identifier, matching the telemetry manifest.
+    pub run_id: String,
+    /// `running` while the sweep is in flight, `done` after the final
+    /// snapshot.
+    pub state: String,
+    /// Seconds since the sweep started.
+    pub elapsed_s: f64,
+    /// Total jobs in the sweep.
+    pub jobs: u64,
+    /// Jobs with a final status.
+    pub done: u64,
+    /// Jobs currently on a worker thread.
+    pub running: u64,
+    /// Per-cell detail, in submission order.
+    pub cells: Vec<CellStatus>,
+}
+
+impl StatusSnapshot {
+    fn build(run_id: &str, state: &str, elapsed: Duration, cells: Vec<CellStatus>) -> Self {
+        let finals = ["ok", "error", "timeout", "skipped"];
+        let done = cells
+            .iter()
+            .filter(|c| finals.contains(&c.state.as_str()))
+            .count() as u64;
+        let running = cells
+            .iter()
+            .filter(|c| matches!(c.state.as_str(), "running" | "stalled" | "cancelling"))
+            .count() as u64;
+        StatusSnapshot {
+            run_id: run_id.to_string(),
+            state: state.to_string(),
+            elapsed_s: elapsed.as_secs_f64(),
+            jobs: cells.len() as u64,
+            done,
+            running,
+            cells,
+        }
+    }
+
+    /// The one-line ticker rendering.
+    pub fn ticker_line(&self) -> String {
+        let oldest = self
+            .cells
+            .iter()
+            .filter(|c| c.state == "running" || c.state == "stalled")
+            .map(|c| c.heartbeat_age_s)
+            .fold(0.0f64, f64::max);
+        format!(
+            "[{}] {}/{} done, {} running, {:.0}s elapsed, oldest heartbeat {:.1}s",
+            self.run_id, self.done, self.jobs, self.running, self.elapsed_s, oldest
+        )
+    }
+}
+
+/// Writes `bytes` to `path` atomically (temp file in the same directory,
+/// then rename), so readers never see a torn snapshot.
+fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Rate-limited snapshot publisher driven by the pool supervisor loop.
+#[derive(Debug)]
+pub struct StatusBoard {
+    cfg: StatusConfig,
+    run_id: String,
+    start: Instant,
+    last_write: Option<Instant>,
+    ticker_open: bool,
+}
+
+impl StatusBoard {
+    /// A board publishing to `cfg.path` for run `run_id`.
+    pub fn new(cfg: StatusConfig, run_id: &str) -> Self {
+        StatusBoard {
+            cfg,
+            run_id: run_id.to_string(),
+            start: Instant::now(),
+            last_write: None,
+            ticker_open: false,
+        }
+    }
+
+    /// Publishes a snapshot if the configured interval has elapsed since
+    /// the last one. `cells` is only invoked when a write is due, so the
+    /// per-tick cost when idle is one `Instant` comparison.
+    pub fn tick(&mut self, cells: impl FnOnce() -> Vec<CellStatus>) {
+        let now = Instant::now();
+        let due = match self.last_write {
+            None => true,
+            Some(at) => now.duration_since(at) >= self.cfg.interval,
+        };
+        if !due {
+            return;
+        }
+        self.last_write = Some(now);
+        self.write("running", cells());
+    }
+
+    /// Publishes the final snapshot (`state: "done"`), unconditionally.
+    pub fn finalize(&mut self, cells: Vec<CellStatus>) {
+        self.write("done", cells);
+        if self.ticker_open {
+            eprintln!();
+            self.ticker_open = false;
+        }
+    }
+
+    fn write(&mut self, state: &str, cells: Vec<CellStatus>) {
+        let snap = StatusSnapshot::build(&self.run_id, state, self.start.elapsed(), cells);
+        match serde_json::to_vec_pretty(&snap) {
+            Ok(bytes) => {
+                if let Err(e) = write_atomic(&self.cfg.path, &bytes) {
+                    // Status is best-effort observability: losing a
+                    // snapshot must never fail the sweep.
+                    eprintln!(
+                        "warning: failed to write status snapshot {}: {e}",
+                        self.cfg.path.display()
+                    );
+                }
+            }
+            Err(e) => eprintln!("warning: failed to render status snapshot: {e}"),
+        }
+        if self.cfg.tty {
+            eprint!("\r{}", snap.ticker_line());
+            self.ticker_open = true;
+        }
+    }
+}
+
+/// Background status writer for a single unsupervised run (the CLI's
+/// training loop): publishes one synthetic cell driven by a [`Progress`]
+/// heartbeat handle until dropped or [`SingleStatus::finish`]ed.
+#[derive(Debug)]
+pub struct SingleStatus {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl SingleStatus {
+    /// Spawns the writer thread. `progress` should be the same handle the
+    /// training loop beats; `label` names the single cell.
+    pub fn spawn(cfg: StatusConfig, run_id: &str, label: &str, progress: Progress) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let run_id = run_id.to_string();
+        let label = label.to_string();
+        let handle = std::thread::Builder::new()
+            .name("status".into())
+            .spawn(move || {
+                let mut board = StatusBoard::new(cfg, &run_id);
+                let started = Instant::now();
+                let cell = |state: &str| {
+                    vec![CellStatus {
+                        label: label.clone(),
+                        state: state.to_string(),
+                        attempt: 0,
+                        beats: progress.beats(),
+                        heartbeat_age_s: progress.idle_for().as_secs_f64(),
+                        wall_s: started.elapsed().as_secs_f64(),
+                    }]
+                };
+                while !stop2.load(Ordering::Acquire) {
+                    board.tick(|| cell("running"));
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                board.finalize(cell("ok"));
+            })
+            .ok();
+        SingleStatus { stop, handle }
+    }
+
+    /// Stops the writer and publishes the final `done` snapshot.
+    pub fn finish(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for SingleStatus {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(label: &str, state: &str) -> CellStatus {
+        CellStatus {
+            label: label.to_string(),
+            state: state.to_string(),
+            attempt: 0,
+            beats: 3,
+            heartbeat_age_s: 0.5,
+            wall_s: 1.5,
+        }
+    }
+
+    #[test]
+    fn snapshot_counts_done_and_running_cells() {
+        let snap = StatusSnapshot::build(
+            "r1",
+            "running",
+            Duration::from_secs(10),
+            vec![cell("a", "ok"), cell("b", "running"), cell("c", "queued")],
+        );
+        assert_eq!(snap.jobs, 3);
+        assert_eq!(snap.done, 1);
+        assert_eq!(snap.running, 1);
+        assert!(snap.ticker_line().contains("1/3 done"));
+    }
+
+    #[test]
+    fn board_writes_valid_json_and_finalizes_as_done() {
+        let dir = std::env::temp_dir().join(format!("imap-status-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("status.json");
+        let mut board = StatusBoard::new(StatusConfig::new(&path), "run-x");
+
+        board.tick(|| vec![cell("a", "running")]);
+        let text = std::fs::read_to_string(&path).expect("first snapshot");
+        let snap: StatusSnapshot = serde_json::from_str(&text).expect("parse snapshot");
+        assert_eq!(snap.state, "running");
+        assert_eq!(snap.run_id, "run-x");
+
+        // A second tick inside the interval must not rewrite the file.
+        board.tick(|| vec![cell("a", "ok")]);
+        let again: StatusSnapshot =
+            serde_json::from_str(&std::fs::read_to_string(&path).expect("reread"))
+                .expect("parse again");
+        assert_eq!(again.cells[0].state, "running");
+
+        board.finalize(vec![cell("a", "ok")]);
+        let done: StatusSnapshot =
+            serde_json::from_str(&std::fs::read_to_string(&path).expect("final"))
+                .expect("parse final");
+        assert_eq!(done.state, "done");
+        assert_eq!(done.done, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn single_status_publishes_running_then_done() {
+        let dir = std::env::temp_dir().join(format!("imap-sstatus-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("status.json");
+        let cfg = StatusConfig {
+            path: path.clone(),
+            interval: Duration::from_millis(1),
+            tty: false,
+        };
+        let progress = Progress::supervised(crate::cancel::CancelToken::new());
+        let status = SingleStatus::spawn(cfg, "run-s", "train", progress.clone());
+        progress.beat();
+        std::thread::sleep(Duration::from_millis(80));
+        status.finish();
+        let snap: StatusSnapshot =
+            serde_json::from_str(&std::fs::read_to_string(&path).expect("snapshot"))
+                .expect("parse");
+        assert_eq!(snap.state, "done");
+        assert_eq!(snap.cells.len(), 1);
+        assert_eq!(snap.cells[0].label, "train");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -161,6 +161,7 @@ impl DivergenceGuard {
         })?;
         trainer.load_state_dict(snapshot).map_err(NnError::from)?;
         trainer.scale_lr(self.cfg.lr_backoff);
+        telemetry.metrics().counter("guard/rollbacks").inc();
         telemetry.record_full(
             "guard",
             iteration as u64,

@@ -287,6 +287,13 @@ impl Sampler {
                 obs = step.obs;
             }
         }
+        let metrics = spec.telemetry.metrics();
+        metrics
+            .counter("sampler/steps")
+            .add(buffer.steps.len() as u64);
+        metrics
+            .counter("sampler/episodes")
+            .add(buffer.episode_returns.len() as u64);
         Ok(buffer)
     }
 
@@ -322,6 +329,9 @@ impl Sampler {
 
         let mut hearts = Vec::with_capacity(actors);
         let mut handles = Vec::with_capacity(actors);
+        // Actor spans nest under the span enclosing this stage (normally
+        // `collect_rollout`); captured once since actors run on own threads.
+        let parent_span = spec.telemetry.current_span_id();
         for actor_id in 0..actors {
             let heart = Progress::supervised(stop.clone());
             hearts.push(heart.clone());
@@ -330,7 +340,10 @@ impl Sampler {
             let counter = Arc::clone(&counter);
             let outer = outer.clone();
             let tx = tx.clone();
+            let actor_tel = spec.telemetry.clone();
             handles.push(std::thread::spawn(move || {
+                actor_tel.set_thread_parent(parent_span);
+                let _actor_span = actor_tel.span("sampler_actor");
                 run_actor(
                     actor_id, &factory, &snapshot, &counter, stage_seed, &heart, &outer, &tx,
                 )
@@ -419,8 +432,11 @@ impl Sampler {
 
         self.drain_actors(&rx, &mut reports, &mut done_actors);
         self.finish_actors(handles, &reports);
+        let metrics = spec.telemetry.metrics();
         for (actor_id, report) in reports.iter().enumerate() {
             if let Some(r) = report {
+                metrics.counter("sampler/steps").add(r.steps as u64);
+                metrics.counter("sampler/episodes").add(r.episodes as u64);
                 spec.telemetry.record_full(
                     "sampler",
                     actor_id as u64,

@@ -434,6 +434,8 @@ impl PpoRunner {
         advantage_override: Option<&mut AdvantageOverride<'_>>,
     ) -> Result<IterationStats, NnError> {
         let tel = self.cfg.telemetry.clone();
+        let _iter_span = tel.span("train_iteration");
+        let iter_started = std::time::Instant::now();
         let progress = self.cfg.resilience.progress.clone();
         heartbeat(&progress)?;
         let buffer = {
@@ -499,6 +501,15 @@ impl PpoRunner {
             entropy: stats.entropy,
         };
         self.iteration += 1;
+        let metrics = tel.metrics();
+        metrics.counter("train/iterations").inc();
+        let iter_s = iter_started.elapsed().as_secs_f64();
+        metrics.histogram("train/iter_ms").record(iter_s * 1e3);
+        if iter_s > 0.0 {
+            metrics
+                .gauge("train/steps_per_s")
+                .set(buffer.len() as f64 / iter_s);
+        }
         Ok(iter_stats)
     }
 

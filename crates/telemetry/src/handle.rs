@@ -7,9 +7,11 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use crate::manifest::RunManifest;
+use crate::metrics::MetricsRegistry;
 use crate::recorder::{JsonlRecorder, MemoryRecorder, NullRecorder, Recorder};
 use crate::row::MetricRow;
 use crate::span::{TimingReport, Timings};
+use crate::trace::{chrome_trace_json, spans_jsonl, TraceGuard, Tracer};
 
 struct Inner {
     run_id: String,
@@ -17,10 +19,18 @@ struct Inner {
     recorder: Arc<dyn Recorder>,
     timings: Timings,
     out_dir: Option<PathBuf>,
+    /// Manifest as written at open; re-written at finish when the sink
+    /// swallowed an I/O error.
+    manifest: Option<RunManifest>,
+    /// Hierarchical span tracer (`--trace`); `None` keeps spans
+    /// timing-only and skips all trace bookkeeping.
+    tracer: Option<Arc<Tracer>>,
+    metrics: MetricsRegistry,
 }
 
 /// A cheaply cloneable (`Arc`-backed) telemetry handle bundling a metric
-/// sink, the span-timer accumulator, and the run identity.
+/// sink, the span-timer accumulator, the hierarchical tracer, the metrics
+/// registry, and the run identity.
 ///
 /// The default handle is disabled: `record` returns immediately and `span`
 /// guards never read the clock, so instrumented hot loops pay nothing when
@@ -35,6 +45,7 @@ impl fmt::Debug for Telemetry {
         f.debug_struct("Telemetry")
             .field("run_id", &self.inner.run_id)
             .field("enabled", &self.inner.enabled)
+            .field("traced", &self.inner.tracer.is_some())
             .finish()
     }
 }
@@ -51,6 +62,8 @@ impl Telemetry {
         enabled: bool,
         recorder: Arc<dyn Recorder>,
         out_dir: Option<PathBuf>,
+        manifest: Option<RunManifest>,
+        trace: bool,
     ) -> Self {
         Telemetry {
             inner: Arc::new(Inner {
@@ -59,31 +72,60 @@ impl Telemetry {
                 recorder,
                 timings: Timings::default(),
                 out_dir,
+                manifest,
+                tracer: trace.then(Tracer::new),
+                metrics: MetricsRegistry::new(),
             }),
         }
     }
 
     /// The disabled handle: a true no-op on the hot path.
     pub fn null() -> Self {
-        Telemetry::from_parts(String::new(), false, Arc::new(NullRecorder), None)
+        Telemetry::from_parts(
+            String::new(),
+            false,
+            Arc::new(NullRecorder),
+            None,
+            None,
+            false,
+        )
     }
 
     /// An in-memory handle; the returned recorder reads the rows back.
     pub fn memory(run_id: &str) -> (Self, Arc<MemoryRecorder>) {
+        Telemetry::memory_opts(run_id, false)
+    }
+
+    /// [`Telemetry::memory`] with span tracing opted in (tests).
+    pub fn memory_opts(run_id: &str, trace: bool) -> (Self, Arc<MemoryRecorder>) {
         let recorder = Arc::new(MemoryRecorder::new());
         let tel = Telemetry::from_parts(
             run_id.to_string(),
             true,
             recorder.clone() as Arc<dyn Recorder>,
             None,
+            None,
+            trace,
         );
         (tel, recorder)
     }
 
     /// A JSONL handle rooted at `dir`: writes `manifest.json` immediately
     /// and streams rows to `metrics.jsonl`; [`Telemetry::finish`] adds
-    /// `timing.txt`.
+    /// structured timing rows plus `report.json` (and `trace.json` when
+    /// tracing).
     pub fn jsonl(dir: impl AsRef<Path>, manifest: &RunManifest) -> io::Result<Self> {
+        Telemetry::jsonl_opts(dir, manifest, false)
+    }
+
+    /// [`Telemetry::jsonl`] with hierarchical span tracing opted in
+    /// (`--trace`): finish additionally drains the tracer into
+    /// `trace.json` (Chrome `trace_event`) and `spans.jsonl`.
+    pub fn jsonl_opts(
+        dir: impl AsRef<Path>,
+        manifest: &RunManifest,
+        trace: bool,
+    ) -> io::Result<Self> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
         let manifest_json = serde_json::to_vec_pretty(manifest)
@@ -95,6 +137,8 @@ impl Telemetry {
             true,
             Arc::new(recorder),
             Some(dir),
+            Some(manifest.clone()),
+            trace,
         ))
     }
 
@@ -106,6 +150,22 @@ impl Telemetry {
     /// False for the null handle.
     pub fn is_enabled(&self) -> bool {
         self.inner.enabled
+    }
+
+    /// True when hierarchical span tracing is on for this run.
+    pub fn trace_enabled(&self) -> bool {
+        self.inner.tracer.is_some()
+    }
+
+    /// The artifact directory of a JSONL handle (`None` otherwise).
+    pub fn out_dir(&self) -> Option<&Path> {
+        self.inner.out_dir.as_deref()
+    }
+
+    /// The run's metric registry (counters/gauges/histograms). Usable on
+    /// any handle; only enabled handles report it in `report.json`.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.inner.metrics
     }
 
     /// Records a row of float metrics under `phase` / `iteration`.
@@ -149,14 +209,52 @@ impl Telemetry {
     }
 
     /// Starts an RAII wall-time span: the elapsed time between this call
-    /// and the guard's drop is added to `name`'s accumulator. On the
-    /// disabled handle the guard is inert and the clock is never read.
+    /// and the guard's drop is added to `name`'s accumulator, and — when
+    /// tracing — a trace span of the same name opens under the thread's
+    /// current span. On the disabled handle the guard is inert and the
+    /// clock is never read.
     pub fn span(&self, name: &'static str) -> Span {
         if !self.inner.enabled {
-            return Span { active: None };
+            return Span {
+                active: None,
+                trace: None,
+            };
         }
         Span {
+            trace: self.inner.tracer.as_ref().map(|t| t.start(name)),
             active: Some((self.clone(), name, Instant::now())),
+        }
+    }
+
+    /// [`Telemetry::span`] with a per-instance label: wall time accumulates
+    /// under the static `name`, while the trace span carries the dynamic
+    /// `label` (e.g. `name = "cell"`, `label = "Hopper/SA-RL"`).
+    pub fn span_labeled(&self, name: &'static str, label: &str) -> Span {
+        if !self.inner.enabled {
+            return Span {
+                active: None,
+                trace: None,
+            };
+        }
+        Span {
+            trace: self.inner.tracer.as_ref().map(|t| t.start(label)),
+            active: Some((self.clone(), name, Instant::now())),
+        }
+    }
+
+    /// The innermost open trace span id on this thread (0 when none or
+    /// when tracing is off). Capture before spawning a worker and pass to
+    /// the worker's [`Telemetry::set_thread_parent`].
+    pub fn current_span_id(&self) -> u64 {
+        self.inner.tracer.as_ref().map_or(0, |t| t.current())
+    }
+
+    /// Adopts `parent` as this thread's root trace parent, stitching
+    /// cross-thread spans (supervisor → worker, trainer → sampler actor)
+    /// into one tree. A no-op when tracing is off.
+    pub fn set_thread_parent(&self, parent: u64) {
+        if let Some(t) = &self.inner.tracer {
+            t.set_thread_parent(parent);
         }
     }
 
@@ -172,25 +270,82 @@ impl Telemetry {
         }
     }
 
-    /// Flushes the sink, writes `timing.txt` beside the metrics file (JSONL
-    /// handles only), and returns the rendered per-phase breakdown. Returns
-    /// `None` on the disabled handle.
+    /// Finalizes the run's artifacts and returns a one-line timing summary
+    /// (`None` on the disabled handle):
+    ///
+    /// 1. the per-span timing breakdown becomes structured `timing`-phase
+    ///    rows in the metric stream (the former free-form `timing.txt`);
+    /// 2. the sink is flushed; a swallowed I/O error is re-stamped into
+    ///    `manifest.json` (`io_error`);
+    /// 3. JSONL handles write `report.json` (metrics registry snapshot +
+    ///    timing breakdown), and — when tracing — `trace.json` (Chrome
+    ///    `trace_event`) plus `spans.jsonl`.
     pub fn finish(&self) -> Option<String> {
         if !self.inner.enabled {
             return None;
         }
-        self.inner.recorder.flush();
-        let rendered = self.timing_report().render();
-        if let Some(dir) = &self.inner.out_dir {
-            let _ = std::fs::write(dir.join("timing.txt"), &rendered);
+        let timing = self.timing_report();
+        for s in &timing.spans {
+            self.record_full(
+                "timing",
+                0,
+                &[
+                    ("total_s", s.total.as_secs_f64()),
+                    ("mean_ms", s.mean().as_secs_f64() * 1e3),
+                ],
+                &[("calls", s.calls)],
+                &[("span", &s.name)],
+            );
         }
-        Some(rendered)
+        self.inner.recorder.flush();
+        let io_error = self.inner.recorder.first_error();
+
+        if let Some(dir) = &self.inner.out_dir {
+            if let (Some(err), Some(manifest)) = (&io_error, &self.inner.manifest) {
+                let mut stamped = manifest.clone();
+                stamped.io_error = Some(err.clone());
+                if let Ok(json) = serde_json::to_vec_pretty(&stamped) {
+                    let _ = std::fs::write(dir.join("manifest.json"), json);
+                }
+            }
+            let spans = self
+                .inner
+                .tracer
+                .as_ref()
+                .map(|t| t.drain())
+                .unwrap_or_default();
+            if self.inner.tracer.is_some() {
+                let _ = std::fs::write(dir.join("trace.json"), chrome_trace_json(&spans));
+                let _ = std::fs::write(dir.join("spans.jsonl"), spans_jsonl(&spans));
+            }
+            let report = serde_json::json!({
+                "run_id": self.inner.run_id,
+                "metrics": self.inner.metrics.snapshot(),
+                "timing": timing,
+                "trace_spans": spans.len(),
+                "io_error": io_error,
+            });
+            if let Ok(json) = serde_json::to_vec_pretty(&report) {
+                let _ = std::fs::write(dir.join("report.json"), json);
+            }
+        }
+        Some(timing.summary_line())
     }
 }
 
 /// The RAII guard returned by [`Telemetry::span`].
 pub struct Span {
     active: Option<(Telemetry, &'static str, Instant)>,
+    /// Trace twin of the timing span; recorded into the tracer on drop.
+    trace: Option<TraceGuard>,
+}
+
+impl Span {
+    /// The trace span id (0 when tracing is off or the handle disabled);
+    /// hand to [`Telemetry::set_thread_parent`] in spawned workers.
+    pub fn trace_id(&self) -> u64 {
+        self.trace.as_ref().map_or(0, TraceGuard::id)
+    }
 }
 
 impl Drop for Span {
@@ -219,6 +374,7 @@ mod tests {
     fn null_handle_is_inert() {
         let tel = Telemetry::null();
         assert!(!tel.is_enabled());
+        assert!(!tel.trace_enabled());
         tel.record("train", 0, &[("x", 1.0)]);
         {
             let _s = tel.span("collect_rollout");
@@ -227,6 +383,7 @@ mod tests {
             tel.timing_report().spans.is_empty(),
             "no clock on null path"
         );
+        assert_eq!(tel.current_span_id(), 0);
         assert!(tel.finish().is_none());
     }
 
@@ -283,7 +440,36 @@ mod tests {
     }
 
     #[test]
-    fn jsonl_handle_writes_manifest_metrics_and_timing() {
+    fn traced_memory_handle_builds_a_span_tree() {
+        let (tel, _mem) = Telemetry::memory_opts("traced-run", true);
+        assert!(tel.trace_enabled());
+        {
+            let outer = tel.span("outer");
+            assert_eq!(tel.current_span_id(), outer.trace_id());
+            let _inner = tel.span_labeled("cell", "Hopper ppo SA-RL");
+        }
+        assert_eq!(tel.current_span_id(), 0);
+        // Timing accumulates under the static name, not the label.
+        let names: Vec<String> = tel
+            .timing_report()
+            .spans
+            .into_iter()
+            .map(|s| s.name)
+            .collect();
+        assert!(names.contains(&"cell".to_string()));
+        assert!(names.contains(&"outer".to_string()));
+    }
+
+    #[test]
+    fn metrics_registry_is_shared_across_clones() {
+        let (tel, _mem) = Telemetry::memory("metrics-run");
+        let clone = tel.clone();
+        clone.metrics().counter("pool/retries").inc();
+        assert_eq!(tel.metrics().counter("pool/retries").get(), 1);
+    }
+
+    #[test]
+    fn jsonl_handle_writes_manifest_metrics_timing_rows_and_report() {
         let dir = std::env::temp_dir().join("imap-telemetry-test-handle");
         let _ = std::fs::remove_dir_all(&dir);
         let manifest = RunManifest::new("jsonl-run", "Hopper", "IMAP-SC", 9)
@@ -291,6 +477,7 @@ mod tests {
         let tel = Telemetry::jsonl(&dir, &manifest).unwrap();
         tel.record("train", 0, &[("mean_return", 1.0)]);
         tel.record("train", 1, &[("mean_return", 2.0)]);
+        tel.metrics().counter("train/iterations").add(2);
         {
             let _s = tel.span("collect_rollout");
         }
@@ -300,13 +487,53 @@ mod tests {
         let manifest_back: RunManifest =
             serde_json::from_slice(&std::fs::read(dir.join("manifest.json")).unwrap()).unwrap();
         assert_eq!(manifest_back, manifest);
+        assert!(manifest_back.io_error.is_none());
         let text = std::fs::read_to_string(dir.join("metrics.jsonl")).unwrap();
         let rows: Vec<MetricRow> = text
             .lines()
             .map(|l| serde_json::from_str(l).unwrap())
             .collect();
-        assert_eq!(rows.len(), 2);
-        assert_eq!(rows[1].scalars["mean_return"], 2.0);
-        assert!(dir.join("timing.txt").exists());
+        let train_rows: Vec<_> = rows.iter().filter(|r| r.phase == "train").collect();
+        assert_eq!(train_rows.len(), 2);
+        assert_eq!(train_rows[1].scalars["mean_return"], 2.0);
+        // Satellite: timing.txt is gone; the breakdown is structured rows.
+        assert!(!dir.join("timing.txt").exists());
+        let timing_rows: Vec<_> = rows.iter().filter(|r| r.phase == "timing").collect();
+        assert_eq!(timing_rows.len(), 1);
+        assert_eq!(timing_rows[0].tags["span"], "collect_rollout");
+        assert_eq!(timing_rows[0].counters["calls"], 1);
+        // report.json carries the metrics registry snapshot.
+        let report: serde_json::Value =
+            serde_json::from_slice(&std::fs::read(dir.join("report.json")).unwrap()).unwrap();
+        assert_eq!(report["run_id"], "jsonl-run");
+        assert_eq!(report["metrics"]["counters"]["train/iterations"], 2);
+        // Tracing off: no trace artifacts.
+        assert!(!dir.join("trace.json").exists());
+    }
+
+    #[test]
+    fn traced_jsonl_handle_writes_chrome_trace() {
+        let dir = std::env::temp_dir().join("imap-telemetry-test-trace");
+        let _ = std::fs::remove_dir_all(&dir);
+        let manifest = RunManifest::new("trace-run", "Hopper", "ppo", 1);
+        let tel = Telemetry::jsonl_opts(&dir, &manifest, true).unwrap();
+        {
+            let _sweep = tel.span("sweep");
+            let _cell = tel.span_labeled("cell", "Hopper ppo");
+        }
+        tel.finish().unwrap();
+        let doc: serde_json::Value =
+            serde_json::from_slice(&std::fs::read(dir.join("trace.json")).unwrap()).unwrap();
+        let events = doc["traceEvents"].as_array().unwrap();
+        assert_eq!(events.len(), 2);
+        let spans: Vec<crate::trace::SpanRecord> = std::fs::read_to_string(dir.join("spans.jsonl"))
+            .unwrap()
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        crate::trace::validate(&spans).unwrap();
+        let cell = spans.iter().find(|s| s.name == "Hopper ppo").unwrap();
+        let sweep = spans.iter().find(|s| s.name == "sweep").unwrap();
+        assert_eq!(cell.parent, sweep.id);
     }
 }

@@ -1,25 +1,39 @@
 //! # imap-telemetry
 //!
 //! Structured run telemetry for the IMAP reproduction: every trainer in the
-//! workspace records typed per-iteration metric rows and accumulates
-//! per-phase wall time through the same small surface, so any training run
-//! can be re-plotted, diffed, and profiled from its artifacts alone.
+//! workspace records typed per-iteration metric rows, accumulates per-phase
+//! wall time, counts events in a typed registry, and (opt-in) traces a
+//! hierarchical span tree through the same small surface — so any training
+//! run or sweep can be re-plotted, diffed, profiled, and postmortemed from
+//! its artifacts alone.
 //!
-//! Three pieces:
+//! Five pieces:
 //!
 //! - [`Recorder`] sinks ([`NullRecorder`], [`MemoryRecorder`],
 //!   [`JsonlRecorder`]) consuming [`MetricRow`]s — scalars + counters +
-//!   tags, stamped with run id / phase / iteration;
+//!   tags, stamped with run id / phase / iteration; an I/O failure poisons
+//!   the sink once and is surfaced in the run manifest rather than
+//!   silently swallowed;
 //! - RAII span timers ([`Telemetry::span`], the [`span!`] macro) that
-//!   accumulate wall time per named phase and render an end-of-run
-//!   [`TimingReport`] — the profile of the rollout/update/intrinsic-bonus
-//!   hot paths;
-//! - a [`RunManifest`] (config, seed, env, variant, start time) written
-//!   beside the metrics so every `metrics.jsonl` is self-describing.
+//!   accumulate wall time per named phase; the breakdown lands as
+//!   structured `timing`-phase rows plus a one-line summary at finish;
+//! - a [`MetricsRegistry`] of typed [`Counter`]s / [`Gauge`]s /
+//!   log2-bucket [`Histogram`]s (lock-free after creation), snapshotted
+//!   into `report.json`;
+//! - an opt-in hierarchical [`Tracer`] (`--trace`) recording parent-linked
+//!   spans into lock-free per-thread buffers, exported as `spans.jsonl`
+//!   and Chrome-`trace_event` `trace.json` (open in Perfetto /
+//!   `chrome://tracing`);
+//! - a [`RunManifest`] (config, seed, env, variant, start time, sink
+//!   health) written beside the metrics so every `metrics.jsonl` is
+//!   self-describing.
 //!
-//! The [`Telemetry`] handle bundles all three and defaults to disabled
+//! The [`Telemetry`] handle bundles all of it and defaults to disabled
 //! (null sink, no clock reads), so instrumentation costs nothing unless a
-//! run opts in — e.g. via the CLI's `--telemetry <dir>` flag.
+//! run opts in — e.g. via the CLI's `--telemetry <dir>` flag. Tracing and
+//! metrics only read clocks and atomics; they never touch RNG streams, so
+//! the bitwise-determinism contract (`DESIGN.md` §12) holds with tracing
+//! on or off.
 //!
 //! ```
 //! use imap_telemetry::Telemetry;
@@ -28,6 +42,7 @@
 //! {
 //!     let _timer = tel.span("collect_rollout");
 //!     tel.record("train", 0, &[("mean_return", 17.5)]);
+//!     tel.metrics().counter("train/iterations").inc();
 //! }
 //! assert_eq!(mem.rows().len(), 1);
 //! assert_eq!(tel.timing_report().spans[0].name, "collect_rollout");
@@ -35,12 +50,18 @@
 
 pub mod handle;
 pub mod manifest;
+pub mod metrics;
 pub mod recorder;
 pub mod row;
 pub mod span;
+pub mod trace;
 
 pub use handle::{Span, Telemetry};
 pub use manifest::RunManifest;
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramBucket, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
+};
 pub use recorder::{JsonlRecorder, MemoryRecorder, NullRecorder, Recorder};
 pub use row::MetricRow;
 pub use span::{SpanStat, TimingReport};
+pub use trace::{chrome_trace_json, spans_jsonl, validate, SpanRecord, TraceGuard, Tracer};

@@ -22,6 +22,11 @@ pub struct RunManifest {
     /// Free-form configuration snapshot (hyperparameters, budget, flags).
     #[serde(default, skip_serializing_if = "serde_json::Value::is_null")]
     pub config: serde_json::Value,
+    /// First I/O error the metrics sink swallowed, stamped at finish.
+    /// Absent while the run is healthy; a present value means
+    /// `metrics.jsonl` is incomplete from that point on.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub io_error: Option<String>,
 }
 
 impl RunManifest {
@@ -38,6 +43,7 @@ impl RunManifest {
             seed,
             start_unix_ms,
             config: serde_json::Value::Null,
+            io_error: None,
         }
     }
 

@@ -1,0 +1,362 @@
+//! The typed metrics registry: counters, gauges, and log2-bucket
+//! histograms, aggregated per run and rendered into `report.json`.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are `Arc`-backed atomics:
+//! get-or-create takes the registry lock once, after which increments are
+//! lock-free and safe from any thread. Dotted metric names form the
+//! namespace (`pool/retries`, `train/steps_per_s`, `cell/<label>/wall_ms`);
+//! per-cell histograms roll up into the sweep-level report by name.
+//!
+//! Like tracing, metrics only read clocks and atomics; they never touch RNG
+//! streams or recorded metric rows, so the bitwise-determinism contract is
+//! unaffected by whether anything increments them.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// Monotone event counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins float gauge (throughputs, rates, current sizes).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Stores `v` (f64 bits in an atomic u64).
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+const BUCKETS: usize = 64;
+
+#[derive(Debug)]
+struct HistInner {
+    /// Bucket `0` counts values in `[0, 1)`; bucket `b >= 1` counts
+    /// `[2^(b-1), 2^b)`.
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    /// f64 bits, CAS-accumulated.
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+/// Lock-free log2-bucket histogram over non-negative f64 samples
+/// (latencies in ms, steps/s, GFLOP/s).
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistInner>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram(Arc::new(HistInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0f64.to_bits()),
+            min: AtomicU64::new(f64::INFINITY.to_bits()),
+            max: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }))
+    }
+}
+
+fn bucket_index(v: f64) -> usize {
+    if v.is_nan() || v < 1.0 {
+        // Negatives, NaN, and [0, 1) all land in bucket 0.
+        return 0;
+    }
+    ((v as u64).max(1).ilog2() as usize + 1).min(BUCKETS - 1)
+}
+
+/// Inclusive lower bound of bucket `b` (see [`Histogram`]).
+fn bucket_lo(b: usize) -> u64 {
+    if b == 0 {
+        0
+    } else {
+        1u64 << (b - 1)
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&self, v: f64) {
+        let inner = &self.0;
+        inner.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        if v.is_finite() {
+            cas_f64(&inner.sum, |cur| cur + v);
+            cas_f64(&inner.min, |cur| cur.min(v));
+            cas_f64(&inner.max, |cur| cur.max(v));
+        }
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// An immutable snapshot for reporting.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let inner = &self.0;
+        let count = inner.count.load(Ordering::Relaxed);
+        let sum = f64::from_bits(inner.sum.load(Ordering::Relaxed));
+        let min = f64::from_bits(inner.min.load(Ordering::Relaxed));
+        let max = f64::from_bits(inner.max.load(Ordering::Relaxed));
+        let buckets = (0..BUCKETS)
+            .filter_map(|b| {
+                let n = inner.buckets[b].load(Ordering::Relaxed);
+                (n > 0).then_some(HistogramBucket {
+                    lo: bucket_lo(b),
+                    count: n,
+                })
+            })
+            .collect();
+        HistogramSnapshot {
+            count,
+            sum,
+            mean: if count > 0 { sum / count as f64 } else { 0.0 },
+            min: if min.is_finite() { Some(min) } else { None },
+            max: if max.is_finite() { Some(max) } else { None },
+            buckets,
+        }
+    }
+}
+
+fn cas_f64(cell: &AtomicU64, f: impl Fn(f64) -> f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let next = f(f64::from_bits(cur)).to_bits();
+        match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// One populated histogram bucket: `count` samples in
+/// `[lo, next bucket's lo)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramBucket {
+    /// Inclusive lower bound of the bucket.
+    pub lo: u64,
+    /// Samples in the bucket.
+    pub count: u64,
+}
+
+/// Serializable histogram summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Total samples.
+    pub count: u64,
+    /// Sum of finite samples.
+    pub sum: f64,
+    /// Mean of finite samples (0 when empty).
+    pub mean: f64,
+    /// Smallest finite sample.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub min: Option<f64>,
+    /// Largest finite sample.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub max: Option<f64>,
+    /// Populated log2 buckets, ascending.
+    pub buckets: Vec<HistogramBucket>,
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+/// The per-run metric registry. Cloning shares the underlying maps.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<RegistryInner>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.inner.counters.lock();
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.inner.gauges.lock();
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut map = self.inner.histograms.lock();
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// A serializable snapshot of everything recorded so far.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .inner
+                .counters
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .inner
+                .gauges
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .inner
+                .histograms
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+
+    /// True when nothing has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.inner.counters.lock().is_empty()
+            && self.inner.gauges.lock().is_empty()
+            && self.inner.histograms.lock().is_empty()
+    }
+}
+
+/// Point-in-time registry contents; the `metrics` section of `report.json`.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram summaries by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_read_back() {
+        let reg = MetricsRegistry::new();
+        reg.counter("pool/retries").inc();
+        reg.counter("pool/retries").add(2);
+        reg.gauge("train/steps_per_s").set(1234.5);
+        assert_eq!(reg.counter("pool/retries").get(), 3);
+        assert_eq!(reg.gauge("train/steps_per_s").get(), 1234.5);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["pool/retries"], 3);
+        assert_eq!(snap.gauges["train/steps_per_s"], 1234.5);
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let h = Histogram::default();
+        for v in [0.0, 0.5, 1.0, 1.9, 2.0, 3.0, 1000.0] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 7);
+        assert_eq!(snap.min, Some(0.0));
+        assert_eq!(snap.max, Some(1000.0));
+        let by_lo: BTreeMap<u64, u64> = snap.buckets.iter().map(|b| (b.lo, b.count)).collect();
+        assert_eq!(by_lo[&0], 2, "[0,1)");
+        assert_eq!(by_lo[&1], 2, "[1,2)");
+        assert_eq!(by_lo[&2], 2, "[2,4)");
+        assert_eq!(by_lo[&512], 1, "[512,1024)");
+        assert!((snap.mean - (0.5 + 1.0 + 1.9 + 2.0 + 3.0 + 1000.0) / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_tolerates_pathological_samples() {
+        let h = Histogram::default();
+        h.record(f64::NAN);
+        h.record(-5.0);
+        h.record(f64::INFINITY);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 3);
+        assert_eq!(snap.min, Some(-5.0));
+        assert_eq!(snap.sum, -5.0);
+    }
+
+    #[test]
+    fn concurrent_increments_are_not_lost() {
+        let reg = MetricsRegistry::new();
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let reg = reg.clone();
+                std::thread::spawn(move || {
+                    let c = reg.counter("hits");
+                    let h = reg.histogram("lat");
+                    for i in 0..1000 {
+                        c.inc();
+                        h.record(i as f64);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(reg.counter("hits").get(), 8000);
+        assert_eq!(reg.histogram("lat").count(), 8000);
+        let total: u64 = reg
+            .histogram("lat")
+            .snapshot()
+            .buckets
+            .iter()
+            .map(|b| b.count)
+            .sum();
+        assert_eq!(total, 8000);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a").inc();
+        reg.histogram("b").record(7.0);
+        let snap = reg.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+}

@@ -17,6 +17,13 @@ pub trait Recorder: Send + Sync {
 
     /// Flushes any buffered rows to the backing store.
     fn flush(&self) {}
+
+    /// The first write/flush error the sink swallowed, if any. A sink that
+    /// reports one has been dropping rows since; the owning `Telemetry`
+    /// surfaces it in the run manifest at finish.
+    fn first_error(&self) -> Option<String> {
+        None
+    }
 }
 
 /// Discards everything. The default sink: training code records
@@ -63,33 +70,77 @@ impl Recorder for MemoryRecorder {
     }
 }
 
+struct JsonlState {
+    writer: BufWriter<Box<dyn Write + Send>>,
+    /// First I/O error seen; once set the sink is poisoned — subsequent
+    /// rows are dropped without touching the writer.
+    error: Option<String>,
+}
+
 /// Appends one JSON object per line to a file (the `metrics.jsonl` format
 /// documented in `README.md`). Rows are buffered; call
 /// [`Recorder::flush`] (or let the owning `Telemetry` finish) to sync.
+///
+/// I/O failures never panic and never repeat: the first error poisons the
+/// sink (with one loud warning on stderr) and is reported through
+/// [`Recorder::first_error`] so it lands in the run manifest.
 pub struct JsonlRecorder {
-    writer: Mutex<BufWriter<File>>,
+    state: Mutex<JsonlState>,
 }
 
 impl JsonlRecorder {
     /// Creates (truncating) the JSONL file at `path`.
     pub fn create(path: &Path) -> io::Result<Self> {
         let file = File::create(path)?;
-        Ok(JsonlRecorder {
-            writer: Mutex::new(BufWriter::new(file)),
-        })
+        Ok(JsonlRecorder::from_writer(Box::new(file)))
+    }
+
+    /// Wraps an arbitrary writer (tests inject failing writers here).
+    pub fn from_writer(writer: Box<dyn Write + Send>) -> Self {
+        JsonlRecorder {
+            state: Mutex::new(JsonlState {
+                writer: BufWriter::new(writer),
+                error: None,
+            }),
+        }
+    }
+
+    fn poison(state: &mut JsonlState, op: &str, e: io::Error) {
+        if state.error.is_none() {
+            eprintln!(
+                "warning: telemetry sink failed to {op} ({e}); \
+                 dropping all further metric rows"
+            );
+            state.error = Some(format!("{op}: {e}"));
+        }
     }
 }
 
 impl Recorder for JsonlRecorder {
     fn record(&self, row: &MetricRow) {
         if let Ok(json) = serde_json::to_string(row) {
-            let mut w = self.writer.lock();
-            let _ = writeln!(w, "{json}");
+            let mut state = self.state.lock();
+            if state.error.is_some() {
+                return;
+            }
+            if let Err(e) = writeln!(state.writer, "{json}") {
+                JsonlRecorder::poison(&mut state, "write", e);
+            }
         }
     }
 
     fn flush(&self) {
-        let _ = self.writer.lock().flush();
+        let mut state = self.state.lock();
+        if state.error.is_some() {
+            return;
+        }
+        if let Err(e) = state.writer.flush() {
+            JsonlRecorder::poison(&mut state, "flush", e);
+        }
+    }
+
+    fn first_error(&self) -> Option<String> {
+        self.state.lock().error.clone()
     }
 }
 
@@ -112,6 +163,7 @@ mod tests {
         let rec = NullRecorder;
         rec.record(&MetricRow::new("r", "train", 0));
         rec.flush();
+        assert!(rec.first_error().is_none());
     }
 
     #[test]
@@ -132,6 +184,7 @@ mod tests {
             rec.record(row);
         }
         rec.flush();
+        assert!(rec.first_error().is_none());
 
         let text = std::fs::read_to_string(&path).unwrap();
         let parsed: Vec<MetricRow> = text
@@ -139,5 +192,40 @@ mod tests {
             .map(|l| serde_json::from_str(l).unwrap())
             .collect();
         assert_eq!(parsed, rows, "JSONL round-trip must preserve every field");
+    }
+
+    /// Fails every write after the first `ok_bytes` bytes.
+    struct FailingWriter {
+        remaining: usize,
+    }
+
+    impl Write for FailingWriter {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.remaining >= buf.len() {
+                self.remaining -= buf.len();
+                Ok(buf.len())
+            } else {
+                Err(io::Error::new(io::ErrorKind::WriteZero, "disk full"))
+            }
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    /// Satellite: a failing sink must poison itself once, keep the first
+    /// error, and keep accepting (and dropping) rows without panicking.
+    #[test]
+    fn io_failure_poisons_the_sink_and_reports_the_first_error() {
+        let rec = JsonlRecorder::from_writer(Box::new(FailingWriter { remaining: 0 }));
+        let row = MetricRow::new("r", "train", 0).scalar("x", 1.0);
+        rec.record(&row); // buffered: BufWriter absorbs it
+        rec.flush(); // flush surfaces the write error
+        let first = rec.first_error().expect("sink must report the failure");
+        assert!(first.contains("disk full"), "{first}");
+        // Poisoned: later rows and flushes are no-ops keeping the first error.
+        rec.record(&row);
+        rec.flush();
+        assert_eq!(rec.first_error().unwrap(), first);
     }
 }

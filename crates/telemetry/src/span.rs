@@ -108,6 +108,36 @@ impl TimingReport {
         ));
         out
     }
+
+    /// One-line human summary: the top spans by total time with their
+    /// share of the span-time sum. The full breakdown lives as structured
+    /// `timing`-phase rows in `metrics.jsonl` and in `report.json`.
+    pub fn summary_line(&self) -> String {
+        if self.spans.is_empty() {
+            return format!("timing ({}): no spans recorded", self.run_id);
+        }
+        let total = self.total().as_secs_f64().max(1e-12);
+        let top: Vec<String> = self
+            .spans
+            .iter()
+            .take(4)
+            .map(|s| {
+                format!(
+                    "{} {:.3}s ({:.1}%)",
+                    s.name,
+                    s.total.as_secs_f64(),
+                    100.0 * s.total.as_secs_f64() / total
+                )
+            })
+            .collect();
+        let more = self.spans.len().saturating_sub(4);
+        let tail = if more > 0 {
+            format!(", +{more} more")
+        } else {
+            String::new()
+        };
+        format!("timing ({}): {}{}", self.run_id, top.join(", "), tail)
+    }
 }
 
 #[cfg(test)]
@@ -171,6 +201,10 @@ mod tests {
         assert!(text.contains("collect_rollout"));
         assert!(text.contains("update_policy"));
         assert_eq!(report.total(), Duration::from_millis(50));
+        let line = report.summary_line();
+        assert!(!line.contains('\n'));
+        assert!(line.contains("collect_rollout"));
+        assert!(line.contains("80.0%"));
     }
 
     #[test]

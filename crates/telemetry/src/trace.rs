@@ -1,0 +1,473 @@
+//! Hierarchical span tracing (the `imap-trace` subsystem).
+//!
+//! Every interesting unit of work — a sweep, a cell, a retry attempt, a
+//! train iteration, a sampler actor, a kernel stage — opens a [`TraceGuard`]
+//! on the run's [`Tracer`]. Completed spans carry a stable id, their
+//! parent's id, the recording thread, and monotonic timestamps relative to
+//! the tracer's epoch, so the drained set reconstructs the full causal tree
+//! of a run and exports to Chrome `trace_event` JSON (`trace.json`, opens
+//! in `chrome://tracing` / Perfetto) as well as a spans JSONL file.
+//!
+//! Concurrency contract: the hot path is lock-free. Each thread pushes
+//! finished spans into its own `crossbeam` [`SegQueue`]; the only mutex
+//! (the per-thread buffer registry) is taken once per thread lifetime at
+//! registration and once at [`Tracer::drain`]. Tracing reads clocks and
+//! atomics but never influences RNG streams, scheduling decisions, or
+//! recorded metric rows — the bitwise-determinism contract (DESIGN.md §12)
+//! is unaffected by tracing on/off.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam::queue::SegQueue;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// One completed span. `parent == 0` marks a root span (or a span whose
+/// parent lives on another thread that never set a thread parent).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpanRecord {
+    /// Stable id, unique within the tracer, assigned at span open (> 0).
+    pub id: u64,
+    /// Id of the enclosing span at open time (0 = none).
+    pub parent: u64,
+    /// Span name (the taxonomy of DESIGN.md §12: `sweep`, `cell`, …).
+    pub name: String,
+    /// Tracer-local index of the recording thread.
+    pub thread: u64,
+    /// Nanoseconds from the tracer's epoch to span open.
+    pub start_ns: u64,
+    /// Span duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+impl SpanRecord {
+    /// Span end, nanoseconds from the tracer's epoch.
+    pub fn end_ns(&self) -> u64 {
+        self.start_ns.saturating_add(self.dur_ns)
+    }
+}
+
+struct ThreadBuf {
+    thread: u64,
+    queue: SegQueue<SpanRecord>,
+}
+
+/// The per-run span collector. Cheap to share (`Arc`); one per traced
+/// [`crate::Telemetry`] handle.
+pub struct Tracer {
+    /// Distinguishes tracers in the thread-local slot table (tests and
+    /// nested sweeps can have several alive at once on one thread).
+    tracer_id: u64,
+    epoch: Instant,
+    next_span: AtomicU64,
+    next_thread: AtomicU64,
+    threads: Mutex<Vec<Arc<ThreadBuf>>>,
+}
+
+static NEXT_TRACER_ID: AtomicU64 = AtomicU64::new(1);
+
+struct ThreadSlot {
+    tracer_id: u64,
+    buf: Arc<ThreadBuf>,
+    /// Open-span stack of this thread (innermost last).
+    stack: Vec<u64>,
+    /// Parent adopted by this thread's root spans (cross-thread parentage:
+    /// a worker inherits the supervisor's span id via
+    /// [`Tracer::set_thread_parent`]).
+    root: u64,
+}
+
+thread_local! {
+    static THREAD_SLOTS: RefCell<Vec<ThreadSlot>> = const { RefCell::new(Vec::new()) };
+}
+
+impl Tracer {
+    /// A fresh tracer; its epoch is the creation instant.
+    pub fn new() -> Arc<Tracer> {
+        Arc::new(Tracer {
+            tracer_id: NEXT_TRACER_ID.fetch_add(1, Ordering::Relaxed),
+            epoch: Instant::now(),
+            next_span: AtomicU64::new(1),
+            next_thread: AtomicU64::new(0),
+            threads: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Runs `f` with this thread's slot for the tracer, registering the
+    /// thread (and its lock-free buffer) on first use.
+    fn with_slot<R>(self: &Arc<Self>, f: impl FnOnce(&mut ThreadSlot) -> R) -> R {
+        THREAD_SLOTS.with(|slots| {
+            let mut slots = slots.borrow_mut();
+            // Lazy pruning: a slot whose buffer is only referenced from
+            // here belongs to a dropped tracer.
+            if slots.len() > 8 {
+                slots.retain(|s| Arc::strong_count(&s.buf) > 1 || !s.stack.is_empty());
+            }
+            let pos = match slots.iter().position(|s| s.tracer_id == self.tracer_id) {
+                Some(pos) => pos,
+                None => {
+                    let buf = Arc::new(ThreadBuf {
+                        thread: self.next_thread.fetch_add(1, Ordering::Relaxed),
+                        queue: SegQueue::new(),
+                    });
+                    self.threads.lock().push(Arc::clone(&buf));
+                    slots.push(ThreadSlot {
+                        tracer_id: self.tracer_id,
+                        buf,
+                        stack: Vec::new(),
+                        root: 0,
+                    });
+                    slots.len() - 1
+                }
+            };
+            f(&mut slots[pos])
+        })
+    }
+
+    /// Opens a span named `name` under the current thread's innermost open
+    /// span (or the thread parent set by [`Tracer::set_thread_parent`]).
+    pub fn start(self: &Arc<Self>, name: impl Into<String>) -> TraceGuard {
+        let id = self.next_span.fetch_add(1, Ordering::Relaxed);
+        let parent = self.with_slot(|slot| {
+            let parent = slot.stack.last().copied().unwrap_or(slot.root);
+            slot.stack.push(id);
+            parent
+        });
+        TraceGuard {
+            tracer: Arc::clone(self),
+            id,
+            parent,
+            name: name.into(),
+            start: Instant::now(),
+        }
+    }
+
+    /// The innermost open span id on this thread (0 when none). Capture it
+    /// before spawning a worker and hand it to the worker's
+    /// [`Tracer::set_thread_parent`] to stitch cross-thread parentage.
+    pub fn current(self: &Arc<Self>) -> u64 {
+        self.with_slot(|slot| slot.stack.last().copied().unwrap_or(slot.root))
+    }
+
+    /// Adopts `parent` as this thread's root parent: spans opened on this
+    /// thread with an empty stack nest under it.
+    pub fn set_thread_parent(self: &Arc<Self>, parent: u64) {
+        self.with_slot(|slot| slot.root = parent);
+    }
+
+    fn record(self: &Arc<Self>, guard: &mut TraceGuard) {
+        let start_ns = guard.start.duration_since(self.epoch).as_nanos() as u64;
+        let dur_ns = guard.start.elapsed().as_nanos() as u64;
+        self.with_slot(|slot| {
+            // Guards drop in LIFO order on one thread, so the top of the
+            // stack is this span; tolerate misuse by searching.
+            match slot.stack.last() {
+                Some(&top) if top == guard.id => {
+                    slot.stack.pop();
+                }
+                _ => slot.stack.retain(|&id| id != guard.id),
+            }
+            slot.buf.queue.push(SpanRecord {
+                id: guard.id,
+                parent: guard.parent,
+                name: std::mem::take(&mut guard.name),
+                thread: slot.buf.thread,
+                start_ns,
+                dur_ns,
+            });
+        });
+    }
+
+    /// Drains every thread's buffer and returns the completed spans sorted
+    /// by `(start_ns, id)`. Spans still open are not included; call after
+    /// all guards have dropped (end of run).
+    pub fn drain(&self) -> Vec<SpanRecord> {
+        let mut spans = Vec::new();
+        for buf in self.threads.lock().iter() {
+            while let Some(span) = buf.queue.pop() {
+                spans.push(span);
+            }
+        }
+        spans.sort_by_key(|s| (s.start_ns, s.id));
+        spans
+    }
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("tracer_id", &self.tracer_id)
+            .finish()
+    }
+}
+
+/// RAII guard for one open span; records the span on drop.
+pub struct TraceGuard {
+    tracer: Arc<Tracer>,
+    id: u64,
+    parent: u64,
+    name: String,
+    start: Instant,
+}
+
+impl TraceGuard {
+    /// The span's id, for cross-thread parentage.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        let tracer = Arc::clone(&self.tracer);
+        tracer.record(self);
+    }
+}
+
+/// Renders spans as a Chrome `trace_event` JSON document — complete `"X"`
+/// (duration) events, microsecond timestamps — loadable in
+/// `chrome://tracing` and Perfetto.
+pub fn chrome_trace_json(spans: &[SpanRecord]) -> String {
+    let events: Vec<serde_json::Value> = spans
+        .iter()
+        .map(|s| {
+            serde_json::json!({
+                "name": s.name,
+                "cat": "span",
+                "ph": "X",
+                "ts": s.start_ns as f64 / 1e3,
+                "dur": s.dur_ns as f64 / 1e3,
+                "pid": 1,
+                "tid": s.thread,
+                "args": {"id": s.id, "parent": s.parent},
+            })
+        })
+        .collect();
+    let doc = serde_json::json!({
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+    });
+    // In-memory JSON of plain floats/strings cannot fail to serialize.
+    serde_json::to_string(&doc).unwrap_or_else(|_| "{\"traceEvents\":[]}".into())
+}
+
+/// Renders spans as JSONL, one [`SpanRecord`] per line.
+pub fn spans_jsonl(spans: &[SpanRecord]) -> String {
+    let mut out = String::new();
+    for s in spans {
+        if let Ok(line) = serde_json::to_string(s) {
+            out.push_str(&line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Checks well-formedness of a drained span set: ids unique, every
+/// non-zero parent exists, and children's intervals nest inside their
+/// parent's. Returns the first violation.
+pub fn validate(spans: &[SpanRecord]) -> Result<(), String> {
+    use std::collections::BTreeMap;
+    let mut by_id: BTreeMap<u64, &SpanRecord> = BTreeMap::new();
+    for s in spans {
+        if s.id == 0 {
+            return Err(format!("span {:?} has the reserved id 0", s.name));
+        }
+        if by_id.insert(s.id, s).is_some() {
+            return Err(format!("duplicate span id {}", s.id));
+        }
+    }
+    for s in spans {
+        if s.parent == 0 {
+            continue;
+        }
+        let Some(p) = by_id.get(&s.parent) else {
+            return Err(format!(
+                "span {} ({:?}) references missing parent {}",
+                s.id, s.name, s.parent
+            ));
+        };
+        if s.start_ns < p.start_ns || s.end_ns() > p.end_ns() {
+            return Err(format!(
+                "span {} ({:?}) [{}, {}] does not nest inside parent {} ({:?}) [{}, {}]",
+                s.id,
+                s.name,
+                s.start_ns,
+                s.end_ns(),
+                p.id,
+                p.name,
+                p.start_ns,
+                p.end_ns()
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_on_one_thread() {
+        let tracer = Tracer::new();
+        {
+            let outer = tracer.start("outer");
+            assert_eq!(tracer.current(), outer.id());
+            let _inner = tracer.start("inner");
+        }
+        let spans = tracer.drain();
+        assert_eq!(spans.len(), 2);
+        validate(&spans).unwrap();
+        let outer = spans.iter().find(|s| s.name == "outer").unwrap();
+        let inner = spans.iter().find(|s| s.name == "inner").unwrap();
+        assert_eq!(outer.parent, 0);
+        assert_eq!(inner.parent, outer.id);
+        assert!(inner.start_ns >= outer.start_ns);
+        assert!(inner.end_ns() <= outer.end_ns());
+        assert_eq!(tracer.current(), 0, "stack empty after guards drop");
+    }
+
+    #[test]
+    fn cross_thread_parentage_via_thread_parent() {
+        let tracer = Tracer::new();
+        let root = tracer.start("root");
+        let parent_id = root.id();
+        let t = {
+            let tracer = Arc::clone(&tracer);
+            std::thread::spawn(move || {
+                tracer.set_thread_parent(parent_id);
+                let _child = tracer.start("worker");
+            })
+        };
+        t.join().unwrap();
+        drop(root);
+        let spans = tracer.drain();
+        validate(&spans).unwrap();
+        let worker = spans.iter().find(|s| s.name == "worker").unwrap();
+        assert_eq!(worker.parent, parent_id);
+        let root = spans.iter().find(|s| s.name == "root").unwrap();
+        assert_ne!(worker.thread, root.thread);
+    }
+
+    #[test]
+    fn drain_is_sorted_and_repeatable() {
+        let tracer = Tracer::new();
+        for i in 0..5 {
+            let _s = tracer.start(format!("s{i}"));
+        }
+        let spans = tracer.drain();
+        assert_eq!(spans.len(), 5);
+        assert!(spans.windows(2).all(|w| w[0].start_ns <= w[1].start_ns));
+        assert!(tracer.drain().is_empty(), "drain consumes the buffers");
+    }
+
+    #[test]
+    fn chrome_export_is_valid_json_with_one_event_per_span() {
+        let tracer = Tracer::new();
+        {
+            let _a = tracer.start("alpha");
+            let _b = tracer.start("beta \"quoted\"");
+        }
+        let spans = tracer.drain();
+        let doc: serde_json::Value = serde_json::from_str(&chrome_trace_json(&spans)).unwrap();
+        let events = doc["traceEvents"].as_array().unwrap();
+        assert_eq!(events.len(), 2);
+        for e in events {
+            assert_eq!(e["ph"], "X");
+            assert!(e["ts"].as_f64().is_some());
+            assert!(e["dur"].as_f64().is_some());
+        }
+    }
+
+    #[test]
+    fn spans_jsonl_roundtrips() {
+        let tracer = Tracer::new();
+        {
+            let _a = tracer.start("one");
+        }
+        let spans = tracer.drain();
+        let text = spans_jsonl(&spans);
+        let back: Vec<SpanRecord> = text
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        assert_eq!(back, spans);
+    }
+
+    #[test]
+    fn validate_rejects_missing_parent_and_bad_nesting() {
+        let ok = SpanRecord {
+            id: 1,
+            parent: 0,
+            name: "p".into(),
+            thread: 0,
+            start_ns: 0,
+            dur_ns: 100,
+        };
+        let orphan = SpanRecord {
+            id: 2,
+            parent: 99,
+            name: "orphan".into(),
+            thread: 0,
+            start_ns: 10,
+            dur_ns: 1,
+        };
+        assert!(validate(&[ok.clone(), orphan]).is_err());
+        let escapee = SpanRecord {
+            id: 3,
+            parent: 1,
+            name: "escapee".into(),
+            thread: 0,
+            start_ns: 50,
+            dur_ns: 100,
+        };
+        assert!(validate(&[ok.clone(), escapee]).is_err());
+        let nested = SpanRecord {
+            id: 4,
+            parent: 1,
+            name: "nested".into(),
+            thread: 0,
+            start_ns: 10,
+            dur_ns: 20,
+        };
+        validate(&[ok, nested]).unwrap();
+    }
+
+    /// The satellite concurrency hammer: N threads each record M nested
+    /// spans under a shared root; the drained tree must be well-formed.
+    #[test]
+    fn hammered_buffers_drain_to_a_well_formed_tree() {
+        let tracer = Tracer::new();
+        let root = tracer.start("root");
+        let root_id = root.id();
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let tracer = Arc::clone(&tracer);
+                std::thread::spawn(move || {
+                    tracer.set_thread_parent(root_id);
+                    for i in 0..50 {
+                        let _outer = tracer.start(format!("t{t}-outer{i}"));
+                        let _inner = tracer.start(format!("t{t}-inner{i}"));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        drop(root);
+        let spans = tracer.drain();
+        assert_eq!(spans.len(), 1 + 8 * 50 * 2);
+        validate(&spans).unwrap();
+        // Every thread's spans root under the supervisor span.
+        let outers = spans
+            .iter()
+            .filter(|s| s.name.contains("-outer"))
+            .collect::<Vec<_>>();
+        assert!(outers.iter().all(|s| s.parent == root_id));
+    }
+}

@@ -1,0 +1,169 @@
+//! Perf-trend gate: compares the speedups in `BENCH_kernels.json` /
+//! `BENCH_rollout.json` (written by `bench_export`) against the committed
+//! baseline `results/bench_baseline.json` and fails when any pair regressed
+//! more than the tolerance.
+//!
+//! The check is one-sided: a speedup 20% *below* its baseline fails the
+//! gate; a speedup 20% above only prints a note suggesting a baseline
+//! refresh. Absolute nanoseconds vary wildly across CI hosts, but the
+//! fast/reference *ratio* on the same host is stable enough to trend.
+//!
+//! ```text
+//! cargo run --release -p imap-bench --bin bench_check -- <bench-dir> \
+//!     [--baseline <path>] [--write-baseline] [--tolerance FRAC]
+//! ```
+//!
+//! `--write-baseline` rewrites the baseline from the current export instead
+//! of checking (run it after an intentional perf change and commit the
+//! result).
+
+// Gate scaffolding: a malformed export should abort loudly, not pass.
+#![allow(clippy::unwrap_used)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use serde_json::Value;
+
+/// Default regression tolerance: fail below `baseline * (1 - 0.20)`.
+const DEFAULT_TOLERANCE: f64 = 0.20;
+
+/// Recursively collects every `"speedup"` leaf under `value`, keyed by its
+/// JSON path (`kernels/matmul_16x16x16`, `rollout`, ...). The
+/// `sampling/actors` rows are skipped: their speedup depends on the host's
+/// core count (the granted-actor clamp), so they cannot trend across
+/// heterogeneous CI runners — the single-threaded kernel and batched-eval
+/// ratios can.
+fn collect_speedups(prefix: &str, value: &Value, out: &mut Vec<(String, f64)>) {
+    if prefix.contains("/actors") {
+        return;
+    }
+    if let Some(obj) = value.as_object() {
+        for (key, child) in obj {
+            let path = format!("{prefix}/{key}");
+            if key == "speedup" {
+                if let Some(s) = child.as_f64() {
+                    out.push((prefix.to_string(), s));
+                }
+            } else {
+                collect_speedups(&path, child, out);
+            }
+        }
+    } else if let Some(arr) = value.as_array() {
+        for (i, child) in arr.iter().enumerate() {
+            collect_speedups(&format!("{prefix}/{i}"), child, out);
+        }
+    }
+}
+
+fn load_json(path: &Path) -> Value {
+    let bytes =
+        std::fs::read(path).unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    serde_json::from_slice(&bytes)
+        .unwrap_or_else(|e| panic!("cannot parse {}: {e}", path.display()))
+}
+
+/// Reads the two export files from `dir` and flattens their speedups.
+fn current_speedups(dir: &Path) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    collect_speedups(
+        "kernels",
+        &load_json(&dir.join("BENCH_kernels.json")),
+        &mut out,
+    );
+    collect_speedups(
+        "rollout",
+        &load_json(&dir.join("BENCH_rollout.json")),
+        &mut out,
+    );
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+fn baseline_json(speedups: &[(String, f64)]) -> String {
+    let mut lines: Vec<String> = speedups
+        .iter()
+        .map(|(k, v)| format!("  \"{k}\": {v:.3}"))
+        .collect();
+    lines.sort();
+    format!("{{\n{}\n}}\n", lines.join(",\n"))
+}
+
+fn main() -> ExitCode {
+    let mut dir = PathBuf::from(".");
+    let mut baseline_path =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results/bench_baseline.json");
+    let mut write_baseline = false;
+    let mut tolerance = DEFAULT_TOLERANCE;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => baseline_path = PathBuf::from(args.next().unwrap()),
+            "--write-baseline" => write_baseline = true,
+            "--tolerance" => tolerance = args.next().unwrap().parse().unwrap(),
+            other => dir = PathBuf::from(other),
+        }
+    }
+
+    let current = current_speedups(&dir);
+    assert!(
+        !current.is_empty(),
+        "no speedup entries found in {}",
+        dir.display()
+    );
+
+    if write_baseline {
+        if let Some(parent) = baseline_path.parent() {
+            std::fs::create_dir_all(parent).unwrap();
+        }
+        std::fs::write(&baseline_path, baseline_json(&current)).unwrap();
+        println!(
+            "wrote {} speedup baselines to {}",
+            current.len(),
+            baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = load_json(&baseline_path);
+    let baseline = baseline.as_object().unwrap();
+    let mut failures = 0usize;
+    for (key, now) in &current {
+        let Some(base) = baseline
+            .iter()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| v.as_f64())
+        else {
+            println!("NEW      {key}: {now:.3}x (no baseline; run --write-baseline)");
+            continue;
+        };
+        let floor = base * (1.0 - tolerance);
+        if *now < floor {
+            println!(
+                "REGRESS  {key}: {now:.3}x < {floor:.3}x (baseline {base:.3}x -{:.0}%)",
+                tolerance * 100.0
+            );
+            failures += 1;
+        } else if *now > base * (1.0 + tolerance) {
+            println!("FASTER   {key}: {now:.3}x > baseline {base:.3}x (consider --write-baseline)");
+        } else {
+            println!("OK       {key}: {now:.3}x (baseline {base:.3}x)");
+        }
+    }
+    for (key, _) in baseline {
+        if !current.iter().any(|(k, _)| k == key) {
+            println!("MISSING  {key}: in baseline but not in the current export");
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        eprintln!("perf-trend gate FAILED: {failures} regressed/missing pair(s)");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "perf-trend gate OK: {} pairs within -{:.0}%",
+        current.len(),
+        tolerance * 100.0
+    );
+    ExitCode::SUCCESS
+}

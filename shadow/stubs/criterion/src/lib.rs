@@ -1,0 +1,97 @@
+//! Offline stand-in for `criterion` (shadow builds). Each benchmark body
+//! runs exactly once (a smoke test, not a measurement) so `cargo test` /
+//! `cargo bench` compile and exercise the bench code paths without the real
+//! statistics machinery.
+
+/// Benchmark driver; stub runs each registered function once.
+#[derive(Default)]
+pub struct Criterion;
+
+impl Criterion {
+    /// Runs `f` once with a [`Bencher`].
+    pub fn bench_function<S: AsRef<str>, F>(&mut self, _id: S, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        f(&mut Bencher);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<S: AsRef<str>>(&mut self, _name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self }
+    }
+}
+
+/// Group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs `f` once with a [`Bencher`].
+    pub fn bench_function<S: AsRef<str>, F>(&mut self, _id: S, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        f(&mut Bencher);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Per-benchmark timing handle; stub executes the routine once.
+pub struct Bencher;
+
+impl Bencher {
+    /// Runs `routine` once.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let _ = routine();
+    }
+
+    /// Runs `setup` then `routine` once.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let _ = routine(setup());
+    }
+}
+
+/// Batch sizing hint (ignored by the stub).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+}
+
+/// Opaque-to-the-optimizer value sink.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Mirrors `criterion_group!`: bundles bench functions into one runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Mirrors `criterion_main!`: emits `main` running each group once.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,77 @@
+//! Offline stand-in for `crossbeam` (shadow builds): the `SegQueue` API
+//! over a mutexed `VecDeque`. Correct under contention, merely slower than
+//! the real lock-free queue — fine for shadow verification.
+
+pub mod queue {
+    //! Concurrent queues.
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::Mutex;
+
+    /// Unbounded MPMC FIFO queue (`push`/`pop` through `&self`).
+    pub struct SegQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> SegQueue<T> {
+        /// An empty queue.
+        pub const fn new() -> Self {
+            SegQueue {
+                inner: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        fn guard(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+            self.inner.lock().unwrap_or_else(|e| e.into_inner())
+        }
+
+        /// Appends `value` at the back.
+        pub fn push(&self, value: T) {
+            self.guard().push_back(value);
+        }
+
+        /// Removes the front element, `None` when empty.
+        pub fn pop(&self) -> Option<T> {
+            self.guard().pop_front()
+        }
+
+        /// Number of queued elements.
+        pub fn len(&self) -> usize {
+            self.guard().len()
+        }
+
+        /// True when nothing is queued.
+        pub fn is_empty(&self) -> bool {
+            self.guard().is_empty()
+        }
+    }
+
+    impl<T> Default for SegQueue<T> {
+        fn default() -> Self {
+            SegQueue::new()
+        }
+    }
+
+    impl<T> fmt::Debug for SegQueue<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("SegQueue").field("len", &self.len()).finish()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::SegQueue;
+
+        #[test]
+        fn fifo_order() {
+            let q = SegQueue::new();
+            q.push(1);
+            q.push(2);
+            assert_eq!(q.len(), 2);
+            assert_eq!(q.pop(), Some(1));
+            assert_eq!(q.pop(), Some(2));
+            assert_eq!(q.pop(), None);
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Offline stand-in for `proptest` (shadow builds). The `proptest!` macro
+//! swallows its body — property tests become no-ops in the shadow (a known,
+//! documented gap; see shadow/README.md). What DOES typecheck is everything
+//! outside the macro: strategy-returning helper functions, so their
+//! signatures (`impl Strategy<Value = T>`) and combinator chains compile.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// A value generator. Only the associated type and `prop_map` are modelled;
+/// no shrinking or actual generation happens in the shadow.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Maps generated values through `f` (type-level only here).
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, _f: F) -> MapStrategy<U>
+    where
+        Self: Sized,
+    {
+        MapStrategy(PhantomData)
+    }
+}
+
+/// Result of [`Strategy::prop_map`].
+pub struct MapStrategy<U>(PhantomData<U>);
+
+impl<U> Strategy for MapStrategy<U> {
+    type Value = U;
+}
+
+impl<T> Strategy for Range<T> {
+    type Value = T;
+}
+
+impl<T> Strategy for RangeInclusive<T> {
+    type Value = T;
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($t:ident),+))*) => {$(
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+        }
+    )*};
+}
+
+impl_tuple_strategy!((A, B) (A, B, C) (A, B, C, D));
+
+/// Strategy for any value of `T` (`any::<u64>()` etc.).
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+impl<T> Strategy for AnyStrategy<T> {
+    type Value = T;
+}
+
+/// Mirrors `proptest::prelude::any`.
+pub fn any<T>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+/// Constant strategy (`Just(x)`).
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+}
+
+/// Runner configuration; only `with_cases` is modelled.
+#[derive(Debug, Clone, Default)]
+pub struct ProptestConfig {
+    /// Requested number of cases (unused in the shadow).
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Mirrors `ProptestConfig::with_cases`.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::*;
+
+    /// Strategy producing `Vec<T>`.
+    pub struct VecStrategy<T>(PhantomData<T>);
+
+    impl<T> Strategy for VecStrategy<T> {
+        type Value = Vec<T>;
+    }
+
+    /// Mirrors `proptest::collection::vec`; the size argument accepts a
+    /// `usize` or a range, as in the real crate.
+    pub fn vec<S: Strategy, Sz>(_elem: S, _size: Sz) -> VecStrategy<S::Value> {
+        VecStrategy(PhantomData)
+    }
+}
+
+pub mod sample {
+    //! Sampling strategies.
+
+    use super::*;
+
+    /// Strategy picking one element of a vector.
+    pub struct Select<T>(PhantomData<T>);
+
+    impl<T> Strategy for Select<T> {
+        type Value = T;
+    }
+
+    /// Mirrors `proptest::sample::select` for `Vec<T>`.
+    pub fn select<T: Clone>(_options: Vec<T>) -> Select<T> {
+        Select(PhantomData)
+    }
+}
+
+/// Swallows the property-test body: the enclosed tests do not run in the
+/// shadow build (documented gap — real-dependency builds run them in CI).
+#[macro_export]
+macro_rules! proptest {
+    ($($body:tt)*) => {};
+}
+
+/// No-op in the shadow (only ever expanded inside `proptest!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => {};
+}
+
+/// No-op in the shadow (only ever expanded inside `proptest!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => {};
+}
+
+/// No-op in the shadow (only ever expanded inside `proptest!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => {};
+}
+
+pub mod prelude {
+    //! Mirrors `proptest::prelude`.
+
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig,
+        Strategy,
+    };
+}

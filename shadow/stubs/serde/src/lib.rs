@@ -1,0 +1,335 @@
+//! Offline stand-in for `serde` (shadow builds). Unlike the real crate it
+//! is tree-based, not streaming: [`Serialize`] renders into a JSON
+//! [`Value`] and [`Deserialize`] reads back out of one. The derive macros
+//! (re-exported from the sibling `serde_derive` stub) cover the attribute
+//! subset this workspace uses: field-level `#[serde(default)]` and
+//! `#[serde(skip_serializing_if = "path")]`, named-field structs, and
+//! unit-variant enums (externally tagged as their name, like real serde).
+//!
+//! Struct fields serialize in declaration order; maps in iteration order —
+//! both matching real `serde_json` output for the types in this workspace.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::time::Duration;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod value;
+pub use value::{Number, Value};
+
+/// Serialization/deserialization error (message only).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// Builds an error from anything displayable.
+    pub fn msg(m: impl fmt::Display) -> Self {
+        Error(m.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types renderable into a JSON [`Value`].
+pub trait Serialize {
+    /// Renders `self` as a tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types readable back out of a JSON [`Value`].
+pub trait Deserialize: Sized {
+    /// Parses `self` from a tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+
+    /// What a *missing* struct field deserializes to. Errors by default;
+    /// `Option` overrides to `None` (matching real serde semantics).
+    fn absent() -> Result<Self, Error> {
+        Err(Error::msg("missing field"))
+    }
+}
+
+/// Derive-internal: looks up `field` in an object's entry list.
+pub fn __find<'a>(entries: &'a [(String, Value)], field: &str) -> Option<&'a Value> {
+    entries.iter().find(|(k, _)| k == field).map(|(_, v)| v)
+}
+
+/// Derive-internal: deserializes a missing field, labelling the error.
+pub fn __absent<T: Deserialize>(ty: &str, field: &str) -> Result<T, Error> {
+    T::absent().map_err(|_| Error(format!("{ty}: missing field `{field}`")))
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                #[allow(unused_comparisons)]
+                if *self < 0 {
+                    Value::Number(Number::I(*self as i64))
+                } else {
+                    Value::Number(Number::U(*self as u64))
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Number(Number::U(u)) => <$t>::try_from(*u)
+                        .map_err(|_| Error(format!("{u} out of range"))),
+                    Value::Number(Number::I(i)) => <$t>::try_from(*i)
+                        .map_err(|_| Error(format!("{i} out of range"))),
+                    other => Err(Error(format!("expected integer, got {other}"))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::F(*self as f64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Number(n) => Ok(n.as_f64() as $t),
+                    other => Err(Error(format!("expected number, got {other}"))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error(format!("expected bool, got {other}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(Error(format!("expected string, got {other}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for &'static str {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        // Real serde borrows from the input with lifetime 'de; the
+        // tree-based stub has no lifetimes, so intern by leaking. Only
+        // registry metadata uses this, and only in test processes.
+        String::from_value(v).map(|s| &*Box::leak(s.into_boxed_str()))
+    }
+}
+
+impl Serialize for std::path::PathBuf {
+    fn to_value(&self) -> Value {
+        Value::String(self.display().to_string())
+    }
+}
+
+impl Deserialize for std::path::PathBuf {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        String::from_value(v).map(Into::into)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error(format!("expected array, got {other}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn absent() -> Result<Self, Error> {
+        Ok(None)
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            other => Err(Error(format!("expected object, got {other}"))),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        // Sorted for deterministic output (real serde_json with a HashMap
+        // is iteration-ordered; sorted is the stable choice).
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            other => Err(Error(format!("expected object, got {other}"))),
+        }
+    }
+}
+
+impl Serialize for Duration {
+    fn to_value(&self) -> Value {
+        // Matches real serde's {"secs": u64, "nanos": u32} encoding.
+        Value::Object(vec![
+            ("secs".to_string(), self.as_secs().to_value()),
+            ("nanos".to_string(), self.subsec_nanos().to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Duration {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(entries) => {
+                let secs = __find(entries, "secs")
+                    .ok_or_else(|| Error::msg("Duration: missing `secs`"))?;
+                let nanos = __find(entries, "nanos")
+                    .ok_or_else(|| Error::msg("Duration: missing `nanos`"))?;
+                Ok(Duration::new(
+                    u64::from_value(secs)?,
+                    u32::from_value(nanos)?,
+                ))
+            }
+            other => Err(Error(format!("expected duration object, got {other}"))),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Array(items) => Ok(($($t::from_value(
+                        items.get($n).ok_or_else(|| Error::msg("tuple too short"))?
+                    )?,)+)),
+                    other => Err(Error(format!("expected array, got {other}"))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple!((0 A) (0 A, 1 B) (0 A, 1 B, 2 C));

@@ -1,0 +1,528 @@
+//! The JSON tree: [`Value`], its printers (compact + pretty), and parser.
+
+use std::fmt;
+use std::ops::Index;
+
+/// A JSON number: unsigned, signed, or float — kept distinct so `u64`
+/// counters and `f64` scalars round-trip byte-faithfully like real
+/// `serde_json`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Non-negative integer.
+    U(u64),
+    /// Negative integer.
+    I(i64),
+    /// Float.
+    F(f64),
+}
+
+impl Number {
+    /// The number as `f64` (lossy for big integers).
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            Number::U(u) => *u as f64,
+            Number::I(i) => *i as f64,
+            Number::F(f) => *f,
+        }
+    }
+}
+
+/// A parsed or built JSON document. Objects preserve insertion order (so
+/// derived structs print their fields in declaration order, like real
+/// `serde_json`).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`.
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object as an ordered entry list.
+    Object(Vec<(String, Value)>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// True for `Value::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `u64`, if non-negative integral.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::U(u)) => Some(*u),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `i64`, if integral.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(Number::U(u)) => i64::try_from(*u).ok(),
+            Value::Number(Number::I(i)) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The entry list, if this is an object.
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Member lookup; `None` for absent keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => crate::__find(entries, key),
+            _ => None,
+        }
+    }
+
+    /// Derive/object helper: the entry list or a typed error.
+    pub fn expect_object(&self, ty: &str) -> Result<&[(String, Value)], crate::Error> {
+        match self {
+            Value::Object(entries) => Ok(entries),
+            other => Err(crate::Error(format!("{ty}: expected object, got {other}"))),
+        }
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Number(n) => write_number(*n, out),
+            Value::String(s) => write_escaped(s, out),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Value::Object(entries) => {
+                out.push('{');
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(k, out);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    fn write_pretty(&self, out: &mut String, indent: usize) {
+        const STEP: usize = 2;
+        match self {
+            Value::Array(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    out.extend(std::iter::repeat(' ').take(indent + STEP));
+                    item.write_pretty(out, indent + STEP);
+                }
+                out.push('\n');
+                out.extend(std::iter::repeat(' ').take(indent));
+                out.push(']');
+            }
+            Value::Object(entries) if !entries.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    out.extend(std::iter::repeat(' ').take(indent + STEP));
+                    write_escaped(k, out);
+                    out.push_str(": ");
+                    v.write_pretty(out, indent + STEP);
+                }
+                out.push('\n');
+                out.extend(std::iter::repeat(' ').take(indent));
+                out.push('}');
+            }
+            other => other.write_compact(out),
+        }
+    }
+
+    /// Compact rendering (what `serde_json::to_string` returns).
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    /// Two-space-indented rendering (`serde_json::to_string_pretty`).
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out
+    }
+}
+
+fn write_number(n: Number, out: &mut String) {
+    match n {
+        Number::U(u) => out.push_str(&u.to_string()),
+        Number::I(i) => out.push_str(&i.to_string()),
+        Number::F(f) => {
+            if f.is_finite() {
+                let s = format!("{f}");
+                out.push_str(&s);
+                // Real serde_json always prints floats with a fractional
+                // or exponent part; Rust's shortest Display drops ".0".
+                if !s.contains(['.', 'e', 'E']) {
+                    out.push_str(".0");
+                }
+            } else {
+                // serde_json renders non-finite floats as null.
+                out.push_str("null");
+            }
+        }
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render_compact())
+    }
+}
+
+impl Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(items) => items.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+macro_rules! eq_num {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                match self {
+                    Value::Number(n) => n.as_f64() == *other as f64,
+                    _ => false,
+                }
+            }
+        }
+        impl PartialEq<Value> for $t {
+            fn eq(&self, other: &Value) -> bool {
+                other == self
+            }
+        }
+    )*};
+}
+
+eq_num!(u64, i64, u32, i32, usize, f64);
+
+/// Parses a JSON document.
+pub fn parse(text: &str) -> Result<Value, crate::Error> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(crate::Error(format!("trailing input at byte {pos}")));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), crate::Error> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(crate::Error(format!("expected `{lit}` at byte {pos}")))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, crate::Error> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err(crate::Error::msg("unexpected end of input")),
+        Some(b'n') => expect(b, pos, "null").map(|_| Value::Null),
+        Some(b't') => expect(b, pos, "true").map(|_| Value::Bool(true)),
+        Some(b'f') => expect(b, pos, "false").map(|_| Value::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(Value::String),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(crate::Error(format!("bad array at byte {pos}"))),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut entries = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(entries));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, ":")?;
+                let value = parse_value(b, pos)?;
+                entries.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(entries));
+                    }
+                    _ => return Err(crate::Error(format!("bad object at byte {pos}"))),
+                }
+            }
+        }
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, crate::Error> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(crate::Error(format!("expected string at byte {pos}")));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err(crate::Error::msg("unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| crate::Error::msg("bad \\u escape"))?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex)
+                                .map_err(|_| crate::Error::msg("bad \\u escape"))?,
+                            16,
+                        )
+                        .map_err(|_| crate::Error::msg("bad \\u escape"))?;
+                        // Surrogate pairs are not expected in this
+                        // workspace's artifacts; map lone surrogates to
+                        // the replacement character.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(crate::Error::msg("bad escape")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Decode the next UTF-8 scalar.
+                let rest = std::str::from_utf8(&b[*pos..])
+                    .map_err(|_| crate::Error::msg("invalid UTF-8"))?;
+                let c = rest.chars().next().unwrap_or('\u{fffd}');
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, crate::Error> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&b[start..*pos])
+        .map_err(|_| crate::Error::msg("invalid number"))?;
+    if text.is_empty() || text == "-" {
+        return Err(crate::Error(format!("expected value at byte {start}")));
+    }
+    if !is_float {
+        if let Some(stripped) = text.strip_prefix('-') {
+            if let Ok(i) = stripped.parse::<u64>() {
+                if i <= i64::MAX as u64 {
+                    return Ok(Value::Number(Number::I(-(i as i64))));
+                }
+            }
+        } else if let Ok(u) = text.parse::<u64>() {
+            return Ok(Value::Number(Number::U(u)));
+        }
+    }
+    text.parse::<f64>()
+        .map(|f| Value::Number(Number::F(f)))
+        .map_err(|_| crate::Error(format!("invalid number `{text}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_compact() {
+        let text = r#"{"a":1,"b":-2.5,"c":[true,null,"x\ny"],"d":{"k":18446744073709551615}}"#;
+        let v = parse(text).unwrap();
+        assert_eq!(v.render_compact(), text);
+        assert_eq!(v["a"], 1u64);
+        assert_eq!(v["b"], -2.5f64);
+        assert_eq!(v["c"][2], "x\ny");
+    }
+
+    #[test]
+    fn floats_always_carry_a_fraction() {
+        let v = Value::Number(Number::F(5.0));
+        assert_eq!(v.render_compact(), "5.0");
+        let v = Value::Number(Number::F(0.1));
+        assert_eq!(v.render_compact(), "0.1");
+    }
+
+    #[test]
+    fn pretty_indents_by_two() {
+        let v = parse(r#"{"a":[1],"b":{}}"#).unwrap();
+        assert_eq!(v.render_pretty(), "{\n  \"a\": [\n    1\n  ],\n  \"b\": {}\n}");
+    }
+}

@@ -1,0 +1,392 @@
+//! Offline stand-in for `serde_derive` (shadow builds). Hand-parses the
+//! derive input token stream (no `syn`/`quote` — the container has no
+//! registry access) and emits impls of the tree-based `Serialize` /
+//! `Deserialize` traits from the sibling `serde` stub.
+//!
+//! Supported shapes — exactly what this workspace uses:
+//! - structs with named fields (no generics, no tuple/unit structs);
+//! - enums with unit variants only (externally tagged as the variant name);
+//! - field attributes `#[serde(default)]` and
+//!   `#[serde(skip_serializing_if = "path")]`.
+//!
+//! Anything else panics with a clear message at expansion time, so an
+//! unsupported form is a loud compile error rather than silent corruption.
+//!
+//! Also provides the function-like `json!` macro (re-exported by the
+//! `serde_json` stub): `null`, `[..]`, `{"key": value, ..}` literals plus
+//! arbitrary Rust expressions routed through `serde_json::__to_value`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let mut body = String::from(
+                "let mut entries: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n",
+            );
+            for f in fields {
+                let push = format!(
+                    "entries.push((::std::string::String::from(\"{name}\"), \
+                     ::serde::Serialize::to_value(&self.{name})));",
+                    name = f.name
+                );
+                match &f.skip_if {
+                    Some(path) => body.push_str(&format!(
+                        "if !({path}(&self.{field})) {{ {push} }}\n",
+                        field = f.name
+                    )),
+                    None => {
+                        body.push_str(&push);
+                        body.push('\n');
+                    }
+                }
+            }
+            body.push_str("::serde::Value::Object(entries)");
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => \
+                         ::serde::Value::String(::std::string::String::from(\"{v}\")),\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n{arms}}}\n}}\n}}"
+            )
+        }
+    };
+    code.parse().expect("serde_derive stub: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    let missing = if f.default {
+                        "::core::default::Default::default()".to_string()
+                    } else {
+                        format!("::serde::__absent(\"{name}\", \"{field}\")?", field = f.name)
+                    };
+                    format!(
+                        "{field}: match ::serde::__find(entries, \"{field}\") {{\n\
+                         ::std::option::Option::Some(v) => \
+                         ::serde::Deserialize::from_value(v)?,\n\
+                         ::std::option::Option::None => {missing},\n}},\n",
+                        field = f.name
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::Error> {{\n\
+                 let entries = v.expect_object(\"{name}\")?;\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})\n}}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "::std::option::Option::Some(\"{v}\") => \
+                         ::std::result::Result::Ok({name}::{v}),\n"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::Error> {{\n\
+                 match v.as_str() {{\n{arms}\
+                 other => ::std::result::Result::Err(::serde::Error(::std::format!(\
+                 \"{name}: unknown variant {{:?}}\", other))),\n}}\n}}\n}}"
+            )
+        }
+    };
+    code.parse().expect("serde_derive stub: generated invalid Deserialize impl")
+}
+
+/// `json!` literal builder. Re-exported through the `serde_json` stub so
+/// call sites use `serde_json::json!` exactly as with the real crate.
+#[proc_macro]
+pub fn json(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    json_expr(&tokens)
+        .parse()
+        .expect("serde_derive stub: generated invalid json! expansion")
+}
+
+fn json_expr(tokens: &[TokenTree]) -> String {
+    match tokens {
+        [] => "::serde::Value::Null".to_string(),
+        [TokenTree::Ident(id)] if id.to_string() == "null" => "::serde::Value::Null".to_string(),
+        [TokenTree::Group(g)] if g.delimiter() == Delimiter::Bracket => {
+            let items: Vec<String> = split_commas(&g.stream().into_iter().collect::<Vec<_>>())
+                .iter()
+                .map(|item| json_expr(item))
+                .collect();
+            if items.is_empty() {
+                "::serde::Value::Array(::std::vec::Vec::new())".to_string()
+            } else {
+                format!(
+                    "::serde::Value::Array(::std::vec::Vec::from([{}]))",
+                    items.join(", ")
+                )
+            }
+        }
+        [TokenTree::Group(g)] if g.delimiter() == Delimiter::Brace => {
+            let entries: Vec<String> = split_commas(&g.stream().into_iter().collect::<Vec<_>>())
+                .iter()
+                .map(|entry| {
+                    let (key, value) = split_colon(entry);
+                    let key_lit = match key {
+                        [TokenTree::Literal(l)] => l.to_string(),
+                        other => panic!(
+                            "json! stub: object keys must be string literals, got `{}`",
+                            render(other)
+                        ),
+                    };
+                    format!(
+                        "(::std::string::String::from({key_lit}), {})",
+                        json_expr(value)
+                    )
+                })
+                .collect();
+            if entries.is_empty() {
+                "::serde::Value::Object(::std::vec::Vec::new())".to_string()
+            } else {
+                format!(
+                    "::serde::Value::Object(::std::vec::Vec::from([{}]))",
+                    entries.join(", ")
+                )
+            }
+        }
+        expr => format!("::serde_json::__to_value(&({}))", render(expr)),
+    }
+}
+
+/// Splits `tokens` on top-level commas (groups shield their contents);
+/// ignores a trailing comma and drops empty segments.
+fn split_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    for tt in tokens {
+        if matches!(tt, TokenTree::Punct(p) if p.as_char() == ',') {
+            if !cur.is_empty() {
+                out.push(std::mem::take(&mut cur));
+            }
+        } else {
+            cur.push(tt.clone());
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Splits an object entry at its first top-level `:` into (key, value).
+fn split_colon(tokens: &[TokenTree]) -> (&[TokenTree], &[TokenTree]) {
+    for (i, tt) in tokens.iter().enumerate() {
+        if matches!(tt, TokenTree::Punct(p) if p.as_char() == ':') {
+            return (&tokens[..i], &tokens[i + 1..]);
+        }
+    }
+    panic!("json! stub: object entry without `:` — `{}`", render(tokens));
+}
+
+fn render(tokens: &[TokenTree]) -> String {
+    tokens
+        .iter()
+        .cloned()
+        .collect::<TokenStream>()
+        .to_string()
+}
+
+// ---------------------------------------------------------------------------
+// Derive-input parsing
+// ---------------------------------------------------------------------------
+
+enum Item {
+    Struct { name: String, fields: Vec<Field> },
+    Enum { name: String, variants: Vec<String> },
+}
+
+struct Field {
+    name: String,
+    default: bool,
+    skip_if: Option<String>,
+}
+
+/// Field-level serde attributes accumulated while scanning `#[...]` runs.
+#[derive(Default)]
+struct SerdeAttrs {
+    default: bool,
+    skip_if: Option<String>,
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attrs_and_vis(&tokens, &mut pos);
+    let kind = expect_ident(&tokens, &mut pos, "struct/enum keyword");
+    let name = expect_ident(&tokens, &mut pos, "type name");
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stub derive: generic type `{name}` is not supported");
+    }
+    let body = match tokens.get(pos) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        _ => panic!("serde stub derive: `{name}` must have a brace-delimited body"),
+    };
+    match kind.as_str() {
+        "struct" => Item::Struct {
+            name,
+            fields: parse_fields(body),
+        },
+        "enum" => Item::Enum {
+            name,
+            variants: parse_variants(body),
+        },
+        other => panic!("serde stub derive: unsupported item kind `{other}`"),
+    }
+}
+
+fn parse_fields(body: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let attrs = collect_attrs(&tokens, &mut pos);
+        skip_vis(&tokens, &mut pos);
+        let name = expect_ident(&tokens, &mut pos, "field name");
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            _ => panic!("serde stub derive: expected `:` after field `{name}`"),
+        }
+        // Skip the type: everything until a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while let Some(tt) = tokens.get(pos) {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+            pos += 1;
+        }
+        if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            pos += 1;
+        }
+        fields.push(Field {
+            name,
+            default: attrs.default,
+            skip_if: attrs.skip_if,
+        });
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut pos = 0;
+    while pos < tokens.len() {
+        let _ = collect_attrs(&tokens, &mut pos);
+        let name = expect_ident(&tokens, &mut pos, "variant name");
+        match tokens.get(pos) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => pos += 1,
+            Some(other) => panic!(
+                "serde stub derive: variant `{name}` carries data (`{other}`) — \
+                 only unit variants are supported"
+            ),
+        }
+        variants.push(name);
+    }
+    variants
+}
+
+/// Consumes a run of `#[...]` attributes, returning any serde field config.
+fn collect_attrs(tokens: &[TokenTree], pos: &mut usize) -> SerdeAttrs {
+    let mut attrs = SerdeAttrs::default();
+    while matches!(tokens.get(*pos), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *pos += 1;
+        let group = match tokens.get(*pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g.stream(),
+            _ => panic!("serde stub derive: `#` not followed by `[...]`"),
+        };
+        *pos += 1;
+        let inner: Vec<TokenTree> = group.into_iter().collect();
+        let is_serde =
+            matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde");
+        if !is_serde {
+            continue; // doc comments, cfg, derive-helper noise
+        }
+        let args = match inner.get(1) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g.stream(),
+            _ => panic!("serde stub derive: malformed #[serde(...)] attribute"),
+        };
+        for arg in split_commas(&args.into_iter().collect::<Vec<_>>()) {
+            match arg.as_slice() {
+                [TokenTree::Ident(id)] if id.to_string() == "default" => attrs.default = true,
+                [TokenTree::Ident(id), TokenTree::Punct(eq), TokenTree::Literal(path)]
+                    if id.to_string() == "skip_serializing_if" && eq.as_char() == '=' =>
+                {
+                    let lit = path.to_string();
+                    attrs.skip_if =
+                        Some(lit.trim_matches('"').to_string());
+                }
+                other => panic!(
+                    "serde stub derive: unsupported serde attribute `{}`",
+                    render(other)
+                ),
+            }
+        }
+    }
+    attrs
+}
+
+fn skip_vis(tokens: &[TokenTree], pos: &mut usize) {
+    if matches!(tokens.get(*pos), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *pos += 1;
+        // pub(crate) / pub(super): the restriction rides in a paren group.
+        if matches!(
+            tokens.get(*pos),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *pos += 1;
+        }
+    }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], pos: &mut usize) {
+    let _ = collect_attrs(tokens, pos);
+    skip_vis(tokens, pos);
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize, what: &str) -> String {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(id)) => {
+            *pos += 1;
+            id.to_string()
+        }
+        other => panic!("serde stub derive: expected {what}, got {other:?}"),
+    }
+}

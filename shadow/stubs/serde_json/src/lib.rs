@@ -1,0 +1,87 @@
+//! Offline stand-in for `serde_json` (shadow builds). Thin facade over the
+//! tree-based `serde` stub: [`Value`] plus the string/byte entry points the
+//! workspace uses (`to_string`, `to_string_pretty`, `to_vec`,
+//! `to_vec_pretty`, `from_str`, `from_slice`) and the `json!` macro.
+//!
+//! Output matches real `serde_json` conventions where the workspace's
+//! artifacts depend on them: compact separators `,`/`:`, two-space pretty
+//! indentation, floats always printed with a fraction or exponent.
+
+pub use serde::value::parse as __parse;
+pub use serde::{Error, Number, Value};
+pub use serde_derive::json;
+
+use serde::{Deserialize, Serialize};
+
+/// `Result` alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize>(value: &T) -> Result<Value> {
+    Ok(value.to_value())
+}
+
+/// `json!`-internal: by-reference conversion used by interpolated
+/// expressions so the macro works for both owned and borrowed operands.
+pub fn __to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.to_value().render_compact())
+}
+
+/// Two-space-indented JSON text.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.to_value().render_pretty())
+}
+
+/// Compact JSON bytes.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Two-space-indented JSON bytes.
+pub fn to_vec_pretty<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    to_string_pretty(value).map(String::into_bytes)
+}
+
+/// Parses JSON text into any deserializable type.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T> {
+    T::from_value(&__parse(text)?)
+}
+
+/// Parses JSON bytes into any deserializable type.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T> {
+    let text = std::str::from_utf8(bytes).map_err(|e| Error(format!("invalid UTF-8: {e}")))?;
+    from_str(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_roundtrips_through_text() {
+        let v: Value = from_str(r#"{"a":[1,2.5],"b":null}"#).unwrap();
+        assert_eq!(to_string(&v).unwrap(), r#"{"a":[1,2.5],"b":null}"#);
+    }
+
+    #[test]
+    fn json_macro_builds_nested_trees() {
+        let run = "r1";
+        let n = 3u64;
+        let v = json!({
+            "run_id": run,
+            "count": n,
+            "items": [1, 2, 3],
+            "nested": {"ok": true, "none": null},
+        });
+        assert_eq!(v["run_id"], "r1");
+        assert_eq!(v["count"], 3u64);
+        assert_eq!(v["items"][2], 3u64);
+        assert_eq!(v["nested"]["ok"], true);
+        assert!(v["nested"]["none"].is_null());
+    }
+}

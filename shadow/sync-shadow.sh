@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Mirrors /root/repo into /tmp/shadow/repo and rewrites the external
+# crates-io dependencies to the offline stub crates in shadow/stubs/, so the
+# workspace builds with no network and no registry cache.
+#
+# Usage:  bash shadow/sync-shadow.sh
+# Then:   cd /tmp/shadow/repo && CARGO_NET_OFFLINE=true cargo test -q
+#
+# See shadow/README.md for why this exists and what the stubs do/don't model.
+set -euo pipefail
+
+SRC="${SHADOW_SRC:-/root/repo}"
+DST="${SHADOW_DST:-/tmp/shadow/repo}"
+
+mkdir -p "$DST"
+
+# Mirror the repo, excluding VCS state and build output. --delete keeps the
+# shadow exact (stale files would otherwise survive renames).
+if command -v rsync >/dev/null 2>&1; then
+  rsync -a --delete \
+    --exclude=.git \
+    --exclude=target \
+    --exclude=Cargo.lock \
+    "$SRC"/ "$DST"/
+else
+  # Fallback without rsync: wipe (except target/ to keep incremental builds)
+  # and re-copy.
+  find "$DST" -mindepth 1 -maxdepth 1 ! -name target -exec rm -rf {} +
+  (cd "$SRC" && tar cf - --exclude=.git --exclude=target --exclude=Cargo.lock .) |
+    (cd "$DST" && tar xf -)
+fi
+
+# Point the workspace's external dependencies at the stub crates. Only the
+# shadow copy is rewritten; the real repo keeps crates-io versions.
+python3 - "$DST/Cargo.toml" <<'EOF'
+import re
+import sys
+
+path = sys.argv[1]
+text = open(path).read()
+
+stubs = {
+    "rand": '{ path = "shadow/stubs/rand" }',
+    "serde": '{ path = "shadow/stubs/serde", features = ["derive"] }',
+    "serde_json": '{ path = "shadow/stubs/serde_json" }',
+    "proptest": '{ path = "shadow/stubs/proptest" }',
+    "criterion": '{ path = "shadow/stubs/criterion" }',
+    "parking_lot": '{ path = "shadow/stubs/parking_lot" }',
+    "crossbeam": '{ path = "shadow/stubs/crossbeam" }',
+}
+
+for name, spec in stubs.items():
+    pattern = re.compile(rf'^{name} = .*$', re.M)
+    text, n = pattern.subn(f"{name} = {spec}", text)
+    if n != 1:
+        sys.exit(f"sync-shadow: expected exactly one `{name} = ...` line in "
+                 f"{path}, found {n} — update shadow/sync-shadow.sh")
+
+open(path, "w").write(text)
+EOF
+
+# The stub directories carry `[workspace]` markers so cargo treats them as
+# roots; members = ["crates/*"] never globs them, so no exclusion needed.
+# Fail loudly if any crates-io version string survived the rewrite.
+if grep -nE '^(rand|serde|serde_json|proptest|criterion|parking_lot|crossbeam) = "' "$DST/Cargo.toml"; then
+  echo "sync-shadow: crates-io dependency survived the rewrite (see above)" >&2
+  exit 1
+fi
+
+echo "shadow synced: $DST (build with: cd $DST && CARGO_NET_OFFLINE=true cargo test -q)"

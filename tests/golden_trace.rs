@@ -12,7 +12,9 @@
 
 use std::path::PathBuf;
 
-use imap_bench::golden::{fingerprint_line, golden_hopper_trace, golden_hopper_trace_actors};
+use imap_bench::golden::{
+    fingerprint_line, golden_hopper_trace, golden_hopper_trace_actors, golden_hopper_trace_traced,
+};
 
 fn fixture_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures/golden_hopper.jsonl")
@@ -58,6 +60,24 @@ fn golden_hopper_trace_is_byte_identical_across_actors_1_and_4() {
     assert_eq!(
         one, four,
         "actor-parallel golden trace must not depend on the actor count"
+    );
+}
+
+/// The observability contract (DESIGN.md §12): span tracing and metrics
+/// observe the run but never touch an RNG stream or a parameter, so the
+/// golden run with tracing ON renders the same bytes as with tracing OFF —
+/// on the serial sampler and through the actor pool alike.
+#[test]
+fn golden_hopper_trace_is_byte_identical_with_tracing_on() {
+    assert_eq!(
+        golden_hopper_trace().unwrap(),
+        golden_hopper_trace_traced(1).unwrap(),
+        "tracing must not perturb the serial golden trace"
+    );
+    assert_eq!(
+        golden_hopper_trace_actors(4).unwrap(),
+        golden_hopper_trace_traced(4).unwrap(),
+        "tracing must not perturb the actor-parallel golden trace"
     );
 }
 

@@ -144,6 +144,118 @@ fn golden_trace_is_byte_identical_across_jobs_1_and_4() {
     );
 }
 
+/// Runs the tiny Table 1 sweep through a *disk* telemetry sink with span
+/// tracing and live status on, returning the rendered table and the output
+/// directory holding trace.json / report.json / status.json.
+fn run_traced_table1(jobs: usize, dir: &std::path::Path) -> (String, PathBuf) {
+    let out = dir.join(format!("jobs{jobs}"));
+    let manifest = imap_telemetry::RunManifest::new("traced-sweep", "suite", "table1", 11);
+    let tel = Telemetry::jsonl_opts(&out, &manifest, true).unwrap();
+    let _sweep_span = tel.span("sweep");
+    let opts = Table1Options {
+        budget: tiny_budget(),
+        seed: 11,
+        sweep: SweepConfig {
+            jobs,
+            status_interval: Duration::from_millis(1),
+            ..SweepConfig::default()
+        },
+        tasks: vec![TaskId::Hopper],
+        methods: Some(vec![DefenseMethod::Ppo]),
+        columns: vec![AttackKind::NoAttack, AttackKind::Random, AttackKind::SaRl],
+        victims: Arc::new(VictimCache::open_at(dir.join(format!("victims{jobs}")))),
+        cells: Arc::new(CellCache::open_at(dir.join(format!("cells{jobs}")))),
+    };
+    let mut report = SweepReport::default();
+    let table = run(&tel, &opts, &mut report);
+    assert!(!report.failed());
+    drop(_sweep_span);
+    tel.finish().unwrap();
+    (table, out)
+}
+
+/// The tentpole acceptance test: a traced parallel sweep (a) still renders
+/// byte-identical output to a traced serial one, and (b) leaves behind a
+/// well-formed Chrome trace whose cell spans nest under the sweep span, a
+/// report.json with per-run histograms, and a status.json that reached
+/// `done` with every cell ok. Set `IMAP_TRACED_SWEEP_OUT` to keep the
+/// artifacts (CI uploads them).
+#[test]
+fn traced_sweep_is_invariant_and_leaves_valid_observability_artifacts() {
+    let keep = std::env::var("IMAP_TRACED_SWEEP_OUT").ok();
+    let dir = match &keep {
+        Some(d) => {
+            let d = PathBuf::from(d);
+            std::fs::create_dir_all(&d).unwrap();
+            d
+        }
+        None => scratch("traced"),
+    };
+    let (table_serial, _) = run_traced_table1(1, &dir);
+    let (table_parallel, out) = run_traced_table1(4, &dir);
+    assert_eq!(
+        table_serial, table_parallel,
+        "tracing on, --jobs 4 must still render the identical table to --jobs 1"
+    );
+
+    // The span tree: parseable, well-formed, and nested sweep -> cell.
+    let spans: Vec<imap_telemetry::SpanRecord> = std::fs::read_to_string(out.join("spans.jsonl"))
+        .unwrap()
+        .lines()
+        .map(|l| serde_json::from_str(l).unwrap())
+        .collect();
+    imap_telemetry::validate(&spans).unwrap();
+    let sweep = spans.iter().find(|s| s.name == "sweep").unwrap();
+    // Cell spans carry the job label as their trace name and nest directly
+    // under the sweep span (worker threads adopt it via set_thread_parent).
+    let cells: Vec<_> = spans.iter().filter(|s| s.parent == sweep.id).collect();
+    assert_eq!(cells.len(), 4, "1 victim + 3 attack cells each get a span");
+    assert!(
+        cells.iter().any(|s| s.name.starts_with("victim Hopper")),
+        "the victim cell span is labeled: {:?}",
+        cells.iter().map(|s| &s.name).collect::<Vec<_>>()
+    );
+    assert!(cells.iter().any(|s| s.name.contains("SA-RL")));
+    assert!(
+        spans.iter().any(|s| s.name == "train_iteration"),
+        "training iterations must appear in the trace"
+    );
+    let trace: serde_json::Value =
+        serde_json::from_slice(&std::fs::read(out.join("trace.json")).unwrap()).unwrap();
+    assert_eq!(
+        trace["traceEvents"].as_array().unwrap().len(),
+        spans.len(),
+        "Chrome trace carries one event per span"
+    );
+
+    // The metrics rollup: per-run counters and latency histograms.
+    let report: serde_json::Value =
+        serde_json::from_slice(&std::fs::read(out.join("report.json")).unwrap()).unwrap();
+    assert_eq!(
+        report["metrics"]["histograms"]["pool/attempt_ms"]["count"], 4,
+        "every cell attempt lands in the latency histogram"
+    );
+    assert!(report["metrics"]["counters"]["train/iterations"].as_u64() > Some(0));
+
+    // The live status board: finalized done, every cell ok. (The victim and
+    // attack stages each publish a board; the attack stage's 3-cell final
+    // snapshot is the one left behind.)
+    let status: serde_json::Value =
+        serde_json::from_slice(&std::fs::read(out.join("status.json")).unwrap()).unwrap();
+    assert_eq!(status["state"], "done");
+    assert_eq!(status["jobs"], 3);
+    assert_eq!(status["done"], 3);
+    assert!(status["cells"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .all(|c| c["state"] == "ok"));
+
+    if keep.is_none() {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
 /// A cell that wedges inside `Env::step` (deadlocked-simulator model). It
 /// never heartbeats, so the watchdog must cancel it; the installed token
 /// makes the hang panic out, and the stall cause maps that to `timeout`.
