@@ -13,28 +13,18 @@
 
 use std::sync::Arc;
 
+use imap_bench::cells::CellSpec;
 use imap_bench::exec::{dep_skip_reason, run_sweep, SweepCell, SweepConfig, SweepReport};
 use imap_bench::{
-    base_seed, bench_telemetry, finish_telemetry, record_cell, Budget, CellResult, VictimCache,
+    base_seed, bench_telemetry, finish_telemetry, record_cell, run_ablate_cell, AblateVariant,
+    Budget, CellResult, VictimCache,
 };
-use imap_core::eval::{eval_under_attack, Attacker};
-use imap_core::regularizer::{RegularizerConfig, RegularizerKind};
-use imap_core::threat::PerturbationEnv;
-use imap_core::{ImapConfig, ImapTrainer};
 use imap_defense::DefenseMethod;
-use imap_env::{build_task, EnvRng, TaskId};
+use imap_env::TaskId;
 use imap_rl::GaussianPolicy;
-use rand::SeedableRng;
-
-/// One knob turned per variant; everything else stays at the defaults.
-#[derive(Clone, Copy)]
-enum Variant {
-    Knn(usize),
-    UnionCap(usize),
-    IntrinsicScale(f64),
-}
 
 fn main() {
+    imap_bench::cells::maybe_serve_run_cell();
     let budget = Budget::from_env();
     let seed = base_seed();
     let sweep = SweepConfig::from_env();
@@ -43,17 +33,19 @@ fn main() {
     let victims_cache = Arc::new(VictimCache::open());
     let mut report = SweepReport::default();
     let task = TaskId::SparseHopper;
-    let eps = task.spec().eps;
 
-    let mut variants: Vec<(String, Variant)> = Vec::new();
+    let mut variants: Vec<(String, AblateVariant)> = Vec::new();
     for k in [1usize, 3, 5, 10, 20] {
-        variants.push((format!("K = {k}"), Variant::Knn(k)));
+        variants.push((format!("K = {k}"), AblateVariant::Knn(k)));
     }
     for cap in [500usize, 5_000, 50_000] {
-        variants.push((format!("cap = {cap}"), Variant::UnionCap(cap)));
+        variants.push((format!("cap = {cap}"), AblateVariant::UnionCap(cap)));
     }
     for scale in [0.1f64, 0.5, 1.0, 2.0] {
-        variants.push((format!("scale = {scale}"), Variant::IntrinsicScale(scale)));
+        variants.push((
+            format!("scale = {scale}"),
+            AblateVariant::IntrinsicScale(scale),
+        ));
     }
 
     // Stage 1: the shared victim.
@@ -61,6 +53,7 @@ fn main() {
         let tags = [("task", task.spec().name), ("stage", "victim_train")];
         let tel = tel.clone();
         let victims = Arc::clone(&victims_cache);
+        let spec = CellSpec::victim(task, DefenseMethod::Ppo, &budget, &victims_cache);
         let budget = budget.clone();
         SweepCell::new(
             format!("victim {}", task.spec().name),
@@ -78,6 +71,7 @@ fn main() {
                 )
             },
         )
+        .isolated(&spec)
     }];
     let victim_out = run_sweep(&tel, &sweep, victim_cells, &mut report, |_, _| {});
     let victim: Option<Arc<GaussianPolicy>> = victim_out[0].ok().map(|p| Arc::new(p.clone()));
@@ -96,43 +90,14 @@ fn main() {
                 (Some(victim), None) => {
                     let tel = tel.clone();
                     let victim = Arc::clone(victim);
+                    let spec = CellSpec::ablate(task, &victim, *variant, &budget);
                     let budget = budget.clone();
                     let variant = *variant;
                     SweepCell::new(cell_label, &tags, seed, move |ctx| {
-                        let mut rc = RegularizerConfig::new(RegularizerKind::PolicyCoverage);
-                        let mut scale = None;
-                        match variant {
-                            Variant::Knn(k) => rc.k = k,
-                            Variant::UnionCap(cap) => rc.union_cap = cap,
-                            Variant::IntrinsicScale(s) => scale = Some(s),
-                        }
-                        let mut train = budget.attack_train(ctx.seed);
-                        train.resilience.progress = ctx.progress.clone();
-                        let mut cfg = ImapConfig::imap(train, rc);
-                        if let Some(s) = scale {
-                            cfg = cfg.with_intrinsic_scale(s);
-                        }
-                        let mut env =
-                            PerturbationEnv::new(build_task(task), victim.as_ref().clone(), eps);
-                        let out = {
-                            let _t = tel.span("attack_cell");
-                            ImapTrainer::new(cfg).train(&mut env, None)?
-                        };
-                        imap_rl::heartbeat(&ctx.progress)?;
-                        let mut rng = EnvRng::seed_from_u64(ctx.seed ^ 0xab1a);
-                        let eval = eval_under_attack(
-                            build_task(task),
-                            &victim,
-                            Attacker::Policy(&out.policy),
-                            eps,
-                            budget.eval_episodes,
-                            &mut rng,
-                        )?;
-                        Ok(CellResult {
-                            eval,
-                            curve: out.curve,
-                        })
+                        let _t = tel.span("attack_cell");
+                        run_ablate_cell(task, &victim, variant, &budget, ctx.seed, &ctx.progress)
                     })
+                    .isolated(&spec)
                 }
                 (_, reason) => SweepCell::skipped(
                     cell_label,

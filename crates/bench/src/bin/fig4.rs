@@ -14,6 +14,7 @@
 
 use std::sync::Arc;
 
+use imap_bench::cells::CellSpec;
 use imap_bench::exec::{dep_skip_reason, run_sweep, SweepCell, SweepConfig, SweepReport};
 use imap_bench::{
     base_seed, bench_telemetry, finish_telemetry, record_cell, record_curve,
@@ -36,6 +37,7 @@ const SPARSE_LOCOMOTION: [TaskId; 6] = [
 ];
 
 fn main() {
+    imap_bench::cells::maybe_serve_run_cell();
     let budget = Budget::from_env();
     let seed = base_seed();
     let sweep = SweepConfig::from_env();
@@ -59,6 +61,7 @@ fn main() {
             let tags = [("task", task.spec().name), ("stage", "victim_train")];
             let tel = tel.clone();
             let victims = Arc::clone(&victims_cache);
+            let spec = CellSpec::victim(task, DefenseMethod::Ppo, &budget, &victims_cache);
             let budget = budget.clone();
             SweepCell::new(
                 format!("victim {}", task.spec().name),
@@ -76,6 +79,7 @@ fn main() {
                     )
                 },
             )
+            .isolated(&spec)
         })
         .collect();
     let victim_out = run_sweep(&tel, &sweep, victim_cells, &mut report, |_, _| {});
@@ -108,6 +112,14 @@ fn main() {
                             let tel = tel.clone();
                             let victim = Arc::clone(victim);
                             let cells = Arc::clone(&cells_cache);
+                            let spec = CellSpec::attack(
+                                task,
+                                DefenseMethod::Ppo,
+                                &victim,
+                                kind,
+                                &budget,
+                                &cells,
+                            );
                             let budget = budget.clone();
                             SweepCell::new(cell_label, &tags, seed, move |ctx| {
                                 let _t = tel.span("attack_cell");
@@ -122,6 +134,7 @@ fn main() {
                                     &ctx.progress,
                                 )
                             })
+                            .isolated(&spec)
                         }
                         (_, reason) => SweepCell::skipped(
                             cell_label,

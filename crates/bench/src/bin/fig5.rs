@@ -10,6 +10,7 @@
 
 use std::sync::Arc;
 
+use imap_bench::cells::CellSpec;
 use imap_bench::exec::{dep_skip_reason, run_sweep, SweepCell, SweepConfig, SweepReport};
 use imap_bench::{
     base_seed, bench_telemetry, default_xi, finish_telemetry, marl_victim_supervised, record_cell,
@@ -21,6 +22,7 @@ use imap_env::MultiTaskId;
 use imap_rl::GaussianPolicy;
 
 fn main() {
+    imap_bench::cells::maybe_serve_run_cell();
     let budget = Budget::from_env();
     let seed = base_seed();
     let sweep = SweepConfig::from_env();
@@ -48,11 +50,13 @@ fn main() {
         .map(|game| {
             let tags = [("game", game.name()), ("stage", "victim_train")];
             let tel = tel.clone();
+            let spec = CellSpec::marl_victim(game, &budget);
             let budget = budget.clone();
             SweepCell::new(format!("victim {}", game.name()), &tags, seed, move |ctx| {
                 let _t = tel.span("victim_train");
                 marl_victim_supervised(&tel, game, &budget, ctx.seed, &ctx.progress)
             })
+            .isolated(&spec)
         })
         .collect();
     let victim_out = run_sweep(&tel, &sweep, victim_cells, &mut report, |_, _| {});
@@ -82,6 +86,14 @@ fn main() {
                         (Some(victim), None) => {
                             let victim = Arc::clone(victim);
                             let cells = Arc::clone(&cells_cache);
+                            let spec = CellSpec::marl_attack(
+                                game,
+                                &victim,
+                                kind,
+                                &budget,
+                                default_xi(),
+                                &cells,
+                            );
                             let budget = budget.clone();
                             SweepCell::new(cell_label, &tags, seed, move |ctx| {
                                 run_multi_attack_cell_cached(
@@ -95,6 +107,7 @@ fn main() {
                                     &ctx.progress,
                                 )
                             })
+                            .isolated(&spec)
                         }
                         (_, reason) => SweepCell::skipped(
                             cell_label,

@@ -13,23 +13,20 @@
 
 use std::sync::Arc;
 
+use imap_bench::cells::CellSpec;
 use imap_bench::exec::{dep_skip_reason, run_sweep, SweepCell, SweepConfig, SweepReport};
 use imap_bench::{
-    base_seed, bench_telemetry, default_xi, finish_telemetry, marl_victim_supervised, record_cell,
-    record_curve, Budget, CellResult, VictimCache,
+    base_seed, bench_telemetry, finish_telemetry, marl_victim_supervised, record_cell,
+    record_curve, run_br_attack_cell, run_marl_br_attack_cell, Budget, CellResult, VictimCache,
 };
-use imap_core::eval::{eval_multi_attack, eval_under_attack, Attacker};
-use imap_core::regularizer::{RegularizerConfig, RegularizerKind};
-use imap_core::threat::{OpponentEnv, PerturbationEnv};
-use imap_core::{ImapConfig, ImapTrainer};
 use imap_defense::DefenseMethod;
-use imap_env::{build_multi_task, build_task, EnvRng, MultiTaskId, TaskId};
+use imap_env::{MultiTaskId, TaskId};
 use imap_rl::GaussianPolicy;
-use rand::SeedableRng;
 
 const ETAS: [f64; 4] = [0.5, 2.0, 5.0, 10.0];
 
 fn main() {
+    imap_bench::cells::maybe_serve_run_cell();
     let budget = Budget::from_env();
     let seed = base_seed();
     let sweep = SweepConfig::from_env();
@@ -47,6 +44,7 @@ fn main() {
             let tags = [("task", task.spec().name), ("stage", "victim_train")];
             let tel = tel.clone();
             let victims = Arc::clone(&victims_cache);
+            let spec = CellSpec::victim(task, DefenseMethod::Ppo, &budget, &victims_cache);
             let budget = budget.clone();
             SweepCell::new(
                 format!("victim {}", task.spec().name),
@@ -64,15 +62,18 @@ fn main() {
                     )
                 },
             )
+            .isolated(&spec)
         },
         {
             let tags = [("game", game.name()), ("stage", "victim_train")];
             let tel = tel.clone();
+            let spec = CellSpec::marl_victim(game, &budget);
             let budget = budget.clone();
             SweepCell::new(format!("victim {}", game.name()), &tags, seed, move |ctx| {
                 let _t = tel.span("victim_train");
                 marl_victim_supervised(&tel, game, &budget, ctx.seed, &ctx.progress)
             })
+            .isolated(&spec)
         },
     ];
     let victim_out = run_sweep(&tel, &sweep, victim_cells, &mut report, |_, _| {});
@@ -96,39 +97,15 @@ fn main() {
             (Some(victim), None) => {
                 let tel = tel.clone();
                 let victim = Arc::clone(victim);
+                let spec = CellSpec::br_single(task, &victim, eta, &budget);
                 let budget = budget.clone();
-                attack_cells.push(SweepCell::new(cell_label, &tags, seed, move |ctx| {
-                    let mut train = budget.attack_train(ctx.seed);
-                    train.resilience.progress = ctx.progress.clone();
-                    let cfg = ImapConfig::imap(
-                        train,
-                        RegularizerConfig::new(RegularizerKind::PolicyCoverage),
-                    )
-                    .with_br(eta);
-                    let mut env = PerturbationEnv::new(
-                        build_task(task),
-                        victim.as_ref().clone(),
-                        task.spec().eps,
-                    );
-                    let out = {
+                attack_cells.push(
+                    SweepCell::new(cell_label, &tags, seed, move |ctx| {
                         let _t = tel.span("attack_cell");
-                        ImapTrainer::new(cfg).train(&mut env, None)?
-                    };
-                    imap_rl::heartbeat(&ctx.progress)?;
-                    let mut rng = EnvRng::seed_from_u64(ctx.seed ^ 0xf16);
-                    let eval = eval_under_attack(
-                        build_task(task),
-                        &victim,
-                        Attacker::Policy(&out.policy),
-                        task.spec().eps,
-                        budget.eval_episodes,
-                        &mut rng,
-                    )?;
-                    Ok(CellResult {
-                        eval,
-                        curve: out.curve,
+                        run_br_attack_cell(task, &victim, eta, &budget, ctx.seed, &ctx.progress)
                     })
-                }));
+                    .isolated(&spec),
+                );
             }
             (_, reason) => attack_cells.push(SweepCell::skipped(
                 cell_label,
@@ -149,38 +126,22 @@ fn main() {
             (Some(victim), None) => {
                 let tel = tel.clone();
                 let victim = Arc::clone(victim);
+                let spec = CellSpec::br_multi(game, &victim, eta, &budget);
                 let budget = budget.clone();
-                attack_cells.push(SweepCell::new(cell_label, &tags, seed, move |ctx| {
-                    let mut rc = RegularizerConfig::new(RegularizerKind::PolicyCoverage);
-                    let mut env = OpponentEnv::new(build_multi_task(game), victim.as_ref().clone());
-                    rc.marginal_split = Some(env.summary_split());
-                    rc.xi = default_xi();
-                    let mut train = imap_rl::TrainConfig {
-                        iterations: budget.marl_attack_iters,
-                        ..budget.attack_train(ctx.seed)
-                    };
-                    train.resilience.progress = ctx.progress.clone();
-                    let cfg = ImapConfig::imap(train, rc)
-                        .with_intrinsic_scale(imap_bench::marl_intrinsic_scale())
-                        .with_br(eta);
-                    let out = {
+                attack_cells.push(
+                    SweepCell::new(cell_label, &tags, seed, move |ctx| {
                         let _t = tel.span("attack_cell");
-                        ImapTrainer::new(cfg).train(&mut env, None)?
-                    };
-                    imap_rl::heartbeat(&ctx.progress)?;
-                    let mut rng = EnvRng::seed_from_u64(ctx.seed ^ 0xf17);
-                    let eval = eval_multi_attack(
-                        build_multi_task(game),
-                        &victim,
-                        Attacker::Policy(&out.policy),
-                        budget.eval_episodes,
-                        &mut rng,
-                    )?;
-                    Ok(CellResult {
-                        eval,
-                        curve: out.curve,
+                        run_marl_br_attack_cell(
+                            game,
+                            &victim,
+                            eta,
+                            &budget,
+                            ctx.seed,
+                            &ctx.progress,
+                        )
                     })
-                }));
+                    .isolated(&spec),
+                );
             }
             (_, reason) => attack_cells.push(SweepCell::skipped(
                 cell_label,

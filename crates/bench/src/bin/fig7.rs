@@ -13,6 +13,7 @@
 
 use std::sync::Arc;
 
+use imap_bench::cells::CellSpec;
 use imap_bench::exec::{dep_skip_reason, run_sweep, SweepCell, SweepConfig, SweepReport};
 use imap_bench::{
     base_seed, bench_telemetry, finish_telemetry, marl_victim_supervised, record_cell,
@@ -25,6 +26,7 @@ use imap_rl::GaussianPolicy;
 const XIS: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 1.0];
 
 fn main() {
+    imap_bench::cells::maybe_serve_run_cell();
     let budget = Budget::from_env();
     let seed = base_seed();
     let sweep = SweepConfig::from_env();
@@ -38,11 +40,13 @@ fn main() {
     let victim_cells = vec![{
         let tags = [("game", game.name()), ("stage", "victim_train")];
         let tel = tel.clone();
+        let spec = CellSpec::marl_victim(game, &budget);
         let budget = budget.clone();
         SweepCell::new(format!("victim {}", game.name()), &tags, seed, move |ctx| {
             let _t = tel.span("victim_train");
             marl_victim_supervised(&tel, game, &budget, ctx.seed, &ctx.progress)
         })
+        .isolated(&spec)
     }];
     let victim_out = run_sweep(&tel, &sweep, victim_cells, &mut report, |_, _| {});
     let victim: Option<Arc<GaussianPolicy>> = victim_out[0].ok().map(|p| Arc::new(p.clone()));
@@ -63,6 +67,14 @@ fn main() {
                     let tel = tel.clone();
                     let victim = Arc::clone(victim);
                     let cells = Arc::clone(&cells_cache);
+                    let spec = CellSpec::marl_attack(
+                        game,
+                        &victim,
+                        AttackKind::ImapBr(RegularizerKind::PolicyCoverage),
+                        &budget,
+                        xi,
+                        &cells,
+                    );
                     let budget = budget.clone();
                     SweepCell::new(cell_label, &tags, seed, move |ctx| {
                         let _t = tel.span("attack_cell");
@@ -77,6 +89,7 @@ fn main() {
                             &ctx.progress,
                         )
                     })
+                    .isolated(&spec)
                 }
                 (_, reason) => SweepCell::skipped(
                     cell_label,

@@ -1,0 +1,120 @@
+//! `sweepdemo`: a deterministic, fault-injectable two-stage demo sweep.
+//!
+//! Not one of the paper's tables — a test fixture for the isolation and
+//! resume machinery. Integration tests (and CI) drive this binary because
+//! the libtest harness owns `argv[1]`, so a `cargo test` binary cannot
+//! serve the hidden `run-cell` subcommand itself; `sweepdemo` can, and it
+//! is cheap enough to SIGKILL mid-sweep and resume.
+//!
+//! Each cell rolls a seeded Hopper trajectory (optionally through
+//! [`imap_env::FaultyEnv`]) and reports an FNV checksum, printed in hex —
+//! so two runs of the same grid are byte-comparable on stdout.
+//!
+//! Environment knobs (on top of the usual sweep flags — `--jobs`,
+//! `--isolate`, `--resume`, `IMAP_ISOLATE`, `IMAP_CELL_TIMEOUT`, ...):
+//!
+//! - `IMAP_DEMO_CELLS=N` — number of stage-2 cells (default 4)
+//! - `IMAP_DEMO_FAULTS="idx:mode,..."` — inject a fault into stage-2 cell
+//!   `idx`; `mode` is `ok`, `panic`, `abort`, `hang` (cooperative),
+//!   `hang_hard` (only SIGKILL ends it), `leak`, or `slow`
+//! - `IMAP_DEMO_STEPS=N` — rollout length per cell (default 40)
+
+use imap_bench::cells::{run_fault_spec, CellSpec};
+use imap_bench::exec::{run_sweep, SweepCell, SweepConfig, SweepReport};
+use imap_bench::{base_seed, bench_telemetry, finish_telemetry, Budget};
+use imap_harness::JobStatus;
+use imap_nn::NnError;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Parses `IMAP_DEMO_FAULTS="1:panic,3:hang"` into (index, mode) pairs.
+fn demo_faults() -> Vec<(usize, String)> {
+    let Ok(raw) = std::env::var("IMAP_DEMO_FAULTS") else {
+        return Vec::new();
+    };
+    raw.split(',')
+        .filter(|s| !s.trim().is_empty())
+        .filter_map(|pair| {
+            let (idx, mode) = pair.split_once(':')?;
+            Some((idx.trim().parse().ok()?, mode.trim().to_string()))
+        })
+        .collect()
+}
+
+fn fault_cell(label: String, tags: &[(&str, &str)], seed: u64, spec: CellSpec) -> SweepCell<u64> {
+    let closure_spec = spec.clone();
+    SweepCell::new(label, tags, seed, move |ctx| {
+        run_fault_spec(&closure_spec, ctx).map_err(|context| NnError::Numeric { context })
+    })
+    .isolated(&spec)
+}
+
+fn main() {
+    imap_bench::cells::maybe_serve_run_cell();
+    let seed = base_seed();
+    let sweep = SweepConfig::from_env();
+    let budget = Budget::quick(); // names the telemetry run; no training here
+    let tel = bench_telemetry("sweepdemo", &budget, seed);
+    let _sweep_span = tel.span("sweep");
+    let cells = env_usize("IMAP_DEMO_CELLS", 4);
+    let steps = env_usize("IMAP_DEMO_STEPS", 40) as u64;
+    let faults = demo_faults();
+    let mut report = SweepReport::default();
+
+    // Stage 1: a single warmup cell, so multi-stage ledgers are exercised.
+    let warmup = vec![fault_cell(
+        "warmup".into(),
+        &[("cell", "warmup"), ("stage", "warmup")],
+        seed,
+        CellSpec::fault("ok", 0, 0, steps),
+    )];
+    let warmup_out = run_sweep(&tel, &sweep, warmup, &mut report, |_, _| {});
+
+    // Stage 2: the demo grid, with faults injected where requested.
+    let grid: Vec<SweepCell<u64>> = (0..cells)
+        .map(|i| {
+            let mode = faults
+                .iter()
+                .find(|(idx, _)| *idx == i)
+                .map(|(_, m)| m.as_str())
+                .unwrap_or("ok");
+            let mode_owned = mode.to_string();
+            let tags = [("cell", "demo"), ("mode", mode_owned.as_str())];
+            fault_cell(
+                format!("demo-{i}-{mode}"),
+                &tags,
+                seed.wrapping_add(i as u64),
+                CellSpec::fault(mode, 5, 1, steps),
+            )
+        })
+        .collect();
+    let outcomes = run_sweep(&tel, &sweep, grid, &mut report, |_, _| {});
+
+    // Rendering: one deterministic row per cell. Failure rows print only
+    // the status name so stdout stays byte-comparable across runs.
+    println!("# sweepdemo — {cells} cells, {} fault(s)", faults.len());
+    match &warmup_out[0] {
+        JobStatus::Ok(checksum) => println!("warmup           {checksum:016x}"),
+        status => println!("warmup           {}", status.name()),
+    }
+    for (i, status) in outcomes.iter().enumerate() {
+        let mode = faults
+            .iter()
+            .find(|(idx, _)| *idx == i)
+            .map(|(_, m)| m.as_str())
+            .unwrap_or("ok");
+        match status {
+            JobStatus::Ok(checksum) => println!("cell {i:>3} {mode:<9} {checksum:016x}"),
+            status => println!("cell {i:>3} {mode:<9} {}", status.name()),
+        }
+    }
+    drop(_sweep_span);
+    finish_telemetry(&tel);
+    println!("{}", report.summary_line());
+    std::process::exit(report.exit_code());
+}

@@ -17,6 +17,9 @@ use imap_bench::table1::{run, Table1Options};
 use imap_bench::{base_seed, bench_telemetry, finish_telemetry, Budget};
 
 fn main() {
+    // Serve `table1 run-cell` (the isolated cell executor) and never
+    // return if so; a normal invocation falls through.
+    imap_bench::cells::maybe_serve_run_cell();
     let budget = Budget::from_env();
     let seed = base_seed();
     let sweep = SweepConfig::from_env();

@@ -11,6 +11,7 @@
 
 use std::sync::Arc;
 
+use imap_bench::cells::CellSpec;
 use imap_bench::exec::{dep_skip_reason, run_sweep, SweepCell, SweepConfig, SweepReport};
 use imap_bench::{
     base_seed, bench_telemetry, cell, finish_telemetry, print_row, record_cell,
@@ -23,6 +24,7 @@ use imap_harness::JobStatus;
 use imap_rl::GaussianPolicy;
 
 fn main() {
+    imap_bench::cells::maybe_serve_run_cell();
     let budget = Budget::from_env();
     let seed = base_seed();
     let sweep = SweepConfig::from_env();
@@ -49,6 +51,7 @@ fn main() {
             let tags = [("task", task.spec().name), ("stage", "victim_train")];
             let tel = tel.clone();
             let victims = Arc::clone(&victims_cache);
+            let spec = CellSpec::victim(task, DefenseMethod::Ppo, &budget, &victims_cache);
             let budget = budget.clone();
             SweepCell::new(
                 format!("victim {}", task.spec().name),
@@ -66,6 +69,7 @@ fn main() {
                     )
                 },
             )
+            .isolated(&spec)
         })
         .collect();
     let victim_out = run_sweep(&tel, &sweep, victim_cells, &mut report, |_, _| {});
@@ -94,6 +98,14 @@ fn main() {
                         let tel = tel.clone();
                         let victim = Arc::clone(victim);
                         let cells = Arc::clone(&cells_cache);
+                        let spec = CellSpec::attack(
+                            task,
+                            DefenseMethod::Ppo,
+                            &victim,
+                            kind,
+                            &budget,
+                            &cells,
+                        );
                         let budget = budget.clone();
                         SweepCell::new(cell_label, &tags, seed, move |ctx| {
                             let _t = tel.span("attack_cell");
@@ -108,6 +120,7 @@ fn main() {
                                 &ctx.progress,
                             )
                         })
+                        .isolated(&spec)
                     }
                     (_, reason) => SweepCell::skipped(
                         cell_label,

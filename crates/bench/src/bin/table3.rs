@@ -10,6 +10,7 @@
 
 use std::sync::Arc;
 
+use imap_bench::cells::CellSpec;
 use imap_bench::exec::{dep_skip_reason, run_sweep, SweepCell, SweepConfig, SweepReport};
 use imap_bench::{
     base_seed, bench_telemetry, cell, finish_telemetry, print_row, record_cell,
@@ -21,6 +22,7 @@ use imap_env::TaskId;
 use imap_rl::GaussianPolicy;
 
 fn main() {
+    imap_bench::cells::maybe_serve_run_cell();
     let budget = Budget::from_env();
     let seed = base_seed();
     let sweep = SweepConfig::from_env();
@@ -43,6 +45,7 @@ fn main() {
             let tags = [("task", task.spec().name), ("stage", "victim_train")];
             let tel = tel.clone();
             let victims = Arc::clone(&victims_cache);
+            let spec = CellSpec::victim(task, DefenseMethod::Ppo, &budget, &victims_cache);
             let budget = budget.clone();
             SweepCell::new(
                 format!("victim {}", task.spec().name),
@@ -60,6 +63,7 @@ fn main() {
                     )
                 },
             )
+            .isolated(&spec)
         })
         .collect();
     let victim_out = run_sweep(&tel, &sweep, victim_cells, &mut report, |_, _| {});
@@ -87,6 +91,14 @@ fn main() {
                         let tel = tel.clone();
                         let victim = Arc::clone(victim);
                         let cells = Arc::clone(&cells_cache);
+                        let spec = CellSpec::attack(
+                            task,
+                            DefenseMethod::Ppo,
+                            &victim,
+                            kind,
+                            &budget,
+                            &cells,
+                        );
                         let budget = budget.clone();
                         SweepCell::new(cell_label, &tags, seed, move |ctx| {
                             let _t = tel.span("attack_cell");
@@ -101,6 +113,7 @@ fn main() {
                                 &ctx.progress,
                             )
                         })
+                        .isolated(&spec)
                     }
                     (_, reason) => SweepCell::skipped(
                         cell_label,

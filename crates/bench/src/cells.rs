@@ -1,0 +1,582 @@
+//! Serializable cell specs for process-isolated sweep cells.
+//!
+//! Every bench binary calls [`maybe_serve_run_cell`] as the first line of
+//! `main`: when spawned with the hidden `run-cell` subcommand it becomes a
+//! sacrificial cell executor — it reads one [`imap_harness::CellRequest`]
+//! from stdin, decodes the opaque spec into a [`CellSpec`], runs the cell,
+//! and frames the result back to the parent (see `imap_harness::proc`).
+//!
+//! A spec is a *flat* struct of string codes and optional scalars so it
+//! survives any JSON codec: the cell kind picks the handler, and the
+//! handler calls exactly the same library function the in-process closure
+//! would, so isolated and in-process runs stay bitwise-identical.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use imap_env::{Env, EnvRng, FaultKind, FaultPlan, FaultyEnv, MultiTaskId, TaskId};
+use imap_harness::JobCtx;
+use imap_rl::GaussianPolicy;
+use imap_telemetry::Telemetry;
+use rand::SeedableRng;
+use serde_json::Value;
+
+use crate::{
+    marl_victim_supervised, run_ablate_cell, run_attack_cell_cached, run_br_attack_cell,
+    run_marl_br_attack_cell, run_multi_attack_cell_cached, AblateVariant, AttackKind, Budget,
+    CellCache, VictimCache,
+};
+use imap_defense::DefenseMethod;
+
+/// A flat, self-contained description of one sweep cell. The `kind` field
+/// selects the handler; everything else is optional and only read by the
+/// handlers that need it. Victim policies are embedded (`victim`) because
+/// attack cells are only constructed after their victim stage committed.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct CellSpec {
+    /// Handler discriminator: `victim`, `marl_victim`, `attack`,
+    /// `marl_attack`, `br_single`, `br_multi`, `ablate`, or `fault`.
+    pub kind: String,
+    /// Single-agent task (the `TaskId` variant name, e.g. `SparseHopper`).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub task: Option<String>,
+    /// Multi-agent game (the `MultiTaskId` variant name).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub game: Option<String>,
+    /// Victim defense method (the `DefenseMethod` variant name).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub method: Option<String>,
+    /// Attack column ([`AttackKind::code`]).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub attack: Option<String>,
+    /// Compute budget (victim + attack + eval).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub budget: Option<Budget>,
+    /// The serialized victim policy for attack cells.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub victim: Option<Value>,
+    /// Explicit victim-cache directory (tests; defaults to the env cache).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub victim_cache: Option<PathBuf>,
+    /// Explicit cell-cache directory (tests; defaults to the env cache).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub cell_cache: Option<PathBuf>,
+    /// BR dual step size η (`br_single` / `br_multi`).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub eta: Option<f64>,
+    /// Marginal trade-off ξ (`marl_attack`).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub xi: Option<f64>,
+    /// Ablation mode, or fault mode for `fault` cells.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub mode: Option<String>,
+    /// Ablation knob value ([`AblateVariant::code`]).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub value: Option<f64>,
+    /// `fault` cells: global step at which the fault fires.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub at_step: Option<u64>,
+    /// `fault` cells: number of firings (`0` = every step from `at_step`).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub max_fires: Option<u64>,
+    /// `fault` cells: total rollout steps.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub steps: Option<u64>,
+    /// `fault` cells with `mode = "slow"`: per-fire sleep in milliseconds.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub sleep_ms: Option<u64>,
+}
+
+impl CellSpec {
+    fn bare(kind: &str) -> Self {
+        CellSpec {
+            kind: kind.into(),
+            task: None,
+            game: None,
+            method: None,
+            attack: None,
+            budget: None,
+            victim: None,
+            victim_cache: None,
+            cell_cache: None,
+            eta: None,
+            xi: None,
+            mode: None,
+            value: None,
+            at_step: None,
+            max_fires: None,
+            steps: None,
+            sleep_ms: None,
+        }
+    }
+
+    /// A single-agent victim-training cell.
+    pub fn victim(
+        task: TaskId,
+        method: DefenseMethod,
+        budget: &Budget,
+        cache: &VictimCache,
+    ) -> Self {
+        CellSpec {
+            task: Some(format!("{task:?}")),
+            method: Some(format!("{method:?}")),
+            budget: Some(budget.clone()),
+            victim_cache: Some(cache.dir().to_path_buf()),
+            ..CellSpec::bare("victim")
+        }
+    }
+
+    /// A self-play game-victim cell.
+    pub fn marl_victim(game: MultiTaskId, budget: &Budget) -> Self {
+        CellSpec {
+            game: Some(format!("{game:?}")),
+            budget: Some(budget.clone()),
+            ..CellSpec::bare("marl_victim")
+        }
+    }
+
+    /// A cached single-agent attack cell against an embedded victim.
+    pub fn attack(
+        task: TaskId,
+        method: DefenseMethod,
+        victim: &GaussianPolicy,
+        kind: AttackKind,
+        budget: &Budget,
+        cache: &CellCache,
+    ) -> Self {
+        CellSpec {
+            task: Some(format!("{task:?}")),
+            method: Some(format!("{method:?}")),
+            attack: Some(kind.code()),
+            budget: Some(budget.clone()),
+            victim: serde_json::to_value(victim).ok(),
+            cell_cache: Some(cache.dir().to_path_buf()),
+            ..CellSpec::bare("attack")
+        }
+    }
+
+    /// A cached multi-agent attack cell against an embedded victim.
+    pub fn marl_attack(
+        game: MultiTaskId,
+        victim: &GaussianPolicy,
+        kind: AttackKind,
+        budget: &Budget,
+        xi: f64,
+        cache: &CellCache,
+    ) -> Self {
+        CellSpec {
+            game: Some(format!("{game:?}")),
+            attack: Some(kind.code()),
+            budget: Some(budget.clone()),
+            victim: serde_json::to_value(victim).ok(),
+            xi: Some(xi),
+            cell_cache: Some(cache.dir().to_path_buf()),
+            ..CellSpec::bare("marl_attack")
+        }
+    }
+
+    /// A Figure 6 single-agent IMAP-PC+BR cell with explicit η.
+    pub fn br_single(task: TaskId, victim: &GaussianPolicy, eta: f64, budget: &Budget) -> Self {
+        CellSpec {
+            task: Some(format!("{task:?}")),
+            victim: serde_json::to_value(victim).ok(),
+            eta: Some(eta),
+            budget: Some(budget.clone()),
+            ..CellSpec::bare("br_single")
+        }
+    }
+
+    /// A Figure 6 multi-agent IMAP-PC+BR cell with explicit η.
+    pub fn br_multi(game: MultiTaskId, victim: &GaussianPolicy, eta: f64, budget: &Budget) -> Self {
+        CellSpec {
+            game: Some(format!("{game:?}")),
+            victim: serde_json::to_value(victim).ok(),
+            eta: Some(eta),
+            budget: Some(budget.clone()),
+            ..CellSpec::bare("br_multi")
+        }
+    }
+
+    /// An `ablate` cell: IMAP-PC with one knob turned.
+    pub fn ablate(
+        task: TaskId,
+        victim: &GaussianPolicy,
+        variant: AblateVariant,
+        budget: &Budget,
+    ) -> Self {
+        let (mode, value) = variant.code();
+        CellSpec {
+            task: Some(format!("{task:?}")),
+            victim: serde_json::to_value(victim).ok(),
+            mode: Some(mode.into()),
+            value: Some(value),
+            budget: Some(budget.clone()),
+            ..CellSpec::bare("ablate")
+        }
+    }
+
+    /// A cheap deterministic rollout cell with an injected fault —
+    /// `mode` is `ok`, `panic`, `abort`, `hang` (cooperative), `hang_hard`
+    /// (ignores cancellation; only SIGKILL ends it), `leak`, or `slow`.
+    /// Used by the isolation tests and the `sweepdemo` binary.
+    pub fn fault(mode: &str, at_step: u64, max_fires: u64, steps: u64) -> Self {
+        CellSpec {
+            mode: Some(mode.into()),
+            at_step: Some(at_step),
+            max_fires: Some(max_fires),
+            steps: Some(steps),
+            ..CellSpec::bare("fault")
+        }
+    }
+}
+
+/// JSON-codec round-trip decode (works under both the real `serde_json`
+/// and the offline stub, which lacks `from_value`).
+fn decode<T: serde::de::DeserializeOwned>(value: &Value, what: &str) -> Result<T, String> {
+    let text = serde_json::to_string(value).map_err(|e| format!("re-encode {what}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("decode {what}: {e}"))
+}
+
+fn encode<T: serde::Serialize>(value: &T, what: &str) -> Result<Value, String> {
+    serde_json::to_value(value).map_err(|e| format!("encode {what}: {e}"))
+}
+
+fn required<'a, T>(field: &'a Option<T>, what: &str, kind: &str) -> Result<&'a T, String> {
+    field
+        .as_ref()
+        .ok_or_else(|| format!("cell spec kind {kind:?} is missing required field {what:?}"))
+}
+
+fn parse_task(code: &str) -> Result<TaskId, String> {
+    TaskId::ALL
+        .into_iter()
+        .find(|t| format!("{t:?}") == code)
+        .ok_or_else(|| format!("unknown task {code:?}"))
+}
+
+fn parse_game(code: &str) -> Result<MultiTaskId, String> {
+    MultiTaskId::ALL
+        .into_iter()
+        .find(|g| format!("{g:?}") == code)
+        .ok_or_else(|| format!("unknown game {code:?}"))
+}
+
+fn parse_method(code: &str) -> Result<DefenseMethod, String> {
+    DefenseMethod::ALL
+        .into_iter()
+        .find(|m| format!("{m:?}") == code)
+        .ok_or_else(|| format!("unknown defense method {code:?}"))
+}
+
+fn parse_attack(code: &str) -> Result<AttackKind, String> {
+    AttackKind::from_code(code).ok_or_else(|| format!("unknown attack kind {code:?}"))
+}
+
+/// Decodes and runs one cell spec. This is the child-process entry point
+/// (via [`maybe_serve_run_cell`]), but it is an ordinary function: tests
+/// call it in-process to prove spec execution matches the closures.
+pub fn execute(spec: &Value, ctx: &JobCtx, tel: &Telemetry) -> Result<Value, String> {
+    let spec: CellSpec = decode(spec, "cell spec")?;
+    let kind = spec.kind.as_str();
+    match kind {
+        "victim" => {
+            let task = parse_task(required(&spec.task, "task", kind)?)?;
+            let method = parse_method(required(&spec.method, "method", kind)?)?;
+            let budget = required(&spec.budget, "budget", kind)?;
+            let cache = match &spec.victim_cache {
+                Some(dir) => VictimCache::open_at(dir.clone()),
+                None => VictimCache::open(),
+            };
+            let _t = tel.span("victim_train");
+            let policy = cache
+                .victim_supervised(tel, task, method, budget, ctx.seed, &ctx.progress)
+                .map_err(|e| e.to_string())?;
+            encode(&policy, "victim policy")
+        }
+        "marl_victim" => {
+            let game = parse_game(required(&spec.game, "game", kind)?)?;
+            let budget = required(&spec.budget, "budget", kind)?;
+            let _t = tel.span("victim_train");
+            let policy = marl_victim_supervised(tel, game, budget, ctx.seed, &ctx.progress)
+                .map_err(|e| e.to_string())?;
+            encode(&policy, "victim policy")
+        }
+        "attack" => {
+            let task = parse_task(required(&spec.task, "task", kind)?)?;
+            let method = parse_method(required(&spec.method, "method", kind)?)?;
+            let attack = parse_attack(required(&spec.attack, "attack", kind)?)?;
+            let budget = required(&spec.budget, "budget", kind)?;
+            let victim: GaussianPolicy =
+                decode(required(&spec.victim, "victim", kind)?, "victim policy")?;
+            let cache = match &spec.cell_cache {
+                Some(dir) => CellCache::open_at(dir.clone()),
+                None => CellCache::open(),
+            };
+            let _t = tel.span("attack_cell");
+            let result = run_attack_cell_cached(
+                &cache,
+                task,
+                method,
+                &victim,
+                attack,
+                budget,
+                ctx.seed,
+                &ctx.progress,
+            )
+            .map_err(|e| e.to_string())?;
+            encode(&result, "cell result")
+        }
+        "marl_attack" => {
+            let game = parse_game(required(&spec.game, "game", kind)?)?;
+            let attack = parse_attack(required(&spec.attack, "attack", kind)?)?;
+            let budget = required(&spec.budget, "budget", kind)?;
+            let xi = *required(&spec.xi, "xi", kind)?;
+            let victim: GaussianPolicy =
+                decode(required(&spec.victim, "victim", kind)?, "victim policy")?;
+            let cache = match &spec.cell_cache {
+                Some(dir) => CellCache::open_at(dir.clone()),
+                None => CellCache::open(),
+            };
+            let _t = tel.span("attack_cell");
+            let result = run_multi_attack_cell_cached(
+                &cache,
+                game,
+                &victim,
+                attack,
+                budget,
+                ctx.seed,
+                xi,
+                &ctx.progress,
+            )
+            .map_err(|e| e.to_string())?;
+            encode(&result, "cell result")
+        }
+        "br_single" => {
+            let task = parse_task(required(&spec.task, "task", kind)?)?;
+            let budget = required(&spec.budget, "budget", kind)?;
+            let eta = *required(&spec.eta, "eta", kind)?;
+            let victim: GaussianPolicy =
+                decode(required(&spec.victim, "victim", kind)?, "victim policy")?;
+            let _t = tel.span("attack_cell");
+            let result = run_br_attack_cell(task, &victim, eta, budget, ctx.seed, &ctx.progress)
+                .map_err(|e| e.to_string())?;
+            encode(&result, "cell result")
+        }
+        "br_multi" => {
+            let game = parse_game(required(&spec.game, "game", kind)?)?;
+            let budget = required(&spec.budget, "budget", kind)?;
+            let eta = *required(&spec.eta, "eta", kind)?;
+            let victim: GaussianPolicy =
+                decode(required(&spec.victim, "victim", kind)?, "victim policy")?;
+            let _t = tel.span("attack_cell");
+            let result =
+                run_marl_br_attack_cell(game, &victim, eta, budget, ctx.seed, &ctx.progress)
+                    .map_err(|e| e.to_string())?;
+            encode(&result, "cell result")
+        }
+        "ablate" => {
+            let task = parse_task(required(&spec.task, "task", kind)?)?;
+            let budget = required(&spec.budget, "budget", kind)?;
+            let mode = required(&spec.mode, "mode", kind)?;
+            let value = *required(&spec.value, "value", kind)?;
+            let variant = AblateVariant::from_code(mode, value)
+                .ok_or_else(|| format!("unknown ablate mode {mode:?}"))?;
+            let victim: GaussianPolicy =
+                decode(required(&spec.victim, "victim", kind)?, "victim policy")?;
+            let _t = tel.span("attack_cell");
+            let result = run_ablate_cell(task, &victim, variant, budget, ctx.seed, &ctx.progress)
+                .map_err(|e| e.to_string())?;
+            encode(&result, "cell result")
+        }
+        "fault" => {
+            let checksum = run_fault_cell(&spec, ctx)?;
+            encode(&checksum, "fault checksum")
+        }
+        other => Err(format!("unknown cell spec kind {other:?}")),
+    }
+}
+
+/// Runs the deterministic fault-injection rollout described by a `fault`
+/// spec and returns a checksum over the trajectory, so tests can assert
+/// bitwise-identical outcomes across process boundaries and resumes.
+fn run_fault_cell(spec: &CellSpec, ctx: &JobCtx) -> Result<u64, String> {
+    let mode = required(&spec.mode, "mode", "fault")?.as_str();
+    let at_step = spec.at_step.unwrap_or(5) as usize;
+    let max_fires = spec.max_fires.unwrap_or(1) as usize;
+    let steps = spec.steps.unwrap_or(40) as usize;
+    let fault = match mode {
+        "ok" => None,
+        "panic" => Some(FaultKind::Panic),
+        "abort" => Some(FaultKind::Abort),
+        "hang" | "hang_hard" => Some(FaultKind::Hang),
+        "leak" => Some(FaultKind::LeakMemory(64 * 1024)),
+        "slow" => Some(FaultKind::SlowStep(Duration::from_millis(
+            spec.sleep_ms.unwrap_or(5),
+        ))),
+        other => return Err(format!("unknown fault mode {other:?}")),
+    };
+    let hopper = imap_env::locomotion::Hopper::new();
+    let mut rng = EnvRng::seed_from_u64(ctx.seed);
+    let checksum = match fault {
+        Some(kind) => {
+            let plan = FaultPlan {
+                kind,
+                at_step,
+                max_fires,
+            };
+            let mut env = FaultyEnv::new(hopper, plan);
+            // A cooperative hang watches the cell's cancel token; a hard
+            // hang deliberately does not — only SIGKILL ends it.
+            if mode == "hang" {
+                env = env.with_cancel(ctx.cancel.clone());
+            }
+            checksum_rollout(&mut env, &mut rng, steps, ctx)
+        }
+        None => {
+            let mut env = hopper;
+            checksum_rollout(&mut env, &mut rng, steps, ctx)
+        }
+    };
+    Ok(checksum)
+}
+
+/// In-process entry for `fault` specs: what the `sweepdemo` closures call
+/// directly, so the closure path and the isolated [`execute`] path run the
+/// identical rollout.
+pub fn run_fault_spec(spec: &CellSpec, ctx: &JobCtx) -> Result<u64, String> {
+    run_fault_cell(spec, ctx)
+}
+
+/// Rolls `steps` env steps with a fixed action, beating per step, and
+/// folds every observation and reward bit pattern into an FNV-style
+/// checksum. SlowStep/LeakMemory faults leave the checksum unchanged.
+fn checksum_rollout<E: Env>(env: &mut E, rng: &mut EnvRng, steps: usize, ctx: &JobCtx) -> u64 {
+    let mut acc: u64 = 0xcbf2_9ce4_8422_2325;
+    let mix = |acc: &mut u64, bits: u64| {
+        *acc = (*acc ^ bits).wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    env.reset(rng);
+    for _ in 0..steps {
+        ctx.progress.beat();
+        let step = env.step(&[0.1, -0.2, 0.3], rng);
+        for v in &step.obs {
+            mix(&mut acc, v.to_bits());
+        }
+        mix(&mut acc, step.reward.to_bits());
+        if step.done {
+            env.reset(rng);
+        }
+    }
+    acc
+}
+
+/// Serves the hidden `run-cell` subcommand and never returns if `argv[1]`
+/// matches; a no-op otherwise. Every bench binary calls this first in
+/// `main`, before any argument parsing or telemetry setup.
+pub fn maybe_serve_run_cell() {
+    if std::env::args().nth(1).as_deref() == Some(imap_harness::RUN_CELL_SUBCOMMAND) {
+        imap_harness::serve_child(execute);
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use imap_harness::{CancelToken, KillSwitch, Progress};
+
+    fn ctx(seed: u64) -> JobCtx {
+        JobCtx {
+            index: 0,
+            attempt: 0,
+            seed,
+            cancel: CancelToken::new(),
+            progress: Progress::null(),
+            kill: KillSwitch::new(),
+        }
+    }
+
+    #[test]
+    fn specs_roundtrip_through_json() {
+        let budget = Budget::quick();
+        let specs = vec![
+            CellSpec::victim(
+                TaskId::Hopper,
+                DefenseMethod::Ppo,
+                &budget,
+                &VictimCache::open_at(std::env::temp_dir().join("imap-spec-rt")),
+            ),
+            CellSpec::marl_victim(MultiTaskId::YouShallNotPass, &budget),
+            CellSpec::fault("panic", 5, 1, 40),
+        ];
+        for spec in specs {
+            let value = serde_json::to_value(&spec).unwrap();
+            let back: CellSpec = decode(&value, "spec").unwrap();
+            assert_eq!(format!("{back:?}"), format!("{spec:?}"));
+        }
+    }
+
+    #[test]
+    fn fault_cell_ok_mode_is_deterministic() {
+        let spec = serde_json::to_value(&CellSpec::fault("ok", 0, 0, 25)).unwrap();
+        let tel = Telemetry::null();
+        let a = execute(&spec, &ctx(11), &tel).unwrap();
+        let b = execute(&spec, &ctx(11), &tel).unwrap();
+        let c = execute(&spec, &ctx(12), &tel).unwrap();
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap(),
+            "same seed, same checksum"
+        );
+        assert_ne!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&c).unwrap(),
+            "different seed, different checksum"
+        );
+    }
+
+    #[test]
+    fn fault_cell_slow_mode_matches_ok_checksum() {
+        let tel = Telemetry::null();
+        let ok = serde_json::to_value(&CellSpec::fault("ok", 0, 0, 20)).unwrap();
+        let mut slow_spec = CellSpec::fault("slow", 3, 2, 20);
+        slow_spec.sleep_ms = Some(2);
+        let slow = serde_json::to_value(&slow_spec).unwrap();
+        assert_eq!(
+            serde_json::to_string(&execute(&ok, &ctx(5), &tel).unwrap()).unwrap(),
+            serde_json::to_string(&execute(&slow, &ctx(5), &tel).unwrap()).unwrap(),
+            "SlowStep must not perturb the trajectory checksum"
+        );
+    }
+
+    #[test]
+    fn unknown_kinds_and_modes_are_typed_errors() {
+        let tel = Telemetry::null();
+        let bad_kind = serde_json::to_value(&CellSpec::bare("teleport")).unwrap();
+        let err = execute(&bad_kind, &ctx(1), &tel).unwrap_err();
+        assert!(err.contains("unknown cell spec kind"), "{err}");
+
+        let bad_mode = serde_json::to_value(&CellSpec::fault("melt", 1, 1, 5)).unwrap();
+        let err = execute(&bad_mode, &ctx(1), &tel).unwrap_err();
+        assert!(err.contains("unknown fault mode"), "{err}");
+
+        let missing = serde_json::to_value(&CellSpec::bare("attack")).unwrap();
+        let err = execute(&missing, &ctx(1), &tel).unwrap_err();
+        assert!(err.contains("missing required field"), "{err}");
+    }
+
+    #[test]
+    fn code_parsers_resolve_every_registry_entry() {
+        for t in TaskId::ALL {
+            assert_eq!(parse_task(&format!("{t:?}")).unwrap(), t);
+        }
+        for g in MultiTaskId::ALL {
+            assert_eq!(parse_game(&format!("{g:?}")).unwrap(), g);
+        }
+        for m in DefenseMethod::ALL {
+            assert_eq!(parse_method(&format!("{m:?}")).unwrap(), m);
+        }
+        assert!(parse_task("Atlantis").is_err());
+        assert!(parse_attack("imap-??").is_err());
+    }
+}

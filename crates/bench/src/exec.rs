@@ -16,13 +16,26 @@
 //! cutting the sweep at the first permanent error instead.
 
 use std::io::IsTerminal;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use imap_harness::{
-    default_jobs, run_supervised, Job, JobCtx, JobStatus, PoolConfig, StatusConfig,
+    committed_cells, default_jobs, read_ledger_rows, run_cell_in_child, run_supervised,
+    stage_fingerprint, CellRequest, ChildConfig, Job, JobCtx, JobStatus, Ledger, LedgerRow,
+    PoolConfig, StatusConfig,
 };
 use imap_nn::NnError;
 use imap_telemetry::Telemetry;
+
+/// Ledger file name inside the telemetry output directory.
+const LEDGER_FILE: &str = "ledger.jsonl";
+
+/// Sentinel skip reason marking a cell whose committed outcome is being
+/// replayed from the ledger instead of re-run. Never collides with real
+/// skip reasons (those are `victim_*` / deadline strings).
+const LEDGER_RESTORED: &str = "__ledger_restored__";
 
 /// Sweep-wide execution policy: worker count, supervision timeouts, retry
 /// policy, and the global deadline.
@@ -53,6 +66,24 @@ pub struct SweepConfig {
     /// `IMAP_STATUS_INTERVAL`; default 2s, 0 disables). Snapshots are only
     /// written when telemetry has an output directory.
     pub status_interval: Duration,
+    /// Run each spec-carrying cell in a sacrificial child process
+    /// (`--isolate` / `IMAP_ISOLATE`): panics, aborts, leaks, and hangs die
+    /// with the child instead of the sweep. Cells without a spec still run
+    /// in-process (with a warning).
+    pub isolate: bool,
+    /// Resume from the ledger (`--resume`): cells already committed in
+    /// `ledger.jsonl` are replayed verbatim — including failures — instead
+    /// of re-run, after re-verifying the sweep-spec fingerprint.
+    pub resume: bool,
+    /// Executable spawned for isolated cells. `None` (the default) spawns
+    /// `current_exe()`; tests point it at a dedicated cell-server binary
+    /// because the test harness owns `argv`.
+    pub child_exe: Option<PathBuf>,
+    /// Stage ordinal, shared across clones: each `run_sweep` call with this
+    /// config is one ledger stage, in call order. Public only so struct
+    /// update syntax (`..SweepConfig::default()`) works outside this
+    /// module; callers should never touch it.
+    pub stage: Arc<AtomicUsize>,
 }
 
 impl Default for SweepConfig {
@@ -66,6 +97,10 @@ impl Default for SweepConfig {
             deadline: None,
             fail_fast: false,
             status_interval: Duration::from_secs(2),
+            isolate: false,
+            resume: false,
+            child_exe: None,
+            stage: Arc::new(AtomicUsize::new(0)),
         }
     }
 }
@@ -73,10 +108,11 @@ impl Default for SweepConfig {
 impl SweepConfig {
     /// Reads the process arguments and environment:
     /// `--jobs N`/`-j N`/`--jobs=N`, `--fail-fast`, `--keep-going` (the
-    /// default, accepted for symmetry), plus `IMAP_MAX_PARALLEL`,
-    /// `IMAP_CELL_TIMEOUT`, `IMAP_MAX_ATTEMPTS`, and
-    /// `IMAP_SWEEP_DEADLINE`. Unparseable values warn loudly on stderr
-    /// and keep the default rather than being silently ignored.
+    /// default, accepted for symmetry), `--isolate`, `--resume`, plus
+    /// `IMAP_MAX_PARALLEL`, `IMAP_CELL_TIMEOUT`, `IMAP_MAX_ATTEMPTS`,
+    /// `IMAP_SWEEP_DEADLINE`, and `IMAP_ISOLATE`. Unparseable values warn
+    /// loudly on stderr and keep the default rather than being silently
+    /// ignored.
     pub fn from_env() -> Self {
         SweepConfig::from_sources(std::env::args().skip(1), |key| std::env::var(key).ok())
     }
@@ -109,6 +145,9 @@ impl SweepConfig {
                 cfg.status_interval = Duration::from_secs_f64(secs);
             }
         }
+        if let Some(raw) = env("IMAP_ISOLATE") {
+            cfg.isolate = !matches!(raw.trim(), "" | "0" | "false");
+        }
         let set_status_interval = |cfg: &mut SweepConfig, v: Option<String>| match v
             .and_then(|v| v.parse::<f64>().ok())
         {
@@ -130,6 +169,8 @@ impl SweepConfig {
                 },
                 "--fail-fast" => cfg.fail_fast = true,
                 "--keep-going" => cfg.fail_fast = false,
+                "--isolate" => cfg.isolate = true,
+                "--resume" => cfg.resume = true,
                 // Parsed by `bench_telemetry`; accepted here so mixing
                 // sweep and telemetry flags never warns.
                 "--trace" => {}
@@ -152,7 +193,7 @@ impl SweepConfig {
                         eprintln!(
                             "warning: unrecognized argument {other:?} \
                              (supported: --jobs N, --fail-fast, --keep-going, --trace, \
-                             --status-interval SECS)"
+                             --status-interval SECS, --isolate, --resume)"
                         );
                     }
                 }
@@ -206,6 +247,10 @@ pub struct SweepCell<T> {
     tags: Vec<(String, String)>,
     seed: u64,
     kind: CellKind<T>,
+    /// Serialized [`crate::cells::CellSpec`]: when present and the sweep
+    /// runs with [`SweepConfig::isolate`], the cell executes in a child
+    /// process instead of calling the closure.
+    spec: Option<serde_json::Value>,
 }
 
 #[allow(clippy::type_complexity)]
@@ -229,7 +274,25 @@ impl<T> SweepCell<T> {
             tags: own_tags(tags),
             seed,
             kind: CellKind::Run(Box::new(run)),
+            spec: None,
         }
+    }
+
+    /// Attaches a serializable cell spec, making the cell eligible for
+    /// process isolation: under [`SweepConfig::isolate`] the sweep ships
+    /// the spec to a child process (which must execute it through
+    /// `cells::execute`, the same code path as the closure) instead of
+    /// calling the closure in-process. A spec that fails to serialize
+    /// warns and leaves the cell in-process.
+    pub fn isolated(mut self, spec: &impl serde::Serialize) -> Self {
+        match serde_json::to_value(spec) {
+            Ok(v) => self.spec = Some(v),
+            Err(e) => eprintln!(
+                "warning: cell spec for {:?} failed to serialize ({e}); running in-process",
+                self.label
+            ),
+        }
+        self
     }
 
     /// A cell committed as `status=skipped` without running — used when a
@@ -244,6 +307,7 @@ impl<T> SweepCell<T> {
             tags: own_tags(tags),
             seed: 0,
             kind: CellKind::Skip(reason.into()),
+            spec: None,
         }
     }
 }
@@ -299,6 +363,89 @@ impl SweepReport {
     }
 }
 
+/// Decodes a committed ledger cell row back into a [`JobStatus`]. The
+/// `ok` value goes through a JSON text round-trip, so a type mismatch
+/// (e.g. a ledger written by a different stage layout) is a hard error.
+fn restore_status<T: serde::de::DeserializeOwned>(row: &LedgerRow) -> Result<JobStatus<T>, String> {
+    match row.status.as_deref() {
+        Some("ok") => {
+            let value = row.value.as_ref().ok_or("ledger ok row carries no value")?;
+            let text =
+                serde_json::to_string(value).map_err(|e| format!("re-encode ledger value: {e}"))?;
+            let value: T = serde_json::from_str(&text)
+                .map_err(|e| format!("ledger value does not decode as the cell type: {e}"))?;
+            Ok(JobStatus::Ok(value))
+        }
+        Some("error") => Ok(JobStatus::Error {
+            message: row.error.clone().unwrap_or_default(),
+            attempts: row.attempts.unwrap_or(1),
+        }),
+        Some("timeout") => Ok(JobStatus::Timeout {
+            attempts: row.attempts.unwrap_or(1),
+        }),
+        Some("skipped") => Ok(JobStatus::Skipped {
+            reason: row.reason.clone().unwrap_or_default(),
+        }),
+        other => Err(format!("ledger row carries unknown status {other:?}")),
+    }
+}
+
+/// Serializes a committed [`JobStatus`] as a ledger cell row.
+fn ledger_cell_row<T: serde::Serialize>(
+    stage: u64,
+    index: usize,
+    label: &str,
+    seed: u64,
+    status: &JobStatus<T>,
+) -> LedgerRow {
+    match status {
+        JobStatus::Ok(value) => LedgerRow::cell(
+            stage,
+            index,
+            label,
+            seed,
+            "ok",
+            1,
+            serde_json::to_value(value).ok(),
+            None,
+            None,
+        ),
+        JobStatus::Error { message, attempts } => LedgerRow::cell(
+            stage,
+            index,
+            label,
+            seed,
+            "error",
+            *attempts,
+            None,
+            Some(message.clone()),
+            None,
+        ),
+        JobStatus::Timeout { attempts } => LedgerRow::cell(
+            stage, index, label, seed, "timeout", *attempts, None, None, None,
+        ),
+        JobStatus::Skipped { reason } => LedgerRow::cell(
+            stage,
+            index,
+            label,
+            seed,
+            "skipped",
+            0,
+            None,
+            None,
+            Some(reason.clone()),
+        ),
+    }
+}
+
+/// A refused resume is a configuration error, not a cell failure: the
+/// sweep must not silently restart (clobbering the ledger the user asked
+/// to resume from), so it dies loudly before running anything.
+fn refuse_resume(context: &str, error: impl std::fmt::Display) -> ! {
+    eprintln!("error: {context}: {error}");
+    std::process::exit(2);
+}
+
 /// Runs one stage of a sweep on the supervised pool and returns one
 /// [`JobStatus`] per cell, in cell order.
 ///
@@ -308,28 +455,176 @@ impl SweepReport {
 /// `cell`-phase telemetry; error/timeout/skipped cells are recorded here
 /// with the matching `status` tag and reported on stderr. `report`
 /// accumulates the per-status counts.
-pub fn run_sweep<T: Send + 'static>(
+///
+/// When telemetry writes to a run directory, every committed outcome is
+/// also appended (and flushed) to `ledger.jsonl` there, one stage per
+/// `run_sweep` call. Under [`SweepConfig::resume`] the ledger is read
+/// back first: already-committed cells are *replayed* — their outcomes,
+/// telemetry rows, and stderr lines reproduced verbatim, failures
+/// included — instead of re-run, after re-verifying that the stage
+/// fingerprint (labels, seeds, skip set) matches what the ledger was
+/// written against. A mismatch refuses to resume and exits 2.
+///
+/// Under [`SweepConfig::isolate`], cells carrying a spec (see
+/// [`SweepCell::isolated`]) execute in a sacrificial child process; the
+/// pool's supervision ladder (stall → cooperative cancel → SIGKILL) is
+/// re-terminated over the process boundary by `imap_harness::proc`.
+pub fn run_sweep<T>(
     tel: &Telemetry,
     cfg: &SweepConfig,
     cells: Vec<SweepCell<T>>,
     report: &mut SweepReport,
     mut on_ok: impl FnMut(&[(&str, &str)], &T),
-) -> Vec<JobStatus<T>> {
-    let metas: Vec<(String, Vec<(String, String)>)> = cells
+) -> Vec<JobStatus<T>>
+where
+    T: Send + 'static + serde::Serialize + serde::de::DeserializeOwned,
+{
+    let stage = cfg.stage.fetch_add(1, Ordering::SeqCst) as u64;
+    let fingerprint = stage_fingerprint(
+        stage,
+        cells.iter().map(|c| {
+            (
+                c.label.as_str(),
+                c.seed,
+                matches!(c.kind, CellKind::Skip(_)),
+            )
+        }),
+    );
+
+    // Ledger setup: create/append the stage header, and under --resume
+    // read the committed rows back (refusing loudly on any mismatch).
+    let ledger_path = tel.out_dir().map(|dir| dir.join(LEDGER_FILE));
+    let mut restored_rows: Vec<Option<LedgerRow>> = vec![None; cells.len()];
+    let mut ledger = match &ledger_path {
+        Some(path) => {
+            if cfg.resume {
+                let rows = read_ledger_rows(path)
+                    .unwrap_or_else(|e| refuse_resume("cannot read sweep ledger", e));
+                restored_rows = committed_cells(&rows, stage, &fingerprint, cells.len())
+                    .unwrap_or_else(|e| refuse_resume("cannot resume sweep", e));
+            }
+            let opened = if cfg.resume || stage > 0 {
+                Ledger::append(path)
+            } else {
+                Ledger::create(path)
+            };
+            match opened {
+                Ok(mut ledger) => {
+                    let header = LedgerRow::stage_header(stage, &fingerprint, cells.len());
+                    if let Err(e) = ledger.append_row(&header) {
+                        eprintln!("warning: sweep ledger disabled ({}: {e})", path.display());
+                        None
+                    } else {
+                        Some(ledger)
+                    }
+                }
+                Err(e) => {
+                    eprintln!("warning: sweep ledger disabled ({}: {e})", path.display());
+                    None
+                }
+            }
+        }
+        None => None,
+    };
+
+    // Child launcher for isolated cells.
+    let child_cfg: Option<ChildConfig> = if cfg.isolate {
+        let exe = match &cfg.child_exe {
+            Some(exe) => Some(exe.clone()),
+            None => match std::env::current_exe() {
+                Ok(exe) => Some(exe),
+                Err(e) => {
+                    eprintln!(
+                        "warning: --isolate requested but current_exe() failed ({e}); \
+                         running cells in-process"
+                    );
+                    None
+                }
+            },
+        };
+        exe.map(|exe| ChildConfig {
+            exe,
+            hard_grace: cfg.hard_grace,
+            telemetry: tel.clone(),
+        })
+    } else {
+        None
+    };
+
+    // (label, tags, seed) per cell, kept for the commit closure.
+    type CellMeta = (String, Vec<(String, String)>, u64);
+    let metas: Vec<CellMeta> = cells
         .iter()
-        .map(|c| (c.label.clone(), c.tags.clone()))
+        .map(|c| (c.label.clone(), c.tags.clone(), c.seed))
         .collect();
+    let run_id = tel.run_id().to_string();
+    let mut unspecced = 0usize;
     let jobs: Vec<Job<T>> = cells
         .into_iter()
-        .map(|c| match c.kind {
-            CellKind::Skip(reason) => Job::skipped(c.label, reason),
-            CellKind::Run(run) => Job::new(c.label, c.seed, move |ctx: &JobCtx| {
-                run(ctx).map_err(|e| e.to_string())
-            }),
+        .enumerate()
+        .map(|(index, c)| {
+            if restored_rows[index].is_some() {
+                return Job::skipped(c.label, LEDGER_RESTORED);
+            }
+            match c.kind {
+                CellKind::Skip(reason) => Job::skipped(c.label, reason),
+                CellKind::Run(run) => match (&child_cfg, c.spec) {
+                    (Some(child), Some(spec)) => {
+                        let child = child.clone();
+                        let label = c.label.clone();
+                        let run_id = run_id.clone();
+                        Job::new(c.label, c.seed, move |ctx: &JobCtx| {
+                            let req = CellRequest {
+                                label: label.clone(),
+                                index: index as u64,
+                                attempt: ctx.attempt,
+                                seed: ctx.seed,
+                                run_id: run_id.clone(),
+                                spec: spec.clone(),
+                            };
+                            let value = run_cell_in_child(&child, &req, ctx)?;
+                            let text = serde_json::to_string(&value)
+                                .map_err(|e| format!("re-encode child result: {e}"))?;
+                            serde_json::from_str::<T>(&text)
+                                .map_err(|e| format!("decode child result: {e}"))
+                        })
+                    }
+                    (maybe_child, _) => {
+                        if maybe_child.is_some() {
+                            unspecced += 1;
+                        }
+                        Job::new(c.label, c.seed, move |ctx: &JobCtx| {
+                            run(ctx).map_err(|e| e.to_string())
+                        })
+                    }
+                },
+            }
         })
         .collect();
-    run_supervised(&cfg.pool(tel), jobs, |idx, status| {
-        let (label, tags) = &metas[idx];
+    if unspecced > 0 {
+        eprintln!(
+            "warning: {unspecced} cell(s) carry no spec and run in-process despite --isolate"
+        );
+    }
+
+    let mut out = run_supervised(&cfg.pool(tel), jobs, |idx, status| {
+        let (label, tags, seed) = &metas[idx];
+        // A sentinel skip is a ledger replay: substitute the committed
+        // outcome so telemetry, stderr, and on_ok all reproduce verbatim.
+        let restored: Option<JobStatus<T>> = match status {
+            JobStatus::Skipped { reason } if reason == LEDGER_RESTORED => {
+                let row = restored_rows[idx]
+                    .as_ref()
+                    .unwrap_or_else(|| refuse_resume("ledger replay lost its row", label));
+                Some(
+                    restore_status(row)
+                        .unwrap_or_else(|e| refuse_resume("cannot replay ledger row", e)),
+                )
+            }
+            _ => None,
+        };
+        let replayed = restored.is_some();
+        let status = restored.as_ref().unwrap_or(status);
         let mut full: Vec<(&str, &str)> =
             tags.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
         match status {
@@ -355,8 +650,29 @@ pub fn run_sweep<T: Send + 'static>(
                 eprintln!("cell skipped ({label}): {reason}");
             }
         }
+        // Replayed cells are already in the ledger; fresh commits append
+        // (and flush) before the next cell can commit, so a SIGKILL between
+        // cells never loses a committed outcome.
+        if !replayed {
+            if let Some(ledger) = &mut ledger {
+                let row = ledger_cell_row(stage, idx, label, *seed, status);
+                if let Err(e) = ledger.append_row(&row) {
+                    eprintln!("warning: ledger append failed ({e}); resume may re-run this cell");
+                }
+            }
+        }
         report.tally(status);
-    })
+    });
+
+    // The returned statuses must also carry the replayed outcomes (the
+    // pool only saw sentinel skips for them).
+    for (idx, slot) in out.iter_mut().enumerate() {
+        if let Some(row) = &restored_rows[idx] {
+            *slot = restore_status(row)
+                .unwrap_or_else(|e| refuse_resume("cannot replay ledger row", e));
+        }
+    }
+    out
 }
 
 /// The skip reason a dependent cell carries when its dependency stage
@@ -494,5 +810,123 @@ mod tests {
             dep_skip_reason::<u8>(&JobStatus::Timeout { attempts: 1 }),
             Some("victim_timeout".into())
         );
+    }
+
+    #[test]
+    fn from_sources_parses_isolate_and_resume() {
+        let cfg = SweepConfig::from_sources(["--isolate".into(), "--resume".into()], no_env);
+        assert!(cfg.isolate);
+        assert!(cfg.resume);
+        let cfg = SweepConfig::from_sources(std::iter::empty(), |key| match key {
+            "IMAP_ISOLATE" => Some("1".into()),
+            _ => None,
+        });
+        assert!(cfg.isolate, "IMAP_ISOLATE=1 turns isolation on");
+        let cfg = SweepConfig::from_sources(std::iter::empty(), |key| match key {
+            "IMAP_ISOLATE" => Some("false".into()),
+            _ => None,
+        });
+        assert!(!cfg.isolate, "IMAP_ISOLATE=false stays in-process");
+        assert!(!cfg.resume);
+        let defaults = SweepConfig::default();
+        assert!(!defaults.isolate);
+        assert!(!defaults.resume);
+        assert!(defaults.child_exe.is_none());
+    }
+
+    /// The resume contract, end to end in-process: a sweep writes its
+    /// ledger next to the telemetry artifacts; a second run over the same
+    /// grid with `resume` on replays every committed outcome — failures
+    /// included — without re-running a single cell, and its telemetry
+    /// rows and returned statuses match the first run's verbatim.
+    #[test]
+    fn resume_replays_committed_cells_without_rerunning() {
+        use std::sync::atomic::AtomicU32;
+
+        use imap_telemetry::RunManifest;
+
+        let dir = std::env::temp_dir().join(format!("imap-exec-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let runs = Arc::new(AtomicU32::new(0));
+        let make_cells = |runs: &Arc<AtomicU32>| {
+            let r1 = runs.clone();
+            let r2 = runs.clone();
+            vec![
+                SweepCell::new("good", &[("cell", "good")], 1, move |ctx: &JobCtx| {
+                    r1.fetch_add(1, Ordering::SeqCst);
+                    Ok(ctx.seed ^ 0xbeef)
+                }),
+                SweepCell::new("bad", &[("cell", "bad")], 2, move |_: &JobCtx| {
+                    r2.fetch_add(1, Ordering::SeqCst);
+                    Err::<u64, _>(NnError::Numeric {
+                        context: "injected".into(),
+                    })
+                }),
+                SweepCell::skipped("dep", &[("cell", "dep")], "victim_error"),
+            ]
+        };
+        let mut cfg = SweepConfig {
+            jobs: 1,
+            max_attempts: 1,
+            ..SweepConfig::default()
+        };
+        quick(&mut cfg);
+
+        let manifest = RunManifest::new("exec-resume", "test", "test", 0);
+        let tel = Telemetry::jsonl(&dir, &manifest).expect("jsonl telemetry");
+        let mut report = SweepReport::default();
+        let mut first_oks = Vec::new();
+        let first = run_sweep(&tel, &cfg, make_cells(&runs), &mut report, |tags, v| {
+            first_oks.push((own_tags(tags), *v));
+        });
+        drop(tel);
+        assert_eq!(runs.load(Ordering::SeqCst), 2, "both live cells ran once");
+        let ledger = std::fs::read_to_string(dir.join(LEDGER_FILE)).expect("ledger written");
+        assert!(ledger.lines().count() >= 4, "header + three cell rows");
+
+        // Same grid, fresh config (stage counter restarts at 0), resume on.
+        let mut cfg = SweepConfig {
+            jobs: 1,
+            max_attempts: 1,
+            resume: true,
+            ..SweepConfig::default()
+        };
+        quick(&mut cfg);
+        let tel = Telemetry::jsonl(&dir, &manifest).expect("jsonl telemetry");
+        let mut replay_report = SweepReport::default();
+        let mut replay_oks = Vec::new();
+        let second = run_sweep(
+            &tel,
+            &cfg,
+            make_cells(&runs),
+            &mut replay_report,
+            |tags, v| {
+                replay_oks.push((own_tags(tags), *v));
+            },
+        );
+        drop(tel);
+        assert_eq!(
+            runs.load(Ordering::SeqCst),
+            2,
+            "resume must not re-run committed cells"
+        );
+        assert_eq!(replay_report, report, "replayed tallies match");
+        assert_eq!(replay_oks, first_oks, "replayed on_ok calls match");
+        assert_eq!(second.len(), first.len());
+        match (&first[0], &second[0]) {
+            (JobStatus::Ok(a), JobStatus::Ok(b)) => assert_eq!(a, b),
+            other => panic!("good cell must replay as Ok, got {other:?}"),
+        }
+        match &second[1] {
+            JobStatus::Error { message, .. } => {
+                assert!(message.contains("injected"), "failure replays verbatim")
+            }
+            other => panic!("bad cell must replay as Error, got {other:?}"),
+        }
+        assert!(
+            matches!(&second[2], JobStatus::Skipped { reason } if reason == "victim_error"),
+            "real skips replay with their original reason"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -28,15 +28,19 @@ use imap_rl::{GaussianPolicy, PpoConfig, Progress, ResilienceConfig, TrainConfig
 use imap_telemetry::{RunManifest, Telemetry};
 use rand::SeedableRng;
 
+pub mod cells;
 pub mod exec;
 pub mod golden;
 pub mod table1;
 
 /// Compute budget for an experiment run.
-#[derive(Debug, Clone)]
+///
+/// Serializable so isolated cells can ship their budget to the child
+/// process inside the cell spec ([`cells::CellSpec`]).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct Budget {
     /// Human-readable name ("quick" / "full").
-    pub name: &'static str,
+    pub name: String,
     /// Victim-training budget.
     pub victim: VictimBudget,
     /// Attack-training PPO iterations.
@@ -55,7 +59,7 @@ impl Budget {
     /// The quick (default) budget.
     pub fn quick() -> Self {
         Budget {
-            name: "quick",
+            name: "quick".into(),
             victim: VictimBudget::quick(),
             attack_iters: 40,
             attack_steps: 2048,
@@ -68,7 +72,7 @@ impl Budget {
     /// The full budget.
     pub fn full() -> Self {
         Budget {
-            name: "full",
+            name: "full".into(),
             victim: VictimBudget::full(),
             attack_iters: 80,
             attack_steps: 4096,
@@ -188,6 +192,37 @@ impl AttackKind {
         v.extend(RegularizerKind::ALL.into_iter().map(AttackKind::Imap));
         v
     }
+
+    /// A stable wire code for cell specs (`no-attack`, `imap-PC`,
+    /// `imap-br-R`, …). [`AttackKind::from_code`] inverts it.
+    pub fn code(self) -> String {
+        match self {
+            AttackKind::NoAttack => "no-attack".into(),
+            AttackKind::Random => "random".into(),
+            AttackKind::SaRl => "sa-rl".into(),
+            AttackKind::Imap(k) => format!("imap-{}", k.short_name()),
+            AttackKind::ImapBr(k) => format!("imap-br-{}", k.short_name()),
+        }
+    }
+
+    /// Parses an [`AttackKind::code`] back; `None` for unknown codes.
+    pub fn from_code(code: &str) -> Option<AttackKind> {
+        match code {
+            "no-attack" => return Some(AttackKind::NoAttack),
+            "random" => return Some(AttackKind::Random),
+            "sa-rl" => return Some(AttackKind::SaRl),
+            _ => {}
+        }
+        for k in RegularizerKind::ALL {
+            if code == format!("imap-{}", k.short_name()) {
+                return Some(AttackKind::Imap(k));
+            }
+            if code == format!("imap-br-{}", k.short_name()) {
+                return Some(AttackKind::ImapBr(k));
+            }
+        }
+        None
+    }
 }
 
 /// Root of the on-disk experiment caches: `IMAP_CACHE_DIR` when set,
@@ -222,6 +257,12 @@ impl VictimCache {
             dir,
             mem: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// The cache's on-disk root — cell specs carry it so an isolated child
+    /// process opens the *same* cache as its parent.
+    pub fn dir(&self) -> &std::path::Path {
+        &self.dir
     }
 
     fn key(task: TaskId, method: DefenseMethod, budget: &Budget, seed: u64) -> String {
@@ -593,6 +634,12 @@ impl CellCache {
         CellCache { dir }
     }
 
+    /// The cache's on-disk root — cell specs carry it so an isolated child
+    /// process opens the *same* cache as its parent.
+    pub fn dir(&self) -> &std::path::Path {
+        &self.dir
+    }
+
     fn path(&self, key: &str) -> PathBuf {
         self.dir.join(format!("{key}.json"))
     }
@@ -670,6 +717,157 @@ pub fn run_multi_attack_cell_cached(
             eval,
             curve: outcome.map(|o| o.curve).unwrap_or_default(),
         })
+    })
+}
+
+/// Runs one Figure 6 single-agent cell: IMAP-PC+BR with an explicit dual
+/// step size η. Shared by the `fig6` closure and the isolated-cell
+/// executor so both paths stay bitwise-identical.
+pub fn run_br_attack_cell(
+    task: TaskId,
+    victim: &GaussianPolicy,
+    eta: f64,
+    budget: &Budget,
+    seed: u64,
+    progress: &Progress,
+) -> Result<CellResult, NnError> {
+    let mut train = budget.attack_train(seed);
+    train.resilience.progress = progress.clone();
+    let cfg = ImapConfig::imap(
+        train,
+        RegularizerConfig::new(RegularizerKind::PolicyCoverage),
+    )
+    .with_br(eta);
+    let mut env = PerturbationEnv::new(build_task(task), victim.clone(), task.spec().eps);
+    let out = ImapTrainer::new(cfg).train(&mut env, None)?;
+    imap_rl::heartbeat(progress)?;
+    let mut rng = EnvRng::seed_from_u64(seed ^ 0xf16);
+    let eval = imap_core::eval::eval_under_attack(
+        build_task(task),
+        victim,
+        Attacker::Policy(&out.policy),
+        task.spec().eps,
+        budget.eval_episodes,
+        &mut rng,
+    )?;
+    Ok(CellResult {
+        eval,
+        curve: out.curve,
+    })
+}
+
+/// Runs one Figure 6 multi-agent cell: IMAP-PC+BR over an [`OpponentEnv`]
+/// with an explicit η. Shared by the `fig6` closure and the isolated-cell
+/// executor.
+pub fn run_marl_br_attack_cell(
+    game: MultiTaskId,
+    victim: &GaussianPolicy,
+    eta: f64,
+    budget: &Budget,
+    seed: u64,
+    progress: &Progress,
+) -> Result<CellResult, NnError> {
+    let mut rc = RegularizerConfig::new(RegularizerKind::PolicyCoverage);
+    let mut env = OpponentEnv::new(build_multi_task(game), victim.clone());
+    rc.marginal_split = Some(env.summary_split());
+    rc.xi = default_xi();
+    let mut train = TrainConfig {
+        iterations: budget.marl_attack_iters,
+        ..budget.attack_train(seed)
+    };
+    train.resilience.progress = progress.clone();
+    let cfg = ImapConfig::imap(train, rc)
+        .with_intrinsic_scale(marl_intrinsic_scale())
+        .with_br(eta);
+    let out = ImapTrainer::new(cfg).train(&mut env, None)?;
+    imap_rl::heartbeat(progress)?;
+    let mut rng = EnvRng::seed_from_u64(seed ^ 0xf17);
+    let eval = eval_multi_attack(
+        build_multi_task(game),
+        victim,
+        Attacker::Policy(&out.policy),
+        budget.eval_episodes,
+        &mut rng,
+    )?;
+    Ok(CellResult {
+        eval,
+        curve: out.curve,
+    })
+}
+
+/// One design-choice knob turned per `ablate` cell; everything else stays
+/// at the defaults.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AblateVariant {
+    /// KNN neighbourhood size of the density estimators.
+    Knn(usize),
+    /// Union-buffer capacity behind the PC regularizer.
+    UnionCap(usize),
+    /// Intrinsic-advantage scale (the τ-calibration knob).
+    IntrinsicScale(f64),
+}
+
+impl AblateVariant {
+    /// Wire encoding for cell specs: a `(mode, value)` pair.
+    pub fn code(self) -> (&'static str, f64) {
+        match self {
+            AblateVariant::Knn(k) => ("knn", k as f64),
+            AblateVariant::UnionCap(cap) => ("union_cap", cap as f64),
+            AblateVariant::IntrinsicScale(s) => ("intrinsic_scale", s),
+        }
+    }
+
+    /// Parses an [`AblateVariant::code`] pair back; `None` for unknown
+    /// modes.
+    pub fn from_code(mode: &str, value: f64) -> Option<Self> {
+        match mode {
+            "knn" => Some(AblateVariant::Knn(value as usize)),
+            "union_cap" => Some(AblateVariant::UnionCap(value as usize)),
+            "intrinsic_scale" => Some(AblateVariant::IntrinsicScale(value)),
+            _ => None,
+        }
+    }
+}
+
+/// Runs one `ablate` cell: IMAP-PC with a single [`AblateVariant`] knob
+/// turned. Shared by the `ablate` closure and the isolated-cell executor.
+pub fn run_ablate_cell(
+    task: TaskId,
+    victim: &GaussianPolicy,
+    variant: AblateVariant,
+    budget: &Budget,
+    seed: u64,
+    progress: &Progress,
+) -> Result<CellResult, NnError> {
+    let eps = task.spec().eps;
+    let mut rc = RegularizerConfig::new(RegularizerKind::PolicyCoverage);
+    let mut scale = None;
+    match variant {
+        AblateVariant::Knn(k) => rc.k = k,
+        AblateVariant::UnionCap(cap) => rc.union_cap = cap,
+        AblateVariant::IntrinsicScale(s) => scale = Some(s),
+    }
+    let mut train = budget.attack_train(seed);
+    train.resilience.progress = progress.clone();
+    let mut cfg = ImapConfig::imap(train, rc);
+    if let Some(s) = scale {
+        cfg = cfg.with_intrinsic_scale(s);
+    }
+    let mut env = PerturbationEnv::new(build_task(task), victim.clone(), eps);
+    let out = ImapTrainer::new(cfg).train(&mut env, None)?;
+    imap_rl::heartbeat(progress)?;
+    let mut rng = EnvRng::seed_from_u64(seed ^ 0xab1a);
+    let eval = imap_core::eval::eval_under_attack(
+        build_task(task),
+        victim,
+        Attacker::Policy(&out.policy),
+        eps,
+        budget.eval_episodes,
+        &mut rng,
+    )?;
+    Ok(CellResult {
+        eval,
+        curve: out.curve,
     })
 }
 
@@ -970,6 +1168,31 @@ mod tests {
             .filter(|r| r.phase == "cell" && r.tags.get("status").map(String::as_str) == Some("ok"))
             .count();
         assert_eq!(oks, 2, "surviving cells still record normally");
+    }
+
+    #[test]
+    fn attack_kind_codes_roundtrip() {
+        let mut kinds = vec![AttackKind::NoAttack, AttackKind::Random, AttackKind::SaRl];
+        kinds.extend(RegularizerKind::ALL.into_iter().map(AttackKind::Imap));
+        kinds.extend(RegularizerKind::ALL.into_iter().map(AttackKind::ImapBr));
+        for kind in kinds {
+            assert_eq!(AttackKind::from_code(&kind.code()), Some(kind));
+        }
+        assert_eq!(AttackKind::from_code("imap-XX"), None);
+        assert_eq!(AttackKind::from_code(""), None);
+    }
+
+    #[test]
+    fn ablate_variant_codes_roundtrip() {
+        for v in [
+            AblateVariant::Knn(10),
+            AblateVariant::UnionCap(5_000),
+            AblateVariant::IntrinsicScale(0.5),
+        ] {
+            let (mode, value) = v.code();
+            assert_eq!(AblateVariant::from_code(mode, value), Some(v));
+        }
+        assert_eq!(AblateVariant::from_code("nope", 1.0), None);
     }
 
     #[test]

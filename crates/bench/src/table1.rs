@@ -14,6 +14,7 @@ use imap_harness::JobStatus;
 use imap_rl::GaussianPolicy;
 use imap_telemetry::Telemetry;
 
+use crate::cells::CellSpec;
 use crate::exec::{dep_skip_reason, run_sweep, SweepCell, SweepConfig, SweepReport};
 use crate::{
     cell, format_row, record_cell, run_attack_cell_cached, AttackKind, Budget, CellCache,
@@ -118,6 +119,7 @@ pub fn run(tel: &Telemetry, opts: &Table1Options, report: &mut SweepReport) -> S
             ];
             let tel = tel.clone();
             let victims = Arc::clone(&opts.victims);
+            let spec = CellSpec::victim(task, method, budget, &opts.victims);
             let budget = budget.clone();
             SweepCell::new(
                 format!("victim {} {}", task.spec().name, method.name()),
@@ -128,6 +130,7 @@ pub fn run(tel: &Telemetry, opts: &Table1Options, report: &mut SweepReport) -> S
                     victims.victim_supervised(&tel, task, method, &budget, ctx.seed, &ctx.progress)
                 },
             )
+            .isolated(&spec)
         })
         .collect();
     let victim_out = run_sweep(tel, &opts.sweep, victim_cells, report, |_, _| {});
@@ -157,6 +160,8 @@ pub fn run(tel: &Telemetry, opts: &Table1Options, report: &mut SweepReport) -> S
                         let tel = tel.clone();
                         let victim = Arc::clone(victim);
                         let cells = Arc::clone(&opts.cells);
+                        let spec =
+                            CellSpec::attack(task, method, &victim, kind, budget, &opts.cells);
                         let budget = budget.clone();
                         SweepCell::new(cell_label, &tags, opts.seed, move |ctx| {
                             let _t = tel.span("attack_cell");
@@ -171,6 +176,7 @@ pub fn run(tel: &Telemetry, opts: &Table1Options, report: &mut SweepReport) -> S
                                 &ctx.progress,
                             )
                         })
+                        .isolated(&spec)
                     }
                     (_, reason) => SweepCell::skipped(
                         cell_label,

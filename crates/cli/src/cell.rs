@@ -1,0 +1,130 @@
+//! The hidden `imap run-cell` subcommand: the CLI's process-isolated cell
+//! server.
+//!
+//! The CLI runs no sweeps of its own, so its cell handler is a small
+//! diagnostic "probe" vocabulary rather than a benchmark grid: each op
+//! exercises one leg of the parent↔child protocol (result round-trip,
+//! in-band panic reports, signal classification, the cancel→kill ladder,
+//! heartbeat forwarding, telemetry re-parenting, and the stderr tail).
+//! `crates/cli/tests/isolation.rs` drives these ops against the real `imap`
+//! binary because the libtest harness owns `argv[1]`, so a `cargo test`
+//! binary cannot serve `run-cell` itself.
+
+use std::time::Duration;
+
+use imap_harness::{serve_child, JobCtx, RUN_CELL_SUBCOMMAND};
+use imap_telemetry::Telemetry;
+
+/// What a probe spec decodes to. `op` selects the behaviour; the other
+/// fields parameterize it and default when absent.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+struct ProbeSpec {
+    /// `echo`, `metric`, `busy`, `stderr`, `fail`, `panic`, `abort`,
+    /// `hang` (cooperative: exits on cancel), or `hang_hard` (ignores
+    /// cancel; only SIGKILL ends it).
+    op: String,
+    /// Free-form text echoed back, written to stderr, or used as the
+    /// panic/failure message.
+    #[serde(default)]
+    payload: String,
+    /// Duration knob for `busy`, in milliseconds.
+    #[serde(default)]
+    millis: u64,
+}
+
+/// Serves `imap run-cell` and never returns if `argv[1]` selects it; a
+/// normal invocation falls straight through. Must run before argument
+/// parsing so the hidden subcommand stays invisible to `--help` and co.
+pub fn maybe_serve_run_cell() {
+    if std::env::args().nth(1).as_deref() != Some(RUN_CELL_SUBCOMMAND) {
+        return;
+    }
+    serve_child(execute)
+}
+
+/// Decodes and runs one probe spec inside the child process.
+fn execute(
+    spec: &serde_json::Value,
+    ctx: &JobCtx,
+    tel: &Telemetry,
+) -> Result<serde_json::Value, String> {
+    // The stub serde_json has no `from_value`; a string round-trip decodes
+    // identically under both it and the real crate.
+    let text = serde_json::to_string(spec).map_err(|e| format!("re-encode probe spec: {e}"))?;
+    let spec: ProbeSpec =
+        serde_json::from_str(&text).map_err(|e| format!("bad probe spec: {e}"))?;
+    match spec.op.as_str() {
+        "echo" => {
+            ctx.progress.beat();
+            serde_json::to_value(&format!("{}:{:016x}", spec.payload, ctx.seed))
+                .map_err(|e| format!("encode echo result: {e}"))
+        }
+        "metric" => {
+            // One row through the child's frame recorder; the parent must
+            // re-parent it into its own sinks under its own run id.
+            tel.record_full(
+                "probe",
+                ctx.seed,
+                &[("value", 1.0)],
+                &[("attempt", ctx.attempt as u64)],
+                &[("op", "metric"), ("payload", spec.payload.as_str())],
+            );
+            ctx.progress.beat();
+            serde_json::to_value(&"recorded".to_string())
+                .map_err(|e| format!("encode metric result: {e}"))
+        }
+        "busy" => {
+            // Beats for `millis` in 5 ms slices: longer than a short stall
+            // timeout in wall time, but never stalled.
+            let slices = spec.millis / 5;
+            for _ in 0..slices {
+                if ctx.cancel.is_cancelled() {
+                    return Err("cancelled mid-busy".into());
+                }
+                ctx.progress.beat();
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            serde_json::to_value(&format!("busy:{}ms", spec.millis))
+                .map_err(|e| format!("encode busy result: {e}"))
+        }
+        "stderr" => {
+            eprintln!("{}", spec.payload);
+            Err("probe failed after writing stderr".into())
+        }
+        "fail" => Err(if spec.payload.is_empty() {
+            "probe failure".into()
+        } else {
+            spec.payload
+        }),
+        "panic" => {
+            if spec.payload.is_empty() {
+                panic!("probe panic");
+            }
+            panic!("{}", spec.payload);
+        }
+        "abort" => {
+            eprintln!("{}", spec.payload);
+            // SIGABRT: no unwinding, no in-band report — the parent must
+            // classify the death from the wait status.
+            std::process::abort();
+        }
+        "hang" => {
+            // Cooperative hang: no beats (so the stall watchdog trips),
+            // but honours cancellation, which arrives as stdin EOF.
+            loop {
+                if ctx.cancel.is_cancelled() {
+                    return Err("cancelled while hanging".into());
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+        "hang_hard" => {
+            // No beats, no cancel check: only the supervisor's SIGKILL
+            // ends this cell.
+            loop {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+        other => Err(format!("unknown probe op {other:?}")),
+    }
+}

@@ -16,7 +16,9 @@
 //! library API.
 
 pub mod args;
+pub mod cell;
 pub mod commands;
 
 pub use args::{ArgError, Args};
+pub use cell::maybe_serve_run_cell;
 pub use commands::{dispatch, CliError};

@@ -3,6 +3,9 @@
 use imap_cli::{dispatch, Args};
 
 fn main() {
+    // Serve `imap run-cell` (the process-isolation protocol's hidden child
+    // mode) and never return if so; a normal invocation falls through.
+    imap_cli::maybe_serve_run_cell();
     let args = Args::parse(std::env::args().skip(1));
     if let Err(e) = dispatch(&args) {
         eprintln!("{e}");

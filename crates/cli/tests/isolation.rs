@@ -1,0 +1,224 @@
+//! Process-isolation protocol tests, driven against the real `imap`
+//! binary's hidden `run-cell` subcommand.
+//!
+//! Each test hand-builds a [`JobCtx`] and calls
+//! [`imap_harness::run_cell_in_child`] directly, exercising one leg of the
+//! parent↔child contract: result round-trip, in-band panic reports, signal
+//! classification, the cancel→stdin-close→SIGKILL ladder, the pool's
+//! abandonment `KillSwitch`, heartbeat forwarding, telemetry re-parenting,
+//! and the captured stderr tail.
+
+#![allow(clippy::unwrap_used)]
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use imap_harness::{
+    cancel_after, run_cell_in_child, CancelToken, CellRequest, ChildConfig, JobCtx, KillSwitch,
+    Progress,
+};
+use imap_telemetry::Telemetry;
+
+const BIN: &str = env!("CARGO_BIN_EXE_imap");
+
+/// A probe request for the CLI's diagnostic cell handler.
+fn probe(op: &str, payload: &str, millis: u64, seed: u64) -> CellRequest {
+    #[derive(serde::Serialize)]
+    struct Spec {
+        op: String,
+        payload: String,
+        millis: u64,
+    }
+    let spec = serde_json::to_value(&Spec {
+        op: op.into(),
+        payload: payload.into(),
+        millis,
+    })
+    .unwrap();
+    CellRequest {
+        label: format!("probe-{op}"),
+        index: 0,
+        attempt: 0,
+        seed,
+        run_id: "isolation-test".into(),
+        spec,
+    }
+}
+
+fn ctx(seed: u64) -> JobCtx {
+    JobCtx {
+        index: 0,
+        attempt: 0,
+        seed,
+        cancel: CancelToken::new(),
+        progress: Progress::supervised(CancelToken::new()),
+        kill: KillSwitch::new(),
+    }
+}
+
+fn config(tel: &Telemetry, hard_grace: Duration) -> ChildConfig {
+    ChildConfig {
+        exe: PathBuf::from(BIN),
+        hard_grace,
+        telemetry: tel.clone(),
+    }
+}
+
+#[test]
+fn ok_result_round_trips_with_the_request_seed() {
+    let (tel, _) = Telemetry::memory("iso-echo");
+    let cfg = config(&tel, Duration::from_secs(5));
+    let ctx = ctx(0x1234);
+    let out = run_cell_in_child(&cfg, &probe("echo", "hello", 0, 0x1234), &ctx).unwrap();
+    let text: String = serde_json::from_str(&serde_json::to_string(&out).unwrap()).unwrap();
+    assert_eq!(text, "hello:0000000000001234");
+    // (No beat assertion here: an instant cell can finish before the
+    // child's 25 ms beat pump ever samples; `busy` covers forwarding.)
+    assert!(
+        !ctx.kill.is_armed(),
+        "the kill switch must be disarmed once the child is reaped"
+    );
+}
+
+#[test]
+fn panic_is_reported_in_band() {
+    let (tel, _) = Telemetry::memory("iso-panic");
+    let cfg = config(&tel, Duration::from_secs(5));
+    let err = run_cell_in_child(&cfg, &probe("panic", "boom-7af3", 0, 1), &ctx(1)).unwrap_err();
+    assert!(
+        err.contains("panic: boom-7af3"),
+        "panic message must survive in-band, got: {err}"
+    );
+    assert!(
+        !err.contains("killed by signal"),
+        "a caught panic is not a signal death, got: {err}"
+    );
+}
+
+#[test]
+fn abort_is_classified_by_signal_with_stderr_tail() {
+    let (tel, _) = Telemetry::memory("iso-abort");
+    let cfg = config(&tel, Duration::from_secs(5));
+    let err =
+        run_cell_in_child(&cfg, &probe("abort", "last words 9c1e", 0, 2), &ctx(2)).unwrap_err();
+    assert!(
+        err.contains("killed by signal 6"),
+        "SIGABRT must be classified from the wait status, got: {err}"
+    );
+    assert!(
+        err.contains("child stderr") && err.contains("last words 9c1e"),
+        "the stderr tail must ride along on the error row, got: {err}"
+    );
+}
+
+#[test]
+fn failed_cell_error_carries_the_stderr_tail() {
+    let (tel, _) = Telemetry::memory("iso-stderr");
+    let cfg = config(&tel, Duration::from_secs(5));
+    let err =
+        run_cell_in_child(&cfg, &probe("stderr", "diagnostic 55e0", 0, 3), &ctx(3)).unwrap_err();
+    assert!(
+        err.contains("probe failed after writing stderr"),
+        "in-band error text must lead, got: {err}"
+    );
+    assert!(
+        err.contains("diagnostic 55e0"),
+        "stderr content must be appended, got: {err}"
+    );
+}
+
+#[test]
+fn cooperative_hang_exits_on_stdin_close() {
+    let (tel, _) = Telemetry::memory("iso-hang");
+    // Generous grace: the cooperative path must win, not the SIGKILL.
+    let cfg = config(&tel, Duration::from_secs(30));
+    let ctx = ctx(4);
+    cancel_after(ctx.cancel.clone(), Duration::from_millis(300));
+    let start = Instant::now();
+    let err = run_cell_in_child(&cfg, &probe("hang", "", 0, 4), &ctx).unwrap_err();
+    assert!(
+        err.contains("cancelled while hanging"),
+        "the child must observe stdin EOF as cancellation, got: {err}"
+    );
+    assert!(
+        start.elapsed() < Duration::from_secs(20),
+        "cooperative cancel must not wait for the hard grace"
+    );
+}
+
+#[test]
+fn hard_hang_is_sigkilled_after_the_grace() {
+    let (tel, _) = Telemetry::memory("iso-hang-hard");
+    let cfg = config(&tel, Duration::from_millis(400));
+    let ctx = ctx(5);
+    cancel_after(ctx.cancel.clone(), Duration::from_millis(200));
+    let err = run_cell_in_child(&cfg, &probe("hang_hard", "", 0, 5), &ctx).unwrap_err();
+    assert!(
+        err.contains("killed by signal 9"),
+        "a cancel-deaf child must die by SIGKILL, got: {err}"
+    );
+}
+
+#[test]
+fn abandonment_kill_switch_reaps_the_child() {
+    let (tel, _) = Telemetry::memory("iso-kill-switch");
+    // No cancellation at all: only the pool's abandonment path fires.
+    let cfg = config(&tel, Duration::from_secs(30));
+    let ctx = ctx(6);
+    {
+        let kill = ctx.kill.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(300));
+            assert!(kill.fire(), "the isolated runner must arm the switch");
+        });
+    }
+    let start = Instant::now();
+    let err = run_cell_in_child(&cfg, &probe("hang_hard", "", 0, 6), &ctx).unwrap_err();
+    assert!(
+        err.contains("killed by signal 9"),
+        "the kill switch must SIGKILL the child, got: {err}"
+    );
+    assert!(
+        start.elapsed() < Duration::from_secs(20),
+        "abandonment must not wait for cooperative grace"
+    );
+}
+
+#[test]
+fn child_metric_rows_reparent_into_the_parent_run() {
+    let (tel, sink) = Telemetry::memory("parent-run-id");
+    let cfg = config(&tel, Duration::from_secs(5));
+    let out = run_cell_in_child(&cfg, &probe("metric", "tagged-4b2d", 0, 7), &ctx(7)).unwrap();
+    let text: String = serde_json::from_str(&serde_json::to_string(&out).unwrap()).unwrap();
+    assert_eq!(text, "recorded");
+    let rows = sink.rows();
+    let row = rows
+        .iter()
+        .find(|r| r.phase == "probe")
+        .expect("the child's metric row must land in the parent's sink");
+    assert_eq!(
+        row.run_id, "parent-run-id",
+        "re-parented rows must be re-stamped with the parent's run id"
+    );
+    assert_eq!(
+        row.tags.get("payload").map(String::as_str),
+        Some("tagged-4b2d")
+    );
+}
+
+#[test]
+fn busy_cell_outlives_a_short_stall_window_by_beating() {
+    let (tel, _) = Telemetry::memory("iso-busy");
+    let cfg = config(&tel, Duration::from_secs(5));
+    let ctx = ctx(8);
+    // Cancel fires well after the cell finishes; the point is that 300 ms
+    // of work produces a steady beat stream, not a stall.
+    let out = run_cell_in_child(&cfg, &probe("busy", "", 300, 8), &ctx).unwrap();
+    let text: String = serde_json::from_str(&serde_json::to_string(&out).unwrap()).unwrap();
+    assert_eq!(text, "busy:300ms");
+    assert!(
+        ctx.progress.beats() >= 2,
+        "a long busy cell must beat repeatedly (saw {})",
+        ctx.progress.beats()
+    );
+}

@@ -54,7 +54,10 @@ impl DefenseMethod {
 }
 
 /// How much compute to spend on each victim.
-#[derive(Debug, Clone)]
+///
+/// Serializable so bench cell specs can ship a whole budget to a
+/// process-isolated cell executor.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct VictimBudget {
     /// PPO iterations for the base/victim loop.
     pub iterations: usize,

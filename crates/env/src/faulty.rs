@@ -32,6 +32,16 @@ pub enum FaultKind {
     /// [`Env::step`] sleeps for the given duration before stepping
     /// normally (models a degraded simulator; dynamics are unchanged).
     SlowStep(Duration),
+    /// `std::process::abort()` inside [`Env::step`] (models a native-code
+    /// crash — a segfaulting simulator binding). Unlike [`FaultKind::Panic`]
+    /// this cannot be contained by `catch_unwind`: the process dies
+    /// immediately, so only the process-isolation layer survives it. Only
+    /// meaningful inside a sacrificial child process.
+    Abort,
+    /// Leaks a heap allocation of the given size on every firing (models a
+    /// cell whose memory footprint grows without bound). The leak is real
+    /// (`Box::leak`) but bounded by `max_fires`; dynamics are unchanged.
+    LeakMemory(usize),
 }
 
 /// When and how often the fault fires.
@@ -147,6 +157,21 @@ impl<E: Env> Env for FaultyEnv<E> {
                 std::thread::sleep(delay);
                 self.inner.step(action, rng)
             }
+            FaultKind::Abort => {
+                eprintln!(
+                    "injected fault: aborting process at step {} (simulated native crash)",
+                    self.steps
+                );
+                std::process::abort();
+            }
+            FaultKind::LeakMemory(bytes) => {
+                // A real, intentional leak: the chunk is written so the
+                // pages are actually committed, then deliberately never
+                // freed. Bounded by the plan's max_fires.
+                let chunk: Vec<u8> = vec![0xab; bytes.max(1)];
+                let _leaked: &'static mut [u8] = Box::leak(chunk.into_boxed_slice());
+                self.inner.step(action, rng)
+            }
             FaultKind::NanObservation => {
                 let mut step = self.inner.step(action, rng);
                 for v in &mut step.obs {
@@ -260,6 +285,29 @@ mod tests {
         let result = worker.join().expect("worker thread must not be wedged");
         assert!(result.is_err(), "cancelled hang must panic out of step()");
     }
+
+    #[test]
+    fn leak_memory_preserves_dynamics_and_counts_fires() {
+        let mut plain = Hopper::new();
+        let mut leaky = FaultyEnv::new(
+            Hopper::new(),
+            FaultPlan {
+                kind: FaultKind::LeakMemory(4096),
+                at_step: 2,
+                max_fires: 3,
+            },
+        );
+        let mut rng1 = EnvRng::seed_from_u64(11);
+        let mut rng2 = EnvRng::seed_from_u64(11);
+        let a = roll(&mut plain, &mut rng1, 8);
+        let b = roll(&mut leaky, &mut rng2, 8);
+        assert_eq!(a, b, "LeakMemory must not perturb the trajectory");
+        assert_eq!(leaky.fires(), 3, "the leak is bounded by max_fires");
+    }
+
+    // FaultKind::Abort is deliberately untestable in-process — abort()
+    // cannot be caught — so its coverage lives in the isolation-layer
+    // integration tests, where a sacrificial child process absorbs it.
 
     #[test]
     fn unlimited_fires_keep_firing() {

@@ -1,0 +1,638 @@
+//! The crash-proof resumable sweep ledger.
+//!
+//! A sweep writes one append-only `ledger.jsonl` next to its other
+//! artifacts. Each stage of the sweep contributes a *stage header* row
+//! (stage ordinal, a fingerprint of the cell grid, the cell count) and one
+//! *cell* row per committed cell (index, seed, final status, the serialized
+//! payload for `ok` cells, and an FNV-1a checksum over the row's content).
+//! Rows are flushed to disk as they are committed, so a SIGKILLed sweep
+//! leaves at worst one torn final line.
+//!
+//! Invariants the reader enforces:
+//!
+//! 1. **Torn tail tolerance** — a truncated *final* line (the crash case)
+//!    is dropped with a warning; a malformed line anywhere *else* is
+//!    corruption and a hard [`LedgerError::Corrupt`].
+//! 2. **Fingerprint pinning** — every stage header for stage `s` must carry
+//!    the fingerprint of the grid being resumed; a mismatch means the sweep
+//!    spec changed (different cells, seeds, or order) and resuming would
+//!    silently mix incompatible results, so it is refused loudly
+//!    ([`LedgerError::FingerprintMismatch`]).
+//! 3. **Checksummed cells** — each cell row carries a checksum over its
+//!    own content; a row that fails verification is corruption.
+//!
+//! Within a stage, the last row for a given index wins (re-running a cell
+//! appends; nothing is ever rewritten in place).
+
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use crate::retry::fnv1a;
+
+/// One line of `ledger.jsonl`. A single flat schema covers both row kinds
+/// (`row == "stage"` headers and `row == "cell"` commits); absent fields
+/// are omitted from the JSON.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LedgerRow {
+    /// Row kind: `"stage"` or `"cell"`.
+    pub row: String,
+    /// Stage ordinal within the sweep (0-based, in `run_sweep` call order).
+    pub stage: u64,
+    /// Stage headers: fingerprint of the stage's cell grid (hex).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub fingerprint: Option<String>,
+    /// Stage headers: number of cells in the stage.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub cells: Option<u64>,
+    /// Cell rows: grid index within the stage.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub index: Option<u64>,
+    /// Cell rows: the cell's label.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub label: Option<String>,
+    /// Cell rows: the cell's base seed.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub seed: Option<u64>,
+    /// Cell rows: final status (`ok`/`error`/`timeout`/`skipped`).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub status: Option<String>,
+    /// Cell rows: attempts consumed.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub attempts: Option<u32>,
+    /// Cell rows (`ok` only): the serialized cell output.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub value: Option<serde_json::Value>,
+    /// Cell rows (`error` only): the failure message.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub error: Option<String>,
+    /// Cell rows (`skipped` only): the skip reason.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub reason: Option<String>,
+    /// Cell rows: FNV-1a over the row content (hex), see
+    /// [`LedgerRow::cell_checksum`].
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub checksum: Option<String>,
+}
+
+impl LedgerRow {
+    /// A stage header row.
+    pub fn stage_header(stage: u64, fingerprint: &str, cells: usize) -> Self {
+        LedgerRow {
+            row: "stage".into(),
+            stage,
+            fingerprint: Some(fingerprint.to_string()),
+            cells: Some(cells as u64),
+            index: None,
+            label: None,
+            seed: None,
+            status: None,
+            attempts: None,
+            value: None,
+            error: None,
+            reason: None,
+            checksum: None,
+        }
+    }
+
+    /// A committed-cell row; the checksum is computed here.
+    #[allow(clippy::too_many_arguments)]
+    pub fn cell(
+        stage: u64,
+        index: usize,
+        label: &str,
+        seed: u64,
+        status: &str,
+        attempts: u32,
+        value: Option<serde_json::Value>,
+        error: Option<String>,
+        reason: Option<String>,
+    ) -> Self {
+        let mut r = LedgerRow {
+            row: "cell".into(),
+            stage,
+            fingerprint: None,
+            cells: None,
+            index: Some(index as u64),
+            label: Some(label.to_string()),
+            seed: Some(seed),
+            status: Some(status.to_string()),
+            attempts: Some(attempts),
+            value,
+            error,
+            reason,
+            checksum: None,
+        };
+        r.checksum = Some(r.cell_checksum());
+        r
+    }
+
+    /// FNV-1a over the row's identifying content and payload, as lowercase
+    /// hex. The `value` contributes its serialized JSON, so a payload that
+    /// fails to round-trip bitwise also fails verification.
+    pub fn cell_checksum(&self) -> String {
+        let mut key = format!(
+            "{}\u{1f}{}\u{1f}{}\u{1f}{}\u{1f}{}\u{1f}{}",
+            self.stage,
+            self.index.unwrap_or(0),
+            self.label.as_deref().unwrap_or(""),
+            self.seed.unwrap_or(0),
+            self.status.as_deref().unwrap_or(""),
+            self.attempts.unwrap_or(0),
+        );
+        if let Some(v) = &self.value {
+            key.push('\u{1f}');
+            key.push_str(&serde_json::to_string(v).unwrap_or_default());
+        }
+        if let Some(e) = &self.error {
+            key.push('\u{1f}');
+            key.push_str(e);
+        }
+        if let Some(r) = &self.reason {
+            key.push('\u{1f}');
+            key.push_str(r);
+        }
+        format!("{:016x}", fnv1a(&key))
+    }
+
+    /// Whether a cell row's stored checksum matches its content.
+    pub fn verifies(&self) -> bool {
+        self.row != "cell" || self.checksum.as_deref() == Some(self.cell_checksum().as_str())
+    }
+}
+
+/// Why a ledger could not be read or resumed from.
+#[derive(Debug)]
+pub enum LedgerError {
+    /// The ledger file could not be opened/read/written.
+    Io(std::io::Error),
+    /// A non-final line failed to parse, or a cell row failed its
+    /// checksum: the file is damaged beyond the torn-tail crash case.
+    Corrupt {
+        /// 1-based line number of the offending row.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The ledger was written by a sweep with a different cell grid;
+    /// resuming would mix incompatible results.
+    FingerprintMismatch {
+        /// Stage ordinal whose header disagreed.
+        stage: u64,
+        /// Fingerprint of the grid being resumed.
+        expected: String,
+        /// Fingerprint recorded in the ledger.
+        found: String,
+    },
+}
+
+impl fmt::Display for LedgerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LedgerError::Io(e) => write!(f, "ledger io: {e}"),
+            LedgerError::Corrupt { line, message } => {
+                write!(f, "ledger corrupt at line {line}: {message}")
+            }
+            LedgerError::FingerprintMismatch {
+                stage,
+                expected,
+                found,
+            } => write!(
+                f,
+                "ledger fingerprint mismatch for stage {stage}: the sweep spec changed \
+                 (expected {expected}, ledger has {found}); refusing to resume — \
+                 delete the ledger (or rerun without --resume) to start over"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LedgerError {}
+
+impl From<std::io::Error> for LedgerError {
+    fn from(e: std::io::Error) -> Self {
+        LedgerError::Io(e)
+    }
+}
+
+/// Fingerprint of one stage's cell grid: FNV-1a over the stage ordinal and
+/// each cell's label, seed, and pre-skip marker, in grid order. Anything
+/// that changes the meaning of "cell at index i" changes the fingerprint.
+pub fn stage_fingerprint<'a>(
+    stage: u64,
+    cells: impl IntoIterator<Item = (&'a str, u64, bool)>,
+) -> String {
+    let mut key = format!("stage:{stage}");
+    for (label, seed, skipped) in cells {
+        key.push('\u{1e}');
+        key.push_str(label);
+        key.push('\u{1f}');
+        key.push_str(&seed.to_string());
+        if skipped {
+            key.push_str("\u{1f}skip");
+        }
+    }
+    format!("{:016x}", fnv1a(&key))
+}
+
+/// The append-side handle. Every [`Ledger::append_row`] flushes, so a
+/// crash loses at most the row being written (the torn tail the reader
+/// tolerates).
+#[derive(Debug)]
+pub struct Ledger {
+    writer: BufWriter<File>,
+    path: PathBuf,
+}
+
+impl Ledger {
+    /// Creates (truncating) a fresh ledger at `path`.
+    pub fn create(path: &Path) -> Result<Self, LedgerError> {
+        let file = File::create(path)?;
+        Ok(Ledger {
+            writer: BufWriter::new(file),
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// Opens `path` for appending (creating it if absent).
+    pub fn append(path: &Path) -> Result<Self, LedgerError> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Ledger {
+            writer: BufWriter::new(file),
+            path: path.to_path_buf(),
+        })
+    }
+
+    /// The file this ledger writes to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one row and flushes it to the OS.
+    pub fn append_row(&mut self, row: &LedgerRow) -> Result<(), LedgerError> {
+        let json = serde_json::to_string(row)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        writeln!(self.writer, "{json}")?;
+        self.writer.flush()?;
+        Ok(())
+    }
+}
+
+/// Reads every row of `path`, tolerating a torn final line (dropped with a
+/// warning on stderr). A missing file reads as an empty ledger.
+pub fn read_rows(path: &Path) -> Result<Vec<LedgerRow>, LedgerError> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(LedgerError::Io(e)),
+    };
+    let lines: Vec<&str> = text.lines().collect();
+    let mut rows = Vec::with_capacity(lines.len());
+    for (i, line) in lines.iter().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match serde_json::from_str::<LedgerRow>(line) {
+            Ok(row) => {
+                if !row.verifies() {
+                    if i + 1 == lines.len() {
+                        eprintln!(
+                            "warning: dropping torn final ledger row (checksum mismatch) in {}",
+                            path.display()
+                        );
+                        continue;
+                    }
+                    return Err(LedgerError::Corrupt {
+                        line: i + 1,
+                        message: "cell row failed its checksum".into(),
+                    });
+                }
+                rows.push(row);
+            }
+            Err(e) if i + 1 == lines.len() => {
+                // The crash case: an interrupted final write. Recoverable.
+                eprintln!(
+                    "warning: dropping torn final ledger line in {}: {e}",
+                    path.display()
+                );
+            }
+            Err(e) => {
+                return Err(LedgerError::Corrupt {
+                    line: i + 1,
+                    message: e.to_string(),
+                })
+            }
+        }
+    }
+    Ok(rows)
+}
+
+/// Extracts the committed cells of stage `stage` from `rows`, verifying
+/// every header for that stage against `fingerprint` (and `cells`). The
+/// result has one entry per grid index (`None` = not committed before the
+/// crash); within a stage the last row per index wins.
+pub fn committed_cells(
+    rows: &[LedgerRow],
+    stage: u64,
+    fingerprint: &str,
+    cells: usize,
+) -> Result<Vec<Option<LedgerRow>>, LedgerError> {
+    let mut out: Vec<Option<LedgerRow>> = vec![None; cells];
+    for row in rows.iter().filter(|r| r.stage == stage) {
+        match row.row.as_str() {
+            "stage" => {
+                let found = row.fingerprint.clone().unwrap_or_default();
+                if found != fingerprint || row.cells != Some(cells as u64) {
+                    return Err(LedgerError::FingerprintMismatch {
+                        stage,
+                        expected: fingerprint.to_string(),
+                        found,
+                    });
+                }
+            }
+            "cell" => {
+                let idx = row.index.unwrap_or(u64::MAX) as usize;
+                if idx >= cells {
+                    return Err(LedgerError::Corrupt {
+                        line: 0,
+                        message: format!(
+                            "cell index {idx} out of range for stage {stage} ({cells} cells)"
+                        ),
+                    });
+                }
+                out[idx] = Some(row.clone());
+            }
+            other => {
+                return Err(LedgerError::Corrupt {
+                    line: 0,
+                    message: format!("unknown ledger row kind {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("imap-harness-ledger-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn sample_cell(stage: u64, index: usize, status: &str) -> LedgerRow {
+        LedgerRow::cell(
+            stage,
+            index,
+            &format!("cell-{index}"),
+            41 + index as u64,
+            status,
+            1,
+            (status == "ok").then(|| serde_json::json!({"v": index})),
+            (status == "error").then(|| "boom".to_string()),
+            (status == "skipped").then(|| "victim_error".to_string()),
+        )
+    }
+
+    #[test]
+    fn rows_roundtrip_through_json() {
+        let rows = vec![
+            LedgerRow::stage_header(0, "00ff", 3),
+            sample_cell(0, 0, "ok"),
+            sample_cell(0, 1, "error"),
+            sample_cell(0, 2, "skipped"),
+            sample_cell(1, 0, "timeout"),
+        ];
+        for row in &rows {
+            let json = serde_json::to_string(row).unwrap();
+            let back: LedgerRow = serde_json::from_str(&json).unwrap();
+            assert_eq!(&back, row);
+            assert!(back.verifies());
+        }
+    }
+
+    #[test]
+    fn write_read_roundtrip_and_last_wins() {
+        let path = scratch("roundtrip.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let fp = stage_fingerprint(0, [("a", 1, false), ("b", 2, false)]);
+        {
+            let mut ledger = Ledger::create(&path).unwrap();
+            ledger
+                .append_row(&LedgerRow::stage_header(0, &fp, 2))
+                .unwrap();
+            ledger.append_row(&sample_cell(0, 0, "error")).unwrap();
+            // Re-running index 0 appends; the later row wins.
+            ledger.append_row(&sample_cell(0, 0, "ok")).unwrap();
+            ledger.append_row(&sample_cell(0, 1, "ok")).unwrap();
+        }
+        let rows = read_rows(&path).unwrap();
+        assert_eq!(rows.len(), 4);
+        let committed = committed_cells(&rows, 0, &fp, 2).unwrap();
+        assert_eq!(committed[0].as_ref().unwrap().status.as_deref(), Some("ok"));
+        assert_eq!(committed[1].as_ref().unwrap().status.as_deref(), Some("ok"));
+    }
+
+    #[test]
+    fn torn_final_line_is_dropped_and_recovery_succeeds() {
+        let path = scratch("torn.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let fp = stage_fingerprint(0, [("a", 1, false), ("b", 2, false)]);
+        {
+            let mut ledger = Ledger::create(&path).unwrap();
+            ledger
+                .append_row(&LedgerRow::stage_header(0, &fp, 2))
+                .unwrap();
+            ledger.append_row(&sample_cell(0, 0, "ok")).unwrap();
+        }
+        // Simulate a SIGKILL mid-write: append half a JSON line.
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"row\":\"cell\",\"stage\":0,\"index\":1,\"la");
+        std::fs::write(&path, text).unwrap();
+
+        let rows = read_rows(&path).unwrap();
+        assert_eq!(rows.len(), 2, "torn tail dropped, intact rows kept");
+        let committed = committed_cells(&rows, 0, &fp, 2).unwrap();
+        assert!(committed[0].is_some());
+        assert!(committed[1].is_none(), "the torn cell is uncommitted");
+    }
+
+    #[test]
+    fn mid_file_corruption_is_a_hard_error() {
+        let path = scratch("corrupt.jsonl");
+        let _ = std::fs::remove_file(&path);
+        std::fs::write(&path, "not json\n{\"row\":\"stage\",\"stage\":0}\n").unwrap();
+        match read_rows(&path) {
+            Err(LedgerError::Corrupt { line: 1, .. }) => {}
+            other => panic!("expected Corrupt at line 1, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tampered_cell_row_fails_checksum() {
+        let mut row = sample_cell(0, 0, "ok");
+        assert!(row.verifies());
+        row.value = Some(serde_json::json!({"v": 999}));
+        assert!(!row.verifies(), "payload edits must break the checksum");
+        // Torn-tail tolerance also covers a checksum-failing final row.
+        let path = scratch("tampered.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let good = sample_cell(0, 1, "ok");
+        std::fs::write(
+            &path,
+            format!(
+                "{}\n{}\n",
+                serde_json::to_string(&good).unwrap(),
+                serde_json::to_string(&row).unwrap()
+            ),
+        )
+        .unwrap();
+        let rows = read_rows(&path).unwrap();
+        assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn fingerprint_mismatch_refuses_to_resume() {
+        let fp_a = stage_fingerprint(0, [("a", 1, false)]);
+        let fp_b = stage_fingerprint(0, [("a", 2, false)]);
+        assert_ne!(fp_a, fp_b, "seed changes must change the fingerprint");
+        let rows = vec![
+            LedgerRow::stage_header(0, &fp_a, 1),
+            sample_cell(0, 0, "ok"),
+        ];
+        match committed_cells(&rows, 0, &fp_b, 1) {
+            Err(LedgerError::FingerprintMismatch { stage: 0, .. }) => {}
+            other => panic!("expected FingerprintMismatch, got {other:?}"),
+        }
+        let msg = committed_cells(&rows, 0, &fp_b, 1).unwrap_err().to_string();
+        assert!(msg.contains("refusing to resume"), "{msg}");
+    }
+
+    #[test]
+    fn fingerprint_tracks_labels_order_and_skips() {
+        let base = stage_fingerprint(0, [("a", 1, false), ("b", 2, false)]);
+        assert_ne!(
+            base,
+            stage_fingerprint(0, [("b", 2, false), ("a", 1, false)]),
+            "order matters"
+        );
+        assert_ne!(
+            base,
+            stage_fingerprint(0, [("a", 1, true), ("b", 2, false)]),
+            "pre-skip markers matter"
+        );
+        assert_ne!(
+            base,
+            stage_fingerprint(1, [("a", 1, false), ("b", 2, false)]),
+            "stage ordinal matters"
+        );
+        assert_eq!(
+            base,
+            stage_fingerprint(0, [("a", 1, false), ("b", 2, false)])
+        );
+    }
+
+    #[test]
+    fn missing_file_reads_as_empty() {
+        let path = scratch("never-written.jsonl");
+        let _ = std::fs::remove_file(&path);
+        assert!(read_rows(&path).unwrap().is_empty());
+    }
+
+    #[test]
+    fn out_of_range_cell_index_is_corrupt() {
+        let fp = stage_fingerprint(0, [("a", 1, false)]);
+        let rows = vec![LedgerRow::stage_header(0, &fp, 1), sample_cell(0, 5, "ok")];
+        assert!(matches!(
+            committed_cells(&rows, 0, &fp, 1),
+            Err(LedgerError::Corrupt { .. })
+        ));
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    // Referenced only inside `proptest!`, which offline stub builds expand
+    // to nothing — hence the allow.
+    #[allow(dead_code)]
+    fn arb_row() -> impl Strategy<Value = LedgerRow> {
+        (
+            0u64..4,
+            0usize..64,
+            "[a-zA-Z0-9 _-]{0,24}",
+            any::<u64>(),
+            prop::sample::select(vec!["ok", "error", "timeout", "skipped"]),
+            1u32..5,
+            prop::option::of(-1e12f64..1e12),
+            prop::option::of("[ -~]{0,40}"),
+            prop::option::of("[a-z_]{0,20}"),
+        )
+            .prop_map(
+                |(stage, index, label, seed, status, attempts, value, error, reason)| {
+                    LedgerRow::cell(
+                        stage,
+                        index,
+                        &label,
+                        seed,
+                        status,
+                        attempts,
+                        value.map(|v| serde_json::json!({ "x": v })),
+                        error,
+                        reason,
+                    )
+                },
+            )
+    }
+
+    proptest! {
+        /// Satellite: every well-formed ledger row survives a JSON
+        /// round-trip bit-exactly and still verifies its checksum.
+        #[test]
+        fn cell_rows_roundtrip(row in arb_row()) {
+            let json = serde_json::to_string(&row).unwrap();
+            let back: LedgerRow = serde_json::from_str(&json).unwrap();
+            prop_assert_eq!(&back, &row);
+            prop_assert!(back.verifies());
+        }
+
+        /// Truncating a valid ledger at any byte still reads: complete
+        /// rows survive, the torn tail is dropped, and nothing panics.
+        #[test]
+        fn any_truncation_reads_without_error(
+            rows in prop::collection::vec(arb_row(), 1..8),
+            cut_frac in 0.0f64..1.0,
+        ) {
+            let full: String = rows
+                .iter()
+                .map(|r| serde_json::to_string(r).unwrap() + "\n")
+                .collect();
+            let cut = ((full.len() as f64) * cut_frac) as usize;
+            // Cut on a char boundary (ASCII here, but stay safe).
+            let mut cut = cut.min(full.len());
+            while !full.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            let dir = std::env::temp_dir().join("imap-harness-ledger-proptests");
+            std::fs::create_dir_all(&dir).unwrap();
+            let path = dir.join(format!("trunc-{}.jsonl", fnv1a(&full) ^ cut as u64));
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let read = read_rows(&path);
+            let _ = std::fs::remove_file(&path);
+            let read = read.unwrap();
+            let whole_lines = full[..cut].matches('\n').count();
+            prop_assert!(read.len() >= whole_lines.saturating_sub(0).min(rows.len()).saturating_sub(1));
+            for (got, want) in read.iter().zip(&rows) {
+                prop_assert_eq!(got, want);
+            }
+        }
+    }
+}

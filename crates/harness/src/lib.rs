@@ -10,7 +10,8 @@
 //!    [`CancelToken`] when a cell stalls for longer than the configured
 //!    timeout;
 //! 3. a cell that ignores cancellation past a hard grace period is
-//!    abandoned (its thread is leaked) and recorded as `timeout`;
+//!    abandoned and recorded as `timeout` — process-isolated cells are
+//!    SIGKILLed and reaped, in-process cells leak their thread;
 //! 4. transient failures are retried with exponential backoff and derived
 //!    seeds before becoming a permanent `error`;
 //! 5. a global sweep deadline cancels in-flight cells and marks unstarted
@@ -22,14 +23,24 @@
 
 mod budget;
 mod cancel;
+mod ledger;
 mod pool;
+mod proc;
 mod progress;
 mod retry;
 mod status;
 
 pub use budget::{active_jobs, granted_actors, granted_actors_for, parallel_budget};
 pub use cancel::{cancel_after, CancelToken};
-pub use pool::{default_jobs, run_supervised, Job, JobCtx, JobStatus, PoolConfig};
+pub use ledger::{
+    committed_cells, read_rows as read_ledger_rows, stage_fingerprint, Ledger, LedgerError,
+    LedgerRow,
+};
+pub use pool::{default_jobs, run_supervised, Job, JobCtx, JobStatus, KillSwitch, PoolConfig};
+pub use proc::{
+    run_cell_in_child, serve_child, CellRequest, ChildConfig, RUN_CELL_SUBCOMMAND,
+    STDERR_TAIL_BYTES,
+};
 pub use progress::Progress;
 pub use retry::{backoff_delay, derive_seed, fnv1a};
 pub use status::{CellStatus, SingleStatus, StatusBoard, StatusConfig, StatusSnapshot};

@@ -6,9 +6,10 @@
 //! failures with backoff, enforces the global sweep deadline, and commits
 //! results strictly in submission order.
 
+use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use imap_telemetry::Telemetry;
@@ -17,6 +18,66 @@ use crate::cancel::CancelToken;
 use crate::progress::Progress;
 use crate::retry::{backoff_delay, derive_seed};
 use crate::status::{CellStatus, StatusBoard, StatusConfig};
+
+/// An escalation hook for abandonment. A job that delegates its work to a
+/// child process (the isolation layer, [`crate::proc`]) installs a closure
+/// that SIGKILLs the child, so when the supervisor abandons an
+/// unresponsive attempt it reaps an actual OS process instead of leaking a
+/// thread. Clones share the hook; jobs that never install one fall back to
+/// the historical leak-the-thread behaviour.
+#[derive(Clone, Default)]
+pub struct KillSwitch {
+    #[allow(clippy::type_complexity)]
+    inner: Arc<Mutex<Option<Box<dyn FnMut() + Send>>>>,
+}
+
+impl KillSwitch {
+    /// An unarmed switch.
+    pub fn new() -> Self {
+        KillSwitch::default()
+    }
+
+    /// Arms the switch with a hard-kill closure (replacing any previous
+    /// one). The closure must be idempotent: both the in-job runner and
+    /// the pool's abandonment path may fire it.
+    pub fn install(&self, f: impl FnMut() + Send + 'static) {
+        *self.inner.lock().unwrap_or_else(|e| e.into_inner()) = Some(Box::new(f));
+    }
+
+    /// Disarms the switch (called when the guarded child has been reaped,
+    /// so a recycled pid is never killed by mistake).
+    pub fn clear(&self) {
+        *self.inner.lock().unwrap_or_else(|e| e.into_inner()) = None;
+    }
+
+    /// Whether a hard-kill closure is currently installed.
+    pub fn is_armed(&self) -> bool {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .is_some()
+    }
+
+    /// Fires the installed closure, if any; returns whether one was armed.
+    pub fn fire(&self) -> bool {
+        let mut guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        match guard.as_mut() {
+            Some(f) => {
+                f();
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+impl fmt::Debug for KillSwitch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("KillSwitch")
+            .field("armed", &self.is_armed())
+            .finish()
+    }
+}
 
 /// Per-attempt context handed to a job closure.
 #[derive(Debug, Clone)]
@@ -32,6 +93,9 @@ pub struct JobCtx {
     pub cancel: CancelToken,
     /// The heartbeat handle the job must thread into its training loops.
     pub progress: Progress,
+    /// Hard-kill escalation hook; armed by process-isolated jobs so
+    /// abandonment reaps the child instead of leaking a thread.
+    pub kill: KillSwitch,
 }
 
 /// One unit of sweep work.
@@ -209,6 +273,8 @@ enum Slot {
         started: Instant,
         progress: Progress,
         cancel: CancelToken,
+        /// The attempt's hard-kill hook (armed only by isolated jobs).
+        kill: KillSwitch,
         /// Set once the supervisor has tripped `cancel`.
         cancelled: Option<(CancelCause, Instant)>,
     },
@@ -225,9 +291,13 @@ enum Slot {
 /// strictly in index order, regardless of completion order — this is where
 /// callers render table cells and record deterministic telemetry rows.
 ///
-/// Abandoned threads are leaked by design: there is no safe way to kill an
-/// OS thread, so a cell that ignores cooperative cancellation keeps its
-/// thread until process exit, and the sweep moves on without it.
+/// When an attempt ignores cooperative cancellation past the hard grace,
+/// the supervisor fires the attempt's [`KillSwitch`]. Process-isolated
+/// jobs arm it with a SIGKILL of their child, so the hang is actually
+/// reaped (`mode = "process_killed"`). In-process jobs leave it unarmed:
+/// there is no safe way to kill an OS thread, so the thread is leaked
+/// until process exit (`mode = "thread_leaked"`, the historical
+/// behaviour) and the sweep moves on without it.
 pub fn run_supervised<T: Send + 'static>(
     cfg: &PoolConfig,
     jobs: Vec<Job<T>>,
@@ -366,12 +436,14 @@ pub fn run_supervised<T: Send + 'static>(
                 }
                 let cancel = CancelToken::new();
                 let progress = Progress::supervised(cancel.clone());
+                let kill = KillSwitch::new();
                 let ctx = JobCtx {
                     index: idx,
                     attempt,
                     seed: derive_seed(jobs[idx].seed, jobs[idx].salt, attempt),
                     cancel: cancel.clone(),
                     progress: progress.clone(),
+                    kill: kill.clone(),
                 };
                 let job = Arc::clone(&jobs[idx]);
                 let tx = tx.clone();
@@ -408,6 +480,7 @@ pub fn run_supervised<T: Send + 'static>(
                             started: now,
                             progress,
                             cancel,
+                            kill,
                             cancelled: None,
                         };
                     }
@@ -431,6 +504,7 @@ pub fn run_supervised<T: Send + 'static>(
                 started,
                 progress,
                 cancel,
+                kill,
                 cancelled,
             } = slot
             else {
@@ -449,16 +523,40 @@ pub fn run_supervised<T: Send + 'static>(
                     pool_event(tel, "stall", &jobs[idx].label, *attempt, 0, in_flight);
                 }
                 Some((cause, abandon_at)) if now >= *abandon_at => {
-                    // The cell ignored cooperative cancellation: leak its
-                    // thread and record the outcome.
+                    // The cell ignored cooperative cancellation: escalate.
+                    // An armed kill switch (isolated cell) SIGKILLs and the
+                    // worker thread unwinds as the pipes close; unarmed
+                    // means an in-process cell, whose thread is leaked.
+                    let mode = if kill.fire() {
+                        "process_killed"
+                    } else {
+                        "thread_leaked"
+                    };
                     let cause = *cause;
                     let attempts = *attempt + 1;
                     busy += now.duration_since(*started);
                     job_wall[idx] += now.duration_since(*started);
                     abandoned += 1;
                     tel.metrics().counter("pool/abandoned").inc();
+                    tel.metrics()
+                        .counter(if mode == "process_killed" {
+                            "pool/abandoned_process_killed"
+                        } else {
+                            "pool/abandoned_thread_leaked"
+                        })
+                        .inc();
                     in_flight -= 1;
-                    pool_event(tel, "abandon", &jobs[idx].label, *attempt, 0, in_flight);
+                    tel.record_full(
+                        "pool",
+                        u64::from(*attempt),
+                        &[("in_flight", in_flight as f64)],
+                        &[],
+                        &[
+                            ("event", "abandon"),
+                            ("cell", &jobs[idx].label),
+                            ("mode", mode),
+                        ],
+                    );
                     statuses[idx] = Some(match cause {
                         CancelCause::Stall => JobStatus::Timeout { attempts },
                         CancelCause::Deadline => JobStatus::Skipped {
@@ -679,7 +777,7 @@ fn queue_depth(slots: &[Slot]) -> usize {
         .count()
 }
 
-fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = p.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = p.downcast_ref::<String>() {
@@ -951,6 +1049,58 @@ mod tests {
             .iter()
             .all(|r| r.tags["status"] == "ok" && r.counters["attempts"] == 1));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn abandonment_mode_distinguishes_armed_and_unarmed_kill_switches() {
+        let (tel, mem) = Telemetry::memory("abandon-mode");
+        let cfg = PoolConfig {
+            telemetry: tel.clone(),
+            max_attempts: 1,
+            ..quick_cfg(2)
+        };
+        let killed = Arc::new(AtomicU32::new(0));
+        let k = Arc::clone(&killed);
+        let jobs: Vec<Job<()>> = vec![
+            Job::new("hang-armed", 0, move |ctx: &JobCtx| {
+                // Simulates an isolated cell: arms the switch (the real
+                // layer would SIGKILL a child), then hangs uncooperatively.
+                let k = Arc::clone(&k);
+                ctx.kill.install(move || {
+                    k.fetch_add(1, Ordering::SeqCst);
+                });
+                std::thread::sleep(Duration::from_secs(30));
+                Ok(())
+            }),
+            Job::new("hang-unarmed", 1, |_: &JobCtx| {
+                std::thread::sleep(Duration::from_secs(30));
+                Ok(())
+            }),
+        ];
+        let out = run_supervised(&cfg, jobs, |_, _| {});
+        assert!(matches!(out[0], JobStatus::Timeout { .. }));
+        assert!(matches!(out[1], JobStatus::Timeout { .. }));
+        assert_eq!(killed.load(Ordering::SeqCst), 1, "armed switch fired once");
+        let rows = mem.rows();
+        let mode_of = |cell: &str| {
+            rows.iter()
+                .find(|r| {
+                    r.tags.get("event").map(String::as_str) == Some("abandon")
+                        && r.tags.get("cell").map(String::as_str) == Some(cell)
+                })
+                .and_then(|r| r.tags.get("mode").cloned())
+        };
+        assert_eq!(mode_of("hang-armed").as_deref(), Some("process_killed"));
+        assert_eq!(mode_of("hang-unarmed").as_deref(), Some("thread_leaked"));
+        assert_eq!(
+            tel.metrics().counter("pool/abandoned_process_killed").get(),
+            1
+        );
+        assert_eq!(
+            tel.metrics().counter("pool/abandoned_thread_leaked").get(),
+            1
+        );
+        assert_eq!(tel.metrics().counter("pool/abandoned").get(), 2);
     }
 
     #[test]

@@ -1,0 +1,561 @@
+//! Process isolation for sweep cells.
+//!
+//! A cell that segfaults, aborts, leaks unboundedly, or hangs past
+//! cooperative cancellation can take the whole sweep's address space with
+//! it. This module re-terminates the supervision contract over a process
+//! boundary instead: the parent re-spawns its own executable with the
+//! hidden [`RUN_CELL_SUBCOMMAND`] subcommand, ships the cell spec to the
+//! child as one JSON line on stdin, and reads typed JSON-line [`Frame`]s
+//! back on stdout:
+//!
+//! * `beat` — the child's heartbeat pump coalesces `Progress::beat` calls
+//!   (~25 ms granularity) so the parent's stall watchdog keeps working;
+//! * `metric` — telemetry rows recorded in the child, re-parented into the
+//!   parent's sinks (the run id is re-stamped on receipt);
+//! * `result` — exactly one, carrying either the serialized cell output or
+//!   a structured error (panics are caught and reported in-band), plus the
+//!   child's span-timing report for [`Telemetry::absorb_timing`].
+//!
+//! Cancellation travels the other way as pipe state, not data: the parent
+//! holds the child's stdin open for the cell's lifetime and *closes* it to
+//! request cancellation; a watcher thread in the child trips the local
+//! [`CancelToken`] on stdin EOF. If the child still won't die after the
+//! hard grace it is SIGKILLed — both by the in-job runner and by the
+//! pool's abandonment path through the attempt's [`KillSwitch`] — and then
+//! reaped with `wait`, so a hung cell no longer leaks anything.
+//!
+//! The last 8 KiB of the child's stderr are captured and appended to the
+//! error message of a failed cell, so a crash report survives into the
+//! sweep's `metrics.jsonl` instead of vanishing with the process.
+
+use std::io::{BufRead, Read, Write};
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use imap_telemetry::{MetricRow, Recorder, Telemetry, TimingReport};
+
+use crate::cancel::CancelToken;
+use crate::pool::{JobCtx, KillSwitch};
+use crate::progress::Progress;
+
+/// The hidden subcommand every isolatable binary must dispatch to its
+/// cell-execution entry point before normal argument parsing.
+pub const RUN_CELL_SUBCOMMAND: &str = "run-cell";
+
+/// How much of a failed child's stderr survives into the error row.
+pub const STDERR_TAIL_BYTES: usize = 8 * 1024;
+
+/// Beat-pump coalescing interval in the child.
+const BEAT_INTERVAL: Duration = Duration::from_millis(25);
+
+/// Parent-side poll interval while waiting on child frames.
+const POLL: Duration = Duration::from_millis(25);
+
+/// The one-line request the parent writes to the child's stdin.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CellRequest {
+    /// The cell's human-readable label (error messages, telemetry).
+    pub label: String,
+    /// Grid index of the cell within its stage.
+    pub index: u64,
+    /// Zero-based attempt number (the child must not re-derive seeds).
+    pub attempt: u32,
+    /// The already-derived seed for this attempt.
+    pub seed: u64,
+    /// The parent's run id; the child stamps it on its telemetry rows.
+    pub run_id: String,
+    /// The opaque cell spec; decoded by the binary's cell executor.
+    pub spec: serde_json::Value,
+}
+
+/// One JSON line on the child→parent stdout pipe. A single flat schema
+/// covers all three frame kinds (`frame` is `"beat"`, `"metric"`, or
+/// `"result"`); absent fields are omitted.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Frame {
+    /// Frame kind discriminator.
+    pub frame: String,
+    /// `metric` frames: the recorded telemetry row.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub row: Option<MetricRow>,
+    /// `result` frames: the serialized cell output on success.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub ok: Option<serde_json::Value>,
+    /// `result` frames: the error message on failure (panics included).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub err: Option<String>,
+    /// `result` frames: the child's span-timing report.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub timing: Option<TimingReport>,
+}
+
+impl Frame {
+    fn beat() -> Self {
+        Frame {
+            frame: "beat".into(),
+            row: None,
+            ok: None,
+            err: None,
+            timing: None,
+        }
+    }
+
+    fn metric(row: MetricRow) -> Self {
+        Frame {
+            frame: "metric".into(),
+            row: Some(row),
+            ok: None,
+            err: None,
+            timing: None,
+        }
+    }
+
+    fn result(outcome: Result<serde_json::Value, String>, timing: TimingReport) -> Self {
+        let (ok, err) = match outcome {
+            Ok(v) => (Some(v), None),
+            Err(e) => (None, Some(e)),
+        };
+        Frame {
+            frame: "result".into(),
+            row: None,
+            ok,
+            err,
+            timing: Some(timing),
+        }
+    }
+}
+
+/// Writes one frame as a single line to the child's stdout, atomically
+/// enough for the parent's line-oriented reader (one `write_all` under the
+/// stdout lock, flushed immediately so beats are timely).
+fn emit_frame(frame: &Frame) {
+    if let Ok(mut line) = serde_json::to_string(frame) {
+        line.push('\n');
+        let stdout = std::io::stdout();
+        let mut lock = stdout.lock();
+        let _ = lock.write_all(line.as_bytes());
+        let _ = lock.flush();
+    }
+}
+
+/// Child-side [`Recorder`] that frames every telemetry row over stdout
+/// instead of writing artifacts; the parent re-records each row into its
+/// own sinks.
+#[derive(Debug, Default)]
+struct FrameRecorder;
+
+impl Recorder for FrameRecorder {
+    fn record(&self, row: &MetricRow) {
+        emit_frame(&Frame::metric(row.clone()));
+    }
+}
+
+/// Runs the child side of the protocol and exits the process. Binaries
+/// call this (via their cell executor) when `argv[1]` equals
+/// [`RUN_CELL_SUBCOMMAND`]; it never returns.
+///
+/// The handler receives the decoded request's spec, a [`JobCtx`] whose
+/// cancel token trips on stdin EOF, and a [`Telemetry`] handle whose rows
+/// are framed back to the parent. Panics inside the handler are caught and
+/// reported as an in-band `result` error; the process itself always exits
+/// 0 unless the request could not even be read.
+pub fn serve_child<F>(handler: F) -> !
+where
+    F: FnOnce(&serde_json::Value, &JobCtx, &Telemetry) -> Result<serde_json::Value, String>,
+{
+    let mut line = String::new();
+    if let Err(e) = std::io::stdin().lock().read_line(&mut line) {
+        eprintln!("run-cell: failed to read request: {e}");
+        std::process::exit(3);
+    }
+    let req: CellRequest = match serde_json::from_str(&line) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("run-cell: malformed request: {e}");
+            std::process::exit(3);
+        }
+    };
+
+    let cancel = CancelToken::new();
+    let progress = Progress::supervised(cancel.clone());
+
+    // Cancellation arrives as pipe state: the parent closes our stdin.
+    {
+        let cancel = cancel.clone();
+        std::thread::spawn(move || {
+            let mut sink = [0u8; 64];
+            let mut stdin = std::io::stdin().lock();
+            while matches!(stdin.read(&mut sink), Ok(n) if n > 0) {}
+            cancel.cancel();
+        });
+    }
+
+    // Heartbeat pump: forwards (coalesced) beats so the parent's stall
+    // watchdog sees the child's progress.
+    let done = Arc::new(AtomicBool::new(false));
+    {
+        let done = Arc::clone(&done);
+        let progress = progress.clone();
+        std::thread::spawn(move || {
+            let mut last = 0u64;
+            while !done.load(Ordering::Relaxed) {
+                let beats = progress.beats();
+                if beats != last {
+                    last = beats;
+                    emit_frame(&Frame::beat());
+                }
+                std::thread::sleep(BEAT_INTERVAL);
+            }
+        });
+    }
+
+    let ctx = JobCtx {
+        index: req.index as usize,
+        attempt: req.attempt,
+        seed: req.seed,
+        cancel,
+        progress,
+        kill: KillSwitch::new(),
+    };
+    let tel = Telemetry::with_recorder(&req.run_id, Arc::new(FrameRecorder));
+
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        handler(&req.spec, &ctx, &tel)
+    }))
+    .unwrap_or_else(|p| Err(format!("panic: {}", crate::pool::panic_message(&*p))));
+
+    done.store(true, Ordering::Relaxed);
+    emit_frame(&Frame::result(outcome, tel.timing_report()));
+    std::process::exit(0);
+}
+
+/// How the parent launches cell children.
+#[derive(Debug, Clone)]
+pub struct ChildConfig {
+    /// The executable to spawn (normally `std::env::current_exe()`; tests
+    /// point it at a dedicated binary because the test harness owns argv).
+    pub exe: PathBuf,
+    /// Grace between closing the child's stdin (cooperative cancel) and
+    /// SIGKILL.
+    pub hard_grace: Duration,
+    /// The parent's sinks; child metric rows and span timings re-parent
+    /// into it.
+    pub telemetry: Telemetry,
+}
+
+impl ChildConfig {
+    /// A config spawning the current executable.
+    pub fn current_exe(hard_grace: Duration, telemetry: Telemetry) -> std::io::Result<Self> {
+        Ok(ChildConfig {
+            exe: std::env::current_exe()?,
+            hard_grace,
+            telemetry,
+        })
+    }
+}
+
+/// Appends the captured stderr tail to an error message.
+fn with_stderr_tail(msg: String, tail: &[u8]) -> String {
+    if tail.is_empty() {
+        return msg;
+    }
+    format!(
+        "{msg}\n--- child stderr (last {} KiB) ---\n{}",
+        STDERR_TAIL_BYTES / 1024,
+        String::from_utf8_lossy(tail).trim_end()
+    )
+}
+
+/// Runs one cell in a freshly-spawned child process, bridging the
+/// supervision contract across the pipe boundary:
+///
+/// * child beats re-publish on `ctx.progress` (stall detection works);
+/// * child telemetry rows re-record into `cfg.telemetry`;
+/// * tripping `ctx.cancel` closes the child's stdin, and SIGKILLs after
+///   `cfg.hard_grace` if the child ignores it;
+/// * the pool's abandonment path can SIGKILL independently through
+///   `ctx.kill` (both paths are idempotent);
+/// * the child is always reaped before returning — no zombies, no leaks.
+///
+/// Returns the cell's serialized output, or an error message carrying the
+/// child's last [`STDERR_TAIL_BYTES`] of stderr for crashed/aborted/killed
+/// children.
+pub fn run_cell_in_child(
+    cfg: &ChildConfig,
+    req: &CellRequest,
+    ctx: &JobCtx,
+) -> Result<serde_json::Value, String> {
+    let mut child = Command::new(&cfg.exe)
+        .arg(RUN_CELL_SUBCOMMAND)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .map_err(|e| format!("spawn {} failed: {e}", cfg.exe.display()))?;
+
+    let mut stdin = child.stdin.take();
+    let stdout = child.stdout.take();
+    let stderr = child.stderr.take();
+
+    // Ship the request; the write failing means the child died instantly.
+    let request_sent = (|| -> std::io::Result<()> {
+        let pipe = stdin
+            .as_mut()
+            .ok_or_else(|| std::io::Error::other("child stdin not piped"))?;
+        let mut line = serde_json::to_string(req)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        line.push('\n');
+        pipe.write_all(line.as_bytes())?;
+        pipe.flush()
+    })();
+
+    // Share the child for the two independent hard-kill paths: this
+    // runner's grace deadline and the pool's abandonment KillSwitch.
+    let child = Arc::new(Mutex::new(child));
+    {
+        let child = Arc::clone(&child);
+        ctx.kill.install(move || {
+            let mut guard = child.lock().unwrap_or_else(|e| e.into_inner());
+            let _ = guard.kill();
+        });
+    }
+
+    // Keep the last STDERR_TAIL_BYTES of the child's stderr.
+    let stderr_thread = stderr.map(|mut pipe| {
+        std::thread::spawn(move || {
+            let mut tail: Vec<u8> = Vec::new();
+            let mut buf = [0u8; 1024];
+            while let Ok(n) = pipe.read(&mut buf) {
+                if n == 0 {
+                    break;
+                }
+                tail.extend_from_slice(&buf[..n]);
+                if tail.len() > STDERR_TAIL_BYTES {
+                    let cut = tail.len() - STDERR_TAIL_BYTES;
+                    tail.drain(..cut);
+                }
+            }
+            tail
+        })
+    });
+
+    // Frame pump: beats re-publish immediately, metric rows re-record,
+    // the result frame is forwarded to the runner loop. EOF sends None.
+    let (frame_tx, frame_rx) = mpsc::channel::<Option<Frame>>();
+    let stdout_thread = stdout.map(|pipe| {
+        let progress = ctx.progress.clone();
+        let tel = cfg.telemetry.clone();
+        std::thread::spawn(move || {
+            let reader = std::io::BufReader::new(pipe);
+            let mut result_seen = false;
+            for line in reader.lines() {
+                let Ok(line) = line else { break };
+                // Non-frame stdout noise from cell code is ignored.
+                let Ok(frame) = serde_json::from_str::<Frame>(&line) else {
+                    continue;
+                };
+                match frame.frame.as_str() {
+                    "beat" => progress.beat(),
+                    "metric" => {
+                        if let Some(row) = frame.row {
+                            tel.record_row(row);
+                        }
+                    }
+                    "result" => {
+                        result_seen = true;
+                        let _ = frame_tx.send(Some(frame));
+                    }
+                    _ => {}
+                }
+            }
+            if !result_seen {
+                let _ = frame_tx.send(None);
+            }
+        })
+    });
+
+    // Runner loop: wait for the result, translating cancellation into
+    // stdin close, then SIGKILL after the grace.
+    let mut kill_at: Option<Instant> = None;
+    let result_frame: Option<Frame> = loop {
+        if request_sent.is_err() {
+            break None;
+        }
+        match frame_rx.recv_timeout(POLL) {
+            Ok(frame) => break frame,
+            Err(mpsc::RecvTimeoutError::Disconnected) => break None,
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+        }
+        let now = Instant::now();
+        if ctx.cancel.is_cancelled() && kill_at.is_none() {
+            // Cooperative cancel over the process boundary: close stdin.
+            stdin = None;
+            kill_at = Some(now + cfg.hard_grace);
+        }
+        if kill_at.is_some_and(|at| now >= at) {
+            let mut guard = child.lock().unwrap_or_else(|e| e.into_inner());
+            let _ = guard.kill();
+            kill_at = None; // kill once; wait() below reaps.
+        }
+    };
+
+    // Reap unconditionally, then disarm the pool's kill path so a recycled
+    // pid can never be killed by a late abandonment.
+    drop(stdin);
+    let exit = {
+        let mut guard = child.lock().unwrap_or_else(|e| e.into_inner());
+        guard.wait()
+    };
+    ctx.kill.clear();
+    if let Some(t) = stdout_thread {
+        let _ = t.join();
+    }
+    let tail = stderr_thread
+        .and_then(|t| t.join().ok())
+        .unwrap_or_default();
+
+    if let Err(e) = request_sent {
+        let exit_note = match &exit {
+            Ok(status) => format!(" (child exit: {status})"),
+            Err(_) => String::new(),
+        };
+        return Err(with_stderr_tail(
+            format!("failed to send cell request to child: {e}{exit_note}"),
+            &tail,
+        ));
+    }
+
+    match result_frame {
+        Some(frame) => {
+            if let Some(timing) = &frame.timing {
+                cfg.telemetry.absorb_timing(timing);
+            }
+            match (frame.ok, frame.err) {
+                (Some(value), None) => Ok(value),
+                (_, Some(err)) => Err(with_stderr_tail(err, &tail)),
+                (None, None) => Err(with_stderr_tail(
+                    "child result frame carried neither value nor error".into(),
+                    &tail,
+                )),
+            }
+        }
+        None => {
+            // The child died without reporting: crashed, aborted, or was
+            // hard-killed. Classify from the exit status.
+            let msg = match exit {
+                Ok(status) => {
+                    #[cfg(unix)]
+                    {
+                        use std::os::unix::process::ExitStatusExt;
+                        match (status.signal(), status.code()) {
+                            (Some(sig), _) => {
+                                format!("child killed by signal {sig} before reporting a result")
+                            }
+                            (None, Some(code)) => {
+                                format!("child exited with code {code} before reporting a result")
+                            }
+                            (None, None) => {
+                                "child exited without a result, signal, or code".to_string()
+                            }
+                        }
+                    }
+                    #[cfg(not(unix))]
+                    {
+                        format!("child exited ({status}) before reporting a result")
+                    }
+                }
+                Err(e) => format!("failed to reap child: {e}"),
+            };
+            Err(with_stderr_tail(msg, &tail))
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_roundtrip_through_json() {
+        let mut row = MetricRow::new("r", "train", 3);
+        row.scalars.insert("x".into(), 1.5);
+        let frames = vec![
+            Frame::beat(),
+            Frame::metric(row),
+            Frame::result(
+                Ok(serde_json::json!({"score": 2})),
+                TimingReport {
+                    run_id: "r".into(),
+                    spans: vec![],
+                },
+            ),
+            Frame::result(
+                Err("panic: boom".into()),
+                TimingReport {
+                    run_id: "r".into(),
+                    spans: vec![],
+                },
+            ),
+        ];
+        for frame in &frames {
+            let json = serde_json::to_string(frame).unwrap();
+            let back: Frame = serde_json::from_str(&json).unwrap();
+            assert_eq!(&back, frame);
+        }
+    }
+
+    #[test]
+    fn cell_request_roundtrips_with_opaque_spec() {
+        let req = CellRequest {
+            label: "table1/Hopper/SA".into(),
+            index: 4,
+            attempt: 1,
+            seed: 0xdead_beef,
+            run_id: "sweep-7".into(),
+            spec: serde_json::json!({"kind": "attack", "task": "Hopper"}),
+        };
+        let back: CellRequest =
+            serde_json::from_str(&serde_json::to_string(&req).unwrap()).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn stderr_tail_is_appended_only_when_present() {
+        assert_eq!(with_stderr_tail("boom".into(), b""), "boom");
+        let full = with_stderr_tail("boom".into(), b"thread panicked\n");
+        assert!(full.starts_with("boom\n--- child stderr"));
+        assert!(full.ends_with("thread panicked"));
+    }
+
+    #[test]
+    fn spawn_failure_is_a_typed_error() {
+        let cfg = ChildConfig {
+            exe: PathBuf::from("/nonexistent/imap-no-such-binary"),
+            hard_grace: Duration::from_millis(50),
+            telemetry: Telemetry::null(),
+        };
+        let req = CellRequest {
+            label: "x".into(),
+            index: 0,
+            attempt: 0,
+            seed: 0,
+            run_id: "r".into(),
+            spec: serde_json::Value::Null,
+        };
+        let ctx = JobCtx {
+            index: 0,
+            attempt: 0,
+            seed: 0,
+            cancel: CancelToken::new(),
+            progress: Progress::null(),
+            kill: KillSwitch::new(),
+        };
+        let err = run_cell_in_child(&cfg, &req, &ctx).unwrap_err();
+        assert!(err.contains("spawn"), "{err}");
+        assert!(!ctx.kill.is_armed(), "switch never armed on spawn failure");
+    }
+}

@@ -142,6 +142,30 @@ impl Telemetry {
         ))
     }
 
+    /// An enabled handle streaming rows into an arbitrary [`Recorder`],
+    /// with no artifact directory, manifest, or tracer. The process
+    /// isolation layer uses this in `run-cell` children: rows go to a
+    /// recorder that frames them over the stdout pipe, and the parent
+    /// re-records them into its own sinks.
+    pub fn with_recorder(run_id: &str, recorder: Arc<dyn Recorder>) -> Self {
+        Telemetry::from_parts(run_id.to_string(), true, recorder, None, None, false)
+    }
+
+    /// Merges a child process's [`TimingReport`] into this handle's span
+    /// accumulators, re-parenting the child's wall-time breakdown into the
+    /// parent's timing rows and `report.json`. A no-op on the disabled
+    /// handle.
+    pub fn absorb_timing(&self, report: &TimingReport) {
+        if !self.inner.enabled {
+            return;
+        }
+        for s in &report.spans {
+            self.inner
+                .timings
+                .add_bulk(crate::span::intern(&s.name), s.total, s.calls);
+        }
+    }
+
     /// The run identifier stamped on every row (empty when disabled).
     pub fn run_id(&self) -> &str {
         &self.inner.run_id
@@ -369,6 +393,7 @@ macro_rules! span {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::span::SpanStat;
 
     #[test]
     fn null_handle_is_inert() {
@@ -466,6 +491,45 @@ mod tests {
         let clone = tel.clone();
         clone.metrics().counter("pool/retries").inc();
         assert_eq!(tel.metrics().counter("pool/retries").get(), 1);
+    }
+
+    #[test]
+    fn with_recorder_streams_rows_and_absorb_timing_merges_spans() {
+        let sink = Arc::new(MemoryRecorder::new());
+        let child = Telemetry::with_recorder("child-run", sink.clone());
+        assert!(child.is_enabled());
+        child.record("train", 3, &[("x", 1.0)]);
+        assert_eq!(sink.rows().len(), 1);
+        assert_eq!(sink.rows()[0].run_id, "child-run");
+
+        let (parent, _mem) = Telemetry::memory("parent-run");
+        {
+            let _s = parent.span("attack_cell");
+        }
+        parent.absorb_timing(&TimingReport {
+            run_id: "child-run".into(),
+            spans: vec![
+                SpanStat {
+                    name: "attack_cell".into(),
+                    calls: 2,
+                    total: std::time::Duration::from_millis(10),
+                },
+                SpanStat {
+                    name: "victim_train".into(),
+                    calls: 1,
+                    total: std::time::Duration::from_millis(5),
+                },
+            ],
+        });
+        let report = parent.timing_report();
+        let attack = report
+            .spans
+            .iter()
+            .find(|s| s.name == "attack_cell")
+            .unwrap();
+        assert_eq!(attack.calls, 3, "absorbed calls add to local ones");
+        assert!(attack.total >= std::time::Duration::from_millis(10));
+        assert!(report.spans.iter().any(|s| s.name == "victim_train"));
     }
 
     #[test]

@@ -26,6 +26,15 @@ impl Timings {
         acc.calls += 1;
     }
 
+    /// Merges an externally-accumulated span (e.g. from a child process's
+    /// timing report) into the accumulator in one step.
+    pub(crate) fn add_bulk(&self, name: &'static str, total: Duration, calls: u64) {
+        let mut spans = self.spans.lock();
+        let acc = spans.entry(name).or_default();
+        acc.total += total;
+        acc.calls += calls;
+    }
+
     pub(crate) fn snapshot(&self) -> Vec<SpanStat> {
         let spans = self.spans.lock();
         let mut stats: Vec<SpanStat> = spans
@@ -39,6 +48,23 @@ impl Timings {
         stats.sort_by_key(|s| std::cmp::Reverse(s.total));
         stats
     }
+}
+
+/// Interns a dynamic span name into a `&'static str` so externally-sourced
+/// names (child-process timing reports carry `String`s) can enter the
+/// `&'static str`-keyed accumulator. Each distinct name leaks once; span
+/// names form a small fixed vocabulary, so the leak is bounded.
+pub(crate) fn intern(name: &str) -> &'static str {
+    use std::collections::BTreeSet;
+    use std::sync::OnceLock;
+    static NAMES: OnceLock<Mutex<BTreeSet<&'static str>>> = OnceLock::new();
+    let mut set = NAMES.get_or_init(Default::default).lock();
+    if let Some(existing) = set.get(name) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+    set.insert(leaked);
+    leaked
 }
 
 /// Aggregated timing of one named span.

@@ -45,7 +45,17 @@ macro_rules! impl_tuple_strategy {
     )*};
 }
 
-impl_tuple_strategy!((A, B) (A, B, C) (A, B, C, D));
+impl_tuple_strategy!(
+    (A, B) (A, B, C) (A, B, C, D) (A, B, C, D, E) (A, B, C, D, E, F)
+    (A, B, C, D, E, F, G) (A, B, C, D, E, F, G, H) (A, B, C, D, E, F, G, H, I)
+    (A, B, C, D, E, F, G, H, I, J)
+);
+
+/// String-literal regex strategies (`"[a-z]{0,8}"` in the real crate)
+/// generate `String`s; the shadow only models the type.
+impl Strategy for &str {
+    type Value = String;
+}
 
 /// Strategy for any value of `T` (`any::<u64>()` etc.).
 pub struct AnyStrategy<T>(PhantomData<T>);
@@ -99,6 +109,24 @@ pub mod collection {
     }
 }
 
+pub mod option {
+    //! Optional-value strategies.
+
+    use super::*;
+
+    /// Strategy producing `Option<T>`.
+    pub struct OptionStrategy<T>(PhantomData<T>);
+
+    impl<T> Strategy for OptionStrategy<T> {
+        type Value = Option<T>;
+    }
+
+    /// Mirrors `proptest::option::of`.
+    pub fn of<S: Strategy>(_strategy: S) -> OptionStrategy<S::Value> {
+        OptionStrategy(PhantomData)
+    }
+}
+
 pub mod sample {
     //! Sampling strategies.
 
@@ -149,4 +177,8 @@ pub mod prelude {
         any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig,
         Strategy,
     };
+
+    /// Mirrors the real prelude's `prop` crate alias (`prop::collection::vec`
+    /// and friends).
+    pub use crate as prop;
 }

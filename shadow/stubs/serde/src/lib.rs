@@ -18,6 +18,16 @@ pub use serde_derive::{Deserialize, Serialize};
 pub mod value;
 pub use value::{Number, Value};
 
+/// Stand-in for real serde's `serde::de` module: generic code in the
+/// workspace bounds deserializable payloads by `serde::de::DeserializeOwned`,
+/// which for the tree-based stub is just an alias for [`Deserialize`].
+pub mod de {
+    /// Owned deserialization marker; blanket-implemented for every
+    /// [`crate::Deserialize`] type (real serde: `for<'de> Deserialize<'de>`).
+    pub trait DeserializeOwned: crate::Deserialize {}
+    impl<T: crate::Deserialize> DeserializeOwned for T {}
+}
+
 /// Serialization/deserialization error (message only).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Error(pub String);

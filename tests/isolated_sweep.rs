@@ -1,0 +1,191 @@
+//! End-to-end isolation + crash-recovery tests, driven against the
+//! `sweepdemo` binary (a real process, so it can serve the hidden
+//! `run-cell` subcommand and be SIGKILLed without mercy).
+//!
+//! Two properties from the issue's acceptance bar:
+//!
+//! 1. An isolated sweep *survives* cells that panic, abort, and hang —
+//!    the supervisor still renders every row and a summary.
+//! 2. A sweep whose supervisor is SIGKILLed mid-run resumes with
+//!    `--resume` to stdout byte-identical to an uninterrupted run.
+
+#![allow(clippy::unwrap_used)]
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output, Stdio};
+use std::time::{Duration, Instant};
+
+const DEMO: &str = env!("CARGO_BIN_EXE_sweepdemo");
+
+fn scratch(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("imap-isolated-sweep-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A `sweepdemo` invocation with a pinned seed and its own telemetry dir.
+fn demo_cmd(telemetry: &Path, cells: usize, faults: &str, resume: bool) -> Command {
+    let mut cmd = Command::new(DEMO);
+    cmd.env("IMAP_TELEMETRY", telemetry)
+        .env("IMAP_SEED", "42")
+        .env("IMAP_ISOLATE", "1")
+        .env("IMAP_DEMO_CELLS", cells.to_string())
+        .env("IMAP_DEMO_FAULTS", faults)
+        .env("IMAP_DEMO_STEPS", "40")
+        .env("IMAP_STATUS_INTERVAL", "0")
+        .args(["--jobs", "1"])
+        .stdin(Stdio::null());
+    if resume {
+        cmd.arg("--resume");
+    }
+    cmd
+}
+
+fn stdout_lines(out: &Output) -> Vec<String> {
+    String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .map(str::to_string)
+        .collect()
+}
+
+/// The demo's per-cell row for stage-2 cell `i`, e.g. `cell   1 panic ...`.
+fn cell_row(lines: &[String], i: usize) -> &str {
+    lines
+        .iter()
+        .find(|l| l.starts_with(&format!("cell {i:>3} ")))
+        .unwrap_or_else(|| panic!("no row for cell {i} in {lines:#?}"))
+}
+
+#[test]
+fn isolated_sweep_survives_panic_abort_and_hang_cells() {
+    let dir = scratch("faulty");
+    // Cells 1-4 are hostile; 0 and 5 must still produce checksums. Tight
+    // supervision so the hang cells fail in seconds, not minutes.
+    let out = demo_cmd(&dir, 6, "1:panic,2:abort,3:hang,4:hang_hard", false)
+        .env("IMAP_CELL_TIMEOUT", "2")
+        .env("IMAP_MAX_ATTEMPTS", "1")
+        .output()
+        .unwrap();
+    let lines = stdout_lines(&out);
+
+    // The supervisor survived to render the full table and summary.
+    assert!(
+        lines.iter().any(|l| l.starts_with("# sweepdemo")),
+        "missing header in {lines:#?}"
+    );
+    assert!(
+        lines.iter().any(|l| l.starts_with("sweep summary:")),
+        "missing summary line in {lines:#?}"
+    );
+    let checksum = |row: &str| {
+        let hex = row.split_whitespace().last().unwrap().to_string();
+        assert_eq!(hex.len(), 16, "expected a checksum, got row {row:?}");
+        u64::from_str_radix(&hex, 16).unwrap()
+    };
+    checksum(cell_row(&lines, 0));
+    checksum(cell_row(&lines, 5));
+    for i in [1usize, 2] {
+        assert!(
+            cell_row(&lines, i).ends_with("error"),
+            "cell {i} must be an error row, got {:?}",
+            cell_row(&lines, i)
+        );
+    }
+    for i in [3usize, 4] {
+        let row = cell_row(&lines, i);
+        assert!(
+            row.ends_with("error") || row.ends_with("timeout"),
+            "hanging cell {i} must fail under supervision, got {row:?}"
+        );
+    }
+    // Failures happened, so the binary must exit nonzero — but by its own
+    // choice, not a crash.
+    assert_eq!(out.status.code(), Some(1), "status: {:?}", out.status);
+    // The abort cell's stderr tail must survive into the telemetry error
+    // row via the ledger.
+    let ledger = std::fs::read_to_string(dir.join("sweepdemo/ledger.jsonl")).unwrap();
+    assert!(
+        ledger.contains("killed by signal"),
+        "the abort cell's signal classification must reach the ledger"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sigkilled_sweep_resumes_bitwise_identical_to_uninterrupted_run() {
+    let base_dir = scratch("resume-base");
+    let kill_dir = scratch("resume-kill");
+    // Every cell sleeps (`slow` faults) so the ledger grows at a pace we
+    // can interrupt; `--jobs 1` keeps commit order deterministic.
+    let faults = "0:slow,1:slow,2:slow,3:slow,4:slow,5:slow";
+
+    // Uninterrupted baseline.
+    let baseline = demo_cmd(&base_dir, 6, faults, false).output().unwrap();
+    assert!(baseline.status.success(), "baseline failed: {baseline:?}");
+
+    // Interrupted run: SIGKILL the supervisor once the ledger shows the
+    // sweep is genuinely mid-flight (a stage header plus committed cells).
+    let mut child = demo_cmd(&kill_dir, 6, faults, false)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    let ledger_path = kill_dir.join("sweepdemo/ledger.jsonl");
+    let deadline = Instant::now() + Duration::from_secs(300);
+    loop {
+        let committed = std::fs::read_to_string(&ledger_path)
+            .map(|s| s.lines().count())
+            .unwrap_or(0);
+        if committed >= 3 {
+            // SIGKILL: no flush, no cleanup, possibly a torn final line.
+            let _ = child.kill();
+            let _ = child.wait();
+            break;
+        }
+        // Finished before we could kill it: the extreme case of
+        // "interrupted late" — resume below replays everything.
+        if child.try_wait().unwrap().is_some() {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "ledger never grew; no window to kill the supervisor"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Resume in a fresh process against the same telemetry dir.
+    let resumed = demo_cmd(&kill_dir, 6, faults, true).output().unwrap();
+    assert!(resumed.status.success(), "resumed run failed: {resumed:?}");
+    assert_eq!(
+        String::from_utf8_lossy(&baseline.stdout),
+        String::from_utf8_lossy(&resumed.stdout),
+        "resumed sweep must render byte-identically to the uninterrupted run"
+    );
+    let _ = std::fs::remove_dir_all(&base_dir);
+    let _ = std::fs::remove_dir_all(&kill_dir);
+}
+
+#[test]
+fn resume_against_a_different_grid_refuses_loudly() {
+    let dir = scratch("fingerprint");
+    let first = demo_cmd(&dir, 3, "", false).output().unwrap();
+    assert!(first.status.success(), "seed run failed: {first:?}");
+
+    // Same ledger, different grid shape: the sweep-spec fingerprint no
+    // longer matches, and resuming must refuse rather than mix results.
+    let mismatched = demo_cmd(&dir, 5, "", true).output().unwrap();
+    assert_eq!(
+        mismatched.status.code(),
+        Some(2),
+        "fingerprint mismatch must abort the run"
+    );
+    let stderr = String::from_utf8_lossy(&mismatched.stderr);
+    assert!(
+        stderr.contains("refusing to resume"),
+        "the refusal must be loud and name the cause, got: {stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

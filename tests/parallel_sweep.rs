@@ -26,7 +26,7 @@ use rand::SeedableRng;
 /// A budget small enough that a full victim + attack grid runs in seconds.
 fn tiny_budget() -> Budget {
     Budget {
-        name: "tiny",
+        name: "tiny".into(),
         victim: VictimBudget {
             iterations: 2,
             steps_per_iter: 128,
