@@ -16,14 +16,30 @@
 //! - `IMAP_DEMO_CELLS=N` — number of stage-2 cells (default 4)
 //! - `IMAP_DEMO_FAULTS="idx:mode,..."` — inject a fault into stage-2 cell
 //!   `idx`; `mode` is `ok`, `panic`, `abort`, `hang` (cooperative),
-//!   `hang_hard` (only SIGKILL ends it), `leak`, or `slow`
+//!   `hang_hard` (only SIGKILL ends it), `leak`, `slow`, or
+//!   `partial_write` (tears the file named by `IMAP_PARTIAL_WRITE_PATH`)
 //! - `IMAP_DEMO_STEPS=N` — rollout length per cell (default 40)
+//! - `IMAP_DEMO_SLEEP_MS=N` — per-fire sleep for `slow` cells (default 5);
+//!   widens the kill window for crash tests without touching checksums
+//!
+//! Multi-host knobs (lease-file protocol; see DESIGN.md §14):
+//!
+//! - `IMAP_LEASE_DIR=dir` — claim ONE shard lease from the shared board in
+//!   `dir` and run only that slice of the grid; exits 0 with a note when no
+//!   lease is claimable. A SIGKILLed worker leaves its lease claimed until
+//!   the coordinator reclaims it after the heartbeat goes stale.
+//! - `IMAP_SHARD_COUNT=N` — initialise the board to N shards first
+//!   (idempotent; safe to pass on every worker)
+//! - `IMAP_LEASE_RENEW_MS=N` — heartbeat renewal interval (default 250)
+//! - `IMAP_WORKER=name` — worker name recorded in lease files
+//!   (default `pid-<pid>`)
 
 use imap_bench::cells::{run_fault_spec, CellSpec};
 use imap_bench::exec::{run_sweep, SweepCell, SweepConfig, SweepReport};
 use imap_bench::{base_seed, bench_telemetry, finish_telemetry, Budget};
-use imap_harness::JobStatus;
+use imap_harness::{JobStatus, Lease, LeaseBoard, LeaseConfig};
 use imap_nn::NnError;
+use std::time::Duration;
 
 fn env_usize(key: &str, default: usize) -> usize {
     std::env::var(key)
@@ -54,15 +70,58 @@ fn fault_cell(label: String, tags: &[(&str, &str)], seed: u64, spec: CellSpec) -
     .isolated(&spec)
 }
 
+/// Claims one shard lease from `IMAP_LEASE_DIR` (initialising the board
+/// first when `IMAP_SHARD_COUNT` is set). Exits 0 when the board is fully
+/// claimed — that worker simply has nothing to do.
+fn maybe_claim_lease() -> Option<Lease> {
+    let dir = std::env::var("IMAP_LEASE_DIR").ok()?;
+    let worker =
+        std::env::var("IMAP_WORKER").unwrap_or_else(|_| format!("pid-{}", std::process::id()));
+    let board = LeaseBoard::new(LeaseConfig::new(&dir, worker));
+    if let Ok(raw) = std::env::var("IMAP_SHARD_COUNT") {
+        let count: usize = raw.parse().unwrap_or_else(|_| {
+            eprintln!("sweepdemo: bad IMAP_SHARD_COUNT {raw:?}");
+            std::process::exit(2);
+        });
+        if let Err(e) = board.init(count) {
+            eprintln!("sweepdemo: lease board init failed: {e}");
+            std::process::exit(2);
+        }
+    }
+    match board.claim() {
+        Ok(Some(lease)) => Some(lease),
+        Ok(None) => {
+            println!("no claimable shard lease in {dir}");
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("sweepdemo: lease claim failed: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
     imap_bench::cells::maybe_serve_run_cell();
     let seed = base_seed();
-    let sweep = SweepConfig::from_env();
+    let mut sweep = SweepConfig::from_env();
+    // Multi-host mode: the claimed lease decides the shard, and a
+    // background heartbeat keeps it from going stale while cells run.
+    let lease = maybe_claim_lease();
+    if let Some(lease) = &lease {
+        sweep.shard = Some(lease.shard());
+        eprintln!("claimed shard lease {}", lease.shard());
+    }
+    let renew = Duration::from_millis(env_usize("IMAP_LEASE_RENEW_MS", 250) as u64);
+    let renewer = lease.as_ref().map(|l| l.auto_renew(renew));
     let budget = Budget::quick(); // names the telemetry run; no training here
     let tel = bench_telemetry("sweepdemo", &budget, seed);
     let _sweep_span = tel.span("sweep");
     let cells = env_usize("IMAP_DEMO_CELLS", 4);
     let steps = env_usize("IMAP_DEMO_STEPS", 40) as u64;
+    let sleep_ms: Option<u64> = std::env::var("IMAP_DEMO_SLEEP_MS")
+        .ok()
+        .and_then(|v| v.parse().ok());
     let faults = demo_faults();
     let mut report = SweepReport::default();
 
@@ -85,11 +144,15 @@ fn main() {
                 .unwrap_or("ok");
             let mode_owned = mode.to_string();
             let tags = [("cell", "demo"), ("mode", mode_owned.as_str())];
+            let mut spec = CellSpec::fault(mode, 5, 1, steps);
+            if sleep_ms.is_some() {
+                spec.sleep_ms = sleep_ms;
+            }
             fault_cell(
                 format!("demo-{i}-{mode}"),
                 &tags,
                 seed.wrapping_add(i as u64),
-                CellSpec::fault(mode, 5, 1, steps),
+                spec,
             )
         })
         .collect();
@@ -116,5 +179,15 @@ fn main() {
     drop(_sweep_span);
     finish_telemetry(&tel);
     println!("{}", report.summary_line());
+    // The sweep finished, so every owned cell has a committed ledger row —
+    // even a poison cell's error row counts as done for the lease board
+    // (the merged ledger carries the error; nothing is left to re-run).
+    drop(renewer);
+    if let Some(lease) = lease {
+        if let Err(e) = lease.complete() {
+            eprintln!("sweepdemo: lease completion failed: {e}");
+            std::process::exit(2);
+        }
+    }
     std::process::exit(report.exit_code());
 }

@@ -217,7 +217,9 @@ impl CellSpec {
 
     /// A cheap deterministic rollout cell with an injected fault —
     /// `mode` is `ok`, `panic`, `abort`, `hang` (cooperative), `hang_hard`
-    /// (ignores cancellation; only SIGKILL ends it), `leak`, or `slow`.
+    /// (ignores cancellation; only SIGKILL ends it), `leak`, `slow`, or
+    /// `partial_write` (dies mid-ledger-row; target via
+    /// `IMAP_PARTIAL_WRITE_PATH`).
     /// Used by the isolation tests and the `sweepdemo` binary.
     pub fn fault(mode: &str, at_step: u64, max_fires: u64, steps: u64) -> Self {
         CellSpec {
@@ -413,6 +415,7 @@ fn run_fault_cell(spec: &CellSpec, ctx: &JobCtx) -> Result<u64, String> {
         "slow" => Some(FaultKind::SlowStep(Duration::from_millis(
             spec.sleep_ms.unwrap_or(5),
         ))),
+        "partial_write" => Some(FaultKind::PartialWrite),
         other => return Err(format!("unknown fault mode {other:?}")),
     };
     let hopper = imap_env::locomotion::Hopper::new();
@@ -429,6 +432,19 @@ fn run_fault_cell(spec: &CellSpec, ctx: &JobCtx) -> Result<u64, String> {
             // hang deliberately does not — only SIGKILL ends it.
             if mode == "hang" {
                 env = env.with_cancel(ctx.cancel.clone());
+            }
+            // A partial-write death tears the file named by the
+            // environment (the test points it at a ledger copy); only
+            // meaningful under --isolate, like abort.
+            if mode == "partial_write" {
+                match std::env::var_os("IMAP_PARTIAL_WRITE_PATH") {
+                    Some(path) => {
+                        env = env.with_partial_write_target(std::path::PathBuf::from(path));
+                    }
+                    None => eprintln!(
+                        "warning: partial_write fault has no IMAP_PARTIAL_WRITE_PATH target"
+                    ),
+                }
             }
             checksum_rollout(&mut env, &mut rng, steps, ctx)
         }

@@ -24,7 +24,7 @@ use std::time::Duration;
 use imap_harness::{
     committed_cells, default_jobs, read_ledger_rows, run_cell_in_child, run_supervised,
     stage_fingerprint, CellRequest, ChildConfig, Job, JobCtx, JobStatus, Ledger, LedgerRow,
-    PoolConfig, StatusConfig,
+    PoolConfig, ShardSpec, StatusConfig, StatusMeta,
 };
 use imap_nn::NnError;
 use imap_telemetry::Telemetry;
@@ -36,6 +36,16 @@ const LEDGER_FILE: &str = "ledger.jsonl";
 /// replayed from the ledger instead of re-run. Never collides with real
 /// skip reasons (those are `victim_*` / deadline strings).
 const LEDGER_RESTORED: &str = "__ledger_restored__";
+
+/// Sentinel skip reason marking a cell owned by another shard of a
+/// multi-host partition. Foreign cells produce *no* observable output
+/// here — no telemetry rows, no ledger rows, no stderr, no report tally —
+/// because another worker commits them; only the returned status records
+/// the skip.
+const SHARD_FOREIGN: &str = "__shard_foreign__";
+
+/// The public skip reason foreign cells carry in the returned statuses.
+pub const SHARD_FOREIGN_REASON: &str = "shard_foreign";
 
 /// Sweep-wide execution policy: worker count, supervision timeouts, retry
 /// policy, and the global deadline.
@@ -79,6 +89,12 @@ pub struct SweepConfig {
     /// `current_exe()`; tests point it at a dedicated cell-server binary
     /// because the test harness owns `argv`.
     pub child_exe: Option<PathBuf>,
+    /// Run only this shard of an `N`-way contiguous grid partition
+    /// (`--shard i/N` / `IMAP_SHARD`). Cells owned by other shards are
+    /// skipped without side effects; the stage fingerprint still covers
+    /// the full grid, so per-shard ledgers merge (and cross-verify)
+    /// through `imap merge-ledgers`.
+    pub shard: Option<ShardSpec>,
     /// Stage ordinal, shared across clones: each `run_sweep` call with this
     /// config is one ledger stage, in call order. Public only so struct
     /// update syntax (`..SweepConfig::default()`) works outside this
@@ -100,6 +116,7 @@ impl Default for SweepConfig {
             isolate: false,
             resume: false,
             child_exe: None,
+            shard: None,
             stage: Arc::new(AtomicUsize::new(0)),
         }
     }
@@ -148,6 +165,17 @@ impl SweepConfig {
         if let Some(raw) = env("IMAP_ISOLATE") {
             cfg.isolate = !matches!(raw.trim(), "" | "0" | "false");
         }
+        let set_shard = |cfg: &mut SweepConfig, v: Option<String>| match v
+            .as_deref()
+            .map(ShardSpec::parse)
+        {
+            Some(Ok(spec)) => cfg.shard = Some(spec),
+            Some(Err(e)) => eprintln!("warning: bad --shard / IMAP_SHARD ({e}); running unsharded"),
+            None => eprintln!("warning: --shard needs a value like 0/3; running unsharded"),
+        };
+        if let Some(raw) = env("IMAP_SHARD") {
+            set_shard(&mut cfg, Some(raw));
+        }
         let set_status_interval = |cfg: &mut SweepConfig, v: Option<String>| match v
             .and_then(|v| v.parse::<f64>().ok())
         {
@@ -178,6 +206,10 @@ impl SweepConfig {
                     let v = args.next();
                     set_status_interval(&mut cfg, v);
                 }
+                "--shard" => {
+                    let v = args.next();
+                    set_shard(&mut cfg, v);
+                }
                 other => {
                     if let Some(v) = other.strip_prefix("--jobs=") {
                         match v.parse::<usize>() {
@@ -189,11 +221,13 @@ impl SweepConfig {
                         }
                     } else if let Some(v) = other.strip_prefix("--status-interval=") {
                         set_status_interval(&mut cfg, Some(v.to_string()));
+                    } else if let Some(v) = other.strip_prefix("--shard=") {
+                        set_shard(&mut cfg, Some(v.to_string()));
                     } else {
                         eprintln!(
                             "warning: unrecognized argument {other:?} \
                              (supported: --jobs N, --fail-fast, --keep-going, --trace, \
-                             --status-interval SECS, --isolate, --resume)"
+                             --status-interval SECS, --isolate, --resume, --shard i/N)"
                         );
                     }
                 }
@@ -202,7 +236,7 @@ impl SweepConfig {
         cfg
     }
 
-    fn pool(&self, tel: &Telemetry) -> PoolConfig {
+    fn pool(&self, tel: &Telemetry, meta: StatusMeta) -> PoolConfig {
         // Live status rides along whenever telemetry writes to a run
         // directory; a zero interval disables it.
         let status = if self.status_interval > Duration::ZERO {
@@ -210,6 +244,7 @@ impl SweepConfig {
                 path: dir.join("status.json"),
                 interval: self.status_interval,
                 tty: std::io::stderr().is_terminal(),
+                meta,
             })
         } else {
             None
@@ -491,6 +526,28 @@ where
         }),
     );
 
+    // Shard ownership: a contiguous index range of the full grid. The
+    // fingerprint above deliberately covers every cell — all shards (and
+    // the merged artifact) must agree on the whole table.
+    let owned: Vec<bool> = match &cfg.shard {
+        Some(spec) => (0..cells.len())
+            .map(|i| spec.owns(i, cells.len()))
+            .collect(),
+        None => vec![true; cells.len()],
+    };
+    if let Some(spec) = &cfg.shard {
+        let owned_count = owned.iter().filter(|&&o| o).count() as u64;
+        let metrics = tel.metrics();
+        metrics.counter("shard/owned").add(owned_count);
+        metrics
+            .counter("shard/foreign")
+            .add(cells.len() as u64 - owned_count);
+        eprintln!(
+            "shard {spec}: running {owned_count} of {} cell(s) in stage {stage}",
+            cells.len()
+        );
+    }
+
     // Ledger setup: create/append the stage header, and under --resume
     // read the committed rows back (refusing loudly on any mismatch).
     let ledger_path = tel.out_dir().map(|dir| dir.join(LEDGER_FILE));
@@ -525,6 +582,48 @@ where
             }
         }
         None => None,
+    };
+
+    // Replay statistics: what --resume restored (for the cells this
+    // worker owns), surfaced on stderr, in status.json / the TTY ticker,
+    // and as ledger/resumed_* counters in report.json.
+    let replayed_statuses: Vec<&str> = restored_rows
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| owned[*i])
+        .filter_map(|(_, r)| r.as_ref())
+        .map(|r| r.status.as_deref().unwrap_or("unknown"))
+        .collect();
+    let replayed = replayed_statuses.len() as u64;
+    let replayed_failed = replayed_statuses
+        .iter()
+        .filter(|s| matches!(**s, "error" | "timeout"))
+        .count() as u64;
+    if cfg.resume {
+        let metrics = tel.metrics();
+        metrics.counter("ledger/resumed").add(replayed);
+        metrics
+            .counter("ledger/resumed_failed")
+            .add(replayed_failed);
+        for status in ["ok", "error", "timeout", "skipped"] {
+            let n = replayed_statuses.iter().filter(|s| **s == status).count() as u64;
+            if n > 0 {
+                metrics.counter(&format!("ledger/resumed_{status}")).add(n);
+            }
+        }
+        if replayed > 0 {
+            let owned_count = owned.iter().filter(|&&o| o).count() as u64;
+            eprintln!(
+                "resume: replaying {replayed} committed cell(s) from the ledger \
+                 ({replayed_failed} previously failed), {} remaining in stage {stage}",
+                owned_count - replayed
+            );
+        }
+    }
+    let status_meta = StatusMeta {
+        shard: cfg.shard.as_ref().map(ToString::to_string),
+        replayed,
+        replayed_failed,
     };
 
     // Child launcher for isolated cells.
@@ -563,6 +662,12 @@ where
         .into_iter()
         .enumerate()
         .map(|(index, c)| {
+            // Foreign cells take precedence over everything: another
+            // shard owns them, so this worker neither runs nor replays
+            // them.
+            if !owned[index] {
+                return Job::skipped(c.label, SHARD_FOREIGN);
+            }
             if restored_rows[index].is_some() {
                 return Job::skipped(c.label, LEDGER_RESTORED);
             }
@@ -607,8 +712,14 @@ where
         );
     }
 
-    let mut out = run_supervised(&cfg.pool(tel), jobs, |idx, status| {
+    let mut out = run_supervised(&cfg.pool(tel, status_meta), jobs, |idx, status| {
         let (label, tags, seed) = &metas[idx];
+        // Foreign cells commit nothing observable: no telemetry, no
+        // ledger row, no stderr, no tally. Another shard's worker owns
+        // every side effect for them.
+        if matches!(status, JobStatus::Skipped { reason } if reason == SHARD_FOREIGN) {
+            return;
+        }
         // A sentinel skip is a ledger replay: substitute the committed
         // outcome so telemetry, stderr, and on_ok all reproduce verbatim.
         let restored: Option<JobStatus<T>> = match status {
@@ -665,9 +776,14 @@ where
     });
 
     // The returned statuses must also carry the replayed outcomes (the
-    // pool only saw sentinel skips for them).
+    // pool only saw sentinel skips for them), and foreign cells must not
+    // leak the internal sentinel to callers.
     for (idx, slot) in out.iter_mut().enumerate() {
-        if let Some(row) = &restored_rows[idx] {
+        if !owned[idx] {
+            *slot = JobStatus::Skipped {
+                reason: SHARD_FOREIGN_REASON.to_string(),
+            };
+        } else if let Some(row) = &restored_rows[idx] {
             *slot = restore_status(row)
                 .unwrap_or_else(|e| refuse_resume("cannot replay ledger row", e));
         }
@@ -810,6 +926,125 @@ mod tests {
             dep_skip_reason::<u8>(&JobStatus::Timeout { attempts: 1 }),
             Some("victim_timeout".into())
         );
+    }
+
+    #[test]
+    fn from_sources_parses_shard() {
+        let cfg = SweepConfig::from_sources(["--shard".into(), "1/3".into()], no_env);
+        assert_eq!(cfg.shard, Some(ShardSpec { index: 1, count: 3 }));
+        let cfg = SweepConfig::from_sources(["--shard=0/2".into()], no_env);
+        assert_eq!(cfg.shard, Some(ShardSpec { index: 0, count: 2 }));
+        let cfg = SweepConfig::from_sources(std::iter::empty(), |key| match key {
+            "IMAP_SHARD" => Some("2/4".into()),
+            _ => None,
+        });
+        assert_eq!(cfg.shard, Some(ShardSpec { index: 2, count: 4 }));
+        // Bad values warn and run unsharded rather than mis-partitioning.
+        let cfg = SweepConfig::from_sources(["--shard".into(), "3/3".into()], no_env);
+        assert_eq!(cfg.shard, None);
+        let cfg = SweepConfig::from_sources(["--shard=banana".into()], no_env);
+        assert_eq!(cfg.shard, None);
+        assert_eq!(SweepConfig::default().shard, None);
+    }
+
+    /// The sharding contract, in-process: a shard runs only its own
+    /// cells (no telemetry, tallies, or on_ok calls for foreign ones),
+    /// and the per-shard ledgers merge byte-identically to the ledger an
+    /// unsharded `--jobs 1` run writes.
+    #[test]
+    fn sharded_sweeps_merge_byte_identical_to_unsharded() {
+        use imap_harness::{merge_ledger_files, rows_to_bytes};
+        use imap_telemetry::RunManifest;
+
+        let root = std::env::temp_dir().join(format!("imap-exec-shard-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let make_cells = || {
+            vec![
+                SweepCell::new("a", &[("cell", "a")], 1, |ctx: &JobCtx| Ok(ctx.seed ^ 0xa)),
+                SweepCell::new("b", &[("cell", "b")], 2, |_: &JobCtx| {
+                    Err::<u64, _>(NnError::Numeric {
+                        context: "injected".into(),
+                    })
+                }),
+                SweepCell::skipped("c", &[("cell", "c")], "victim_error"),
+                SweepCell::new("d", &[("cell", "d")], 4, |ctx: &JobCtx| Ok(ctx.seed ^ 0xd)),
+            ]
+        };
+        let run = |dir: &std::path::Path, shard: Option<ShardSpec>| {
+            let mut cfg = SweepConfig {
+                jobs: 1,
+                max_attempts: 1,
+                shard,
+                ..SweepConfig::default()
+            };
+            quick(&mut cfg);
+            let manifest = RunManifest::new("exec-shard", "test", "test", 0);
+            let tel = Telemetry::jsonl(dir, &manifest).expect("jsonl telemetry");
+            let mut report = SweepReport::default();
+            let mut oks = Vec::new();
+            let out = run_sweep(&tel, &cfg, make_cells(), &mut report, |tags, v| {
+                oks.push((own_tags(tags), *v));
+            });
+            drop(tel);
+            (out, report, oks)
+        };
+
+        let base_dir = root.join("base");
+        let s0_dir = root.join("s0");
+        let s1_dir = root.join("s1");
+        let (_, base_report, base_oks) = run(&base_dir, None);
+        let (s0_out, s0_report, s0_oks) = run(&s0_dir, Some(ShardSpec { index: 0, count: 2 }));
+        let (_, s1_report, s1_oks) = run(&s1_dir, Some(ShardSpec { index: 1, count: 2 }));
+
+        // Shard 0/2 owns cells 0-1, shard 1/2 owns cells 2-3.
+        assert_eq!(
+            s0_report,
+            SweepReport {
+                ok: 1,
+                error: 1,
+                timeout: 0,
+                skipped: 0
+            },
+            "a shard tallies only the cells it owns"
+        );
+        assert_eq!(
+            s1_report,
+            SweepReport {
+                ok: 1,
+                error: 0,
+                timeout: 0,
+                skipped: 1
+            }
+        );
+        assert!(
+            matches!(&s0_out[2], JobStatus::Skipped { reason } if reason == SHARD_FOREIGN_REASON),
+            "foreign cells surface as shard_foreign skips, got {:?}",
+            s0_out[2]
+        );
+        let mut sharded_oks = s0_oks;
+        sharded_oks.extend(s1_oks);
+        assert_eq!(
+            sharded_oks, base_oks,
+            "the shards' on_ok calls tile the sweep's"
+        );
+        assert_eq!(
+            base_report,
+            SweepReport {
+                ok: 2,
+                error: 1,
+                timeout: 0,
+                skipped: 1
+            }
+        );
+
+        let merged = merge_ledger_files(&[s0_dir.join(LEDGER_FILE), s1_dir.join(LEDGER_FILE)])
+            .expect("shard ledgers merge");
+        assert_eq!(
+            rows_to_bytes(&merged),
+            std::fs::read(base_dir.join(LEDGER_FILE)).expect("baseline ledger"),
+            "merged shard ledgers must be byte-identical to the unsharded run"
+        );
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

@@ -10,7 +10,10 @@ use imap_core::threat::PerturbationEnv;
 use imap_core::{ImapConfig, ImapTrainer};
 use imap_defense::{train_victim_resilient, DefenseMethod, VictimBudget};
 use imap_env::{build_task, Env, EnvFactory, EnvRng, TaskId};
-use imap_harness::{SingleStatus, StatusConfig};
+use imap_harness::{
+    merge_ledger_files, write_rows, LeaseBoard, LeaseConfig, LeaseError, MergeError, SingleStatus,
+    StatusConfig,
+};
 use imap_rl::checkpoint::{self, read_checkpoint, write_checkpoint, CheckpointError, StateDict};
 use imap_rl::{
     cancel_after, granted_actors, CancelToken, GaussianPolicy, PpoConfig, Progress,
@@ -36,6 +39,11 @@ pub enum CliError {
     Checkpoint(CheckpointError),
     /// A training/evaluation step failed.
     Nn(imap_nn::NnError),
+    /// Folding per-shard ledgers failed (fingerprint mismatch, conflicting
+    /// rows, missing cells, ...).
+    Merge(MergeError),
+    /// Talking to a shard lease board failed.
+    Lease(LeaseError),
 }
 
 impl fmt::Display for CliError {
@@ -47,6 +55,8 @@ impl fmt::Display for CliError {
             CliError::Json(e) => write!(f, "json: {e}"),
             CliError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
             CliError::Nn(e) => write!(f, "training: {e}"),
+            CliError::Merge(e) => write!(f, "merge: {e}"),
+            CliError::Lease(e) => write!(f, "lease: {e}"),
         }
     }
 }
@@ -76,6 +86,16 @@ impl From<CheckpointError> for CliError {
 impl From<imap_nn::NnError> for CliError {
     fn from(e: imap_nn::NnError) -> Self {
         CliError::Nn(e)
+    }
+}
+impl From<MergeError> for CliError {
+    fn from(e: MergeError) -> Self {
+        CliError::Merge(e)
+    }
+}
+impl From<LeaseError> for CliError {
+    fn from(e: LeaseError) -> Self {
+        CliError::Lease(e)
     }
 }
 
@@ -250,6 +270,22 @@ USAGE:
                     [--adversary <adversary.policy> | --random | --mad | --fgsm]
                     [--episodes N] [--eps E] [--seed N] [--telemetry <dir>]
                     [--trace]
+  imap merge-ledgers --out <merged.jsonl> --inputs <a.jsonl,b.jsonl,...>
+  imap sweep-coordinate --dir <shared-dir> [--stale-secs S]
+                    [--max-attempts N] [--watch-secs W]
+
+`merge-ledgers` folds per-shard sweep ledgers into one: every input must
+carry the same sweep-spec fingerprints (a mismatch refuses to merge and
+exits 2), bit-identical duplicate rows dedupe, conflicting rows are a hard
+error, and rows come out in canonical grid order — byte-identical to the
+ledger of an uninterrupted single-host run (DESIGN.md §14).
+
+`sweep-coordinate` watches a shard lease board: claimed leases whose worker
+heartbeat went stale are reopened (with exponential reclaim backoff), or
+parked in failed/ once the per-shard attempt cap `--max-attempts` (default
+3) is exhausted. `--stale-secs` (default 30) sets the heartbeat-age cutoff.
+With `--watch-secs W` it polls until the board drains or W seconds pass;
+without, it makes a single reclaim pass and exits.
 
 `--telemetry <dir>` writes manifest.json, metrics.jsonl (one JSON metric row
 per line, timing rows included), and report.json (metric + timing rollup)
@@ -328,6 +364,7 @@ fn status_from_args(
         path: dir.join("status.json"),
         interval: std::time::Duration::from_secs_f64(secs),
         tty: std::io::IsTerminal::is_terminal(&std::io::stderr()),
+        meta: imap_harness::StatusMeta::default(),
     };
     Ok(Some(SingleStatus::spawn(
         cfg,
@@ -597,6 +634,69 @@ pub fn dispatch(args: &Args) -> Result<(), CliError> {
             };
             print_eval("result", task, &eval);
             finish_telemetry(&tel);
+            Ok(())
+        }
+        Some("merge-ledgers") => {
+            let out = args.required("out")?;
+            let inputs: Vec<PathBuf> = args
+                .required("inputs")?
+                .split(',')
+                .filter(|s| !s.trim().is_empty())
+                .map(|s| PathBuf::from(s.trim()))
+                .collect();
+            let rows = merge_ledger_files(&inputs)?;
+            write_rows(Path::new(out), &rows)?;
+            println!(
+                "merged {} row(s) from {} ledger(s) into {out}",
+                rows.len(),
+                inputs.len()
+            );
+            Ok(())
+        }
+        Some("sweep-coordinate") => {
+            let dir = args.required("dir")?;
+            let stale: f64 = args.get_or("stale-secs", 30.0)?;
+            let max_attempts: u32 = args.get_or("max-attempts", 3u32)?;
+            let watch: f64 = args.get_or("watch-secs", 0.0)?;
+            let mut cfg = LeaseConfig::new(dir, "coordinator");
+            cfg.stale_after = std::time::Duration::from_secs_f64(stale.max(0.0));
+            cfg.max_attempts = max_attempts;
+            let board = LeaseBoard::new(cfg);
+            let deadline =
+                std::time::Instant::now() + std::time::Duration::from_secs_f64(watch.max(0.0));
+            // Sub-staleness polling so a freshly-dead worker is noticed
+            // within one cutoff period, bounded for tiny test cutoffs.
+            let poll = std::time::Duration::from_secs_f64((stale / 2.0).clamp(0.05, 5.0));
+            loop {
+                let report = board.reclaim_stale()?;
+                for r in &report.reclaimed {
+                    let worker = r.worker.as_deref().unwrap_or("<unknown>");
+                    if r.parked {
+                        println!(
+                            "parked shard {} in failed/ after {} attempt(s) (last worker {worker})",
+                            r.shard, r.attempts
+                        );
+                    } else {
+                        println!(
+                            "reclaimed shard {} from stale worker {worker} (attempt {})",
+                            r.shard, r.attempts
+                        );
+                    }
+                }
+                let counts = board.counts()?;
+                println!(
+                    "leases: {} open, {} claimed ({} live), {} done, {} failed",
+                    counts.open, counts.claimed, report.live, counts.done, counts.failed
+                );
+                if counts.open == 0 && counts.claimed == 0 {
+                    println!("board drained");
+                    break;
+                }
+                if std::time::Instant::now() >= deadline {
+                    break;
+                }
+                std::thread::sleep(poll);
+            }
             Ok(())
         }
         Some(other) => Err(CliError::Unknown(format!(

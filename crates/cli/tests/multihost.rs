@@ -1,0 +1,193 @@
+//! Multi-host CLI integration: `imap merge-ledgers` folds per-shard
+//! ledgers byte-identically (and refuses mismatched sweep specs with exit
+//! code 2), and `imap sweep-coordinate` reclaims stale shard leases across
+//! a real process boundary.
+
+#![allow(clippy::unwrap_used)]
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::time::Duration;
+
+use imap_harness::{stage_fingerprint, write_rows, LeaseBoard, LeaseConfig, LedgerRow, ShardSpec};
+
+const BIN: &str = env!("CARGO_BIN_EXE_imap");
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("imap-cli-multihost-{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A deterministic 4-cell single-stage grid: the canonical rows an
+/// uninterrupted run would commit, plus the shared stage fingerprint.
+fn demo_rows() -> (String, Vec<LedgerRow>) {
+    let cells: Vec<(String, u64)> = (0..4).map(|i| (format!("cell-{i}"), 100 + i)).collect();
+    let fp = stage_fingerprint(0, cells.iter().map(|(l, s)| (l.as_str(), *s, false)));
+    let mut rows = vec![LedgerRow::stage_header(0, &fp, cells.len())];
+    for (i, (label, seed)) in cells.iter().enumerate() {
+        let (status, value, error) = if i == 2 {
+            ("error".to_string(), None, Some("cell exploded".to_string()))
+        } else {
+            (
+                "ok".to_string(),
+                Some(serde_json::json!(7 * i as u64)),
+                None,
+            )
+        };
+        rows.push(LedgerRow::cell(
+            0, i, label, *seed, &status, 1, value, error, None,
+        ));
+    }
+    (fp, rows)
+}
+
+/// Writes the stage header plus the cells a shard owns into `path`.
+fn write_shard(path: &Path, rows: &[LedgerRow], shard: ShardSpec) {
+    let total = rows.len() - 1; // minus the header
+    let owned: Vec<LedgerRow> = std::iter::once(rows[0].clone())
+        .chain(
+            rows[1..]
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| shard.owns(*i, total))
+                .map(|(_, r)| r.clone()),
+        )
+        .collect();
+    write_rows(path, &owned).unwrap();
+}
+
+fn merge_cmd(out: &Path, inputs: &[PathBuf]) -> std::process::Output {
+    let inputs: Vec<String> = inputs.iter().map(|p| p.display().to_string()).collect();
+    Command::new(BIN)
+        .args(["merge-ledgers", "--out", out.to_str().unwrap()])
+        .args(["--inputs", &inputs.join(",")])
+        .output()
+        .unwrap()
+}
+
+#[test]
+fn merge_ledgers_reassembles_shards_byte_identically() {
+    let dir = scratch("merge");
+    let (_fp, rows) = demo_rows();
+    let baseline = dir.join("baseline.jsonl");
+    write_rows(&baseline, &rows).unwrap();
+
+    // Three shards of four cells: 0..1, 1..2, 2..4 — shard 1 holds only
+    // the error row, so a failed-only shard is part of the merge.
+    let shards: Vec<PathBuf> = (0..3)
+        .map(|i| {
+            let path = dir.join(format!("shard-{i}.jsonl"));
+            write_shard(&path, &rows, ShardSpec { index: i, count: 3 });
+            path
+        })
+        .collect();
+    // Feed the shards out of order: canonical order must come from the
+    // grid, not from the input sequence.
+    let merged = dir.join("merged.jsonl");
+    let out = merge_cmd(
+        &merged,
+        &[shards[2].clone(), shards[0].clone(), shards[1].clone()],
+    );
+    assert!(
+        out.status.success(),
+        "merge failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let expect = std::fs::read(&baseline).unwrap();
+    let got = std::fs::read(&merged).unwrap();
+    assert_eq!(
+        got, expect,
+        "merged ledger must be byte-identical to the uninterrupted baseline"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fingerprint_mismatch_refuses_with_exit_2() {
+    let dir = scratch("mismatch");
+    let (_fp, rows) = demo_rows();
+    let a = dir.join("a.jsonl");
+    write_shard(&a, &rows, ShardSpec { index: 0, count: 2 });
+
+    // Shard b ran a different grid: same stage, different fingerprint.
+    let other_fp = stage_fingerprint(0, [("other", 9u64, false)]);
+    let b = dir.join("b.jsonl");
+    write_rows(
+        &b,
+        &[
+            LedgerRow::stage_header(0, &other_fp, 1),
+            LedgerRow::cell(0, 0, "other", 9, "ok", 1, None, None, None),
+        ],
+    )
+    .unwrap();
+
+    let merged = dir.join("merged.jsonl");
+    let out = merge_cmd(&merged, &[a, b]);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "fingerprint mismatch must exit 2, got {:?}",
+        out.status.code()
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("refusing to merge"),
+        "stderr should name the refusal: {stderr}"
+    );
+    assert!(!merged.exists(), "no output file on refusal");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn coordinator_reclaims_stale_leases_across_processes() {
+    let dir = scratch("coordinate");
+    let board_dir = dir.join("board");
+
+    // A worker claims shard 0 and dies without renewing (no heartbeat).
+    let worker = LeaseBoard::new(LeaseConfig::new(&board_dir, "w1"));
+    worker.init(2).unwrap();
+    let lease = worker.claim().unwrap().expect("shard 0 claimable");
+    assert_eq!(lease.shard(), ShardSpec { index: 0, count: 2 });
+    std::thread::sleep(Duration::from_millis(120));
+
+    // One coordinator pass with a tiny staleness cutoff reclaims it.
+    let out = Command::new(BIN)
+        .args(["sweep-coordinate", "--dir", board_dir.to_str().unwrap()])
+        .args(["--stale-secs", "0.05", "--max-attempts", "3"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "coordinator failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("reclaimed shard 0/2"),
+        "coordinator should report the reclaim: {stdout}"
+    );
+
+    // Past the reclaim backoff the shard is claimable again, and carries
+    // the bumped attempt count.
+    std::thread::sleep(Duration::from_millis(400));
+    let retry = LeaseBoard::new(LeaseConfig::new(&board_dir, "w2"));
+    let shard0 = retry.claim().unwrap().expect("shard 0 re-claimable");
+    let shard1 = retry.claim().unwrap().expect("shard 1 claimable");
+    assert_eq!(shard0.attempts(), 1, "reclaim must bump the attempt count");
+    shard0.complete().unwrap();
+    shard1.complete().unwrap();
+
+    // With every lease done the coordinator reports a drained board.
+    let out = Command::new(BIN)
+        .args(["sweep-coordinate", "--dir", board_dir.to_str().unwrap()])
+        .args(["--stale-secs", "0.05"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("board drained"), "got: {stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

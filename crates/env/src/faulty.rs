@@ -42,7 +42,19 @@ pub enum FaultKind {
     /// cell whose memory footprint grows without bound). The leak is real
     /// (`Box::leak`) but bounded by `max_fires`; dynamics are unchanged.
     LeakMemory(usize),
+    /// Appends half a ledger-row JSON line (no trailing newline) to the
+    /// file installed via [`FaultyEnv::with_partial_write_target`], flushes
+    /// it, and dies without unwinding — `std::process::exit`, the stdlib
+    /// stand-in for `_exit(2)`: no destructors, no buffered-writer flushes,
+    /// no panic hooks. Models a worker SIGKILLed mid-`ledger.jsonl` append,
+    /// leaving the torn final line the ledger reader must tolerate. Like
+    /// [`FaultKind::Abort`], only meaningful inside a sacrificial child.
+    PartialWrite,
 }
+
+/// The exit code a [`FaultKind::PartialWrite`] death reports, chosen to be
+/// distinguishable from panic/abort signals in supervision error rows.
+pub const PARTIAL_WRITE_EXIT_CODE: i32 = 86;
 
 /// When and how often the fault fires.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,6 +90,7 @@ pub struct FaultyEnv<E> {
     steps: usize,
     fires: usize,
     cancel: Option<CancelToken>,
+    partial_write_target: Option<std::path::PathBuf>,
 }
 
 impl<E: Env> FaultyEnv<E> {
@@ -89,6 +102,7 @@ impl<E: Env> FaultyEnv<E> {
             steps: 0,
             fires: 0,
             cancel: None,
+            partial_write_target: None,
         }
     }
 
@@ -97,6 +111,15 @@ impl<E: Env> FaultyEnv<E> {
     /// of blocking its worker thread forever.
     pub fn with_cancel(mut self, token: CancelToken) -> Self {
         self.cancel = Some(token);
+        self
+    }
+
+    /// Installs the file a [`FaultKind::PartialWrite`] fault tears: the
+    /// fault appends a truncated JSON fragment there before dying. Without
+    /// a target the fault still kills the process, just without the torn
+    /// write.
+    pub fn with_partial_write_target(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.partial_write_target = Some(path.into());
         self
     }
 
@@ -171,6 +194,41 @@ impl<E: Env> Env for FaultyEnv<E> {
                 let chunk: Vec<u8> = vec![0xab; bytes.max(1)];
                 let _leaked: &'static mut [u8] = Box::leak(chunk.into_boxed_slice());
                 self.inner.step(action, rng)
+            }
+            FaultKind::PartialWrite => {
+                if let Some(path) = &self.partial_write_target {
+                    use std::io::Write;
+                    // Half a ledger cell row: starts like a real line, is
+                    // cut mid-field, and gets no newline — exactly what a
+                    // SIGKILL mid-append leaves behind.
+                    let fragment = format!(
+                        "{{\"row\":\"cell\",\"stage\":0,\"index\":{},\"la",
+                        self.steps
+                    );
+                    let written = std::fs::OpenOptions::new()
+                        .create(true)
+                        .append(true)
+                        .open(path)
+                        .and_then(|mut f| {
+                            f.write_all(fragment.as_bytes())?;
+                            f.flush()
+                        });
+                    if let Err(e) = written {
+                        eprintln!(
+                            "injected fault: partial write to {} failed: {e}",
+                            path.display()
+                        );
+                    }
+                } else {
+                    eprintln!("injected fault: PartialWrite has no target file; dying anyway");
+                }
+                eprintln!(
+                    "injected fault: dying mid-ledger-row at step {} (no unwind)",
+                    self.steps
+                );
+                // `exit` (not a panic) so nothing unwinds and no buffered
+                // writer gets a chance to complete the torn line.
+                std::process::exit(PARTIAL_WRITE_EXIT_CODE);
             }
             FaultKind::NanObservation => {
                 let mut step = self.inner.step(action, rng);
@@ -305,9 +363,12 @@ mod tests {
         assert_eq!(leaky.fires(), 3, "the leak is bounded by max_fires");
     }
 
-    // FaultKind::Abort is deliberately untestable in-process — abort()
-    // cannot be caught — so its coverage lives in the isolation-layer
-    // integration tests, where a sacrificial child process absorbs it.
+    // FaultKind::Abort and FaultKind::PartialWrite are deliberately
+    // untestable in-process — abort() cannot be caught and PartialWrite
+    // exits without unwinding — so their coverage lives in the
+    // isolation-layer integration tests, where a sacrificial child
+    // process absorbs the death (and, for PartialWrite, the torn ledger
+    // line it leaves behind is recovered by the reader).
 
     #[test]
     fn unlimited_fires_keep_firing() {

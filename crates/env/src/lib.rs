@@ -35,5 +35,5 @@ pub mod render;
 pub mod sparse;
 
 pub use env::{Env, EnvFactory, EnvRng, MultiAgentEnv, MultiStep, Step};
-pub use faulty::{FaultKind, FaultPlan, FaultyEnv};
+pub use faulty::{FaultKind, FaultPlan, FaultyEnv, PARTIAL_WRITE_EXIT_CODE};
 pub use registry::{build_multi_task, build_task, MultiTaskId, TaskId, TaskSpec};

@@ -24,10 +24,12 @@
 mod budget;
 mod cancel;
 mod ledger;
+mod merge;
 mod pool;
 mod proc;
 mod progress;
 mod retry;
+mod shard;
 mod status;
 
 pub use budget::{active_jobs, granted_actors, granted_actors_for, parallel_budget};
@@ -36,6 +38,7 @@ pub use ledger::{
     committed_cells, read_rows as read_ledger_rows, stage_fingerprint, Ledger, LedgerError,
     LedgerRow,
 };
+pub use merge::{merge_ledger_files, merge_rows, rows_to_bytes, write_rows, MergeError};
 pub use pool::{default_jobs, run_supervised, Job, JobCtx, JobStatus, KillSwitch, PoolConfig};
 pub use proc::{
     run_cell_in_child, serve_child, CellRequest, ChildConfig, RUN_CELL_SUBCOMMAND,
@@ -43,4 +46,8 @@ pub use proc::{
 };
 pub use progress::Progress;
 pub use retry::{backoff_delay, derive_seed, fnv1a};
-pub use status::{CellStatus, SingleStatus, StatusBoard, StatusConfig, StatusSnapshot};
+pub use shard::{
+    Lease, LeaseBoard, LeaseConfig, LeaseCounts, LeaseError, LeaseGuard, LeaseRecord,
+    ReclaimReport, Reclaimed, ShardSpec,
+};
+pub use status::{CellStatus, SingleStatus, StatusBoard, StatusConfig, StatusMeta, StatusSnapshot};

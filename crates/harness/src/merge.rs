@@ -1,0 +1,579 @@
+//! Deterministic merge of per-shard sweep ledgers.
+//!
+//! Multi-host sweeps leave one `ledger.jsonl` per worker, each holding the
+//! stage headers for the *full* grid plus cell rows for the shard(s) that
+//! worker owned (and possibly duplicates from workers that lost a lease
+//! but kept running). [`merge_rows`] folds them back into the canonical
+//! single-host artifact:
+//!
+//! - Every shard must carry the same stage fingerprint and cell count —
+//!   a mismatch means the shards ran different sweep specs, and merging
+//!   would silently mix incompatible results, so it is refused loudly
+//!   ([`MergeError::FingerprintMismatch`], CLI exit 2).
+//! - Within one file, the last row per `(stage, index)` wins (the ledger's
+//!   own re-run rule). Across files, identical duplicate rows dedupe;
+//!   *conflicting* rows for the same cell are a hard error — determinism
+//!   says that cannot happen unless a shard ran a different spec or a
+//!   file was tampered with.
+//! - Every stage must end up fully covered; gaps (cells no shard
+//!   committed) are a hard error naming the missing indices.
+//! - Output is emitted in canonical table order — each stage's header
+//!   followed by its cells at index 0, 1, 2, … — so the merged artifact is
+//!   byte-identical to an uninterrupted single-host `--jobs 1` run.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use crate::ledger::{read_rows, LedgerError, LedgerRow};
+
+/// Why per-shard ledgers could not be merged.
+#[derive(Debug)]
+pub enum MergeError {
+    /// No input files were given.
+    NoInputs,
+    /// An input failed to read (I/O or mid-file corruption).
+    Ledger { path: PathBuf, source: LedgerError },
+    /// Two shards carry different sweep-spec fingerprints (or cell
+    /// counts) for the same stage: they ran different sweeps.
+    FingerprintMismatch {
+        stage: u64,
+        expected: String,
+        expected_cells: u64,
+        expected_from: PathBuf,
+        found: String,
+        found_cells: u64,
+        found_in: PathBuf,
+    },
+    /// A cell row referenced a stage no input carries a header for, or an
+    /// index outside the stage's grid.
+    OrphanCell {
+        path: PathBuf,
+        stage: u64,
+        index: u64,
+        message: String,
+    },
+    /// Two inputs committed *different* rows for the same cell. With a
+    /// shared fingerprint this should be impossible — determinism makes
+    /// re-runs bit-identical — so it is never papered over.
+    Conflict {
+        stage: u64,
+        index: u64,
+        first: PathBuf,
+        second: PathBuf,
+    },
+    /// After folding every input, some cells were committed by no shard.
+    MissingCells { stage: u64, missing: Vec<u64> },
+}
+
+impl MergeError {
+    /// Errors that mean "these shards did not run the same sweep" — the
+    /// refusal class the CLI maps to exit 2, mirroring resume refusal.
+    pub fn is_spec_mismatch(&self) -> bool {
+        matches!(self, MergeError::FingerprintMismatch { .. })
+    }
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::NoInputs => write!(f, "no ledger files to merge"),
+            MergeError::Ledger { path, source } => {
+                write!(f, "cannot merge {}: {source}", path.display())
+            }
+            MergeError::FingerprintMismatch {
+                stage,
+                expected,
+                expected_cells,
+                expected_from,
+                found,
+                found_cells,
+                found_in,
+            } => write!(
+                f,
+                "sweep-spec fingerprint mismatch for stage {stage}: {} has {expected} \
+                 ({expected_cells} cells) but {} has {found} ({found_cells} cells); \
+                 the shards ran different sweeps — refusing to merge",
+                expected_from.display(),
+                found_in.display(),
+            ),
+            MergeError::OrphanCell {
+                path,
+                stage,
+                index,
+                message,
+            } => write!(
+                f,
+                "orphan cell row in {} (stage {stage}, index {index}): {message}",
+                path.display()
+            ),
+            MergeError::Conflict {
+                stage,
+                index,
+                first,
+                second,
+            } => write!(
+                f,
+                "conflicting rows for stage {stage} cell {index}: {} and {} committed \
+                 different results for the same cell — refusing to merge",
+                first.display(),
+                second.display()
+            ),
+            MergeError::MissingCells { stage, missing } => write!(
+                f,
+                "stage {stage} has {} uncommitted cell(s) after merging: indices {:?} — \
+                 re-run the missing shard(s) and merge again",
+                missing.len(),
+                missing
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+struct StageAcc {
+    fingerprint: String,
+    cells: u64,
+    header_from: PathBuf,
+    /// index -> (row, file it came from)
+    committed: BTreeMap<u64, (LedgerRow, PathBuf)>,
+}
+
+/// Merge already-read per-file row lists (tagged with their paths) into
+/// the canonical row sequence. Pure — this is the proptest surface.
+pub fn merge_rows(inputs: &[(PathBuf, Vec<LedgerRow>)]) -> Result<Vec<LedgerRow>, MergeError> {
+    if inputs.is_empty() {
+        return Err(MergeError::NoInputs);
+    }
+    let mut stages: BTreeMap<u64, StageAcc> = BTreeMap::new();
+
+    // Pass 1: collect and cross-check every stage header.
+    for (path, rows) in inputs {
+        for row in rows.iter().filter(|r| r.row == "stage") {
+            let fingerprint = row.fingerprint.clone().unwrap_or_default();
+            let cells = row.cells.unwrap_or(0);
+            match stages.get(&row.stage) {
+                None => {
+                    stages.insert(
+                        row.stage,
+                        StageAcc {
+                            fingerprint,
+                            cells,
+                            header_from: path.clone(),
+                            committed: BTreeMap::new(),
+                        },
+                    );
+                }
+                Some(acc) => {
+                    if acc.fingerprint != fingerprint || acc.cells != cells {
+                        return Err(MergeError::FingerprintMismatch {
+                            stage: row.stage,
+                            expected: acc.fingerprint.clone(),
+                            expected_cells: acc.cells,
+                            expected_from: acc.header_from.clone(),
+                            found: fingerprint,
+                            found_cells: cells,
+                            found_in: path.clone(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // Pass 2: fold cell rows. Within a file the last row per cell wins;
+    // across files identical rows dedupe and differing rows conflict.
+    for (path, rows) in inputs {
+        let mut local: BTreeMap<(u64, u64), &LedgerRow> = BTreeMap::new();
+        for row in rows {
+            match row.row.as_str() {
+                "stage" => {}
+                "cell" => {
+                    let stage = row.stage;
+                    let index = row.index.ok_or_else(|| MergeError::OrphanCell {
+                        path: path.clone(),
+                        stage,
+                        index: u64::MAX,
+                        message: "cell row has no index".into(),
+                    })?;
+                    let acc = stages.get(&stage).ok_or_else(|| MergeError::OrphanCell {
+                        path: path.clone(),
+                        stage,
+                        index,
+                        message: "no input carries a header for this stage".into(),
+                    })?;
+                    if index >= acc.cells {
+                        return Err(MergeError::OrphanCell {
+                            path: path.clone(),
+                            stage,
+                            index,
+                            message: format!(
+                                "index out of range for the stage's {} cell(s)",
+                                acc.cells
+                            ),
+                        });
+                    }
+                    local.insert((stage, index), row);
+                }
+                other => {
+                    return Err(MergeError::Ledger {
+                        path: path.clone(),
+                        source: LedgerError::Corrupt {
+                            line: 0,
+                            message: format!("unknown ledger row kind {other:?}"),
+                        },
+                    })
+                }
+            }
+        }
+        for ((stage, index), row) in local {
+            let acc = stages.get_mut(&stage).expect("header checked above");
+            match acc.committed.get(&index) {
+                None => {
+                    acc.committed.insert(index, (row.clone(), path.clone()));
+                }
+                Some((existing, first)) if existing != row => {
+                    return Err(MergeError::Conflict {
+                        stage,
+                        index,
+                        first: first.clone(),
+                        second: path.clone(),
+                    });
+                }
+                Some(_) => {} // identical duplicate: dedupe, keep the first
+            }
+        }
+    }
+
+    // Pass 3: emit in canonical table order, refusing gaps.
+    let mut out = Vec::new();
+    for (stage, acc) in &stages {
+        let missing: Vec<u64> = (0..acc.cells)
+            .filter(|i| !acc.committed.contains_key(i))
+            .collect();
+        if !missing.is_empty() {
+            return Err(MergeError::MissingCells {
+                stage: *stage,
+                missing,
+            });
+        }
+        out.push(LedgerRow::stage_header(
+            *stage,
+            &acc.fingerprint,
+            acc.cells as usize,
+        ));
+        for (row, _) in acc.committed.values() {
+            out.push(row.clone());
+        }
+    }
+    Ok(out)
+}
+
+/// Read `inputs` (each tolerating the usual torn final line) and merge.
+pub fn merge_ledger_files(inputs: &[PathBuf]) -> Result<Vec<LedgerRow>, MergeError> {
+    let mut read = Vec::with_capacity(inputs.len());
+    for path in inputs {
+        let rows = read_rows(path).map_err(|source| MergeError::Ledger {
+            path: path.clone(),
+            source,
+        })?;
+        read.push((path.clone(), rows));
+    }
+    merge_rows(&read)
+}
+
+/// Write rows to `path` in the ledger's canonical serialization (one JSON
+/// object per line). Used by `imap merge-ledgers` to produce an artifact
+/// byte-identical to an uninterrupted `--jobs 1` ledger.
+pub fn write_rows(path: &Path, rows: &[LedgerRow]) -> std::io::Result<()> {
+    let mut writer = BufWriter::new(File::create(path)?);
+    for row in rows {
+        let json = serde_json::to_string(row)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        writeln!(writer, "{json}")?;
+    }
+    writer.flush()
+}
+
+/// Serialize rows to the canonical byte form without touching disk.
+pub fn rows_to_bytes(rows: &[LedgerRow]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for row in rows {
+        out.extend_from_slice(
+            serde_json::to_string(row)
+                .expect("ledger rows serialize")
+                .as_bytes(),
+        );
+        out.push(b'\n');
+    }
+    out
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use crate::ledger::stage_fingerprint;
+
+    fn cell(stage: u64, index: usize, status: &str) -> LedgerRow {
+        LedgerRow::cell(
+            stage,
+            index,
+            &format!("cell-{index}"),
+            41 + index as u64,
+            status,
+            1,
+            (status == "ok").then(|| serde_json::json!({"v": index})),
+            (status == "error").then(|| "boom".to_string()),
+            None,
+        )
+    }
+
+    fn p(name: &str) -> PathBuf {
+        PathBuf::from(name)
+    }
+
+    #[test]
+    fn sharded_rows_merge_to_canonical_order() {
+        let fp = stage_fingerprint(0, [("a", 1, false), ("b", 2, false), ("c", 3, false)]);
+        let header = LedgerRow::stage_header(0, &fp, 3);
+        // Shard 1 committed out of "table" order relative to shard 0.
+        let shard0 = vec![header.clone(), cell(0, 1, "ok")];
+        let shard1 = vec![header.clone(), cell(0, 2, "error"), cell(0, 0, "ok")];
+        let merged = merge_rows(&[(p("s0"), shard0), (p("s1"), shard1)]).unwrap();
+        let expected = vec![
+            header,
+            cell(0, 0, "ok"),
+            cell(0, 1, "ok"),
+            cell(0, 2, "error"),
+        ];
+        assert_eq!(rows_to_bytes(&merged), rows_to_bytes(&expected));
+    }
+
+    #[test]
+    fn identical_duplicates_dedupe_but_conflicts_refuse() {
+        let fp = stage_fingerprint(0, [("a", 1, false), ("b", 2, false)]);
+        let header = LedgerRow::stage_header(0, &fp, 2);
+        let dup = vec![
+            (
+                p("s0"),
+                vec![header.clone(), cell(0, 0, "ok"), cell(0, 1, "ok")],
+            ),
+            (p("s1"), vec![header.clone(), cell(0, 1, "ok")]),
+        ];
+        assert_eq!(merge_rows(&dup).unwrap().len(), 3);
+
+        let conflict = vec![
+            (
+                p("s0"),
+                vec![header.clone(), cell(0, 0, "ok"), cell(0, 1, "ok")],
+            ),
+            (p("s1"), vec![header, cell(0, 1, "error")]),
+        ];
+        match merge_rows(&conflict) {
+            Err(MergeError::Conflict {
+                stage: 0, index: 1, ..
+            }) => {}
+            other => panic!("expected Conflict, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn within_file_last_row_wins_before_cross_file_compare() {
+        let fp = stage_fingerprint(0, [("a", 1, false)]);
+        let header = LedgerRow::stage_header(0, &fp, 1);
+        // s0 retried cell 0: error then ok. s1 committed ok directly. The
+        // last-wins rule makes them identical, not conflicting.
+        let inputs = vec![
+            (
+                p("s0"),
+                vec![header.clone(), cell(0, 0, "error"), cell(0, 0, "ok")],
+            ),
+            (p("s1"), vec![header, cell(0, 0, "ok")]),
+        ];
+        let merged = merge_rows(&inputs).unwrap();
+        assert_eq!(merged[1].status.as_deref(), Some("ok"));
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_a_spec_mismatch() {
+        let fp_a = stage_fingerprint(0, [("a", 1, false)]);
+        let fp_b = stage_fingerprint(0, [("a", 2, false)]);
+        let inputs = vec![
+            (
+                p("s0"),
+                vec![LedgerRow::stage_header(0, &fp_a, 1), cell(0, 0, "ok")],
+            ),
+            (p("s1"), vec![LedgerRow::stage_header(0, &fp_b, 1)]),
+        ];
+        let err = merge_rows(&inputs).unwrap_err();
+        assert!(err.is_spec_mismatch(), "{err}");
+        assert!(err.to_string().contains("refusing to merge"), "{err}");
+
+        // A cell-count mismatch is the same refusal class.
+        let inputs = vec![
+            (p("s0"), vec![LedgerRow::stage_header(0, &fp_a, 1)]),
+            (p("s1"), vec![LedgerRow::stage_header(0, &fp_a, 2)]),
+        ];
+        assert!(merge_rows(&inputs).unwrap_err().is_spec_mismatch());
+    }
+
+    #[test]
+    fn gaps_and_orphans_are_hard_errors() {
+        let fp = stage_fingerprint(0, [("a", 1, false), ("b", 2, false)]);
+        let header = LedgerRow::stage_header(0, &fp, 2);
+        let gap = vec![(p("s0"), vec![header.clone(), cell(0, 0, "ok")])];
+        match merge_rows(&gap) {
+            Err(MergeError::MissingCells { stage: 0, missing }) => assert_eq!(missing, vec![1]),
+            other => panic!("expected MissingCells, got {other:?}"),
+        }
+        let orphan = vec![(p("s0"), vec![header, cell(7, 0, "ok")])];
+        assert!(matches!(
+            merge_rows(&orphan),
+            Err(MergeError::OrphanCell { stage: 7, .. })
+        ));
+        assert!(matches!(merge_rows(&[]), Err(MergeError::NoInputs)));
+    }
+
+    #[test]
+    fn merge_ledger_files_reads_and_writes_byte_identical() {
+        use crate::ledger::Ledger;
+        let dir = std::env::temp_dir().join(format!("imap-merge-files-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let fp = stage_fingerprint(0, [("a", 1, false), ("b", 2, false)]);
+        let header = LedgerRow::stage_header(0, &fp, 2);
+
+        let baseline = dir.join("baseline.jsonl");
+        {
+            let mut l = Ledger::create(&baseline).unwrap();
+            l.append_row(&header).unwrap();
+            l.append_row(&cell(0, 0, "ok")).unwrap();
+            l.append_row(&cell(0, 1, "error")).unwrap();
+        }
+        let (a, b) = (dir.join("a.jsonl"), dir.join("b.jsonl"));
+        {
+            let mut l = Ledger::create(&a).unwrap();
+            l.append_row(&header).unwrap();
+            l.append_row(&cell(0, 0, "ok")).unwrap();
+            let mut l = Ledger::create(&b).unwrap();
+            l.append_row(&header).unwrap();
+            l.append_row(&cell(0, 1, "error")).unwrap();
+        }
+        // One shard also has a torn tail, as a SIGKILLed worker would.
+        std::fs::write(
+            &a,
+            std::fs::read_to_string(&a).unwrap() + "{\"row\":\"cell\",\"stage\":0,\"ind",
+        )
+        .unwrap();
+
+        let merged = merge_ledger_files(&[a, b]).unwrap();
+        let out = dir.join("merged.jsonl");
+        write_rows(&out, &merged).unwrap();
+        assert_eq!(
+            std::fs::read(&out).unwrap(),
+            std::fs::read(&baseline).unwrap(),
+            "merged ledger must be byte-identical to the single-host run"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+// The shadow proptest stub swallows `proptest!` bodies, leaving these
+// imports unused in offline builds.
+#[allow(unused_imports)]
+mod proptests {
+    use super::*;
+    use crate::ledger::stage_fingerprint;
+    use crate::shard::ShardSpec;
+    use proptest::prelude::*;
+
+    // Referenced only inside `proptest!`, which offline stub builds expand
+    // to nothing — hence the allows.
+    #[allow(dead_code)]
+    fn statuses() -> impl Strategy<Value = Vec<&'static str>> {
+        prop::collection::vec(
+            prop::sample::select(vec!["ok", "error", "timeout", "skipped"]),
+            1..24,
+        )
+    }
+
+    #[allow(dead_code)]
+    fn build_row(stage: u64, index: usize, status: &str) -> LedgerRow {
+        LedgerRow::cell(
+            stage,
+            index,
+            &format!("cell-{index}"),
+            100 + index as u64,
+            status,
+            if status == "error" { 3 } else { 1 },
+            (status == "ok").then(|| serde_json::json!({"v": index as u64 * 7})),
+            (status == "error").then(|| format!("boom {index}")),
+            (status == "skipped").then(|| "victim_error".to_string()),
+        )
+    }
+
+    proptest! {
+        /// Satellite: ANY partition of the grid into shards — including
+        /// empty shards and shards whose every cell failed — merged back
+        /// together is byte-identical to the unsharded ledger.
+        #[test]
+        fn any_shard_partition_merges_byte_identical(
+            statuses in statuses(),
+            count in 1usize..6,
+            // An extra grid of failed-only cells as a second stage, so
+            // shards containing only failed cells occur by construction.
+            failed_cells in 1usize..5,
+        ) {
+            let total = statuses.len();
+            let labels: Vec<String> = (0..total.max(failed_cells))
+                .map(|i| format!("cell-{i}"))
+                .collect();
+            let fp0 = stage_fingerprint(
+                0,
+                labels[..total]
+                    .iter()
+                    .enumerate()
+                    .map(|(i, l)| (l.as_str(), 100 + i as u64, false)),
+            );
+            let fp1 = stage_fingerprint(
+                1,
+                labels[..failed_cells]
+                    .iter()
+                    .enumerate()
+                    .map(|(i, l)| (l.as_str(), 100 + i as u64, false)),
+            );
+            let header0 = LedgerRow::stage_header(0, &fp0, total);
+            let header1 = LedgerRow::stage_header(1, &fp1, failed_cells);
+
+            // The unsharded --jobs 1 artifact: headers + cells in order.
+            let mut unsharded = vec![header0.clone()];
+            unsharded.extend(statuses.iter().enumerate().map(|(i, s)| build_row(0, i, s)));
+            unsharded.push(header1.clone());
+            unsharded.extend((0..failed_cells).map(|i| build_row(1, i, "error")));
+
+            // Per-shard ledgers: every shard writes every stage header
+            // (run_sweep does), then only its contiguous slice of cells.
+            let shards: Vec<(PathBuf, Vec<LedgerRow>)> = (0..count)
+                .map(|index| {
+                    let spec = ShardSpec { index, count };
+                    let mut rows = vec![header0.clone()];
+                    let (s0, e0) = spec.bounds(total);
+                    rows.extend((s0..e0).map(|i| build_row(0, i, statuses[i])));
+                    rows.push(header1.clone());
+                    let (s1, e1) = spec.bounds(failed_cells);
+                    rows.extend((s1..e1).map(|i| build_row(1, i, "error")));
+                    (PathBuf::from(format!("shard-{index}")), rows)
+                })
+                .collect();
+
+            let merged = merge_rows(&shards).unwrap();
+            prop_assert_eq!(rows_to_bytes(&merged), rows_to_bytes(&unsharded));
+        }
+    }
+}

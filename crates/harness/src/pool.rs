@@ -1016,6 +1016,7 @@ mod tests {
                 path: path.clone(),
                 interval: Duration::from_millis(1),
                 tty: false,
+                meta: crate::StatusMeta::default(),
             }),
             ..quick_cfg(2)
         };

@@ -1,0 +1,699 @@
+//! Deterministic grid sharding and the multi-host lease protocol.
+//!
+//! Two layers, both built on the §9 determinism contract (seed by grid
+//! index, commit in table order), which is what makes cross-host work
+//! splitting safe in the first place:
+//!
+//! 1. **Static sharding** — [`ShardSpec`] partitions a stage's cell table
+//!    into `N` contiguous index ranges. Shard `i` of `N` owns
+//!    `[i*total/N, (i+1)*total/N)`. The partition is a pure function of
+//!    `(i, N, total)`, so every worker agrees on ownership without any
+//!    coordination, and the union of all shards is exactly the full grid.
+//!
+//! 2. **Dynamic assignment** — [`LeaseBoard`] runs a lease-file protocol
+//!    over a shared directory (NFS, a bind mount, anything with atomic
+//!    `rename(2)`). Each shard of an `i/N` partition is one lease file.
+//!    Workers *claim* a lease by renaming it `open/ -> claimed/` (rename
+//!    is atomic, so exactly one claimer wins), *renew* it by touching the
+//!    file's mtime on a heartbeat, and *complete* it by renaming
+//!    `claimed/ -> done/`. A coordinator reclaims leases whose heartbeat
+//!    mtime has gone stale — the worker is presumed dead — and returns
+//!    them to `open/` with an attempt count and an exponential-backoff
+//!    `not_before` stamp. A lease that exhausts its attempt cap is parked
+//!    in `failed/` so a poison shard degrades to a visible failure instead
+//!    of wedging the sweep forever.
+//!
+//! The protocol is *at-least-once*: a worker that loses its lease to a
+//! slow heartbeat may still finish its cells. That is safe by design —
+//! cell rows are deterministic, so duplicated work produces bit-identical
+//! ledger rows, and [`crate::merge`] dedupes identical duplicates when the
+//! per-shard ledgers are folded together.
+
+use std::fmt;
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, SystemTime};
+
+use serde::{Deserialize, Serialize};
+
+/// One shard of an `N`-way contiguous partition of the grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardSpec {
+    /// 0-based shard index, `< count`.
+    pub index: usize,
+    /// Total number of shards in the partition.
+    pub count: usize,
+}
+
+impl ShardSpec {
+    /// Parse `"i/N"` (0-based index). Errors carry a human-readable cause.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let (i, n) = s
+            .split_once('/')
+            .ok_or_else(|| format!("expected i/N (e.g. 0/3), got {s:?}"))?;
+        let index: usize = i
+            .trim()
+            .parse()
+            .map_err(|_| format!("shard index {i:?} is not a number"))?;
+        let count: usize = n
+            .trim()
+            .parse()
+            .map_err(|_| format!("shard count {n:?} is not a number"))?;
+        if count == 0 {
+            return Err("shard count must be >= 1".into());
+        }
+        if index >= count {
+            return Err(format!(
+                "shard index {index} out of range for {count} shard(s) (indices are 0-based)"
+            ));
+        }
+        Ok(Self { index, count })
+    }
+
+    /// The contiguous `[start, end)` index range this shard owns out of a
+    /// table of `total` cells. Ranges tile the table exactly; a shard may
+    /// be empty when `total < count`.
+    pub fn bounds(&self, total: usize) -> (usize, usize) {
+        (
+            self.index * total / self.count,
+            (self.index + 1) * total / self.count,
+        )
+    }
+
+    /// Whether this shard owns cell `index` in a table of `total` cells.
+    pub fn owns(&self, index: usize, total: usize) -> bool {
+        let (start, end) = self.bounds(total);
+        index >= start && index < end
+    }
+}
+
+impl fmt::Display for ShardSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+/// What can go wrong talking to a lease board.
+#[derive(Debug)]
+pub enum LeaseError {
+    /// Filesystem trouble under the shared directory.
+    Io(io::Error),
+    /// A lease file existed but did not parse.
+    Corrupt { path: PathBuf, message: String },
+    /// The lease vanished out from under us — a coordinator reclaimed it
+    /// (our heartbeat looked stale) and someone else may now be running
+    /// the same shard. Duplicated rows dedupe at merge time.
+    Lost,
+}
+
+impl fmt::Display for LeaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LeaseError::Io(e) => write!(f, "lease board I/O error: {e}"),
+            LeaseError::Corrupt { path, message } => {
+                write!(f, "corrupt lease file {}: {message}", path.display())
+            }
+            LeaseError::Lost => write!(
+                f,
+                "lease lost: a coordinator reclaimed it after a stale heartbeat"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LeaseError {}
+
+impl From<io::Error> for LeaseError {
+    fn from(e: io::Error) -> Self {
+        LeaseError::Io(e)
+    }
+}
+
+/// Tuning for a [`LeaseBoard`]. All durations are wall-clock.
+#[derive(Debug, Clone)]
+pub struct LeaseConfig {
+    /// The shared directory all workers and the coordinator can reach.
+    pub dir: PathBuf,
+    /// A human-readable id stamped into claimed leases (host + pid, say).
+    pub worker: String,
+    /// Heartbeat age past which a claimed lease counts as dead.
+    pub stale_after: Duration,
+    /// Reassignment cap: a lease reclaimed more than this many times is
+    /// parked in `failed/` instead of being reopened.
+    pub max_attempts: u32,
+    /// Base for the exponential reclaim backoff (`base * 2^attempts`).
+    pub backoff_base: Duration,
+}
+
+impl LeaseConfig {
+    pub fn new(dir: impl Into<PathBuf>, worker: impl Into<String>) -> Self {
+        Self {
+            dir: dir.into(),
+            worker: worker.into(),
+            stale_after: Duration::from_secs(30),
+            max_attempts: 3,
+            backoff_base: Duration::from_millis(250),
+        }
+    }
+}
+
+/// The JSON body of a lease file.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LeaseRecord {
+    /// Shard index this lease covers.
+    pub shard: usize,
+    /// Shard count of the partition.
+    pub of: usize,
+    /// How many times the lease has been reclaimed from a dead worker.
+    pub attempts: u32,
+    /// Current (or last) holder, for forensics.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub worker: Option<String>,
+    /// Unix-millis stamp before which the lease may not be re-claimed
+    /// (reclaim backoff). Absent on fresh leases.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub not_before_ms: Option<u64>,
+}
+
+/// Counts of lease files per state directory.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LeaseCounts {
+    pub open: usize,
+    pub claimed: usize,
+    pub done: usize,
+    pub failed: usize,
+}
+
+/// One reclaimed lease, as reported by [`LeaseBoard::reclaim_stale`].
+#[derive(Debug, Clone)]
+pub struct Reclaimed {
+    pub shard: ShardSpec,
+    /// The worker whose heartbeat went stale.
+    pub worker: Option<String>,
+    /// Attempt count *after* the reclaim.
+    pub attempts: u32,
+    /// True when the attempt cap was exhausted and the lease was parked
+    /// in `failed/` instead of reopened.
+    pub parked: bool,
+}
+
+/// Outcome of one coordinator pass.
+#[derive(Debug, Clone, Default)]
+pub struct ReclaimReport {
+    /// Leases whose heartbeat was stale, reopened or parked.
+    pub reclaimed: Vec<Reclaimed>,
+    /// Claimed leases whose heartbeat is still live.
+    pub live: usize,
+}
+
+const STATES: [&str; 4] = ["open", "claimed", "done", "failed"];
+
+fn now_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// A shared-directory lease board. Cheap to construct; all state lives
+/// on the filesystem.
+#[derive(Debug, Clone)]
+pub struct LeaseBoard {
+    cfg: LeaseConfig,
+}
+
+impl LeaseBoard {
+    pub fn new(cfg: LeaseConfig) -> Self {
+        Self { cfg }
+    }
+
+    pub fn config(&self) -> &LeaseConfig {
+        &self.cfg
+    }
+
+    fn state_dir(&self, state: &str) -> PathBuf {
+        self.cfg.dir.join(state)
+    }
+
+    fn lease_name(shard: usize, of: usize) -> String {
+        format!("shard-{shard:04}-of-{of:04}.json")
+    }
+
+    /// Create the board layout and one open lease per shard. Idempotent:
+    /// exactly one caller creates the leases (guarded by an atomic
+    /// `create_new` marker); everyone else sees `Ok(false)`.
+    pub fn init(&self, count: usize) -> Result<bool, LeaseError> {
+        for state in STATES {
+            fs::create_dir_all(self.state_dir(state))?;
+        }
+        let marker = self.cfg.dir.join("board.json");
+        match fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&marker)
+        {
+            Ok(mut f) => {
+                writeln!(f, "{{\"shards\":{count}}}")?;
+            }
+            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => return Ok(false),
+            Err(e) => return Err(e.into()),
+        }
+        for shard in 0..count {
+            let record = LeaseRecord {
+                shard,
+                of: count,
+                attempts: 0,
+                worker: None,
+                not_before_ms: None,
+            };
+            write_record_atomic(
+                &self.state_dir("open").join(Self::lease_name(shard, count)),
+                &record,
+            )?;
+        }
+        Ok(true)
+    }
+
+    /// Claim one open lease, or `None` when nothing is claimable (either
+    /// the board is drained or every open lease is inside its backoff
+    /// window). Losing a rename race to another worker is not an error —
+    /// the scan just moves on to the next candidate.
+    pub fn claim(&self) -> Result<Option<Lease>, LeaseError> {
+        let mut names: Vec<_> = match fs::read_dir(self.state_dir("open")) {
+            Ok(rd) => rd.filter_map(|e| e.ok()).map(|e| e.file_name()).collect(),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        names.sort();
+        let now = now_ms();
+        for name in names {
+            let open_path = self.state_dir("open").join(&name);
+            let record = match read_record(&open_path) {
+                Ok(r) => r,
+                // Raced: another worker claimed it between scan and read.
+                Err(LeaseError::Io(e)) if e.kind() == io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(e),
+            };
+            if record.not_before_ms.is_some_and(|t| t > now) {
+                continue; // still backing off
+            }
+            let claimed_path = self.state_dir("claimed").join(&name);
+            match fs::rename(&open_path, &claimed_path) {
+                Ok(()) => {}
+                Err(e) if e.kind() == io::ErrorKind::NotFound => continue, // lost the race
+                Err(e) => return Err(e.into()),
+            }
+            let record = LeaseRecord {
+                worker: Some(self.cfg.worker.clone()),
+                not_before_ms: None,
+                ..record
+            };
+            write_record_atomic(&claimed_path, &record)?;
+            return Ok(Some(Lease {
+                path: claimed_path,
+                done_path: self.state_dir("done").join(&name),
+                record,
+            }));
+        }
+        Ok(None)
+    }
+
+    /// One coordinator pass: every claimed lease whose heartbeat mtime is
+    /// older than `stale_after` is reclaimed — reopened with
+    /// `attempts + 1` and an exponential-backoff `not_before`, or parked
+    /// in `failed/` once the attempt cap is exhausted.
+    pub fn reclaim_stale(&self) -> Result<ReclaimReport, LeaseError> {
+        let mut report = ReclaimReport::default();
+        let entries: Vec<_> = match fs::read_dir(self.state_dir("claimed")) {
+            Ok(rd) => rd.filter_map(|e| e.ok()).collect(),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(report),
+            Err(e) => return Err(e.into()),
+        };
+        for entry in entries {
+            let path = entry.path();
+            let age = match entry.metadata().and_then(|m| m.modified()) {
+                Ok(mtime) => SystemTime::now()
+                    .duration_since(mtime)
+                    .unwrap_or(Duration::ZERO),
+                // Vanished mid-scan (completed or already reclaimed).
+                Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(e.into()),
+            };
+            if age < self.cfg.stale_after {
+                report.live += 1;
+                continue;
+            }
+            let record = match read_record(&path) {
+                Ok(r) => r,
+                Err(LeaseError::Io(e)) if e.kind() == io::ErrorKind::NotFound => continue,
+                // A torn heartbeat write; leave it for the next pass.
+                Err(LeaseError::Corrupt { .. }) => continue,
+                Err(e) => return Err(e),
+            };
+            let prior_worker = record.worker.clone();
+            let attempts = record.attempts + 1;
+            let parked = attempts > self.cfg.max_attempts;
+            let name = entry.file_name();
+            if parked {
+                let failed = LeaseRecord { attempts, ..record };
+                let target = self.state_dir("failed").join(&name);
+                write_record_atomic(&target, &failed)?;
+            } else {
+                let backoff = self
+                    .cfg
+                    .backoff_base
+                    .saturating_mul(1u32 << (attempts - 1).min(16));
+                let reopened = LeaseRecord {
+                    attempts,
+                    worker: None,
+                    not_before_ms: Some(now_ms() + backoff.as_millis() as u64),
+                    ..record
+                };
+                let target = self.state_dir("open").join(&name);
+                write_record_atomic(&target, &reopened)?;
+            }
+            // Remove the stale claim last: the lease briefly exists in two
+            // states (harmless — duplicates dedupe) but never in zero.
+            match fs::remove_file(&path) {
+                Ok(()) => {}
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e.into()),
+            }
+            report.reclaimed.push(Reclaimed {
+                shard: ShardSpec {
+                    index: record.shard,
+                    count: record.of,
+                },
+                worker: prior_worker,
+                attempts,
+                parked,
+            });
+        }
+        Ok(report)
+    }
+
+    /// Count lease files per state.
+    pub fn counts(&self) -> Result<LeaseCounts, LeaseError> {
+        let count = |state: &str| -> Result<usize, LeaseError> {
+            match fs::read_dir(self.state_dir(state)) {
+                Ok(rd) => Ok(rd.filter_map(|e| e.ok()).count()),
+                Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(0),
+                Err(e) => Err(e.into()),
+            }
+        };
+        Ok(LeaseCounts {
+            open: count("open")?,
+            claimed: count("claimed")?,
+            done: count("done")?,
+            failed: count("failed")?,
+        })
+    }
+}
+
+fn read_record(path: &Path) -> Result<LeaseRecord, LeaseError> {
+    let raw = fs::read_to_string(path).map_err(LeaseError::Io)?;
+    serde_json::from_str(&raw).map_err(|e| LeaseError::Corrupt {
+        path: path.to_path_buf(),
+        message: e.to_string(),
+    })
+}
+
+fn write_record_atomic(path: &Path, record: &LeaseRecord) -> Result<(), LeaseError> {
+    let tmp = path.with_extension("tmp");
+    let body = serde_json::to_string(record).expect("lease records serialize");
+    fs::write(&tmp, body)?;
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// A claimed lease. Renew it on a heartbeat (or hand that to
+/// [`Lease::auto_renew`]) and [`Lease::complete`] it when the shard's
+/// cells are committed.
+#[derive(Debug)]
+pub struct Lease {
+    path: PathBuf,
+    done_path: PathBuf,
+    record: LeaseRecord,
+}
+
+impl Lease {
+    /// The shard of the grid this lease covers.
+    pub fn shard(&self) -> ShardSpec {
+        ShardSpec {
+            index: self.record.shard,
+            count: self.record.of,
+        }
+    }
+
+    /// How many times this lease was reclaimed before we claimed it.
+    pub fn attempts(&self) -> u32 {
+        self.record.attempts
+    }
+
+    /// Heartbeat: bump the lease file's mtime so the coordinator knows
+    /// we're alive. An mtime-only touch, so a concurrent coordinator read
+    /// can never observe a torn record. [`LeaseError::Lost`] means a
+    /// coordinator reclaimed the lease out from under us.
+    pub fn renew(&self) -> Result<(), LeaseError> {
+        let file = match fs::OpenOptions::new().write(true).open(&self.path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Err(LeaseError::Lost),
+            Err(e) => return Err(e.into()),
+        };
+        file.set_modified(SystemTime::now())?;
+        Ok(())
+    }
+
+    /// Spawn a background heartbeat renewing every `interval` until the
+    /// guard drops (or the lease is lost).
+    pub fn auto_renew(&self, interval: Duration) -> LeaseGuard {
+        let stop = Arc::new(AtomicBool::new(false));
+        let lost = Arc::new(AtomicBool::new(false));
+        let renewals = Arc::new(AtomicU64::new(0));
+        let path = self.path.clone();
+        let probe = Lease {
+            path,
+            done_path: self.done_path.clone(),
+            record: self.record.clone(),
+        };
+        let handle = {
+            let stop = Arc::clone(&stop);
+            let lost = Arc::clone(&lost);
+            let renewals = Arc::clone(&renewals);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    match probe.renew() {
+                        Ok(()) => {
+                            renewals.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(LeaseError::Lost) => {
+                            lost.store(true, Ordering::Relaxed);
+                            return;
+                        }
+                        Err(_) => {} // transient fs hiccup; retry next beat
+                    }
+                    // Sleep in small slices so dropping the guard is quick.
+                    let mut remaining = interval;
+                    while remaining > Duration::ZERO && !stop.load(Ordering::Relaxed) {
+                        let slice = remaining.min(Duration::from_millis(25));
+                        std::thread::sleep(slice);
+                        remaining = remaining.saturating_sub(slice);
+                    }
+                }
+            })
+        };
+        LeaseGuard {
+            stop,
+            lost,
+            renewals,
+            handle: Some(handle),
+        }
+    }
+
+    /// Mark the shard finished: rename `claimed/ -> done/`. Returns
+    /// [`LeaseError::Lost`] when a coordinator got there first (our work
+    /// still counts — the rows dedupe at merge).
+    pub fn complete(self) -> Result<(), LeaseError> {
+        match fs::rename(&self.path, &self.done_path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Err(LeaseError::Lost),
+            Err(e) => Err(e.into()),
+        }
+    }
+}
+
+/// Stops the background heartbeat when dropped.
+#[derive(Debug)]
+pub struct LeaseGuard {
+    stop: Arc<AtomicBool>,
+    lost: Arc<AtomicBool>,
+    renewals: Arc<AtomicU64>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl LeaseGuard {
+    /// Whether the heartbeat discovered the lease was reclaimed.
+    pub fn lost(&self) -> bool {
+        self.lost.load(Ordering::Relaxed)
+    }
+
+    /// Number of successful heartbeat renewals so far.
+    pub fn renewals(&self) -> u64 {
+        self.renewals.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for LeaseGuard {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("imap-shard-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn board(dir: &Path, worker: &str) -> LeaseBoard {
+        LeaseBoard::new(LeaseConfig {
+            stale_after: Duration::from_millis(40),
+            backoff_base: Duration::from_millis(10),
+            ..LeaseConfig::new(dir, worker)
+        })
+    }
+
+    #[test]
+    fn shard_spec_parses_and_rejects() {
+        assert_eq!(
+            ShardSpec::parse("0/3").unwrap(),
+            ShardSpec { index: 0, count: 3 }
+        );
+        assert_eq!(
+            ShardSpec::parse("2/3").unwrap(),
+            ShardSpec { index: 2, count: 3 }
+        );
+        assert!(ShardSpec::parse("3/3").is_err());
+        assert!(ShardSpec::parse("1/0").is_err());
+        assert!(ShardSpec::parse("banana").is_err());
+        assert!(ShardSpec::parse("x/3").is_err());
+        assert_eq!(ShardSpec::parse("1/4").unwrap().to_string(), "1/4");
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)] // the index IS the cell id
+    fn shard_bounds_tile_the_table_exactly() {
+        for total in 0..23usize {
+            for count in 1..7usize {
+                let mut owners = vec![0usize; total];
+                let mut prev_end = 0usize;
+                for index in 0..count {
+                    let spec = ShardSpec { index, count };
+                    let (start, end) = spec.bounds(total);
+                    assert_eq!(start, prev_end, "shards must be contiguous");
+                    prev_end = end;
+                    for cell in start..end {
+                        owners[cell] += 1;
+                        assert!(spec.owns(cell, total));
+                    }
+                }
+                assert_eq!(prev_end, total, "shards must cover the table");
+                assert!(owners.iter().all(|&n| n == 1), "each cell has one owner");
+            }
+        }
+    }
+
+    #[test]
+    fn init_is_idempotent_and_claims_are_exclusive() {
+        let dir = scratch("claims");
+        let a = board(&dir, "a");
+        let b = board(&dir, "b");
+        assert!(a.init(2).unwrap());
+        assert!(!b.init(2).unwrap(), "second init must be a no-op");
+
+        let first = a.claim().unwrap().expect("a lease is open");
+        let second = b.claim().unwrap().expect("a second lease is open");
+        assert_ne!(first.shard().index, second.shard().index);
+        assert!(a.claim().unwrap().is_none(), "board is drained");
+
+        first.complete().unwrap();
+        second.complete().unwrap();
+        let counts = a.counts().unwrap();
+        assert_eq!((counts.open, counts.claimed, counts.done), (0, 0, 2));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_heartbeats_are_reclaimed_with_backoff_then_parked() {
+        let dir = scratch("reclaim");
+        let b = LeaseBoard::new(LeaseConfig {
+            stale_after: Duration::from_millis(30),
+            backoff_base: Duration::from_millis(10),
+            max_attempts: 1,
+            ..LeaseConfig::new(&dir, "w")
+        });
+        b.init(1).unwrap();
+
+        // Claim, then "die": never renew. The heartbeat goes stale.
+        let lease = b.claim().unwrap().unwrap();
+        assert_eq!(lease.attempts(), 0);
+        std::thread::sleep(Duration::from_millis(60));
+        let report = b.reclaim_stale().unwrap();
+        assert_eq!(report.reclaimed.len(), 1);
+        assert!(!report.reclaimed[0].parked);
+        assert_eq!(report.reclaimed[0].attempts, 1);
+        assert_eq!(report.reclaimed[0].worker.as_deref(), Some("w"));
+
+        // The dead worker's handle is now stale.
+        assert!(matches!(lease.renew(), Err(LeaseError::Lost)));
+
+        // Inside the backoff window the lease is not claimable yet.
+        std::thread::sleep(Duration::from_millis(25));
+        let lease = b.claim().unwrap().expect("backoff expired");
+        assert_eq!(lease.attempts(), 1);
+
+        // Die again: attempts would exceed max_attempts=1, so the lease
+        // is parked in failed/ instead of wedging the board.
+        std::thread::sleep(Duration::from_millis(60));
+        let report = b.reclaim_stale().unwrap();
+        assert_eq!(report.reclaimed.len(), 1);
+        assert!(report.reclaimed[0].parked);
+        let counts = b.counts().unwrap();
+        assert_eq!(counts.failed, 1);
+        assert_eq!(counts.open + counts.claimed + counts.done, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn renewed_heartbeats_stay_live() {
+        let dir = scratch("renew");
+        let b = board(&dir, "w");
+        b.init(1).unwrap();
+        let lease = b.claim().unwrap().unwrap();
+        let guard = lease.auto_renew(Duration::from_millis(10));
+        std::thread::sleep(Duration::from_millis(80));
+        let report = b.reclaim_stale().unwrap();
+        assert!(
+            report.reclaimed.is_empty(),
+            "a renewing lease must not be reclaimed"
+        );
+        assert_eq!(report.live, 1);
+        assert!(guard.renewals() > 0);
+        assert!(!guard.lost());
+        drop(guard);
+        lease.complete().unwrap();
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -27,6 +27,8 @@ pub struct StatusConfig {
     pub interval: Duration,
     /// Also render a one-line ticker to stderr (overwritten in place).
     pub tty: bool,
+    /// Sweep-level context carried into every snapshot.
+    pub meta: StatusMeta,
 }
 
 impl StatusConfig {
@@ -36,8 +38,26 @@ impl StatusConfig {
             path: path.into(),
             interval: Duration::from_secs(2),
             tty: false,
+            meta: StatusMeta::default(),
         }
     }
+}
+
+/// Sweep-level context that doesn't change per tick: which shard of a
+/// multi-host partition this worker is, and what `--resume` replayed from
+/// the ledger before live execution began.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct StatusMeta {
+    /// `"i/N"` when the sweep runs one shard of a partition.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub shard: Option<String>,
+    /// Cells replayed from the ledger by `--resume` (all statuses).
+    #[serde(default)]
+    pub replayed: u64,
+    /// Of those, cells whose recorded status was a failure
+    /// (`error`/`timeout`).
+    #[serde(default)]
+    pub replayed_failed: u64,
 }
 
 /// One cell's state as of a snapshot.
@@ -77,12 +97,29 @@ pub struct StatusSnapshot {
     pub done: u64,
     /// Jobs currently on a worker thread.
     pub running: u64,
+    /// Jobs without a final status yet (`jobs - done`).
+    pub remaining: u64,
+    /// `"i/N"` when this worker runs one shard of a multi-host partition.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub shard: Option<String>,
+    /// Cells `--resume` replayed from the ledger instead of re-running.
+    #[serde(default)]
+    pub replayed: u64,
+    /// Of the replayed cells, how many had recorded failures.
+    #[serde(default)]
+    pub replayed_failed: u64,
     /// Per-cell detail, in submission order.
     pub cells: Vec<CellStatus>,
 }
 
 impl StatusSnapshot {
-    fn build(run_id: &str, state: &str, elapsed: Duration, cells: Vec<CellStatus>) -> Self {
+    fn build(
+        run_id: &str,
+        state: &str,
+        elapsed: Duration,
+        meta: &StatusMeta,
+        cells: Vec<CellStatus>,
+    ) -> Self {
         let finals = ["ok", "error", "timeout", "skipped"];
         let done = cells
             .iter()
@@ -92,13 +129,18 @@ impl StatusSnapshot {
             .iter()
             .filter(|c| matches!(c.state.as_str(), "running" | "stalled" | "cancelling"))
             .count() as u64;
+        let jobs = cells.len() as u64;
         StatusSnapshot {
             run_id: run_id.to_string(),
             state: state.to_string(),
             elapsed_s: elapsed.as_secs_f64(),
-            jobs: cells.len() as u64,
+            jobs,
             done,
             running,
+            remaining: jobs - done,
+            shard: meta.shard.clone(),
+            replayed: meta.replayed,
+            replayed_failed: meta.replayed_failed,
             cells,
         }
     }
@@ -111,10 +153,25 @@ impl StatusSnapshot {
             .filter(|c| c.state == "running" || c.state == "stalled")
             .map(|c| c.heartbeat_age_s)
             .fold(0.0f64, f64::max);
-        format!(
-            "[{}] {}/{} done, {} running, {:.0}s elapsed, oldest heartbeat {:.1}s",
-            self.run_id, self.done, self.jobs, self.running, self.elapsed_s, oldest
-        )
+        let mut line = match &self.shard {
+            Some(shard) => format!("[{} shard {shard}]", self.run_id),
+            None => format!("[{}]", self.run_id),
+        };
+        line.push_str(&format!(
+            " {}/{} done, {} running, {} remaining",
+            self.done, self.jobs, self.running, self.remaining
+        ));
+        if self.replayed > 0 {
+            line.push_str(&format!(
+                ", {} replayed ({} previously failed)",
+                self.replayed, self.replayed_failed
+            ));
+        }
+        line.push_str(&format!(
+            ", {:.0}s elapsed, oldest heartbeat {oldest:.1}s",
+            self.elapsed_s
+        ));
+        line
     }
 }
 
@@ -174,7 +231,13 @@ impl StatusBoard {
     }
 
     fn write(&mut self, state: &str, cells: Vec<CellStatus>) {
-        let snap = StatusSnapshot::build(&self.run_id, state, self.start.elapsed(), cells);
+        let snap = StatusSnapshot::build(
+            &self.run_id,
+            state,
+            self.start.elapsed(),
+            &self.cfg.meta,
+            cells,
+        );
         match serde_json::to_vec_pretty(&snap) {
             Ok(bytes) => {
                 if let Err(e) = write_atomic(&self.cfg.path, &bytes) {
@@ -277,12 +340,43 @@ mod tests {
             "r1",
             "running",
             Duration::from_secs(10),
+            &StatusMeta::default(),
             vec![cell("a", "ok"), cell("b", "running"), cell("c", "queued")],
         );
         assert_eq!(snap.jobs, 3);
         assert_eq!(snap.done, 1);
         assert_eq!(snap.running, 1);
+        assert_eq!(snap.remaining, 2);
         assert!(snap.ticker_line().contains("1/3 done"));
+        assert!(
+            !snap.ticker_line().contains("replayed"),
+            "no replay stats unless something was replayed"
+        );
+    }
+
+    #[test]
+    fn snapshot_surfaces_shard_and_replay_stats() {
+        let meta = StatusMeta {
+            shard: Some("1/3".into()),
+            replayed: 4,
+            replayed_failed: 1,
+        };
+        let snap = StatusSnapshot::build(
+            "r2",
+            "running",
+            Duration::from_secs(5),
+            &meta,
+            vec![cell("a", "ok"), cell("b", "queued")],
+        );
+        let line = snap.ticker_line();
+        assert!(line.contains("shard 1/3"), "{line}");
+        assert!(line.contains("4 replayed (1 previously failed)"), "{line}");
+        assert!(line.contains("1 remaining"), "{line}");
+        // And the same fields land in status.json.
+        let json = serde_json::to_string(&snap).expect("serialize");
+        let back: StatusSnapshot = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back.shard.as_deref(), Some("1/3"));
+        assert_eq!((back.replayed, back.replayed_failed), (4, 1));
     }
 
     #[test]
@@ -323,6 +417,7 @@ mod tests {
             path: path.clone(),
             interval: Duration::from_millis(1),
             tty: false,
+            meta: StatusMeta::default(),
         };
         let progress = Progress::supervised(crate::cancel::CancelToken::new());
         let status = SingleStatus::spawn(cfg, "run-s", "train", progress.clone());

@@ -113,6 +113,95 @@ fn isolated_sweep_survives_panic_abort_and_hang_cells() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Satellite: a cell that dies mid-ledger-row (`partial_write` tears a
+/// real file with a half-written row, then `_exit`s — no unwind, no
+/// flush). The supervisor degrades the cell to an error row, and the torn
+/// file recovers through the normal ledger reader: intact rows survive,
+/// the torn tail is dropped.
+#[test]
+fn partial_write_death_tears_only_the_final_ledger_row() {
+    use imap_harness::{read_ledger_rows, stage_fingerprint, write_rows, LedgerRow};
+
+    let dir = scratch("partial-write");
+    // Seed a valid ledger for the dying cell to tear, exactly as a
+    // SIGKILLed supervisor would leave one behind.
+    let torn = dir.join("torn-ledger.jsonl");
+    let fp = stage_fingerprint(0, [("a", 1u64, false), ("b", 2u64, false)]);
+    let intact = vec![
+        LedgerRow::stage_header(0, &fp, 2),
+        LedgerRow::cell(
+            0,
+            0,
+            "a",
+            1,
+            "ok",
+            1,
+            Some(serde_json::json!(7)),
+            None,
+            None,
+        ),
+        LedgerRow::cell(
+            0,
+            1,
+            "b",
+            2,
+            "ok",
+            1,
+            Some(serde_json::json!(9)),
+            None,
+            None,
+        ),
+    ];
+    write_rows(&torn, &intact).unwrap();
+
+    let out = demo_cmd(&dir, 3, "1:partial_write", false)
+        .env("IMAP_PARTIAL_WRITE_PATH", &torn)
+        .env("IMAP_MAX_ATTEMPTS", "1")
+        .output()
+        .unwrap();
+    let lines = stdout_lines(&out);
+
+    // The poison cell degrades to an error row; its neighbours and the
+    // sweep survive (exit 1 = "failures happened", not a crash).
+    assert!(
+        cell_row(&lines, 1).ends_with("error"),
+        "partial-write cell must fail, got {:?}",
+        cell_row(&lines, 1)
+    );
+    for i in [0usize, 2] {
+        let hex = cell_row(&lines, i).split_whitespace().last().unwrap();
+        assert_eq!(hex.len(), 16, "cell {i} must still produce a checksum");
+    }
+    assert_eq!(out.status.code(), Some(1), "status: {:?}", out.status);
+
+    // The child's death-by-exit-code classification reaches the sweep's
+    // own ledger (code 86 = PARTIAL_WRITE_EXIT_CODE).
+    let ledger = std::fs::read_to_string(dir.join("sweepdemo/ledger.jsonl")).unwrap();
+    assert!(
+        ledger.contains("exited with code 86"),
+        "partial-write exit classification must reach the ledger"
+    );
+
+    // The torn file really was torn mid-row...
+    let raw = std::fs::read_to_string(&torn).unwrap();
+    assert!(
+        !raw.ends_with('\n'),
+        "the dying cell must leave a half-written final row"
+    );
+    assert!(
+        raw.lines().count() > intact.len(),
+        "the torn fragment must be present"
+    );
+    // ...and the ledger reader recovers every intact row, dropping only
+    // the torn tail.
+    let recovered = read_ledger_rows(&torn).unwrap();
+    assert_eq!(
+        recovered, intact,
+        "recovery must keep intact rows and drop the torn tail"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn sigkilled_sweep_resumes_bitwise_identical_to_uninterrupted_run() {
     let base_dir = scratch("resume-base");
@@ -163,6 +252,18 @@ fn sigkilled_sweep_resumes_bitwise_identical_to_uninterrupted_run() {
         String::from_utf8_lossy(&baseline.stdout),
         String::from_utf8_lossy(&resumed.stdout),
         "resumed sweep must render byte-identically to the uninterrupted run"
+    );
+    // Resume is no longer silent: the replay headline reaches stderr and
+    // the `ledger/resumed*` counters reach report.json.
+    let stderr = String::from_utf8_lossy(&resumed.stderr);
+    assert!(
+        stderr.contains("resume: replaying"),
+        "resume must announce its replay stats, got: {stderr}"
+    );
+    let report = std::fs::read_to_string(kill_dir.join("sweepdemo/report.json")).unwrap();
+    assert!(
+        report.contains("ledger/resumed"),
+        "replay counters must land in report.json"
     );
     let _ = std::fs::remove_dir_all(&base_dir);
     let _ = std::fs::remove_dir_all(&kill_dir);

@@ -1,0 +1,196 @@
+//! Multi-host fault-tolerance, end to end against real processes: three
+//! `sweepdemo` workers share a grid through a lease board, one is
+//! SIGKILLed mid-shard, the coordinator reclaims its stale lease, a
+//! recovery worker re-runs the shard, and the merged per-worker ledgers
+//! come out byte-identical to an uninterrupted single-host `--jobs 1`
+//! run — the issue's acceptance bar.
+
+#![allow(clippy::unwrap_used)]
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use imap_harness::{merge_ledger_files, rows_to_bytes, LeaseBoard, LeaseConfig, ShardSpec};
+
+const DEMO: &str = env!("CARGO_BIN_EXE_sweepdemo");
+
+/// Every stage-2 cell sleeps once (`slow`), so the victim worker has a
+/// wide kill window; sleep time never reaches the ledger bytes.
+const FAULTS: &str = "0:slow,1:slow,2:slow,3:slow,4:slow,5:slow";
+const CELLS: usize = 6;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("imap-multi-host-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A `sweepdemo` worker with a pinned seed and its own telemetry dir.
+/// `lease` attaches it to the shared board as a multi-host worker.
+fn worker_cmd(telemetry: &Path, lease: Option<(&Path, &str)>, sleep_ms: u64) -> Command {
+    let mut cmd = Command::new(DEMO);
+    cmd.env("IMAP_TELEMETRY", telemetry)
+        .env("IMAP_SEED", "42")
+        .env("IMAP_ISOLATE", "1")
+        .env("IMAP_DEMO_CELLS", CELLS.to_string())
+        .env("IMAP_DEMO_FAULTS", FAULTS)
+        .env("IMAP_DEMO_STEPS", "40")
+        .env("IMAP_DEMO_SLEEP_MS", sleep_ms.to_string())
+        .env("IMAP_STATUS_INTERVAL", "0")
+        .args(["--jobs", "1"])
+        .stdin(Stdio::null());
+    if let Some((board, name)) = lease {
+        cmd.env("IMAP_LEASE_DIR", board)
+            .env("IMAP_SHARD_COUNT", "3")
+            .env("IMAP_WORKER", name)
+            .env("IMAP_LEASE_RENEW_MS", "50");
+    }
+    cmd
+}
+
+fn ledger_path(telemetry: &Path) -> PathBuf {
+    telemetry.join("sweepdemo/ledger.jsonl")
+}
+
+fn ledger_lines(telemetry: &Path) -> usize {
+    std::fs::read_to_string(ledger_path(telemetry))
+        .map(|s| s.lines().count())
+        .unwrap_or(0)
+}
+
+/// Poll until the worker's ledger reaches `lines` committed rows (or it
+/// exits first); returns whether the process is still running.
+fn wait_for_lines(child: &mut Child, telemetry: &Path, lines: usize) -> bool {
+    let deadline = Instant::now() + Duration::from_secs(300);
+    loop {
+        if ledger_lines(telemetry) >= lines {
+            return true;
+        }
+        if child.try_wait().unwrap().is_some() {
+            return false;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "worker ledger never reached {lines} line(s)"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn sigkilled_shard_is_reclaimed_and_merges_byte_identical() {
+    let base_dir = scratch("baseline");
+    let dir_a = scratch("worker-a");
+    let dir_b = scratch("worker-b");
+    let dir_c = scratch("worker-c");
+    let dir_d = scratch("worker-d");
+    let board_dir = scratch("board").join("leases");
+
+    // Uninterrupted single-host baseline: the byte-level ground truth.
+    let baseline = worker_cmd(&base_dir, None, 1).output().unwrap();
+    assert!(baseline.status.success(), "baseline failed: {baseline:?}");
+    let baseline_ledger = std::fs::read(ledger_path(&base_dir)).unwrap();
+
+    // Worker A claims the first lease (shard 0/3) and crawls — 800 ms per
+    // owned cell — so there is a wide window to SIGKILL it mid-shard.
+    let mut worker_a = worker_cmd(&dir_a, Some((&board_dir, "worker-a")), 800)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    // Wait until A is demonstrably mid-shard. Shard 0/3 owns stage-2
+    // cells 0 and 1 (the 1-cell warmup table lands entirely in shard 2),
+    // so A's ledger runs: warmup header, stage-2 header, cell 0, cell 1.
+    // Three lines = cell 0 committed, cell 1 still inside its 800 ms
+    // sleep — a wide, deterministic kill window.
+    let still_running = wait_for_lines(&mut worker_a, &dir_a, 3);
+    assert!(
+        still_running,
+        "worker A finished its shard before it could be killed; \
+         raise IMAP_DEMO_SLEEP_MS"
+    );
+
+    // B and C run concurrently with the doomed A and drain shards 1 and 2.
+    let worker_b = worker_cmd(&dir_b, Some((&board_dir, "worker-b")), 1)
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    let worker_c = worker_cmd(&dir_c, Some((&board_dir, "worker-c")), 1)
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+
+    // SIGKILL A: no flush, no lease release, possibly a torn ledger line.
+    let _ = worker_a.kill();
+    let _ = worker_a.wait();
+
+    let out_b = worker_b.wait_with_output().unwrap();
+    let out_c = worker_c.wait_with_output().unwrap();
+    assert!(out_b.status.success(), "worker B failed: {out_b:?}");
+    assert!(out_c.status.success(), "worker C failed: {out_c:?}");
+
+    // Coordinator pass: A's heartbeat has gone stale (it renewed every
+    // 50 ms while alive); its lease is reopened with one attempt on the
+    // clock, while B's and C's completed leases are left alone.
+    std::thread::sleep(Duration::from_millis(400));
+    let mut coord_cfg = LeaseConfig::new(&board_dir, "coordinator");
+    coord_cfg.stale_after = Duration::from_millis(100);
+    coord_cfg.backoff_base = Duration::from_millis(50);
+    let coordinator = LeaseBoard::new(coord_cfg);
+    let report = coordinator.reclaim_stale().unwrap();
+    assert_eq!(report.live, 0, "no live claimed leases should remain");
+    assert_eq!(report.reclaimed.len(), 1, "exactly A's lease is stale");
+    let reclaimed = &report.reclaimed[0];
+    assert_eq!(reclaimed.shard, ShardSpec { index: 0, count: 3 });
+    assert_eq!(reclaimed.worker.as_deref(), Some("worker-a"));
+    assert_eq!(reclaimed.attempts, 1);
+    assert!(!reclaimed.parked);
+
+    // Recovery worker D claims the reopened shard (past its backoff) and
+    // re-runs it from scratch in a fresh telemetry dir — A's committed
+    // rows will be bit-identical duplicates for the merge to dedupe.
+    std::thread::sleep(Duration::from_millis(150));
+    let out_d = worker_cmd(&dir_d, Some((&board_dir, "worker-d")), 1)
+        .output()
+        .unwrap();
+    assert!(out_d.status.success(), "worker D failed: {out_d:?}");
+    let stderr_d = String::from_utf8_lossy(&out_d.stderr);
+    assert!(
+        stderr_d.contains("claimed shard lease 0/3"),
+        "D must pick up the reclaimed shard, got: {stderr_d}"
+    );
+
+    // The board is drained: every shard completed, none failed.
+    let counts = coordinator.counts().unwrap();
+    assert_eq!((counts.open, counts.claimed), (0, 0), "{counts:?}");
+    assert_eq!((counts.done, counts.failed), (3, 0), "{counts:?}");
+
+    // A late worker finds nothing to claim and exits 0.
+    let out_late = worker_cmd(&scratch("worker-late"), Some((&board_dir, "late")), 1)
+        .output()
+        .unwrap();
+    assert!(out_late.status.success(), "late worker: {out_late:?}");
+    assert!(String::from_utf8_lossy(&out_late.stdout).contains("no claimable shard lease"));
+
+    // Fold all four worker ledgers — A's interrupted one included — and
+    // the result must be byte-identical to the uninterrupted baseline.
+    let rows = merge_ledger_files(&[
+        ledger_path(&dir_a),
+        ledger_path(&dir_b),
+        ledger_path(&dir_c),
+        ledger_path(&dir_d),
+    ])
+    .unwrap();
+    assert_eq!(
+        rows_to_bytes(&rows),
+        baseline_ledger,
+        "merged shard ledgers must reproduce the single-host ledger bitwise"
+    );
+
+    for dir in [&base_dir, &dir_a, &dir_b, &dir_c, &dir_d] {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    let _ = std::fs::remove_dir_all(board_dir.parent().unwrap());
+}
