@@ -14,13 +14,14 @@
 use std::path::PathBuf;
 use std::time::Duration;
 
-use imap_env::{Env, EnvRng, FaultKind, FaultPlan, FaultyEnv, MultiTaskId, TaskId};
+use imap_env::{Env, EnvRng, FaultKind, FaultPlan, FaultyEnv, MultiTaskId, ResetMutation, TaskId};
 use imap_harness::JobCtx;
 use imap_rl::GaussianPolicy;
 use imap_telemetry::Telemetry;
 use rand::SeedableRng;
 use serde_json::Value;
 
+use crate::falsify::{probe_policy, replay_scenario, Counterexample, ProbeConfig};
 use crate::{
     marl_victim_supervised, run_ablate_cell, run_attack_cell_cached, run_br_attack_cell,
     run_marl_br_attack_cell, run_multi_attack_cell_cached, AblateVariant, AttackKind, Budget,
@@ -35,7 +36,8 @@ use imap_defense::DefenseMethod;
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct CellSpec {
     /// Handler discriminator: `victim`, `marl_victim`, `attack`,
-    /// `marl_attack`, `br_single`, `br_multi`, `ablate`, or `fault`.
+    /// `marl_attack`, `br_single`, `br_multi`, `ablate`, `fault`, or
+    /// `probe`.
     pub kind: String,
     /// Single-agent task (the `TaskId` variant name, e.g. `SparseHopper`).
     #[serde(default, skip_serializing_if = "Option::is_none")]
@@ -85,6 +87,25 @@ pub struct CellSpec {
     /// `fault` cells with `mode = "slow"`: per-fire sleep in milliseconds.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub sleep_ms: Option<u64>,
+    /// `probe` cells: scenario count ([`ProbeConfig::scenarios`]).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub scenarios: Option<u64>,
+    /// `probe` cells: episode-return failure threshold.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub threshold: Option<f64>,
+    /// `probe` cells: max RNG draws burned before reset per mutation.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub burn: Option<u64>,
+    /// `probe` cells: max scripted warm-up steps per mutation.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub warmup: Option<u64>,
+    /// `probe` cells: warm-up action amplitude.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub amplitude: Option<f64>,
+    /// `probe` replay cells: the stored counterexample mutation; its
+    /// presence switches the handler from search to single-scenario replay.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub mutation: Option<ResetMutation>,
 }
 
 impl CellSpec {
@@ -107,6 +128,12 @@ impl CellSpec {
             max_fires: None,
             steps: None,
             sleep_ms: None,
+            scenarios: None,
+            threshold: None,
+            burn: None,
+            warmup: None,
+            amplitude: None,
+            mutation: None,
         }
     }
 
@@ -228,6 +255,44 @@ impl CellSpec {
             max_fires: Some(max_fires),
             steps: Some(steps),
             ..CellSpec::bare("fault")
+        }
+    }
+
+    /// Shared probe-cell skeleton: the flattened [`ProbeConfig`] plus the
+    /// embedded victim; `mode`/`at_step`/`steps` carry the planted fault,
+    /// its firing step, and the rollout cap.
+    fn probe_base(victim: &GaussianPolicy, cfg: &ProbeConfig) -> Self {
+        CellSpec {
+            victim: serde_json::to_value(victim).ok(),
+            scenarios: Some(cfg.scenarios as u64),
+            threshold: cfg.threshold,
+            burn: Some(u64::from(cfg.max_burn)),
+            warmup: Some(u64::from(cfg.max_warmup)),
+            amplitude: Some(cfg.amplitude),
+            steps: cfg.max_steps.map(|s| s as u64),
+            mode: cfg.fault.clone(),
+            at_step: Some(cfg.fault_at as u64),
+            ..CellSpec::bare("probe")
+        }
+    }
+
+    /// A falsification-probe cell: seeded scenario search over reset-state
+    /// mutations against an embedded victim (see [`crate::falsify`]).
+    pub fn probe(task: TaskId, victim: &GaussianPolicy, cfg: &ProbeConfig) -> Self {
+        CellSpec {
+            task: Some(format!("{task:?}")),
+            ..CellSpec::probe_base(victim, cfg)
+        }
+    }
+
+    /// A probe *replay* cell: re-runs one counterexample's stored
+    /// `(task, seed, mutation)` triple (the cell's sweep seed must be the
+    /// counterexample's scenario seed) and fails if it no longer fails.
+    pub fn probe_replay(victim: &GaussianPolicy, cfg: &ProbeConfig, cx: &Counterexample) -> Self {
+        CellSpec {
+            task: Some(cx.task.clone()),
+            mutation: Some(cx.mutation),
+            ..CellSpec::probe_base(victim, cfg)
         }
     }
 }
@@ -394,8 +459,55 @@ pub fn execute(spec: &Value, ctx: &JobCtx, tel: &Telemetry) -> Result<Value, Str
             let checksum = run_fault_cell(&spec, ctx)?;
             encode(&checksum, "fault checksum")
         }
+        "probe" => {
+            let task = parse_task(required(&spec.task, "task", kind)?)?;
+            let victim: GaussianPolicy =
+                decode(required(&spec.victim, "victim", kind)?, "victim policy")?;
+            let cfg = probe_config(&spec);
+            let _t = tel.span("probe");
+            match &spec.mutation {
+                // A stored mutation means replay-of-one: the cell's seed
+                // is the counterexample's scenario seed.
+                Some(mutation) => {
+                    let cx =
+                        replay_scenario(task, &victim, &cfg, ctx.seed, mutation, &ctx.progress)?;
+                    encode(&cx, "counterexample")
+                }
+                None => {
+                    let out = probe_policy(task, &victim, &cfg, ctx.seed, &ctx.progress)?;
+                    encode(&out, "probe outcome")
+                }
+            }
+        }
         other => Err(format!("unknown cell spec kind {other:?}")),
     }
+}
+
+/// Rebuilds a [`ProbeConfig`] from the flat probe-cell fields; absent
+/// fields fall back to the config defaults.
+fn probe_config(spec: &CellSpec) -> ProbeConfig {
+    let mut cfg = ProbeConfig {
+        threshold: spec.threshold,
+        max_steps: spec.steps.map(|s| s as usize),
+        fault: spec.mode.clone(),
+        ..ProbeConfig::default()
+    };
+    if let Some(n) = spec.scenarios {
+        cfg.scenarios = n as usize;
+    }
+    if let Some(b) = spec.burn {
+        cfg.max_burn = b as u32;
+    }
+    if let Some(w) = spec.warmup {
+        cfg.max_warmup = w as u32;
+    }
+    if let Some(a) = spec.amplitude {
+        cfg.amplitude = a;
+    }
+    if let Some(at) = spec.at_step {
+        cfg.fault_at = at as usize;
+    }
+    cfg
 }
 
 /// Runs the deterministic fault-injection rollout described by a `fault`
@@ -579,6 +691,40 @@ mod tests {
         let missing = serde_json::to_value(&CellSpec::bare("attack")).unwrap();
         let err = execute(&missing, &ctx(1), &tel).unwrap_err();
         assert!(err.contains("missing required field"), "{err}");
+    }
+
+    #[test]
+    fn probe_spec_matches_direct_probe_and_replay_is_byte_identical() {
+        let tel = Telemetry::null();
+        let (obs, act) = TaskId::Hopper.spec().dims();
+        let mut rng = EnvRng::seed_from_u64(42);
+        let victim = GaussianPolicy::new(obs, act, &[8], -0.5, &mut rng).unwrap();
+        let cfg = ProbeConfig {
+            scenarios: 3,
+            max_warmup: 0,
+            max_steps: Some(12),
+            fault: Some("nan_obs".into()),
+            fault_at: 2,
+            ..ProbeConfig::default()
+        };
+        let spec = serde_json::to_value(&CellSpec::probe(TaskId::Hopper, &victim, &cfg)).unwrap();
+        let out = execute(&spec, &ctx(21), &tel).unwrap();
+        let direct = probe_policy(TaskId::Hopper, &victim, &cfg, 21, &Progress::null()).unwrap();
+        assert_eq!(
+            serde_json::to_string(&out).unwrap(),
+            serde_json::to_string(&serde_json::to_value(&direct).unwrap()).unwrap(),
+            "spec execution must match the direct library call"
+        );
+        assert!(!direct.failures.is_empty(), "planted fault must be found");
+        for cx in &direct.failures {
+            let rspec = serde_json::to_value(&CellSpec::probe_replay(&victim, &cfg, cx)).unwrap();
+            let replayed = execute(&rspec, &ctx(cx.seed), &tel).unwrap();
+            assert_eq!(
+                serde_json::to_string(&replayed).unwrap(),
+                serde_json::to_string(&serde_json::to_value(cx).unwrap()).unwrap(),
+                "replay spec must reproduce the counterexample byte-for-byte"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,416 @@
+//! Falsification probing: seeded scenario search over `Env::reset` states
+//! hunting failure episodes of a frozen victim policy.
+//!
+//! The probe runs `scenarios` deterministic rollouts of the victim under
+//! scripted initial-state mutations ([`imap_env::ResetMutation`]: RNG-burn
+//! before reset plus a short scripted warm-up), each derived from a
+//! per-scenario seed. An episode is a **failure** when any of:
+//!
+//! - an observation component goes non-finite (`nan_observation`),
+//! - the reward goes non-finite (`nan_reward`),
+//! - the episode terminates unhealthy before half the step limit
+//!   (`early_termination`),
+//! - the episode return lands below `threshold` (`reward_below_threshold`).
+//!
+//! Every failure is recorded as a [`Counterexample`]: a replayable
+//! `(task, seed, mutation)` triple plus the observed failure, return, step
+//! count, and a trajectory checksum. [`replay_counterexample`] re-runs the
+//! triple and must reproduce the row byte-for-byte — the property the
+//! integration tests pin through `--isolate` and `--resume`.
+//!
+//! For harness smoke tests the probe can *plant* a fault
+//! ([`ProbeConfig::fault`]: `nan_obs` / `nan_reward`) by wrapping the task
+//! in a [`imap_env::FaultyEnv`], guaranteeing a findable failure.
+
+use imap_env::registry::unknown_name_error;
+use imap_env::{build_task, Env, EnvRng, FaultKind, FaultPlan, FaultyEnv, ResetMutation, TaskId};
+use imap_rl::{GaussianPolicy, Progress};
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Failure-hunt settings — the `[probe]` table of an experiment spec.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProbeConfig {
+    /// Scenarios (seeded mutated rollouts) per probed victim.
+    pub scenarios: usize,
+    /// Episode-return failure threshold; `None` disables the check.
+    pub threshold: Option<f64>,
+    /// Maximum RNG draws burned before reset per mutation.
+    pub max_burn: u32,
+    /// Maximum scripted warm-up steps per mutation.
+    pub max_warmup: u32,
+    /// Warm-up action amplitude.
+    pub amplitude: f64,
+    /// Rollout step cap; `None` uses the task's episode limit.
+    pub max_steps: Option<usize>,
+    /// Planted fault (`nan_obs` / `nan_reward`) for harness smoke tests;
+    /// `None` probes the bare task.
+    pub fault: Option<String>,
+    /// Env step (1-based, counted across warm-up) at which a planted
+    /// fault fires once.
+    pub fault_at: usize,
+}
+
+impl Default for ProbeConfig {
+    fn default() -> Self {
+        ProbeConfig {
+            scenarios: 32,
+            threshold: None,
+            max_burn: 8,
+            max_warmup: 4,
+            amplitude: 0.5,
+            max_steps: None,
+            fault: None,
+            fault_at: 3,
+        }
+    }
+}
+
+/// Parses a planted-fault name; the error suggests the nearest valid name.
+pub fn parse_fault(name: &str) -> Result<FaultKind, String> {
+    match name {
+        "nan_obs" => Ok(FaultKind::NanObservation),
+        "nan_reward" => Ok(FaultKind::NanReward),
+        _ => Err(unknown_name_error(
+            "probe fault",
+            name,
+            &["nan_obs", "nan_reward"],
+        )),
+    }
+}
+
+/// One replayable failure episode: everything needed to re-run it
+/// bit-for-bit is `(task, seed, mutation)`; the rest is the observed
+/// outcome a replay must reproduce exactly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Counterexample {
+    /// Task name (`TaskId` registry name, e.g. `Hopper`).
+    pub task: String,
+    /// The scenario seed (drives both mutation sampling and the episode).
+    pub seed: u64,
+    /// The applied initial-state mutation.
+    pub mutation: ResetMutation,
+    /// Failure kind: `nan_observation`, `nan_reward`, `early_termination`,
+    /// or `reward_below_threshold`.
+    pub failure: String,
+    /// Episode return up to the failure.
+    pub reward: f64,
+    /// Policy steps taken before the episode ended.
+    pub steps: usize,
+    /// FNV-1a checksum over every observation/reward bit pattern, as a
+    /// 16-hex-digit string.
+    pub checksum: String,
+}
+
+/// The result of probing one victim: scenario count and every failure
+/// found, in scenario order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProbeOutcome {
+    /// Task name (`TaskId` registry name).
+    pub task: String,
+    /// Scenarios executed.
+    pub scenarios: usize,
+    /// Failure episodes, in scenario order.
+    pub failures: Vec<Counterexample>,
+}
+
+/// Derives the i-th scenario seed from the base seed: a SplitMix64
+/// finalizer over the pair, so scenario streams are pairwise independent
+/// and a ledger row's seed pins its full episode.
+pub fn scenario_seed(base: u64, index: u64) -> u64 {
+    let mut z = base ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Seed-stream offset separating mutation sampling from the episode RNG.
+const MUTATION_STREAM: u64 = 0x6d75_7461;
+
+struct ScenarioResult {
+    failure: Option<String>,
+    reward: f64,
+    steps: usize,
+    checksum: u64,
+}
+
+fn non_finite(obs: &[f64]) -> bool {
+    obs.iter().any(|v| !v.is_finite())
+}
+
+fn rollout<E: Env>(
+    env: &mut E,
+    policy: &GaussianPolicy,
+    cfg: &ProbeConfig,
+    mutation: &ResetMutation,
+    seed: u64,
+    progress: &Progress,
+) -> Result<ScenarioResult, String> {
+    let limit = cfg
+        .max_steps
+        .unwrap_or_else(|| env.max_steps())
+        .min(env.max_steps())
+        .max(1);
+    let mut acc: u64 = 0xcbf2_9ce4_8422_2325;
+    let mix = |acc: &mut u64, bits: u64| {
+        *acc = (*acc ^ bits).wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    let mut rng = EnvRng::seed_from_u64(seed);
+    let mut obs = mutation.apply(env, &mut rng);
+    for v in &obs {
+        mix(&mut acc, v.to_bits());
+    }
+    let mut total = 0.0;
+    let mut steps = 0usize;
+    let mut failure: Option<String> = None;
+    if non_finite(&obs) {
+        failure = Some("nan_observation".into());
+    }
+    while failure.is_none() && steps < limit {
+        progress.beat();
+        let action = policy.act_deterministic(&obs).map_err(|e| e.to_string())?;
+        let step = env.step(&action, &mut rng);
+        steps += 1;
+        for v in &step.obs {
+            mix(&mut acc, v.to_bits());
+        }
+        mix(&mut acc, step.reward.to_bits());
+        if !step.reward.is_finite() {
+            failure = Some("nan_reward".into());
+            break;
+        }
+        total += step.reward;
+        if non_finite(&step.obs) {
+            failure = Some("nan_observation".into());
+            break;
+        }
+        obs = step.obs;
+        if step.done {
+            if step.unhealthy && steps < limit / 2 {
+                failure = Some("early_termination".into());
+            }
+            break;
+        }
+    }
+    if failure.is_none() {
+        if let Some(threshold) = cfg.threshold {
+            if total < threshold {
+                failure = Some("reward_below_threshold".into());
+            }
+        }
+    }
+    Ok(ScenarioResult {
+        failure,
+        reward: total,
+        steps,
+        checksum: acc,
+    })
+}
+
+/// Runs one scenario: samples the mutation from the scenario seed (unless
+/// replaying a stored one), applies it, and rolls the deterministic victim
+/// out hunting a failure.
+fn run_scenario(
+    task: TaskId,
+    policy: &GaussianPolicy,
+    cfg: &ProbeConfig,
+    seed: u64,
+    stored: Option<&ResetMutation>,
+    progress: &Progress,
+) -> Result<(ResetMutation, ScenarioResult), String> {
+    let mutation = match stored {
+        Some(m) => *m,
+        None => {
+            let mut mrng = EnvRng::seed_from_u64(seed ^ MUTATION_STREAM);
+            ResetMutation::sample(&mut mrng, cfg.max_burn, cfg.max_warmup, cfg.amplitude)
+        }
+    };
+    let env = build_task(task);
+    let result = match &cfg.fault {
+        Some(name) => {
+            let plan = FaultPlan::once(parse_fault(name)?, cfg.fault_at);
+            let mut env = FaultyEnv::new(env, plan);
+            rollout(&mut env, policy, cfg, &mutation, seed, progress)?
+        }
+        None => {
+            let mut env = env;
+            rollout(&mut env, policy, cfg, &mutation, seed, progress)?
+        }
+    };
+    Ok((mutation, result))
+}
+
+fn counterexample(
+    task: TaskId,
+    seed: u64,
+    mutation: ResetMutation,
+    failure: String,
+    r: &ScenarioResult,
+) -> Counterexample {
+    Counterexample {
+        task: format!("{task:?}"),
+        seed,
+        mutation,
+        failure,
+        reward: r.reward,
+        steps: r.steps,
+        checksum: format!("{:016x}", r.checksum),
+    }
+}
+
+/// Probes one victim: `cfg.scenarios` seeded mutated rollouts, each
+/// failure recorded as a replayable [`Counterexample`].
+pub fn probe_policy(
+    task: TaskId,
+    policy: &GaussianPolicy,
+    cfg: &ProbeConfig,
+    base_seed: u64,
+    progress: &Progress,
+) -> Result<ProbeOutcome, String> {
+    let mut failures = Vec::new();
+    for i in 0..cfg.scenarios {
+        let seed = scenario_seed(base_seed, i as u64);
+        let (mutation, result) = run_scenario(task, policy, cfg, seed, None, progress)?;
+        if let Some(failure) = result.failure.clone() {
+            failures.push(counterexample(task, seed, mutation, failure, &result));
+        }
+    }
+    Ok(ProbeOutcome {
+        task: format!("{task:?}"),
+        scenarios: cfg.scenarios,
+        failures,
+    })
+}
+
+/// Re-runs one scenario from an explicit `(task, seed, mutation)` triple
+/// and returns the recomputed row. A replay that no longer fails is an
+/// error (the triple has gone stale against the policy or config it was
+/// found with).
+pub fn replay_scenario(
+    task: TaskId,
+    policy: &GaussianPolicy,
+    cfg: &ProbeConfig,
+    seed: u64,
+    mutation: &ResetMutation,
+    progress: &Progress,
+) -> Result<Counterexample, String> {
+    let (mutation, result) = run_scenario(task, policy, cfg, seed, Some(mutation), progress)?;
+    let failure = result.failure.clone().ok_or_else(|| {
+        format!("replay of {task:?} seed={seed} did not fail (stale counterexample?)")
+    })?;
+    Ok(counterexample(task, seed, mutation, failure, &result))
+}
+
+/// Replays a counterexample row; callers assert byte-identity against the
+/// original.
+pub fn replay_counterexample(
+    cx: &Counterexample,
+    policy: &GaussianPolicy,
+    cfg: &ProbeConfig,
+    progress: &Progress,
+) -> Result<Counterexample, String> {
+    let task = TaskId::resolve(&cx.task)?;
+    replay_scenario(task, policy, cfg, cx.seed, &cx.mutation, progress)
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    fn tiny_policy(task: TaskId) -> GaussianPolicy {
+        let (obs, act) = task.spec().dims();
+        let mut rng = EnvRng::seed_from_u64(99);
+        GaussianPolicy::new(obs, act, &[8], -0.5, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn scenario_seeds_are_pairwise_distinct_and_deterministic() {
+        let seeds: Vec<u64> = (0..64).map(|i| scenario_seed(17, i)).collect();
+        let unique: std::collections::HashSet<&u64> = seeds.iter().collect();
+        assert_eq!(unique.len(), seeds.len());
+        assert_eq!(scenario_seed(17, 5), scenario_seed(17, 5));
+        assert_ne!(scenario_seed(17, 5), scenario_seed(18, 5));
+    }
+
+    #[test]
+    fn planted_nan_obs_fault_is_found_and_replays_byte_identically() {
+        let policy = tiny_policy(TaskId::Hopper);
+        // `max_warmup: 0` pins the planted fault inside the *policy*
+        // rollout: with warm-up steps the once-firing NaN could land on a
+        // warm-up step whose observation is never returned.
+        let cfg = ProbeConfig {
+            scenarios: 4,
+            max_warmup: 0,
+            max_steps: Some(20),
+            fault: Some("nan_obs".into()),
+            fault_at: 2,
+            ..ProbeConfig::default()
+        };
+        let out = probe_policy(TaskId::Hopper, &policy, &cfg, 17, &Progress::null()).unwrap();
+        assert!(
+            out.failures.iter().any(|c| c.failure == "nan_observation"),
+            "planted NaN fault must surface: {out:?}"
+        );
+        for cx in &out.failures {
+            let replayed = replay_counterexample(cx, &policy, &cfg, &Progress::null()).unwrap();
+            assert_eq!(
+                serde_json::to_string(cx).unwrap(),
+                serde_json::to_string(&replayed).unwrap(),
+                "replay must be byte-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn probe_is_deterministic_per_seed() {
+        let policy = tiny_policy(TaskId::Hopper);
+        let cfg = ProbeConfig {
+            scenarios: 3,
+            max_steps: Some(15),
+            threshold: Some(1e9),
+            ..ProbeConfig::default()
+        };
+        let a = probe_policy(TaskId::Hopper, &policy, &cfg, 7, &Progress::null()).unwrap();
+        let b = probe_policy(TaskId::Hopper, &policy, &cfg, 7, &Progress::null()).unwrap();
+        let c = probe_policy(TaskId::Hopper, &policy, &cfg, 8, &Progress::null()).unwrap();
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+        // An absurd threshold makes every scenario a failure; a different
+        // base seed changes the scenario seeds.
+        assert_eq!(a.failures.len(), 3);
+        assert!(a
+            .failures
+            .iter()
+            .all(|f| f.failure == "reward_below_threshold" || f.failure == "early_termination"));
+        assert_ne!(a.failures[0].seed, c.failures[0].seed);
+    }
+
+    #[test]
+    fn nan_reward_fault_is_detected_as_nan_reward() {
+        let policy = tiny_policy(TaskId::Hopper);
+        let cfg = ProbeConfig {
+            scenarios: 2,
+            max_burn: 0,
+            max_warmup: 0,
+            max_steps: Some(10),
+            fault: Some("nan_reward".into()),
+            fault_at: 1,
+            ..ProbeConfig::default()
+        };
+        let out = probe_policy(TaskId::Hopper, &policy, &cfg, 3, &Progress::null()).unwrap();
+        assert_eq!(out.failures.len(), 2, "{out:?}");
+        assert!(out.failures.iter().all(|c| c.failure == "nan_reward"));
+        assert!(out.failures.iter().all(|c| c.steps == 1));
+    }
+
+    #[test]
+    fn parse_fault_suggests_near_misses() {
+        assert_eq!(parse_fault("nan_obs").unwrap(), FaultKind::NanObservation);
+        let err = parse_fault("nan_obz").unwrap_err();
+        assert!(err.contains("did you mean \"nan_obs\"?"), "{err}");
+        assert!(err.contains("valid probe faults:"), "{err}");
+    }
+}

@@ -30,14 +30,17 @@ use rand::SeedableRng;
 
 pub mod cells;
 pub mod exec;
+pub mod falsify;
 pub mod golden;
+pub mod matrix;
+pub mod spec;
 pub mod table1;
 
 /// Compute budget for an experiment run.
 ///
 /// Serializable so isolated cells can ship their budget to the child
 /// process inside the cell spec ([`cells::CellSpec`]).
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Budget {
     /// Human-readable name ("quick" / "full").
     pub name: String,
@@ -159,71 +162,10 @@ pub fn base_seed() -> u64 {
     })
 }
 
-/// The attack columns of Tables 1–3.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum AttackKind {
-    /// Clean evaluation.
-    NoAttack,
-    /// Uniform random perturbations within budget.
-    Random,
-    /// The SA-RL baseline.
-    SaRl,
-    /// An IMAP variant.
-    Imap(RegularizerKind),
-    /// An IMAP variant with Bias-Reduction.
-    ImapBr(RegularizerKind),
-}
-
-impl AttackKind {
-    /// Column label as printed in the tables.
-    pub fn label(self) -> String {
-        match self {
-            AttackKind::NoAttack => "No Attack".into(),
-            AttackKind::Random => "Random".into(),
-            AttackKind::SaRl => "SA-RL".into(),
-            AttackKind::Imap(k) => format!("IMAP-{}", k.short_name()),
-            AttackKind::ImapBr(k) => format!("IMAP-{}+BR", k.short_name()),
-        }
-    }
-
-    /// The seven columns of Table 1.
-    pub fn table1_columns() -> Vec<AttackKind> {
-        let mut v = vec![AttackKind::NoAttack, AttackKind::Random, AttackKind::SaRl];
-        v.extend(RegularizerKind::ALL.into_iter().map(AttackKind::Imap));
-        v
-    }
-
-    /// A stable wire code for cell specs (`no-attack`, `imap-PC`,
-    /// `imap-br-R`, …). [`AttackKind::from_code`] inverts it.
-    pub fn code(self) -> String {
-        match self {
-            AttackKind::NoAttack => "no-attack".into(),
-            AttackKind::Random => "random".into(),
-            AttackKind::SaRl => "sa-rl".into(),
-            AttackKind::Imap(k) => format!("imap-{}", k.short_name()),
-            AttackKind::ImapBr(k) => format!("imap-br-{}", k.short_name()),
-        }
-    }
-
-    /// Parses an [`AttackKind::code`] back; `None` for unknown codes.
-    pub fn from_code(code: &str) -> Option<AttackKind> {
-        match code {
-            "no-attack" => return Some(AttackKind::NoAttack),
-            "random" => return Some(AttackKind::Random),
-            "sa-rl" => return Some(AttackKind::SaRl),
-            _ => {}
-        }
-        for k in RegularizerKind::ALL {
-            if code == format!("imap-{}", k.short_name()) {
-                return Some(AttackKind::Imap(k));
-            }
-            if code == format!("imap-br-{}", k.short_name()) {
-                return Some(AttackKind::ImapBr(k));
-            }
-        }
-        None
-    }
-}
+/// The attack columns of Tables 1–3 — the registry's [`imap_core::AttackId`]
+/// under its historical bench-crate name. Name lookup, wire codes, labels,
+/// and the Table 1 column set all live on the registry type.
+pub use imap_core::registry::AttackId as AttackKind;
 
 /// Root of the on-disk experiment caches: `IMAP_CACHE_DIR` when set,
 /// `.victim-cache/` at the workspace root otherwise.

@@ -1,0 +1,435 @@
+//! The unified experiment layer: one spec-driven runner behind every
+//! victim × attack grid.
+//!
+//! [`run_grid`] is the two-stage sweep the legacy `table1` path always ran
+//! — stage 1 trains the victim zoo, stage 2 runs the attack grid row-major
+//! — extracted so any `(task, victim)` pair list drives it. Labels, tags,
+//! seeds, and cell specs are bit-for-bit what `table1` emits, so a spec
+//! that mirrors Table 1 commits an identical ledger: matrix runs inherit
+//! sharding, isolation, and resume untouched, because they compile to
+//! ordinary sweep cells.
+//!
+//! [`run_matrix`] runs a parsed [`ExperimentSpec`] through [`run_grid`],
+//! optionally follows with the falsification probe stage (one cell per
+//! trained victim hunting failure episodes), and folds everything into a
+//! machine-readable [`MatrixReport`] — the `report.json` of an
+//! `imap bench-matrix` run.
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use imap_defense::DefenseMethod;
+use imap_env::TaskId;
+use imap_harness::JobStatus;
+use imap_rl::GaussianPolicy;
+use imap_telemetry::Telemetry;
+
+use crate::cells::CellSpec;
+use crate::exec::{dep_skip_reason, run_sweep, SweepCell, SweepConfig, SweepReport};
+use crate::falsify::{probe_policy, Counterexample, ProbeOutcome};
+use crate::spec::ExperimentSpec;
+use crate::{
+    record_cell, run_attack_cell_cached, AttackKind, Budget, CellCache, CellResult, VictimCache,
+};
+
+/// Everything the two grid stages committed, in grid order.
+pub struct GridOutcome {
+    /// Stage-1 victims as shareable handles (`None` where training failed).
+    pub victims: Vec<Option<Arc<GaussianPolicy>>>,
+    /// Raw stage-1 statuses, one per `(task, victim)` pair.
+    pub victim_out: Vec<JobStatus<GaussianPolicy>>,
+    /// Raw stage-2 statuses, row-major: `pair_index * columns + column`.
+    pub attack_out: Vec<JobStatus<CellResult>>,
+}
+
+/// Runs the victim-zoo stage then the attack grid under sweep supervision.
+///
+/// Stage 1 trains one victim per `(task, method)` pair; stage 2 runs every
+/// `pair × column` attack cell row-major, so committed ledger order matches
+/// rendered table order. Cells whose victim failed become `status=skipped`
+/// rows. `report` accumulates both stages' outcomes.
+#[allow(clippy::too_many_arguments)]
+pub fn run_grid(
+    tel: &Telemetry,
+    sweep: &SweepConfig,
+    budget: &Budget,
+    seed: u64,
+    pairs: &[(TaskId, DefenseMethod)],
+    columns: &[AttackKind],
+    victim_cache: &Arc<VictimCache>,
+    cell_cache: &Arc<CellCache>,
+    report: &mut SweepReport,
+) -> GridOutcome {
+    // Stage 1: the victim zoo. One supervised job per (task, method).
+    let victim_cells: Vec<SweepCell<GaussianPolicy>> = pairs
+        .iter()
+        .map(|&(task, method)| {
+            let tags = [
+                ("task", task.spec().name),
+                ("victim", method.name()),
+                ("stage", "victim_train"),
+            ];
+            let tel = tel.clone();
+            let victims = Arc::clone(victim_cache);
+            let spec = CellSpec::victim(task, method, budget, victim_cache);
+            let budget = budget.clone();
+            SweepCell::new(
+                format!("victim {} {}", task.spec().name, method.name()),
+                &tags,
+                seed,
+                move |ctx| {
+                    let _t = tel.span("victim_train");
+                    victims.victim_supervised(&tel, task, method, &budget, ctx.seed, &ctx.progress)
+                },
+            )
+            .isolated(&spec)
+        })
+        .collect();
+    let victim_out = run_sweep(tel, sweep, victim_cells, report, |_, _| {});
+    let victims: Vec<Option<Arc<GaussianPolicy>>> = victim_out
+        .iter()
+        .map(|s| s.ok().map(|p| Arc::new(p.clone())))
+        .collect();
+
+    // Stage 2: the attack grid, row-major so committed order matches the
+    // rendered table.
+    let attack_cells: Vec<SweepCell<CellResult>> = pairs
+        .iter()
+        .enumerate()
+        .flat_map(|(pi, &(task, method))| {
+            let victim = victims[pi].clone();
+            let dep = dep_skip_reason(&victim_out[pi]);
+            columns.iter().map(move |&kind| {
+                let label = kind.label();
+                let cell_label = format!("{} {} {}", task.spec().name, method.name(), label);
+                let tags = [
+                    ("task", task.spec().name),
+                    ("victim", method.name()),
+                    ("attack", label.as_str()),
+                ];
+                match (&victim, &dep) {
+                    (Some(victim), None) => {
+                        let tel = tel.clone();
+                        let victim = Arc::clone(victim);
+                        let cells = Arc::clone(cell_cache);
+                        let spec =
+                            CellSpec::attack(task, method, &victim, kind, budget, cell_cache);
+                        let budget = budget.clone();
+                        SweepCell::new(cell_label, &tags, seed, move |ctx| {
+                            let _t = tel.span("attack_cell");
+                            run_attack_cell_cached(
+                                &cells,
+                                task,
+                                method,
+                                &victim,
+                                kind,
+                                &budget,
+                                ctx.seed,
+                                &ctx.progress,
+                            )
+                        })
+                        .isolated(&spec)
+                    }
+                    (_, reason) => SweepCell::skipped(
+                        cell_label,
+                        &tags,
+                        reason.clone().unwrap_or_else(|| "victim_missing".into()),
+                    ),
+                }
+            })
+        })
+        .collect();
+    let tel_ok = tel.clone();
+    let attack_out = run_sweep(tel, sweep, attack_cells, report, |tags, result| {
+        record_cell(&tel_ok, tags, result);
+    });
+
+    GridOutcome {
+        victims,
+        victim_out,
+        attack_out,
+    }
+}
+
+/// One attack cell of the matrix report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MatrixRow {
+    /// Task registry name.
+    pub task: String,
+    /// Victim wire code ([`DefenseMethod::code`]).
+    pub victim: String,
+    /// Attack wire code ([`AttackKind::code`]).
+    pub attack: String,
+    /// `ok` / `error` / `timeout` / `skipped`.
+    pub status: String,
+    /// Error message or skip reason for non-`ok` cells.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub detail: Option<String>,
+    /// Mean victim return under the attack.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub victim_return: Option<f64>,
+    /// Std of the victim return.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub victim_return_std: Option<f64>,
+    /// Attack success rate.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub asr: Option<f64>,
+}
+
+/// One probe-stage row of the matrix report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProbeRow {
+    /// Task registry name.
+    pub task: String,
+    /// Victim wire code.
+    pub victim: String,
+    /// `ok` / `error` / `timeout` / `skipped`.
+    pub status: String,
+    /// Scenarios executed (0 for non-`ok` rows).
+    pub scenarios: usize,
+    /// Replayable failure episodes found.
+    pub failures: Vec<Counterexample>,
+}
+
+/// The machine-readable result of one `bench-matrix` run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MatrixReport {
+    /// Spec name (`experiment.name`).
+    pub experiment: String,
+    /// [`ExperimentSpec::fingerprint`] of the driving spec.
+    pub fingerprint: String,
+    /// Budget name (including any override suffix).
+    pub budget: String,
+    /// The resolved base seed.
+    pub seed: u64,
+    /// Attack wire codes, in grid-column order.
+    pub columns: Vec<String>,
+    /// Attack cells, row-major in grid order.
+    pub rows: Vec<MatrixRow>,
+    /// Probe-stage rows (empty when the spec has no `[probe]` table).
+    pub probe: Vec<ProbeRow>,
+}
+
+fn status_detail<T>(status: &JobStatus<T>) -> Option<String> {
+    match status {
+        JobStatus::Ok(_) => None,
+        JobStatus::Error { message, .. } => Some(message.clone()),
+        JobStatus::Timeout { attempts } => Some(format!("stalled after {attempts} attempts")),
+        JobStatus::Skipped { reason } => Some(reason.clone()),
+    }
+}
+
+/// Runs a parsed experiment spec: the grid stages, then (when the spec has
+/// a `[probe]` table) one falsification cell per trained victim. The
+/// returned report is what `imap bench-matrix` writes as `report.json`.
+pub fn run_matrix(
+    tel: &Telemetry,
+    spec: &ExperimentSpec,
+    sweep: &SweepConfig,
+    seed: u64,
+    victim_cache: &Arc<VictimCache>,
+    cell_cache: &Arc<CellCache>,
+    report: &mut SweepReport,
+) -> MatrixReport {
+    let pairs = spec.pairs();
+    let columns = &spec.attacks;
+    let grid = run_grid(
+        tel,
+        sweep,
+        &spec.budget,
+        seed,
+        &pairs,
+        columns,
+        victim_cache,
+        cell_cache,
+        report,
+    );
+
+    let mut rows = Vec::with_capacity(pairs.len() * columns.len());
+    for (pi, &(task, method)) in pairs.iter().enumerate() {
+        for (ci, kind) in columns.iter().enumerate() {
+            let status = &grid.attack_out[pi * columns.len() + ci];
+            let result = status.ok();
+            rows.push(MatrixRow {
+                task: task.spec().name.to_string(),
+                victim: method.code().to_string(),
+                attack: kind.code(),
+                status: status.name().to_string(),
+                detail: status_detail(status),
+                victim_return: result.map(|r| r.eval.victim_return),
+                victim_return_std: result.map(|r| r.eval.victim_return_std),
+                asr: result.map(|r| r.eval.asr),
+            });
+        }
+    }
+
+    let probe = match &spec.probe {
+        None => Vec::new(),
+        Some(cfg) => {
+            let probe_cells: Vec<SweepCell<ProbeOutcome>> = pairs
+                .iter()
+                .enumerate()
+                .map(|(pi, &(task, method))| {
+                    let label = format!("probe {} {}", task.spec().name, method.name());
+                    let tags = [
+                        ("task", task.spec().name),
+                        ("victim", method.name()),
+                        ("stage", "probe"),
+                    ];
+                    let dep = dep_skip_reason(&grid.victim_out[pi]);
+                    match (&grid.victims[pi], dep) {
+                        (Some(victim), None) => {
+                            let victim = Arc::clone(victim);
+                            let cfg = cfg.clone();
+                            let spec = CellSpec::probe(task, &victim, &cfg);
+                            let tel = tel.clone();
+                            SweepCell::new(label, &tags, seed, move |ctx| {
+                                let _t = tel.span("probe");
+                                probe_policy(task, &victim, &cfg, ctx.seed, &ctx.progress)
+                                    .map_err(|context| imap_nn::NnError::Numeric { context })
+                            })
+                            .isolated(&spec)
+                        }
+                        (_, reason) => SweepCell::skipped(
+                            label,
+                            &tags,
+                            reason.unwrap_or_else(|| "victim_missing".into()),
+                        ),
+                    }
+                })
+                .collect();
+            let probe_out = run_sweep(tel, sweep, probe_cells, report, |_, _| {});
+            pairs
+                .iter()
+                .zip(&probe_out)
+                .map(|(&(task, method), status)| {
+                    let outcome = status.ok();
+                    ProbeRow {
+                        task: task.spec().name.to_string(),
+                        victim: method.code().to_string(),
+                        status: status.name().to_string(),
+                        scenarios: outcome.map(|o| o.scenarios).unwrap_or(0),
+                        failures: outcome.map(|o| o.failures.clone()).unwrap_or_default(),
+                    }
+                })
+                .collect()
+        }
+    };
+
+    MatrixReport {
+        experiment: spec.name.clone(),
+        fingerprint: spec.fingerprint(),
+        budget: spec.budget.name.clone(),
+        seed,
+        columns: columns.iter().map(|k| k.code()).collect(),
+        rows,
+        probe,
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use crate::spec::ExperimentSpec;
+
+    const TINY: &str = r#"
+        [experiment]
+        name = "matrix-tiny"
+        seed = 11
+        [grid]
+        envs = ["Hopper"]
+        victims = ["ppo"]
+        attacks = ["no-attack", "random"]
+        [budget]
+        victim_iterations = 2
+        victim_steps_per_iter = 128
+        victim_hidden = [8]
+        attack_iters = 1
+        attack_steps = 128
+        eval_episodes = 2
+        [probe]
+        scenarios = 3
+        warmup = 0
+        steps = 10
+        fault = "nan_obs"
+        fault_at = 2
+    "#;
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("imap-matrix-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn matrix_runs_grid_and_probe_and_reports_in_grid_order() {
+        let spec = ExperimentSpec::parse(TINY).unwrap();
+        let dir = scratch("report");
+        let victims = Arc::new(VictimCache::open_at(dir.join("victims")));
+        let cells = Arc::new(CellCache::open_at(dir.join("cells")));
+        let sweep = SweepConfig {
+            jobs: 2,
+            status_interval: std::time::Duration::ZERO,
+            ..SweepConfig::default()
+        };
+        let mut report = SweepReport::default();
+        let tel = Telemetry::null();
+        let out = run_matrix(&tel, &spec, &sweep, 11, &victims, &cells, &mut report);
+        assert_eq!(out.experiment, "matrix-tiny");
+        assert_eq!(out.columns, vec!["no-attack", "random"]);
+        assert_eq!(out.rows.len(), 2);
+        assert_eq!(out.rows[0].task, "Hopper");
+        assert_eq!(out.rows[0].victim, "ppo");
+        assert_eq!(out.rows[0].attack, "no-attack");
+        assert_eq!(out.rows[0].status, "ok");
+        assert!(out.rows[0].victim_return.is_some());
+        assert_eq!(out.probe.len(), 1);
+        assert_eq!(out.probe[0].status, "ok");
+        assert_eq!(out.probe[0].scenarios, 3);
+        assert!(
+            out.probe[0]
+                .failures
+                .iter()
+                .any(|c| c.failure == "nan_observation"),
+            "planted fault must surface: {:?}",
+            out.probe[0].failures
+        );
+        assert!(!report.failed(), "{}", report.summary_line());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Parallelism must not leak into the report: the same spec at jobs=1
+    /// and jobs=4 serializes byte-identically (fresh caches both times).
+    #[test]
+    fn matrix_report_is_jobs_invariant() {
+        let spec = ExperimentSpec::parse(TINY).unwrap();
+        let render = |jobs: usize, dir: &std::path::Path| {
+            let victims = Arc::new(VictimCache::open_at(dir.join("victims")));
+            let cells = Arc::new(CellCache::open_at(dir.join("cells")));
+            let sweep = SweepConfig {
+                jobs,
+                status_interval: std::time::Duration::ZERO,
+                ..SweepConfig::default()
+            };
+            let mut report = SweepReport::default();
+            let out = run_matrix(
+                &Telemetry::null(),
+                &spec,
+                &sweep,
+                11,
+                &victims,
+                &cells,
+                &mut report,
+            );
+            serde_json::to_string(&out).unwrap()
+        };
+        let d1 = scratch("jobs1");
+        let d4 = scratch("jobs4");
+        assert_eq!(render(1, &d1), render(4, &d4));
+        let _ = std::fs::remove_dir_all(&d1);
+        let _ = std::fs::remove_dir_all(&d4);
+    }
+}

@@ -1,0 +1,1056 @@
+//! TOML experiment specs: the `env × victim × attack × budget` grid as a
+//! checked-in file.
+//!
+//! A spec names every coordinate through the registries — tasks via
+//! `imap_env::registry::TaskId`, victims via `imap_defense::DefenseId`,
+//! attacks via [`AttackKind`] — so any table in the paper is reproducible
+//! from one committed TOML file and `imap bench-matrix`. The parser is a
+//! deliberate TOML *subset* (no external crate): comments, `[dotted.table]`
+//! headers, and `key = value` lines where a value is a string, integer,
+//! float, bool, or single-line array of those.
+//!
+//! Guarantees the tests pin down:
+//!
+//! - Parsing is deterministic and *order-insensitive for keys*: reordering
+//!   lines, tables, whitespace, or comments yields the same
+//!   [`ExperimentSpec`] and the same [`ExperimentSpec::fingerprint`].
+//!   Array *element* order is meaningful (it is the grid order).
+//! - Unknown keys and unknown task/victim/attack names are typed errors
+//!   that name the line, suggest the nearest valid spelling, and list
+//!   every valid name.
+
+use std::fmt;
+
+use imap_defense::DefenseMethod;
+use imap_env::registry::suggest;
+use imap_env::TaskId;
+use imap_harness::stage_fingerprint;
+
+use crate::falsify::ProbeConfig;
+use crate::{AttackKind, Budget};
+
+/// A parsed TOML-subset value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TomlValue {
+    /// A double-quoted string.
+    Str(String),
+    /// An integer literal.
+    Int(i64),
+    /// A float literal.
+    Float(f64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// A single-line array of scalars.
+    Array(Vec<TomlValue>),
+}
+
+impl TomlValue {
+    fn type_name(&self) -> &'static str {
+        match self {
+            TomlValue::Str(_) => "string",
+            TomlValue::Int(_) => "integer",
+            TomlValue::Float(_) => "float",
+            TomlValue::Bool(_) => "bool",
+            TomlValue::Array(_) => "array",
+        }
+    }
+}
+
+/// A typed spec failure. `Display` renders the line number (when the error
+/// is positional) and, for unknown keys/names, the nearest valid spelling
+/// plus the full valid list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// The text is not in the supported TOML subset.
+    Toml {
+        /// 1-based source line.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A key outside the spec schema.
+    UnknownKey {
+        /// 1-based source line.
+        line: usize,
+        /// The offending dotted key.
+        key: String,
+        /// `unknown_name_error`-style rendered message.
+        message: String,
+    },
+    /// A task/victim/attack name no registry recognises.
+    UnknownName {
+        /// 1-based source line.
+        line: usize,
+        /// Registry error (suggestion + valid-name list).
+        message: String,
+    },
+    /// A known key with a value of the wrong shape.
+    Invalid {
+        /// 1-based source line.
+        line: usize,
+        /// The dotted key.
+        key: String,
+        /// What was expected.
+        message: String,
+    },
+    /// A required key is absent.
+    Missing {
+        /// The dotted key.
+        key: String,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Toml { line, message } => write!(f, "spec line {line}: {message}"),
+            SpecError::UnknownKey { line, message, .. } => {
+                write!(f, "spec line {line}: {message}")
+            }
+            SpecError::UnknownName { line, message } => {
+                write!(f, "spec line {line}: {message}")
+            }
+            SpecError::Invalid { line, key, message } => {
+                write!(f, "spec line {line}: key {key:?}: {message}")
+            }
+            SpecError::Missing { key } => write!(f, "spec is missing required key {key:?}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Every non-parameterised key the schema accepts, for the unknown-key
+/// suggestion list. `grid.victims_for.<Task>` is matched by prefix.
+const KNOWN_KEYS: &[&str] = &[
+    "experiment.name",
+    "experiment.budget",
+    "experiment.seed",
+    "grid.envs",
+    "grid.victims",
+    "grid.attacks",
+    "budget.victim_iterations",
+    "budget.victim_steps_per_iter",
+    "budget.victim_hidden",
+    "budget.attack_iters",
+    "budget.attack_steps",
+    "budget.eval_episodes",
+    "probe.scenarios",
+    "probe.threshold",
+    "probe.burn",
+    "probe.warmup",
+    "probe.amplitude",
+    "probe.steps",
+    "probe.fault",
+    "probe.fault_at",
+];
+
+const VICTIMS_FOR_PREFIX: &str = "grid.victims_for.";
+
+/// Splits one line into content and comment, honouring `#` inside quoted
+/// strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_str && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        escaped = false;
+    }
+    line
+}
+
+fn valid_key_segment(seg: &str) -> bool {
+    !seg.is_empty()
+        && seg
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+}
+
+fn parse_scalar(raw: &str, line: usize) -> Result<TomlValue, SpecError> {
+    let raw = raw.trim();
+    if let Some(rest) = raw.strip_prefix('"') {
+        let mut out = String::new();
+        let mut escaped = false;
+        for c in rest.chars() {
+            if escaped {
+                match c {
+                    '"' | '\\' => out.push(c),
+                    'n' => out.push('\n'),
+                    't' => out.push('\t'),
+                    other => {
+                        return Err(SpecError::Toml {
+                            line,
+                            message: format!("unsupported string escape \\{other}"),
+                        })
+                    }
+                }
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                return Ok(TomlValue::Str(out));
+            } else {
+                out.push(c);
+            }
+        }
+        return Err(SpecError::Toml {
+            line,
+            message: "unterminated string".into(),
+        });
+    }
+    match raw {
+        "true" => return Ok(TomlValue::Bool(true)),
+        "false" => return Ok(TomlValue::Bool(false)),
+        "" => {
+            return Err(SpecError::Toml {
+                line,
+                message: "missing value after `=`".into(),
+            })
+        }
+        _ => {}
+    }
+    if let Ok(i) = raw.parse::<i64>() {
+        return Ok(TomlValue::Int(i));
+    }
+    if let Ok(x) = raw.parse::<f64>() {
+        return Ok(TomlValue::Float(x));
+    }
+    Err(SpecError::Toml {
+        line,
+        message: format!(
+            "unparseable value {raw:?} (expected a quoted string, integer, float, or bool)"
+        ),
+    })
+}
+
+fn parse_value(raw: &str, line: usize) -> Result<TomlValue, SpecError> {
+    let raw = raw.trim();
+    let Some(inner) = raw.strip_prefix('[') else {
+        return parse_scalar(raw, line);
+    };
+    let Some(inner) = inner.strip_suffix(']') else {
+        return Err(SpecError::Toml {
+            line,
+            message: "unterminated array (arrays must be single-line)".into(),
+        });
+    };
+    // Split on top-level commas, respecting quoted strings.
+    let mut items = Vec::new();
+    let mut start = 0usize;
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in inner.char_indices() {
+        match c {
+            '\\' if in_str && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_str = !in_str,
+            '[' if !in_str => {
+                return Err(SpecError::Toml {
+                    line,
+                    message: "nested arrays are not supported".into(),
+                })
+            }
+            ',' if !in_str => {
+                items.push(&inner[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+        escaped = false;
+    }
+    items.push(&inner[start..]);
+    let mut out = Vec::new();
+    for item in items {
+        if item.trim().is_empty() {
+            continue; // tolerate a trailing comma
+        }
+        out.push(parse_scalar(item, line)?);
+    }
+    Ok(TomlValue::Array(out))
+}
+
+/// Parses the TOML subset into `(dotted key, value, line)` triples in file
+/// order. Duplicate keys are errors — a silently-shadowed grid axis is
+/// exactly the kind of bug a spec file exists to prevent.
+pub fn parse_toml(text: &str) -> Result<Vec<(String, TomlValue, usize)>, SpecError> {
+    let mut prefix = String::new();
+    let mut pairs: Vec<(String, TomlValue, usize)> = Vec::new();
+    for (idx, raw_line) in text.lines().enumerate() {
+        let line = idx + 1;
+        let content = strip_comment(raw_line).trim();
+        if content.is_empty() {
+            continue;
+        }
+        if let Some(rest) = content.strip_prefix('[') {
+            let Some(name) = rest.strip_suffix(']') else {
+                return Err(SpecError::Toml {
+                    line,
+                    message: format!("malformed table header {content:?}"),
+                });
+            };
+            let name = name.trim();
+            if name.is_empty() || !name.split('.').all(valid_key_segment) {
+                return Err(SpecError::Toml {
+                    line,
+                    message: format!("malformed table name {name:?}"),
+                });
+            }
+            prefix = name.to_string();
+            continue;
+        }
+        let Some(eq) = find_top_level_eq(content) else {
+            return Err(SpecError::Toml {
+                line,
+                message: format!("expected `key = value` or `[table]`, got {content:?}"),
+            });
+        };
+        let (key_raw, value_raw) = content.split_at(eq);
+        let key_raw = key_raw.trim();
+        if !key_raw.split('.').all(valid_key_segment) {
+            return Err(SpecError::Toml {
+                line,
+                message: format!("malformed key {key_raw:?}"),
+            });
+        }
+        let key = if prefix.is_empty() {
+            key_raw.to_string()
+        } else {
+            format!("{prefix}.{key_raw}")
+        };
+        if pairs.iter().any(|(k, _, _)| *k == key) {
+            return Err(SpecError::Toml {
+                line,
+                message: format!("duplicate key {key:?}"),
+            });
+        }
+        let value = parse_value(&value_raw[1..], line)?;
+        pairs.push((key, value, line));
+    }
+    Ok(pairs)
+}
+
+fn find_top_level_eq(content: &str) -> Option<usize> {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in content.char_indices() {
+        match c {
+            '\\' if in_str && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_str = !in_str,
+            '=' if !in_str => return Some(i),
+            _ => {}
+        }
+        escaped = false;
+    }
+    None
+}
+
+/// The unified experiment description: which grid to run, under which
+/// budget and seed, and (optionally) a falsification probe stage over the
+/// trained victims.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentSpec {
+    /// Experiment name (`experiment.name`; defaults to `"experiment"`).
+    pub name: String,
+    /// Compute budget: the named base (`experiment.budget`) with any
+    /// `[budget]` knob overrides applied. Overridden budgets get a
+    /// distinct `name` so cache keys never collide with the stock tiers.
+    pub budget: Budget,
+    /// Base seed override (`experiment.seed`); `None` defers to the
+    /// runner's `--seed` / `IMAP_SEED`.
+    pub seed: Option<u64>,
+    /// Grid rows: tasks in declaration order (`grid.envs`).
+    pub tasks: Vec<TaskId>,
+    /// Victim methods per task (`grid.victims`).
+    pub victims: Vec<DefenseMethod>,
+    /// Per-task victim overrides (`[grid.victims_for]`), e.g. Table 1's
+    /// Ant row carrying only four methods.
+    pub victims_for: Vec<(TaskId, Vec<DefenseMethod>)>,
+    /// Grid columns: attacks in declaration order (`grid.attacks`).
+    pub attacks: Vec<AttackKind>,
+    /// Optional falsification stage over every trained victim
+    /// (`[probe]`).
+    pub probe: Option<ProbeConfig>,
+}
+
+fn expect_str(key: &str, value: &TomlValue, line: usize) -> Result<String, SpecError> {
+    match value {
+        TomlValue::Str(s) => Ok(s.clone()),
+        other => Err(SpecError::Invalid {
+            line,
+            key: key.into(),
+            message: format!("expected a string, got {}", other.type_name()),
+        }),
+    }
+}
+
+fn expect_u64(key: &str, value: &TomlValue, line: usize) -> Result<u64, SpecError> {
+    match value {
+        TomlValue::Int(i) if *i >= 0 => Ok(*i as u64),
+        other => Err(SpecError::Invalid {
+            line,
+            key: key.into(),
+            message: format!("expected a non-negative integer, got {other:?}"),
+        }),
+    }
+}
+
+fn expect_f64(key: &str, value: &TomlValue, line: usize) -> Result<f64, SpecError> {
+    match value {
+        TomlValue::Int(i) => Ok(*i as f64),
+        TomlValue::Float(x) => Ok(*x),
+        other => Err(SpecError::Invalid {
+            line,
+            key: key.into(),
+            message: format!("expected a number, got {}", other.type_name()),
+        }),
+    }
+}
+
+fn expect_str_array(key: &str, value: &TomlValue, line: usize) -> Result<Vec<String>, SpecError> {
+    let TomlValue::Array(items) = value else {
+        return Err(SpecError::Invalid {
+            line,
+            key: key.into(),
+            message: format!("expected an array of strings, got {}", value.type_name()),
+        });
+    };
+    items.iter().map(|v| expect_str(key, v, line)).collect()
+}
+
+fn expect_usize_array(key: &str, value: &TomlValue, line: usize) -> Result<Vec<usize>, SpecError> {
+    let TomlValue::Array(items) = value else {
+        return Err(SpecError::Invalid {
+            line,
+            key: key.into(),
+            message: format!("expected an array of integers, got {}", value.type_name()),
+        });
+    };
+    items
+        .iter()
+        .map(|v| expect_u64(key, v, line).map(|n| n as usize))
+        .collect()
+}
+
+fn resolve_tasks(key: &str, names: &[String], line: usize) -> Result<Vec<TaskId>, SpecError> {
+    names
+        .iter()
+        .map(|n| {
+            TaskId::resolve(n).map_err(|message| SpecError::UnknownName {
+                line,
+                message: format!("key {key:?}: {message}"),
+            })
+        })
+        .collect()
+}
+
+fn resolve_victims(
+    key: &str,
+    names: &[String],
+    line: usize,
+) -> Result<Vec<DefenseMethod>, SpecError> {
+    names
+        .iter()
+        .map(|n| {
+            DefenseMethod::resolve(n).map_err(|message| SpecError::UnknownName {
+                line,
+                message: format!("key {key:?}: {message}"),
+            })
+        })
+        .collect()
+}
+
+fn resolve_attacks(key: &str, names: &[String], line: usize) -> Result<Vec<AttackKind>, SpecError> {
+    names
+        .iter()
+        .map(|n| {
+            AttackKind::resolve(n).map_err(|message| SpecError::UnknownName {
+                line,
+                message: format!("key {key:?}: {message}"),
+            })
+        })
+        .collect()
+}
+
+/// FNV-1a over a canonical string — used to give overridden budgets a
+/// distinct cache-key-safe name.
+fn fnv64(text: &str) -> u64 {
+    let mut acc: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.as_bytes() {
+        acc = (acc ^ u64::from(*b)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    acc
+}
+
+impl ExperimentSpec {
+    /// Parses a spec from TOML text. Unknown keys, unknown names, and
+    /// malformed values are all typed [`SpecError`]s.
+    pub fn parse(text: &str) -> Result<ExperimentSpec, SpecError> {
+        let pairs = parse_toml(text)?;
+        let mut name = "experiment".to_string();
+        let mut budget_name: Option<String> = None;
+        let mut seed = None;
+        let mut tasks = None;
+        let mut victims = None;
+        let mut attacks = None;
+        let mut victims_for: Vec<(TaskId, Vec<DefenseMethod>, usize)> = Vec::new();
+        let mut budget_overrides: Vec<(String, TomlValue, usize)> = Vec::new();
+        let mut probe_keys: Vec<(String, TomlValue, usize)> = Vec::new();
+
+        for (key, value, line) in &pairs {
+            let (key, line) = (key.as_str(), *line);
+            match key {
+                "experiment.name" => name = expect_str(key, value, line)?,
+                "experiment.budget" => budget_name = Some(expect_str(key, value, line)?),
+                "experiment.seed" => seed = Some(expect_u64(key, value, line)?),
+                "grid.envs" => {
+                    tasks = Some(resolve_tasks(
+                        key,
+                        &expect_str_array(key, value, line)?,
+                        line,
+                    )?)
+                }
+                "grid.victims" => {
+                    victims = Some(resolve_victims(
+                        key,
+                        &expect_str_array(key, value, line)?,
+                        line,
+                    )?)
+                }
+                "grid.attacks" => {
+                    attacks = Some(resolve_attacks(
+                        key,
+                        &expect_str_array(key, value, line)?,
+                        line,
+                    )?)
+                }
+                _ if key.starts_with(VICTIMS_FOR_PREFIX) => {
+                    let task_name = &key[VICTIMS_FOR_PREFIX.len()..];
+                    let task =
+                        TaskId::resolve(task_name).map_err(|message| SpecError::UnknownName {
+                            line,
+                            message: format!("key {key:?}: {message}"),
+                        })?;
+                    let methods = resolve_victims(key, &expect_str_array(key, value, line)?, line)?;
+                    victims_for.push((task, methods, line));
+                }
+                _ if key.starts_with("budget.") => {
+                    budget_overrides.push((key.to_string(), value.clone(), line));
+                }
+                _ if key.starts_with("probe.") => {
+                    probe_keys.push((key.to_string(), value.clone(), line));
+                }
+                _ => return Err(unknown_key(key, line)),
+            }
+        }
+
+        let budget = build_budget(budget_name.as_deref(), &budget_overrides)?;
+        let probe = build_probe(&probe_keys)?;
+
+        let tasks = tasks.ok_or(SpecError::Missing {
+            key: "grid.envs".into(),
+        })?;
+        let victims = victims.ok_or(SpecError::Missing {
+            key: "grid.victims".into(),
+        })?;
+        let attacks = attacks.ok_or(SpecError::Missing {
+            key: "grid.attacks".into(),
+        })?;
+        for field in [
+            ("grid.envs", tasks.is_empty()),
+            ("grid.victims", victims.is_empty()),
+            ("grid.attacks", attacks.is_empty()),
+        ] {
+            if field.1 {
+                return Err(SpecError::Invalid {
+                    line: 0,
+                    key: field.0.into(),
+                    message: "must not be empty".into(),
+                });
+            }
+        }
+        // Overrides are keyed by task, so their declaration order is
+        // irrelevant to the grid: normalize to task order for stable
+        // fingerprints under table reordering.
+        let mut victims_for: Vec<(TaskId, Vec<DefenseMethod>)> =
+            victims_for.into_iter().map(|(t, m, _)| (t, m)).collect();
+        victims_for.sort_by_key(|(t, _)| TaskId::ALL.iter().position(|x| x == t));
+
+        Ok(ExperimentSpec {
+            name,
+            budget,
+            seed,
+            tasks,
+            victims,
+            victims_for,
+            attacks,
+            probe,
+        })
+    }
+
+    /// The victim methods for one grid row: the per-task override when
+    /// declared, the shared `grid.victims` axis otherwise.
+    pub fn methods_for(&self, task: TaskId) -> Vec<DefenseMethod> {
+        self.victims_for
+            .iter()
+            .find(|(t, _)| *t == task)
+            .map(|(_, m)| m.clone())
+            .unwrap_or_else(|| self.victims.clone())
+    }
+
+    /// Expands the grid into `(task, victim)` pairs in row order — exactly
+    /// the stage-1 cell order of the matrix runner, and of the legacy
+    /// `table1` path when the spec mirrors Table 1.
+    pub fn pairs(&self) -> Vec<(TaskId, DefenseMethod)> {
+        self.tasks
+            .iter()
+            .flat_map(|&task| self.methods_for(task).into_iter().map(move |m| (task, m)))
+            .collect()
+    }
+
+    /// A canonical rendering of the parsed spec: every axis in grid order
+    /// with registry wire codes. Two TOML files that differ only in key
+    /// order, whitespace, or comments canonicalize identically.
+    pub fn canonical(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("name={};", self.name));
+        out.push_str(&format!(
+            "budget={}:{}x{}x{:?}v{}x{}e{};",
+            self.budget.name,
+            self.budget.attack_iters,
+            self.budget.attack_steps,
+            self.budget.victim.hidden,
+            self.budget.victim.iterations,
+            self.budget.victim.steps_per_iter,
+            self.budget.eval_episodes,
+        ));
+        out.push_str(&format!("seed={:?};", self.seed));
+        out.push_str("pairs=");
+        for (task, method) in self.pairs() {
+            out.push_str(&format!("{}+{},", task.spec().name, method.code()));
+        }
+        out.push_str(";attacks=");
+        for a in &self.attacks {
+            out.push_str(&a.code());
+            out.push(',');
+        }
+        out.push(';');
+        match &self.probe {
+            None => out.push_str("probe=none;"),
+            Some(p) => out.push_str(&format!(
+                "probe={}b{}w{}a{}t{:?}s{:?}f{:?}@{};",
+                p.scenarios,
+                p.max_burn,
+                p.max_warmup,
+                p.amplitude,
+                p.threshold,
+                p.max_steps,
+                p.fault,
+                p.fault_at,
+            )),
+        }
+        out
+    }
+
+    /// A 16-hex-digit fingerprint of the canonical spec, stable under key
+    /// reordering and whitespace, distinct across any grid change. The
+    /// matrix report carries it so resumed and sharded runs can be checked
+    /// against the spec they were planned from.
+    pub fn fingerprint(&self) -> String {
+        let canonical = self.canonical();
+        stage_fingerprint(
+            u64::from(u32::MAX), // out-of-band stage: never collides with sweep stages
+            [(canonical.as_str(), self.seed.unwrap_or(0), false)],
+        )
+    }
+}
+
+fn unknown_key(key: &str, line: usize) -> SpecError {
+    let mut valid: Vec<&str> = KNOWN_KEYS.to_vec();
+    valid.push("grid.victims_for.<task>");
+    let suggestion = suggest(key, KNOWN_KEYS.iter().copied())
+        .map(|s| format!(" (did you mean {s:?}?)"))
+        .unwrap_or_default();
+    SpecError::UnknownKey {
+        line,
+        key: key.into(),
+        message: format!(
+            "unknown key {key:?}{suggestion}; valid keys: {}",
+            valid.join(", ")
+        ),
+    }
+}
+
+fn build_budget(
+    base: Option<&str>,
+    overrides: &[(String, TomlValue, usize)],
+) -> Result<Budget, SpecError> {
+    let mut budget =
+        Budget::parse(base).map_err(|message| SpecError::UnknownName { line: 0, message })?;
+    if overrides.is_empty() {
+        return Ok(budget);
+    }
+    for (key, value, line) in overrides {
+        let (key, line) = (key.as_str(), *line);
+        match key {
+            "budget.victim_iterations" => {
+                budget.victim.iterations = expect_u64(key, value, line)? as usize
+            }
+            "budget.victim_steps_per_iter" => {
+                budget.victim.steps_per_iter = expect_u64(key, value, line)? as usize
+            }
+            "budget.victim_hidden" => budget.victim.hidden = expect_usize_array(key, value, line)?,
+            "budget.attack_iters" => budget.attack_iters = expect_u64(key, value, line)? as usize,
+            "budget.attack_steps" => budget.attack_steps = expect_u64(key, value, line)? as usize,
+            "budget.eval_episodes" => budget.eval_episodes = expect_u64(key, value, line)? as usize,
+            _ => return Err(unknown_key(key, line)),
+        }
+    }
+    // A custom budget must never share cache keys with the stock tier it
+    // started from, so its name carries a hash of the knob values.
+    let knobs = format!(
+        "{}:{}:{:?}:{}:{}:{}",
+        budget.victim.iterations,
+        budget.victim.steps_per_iter,
+        budget.victim.hidden,
+        budget.attack_iters,
+        budget.attack_steps,
+        budget.eval_episodes,
+    );
+    budget.name = format!("{}-{:08x}", budget.name, fnv64(&knobs) as u32);
+    Ok(budget)
+}
+
+fn build_probe(keys: &[(String, TomlValue, usize)]) -> Result<Option<ProbeConfig>, SpecError> {
+    if keys.is_empty() {
+        return Ok(None);
+    }
+    let mut cfg = ProbeConfig::default();
+    for (key, value, line) in keys {
+        let (key, line) = (key.as_str(), *line);
+        match key {
+            "probe.scenarios" => cfg.scenarios = expect_u64(key, value, line)? as usize,
+            "probe.threshold" => cfg.threshold = Some(expect_f64(key, value, line)?),
+            "probe.burn" => cfg.max_burn = expect_u64(key, value, line)? as u32,
+            "probe.warmup" => cfg.max_warmup = expect_u64(key, value, line)? as u32,
+            "probe.amplitude" => cfg.amplitude = expect_f64(key, value, line)?,
+            "probe.steps" => cfg.max_steps = Some(expect_u64(key, value, line)? as usize),
+            "probe.fault" => {
+                let raw = expect_str(key, value, line)?;
+                crate::falsify::parse_fault(&raw).map_err(|message| SpecError::UnknownName {
+                    line,
+                    message: format!("key {key:?}: {message}"),
+                })?;
+                cfg.fault = Some(raw);
+            }
+            "probe.fault_at" => cfg.fault_at = expect_u64(key, value, line)? as usize,
+            _ => return Err(unknown_key(key, line)),
+        }
+    }
+    Ok(Some(cfg))
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const TINY: &str = r#"
+        # A 2x2x2 smoke grid.
+        [experiment]
+        name = "tiny"
+        budget = "quick"
+        seed = 7
+
+        [grid]
+        envs = ["Hopper", "Walker2d"]
+        victims = ["ppo", "sa"]
+        attacks = ["no-attack", "random"]
+
+        [budget]
+        victim_iterations = 2
+        victim_steps_per_iter = 128
+        victim_hidden = [8]
+        attack_iters = 1
+        attack_steps = 128
+        eval_episodes = 2
+    "#;
+
+    #[test]
+    fn tiny_spec_parses_and_expands_in_grid_order() {
+        let spec = ExperimentSpec::parse(TINY).unwrap();
+        assert_eq!(spec.name, "tiny");
+        assert_eq!(spec.seed, Some(7));
+        assert_eq!(spec.tasks, vec![TaskId::Hopper, TaskId::Walker2d]);
+        assert_eq!(spec.attacks, vec![AttackKind::NoAttack, AttackKind::Random]);
+        let pairs = spec.pairs();
+        assert_eq!(pairs.len(), 4);
+        assert_eq!(pairs[0], (TaskId::Hopper, DefenseMethod::Ppo));
+        assert_eq!(pairs[3], (TaskId::Walker2d, DefenseMethod::Sa));
+        // Overridden budget gets a cache-distinct name.
+        assert!(
+            spec.budget.name.starts_with("quick-"),
+            "{}",
+            spec.budget.name
+        );
+        assert_eq!(spec.budget.victim.iterations, 2);
+        assert_eq!(spec.budget.victim.hidden, vec![8]);
+    }
+
+    #[test]
+    fn victims_for_overrides_one_row() {
+        let text = r#"
+            [grid]
+            envs = ["Hopper", "Ant"]
+            victims = ["ppo", "atla", "sa", "atla-sa", "radial", "wocar"]
+            attacks = ["sa-rl"]
+            [grid.victims_for]
+            Ant = ["ppo", "atla", "sa", "atla-sa"]
+        "#;
+        let spec = ExperimentSpec::parse(text).unwrap();
+        assert_eq!(spec.methods_for(TaskId::Hopper).len(), 6);
+        assert_eq!(spec.methods_for(TaskId::Ant).len(), 4);
+        assert_eq!(spec.pairs().len(), 10);
+    }
+
+    #[test]
+    fn probe_table_round_trips_and_validates_fault() {
+        let text = r#"
+            [grid]
+            envs = ["Hopper"]
+            victims = ["ppo"]
+            attacks = ["no-attack"]
+            [probe]
+            scenarios = 5
+            threshold = 10.5
+            fault = "nan_obs"
+            fault_at = 2
+        "#;
+        let spec = ExperimentSpec::parse(text).unwrap();
+        let probe = spec.probe.unwrap();
+        assert_eq!(probe.scenarios, 5);
+        assert_eq!(probe.threshold, Some(10.5));
+        assert_eq!(probe.fault.as_deref(), Some("nan_obs"));
+        assert_eq!(probe.fault_at, 2);
+
+        let bad = text.replace("nan_obs", "nan_obz");
+        let err = ExperimentSpec::parse(&bad).unwrap_err();
+        assert!(
+            err.to_string().contains("did you mean \"nan_obs\"?"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn unknown_keys_and_names_are_typed_errors_with_valid_lists() {
+        let unknown_key = "[grid]\nenvs = [\"Hopper\"]\nvictims = [\"ppo\"]\nattacs = [\"sa-rl\"]";
+        let err = ExperimentSpec::parse(unknown_key).unwrap_err();
+        assert!(
+            matches!(err, SpecError::UnknownKey { line: 4, .. }),
+            "{err:?}"
+        );
+        let msg = err.to_string();
+        assert!(msg.contains("did you mean \"grid.attacks\"?"), "{msg}");
+        assert!(msg.contains("valid keys:"), "{msg}");
+
+        let unknown_task = "[grid]\nenvs = [\"Hoper\"]\nvictims = [\"ppo\"]\nattacks = [\"sa-rl\"]";
+        let err = ExperimentSpec::parse(unknown_task).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 2"), "{msg}");
+        assert!(msg.contains("did you mean \"Hopper\"?"), "{msg}");
+        assert!(msg.contains("valid tasks:"), "{msg}");
+
+        let unknown_attack =
+            "[grid]\nenvs = [\"Hopper\"]\nvictims = [\"ppo\"]\nattacks = [\"imap-pcc\"]";
+        let err = ExperimentSpec::parse(unknown_attack).unwrap_err();
+        assert!(err.to_string().contains("valid attacks:"), "{}", err);
+
+        let unknown_victim =
+            "[grid]\nenvs = [\"Hopper\"]\nvictims = [\"wokar\"]\nattacks = [\"sa-rl\"]";
+        let err = ExperimentSpec::parse(unknown_victim).unwrap_err();
+        assert!(
+            err.to_string().contains("did you mean \"wocar\"?"),
+            "{}",
+            err
+        );
+    }
+
+    #[test]
+    fn malformed_toml_reports_line_numbers() {
+        let err = ExperimentSpec::parse("[grid\nenvs = [\"Hopper\"]").unwrap_err();
+        assert!(matches!(err, SpecError::Toml { line: 1, .. }), "{err:?}");
+
+        let err = ExperimentSpec::parse("[grid]\nenvs = [\"Hopper\"\n").unwrap_err();
+        assert!(matches!(err, SpecError::Toml { line: 2, .. }), "{err:?}");
+
+        let err =
+            ExperimentSpec::parse("[grid]\nenvs = [\"Hopper\"]\nenvs = [\"Ant\"]").unwrap_err();
+        assert!(err.to_string().contains("duplicate key"), "{err}");
+
+        let err = ExperimentSpec::parse("seed = ??").unwrap_err();
+        assert!(err.to_string().contains("unparseable value"), "{err}");
+    }
+
+    #[test]
+    fn missing_axes_are_typed_errors() {
+        let err = ExperimentSpec::parse("[grid]\nenvs = [\"Hopper\"]").unwrap_err();
+        assert!(matches!(err, SpecError::Missing { .. }), "{err:?}");
+        let err =
+            ExperimentSpec::parse("[grid]\nenvs = []\nvictims = [\"ppo\"]\nattacks = [\"sa-rl\"]")
+                .unwrap_err();
+        assert!(err.to_string().contains("must not be empty"), "{err}");
+    }
+
+    #[test]
+    fn comments_and_hash_in_strings_coexist() {
+        let text = "[experiment]\nname = \"a # not a comment\" # a real comment\n[grid]\nenvs = [\"Hopper\"] # rows\nvictims = [\"ppo\"]\nattacks = [\"sa-rl\"]";
+        let spec = ExperimentSpec::parse(text).unwrap();
+        assert_eq!(spec.name, "a # not a comment");
+    }
+
+    /// The example Table 1 spec committed under `examples/specs/` expands
+    /// to exactly the legacy `table1` grid: dense tasks × six methods,
+    /// with Ant carrying only the four paper methods, under the seven
+    /// Table 1 columns.
+    #[test]
+    fn committed_table1_spec_matches_legacy_grid() {
+        let text = include_str!("../examples/specs/table1.toml");
+        let spec = ExperimentSpec::parse(text).unwrap();
+        assert_eq!(spec.tasks, TaskId::DENSE.to_vec());
+        assert_eq!(spec.attacks, AttackKind::table1_columns());
+        let legacy: Vec<(TaskId, DefenseMethod)> = TaskId::DENSE
+            .iter()
+            .flat_map(|&task| {
+                let methods = if task == TaskId::Ant {
+                    vec![
+                        DefenseMethod::Ppo,
+                        DefenseMethod::Atla,
+                        DefenseMethod::Sa,
+                        DefenseMethod::AtlaSa,
+                    ]
+                } else {
+                    DefenseMethod::ALL.to_vec()
+                };
+                methods.into_iter().map(move |m| (task, m))
+            })
+            .collect();
+        assert_eq!(spec.pairs(), legacy);
+        assert_eq!(
+            spec.budget.name, "quick",
+            "table1 spec uses the stock budget"
+        );
+    }
+
+    // --- property tests -------------------------------------------------
+
+    // Referenced only inside `proptest!`, which offline stub builds expand
+    // to nothing — hence the allow.
+    #[allow(dead_code)]
+    fn render(sections: &[(&str, Vec<(String, String)>)], gap: &str, comment: bool) -> String {
+        let mut out = String::new();
+        for (header, keys) in sections {
+            if comment {
+                out.push_str("# section\n");
+            }
+            out.push_str(&format!("[{header}]{gap}\n"));
+            for (k, v) in keys {
+                out.push_str(&format!("{gap}{k}{gap}={gap}{v}\n"));
+            }
+        }
+        out
+    }
+
+    #[allow(dead_code)]
+    fn arb_spec_input() -> impl Strategy<Value = (Vec<usize>, Vec<usize>, Vec<usize>, u64)> {
+        (
+            proptest::collection::vec(0..TaskId::ALL.len(), 1..4),
+            proptest::collection::vec(0..DefenseMethod::ALL.len(), 1..4),
+            proptest::collection::vec(0..AttackKind::ALL.len(), 1..4),
+            0u64..1000,
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Parsing is deterministic, and reordering keys within sections,
+        /// reordering the [experiment]/[grid] sections themselves, and
+        /// perturbing whitespace/comments never changes the parsed spec or
+        /// its fingerprint.
+        #[test]
+        fn grid_expansion_is_deterministic_and_order_insensitive(
+            (ti, vi, ai, seed) in arb_spec_input(),
+            flip_sections in proptest::bool::ANY,
+            flip_keys in proptest::bool::ANY,
+            spaced in proptest::bool::ANY,
+        ) {
+            let envs = format!(
+                "[{}]",
+                ti.iter().map(|&i| format!("{:?}", format!("{:?}", TaskId::ALL[i]))).collect::<Vec<_>>().join(", ")
+            );
+            let victims = format!(
+                "[{}]",
+                vi.iter().map(|&i| format!("{:?}", DefenseMethod::ALL[i].code())).collect::<Vec<_>>().join(",")
+            );
+            let attacks = format!(
+                "[{}]",
+                ai.iter().map(|&i| format!("{:?}", AttackKind::ALL[i].code())).collect::<Vec<_>>().join(" , ")
+            );
+            let mut grid_keys = vec![
+                ("envs".to_string(), envs),
+                ("victims".to_string(), victims),
+                ("attacks".to_string(), attacks),
+            ];
+            let exp_keys = vec![
+                ("name".to_string(), "\"prop\"".to_string()),
+                ("seed".to_string(), format!("{seed}")),
+            ];
+            let mut sections = vec![("experiment", exp_keys), ("grid", grid_keys.clone())];
+
+            let baseline = render(&sections, "", false);
+            if flip_keys {
+                grid_keys.reverse();
+                sections[1].1 = grid_keys;
+            }
+            if flip_sections {
+                sections.reverse();
+            }
+            let gap = if spaced { "  " } else { " " };
+            let permuted = render(&sections, gap, true);
+
+            let a = ExperimentSpec::parse(&baseline).unwrap();
+            let b = ExperimentSpec::parse(&permuted).unwrap();
+            let c = ExperimentSpec::parse(&permuted).unwrap();
+            prop_assert_eq!(&a, &b);
+            prop_assert_eq!(&b, &c);
+            prop_assert_eq!(a.fingerprint(), b.fingerprint());
+            prop_assert_eq!(a.pairs(), b.pairs());
+        }
+
+        /// The fingerprint separates distinct grids: permuting the task
+        /// axis *content* changes it (element order is meaningful).
+        #[test]
+        fn fingerprint_tracks_grid_content(seed in 0u64..1000) {
+            let a = ExperimentSpec::parse(&format!(
+                "[experiment]\nseed = {seed}\n[grid]\nenvs = [\"Hopper\", \"Ant\"]\nvictims = [\"ppo\"]\nattacks = [\"sa-rl\"]"
+            )).unwrap();
+            let b = ExperimentSpec::parse(&format!(
+                "[experiment]\nseed = {seed}\n[grid]\nenvs = [\"Ant\", \"Hopper\"]\nvictims = [\"ppo\"]\nattacks = [\"sa-rl\"]"
+            )).unwrap();
+            prop_assert_ne!(a.fingerprint(), b.fingerprint());
+        }
+    }
+}

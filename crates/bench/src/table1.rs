@@ -11,15 +11,11 @@ use std::sync::Arc;
 use imap_defense::DefenseMethod;
 use imap_env::TaskId;
 use imap_harness::JobStatus;
-use imap_rl::GaussianPolicy;
 use imap_telemetry::Telemetry;
 
-use crate::cells::CellSpec;
-use crate::exec::{dep_skip_reason, run_sweep, SweepCell, SweepConfig, SweepReport};
-use crate::{
-    cell, format_row, record_cell, run_attack_cell_cached, AttackKind, Budget, CellCache,
-    CellResult, VictimCache,
-};
+use crate::exec::{SweepConfig, SweepReport};
+use crate::matrix::{run_grid, GridOutcome};
+use crate::{cell, format_row, AttackKind, Budget, CellCache, VictimCache};
 
 /// Everything a Table 1 run needs beyond the telemetry handle.
 pub struct Table1Options {
@@ -89,6 +85,11 @@ fn failure_text<T>(status: &JobStatus<T>) -> &'static str {
 /// table. Victims train first (one sweep stage), then every attack cell
 /// runs as its own supervised job; cells whose victim failed become
 /// `status=skipped` rows. `report` accumulates both stages' outcomes.
+///
+/// The grid itself is [`run_grid`] — the same two sweep stages every
+/// spec-driven matrix run executes — so `table1` output and a Table 1
+/// experiment spec commit identical ledgers; only the rendering below is
+/// table1-specific.
 pub fn run(tel: &Telemetry, opts: &Table1Options, report: &mut SweepReport) -> String {
     let budget = &opts.budget;
     let columns = &opts.columns;
@@ -103,94 +104,26 @@ pub fn run(tel: &Telemetry, opts: &Table1Options, report: &mut SweepReport) -> S
     header.extend(columns.iter().map(|k| k.label()));
     let _ = writeln!(out, "{}", format_row(&header));
 
-    // Stage 1: the victim zoo. One supervised job per (task, method).
     let pairs: Vec<(TaskId, DefenseMethod)> = opts
         .tasks
         .iter()
         .flat_map(|&task| opts.methods_for(task).into_iter().map(move |m| (task, m)))
         .collect();
-    let victim_cells: Vec<SweepCell<GaussianPolicy>> = pairs
-        .iter()
-        .map(|&(task, method)| {
-            let tags = [
-                ("task", task.spec().name),
-                ("victim", method.name()),
-                ("stage", "victim_train"),
-            ];
-            let tel = tel.clone();
-            let victims = Arc::clone(&opts.victims);
-            let spec = CellSpec::victim(task, method, budget, &opts.victims);
-            let budget = budget.clone();
-            SweepCell::new(
-                format!("victim {} {}", task.spec().name, method.name()),
-                &tags,
-                opts.seed,
-                move |ctx| {
-                    let _t = tel.span("victim_train");
-                    victims.victim_supervised(&tel, task, method, &budget, ctx.seed, &ctx.progress)
-                },
-            )
-            .isolated(&spec)
-        })
-        .collect();
-    let victim_out = run_sweep(tel, &opts.sweep, victim_cells, report, |_, _| {});
-    let victims: Vec<Option<Arc<GaussianPolicy>>> = victim_out
-        .iter()
-        .map(|s| s.ok().map(|p| Arc::new(p.clone())))
-        .collect();
-
-    // Stage 2: the attack grid, row-major so committed order matches the
-    // rendered table.
-    let attack_cells: Vec<SweepCell<CellResult>> = pairs
-        .iter()
-        .enumerate()
-        .flat_map(|(pi, &(task, method))| {
-            let victim = victims[pi].clone();
-            let dep = dep_skip_reason(&victim_out[pi]);
-            columns.iter().map(move |&kind| {
-                let label = kind.label();
-                let cell_label = format!("{} {} {}", task.spec().name, method.name(), label);
-                let tags = [
-                    ("task", task.spec().name),
-                    ("victim", method.name()),
-                    ("attack", label.as_str()),
-                ];
-                match (&victim, &dep) {
-                    (Some(victim), None) => {
-                        let tel = tel.clone();
-                        let victim = Arc::clone(victim);
-                        let cells = Arc::clone(&opts.cells);
-                        let spec =
-                            CellSpec::attack(task, method, &victim, kind, budget, &opts.cells);
-                        let budget = budget.clone();
-                        SweepCell::new(cell_label, &tags, opts.seed, move |ctx| {
-                            let _t = tel.span("attack_cell");
-                            run_attack_cell_cached(
-                                &cells,
-                                task,
-                                method,
-                                &victim,
-                                kind,
-                                &budget,
-                                ctx.seed,
-                                &ctx.progress,
-                            )
-                        })
-                        .isolated(&spec)
-                    }
-                    (_, reason) => SweepCell::skipped(
-                        cell_label,
-                        &tags,
-                        reason.clone().unwrap_or_else(|| "victim_missing".into()),
-                    ),
-                }
-            })
-        })
-        .collect();
-    let tel_ok = tel.clone();
-    let outcomes = run_sweep(tel, &opts.sweep, attack_cells, report, |tags, result| {
-        record_cell(&tel_ok, tags, result);
-    });
+    let GridOutcome {
+        victims,
+        attack_out: outcomes,
+        ..
+    } = run_grid(
+        tel,
+        &opts.sweep,
+        budget,
+        opts.seed,
+        &pairs,
+        columns,
+        &opts.victims,
+        &opts.cells,
+        report,
+    );
 
     // Rendering: consume the committed outcomes in table order.
     let mut col_sums = vec![0.0; columns.len()];

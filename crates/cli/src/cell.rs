@@ -1,14 +1,17 @@
 //! The hidden `imap run-cell` subcommand: the CLI's process-isolated cell
 //! server.
 //!
-//! The CLI runs no sweeps of its own, so its cell handler is a small
-//! diagnostic "probe" vocabulary rather than a benchmark grid: each op
-//! exercises one leg of the parent↔child protocol (result round-trip,
-//! in-band panic reports, signal classification, the cancel→kill ladder,
-//! heartbeat forwarding, telemetry re-parenting, and the stderr tail).
-//! `crates/cli/tests/isolation.rs` drives these ops against the real `imap`
-//! binary because the libtest harness owns `argv[1]`, so a `cargo test`
-//! binary cannot serve `run-cell` itself.
+//! Two spec vocabularies share the one server. Specs with an `op` field are
+//! the CLI's own diagnostic probes: each op exercises one leg of the
+//! parent↔child protocol (result round-trip, in-band panic reports, signal
+//! classification, the cancel→kill ladder, heartbeat forwarding, telemetry
+//! re-parenting, and the stderr tail). Everything else is forwarded to the
+//! bench crate's `kind`-keyed cell executor, so `imap bench-matrix
+//! --isolate` and `imap probe-policy --isolate` children run real grid and
+//! falsification cells through the same code path as the bench binaries.
+//! `crates/cli/tests/isolation.rs` drives the diagnostic ops against the
+//! real `imap` binary because the libtest harness owns `argv[1]`, so a
+//! `cargo test` binary cannot serve `run-cell` itself.
 
 use std::time::Duration;
 
@@ -42,7 +45,9 @@ pub fn maybe_serve_run_cell() {
     serve_child(execute)
 }
 
-/// Decodes and runs one probe spec inside the child process.
+/// Decodes and runs one cell spec inside the child process: the CLI's
+/// diagnostic probes when the spec carries an `op` field, the bench
+/// executor's grid/falsification cells otherwise.
 fn execute(
     spec: &serde_json::Value,
     ctx: &JobCtx,
@@ -51,8 +56,12 @@ fn execute(
     // The stub serde_json has no `from_value`; a string round-trip decodes
     // identically under both it and the real crate.
     let text = serde_json::to_string(spec).map_err(|e| format!("re-encode probe spec: {e}"))?;
-    let spec: ProbeSpec =
-        serde_json::from_str(&text).map_err(|e| format!("bad probe spec: {e}"))?;
+    // `op` is required on ProbeSpec and absent from the bench CellSpec, so
+    // a failed decode means "not a diagnostic probe" — hand the spec to the
+    // shared bench executor (whose own decode reports real errors).
+    let Ok(spec) = serde_json::from_str::<ProbeSpec>(&text) else {
+        return imap_bench::cells::execute(spec, ctx, tel);
+    };
     match spec.op.as_str() {
         "echo" => {
             ctx.progress.beat();

@@ -2,7 +2,14 @@
 
 use std::fmt;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
+use imap_bench::cells::CellSpec;
+use imap_bench::exec::{run_sweep, SweepCell, SweepConfig, SweepReport};
+use imap_bench::falsify::{parse_fault, probe_policy, replay_scenario, ProbeConfig};
+use imap_bench::matrix::run_matrix;
+use imap_bench::spec::ExperimentSpec;
+use imap_bench::{CellCache, VictimCache};
 use imap_core::attacks::gradient::GradientAttack;
 use imap_core::eval::{eval_under_attack_with, record_attack_eval, AttackEval, Attacker};
 use imap_core::regularizer::{RegularizerConfig, RegularizerKind};
@@ -11,8 +18,8 @@ use imap_core::{ImapConfig, ImapTrainer};
 use imap_defense::{train_victim_resilient, DefenseMethod, VictimBudget};
 use imap_env::{build_task, Env, EnvFactory, EnvRng, TaskId};
 use imap_harness::{
-    merge_ledger_files, write_rows, LeaseBoard, LeaseConfig, LeaseError, MergeError, SingleStatus,
-    StatusConfig,
+    merge_ledger_files, write_rows, JobStatus, LeaseBoard, LeaseConfig, LeaseError, MergeError,
+    ShardSpec, SingleStatus, StatusConfig,
 };
 use imap_rl::checkpoint::{self, read_checkpoint, write_checkpoint, CheckpointError, StateDict};
 use imap_rl::{
@@ -99,25 +106,17 @@ impl From<LeaseError> for CliError {
     }
 }
 
-/// Parses a task name (as printed by `list-tasks`) through the registry.
+/// Parses a task name (as printed by `list-tasks`) through the registry:
+/// case-insensitive, with near-miss suggestions and the valid-name list in
+/// the error.
 pub fn parse_task(name: &str) -> Result<TaskId, CliError> {
-    TaskId::by_name(name)
-        .ok_or_else(|| CliError::Unknown(format!("unknown task '{name}' (see `imap list-tasks`)")))
+    TaskId::resolve(name).map_err(CliError::Unknown)
 }
 
-/// Parses a defense-method name.
+/// Parses a defense-method name through the registry (wire codes like
+/// `atla-sa`, labels like `WocaR`; case-insensitive with suggestions).
 pub fn parse_method(name: &str) -> Result<DefenseMethod, CliError> {
-    match name.to_ascii_lowercase().as_str() {
-        "ppo" | "vanilla" => Ok(DefenseMethod::Ppo),
-        "atla" => Ok(DefenseMethod::Atla),
-        "sa" => Ok(DefenseMethod::Sa),
-        "atla-sa" | "atlasa" => Ok(DefenseMethod::AtlaSa),
-        "radial" => Ok(DefenseMethod::Radial),
-        "wocar" => Ok(DefenseMethod::Wocar),
-        other => Err(CliError::Unknown(format!(
-            "unknown defense method '{other}' (ppo|atla|sa|atla-sa|radial|wocar)"
-        ))),
-    }
+    DefenseMethod::resolve(name).map_err(CliError::Unknown)
 }
 
 /// Parses a regularizer short name.
@@ -231,6 +230,79 @@ fn actors_from_args(args: &Args) -> Result<usize, CliError> {
     .map_err(CliError::from)
 }
 
+/// Builds the sweep execution policy for `bench-matrix`/`probe-policy`
+/// from the recognized flags plus the `IMAP_*` environment. The flags are
+/// lifted explicitly (rather than passing raw argv to the generic
+/// [`SweepConfig::from_sources`] scanner) because these commands own
+/// additional flags — `--spec`, `--out`, `--cache`, ... — that the scanner
+/// would warn about as unrecognized.
+fn sweep_from_args(args: &Args) -> Result<SweepConfig, CliError> {
+    let mut cfg =
+        SweepConfig::from_sources(std::iter::empty::<String>(), |key| std::env::var(key).ok());
+    if args.optional("jobs").is_some() {
+        let jobs: usize = args.get_or("jobs", cfg.jobs)?;
+        cfg.jobs = jobs.max(1);
+    }
+    if args.optional("status-interval").is_some() {
+        let secs: f64 = args.get_or("status-interval", cfg.status_interval.as_secs_f64())?;
+        if secs >= 0.0 && !secs.is_nan() {
+            cfg.status_interval = std::time::Duration::from_secs_f64(secs);
+        }
+    }
+    if let Some(raw) = args.optional("shard") {
+        cfg.shard = Some(ShardSpec::parse(raw).map_err(CliError::Unknown)?);
+    }
+    cfg.fail_fast = cfg.fail_fast || args.has_switch("fail-fast");
+    cfg.isolate = cfg.isolate || args.has_switch("isolate");
+    cfg.resume = cfg.resume || args.has_switch("resume");
+    Ok(cfg)
+}
+
+/// Opens the victim/cell caches: rooted at `--cache <dir>` when given
+/// (cells under `<dir>/cells`), the workspace default otherwise.
+fn caches_from_args(args: &Args) -> (Arc<VictimCache>, Arc<CellCache>) {
+    match args.optional("cache") {
+        Some(dir) => {
+            let root = PathBuf::from(dir);
+            let cells = root.join("cells");
+            (
+                Arc::new(VictimCache::open_at(root)),
+                Arc::new(CellCache::open_at(cells)),
+            )
+        }
+        None => (Arc::new(VictimCache::open()), Arc::new(CellCache::open())),
+    }
+}
+
+/// Builds the falsification config for `probe-policy` from its flags,
+/// defaulting each knob to [`ProbeConfig::default`]. `--fault` is
+/// validated through the registry so a typo reports the valid names.
+fn probe_config_from_args(args: &Args) -> Result<ProbeConfig, CliError> {
+    let defaults = ProbeConfig::default();
+    Ok(ProbeConfig {
+        scenarios: args.get_or("scenarios", defaults.scenarios)?,
+        threshold: match args.optional("threshold") {
+            Some(_) => Some(args.get_or("threshold", 0.0)?),
+            None => None,
+        },
+        max_burn: args.get_or("burn", defaults.max_burn)?,
+        max_warmup: args.get_or("warmup", defaults.max_warmup)?,
+        amplitude: args.get_or("amplitude", defaults.amplitude)?,
+        max_steps: match args.optional("steps") {
+            Some(_) => Some(args.get_or("steps", 0usize)?),
+            None => None,
+        },
+        fault: match args.optional("fault") {
+            Some(name) => {
+                parse_fault(name).map_err(CliError::Unknown)?;
+                Some(name.to_string())
+            }
+            None => None,
+        },
+        fault_at: args.get_or("fault-at", defaults.fault_at)?,
+    })
+}
+
 fn print_eval(label: &str, task: TaskId, eval: &AttackEval) {
     if task.is_sparse() {
         println!(
@@ -270,9 +342,38 @@ USAGE:
                     [--adversary <adversary.policy> | --random | --mad | --fgsm]
                     [--episodes N] [--eps E] [--seed N] [--telemetry <dir>]
                     [--trace]
+  imap bench-matrix --spec <experiment.toml> --out <dir>
+                    [--seed N] [--jobs N] [--cache <dir>] [--trace]
+                    [--fail-fast] [--status-interval <secs>]
+                    [--isolate] [--resume] [--shard i/N]
+  imap probe-policy --task <task> [--victim <victim.policy>]
+                    [--scenarios N] [--threshold X]
+                    [--fault nan_obs|nan_reward] [--fault-at K]
+                    [--burn N] [--warmup N] [--amplitude A] [--steps N]
+                    [--seed N] [--out <dir>] [--jobs N] [--trace]
+                    [--fail-fast] [--status-interval <secs>]
+                    [--isolate] [--resume]
   imap merge-ledgers --out <merged.jsonl> --inputs <a.jsonl,b.jsonl,...>
   imap sweep-coordinate --dir <shared-dir> [--stale-secs S]
                     [--max-attempts N] [--watch-secs W]
+
+`bench-matrix` runs a TOML experiment spec — an env x victim x attack grid
+with optional budget overrides and a [probe] falsification stage — through
+the sweep harness (sharding, isolation, resume, and the ledger all apply)
+and writes one machine-readable report.json into --out. Grid names resolve
+through the task/defense/attack registries, case-insensitively, with
+near-miss suggestions on typos. The committed example spec
+crates/bench/examples/specs/table1.toml reproduces the Table 1 grid.
+
+`probe-policy` hunts failure episodes (NaN observations/rewards, early
+termination, reward below --threshold) against a victim policy by seeded
+random search over initial-state mutations of the task's reset
+distribution. Every failure is recorded as a replayable (task, seed,
+mutation) counterexample — and immediately replayed, byte-identically, as
+a second sweep stage. --fault plants a scripted environment fault
+(nan_obs | nan_reward) at step --fault-at for harness self-tests. Without
+--victim a fresh seed-deterministic policy of the task's architecture is
+probed.
 
 `merge-ledgers` folds per-shard sweep ledgers into one: every input must
 carry the same sweep-spec fingerprints (a mismatch refuses to merge and
@@ -699,6 +800,227 @@ pub fn dispatch(args: &Args) -> Result<(), CliError> {
             }
             Ok(())
         }
+        Some("bench-matrix") => {
+            let spec_path = args.required("spec")?;
+            let text = std::fs::read_to_string(spec_path)?;
+            let spec = ExperimentSpec::parse(&text)
+                .map_err(|e| CliError::Unknown(format!("{spec_path}: {e}")))?;
+            let out = PathBuf::from(args.required("out")?);
+            std::fs::create_dir_all(&out)?;
+            // The spec's own seed pins the run; otherwise `--seed`, then
+            // `IMAP_SEED`, then the default 17.
+            let seed = match spec.seed {
+                Some(s) => s,
+                None => args.get_or("seed", imap_bench::base_seed())?,
+            };
+            let sweep = sweep_from_args(args)?;
+            let (victims, cells) = caches_from_args(args);
+            let run_id = format!("bench-matrix-{}-seed{seed}", spec.name);
+            let manifest = RunManifest::new(&run_id, "suite", "bench-matrix", seed).with_config(
+                serde_json::json!({
+                    "command": "bench-matrix",
+                    "spec": spec_path,
+                    "budget": spec.budget.name,
+                    "fingerprint": spec.fingerprint(),
+                }),
+            );
+            // Telemetry under a subdirectory: the sink writes its own
+            // report.json rollup there, leaving `<out>/report.json` to the
+            // matrix report.
+            let tel =
+                Telemetry::jsonl_opts(out.join("telemetry"), &manifest, args.has_switch("trace"))?;
+            let mut report = SweepReport::default();
+            let matrix = {
+                let _t = tel.span("sweep");
+                run_matrix(&tel, &spec, &sweep, seed, &victims, &cells, &mut report)
+            };
+            let json = serde_json::to_string(&matrix)?;
+            let report_path = out.join("report.json");
+            std::fs::write(&report_path, format!("{json}\n"))?;
+            println!(
+                "bench-matrix {} (fingerprint {}): {} attack cell(s), {} probe row(s)",
+                matrix.experiment,
+                matrix.fingerprint,
+                matrix.rows.len(),
+                matrix.probe.len(),
+            );
+            println!("{}", report.summary_line());
+            finish_telemetry(&tel);
+            if report.failed() {
+                std::process::exit(report.exit_code());
+            }
+            Ok(())
+        }
+        Some("probe-policy") => {
+            let task = parse_task(args.required("task")?)?;
+            let name = task.spec().name;
+            let seed: u64 = args.get_or("seed", 17)?;
+            let victim = match args.optional("victim") {
+                Some(path) => load_policy(path)?,
+                None => {
+                    // No checkpoint: probe a fresh (untrained) policy of
+                    // the task's architecture — enough for fault hunting
+                    // and smoke tests, and fully seed-deterministic.
+                    let (obs, act) = task.spec().dims();
+                    GaussianPolicy::new(
+                        obs,
+                        act,
+                        &[32, 32],
+                        -0.5,
+                        &mut EnvRng::seed_from_u64(seed),
+                    )?
+                }
+            };
+            let cfg = probe_config_from_args(args)?;
+            let sweep = sweep_from_args(args)?;
+            let out = args.optional("out").map(PathBuf::from);
+            let tel = match &out {
+                Some(dir) => {
+                    std::fs::create_dir_all(dir)?;
+                    let run_id = format!("probe-policy-{name}-seed{seed}");
+                    let manifest = RunManifest::new(&run_id, name, "probe-policy", seed)
+                        .with_config(serde_json::json!({
+                            "command": "probe-policy",
+                            "scenarios": cfg.scenarios,
+                            "fault": cfg.fault.clone().unwrap_or_default(),
+                        }));
+                    Telemetry::jsonl_opts(
+                        dir.join("telemetry"),
+                        &manifest,
+                        args.has_switch("trace"),
+                    )?
+                }
+                None => Telemetry::null(),
+            };
+
+            // Stage 1: the seeded scenario search, as an ordinary sweep
+            // cell so `--isolate`/`--resume`/`--shard` and the ledger
+            // apply unchanged.
+            let mut report = SweepReport::default();
+            let search = {
+                let victim = victim.clone();
+                let cfg = cfg.clone();
+                let spec = CellSpec::probe(task, &victim, &cfg);
+                SweepCell::new(
+                    format!("probe {name}"),
+                    &[("task", name), ("stage", "probe")],
+                    seed,
+                    move |ctx| {
+                        probe_policy(task, &victim, &cfg, ctx.seed, &ctx.progress)
+                            .map_err(|context| imap_nn::NnError::Numeric { context })
+                    },
+                )
+                .isolated(&spec)
+            };
+            let statuses = run_sweep(&tel, &sweep, vec![search], &mut report, |_, _| {});
+            let outcome = match statuses.into_iter().next() {
+                Some(JobStatus::Ok(outcome)) => outcome,
+                other => {
+                    let detail = match other {
+                        Some(JobStatus::Error { message, .. }) => message,
+                        Some(JobStatus::Timeout { attempts }) => {
+                            format!("stalled after {attempts} attempt(s)")
+                        }
+                        Some(JobStatus::Skipped { reason }) => format!("skipped: {reason}"),
+                        _ => "no status".into(),
+                    };
+                    eprintln!("probe cell did not complete: {detail}");
+                    finish_telemetry(&tel);
+                    std::process::exit(report.exit_code().max(1));
+                }
+            };
+
+            println!(
+                "probe {name}: {} scenario(s), {} failure(s)",
+                outcome.scenarios,
+                outcome.failures.len()
+            );
+            for (i, cx) in outcome.failures.iter().enumerate() {
+                println!(
+                    "counterexample {}: seed={:016x} failure={} steps={} checksum={}",
+                    i + 1,
+                    cx.seed,
+                    cx.failure,
+                    cx.steps,
+                    cx.checksum
+                );
+            }
+
+            // Stage 2: replay every counterexample from its (task, seed,
+            // mutation) row — the cell seed is the scenario seed, so a
+            // correct replay reproduces the recorded failure byte for
+            // byte.
+            let mut mismatches = 0usize;
+            if !outcome.failures.is_empty() {
+                let replay_cells: Vec<_> = outcome
+                    .failures
+                    .iter()
+                    .enumerate()
+                    .map(|(i, cx)| {
+                        let victim_c = victim.clone();
+                        let cfg_c = cfg.clone();
+                        let mutation = cx.mutation;
+                        let spec = CellSpec::probe_replay(&victim, &cfg, cx);
+                        SweepCell::new(
+                            format!("replay {} {name}", i + 1),
+                            &[("task", name), ("stage", "replay")],
+                            cx.seed,
+                            move |ctx| {
+                                replay_scenario(
+                                    task,
+                                    &victim_c,
+                                    &cfg_c,
+                                    ctx.seed,
+                                    &mutation,
+                                    &ctx.progress,
+                                )
+                                .map_err(|context| imap_nn::NnError::Numeric { context })
+                            },
+                        )
+                        .isolated(&spec)
+                    })
+                    .collect();
+                let replays = run_sweep(&tel, &sweep, replay_cells, &mut report, |_, _| {});
+                for (i, (cx, status)) in outcome.failures.iter().zip(&replays).enumerate() {
+                    match status.ok() {
+                        Some(replayed) => {
+                            let identical =
+                                serde_json::to_string(replayed)? == serde_json::to_string(cx)?;
+                            if identical {
+                                println!(
+                                    "replay {}: checksum={} byte-identical",
+                                    i + 1,
+                                    replayed.checksum
+                                );
+                            } else {
+                                mismatches += 1;
+                                println!(
+                                    "replay {}: MISMATCH (recorded checksum {}, replayed {})",
+                                    i + 1,
+                                    cx.checksum,
+                                    replayed.checksum
+                                );
+                            }
+                        }
+                        None => {
+                            mismatches += 1;
+                            println!("replay {}: did not complete ({})", i + 1, status.name());
+                        }
+                    }
+                }
+            }
+
+            if let Some(dir) = &out {
+                let json = serde_json::to_string(&outcome)?;
+                std::fs::write(dir.join("probe.json"), format!("{json}\n"))?;
+            }
+            println!("{}", report.summary_line());
+            finish_telemetry(&tel);
+            if report.failed() || mismatches > 0 {
+                std::process::exit(report.exit_code().max(1));
+            }
+            Ok(())
+        }
         Some(other) => Err(CliError::Unknown(format!(
             "unknown command '{other}'\n\n{USAGE}"
         ))),
@@ -782,6 +1104,74 @@ mod tests {
             RegularizerKind::PolicyCoverage
         );
         assert!(parse_regularizer("xyz").is_err());
+    }
+
+    #[test]
+    fn registry_parsing_suggests_near_misses() {
+        let e = parse_task("Hoper").unwrap_err();
+        assert!(e.to_string().contains("Hopper"), "no suggestion in: {e}");
+        let e = parse_method("atla-s").unwrap_err();
+        assert!(e.to_string().contains("atla-sa"), "no suggestion in: {e}");
+    }
+
+    /// End-to-end `probe-policy` in-process: the planted fault is found,
+    /// recorded as counterexamples, replayed byte-identically (a mismatch
+    /// or failed cell would `exit` nonzero instead of returning), and the
+    /// machine-readable artifacts land in `--out`.
+    #[test]
+    fn probe_policy_finds_and_replays_planted_fault_in_process() {
+        let dir = std::env::temp_dir().join(format!("imap-cli-probe-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dispatch(&parse(&format!(
+            "probe-policy --task Hopper --scenarios 2 --warmup 0 --steps 10 \
+             --fault nan_obs --fault-at 2 --seed 5 --jobs 1 --status-interval 0 --out {}",
+            dir.display()
+        )))
+        .unwrap();
+        let probe = std::fs::read_to_string(dir.join("probe.json")).unwrap();
+        assert!(probe.contains("nan_observation"), "probe.json: {probe}");
+        assert!(
+            dir.join("telemetry").join("ledger.jsonl").exists(),
+            "probe stages commit to the sweep ledger"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// End-to-end `bench-matrix` in-process over a tiny overridden-budget
+    /// spec: the grid runs and the matrix report lands at
+    /// `<out>/report.json` with one row per (pair, attack) cell.
+    #[test]
+    fn bench_matrix_runs_tiny_spec_in_process() {
+        let dir = std::env::temp_dir().join(format!("imap-cli-matrix-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = dir.join("tiny.toml");
+        std::fs::write(
+            &spec,
+            concat!(
+                "[experiment]\nname = \"tiny\"\nseed = 11\n",
+                "[grid]\nenvs = [\"Hopper\"]\nvictims = [\"ppo\"]\n",
+                "attacks = [\"no-attack\", \"random\"]\n",
+                "[budget]\nvictim_iterations = 1\nvictim_steps_per_iter = 128\n",
+                "victim_hidden = [8]\nattack_iters = 1\nattack_steps = 128\n",
+                "eval_episodes = 2\n",
+            ),
+        )
+        .unwrap();
+        let out = dir.join("out");
+        let cache = dir.join("cache");
+        dispatch(&parse(&format!(
+            "bench-matrix --spec {} --out {} --cache {} --jobs 1 --status-interval 0",
+            spec.display(),
+            out.display(),
+            cache.display()
+        )))
+        .unwrap();
+        let report = std::fs::read_to_string(out.join("report.json")).unwrap();
+        assert!(report.contains("tiny"), "report.json: {report}");
+        assert!(report.contains("no-attack") && report.contains("random"));
+        assert!(out.join("telemetry").join("ledger.jsonl").exists());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

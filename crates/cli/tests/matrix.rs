@@ -1,0 +1,195 @@
+//! `imap bench-matrix` / `imap probe-policy` end-to-end, against the real
+//! binary: jobs-count invariance of `report.json`, typed unknown-name
+//! errors with suggestions, and the falsification loop (planted fault →
+//! counterexample → byte-identical replay → `--resume` reproduction) under
+//! `--isolate`, where probe cells run in `imap run-cell` children.
+
+#![allow(clippy::unwrap_used)]
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+const BIN: &str = env!("CARGO_BIN_EXE_imap");
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("imap-cli-matrix-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(BIN)
+        .args(args)
+        .env("IMAP_STATUS_INTERVAL", "0")
+        .output()
+        .unwrap()
+}
+
+fn text(bytes: &[u8]) -> String {
+    String::from_utf8_lossy(bytes).into_owned()
+}
+
+const TINY_SPEC: &str = r#"
+[experiment]
+name = "cli-tiny"
+seed = 11
+
+[grid]
+envs = ["Hopper"]
+victims = ["ppo", "sa"]
+attacks = ["no-attack", "random"]
+
+[budget]
+victim_iterations = 1
+victim_steps_per_iter = 128
+victim_hidden = [8]
+attack_iters = 1
+attack_steps = 128
+eval_episodes = 2
+"#;
+
+fn write_spec(dir: &Path, body: &str) -> PathBuf {
+    let path = dir.join("spec.toml");
+    std::fs::write(&path, body).unwrap();
+    path
+}
+
+/// The committed `report.json` must not depend on the worker count: cells
+/// are committed in grid order regardless of completion order.
+#[test]
+fn bench_matrix_report_is_byte_identical_across_jobs_counts() {
+    let root = scratch("jobs");
+    let spec = write_spec(&root, TINY_SPEC);
+
+    let matrix = |jobs: &str, tag: &str| {
+        let out = root.join(format!("out-{tag}"));
+        let cache = root.join(format!("cache-{tag}"));
+        let result = run(&[
+            "bench-matrix",
+            "--spec",
+            spec.to_str().unwrap(),
+            "--out",
+            out.to_str().unwrap(),
+            "--cache",
+            cache.to_str().unwrap(),
+            "--jobs",
+            jobs,
+            "--status-interval",
+            "0",
+        ]);
+        assert!(
+            result.status.success(),
+            "bench-matrix --jobs {jobs} failed:\n{}",
+            text(&result.stderr)
+        );
+        let stdout = text(&result.stdout);
+        assert!(stdout.contains("bench-matrix cli-tiny"), "{stdout}");
+        assert!(stdout.contains("sweep summary: ok="), "{stdout}");
+        std::fs::read(out.join("report.json")).unwrap()
+    };
+
+    let serial = matrix("1", "serial");
+    let parallel = matrix("4", "parallel");
+    assert!(!serial.is_empty());
+    assert_eq!(
+        serial, parallel,
+        "report.json must be byte-identical at --jobs 1 and --jobs 4"
+    );
+    let report = text(&serial);
+    assert!(report.contains("\"cli-tiny\""), "{report}");
+    assert!(report.contains("no-attack"), "{report}");
+    assert!(report.contains("random"), "{report}");
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Unknown registry names die with a typed error that names the valid set
+/// and suggests the near miss — before any cell runs.
+#[test]
+fn bench_matrix_rejects_unknown_env_with_suggestion() {
+    let root = scratch("badname");
+    let spec = write_spec(&root, &TINY_SPEC.replace("\"Hopper\"", "\"Hoper\""));
+    let result = run(&[
+        "bench-matrix",
+        "--spec",
+        spec.to_str().unwrap(),
+        "--out",
+        root.join("out").to_str().unwrap(),
+    ]);
+    assert!(!result.status.success());
+    let stderr = text(&result.stderr);
+    assert!(stderr.contains("Hoper"), "{stderr}");
+    assert!(stderr.contains("Hopper"), "{stderr}");
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// The full falsification loop through the binary: `--isolate` probe cells
+/// run in `imap run-cell` children, the planted fault surfaces as
+/// replayable counterexamples, and a `--resume` rerun on the same ledger
+/// reproduces stdout and `probe.json` byte for byte.
+#[test]
+fn probe_policy_isolate_finds_planted_fault_and_resume_reproduces_it() {
+    let root = scratch("probe");
+    let out = root.join("out");
+    let base = [
+        "probe-policy",
+        "--task",
+        "Hopper",
+        "--scenarios",
+        "2",
+        "--warmup",
+        "0",
+        "--steps",
+        "10",
+        "--fault",
+        "nan_obs",
+        "--fault-at",
+        "2",
+        "--seed",
+        "5",
+        "--jobs",
+        "1",
+        "--status-interval",
+        "0",
+        "--isolate",
+        "--out",
+    ];
+
+    let mut first_args: Vec<&str> = base.to_vec();
+    let out_str = out.to_str().unwrap().to_owned();
+    first_args.push(&out_str);
+    let first = run(&first_args);
+    assert!(
+        first.status.success(),
+        "probe-policy failed:\n{}",
+        text(&first.stderr)
+    );
+    let stdout = text(&first.stdout);
+    assert!(stdout.contains("counterexample 1:"), "{stdout}");
+    assert!(stdout.contains("byte-identical"), "{stdout}");
+    let probe_json = std::fs::read(out.join("probe.json")).unwrap();
+    assert!(text(&probe_json).contains("nan_observation"));
+    assert!(out.join("telemetry").join("ledger.jsonl").exists());
+
+    let mut resume_args = first_args.clone();
+    resume_args.push("--resume");
+    let second = run(&resume_args);
+    assert!(
+        second.status.success(),
+        "probe-policy --resume failed:\n{}",
+        text(&second.stderr)
+    );
+    assert_eq!(
+        first.stdout, second.stdout,
+        "--resume must reproduce stdout byte for byte"
+    );
+    assert_eq!(
+        probe_json,
+        std::fs::read(out.join("probe.json")).unwrap(),
+        "--resume must rewrite an identical probe.json"
+    );
+
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -29,6 +29,7 @@ pub mod br;
 pub mod eval;
 pub mod imap;
 pub mod mimic;
+pub mod registry;
 pub mod regularizer;
 pub mod threat;
 
@@ -41,5 +42,6 @@ pub use eval::{
 };
 pub use imap::{AttackOutcome, CurvePoint, ImapConfig, ImapRunner, ImapTrainer};
 pub use mimic::MimicPolicy;
+pub use registry::AttackId;
 pub use regularizer::{IntrinsicEngine, RegularizerConfig, RegularizerKind};
 pub use threat::{OpponentEnv, PerturbationEnv};

@@ -1,0 +1,154 @@
+//! Attack registry: every attack column of the paper's tables, by name.
+//!
+//! The counterpart of `imap_env::registry` for attacks: [`AttackId`] names
+//! each attack family (clean, random, SA-RL, the four IMAP regularizer
+//! variants, and their Bias-Reduction forms), so experiment specs and CLIs
+//! construct any column by string without matching on constructors. Wire
+//! codes ([`AttackId::code`]) are what cell specs and TOML specs carry;
+//! table labels ([`AttackId::label`]) are what the rendered tables print.
+
+use crate::regularizer::RegularizerKind;
+use imap_env::registry::unknown_name_error;
+
+/// The attack columns of Tables 1–3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttackId {
+    /// Clean evaluation.
+    NoAttack,
+    /// Uniform random perturbations within budget.
+    Random,
+    /// The SA-RL baseline.
+    SaRl,
+    /// An IMAP variant.
+    Imap(RegularizerKind),
+    /// An IMAP variant with Bias-Reduction.
+    ImapBr(RegularizerKind),
+}
+
+impl AttackId {
+    /// Every registered attack, in table order: the three baselines, the
+    /// four IMAP variants, then the four Bias-Reduction forms.
+    pub const ALL: [AttackId; 11] = [
+        AttackId::NoAttack,
+        AttackId::Random,
+        AttackId::SaRl,
+        AttackId::Imap(RegularizerKind::StateCoverage),
+        AttackId::Imap(RegularizerKind::PolicyCoverage),
+        AttackId::Imap(RegularizerKind::Risk),
+        AttackId::Imap(RegularizerKind::Divergence),
+        AttackId::ImapBr(RegularizerKind::StateCoverage),
+        AttackId::ImapBr(RegularizerKind::PolicyCoverage),
+        AttackId::ImapBr(RegularizerKind::Risk),
+        AttackId::ImapBr(RegularizerKind::Divergence),
+    ];
+
+    /// Column label as printed in the tables.
+    pub fn label(self) -> String {
+        match self {
+            AttackId::NoAttack => "No Attack".into(),
+            AttackId::Random => "Random".into(),
+            AttackId::SaRl => "SA-RL".into(),
+            AttackId::Imap(k) => format!("IMAP-{}", k.short_name()),
+            AttackId::ImapBr(k) => format!("IMAP-{}+BR", k.short_name()),
+        }
+    }
+
+    /// The seven columns of Table 1.
+    pub fn table1_columns() -> Vec<AttackId> {
+        let mut v = vec![AttackId::NoAttack, AttackId::Random, AttackId::SaRl];
+        v.extend(RegularizerKind::ALL.into_iter().map(AttackId::Imap));
+        v
+    }
+
+    /// A stable wire code for cell specs (`no-attack`, `imap-PC`,
+    /// `imap-br-R`, …). [`AttackId::from_code`] inverts it.
+    pub fn code(self) -> String {
+        match self {
+            AttackId::NoAttack => "no-attack".into(),
+            AttackId::Random => "random".into(),
+            AttackId::SaRl => "sa-rl".into(),
+            AttackId::Imap(k) => format!("imap-{}", k.short_name()),
+            AttackId::ImapBr(k) => format!("imap-br-{}", k.short_name()),
+        }
+    }
+
+    /// Parses an [`AttackId::code`] back; `None` for unknown codes.
+    pub fn from_code(code: &str) -> Option<AttackId> {
+        match code {
+            "no-attack" => return Some(AttackId::NoAttack),
+            "random" => return Some(AttackId::Random),
+            "sa-rl" => return Some(AttackId::SaRl),
+            _ => {}
+        }
+        for k in RegularizerKind::ALL {
+            if code == format!("imap-{}", k.short_name()) {
+                return Some(AttackId::Imap(k));
+            }
+            if code == format!("imap-br-{}", k.short_name()) {
+                return Some(AttackId::ImapBr(k));
+            }
+        }
+        None
+    }
+
+    /// Looks an attack up by name, case-insensitively, accepting either
+    /// the wire code (`imap-pc`) or the table label (`IMAP-PC`, `No
+    /// Attack`). The single name→attack construction path for specs.
+    pub fn by_name(name: &str) -> Option<AttackId> {
+        AttackId::ALL
+            .into_iter()
+            .find(|a| a.code().eq_ignore_ascii_case(name) || a.label().eq_ignore_ascii_case(name))
+    }
+
+    /// [`AttackId::by_name`] with a typed error: the message suggests the
+    /// nearest valid code and lists every registered attack.
+    pub fn resolve(name: &str) -> Result<AttackId, String> {
+        AttackId::by_name(name).ok_or_else(|| {
+            let codes: Vec<String> = AttackId::ALL.iter().map(|a| a.code()).collect();
+            let valid: Vec<&str> = codes.iter().map(String::as_str).collect();
+            unknown_name_error("attack", name, &valid)
+        })
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    /// Registry exhaustiveness: every attack round-trips through its wire
+    /// code and through case-insensitive `by_name` on both spellings.
+    #[test]
+    fn every_attack_round_trips_by_name_and_code() {
+        for a in AttackId::ALL {
+            assert_eq!(AttackId::from_code(&a.code()), Some(a));
+            assert_eq!(AttackId::by_name(&a.code()), Some(a), "{a:?} by code");
+            assert_eq!(AttackId::by_name(&a.label()), Some(a), "{a:?} by label");
+            assert_eq!(
+                AttackId::by_name(&a.code().to_uppercase()),
+                Some(a),
+                "{a:?} lookup is case-insensitive"
+            );
+            assert_eq!(AttackId::resolve(&a.code()).unwrap(), a);
+        }
+        let labels: std::collections::HashSet<String> =
+            AttackId::ALL.iter().map(|a| a.label()).collect();
+        assert_eq!(labels.len(), AttackId::ALL.len(), "labels are unique");
+    }
+
+    #[test]
+    fn resolve_suggests_near_misses() {
+        let err = AttackId::resolve("imap-pcc").unwrap_err();
+        assert!(err.contains("did you mean \"imap-PC\"?"), "{err}");
+        assert!(err.contains("valid attacks:"), "{err}");
+        assert!(err.contains("no-attack"), "{err}");
+        assert_eq!(AttackId::by_name("frobnicate"), None);
+    }
+
+    #[test]
+    fn table1_columns_are_a_prefix_of_all() {
+        let cols = AttackId::table1_columns();
+        assert_eq!(cols.len(), 7);
+        assert_eq!(&AttackId::ALL[..7], cols.as_slice());
+    }
+}

@@ -31,3 +31,9 @@ pub use wocar::{WocarConfig, WocarRunner, WocarTrainer};
 pub use zoo::{
     train_victim, train_victim_resilient, train_victim_with, DefenseMethod, VictimBudget,
 };
+
+/// Registry-facing alias: the defense counterpart of
+/// [`imap_core::AttackId`](../imap_core/registry/index.html) and
+/// `imap_env::registry::TaskId`. `DefenseId::by_name` / `resolve` look
+/// defenses up by wire code or table label.
+pub use zoo::DefenseMethod as DefenseId;

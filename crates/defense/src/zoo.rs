@@ -51,13 +51,50 @@ impl DefenseMethod {
             DefenseMethod::Wocar => "WocaR",
         }
     }
+
+    /// A stable wire code for specs and CLIs (`ppo`, `atla-sa`, …).
+    /// [`DefenseMethod::by_name`] inverts it.
+    pub fn code(self) -> &'static str {
+        match self {
+            DefenseMethod::Ppo => "ppo",
+            DefenseMethod::Atla => "atla",
+            DefenseMethod::Sa => "sa",
+            DefenseMethod::AtlaSa => "atla-sa",
+            DefenseMethod::Radial => "radial",
+            DefenseMethod::Wocar => "wocar",
+        }
+    }
+
+    /// Looks a method up by name, case-insensitively, accepting the wire
+    /// code (`atla-sa`), the table label (`ATLA-SA`), and the historical
+    /// CLI aliases `vanilla` (for `ppo`) and `atlasa`. The single
+    /// name→defense construction path for specs and CLIs.
+    pub fn by_name(name: &str) -> Option<DefenseMethod> {
+        match name.to_ascii_lowercase().as_str() {
+            "vanilla" => return Some(DefenseMethod::Ppo),
+            "atlasa" => return Some(DefenseMethod::AtlaSa),
+            _ => {}
+        }
+        DefenseMethod::ALL
+            .into_iter()
+            .find(|m| m.code().eq_ignore_ascii_case(name) || m.name().eq_ignore_ascii_case(name))
+    }
+
+    /// [`DefenseMethod::by_name`] with a typed error: the message suggests
+    /// the nearest valid code and lists every registered method.
+    pub fn resolve(name: &str) -> Result<DefenseMethod, String> {
+        DefenseMethod::by_name(name).ok_or_else(|| {
+            let valid: Vec<&str> = DefenseMethod::ALL.iter().map(|m| m.code()).collect();
+            imap_env::registry::unknown_name_error("defense", name, &valid)
+        })
+    }
 }
 
 /// How much compute to spend on each victim.
 ///
 /// Serializable so bench cell specs can ship a whole budget to a
 /// process-isolated cell executor.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct VictimBudget {
     /// PPO iterations for the base/victim loop.
     pub iterations: usize,
@@ -311,6 +348,35 @@ mod tests {
             hidden: vec![16],
             actors: 1,
         }
+    }
+
+    /// Registry exhaustiveness: every defense round-trips through its wire
+    /// code and display name, case-insensitively, plus the CLI aliases.
+    #[test]
+    fn every_method_round_trips_by_name_and_code() {
+        for method in DefenseMethod::ALL {
+            assert_eq!(DefenseMethod::by_name(method.code()), Some(method));
+            assert_eq!(DefenseMethod::by_name(method.name()), Some(method));
+            assert_eq!(
+                DefenseMethod::by_name(&method.code().to_uppercase()),
+                Some(method),
+                "{method:?} lookup is case-insensitive"
+            );
+            assert_eq!(DefenseMethod::resolve(method.code()).unwrap(), method);
+        }
+        assert_eq!(DefenseMethod::by_name("vanilla"), Some(DefenseMethod::Ppo));
+        assert_eq!(
+            DefenseMethod::by_name("ATLASA"),
+            Some(DefenseMethod::AtlaSa)
+        );
+    }
+
+    #[test]
+    fn resolve_suggests_near_misses() {
+        let err = DefenseMethod::resolve("wokar").unwrap_err();
+        assert!(err.contains("did you mean \"wocar\"?"), "{err}");
+        assert!(err.contains("valid defenses:"), "{err}");
+        assert_eq!(DefenseMethod::by_name("frobnicate"), None);
     }
 
     #[test]

@@ -106,6 +106,30 @@ pub trait Env: Send {
     fn state_summary(&self) -> Vec<f64>;
 }
 
+/// A boxed environment is itself an environment, so registry-built
+/// `Box<dyn Env>` values compose with generic wrappers like
+/// [`crate::faulty::FaultyEnv`] without re-monomorphizing per task.
+impl Env for Box<dyn Env> {
+    fn obs_dim(&self) -> usize {
+        (**self).obs_dim()
+    }
+    fn action_dim(&self) -> usize {
+        (**self).action_dim()
+    }
+    fn max_steps(&self) -> usize {
+        (**self).max_steps()
+    }
+    fn reset(&mut self, rng: &mut EnvRng) -> Vec<f64> {
+        (**self).reset(rng)
+    }
+    fn step(&mut self, action: &[f64], rng: &mut EnvRng) -> Step {
+        (**self).step(action, rng)
+    }
+    fn state_summary(&self) -> Vec<f64> {
+        (**self).state_summary()
+    }
+}
+
 /// A thread-safe recipe for constructing fresh [`Env`] instances.
 ///
 /// This is the construction half of the actor-mode sampling contract: each

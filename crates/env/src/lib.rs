@@ -29,6 +29,7 @@ pub mod fetch;
 pub mod locomotion;
 pub mod maze;
 pub mod multiagent;
+pub mod mutate;
 pub mod navigation;
 pub mod registry;
 pub mod render;
@@ -36,4 +37,5 @@ pub mod sparse;
 
 pub use env::{Env, EnvFactory, EnvRng, MultiAgentEnv, MultiStep, Step};
 pub use faulty::{FaultKind, FaultPlan, FaultyEnv, PARTIAL_WRITE_EXIT_CODE};
+pub use mutate::ResetMutation;
 pub use registry::{build_multi_task, build_task, MultiTaskId, TaskId, TaskSpec};

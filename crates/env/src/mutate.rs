@@ -1,0 +1,160 @@
+//! Scripted initial-state mutation for scenario-search policy testing.
+//!
+//! The falsification mode (Gimitest-style) hunts failure episodes by
+//! perturbing the state an episode *starts* from rather than perturbing
+//! observations mid-episode. Environments here draw their initial state
+//! from `mu` through [`Env::reset`]'s RNG, so a mutation is expressed as a
+//! deterministic script over that same interface: burn RNG draws (shifting
+//! where in `mu` the reset lands), then take a few seeded random "warmup"
+//! actions that walk the state off the reset manifold before the policy
+//! under test takes over.
+//!
+//! A [`ResetMutation`] is plain serializable data. Together with a task
+//! name and a seed it replays bit-for-bit — which is what makes a found
+//! counterexample a durable `(task, seed, mutation)` ledger row instead of
+//! an anecdote.
+
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+use crate::env::{Env, EnvRng};
+
+/// A deterministic script mutating where an episode starts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResetMutation {
+    /// RNG draws burned before `reset`, shifting the sample from `mu`.
+    pub rng_burn: u32,
+    /// Seeded uniform random actions applied after `reset`, walking the
+    /// state away from the initial manifold before the policy acts.
+    pub warmup_steps: u32,
+    /// Warmup action amplitude in `[-amplitude, amplitude]`.
+    pub amplitude: f64,
+}
+
+impl ResetMutation {
+    /// The identity mutation: a plain `reset`, nothing else.
+    pub fn identity() -> Self {
+        ResetMutation {
+            rng_burn: 0,
+            warmup_steps: 0,
+            amplitude: 0.0,
+        }
+    }
+
+    /// Draws a mutation from `rng`: up to `max_burn` burned draws and up
+    /// to `max_warmup` warmup steps at the given amplitude. Sampling is a
+    /// pure function of the RNG state, so a scenario seed reproduces both
+    /// the mutation and its effect.
+    pub fn sample(rng: &mut EnvRng, max_burn: u32, max_warmup: u32, amplitude: f64) -> Self {
+        let burn = match max_burn {
+            0 => 0,
+            n => (rng.next_u64() % u64::from(n + 1)) as u32,
+        };
+        let warmup = match max_warmup {
+            0 => 0,
+            n => (rng.next_u64() % u64::from(n + 1)) as u32,
+        };
+        ResetMutation {
+            rng_burn: burn,
+            warmup_steps: warmup,
+            amplitude,
+        }
+    }
+
+    /// Applies the mutation: burns draws, resets, and runs the warmup
+    /// walk, returning the observation the policy under test starts from.
+    /// A warmup step that ends the episode falls back to one clean
+    /// re-reset (the mutated prefix was fatal on its own — the scenario
+    /// still runs, just from a less-perturbed start).
+    pub fn apply<E: Env + ?Sized>(&self, env: &mut E, rng: &mut EnvRng) -> Vec<f64> {
+        for _ in 0..self.rng_burn {
+            let _ = rng.next_u64();
+        }
+        let mut obs = env.reset(rng);
+        let dim = env.action_dim();
+        for _ in 0..self.warmup_steps {
+            let action: Vec<f64> = (0..dim)
+                .map(|_| uniform_pm1(rng) * self.amplitude)
+                .collect();
+            let step = env.step(&action, rng);
+            if step.done {
+                return env.reset(rng);
+            }
+            obs = step.obs;
+        }
+        obs
+    }
+}
+
+/// A uniform draw in `[-1, 1)` from the top 53 bits of one `next_u64`.
+fn uniform_pm1(rng: &mut EnvRng) -> f64 {
+    ((rng.next_u64() >> 11) as f64) / ((1u64 << 53) as f64) * 2.0 - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::locomotion::Hopper;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_matches_plain_reset() {
+        let mut a = Hopper::new();
+        let mut b = Hopper::new();
+        let mut rng_a = EnvRng::seed_from_u64(9);
+        let mut rng_b = EnvRng::seed_from_u64(9);
+        let obs = ResetMutation::identity().apply(&mut a, &mut rng_a);
+        assert_eq!(obs, b.reset(&mut rng_b));
+        assert_eq!(
+            rng_a.state(),
+            rng_b.state(),
+            "identity consumes no extra draws"
+        );
+    }
+
+    #[test]
+    fn apply_is_deterministic_and_mutations_differ() {
+        let m = ResetMutation {
+            rng_burn: 3,
+            warmup_steps: 2,
+            amplitude: 0.5,
+        };
+        let run = |mutation: &ResetMutation| {
+            let mut env = Hopper::new();
+            let mut rng = EnvRng::seed_from_u64(31);
+            mutation.apply(&mut env, &mut rng)
+        };
+        assert_eq!(run(&m), run(&m), "same (seed, mutation) replays bitwise");
+        assert_ne!(
+            run(&m),
+            run(&ResetMutation::identity()),
+            "a non-trivial mutation must move the start state"
+        );
+    }
+
+    #[test]
+    fn sample_is_bounded_and_seeded() {
+        let mut rng = EnvRng::seed_from_u64(5);
+        for _ in 0..32 {
+            let m = ResetMutation::sample(&mut rng, 7, 4, 0.3);
+            assert!(m.rng_burn <= 7);
+            assert!(m.warmup_steps <= 4);
+            assert_eq!(m.amplitude, 0.3);
+        }
+        let a = ResetMutation::sample(&mut EnvRng::seed_from_u64(6), 7, 4, 0.3);
+        let b = ResetMutation::sample(&mut EnvRng::seed_from_u64(6), 7, 4, 0.3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mutation_roundtrips_through_json() {
+        let m = ResetMutation {
+            rng_burn: 2,
+            warmup_steps: 5,
+            amplitude: 0.25,
+        };
+        let text = serde_json::to_string(&m).unwrap();
+        let back: ResetMutation = serde_json::from_str(&text).unwrap();
+        assert_eq!(m, back);
+    }
+}

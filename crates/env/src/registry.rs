@@ -142,6 +142,16 @@ impl TaskId {
             .find(|id| id.spec().name.eq_ignore_ascii_case(name))
     }
 
+    /// [`TaskId::by_name`] with a typed error instead of a bare `None`:
+    /// the message suggests the nearest valid name and lists every task,
+    /// so a spec typo is diagnosable without opening the source.
+    pub fn resolve(name: &str) -> Result<TaskId, String> {
+        TaskId::by_name(name).ok_or_else(|| {
+            let valid: Vec<&str> = TaskId::ALL.iter().map(|t| t.spec().name).collect();
+            unknown_name_error("task", name, &valid)
+        })
+    }
+
     /// An [`EnvFactory`] building this task, for actor-mode sampling.
     pub fn factory(self) -> EnvFactory {
         EnvFactory::new(move || build_task(self))
@@ -225,6 +235,56 @@ pub fn build_multi_task(id: MultiTaskId) -> Box<dyn MultiAgentEnv> {
     }
 }
 
+/// Case-insensitive Levenshtein distance, for near-miss suggestions.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<u8> = a.bytes().map(|c| c.to_ascii_lowercase()).collect();
+    let b: Vec<u8> = b.bytes().map(|c| c.to_ascii_lowercase()).collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// The closest candidate to `name` (case-insensitive), when close enough
+/// to plausibly be a typo. Every registry (`TaskId`, `AttackId`,
+/// `DefenseId`) routes its "did you mean ...?" suggestions through this so
+/// lookup diagnostics stay uniform across crates.
+pub fn suggest<'a>(name: &str, candidates: impl IntoIterator<Item = &'a str>) -> Option<&'a str> {
+    let mut best: Option<(usize, &str)> = None;
+    for cand in candidates {
+        let d = edit_distance(name, cand);
+        if best.map(|(bd, _)| d < bd).unwrap_or(true) {
+            best = Some((d, cand));
+        }
+    }
+    let (d, cand) = best?;
+    // A typo budget that scales with name length: 2 edits for short names,
+    // up to a third of the longer name for long ones.
+    let budget = (name.len().max(cand.len()) / 3).max(2);
+    (d <= budget).then_some(cand)
+}
+
+/// Formats the shared unknown-name diagnostic: names the offender,
+/// suggests the nearest valid name, and lists every valid name — never a
+/// bare "unknown".
+pub fn unknown_name_error(what: &str, name: &str, valid: &[&str]) -> String {
+    let hint = match suggest(name, valid.iter().copied()) {
+        Some(s) => format!(" (did you mean {s:?}?)"),
+        None => String::new(),
+    };
+    format!(
+        "unknown {what} {name:?}{hint}; valid {what}s: {}",
+        valid.join(", ")
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -290,6 +350,28 @@ mod tests {
             );
         }
         assert_eq!(TaskId::by_name("no-such-task"), None);
+    }
+
+    #[test]
+    fn resolve_suggests_near_misses_and_lists_valid_names() {
+        assert_eq!(TaskId::resolve("hopper").unwrap(), TaskId::Hopper);
+        assert_eq!(TaskId::resolve("WALKER2D").unwrap(), TaskId::Walker2d);
+        let err = TaskId::resolve("Hoper").unwrap_err();
+        assert!(err.contains("did you mean \"Hopper\"?"), "{err}");
+        assert!(err.contains("valid tasks:"), "{err}");
+        assert!(err.contains("FetchReach"), "{err}");
+        // Nothing plausible: no suggestion, but the valid list survives.
+        let err = TaskId::resolve("zzzzzzzzzzz").unwrap_err();
+        assert!(!err.contains("did you mean"), "{err}");
+        assert!(err.contains("valid tasks:"), "{err}");
+    }
+
+    #[test]
+    fn suggest_is_case_insensitive_and_bounded() {
+        let names = ["Hopper", "Walker2d", "HalfCheetah"];
+        assert_eq!(suggest("hoppr", names), Some("Hopper"));
+        assert_eq!(suggest("halfcheetah", names), Some("HalfCheetah"));
+        assert_eq!(suggest("qqqqqqqq", names), None);
     }
 
     #[test]

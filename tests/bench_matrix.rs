@@ -1,0 +1,264 @@
+//! Integration: the unified experiment layer (spec → matrix → report).
+//!
+//! Three properties from the issue's acceptance bar:
+//!
+//! 1. The committed Table 1 example spec expands to exactly the legacy
+//!    `table1` binary's grid.
+//! 2. A spec-driven matrix run commits a ledger *byte-identical* to the
+//!    legacy `table1` runner pointed at the same grid — the matrix layer
+//!    compiles to the very same sweep cells.
+//! 3. A `[probe]` falsification stage finds planted failures under
+//!    `--isolate` (cells run in sweepdemo child processes), every
+//!    counterexample replays byte-identically from its (task, seed,
+//!    mutation) row, and a `--resume` rerun reproduces the report verbatim
+//!    from the ledger.
+
+#![allow(clippy::unwrap_used)]
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use imap_bench::exec::{SweepConfig, SweepReport};
+use imap_bench::falsify::replay_counterexample;
+use imap_bench::matrix::run_matrix;
+use imap_bench::spec::ExperimentSpec;
+use imap_bench::table1::{self, Table1Options};
+use imap_bench::{AttackKind, CellCache, VictimCache};
+use imap_defense::DefenseMethod;
+use imap_env::TaskId;
+use imap_rl::Progress;
+use imap_telemetry::{RunManifest, Telemetry};
+
+/// A real binary that serves the hidden `run-cell` subcommand with the
+/// bench cell executor (the libtest harness owns `argv[1]`, so the test
+/// binary itself cannot).
+const SWEEPDEMO: &str = env!("CARGO_BIN_EXE_sweepdemo");
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("imap-bench-matrix-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn quiet_sweep(jobs: usize) -> SweepConfig {
+    SweepConfig {
+        jobs,
+        status_interval: std::time::Duration::from_secs(0),
+        ..SweepConfig::default()
+    }
+}
+
+fn tel_at(dir: &PathBuf, run_id: &str, seed: u64) -> Telemetry {
+    let manifest = RunManifest::new(run_id, "suite", "bench-matrix-test", seed);
+    Telemetry::jsonl_opts(dir, &manifest, false).unwrap()
+}
+
+/// A 1-env × 2-victim × 2-attack grid under a drastically shrunk budget:
+/// enough to exercise both sweep stages end-to-end in seconds.
+const TINY_SPEC: &str = r#"
+[experiment]
+name = "tiny-matrix"
+seed = 11
+
+[grid]
+envs = ["Hopper"]
+victims = ["ppo", "sa"]
+attacks = ["no-attack", "random"]
+
+[budget]
+victim_iterations = 1
+victim_steps_per_iter = 128
+victim_hidden = [8]
+attack_iters = 1
+attack_steps = 128
+eval_episodes = 2
+"#;
+
+/// TINY_SPEC plus a probe stage with a planted NaN-observation fault, so
+/// the falsification search is guaranteed to find failure episodes.
+const PROBE_SPEC: &str = r#"
+[experiment]
+name = "tiny-probe"
+seed = 11
+
+[grid]
+envs = ["Hopper"]
+victims = ["ppo"]
+attacks = ["no-attack"]
+
+[budget]
+victim_iterations = 1
+victim_steps_per_iter = 128
+victim_hidden = [8]
+attack_iters = 1
+attack_steps = 128
+eval_episodes = 2
+
+[probe]
+scenarios = 3
+warmup = 0
+steps = 10
+fault = "nan_obs"
+fault_at = 2
+"#;
+
+#[test]
+fn committed_table1_spec_expands_to_the_legacy_grid() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/examples/specs/table1.toml");
+    let spec = ExperimentSpec::parse(&std::fs::read_to_string(path).unwrap()).unwrap();
+
+    assert_eq!(spec.tasks, TaskId::DENSE.to_vec());
+    assert_eq!(spec.attacks, AttackKind::table1_columns());
+    assert_eq!(spec.budget.name, "quick");
+
+    // The paper's grid: all six defenses per dense task, except Ant with
+    // only the four classic ones — exactly what the table1 binary runs.
+    let mut expected: Vec<(TaskId, DefenseMethod)> = Vec::new();
+    for &task in &TaskId::DENSE {
+        let methods: Vec<DefenseMethod> = if task == TaskId::Ant {
+            vec![
+                DefenseMethod::Ppo,
+                DefenseMethod::Atla,
+                DefenseMethod::Sa,
+                DefenseMethod::AtlaSa,
+            ]
+        } else {
+            DefenseMethod::ALL.to_vec()
+        };
+        expected.extend(methods.into_iter().map(|m| (task, m)));
+    }
+    assert_eq!(spec.pairs(), expected);
+}
+
+#[test]
+fn matrix_from_spec_commits_identical_ledger_to_legacy_table1() {
+    let spec = ExperimentSpec::parse(TINY_SPEC).unwrap();
+    let cache_root = scratch("ledger-cache");
+    let victims = Arc::new(VictimCache::open_at(cache_root.join("victims")));
+    let cells = Arc::new(CellCache::open_at(cache_root.join("cells")));
+
+    // Path A: the spec-driven matrix runner.
+    let dir_a = scratch("ledger-matrix");
+    let tel_a = tel_at(&dir_a, "matrix", 11);
+    let mut report_a = SweepReport::default();
+    let matrix = run_matrix(
+        &tel_a,
+        &spec,
+        &quiet_sweep(1),
+        11,
+        &victims,
+        &cells,
+        &mut report_a,
+    );
+    tel_a.finish();
+
+    // Path B: the legacy table1 runner pointed at the same grid, budget,
+    // seed, and caches.
+    let dir_b = scratch("ledger-table1");
+    let tel_b = tel_at(&dir_b, "table1", 11);
+    let opts = Table1Options {
+        budget: spec.budget.clone(),
+        seed: 11,
+        sweep: quiet_sweep(1),
+        tasks: spec.tasks.clone(),
+        methods: Some(spec.victims.clone()),
+        columns: spec.attacks.clone(),
+        victims: Arc::clone(&victims),
+        cells: Arc::clone(&cells),
+    };
+    let mut report_b = SweepReport::default();
+    let rendered = table1::run(&tel_b, &opts, &mut report_b);
+    tel_b.finish();
+
+    assert!(!report_a.failed(), "matrix run failed");
+    assert!(!report_b.failed(), "table1 run failed");
+    assert!(rendered.contains("Hopper"));
+
+    let ledger_a = std::fs::read_to_string(dir_a.join("ledger.jsonl")).unwrap();
+    let ledger_b = std::fs::read_to_string(dir_b.join("ledger.jsonl")).unwrap();
+    assert_eq!(
+        ledger_a, ledger_b,
+        "spec-driven matrix and legacy table1 must commit identical ledgers"
+    );
+
+    // The report carries one row per (pair, column) cell, in grid order,
+    // with the committed outcomes.
+    assert_eq!(matrix.rows.len(), 4);
+    assert!(matrix.rows.iter().all(|r| r.status == "ok"));
+    assert_eq!(matrix.columns, vec!["no-attack", "random"]);
+    assert_eq!(matrix.rows[0].task, "Hopper");
+    assert_eq!(matrix.rows[0].victim, "ppo");
+    assert_eq!(matrix.rows[3].victim, "sa");
+
+    for dir in [cache_root, dir_a, dir_b] {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn probe_finds_planted_failures_under_isolation_and_resume_replays_them() {
+    let spec = ExperimentSpec::parse(PROBE_SPEC).unwrap();
+    let cache_root = scratch("probe-cache");
+    let dir = scratch("probe-run");
+
+    let run = |resume: bool| {
+        let victims = Arc::new(VictimCache::open_at(cache_root.join("victims")));
+        let cells = Arc::new(CellCache::open_at(cache_root.join("cells")));
+        let sweep = SweepConfig {
+            isolate: true,
+            resume,
+            child_exe: Some(PathBuf::from(SWEEPDEMO)),
+            ..quiet_sweep(2)
+        };
+        let tel = tel_at(&dir, "probe", 11);
+        let mut report = SweepReport::default();
+        let matrix = run_matrix(&tel, &spec, &sweep, 11, &victims, &cells, &mut report);
+        tel.finish();
+        assert!(!report.failed(), "probe matrix run failed");
+        matrix
+    };
+
+    let first = run(false);
+    assert_eq!(first.probe.len(), 1, "one probe row per trained victim");
+    let row = &first.probe[0];
+    assert_eq!(row.status, "ok");
+    assert_eq!(row.scenarios, 3);
+    assert!(
+        !row.failures.is_empty(),
+        "the planted nan_obs fault must surface counterexamples"
+    );
+    assert!(row
+        .failures
+        .iter()
+        .all(|cx| cx.failure == "nan_observation"));
+
+    // Every counterexample replays byte-identically from its (task, seed,
+    // mutation) row against the cached victim.
+    let victims = VictimCache::open_at(cache_root.join("victims"));
+    let victim = victims
+        .victim(TaskId::Hopper, DefenseMethod::Ppo, &spec.budget, 11)
+        .unwrap();
+    let cfg = spec.probe.clone().unwrap();
+    for cx in &row.failures {
+        let replayed = replay_counterexample(cx, &victim, &cfg, &Progress::null()).unwrap();
+        assert_eq!(
+            serde_json::to_string(&replayed).unwrap(),
+            serde_json::to_string(cx).unwrap(),
+            "counterexample must replay byte-identically"
+        );
+    }
+
+    // A --resume rerun replays the committed ledger verbatim: same report,
+    // byte for byte.
+    let second = run(true);
+    assert_eq!(
+        serde_json::to_string(&first).unwrap(),
+        serde_json::to_string(&second).unwrap(),
+        "resume must reproduce the matrix report byte-identically"
+    );
+
+    for d in [cache_root, dir] {
+        let _ = std::fs::remove_dir_all(&d);
+    }
+}
