@@ -31,7 +31,14 @@ fn main() {
     );
     let t0 = std::time::Instant::now();
     let victim = cache
-        .victim(task, method, &budget, seed)
+        .victim_supervised(
+            &imap_telemetry::Telemetry::null(),
+            task,
+            method,
+            &budget,
+            seed,
+            &Progress::null(),
+        )
         .expect("probe victim training");
     eprintln!(
         "victim trained/loaded in {:.1}s",

@@ -25,7 +25,14 @@ fn walker_pitch_trace(kind: AttackKind, budget: &Budget, seed: u64) -> (Vec<f64>
     let cache = VictimCache::open();
     let task = TaskId::Walker2d;
     let victim = cache
-        .victim(task, DefenseMethod::Wocar, budget, seed)
+        .victim_supervised(
+            &imap_telemetry::Telemetry::null(),
+            task,
+            DefenseMethod::Wocar,
+            budget,
+            seed,
+            &imap_rl::Progress::null(),
+        )
         .expect("render victim training");
     let eps = task.spec().eps;
     // Reuse the cached evaluation to pick the attack, then retrain the

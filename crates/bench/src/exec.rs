@@ -89,6 +89,12 @@ pub struct SweepConfig {
     /// `current_exe()`; tests point it at a dedicated cell-server binary
     /// because the test harness owns `argv`.
     pub child_exe: Option<PathBuf>,
+    /// External cancellation for the whole sweep: the service layer's
+    /// job-cancel handle. When the token trips, queued cells are skipped
+    /// with reason `cancelled` and running ones are cancelled (then
+    /// killed if unresponsive). `None` — the default — means only the
+    /// deadline and fail-fast cuts apply.
+    pub cancel: Option<imap_harness::CancelToken>,
     /// Run only this shard of an `N`-way contiguous grid partition
     /// (`--shard i/N` / `IMAP_SHARD`). Cells owned by other shards are
     /// skipped without side effects; the stage fingerprint still covers
@@ -116,6 +122,7 @@ impl Default for SweepConfig {
             isolate: false,
             resume: false,
             child_exe: None,
+            cancel: None,
             shard: None,
             stage: Arc::new(AtomicUsize::new(0)),
         }
@@ -257,6 +264,7 @@ impl SweepConfig {
             backoff_base: self.backoff_base,
             deadline: self.deadline,
             fail_fast: self.fail_fast,
+            cancel: self.cancel.clone(),
             telemetry: tel.clone(),
             status,
             ..PoolConfig::default()

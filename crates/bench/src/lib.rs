@@ -16,11 +16,12 @@ use parking_lot::Mutex;
 
 use imap_core::eval::{eval_multi_attack, eval_under_attack_batched, AttackEval, Attacker};
 use imap_core::regularizer::{RegularizerConfig, RegularizerKind};
+use imap_core::store::{CheckpointStore, DiskStore, StoreKey};
 use imap_core::threat::{OpponentEnv, PerturbationEnv};
 use imap_core::{AttackOutcome, ImapConfig, ImapTrainer};
 use imap_defense::{
-    train_game_victim_selfplay, train_victim_resilient, DefenseMethod, ScriptedOpponent,
-    VictimBudget,
+    train_game_victim_selfplay, train_victim_stored, victim_store_key, DefenseMethod,
+    ScriptedOpponent, VictimBudget,
 };
 use imap_env::{build_multi_task, build_task, EnvRng, MultiTaskId, TaskId};
 use imap_nn::NnError;
@@ -176,11 +177,14 @@ pub fn cache_root() -> PathBuf {
     }
 }
 
-/// On-disk victim cache: training victims is the expensive shared step, so
-/// each `(task, method, budget, seed)` is trained once and reused by every
-/// table binary.
+/// The victim zoo's view of the content-addressed
+/// [`CheckpointStore`](imap_core::store::CheckpointStore): a [`DiskStore`]
+/// of trained victims (the expensive shared step) plus an in-process
+/// memoization map, so each `(task, method, budget, seed)` is trained once
+/// and reused by every table binary, sweep cell, and service job sharing
+/// the store root.
 pub struct VictimCache {
-    dir: PathBuf,
+    store: DiskStore,
     mem: Mutex<HashMap<String, GaussianPolicy>>,
 }
 
@@ -193,34 +197,38 @@ impl VictimCache {
     /// Opens (and creates) the cache rooted at an explicit directory —
     /// tests use this to isolate runs without racing on env vars.
     pub fn open_at(dir: impl Into<PathBuf>) -> Self {
-        let dir = dir.into();
-        let _ = std::fs::create_dir_all(&dir);
         VictimCache {
-            dir,
+            store: DiskStore::open(dir),
             mem: Mutex::new(HashMap::new()),
         }
     }
 
     /// The cache's on-disk root — cell specs carry it so an isolated child
-    /// process opens the *same* cache as its parent.
+    /// process opens the *same* store as its parent.
     pub fn dir(&self) -> &std::path::Path {
-        &self.dir
+        self.store.root()
+    }
+
+    /// The underlying content-addressed store (hit/miss counters, log).
+    pub fn store(&self) -> &DiskStore {
+        &self.store
     }
 
     fn key(task: TaskId, method: DefenseMethod, budget: &Budget, seed: u64) -> String {
-        // Actor-mode sampling is bitwise-identical at any actor count but
-        // legitimately differs from the serial path, so the key carries the
-        // *mode* (not the count): victims stay shareable across actor
-        // counts without ever serving serial-trained bytes to an actors run.
-        let mode = if budget.victim.actors > 1 {
-            "_actors"
-        } else {
-            ""
-        };
-        format!("{task:?}_{method:?}_{}{mode}_{seed}", budget.name)
+        // The canonical config string of the victim's content address —
+        // the key discipline (actor *mode*, not count; budget by name)
+        // lives beside the zoo in `imap_defense::victim_store_key`.
+        victim_store_key(task, method, &budget.victim, &budget.name, seed)
+            .config()
+            .to_string()
     }
 
     /// Returns the victim for `(task, method)`, training it on a cache miss.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `victim_supervised` (or `imap_defense::train_victim_stored` \
+                against a shared `DiskStore`)"
+    )]
     pub fn victim(
         &self,
         task: TaskId,
@@ -228,11 +236,22 @@ impl VictimCache {
         budget: &Budget,
         seed: u64,
     ) -> Result<GaussianPolicy, NnError> {
-        self.victim_with(&Telemetry::null(), task, method, budget, seed)
+        self.victim_supervised(
+            &Telemetry::null(),
+            task,
+            method,
+            budget,
+            seed,
+            &Progress::null(),
+        )
     }
 
-    /// [`VictimCache::victim`] with telemetry: cache misses train through
-    /// `tel` (memory/disk hits record nothing — nothing ran).
+    /// [`VictimCache::victim_supervised`] without a supervision handle.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use `victim_supervised` (or `imap_defense::train_victim_stored` \
+                against a shared `DiskStore`)"
+    )]
     pub fn victim_with(
         &self,
         tel: &Telemetry,
@@ -244,9 +263,11 @@ impl VictimCache {
         self.victim_supervised(tel, task, method, budget, seed, &Progress::null())
     }
 
-    /// [`VictimCache::victim_with`] under sweep supervision: cache misses
-    /// train with `progress` threaded into the PPO loop, so the supervisor
-    /// sees heartbeats and cooperative cancellation reaches the rollout.
+    /// Returns the victim for `(task, method)` under sweep supervision:
+    /// store misses train with `progress` threaded into the PPO loop (so
+    /// the supervisor sees heartbeats and cooperative cancellation reaches
+    /// the rollout), train single-flight across concurrent requesters, and
+    /// publish atomically through the zoo's store-backed entry point.
     pub fn victim_supervised(
         &self,
         tel: &Telemetry,
@@ -260,21 +281,20 @@ impl VictimCache {
         if let Some(p) = self.mem.lock().get(&key) {
             return Ok(p.clone());
         }
-        let path = self.dir.join(format!("{key}.json"));
-        if let Ok(bytes) = std::fs::read(&path) {
-            if let Ok(p) = serde_json::from_slice::<GaussianPolicy>(&bytes) {
-                self.mem.lock().insert(key, p.clone());
-                return Ok(p);
-            }
-        }
         let resilience = ResilienceConfig {
             progress: progress.clone(),
             ..ResilienceConfig::default()
         };
-        let p = train_victim_resilient(tel, task, method, &budget.victim, seed, &resilience)?;
-        if let Ok(bytes) = serde_json::to_vec(&p) {
-            let _ = std::fs::write(&path, bytes);
-        }
+        let p = train_victim_stored(
+            tel,
+            &self.store,
+            task,
+            method,
+            &budget.victim,
+            &budget.name,
+            seed,
+            &resilience,
+        )?;
         self.mem.lock().insert(key, p.clone());
         Ok(p)
     }
@@ -428,15 +448,39 @@ pub fn marl_victim_supervised(
     seed: u64,
     progress: &Progress,
 ) -> Result<GaussianPolicy, NnError> {
-    let dir = cache_root();
-    let _ = std::fs::create_dir_all(&dir);
-    let key = format!("marl_{game:?}_{}_{seed}", budget.name);
-    let path = dir.join(format!("{key}.json"));
-    if let Ok(bytes) = std::fs::read(&path) {
-        if let Ok(p) = serde_json::from_slice::<GaussianPolicy>(&bytes) {
-            return Ok(p);
-        }
-    }
+    // Same content-addressed store as the single-agent zoo, under its own
+    // kind tag: `get_or_compute` makes concurrent self-play trainings for
+    // one key single-flight, with the wait loop beating supervision.
+    let store = DiskStore::open(cache_root());
+    let key = StoreKey::new(
+        "marl_victim",
+        &format!("marl_{game:?}_{}_{seed}", budget.name),
+    );
+    let beat_progress = progress.clone();
+    let (bytes, _outcome) = store.get_or_compute(
+        &key,
+        std::time::Duration::from_secs(600),
+        || beat_progress.beat(),
+        || {
+            let p = marl_victim_train(tel, game, budget, seed, progress)?;
+            serde_json::to_vec(&p).map_err(|e| NnError::Numeric {
+                context: format!("serialize marl victim for store: {e}"),
+            })
+        },
+    )?;
+    serde_json::from_slice(&bytes).map_err(|e| NnError::Numeric {
+        context: format!("deserialize stored marl victim {}: {e}", key.file_name()),
+    })
+}
+
+/// The self-play training behind [`marl_victim_supervised`]'s store misses.
+fn marl_victim_train(
+    tel: &Telemetry,
+    game: MultiTaskId,
+    budget: &Budget,
+    seed: u64,
+    progress: &Progress,
+) -> Result<GaussianPolicy, NnError> {
     let scripted: fn() -> ScriptedOpponent = match game {
         MultiTaskId::YouShallNotPass => ScriptedOpponent::blocker_population,
         MultiTaskId::KickAndDefend => ScriptedOpponent::goalie_population,
@@ -469,9 +513,6 @@ pub fn marl_victim_supervised(
         per_round,
     )?;
     p.norm.freeze();
-    if let Ok(bytes) = serde_json::to_vec(&p) {
-        let _ = std::fs::write(&path, bytes);
-    }
     Ok(p)
 }
 
@@ -556,11 +597,13 @@ pub struct CellResult {
     pub curve: Vec<imap_core::CurvePoint>,
 }
 
-/// On-disk cache of finished attack cells, keyed by every input, so
-/// table/figure binaries share work across invocations.
-#[derive(Debug, Clone)]
+/// Content-addressed store of finished attack cells (adversary training
+/// outcomes — the second [`CheckpointStore`] consumer after the victim
+/// zoo), keyed by every input, so table/figure binaries and concurrent
+/// service jobs share work across invocations.
+#[derive(Debug)]
 pub struct CellCache {
-    dir: PathBuf,
+    store: DiskStore,
 }
 
 impl CellCache {
@@ -571,19 +614,20 @@ impl CellCache {
 
     /// Opens (and creates) the cell cache at an explicit directory.
     pub fn open_at(dir: impl Into<PathBuf>) -> Self {
-        let dir = dir.into();
-        let _ = std::fs::create_dir_all(&dir);
-        CellCache { dir }
+        CellCache {
+            store: DiskStore::open(dir),
+        }
     }
 
     /// The cache's on-disk root — cell specs carry it so an isolated child
-    /// process opens the *same* cache as its parent.
+    /// process opens the *same* store as its parent.
     pub fn dir(&self) -> &std::path::Path {
-        &self.dir
+        self.store.root()
     }
 
-    fn path(&self, key: &str) -> PathBuf {
-        self.dir.join(format!("{key}.json"))
+    /// The underlying content-addressed store (hit/miss counters, log).
+    pub fn store(&self) -> &DiskStore {
+        &self.store
     }
 
     fn cached(
@@ -591,15 +635,15 @@ impl CellCache {
         key: &str,
         compute: impl FnOnce() -> Result<CellResult, NnError>,
     ) -> Result<CellResult, NnError> {
-        let path = self.path(key);
-        if let Ok(bytes) = std::fs::read(&path) {
+        let key = StoreKey::new("cell", key);
+        if let Some(bytes) = self.store.get(&key) {
             if let Ok(r) = serde_json::from_slice::<CellResult>(&bytes) {
                 return Ok(r);
             }
         }
         let r = compute()?;
         if let Ok(bytes) = serde_json::to_vec(&r) {
-            let _ = std::fs::write(&path, bytes);
+            let _ = self.store.put(&key, &bytes);
         }
         Ok(r)
     }

@@ -356,6 +356,16 @@ USAGE:
   imap merge-ledgers --out <merged.jsonl> --inputs <a.jsonl,b.jsonl,...>
   imap sweep-coordinate --dir <shared-dir> [--stale-secs S]
                     [--max-attempts N] [--watch-secs W]
+  imap serve        --root <dir> [--addr HOST:PORT] [--tenant-cap N]
+                    [--store <dir>]
+  imap submit       --root <dir> --kind train|attack|eval|bench-matrix|cell
+                    [--spec <experiment.toml>] [--tenant <name>]
+                    [--seed N] [--jobs N] [--isolate]
+                    [--mode <fault>] [--steps N] [--stall-secs S]
+                    [--wait [--timeout SECS]] [--addr HOST:PORT]
+  imap jobs         --root <dir> [--addr HOST:PORT]
+  imap cancel       --root <dir> --id <job> [--addr HOST:PORT]
+  imap shutdown     --root <dir> [--addr HOST:PORT]
 
 `bench-matrix` runs a TOML experiment spec — an env x victim x attack grid
 with optional budget overrides and a [probe] falsification stage — through
@@ -380,6 +390,23 @@ carry the same sweep-spec fingerprints (a mismatch refuses to merge and
 exits 2), bit-identical duplicate rows dedupe, conflicting rows are a hard
 error, and rows come out in canonical grid order — byte-identical to the
 ledger of an uninterrupted single-host run (DESIGN.md §14).
+
+`serve` runs the attack-evaluation daemon: a line-delimited JSON protocol
+on a loopback socket (endpoint published atomically in <root>/endpoint)
+accepting concurrent train/attack/eval/bench-matrix/cell jobs. Jobs
+execute through the same sweep harness as `bench-matrix` — isolation,
+watchdogs, retries, ledgers — against one shared content-addressed
+checkpoint store, so identical work across jobs and tenants is trained
+once and resolved from the store everywhere else. Each job streams live
+telemetry, `state.json`, and `events.jsonl` into its own directory under
+<root> for clients to tail. `--tenant-cap` bounds each tenant's
+concurrently running jobs (default: the IMAP_MAX_PARALLEL budget).
+
+`submit`/`jobs`/`cancel`/`shutdown` are the thin clients: submit one job
+(optionally `--wait`-ing for the terminal state; exits nonzero unless it
+lands in `done`), list every accepted job, cancel one (queued jobs cancel
+immediately; running ones are cancelled cooperatively, then killed), and
+drain the daemon.
 
 `sweep-coordinate` watches a shard lease board: claimed leases whose worker
 heartbeat went stale are reopened (with exponential reclaim backoff), or
@@ -1019,8 +1046,24 @@ pub fn dispatch(args: &Args) -> Result<(), CliError> {
             if report.failed() || mismatches > 0 {
                 std::process::exit(report.exit_code().max(1));
             }
+            // A probe that *found* counterexamples is a failing check by
+            // default, so CI gates on it without parsing the output;
+            // `--allow-findings` opts back into exit 0 for exploratory
+            // runs that expect (and archive) findings.
+            if !outcome.failures.is_empty() && !args.has_switch("allow-findings") {
+                eprintln!(
+                    "probe-policy: {} counterexample(s) found (pass --allow-findings to exit 0)",
+                    outcome.failures.len()
+                );
+                std::process::exit(1);
+            }
             Ok(())
         }
+        Some("serve") => crate::service::cmd_serve(args),
+        Some("submit") => crate::service::cmd_submit(args),
+        Some("jobs") => crate::service::cmd_jobs(args),
+        Some("cancel") => crate::service::cmd_cancel(args),
+        Some("shutdown") => crate::service::cmd_shutdown(args),
         Some(other) => Err(CliError::Unknown(format!(
             "unknown command '{other}'\n\n{USAGE}"
         ))),
@@ -1124,7 +1167,8 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
         dispatch(&parse(&format!(
             "probe-policy --task Hopper --scenarios 2 --warmup 0 --steps 10 \
-             --fault nan_obs --fault-at 2 --seed 5 --jobs 1 --status-interval 0 --out {}",
+             --fault nan_obs --fault-at 2 --seed 5 --jobs 1 --status-interval 0 \
+             --allow-findings --out {}",
             dir.display()
         )))
         .unwrap();

@@ -18,7 +18,9 @@
 pub mod args;
 pub mod cell;
 pub mod commands;
+pub mod service;
 
 pub use args::{ArgError, Args};
 pub use cell::maybe_serve_run_cell;
 pub use commands::{dispatch, CliError};
+pub use service::{run_job, JobPayload};

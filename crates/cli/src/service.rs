@@ -1,0 +1,461 @@
+//! Attack-evaluation-as-a-service: the `imap serve` daemon and its thin
+//! `submit`/`jobs`/`cancel` clients.
+//!
+//! The daemon itself — socket, scheduler, per-tenant budgets, the job
+//! state machine — lives in [`imap_harness::service`]. This module is the
+//! *job compiler*: it turns a submitted job spec into the exact same
+//! execution path the batch commands use, so a job submitted over the
+//! socket inherits every property of `imap bench-matrix` — isolated
+//! `run-cell` children, stall watchdogs, retries with derived seeds, the
+//! per-stage ledger, and the content-addressed checkpoint store.
+//!
+//! ## Job kinds
+//!
+//! | kind                             | spec payload                        |
+//! |----------------------------------|-------------------------------------|
+//! | `train`                          | `{toml, seed?, jobs?, isolate?}` — runs the spec's victim grid only |
+//! | `attack` / `eval` / `bench-matrix` | same payload — runs the full spec matrix |
+//! | `cell`                           | `{mode?, steps?, label?, stall_secs?, isolate?}` — one fault-injection cell (service smoke tests) |
+//!
+//! ## Determinism and sharing
+//!
+//! Every spec job opens the daemon's *shared* checkpoint store (victims
+//! under the store root, cells under `store/cells`), so two jobs that need
+//! the same victim train it once: the store's single-flight lock makes the
+//! first requester compute and everyone else wait for the publish. The
+//! per-job run id is derived from the spec fingerprint and seed — never
+//! from the daemon-assigned job id — so identical jobs write byte-identical
+//! ledgers.
+//!
+//! Telemetry is opened in *live* mode (one flush per row): a client can
+//! tail `<job dir>/telemetry/metrics.jsonl` while the job runs.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+use imap_bench::cells::{run_fault_spec, CellSpec};
+use imap_bench::exec::{run_sweep, SweepCell, SweepConfig, SweepReport};
+use imap_bench::matrix::run_matrix;
+use imap_bench::spec::ExperimentSpec;
+use imap_bench::{CellCache, VictimCache};
+use imap_harness::{
+    read_endpoint, request, serve, wait_terminal, JobContext, JobEvent, JobRequest, JobState,
+    ServiceConfig,
+};
+use imap_nn::NnError;
+use imap_telemetry::{RunManifest, Telemetry};
+
+use crate::args::Args;
+use crate::commands::CliError;
+
+/// The flat wire payload of a submitted job (`JobRequest::Submit.spec`).
+///
+/// All fields are optional so one struct covers every job kind; the
+/// per-kind runners validate what they actually need and report missing
+/// fields as job failures, not daemon crashes.
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+pub struct JobPayload {
+    /// Experiment spec TOML text (spec kinds). The *text* travels, not a
+    /// path: the daemon never depends on the client's filesystem layout.
+    #[serde(default)]
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub toml: Option<String>,
+    /// Base seed override (after the spec's own `experiment.seed`).
+    #[serde(default)]
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub seed: Option<u64>,
+    /// Worker threads for this job's sweeps.
+    #[serde(default)]
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub jobs: Option<usize>,
+    /// Run spec-carrying cells in sacrificial child processes.
+    #[serde(default)]
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub isolate: Option<bool>,
+    /// Fault mode for `cell` jobs (`ok`, `panic`, `hang_hard`, ...).
+    #[serde(default)]
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub mode: Option<String>,
+    /// Steps the `cell` job's fault cell runs.
+    #[serde(default)]
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub steps: Option<u64>,
+    /// Cell label override for `cell` jobs.
+    #[serde(default)]
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub label: Option<String>,
+    /// Stall watchdog for `cell` jobs, seconds (default 60 — long, so an
+    /// external cancel is the observed supervision path, not the stall).
+    #[serde(default)]
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub stall_secs: Option<u64>,
+}
+
+impl JobPayload {
+    /// Decodes a submitted spec value. Text round-trip (not
+    /// `from_value`) so the daemon and an isolated child agree on the
+    /// exact wire bytes.
+    fn decode(spec: &serde_json::Value) -> Result<JobPayload, String> {
+        let text = serde_json::to_string(spec).map_err(|e| format!("re-encode job spec: {e}"))?;
+        serde_json::from_str(&text).map_err(|e| format!("bad job spec: {e}"))
+    }
+}
+
+/// The daemon-side job runner: compiles one accepted job into the batch
+/// execution path. `Err` marks the job `failed` with the message as
+/// detail; a tripped [`JobContext::cancel`] marks it `cancelled`
+/// regardless of the return value.
+pub fn run_job(store_root: &Path, ctx: &JobContext) -> Result<(), String> {
+    match ctx.kind.as_str() {
+        "train" | "attack" | "eval" | "bench-matrix" => run_spec_job(store_root, ctx),
+        "cell" => run_cell_job(ctx),
+        other => Err(format!(
+            "unknown job kind {other:?} (expected train, attack, eval, bench-matrix, or cell)"
+        )),
+    }
+}
+
+/// Runs an experiment-spec job through [`run_matrix`] against the shared
+/// checkpoint store. `train` jobs run the victim grid only (the spec's
+/// attack columns are dropped); the other kinds run the full matrix.
+fn run_spec_job(store_root: &Path, ctx: &JobContext) -> Result<(), String> {
+    let payload = JobPayload::decode(&ctx.spec)?;
+    let toml = payload
+        .toml
+        .as_deref()
+        .ok_or("job spec carries no `toml` experiment text")?;
+    let mut spec = ExperimentSpec::parse(toml).map_err(|e| format!("experiment spec: {e}"))?;
+    if ctx.kind == "train" {
+        // Victims only: the grid trains (and stores) every task x method
+        // victim, with zero attack columns to evaluate.
+        spec.attacks.clear();
+    }
+    let seed = spec
+        .seed
+        .or(payload.seed)
+        .unwrap_or_else(imap_bench::base_seed);
+
+    let mut sweep =
+        SweepConfig::from_sources(std::iter::empty::<String>(), |key| std::env::var(key).ok());
+    if let Some(jobs) = payload.jobs {
+        sweep.jobs = jobs.max(1);
+    }
+    if let Some(isolate) = payload.isolate {
+        sweep.isolate = isolate;
+    }
+    sweep.cancel = Some(ctx.cancel.clone());
+
+    // The daemon-wide store: victims at the root, cells underneath. Every
+    // job opens the same root, so identical work is computed once and
+    // resolved from the store everywhere else.
+    let victims = Arc::new(VictimCache::open_at(store_root.to_path_buf()));
+    let cells = Arc::new(CellCache::open_at(store_root.join("cells")));
+
+    // Spec-derived identity — no job id, no timestamps — so two identical
+    // jobs produce byte-identical manifests and ledgers.
+    let run_id = format!("{}-{}-seed{seed}", ctx.kind, spec.fingerprint());
+    let manifest =
+        RunManifest::new(&run_id, "suite", &ctx.kind, seed).with_config(serde_json::json!({
+            "command": ctx.kind,
+            "experiment": spec.name,
+            "budget": spec.budget.name,
+            "fingerprint": spec.fingerprint(),
+        }));
+    let tel = Telemetry::jsonl_live(ctx.dir.join("telemetry"), &manifest)
+        .map_err(|e| format!("telemetry: {e}"))?;
+
+    let mut report = SweepReport::default();
+    let matrix = run_matrix(&tel, &spec, &sweep, seed, &victims, &cells, &mut report);
+
+    let json = serde_json::to_string(&matrix).map_err(|e| format!("encode report: {e}"))?;
+    std::fs::write(ctx.dir.join("report.json"), format!("{json}\n"))
+        .map_err(|e| format!("write report.json: {e}"))?;
+    if let Some(summary) = tel.finish() {
+        eprintln!("[{}] {summary}", ctx.id);
+    }
+
+    if ctx.cancel.is_cancelled() {
+        // The service layer overrides the runner's result with
+        // `cancelled` when the token tripped; Ok keeps the detail clean.
+        return Ok(());
+    }
+    if report.failed() {
+        return Err(report.summary_line());
+    }
+    Ok(())
+}
+
+/// Runs one fault-injection cell as a job — the service's smoke-test
+/// kind, and the one the cancel-mid-job test leans on: an isolated
+/// `hang_hard` cell ignores cooperative cancel, so killing the job
+/// exercises the full ladder down to SIGKILL and the abandon ledger row.
+fn run_cell_job(ctx: &JobContext) -> Result<(), String> {
+    let payload = JobPayload::decode(&ctx.spec)?;
+    let mode = payload.mode.as_deref().unwrap_or("ok").to_string();
+    let steps = payload.steps.unwrap_or(50);
+    let seed = payload.seed.unwrap_or(17);
+    let label = payload
+        .label
+        .clone()
+        .unwrap_or_else(|| format!("cell-{mode}"));
+    let spec = CellSpec::fault(&mode, 1, 1, steps);
+
+    let sweep = SweepConfig {
+        jobs: 1,
+        stall_timeout: Duration::from_secs(payload.stall_secs.unwrap_or(60)),
+        hard_grace: Duration::from_millis(500),
+        max_attempts: 1,
+        isolate: payload.isolate.unwrap_or(true),
+        cancel: Some(ctx.cancel.clone()),
+        // Snappy status.json snapshots: a client watching the job can see
+        // the cell's heartbeat (and a cancel test can wait for the child
+        // to actually be alive) without a 2s default-cadence lag.
+        status_interval: Duration::from_millis(200),
+        ..SweepConfig::default()
+    };
+
+    let run_id = format!("cell-{mode}-steps{steps}-seed{seed}");
+    let manifest = RunManifest::new(&run_id, "suite", "cell", seed)
+        .with_config(serde_json::json!({ "command": "cell", "mode": mode, "steps": steps }));
+    let tel = Telemetry::jsonl_live(ctx.dir.join("telemetry"), &manifest)
+        .map_err(|e| format!("telemetry: {e}"))?;
+
+    let closure_spec = spec.clone();
+    let cell = SweepCell::new(label, &[("mode", mode.as_str())], seed, move |jctx| {
+        run_fault_spec(&closure_spec, jctx).map_err(|context| NnError::Numeric { context })
+    })
+    .isolated(&spec);
+
+    let mut report = SweepReport::default();
+    let _statuses: Vec<imap_harness::JobStatus<u64>> =
+        run_sweep(&tel, &sweep, vec![cell], &mut report, |_, _| {});
+    if let Some(summary) = tel.finish() {
+        eprintln!("[{}] {summary}", ctx.id);
+    }
+
+    if ctx.cancel.is_cancelled() {
+        return Ok(());
+    }
+    if report.failed() {
+        return Err(report.summary_line());
+    }
+    Ok(())
+}
+
+/// Resolves the daemon address for a client command: `--addr` verbatim,
+/// else the endpoint file under `--root`.
+fn service_addr(args: &Args) -> Result<String, CliError> {
+    if let Some(addr) = args.optional("addr") {
+        return Ok(addr.to_string());
+    }
+    let root = PathBuf::from(args.required("root")?);
+    read_endpoint(&root).map_err(|e| {
+        CliError::Unknown(format!(
+            "no daemon endpoint under {} ({e}); is `imap serve --root` running?",
+            root.display()
+        ))
+    })
+}
+
+/// `imap serve --root <dir> [--addr HOST:PORT] [--tenant-cap N]
+/// [--store <dir>]` — runs the job daemon until a `shutdown` request.
+pub fn cmd_serve(args: &Args) -> Result<(), CliError> {
+    let root = PathBuf::from(args.required("root")?);
+    let mut cfg = ServiceConfig::new(&root);
+    if let Some(addr) = args.optional("addr") {
+        cfg.addr = addr.to_string();
+    }
+    if args.optional("tenant-cap").is_some() {
+        let cap: usize = args.get_or("tenant-cap", cfg.tenant_cap)?;
+        cfg.tenant_cap = cap.max(1);
+    }
+    let store_root = args
+        .optional("store")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| root.join("store"));
+
+    println!(
+        "imap serve: root {} store {} (endpoint published in {})",
+        root.display(),
+        store_root.display(),
+        root.join(imap_harness::ENDPOINT_FILE).display(),
+    );
+    let report = serve(cfg, move |ctx| run_job(&store_root, ctx))?;
+    println!(
+        "imap serve: drained at {} — {} submitted, {} done, {} failed, {} cancelled",
+        report.addr, report.submitted, report.done, report.failed, report.cancelled
+    );
+    Ok(())
+}
+
+/// Builds the submit payload from the client flags.
+fn payload_from_args(args: &Args, kind: &str) -> Result<JobPayload, CliError> {
+    let mut payload = JobPayload::default();
+    if kind == "cell" {
+        payload.mode = args.optional("mode").map(str::to_string);
+        if args.optional("steps").is_some() {
+            payload.steps = Some(args.get_or("steps", 50u64)?);
+        }
+        payload.label = args.optional("label").map(str::to_string);
+        if args.optional("stall-secs").is_some() {
+            payload.stall_secs = Some(args.get_or("stall-secs", 60u64)?);
+        }
+    } else {
+        let spec_path = args.required("spec")?;
+        payload.toml = Some(std::fs::read_to_string(spec_path)?);
+    }
+    if args.optional("seed").is_some() {
+        payload.seed = Some(args.get_or("seed", 17u64)?);
+    }
+    if args.optional("jobs").is_some() {
+        let jobs: usize = args.get_or("jobs", 1)?;
+        payload.jobs = Some(jobs.max(1));
+    }
+    if args.has_switch("isolate") {
+        payload.isolate = Some(true);
+    }
+    Ok(payload)
+}
+
+/// `imap submit --root <dir> --kind <kind> [--spec <toml>] [--tenant T]
+/// [--wait [--timeout SECS]] ...` — submits one job, printing the
+/// daemon-assigned id and job directory.
+pub fn cmd_submit(args: &Args) -> Result<(), CliError> {
+    let addr = service_addr(args)?;
+    let kind = args.required("kind")?.to_string();
+    let tenant = args.optional("tenant").unwrap_or("default").to_string();
+    let payload = payload_from_args(args, &kind)?;
+    let spec = serde_json::to_value(&payload)?;
+
+    let answer =
+        request(&addr, &JobRequest::Submit { kind, tenant, spec }).map_err(CliError::Unknown)?;
+    let (id, dir) = match answer {
+        JobEvent::Submitted { id, dir } => (id, dir),
+        JobEvent::Denied { message } => return Err(CliError::Unknown(message)),
+        other => {
+            return Err(CliError::Unknown(format!(
+                "unexpected answer: {}",
+                other.to_line()
+            )))
+        }
+    };
+    println!("submitted {id} -> {dir}");
+
+    if args.has_switch("wait") {
+        let secs: u64 = args.get_or("timeout", 600u64)?;
+        let job =
+            wait_terminal(&addr, &id, Duration::from_secs(secs)).map_err(CliError::Unknown)?;
+        let detail = job.detail.as_deref().unwrap_or("");
+        println!("{id} {} {detail}", job.state.as_str());
+        if job.state != JobState::Done {
+            std::process::exit(1);
+        }
+    }
+    Ok(())
+}
+
+/// `imap jobs --root <dir>` — lists every job the daemon has accepted, in
+/// submission order.
+pub fn cmd_jobs(args: &Args) -> Result<(), CliError> {
+    let addr = service_addr(args)?;
+    let answer = request(&addr, &JobRequest::List).map_err(CliError::Unknown)?;
+    let jobs = match answer {
+        JobEvent::Jobs { jobs } => jobs,
+        JobEvent::Denied { message } => return Err(CliError::Unknown(message)),
+        other => {
+            return Err(CliError::Unknown(format!(
+                "unexpected answer: {}",
+                other.to_line()
+            )))
+        }
+    };
+    println!(
+        "{:<10} {:<14} {:<10} {:<10} detail",
+        "id", "kind", "tenant", "state"
+    );
+    for job in jobs {
+        println!(
+            "{:<10} {:<14} {:<10} {:<10} {}",
+            job.id,
+            job.kind,
+            job.tenant,
+            job.state.as_str(),
+            job.detail.as_deref().unwrap_or("-"),
+        );
+    }
+    Ok(())
+}
+
+/// `imap cancel --root <dir> --id <job>` — cancels a queued or running
+/// job (idempotent on terminal jobs), printing the resulting state.
+pub fn cmd_cancel(args: &Args) -> Result<(), CliError> {
+    let addr = service_addr(args)?;
+    let id = args.required("id")?.to_string();
+    let answer = request(&addr, &JobRequest::Cancel { id }).map_err(CliError::Unknown)?;
+    match answer {
+        JobEvent::State { job } => {
+            println!(
+                "{} {} {}",
+                job.id,
+                job.state.as_str(),
+                job.detail.as_deref().unwrap_or("")
+            );
+            Ok(())
+        }
+        JobEvent::Denied { message } => Err(CliError::Unknown(message)),
+        other => Err(CliError::Unknown(format!(
+            "unexpected answer: {}",
+            other.to_line()
+        ))),
+    }
+}
+
+/// `imap shutdown --root <dir>` — asks the daemon to drain: running jobs
+/// are cancelled, queued ones marked cancelled, and `serve` returns.
+pub fn cmd_shutdown(args: &Args) -> Result<(), CliError> {
+    let addr = service_addr(args)?;
+    match request(&addr, &JobRequest::Shutdown).map_err(CliError::Unknown)? {
+        JobEvent::ShuttingDown => {
+            println!("daemon at {addr} shutting down");
+            Ok(())
+        }
+        JobEvent::Denied { message } => Err(CliError::Unknown(message)),
+        other => Err(CliError::Unknown(format!(
+            "unexpected answer: {}",
+            other.to_line()
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+
+    #[test]
+    fn payload_round_trips_through_the_submit_wire() {
+        let payload = JobPayload {
+            toml: Some("[experiment]\nname=\"t\"".into()),
+            seed: Some(7),
+            jobs: Some(2),
+            isolate: Some(true),
+            ..JobPayload::default()
+        };
+        let value = serde_json::to_value(&payload).unwrap();
+        let back = JobPayload::decode(&value).unwrap();
+        assert_eq!(back.toml.as_deref(), Some("[experiment]\nname=\"t\""));
+        assert_eq!(back.seed, Some(7));
+        assert_eq!(back.jobs, Some(2));
+        assert_eq!(back.isolate, Some(true));
+        assert!(back.mode.is_none());
+    }
+
+    #[test]
+    fn empty_payload_decodes_with_every_field_defaulted() {
+        let back = JobPayload::decode(&serde_json::json!({})).unwrap();
+        assert!(back.toml.is_none());
+        assert!(back.seed.is_none());
+        assert!(back.stall_secs.is_none());
+    }
+}

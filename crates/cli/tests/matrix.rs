@@ -154,6 +154,7 @@ fn probe_policy_isolate_finds_planted_fault_and_resume_reproduces_it() {
         "--status-interval",
         "0",
         "--isolate",
+        "--allow-findings",
         "--out",
     ];
 

@@ -31,6 +31,7 @@ pub mod imap;
 pub mod mimic;
 pub mod registry;
 pub mod regularizer;
+pub mod store;
 pub mod threat;
 
 pub use attacks::gradient::GradientAttack;
@@ -44,4 +45,5 @@ pub use imap::{AttackOutcome, CurvePoint, ImapConfig, ImapRunner, ImapTrainer};
 pub use mimic::MimicPolicy;
 pub use registry::AttackId;
 pub use regularizer::{IntrinsicEngine, RegularizerConfig, RegularizerKind};
+pub use store::{CheckpointStore, DiskStore, StoreKey, StoreOutcome, StoreStats};
 pub use threat::{OpponentEnv, PerturbationEnv};

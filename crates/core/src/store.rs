@@ -1,0 +1,510 @@
+//! Content-addressed checkpoint store shared across jobs and processes.
+//!
+//! Training a victim (or adversary) is the expensive shared step of every
+//! attack-evaluation workload. This module generalizes the zoo's
+//! config-keyed victim cache into a store any consumer can share:
+//!
+//! - **Keys are content addresses.** A [`StoreKey`] is an FNV-1a
+//!   fingerprint over the *canonical config bytes* of the artifact — the
+//!   exact string that determines the trained bytes (task, method, budget
+//!   name, sampling mode, seed). Two configs that differ in any byte get
+//!   different addresses; two identical configs collide on purpose.
+//! - **Publication is atomic.** [`DiskStore::put`] writes a temp file and
+//!   `rename`s it into place, so a reader never observes a torn object —
+//!   the same discipline the ledger and checkpoint layers use.
+//! - **Reuse is observable.** Every `hit`/`miss`/`put`/`wait` appends one
+//!   JSON line to `store.log.jsonl` in the store root (cross-process, via
+//!   `O_APPEND`), and in-process counters are exposed through
+//!   [`DiskStore::stats`] — so "the second job was a cache hit, zero
+//!   retrains" is a checkable fact, not a hope.
+//! - **Training is single-flight.** [`DiskStore::get_or_compute`] takes a
+//!   `<object>.lock` file with `O_EXCL`; concurrent requesters for the
+//!   same key wait (beating their supervision heartbeat) for the winner's
+//!   object to appear instead of retraining. A stale lock (holder died) is
+//!   stolen after the wait budget; because stored bytes are deterministic
+//!   functions of the key, a duplicate publish is benign.
+
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// FNV-1a over `bytes` — the same cheap, stable fingerprint the harness
+/// uses for seeds and grid fingerprints (duplicated here because
+/// `imap-core` sits below the harness in the crate DAG).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A content address: artifact kind plus the FNV-1a fingerprint of its
+/// canonical config string. The config itself is kept for the store log,
+/// so an address is always explainable.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct StoreKey {
+    kind: String,
+    fingerprint: u64,
+    config: String,
+}
+
+impl StoreKey {
+    /// Addresses an artifact of `kind` (`"victim"`, `"marl_victim"`,
+    /// `"cell"`, ...) by its canonical config string. `kind` should be a
+    /// short `[a-z_]+` tag: it namespaces the on-disk objects and the log.
+    pub fn new(kind: &str, canonical_config: &str) -> Self {
+        StoreKey {
+            kind: kind.to_string(),
+            fingerprint: fnv1a(canonical_config.as_bytes()),
+            config: canonical_config.to_string(),
+        }
+    }
+
+    /// The artifact kind tag.
+    pub fn kind(&self) -> &str {
+        &self.kind
+    }
+
+    /// The FNV-1a fingerprint of the canonical config bytes.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The canonical config string this address was derived from.
+    pub fn config(&self) -> &str {
+        &self.config
+    }
+
+    /// The object's file name inside a store root.
+    pub fn file_name(&self) -> String {
+        format!("{}-{:016x}.json", self.kind, self.fingerprint)
+    }
+}
+
+/// Content-addressed get/put/contains over opaque artifact bytes.
+///
+/// The contract callers rely on:
+/// - `put` is atomic: `get` never returns a torn object;
+/// - bytes are a deterministic function of the key, so overwriting an
+///   existing object with a fresh `put` is always byte-neutral;
+/// - `get`/`put` never panic on I/O trouble (a dead disk degrades to
+///   recomputation, not a crashed sweep).
+pub trait CheckpointStore: Send + Sync {
+    /// True if an object is published under `key`.
+    fn contains(&self, key: &StoreKey) -> bool;
+
+    /// The object bytes under `key`, if published.
+    fn get(&self, key: &StoreKey) -> Option<Vec<u8>>;
+
+    /// Publishes `bytes` under `key` (atomically, for disk-backed stores).
+    fn put(&self, key: &StoreKey, bytes: &[u8]) -> io::Result<()>;
+}
+
+/// How [`DiskStore::get_or_compute`] satisfied a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreOutcome {
+    /// The object was already published.
+    Hit,
+    /// Another requester was computing it; we waited and read their bytes.
+    WaitHit,
+    /// We computed and published the object ourselves.
+    Computed,
+}
+
+/// In-process counters for one store handle (the cross-process view lives
+/// in `store.log.jsonl`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Objects served from the store (including wait-hits).
+    pub hits: u64,
+    /// Requests that found nothing published.
+    pub misses: u64,
+    /// Objects published by this handle.
+    pub puts: u64,
+    /// Requests that waited on another requester's in-flight compute.
+    pub waits: u64,
+}
+
+/// The on-disk [`CheckpointStore`]: one directory of
+/// `<kind>-<fingerprint>.json` objects plus an append-only event log.
+#[derive(Debug)]
+pub struct DiskStore {
+    root: PathBuf,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    puts: AtomicU64,
+    waits: AtomicU64,
+}
+
+/// Poll cadence while waiting on another requester's in-flight compute.
+const LOCK_POLL: Duration = Duration::from_millis(25);
+
+impl DiskStore {
+    /// Opens (and creates) the store rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> Self {
+        let root = root.into();
+        let _ = fs::create_dir_all(&root);
+        DiskStore {
+            root,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            puts: AtomicU64::new(0),
+            waits: AtomicU64::new(0),
+        }
+    }
+
+    /// The store's on-disk root — specs carry it so an isolated child
+    /// process opens the *same* store as its parent.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// This handle's in-process hit/miss/put/wait counters.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            puts: self.puts.load(Ordering::Relaxed),
+            waits: self.waits.load(Ordering::Relaxed),
+        }
+    }
+
+    fn object_path(&self, key: &StoreKey) -> PathBuf {
+        self.root.join(key.file_name())
+    }
+
+    fn lock_path(&self, key: &StoreKey) -> PathBuf {
+        self.root.join(format!("{}.lock", key.file_name()))
+    }
+
+    /// Appends one event line to `store.log.jsonl`. `O_APPEND` with a
+    /// single `write` keeps concurrent writers (including isolated child
+    /// processes sharing the root) line-atomic on the platforms we run on.
+    fn log(&self, event: &str, key: &StoreKey) {
+        let line = format!(
+            "{}\n",
+            serde_json::json!({
+                "event": event,
+                "kind": key.kind(),
+                "fingerprint": format!("{:016x}", key.fingerprint()),
+                "config": key.config(),
+            })
+        );
+        let path = self.root.join(STORE_LOG);
+        if let Ok(mut f) = fs::OpenOptions::new().create(true).append(true).open(path) {
+            let _ = f.write_all(line.as_bytes());
+        }
+    }
+
+    /// Returns the object under `key`, computing **and publishing** it on a
+    /// miss. Concurrency is single-flight per key: the first requester
+    /// takes `<object>.lock` and computes; everyone else polls for the
+    /// published object, calling `beat` each poll so sweep supervision
+    /// sees a live heartbeat, not a stall. If the object still hasn't
+    /// appeared after `wait` (the lock holder died or is wedged), the
+    /// waiter steals the lock and computes anyway — determinism makes the
+    /// duplicate publish byte-neutral.
+    pub fn get_or_compute<E>(
+        &self,
+        key: &StoreKey,
+        wait: Duration,
+        mut beat: impl FnMut(),
+        compute: impl FnOnce() -> Result<Vec<u8>, E>,
+    ) -> Result<(Vec<u8>, StoreOutcome), E> {
+        if let Some(bytes) = self.get(key) {
+            return Ok((bytes, StoreOutcome::Hit));
+        }
+        let lock = self.lock_path(key);
+        let mut waited = false;
+        let start = Instant::now();
+        loop {
+            match fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&lock)
+            {
+                Ok(_) => {
+                    // We own the compute. Re-check first: the object may
+                    // have been published between our miss and the lock.
+                    let guard = LockGuard { path: lock.clone() };
+                    if let Some(bytes) = self.get(key) {
+                        drop(guard);
+                        let outcome = if waited {
+                            StoreOutcome::WaitHit
+                        } else {
+                            StoreOutcome::Hit
+                        };
+                        return Ok((bytes, outcome));
+                    }
+                    let bytes = compute()?;
+                    let _ = self.put(key, &bytes);
+                    drop(guard);
+                    return Ok((bytes, StoreOutcome::Computed));
+                }
+                Err(_) => {
+                    // Someone else is computing. Wait for their publish.
+                    if !waited {
+                        waited = true;
+                        self.waits.fetch_add(1, Ordering::Relaxed);
+                        self.log("wait", key);
+                    }
+                    while start.elapsed() < wait {
+                        beat();
+                        std::thread::sleep(LOCK_POLL);
+                        if self.contains(key) {
+                            if let Some(bytes) = self.get(key) {
+                                return Ok((bytes, StoreOutcome::WaitHit));
+                            }
+                        }
+                        if !lock.exists() {
+                            break; // holder finished or died; retry the lock
+                        }
+                    }
+                    if start.elapsed() >= wait {
+                        // Stale lock: steal it and compute ourselves.
+                        self.log("lock_timeout", key);
+                        let _ = fs::remove_file(&lock);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Name of the append-only event log inside a store root.
+pub const STORE_LOG: &str = "store.log.jsonl";
+
+/// One parsed `store.log.jsonl` event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreEvent {
+    /// `hit` | `miss` | `put` | `wait` | `lock_timeout`.
+    pub event: String,
+    /// The artifact kind tag of the key involved.
+    pub kind: String,
+    /// Hex fingerprint of the key involved.
+    pub fingerprint: String,
+}
+
+/// Reads the event log of the store rooted at `root` (empty if no events
+/// were logged yet). Tests and the service CI job use this to assert reuse
+/// actually happened: e.g. exactly one `put` and one `hit` of kind
+/// `victim` across two identical jobs.
+pub fn read_store_log(root: &Path) -> Vec<StoreEvent> {
+    let Ok(text) = fs::read_to_string(root.join(STORE_LOG)) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|line| serde_json::from_str::<serde_json::Value>(line).ok())
+        .map(|v| StoreEvent {
+            event: v["event"].as_str().unwrap_or_default().to_string(),
+            kind: v["kind"].as_str().unwrap_or_default().to_string(),
+            fingerprint: v["fingerprint"].as_str().unwrap_or_default().to_string(),
+        })
+        .collect()
+}
+
+/// Removes the lock file on every exit path (including a panicking or
+/// erroring compute), so a failed train never wedges later requesters.
+struct LockGuard {
+    path: PathBuf,
+}
+
+impl Drop for LockGuard {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
+impl CheckpointStore for DiskStore {
+    fn contains(&self, key: &StoreKey) -> bool {
+        self.object_path(key).exists()
+    }
+
+    fn get(&self, key: &StoreKey) -> Option<Vec<u8>> {
+        match fs::read(self.object_path(key)) {
+            Ok(bytes) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.log("hit", key);
+                Some(bytes)
+            }
+            Err(_) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.log("miss", key);
+                None
+            }
+        }
+    }
+
+    fn put(&self, key: &StoreKey, bytes: &[u8]) -> io::Result<()> {
+        let tmp = self
+            .root
+            .join(format!(".tmp-{}-{}", std::process::id(), key.file_name()));
+        fs::write(&tmp, bytes)?;
+        fs::rename(&tmp, self.object_path(key))?;
+        self.puts.fetch_add(1, Ordering::Relaxed);
+        self.log("put", key);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn fresh(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("imap-store-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn keys_are_content_addressed() {
+        let a = StoreKey::new("victim", "Hopper_Ppo_quick_17");
+        let b = StoreKey::new("victim", "Hopper_Ppo_quick_17");
+        let c = StoreKey::new("victim", "Hopper_Ppo_quick_18");
+        assert_eq!(a, b);
+        assert_eq!(a.file_name(), b.file_name());
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        // Kind namespaces the address even for identical configs.
+        let d = StoreKey::new("cell", "Hopper_Ppo_quick_17");
+        assert_ne!(a.file_name(), d.file_name());
+    }
+
+    #[test]
+    fn put_get_roundtrip_and_counters() {
+        let dir = fresh("roundtrip");
+        let store = DiskStore::open(&dir);
+        let key = StoreKey::new("victim", "cfg-a");
+        assert!(!store.contains(&key));
+        assert_eq!(store.get(&key), None);
+        store.put(&key, b"bytes-a").unwrap();
+        assert!(store.contains(&key));
+        assert_eq!(store.get(&key).unwrap(), b"bytes-a");
+        let stats = store.stats();
+        assert_eq!((stats.hits, stats.misses, stats.puts), (1, 1, 1));
+        // The cross-process log saw the same story.
+        let events: Vec<String> = read_store_log(&dir)
+            .iter()
+            .map(|e| e.event.clone())
+            .collect();
+        assert_eq!(events, ["miss", "put", "hit"]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn get_or_compute_computes_once_then_hits() {
+        let dir = fresh("once");
+        let store = DiskStore::open(&dir);
+        let key = StoreKey::new("victim", "cfg-b");
+        let (bytes, outcome) = store
+            .get_or_compute::<()>(
+                &key,
+                Duration::from_secs(5),
+                || {},
+                || Ok(b"trained".to_vec()),
+            )
+            .unwrap();
+        assert_eq!(bytes, b"trained");
+        assert_eq!(outcome, StoreOutcome::Computed);
+        let (bytes, outcome) = store
+            .get_or_compute::<()>(
+                &key,
+                Duration::from_secs(5),
+                || {},
+                || panic!("must not recompute"),
+            )
+            .unwrap();
+        assert_eq!(bytes, b"trained");
+        assert_eq!(outcome, StoreOutcome::Hit);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_requesters_single_flight_through_the_lock() {
+        let dir = fresh("flight");
+        let store = Arc::new(DiskStore::open(&dir));
+        let key = StoreKey::new("victim", "cfg-c");
+        let computes = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let store = Arc::clone(&store);
+            let key = key.clone();
+            let computes = Arc::clone(&computes);
+            handles.push(std::thread::spawn(move || {
+                store
+                    .get_or_compute::<()>(
+                        &key,
+                        Duration::from_secs(30),
+                        || {},
+                        || {
+                            computes.fetch_add(1, Ordering::Relaxed);
+                            std::thread::sleep(Duration::from_millis(100));
+                            Ok(b"once".to_vec())
+                        },
+                    )
+                    .unwrap()
+                    .0
+            }));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap(), b"once");
+        }
+        assert_eq!(computes.load(Ordering::Relaxed), 1, "exactly one compute");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_compute_releases_the_lock() {
+        let dir = fresh("release");
+        let store = DiskStore::open(&dir);
+        let key = StoreKey::new("victim", "cfg-d");
+        let err = store
+            .get_or_compute::<String>(
+                &key,
+                Duration::from_secs(5),
+                || {},
+                || Err("train blew up".to_string()),
+            )
+            .unwrap_err();
+        assert_eq!(err, "train blew up");
+        // The lock is gone, so a retry computes instead of waiting.
+        let (bytes, outcome) = store
+            .get_or_compute::<String>(
+                &key,
+                Duration::from_millis(200),
+                || {},
+                || Ok(b"retry".to_vec()),
+            )
+            .unwrap();
+        assert_eq!(bytes, b"retry");
+        assert_eq!(outcome, StoreOutcome::Computed);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_lock_is_stolen_after_the_wait_budget() {
+        let dir = fresh("steal");
+        let store = DiskStore::open(&dir);
+        let key = StoreKey::new("victim", "cfg-e");
+        // Simulate a dead holder: a lock file nobody will ever release.
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(store.lock_path(&key), b"").unwrap();
+        let (bytes, outcome) = store
+            .get_or_compute::<()>(
+                &key,
+                Duration::from_millis(100),
+                || {},
+                || Ok(b"stolen".to_vec()),
+            )
+            .unwrap();
+        assert_eq!(bytes, b"stolen");
+        assert_eq!(outcome, StoreOutcome::Computed);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

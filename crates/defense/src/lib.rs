@@ -29,7 +29,8 @@ pub use marl::{
 pub use penalty::{RadialPenalty, SaPenalty};
 pub use wocar::{WocarConfig, WocarRunner, WocarTrainer};
 pub use zoo::{
-    train_victim, train_victim_resilient, train_victim_with, DefenseMethod, VictimBudget,
+    train_victim, train_victim_resilient, train_victim_stored, train_victim_with, victim_store_key,
+    DefenseMethod, VictimBudget,
 };
 
 /// Registry-facing alias: the defense counterpart of

@@ -1,6 +1,7 @@
 //! The victim zoo: one trained victim per (task, defense method), the
 //! victim matrix of Table 1 and the victims of Tables 2–3.
 
+use imap_core::store::{DiskStore, StoreKey};
 use imap_env::{build_task, Env, TaskId};
 use imap_nn::NnError;
 use imap_rl::{train_ppo, GaussianPolicy, PpoConfig, ResilienceConfig, SampleOptions, TrainConfig};
@@ -242,6 +243,71 @@ pub fn train_victim_resilient(
     );
     Ok(policy)
 }
+
+/// The content address of a trained victim in a [`CheckpointStore`]: the
+/// canonical config string covers everything that determines the trained
+/// bytes. Actor-mode sampling is bitwise-identical at any actor count but
+/// legitimately differs from the serial path, so the key carries the
+/// *mode* (not the count): victims stay shareable across actor counts
+/// without ever serving serial-trained bytes to an actors run.
+/// `budget_name` is the caller's named budget (e.g. `quick`,
+/// `quick-<fnv>` for overridden budgets) — distinct budgets never collide.
+pub fn victim_store_key(
+    task: TaskId,
+    method: DefenseMethod,
+    budget: &VictimBudget,
+    budget_name: &str,
+    seed: u64,
+) -> StoreKey {
+    let mode = if budget.actors > 1 { "_actors" } else { "" };
+    StoreKey::new(
+        "victim",
+        &format!("{task:?}_{method:?}_{budget_name}{mode}_{seed}"),
+    )
+}
+
+/// [`train_victim_resilient`] through a content-addressed
+/// [`DiskStore`]: a published victim under [`victim_store_key`] is
+/// deserialized and returned (a store *hit* — nothing trains); otherwise
+/// training runs single-flight across processes and the result is
+/// published atomically for every later requester. Waiting on another
+/// requester's in-flight train beats `resilience.progress`, so sweep
+/// supervision sees a live cell, not a stall.
+#[allow(clippy::too_many_arguments)]
+pub fn train_victim_stored(
+    tel: &Telemetry,
+    store: &DiskStore,
+    task: TaskId,
+    method: DefenseMethod,
+    budget: &VictimBudget,
+    budget_name: &str,
+    seed: u64,
+    resilience: &ResilienceConfig,
+) -> Result<GaussianPolicy, NnError> {
+    let key = victim_store_key(task, method, budget, budget_name, seed);
+    let progress = resilience.progress.clone();
+    let (bytes, _outcome) = store.get_or_compute(
+        &key,
+        STORE_WAIT,
+        || progress.beat(),
+        || {
+            let p = train_victim_resilient(tel, task, method, budget, seed, resilience)?;
+            serde_json::to_vec(&p).map_err(|e| NnError::Numeric {
+                context: format!("serialize victim for store: {e}"),
+            })
+        },
+    )?;
+    serde_json::from_slice(&bytes).map_err(|e| NnError::Numeric {
+        context: format!("deserialize stored victim {}: {e}", key.file_name()),
+    })
+}
+
+/// How long a requester waits on another requester's in-flight victim
+/// train before stealing the lock. Full-budget victims train in minutes;
+/// ten is comfortably past any healthy train and short enough that a dead
+/// lock holder doesn't wedge a sweep (the cell's own stall watchdog never
+/// fires while waiting, because the wait loop beats).
+const STORE_WAIT: std::time::Duration = std::time::Duration::from_secs(600);
 
 /// Quick competence check for sparse victims: majority success over 10
 /// deterministic episodes, stepped in lockstep lanes through one batched

@@ -29,6 +29,7 @@ mod pool;
 mod proc;
 mod progress;
 mod retry;
+mod service;
 mod shard;
 mod status;
 
@@ -46,6 +47,10 @@ pub use proc::{
 };
 pub use progress::Progress;
 pub use retry::{backoff_delay, derive_seed, fnv1a};
+pub use service::{
+    read_endpoint, request, serve, wait_terminal, JobContext, JobEvent, JobRecord, JobRequest,
+    JobState, ServeReport, ServiceConfig, ENDPOINT_FILE, EVENTS_FILE, STATE_FILE,
+};
 pub use shard::{
     Lease, LeaseBoard, LeaseConfig, LeaseCounts, LeaseError, LeaseGuard, LeaseRecord,
     ReclaimReport, Reclaimed, ShardSpec,

@@ -223,6 +223,13 @@ pub struct PoolConfig {
     /// Abort the sweep on the first permanent error (`--fail-fast`):
     /// remaining queued jobs are skipped, in-flight ones cancelled.
     pub fail_fast: bool,
+    /// External cancellation for the whole sweep (a service job's cancel
+    /// request, a shutdown signal). When the token trips, queued jobs are
+    /// skipped with reason `cancelled` and running ones are cancelled
+    /// cooperatively — then abandoned through the same hard-grace /
+    /// kill-switch ladder as a stall, so even a wedged isolated cell is
+    /// reaped (`mode=process_killed`).
+    pub cancel: Option<CancelToken>,
     /// Supervisor poll interval.
     pub tick: Duration,
     /// Sink for `pool`-phase telemetry rows.
@@ -243,6 +250,7 @@ impl Default for PoolConfig {
             backoff_base: Duration::from_millis(250),
             deadline: None,
             fail_fast: false,
+            cancel: None,
             tick: Duration::from_millis(20),
             telemetry: Telemetry::null(),
             status: None,
@@ -263,6 +271,8 @@ enum CancelCause {
     Stall,
     Deadline,
     FailFast,
+    /// The sweep-level [`PoolConfig::cancel`] token tripped.
+    External,
 }
 
 enum Slot {
@@ -379,6 +389,9 @@ pub fn run_supervised<T: Send + 'static>(
         // running jobs cancelled and given the hard grace to unwind.
         let cut_due = match sweep_cut {
             Some(_) => None,
+            None if cfg.cancel.as_ref().is_some_and(|c| c.is_cancelled()) => {
+                Some(CancelCause::External)
+            }
             None if cfg.fail_fast
                 && statuses
                     .iter()
@@ -395,6 +408,7 @@ pub fn run_supervised<T: Send + 'static>(
             let reason = match cause {
                 CancelCause::Deadline => "sweep_deadline",
                 CancelCause::FailFast => "fail_fast",
+                CancelCause::External => "cancelled",
                 CancelCause::Stall => unreachable!("stall is never a sweep-level cut"),
             };
             for (idx, slot) in slots.iter_mut().enumerate() {
@@ -565,6 +579,9 @@ pub fn run_supervised<T: Send + 'static>(
                         CancelCause::FailFast => JobStatus::Skipped {
                             reason: "fail_fast".into(),
                         },
+                        CancelCause::External => JobStatus::Skipped {
+                            reason: "cancelled".into(),
+                        },
                     });
                     *slot = Slot::Abandoned;
                 }
@@ -612,6 +629,9 @@ pub fn run_supervised<T: Send + 'static>(
                     },
                     (_, Some(CancelCause::FailFast)) => JobStatus::Skipped {
                         reason: "fail_fast".into(),
+                    },
+                    (_, Some(CancelCause::External)) => JobStatus::Skipped {
+                        reason: "cancelled".into(),
                     },
                     (Ok(v), None) => JobStatus::Ok(v),
                     (Err(message), None) => {

@@ -1,0 +1,1150 @@
+//! Attack-evaluation-as-a-service: a job daemon over the harness pool.
+//!
+//! The sweep executor runs one grid and exits. This module keeps the
+//! machinery resident instead: a long-lived daemon accepts typed job
+//! requests over a line-delimited JSON protocol on a local TCP socket,
+//! schedules them under per-tenant concurrency budgets, and executes each
+//! through a caller-supplied runner (the CLI compiles jobs down to the
+//! same `CellSpec`/`run-cell` path as sweeps, so jobs inherit watchdogs,
+//! retries, isolation, and ledger semantics for free).
+//!
+//! The protocol is deliberately minimal — one [`JobRequest`] line in, one
+//! [`JobEvent`] line out per request, connection reusable — because the
+//! daemon and client share a filesystem: everything streamy (telemetry
+//! rows, ledger rows, status snapshots) is written to the per-job
+//! directory and tailed by the client directly, not proxied through the
+//! socket.
+//!
+//! Job lifecycle:
+//!
+//! ```text
+//! queued ──▶ running ──▶ done
+//!    │          │  ▲ └──▶ failed
+//!    │          ▼  │
+//!    │       retrying
+//!    │          │
+//!    ▼          ▼
+//! cancelled ◀───┘   (cancel request or daemon shutdown)
+//! ```
+//!
+//! Every transition is committed twice: `state.json` in the job directory
+//! is atomically replaced (snapshot for pollers), and a line is appended
+//! to `events.jsonl` (history for audits). The socket answer is merely a
+//! convenience view over the same records.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::budget::parallel_budget;
+use crate::cancel::CancelToken;
+
+/// File (under the service root) holding the daemon's actual bound
+/// address, written once the listener is up. Clients started with only
+/// the root directory discover the endpoint here — important with
+/// `--addr 127.0.0.1:0`, where the OS picks the port.
+pub const ENDPOINT_FILE: &str = "endpoint";
+
+/// Per-job state snapshot, atomically replaced on every transition.
+pub const STATE_FILE: &str = "state.json";
+
+/// Per-job append-only transition history.
+pub const EVENTS_FILE: &str = "events.jsonl";
+
+/// How long the scheduler sleeps between wake-ups when idle (shutdown
+/// polling backstop; normal wake-ups ride the condvar).
+const SCHED_TICK: Duration = Duration::from_millis(100);
+
+/// The job lifecycle state machine. Terminal states are [`JobState::Done`],
+/// [`JobState::Failed`], and [`JobState::Cancelled`]; a terminal job never
+/// transitions again (cancel of a terminal job is an idempotent no-op).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum JobState {
+    /// Accepted, waiting for a tenant slot.
+    Queued,
+    /// Executing on a worker thread.
+    Running,
+    /// The runner hit a transient failure and is re-attempting; published
+    /// by the runner via [`JobContext::retrying`].
+    Retrying,
+    /// The runner returned `Ok`.
+    Done,
+    /// The runner returned `Err`; the message is in the record's `detail`.
+    Failed,
+    /// Cancelled by request (or daemon shutdown) before completing.
+    Cancelled,
+}
+
+impl JobState {
+    /// Wire / filename-safe lowercase name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Retrying => "retrying",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+
+    /// Whether the job can still transition.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobState::Done | JobState::Failed | JobState::Cancelled
+        )
+    }
+}
+
+/// One job as the daemon sees it: identity, placement, and current state.
+/// This is both the `state.json` schema and the payload of socket answers.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct JobRecord {
+    /// Daemon-assigned id (`job-0001`, …), also the job directory name.
+    pub id: String,
+    /// What the job runs: `train`, `attack`, `eval`, `bench-matrix`,
+    /// `cell`, … Opaque to the daemon; interpreted by the runner.
+    pub kind: String,
+    /// Budget-accounting principal: at most `tenant_cap` jobs per tenant
+    /// run concurrently.
+    pub tenant: String,
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// Human-readable context for the state (error message for `failed`,
+    /// retry note for `retrying`, …).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub detail: Option<String>,
+    /// Absolute path of the job directory the daemon streams into.
+    pub dir: String,
+    /// Submission sequence number (list order, tie-break for audits).
+    pub seq: u64,
+}
+
+/// A client request: one JSON line on the socket.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobRequest {
+    /// Enqueue a job. `spec` is opaque to the daemon and handed verbatim
+    /// to the runner.
+    Submit {
+        kind: String,
+        tenant: String,
+        spec: serde_json::Value,
+    },
+    /// Current record of one job.
+    Status { id: String },
+    /// Records of all jobs, submission order.
+    List,
+    /// Cancel a job: queued jobs are cancelled immediately, running jobs
+    /// get their [`CancelToken`] tripped and commit `cancelled` when the
+    /// runner unwinds (cooperatively or via the kill ladder).
+    Cancel { id: String },
+    /// Stop the daemon: queued jobs cancel, running jobs are cancelled
+    /// and awaited, then `serve` returns.
+    Shutdown,
+}
+
+/// A daemon answer: one JSON line per request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobEvent {
+    /// `submit` accepted; the job directory is ready for tailing.
+    Submitted { id: String, dir: String },
+    /// The record backing a `status` or `cancel` answer.
+    State { job: JobRecord },
+    /// The `list` answer.
+    Jobs { jobs: Vec<JobRecord> },
+    /// The request could not be honoured (unknown id, malformed line,
+    /// submit during shutdown).
+    Denied { message: String },
+    /// `shutdown` acknowledged; the daemon is draining.
+    ShuttingDown,
+}
+
+// --- wire encoding -------------------------------------------------------
+//
+// Both enums cross the socket through a single flat struct with a string
+// discriminator (the same shape as `proc::Frame`): data-carrying enum
+// representations are the least portable corner of serde, and a flat
+// schema keeps the protocol trivially readable from any language.
+
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+struct RequestWire {
+    /// `submit` | `status` | `list` | `cancel` | `shutdown`.
+    req: String,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    kind: Option<String>,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    tenant: Option<String>,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    spec: Option<serde_json::Value>,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    id: Option<String>,
+}
+
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+struct EventWire {
+    /// `submitted` | `state` | `jobs` | `denied` | `shutting_down`.
+    event: String,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    id: Option<String>,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    dir: Option<String>,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    job: Option<JobRecord>,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    jobs: Option<Vec<JobRecord>>,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    message: Option<String>,
+}
+
+impl JobRequest {
+    /// Encodes the request as its one-line wire form (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let wire = match self {
+            JobRequest::Submit { kind, tenant, spec } => RequestWire {
+                req: "submit".into(),
+                kind: Some(kind.clone()),
+                tenant: Some(tenant.clone()),
+                spec: Some(spec.clone()),
+                id: None,
+            },
+            JobRequest::Status { id } => RequestWire {
+                req: "status".into(),
+                kind: None,
+                tenant: None,
+                spec: None,
+                id: Some(id.clone()),
+            },
+            JobRequest::List => RequestWire {
+                req: "list".into(),
+                kind: None,
+                tenant: None,
+                spec: None,
+                id: None,
+            },
+            JobRequest::Cancel { id } => RequestWire {
+                req: "cancel".into(),
+                kind: None,
+                tenant: None,
+                spec: None,
+                id: Some(id.clone()),
+            },
+            JobRequest::Shutdown => RequestWire {
+                req: "shutdown".into(),
+                kind: None,
+                tenant: None,
+                spec: None,
+                id: None,
+            },
+        };
+        serde_json::to_string(&wire).unwrap_or_else(|_| "{\"req\":\"list\"}".into())
+    }
+
+    /// Decodes one wire line. Errors name the defect so the daemon can
+    /// answer `denied` instead of dropping the connection.
+    pub fn from_line(line: &str) -> Result<Self, String> {
+        let wire: RequestWire =
+            serde_json::from_str(line).map_err(|e| format!("malformed request: {e}"))?;
+        let need = |field: Option<String>, name: &str| {
+            field.ok_or_else(|| format!("request `{}` needs `{name}`", wire.req))
+        };
+        match wire.req.as_str() {
+            "submit" => Ok(JobRequest::Submit {
+                kind: need(wire.kind.clone(), "kind")?,
+                tenant: wire.tenant.clone().unwrap_or_else(|| "default".into()),
+                spec: wire.spec.clone().unwrap_or(serde_json::Value::Null),
+            }),
+            "status" => Ok(JobRequest::Status {
+                id: need(wire.id.clone(), "id")?,
+            }),
+            "list" => Ok(JobRequest::List),
+            "cancel" => Ok(JobRequest::Cancel {
+                id: need(wire.id.clone(), "id")?,
+            }),
+            "shutdown" => Ok(JobRequest::Shutdown),
+            other => Err(format!("unknown request `{other}`")),
+        }
+    }
+}
+
+impl JobEvent {
+    /// Encodes the event as its one-line wire form (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let wire = match self {
+            JobEvent::Submitted { id, dir } => EventWire {
+                event: "submitted".into(),
+                id: Some(id.clone()),
+                dir: Some(dir.clone()),
+                job: None,
+                jobs: None,
+                message: None,
+            },
+            JobEvent::State { job } => EventWire {
+                event: "state".into(),
+                id: None,
+                dir: None,
+                job: Some(job.clone()),
+                jobs: None,
+                message: None,
+            },
+            JobEvent::Jobs { jobs } => EventWire {
+                event: "jobs".into(),
+                id: None,
+                dir: None,
+                job: None,
+                jobs: Some(jobs.clone()),
+                message: None,
+            },
+            JobEvent::Denied { message } => EventWire {
+                event: "denied".into(),
+                id: None,
+                dir: None,
+                job: None,
+                jobs: None,
+                message: Some(message.clone()),
+            },
+            JobEvent::ShuttingDown => EventWire {
+                event: "shutting_down".into(),
+                id: None,
+                dir: None,
+                job: None,
+                jobs: None,
+                message: None,
+            },
+        };
+        serde_json::to_string(&wire).unwrap_or_else(|_| "{\"event\":\"denied\"}".into())
+    }
+
+    /// Decodes one wire line.
+    pub fn from_line(line: &str) -> Result<Self, String> {
+        let wire: EventWire =
+            serde_json::from_str(line).map_err(|e| format!("malformed event: {e}"))?;
+        match wire.event.as_str() {
+            "submitted" => Ok(JobEvent::Submitted {
+                id: wire.id.ok_or("event `submitted` needs `id`")?,
+                dir: wire.dir.ok_or("event `submitted` needs `dir`")?,
+            }),
+            "state" => Ok(JobEvent::State {
+                job: wire.job.ok_or("event `state` needs `job`")?,
+            }),
+            "jobs" => Ok(JobEvent::Jobs {
+                jobs: wire.jobs.unwrap_or_default(),
+            }),
+            "denied" => Ok(JobEvent::Denied {
+                message: wire.message.unwrap_or_else(|| "denied".into()),
+            }),
+            "shutting_down" => Ok(JobEvent::ShuttingDown),
+            other => Err(format!("unknown event `{other}`")),
+        }
+    }
+}
+
+// --- daemon --------------------------------------------------------------
+
+/// How the daemon binds and schedules.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Service root: the endpoint file and one directory per job live
+    /// here. Created if absent.
+    pub root: PathBuf,
+    /// Bind address; `127.0.0.1:0` lets the OS pick a free port (the
+    /// actual endpoint is published in [`ENDPOINT_FILE`]).
+    pub addr: String,
+    /// Per-tenant running-job cap. Defaults to [`parallel_budget`], the
+    /// same budget that sizes sweep worker pools, so one greedy tenant
+    /// saturates at most its fair machine share.
+    pub tenant_cap: usize,
+}
+
+impl ServiceConfig {
+    /// Loopback defaults rooted at `root`.
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        ServiceConfig {
+            root: root.into(),
+            addr: "127.0.0.1:0".into(),
+            tenant_cap: parallel_budget().max(1),
+        }
+    }
+}
+
+/// Everything a runner needs to execute one job. The runner must treat
+/// `cancel` as the job's supervision contract: plumb it into the sweep
+/// config (`SweepConfig.cancel`) so a cancel request cuts the pool.
+#[derive(Debug, Clone)]
+pub struct JobContext {
+    /// The daemon-assigned job id.
+    pub id: String,
+    /// The submitted job kind.
+    pub kind: String,
+    /// The submitting tenant.
+    pub tenant: String,
+    /// The opaque submitted spec.
+    pub spec: serde_json::Value,
+    /// The per-job directory; the runner writes telemetry/ledgers here.
+    pub dir: PathBuf,
+    /// Tripped on cancel requests and daemon shutdown.
+    pub cancel: CancelToken,
+    shared: Arc<Shared>,
+}
+
+impl JobContext {
+    /// Publishes the `retrying` state (with a reason) while the runner
+    /// re-attempts after a transient failure. The state returns to
+    /// terminal `done`/`failed`/`cancelled` when the runner finishes.
+    pub fn retrying(&self, detail: &str) {
+        self.shared
+            .transition(&self.id, JobState::Retrying, Some(detail.to_string()));
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    record: JobRecord,
+    spec: serde_json::Value,
+    cancel: CancelToken,
+}
+
+#[derive(Debug)]
+struct State {
+    jobs: Vec<Entry>,
+    next_seq: u64,
+    shutdown: bool,
+    /// Running jobs per tenant (budget accounting).
+    active: HashMap<String, usize>,
+    /// Running job threads (drain accounting).
+    live: usize,
+}
+
+#[derive(Debug)]
+struct Shared {
+    cfg: ServiceConfig,
+    state: Mutex<State>,
+    wake: Condvar,
+}
+
+impl Shared {
+    /// Applies a state transition and commits it to the job directory.
+    /// Terminal states are sticky: a transition on a terminal job is
+    /// ignored (so a cancel racing completion stays `done`).
+    fn transition(&self, id: &str, state: JobState, detail: Option<String>) {
+        let mut guard = lock(&self.state);
+        let Some(entry) = guard.jobs.iter_mut().find(|e| e.record.id == id) else {
+            return;
+        };
+        if entry.record.state.is_terminal() {
+            return;
+        }
+        entry.record.state = state;
+        entry.record.detail = detail;
+        let record = entry.record.clone();
+        drop(guard);
+        commit_record(&record);
+        self.wake.notify_all();
+    }
+}
+
+/// Mutex lock that survives poisoning: a panicking connection handler
+/// must not wedge the whole daemon.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Atomically replaces `state.json` and appends to `events.jsonl` in the
+/// job's directory. Failures are reported on stderr but never crash the
+/// daemon: the socket answer still reflects the in-memory record.
+fn commit_record(record: &JobRecord) {
+    let dir = PathBuf::from(&record.dir);
+    let write = || -> std::io::Result<()> {
+        std::fs::create_dir_all(&dir)?;
+        let json = serde_json::to_string_pretty(record)
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
+        let tmp = dir.join(format!(".tmp-{}-state.json", std::process::id()));
+        std::fs::write(&tmp, json)?;
+        std::fs::rename(&tmp, dir.join(STATE_FILE))?;
+
+        let event = serde_json::to_string(&EventWire {
+            event: "state".into(),
+            id: Some(record.id.clone()),
+            dir: None,
+            job: Some(record.clone()),
+            jobs: None,
+            message: None,
+        })
+        .map_err(|e| std::io::Error::other(e.to_string()))?;
+        let mut log = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(dir.join(EVENTS_FILE))?;
+        log.write_all(format!("{event}\n").as_bytes())
+    };
+    if let Err(e) = write() {
+        eprintln!(
+            "warning: failed to commit state for {}: {e}",
+            record.id.as_str()
+        );
+    }
+}
+
+/// What `serve` reports after draining.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ServeReport {
+    /// The address the daemon actually bound.
+    pub addr: String,
+    /// Jobs accepted over the daemon's lifetime.
+    pub submitted: u64,
+    /// Jobs that finished `done`.
+    pub done: u64,
+    /// Jobs that finished `failed`.
+    pub failed: u64,
+    /// Jobs that finished `cancelled`.
+    pub cancelled: u64,
+}
+
+/// Runs the daemon until a `shutdown` request: binds `cfg.addr`, writes
+/// the endpoint file, accepts connections (one thread each, one
+/// request/answer pair per line), and schedules submitted jobs onto
+/// worker threads under the per-tenant budget, executing each through
+/// `runner`. Returns after all running jobs have drained.
+///
+/// The runner's contract: execute the job described by the [`JobContext`]
+/// into `ctx.dir`, honouring `ctx.cancel`; `Ok` commits `done`, `Err`
+/// commits `failed` (with the message as detail) — unless the cancel
+/// token tripped, which commits `cancelled` regardless of the runner's
+/// return value.
+pub fn serve<R>(cfg: ServiceConfig, runner: R) -> std::io::Result<ServeReport>
+where
+    R: Fn(&JobContext) -> Result<(), String> + Send + Sync + 'static,
+{
+    serve_boxed(cfg, Arc::new(runner))
+}
+
+/// Shared executor closure the scheduler hands every job thread.
+type JobRunner = Arc<dyn Fn(&JobContext) -> Result<(), String> + Send + Sync>;
+
+fn serve_boxed(cfg: ServiceConfig, runner: JobRunner) -> std::io::Result<ServeReport> {
+    std::fs::create_dir_all(&cfg.root)?;
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?.to_string();
+    // Publish the endpoint atomically so a tailing client never reads a
+    // half-written address.
+    let tmp = cfg
+        .root
+        .join(format!(".tmp-{}-endpoint", std::process::id()));
+    std::fs::write(&tmp, &addr)?;
+    std::fs::rename(&tmp, cfg.root.join(ENDPOINT_FILE))?;
+
+    let shared = Arc::new(Shared {
+        cfg,
+        state: Mutex::new(State {
+            jobs: Vec::new(),
+            next_seq: 1,
+            shutdown: false,
+            active: HashMap::new(),
+            live: 0,
+        }),
+        wake: Condvar::new(),
+    });
+    let workers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+    // Scheduler: starts queued jobs whenever their tenant has a free slot.
+    let scheduler = {
+        let shared = Arc::clone(&shared);
+        let runner = Arc::clone(&runner);
+        let workers = Arc::clone(&workers);
+        std::thread::Builder::new()
+            .name("imap-serve-sched".into())
+            .spawn(move || scheduler_loop(&shared, &runner, &workers))?
+    };
+
+    // Accept loop: exits on the shutdown flag (the shutdown handler
+    // self-connects to unblock a pending accept).
+    for conn in listener.incoming() {
+        if lock(&shared.state).shutdown {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        let shared = Arc::clone(&shared);
+        let _ = std::thread::Builder::new()
+            .name("imap-serve-conn".into())
+            .spawn(move || handle_connection(stream, &shared));
+    }
+
+    // Drain: the scheduler exits once shutdown is set and nothing is
+    // queued; job threads are joined so their final transitions commit.
+    let _ = scheduler.join();
+    let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *lock(&workers));
+    for handle in handles {
+        let _ = handle.join();
+    }
+
+    let guard = lock(&shared.state);
+    let count = |s: JobState| guard.jobs.iter().filter(|e| e.record.state == s).count() as u64;
+    Ok(ServeReport {
+        addr,
+        submitted: guard.jobs.len() as u64,
+        done: count(JobState::Done),
+        failed: count(JobState::Failed),
+        cancelled: count(JobState::Cancelled),
+    })
+}
+
+fn scheduler_loop(
+    shared: &Arc<Shared>,
+    runner: &JobRunner,
+    workers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    loop {
+        let mut guard = lock(&shared.state);
+        // Find the oldest queued job whose tenant has a free slot.
+        let cap = shared.cfg.tenant_cap;
+        let startable = guard.jobs.iter().position(|e| {
+            e.record.state == JobState::Queued
+                && guard.active.get(&e.record.tenant).copied().unwrap_or(0) < cap
+        });
+        let Some(idx) = startable else {
+            let queued = guard
+                .jobs
+                .iter()
+                .any(|e| e.record.state == JobState::Queued);
+            if guard.shutdown && !queued {
+                return; // workers drain independently; serve() joins them.
+            }
+            let (g, _) = shared
+                .wake
+                .wait_timeout(guard, SCHED_TICK)
+                .unwrap_or_else(|e| e.into_inner());
+            drop(g);
+            continue;
+        };
+
+        let entry = &mut guard.jobs[idx];
+        entry.record.state = JobState::Running;
+        entry.record.detail = None;
+        let record = entry.record.clone();
+        let ctx = JobContext {
+            id: record.id.clone(),
+            kind: record.kind.clone(),
+            tenant: record.tenant.clone(),
+            spec: entry.spec.clone(),
+            dir: PathBuf::from(&record.dir),
+            cancel: entry.cancel.clone(),
+            shared: Arc::clone(shared),
+        };
+        *guard.active.entry(record.tenant.clone()).or_insert(0) += 1;
+        guard.live += 1;
+        drop(guard);
+        commit_record(&record);
+
+        let shared = Arc::clone(shared);
+        let runner = Arc::clone(runner);
+        let spawned = std::thread::Builder::new()
+            .name(format!("imap-job-{}", record.id))
+            .spawn(move || {
+                let outcome =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| runner(&ctx)))
+                        .unwrap_or_else(|p| {
+                            Err(format!("panic: {}", crate::pool::panic_message(&*p)))
+                        });
+                let (state, detail) = if ctx.cancel.is_cancelled() {
+                    (JobState::Cancelled, Some("cancelled".to_string()))
+                } else {
+                    match outcome {
+                        Ok(()) => (JobState::Done, None),
+                        Err(message) => (JobState::Failed, Some(message)),
+                    }
+                };
+                ctx.shared.transition(&ctx.id, state, detail);
+                let mut guard = lock(&ctx.shared.state);
+                if let Some(slots) = guard.active.get_mut(&ctx.tenant) {
+                    *slots = slots.saturating_sub(1);
+                }
+                guard.live = guard.live.saturating_sub(1);
+                drop(guard);
+                ctx.shared.wake.notify_all();
+            });
+        match spawned {
+            Ok(handle) => lock(workers).push(handle),
+            Err(e) => {
+                // Out of threads: fail the job instead of wedging it in
+                // `running` forever.
+                shared.transition(&record.id, JobState::Failed, Some(format!("spawn: {e}")));
+                let mut guard = lock(&shared.state);
+                if let Some(slots) = guard.active.get_mut(&record.tenant) {
+                    *slots = slots.saturating_sub(1);
+                }
+                guard.live = guard.live.saturating_sub(1);
+            }
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = stream;
+    let reader = BufReader::new(read_half);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let answer = match JobRequest::from_line(&line) {
+            Ok(req) => answer_request(req, shared),
+            Err(message) => JobEvent::Denied { message },
+        };
+        let mut out = answer.to_line();
+        out.push('\n');
+        if writer.write_all(out.as_bytes()).is_err() || writer.flush().is_err() {
+            break;
+        }
+        if matches!(answer, JobEvent::ShuttingDown) {
+            // Only after the acknowledgement is on the wire: unblock a
+            // pending accept so the accept loop observes the shutdown
+            // flag and exits. The answer is already in the kernel's send
+            // buffer, so it survives the daemon exiting immediately.
+            if let Ok(endpoint) = std::fs::read_to_string(shared.cfg.root.join(ENDPOINT_FILE)) {
+                let _ = TcpStream::connect(endpoint.trim());
+            }
+            break;
+        }
+    }
+}
+
+fn answer_request(req: JobRequest, shared: &Arc<Shared>) -> JobEvent {
+    match req {
+        JobRequest::Submit { kind, tenant, spec } => {
+            let mut guard = lock(&shared.state);
+            if guard.shutdown {
+                return JobEvent::Denied {
+                    message: "daemon is shutting down".into(),
+                };
+            }
+            let seq = guard.next_seq;
+            guard.next_seq += 1;
+            let id = format!("job-{seq:04}");
+            let dir = shared.cfg.root.join(&id);
+            let record = JobRecord {
+                id: id.clone(),
+                kind,
+                tenant,
+                state: JobState::Queued,
+                detail: None,
+                dir: dir.to_string_lossy().into_owned(),
+                seq,
+            };
+            guard.jobs.push(Entry {
+                record: record.clone(),
+                spec,
+                cancel: CancelToken::new(),
+            });
+            drop(guard);
+            commit_record(&record);
+            shared.wake.notify_all();
+            JobEvent::Submitted {
+                id,
+                dir: record.dir,
+            }
+        }
+        JobRequest::Status { id } => {
+            let guard = lock(&shared.state);
+            match guard.jobs.iter().find(|e| e.record.id == id) {
+                Some(entry) => JobEvent::State {
+                    job: entry.record.clone(),
+                },
+                None => JobEvent::Denied {
+                    message: format!("unknown job `{id}`"),
+                },
+            }
+        }
+        JobRequest::List => {
+            let guard = lock(&shared.state);
+            JobEvent::Jobs {
+                jobs: guard.jobs.iter().map(|e| e.record.clone()).collect(),
+            }
+        }
+        JobRequest::Cancel { id } => {
+            let mut guard = lock(&shared.state);
+            let Some(entry) = guard.jobs.iter_mut().find(|e| e.record.id == id) else {
+                return JobEvent::Denied {
+                    message: format!("unknown job `{id}`"),
+                };
+            };
+            entry.cancel.cancel();
+            match entry.record.state {
+                // Queued: nothing to unwind, commit `cancelled` now.
+                JobState::Queued => {
+                    entry.record.state = JobState::Cancelled;
+                    entry.record.detail = Some("cancelled before start".into());
+                    let record = entry.record.clone();
+                    drop(guard);
+                    commit_record(&record);
+                    shared.wake.notify_all();
+                    JobEvent::State { job: record }
+                }
+                // Running/retrying: the token is tripped; the job thread
+                // commits `cancelled` when the runner unwinds. Terminal
+                // states answer idempotently with the final record.
+                _ => {
+                    let record = entry.record.clone();
+                    drop(guard);
+                    JobEvent::State { job: record }
+                }
+            }
+        }
+        JobRequest::Shutdown => {
+            let mut guard = lock(&shared.state);
+            guard.shutdown = true;
+            let mut cancelled = Vec::new();
+            for entry in &mut guard.jobs {
+                entry.cancel.cancel();
+                if entry.record.state == JobState::Queued {
+                    entry.record.state = JobState::Cancelled;
+                    entry.record.detail = Some("daemon shutdown".into());
+                    cancelled.push(entry.record.clone());
+                }
+            }
+            drop(guard);
+            for record in cancelled {
+                commit_record(&record);
+            }
+            shared.wake.notify_all();
+            // The caller unblocks the accept loop *after* the answer is
+            // flushed; doing it here would let the daemon drain and exit
+            // before the `shutting_down` line reaches the client.
+            JobEvent::ShuttingDown
+        }
+    }
+}
+
+// --- client --------------------------------------------------------------
+
+/// Reads the daemon's published endpoint from its root directory.
+pub fn read_endpoint(root: &Path) -> std::io::Result<String> {
+    let addr = std::fs::read_to_string(root.join(ENDPOINT_FILE))?;
+    Ok(addr.trim().to_string())
+}
+
+/// One request/answer round trip on a fresh connection. The daemon is
+/// local by design (it binds loopback and shares a filesystem with the
+/// client), so a blocking call with the OS's default timeouts is fine.
+pub fn request(addr: &str, req: &JobRequest) -> Result<JobEvent, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr} failed: {e}"))?;
+    let mut line = req.to_line();
+    line.push('\n');
+    stream
+        .write_all(line.as_bytes())
+        .and_then(|()| stream.flush())
+        .map_err(|e| format!("send to {addr} failed: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    let mut answer = String::new();
+    reader
+        .read_line(&mut answer)
+        .map_err(|e| format!("read from {addr} failed: {e}"))?;
+    if answer.trim().is_empty() {
+        return Err(format!("daemon at {addr} closed without answering"));
+    }
+    JobEvent::from_line(answer.trim())
+}
+
+/// Polls `status` until the job reaches a terminal state or `timeout`
+/// elapses. Returns the final record.
+pub fn wait_terminal(addr: &str, id: &str, timeout: Duration) -> Result<JobRecord, String> {
+    let start = std::time::Instant::now();
+    loop {
+        match request(addr, &JobRequest::Status { id: id.into() })? {
+            JobEvent::State { job } if job.state.is_terminal() => return Ok(job),
+            JobEvent::State { .. } => {}
+            JobEvent::Denied { message } => return Err(message),
+            other => return Err(format!("unexpected answer: {}", other.to_line())),
+        }
+        if start.elapsed() > timeout {
+            return Err(format!("job {id} not terminal after {timeout:?}"));
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn record(id: &str, state: JobState) -> JobRecord {
+        JobRecord {
+            id: id.into(),
+            kind: "eval".into(),
+            tenant: "default".into(),
+            state,
+            detail: None,
+            dir: format!("/tmp/{id}"),
+            seq: 1,
+        }
+    }
+
+    #[test]
+    fn requests_roundtrip_through_the_wire() {
+        let reqs = vec![
+            JobRequest::Submit {
+                kind: "bench-matrix".into(),
+                tenant: "ci".into(),
+                spec: serde_json::json!({"toml": "[experiment]"}),
+            },
+            JobRequest::Status {
+                id: "job-0001".into(),
+            },
+            JobRequest::List,
+            JobRequest::Cancel {
+                id: "job-0002".into(),
+            },
+            JobRequest::Shutdown,
+        ];
+        for req in &reqs {
+            let back = JobRequest::from_line(&req.to_line()).unwrap();
+            assert_eq!(&back, req);
+        }
+    }
+
+    #[test]
+    fn events_roundtrip_through_the_wire() {
+        let events = vec![
+            JobEvent::Submitted {
+                id: "job-0001".into(),
+                dir: "/tmp/job-0001".into(),
+            },
+            JobEvent::State {
+                job: record("job-0001", JobState::Running),
+            },
+            JobEvent::Jobs {
+                jobs: vec![
+                    record("job-0001", JobState::Done),
+                    record("job-0002", JobState::Queued),
+                ],
+            },
+            JobEvent::Denied {
+                message: "unknown job".into(),
+            },
+            JobEvent::ShuttingDown,
+        ];
+        for event in &events {
+            let back = JobEvent::from_line(&event.to_line()).unwrap();
+            assert_eq!(&back, event);
+        }
+    }
+
+    #[test]
+    fn malformed_and_incomplete_lines_are_typed_errors() {
+        assert!(JobRequest::from_line("not json").is_err());
+        assert!(JobRequest::from_line("{\"req\":\"status\"}")
+            .unwrap_err()
+            .contains("needs `id`"));
+        assert!(JobRequest::from_line("{\"req\":\"warp\"}")
+            .unwrap_err()
+            .contains("unknown request"));
+        assert!(JobEvent::from_line("{\"event\":\"state\"}")
+            .unwrap_err()
+            .contains("needs `job`"));
+    }
+
+    #[test]
+    fn terminal_states_are_sticky() {
+        assert!(JobState::Done.is_terminal());
+        assert!(JobState::Failed.is_terminal());
+        assert!(JobState::Cancelled.is_terminal());
+        assert!(!JobState::Queued.is_terminal());
+        assert!(!JobState::Running.is_terminal());
+        assert!(!JobState::Retrying.is_terminal());
+    }
+
+    // Referenced only from `proptest!` bodies, which the offline shadow
+    // build's stub macro discards — hence the dead_code allowance.
+    #[allow(dead_code)]
+    fn arb_state() -> impl Strategy<Value = JobState> {
+        proptest::sample::select(vec![
+            JobState::Queued,
+            JobState::Running,
+            JobState::Retrying,
+            JobState::Done,
+            JobState::Failed,
+            JobState::Cancelled,
+        ])
+    }
+
+    #[allow(dead_code)]
+    fn arb_record() -> impl Strategy<Value = JobRecord> {
+        (
+            "[a-z0-9-]{1,12}",
+            "[a-z-]{1,12}",
+            "[a-z0-9_]{1,12}",
+            arb_state(),
+            proptest::option::of("[ -~]{0,40}"),
+            0u64..10_000,
+        )
+            .prop_map(|(id, kind, tenant, state, detail, seq)| JobRecord {
+                dir: format!("/tmp/{id}"),
+                id,
+                kind,
+                tenant,
+                state,
+                detail,
+                seq,
+            })
+    }
+
+    proptest! {
+        #[test]
+        fn prop_requests_roundtrip(
+            kind in "[a-z-]{1,16}",
+            tenant in "[a-z0-9_]{1,16}",
+            payload in "[ -~]{0,60}",
+            id in "[a-z0-9-]{1,16}",
+        ) {
+            let reqs = vec![
+                JobRequest::Submit {
+                    kind,
+                    tenant,
+                    spec: serde_json::Value::String(payload),
+                },
+                JobRequest::Status { id: id.clone() },
+                JobRequest::Cancel { id },
+                JobRequest::List,
+                JobRequest::Shutdown,
+            ];
+            for req in &reqs {
+                let back = JobRequest::from_line(&req.to_line()).unwrap();
+                prop_assert_eq!(&back, req);
+            }
+        }
+
+        #[test]
+        fn prop_events_roundtrip(
+            job in arb_record(),
+            jobs in proptest::collection::vec(arb_record(), 0..4),
+            message in "[ -~]{1,60}",
+        ) {
+            let events = vec![
+                JobEvent::Submitted {
+                    id: job.id.clone(),
+                    dir: job.dir.clone(),
+                },
+                JobEvent::State { job },
+                JobEvent::Jobs { jobs },
+                JobEvent::Denied { message },
+                JobEvent::ShuttingDown,
+            ];
+            for event in &events {
+                let back = JobEvent::from_line(&event.to_line()).unwrap();
+                prop_assert_eq!(&back, event);
+            }
+        }
+    }
+
+    /// End-to-end over a real socket: submit → run → done, plus budget
+    /// accounting, cancel-while-queued, and shutdown draining.
+    #[test]
+    fn daemon_runs_submitted_jobs_and_drains_on_shutdown() {
+        let root = std::env::temp_dir().join(format!("imap-serve-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let mut cfg = ServiceConfig::new(&root);
+        cfg.tenant_cap = 1;
+        let cfg_root = cfg.root.clone();
+
+        let daemon = std::thread::spawn(move || {
+            serve(cfg, |ctx: &JobContext| {
+                // The "runner": record the spec, honour cancellation.
+                if ctx.kind == "hang" {
+                    while !ctx.cancel.is_cancelled() {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    return Ok(());
+                }
+                if ctx.kind == "fail" {
+                    return Err("boom".into());
+                }
+                std::fs::write(ctx.dir.join("spec.json"), ctx.spec.to_string()).unwrap();
+                Ok(())
+            })
+            .unwrap()
+        });
+
+        // Wait for the endpoint to publish.
+        let addr = {
+            let start = std::time::Instant::now();
+            loop {
+                if let Ok(addr) = read_endpoint(&cfg_root) {
+                    break addr;
+                }
+                assert!(start.elapsed() < Duration::from_secs(10), "no endpoint");
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        };
+
+        let submit = |kind: &str| -> String {
+            match request(
+                &addr,
+                &JobRequest::Submit {
+                    kind: kind.into(),
+                    tenant: "t".into(),
+                    spec: serde_json::json!({"x": 1}),
+                },
+            )
+            .unwrap()
+            {
+                JobEvent::Submitted { id, .. } => id,
+                other => panic!("unexpected: {other:?}"),
+            }
+        };
+
+        // A hanging job occupies the tenant's only slot…
+        let hung = submit("hang");
+        // …so these queue behind it (tenant_cap = 1).
+        let ok_job = submit("ok");
+        let failing = submit("fail");
+
+        // Cancel the hung job; the queue then drains.
+        std::thread::sleep(Duration::from_millis(50));
+        let _ = request(&addr, &JobRequest::Cancel { id: hung.clone() }).unwrap();
+        let hung_final = wait_terminal(&addr, &hung, Duration::from_secs(10)).unwrap();
+        assert_eq!(hung_final.state, JobState::Cancelled);
+
+        let ok_final = wait_terminal(&addr, &ok_job, Duration::from_secs(10)).unwrap();
+        assert_eq!(ok_final.state, JobState::Done);
+        let fail_final = wait_terminal(&addr, &failing, Duration::from_secs(10)).unwrap();
+        assert_eq!(fail_final.state, JobState::Failed);
+        assert_eq!(fail_final.detail.as_deref(), Some("boom"));
+
+        // The ok job's runner really ran in its own directory.
+        let spec = std::fs::read_to_string(PathBuf::from(&ok_final.dir).join("spec.json")).unwrap();
+        assert!(spec.contains("\"x\""));
+        // And its state snapshot committed.
+        let snap = std::fs::read_to_string(PathBuf::from(&ok_final.dir).join(STATE_FILE)).unwrap();
+        assert!(snap.contains("Done"));
+
+        // List sees all three in submission order.
+        match request(&addr, &JobRequest::List).unwrap() {
+            JobEvent::Jobs { jobs } => {
+                assert_eq!(jobs.len(), 3);
+                assert!(jobs.windows(2).all(|w| w[0].seq < w[1].seq));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+
+        // Shutdown drains and serve() returns a tally.
+        match request(&addr, &JobRequest::Shutdown).unwrap() {
+            JobEvent::ShuttingDown => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+        let report = daemon.join().unwrap();
+        assert_eq!(report.submitted, 3);
+        assert_eq!(report.done, 1);
+        assert_eq!(report.failed, 1);
+        assert_eq!(report.cancelled, 1);
+
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

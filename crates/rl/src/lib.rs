@@ -39,8 +39,6 @@ pub use guard::{DivergenceGuard, GuardConfig, TripReason};
 pub use normalize::RunningNorm;
 pub use policy::{GaussianPolicy, PolicyScratch};
 pub use ppo::{update_policy, update_value, PenaltyFn, PpoConfig, PpoSample, PpoStats};
-#[allow(deprecated)]
-pub use sampler::{collect_rollout, collect_rollout_supervised};
 pub use sampler::{collect_stage, episode_seed, SampleOptions, SampleSpec, Sampler};
 pub use train::{
     heartbeat, run_trainer, train_ppo, IterationStats, PenalizedPpo, PpoRunner, ResilienceConfig,

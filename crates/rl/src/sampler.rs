@@ -687,43 +687,6 @@ pub fn collect_stage(
     }
 }
 
-/// Collects at least `n_steps` transitions from `env` under `policy` with
-/// the serial contract.
-#[deprecated(
-    since = "0.5.0",
-    note = "use `Sampler::new(SampleSpec::steps(n))` (or `collect_stage` from a trainer)"
-)]
-pub fn collect_rollout(
-    env: &mut dyn Env,
-    policy: &mut GaussianPolicy,
-    n_steps: usize,
-    update_norm: bool,
-    rng: &mut EnvRng,
-) -> Result<RolloutBuffer, NnError> {
-    Sampler::new(SampleSpec::steps(n_steps).update_norm(update_norm)).collect(env, policy, rng)
-}
-
-/// [`collect_rollout`] under supervision.
-#[deprecated(
-    since = "0.5.0",
-    note = "use `Sampler::new(SampleSpec::steps(n).progress(&p))` (or `collect_stage`)"
-)]
-pub fn collect_rollout_supervised(
-    env: &mut dyn Env,
-    policy: &mut GaussianPolicy,
-    n_steps: usize,
-    update_norm: bool,
-    rng: &mut EnvRng,
-    progress: &Progress,
-) -> Result<RolloutBuffer, NnError> {
-    Sampler::new(
-        SampleSpec::steps(n_steps)
-            .update_norm(update_norm)
-            .progress(progress),
-    )
-    .collect(env, policy, rng)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -780,16 +743,18 @@ mod tests {
         assert_eq!(total, buf.len());
     }
 
-    /// The deprecated positional-argument shims stay byte-identical to the
-    /// serial `Sampler` path.
+    /// Two independently-constructed serial samplers at the same seed are
+    /// byte-identical (the determinism contract the removed positional
+    /// shims used to pin).
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_sampler() {
+    fn serial_sampler_is_deterministic_across_constructions() {
         let (mut env, mut policy, mut rng) = setup();
-        let via_spec = collect(&mut env, &mut policy, 60, true, &mut rng).unwrap();
+        let first = collect(&mut env, &mut policy, 60, true, &mut rng).unwrap();
         let (mut env2, mut policy2, mut rng2) = setup();
-        let via_shim = collect_rollout(&mut env2, &mut policy2, 60, true, &mut rng2).unwrap();
-        assert_eq!(buffer_bits(&via_spec), buffer_bits(&via_shim));
+        let second = Sampler::new(SampleSpec::steps(60).update_norm(true))
+            .collect(&mut env2, &mut policy2, &mut rng2)
+            .unwrap();
+        assert_eq!(buffer_bits(&first), buffer_bits(&second));
         assert_eq!(rng.state(), rng2.state());
     }
 

@@ -2,7 +2,7 @@
 //!
 //! Used directly for vanilla victims; the defense trainers in `imap-defense`
 //! and the attack trainers in `imap-core` reuse the same pieces
-//! ([`crate::collect_rollout`], [`gae()`](crate::gae::gae), [`crate::update_policy`])
+//! ([`crate::collect_stage`], [`gae()`](crate::gae::gae), [`crate::update_policy`])
 //! with their own reward/advantage plumbing.
 
 use std::path::{Path, PathBuf};

@@ -142,6 +142,27 @@ impl Telemetry {
         ))
     }
 
+    /// [`Telemetry::jsonl`] in live mode: `metrics.jsonl` is flushed after
+    /// every row so a concurrent reader (a service client tailing a job)
+    /// sees rows as they are recorded, not at buffer boundaries. One
+    /// syscall per row — use for interactive runs, not tight benchmarks.
+    pub fn jsonl_live(dir: impl AsRef<Path>, manifest: &RunManifest) -> io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let manifest_json = serde_json::to_vec_pretty(manifest)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        std::fs::write(dir.join("manifest.json"), manifest_json)?;
+        let recorder = JsonlRecorder::create_live(&dir.join("metrics.jsonl"))?;
+        Ok(Telemetry::from_parts(
+            manifest.run_id.clone(),
+            true,
+            Arc::new(recorder),
+            Some(dir),
+            Some(manifest.clone()),
+            false,
+        ))
+    }
+
     /// An enabled handle streaming rows into an arbitrary [`Recorder`],
     /// with no artifact directory, manifest, or tracer. The process
     /// isolation layer uses this in `run-cell` children: rows go to a

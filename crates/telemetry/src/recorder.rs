@@ -86,6 +86,11 @@ struct JsonlState {
 /// [`Recorder::first_error`] so it lands in the run manifest.
 pub struct JsonlRecorder {
     state: Mutex<JsonlState>,
+    /// Flush after every row. Costs a syscall per record, so it is opt-in:
+    /// the service layer uses it so a client tailing a live job's
+    /// `metrics.jsonl` sees rows as they happen instead of at buffer
+    /// boundaries.
+    live: bool,
 }
 
 impl JsonlRecorder {
@@ -95,6 +100,15 @@ impl JsonlRecorder {
         Ok(JsonlRecorder::from_writer(Box::new(file)))
     }
 
+    /// [`JsonlRecorder::create`] in live mode: every row is flushed to the
+    /// file as it is recorded, so concurrent readers can tail it.
+    pub fn create_live(path: &Path) -> io::Result<Self> {
+        let file = File::create(path)?;
+        let mut recorder = JsonlRecorder::from_writer(Box::new(file));
+        recorder.live = true;
+        Ok(recorder)
+    }
+
     /// Wraps an arbitrary writer (tests inject failing writers here).
     pub fn from_writer(writer: Box<dyn Write + Send>) -> Self {
         JsonlRecorder {
@@ -102,6 +116,7 @@ impl JsonlRecorder {
                 writer: BufWriter::new(writer),
                 error: None,
             }),
+            live: false,
         }
     }
 
@@ -125,6 +140,10 @@ impl Recorder for JsonlRecorder {
             }
             if let Err(e) = writeln!(state.writer, "{json}") {
                 JsonlRecorder::poison(&mut state, "write", e);
+            } else if self.live {
+                if let Err(e) = state.writer.flush() {
+                    JsonlRecorder::poison(&mut state, "flush", e);
+                }
             }
         }
     }
@@ -192,6 +211,20 @@ mod tests {
             .map(|l| serde_json::from_str(l).unwrap())
             .collect();
         assert_eq!(parsed, rows, "JSONL round-trip must preserve every field");
+    }
+
+    #[test]
+    fn live_recorder_is_tailable_before_any_explicit_flush() {
+        let dir = std::env::temp_dir().join("imap-telemetry-test-live");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("metrics.jsonl");
+        let rec = JsonlRecorder::create_live(&path).unwrap();
+        rec.record(&MetricRow::new("run-1", "train", 0).scalar("x", 1.0));
+        // No flush: a concurrent reader must still see the row.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 1, "live rows reach the file eagerly");
+        let row: MetricRow = serde_json::from_str(text.lines().next().unwrap()).unwrap();
+        assert_eq!(row.iteration, 0);
     }
 
     /// Fails every write after the first `ok_bytes` bytes.

@@ -237,7 +237,14 @@ fn probe_finds_planted_failures_under_isolation_and_resume_replays_them() {
     // mutation) row against the cached victim.
     let victims = VictimCache::open_at(cache_root.join("victims"));
     let victim = victims
-        .victim(TaskId::Hopper, DefenseMethod::Ppo, &spec.budget, 11)
+        .victim_supervised(
+            &Telemetry::null(),
+            TaskId::Hopper,
+            DefenseMethod::Ppo,
+            &spec.budget,
+            11,
+            &Progress::null(),
+        )
         .unwrap();
     let cfg = spec.probe.clone().unwrap();
     for cx in &row.failures {
